@@ -1,0 +1,114 @@
+//===- BenchUtil.h - Shared helpers for the benchmark binaries --*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the bench/ executables that regenerate the paper's
+/// tables and figures: suite-wide pipeline runs, aligned table printing,
+/// and ASCII bar rendering for the figure-style outputs. Uses std::printf
+/// (these are tools, not library code).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_BENCH_BENCHUTIL_H
+#define JSAI_BENCH_BENCHUTIL_H
+
+#include "corpus/BenchmarkSuite.h"
+#include "pipeline/Pipeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jsai::bench {
+
+/// Runs the full pipeline over every project of the default suite.
+/// Expensive-ish (a few seconds); each binary calls it once.
+inline std::vector<ProjectReport> runSuite(bool OnlyDynamicCG = false) {
+  std::vector<ProjectSpec> Suite =
+      OnlyDynamicCG ? benchmarksWithDynamicCG() : buildBenchmarkSuite();
+  Pipeline P;
+  std::vector<ProjectReport> Reports;
+  Reports.reserve(Suite.size());
+  for (const ProjectSpec &Spec : Suite)
+    Reports.push_back(P.analyzeProject(Spec));
+  return Reports;
+}
+
+/// Percentage with one decimal.
+inline std::string pct(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f%%", Fraction * 100.0);
+  return Buf;
+}
+
+/// Relative change (After vs Before) as "+x.x%".
+inline std::string delta(double Before, double After) {
+  if (Before == 0)
+    return "n/a";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%+.1f%%", (After - Before) / Before * 100.0);
+  return Buf;
+}
+
+/// A log-ish ASCII bar for the figure-style plots.
+inline std::string bar(size_t Value, size_t MaxValue, size_t Width = 40) {
+  if (MaxValue == 0)
+    return std::string();
+  size_t Len = Value * Width / MaxValue;
+  return std::string(Len, '#');
+}
+
+/// Prints a horizontal rule sized to \p Width.
+inline void rule(size_t Width = 100) {
+  std::printf("%s\n", std::string(Width, '-').c_str());
+}
+
+/// Average of a projected field across reports.
+template <typename FnT>
+double average(const std::vector<ProjectReport> &Reports, FnT Fn) {
+  if (Reports.empty())
+    return 0;
+  double Sum = 0;
+  for (const ProjectReport &R : Reports)
+    Sum += Fn(R);
+  return Sum / double(Reports.size());
+}
+
+/// Average relative increase of a metric from baseline to extended, the
+/// way the paper reports "+55.1% more call edges" (mean of per-project
+/// relative increases).
+template <typename FnT>
+double averageIncrease(const std::vector<ProjectReport> &Reports, FnT Fn) {
+  double Sum = 0;
+  size_t Count = 0;
+  for (const ProjectReport &R : Reports) {
+    auto [Before, After] = Fn(R);
+    if (Before == 0)
+      continue;
+    Sum += (double(After) - double(Before)) / double(Before);
+    ++Count;
+  }
+  return Count == 0 ? 0 : Sum / double(Count);
+}
+
+/// Sorts report indices ascending by a key (the figures sort programs by
+/// their baseline metric).
+template <typename FnT>
+std::vector<size_t> sortedIndices(const std::vector<ProjectReport> &Reports,
+                                  FnT Key) {
+  std::vector<size_t> Idx(Reports.size());
+  for (size_t I = 0; I != Idx.size(); ++I)
+    Idx[I] = I;
+  std::sort(Idx.begin(), Idx.end(), [&](size_t A, size_t B) {
+    auto KA = Key(Reports[A]);
+    auto KB = Key(Reports[B]);
+    if (KA != KB)
+      return KA < KB;
+    return Reports[A].Name < Reports[B].Name;
+  });
+  return Idx;
+}
+
+} // namespace jsai::bench
+
+#endif // JSAI_BENCH_BENCHUTIL_H

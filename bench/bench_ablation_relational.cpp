@@ -1,0 +1,55 @@
+//===- bench_ablation_relational.cpp - Section 4's relational argument -------===//
+//
+// The paper argues (end of Section 4) that recording relational hints —
+// (base allocation site, property name, value allocation site) triples —
+// is decisively more precise than recording only the observed property
+// names and turning dynamic accesses into static ones. This ablation
+// quantifies that on the dynamic-write-heavy part of the corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jsai;
+using namespace jsai::bench;
+
+int main() {
+  std::vector<ProjectSpec> Suite = benchmarksWithDynamicCG();
+
+  std::printf("Ablation: relational hints ([DPR]/[DPW]) vs. non-relational "
+              "(property names only)\n");
+  rule();
+  std::printf("%-26s %12s %12s %14s %14s\n", "Benchmark", "Edges rel",
+              "Edges nonrel", "Precision rel", "Precision nonrel");
+  rule();
+
+  double RelPrecSum = 0, NonRelPrecSum = 0, RelRecSum = 0, NonRelRecSum = 0;
+  size_t Count = 0;
+  for (const ProjectSpec &Spec : Suite) {
+    ProjectAnalyzer A(Spec);
+    const CallGraph &Dyn = A.dynamicCallGraph();
+    AnalysisResult Rel = A.analyze(AnalysisMode::Hints);
+    AnalysisResult NonRel = A.analyze(AnalysisMode::NonRelationalHints);
+    RecallPrecision RelRP = compareCallGraphs(Rel.CG, Dyn);
+    RecallPrecision NonRelRP = compareCallGraphs(NonRel.CG, Dyn);
+    std::printf("%-26s %12zu %12zu %14s %14s\n", Spec.Name.c_str(),
+                Rel.NumCallEdges, NonRel.NumCallEdges,
+                pct(RelRP.Precision).c_str(),
+                pct(NonRelRP.Precision).c_str());
+    RelPrecSum += RelRP.Precision;
+    NonRelPrecSum += NonRelRP.Precision;
+    RelRecSum += RelRP.Recall;
+    NonRelRecSum += NonRelRP.Recall;
+    ++Count;
+  }
+  rule();
+  std::printf("Average precision: relational %s vs non-relational %s\n",
+              pct(RelPrecSum / Count).c_str(),
+              pct(NonRelPrecSum / Count).c_str());
+  std::printf("Average recall:    relational %s vs non-relational %s\n",
+              pct(RelRecSum / Count).c_str(),
+              pct(NonRelRecSum / Count).c_str());
+  std::printf("(expected shape: similar recall, relational strictly more "
+              "precise / fewer spurious edges)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench_fig6_resolved_call_sites.cpp - Reproduces Figure 6 --------------===//
+//
+// Figure 6: percentage of resolved call sites per program (a call site is
+// resolved when the analysis found at least one callee), baseline vs.
+// extended, sorted by the baseline percentage. Headline: +17.7% more
+// resolved call sites on average. Calls to standard-library functions (and
+// methods on primitives) count as unresolved, which explains the remaining
+// gap to 100%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace jsai;
+using namespace jsai::bench;
+
+int main() {
+  std::vector<ProjectReport> Reports = runSuite();
+
+  std::printf("Figure 6: resolved call sites per program (o baseline, * "
+              "extended)\n");
+  rule();
+
+  for (size_t I : sortedIndices(Reports, [](const ProjectReport &R) {
+         return R.Baseline.resolvedFraction();
+       })) {
+    const ProjectReport &R = Reports[I];
+    double Base = R.Baseline.resolvedFraction();
+    double Ext = R.Extended.resolvedFraction();
+    std::string Row(52, ' ');
+    size_t BasePos = size_t(Base * 50);
+    size_t ExtPos = size_t(Ext * 50);
+    Row[BasePos] = 'o';
+    Row[ExtPos] = Row[ExtPos] == 'o' ? '@' : '*';
+    std::printf("%-24s %6s -> %6s  |%s|\n", R.Name.c_str(),
+                pct(Base).c_str(), pct(Ext).c_str(), Row.c_str());
+  }
+  rule();
+  double BaseAvg = average(Reports, [](const ProjectReport &R) {
+    return R.Baseline.resolvedFraction();
+  });
+  double ExtAvg = average(Reports, [](const ProjectReport &R) {
+    return R.Extended.resolvedFraction();
+  });
+  std::printf("Average resolved call sites: %s -> %s (relative %s; paper: "
+              "+17.7%%)\n",
+              pct(BaseAvg).c_str(), pct(ExtAvg).c_str(),
+              delta(BaseAvg, ExtAvg).c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench_hint_stats.cpp - Section 5 in-text hint statistics --------------===//
+//
+// Reproduces the in-text statistics of Section 5: the number of hints per
+// program (paper: 0 to 15,036, median 1,492) and the fraction of function
+// definitions visited by approximate interpretation (paper: ~60%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+
+using namespace jsai;
+using namespace jsai::bench;
+
+int main() {
+  std::vector<ProjectReport> Reports = runSuite();
+
+  std::vector<size_t> HintCounts;
+  double VisitedSum = 0;
+  size_t AbortTotal = 0, ForcedTotal = 0;
+  for (const ProjectReport &R : Reports) {
+    HintCounts.push_back(R.NumHints);
+    VisitedSum += R.Approx.visitedFraction();
+    AbortTotal += R.Approx.NumAborts;
+    ForcedTotal += R.Approx.NumForcedExecutions;
+  }
+  std::sort(HintCounts.begin(), HintCounts.end());
+
+  std::printf("Approximate interpretation statistics over %zu projects\n",
+              Reports.size());
+  rule();
+  std::printf("Hints per program:  min %zu, median %zu, max %zu   (paper: 0 "
+              "to 15,036, median 1,492)\n",
+              HintCounts.front(), HintCounts[HintCounts.size() / 2],
+              HintCounts.back());
+  std::printf("Functions visited:  %s on average   (paper: ~60%%)\n",
+              pct(VisitedSum / double(Reports.size())).c_str());
+  std::printf("Forced executions:  %zu total, %zu aborted by budgets\n",
+              ForcedTotal, AbortTotal);
+  rule();
+
+  std::printf("\nPer-program hint counts (sorted):\n");
+  size_t MaxHints = HintCounts.back();
+  for (size_t I : sortedIndices(Reports, [](const ProjectReport &R) {
+         return R.NumHints;
+       })) {
+    const ProjectReport &R = Reports[I];
+    std::printf("%-24s %6zu  %s\n", R.Name.c_str(), R.NumHints,
+                bar(R.NumHints, MaxHints, 50).c_str());
+  }
+  return 0;
+}

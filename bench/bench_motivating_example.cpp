@@ -1,0 +1,62 @@
+//===- bench_motivating_example.cpp - Section 5's FAST comparison ------------===//
+//
+// Reproduces the in-text comparison on the motivating example: the paper's
+// whole-program analyzer finds 136 of the 138 actual call edges (98.5%
+// recall) with approximate interpretation, whereas a baseline that ignores
+// dynamic property accesses and library internals achieves only 12.3%
+// (FAST). Here the dynamic call graph of the Figure-1 project is the
+// ground truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "corpus/MotivatingExample.h"
+
+using namespace jsai;
+using namespace jsai::bench;
+
+int main() {
+  ProjectSpec Spec = motivatingExampleProject();
+  ProjectAnalyzer A(Spec);
+  const CallGraph &Dyn = A.dynamicCallGraph();
+
+  std::printf("Motivating example (Figure 1): recall against the dynamic "
+              "call graph (%zu edges)\n",
+              Dyn.numEdges());
+  rule();
+
+  struct Row {
+    const char *Label;
+    AnalysisMode Mode;
+  };
+  const Row Rows[] = {
+      {"baseline (ignore dynamic accesses)", AnalysisMode::Baseline},
+      {"+ approximate interpretation", AnalysisMode::Hints},
+      {"non-relational-hints ablation", AnalysisMode::NonRelationalHints},
+      {"over-approximation ablation", AnalysisMode::OverApprox},
+  };
+  for (const Row &R : Rows) {
+    AnalysisResult Res = A.analyze(R.Mode);
+    RecallPrecision RP = compareCallGraphs(Res.CG, Dyn);
+    std::printf("%-38s recall %6s (%zu/%zu)   precision %6s   edges %4zu\n",
+                R.Label, pct(RP.Recall).c_str(), RP.MatchedEdges,
+                RP.DynamicEdges, pct(RP.Precision).c_str(),
+                Res.NumCallEdges);
+  }
+  rule();
+  std::printf("(paper: extended analysis 136/138 = 98.5%% recall in 3s; "
+              "FAST-like analyses 12.3%%)\n");
+
+  // Show the concrete edges the hints recover — the app.get / app.listen
+  // story of Section 2.
+  AnalysisResult Base = A.analyze(AnalysisMode::Baseline);
+  AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+  std::printf("\nCall edges recovered by the hints:\n");
+  for (const auto &[Site, Callees] : Ext.CG.edges())
+    for (const SourceLoc &Callee : Callees)
+      if (!Base.CG.hasEdge(Site, Callee))
+        std::printf("  %s -> %s\n",
+                    A.context().files().format(Site).c_str(),
+                    A.context().files().format(Callee).c_str());
+  return 0;
+}

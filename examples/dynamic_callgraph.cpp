@@ -1,0 +1,62 @@
+//===- dynamic_callgraph.cpp - Recording and comparing call graphs -----------===//
+//
+// Demonstrates the measurement side of the evaluation: run a project's
+// test driver under the instrumented concrete interpreter (the NodeProf
+// stand-in), record the dynamic call graph, and score every analysis mode
+// against it — recall (soundness) and per-call precision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/PatternGenerators.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace jsai;
+
+int main() {
+  Rng R(7);
+  ProjectSpec Spec = makeEventHub(R, 2);
+  Spec.Name = "dyncg-demo";
+
+  ProjectAnalyzer Analyzer(Spec);
+  const FileTable &Files = Analyzer.context().files();
+
+  // The instrumented run of the test driver (the project's "test suite").
+  const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+  std::printf("Dynamic call graph from %s: %zu call sites, %zu edges\n\n",
+              Spec.TestDriver.c_str(), Dyn.numSites(), Dyn.numEdges());
+  std::printf("%s\n", Dyn.toText(Files).c_str());
+
+  struct ModeRow {
+    const char *Label;
+    AnalysisMode Mode;
+  };
+  const ModeRow Modes[] = {
+      {"baseline", AnalysisMode::Baseline},
+      {"hints", AnalysisMode::Hints},
+      {"non-relational", AnalysisMode::NonRelationalHints},
+      {"over-approx", AnalysisMode::OverApprox},
+  };
+
+  std::printf("%-16s %8s %8s %10s %12s\n", "Mode", "Edges", "Recall",
+              "Precision", "Monomorphic");
+  for (const ModeRow &M : Modes) {
+    AnalysisResult Res = Analyzer.analyze(M.Mode);
+    RecallPrecision RP = compareCallGraphs(Res.CG, Dyn);
+    std::printf("%-16s %8zu %7.1f%% %9.1f%% %11.1f%%\n", M.Label,
+                Res.NumCallEdges, RP.Recall * 100, RP.Precision * 100,
+                Res.monomorphicFraction() * 100);
+  }
+
+  std::printf("\nDynamic edges missed by the baseline but found with "
+              "hints:\n");
+  AnalysisResult Base = Analyzer.analyze(AnalysisMode::Baseline);
+  AnalysisResult Ext = Analyzer.analyze(AnalysisMode::Hints);
+  for (const auto &[Site, Callees] : Dyn.edges())
+    for (const SourceLoc &Callee : Callees)
+      if (!Base.CG.hasEdge(Site, Callee) && Ext.CG.hasEdge(Site, Callee))
+        std::printf("  %s -> %s\n", Files.format(Site).c_str(),
+                    Files.format(Callee).c_str());
+  return 0;
+}

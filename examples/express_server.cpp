@@ -1,0 +1,71 @@
+//===- express_server.cpp - The paper's Figure 1, end to end -----------------===//
+//
+// Walks through the motivating example of the paper: the Express-style
+// "Hello world!" web server whose app.get / app.listen calls can only be
+// resolved by understanding merge-descriptors and the dynamically computed
+// method names. Prints the observations (Section 2), the resulting hints
+// (Section 3), and the call edges recovered by rules [DPR]/[DPW]
+// (Section 4).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/MotivatingExample.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace jsai;
+
+int main() {
+  ProjectSpec Spec = motivatingExampleProject();
+  ProjectAnalyzer Analyzer(Spec);
+  const FileTable &Files = Analyzer.context().files();
+
+  std::printf("The motivating example: %zu packages, %zu modules, %zu "
+              "functions\n\n",
+              Analyzer.numPackages(), Analyzer.numModules(),
+              Analyzer.numFunctions());
+
+  // Section 3: approximate interpretation over the project.
+  const HintSet &Hints = Analyzer.hints();
+  std::printf("Approximate interpretation visited %zu/%zu functions and "
+              "produced %zu hints.\n",
+              Analyzer.approxStats().NumFunctionsVisited,
+              Analyzer.approxStats().NumFunctionsTotal, Hints.size());
+
+  std::printf("\nWrite hints H_W involving the web-application object "
+              "(express/index.js:6) — compare the paper's\n"
+              "H_W = {(l35,get,l38), (l35,listen,l46), (l14,get,l38), "
+              "(l14,listen,l46), ...}:\n");
+  FileId ExpressFile = Analyzer.context().files().lookup("express/index.js");
+  for (const WriteHint &W : Hints.writeHints())
+    if (W.Base.Loc.File == ExpressFile)
+      std::printf("  (%s, %s, %s)\n", Files.format(W.Base.Loc).c_str(),
+                  W.Prop.c_str(), Files.format(W.Val.Loc).c_str());
+
+  // Section 4: baseline vs. extended static analysis.
+  AnalysisResult Baseline = Analyzer.analyze(AnalysisMode::Baseline);
+  AnalysisResult Extended = Analyzer.analyze(AnalysisMode::Hints);
+  std::printf("\nBaseline:  %zu call edges, %zu reachable functions\n",
+              Baseline.NumCallEdges, Baseline.NumReachableFunctions);
+  std::printf("Extended:  %zu call edges, %zu reachable functions\n",
+              Extended.NumCallEdges, Extended.NumReachableFunctions);
+
+  std::printf("\nEdges recovered by the hints (note app.get at "
+              "app/main.js:3 and app.listen at app/main.js:7):\n");
+  for (const auto &[Site, Callees] : Extended.CG.edges())
+    for (const SourceLoc &Callee : Callees)
+      if (!Baseline.CG.hasEdge(Site, Callee))
+        std::printf("  %s -> %s\n", Files.format(Site).c_str(),
+                    Files.format(Callee).c_str());
+
+  // Ground truth from the test-driver execution.
+  const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+  RecallPrecision BaseRP = compareCallGraphs(Baseline.CG, Dyn);
+  RecallPrecision ExtRP = compareCallGraphs(Extended.CG, Dyn);
+  std::printf("\nAgainst the dynamic call graph (%zu edges): recall %.1f%% "
+              "-> %.1f%%, precision %.1f%% -> %.1f%%\n",
+              Dyn.numEdges(), BaseRP.Recall * 100, ExtRP.Recall * 100,
+              BaseRP.Precision * 100, ExtRP.Precision * 100);
+  return ExtRP.Recall > BaseRP.Recall ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+//===- quickstart.cpp - Getting started with the jsai library ----------------===//
+//
+// Quickstart: analyze a small program with and without approximate
+// interpretation. Shows the three-step API:
+//
+//   1. put the project's modules in a ProjectSpec (virtual file system);
+//   2. run the dynamic pre-analysis (ProjectAnalyzer::hints);
+//   3. run the static analysis with AnalysisMode::Baseline and
+//      AnalysisMode::Hints and compare the call graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+
+using namespace jsai;
+
+int main() {
+  // A tiny project with the pattern the paper targets: a library installs
+  // its API methods via dynamically computed property names.
+  ProjectSpec Spec;
+  Spec.Name = "quickstart";
+  Spec.Files.addFile("mathlib/index.js",
+                     "var ops = ['add', 'sub'];\n"
+                     "var impls = {\n"
+                     "  add: function add(a, b) { return a + b; },\n"
+                     "  sub: function sub(a, b) { return a - b; }\n"
+                     "};\n"
+                     "ops.forEach(function(op) {\n"
+                     "  exports[op] = impls[op];\n"
+                     "});\n");
+  Spec.Files.addFile("app/main.js", "var mathlib = require('mathlib');\n"
+                                    "var sum = mathlib.add(2, 3);\n"
+                                    "var diff = mathlib.sub(5, 1);\n");
+
+  ProjectAnalyzer Analyzer(Spec);
+
+  // Step 1: the dynamic pre-analysis produces hints.
+  const HintSet &Hints = Analyzer.hints();
+  std::printf("== Hints produced by approximate interpretation ==\n%s\n",
+              Hints.toText(Analyzer.context().files()).c_str());
+
+  // Step 2: baseline (ignores dynamic property accesses).
+  AnalysisResult Baseline = Analyzer.analyze(AnalysisMode::Baseline);
+  std::printf("== Baseline call graph (%zu edges) ==\n%s\n",
+              Baseline.NumCallEdges,
+              Baseline.CG.toText(Analyzer.context().files()).c_str());
+
+  // Step 3: extended analysis consuming the hints ([DPR]/[DPW]).
+  AnalysisResult Extended = Analyzer.analyze(AnalysisMode::Hints);
+  std::printf("== Extended call graph (%zu edges) ==\n%s\n",
+              Extended.NumCallEdges,
+              Extended.CG.toText(Analyzer.context().files()).c_str());
+
+  std::printf("The calls mathlib.add / mathlib.sub resolve only with "
+              "hints: %zu -> %zu call edges.\n",
+              Baseline.NumCallEdges, Extended.NumCallEdges);
+  return Extended.NumCallEdges > Baseline.NumCallEdges ? 0 : 1;
+}

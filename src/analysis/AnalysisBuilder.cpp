@@ -1,0 +1,631 @@
+//===- AnalysisBuilder.cpp - AST constraint generation ----------------------===//
+//
+// Implements the constraint rules of Figure 3 (the first five, standard
+// rows) plus the property/call machinery shared with the builtin models.
+// Dynamic property accesses generate no constraints here — they are
+// recorded and handled per analysis mode (ignored / hints / non-relational /
+// over-approximation) in StaticAnalysis.cpp — except on array-like tokens,
+// where element summaries apply in every mode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+//===----------------------------------------------------------------------===//
+// Top-level structure
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::buildAll() {
+  AstContext &Ctx = Loader.context();
+  const auto &Modules = Ctx.modules();
+  for (uint32_t Idx = 0; Idx != Modules.size(); ++Idx)
+    ModuleIndexByPath[Modules[Idx]->Path] = Idx;
+  seedBuiltins();
+  for (uint32_t Idx = 0; Idx != Modules.size(); ++Idx)
+    buildModule(Modules[Idx].get(), Idx);
+}
+
+void StaticAnalysis::buildModule(Module *M, uint32_t ModuleIdx) {
+  AstContext &Ctx = Loader.context();
+  FunctionDef *F = M->Func;
+  CurModule = M;
+
+  TokenId FnTok = registerFunction(F);
+  (void)FnTok;
+  TokenId ExportsTok = TF.exportsToken(ModuleIdx);
+  TokenId ModuleTok = TF.moduleObjToken(ModuleIdx);
+  // The default exports object is "allocated" at the synthetic per-module
+  // location (file, 0, 1) — matching the runtime's loadModule.
+  TF.registerAllocSite(AllocRef{SourceLoc(M->File, 0, 1), false}, ExportsTok);
+  TF.registerAllocSite(AllocRef{SourceLoc(M->File, 0, 2), false}, ModuleTok);
+  S.addToken(VF.propVar(ExportsTok, SymProtoChain),
+             TF.builtinToken(BuiltinId::ObjectProto));
+
+  // Parameters: (exports, require, module).
+  assert(F->params().size() == 3 && "module function shape");
+  S.addToken(VF.declVar(F->params()[0]->id()), ExportsTok);
+  S.addToken(VF.declVar(F->params()[1]->id()),
+             TF.builtinToken(BuiltinId::Require));
+  S.addToken(VF.declVar(F->params()[2]->id()), ModuleTok);
+  S.addToken(VF.propVar(ModuleTok, Ctx.SymExports), ExportsTok);
+  // Top-level `this` is module.exports.
+  S.addToken(VF.thisVar(F->id()), ExportsTok);
+
+  walkFunctionBody(F);
+  CurModule = nullptr;
+}
+
+TokenId StaticAnalysis::registerFunction(FunctionDef *F) {
+  TokenId FnTok = TF.functionToken(F->id());
+  TokenId ProtoTok = TF.prototypeToken(F->id());
+  TF.registerAllocSite(AllocRef{F->loc(), false}, FnTok);
+  TF.registerAllocSite(AllocRef{F->loc(), true}, ProtoTok);
+  S.addToken(VF.propVar(FnTok, SymPrototypeName), ProtoTok);
+  S.addToken(VF.propVar(ProtoTok, Loader.context().SymConstructor), FnTok);
+  S.addToken(VF.propVar(FnTok, SymProtoChain),
+             TF.builtinToken(BuiltinId::FunctionProto));
+  S.addToken(VF.propVar(ProtoTok, SymProtoChain),
+             TF.builtinToken(BuiltinId::ObjectProto));
+  return FnTok;
+}
+
+void StaticAnalysis::walkFunctionBody(FunctionDef *F) {
+  if (!WalkedBodies.insert(F).second)
+    return;
+  FuncStack.push_back(F);
+  for (Stmt *Child : F->body()->body())
+    buildStmt(Child);
+  FuncStack.pop_back();
+}
+
+FunctionDef *StaticAnalysis::thisOwner() const {
+  for (auto It = FuncStack.rbegin(); It != FuncStack.rend(); ++It)
+    if (!(*It)->isArrow())
+      return *It;
+  return FuncStack.front();
+}
+
+//===----------------------------------------------------------------------===//
+// Property machinery
+//===----------------------------------------------------------------------===//
+
+bool StaticAnalysis::isInternalSymbol(Symbol Sym) const {
+  return Sym == SymProtoChain || Sym == SymElem || Sym == SymHandlers ||
+         Sym == SymAnyProp;
+}
+
+void StaticAnalysis::recordAccessorSite(Node *Site, FunctionDef *SiteOwner,
+                                        FunctionId Accessor) {
+  recordCallEdge(Site, Accessor);
+  AccessorSites.emplace(Site->id(), SiteRecord{Site, SiteOwner});
+}
+
+void StaticAnalysis::readPropertyFromToken(TokenId T, Symbol Name,
+                                           CVarId Result, Node *Site,
+                                           FunctionDef *SiteOwner) {
+  // Memoize: the same (token, name, result) may be reached repeatedly via
+  // prototype-chain listeners.
+  uint64_t Key =
+      (uint64_t(T) << 40) ^ (uint64_t(Name) << 20) ^ uint64_t(Result);
+  if (!ReadMemo.insert(Key).second)
+    return;
+  S.addEdge(VF.propVar(T, Name), Result);
+  if (Opts.Mode == AnalysisMode::OverApprox && !isInternalSymbol(Name))
+    S.addEdge(VF.propVar(T, SymAnyProp), Result);
+  // Accessor property: the read is a getter call (the property-access
+  // location is the call site).
+  if (Site) {
+    auto GetterIt = GetterProps.find({T, Name});
+    if (GetterIt != GetterProps.end())
+      for (FunctionId G : GetterIt->second)
+        recordAccessorSite(Site, SiteOwner, G);
+  }
+  // Walk the prototype chain on the fly.
+  S.addListener(VF.propVar(T, SymProtoChain),
+                [this, Name, Result, Site, SiteOwner](TokenId P) {
+                  readPropertyFromToken(P, Name, Result, Site, SiteOwner);
+                });
+}
+
+void StaticAnalysis::readProperty(CVarId Base, Symbol Name, CVarId Result,
+                                  Node *Site) {
+  // Capture the enclosing function now: the listener fires during solving,
+  // when the walk stack is gone (needed for accessor-site reachability).
+  FunctionDef *SiteOwner = FuncStack.empty() ? nullptr : FuncStack.back();
+  S.addListener(Base, [this, Name, Result, Site, SiteOwner](TokenId T) {
+    readPropertyFromToken(T, Name, Result, Site, SiteOwner);
+  });
+}
+
+void StaticAnalysis::writeProperty(CVarId Base, Symbol Name, CVarId Value,
+                                   Node *Site) {
+  FunctionDef *SiteOwner = FuncStack.empty() ? nullptr : FuncStack.back();
+  S.addListener(Base, [this, Name, Value, Site, SiteOwner](TokenId T) {
+    const AbsValue &Tok = TF.token(T);
+    if (Tok.K == AbsValue::Kind::Builtin)
+      return; // Writes onto builtin namespaces are not tracked.
+    S.addEdge(Value, VF.propVar(T, Name));
+    // Accessor property: the write is a setter call.
+    auto SetterIt = SetterProps.find({T, Name});
+    if (SetterIt != SetterProps.end())
+      for (FunctionId SetterFn : SetterIt->second) {
+        FunctionDef *Fn = Loader.context().function(SetterFn);
+        if (!Fn->params().empty())
+          S.addEdge(Value, VF.declVar(Fn->params()[0]->id()));
+        if (Site)
+          recordAccessorSite(Site, SiteOwner, SetterFn);
+      }
+  });
+}
+
+void StaticAnalysis::forEachPropVar(TokenId T,
+                                    std::function<void(Symbol, CVarId)> Fn) {
+  // Replay existing property variables, then subscribe to new ones (the
+  // CVarFactory hook dispatches through PropCallbacks).
+  for (const auto &[Sym, Var] : VF.propsOf(T))
+    Fn(Sym, Var);
+  PropCallbacks[T].push_back(std::move(Fn));
+}
+
+void StaticAnalysis::copyAllProps(TokenId Src, TokenId Dst) {
+  if (Src == Dst)
+    return;
+  forEachPropVar(Src, [this, Dst](Symbol Sym, CVarId Var) {
+    if (isInternalSymbol(Sym) || Sym == SymPrototypeName)
+      return;
+    S.addEdge(Var, VF.propVar(Dst, Sym));
+  });
+  // Element summaries copy too (Object.assign over arrays).
+  S.addEdge(VF.propVar(Src, SymElem), VF.propVar(Dst, SymElem));
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::recordCallEdge(Node *Site, FunctionId Callee) {
+  CallEdges[Site->id()].insert(Callee);
+}
+
+void StaticAnalysis::forEachPair(CVarId VarA, CVarId VarB,
+                                 std::function<void(TokenId, TokenId)> Fn) {
+  struct PairState {
+    std::vector<TokenId> As, Bs;
+    std::function<void(TokenId, TokenId)> Fn;
+  };
+  auto State = std::make_shared<PairState>();
+  State->Fn = std::move(Fn);
+  S.addListener(VarA, [State](TokenId A) {
+    State->As.push_back(A);
+    for (TokenId B : State->Bs)
+      State->Fn(A, B);
+  });
+  S.addListener(VarB, [State](TokenId B) {
+    State->Bs.push_back(B);
+    for (TokenId A : State->As)
+      State->Fn(A, B);
+  });
+}
+
+void StaticAnalysis::applyFunctionCall(const CallSiteInfo &CS, FunctionId F) {
+  AstContext &Ctx = Loader.context();
+  FunctionDef *Fn = Ctx.function(F);
+  if (Fn->isModule())
+    return; // Module functions are only invoked via require.
+  recordCallEdge(CS.Site, F);
+
+  const std::vector<VarDecl *> &Params = Fn->params();
+  for (size_t I = 0; I < CS.Args.size() && I < Params.size(); ++I)
+    S.addEdge(CS.Args[I], VF.declVar(Params[I]->id()));
+  // All arguments also feed the callee's `arguments` summary.
+  if (!Fn->isArrow())
+    for (CVarId A : CS.Args)
+      S.addEdge(A, VF.propVar(TF.argumentsToken(F), SymElem));
+
+  if (!Fn->isArrow()) {
+    if (CS.HasReceiver)
+      S.addEdge(CS.Receiver, VF.thisVar(F));
+    if (CS.IsNew) {
+      TokenId NewTok = TF.objectToken(CS.Site->id());
+      TF.registerAllocSite(AllocRef{CS.Site->loc(), false}, NewTok);
+      S.addToken(VF.thisVar(F), NewTok);
+      S.addToken(CS.Result, NewTok);
+      // The instance's prototype chain starts at F.prototype.
+      S.addEdge(VF.propVar(TF.functionToken(F), SymPrototypeName),
+                VF.propVar(NewTok, SymProtoChain));
+    }
+  }
+  S.addEdge(VF.retVar(F), CS.Result);
+}
+
+void StaticAnalysis::addCallConstraint(std::shared_ptr<CallSiteInfo> CS,
+                                       CVarId CalleeVar) {
+  S.addListener(CalleeVar, [this, CS](TokenId T) {
+    const AbsValue &Tok = TF.token(T);
+    switch (Tok.K) {
+    case AbsValue::Kind::Function:
+      applyFunctionCall(*CS, FunctionId(Tok.Payload));
+      return;
+    case AbsValue::Kind::Builtin:
+      applyBuiltinCall(CS, BuiltinId(Tok.Payload));
+      return;
+    default:
+      return; // Non-callable abstract value.
+    }
+  });
+}
+
+CVarId StaticAnalysis::buildCallLike(Node *Site, Expr *Callee,
+                                     const std::vector<Expr *> &Args,
+                                     bool IsNew) {
+  auto CS = std::make_shared<CallSiteInfo>();
+  CS->Site = Site;
+  CS->IsNew = IsNew;
+  CS->Result = VF.exprVar(Site->id());
+  CS->EnclosingModule = CurModule;
+
+  CVarId CalleeVar;
+  if (auto *M = dyn_cast<MemberExpr>(Callee)) {
+    CVarId BaseVar = buildExpr(M->object());
+    CS->Receiver = BaseVar;
+    CS->HasReceiver = true;
+    CalleeVar = VF.exprVar(M->id());
+    if (M->isComputed()) {
+      buildExpr(M->index());
+      // Dynamic callee read: recorded like any dynamic read so [DPR] (and
+      // the ablations) can resolve method values.
+      DynReadByLoc[M->loc()] = DynReads.size();
+      DynReads.push_back({M, BaseVar});
+      S.addListener(BaseVar, [this, M, CalleeVar](TokenId T) {
+        if (isArrayLike(T))
+          S.addEdge(VF.propVar(T, SymElem), CalleeVar);
+      });
+    } else {
+      readProperty(BaseVar, M->name(), CalleeVar, M);
+    }
+  } else {
+    CalleeVar = buildExpr(Callee);
+  }
+
+  CS->Args.reserve(Args.size());
+  for (Expr *A : Args)
+    CS->Args.push_back(buildExpr(A));
+
+  CallSites.push_back({Site, FuncStack.back()});
+  addCallConstraint(CS, CalleeVar);
+  return CS->Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+CVarId StaticAnalysis::buildExpr(Expr *E) {
+  AstContext &Ctx = Loader.context();
+  CVarId Result = VF.exprVar(E->id());
+  switch (E->kind()) {
+  case NodeKind::NumberLit:
+  case NodeKind::StringLit:
+  case NodeKind::BoolLit:
+  case NodeKind::NullLit:
+  case NodeKind::UndefinedLit:
+    return Result; // Primitives carry no tokens.
+
+  case NodeKind::Ident: {
+    auto *I = cast<Ident>(E);
+    if (I->decl()) {
+      S.addEdge(VF.declVar(I->decl()->id()), Result);
+      return Result;
+    }
+    if (I->name() == Ctx.SymArguments) {
+      // The implicit `arguments` object of the enclosing non-arrow
+      // function: an array-like summary fed by all call sites.
+      TokenId Tok = TF.argumentsToken(thisOwner()->id());
+      markArrayLike(Tok);
+      S.addToken(Result, Tok);
+      return Result;
+    }
+    S.addEdge(VF.globalVar(I->name()), Result);
+    return Result;
+  }
+
+  case NodeKind::This:
+    S.addEdge(VF.thisVar(thisOwner()->id()), Result);
+    return Result;
+
+  case NodeKind::ObjectLit: {
+    auto *O = cast<ObjectLit>(E);
+    TokenId Tok = TF.objectToken(O->id());
+    TF.registerAllocSite(AllocRef{O->loc(), false}, Tok);
+    S.addToken(VF.propVar(Tok, SymProtoChain),
+               TF.builtinToken(BuiltinId::ObjectProto));
+    S.addToken(Result, Tok);
+    for (const ObjectProperty &P : O->properties()) {
+      if (P.PKind != PropertyKind::Value) {
+        // Accessor entry: register the getter/setter so reads and writes
+        // become call edges; the getter's returns are the property values.
+        auto *FE = dyn_cast<FunctionExpr>(P.Value);
+        if (!FE)
+          continue;
+        registerFunction(FE->def());
+        walkFunctionBody(FE->def());
+        FunctionId AccessorId = FE->def()->id();
+        S.addToken(VF.thisVar(AccessorId), Tok);
+        if (P.PKind == PropertyKind::Getter) {
+          GetterProps[{Tok, P.Key}].insert(AccessorId);
+          S.addEdge(VF.retVar(AccessorId), VF.propVar(Tok, P.Key));
+        } else {
+          SetterProps[{Tok, P.Key}].insert(AccessorId);
+        }
+        continue;
+      }
+      CVarId ValueVar = buildExpr(P.Value);
+      if (P.KeyExpr) {
+        buildExpr(P.KeyExpr);
+        // Computed key: a dynamic property write on the fresh object.
+        DynWrites.push_back({P.KeyExpr->loc(), Result, ValueVar});
+        continue;
+      }
+      S.addEdge(ValueVar, VF.propVar(Tok, P.Key));
+    }
+    return Result;
+  }
+
+  case NodeKind::ArrayLit: {
+    auto *A = cast<ArrayLit>(E);
+    TokenId Tok = TF.objectToken(A->id());
+    TF.registerAllocSite(AllocRef{A->loc(), false}, Tok);
+    S.addToken(VF.propVar(Tok, SymProtoChain),
+               TF.builtinToken(BuiltinId::ArrayProto));
+    markArrayLike(Tok);
+    S.addToken(Result, Tok);
+    for (Expr *El : A->elements())
+      S.addEdge(buildExpr(El), VF.propVar(Tok, SymElem));
+    return Result;
+  }
+
+  case NodeKind::FunctionExpr: {
+    auto *FE = cast<FunctionExpr>(E);
+    TokenId Tok = registerFunction(FE->def());
+    S.addToken(Result, Tok);
+    // Named function expressions bind their own name in scope.
+    if (FE->def()->name() != InvalidSymbol) {
+      if (VarDecl *Self = FE->def()->lookupScope(FE->def()->name()))
+        if (Self->owner() == FE->def())
+          S.addToken(VF.declVar(Self->id()), Tok);
+    }
+    walkFunctionBody(FE->def());
+    return Result;
+  }
+
+  case NodeKind::Unary:
+    buildExpr(cast<UnaryExpr>(E)->operand());
+    return Result; // typeof/!/- produce primitives.
+
+  case NodeKind::Binary:
+    buildExpr(cast<BinaryExpr>(E)->lhs());
+    buildExpr(cast<BinaryExpr>(E)->rhs());
+    return Result; // Arithmetic/comparison produce primitives.
+
+  case NodeKind::Logical: {
+    auto *L = cast<LogicalExpr>(E);
+    S.addEdge(buildExpr(L->lhs()), Result);
+    S.addEdge(buildExpr(L->rhs()), Result);
+    return Result;
+  }
+
+  case NodeKind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    buildExpr(C->cond());
+    S.addEdge(buildExpr(C->thenExpr()), Result);
+    S.addEdge(buildExpr(C->elseExpr()), Result);
+    return Result;
+  }
+
+  case NodeKind::Assign: {
+    auto *A = cast<AssignExpr>(E);
+    CVarId ValueVar = buildExpr(A->value());
+    bool TracksTokens =
+        A->op() == AssignOp::Assign || A->op() == AssignOp::OrOr;
+
+    if (auto *I = dyn_cast<Ident>(A->target())) {
+      CVarId Target =
+          I->decl() ? VF.declVar(I->decl()->id()) : VF.globalVar(I->name());
+      if (TracksTokens) {
+        S.addEdge(ValueVar, Target);
+        S.addEdge(Target, Result);
+        S.addEdge(ValueVar, Result);
+      }
+      return Result;
+    }
+
+    auto *M = cast<MemberExpr>(A->target());
+    CVarId BaseVar = buildExpr(M->object());
+    if (!TracksTokens) {
+      if (M->isComputed())
+        buildExpr(M->index());
+      return Result;
+    }
+    if (M->isComputed()) {
+      buildExpr(M->index());
+      DynWrites.push_back({M->loc(), BaseVar, ValueVar});
+      // Array-like bases take element writes in every mode.
+      S.addListener(BaseVar, [this, ValueVar](TokenId T) {
+        if (isArrayLike(T))
+          S.addEdge(ValueVar, VF.propVar(T, SymElem));
+      });
+      if (A->op() == AssignOp::OrOr) {
+        DynReadByLoc[M->loc()] = DynReads.size();
+        DynReads.push_back({M, BaseVar});
+        S.addEdge(VF.exprVar(M->id()), Result);
+      }
+    } else {
+      writeProperty(BaseVar, M->name(), ValueVar, M);
+      if (A->op() == AssignOp::OrOr) {
+        readProperty(BaseVar, M->name(), Result, M);
+      }
+    }
+    S.addEdge(ValueVar, Result);
+    return Result;
+  }
+
+  case NodeKind::Update:
+    buildExpr(cast<UpdateExpr>(E)->target());
+    return Result; // Numeric.
+
+  case NodeKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    return buildCallLike(C, C->callee(), C->args(), /*IsNew=*/false);
+  }
+
+  case NodeKind::New: {
+    auto *N = cast<NewExpr>(E);
+    return buildCallLike(N, N->callee(), N->args(), /*IsNew=*/true);
+  }
+
+  case NodeKind::Member: {
+    auto *M = cast<MemberExpr>(E);
+    CVarId BaseVar = buildExpr(M->object());
+    if (!M->isComputed()) {
+      readProperty(BaseVar, M->name(), Result, M);
+      return Result;
+    }
+    buildExpr(M->index());
+    // Dynamic property read: ignored by the baseline ([DPR] or an ablation
+    // may attach constraints later), except for array elements.
+    DynReadByLoc[M->loc()] = DynReads.size();
+    DynReads.push_back({M, BaseVar});
+    S.addListener(BaseVar, [this, Result](TokenId T) {
+      if (isArrayLike(T))
+        S.addEdge(VF.propVar(T, SymElem), Result);
+    });
+    return Result;
+  }
+
+  case NodeKind::Sequence: {
+    auto *Q = cast<SequenceExpr>(E);
+    CVarId Last = Result;
+    for (Expr *X : Q->exprs())
+      Last = buildExpr(X);
+    S.addEdge(Last, Result);
+    return Result;
+  }
+
+  default:
+    assert(false && "statement node in expression builder");
+    return Result;
+  }
+  (void)Ctx;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::buildStmt(Stmt *Stm) {
+  switch (Stm->kind()) {
+  case NodeKind::ExprStmt:
+    buildExpr(cast<ExprStmt>(Stm)->expr());
+    return;
+  case NodeKind::VarDeclStmt:
+    for (const VarDeclarator &D : cast<VarDeclStmt>(Stm)->declarators())
+      if (D.Init)
+        S.addEdge(buildExpr(D.Init), VF.declVar(D.Decl->id()));
+    return;
+  case NodeKind::FunctionDeclStmt: {
+    auto *FD = cast<FunctionDeclStmt>(Stm);
+    TokenId Tok = registerFunction(FD->def());
+    S.addToken(VF.declVar(FD->decl()->id()), Tok);
+    walkFunctionBody(FD->def());
+    return;
+  }
+  case NodeKind::Block:
+    for (Stmt *Child : cast<BlockStmt>(Stm)->body())
+      buildStmt(Child);
+    return;
+  case NodeKind::If: {
+    auto *I = cast<IfStmt>(Stm);
+    buildExpr(I->cond());
+    buildStmt(I->thenStmt());
+    if (I->elseStmt())
+      buildStmt(I->elseStmt());
+    return;
+  }
+  case NodeKind::While:
+    buildExpr(cast<WhileStmt>(Stm)->cond());
+    buildStmt(cast<WhileStmt>(Stm)->body());
+    return;
+  case NodeKind::DoWhile:
+    buildStmt(cast<DoWhileStmt>(Stm)->body());
+    buildExpr(cast<DoWhileStmt>(Stm)->cond());
+    return;
+  case NodeKind::For: {
+    auto *L = cast<ForStmt>(Stm);
+    if (L->init())
+      buildStmt(L->init());
+    if (L->cond())
+      buildExpr(L->cond());
+    if (L->step())
+      buildExpr(L->step());
+    buildStmt(L->body());
+    return;
+  }
+  case NodeKind::ForIn: {
+    auto *L = cast<ForInStmt>(Stm);
+    CVarId ObjVar = buildExpr(L->object());
+    if (L->isOf()) {
+      // Element values flow to the loop variable.
+      CVarId LoopVar = L->decl() ? VF.declVar(L->decl()->id())
+                                 : buildExpr(L->target());
+      readProperty(ObjVar, SymElem, LoopVar);
+    } else if (L->target()) {
+      buildExpr(L->target());
+    }
+    // for-in keys are strings: no tokens.
+    buildStmt(L->body());
+    return;
+  }
+  case NodeKind::Return: {
+    auto *R = cast<ReturnStmt>(Stm);
+    if (R->value())
+      S.addEdge(buildExpr(R->value()), VF.retVar(FuncStack.back()->id()));
+    return;
+  }
+  case NodeKind::Throw:
+    buildExpr(cast<ThrowStmt>(Stm)->value());
+    return;
+  case NodeKind::Try: {
+    auto *T = cast<TryStmt>(Stm);
+    buildStmt(T->body());
+    // Thrown-value flow into catch parameters is not modeled (documented
+    // limitation; error objects rarely carry call-graph-relevant values).
+    if (T->handler())
+      buildStmt(T->handler());
+    if (T->finalizer())
+      buildStmt(T->finalizer());
+    return;
+  }
+  case NodeKind::Switch: {
+    auto *W = cast<SwitchStmt>(Stm);
+    buildExpr(W->discriminant());
+    for (const SwitchCase &C : W->cases()) {
+      if (C.Test)
+        buildExpr(C.Test);
+      for (Stmt *Child : C.Body)
+        buildStmt(Child);
+    }
+    return;
+  }
+  case NodeKind::Break:
+  case NodeKind::Continue:
+  case NodeKind::Empty:
+    return;
+  default:
+    assert(false && "expression node in statement builder");
+    return;
+  }
+}

@@ -1,0 +1,700 @@
+//===- BuiltinModels.cpp - Standard-library dataflow models -----------------===//
+//
+// Mirrors the runtime's builtin behaviors in the constraint domain, so the
+// baseline analysis matches what Jelly-style analyzers model: Object.assign
+// copies statically-known properties, array iteration methods invoke their
+// callbacks with element values, Function.prototype.apply/call dispatch,
+// require resolves constant module names, and side-effectful Node builtins
+// invoke their callback arguments.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+
+using namespace jsai;
+
+void StaticAnalysis::seedGlobal(const char *Name, BuiltinId B) {
+  S.addToken(VF.globalVar(Loader.context().strings().intern(Name)),
+             TF.builtinToken(B));
+}
+
+void StaticAnalysis::seedMethod(BuiltinId Holder, const char *Name,
+                                BuiltinId Method) {
+  S.addToken(VF.propVar(TF.builtinToken(Holder),
+                        Loader.context().strings().intern(Name)),
+             TF.builtinToken(Method));
+}
+
+void StaticAnalysis::seedBuiltins() {
+  // Builtin prototype chains: function-valued builtins inherit apply/call/
+  // bind from Function.prototype (so `Array.prototype.slice.call(...)`
+  // resolves); prototype objects chain to Object.prototype.
+  TokenId FunctionProtoTok = TF.builtinToken(BuiltinId::FunctionProto);
+  TokenId ObjectProtoTok = TF.builtinToken(BuiltinId::ObjectProto);
+  for (uint16_t Raw = 0; Raw != uint16_t(BuiltinId::NumBuiltinIds); ++Raw) {
+    BuiltinId B = BuiltinId(Raw);
+    TokenId Tok = TF.builtinToken(B);
+    switch (B) {
+    case BuiltinId::ObjectProto:
+      break;
+    case BuiltinId::ArrayProto:
+    case BuiltinId::StringProto:
+    case BuiltinId::FunctionProto:
+    case BuiltinId::EventEmitterProto:
+    case BuiltinId::ServerObj:
+    case BuiltinId::Console:
+    case BuiltinId::MathObj:
+    case BuiltinId::JsonObj:
+    case BuiltinId::ProcessObj:
+    case BuiltinId::HttpModule:
+    case BuiltinId::FsModule:
+    case BuiltinId::NetModule:
+    case BuiltinId::PathModule:
+    case BuiltinId::UtilModule:
+    case BuiltinId::ChildProcessModule:
+      S.addToken(VF.propVar(Tok, SymProtoChain), ObjectProtoTok);
+      break;
+    default:
+      S.addToken(VF.propVar(Tok, SymProtoChain), FunctionProtoTok);
+      break;
+    }
+  }
+
+  // Global namespaces.
+  seedGlobal("Object", BuiltinId::ObjectCtor);
+  seedGlobal("Array", BuiltinId::ArrayCtor);
+  seedGlobal("Function", BuiltinId::FunctionCtor);
+  seedGlobal("String", BuiltinId::StringCtor);
+  seedGlobal("Number", BuiltinId::NumberCtor);
+  seedGlobal("Boolean", BuiltinId::BooleanCtor);
+  seedGlobal("console", BuiltinId::Console);
+  seedGlobal("Math", BuiltinId::MathObj);
+  seedGlobal("JSON", BuiltinId::JsonObj);
+  seedGlobal("process", BuiltinId::ProcessObj);
+  seedGlobal("eval", BuiltinId::EvalFn);
+  for (const char *E : {"Error", "TypeError", "RangeError", "SyntaxError",
+                        "ReferenceError"})
+    seedGlobal(E, BuiltinId::ErrorCtor);
+  for (const char *T : {"setTimeout", "setInterval", "setImmediate"})
+    seedGlobal(T, BuiltinId::CallbackInvoker);
+  for (const char *N : {"parseInt", "parseFloat", "isNaN", "isFinite",
+                        "clearTimeout", "clearInterval"})
+    seedGlobal(N, BuiltinId::Noop);
+
+  // Object statics and prototype.
+  seedMethod(BuiltinId::ObjectCtor, "assign", BuiltinId::ObjectAssign);
+  seedMethod(BuiltinId::ObjectCtor, "create", BuiltinId::ObjectCreate);
+  seedMethod(BuiltinId::ObjectCtor, "keys", BuiltinId::ObjectKeys);
+  seedMethod(BuiltinId::ObjectCtor, "values", BuiltinId::ObjectValues);
+  seedMethod(BuiltinId::ObjectCtor, "entries", BuiltinId::ObjectKeys);
+  seedMethod(BuiltinId::ObjectCtor, "getOwnPropertyNames",
+             BuiltinId::ObjectGetOwnPropertyNames);
+  seedMethod(BuiltinId::ObjectCtor, "getOwnPropertyDescriptor",
+             BuiltinId::ObjectGetOwnPropertyDescriptor);
+  seedMethod(BuiltinId::ObjectCtor, "defineProperty",
+             BuiltinId::ObjectDefineProperty);
+  seedMethod(BuiltinId::ObjectCtor, "defineProperties",
+             BuiltinId::ObjectDefineProperties);
+  seedMethod(BuiltinId::ObjectCtor, "getPrototypeOf",
+             BuiltinId::ObjectGetPrototypeOf);
+  seedMethod(BuiltinId::ObjectCtor, "setPrototypeOf",
+             BuiltinId::ObjectSetPrototypeOf);
+  for (const char *F : {"freeze", "seal", "preventExtensions"})
+    seedMethod(BuiltinId::ObjectCtor, F, BuiltinId::ObjectFreeze);
+  seedMethod(BuiltinId::ObjectCtor, "prototype", BuiltinId::ObjectProto);
+  for (const char *M : {"hasOwnProperty", "toString", "isPrototypeOf"})
+    seedMethod(BuiltinId::ObjectProto, M, BuiltinId::Noop);
+  seedMethod(BuiltinId::ObjectProto, "valueOf", BuiltinId::Noop);
+
+  // Array statics and prototype.
+  seedMethod(BuiltinId::ArrayCtor, "isArray", BuiltinId::ArrayIsArray);
+  seedMethod(BuiltinId::ArrayCtor, "from", BuiltinId::ArrayFrom);
+  seedMethod(BuiltinId::ArrayCtor, "prototype", BuiltinId::ArrayProto);
+  seedMethod(BuiltinId::ArrayProto, "forEach", BuiltinId::ArrayForEach);
+  seedMethod(BuiltinId::ArrayProto, "map", BuiltinId::ArrayMap);
+  seedMethod(BuiltinId::ArrayProto, "filter", BuiltinId::ArrayFilter);
+  seedMethod(BuiltinId::ArrayProto, "some", BuiltinId::ArraySome);
+  seedMethod(BuiltinId::ArrayProto, "every", BuiltinId::ArrayEvery);
+  seedMethod(BuiltinId::ArrayProto, "find", BuiltinId::ArrayFind);
+  seedMethod(BuiltinId::ArrayProto, "reduce", BuiltinId::ArrayReduce);
+  seedMethod(BuiltinId::ArrayProto, "push", BuiltinId::ArrayPush);
+  seedMethod(BuiltinId::ArrayProto, "pop", BuiltinId::ArrayPop);
+  seedMethod(BuiltinId::ArrayProto, "shift", BuiltinId::ArrayShift);
+  seedMethod(BuiltinId::ArrayProto, "unshift", BuiltinId::ArrayUnshift);
+  seedMethod(BuiltinId::ArrayProto, "slice", BuiltinId::ArraySlice);
+  seedMethod(BuiltinId::ArrayProto, "splice", BuiltinId::ArraySplice);
+  seedMethod(BuiltinId::ArrayProto, "concat", BuiltinId::ArrayConcat);
+  seedMethod(BuiltinId::ArrayProto, "sort", BuiltinId::ArraySort);
+  seedMethod(BuiltinId::ArrayProto, "reverse", BuiltinId::ArrayReverse);
+  for (const char *M : {"join", "indexOf", "includes", "lastIndexOf"})
+    seedMethod(BuiltinId::ArrayProto, M, BuiltinId::Noop);
+
+  // Function prototype.
+  seedMethod(BuiltinId::FunctionCtor, "prototype", BuiltinId::FunctionProto);
+  seedMethod(BuiltinId::FunctionProto, "apply", BuiltinId::FunctionApply);
+  seedMethod(BuiltinId::FunctionProto, "call", BuiltinId::FunctionCall);
+  seedMethod(BuiltinId::FunctionProto, "bind", BuiltinId::FunctionBind);
+  seedMethod(BuiltinId::FunctionProto, "toString", BuiltinId::Noop);
+
+  // String.prototype.replace may invoke a callback.
+  seedMethod(BuiltinId::StringCtor, "prototype", BuiltinId::StringProto);
+  seedMethod(BuiltinId::StringProto, "replace", BuiltinId::CallbackInvoker);
+
+  // Namespaces whose methods carry no object dataflow.
+  for (const char *M : {"log", "warn", "error", "info", "debug"})
+    seedMethod(BuiltinId::Console, M, BuiltinId::Noop);
+  for (const char *M : {"floor", "ceil", "round", "abs", "sqrt", "trunc",
+                        "max", "min", "pow", "random"})
+    seedMethod(BuiltinId::MathObj, M, BuiltinId::Noop);
+  for (const char *M : {"stringify", "parse"})
+    seedMethod(BuiltinId::JsonObj, M, BuiltinId::Noop);
+  seedMethod(BuiltinId::ProcessObj, "nextTick", BuiltinId::CallbackInvoker);
+  for (const char *M : {"exit", "cwd"})
+    seedMethod(BuiltinId::ProcessObj, M, BuiltinId::Noop);
+
+  // EventEmitter (native fallback).
+  seedMethod(BuiltinId::EventEmitterProto, "on", BuiltinId::EventEmitterOn);
+  seedMethod(BuiltinId::EventEmitterProto, "once", BuiltinId::EventEmitterOn);
+  seedMethod(BuiltinId::EventEmitterProto, "emit",
+             BuiltinId::EventEmitterEmit);
+  seedMethod(BuiltinId::EventEmitterProto, "removeListener", BuiltinId::Noop);
+  // `require('events')` exposes the constructor both ways.
+  seedMethod(BuiltinId::EventEmitterCtor, "EventEmitter",
+             BuiltinId::EventEmitterCtor);
+  seedMethod(BuiltinId::EventEmitterCtor, "prototype",
+             BuiltinId::EventEmitterProto);
+
+  // Builtin Node modules.
+  BuiltinModuleMap = {
+      {"events", BuiltinId::EventEmitterCtor},
+      {"http", BuiltinId::HttpModule},
+      {"net", BuiltinId::NetModule},
+      {"fs", BuiltinId::FsModule},
+      {"path", BuiltinId::PathModule},
+      {"util", BuiltinId::UtilModule},
+      {"child_process", BuiltinId::ChildProcessModule},
+  };
+  seedMethod(BuiltinId::HttpModule, "createServer",
+             BuiltinId::CallbackInvoker);
+  seedMethod(BuiltinId::HttpModule, "get", BuiltinId::CallbackInvoker);
+  seedMethod(BuiltinId::HttpModule, "request", BuiltinId::CallbackInvoker);
+  seedMethod(BuiltinId::NetModule, "createServer",
+             BuiltinId::CallbackInvoker);
+  seedMethod(BuiltinId::NetModule, "connect", BuiltinId::CallbackInvoker);
+  for (const char *M : {"readFile", "writeFile", "readdir", "exec", "spawn"})
+    seedMethod(BuiltinId::FsModule, M, BuiltinId::CallbackInvoker);
+  for (const char *M : {"readFileSync", "writeFileSync", "existsSync",
+                        "readdirSync"})
+    seedMethod(BuiltinId::FsModule, M, BuiltinId::Noop);
+  for (const char *M : {"join", "resolve", "basename", "dirname", "extname"})
+    seedMethod(BuiltinId::PathModule, M, BuiltinId::Noop);
+  seedMethod(BuiltinId::UtilModule, "inherits", BuiltinId::UtilInherits);
+  seedMethod(BuiltinId::UtilModule, "format", BuiltinId::Noop);
+  seedMethod(BuiltinId::UtilModule, "isArray", BuiltinId::Noop);
+  for (const char *M : {"exec", "execSync", "spawn"})
+    seedMethod(BuiltinId::ChildProcessModule, M, BuiltinId::CallbackInvoker);
+
+  // Server objects returned by http/net.createServer.
+  for (const char *M : {"listen", "close", "on", "address"})
+    seedMethod(BuiltinId::ServerObj, M, BuiltinId::CallbackInvoker);
+}
+
+TokenId StaticAnalysis::allocAtCallSite(const CallSiteInfo &CS,
+                                        BuiltinId ProtoBuiltin) {
+  TokenId Tok = TF.objectToken(CS.Site->id());
+  TF.registerAllocSite(AllocRef{CS.Site->loc(), false}, Tok);
+  S.addToken(VF.propVar(Tok, SymProtoChain), TF.builtinToken(ProtoBuiltin));
+  if (ProtoBuiltin == BuiltinId::ArrayProto)
+    markArrayLike(Tok);
+  return Tok;
+}
+
+/// \returns argument \p Idx of the call at \p Site as a string literal, or
+/// empty when absent / not a literal.
+static std::string literalArg(Node *Site, const AstContext &Ctx, size_t Idx) {
+  std::vector<Expr *> Args;
+  if (auto *C = dyn_cast<CallExpr>(Site))
+    Args = C->args();
+  else if (auto *N = dyn_cast<NewExpr>(Site))
+    Args = N->args();
+  if (Idx >= Args.size())
+    return std::string();
+  if (auto *Lit = dyn_cast<StringLit>(Args[Idx]))
+    return Ctx.strings().str(Lit->value());
+  return std::string();
+}
+
+void StaticAnalysis::applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS,
+                                      BuiltinId B) {
+  AstContext &Ctx = Loader.context();
+  auto Arg = [&CS](size_t Idx) -> CVarId {
+    return Idx < CS->Args.size() ? CS->Args[Idx] : ~CVarId(0);
+  };
+  auto HasArg = [&CS](size_t Idx) { return Idx < CS->Args.size(); };
+
+  switch (B) {
+  case BuiltinId::Require: {
+    std::string Spec = literalArg(CS->Site, Ctx, 0);
+    Module *From = CS->EnclosingModule;
+    if (!Spec.empty()) {
+      if (Module *M = Loader.resolve(From->Path, Spec)) {
+        uint32_t Idx = ModuleIndexByPath.at(M->Path);
+        S.addEdge(VF.propVar(TF.moduleObjToken(Idx), Ctx.SymExports),
+                  CS->Result);
+        ModuleEdges[CS->Site->id()].insert(M->Func->id());
+        return;
+      }
+      auto It = BuiltinModuleMap.find(Spec);
+      if (It != BuiltinModuleMap.end())
+        S.addToken(CS->Result, TF.builtinToken(It->second));
+      return;
+    }
+    // Dynamically computed module name: resolvable via module hints only.
+    if (Hints && Opts.UseModuleHints && Opts.Mode == AnalysisMode::Hints) {
+      auto HintIt = Hints->moduleHints().find(CS->Site->loc());
+      if (HintIt == Hints->moduleHints().end())
+        return;
+      for (const std::string &Path : HintIt->second) {
+        auto IdxIt = ModuleIndexByPath.find(Path);
+        if (IdxIt == ModuleIndexByPath.end())
+          continue;
+        S.addEdge(
+            VF.propVar(TF.moduleObjToken(IdxIt->second), Ctx.SymExports),
+            CS->Result);
+        ModuleEdges[CS->Site->id()].insert(
+            Ctx.modules()[IdxIt->second]->Func->id());
+      }
+    }
+    return;
+  }
+
+  case BuiltinId::ObjectAssign: {
+    if (!HasArg(0))
+      return;
+    S.addEdge(Arg(0), CS->Result);
+    for (size_t SrcIdx = 1; SrcIdx < CS->Args.size(); ++SrcIdx)
+      forEachPair(Arg(0), Arg(SrcIdx), [this](TokenId Dst, TokenId Src) {
+        if (TF.token(Dst).K == AbsValue::Kind::Builtin ||
+            TF.token(Src).K == AbsValue::Kind::Builtin)
+          return;
+        copyAllProps(Src, Dst);
+      });
+    return;
+  }
+
+  case BuiltinId::ObjectCreate: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ObjectProto);
+    if (HasArg(0))
+      S.addEdge(Arg(0), VF.propVar(Tok, SymProtoChain));
+    S.addToken(CS->Result, Tok);
+    return;
+  }
+
+  case BuiltinId::ObjectKeys:
+  case BuiltinId::ObjectGetOwnPropertyNames: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ArrayProto);
+    S.addToken(CS->Result, Tok); // String elements: no tokens inside.
+    return;
+  }
+
+  case BuiltinId::ObjectValues: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ArrayProto);
+    S.addToken(CS->Result, Tok);
+    if (!HasArg(0))
+      return;
+    CVarId ElemVar = VF.propVar(Tok, SymElem);
+    S.addListener(Arg(0), [this, ElemVar](TokenId T) {
+      forEachPropVar(T, [this, ElemVar](Symbol Sym, CVarId Var) {
+        if (!isInternalSymbol(Sym) && Sym != SymPrototypeName)
+          S.addEdge(Var, ElemVar);
+      });
+    });
+    return;
+  }
+
+  case BuiltinId::ObjectGetOwnPropertyDescriptor: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ObjectProto);
+    S.addToken(CS->Result, Tok);
+    std::string Name = literalArg(CS->Site, Ctx, 1);
+    if (Name.empty())
+      return; // Dynamic name: baseline unsoundness by design.
+    Symbol NameSym = Ctx.strings().intern(Name);
+    CVarId ValueVar = VF.propVar(Tok, Ctx.strings().intern("value"));
+    S.addListener(Arg(0), [this, NameSym, ValueVar](TokenId T) {
+      readPropertyFromToken(T, NameSym, ValueVar);
+    });
+    return;
+  }
+
+  case BuiltinId::ObjectDefineProperty: {
+    if (HasArg(0))
+      S.addEdge(Arg(0), CS->Result);
+    std::string Name = literalArg(CS->Site, Ctx, 1);
+    if (Name.empty() || !HasArg(2))
+      return; // Dynamic name: ignored (the paper's core unsoundness).
+    Symbol NameSym = Ctx.strings().intern(Name);
+    Symbol ValueSym = Ctx.strings().intern("value");
+    Symbol GetSym = Ctx.strings().intern("get");
+    forEachPair(Arg(0), Arg(2),
+                [this, NameSym, ValueSym, GetSym](TokenId T, TokenId D) {
+                  if (TF.token(T).K == AbsValue::Kind::Builtin)
+                    return;
+                  S.addEdge(VF.propVar(D, ValueSym), VF.propVar(T, NameSym));
+                  S.addEdge(VF.propVar(D, GetSym), VF.propVar(T, NameSym));
+                });
+    return;
+  }
+
+  case BuiltinId::ObjectDefineProperties: {
+    if (HasArg(0))
+      S.addEdge(Arg(0), CS->Result);
+    if (!HasArg(1))
+      return;
+    Symbol ValueSym = Ctx.strings().intern("value");
+    forEachPair(Arg(0), Arg(1), [this, ValueSym](TokenId T, TokenId P) {
+      if (TF.token(T).K == AbsValue::Kind::Builtin)
+        return;
+      forEachPropVar(P, [this, T, ValueSym](Symbol Sym, CVarId DescVar) {
+        if (isInternalSymbol(Sym) || Sym == SymPrototypeName)
+          return;
+        // Each property's descriptors flow their `value` into T's property.
+        CVarId Target = VF.propVar(T, Sym);
+        S.addListener(DescVar, [this, ValueSym, Target](TokenId D) {
+          S.addEdge(VF.propVar(D, ValueSym), Target);
+        });
+      });
+    });
+    return;
+  }
+
+  case BuiltinId::ObjectGetPrototypeOf:
+    if (HasArg(0))
+      S.addListener(Arg(0), [this, CS](TokenId T) {
+        S.addEdge(VF.propVar(T, SymProtoChain), CS->Result);
+      });
+    return;
+
+  case BuiltinId::ObjectSetPrototypeOf:
+    if (HasArg(0))
+      S.addEdge(Arg(0), CS->Result);
+    if (HasArg(0) && HasArg(1))
+      forEachPair(Arg(0), Arg(1), [this](TokenId T, TokenId P) {
+        if (TF.token(T).K != AbsValue::Kind::Builtin)
+          S.addToken(VF.propVar(T, SymProtoChain), P);
+      });
+    return;
+
+  case BuiltinId::ObjectFreeze:
+  case BuiltinId::ObjectCtor:
+    if (HasArg(0))
+      S.addEdge(Arg(0), CS->Result);
+    if (B == BuiltinId::ObjectCtor && CS->IsNew)
+      S.addToken(CS->Result, allocAtCallSite(*CS, BuiltinId::ObjectProto));
+    return;
+
+  case BuiltinId::ArrayCtor: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ArrayProto);
+    S.addToken(CS->Result, Tok);
+    for (CVarId A : CS->Args)
+      S.addEdge(A, VF.propVar(Tok, SymElem));
+    return;
+  }
+
+  case BuiltinId::ArrayFrom: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ArrayProto);
+    S.addToken(CS->Result, Tok);
+    if (HasArg(0)) {
+      CVarId ElemVar = VF.propVar(Tok, SymElem);
+      S.addListener(Arg(0), [this, ElemVar](TokenId T) {
+        S.addEdge(VF.propVar(T, SymElem), ElemVar);
+      });
+    }
+    return;
+  }
+
+  case BuiltinId::ArrayForEach:
+  case BuiltinId::ArrayMap:
+  case BuiltinId::ArrayFilter:
+  case BuiltinId::ArraySome:
+  case BuiltinId::ArrayEvery:
+  case BuiltinId::ArrayFind: {
+    if (!CS->HasReceiver || !HasArg(0))
+      return;
+    TokenId ResultTok = ~TokenId(0);
+    if (B == BuiltinId::ArrayMap || B == BuiltinId::ArrayFilter) {
+      ResultTok = allocAtCallSite(*CS, BuiltinId::ArrayProto);
+      S.addToken(CS->Result, ResultTok);
+    }
+    CVarId ThisArg = HasArg(1) ? Arg(1) : ~CVarId(0);
+    forEachPair(
+        CS->Receiver, Arg(0),
+        [this, CS, B, ResultTok, ThisArg](TokenId A, TokenId F) {
+          const AbsValue &FT = TF.token(F);
+          if (FT.K != AbsValue::Kind::Function)
+            return;
+          FunctionDef *Fn =
+              Loader.context().function(FunctionId(FT.Payload));
+          if (Fn->isModule())
+            return;
+          recordCallEdge(CS->Site, FunctionId(FT.Payload));
+          CVarId ElemVar = VF.propVar(A, SymElem);
+          const auto &Params = Fn->params();
+          if (!Params.empty())
+            S.addEdge(ElemVar, VF.declVar(Params[0]->id()));
+          if (Params.size() >= 3)
+            S.addEdge(CS->Receiver, VF.declVar(Params[2]->id()));
+          if (ThisArg != ~CVarId(0) && !Fn->isArrow())
+            S.addEdge(ThisArg, VF.thisVar(Fn->id()));
+          if (B == BuiltinId::ArrayMap)
+            S.addEdge(VF.retVar(Fn->id()), VF.propVar(ResultTok, SymElem));
+          if (B == BuiltinId::ArrayFilter)
+            S.addEdge(ElemVar, VF.propVar(ResultTok, SymElem));
+          if (B == BuiltinId::ArrayFind)
+            S.addEdge(ElemVar, CS->Result);
+        });
+    return;
+  }
+
+  case BuiltinId::ArrayReduce: {
+    if (!CS->HasReceiver || !HasArg(0))
+      return;
+    CVarId Init = HasArg(1) ? Arg(1) : ~CVarId(0);
+    forEachPair(CS->Receiver, Arg(0),
+                [this, CS, Init](TokenId A, TokenId F) {
+                  const AbsValue &FT = TF.token(F);
+                  if (FT.K != AbsValue::Kind::Function)
+                    return;
+                  FunctionDef *Fn =
+                      Loader.context().function(FunctionId(FT.Payload));
+                  recordCallEdge(CS->Site, FunctionId(FT.Payload));
+                  const auto &Params = Fn->params();
+                  CVarId ElemVar = VF.propVar(A, SymElem);
+                  if (!Params.empty()) {
+                    CVarId Acc = VF.declVar(Params[0]->id());
+                    if (Init != ~CVarId(0))
+                      S.addEdge(Init, Acc);
+                    S.addEdge(VF.retVar(Fn->id()), Acc);
+                    S.addEdge(ElemVar, Acc);
+                  }
+                  if (Params.size() >= 2)
+                    S.addEdge(ElemVar, VF.declVar(Params[1]->id()));
+                  S.addEdge(VF.retVar(Fn->id()), CS->Result);
+                  if (Init != ~CVarId(0))
+                    S.addEdge(Init, CS->Result);
+                });
+    return;
+  }
+
+  case BuiltinId::ArrayPush:
+  case BuiltinId::ArrayUnshift:
+    if (CS->HasReceiver)
+      S.addListener(CS->Receiver, [this, CS](TokenId A) {
+        if (TF.token(A).K == AbsValue::Kind::Builtin)
+          return;
+        for (CVarId V : CS->Args)
+          S.addEdge(V, VF.propVar(A, SymElem));
+      });
+    return;
+
+  case BuiltinId::ArrayPop:
+  case BuiltinId::ArrayShift:
+    if (CS->HasReceiver)
+      S.addListener(CS->Receiver, [this, CS](TokenId A) {
+        S.addEdge(VF.propVar(A, SymElem), CS->Result);
+      });
+    return;
+
+  case BuiltinId::ArraySlice:
+  case BuiltinId::ArraySplice:
+  case BuiltinId::ArrayConcat: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ArrayProto);
+    S.addToken(CS->Result, Tok);
+    CVarId ElemVar = VF.propVar(Tok, SymElem);
+    if (CS->HasReceiver)
+      S.addListener(CS->Receiver, [this, ElemVar](TokenId A) {
+        S.addEdge(VF.propVar(A, SymElem), ElemVar);
+      });
+    if (B == BuiltinId::ArrayConcat)
+      for (CVarId V : CS->Args) {
+        S.addEdge(V, ElemVar); // Non-array values are appended directly.
+        S.addListener(V, [this, ElemVar](TokenId A) {
+          S.addEdge(VF.propVar(A, SymElem), ElemVar);
+        });
+      }
+    return;
+  }
+
+  case BuiltinId::ArraySort:
+  case BuiltinId::ArrayReverse: {
+    if (!CS->HasReceiver)
+      return;
+    S.addEdge(CS->Receiver, CS->Result); // Returns the receiver.
+    if (B == BuiltinId::ArraySort && HasArg(0))
+      forEachPair(CS->Receiver, Arg(0), [this, CS](TokenId A, TokenId F) {
+        const AbsValue &FT = TF.token(F);
+        if (FT.K != AbsValue::Kind::Function)
+          return;
+        FunctionDef *Fn = Loader.context().function(FunctionId(FT.Payload));
+        recordCallEdge(CS->Site, FunctionId(FT.Payload));
+        CVarId ElemVar = VF.propVar(A, SymElem);
+        const auto &Params = Fn->params();
+        for (size_t I = 0; I < Params.size() && I < 2; ++I)
+          S.addEdge(ElemVar, VF.declVar(Params[I]->id()));
+      });
+    return;
+  }
+
+  case BuiltinId::FunctionApply:
+  case BuiltinId::FunctionCall: {
+    if (!CS->HasReceiver)
+      return;
+    bool IsApply = B == BuiltinId::FunctionApply;
+    S.addListener(CS->Receiver, [this, CS, IsApply](TokenId F) {
+      const AbsValue &FT = TF.token(F);
+      if (FT.K == AbsValue::Kind::Builtin) {
+        // Re-dispatch: e.g. `slice.call(arguments, 1)`.
+        auto Inner = std::make_shared<CallSiteInfo>();
+        Inner->Site = CS->Site;
+        Inner->Result = CS->Result;
+        Inner->IsNew = false;
+        Inner->EnclosingModule = CS->EnclosingModule;
+        Inner->HasReceiver = !CS->Args.empty();
+        if (Inner->HasReceiver)
+          Inner->Receiver = CS->Args[0];
+        if (!IsApply && CS->Args.size() > 1)
+          Inner->Args.assign(CS->Args.begin() + 1, CS->Args.end());
+        applyBuiltinCall(Inner, BuiltinId(FT.Payload));
+        return;
+      }
+      if (FT.K != AbsValue::Kind::Function)
+        return;
+      FunctionDef *Fn = Loader.context().function(FunctionId(FT.Payload));
+      if (Fn->isModule())
+        return;
+      recordCallEdge(CS->Site, FunctionId(FT.Payload));
+      if (!CS->Args.empty() && !Fn->isArrow())
+        S.addEdge(CS->Args[0], VF.thisVar(Fn->id()));
+      S.addEdge(VF.retVar(Fn->id()), CS->Result);
+      const auto &Params = Fn->params();
+      CVarId ArgsElem =
+          VF.propVar(TF.argumentsToken(Fn->id()), SymElem);
+      if (IsApply) {
+        if (CS->Args.size() >= 2)
+          S.addListener(CS->Args[1], [this, Fn, ArgsElem](TokenId A) {
+            CVarId ElemVar = VF.propVar(A, SymElem);
+            for (VarDecl *P : Fn->params())
+              S.addEdge(ElemVar, VF.declVar(P->id()));
+            S.addEdge(ElemVar, ArgsElem);
+          });
+      } else {
+        for (size_t I = 1; I < CS->Args.size(); ++I) {
+          if (I - 1 < Params.size())
+            S.addEdge(CS->Args[I], VF.declVar(Params[I - 1]->id()));
+          S.addEdge(CS->Args[I], ArgsElem);
+        }
+      }
+    });
+    return;
+  }
+
+  case BuiltinId::FunctionBind: {
+    if (!CS->HasReceiver)
+      return;
+    // Bound functions are approximated by the original function value.
+    S.addEdge(CS->Receiver, CS->Result);
+    if (HasArg(0))
+      S.addListener(CS->Receiver, [this, CS](TokenId F) {
+        const AbsValue &FT = TF.token(F);
+        if (FT.K != AbsValue::Kind::Function)
+          return;
+        FunctionDef *Fn = Loader.context().function(FunctionId(FT.Payload));
+        if (!Fn->isArrow())
+          S.addEdge(CS->Args[0], VF.thisVar(Fn->id()));
+      });
+    return;
+  }
+
+  case BuiltinId::CallbackInvoker: {
+    // Invokes any function argument (timers, fs/http callbacks, server
+    // methods, ...). Parameters receive nothing (unknown payloads).
+    for (CVarId V : CS->Args)
+      S.addListener(V, [this, CS](TokenId F) {
+        const AbsValue &FT = TF.token(F);
+        if (FT.K == AbsValue::Kind::Function &&
+            !Loader.context().function(FunctionId(FT.Payload))->isModule())
+          recordCallEdge(CS->Site, FunctionId(FT.Payload));
+      });
+    // http.createServer & friends: expose a server-shaped result; `listen`
+    // returning `this` is covered by Receiver -> Result.
+    S.addToken(CS->Result, TF.builtinToken(BuiltinId::ServerObj));
+    if (CS->HasReceiver)
+      S.addEdge(CS->Receiver, CS->Result);
+    return;
+  }
+
+  case BuiltinId::EventEmitterCtor: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::EventEmitterProto);
+    S.addToken(CS->Result, Tok);
+    return;
+  }
+
+  case BuiltinId::EventEmitterOn: {
+    if (!CS->HasReceiver || CS->Args.size() < 2)
+      return;
+    S.addEdge(CS->Receiver, CS->Result); // Chaining.
+    forEachPair(CS->Receiver, Arg(1), [this](TokenId E, TokenId F) {
+      S.addToken(VF.propVar(E, SymHandlers), F);
+    });
+    return;
+  }
+
+  case BuiltinId::EventEmitterEmit: {
+    if (!CS->HasReceiver)
+      return;
+    S.addListener(CS->Receiver, [this, CS](TokenId E) {
+      S.addListener(VF.propVar(E, SymHandlers), [this, CS](TokenId F) {
+        const AbsValue &FT = TF.token(F);
+        if (FT.K != AbsValue::Kind::Function)
+          return;
+        FunctionDef *Fn = Loader.context().function(FunctionId(FT.Payload));
+        recordCallEdge(CS->Site, FunctionId(FT.Payload));
+        const auto &Params = Fn->params();
+        for (size_t I = 1; I < CS->Args.size() && I - 1 < Params.size(); ++I)
+          S.addEdge(CS->Args[I], VF.declVar(Params[I - 1]->id()));
+        if (!Fn->isArrow())
+          S.addEdge(CS->Receiver, VF.thisVar(Fn->id()));
+      });
+    });
+    return;
+  }
+
+  case BuiltinId::UtilInherits: {
+    if (CS->Args.size() < 2)
+      return;
+    forEachPair(Arg(0), Arg(1), [this](TokenId Ctor, TokenId Super) {
+      S.addListener(VF.propVar(Ctor, SymPrototypeName),
+                    [this, Super](TokenId P1) {
+                      S.addEdge(VF.propVar(Super, SymPrototypeName),
+                                VF.propVar(P1, SymProtoChain));
+                    });
+    });
+    return;
+  }
+
+  case BuiltinId::ErrorCtor: {
+    TokenId Tok = allocAtCallSite(*CS, BuiltinId::ObjectProto);
+    S.addToken(CS->Result, Tok);
+    return;
+  }
+
+  case BuiltinId::StringCtor:
+  case BuiltinId::NumberCtor:
+  case BuiltinId::BooleanCtor:
+  case BuiltinId::ArrayIsArray:
+  case BuiltinId::EvalFn: // eval'd code is not analyzed statically.
+  case BuiltinId::FunctionCtor:
+  case BuiltinId::Noop:
+  default:
+    return;
+  }
+}

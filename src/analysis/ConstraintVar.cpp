@@ -1,0 +1,32 @@
+//===- ConstraintVar.cpp --------------------------------------------------===//
+
+#include "analysis/ConstraintVar.h"
+
+using namespace jsai;
+
+CVarId CVarFactory::get(CVar::Kind K, uint32_t A, uint32_t B) {
+  // Composite key: kind in the top bits cannot collide because A and B are
+  // dense ids far below 2^31, and Prop vars (the only users of B) key on
+  // (token, symbol) pairs.
+  uint64_t Key = (uint64_t(uint8_t(K)) << 61) ^ (uint64_t(A) << 30) ^ B;
+  auto [It, Inserted] = Index.try_emplace(Key, CVarId(Vars.size()));
+  if (Inserted)
+    Vars.push_back(CVar{K, A, B});
+  return It->second;
+}
+
+CVarId CVarFactory::propVar(TokenId T, Symbol P) {
+  size_t Before = Vars.size();
+  CVarId Id = get(CVar::Kind::Prop, T, P);
+  if (Vars.size() != Before) {
+    Props[T].emplace_back(P, Id);
+    if (OnPropVar)
+      OnPropVar(T, P, Id);
+  }
+  return Id;
+}
+
+const std::vector<std::pair<Symbol, CVarId>> &CVarFactory::propsOf(TokenId T) {
+  auto It = Props.find(T);
+  return It == Props.end() ? EmptyProps : It->second;
+}

@@ -1,0 +1,74 @@
+//===- ConstraintVar.h - Constraint variables -------------------*- C++ -*-===//
+///
+/// \file
+/// Constraint variables of the subset analysis (the paper's [[E]] and
+/// [[t.p]]). Kinds:
+///
+///  - Expr:   [[E]] for an expression node;
+///  - Decl:   one variable per declaration (flow-insensitive);
+///  - Prop:   [[t.p]] for token t and property name p (created lazily);
+///  - Ret:    the return-value variable of a function ([[E_t]]);
+///  - This:   the receiver variable of a function;
+///  - Global: an unresolved global name (shared program-wide).
+///
+/// Ids are dense; the factory notifies an observer when a Prop variable is
+/// created so property-copy summaries (Object.assign) and the
+/// over-approximating ablation can attach edges to future properties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_ANALYSIS_CONSTRAINTVAR_H
+#define JSAI_ANALYSIS_CONSTRAINTVAR_H
+
+#include "analysis/Token.h"
+
+#include <functional>
+
+namespace jsai {
+
+/// Dense constraint-variable id.
+using CVarId = uint32_t;
+
+/// One constraint variable.
+struct CVar {
+  enum class Kind : uint8_t { Expr, Decl, Prop, Ret, This, Global };
+  Kind K;
+  uint32_t A; ///< NodeId / VarId / TokenId / FunctionId / Symbol.
+  uint32_t B; ///< Property Symbol for Prop vars.
+};
+
+/// Interns constraint variables.
+class CVarFactory {
+public:
+  /// Called with (Token, PropertySymbol, NewVar) whenever a Prop variable is
+  /// first created.
+  using PropVarHook = std::function<void(TokenId, Symbol, CVarId)>;
+
+  CVarId exprVar(NodeId N) { return get(CVar::Kind::Expr, N, 0); }
+  CVarId declVar(VarId V) { return get(CVar::Kind::Decl, V, 0); }
+  CVarId retVar(FunctionId F) { return get(CVar::Kind::Ret, F, 0); }
+  CVarId thisVar(FunctionId F) { return get(CVar::Kind::This, F, 0); }
+  CVarId globalVar(Symbol S) { return get(CVar::Kind::Global, S, 0); }
+  CVarId propVar(TokenId T, Symbol P);
+
+  /// Property variables of \p T created so far, in creation order.
+  const std::vector<std::pair<Symbol, CVarId>> &propsOf(TokenId T);
+
+  void setPropVarHook(PropVarHook Hook) { OnPropVar = std::move(Hook); }
+
+  const CVar &var(CVarId Id) const { return Vars[Id]; }
+  size_t size() const { return Vars.size(); }
+
+private:
+  CVarId get(CVar::Kind K, uint32_t A, uint32_t B);
+
+  std::vector<CVar> Vars;
+  std::unordered_map<uint64_t, CVarId> Index;
+  std::unordered_map<TokenId, std::vector<std::pair<Symbol, CVarId>>> Props;
+  std::vector<std::pair<Symbol, CVarId>> EmptyProps;
+  PropVarHook OnPropVar;
+};
+
+} // namespace jsai
+
+#endif // JSAI_ANALYSIS_CONSTRAINTVAR_H

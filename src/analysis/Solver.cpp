@@ -1,0 +1,73 @@
+//===- Solver.cpp ---------------------------------------------------------===//
+
+#include "analysis/Solver.h"
+
+using namespace jsai;
+
+void Solver::ensure(CVarId V) {
+  if (V >= PointsTo.size()) {
+    PointsTo.resize(V + 1);
+    Succs.resize(V + 1);
+    Listeners.resize(V + 1);
+  }
+}
+
+void Solver::addToken(CVarId V, TokenId T) {
+  ensure(V);
+  if (!PointsTo[V].insert(T))
+    return;
+  Pending.emplace_back(V, T);
+}
+
+void Solver::addEdge(CVarId From, CVarId To) {
+  if (From == To)
+    return;
+  ensure(From);
+  ensure(To);
+  // Duplicate edges are common (one per resolved token); a linear scan of
+  // the successor list is cheap at our fan-outs and keeps memory tight.
+  for (CVarId Existing : Succs[From])
+    if (Existing == To)
+      return;
+  Succs[From].push_back(To);
+  ++Stats.NumEdges;
+  // Flush already-known tokens across the new edge. Copy first: addToken may
+  // grow the PointsTo vector and move the set being iterated.
+  std::vector<uint32_t> Known = PointsTo[From].toVector();
+  for (uint32_t T : Known)
+    addToken(To, T);
+}
+
+void Solver::addListener(CVarId V, Listener L) {
+  ensure(V);
+  ++Stats.NumListeners;
+  // Replay current tokens, then subscribe for future ones. Copy first: the
+  // listener may allocate new variables and move the PointsTo storage.
+  std::vector<uint32_t> Known = PointsTo[V].toVector();
+  Listeners[V].push_back(L); // Keep a local copy: the callback may append
+                             // to this listener list and reallocate it.
+  for (uint32_t T : Known)
+    L(T);
+}
+
+void Solver::solve() {
+  // Listeners may re-enter via addEdge/addToken/addListener; the FIFO queue
+  // serializes all work.
+  while (!Pending.empty()) {
+    auto [V, T] = Pending.front();
+    Pending.pop_front();
+    ++Stats.NumTokensPropagated;
+    // Successor lists and listener lists may grow while we iterate;
+    // index-based loops pick up appended entries for *this* delta too.
+    for (size_t I = 0; I < Succs[V].size(); ++I)
+      addToken(Succs[V][I], T);
+    for (size_t I = 0; I < Listeners[V].size(); ++I)
+      Listeners[V][I](T);
+  }
+}
+
+const BitSet &Solver::pointsTo(CVarId V) const {
+  if (V >= PointsTo.size())
+    return Empty;
+  return PointsTo[V];
+}

@@ -1,0 +1,73 @@
+//===- Solver.h - Subset-constraint propagation engine ----------*- C++ -*-===//
+///
+/// \file
+/// The propagation core of the points-to analysis: dense points-to sets
+/// (BitSet of TokenIds) per constraint variable, subset edges, and
+/// listeners. Listeners implement the "complex" constraints (property
+/// accesses, calls, builtin models): they run once per (variable, token)
+/// pair — for tokens already present at registration time and for every
+/// token that arrives later — so constraint generation is fully on-the-fly.
+///
+/// Propagation is a FIFO worklist of (variable, token) deltas; all iteration
+/// orders are index-based, so solving is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_ANALYSIS_SOLVER_H
+#define JSAI_ANALYSIS_SOLVER_H
+
+#include "analysis/ConstraintVar.h"
+#include "support/BitSet.h"
+
+#include <deque>
+#include <functional>
+
+namespace jsai {
+
+/// Statistics for the evaluation section (analysis cost).
+struct SolverStats {
+  uint64_t NumTokensPropagated = 0;
+  uint64_t NumEdges = 0;
+  uint64_t NumListeners = 0;
+};
+
+/// Subset-constraint solver.
+class Solver {
+public:
+  using Listener = std::function<void(TokenId)>;
+
+  /// Adds t to [[V]]; schedules propagation.
+  void addToken(CVarId V, TokenId T);
+
+  /// Adds the subset edge [[From]] subseteq [[To]].
+  void addEdge(CVarId From, CVarId To);
+
+  /// Registers \p L on \p V: runs for every current and future token.
+  ///
+  /// Contract: listeners must be IDEMPOTENT per (variable, token) pair —
+  /// when registration replay races with queued deltas, a listener may
+  /// observe the same token twice. All built-in effects (addToken, addEdge,
+  /// call-edge set insertion) satisfy this naturally.
+  void addListener(CVarId V, Listener L);
+
+  /// Runs propagation to a fixpoint.
+  void solve();
+
+  const BitSet &pointsTo(CVarId V) const;
+  const SolverStats &stats() const { return Stats; }
+
+private:
+  void ensure(CVarId V);
+
+  std::vector<BitSet> PointsTo;
+  std::vector<std::vector<CVarId>> Succs;
+  std::vector<std::vector<Listener>> Listeners;
+  std::deque<std::pair<CVarId, TokenId>> Pending;
+  SolverStats Stats;
+  BitSet Empty;
+  bool Solving = false;
+};
+
+} // namespace jsai
+
+#endif // JSAI_ANALYSIS_SOLVER_H

@@ -1,0 +1,306 @@
+//===- StaticAnalysis.cpp - Driver, hint rules, and extraction --------------===//
+//
+// Implements the [DPR]/[DPW] rules of Figure 3, the two ablation modes, and
+// the metric extraction used by the evaluation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+
+#include "ast/ScopeResolver.h"
+#include "parser/Parser.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace jsai;
+
+StaticAnalysis::StaticAnalysis(ModuleLoader &Loader, AnalysisOptions Opts,
+                               const HintSet *Hints)
+    : Loader(Loader), Opts(Opts), Hints(Hints), TF(Loader.context()) {
+  Loader.parseAll();
+  StringPool &SP = Loader.context().strings();
+  SymProtoChain = SP.intern("[[proto]]");
+  SymElem = SP.intern("[[elem]]");
+  SymHandlers = SP.intern("[[handlers]]");
+  SymAnyProp = SP.intern("[[any]]");
+  SymPrototypeName = SP.intern("prototype");
+
+  // Dispatch property-variable creation to the registered summaries
+  // (Object.assign copies, Object.values, over-approximated reads).
+  VF.setPropVarHook([this](TokenId T, Symbol Sym, CVarId Var) {
+    auto It = PropCallbacks.find(T);
+    if (It == PropCallbacks.end())
+      return;
+    // Callbacks may add further callbacks for this token; index loop.
+    for (size_t I = 0; I < It->second.size(); ++I)
+      It->second[I](Sym, Var);
+  });
+}
+
+AnalysisResult StaticAnalysis::run() {
+  buildAll();
+  switch (Opts.Mode) {
+  case AnalysisMode::Baseline:
+    break; // Dynamic property accesses stay ignored.
+  case AnalysisMode::Hints:
+    applyHints();
+    break;
+  case AnalysisMode::NonRelationalHints:
+    applyNonRelationalHints();
+    break;
+  case AnalysisMode::OverApprox:
+    applyOverApproximation();
+    break;
+  }
+  S.solve();
+  return extract();
+}
+
+//===----------------------------------------------------------------------===//
+// Rule [DPR] and [DPW] (Figure 3)
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::applyHints() {
+  assert(Hints && "hint mode requires hints");
+  StringPool &SP = Loader.context().strings();
+
+  if (Opts.UseReadHints) {
+    // [DPR]: for every l' in H_R(l), add t_{l'} to [[E[E']]] at l.
+    for (const auto &[ReadLoc, Refs] : Hints->readHints()) {
+      auto SiteIt = DynReadByLoc.find(ReadLoc);
+      if (SiteIt == DynReadByLoc.end())
+        continue; // Read happened in eval code or a builtin.
+      const DynReadSite &Site = DynReads[SiteIt->second];
+      CVarId Result = VF.exprVar(Site.Node->id());
+      for (const AllocRef &Ref : Refs) {
+        TokenId T = TF.tokenForAllocSite(Ref);
+        if (T != ~TokenId(0))
+          S.addToken(Result, T);
+      }
+    }
+  }
+
+  if (Opts.UseWriteHints) {
+    // [DPW]: for every (l, p, l'') in H_W, add t_{l''} to [[t_l.p]].
+    for (const WriteHint &W : Hints->writeHints()) {
+      TokenId Base = TF.tokenForAllocSite(W.Base);
+      TokenId Val = TF.tokenForAllocSite(W.Val);
+      if (Base == ~TokenId(0) || Val == ~TokenId(0))
+        continue;
+      S.addToken(VF.propVar(Base, SP.intern(W.Prop)), Val);
+    }
+  }
+  // Module hints are consumed lazily by the Require builtin model.
+
+  if (Opts.UseUnknownArgHints)
+    applyUnknownArgHints();
+  if (Opts.UseEvalBodyAnalysis)
+    applyEvalBodies();
+}
+
+//===----------------------------------------------------------------------===//
+// Section 6 extension: unknown-function-argument hints
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::applyUnknownArgHints() {
+  assert(Hints && "extension requires hints");
+  StringPool &SP = Loader.context().strings();
+  // A dynamic read x[y] where x was p* but y was the known string "p" is
+  // treated as the static read x.p — but only when the site produced no
+  // ordinary read hints, the paper's guard against polluting polymorphic
+  // functions.
+  for (const auto &[ReadLoc, Names] : Hints->proxyReadNames()) {
+    if (Hints->readHints().count(ReadLoc))
+      continue;
+    auto SiteIt = DynReadByLoc.find(ReadLoc);
+    if (SiteIt == DynReadByLoc.end())
+      continue;
+    const DynReadSite &Site = DynReads[SiteIt->second];
+    CVarId Result = VF.exprVar(Site.Node->id());
+    for (const std::string &Name : Names)
+      readProperty(Site.Base, SP.intern(Name), Result);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Section 6 extension: analyzing eval'd code strings
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::applyEvalBodies() {
+  assert(Hints && "extension requires hints");
+  AstContext &Ctx = Loader.context();
+
+  // Map eval call locations to their enclosing function and module.
+  std::map<SourceLoc, const SiteRecord *> SiteByLoc;
+  for (const SiteRecord &Rec : CallSites)
+    SiteByLoc[Rec.Site->loc()] = &Rec;
+
+  std::map<FileId, Module *> ModuleByFile;
+  for (const auto &M : Ctx.modules())
+    ModuleByFile[M->File] = M.get();
+
+  std::set<std::pair<uint64_t, std::string>> Seen;
+  for (const auto &[CallLoc, Code] : Hints->evalHints()) {
+    if (!Seen.insert({CallLoc.key(), Code}).second)
+      continue;
+    auto SiteIt = SiteByLoc.find(CallLoc);
+    if (SiteIt == SiteByLoc.end())
+      continue; // eval inside eval'd code, or a Function-ctor pseudo site.
+    const SiteRecord *Rec = SiteIt->second;
+
+    // Parse the observed code string in the lexical scope of the eval call
+    // and analyze it like a nested function body.
+    DiagnosticEngine EvalDiags; // Parse errors must not pollute the project.
+    Parser P(Ctx, EvalDiags);
+    FunctionDef *F = P.parseEval(Code, Rec->Enclosing, CallLoc);
+    if (!F)
+      continue;
+    ScopeResolver(Ctx).resolveFunction(F);
+
+    Module *SavedModule = CurModule;
+    auto ModIt = ModuleByFile.find(CallLoc.File);
+    CurModule = ModIt == ModuleByFile.end() ? SavedModule : ModIt->second;
+    registerFunction(F);
+    walkFunctionBody(F);
+    CurModule = SavedModule;
+    // Let reachability flow from the eval call site into the eval'd code.
+    ModuleEdges[Rec->Site->id()].insert(F->id());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Ablation: non-relational (property-name-only) hints
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::applyNonRelationalHints() {
+  assert(Hints && "non-relational mode requires hints");
+  StringPool &SP = Loader.context().strings();
+
+  // A dynamic read at l with observed names p1..pn becomes the static reads
+  // E.p1, ..., E.pn.
+  for (const auto &[ReadLoc, Names] : Hints->readNames()) {
+    auto SiteIt = DynReadByLoc.find(ReadLoc);
+    if (SiteIt == DynReadByLoc.end())
+      continue;
+    const DynReadSite &Site = DynReads[SiteIt->second];
+    CVarId Result = VF.exprVar(Site.Node->id());
+    for (const std::string &Name : Names)
+      readProperty(Site.Base, SP.intern(Name), Result);
+  }
+
+  // A dynamic write at l with observed names p1..pn becomes the static
+  // writes E.p1 = E'', ..., E.pn = E'' — the imprecise alternative the
+  // paper discusses at the end of Section 4.
+  for (const DynWriteSite &Site : DynWrites) {
+    auto NamesIt = Hints->writeNames().find(Site.OpLoc);
+    if (NamesIt == Hints->writeNames().end())
+      continue;
+    for (const std::string &Name : NamesIt->second)
+      writeProperty(Site.Base, SP.intern(Name), Site.Value);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Ablation: TAJS-style over-approximation
+//===----------------------------------------------------------------------===//
+
+void StaticAnalysis::applyOverApproximation() {
+  // Dynamic writes may hit any property: the value flows into the [[any]]
+  // field of every base token; fixed and dynamic reads include [[any]]
+  // (fixed reads get it in readPropertyFromToken).
+  for (const DynWriteSite &Site : DynWrites) {
+    CVarId Value = Site.Value;
+    S.addListener(Site.Base, [this, Value](TokenId T) {
+      if (TF.token(T).K == AbsValue::Kind::Builtin)
+        return;
+      S.addEdge(Value, VF.propVar(T, SymAnyProp));
+    });
+  }
+  // Dynamic reads may yield any property's values.
+  for (const DynReadSite &Site : DynReads) {
+    CVarId Result = VF.exprVar(Site.Node->id());
+    S.addListener(Site.Base, [this, Result](TokenId T) {
+      S.addEdge(VF.propVar(T, SymAnyProp), Result);
+      forEachPropVar(T, [this, Result](Symbol Sym, CVarId Var) {
+        if (!isInternalSymbol(Sym))
+          S.addEdge(Var, Result);
+      });
+    });
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction
+//===----------------------------------------------------------------------===//
+
+AnalysisResult StaticAnalysis::extract() {
+  AstContext &Ctx = Loader.context();
+  AnalysisResult R;
+  R.Solver = S.stats();
+  R.NumTokens = TF.size();
+  R.NumVars = VF.size();
+
+  for (const auto &F : Ctx.functions())
+    if (!F->isModule() && !F->isInEval())
+      ++R.NumFunctions;
+
+  // Call-site metrics and the location-keyed call graph. Accessor access
+  // sites (getter/setter invocations at property reads/writes) join the
+  // call-site population, as in the paper's Figure 7 discussion.
+  std::vector<SiteRecord> AllSites = CallSites;
+  for (const auto &[NodeIdKey, Rec] : AccessorSites)
+    AllSites.push_back(Rec);
+  R.NumCallSites = AllSites.size();
+  for (const SiteRecord &Rec : AllSites) {
+    auto It = CallEdges.find(Rec.Site->id());
+    size_t NumCallees = It == CallEdges.end() ? 0 : It->second.size();
+    if (NumCallees >= 1)
+      ++R.NumResolvedCallSites;
+    if (NumCallees <= 1)
+      ++R.NumMonomorphicCallSites;
+    R.NumCallEdges += NumCallees;
+    if (It != CallEdges.end())
+      for (FunctionId F : It->second)
+        R.CG.addEdge(Rec.Site->loc(), Ctx.function(F)->loc());
+  }
+
+  // Reachability from the main package's module functions, following both
+  // call edges and require (module) edges.
+  std::set<FunctionId> Reachable;
+  std::deque<FunctionId> Work;
+  for (const auto &M : Ctx.modules())
+    if (M->Package == Opts.MainPackage)
+      if (Reachable.insert(M->Func->id()).second)
+        Work.push_back(M->Func->id());
+
+  // Group call sites by enclosing function for the traversal.
+  std::map<FunctionId, std::vector<const SiteRecord *>> SitesByFunc;
+  for (const SiteRecord &Rec : AllSites)
+    if (Rec.Enclosing)
+      SitesByFunc[Rec.Enclosing->id()].push_back(&Rec);
+
+  while (!Work.empty()) {
+    FunctionId F = Work.front();
+    Work.pop_front();
+    auto SitesIt = SitesByFunc.find(F);
+    if (SitesIt == SitesByFunc.end())
+      continue;
+    for (const SiteRecord *Rec : SitesIt->second) {
+      auto Visit = [&](const std::map<NodeId, std::set<FunctionId>> &Edges) {
+        auto It = Edges.find(Rec->Site->id());
+        if (It == Edges.end())
+          return;
+        for (FunctionId Callee : It->second)
+          if (Reachable.insert(Callee).second)
+            Work.push_back(Callee);
+      };
+      Visit(CallEdges);
+      Visit(ModuleEdges);
+    }
+  }
+  R.NumReachableFunctions = Reachable.size();
+  for (FunctionId F : Reachable)
+    R.ReachableFunctions.insert(Ctx.function(F)->loc());
+  return R;
+}

@@ -1,0 +1,254 @@
+//===- StaticAnalysis.h - Call graph / points-to analysis -------*- C++ -*-===//
+///
+/// \file
+/// The subset-based, flow- and context-insensitive points-to analysis with
+/// on-the-fly call-graph construction of Section 4, over whole projects
+/// (application + all dependencies), with standard-library models.
+///
+/// Modes:
+///  - Baseline:          dynamic property reads/writes are ignored (the
+///                       pragmatic-but-unsound design of WALA/JAM/Jelly);
+///  - Hints:             baseline + the paper's [DPR]/[DPW] rules consuming
+///                       approximate-interpretation hints (and, optionally,
+///                       module-load hints);
+///  - NonRelationalHints: the Section 4 alternative — only observed property
+///                       *names* are used, dynamic accesses become static
+///                       accesses for each observed name (ablation);
+///  - OverApprox:        TAJS-style conservative treatment — a dynamic write
+///                       may hit any property, a dynamic read may yield any
+///                       property's values (ablation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_ANALYSIS_STATICANALYSIS_H
+#define JSAI_ANALYSIS_STATICANALYSIS_H
+
+#include "analysis/Solver.h"
+#include "approx/HintSet.h"
+#include "callgraph/CallGraph.h"
+#include "interp/ModuleLoader.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+namespace jsai {
+
+enum class AnalysisMode : uint8_t {
+  Baseline,
+  Hints,
+  NonRelationalHints,
+  OverApprox,
+};
+
+/// Analysis configuration.
+struct AnalysisOptions {
+  AnalysisMode Mode = AnalysisMode::Baseline;
+  /// Apply rule [DPR] (read hints). The evaluation disables this for one
+  /// benchmark (Table 2's starred row).
+  bool UseReadHints = true;
+  /// Apply rule [DPW] (write hints).
+  bool UseWriteHints = true;
+  /// Apply module-load hints at dynamic require sites.
+  bool UseModuleHints = true;
+  /// Section 6 extension: treat a dynamic read whose base was unknown (p*)
+  /// but whose name was observed as a static read — only at sites where no
+  /// ordinary read hints exist (the paper's precision guard).
+  bool UseUnknownArgHints = false;
+  /// Section 6 extension: statically analyze the code strings observed at
+  /// eval calls as additional program code.
+  bool UseEvalBodyAnalysis = false;
+  /// Package whose module functions seed the reachability metric.
+  std::string MainPackage = "app";
+};
+
+/// Everything the evaluation needs from one analysis run.
+struct AnalysisResult {
+  CallGraph CG;
+  size_t NumCallSites = 0;
+  size_t NumResolvedCallSites = 0;
+  size_t NumMonomorphicCallSites = 0;
+  size_t NumCallEdges = 0;
+  size_t NumFunctions = 0;
+  size_t NumReachableFunctions = 0;
+  /// Locations of reachable functions (used by the vulnerability study).
+  std::set<SourceLoc> ReachableFunctions;
+  SolverStats Solver;
+  size_t NumTokens = 0;
+  size_t NumVars = 0;
+
+  double resolvedFraction() const {
+    return NumCallSites ? double(NumResolvedCallSites) / double(NumCallSites)
+                        : 0.0;
+  }
+  double monomorphicFraction() const {
+    return NumCallSites
+               ? double(NumMonomorphicCallSites) / double(NumCallSites)
+               : 0.0;
+  }
+};
+
+/// One analysis run over a parsed project.
+class StaticAnalysis {
+public:
+  /// \p Hints may be null for AnalysisMode::Baseline / OverApprox; it is
+  /// required for the hint-consuming modes.
+  StaticAnalysis(ModuleLoader &Loader, AnalysisOptions Opts = AnalysisOptions(),
+                 const HintSet *Hints = nullptr);
+
+  /// Builds constraints, applies hints, solves, and extracts the result.
+  AnalysisResult run();
+
+private:
+  //===--------------------------------------------------------------------===
+  // AST constraint generation (AnalysisBuilder.cpp)
+  //===--------------------------------------------------------------------===
+  void buildAll();
+  void buildModule(Module *M, uint32_t ModuleIdx);
+  void walkFunctionBody(FunctionDef *F);
+  void buildStmt(Stmt *S);
+  CVarId buildExpr(Expr *E);
+  CVarId buildCallLike(Node *Site, Expr *Callee,
+                       const std::vector<Expr *> &Args, bool IsNew);
+  TokenId registerFunction(FunctionDef *F);
+  /// The innermost non-arrow function enclosing the current position (for
+  /// `this`).
+  FunctionDef *thisOwner() const;
+
+  //===--------------------------------------------------------------------===
+  // Property and call machinery (AnalysisBuilder.cpp)
+  //===--------------------------------------------------------------------===
+  /// \p Site (when given) is the AST node of the access, used to record
+  /// getter/setter call edges at read/write sites.
+  void readProperty(CVarId Base, Symbol Name, CVarId Result,
+                    Node *Site = nullptr);
+  void readPropertyFromToken(TokenId T, Symbol Name, CVarId Result,
+                             Node *Site = nullptr,
+                             FunctionDef *SiteOwner = nullptr);
+  void writeProperty(CVarId Base, Symbol Name, CVarId Value,
+                     Node *Site = nullptr);
+  /// Registers \p Site as a getter/setter call site (property accesses
+  /// that the solver resolved to accessor invocations).
+  void recordAccessorSite(Node *Site, FunctionDef *SiteOwner,
+                          FunctionId Accessor);
+  /// Runs \p Fn for every named property variable of \p T, present and
+  /// future (the engine behind Object.assign summaries, Object.values, and
+  /// the over-approximating ablation).
+  void forEachPropVar(TokenId T, std::function<void(Symbol, CVarId)> Fn);
+  /// Installs a property-copy summary: every property of \p Src (current
+  /// and future) flows to the same-named property of \p Dst.
+  void copyAllProps(TokenId Src, TokenId Dst);
+  /// True for analysis-internal property names that copies and
+  /// all-property reads must skip.
+  bool isInternalSymbol(Symbol Sym) const;
+  /// Marks \p T as array-like: dynamic accesses on it use the element
+  /// summary even in baseline mode (array handling is not the unsoundness
+  /// the paper targets).
+  void markArrayLike(TokenId T) { ArrayLike.insert(T); }
+  bool isArrayLike(TokenId T) const { return ArrayLike.count(T) != 0; }
+
+  struct CallSiteInfo {
+    Node *Site = nullptr;
+    std::vector<CVarId> Args;
+    CVarId Receiver = 0;
+    bool HasReceiver = false;
+    CVarId Result = 0;
+    bool IsNew = false;
+    Module *EnclosingModule = nullptr;
+  };
+  /// Attaches the on-the-fly call dispatch to \p CalleeVar.
+  void addCallConstraint(std::shared_ptr<CallSiteInfo> CS, CVarId CalleeVar);
+  void applyFunctionCall(const CallSiteInfo &CS, FunctionId F);
+  void recordCallEdge(Node *Site, FunctionId Callee);
+  /// Runs \p Fn for every pair of tokens from \p VarA x \p VarB.
+  void forEachPair(CVarId VarA, CVarId VarB,
+                   std::function<void(TokenId, TokenId)> Fn);
+
+  //===--------------------------------------------------------------------===
+  // Builtin models (BuiltinModels.cpp)
+  //===--------------------------------------------------------------------===
+  void seedBuiltins();
+  void seedGlobal(const char *Name, BuiltinId B);
+  void seedMethod(BuiltinId Holder, const char *Name, BuiltinId Method);
+  void applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS, BuiltinId B);
+  /// Allocation performed by a builtin at its call site (Object.create,
+  /// array results, ...).
+  TokenId allocAtCallSite(const CallSiteInfo &CS, BuiltinId ProtoBuiltin);
+
+  //===--------------------------------------------------------------------===
+  // Hints and modes (StaticAnalysis.cpp)
+  //===--------------------------------------------------------------------===
+  void applyHints();
+  void applyUnknownArgHints();
+  void applyEvalBodies();
+  void applyNonRelationalHints();
+  void applyOverApproximation();
+  AnalysisResult extract();
+
+  //===--------------------------------------------------------------------===
+  // State
+  //===--------------------------------------------------------------------===
+  ModuleLoader &Loader;
+  AnalysisOptions Opts;
+  const HintSet *Hints;
+
+  TokenFactory TF;
+  CVarFactory VF;
+  Solver S;
+
+  // Interned internal property names.
+  Symbol SymProtoChain;  ///< "[[proto]]"
+  Symbol SymElem;        ///< "[[elem]]" — array element summary.
+  Symbol SymHandlers;    ///< "[[handlers]]" — EventEmitter summary.
+  Symbol SymAnyProp;     ///< "[[any]]" — over-approximation field.
+  Symbol SymPrototypeName;
+
+  // Walk state.
+  Module *CurModule = nullptr;
+  std::vector<FunctionDef *> FuncStack;
+
+  // Recorded sites.
+  struct DynReadSite {
+    MemberExpr *Node;
+    CVarId Base;
+  };
+  struct DynWriteSite {
+    SourceLoc OpLoc;
+    CVarId Base;
+    CVarId Value;
+  };
+  std::vector<DynReadSite> DynReads;
+  std::map<SourceLoc, size_t> DynReadByLoc;
+  std::vector<DynWriteSite> DynWrites;
+  struct SiteRecord {
+    Node *Site;
+    FunctionDef *Enclosing;
+  };
+  std::vector<SiteRecord> CallSites;
+  /// Property accesses resolved to accessor calls — they join the call-site
+  /// population during extraction (the paper's getter/setter call sites).
+  std::map<NodeId, SiteRecord> AccessorSites;
+  std::map<NodeId, std::set<FunctionId>> CallEdges;
+  /// require-site -> module-function edges; used for reachability only,
+  /// not counted as call edges (matching NodeProf-style dynamic CGs).
+  std::map<NodeId, std::set<FunctionId>> ModuleEdges;
+  std::map<std::string, uint32_t> ModuleIndexByPath;
+  std::map<std::string, BuiltinId> BuiltinModuleMap;
+
+  // Summary state.
+  std::map<TokenId, std::vector<std::function<void(Symbol, CVarId)>>>
+      PropCallbacks;
+  /// Accessor properties declared in object literals: (token, name) -> the
+  /// getter / setter function definitions (getter call edges appear at
+  /// read sites, matching the runtime and the paper's Figure 7 remark).
+  std::map<std::pair<TokenId, Symbol>, std::set<FunctionId>> GetterProps;
+  std::map<std::pair<TokenId, Symbol>, std::set<FunctionId>> SetterProps;
+  std::set<TokenId> ArrayLike;
+  std::set<uint64_t> ReadMemo;
+  std::set<const FunctionDef *> WalkedBodies;
+};
+
+} // namespace jsai
+
+#endif // JSAI_ANALYSIS_STATICANALYSIS_H

@@ -1,0 +1,56 @@
+//===- Token.cpp ----------------------------------------------------------===//
+
+#include "analysis/Token.h"
+
+using namespace jsai;
+
+TokenId TokenFactory::get(AbsValue::Kind K, uint32_t Payload) {
+  uint64_t Key = (uint64_t(uint8_t(K)) << 32) | Payload;
+  auto [It, Inserted] = Index.try_emplace(Key, TokenId(Tokens.size()));
+  if (Inserted)
+    Tokens.push_back(AbsValue{K, Payload});
+  return It->second;
+}
+
+void TokenFactory::registerAllocSite(const AllocRef &Ref, TokenId Id) {
+  if (!Ref.isValid())
+    return;
+  AllocSites.try_emplace(allocKey(Ref), Id);
+}
+
+TokenId TokenFactory::tokenForAllocSite(const AllocRef &Ref) const {
+  auto It = AllocSites.find(allocKey(Ref));
+  return It == AllocSites.end() ? ~TokenId(0) : It->second;
+}
+
+std::string TokenFactory::describe(TokenId Id) const {
+  const AbsValue &T = Tokens[Id];
+  switch (T.K) {
+  case AbsValue::Kind::Function: {
+    const FunctionDef *F =
+        const_cast<AstContext &>(Ctx).function(FunctionId(T.Payload));
+    return "fn:" + Ctx.files().format(F->loc());
+  }
+  case AbsValue::Kind::Object: {
+    const Node *N = Ctx.node(NodeId(T.Payload));
+    return "obj:" + Ctx.files().format(N->loc());
+  }
+  case AbsValue::Kind::Prototype: {
+    const FunctionDef *F =
+        const_cast<AstContext &>(Ctx).function(FunctionId(T.Payload));
+    return "proto:" + Ctx.files().format(F->loc());
+  }
+  case AbsValue::Kind::Exports:
+    return "exports:" + Ctx.modules()[T.Payload]->Path;
+  case AbsValue::Kind::ModuleObj:
+    return "module:" + Ctx.modules()[T.Payload]->Path;
+  case AbsValue::Kind::Builtin:
+    return "builtin#" + std::to_string(T.Payload);
+  case AbsValue::Kind::Arguments: {
+    const FunctionDef *F =
+        const_cast<AstContext &>(Ctx).function(FunctionId(T.Payload));
+    return "arguments:" + Ctx.files().format(F->loc());
+  }
+  }
+  return "?";
+}

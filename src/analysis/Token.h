@@ -1,0 +1,178 @@
+//===- Token.h - Abstract values for the points-to analysis -----*- C++ -*-===//
+///
+/// \file
+/// Abstract values (tokens) of the subset-based analysis (Section 4). The
+/// paper's `t_l` tokens use allocation-site abstraction; tokens here carry
+/// the kind of site so hints (AllocRef = location + prototype flag) resolve
+/// unambiguously:
+///
+///  - Function:  a function definition (one token per FunctionDef);
+///  - Object:    an allocation at an expression node (object/array literal,
+///               new-expression, or an allocating builtin call site);
+///  - Prototype: the implicit `.prototype` object of a function;
+///  - Exports:   the default `module.exports` object of a module;
+///  - ModuleObj: the `module` object of a module;
+///  - Builtin:   a modeled standard-library object or function.
+///
+/// Token ids are dense, enabling BitSet points-to sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_ANALYSIS_TOKEN_H
+#define JSAI_ANALYSIS_TOKEN_H
+
+#include "approx/HintSet.h"
+#include "ast/Ast.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+/// Modeled standard-library entities. Extend as models grow; order is part
+/// of determinism, append only.
+enum class BuiltinId : uint16_t {
+  // Namespaces / prototype objects.
+  ObjectCtor,
+  ArrayCtor,
+  FunctionCtor,
+  StringCtor,
+  NumberCtor,
+  BooleanCtor,
+  ErrorCtor,
+  Console,
+  MathObj,
+  JsonObj,
+  ProcessObj,
+  ObjectProto,
+  ArrayProto,
+  FunctionProto,
+  StringProto,
+  EventEmitterProto,
+  ServerObj,
+  // Functions with dataflow models.
+  Require,
+  ObjectAssign,
+  ObjectCreate,
+  ObjectKeys,
+  ObjectValues,
+  ObjectGetOwnPropertyNames,
+  ObjectGetOwnPropertyDescriptor,
+  ObjectDefineProperty,
+  ObjectDefineProperties,
+  ObjectGetPrototypeOf,
+  ObjectSetPrototypeOf,
+  ObjectFreeze,
+  ArrayIsArray,
+  ArrayFrom,
+  ArrayForEach,
+  ArrayMap,
+  ArrayFilter,
+  ArraySome,
+  ArrayEvery,
+  ArrayFind,
+  ArrayReduce,
+  ArrayPush,
+  ArrayPop,
+  ArrayShift,
+  ArrayUnshift,
+  ArraySlice,
+  ArraySplice,
+  ArrayConcat,
+  ArraySort,
+  ArrayReverse,
+  ArrayJoin,
+  FunctionApply,
+  FunctionCall,
+  FunctionBind,
+  CallbackInvoker, ///< Generic: invokes any function argument (timers, http,
+                   ///< fs callbacks, server.listen, ...).
+  EventEmitterCtor,
+  EventEmitterOn,
+  EventEmitterEmit,
+  UtilInherits,
+  EvalFn,
+  Noop, ///< Modeled as value- and effect-free.
+  // Builtin Node modules (the fallbacks when no project package shadows
+  // them).
+  HttpModule,
+  FsModule,
+  NetModule,
+  PathModule,
+  UtilModule,
+  ChildProcessModule,
+  NumBuiltinIds
+};
+
+/// One abstract value.
+struct AbsValue {
+  enum class Kind : uint8_t {
+    Function,
+    Object,
+    Prototype,
+    Exports,
+    ModuleObj,
+    Builtin,
+    /// The `arguments` object of a function (array-like summary).
+    Arguments,
+  };
+  Kind K;
+  uint32_t Payload; ///< FunctionId / NodeId / module index / BuiltinId.
+};
+
+/// Dense token id.
+using TokenId = uint32_t;
+
+/// Interns tokens and maps allocation-site references (from hints) to them.
+class TokenFactory {
+public:
+  explicit TokenFactory(const AstContext &Ctx) : Ctx(Ctx) {}
+
+  TokenId functionToken(FunctionId F) { return get(AbsValue::Kind::Function, F); }
+  TokenId objectToken(NodeId N) { return get(AbsValue::Kind::Object, N); }
+  TokenId prototypeToken(FunctionId F) {
+    return get(AbsValue::Kind::Prototype, F);
+  }
+  TokenId exportsToken(uint32_t ModuleIdx) {
+    return get(AbsValue::Kind::Exports, ModuleIdx);
+  }
+  TokenId moduleObjToken(uint32_t ModuleIdx) {
+    return get(AbsValue::Kind::ModuleObj, ModuleIdx);
+  }
+  TokenId builtinToken(BuiltinId B) {
+    return get(AbsValue::Kind::Builtin, uint32_t(B));
+  }
+  TokenId argumentsToken(FunctionId F) {
+    return get(AbsValue::Kind::Arguments, F);
+  }
+
+  const AbsValue &token(TokenId Id) const { return Tokens[Id]; }
+  size_t size() const { return Tokens.size(); }
+
+  /// Registers \p Ref as the allocation site of \p Id (used when resolving
+  /// hints back to tokens). First registration wins.
+  void registerAllocSite(const AllocRef &Ref, TokenId Id);
+
+  /// \returns the token allocated at \p Ref, or ~0u when the location does
+  /// not correspond to any statically known allocation site.
+  TokenId tokenForAllocSite(const AllocRef &Ref) const;
+
+  /// Debug rendering ("fn:express/index.js:4:1", "obj:...", ...).
+  std::string describe(TokenId Id) const;
+
+private:
+  TokenId get(AbsValue::Kind K, uint32_t Payload);
+
+  const AstContext &Ctx;
+  std::vector<AbsValue> Tokens;
+  std::unordered_map<uint64_t, TokenId> Index;
+  std::unordered_map<uint64_t, TokenId> AllocSites;
+
+  static uint64_t allocKey(const AllocRef &Ref) {
+    return (Ref.Loc.key() << 1) | (Ref.IsPrototype ? 1 : 0);
+  }
+};
+
+} // namespace jsai
+
+#endif // JSAI_ANALYSIS_TOKEN_H

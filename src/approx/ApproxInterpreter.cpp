@@ -1,0 +1,149 @@
+//===- ApproxInterpreter.cpp - Worklist-driven forced execution ------------===//
+
+#include "approx/ApproxInterpreter.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+namespace {
+
+/// Observer that records hints and discovers function values for the
+/// worklist. The recording rules follow Section 3:
+///  - reads: the result's allocation site is recorded, keyed by the read
+///    operation's location;
+///  - writes: the base and value allocation sites plus the property name
+///    are recorded, the operation's location is ignored (it only feeds the
+///    non-relational ablation);
+///  - values without a recorded allocation site (builtins, eval-allocated
+///    objects, proxies) produce no hints.
+class HintCollector : public InterpObserver {
+public:
+  HintCollector(HintSet &Hints, const ApproxOptions &Opts)
+      : Hints(Hints), Opts(Opts) {}
+
+  /// Function values pending forced execution, FIFO.
+  std::deque<Object *> Worklist;
+  /// Function definitions already executed (or currently executing).
+  std::set<const FunctionDef *> Visited;
+  /// Definitions already enqueued, to keep the worklist small.
+  std::set<const FunctionDef *> Enqueued;
+
+  void onFunctionCreated(Object *FnObj, FunctionDef *Def) override {
+    if (Def->isModule() || Def->isInEval())
+      return;
+    if (Visited.count(Def) || Enqueued.count(Def))
+      return;
+    Enqueued.insert(Def);
+    Worklist.push_back(FnObj);
+  }
+
+  void onCall(SourceLoc CallSite, FunctionDef *Callee) override {
+    (void)CallSite;
+    // Rule 4 of Section 3: entering a program-defined function marks its
+    // definition visited (and effectively removes it from the worklist;
+    // stale worklist entries are skipped on pop).
+    if (!Callee->isModule() && !Callee->isInEval())
+      Visited.insert(Callee);
+  }
+
+  static AllocRef refOf(const Value &V) {
+    if (!V.isObject())
+      return AllocRef();
+    Object *O = V.asObject();
+    if (O->isProxy())
+      return AllocRef();
+    return AllocRef{O->birthLoc(), O->isFunctionPrototype()};
+  }
+
+  void onDynamicRead(SourceLoc ReadLoc, const std::string &PropName,
+                     const Value &Result) override {
+    AllocRef Ref = refOf(Result);
+    if (Ref.isValid())
+      Hints.addReadHint(ReadLoc, Ref);
+    Hints.addReadName(ReadLoc, PropName);
+  }
+
+  void onDynamicWrite(SourceLoc OpLoc, Object *Base,
+                      const std::string &PropName, const Value &Val) override {
+    AllocRef BaseRef{Base->birthLoc(), Base->isFunctionPrototype()};
+    AllocRef ValRef = refOf(Val);
+    if (BaseRef.isValid() && ValRef.isValid())
+      Hints.addWriteHint(BaseRef, PropName, ValRef);
+    if (OpLoc.isValid())
+      Hints.addWriteName(OpLoc, PropName);
+  }
+
+  void onProxyBaseRead(SourceLoc ReadLoc,
+                       const std::string &PropName) override {
+    Hints.addProxyReadName(ReadLoc, PropName);
+  }
+
+  void onModuleRequired(SourceLoc CallSite,
+                        const std::string &ResolvedPath) override {
+    if (Opts.CollectModuleHints && CallSite.isValid())
+      Hints.addModuleHint(CallSite, ResolvedPath);
+  }
+
+  void onEvalCode(SourceLoc CallSite, const std::string &Code) override {
+    Hints.addEvalHint(CallSite, Code);
+  }
+
+private:
+  HintSet &Hints;
+  const ApproxOptions &Opts;
+};
+
+} // namespace
+
+HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
+  HintSet Hints;
+  HintCollector Collector(Hints, Opts);
+
+  InterpOptions IOpts;
+  IOpts.ApproxMode = true;
+  IOpts.MaxCallDepth = Opts.MaxCallDepth;
+  IOpts.MaxLoopIterations = Opts.MaxLoopIterations;
+  IOpts.MaxSteps = Opts.MaxSteps;
+  Interpreter I(Loader, IOpts, &Collector);
+
+  Stats = ApproxStats();
+  for (const auto &F : Loader.context().functions())
+    if (!F->isModule() && !F->isInEval())
+      ++Stats.NumFunctionsTotal;
+
+  // Phase 1: load the root modules (running their top-level code discovers
+  // the library modules via require and populates the worklist with the
+  // function values created along the way).
+  for (const std::string &Path : RootModules) {
+    I.resetExecutionBudget();
+    Completion C = I.loadModule(Path);
+    ++Stats.NumModulesLoaded;
+    if (C.isAbort())
+      ++Stats.NumAborts;
+  }
+
+  // Phase 2: force-execute pending function values, each definition at most
+  // once. Executions may create new closures, growing the worklist.
+  while (!Collector.Worklist.empty()) {
+    Object *Fn = Collector.Worklist.front();
+    Collector.Worklist.pop_front();
+    FunctionDef *Def = Fn->functionDef();
+    assert(Def && "worklist holds closures only");
+    if (Collector.Visited.count(Def))
+      continue; // Executed via a natural call in the meantime.
+    ++Stats.NumForcedExecutions;
+    Completion C = I.callFunctionForced(Fn);
+    if (C.isAbort())
+      ++Stats.NumAborts;
+  }
+
+  // NumFunctionsTotal counts definitions present before eval-time parsing;
+  // recompute against the final context to stay an upper bound.
+  Stats.NumFunctionsVisited = 0;
+  for (const FunctionDef *Def : Collector.Visited)
+    if (!Def->isModule() && !Def->isInEval())
+      ++Stats.NumFunctionsVisited;
+
+  return Hints;
+}

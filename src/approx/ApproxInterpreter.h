@@ -1,0 +1,76 @@
+//===- ApproxInterpreter.h - The approximate interpretation engine -*- C++ -*-===//
+///
+/// \file
+/// The paper's primary contribution (Section 3): a worklist algorithm that
+/// force-executes every module and every discovered function definition at
+/// most once, collecting hints about dynamic property accesses.
+///
+/// Worklist items are modules and function *values* (closures); Visited is a
+/// set of function *definitions*, so each definition is executed at most
+/// once even when many closures exist for it. Unknown parameters, `this`,
+/// and `arguments` are bound to the proxy `p*`; budgets bound stack depth
+/// and total loop iterations per execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_APPROX_APPROXINTERPRETER_H
+#define JSAI_APPROX_APPROXINTERPRETER_H
+
+#include "approx/HintSet.h"
+#include "interp/Interpreter.h"
+
+#include <deque>
+#include <set>
+
+namespace jsai {
+
+/// Tunables for the pre-analysis.
+struct ApproxOptions {
+  /// Budgets forwarded to the interpreter (Section 3's abort thresholds).
+  size_t MaxCallDepth = 96;
+  uint64_t MaxLoopIterations = 50000;
+  uint64_t MaxSteps = 20000000;
+  /// Collect module-load hints for dynamically computed require specs.
+  bool CollectModuleHints = true;
+};
+
+/// Outcome statistics (reported in the evaluation: hint counts, fraction of
+/// functions visited, abort counts).
+struct ApproxStats {
+  size_t NumFunctionsTotal = 0;   ///< Program function definitions (no
+                                  ///< modules, no eval code).
+  size_t NumFunctionsVisited = 0; ///< Definitions executed at least once.
+  size_t NumModulesLoaded = 0;
+  size_t NumForcedExecutions = 0; ///< Worklist items force-executed.
+  size_t NumAborts = 0;           ///< Executions stopped by a budget.
+
+  double visitedFraction() const {
+    return NumFunctionsTotal == 0
+               ? 0.0
+               : double(NumFunctionsVisited) / double(NumFunctionsTotal);
+  }
+};
+
+/// Runs approximate interpretation over a parsed project and produces the
+/// hints consumed by the extended static analysis.
+class ApproxInterpreter {
+public:
+  explicit ApproxInterpreter(ModuleLoader &Loader,
+                             ApproxOptions Opts = ApproxOptions())
+      : Loader(Loader), Opts(Opts) {}
+
+  /// Executes the worklist algorithm seeded with \p RootModules (typically
+  /// every module of the project, main module first). \returns the hints.
+  HintSet run(const std::vector<std::string> &RootModules);
+
+  const ApproxStats &stats() const { return Stats; }
+
+private:
+  ModuleLoader &Loader;
+  ApproxOptions Opts;
+  ApproxStats Stats;
+};
+
+} // namespace jsai
+
+#endif // JSAI_APPROX_APPROXINTERPRETER_H

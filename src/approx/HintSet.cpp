@@ -1,0 +1,276 @@
+//===- HintSet.cpp --------------------------------------------------------===//
+
+#include "approx/HintSet.h"
+
+#include <sstream>
+
+using namespace jsai;
+
+void HintSet::addReadHint(SourceLoc ReadLoc, AllocRef Result) {
+  ReadHints[ReadLoc].insert(Result);
+}
+
+void HintSet::addWriteHint(AllocRef Base, std::string Prop, AllocRef Val) {
+  WriteHints.insert({Base, std::move(Prop), Val});
+}
+
+void HintSet::addModuleHint(SourceLoc RequireLoc, std::string ModulePath) {
+  ModuleHints[RequireLoc].insert(std::move(ModulePath));
+}
+
+void HintSet::addEvalHint(SourceLoc CallLoc, std::string Code) {
+  EvalHints.emplace_back(CallLoc, std::move(Code));
+}
+
+void HintSet::addReadName(SourceLoc ReadLoc, std::string Name) {
+  ReadNames[ReadLoc].insert(std::move(Name));
+}
+
+void HintSet::addWriteName(SourceLoc WriteLoc, std::string Name) {
+  WriteNames[WriteLoc].insert(std::move(Name));
+}
+
+void HintSet::addProxyReadName(SourceLoc ReadLoc, std::string Name) {
+  ProxyReadNames[ReadLoc].insert(std::move(Name));
+}
+
+size_t HintSet::size() const {
+  size_t Total = WriteHints.size();
+  for (const auto &[Loc, Refs] : ReadHints)
+    Total += Refs.size();
+  return Total;
+}
+
+static std::string formatRef(const FileTable &Files, const AllocRef &Ref) {
+  std::string Out = Files.format(Ref.Loc);
+  if (Ref.IsPrototype)
+    Out += "#prototype";
+  return Out;
+}
+
+std::string HintSet::toText(const FileTable &Files) const {
+  std::string Out;
+  for (const auto &[Loc, Refs] : ReadHints)
+    for (const AllocRef &Ref : Refs)
+      Out += "read  " + Files.format(Loc) + " <- " + formatRef(Files, Ref) +
+             "\n";
+  for (const WriteHint &W : WriteHints)
+    Out += "write " + formatRef(Files, W.Base) + " ." + W.Prop + " = " +
+           formatRef(Files, W.Val) + "\n";
+  for (const auto &[Loc, Paths] : ModuleHints)
+    for (const std::string &Path : Paths)
+      Out += "module " + Files.format(Loc) + " -> " + Path + "\n";
+  for (const auto &[Loc, Names] : ProxyReadNames)
+    for (const std::string &Name : Names)
+      Out += "proxy-read " + Files.format(Loc) + " ." + Name + "\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Portable serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Escapes spaces, '%', and newlines so arbitrary property names, module
+/// paths, and code strings survive the line/space-delimited format.
+std::string escapeField(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case ' ':
+      Out += "%20";
+      break;
+    case '%':
+      Out += "%25";
+      break;
+    case '\n':
+      Out += "%0A";
+      break;
+    case '\t':
+      Out += "%09";
+      break;
+    default:
+      Out += C;
+      break;
+    }
+  }
+  return Out;
+}
+
+/// \returns true when \p C is a hex digit, storing its value in \p V.
+bool hexDigit(char C, unsigned &V) {
+  if (C >= '0' && C <= '9') {
+    V = unsigned(C - '0');
+    return true;
+  }
+  if (C >= 'a' && C <= 'f') {
+    V = unsigned(C - 'a') + 10;
+    return true;
+  }
+  if (C >= 'A' && C <= 'F') {
+    V = unsigned(C - 'A') + 10;
+    return true;
+  }
+  return false;
+}
+
+std::string unescapeField(const std::string &S) {
+  std::string Out;
+  for (size_t I = 0; I < S.size(); ++I) {
+    unsigned Hi, Lo;
+    if (S[I] == '%' && I + 2 < S.size() && hexDigit(S[I + 1], Hi) &&
+        hexDigit(S[I + 2], Lo)) {
+      Out += char(Hi * 16 + Lo);
+      I += 2;
+      continue;
+    }
+    Out += S[I];
+  }
+  return Out;
+}
+
+/// Strict unsigned parse; \returns false on any non-digit or empty input.
+bool parseUint(const std::string &S, uint32_t &Out) {
+  if (S.empty() || S.size() > 9)
+    return false;
+  uint32_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + uint32_t(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+/// Loc as "path|line|col" (paths may contain ':', so '|' delimits).
+std::string encodeLoc(const FileTable &Files, SourceLoc Loc) {
+  return escapeField(Files.name(Loc.File)) + "|" + std::to_string(Loc.Line) +
+         "|" + std::to_string(Loc.Col);
+}
+
+/// \returns an invalid loc when the path is unknown or the input is
+/// malformed (deserialization must never throw).
+SourceLoc decodeLoc(const FileTable &Files, const std::string &S) {
+  size_t P2 = S.rfind('|');
+  if (P2 == std::string::npos || P2 == 0)
+    return SourceLoc::invalid();
+  size_t P1 = S.rfind('|', P2 - 1);
+  if (P1 == std::string::npos)
+    return SourceLoc::invalid();
+  FileId File = Files.lookup(unescapeField(S.substr(0, P1)));
+  if (File == InvalidFileId)
+    return SourceLoc::invalid();
+  uint32_t Line, Col;
+  if (!parseUint(S.substr(P1 + 1, P2 - P1 - 1), Line) ||
+      !parseUint(S.substr(P2 + 1), Col))
+    return SourceLoc::invalid();
+  return SourceLoc(File, Line, Col);
+}
+
+std::string encodeRef(const FileTable &Files, const AllocRef &Ref) {
+  return encodeLoc(Files, Ref.Loc) + (Ref.IsPrototype ? "|P" : "|O");
+}
+
+AllocRef decodeRef(const FileTable &Files, const std::string &S) {
+  size_t Sep = S.rfind('|');
+  if (Sep == std::string::npos)
+    return AllocRef();
+  AllocRef Ref;
+  Ref.Loc = decodeLoc(Files, S.substr(0, Sep));
+  Ref.IsPrototype = S.substr(Sep + 1) == "P";
+  return Ref;
+}
+
+} // namespace
+
+std::string HintSet::serialize(const FileTable &Files) const {
+  std::string Out = "jsai-hints v1\n";
+  for (const auto &[Loc, Refs] : ReadHints)
+    for (const AllocRef &Ref : Refs)
+      Out += "R " + encodeLoc(Files, Loc) + " " + encodeRef(Files, Ref) + "\n";
+  for (const WriteHint &W : WriteHints)
+    Out += "W " + encodeRef(Files, W.Base) + " " + escapeField(W.Prop) + " " +
+           encodeRef(Files, W.Val) + "\n";
+  for (const auto &[Loc, Paths] : ModuleHints)
+    for (const std::string &Path : Paths)
+      Out += "M " + encodeLoc(Files, Loc) + " " + escapeField(Path) + "\n";
+  for (const auto &[Loc, Names] : ReadNames)
+    for (const std::string &Name : Names)
+      Out += "RN " + encodeLoc(Files, Loc) + " " + escapeField(Name) + "\n";
+  for (const auto &[Loc, Names] : WriteNames)
+    for (const std::string &Name : Names)
+      Out += "WN " + encodeLoc(Files, Loc) + " " + escapeField(Name) + "\n";
+  for (const auto &[Loc, Names] : ProxyReadNames)
+    for (const std::string &Name : Names)
+      Out += "PN " + encodeLoc(Files, Loc) + " " + escapeField(Name) + "\n";
+  for (const auto &[Loc, Code] : EvalHints)
+    Out += "E " + encodeLoc(Files, Loc) + " " + escapeField(Code) + "\n";
+  return Out;
+}
+
+HintSet HintSet::deserialize(const std::string &Text, const FileTable &Files) {
+  HintSet Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream Fields(Line);
+    std::string Kind, A, B, C;
+    Fields >> Kind >> A >> B >> C;
+    if (Kind == "R") {
+      SourceLoc Loc = decodeLoc(Files, A);
+      AllocRef Ref = decodeRef(Files, B);
+      if (Loc.isValid() && Ref.isValid())
+        Out.addReadHint(Loc, Ref);
+    } else if (Kind == "W") {
+      AllocRef Base = decodeRef(Files, A);
+      AllocRef Val = decodeRef(Files, C);
+      if (Base.isValid() && Val.isValid())
+        Out.addWriteHint(Base, unescapeField(B), Val);
+    } else if (Kind == "M") {
+      SourceLoc Loc = decodeLoc(Files, A);
+      if (Loc.isValid())
+        Out.addModuleHint(Loc, unescapeField(B));
+    } else if (Kind == "RN" || Kind == "WN" || Kind == "PN") {
+      SourceLoc Loc = decodeLoc(Files, A);
+      if (!Loc.isValid())
+        continue;
+      if (Kind == "RN")
+        Out.addReadName(Loc, unescapeField(B));
+      else if (Kind == "WN")
+        Out.addWriteName(Loc, unescapeField(B));
+      else
+        Out.addProxyReadName(Loc, unescapeField(B));
+    } else if (Kind == "E") {
+      SourceLoc Loc = decodeLoc(Files, A);
+      if (Loc.isValid())
+        Out.addEvalHint(Loc, unescapeField(B));
+    }
+    // Unknown kinds (and the header) are skipped for forward compatibility.
+  }
+  return Out;
+}
+
+void HintSet::merge(const HintSet &Other) {
+  for (const auto &[Loc, Refs] : Other.ReadHints)
+    ReadHints[Loc].insert(Refs.begin(), Refs.end());
+  WriteHints.insert(Other.WriteHints.begin(), Other.WriteHints.end());
+  for (const auto &[Loc, Paths] : Other.ModuleHints)
+    ModuleHints[Loc].insert(Paths.begin(), Paths.end());
+  for (const auto &[Loc, Names] : Other.ReadNames)
+    ReadNames[Loc].insert(Names.begin(), Names.end());
+  for (const auto &[Loc, Names] : Other.WriteNames)
+    WriteNames[Loc].insert(Names.begin(), Names.end());
+  for (const auto &[Loc, Names] : Other.ProxyReadNames)
+    ProxyReadNames[Loc].insert(Names.begin(), Names.end());
+  // Eval hints may duplicate across merges; dedupe on (loc, code).
+  for (const auto &Hint : Other.EvalHints) {
+    bool Seen = false;
+    for (const auto &Existing : EvalHints)
+      if (Existing.first == Hint.first && Existing.second == Hint.second)
+        Seen = true;
+    if (!Seen)
+      EvalHints.push_back(Hint);
+  }
+}

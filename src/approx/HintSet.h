@@ -1,0 +1,155 @@
+//===- HintSet.h - Hints produced by approximate interpretation -*- C++ -*-===//
+///
+/// \file
+/// The output of the dynamic pre-analysis (Section 3 of the paper):
+///
+///  - read hints  H_R : Loc -> P(AllocRef) — at the dynamic property read at
+///    location l, an object allocated at l' was observed as the result;
+///  - write hints H_W subset-of AllocRef x String x AllocRef — an object
+///    allocated at l'' was written to property p of an object allocated at l.
+///
+/// Plus three extensions:
+///  - module-load hints (Section 3): require call site -> resolved modules;
+///  - eval code-string hints (Section 6);
+///  - non-relational name hints (the Section 4 alternative used as an
+///    ablation): per dynamic operation, the property names observed.
+///
+/// An AllocRef is a source location plus a flag distinguishing the implicit
+/// `.prototype` object of a function from the function object itself (both
+/// share the definition's location).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_APPROX_HINTSET_H
+#define JSAI_APPROX_HINTSET_H
+
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+/// Reference to an allocation site, the common currency between the dynamic
+/// and static phases (the paper's `loc` values).
+struct AllocRef {
+  SourceLoc Loc;
+  /// True when the object is the implicit `.prototype` of the function
+  /// defined at Loc.
+  bool IsPrototype = false;
+
+  bool isValid() const { return Loc.isValid(); }
+
+  friend bool operator==(const AllocRef &A, const AllocRef &B) {
+    return A.Loc == B.Loc && A.IsPrototype == B.IsPrototype;
+  }
+  friend bool operator<(const AllocRef &A, const AllocRef &B) {
+    if (!(A.Loc == B.Loc))
+      return A.Loc < B.Loc;
+    return A.IsPrototype < B.IsPrototype;
+  }
+};
+
+/// One write hint (l, p, l'') in H_W.
+struct WriteHint {
+  AllocRef Base;
+  std::string Prop;
+  AllocRef Val;
+
+  friend bool operator==(const WriteHint &A, const WriteHint &B) {
+    return A.Base == B.Base && A.Prop == B.Prop && A.Val == B.Val;
+  }
+  friend bool operator<(const WriteHint &A, const WriteHint &B) {
+    if (!(A.Base == B.Base))
+      return A.Base < B.Base;
+    if (A.Prop != B.Prop)
+      return A.Prop < B.Prop;
+    return A.Val < B.Val;
+  }
+};
+
+/// The collected hints. All containers are ordered so iteration (and thus
+/// the extended static analysis) is deterministic.
+class HintSet {
+public:
+  //===--------------------------------------------------------------------===
+  // Recording (called by the hint collector)
+  //===--------------------------------------------------------------------===
+
+  void addReadHint(SourceLoc ReadLoc, AllocRef Result);
+  void addWriteHint(AllocRef Base, std::string Prop, AllocRef Val);
+  void addModuleHint(SourceLoc RequireLoc, std::string ModulePath);
+  void addEvalHint(SourceLoc CallLoc, std::string Code);
+  /// Non-relational ablation data: property name observed at an operation.
+  void addReadName(SourceLoc ReadLoc, std::string Name);
+  void addWriteName(SourceLoc WriteLoc, std::string Name);
+  /// Section 6 "unknown function arguments": a known property name read
+  /// off the proxy p*.
+  void addProxyReadName(SourceLoc ReadLoc, std::string Name);
+
+  //===--------------------------------------------------------------------===
+  // Consumption (static analysis)
+  //===--------------------------------------------------------------------===
+
+  /// H_R as a map from read-operation location to observed allocation sites.
+  const std::map<SourceLoc, std::set<AllocRef>> &readHints() const {
+    return ReadHints;
+  }
+  /// H_W.
+  const std::set<WriteHint> &writeHints() const { return WriteHints; }
+  const std::map<SourceLoc, std::set<std::string>> &moduleHints() const {
+    return ModuleHints;
+  }
+  const std::vector<std::pair<SourceLoc, std::string>> &evalHints() const {
+    return EvalHints;
+  }
+  const std::map<SourceLoc, std::set<std::string>> &readNames() const {
+    return ReadNames;
+  }
+  const std::map<SourceLoc, std::set<std::string>> &writeNames() const {
+    return WriteNames;
+  }
+  const std::map<SourceLoc, std::set<std::string>> &proxyReadNames() const {
+    return ProxyReadNames;
+  }
+
+  /// Total number of read + write hints (the paper's per-program hint
+  /// count).
+  size_t size() const;
+
+  /// Human-readable dump (for tests, examples, and EXPERIMENTS.md).
+  std::string toText(const FileTable &Files) const;
+
+  //===--------------------------------------------------------------------===
+  // Reuse across analyses (Section 6, "Reusing approximate interpretation
+  // results"): hints are portable via a line-based text format keyed by
+  // file *paths*, so hints collected for a library can be imported into
+  // any application that bundles the same library sources.
+  //===--------------------------------------------------------------------===
+
+  /// Renders all hints in the portable format.
+  std::string serialize(const FileTable &Files) const;
+
+  /// Parses hints serialized with serialize(). Entries referencing files
+  /// unknown to \p Files are dropped (they could not be resolved to
+  /// allocation sites anyway).
+  static HintSet deserialize(const std::string &Text, const FileTable &Files);
+
+  /// Unions \p Other into this set.
+  void merge(const HintSet &Other);
+
+private:
+  std::map<SourceLoc, std::set<AllocRef>> ReadHints;
+  std::set<WriteHint> WriteHints;
+  std::map<SourceLoc, std::set<std::string>> ModuleHints;
+  std::vector<std::pair<SourceLoc, std::string>> EvalHints;
+  std::map<SourceLoc, std::set<std::string>> ReadNames;
+  std::map<SourceLoc, std::set<std::string>> WriteNames;
+  std::map<SourceLoc, std::set<std::string>> ProxyReadNames;
+};
+
+} // namespace jsai
+
+#endif // JSAI_APPROX_HINTSET_H

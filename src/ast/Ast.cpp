@@ -1,0 +1,50 @@
+//===- Ast.cpp ------------------------------------------------------------===//
+
+#include "ast/Ast.h"
+
+using namespace jsai;
+
+AstContext::AstContext() {
+  SymExports = Strings.intern("exports");
+  SymModule = Strings.intern("module");
+  SymRequire = Strings.intern("require");
+  SymThis = Strings.intern("this");
+  SymArguments = Strings.intern("arguments");
+  SymProto = Strings.intern("__proto__");
+  SymPrototype = Strings.intern("prototype");
+  SymLength = Strings.intern("length");
+  SymConstructor = Strings.intern("constructor");
+}
+
+FunctionDef *AstContext::createFunction(Symbol Name, SourceLoc Loc,
+                                        bool IsArrow, bool IsModule,
+                                        FunctionDef *Parent) {
+  FunctionId Id = FunctionId(Functions.size());
+  Functions.push_back(std::make_unique<FunctionDef>(Id, Name, Loc, IsArrow,
+                                                    IsModule, Parent));
+  return Functions.back().get();
+}
+
+VarDecl *AstContext::createVar(Symbol Name, VarKind Kind, FunctionDef *Owner,
+                               SourceLoc Loc) {
+  VarId Id = VarId(Vars.size());
+  Vars.push_back(std::make_unique<VarDecl>(Id, Name, Kind, Owner, Loc));
+  return Vars.back().get();
+}
+
+Module *AstContext::createModule(std::string Path, std::string Package,
+                                 FileId File) {
+  auto Owned = std::make_unique<Module>();
+  Owned->Path = std::move(Path);
+  Owned->Package = std::move(Package);
+  Owned->File = File;
+  Module *Raw = Owned.get();
+  ModuleList.push_back(std::move(Owned));
+  ModuleIndex[Raw->Path] = Raw;
+  return Raw;
+}
+
+Module *AstContext::findModule(const std::string &Path) {
+  auto It = ModuleIndex.find(Path);
+  return It == ModuleIndex.end() ? nullptr : It->second;
+}

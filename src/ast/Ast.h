@@ -1,0 +1,864 @@
+//===- Ast.h - MiniJS abstract syntax trees ---------------------*- C++ -*-===//
+///
+/// \file
+/// AST for MiniJS. Nodes are arena-allocated in an AstContext that owns every
+/// module of a project; node / function / variable ids are dense, which lets
+/// the static analysis index by plain vectors and keeps all iteration orders
+/// deterministic.
+///
+/// Dispatch uses LLVM-style kind enums and classof (no RTTI).
+///
+/// MiniJS semantics deviations from full JavaScript (documented in DESIGN.md):
+/// `let`/`const` are function-scoped like `var`; generators/async/regex are
+/// not supported; numbers are IEEE doubles (as in JS). Getters/setters ARE
+/// supported (object literals and property descriptors).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_AST_AST_H
+#define JSAI_AST_AST_H
+
+#include "support/SourceLoc.h"
+#include "support/StringPool.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+class FunctionDef;
+class VarDecl;
+class BlockStmt;
+
+/// Dense id of an AST node within its AstContext.
+using NodeId = uint32_t;
+/// Dense id of a function definition within its AstContext.
+using FunctionId = uint32_t;
+/// Dense id of a variable declaration within its AstContext.
+using VarId = uint32_t;
+
+enum class NodeKind : uint8_t {
+  // Expressions (keep FirstExpr..LastExpr contiguous).
+  NumberLit,
+  StringLit,
+  BoolLit,
+  NullLit,
+  UndefinedLit,
+  Ident,
+  This,
+  ObjectLit,
+  ArrayLit,
+  FunctionExpr,
+  Unary,
+  Binary,
+  Logical,
+  Conditional,
+  Assign,
+  Update,
+  Call,
+  New,
+  Member,
+  Sequence,
+  // Statements (keep FirstStmt..LastStmt contiguous).
+  ExprStmt,
+  VarDeclStmt,
+  FunctionDeclStmt,
+  Block,
+  If,
+  While,
+  DoWhile,
+  For,
+  ForIn,
+  Return,
+  Break,
+  Continue,
+  Throw,
+  Try,
+  Switch,
+  Empty,
+};
+
+inline constexpr NodeKind FirstExprKind = NodeKind::NumberLit;
+inline constexpr NodeKind LastExprKind = NodeKind::Sequence;
+inline constexpr NodeKind FirstStmtKind = NodeKind::ExprStmt;
+inline constexpr NodeKind LastStmtKind = NodeKind::Empty;
+
+/// Root of the AST node hierarchy.
+class Node {
+public:
+  NodeKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+  NodeId id() const { return Id; }
+
+protected:
+  Node(NodeKind Kind, SourceLoc Loc, NodeId Id)
+      : Kind(Kind), Loc(Loc), Id(Id) {}
+
+private:
+  NodeKind Kind;
+  SourceLoc Loc;
+  NodeId Id;
+};
+
+/// LLVM-style checked casts over NodeKind.
+template <typename T> bool isa(const Node *N) { return T::classof(N); }
+template <typename T> T *cast(Node *N) {
+  assert(T::classof(N) && "invalid cast");
+  return static_cast<T *>(N);
+}
+template <typename T> const T *cast(const Node *N) {
+  assert(T::classof(N) && "invalid cast");
+  return static_cast<const T *>(N);
+}
+template <typename T> T *dyn_cast(Node *N) {
+  return N && T::classof(N) ? static_cast<T *>(N) : nullptr;
+}
+template <typename T> const T *dyn_cast(const Node *N) {
+  return N && T::classof(N) ? static_cast<const T *>(N) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= FirstExprKind && N->kind() <= LastExprKind;
+  }
+
+protected:
+  using Node::Node;
+};
+
+/// Numeric literal (IEEE double, as in JavaScript).
+class NumberLit : public Expr {
+public:
+  NumberLit(SourceLoc Loc, NodeId Id, double Value)
+      : Expr(NodeKind::NumberLit, Loc, Id), Value(Value) {}
+  double value() const { return Value; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::NumberLit; }
+
+private:
+  double Value;
+};
+
+/// String literal; the contents are interned.
+class StringLit : public Expr {
+public:
+  StringLit(SourceLoc Loc, NodeId Id, Symbol Value)
+      : Expr(NodeKind::StringLit, Loc, Id), Value(Value) {}
+  Symbol value() const { return Value; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::StringLit; }
+
+private:
+  Symbol Value;
+};
+
+class BoolLit : public Expr {
+public:
+  BoolLit(SourceLoc Loc, NodeId Id, bool Value)
+      : Expr(NodeKind::BoolLit, Loc, Id), Value(Value) {}
+  bool value() const { return Value; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+class NullLit : public Expr {
+public:
+  NullLit(SourceLoc Loc, NodeId Id) : Expr(NodeKind::NullLit, Loc, Id) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::NullLit; }
+};
+
+class UndefinedLit : public Expr {
+public:
+  UndefinedLit(SourceLoc Loc, NodeId Id)
+      : Expr(NodeKind::UndefinedLit, Loc, Id) {}
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::UndefinedLit;
+  }
+};
+
+/// Variable reference. After scope resolution, decl() names the lexically
+/// nearest declaration, or nullptr for globals / unresolved names.
+class Ident : public Expr {
+public:
+  Ident(SourceLoc Loc, NodeId Id, Symbol Name)
+      : Expr(NodeKind::Ident, Loc, Id), Name(Name) {}
+  Symbol name() const { return Name; }
+  VarDecl *decl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Ident; }
+
+private:
+  Symbol Name;
+  VarDecl *Decl = nullptr;
+};
+
+class ThisExpr : public Expr {
+public:
+  ThisExpr(SourceLoc Loc, NodeId Id) : Expr(NodeKind::This, Loc, Id) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::This; }
+};
+
+/// Kind of an object-literal entry: plain value, `get name() {}`, or
+/// `set name(v) {}`.
+enum class PropertyKind : uint8_t { Value, Getter, Setter };
+
+/// One `key: value` entry of an object literal. Computed keys (`[e]: v`)
+/// have KeyExpr set and Key == InvalidSymbol; they behave like dynamic
+/// property writes in both analyses. Accessor entries carry a FunctionExpr
+/// in Value.
+struct ObjectProperty {
+  Symbol Key = InvalidSymbol;
+  Expr *KeyExpr = nullptr;
+  Expr *Value = nullptr;
+  PropertyKind PKind = PropertyKind::Value;
+};
+
+/// Object literal `{...}` — an allocation site.
+class ObjectLit : public Expr {
+public:
+  ObjectLit(SourceLoc Loc, NodeId Id, std::vector<ObjectProperty> Props)
+      : Expr(NodeKind::ObjectLit, Loc, Id), Props(std::move(Props)) {}
+  const std::vector<ObjectProperty> &properties() const { return Props; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ObjectLit; }
+
+private:
+  std::vector<ObjectProperty> Props;
+};
+
+/// Array literal `[...]` — an allocation site.
+class ArrayLit : public Expr {
+public:
+  ArrayLit(SourceLoc Loc, NodeId Id, std::vector<Expr *> Elements)
+      : Expr(NodeKind::ArrayLit, Loc, Id), Elements(std::move(Elements)) {}
+  const std::vector<Expr *> &elements() const { return Elements; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ArrayLit; }
+
+private:
+  std::vector<Expr *> Elements;
+};
+
+/// Function expression / arrow function — an allocation site. Function
+/// declarations wrap the same FunctionDef in a FunctionDeclStmt.
+class FunctionExpr : public Expr {
+public:
+  FunctionExpr(SourceLoc Loc, NodeId Id, FunctionDef *Def)
+      : Expr(NodeKind::FunctionExpr, Loc, Id), Def(Def) {}
+  FunctionDef *def() const { return Def; }
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::FunctionExpr;
+  }
+
+private:
+  FunctionDef *Def;
+};
+
+enum class UnaryOp : uint8_t { Neg, Plus, Not, BitNot, Typeof, Delete, Void };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(SourceLoc Loc, NodeId Id, UnaryOp Op, Expr *Operand)
+      : Expr(NodeKind::Unary, Loc, Id), Op(Op), Operand(Operand) {}
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Operand;
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  EqLoose,
+  EqStrict,
+  NeLoose,
+  NeStrict,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  In,
+  Instanceof,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(SourceLoc Loc, NodeId Id, BinaryOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(NodeKind::Binary, Loc, Id), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+enum class LogicalOp : uint8_t { And, Or, Nullish };
+
+/// Short-circuiting `&&` / `||` / `??`.
+class LogicalExpr : public Expr {
+public:
+  LogicalExpr(SourceLoc Loc, NodeId Id, LogicalOp Op, Expr *Lhs, Expr *Rhs)
+      : Expr(NodeKind::Logical, Loc, Id), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  LogicalOp op() const { return Op; }
+  Expr *lhs() const { return Lhs; }
+  Expr *rhs() const { return Rhs; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Logical; }
+
+private:
+  LogicalOp Op;
+  Expr *Lhs;
+  Expr *Rhs;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(SourceLoc Loc, NodeId Id, Expr *Cond, Expr *Then, Expr *Else)
+      : Expr(NodeKind::Conditional, Loc, Id), Cond(Cond), Then(Then),
+        Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Expr *thenExpr() const { return Then; }
+  Expr *elseExpr() const { return Else; }
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+};
+
+enum class AssignOp : uint8_t { Assign, Add, Sub, Mul, Div, OrOr };
+
+/// Assignment; the target is an Ident or a Member expression.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(SourceLoc Loc, NodeId Id, AssignOp Op, Expr *Target, Expr *Value)
+      : Expr(NodeKind::Assign, Loc, Id), Op(Op), Target(Target), Value(Value) {}
+  AssignOp op() const { return Op; }
+  Expr *target() const { return Target; }
+  Expr *value() const { return Value; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Assign; }
+
+private:
+  AssignOp Op;
+  Expr *Target;
+  Expr *Value;
+};
+
+/// `++` / `--`, prefix or postfix.
+class UpdateExpr : public Expr {
+public:
+  UpdateExpr(SourceLoc Loc, NodeId Id, bool IsIncrement, bool IsPrefix,
+             Expr *Target)
+      : Expr(NodeKind::Update, Loc, Id), IsIncrement(IsIncrement),
+        IsPrefix(IsPrefix), Target(Target) {}
+  bool isIncrement() const { return IsIncrement; }
+  bool isPrefix() const { return IsPrefix; }
+  Expr *target() const { return Target; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Update; }
+
+private:
+  bool IsIncrement;
+  bool IsPrefix;
+  Expr *Target;
+};
+
+/// Function call. The node's location is the call-site location used by both
+/// call graphs.
+class CallExpr : public Expr {
+public:
+  CallExpr(SourceLoc Loc, NodeId Id, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(NodeKind::Call, Loc, Id), Callee(Callee), Args(std::move(Args)) {}
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+/// `new F(...)` — an allocation site.
+class NewExpr : public Expr {
+public:
+  NewExpr(SourceLoc Loc, NodeId Id, Expr *Callee, std::vector<Expr *> Args)
+      : Expr(NodeKind::New, Loc, Id), Callee(Callee), Args(std::move(Args)) {}
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::New; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+/// Property access: `E.p` (fixed, isComputed() == false) or `E[E']`
+/// (dynamic, isComputed() == true). Dynamic accesses are the operations the
+/// paper's hints target.
+class MemberExpr : public Expr {
+public:
+  /// Fixed-name access `E.p`.
+  MemberExpr(SourceLoc Loc, NodeId Id, Expr *Object, Symbol Name)
+      : Expr(NodeKind::Member, Loc, Id), Object(Object), Name(Name) {}
+  /// Computed access `E[E']`.
+  MemberExpr(SourceLoc Loc, NodeId Id, Expr *Object, Expr *Index)
+      : Expr(NodeKind::Member, Loc, Id), Object(Object), Index(Index) {}
+
+  Expr *object() const { return Object; }
+  bool isComputed() const { return Index != nullptr; }
+  Symbol name() const {
+    assert(!isComputed() && "fixed name of computed member access");
+    return Name;
+  }
+  Expr *index() const {
+    assert(isComputed() && "index of fixed member access");
+    return Index;
+  }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Member; }
+
+private:
+  Expr *Object;
+  Symbol Name = InvalidSymbol;
+  Expr *Index = nullptr;
+};
+
+/// Comma expression `a, b`.
+class SequenceExpr : public Expr {
+public:
+  SequenceExpr(SourceLoc Loc, NodeId Id, std::vector<Expr *> Exprs)
+      : Expr(NodeKind::Sequence, Loc, Id), Exprs(std::move(Exprs)) {}
+  const std::vector<Expr *> &exprs() const { return Exprs; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Sequence; }
+
+private:
+  std::vector<Expr *> Exprs;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt : public Node {
+public:
+  static bool classof(const Node *N) {
+    return N->kind() >= FirstStmtKind && N->kind() <= LastStmtKind;
+  }
+
+protected:
+  using Node::Node;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(SourceLoc Loc, NodeId Id, Expr *E)
+      : Stmt(NodeKind::ExprStmt, Loc, Id), E(E) {}
+  Expr *expr() const { return E; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ExprStmt; }
+
+private:
+  Expr *E;
+};
+
+enum class VarKind : uint8_t { Var, Let, Const, Param, Function, Catch };
+
+/// A variable declaration. Not an AST node itself; owned by the AstContext
+/// and referenced from declarators, parameters, and resolved Idents.
+class VarDecl {
+public:
+  VarDecl(VarId Id, Symbol Name, VarKind Kind, FunctionDef *Owner,
+          SourceLoc Loc)
+      : Id(Id), Name(Name), Kind(Kind), Owner(Owner), Loc(Loc) {}
+
+  VarId id() const { return Id; }
+  Symbol name() const { return Name; }
+  VarKind varKind() const { return Kind; }
+  /// The function whose scope declares this variable (module functions for
+  /// top-level declarations).
+  FunctionDef *owner() const { return Owner; }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  VarId Id;
+  Symbol Name;
+  VarKind Kind;
+  FunctionDef *Owner;
+  SourceLoc Loc;
+};
+
+/// One `name = init` declarator.
+struct VarDeclarator {
+  VarDecl *Decl = nullptr;
+  Expr *Init = nullptr; // May be null.
+};
+
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(SourceLoc Loc, NodeId Id, VarKind Kind,
+              std::vector<VarDeclarator> Decls)
+      : Stmt(NodeKind::VarDeclStmt, Loc, Id), Kind(Kind),
+        Decls(std::move(Decls)) {}
+  VarKind varKind() const { return Kind; }
+  const std::vector<VarDeclarator> &declarators() const { return Decls; }
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::VarDeclStmt;
+  }
+
+private:
+  VarKind Kind;
+  std::vector<VarDeclarator> Decls;
+};
+
+class FunctionDeclStmt : public Stmt {
+public:
+  FunctionDeclStmt(SourceLoc Loc, NodeId Id, FunctionDef *Def, VarDecl *Decl)
+      : Stmt(NodeKind::FunctionDeclStmt, Loc, Id), Def(Def), Decl(Decl) {}
+  FunctionDef *def() const { return Def; }
+  /// The hoisted variable binding the function value.
+  VarDecl *decl() const { return Decl; }
+  static bool classof(const Node *N) {
+    return N->kind() == NodeKind::FunctionDeclStmt;
+  }
+
+private:
+  FunctionDef *Def;
+  VarDecl *Decl;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(SourceLoc Loc, NodeId Id, std::vector<Stmt *> Body)
+      : Stmt(NodeKind::Block, Loc, Id), Body(std::move(Body)) {}
+  const std::vector<Stmt *> &body() const { return Body; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Block; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(SourceLoc Loc, NodeId Id, Expr *Cond, Stmt *Then, Stmt *Else)
+      : Stmt(NodeKind::If, Loc, Id), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; } // May be null.
+  static bool classof(const Node *N) { return N->kind() == NodeKind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(SourceLoc Loc, NodeId Id, Expr *Cond, Stmt *Body)
+      : Stmt(NodeKind::While, Loc, Id), Cond(Cond), Body(Body) {}
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(SourceLoc Loc, NodeId Id, Stmt *Body, Expr *Cond)
+      : Stmt(NodeKind::DoWhile, Loc, Id), Body(Body), Cond(Cond) {}
+  Stmt *body() const { return Body; }
+  Expr *cond() const { return Cond; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::DoWhile; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(SourceLoc Loc, NodeId Id, Stmt *Init, Expr *Cond, Expr *Step,
+          Stmt *Body)
+      : Stmt(NodeKind::For, Loc, Id), Init(Init), Cond(Cond), Step(Step),
+        Body(Body) {}
+  Stmt *init() const { return Init; } // VarDeclStmt, ExprStmt, or null.
+  Expr *cond() const { return Cond; } // May be null.
+  Expr *step() const { return Step; } // May be null.
+  Stmt *body() const { return Body; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Step;
+  Stmt *Body;
+};
+
+/// `for (x in E)` and `for (x of E)` share a node; isOf() distinguishes.
+class ForInStmt : public Stmt {
+public:
+  ForInStmt(SourceLoc Loc, NodeId Id, VarDecl *Decl, Expr *Target,
+            Expr *Object, Stmt *Body, bool IsOf)
+      : Stmt(NodeKind::ForIn, Loc, Id), Decl(Decl), Target(Target),
+        Object(Object), Body(Body), IsOf(IsOf) {}
+  /// Fresh loop variable (`for (var x in ...)`), or null when assigning to
+  /// an existing target expression.
+  VarDecl *decl() const { return Decl; }
+  Expr *target() const { return Target; } // Non-null iff decl() is null.
+  Expr *object() const { return Object; }
+  Stmt *body() const { return Body; }
+  bool isOf() const { return IsOf; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::ForIn; }
+
+private:
+  VarDecl *Decl;
+  Expr *Target;
+  Expr *Object;
+  Stmt *Body;
+  bool IsOf;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(SourceLoc Loc, NodeId Id, Expr *Value)
+      : Stmt(NodeKind::Return, Loc, Id), Value(Value) {}
+  Expr *value() const { return Value; } // May be null.
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Return; }
+
+private:
+  Expr *Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  BreakStmt(SourceLoc Loc, NodeId Id) : Stmt(NodeKind::Break, Loc, Id) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt(SourceLoc Loc, NodeId Id) : Stmt(NodeKind::Continue, Loc, Id) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Continue; }
+};
+
+class ThrowStmt : public Stmt {
+public:
+  ThrowStmt(SourceLoc Loc, NodeId Id, Expr *Value)
+      : Stmt(NodeKind::Throw, Loc, Id), Value(Value) {}
+  Expr *value() const { return Value; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Throw; }
+
+private:
+  Expr *Value;
+};
+
+class TryStmt : public Stmt {
+public:
+  TryStmt(SourceLoc Loc, NodeId Id, BlockStmt *Body, VarDecl *CatchParam,
+          BlockStmt *Handler, BlockStmt *Finalizer)
+      : Stmt(NodeKind::Try, Loc, Id), Body(Body), CatchParam(CatchParam),
+        Handler(Handler), Finalizer(Finalizer) {}
+  BlockStmt *body() const { return Body; }
+  VarDecl *catchParam() const { return CatchParam; } // May be null.
+  BlockStmt *handler() const { return Handler; }     // May be null.
+  BlockStmt *finalizer() const { return Finalizer; } // May be null.
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Try; }
+
+private:
+  BlockStmt *Body;
+  VarDecl *CatchParam;
+  BlockStmt *Handler;
+  BlockStmt *Finalizer;
+};
+
+/// One `case E:` (Test != null) or `default:` (Test == null) clause.
+struct SwitchCase {
+  Expr *Test = nullptr;
+  std::vector<Stmt *> Body;
+};
+
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(SourceLoc Loc, NodeId Id, Expr *Disc,
+             std::vector<SwitchCase> Cases)
+      : Stmt(NodeKind::Switch, Loc, Id), Disc(Disc), Cases(std::move(Cases)) {}
+  Expr *discriminant() const { return Disc; }
+  const std::vector<SwitchCase> &cases() const { return Cases; }
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Switch; }
+
+private:
+  Expr *Disc;
+  std::vector<SwitchCase> Cases;
+};
+
+class EmptyStmt : public Stmt {
+public:
+  EmptyStmt(SourceLoc Loc, NodeId Id) : Stmt(NodeKind::Empty, Loc, Id) {}
+  static bool classof(const Node *N) { return N->kind() == NodeKind::Empty; }
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and modules
+//===----------------------------------------------------------------------===//
+
+/// A syntactic function definition: ordinary functions, arrows, and the
+/// implicit module function that wraps each module's top-level code. The
+/// definition's location is its allocation site; the approximate
+/// interpretation worklist is keyed by FunctionDef (it executes each
+/// definition at most once).
+class FunctionDef {
+public:
+  FunctionDef(FunctionId Id, Symbol Name, SourceLoc Loc, bool IsArrow,
+              bool IsModule, FunctionDef *Parent)
+      : Id(Id), Name(Name), Loc(Loc), IsArrow(IsArrow), IsModule(IsModule),
+        Parent(Parent) {}
+
+  FunctionId id() const { return Id; }
+  Symbol name() const { return Name; } // InvalidSymbol if anonymous.
+  SourceLoc loc() const { return Loc; }
+  bool isArrow() const { return IsArrow; }
+  bool isModule() const { return IsModule; }
+  FunctionDef *parent() const { return Parent; }
+
+  const std::vector<VarDecl *> &params() const { return Params; }
+  void setParams(std::vector<VarDecl *> P) { Params = std::move(P); }
+
+  BlockStmt *body() const { return Body; }
+  void setBody(BlockStmt *B) { Body = B; }
+
+  /// Declarations hoisted to this function's scope (vars, let/const
+  /// — function-scoped in MiniJS — and nested function declarations).
+  const std::vector<VarDecl *> &hoistedVars() const { return HoistedVars; }
+  void addHoistedVar(VarDecl *D) { HoistedVars.push_back(D); }
+
+  /// Function declarations directly hoisted in this scope, in source order.
+  const std::vector<FunctionDeclStmt *> &hoistedFuncs() const {
+    return HoistedFuncs;
+  }
+  void addHoistedFunc(FunctionDeclStmt *F) { HoistedFuncs.push_back(F); }
+
+  /// True when the definition came from dynamically generated code (eval);
+  /// allocation-site recording is disabled for such functions (Section 3).
+  bool isInEval() const { return InEval; }
+  void setInEval(bool V) { InEval = V; }
+
+  /// Function-scope name bindings (params, hoisted vars, nested function
+  /// declarations, and the self-binding of named function expressions).
+  /// Filled by the parser; used by the ScopeResolver.
+  VarDecl *lookupScope(Symbol Name) const {
+    auto It = Scope.find(Name);
+    return It == Scope.end() ? nullptr : It->second;
+  }
+  void declareInScope(Symbol Name, VarDecl *D) { Scope[Name] = D; }
+
+private:
+  FunctionId Id;
+  Symbol Name;
+  SourceLoc Loc;
+  bool IsArrow;
+  bool IsModule;
+  bool InEval = false;
+  FunctionDef *Parent;
+  std::vector<VarDecl *> Params;
+  BlockStmt *Body = nullptr;
+  std::vector<VarDecl *> HoistedVars;
+  std::vector<FunctionDeclStmt *> HoistedFuncs;
+  std::unordered_map<Symbol, VarDecl *> Scope;
+};
+
+/// One source module (a file). Paths use the virtual layout
+/// "<package>/<file>.js"; the main application package is named "app".
+struct Module {
+  std::string Path;
+  std::string Package;
+  FileId File = InvalidFileId;
+  FunctionDef *Func = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// AstContext
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node, function, variable, and module of a project, plus the
+/// project's interned strings and file table. Ids handed out are dense.
+class AstContext {
+public:
+  AstContext();
+
+  StringPool &strings() { return Strings; }
+  const StringPool &strings() const { return Strings; }
+  FileTable &files() { return Files; }
+  const FileTable &files() const { return Files; }
+
+  /// Allocates a node of type \p T at \p Loc; the context assigns its NodeId.
+  template <typename T, typename... ArgTs>
+  T *create(SourceLoc Loc, ArgTs &&...Args) {
+    NodeId Id = NodeId(Nodes.size());
+    auto Owned = std::make_unique<T>(Loc, Id, std::forward<ArgTs>(Args)...);
+    T *Raw = Owned.get();
+    Nodes.push_back(std::move(Owned));
+    return Raw;
+  }
+
+  FunctionDef *createFunction(Symbol Name, SourceLoc Loc, bool IsArrow,
+                              bool IsModule, FunctionDef *Parent);
+  VarDecl *createVar(Symbol Name, VarKind Kind, FunctionDef *Owner,
+                     SourceLoc Loc);
+  Module *createModule(std::string Path, std::string Package, FileId File);
+
+  size_t numNodes() const { return Nodes.size(); }
+  Node *node(NodeId Id) { return Nodes[Id].get(); }
+  const Node *node(NodeId Id) const { return Nodes[Id].get(); }
+
+  const std::vector<std::unique_ptr<FunctionDef>> &functions() const {
+    return Functions;
+  }
+  FunctionDef *function(FunctionId Id) { return Functions[Id].get(); }
+
+  const std::vector<std::unique_ptr<VarDecl>> &vars() const { return Vars; }
+
+  const std::vector<std::unique_ptr<Module>> &modules() const {
+    return ModuleList;
+  }
+  /// \returns the module registered under \p Path, or nullptr.
+  Module *findModule(const std::string &Path);
+
+  /// Frequently used interned symbols.
+  Symbol SymExports, SymModule, SymRequire, SymThis, SymArguments, SymProto,
+      SymPrototype, SymLength, SymConstructor;
+
+private:
+  StringPool Strings;
+  FileTable Files;
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<std::unique_ptr<FunctionDef>> Functions;
+  std::vector<std::unique_ptr<VarDecl>> Vars;
+  std::vector<std::unique_ptr<Module>> ModuleList;
+  std::unordered_map<std::string, Module *> ModuleIndex;
+};
+
+} // namespace jsai
+
+#endif // JSAI_AST_AST_H

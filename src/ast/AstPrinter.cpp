@@ -1,0 +1,339 @@
+//===- AstPrinter.cpp -----------------------------------------------------===//
+
+#include "ast/AstPrinter.h"
+
+#include "support/JsNumber.h"
+
+using namespace jsai;
+
+static void indentBy(int Indent, std::string &Out) {
+  Out.append(size_t(Indent) * 2, ' ');
+}
+
+std::string AstPrinter::print(const Node *N) const {
+  std::string Out;
+  printNode(N, 0, Out);
+  return Out;
+}
+
+std::string AstPrinter::printFunction(const FunctionDef *F) const {
+  std::string Out;
+  printFunctionInto(F, 0, Out);
+  return Out;
+}
+
+void AstPrinter::printFunctionInto(const FunctionDef *F, int Indent,
+                                   std::string &Out) const {
+  indentBy(Indent, Out);
+  Out += F->isModule() ? "(module-function" : "(function";
+  if (F->isArrow())
+    Out += " arrow";
+  if (F->name() != InvalidSymbol) {
+    Out += " ";
+    Out += Ctx.strings().str(F->name());
+  }
+  Out += " (params";
+  for (const VarDecl *P : F->params()) {
+    Out += " ";
+    Out += Ctx.strings().str(P->name());
+  }
+  Out += ")\n";
+  printNode(F->body(), Indent + 1, Out);
+  indentBy(Indent, Out);
+  Out += ")\n";
+}
+
+void AstPrinter::printNode(const Node *N, int Indent, std::string &Out) const {
+  if (!N) {
+    indentBy(Indent, Out);
+    Out += "(null)\n";
+    return;
+  }
+  indentBy(Indent, Out);
+  switch (N->kind()) {
+  case NodeKind::NumberLit:
+    Out += "(number " + jsNumberToString(cast<NumberLit>(N)->value()) + ")\n";
+    return;
+  case NodeKind::StringLit:
+    Out += "(string \"" + Ctx.strings().str(cast<StringLit>(N)->value()) +
+           "\")\n";
+    return;
+  case NodeKind::BoolLit:
+    Out += cast<BoolLit>(N)->value() ? "(true)\n" : "(false)\n";
+    return;
+  case NodeKind::NullLit:
+    Out += "(null-lit)\n";
+    return;
+  case NodeKind::UndefinedLit:
+    Out += "(undefined)\n";
+    return;
+  case NodeKind::Ident: {
+    const auto *I = cast<Ident>(N);
+    Out += "(ident " + Ctx.strings().str(I->name());
+    if (!I->decl())
+      Out += " global";
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::This:
+    Out += "(this)\n";
+    return;
+  case NodeKind::ObjectLit: {
+    Out += "(object\n";
+    for (const ObjectProperty &P : cast<ObjectLit>(N)->properties()) {
+      indentBy(Indent + 1, Out);
+      if (P.KeyExpr) {
+        Out += "(computed-prop\n";
+        printNode(P.KeyExpr, Indent + 2, Out);
+      } else {
+        Out += "(prop " + Ctx.strings().str(P.Key) + "\n";
+      }
+      printNode(P.Value, Indent + 2, Out);
+      indentBy(Indent + 1, Out);
+      Out += ")\n";
+    }
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::ArrayLit: {
+    Out += "(array\n";
+    for (const Expr *E : cast<ArrayLit>(N)->elements())
+      printNode(E, Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::FunctionExpr:
+    Out += "(function-expr\n";
+    printFunctionInto(cast<FunctionExpr>(N)->def(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::Unary: {
+    static const char *Names[] = {"neg",    "plus",   "not", "bitnot",
+                                  "typeof", "delete", "void"};
+    Out += std::string("(unary ") +
+           Names[size_t(cast<UnaryExpr>(N)->op())] + "\n";
+    printNode(cast<UnaryExpr>(N)->operand(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Binary: {
+    static const char *Names[] = {
+        "+",  "-",  "*",   "/",  "%",  "==", "===", "!=", "!==", "<",
+        "<=", ">",  ">=",  "&",  "|",  "^",  "<<",  ">>", "in",  "instanceof"};
+    Out += std::string("(binary ") +
+           Names[size_t(cast<BinaryExpr>(N)->op())] + "\n";
+    printNode(cast<BinaryExpr>(N)->lhs(), Indent + 1, Out);
+    printNode(cast<BinaryExpr>(N)->rhs(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Logical: {
+    static const char *Names[] = {"&&", "||", "??"};
+    Out += std::string("(logical ") +
+           Names[size_t(cast<LogicalExpr>(N)->op())] + "\n";
+    printNode(cast<LogicalExpr>(N)->lhs(), Indent + 1, Out);
+    printNode(cast<LogicalExpr>(N)->rhs(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Conditional:
+    Out += "(conditional\n";
+    printNode(cast<ConditionalExpr>(N)->cond(), Indent + 1, Out);
+    printNode(cast<ConditionalExpr>(N)->thenExpr(), Indent + 1, Out);
+    printNode(cast<ConditionalExpr>(N)->elseExpr(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::Assign: {
+    static const char *Names[] = {"=", "+=", "-=", "*=", "/=", "||="};
+    Out += std::string("(assign ") +
+           Names[size_t(cast<AssignExpr>(N)->op())] + "\n";
+    printNode(cast<AssignExpr>(N)->target(), Indent + 1, Out);
+    printNode(cast<AssignExpr>(N)->value(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Update: {
+    const auto *U = cast<UpdateExpr>(N);
+    Out += std::string("(update ") + (U->isIncrement() ? "++" : "--") +
+           (U->isPrefix() ? " prefix" : " postfix") + "\n";
+    printNode(U->target(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Call: {
+    Out += "(call\n";
+    printNode(cast<CallExpr>(N)->callee(), Indent + 1, Out);
+    for (const Expr *A : cast<CallExpr>(N)->args())
+      printNode(A, Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::New: {
+    Out += "(new\n";
+    printNode(cast<NewExpr>(N)->callee(), Indent + 1, Out);
+    for (const Expr *A : cast<NewExpr>(N)->args())
+      printNode(A, Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Member: {
+    const auto *M = cast<MemberExpr>(N);
+    if (M->isComputed()) {
+      Out += "(member-dyn\n";
+      printNode(M->object(), Indent + 1, Out);
+      printNode(M->index(), Indent + 1, Out);
+    } else {
+      Out += "(member " + Ctx.strings().str(M->name()) + "\n";
+      printNode(M->object(), Indent + 1, Out);
+    }
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Sequence:
+    Out += "(sequence\n";
+    for (const Expr *E : cast<SequenceExpr>(N)->exprs())
+      printNode(E, Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::ExprStmt:
+    Out += "(expr-stmt\n";
+    printNode(cast<ExprStmt>(N)->expr(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::VarDeclStmt: {
+    Out += "(var-decl\n";
+    for (const VarDeclarator &D : cast<VarDeclStmt>(N)->declarators()) {
+      indentBy(Indent + 1, Out);
+      Out += "(declarator " + Ctx.strings().str(D.Decl->name()) + "\n";
+      printNode(D.Init, Indent + 2, Out);
+      indentBy(Indent + 1, Out);
+      Out += ")\n";
+    }
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::FunctionDeclStmt:
+    Out += "(function-decl\n";
+    printFunctionInto(cast<FunctionDeclStmt>(N)->def(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::Block:
+    Out += "(block\n";
+    for (const Stmt *S : cast<BlockStmt>(N)->body())
+      printNode(S, Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::If:
+    Out += "(if\n";
+    printNode(cast<IfStmt>(N)->cond(), Indent + 1, Out);
+    printNode(cast<IfStmt>(N)->thenStmt(), Indent + 1, Out);
+    if (cast<IfStmt>(N)->elseStmt())
+      printNode(cast<IfStmt>(N)->elseStmt(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::While:
+    Out += "(while\n";
+    printNode(cast<WhileStmt>(N)->cond(), Indent + 1, Out);
+    printNode(cast<WhileStmt>(N)->body(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::DoWhile:
+    Out += "(do-while\n";
+    printNode(cast<DoWhileStmt>(N)->body(), Indent + 1, Out);
+    printNode(cast<DoWhileStmt>(N)->cond(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::For:
+    Out += "(for\n";
+    printNode(cast<ForStmt>(N)->init(), Indent + 1, Out);
+    printNode(cast<ForStmt>(N)->cond(), Indent + 1, Out);
+    printNode(cast<ForStmt>(N)->step(), Indent + 1, Out);
+    printNode(cast<ForStmt>(N)->body(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::ForIn: {
+    const auto *L = cast<ForInStmt>(N);
+    Out += L->isOf() ? "(for-of" : "(for-in";
+    if (L->decl())
+      Out += " " + Ctx.strings().str(L->decl()->name());
+    Out += "\n";
+    if (L->target())
+      printNode(L->target(), Indent + 1, Out);
+    printNode(L->object(), Indent + 1, Out);
+    printNode(L->body(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Return:
+    Out += "(return\n";
+    printNode(cast<ReturnStmt>(N)->value(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::Break:
+    Out += "(break)\n";
+    return;
+  case NodeKind::Continue:
+    Out += "(continue)\n";
+    return;
+  case NodeKind::Throw:
+    Out += "(throw\n";
+    printNode(cast<ThrowStmt>(N)->value(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::Try:
+    Out += "(try\n";
+    printNode(cast<TryStmt>(N)->body(), Indent + 1, Out);
+    if (cast<TryStmt>(N)->handler())
+      printNode(cast<TryStmt>(N)->handler(), Indent + 1, Out);
+    if (cast<TryStmt>(N)->finalizer())
+      printNode(cast<TryStmt>(N)->finalizer(), Indent + 1, Out);
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  case NodeKind::Switch: {
+    Out += "(switch\n";
+    printNode(cast<SwitchStmt>(N)->discriminant(), Indent + 1, Out);
+    for (const SwitchCase &C : cast<SwitchStmt>(N)->cases()) {
+      indentBy(Indent + 1, Out);
+      Out += C.Test ? "(case\n" : "(default\n";
+      if (C.Test)
+        printNode(C.Test, Indent + 2, Out);
+      for (const Stmt *S : C.Body)
+        printNode(S, Indent + 2, Out);
+      indentBy(Indent + 1, Out);
+      Out += ")\n";
+    }
+    indentBy(Indent, Out);
+    Out += ")\n";
+    return;
+  }
+  case NodeKind::Empty:
+    Out += "(empty)\n";
+    return;
+  }
+  Out += "(unknown)\n";
+}

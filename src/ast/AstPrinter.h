@@ -1,0 +1,36 @@
+//===- AstPrinter.h - Debug dump of MiniJS ASTs -----------------*- C++ -*-===//
+///
+/// \file
+/// Renders ASTs as indented S-expressions. Used by parser tests and for
+/// debugging; the output format is stable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_AST_ASTPRINTER_H
+#define JSAI_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace jsai {
+
+/// Pretty-prints AST subtrees.
+class AstPrinter {
+public:
+  explicit AstPrinter(const AstContext &Ctx) : Ctx(Ctx) {}
+
+  std::string print(const Node *N) const;
+  std::string printFunction(const FunctionDef *F) const;
+
+private:
+  void printNode(const Node *N, int Indent, std::string &Out) const;
+  void printFunctionInto(const FunctionDef *F, int Indent,
+                         std::string &Out) const;
+
+  const AstContext &Ctx;
+};
+
+} // namespace jsai
+
+#endif // JSAI_AST_ASTPRINTER_H

@@ -1,0 +1,192 @@
+//===- ScopeResolver.cpp --------------------------------------------------===//
+
+#include "ast/ScopeResolver.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+void ScopeResolver::resolveAll() {
+  for (const auto &M : Ctx.modules())
+    resolveFunction(M->Func);
+}
+
+void ScopeResolver::resolveFunction(FunctionDef *Root) {
+  assert(Root->body() && "function has no body");
+  visitStmt(Root->body(), Root);
+}
+
+static VarDecl *lookupThroughParents(FunctionDef *F, Symbol Name) {
+  for (FunctionDef *S = F; S; S = S->parent())
+    if (VarDecl *D = S->lookupScope(Name))
+      return D;
+  return nullptr;
+}
+
+void ScopeResolver::visitExpr(Expr *E, FunctionDef *F) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case NodeKind::NumberLit:
+  case NodeKind::StringLit:
+  case NodeKind::BoolLit:
+  case NodeKind::NullLit:
+  case NodeKind::UndefinedLit:
+  case NodeKind::This:
+    return;
+  case NodeKind::Ident: {
+    auto *I = cast<Ident>(E);
+    I->setDecl(lookupThroughParents(F, I->name()));
+    return;
+  }
+  case NodeKind::ObjectLit:
+    for (const ObjectProperty &P : cast<ObjectLit>(E)->properties()) {
+      visitExpr(P.KeyExpr, F);
+      visitExpr(P.Value, F);
+    }
+    return;
+  case NodeKind::ArrayLit:
+    for (Expr *El : cast<ArrayLit>(E)->elements())
+      visitExpr(El, F);
+    return;
+  case NodeKind::FunctionExpr: {
+    FunctionDef *Inner = cast<FunctionExpr>(E)->def();
+    visitStmt(Inner->body(), Inner);
+    return;
+  }
+  case NodeKind::Unary:
+    visitExpr(cast<UnaryExpr>(E)->operand(), F);
+    return;
+  case NodeKind::Binary:
+    visitExpr(cast<BinaryExpr>(E)->lhs(), F);
+    visitExpr(cast<BinaryExpr>(E)->rhs(), F);
+    return;
+  case NodeKind::Logical:
+    visitExpr(cast<LogicalExpr>(E)->lhs(), F);
+    visitExpr(cast<LogicalExpr>(E)->rhs(), F);
+    return;
+  case NodeKind::Conditional:
+    visitExpr(cast<ConditionalExpr>(E)->cond(), F);
+    visitExpr(cast<ConditionalExpr>(E)->thenExpr(), F);
+    visitExpr(cast<ConditionalExpr>(E)->elseExpr(), F);
+    return;
+  case NodeKind::Assign:
+    visitExpr(cast<AssignExpr>(E)->target(), F);
+    visitExpr(cast<AssignExpr>(E)->value(), F);
+    return;
+  case NodeKind::Update:
+    visitExpr(cast<UpdateExpr>(E)->target(), F);
+    return;
+  case NodeKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    visitExpr(C->callee(), F);
+    for (Expr *A : C->args())
+      visitExpr(A, F);
+    return;
+  }
+  case NodeKind::New: {
+    auto *N = cast<NewExpr>(E);
+    visitExpr(N->callee(), F);
+    for (Expr *A : N->args())
+      visitExpr(A, F);
+    return;
+  }
+  case NodeKind::Member: {
+    auto *M = cast<MemberExpr>(E);
+    visitExpr(M->object(), F);
+    if (M->isComputed())
+      visitExpr(M->index(), F);
+    return;
+  }
+  case NodeKind::Sequence:
+    for (Expr *X : cast<SequenceExpr>(E)->exprs())
+      visitExpr(X, F);
+    return;
+  default:
+    assert(false && "statement kind in expression visitor");
+    return;
+  }
+}
+
+void ScopeResolver::visitStmt(Stmt *S, FunctionDef *F) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case NodeKind::ExprStmt:
+    visitExpr(cast<ExprStmt>(S)->expr(), F);
+    return;
+  case NodeKind::VarDeclStmt:
+    for (const VarDeclarator &D : cast<VarDeclStmt>(S)->declarators())
+      visitExpr(D.Init, F);
+    return;
+  case NodeKind::FunctionDeclStmt: {
+    FunctionDef *Inner = cast<FunctionDeclStmt>(S)->def();
+    visitStmt(Inner->body(), Inner);
+    return;
+  }
+  case NodeKind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->body())
+      visitStmt(Child, F);
+    return;
+  case NodeKind::If: {
+    auto *I = cast<IfStmt>(S);
+    visitExpr(I->cond(), F);
+    visitStmt(I->thenStmt(), F);
+    visitStmt(I->elseStmt(), F);
+    return;
+  }
+  case NodeKind::While:
+    visitExpr(cast<WhileStmt>(S)->cond(), F);
+    visitStmt(cast<WhileStmt>(S)->body(), F);
+    return;
+  case NodeKind::DoWhile:
+    visitStmt(cast<DoWhileStmt>(S)->body(), F);
+    visitExpr(cast<DoWhileStmt>(S)->cond(), F);
+    return;
+  case NodeKind::For: {
+    auto *L = cast<ForStmt>(S);
+    visitStmt(L->init(), F);
+    visitExpr(L->cond(), F);
+    visitExpr(L->step(), F);
+    visitStmt(L->body(), F);
+    return;
+  }
+  case NodeKind::ForIn: {
+    auto *L = cast<ForInStmt>(S);
+    visitExpr(L->target(), F);
+    visitExpr(L->object(), F);
+    visitStmt(L->body(), F);
+    return;
+  }
+  case NodeKind::Return:
+    visitExpr(cast<ReturnStmt>(S)->value(), F);
+    return;
+  case NodeKind::Throw:
+    visitExpr(cast<ThrowStmt>(S)->value(), F);
+    return;
+  case NodeKind::Try: {
+    auto *T = cast<TryStmt>(S);
+    visitStmt(T->body(), F);
+    visitStmt(T->handler(), F);
+    visitStmt(T->finalizer(), F);
+    return;
+  }
+  case NodeKind::Switch: {
+    auto *W = cast<SwitchStmt>(S);
+    visitExpr(W->discriminant(), F);
+    for (const SwitchCase &C : W->cases()) {
+      visitExpr(C.Test, F);
+      for (Stmt *Child : C.Body)
+        visitStmt(Child, F);
+    }
+    return;
+  }
+  case NodeKind::Break:
+  case NodeKind::Continue:
+  case NodeKind::Empty:
+    return;
+  default:
+    assert(false && "expression kind in statement visitor");
+    return;
+  }
+}

@@ -1,0 +1,41 @@
+//===- ScopeResolver.h - Identifier binding ---------------------*- C++ -*-===//
+///
+/// \file
+/// Binds every Ident to the lexically nearest declaration, walking the
+/// FunctionDef parent chain (MiniJS is function-scoped). Unresolved
+/// identifiers keep a null decl and denote globals / builtins; the concrete
+/// interpreter resolves those dynamically and the static analysis models
+/// known globals (e.g. `Object`, `console`) explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_AST_SCOPERESOLVER_H
+#define JSAI_AST_SCOPERESOLVER_H
+
+#include "ast/Ast.h"
+
+namespace jsai {
+
+/// Resolves identifier uses to declarations for one module (or eval
+/// function). Idempotent.
+class ScopeResolver {
+public:
+  explicit ScopeResolver(AstContext &Ctx) : Ctx(Ctx) {}
+
+  /// Resolves the whole function tree rooted at \p Root (typically a module
+  /// function, also used for eval roots).
+  void resolveFunction(FunctionDef *Root);
+
+  /// Resolves every module currently in the context.
+  void resolveAll();
+
+private:
+  void visitStmt(Stmt *S, FunctionDef *F);
+  void visitExpr(Expr *E, FunctionDef *F);
+
+  AstContext &Ctx;
+};
+
+} // namespace jsai
+
+#endif // JSAI_AST_SCOPERESOLVER_H

@@ -1,0 +1,405 @@
+//===- ArrayBuiltins.cpp - Array constructor and prototype ------------------===//
+
+#include "builtins/Builtins.h"
+#include "builtins/BuiltinUtil.h"
+
+#include <algorithm>
+
+using namespace jsai;
+
+/// \returns the element vector when \p V is array-like, else null.
+static std::vector<Value> *elementsOf(const Value &V) {
+  if (!V.isObject())
+    return nullptr;
+  Object *O = V.asObject();
+  if (O->objectClass() != ObjectClass::Array &&
+      O->objectClass() != ObjectClass::Arguments)
+    return nullptr;
+  return &O->elements();
+}
+
+/// Creates a builtin-result array whose allocation site is the current call
+/// site, so the static analysis can model e.g. `xs.map(f)` results.
+static Value resultArray(Interpreter &I, std::vector<Value> Elements) {
+  Object *A = I.heap().newArray(I.currentCallSite(), std::move(Elements));
+  A->setProto(I.protos().ArrayP);
+  if (I.observer())
+    I.observer()->onObjectCreated(A);
+  return Value::object(A);
+}
+
+void jsai::installArrayBuiltins(Interpreter &I) {
+  Object *Ctor = defineGlobalFn(
+      I, "Array",
+      [](Interpreter &I, const Value &,
+         std::vector<Value> &Args) -> Completion {
+        if (Args.size() == 1 && Args[0].isNumber()) {
+          std::vector<Value> Elements(size_t(Args[0].asNumber()));
+          return resultArray(I, std::move(Elements));
+        }
+        return resultArray(I, Args);
+      });
+  Ctor->setOwn(I.context().SymPrototype, Value::object(I.protos().ArrayP));
+  defineMethod(I, Ctor, "isArray",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 return Value::boolean(
+                     Arg.isObject() &&
+                     Arg.asObject()->objectClass() == ObjectClass::Array);
+               });
+  defineMethod(I, Ctor, "from",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 if (auto *Els = elementsOf(argAt(Args, 0)))
+                   return resultArray(I, *Els);
+                 if (argAt(Args, 0).isString()) {
+                   std::vector<Value> Out;
+                   for (char C : argAt(Args, 0).asString())
+                     Out.push_back(Value::str(std::string(1, C)));
+                   return resultArray(I, std::move(Out));
+                 }
+                 return resultArray(I, {});
+               });
+
+  Object *Proto = I.protos().ArrayP;
+
+  defineMethod(I, Proto, "push",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 auto *Els = elementsOf(ThisV);
+                 if (!Els)
+                   return I.isProxyValue(ThisV)
+                              ? Completion(I.proxyValue())
+                              : Completion(Value::number(0));
+                 for (const Value &A : Args)
+                   Els->push_back(A);
+                 return Value::number(double(Els->size()));
+               });
+  defineMethod(I, Proto, "pop",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 auto *Els = elementsOf(ThisV);
+                 if (!Els || Els->empty())
+                   return Value::undefined();
+                 Value Last = Els->back();
+                 Els->pop_back();
+                 return Last;
+               });
+  defineMethod(I, Proto, "shift",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 auto *Els = elementsOf(ThisV);
+                 if (!Els || Els->empty())
+                   return Value::undefined();
+                 Value First = Els->front();
+                 Els->erase(Els->begin());
+                 return First;
+               });
+  defineMethod(I, Proto, "unshift",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 auto *Els = elementsOf(ThisV);
+                 if (!Els)
+                   return Value::number(0);
+                 Els->insert(Els->begin(), Args.begin(), Args.end());
+                 return Value::number(double(Els->size()));
+               });
+
+  // Iteration methods share the callback-invocation shape.
+  defineMethod(
+      I, Proto, "forEach",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::undefined();
+        Value Cb = argAt(Args, 0);
+        Value ThisArg = argAt(Args, 1);
+        std::vector<Value> Snapshot = *Els;
+        for (size_t Idx = 0; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              Cb, ThisArg,
+              {Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+        }
+        return Value::undefined();
+      });
+  defineMethod(
+      I, Proto, "map",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return resultArray(I, {});
+        Value Cb = argAt(Args, 0);
+        Value ThisArg = argAt(Args, 1);
+        std::vector<Value> Snapshot = *Els;
+        std::vector<Value> Out;
+        Out.reserve(Snapshot.size());
+        for (size_t Idx = 0; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              Cb, ThisArg,
+              {Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          Out.push_back(C.V);
+        }
+        return resultArray(I, std::move(Out));
+      });
+  defineMethod(
+      I, Proto, "filter",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return resultArray(I, {});
+        Value Cb = argAt(Args, 0);
+        std::vector<Value> Snapshot = *Els;
+        std::vector<Value> Out;
+        for (size_t Idx = 0; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              Cb, argAt(Args, 1),
+              {Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          if (C.V.toBoolean())
+            Out.push_back(Snapshot[Idx]);
+        }
+        return resultArray(I, std::move(Out));
+      });
+  defineMethod(
+      I, Proto, "some",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::boolean(false);
+        std::vector<Value> Snapshot = *Els;
+        for (size_t Idx = 0; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              argAt(Args, 0), argAt(Args, 1),
+              {Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          if (C.V.toBoolean())
+            return Value::boolean(true);
+        }
+        return Value::boolean(false);
+      });
+  defineMethod(
+      I, Proto, "every",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::boolean(true);
+        std::vector<Value> Snapshot = *Els;
+        for (size_t Idx = 0; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              argAt(Args, 0), argAt(Args, 1),
+              {Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          if (!C.V.toBoolean())
+            return Value::boolean(false);
+        }
+        return Value::boolean(true);
+      });
+  defineMethod(
+      I, Proto, "find",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::undefined();
+        std::vector<Value> Snapshot = *Els;
+        for (size_t Idx = 0; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              argAt(Args, 0), argAt(Args, 1),
+              {Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          if (C.V.toBoolean())
+            return Snapshot[Idx];
+        }
+        return Value::undefined();
+      });
+  defineMethod(
+      I, Proto, "reduce",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return argAt(Args, 1);
+        Value Cb = argAt(Args, 0);
+        std::vector<Value> Snapshot = *Els;
+        size_t Idx = 0;
+        Value Acc;
+        if (Args.size() >= 2) {
+          Acc = Args[1];
+        } else {
+          if (Snapshot.empty())
+            return I.throwError("TypeError",
+                                "reduce of empty array with no initial value");
+          Acc = Snapshot[0];
+          Idx = 1;
+        }
+        for (; Idx != Snapshot.size(); ++Idx) {
+          Completion C = I.callValue(
+              Cb, Value::undefined(),
+              {Acc, Snapshot[Idx], Value::number(double(Idx)), ThisV},
+              I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          Acc = C.V;
+        }
+        return Acc;
+      });
+
+  defineMethod(
+      I, Proto, "slice",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return resultArray(I, {});
+        double Len = double(Els->size());
+        double Start = Args.empty() ? 0 : I.toNumberValue(Args[0]);
+        double End = Args.size() < 2 || Args[1].isUndefined()
+                         ? Len
+                         : I.toNumberValue(Args[1]);
+        if (Start < 0)
+          Start = std::max(0.0, Len + Start);
+        if (End < 0)
+          End = std::max(0.0, Len + End);
+        End = std::min(End, Len);
+        std::vector<Value> Out;
+        for (size_t Idx = size_t(Start); Idx < size_t(End); ++Idx)
+          Out.push_back((*Els)[Idx]);
+        return resultArray(I, std::move(Out));
+      });
+  defineMethod(
+      I, Proto, "splice",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return resultArray(I, {});
+        double Len = double(Els->size());
+        double Start = Args.empty() ? 0 : I.toNumberValue(Args[0]);
+        if (Start < 0)
+          Start = std::max(0.0, Len + Start);
+        Start = std::min(Start, Len);
+        double Count = Args.size() < 2 ? Len - Start
+                                       : std::max(0.0, I.toNumberValue(Args[1]));
+        Count = std::min(Count, Len - Start);
+        auto First = Els->begin() + long(Start);
+        std::vector<Value> Removed(First, First + long(Count));
+        std::vector<Value> Inserted(Args.begin() + std::min<size_t>(2, Args.size()),
+                                    Args.end());
+        Els->erase(First, First + long(Count));
+        Els->insert(Els->begin() + long(Start), Inserted.begin(),
+                    Inserted.end());
+        return resultArray(I, std::move(Removed));
+      });
+  defineMethod(
+      I, Proto, "concat",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        std::vector<Value> Out;
+        if (auto *Els = elementsOf(ThisV))
+          Out = *Els;
+        for (const Value &A : Args) {
+          if (auto *Els = elementsOf(A))
+            Out.insert(Out.end(), Els->begin(), Els->end());
+          else
+            Out.push_back(A);
+        }
+        return resultArray(I, std::move(Out));
+      });
+  defineMethod(
+      I, Proto, "join",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::str("");
+        std::string Sep =
+            Args.empty() || Args[0].isUndefined() ? "," : I.toStringValue(Args[0]);
+        std::string Out;
+        for (size_t Idx = 0; Idx != Els->size(); ++Idx) {
+          if (Idx)
+            Out += Sep;
+          if (!(*Els)[Idx].isNullish())
+            Out += I.toStringValue((*Els)[Idx]);
+        }
+        return Value::str(std::move(Out));
+      });
+  defineMethod(
+      I, Proto, "indexOf",
+      [](Interpreter &, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::number(-1);
+        for (size_t Idx = 0; Idx != Els->size(); ++Idx)
+          if (Value::strictEquals((*Els)[Idx], argAt(Args, 0)))
+            return Value::number(double(Idx));
+        return Value::number(-1);
+      });
+  defineMethod(
+      I, Proto, "includes",
+      [](Interpreter &, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return Value::boolean(false);
+        for (const Value &El : *Els)
+          if (Value::strictEquals(El, argAt(Args, 0)))
+            return Value::boolean(true);
+        return Value::boolean(false);
+      });
+  defineMethod(I, Proto, "reverse",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 if (auto *Els = elementsOf(ThisV))
+                   std::reverse(Els->begin(), Els->end());
+                 return ThisV;
+               });
+  defineMethod(
+      I, Proto, "sort",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        auto *Els = elementsOf(ThisV);
+        if (!Els)
+          return ThisV;
+        Value Cb = argAt(Args, 0);
+        bool HasCb = Cb.isObject() && Cb.asObject()->isCallable();
+        // Insertion sort: stable, deterministic, and tolerant of callbacks
+        // that themselves run arbitrary code.
+        for (size_t J = 1; J < Els->size(); ++J) {
+          Value Key = (*Els)[J];
+          size_t K = J;
+          while (K > 0) {
+            bool Before;
+            if (HasCb) {
+              Completion C =
+                  I.callValue(Cb, Value::undefined(), {(*Els)[K - 1], Key},
+                              I.currentCallSite());
+              JSAI_PROPAGATE(C);
+              Before = I.toNumberValue(C.V) > 0;
+            } else {
+              Before =
+                  I.toStringValue((*Els)[K - 1]) > I.toStringValue(Key);
+            }
+            if (!Before)
+              break;
+            (*Els)[K] = (*Els)[K - 1];
+            --K;
+          }
+          (*Els)[K] = Key;
+        }
+        return ThisV;
+      });
+}

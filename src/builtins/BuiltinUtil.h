@@ -1,0 +1,46 @@
+//===- BuiltinUtil.h - Helpers for builtin installation ---------*- C++ -*-===//
+///
+/// \file
+/// Internal helpers shared by the builtin installers. Not part of the
+/// public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_BUILTINS_BUILTINUTIL_H
+#define JSAI_BUILTINS_BUILTINUTIL_H
+
+#include "interp/Interpreter.h"
+
+namespace jsai {
+
+/// Defines a native method \p Name on \p Target.
+inline Object *defineMethod(Interpreter &I, Object *Target, const char *Name,
+                            NativeFn Fn) {
+  Object *F = I.heap().newNative(Name, std::move(Fn));
+  F->setProto(I.protos().FunctionP);
+  Target->setOwn(I.intern(Name), Value::object(F));
+  return F;
+}
+
+/// Defines a native function \p Name in the global environment.
+inline Object *defineGlobalFn(Interpreter &I, const char *Name, NativeFn Fn) {
+  Object *F = I.heap().newNative(Name, std::move(Fn));
+  F->setProto(I.protos().FunctionP);
+  I.globalEnv()->define(I.intern(Name), Value::object(F));
+  return F;
+}
+
+/// \returns argument \p Idx or undefined.
+inline Value argAt(const std::vector<Value> &Args, size_t Idx) {
+  return Idx < Args.size() ? Args[Idx] : Value::undefined();
+}
+
+/// Invokes every callable argument with proxy arguments and returns p* —
+/// the paper's mock for side-effectful standard-library functions during
+/// approximate interpretation.
+Completion mockSideEffectful(Interpreter &I, std::vector<Value> &Args,
+                             size_t NumCallbackArgs = 2);
+
+} // namespace jsai
+
+#endif // JSAI_BUILTINS_BUILTINUTIL_H

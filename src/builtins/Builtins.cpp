@@ -1,0 +1,562 @@
+//===- Builtins.cpp - Core ECMAScript global installation ------------------===//
+
+#include "builtins/Builtins.h"
+
+#include "builtins/BuiltinUtil.h"
+#include "support/JsNumber.h"
+
+#include <cmath>
+
+using namespace jsai;
+
+Completion jsai::mockSideEffectful(Interpreter &I, std::vector<Value> &Args,
+                                   size_t NumCallbackArgs) {
+  for (const Value &A : Args) {
+    if (!A.isObject() || !A.asObject()->isCallable())
+      continue;
+    std::vector<Value> CbArgs(NumCallbackArgs, I.proxyValue());
+    Completion C = I.callValue(A, I.proxyValue(), std::move(CbArgs),
+                               I.currentCallSite());
+    JSAI_PROPAGATE(C);
+  }
+  return I.proxyValue();
+}
+
+//===----------------------------------------------------------------------===//
+// console / Math / JSON / misc globals
+//===----------------------------------------------------------------------===//
+
+static void installConsole(Interpreter &I) {
+  Object *Console =
+      I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Console->setProto(I.protos().ObjectP);
+  auto LogFn = [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+    std::string Line;
+    for (size_t Idx = 0; Idx != Args.size(); ++Idx) {
+      if (Idx)
+        Line += ' ';
+      Line += I.toStringValue(Args[Idx]);
+    }
+    I.consoleOutput().push_back(std::move(Line));
+    return Value::undefined();
+  };
+  for (const char *Name : {"log", "warn", "error", "info", "debug"})
+    defineMethod(I, Console, Name, LogFn);
+  I.globalEnv()->define(I.intern("console"), Value::object(Console));
+}
+
+static void installMath(Interpreter &I) {
+  Object *Math = I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Math->setProto(I.protos().ObjectP);
+  Math->setOwn(I.intern("PI"), Value::number(3.141592653589793));
+  Math->setOwn(I.intern("E"), Value::number(2.718281828459045));
+
+  auto Unary = [](double (*Fn)(double)) {
+    return [Fn](Interpreter &I, const Value &,
+                std::vector<Value> &Args) -> Completion {
+      return Value::number(Fn(I.toNumberValue(argAt(Args, 0))));
+    };
+  };
+  defineMethod(I, Math, "floor", Unary([](double D) { return std::floor(D); }));
+  defineMethod(I, Math, "ceil", Unary([](double D) { return std::ceil(D); }));
+  defineMethod(I, Math, "round", Unary([](double D) { return std::floor(D + 0.5); }));
+  defineMethod(I, Math, "abs", Unary([](double D) { return std::fabs(D); }));
+  defineMethod(I, Math, "sqrt", Unary([](double D) { return std::sqrt(D); }));
+  defineMethod(I, Math, "trunc", Unary([](double D) { return std::trunc(D); }));
+  defineMethod(I, Math, "max",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 double Best = -HUGE_VAL;
+                 for (const Value &A : Args)
+                   Best = std::fmax(Best, I.toNumberValue(A));
+                 return Value::number(Args.empty() ? -HUGE_VAL : Best);
+               });
+  defineMethod(I, Math, "min",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 double Best = HUGE_VAL;
+                 for (const Value &A : Args)
+                   Best = std::fmin(Best, I.toNumberValue(A));
+                 return Value::number(Args.empty() ? HUGE_VAL : Best);
+               });
+  defineMethod(I, Math, "pow",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 return Value::number(std::pow(I.toNumberValue(argAt(Args, 0)),
+                                               I.toNumberValue(argAt(Args, 1))));
+               });
+  defineMethod(I, Math, "random",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &) -> Completion {
+                 // Deterministic stand-in (reproducible corpus runs).
+                 return Value::number(I.nextRandom());
+               });
+  I.globalEnv()->define(I.intern("Math"), Value::object(Math));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+static void jsonStringify(Interpreter &I, const Value &V, std::string &Out,
+                          int Depth) {
+  if (Depth > 16) {
+    Out += "null";
+    return;
+  }
+  switch (V.kind()) {
+  case ValueKind::Undefined:
+    Out += "null";
+    return;
+  case ValueKind::Null:
+    Out += "null";
+    return;
+  case ValueKind::Boolean:
+    Out += V.asBoolean() ? "true" : "false";
+    return;
+  case ValueKind::Number:
+    Out += jsNumberToString(V.asNumber());
+    return;
+  case ValueKind::String: {
+    Out += '"';
+    for (char C : V.asString()) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        Out += C;
+        break;
+      }
+    }
+    Out += '"';
+    return;
+  }
+  case ValueKind::Object: {
+    Object *O = V.asObject();
+    if (O->isProxy() || O->isCallable()) {
+      Out += "null";
+      return;
+    }
+    if (O->objectClass() == ObjectClass::Array) {
+      Out += '[';
+      for (size_t Idx = 0; Idx != O->elements().size(); ++Idx) {
+        if (Idx)
+          Out += ',';
+        jsonStringify(I, O->elements()[Idx], Out, Depth + 1);
+      }
+      Out += ']';
+      return;
+    }
+    Out += '{';
+    bool First = true;
+    for (Symbol Key : O->ownKeys()) {
+      auto PV = O->getOwn(Key);
+      if (!PV || (PV->isObject() && PV->asObject()->isCallable()) ||
+          PV->isUndefined())
+        continue;
+      if (!First)
+        Out += ',';
+      First = false;
+      jsonStringify(I, Value::str(I.strings().str(Key)), Out, Depth + 1);
+      Out += ':';
+      jsonStringify(I, *PV, Out, Depth + 1);
+    }
+    Out += '}';
+    return;
+  }
+  }
+}
+
+namespace {
+/// Tiny recursive-descent JSON parser for JSON.parse.
+class JsonParser {
+public:
+  JsonParser(Interpreter &I, const std::string &S) : I(I), S(S) {}
+
+  bool parse(Value &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+  bool literal(const char *Word) {
+    size_t Len = std::string(Word).size();
+    if (S.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+  bool parseValue(Value &Out) {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    char C = S[Pos];
+    if (C == 'n' && literal("null")) {
+      Out = Value::null();
+      return true;
+    }
+    if (C == 't' && literal("true")) {
+      Out = Value::boolean(true);
+      return true;
+    }
+    if (C == 'f' && literal("false")) {
+      Out = Value::boolean(false);
+      return true;
+    }
+    if (C == '"')
+      return parseString(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '{')
+      return parseObject(Out);
+    return parseNumber(Out);
+  }
+  bool parseString(Value &Out) {
+    if (S[Pos] != '"')
+      return false;
+    ++Pos;
+    std::string Str;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        Str.push_back(C);
+        continue;
+      }
+      if (Pos >= S.size())
+        return false;
+      char E = S[Pos++];
+      switch (E) {
+      case 'n':
+        Str.push_back('\n');
+        break;
+      case 't':
+        Str.push_back('\t');
+        break;
+      case 'r':
+        Str.push_back('\r');
+        break;
+      default:
+        Str.push_back(E);
+        break;
+      }
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    Out = Value::str(std::move(Str));
+    return true;
+  }
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    Out = Value::number(jsStringToNumber(S.substr(Start, Pos - Start)));
+    return true;
+  }
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    std::vector<Value> Elements;
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      Out = I.makeArray(std::move(Elements));
+      return true;
+    }
+    while (true) {
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Elements.push_back(std::move(V));
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != ']')
+      return false;
+    ++Pos;
+    Out = I.makeArray(std::move(Elements));
+    return true;
+  }
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Object *O = I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+    O->setProto(I.protos().ObjectP);
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      Out = Value::object(O);
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Value Key;
+      if (Pos >= S.size() || S[Pos] != '"' || !parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      Value V;
+      if (!parseValue(V))
+        return false;
+      O->setOwn(I.intern(Key.asString()), V);
+      skipWs();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != '}')
+      return false;
+    ++Pos;
+    Out = Value::object(O);
+    return true;
+  }
+
+  Interpreter &I;
+  const std::string &S;
+  size_t Pos = 0;
+};
+} // namespace
+
+static void installJson(Interpreter &I) {
+  Object *Json = I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Json->setProto(I.protos().ObjectP);
+  defineMethod(I, Json, "stringify",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string Out;
+                 jsonStringify(I, argAt(Args, 0), Out, 0);
+                 return Value::str(std::move(Out));
+               });
+  defineMethod(I, Json, "parse",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 if (I.isProxyValue(Arg))
+                   return I.proxyValue();
+                 if (!Arg.isString())
+                   return I.throwError("SyntaxError",
+                                       "JSON.parse expects a string");
+                 Value Out;
+                 JsonParser P(I, Arg.asString());
+                 if (!P.parse(Out))
+                   return I.throwError("SyntaxError", "invalid JSON");
+                 return Out;
+               });
+  I.globalEnv()->define(I.intern("JSON"), Value::object(Json));
+}
+
+//===----------------------------------------------------------------------===//
+// Error constructors
+//===----------------------------------------------------------------------===//
+
+static void installErrors(Interpreter &I) {
+  for (const char *Name :
+       {"Error", "TypeError", "RangeError", "SyntaxError", "ReferenceError"}) {
+    std::string Kind = Name;
+    Object *Ctor = defineGlobalFn(
+        I, Name,
+        [Kind](Interpreter &I, const Value &ThisV,
+               std::vector<Value> &Args) -> Completion {
+          Value Msg = argAt(Args, 0);
+          std::string Message =
+              Msg.isUndefined() ? std::string() : I.toStringValue(Msg);
+          // `new Error(m)` initializes the fresh instance; bare `Error(m)`
+          // allocates one.
+          Object *E;
+          if (ThisV.isObject() && !ThisV.asObject()->isProxy() &&
+              !ThisV.asObject()->isCallable()) {
+            E = ThisV.asObject();
+          } else {
+            E = I.heap().newObject(ObjectClass::Error, SourceLoc::invalid());
+            E->setProto(I.protos().ErrorP);
+          }
+          E->setOwn(I.intern("name"), Value::str(Kind));
+          E->setOwn(I.intern("message"), Value::str(Message));
+          E->setOwn(I.intern("stack"), Value::str(Kind + ": " + Message));
+          return ThisV.isObject() && E == ThisV.asObject()
+                     ? Value::undefined()
+                     : Value::object(E);
+        });
+    // Give the constructor a prototype so `instanceof Error` works.
+    Ctor->setOwn(I.context().SymPrototype, Value::object(I.protos().ErrorP));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+void jsai::installBuiltins(Interpreter &I) {
+  BuiltinProtos &P = I.protos();
+  Heap &H = I.heap();
+  P.ObjectP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.FunctionP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.ArrayP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.StringP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.NumberP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.BooleanP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.ErrorP = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  P.FunctionP->setProto(P.ObjectP);
+  P.ArrayP->setProto(P.ObjectP);
+  P.StringP->setProto(P.ObjectP);
+  P.NumberP->setProto(P.ObjectP);
+  P.BooleanP->setProto(P.ObjectP);
+  P.ErrorP->setProto(P.ObjectP);
+
+  installObjectBuiltins(I);
+  installArrayBuiltins(I);
+  installStringBuiltins(I);
+  installFunctionBuiltins(I);
+
+  installConsole(I);
+  installMath(I);
+  installJson(I);
+  installErrors(I);
+
+  defineGlobalFn(I, "parseInt",
+                 [](Interpreter &I, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+                   if (I.isProxyValue(argAt(Args, 0)))
+                     return I.proxyValue();
+                   std::string S = I.toStringValue(argAt(Args, 0));
+                   double Radix = I.toNumberValue(argAt(Args, 1));
+                   int R = std::isnan(Radix) || Radix == 0 ? 10 : int(Radix);
+                   char *End = nullptr;
+                   long long V = std::strtoll(S.c_str(), &End, R);
+                   if (End == S.c_str())
+                     return Value::number(std::nan(""));
+                   return Value::number(double(V));
+                 });
+  defineGlobalFn(I, "parseFloat",
+                 [](Interpreter &I, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+                   if (I.isProxyValue(argAt(Args, 0)))
+                     return I.proxyValue();
+                   std::string S = I.toStringValue(argAt(Args, 0));
+                   char *End = nullptr;
+                   double V = std::strtod(S.c_str(), &End);
+                   if (End == S.c_str())
+                     return Value::number(std::nan(""));
+                   return Value::number(V);
+                 });
+  defineGlobalFn(I, "isNaN",
+                 [](Interpreter &I, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+                   return Value::boolean(
+                       std::isnan(I.toNumberValue(argAt(Args, 0))));
+                 });
+  defineGlobalFn(I, "isFinite",
+                 [](Interpreter &I, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+                   return Value::boolean(
+                       std::isfinite(I.toNumberValue(argAt(Args, 0))));
+                 });
+  I.globalEnv()->define(I.intern("NaN"), Value::number(std::nan("")));
+  I.globalEnv()->define(I.intern("Infinity"), Value::number(HUGE_VAL));
+
+  // Timers run their callback synchronously once — a deterministic mock
+  // that still exposes the callback's behavior to both analyses.
+  auto TimerFn = [](Interpreter &I, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+    Value Cb = argAt(Args, 0);
+    if (Cb.isObject() && Cb.asObject()->isCallable()) {
+      Completion C =
+          I.callValue(Cb, Value::undefined(), {}, I.currentCallSite());
+      JSAI_PROPAGATE(C);
+    }
+    return Value::number(0);
+  };
+  defineGlobalFn(I, "setTimeout", TimerFn);
+  defineGlobalFn(I, "setInterval", TimerFn);
+  defineGlobalFn(I, "setImmediate", TimerFn);
+  defineGlobalFn(I, "clearTimeout",
+                 [](Interpreter &, const Value &,
+                    std::vector<Value> &) -> Completion {
+                   return Value::undefined();
+                 });
+  defineGlobalFn(I, "clearInterval",
+                 [](Interpreter &, const Value &,
+                    std::vector<Value> &) -> Completion {
+                   return Value::undefined();
+                 });
+
+  // Indirect eval: runs in the global environment.
+  defineGlobalFn(I, "eval",
+                 [](Interpreter &I, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+                   Value Code = argAt(Args, 0);
+                   if (I.isProxyValue(Code))
+                     return I.proxyValue();
+                   if (!Code.isString())
+                     return Code;
+                   return I.runEval(Code.asString(), I.globalEnv(), nullptr,
+                                    I.currentCallSite());
+                 });
+
+  // process (minimal Node model).
+  Object *Process =
+      I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Process->setProto(P.ObjectP);
+  Object *Env = I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Env->setProto(P.ObjectP);
+  Process->setOwn(I.intern("env"), Value::object(Env));
+  Process->setOwn(I.intern("argv"), I.makeArray({Value::str("node"),
+                                                 Value::str("main.js")}));
+  Process->setOwn(I.intern("platform"), Value::str("linux"));
+  defineMethod(I, Process, "exit",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &) -> Completion {
+                 return Value::undefined(); // Sandboxed: never exits the host.
+               });
+  defineMethod(I, Process, "nextTick",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Cb = argAt(Args, 0);
+                 if (Cb.isObject() && Cb.asObject()->isCallable())
+                   return I.callValue(Cb, Value::undefined(), {},
+                                      I.currentCallSite());
+                 return Value::undefined();
+               });
+  defineMethod(I, Process, "cwd",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &) -> Completion {
+                 return Value::str("/");
+               });
+  I.globalEnv()->define(I.intern("process"), Value::object(Process));
+
+  installNodeBuiltins(I);
+}

@@ -1,0 +1,32 @@
+//===- Builtins.h - Standard library installation ---------------*- C++ -*-===//
+///
+/// \file
+/// Installation of the MiniJS standard library model: the ECMAScript core
+/// (Object, Array, String, Function, Math, JSON, console, Error, eval) and
+/// Node.js-style builtin modules (http, fs, net, path, util). Everything is
+/// an in-memory fake — there is never real I/O — which doubles as the
+/// paper's sandboxing requirement for approximate interpretation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_BUILTINS_BUILTINS_H
+#define JSAI_BUILTINS_BUILTINS_H
+
+namespace jsai {
+
+class Interpreter;
+
+/// Installs the complete standard-library model into \p I's global
+/// environment. Called once by the Interpreter constructor.
+void installBuiltins(Interpreter &I);
+
+/// Sub-installers (one per translation unit; called by installBuiltins).
+void installObjectBuiltins(Interpreter &I);
+void installArrayBuiltins(Interpreter &I);
+void installStringBuiltins(Interpreter &I);
+void installFunctionBuiltins(Interpreter &I);
+void installNodeBuiltins(Interpreter &I);
+
+} // namespace jsai
+
+#endif // JSAI_BUILTINS_BUILTINS_H

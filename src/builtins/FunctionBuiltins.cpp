@@ -1,0 +1,115 @@
+//===- FunctionBuiltins.cpp - Function.prototype and Function ctor ----------===//
+
+#include "ast/ScopeResolver.h"
+#include "builtins/Builtins.h"
+#include "builtins/BuiltinUtil.h"
+#include "parser/Parser.h"
+
+using namespace jsai;
+
+/// Spreads an array-like argument into a flat argument vector.
+static std::vector<Value> spreadArgs(const Value &ArgsV) {
+  std::vector<Value> Out;
+  if (!ArgsV.isObject())
+    return Out;
+  Object *O = ArgsV.asObject();
+  if (O->objectClass() == ObjectClass::Array ||
+      O->objectClass() == ObjectClass::Arguments)
+    Out = O->elements();
+  return Out;
+}
+
+void jsai::installFunctionBuiltins(Interpreter &I) {
+  Object *Proto = I.protos().FunctionP;
+
+  defineMethod(I, Proto, "apply",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 Value ArgsV = argAt(Args, 1);
+                 std::vector<Value> CallArgs;
+                 if (I.isProxyValue(ArgsV)) {
+                   // f.apply(x, p*): parameters become p* (Section 3's
+                   // forced-execution convention).
+                   if (ThisV.isObject() && ThisV.asObject()->functionDef())
+                     CallArgs.assign(
+                         ThisV.asObject()->functionDef()->params().size(),
+                         I.proxyValue());
+                 } else {
+                   CallArgs = spreadArgs(ArgsV);
+                 }
+                 return I.callValue(ThisV, argAt(Args, 0),
+                                    std::move(CallArgs), I.currentCallSite());
+               });
+  defineMethod(I, Proto, "call",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::vector<Value> CallArgs(
+                     Args.begin() + std::min<size_t>(1, Args.size()),
+                     Args.end());
+                 return I.callValue(ThisV, argAt(Args, 0),
+                                    std::move(CallArgs), I.currentCallSite());
+               });
+  defineMethod(I, Proto, "bind",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 if (!ThisV.isObject() || !ThisV.asObject()->isCallable())
+                   return I.isProxyValue(ThisV)
+                              ? Completion(I.proxyValue())
+                              : I.throwError("TypeError",
+                                             "bind target is not a function");
+                 Object *Bound = I.heap().newObject(ObjectClass::Function,
+                                                    SourceLoc::invalid());
+                 Bound->setProto(I.protos().FunctionP);
+                 std::vector<Value> Prefix(
+                     Args.begin() + std::min<size_t>(1, Args.size()),
+                     Args.end());
+                 Bound->setBound(ThisV.asObject(), argAt(Args, 0),
+                                 std::move(Prefix));
+                 // Mark as callable even without a Def or native body.
+                 Bound->setNative("bound", nullptr);
+                 return Value::object(Bound);
+               });
+  defineMethod(I, Proto, "toString",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 return Value::str(I.toStringValue(ThisV));
+               });
+
+  // The Function constructor: dynamically generated code, like eval.
+  Object *Ctor = defineGlobalFn(
+      I, "Function",
+      [](Interpreter &I, const Value &,
+         std::vector<Value> &Args) -> Completion {
+        std::string Params;
+        std::string Body;
+        for (size_t Idx = 0; Idx != Args.size(); ++Idx) {
+          if (I.isProxyValue(Args[Idx]))
+            return I.proxyValue();
+          std::string Text = I.toStringValue(Args[Idx]);
+          if (Idx + 1 == Args.size()) {
+            Body = Text;
+          } else {
+            if (!Params.empty())
+              Params += ", ";
+            Params += Text;
+          }
+        }
+        std::string Source =
+            "var __fn = function(" + Params + ") {" + Body + "};";
+        if (I.observer())
+          I.observer()->onEvalCode(I.currentCallSite(), Source);
+        Parser P(I.context(), I.loader().diagnostics());
+        FunctionDef *F =
+            P.parseEval(Source, nullptr, I.currentCallSite());
+        if (!F)
+          return I.throwError("SyntaxError",
+                              "invalid code passed to Function");
+        ScopeResolver(I.context()).resolveFunction(F);
+        Environment *Env = I.heap().newEnvironment(I.globalEnv());
+        Completion C = I.runEvalBody(F, Env);
+        JSAI_PROPAGATE(C);
+        Value *Fn = Env->lookup(I.intern("__fn"));
+        return Fn ? *Fn : Value::undefined();
+      });
+  Ctor->setOwn(I.context().SymPrototype, Value::object(Proto));
+}

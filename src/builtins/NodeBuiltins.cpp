@@ -1,0 +1,433 @@
+//===- NodeBuiltins.cpp - Node.js builtin-module models ---------------------===//
+//
+// In-memory fakes for the Node standard library. Nothing ever touches the
+// host system, which doubles as the paper's sandboxing requirement: during
+// approximate interpretation, side-effectful functions (fs, net, http, ...)
+// behave as mocks that invoke any function arguments and return p*.
+//
+//===----------------------------------------------------------------------===//
+
+#include "builtins/Builtins.h"
+#include "builtins/BuiltinUtil.h"
+
+using namespace jsai;
+
+static Object *newPlain(Interpreter &I) {
+  Object *O = I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+  O->setProto(I.protos().ObjectP);
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// events — a native EventEmitter fallback (benchmark projects usually ship a
+// MiniJS "events" package, which takes precedence in require resolution).
+//===----------------------------------------------------------------------===//
+
+static Value makeEventsModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  // EventEmitter constructor: handlers live in this._events.
+  Object *Ctor = I.heap().newNative(
+      "EventEmitter",
+      [](Interpreter &I, const Value &ThisV,
+         std::vector<Value> &) -> Completion {
+        if (ThisV.isObject() && !ThisV.asObject()->isProxy())
+          ThisV.asObject()->setOwn(I.intern("_events"), I.makeArray({}));
+        return Value::undefined();
+      });
+  Ctor->setProto(I.protos().FunctionP);
+  Object *Proto = newPlain(I);
+  Ctor->setOwn(I.context().SymPrototype, Value::object(Proto));
+  Proto->setOwn(I.context().SymConstructor, Value::object(Ctor));
+
+  defineMethod(I, Proto, "on",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 if (!ThisV.isObject() || ThisV.asObject()->isProxy())
+                   return ThisV;
+                 Object *Self = ThisV.asObject();
+                 std::string Key =
+                     "__on_" + I.toStringValue(argAt(Args, 0));
+                 // One handler list per event name.
+                 auto Existing = Self->getOwn(I.intern(Key));
+                 Value List = Existing ? *Existing : I.makeArray({});
+                 if (List.isObject() &&
+                     List.asObject()->objectClass() == ObjectClass::Array)
+                   List.asObject()->elements().push_back(argAt(Args, 1));
+                 Self->setOwn(I.intern(Key), List);
+                 return ThisV;
+               });
+  defineMethod(I, Proto, "once",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 // Same registration semantics as `on` for analysis purposes.
+                 Completion On = I.getProperty(ThisV, "on", SourceLoc::invalid());
+                 JSAI_PROPAGATE(On);
+                 return I.callValue(On.V, ThisV, Args, I.currentCallSite());
+               });
+  defineMethod(
+      I, Proto, "emit",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        if (!ThisV.isObject() || ThisV.asObject()->isProxy())
+          return Value::boolean(false);
+        Object *Self = ThisV.asObject();
+        std::string Key = "__on_" + I.toStringValue(argAt(Args, 0));
+        auto List = Self->getOwn(I.intern(Key));
+        if (!List || !List->isObject())
+          return Value::boolean(false);
+        std::vector<Value> HandlerArgs(
+            Args.begin() + std::min<size_t>(1, Args.size()), Args.end());
+        for (const Value &H : List->asObject()->elements()) {
+          Completion C =
+              I.callValue(H, ThisV, HandlerArgs, I.currentCallSite());
+          JSAI_PROPAGATE(C);
+        }
+        return Value::boolean(true);
+      });
+  defineMethod(I, Proto, "removeListener",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &) -> Completion { return ThisV; });
+
+  Exports->setOwn(I.intern("EventEmitter"), Value::object(Ctor));
+  // `require('events')` historically returns the constructor itself too.
+  Ctor->setOwn(I.intern("EventEmitter"), Value::object(Ctor));
+  return Value::object(Exports);
+}
+
+//===----------------------------------------------------------------------===//
+// http / net / fs — side-effectful modules, mocked per Section 3.
+//===----------------------------------------------------------------------===//
+
+static Value makeFakeServer(Interpreter &I) {
+  Object *Server = newPlain(I);
+  defineMethod(I, Server, "listen",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 // Never binds a port; invokes the ready callback.
+                 for (const Value &A : Args)
+                   if (A.isObject() && A.asObject()->isCallable()) {
+                     Completion C = I.callValue(A, ThisV, {},
+                                                I.currentCallSite());
+                     JSAI_PROPAGATE(C);
+                   }
+                 return ThisV;
+               });
+  defineMethod(I, Server, "close",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 for (const Value &A : Args)
+                   if (A.isObject() && A.asObject()->isCallable()) {
+                     Completion C = I.callValue(A, ThisV, {},
+                                                I.currentCallSite());
+                     JSAI_PROPAGATE(C);
+                   }
+                 return ThisV;
+               });
+  defineMethod(I, Server, "on",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &) -> Completion { return ThisV; });
+  defineMethod(I, Server, "address",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &) -> Completion {
+                 Object *Addr = I.heap().newObject(ObjectClass::Plain,
+                                                   SourceLoc::invalid());
+                 Addr->setProto(I.protos().ObjectP);
+                 Addr->setOwn(I.intern("port"), Value::number(8080));
+                 return Value::object(Addr);
+               });
+  return Value::object(Server);
+}
+
+static Value makeHttpModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  defineMethod(
+      I, Exports, "createServer",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args)
+          -> Completion {
+        if (I.options().ApproxMode)
+          return mockSideEffectful(I, Args);
+        Value Server = makeFakeServer(I);
+        // Remember the request handler so tests can drive it via
+        // server.__handler.
+        if (!Args.empty())
+          Server.asObject()->setOwn(I.intern("__handler"), Args[0]);
+        return Server;
+      });
+  auto RequestFn = [](Interpreter &I, const Value &,
+                      std::vector<Value> &Args) -> Completion {
+    if (I.options().ApproxMode)
+      return mockSideEffectful(I, Args);
+    // Invoke the response callback with a fake response object.
+    Object *Res = newPlain(I);
+    Res->setOwn(I.intern("statusCode"), Value::number(200));
+    defineMethod(I, Res, "on",
+                 [](Interpreter &, const Value &ThisV,
+                    std::vector<Value> &) -> Completion { return ThisV; });
+    for (const Value &A : Args)
+      if (A.isObject() && A.asObject()->isCallable()) {
+        Completion C = I.callValue(A, Value::undefined(),
+                                   {Value::object(Res)}, I.currentCallSite());
+        JSAI_PROPAGATE(C);
+      }
+    return makeFakeServer(I);
+  };
+  defineMethod(I, Exports, "get", RequestFn);
+  defineMethod(I, Exports, "request", RequestFn);
+  return Value::object(Exports);
+}
+
+static Value makeNetModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  defineMethod(I, Exports, "createServer",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 if (I.options().ApproxMode)
+                   return mockSideEffectful(I, Args);
+                 return makeFakeServer(I);
+               });
+  defineMethod(I, Exports, "connect",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 if (I.options().ApproxMode)
+                   return mockSideEffectful(I, Args);
+                 Object *Socket = newPlain(I);
+                 defineMethod(I, Socket, "on",
+                              [](Interpreter &, const Value &ThisV,
+                                 std::vector<Value> &) -> Completion {
+                                return ThisV;
+                              });
+                 defineMethod(I, Socket, "write",
+                              [](Interpreter &, const Value &,
+                                 std::vector<Value> &) -> Completion {
+                                return Value::boolean(true);
+                              });
+                 defineMethod(I, Socket, "end",
+                              [](Interpreter &, const Value &,
+                                 std::vector<Value> &) -> Completion {
+                                return Value::undefined();
+                              });
+                 for (const Value &A : Args)
+                   if (A.isObject() && A.asObject()->isCallable()) {
+                     Completion C = I.callValue(A, Value::object(Socket), {},
+                                                I.currentCallSite());
+                     JSAI_PROPAGATE(C);
+                   }
+                 return Value::object(Socket);
+               });
+  return Value::object(Exports);
+}
+
+static Value makeFsModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  defineMethod(
+      I, Exports, "readFile",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args)
+          -> Completion {
+        if (I.options().ApproxMode)
+          return mockSideEffectful(I, Args);
+        for (const Value &A : Args)
+          if (A.isObject() && A.asObject()->isCallable())
+            return I.callValue(A, Value::undefined(),
+                               {Value::null(), Value::str("<fake contents>")},
+                               I.currentCallSite());
+        return Value::undefined();
+      });
+  defineMethod(I, Exports, "readFileSync",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 if (I.options().ApproxMode)
+                   return mockSideEffectful(I, Args);
+                 return Value::str("<fake contents>");
+               });
+  defineMethod(
+      I, Exports, "writeFile",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args)
+          -> Completion {
+        if (I.options().ApproxMode)
+          return mockSideEffectful(I, Args);
+        for (const Value &A : Args)
+          if (A.isObject() && A.asObject()->isCallable())
+            return I.callValue(A, Value::undefined(), {Value::null()},
+                               I.currentCallSite());
+        return Value::undefined();
+      });
+  defineMethod(I, Exports, "writeFileSync",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 if (I.options().ApproxMode)
+                   return mockSideEffectful(I, Args);
+                 return Value::undefined();
+               });
+  defineMethod(I, Exports, "existsSync",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &) -> Completion {
+                 return Value::boolean(false);
+               });
+  defineMethod(
+      I, Exports, "readdir",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args)
+          -> Completion {
+        if (I.options().ApproxMode)
+          return mockSideEffectful(I, Args);
+        for (const Value &A : Args)
+          if (A.isObject() && A.asObject()->isCallable())
+            return I.callValue(A, Value::undefined(),
+                               {Value::null(), I.makeArray({})},
+                               I.currentCallSite());
+        return Value::undefined();
+      });
+  defineMethod(I, Exports, "readdirSync",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &) -> Completion {
+                 return I.makeArray({});
+               });
+  return Value::object(Exports);
+}
+
+//===----------------------------------------------------------------------===//
+// path / util — pure helpers, identical in both modes.
+//===----------------------------------------------------------------------===//
+
+static Value makePathModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  defineMethod(I, Exports, "join",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string Out;
+                 for (const Value &A : Args) {
+                   if (I.isProxyValue(A))
+                     return I.proxyValue();
+                   std::string Part = I.toStringValue(A);
+                   if (Part.empty())
+                     continue;
+                   if (!Out.empty() && Out.back() != '/')
+                     Out += '/';
+                   Out += Part;
+                 }
+                 return Value::str(FileSystem::normalizePath(Out));
+               });
+  defineMethod(I, Exports, "resolve",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string Out;
+                 for (const Value &A : Args) {
+                   if (I.isProxyValue(A))
+                     return I.proxyValue();
+                   std::string Part = I.toStringValue(A);
+                   if (!Out.empty() && Out.back() != '/')
+                     Out += '/';
+                   Out += Part;
+                 }
+                 return Value::str("/" + FileSystem::normalizePath(Out));
+               });
+  defineMethod(I, Exports, "basename",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = I.toStringValue(argAt(Args, 0));
+                 size_t Slash = S.rfind('/');
+                 return Value::str(
+                     Slash == std::string::npos ? S : S.substr(Slash + 1));
+               });
+  defineMethod(I, Exports, "dirname",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = I.toStringValue(argAt(Args, 0));
+                 size_t Slash = S.rfind('/');
+                 return Value::str(
+                     Slash == std::string::npos ? "." : S.substr(0, Slash));
+               });
+  defineMethod(I, Exports, "extname",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = I.toStringValue(argAt(Args, 0));
+                 size_t Dot = S.rfind('.');
+                 size_t Slash = S.rfind('/');
+                 if (Dot == std::string::npos ||
+                     (Slash != std::string::npos && Dot < Slash))
+                   return Value::str("");
+                 return Value::str(S.substr(Dot));
+               });
+  Exports->setOwn(I.intern("sep"), Value::str("/"));
+  return Value::object(Exports);
+}
+
+static Value makeUtilModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  defineMethod(
+      I, Exports, "inherits",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args)
+          -> Completion {
+        Value Ctor = argAt(Args, 0);
+        Value Super = argAt(Args, 1);
+        if (!Ctor.isObject() || !Super.isObject() ||
+            Ctor.asObject()->isProxy() || Super.asObject()->isProxy())
+          return Value::undefined();
+        auto CtorProto = Ctor.asObject()->getOwn(I.context().SymPrototype);
+        auto SuperProto = Super.asObject()->getOwn(I.context().SymPrototype);
+        if (CtorProto && CtorProto->isObject() && SuperProto &&
+            SuperProto->isObject())
+          CtorProto->asObject()->setProto(SuperProto->asObject());
+        Ctor.asObject()->setOwn(I.intern("super_"), Super);
+        return Value::undefined();
+      });
+  defineMethod(I, Exports, "format",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string Out;
+                 for (size_t Idx = 0; Idx != Args.size(); ++Idx) {
+                   if (Idx)
+                     Out += ' ';
+                   Out += I.toStringValue(Args[Idx]);
+                 }
+                 return Value::str(std::move(Out));
+               });
+  defineMethod(I, Exports, "isArray",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 return Value::boolean(
+                     Arg.isObject() &&
+                     Arg.asObject()->objectClass() == ObjectClass::Array);
+               });
+  return Value::object(Exports);
+}
+
+//===----------------------------------------------------------------------===//
+// child_process — the canonical "exec" family (always mocked).
+//===----------------------------------------------------------------------===//
+
+static Value makeChildProcessModule(Interpreter &I) {
+  Object *Exports = newPlain(I);
+  auto ExecFn = [](Interpreter &I, const Value &,
+                   std::vector<Value> &Args) -> Completion {
+    // Never executes anything; invokes callbacks with fake output.
+    if (I.options().ApproxMode)
+      return mockSideEffectful(I, Args);
+    for (const Value &A : Args)
+      if (A.isObject() && A.asObject()->isCallable())
+        return I.callValue(A, Value::undefined(),
+                           {Value::null(), Value::str(""), Value::str("")},
+                           I.currentCallSite());
+    return Value::undefined();
+  };
+  defineMethod(I, Exports, "exec", ExecFn);
+  defineMethod(I, Exports, "execSync",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 if (I.options().ApproxMode)
+                   return mockSideEffectful(I, Args);
+                 return Value::str("");
+               });
+  defineMethod(I, Exports, "spawn", ExecFn);
+  return Value::object(Exports);
+}
+
+void jsai::installNodeBuiltins(Interpreter &I) {
+  I.registerBuiltinModule("events", makeEventsModule(I));
+  I.registerBuiltinModule("http", makeHttpModule(I));
+  I.registerBuiltinModule("net", makeNetModule(I));
+  I.registerBuiltinModule("fs", makeFsModule(I));
+  I.registerBuiltinModule("path", makePathModule(I));
+  I.registerBuiltinModule("util", makeUtilModule(I));
+  I.registerBuiltinModule("child_process", makeChildProcessModule(I));
+}

@@ -1,0 +1,321 @@
+//===- ObjectBuiltins.cpp - Object constructor and statics ------------------===//
+//
+// Object.create is modeled as object construction and Object.defineProperty /
+// Object.defineProperties / Object.assign as dynamic property writes, exactly
+// as Section 3 of the paper prescribes for native ECMAScript functions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "builtins/Builtins.h"
+#include "builtins/BuiltinUtil.h"
+#include "support/JsNumber.h"
+
+using namespace jsai;
+
+/// Own enumerable keys of \p O as string values (array indices first for
+/// arrays, matching engine order).
+static std::vector<Value> ownKeyStrings(Interpreter &I, Object *O,
+                                        bool IncludeLength) {
+  std::vector<Value> Keys;
+  if (O->objectClass() == ObjectClass::Array ||
+      O->objectClass() == ObjectClass::Arguments) {
+    for (size_t Idx = 0; Idx != O->elements().size(); ++Idx)
+      Keys.push_back(Value::str(jsNumberToString(double(Idx))));
+    if (IncludeLength)
+      Keys.push_back(Value::str("length"));
+  }
+  for (Symbol Key : O->ownKeys())
+    Keys.push_back(Value::str(I.strings().str(Key)));
+  return Keys;
+}
+
+/// Performs one descriptor-based property definition; fires the dynamic
+/// write observation for the stored value (or, for accessor descriptors,
+/// the getter function — the dataflow that matters for call graphs).
+static void definePropertyFromDescriptor(Interpreter &I, Object *Target,
+                                         const std::string &Name,
+                                         const Value &Desc) {
+  if (!Desc.isObject() || Desc.asObject()->isProxy())
+    return;
+  Object *D = Desc.asObject();
+  auto AsFn = [](std::optional<Value> V) -> Object * {
+    return V && V->isObject() && V->asObject()->isCallable() ? V->asObject()
+                                                             : nullptr;
+  };
+  Object *Getter = AsFn(D->getOwn(I.intern("get")));
+  Object *Setter = AsFn(D->getOwn(I.intern("set")));
+  if (Getter || Setter) {
+    if (I.observer() && Getter)
+      I.observer()->onDynamicWrite(I.currentCallSite(), Target, Name,
+                                   Value::object(Getter));
+    Target->setAccessor(I.intern(Name), Getter, Setter);
+    return;
+  }
+  std::optional<Value> V = D->getOwn(I.intern("value"));
+  if (!V)
+    return;
+  I.dynamicWriteByBuiltin(Target, Name, *V);
+}
+
+void jsai::installObjectBuiltins(Interpreter &I) {
+  // The Object constructor.
+  Object *Ctor = defineGlobalFn(
+      I, "Object",
+      [](Interpreter &I, const Value &,
+         std::vector<Value> &Args) -> Completion {
+        Value Arg = argAt(Args, 0);
+        if (Arg.isObject())
+          return Arg;
+        Object *O = I.heap().newObject(ObjectClass::Plain,
+                                       I.currentCallSite());
+        O->setProto(I.protos().ObjectP);
+        if (I.observer())
+          I.observer()->onObjectCreated(O);
+        return Value::object(O);
+      });
+  Ctor->setOwn(I.context().SymPrototype, Value::object(I.protos().ObjectP));
+
+  defineMethod(I, Ctor, "keys",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 if (!Arg.isObject() || Arg.asObject()->isProxy())
+                   return I.makeArray({});
+                 return I.makeArray(
+                     ownKeyStrings(I, Arg.asObject(), /*IncludeLength=*/false));
+               });
+  defineMethod(I, Ctor, "getOwnPropertyNames",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 if (!Arg.isObject() || Arg.asObject()->isProxy())
+                   return I.makeArray({});
+                 return I.makeArray(
+                     ownKeyStrings(I, Arg.asObject(), /*IncludeLength=*/true));
+               });
+  defineMethod(
+      I, Ctor, "values",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        Value Arg = argAt(Args, 0);
+        if (!Arg.isObject() || Arg.asObject()->isProxy())
+          return I.makeArray({});
+        Object *O = Arg.asObject();
+        std::vector<Value> Out;
+        if (O->objectClass() == ObjectClass::Array)
+          Out = O->elements();
+        for (Symbol Key : O->ownKeys()) {
+          Completion V =
+              I.getProperty(Arg, I.strings().str(Key), SourceLoc::invalid());
+          JSAI_PROPAGATE(V);
+          Out.push_back(V.V);
+        }
+        return I.makeArray(std::move(Out));
+      });
+  defineMethod(
+      I, Ctor, "entries",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        Value Arg = argAt(Args, 0);
+        if (!Arg.isObject() || Arg.asObject()->isProxy())
+          return I.makeArray({});
+        Object *O = Arg.asObject();
+        std::vector<Value> Out;
+        for (Symbol Key : O->ownKeys()) {
+          Completion V =
+              I.getProperty(Arg, I.strings().str(Key), SourceLoc::invalid());
+          JSAI_PROPAGATE(V);
+          Out.push_back(
+              I.makeArray({Value::str(I.strings().str(Key)), V.V}));
+        }
+        return I.makeArray(std::move(Out));
+      });
+  defineMethod(
+      I, Ctor, "getOwnPropertyDescriptor",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        Value Arg = argAt(Args, 0);
+        Value NameV = argAt(Args, 1);
+        if (!Arg.isObject() || Arg.asObject()->isProxy() ||
+            I.isProxyValue(NameV))
+          return I.isProxyValue(Arg) ? Completion(I.proxyValue())
+                                     : Completion(Value::undefined());
+        std::string Name = I.toStringValue(NameV);
+        Object *O = Arg.asObject();
+        Object *Desc =
+            I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
+        Desc->setProto(I.protos().ObjectP);
+        // Accessor properties surface as {get, set} descriptors, so the
+        // merge-descriptors idiom copies accessors faithfully.
+        if (const PropertySlot *Slot = O->getOwnSlot(I.intern(Name));
+            Slot && Slot->isAccessor()) {
+          Desc->setOwn(I.intern("get"), Slot->Getter
+                                            ? Value::object(Slot->Getter)
+                                            : Value::undefined());
+          Desc->setOwn(I.intern("set"), Slot->Setter
+                                            ? Value::object(Slot->Setter)
+                                            : Value::undefined());
+          Desc->setOwn(I.intern("enumerable"), Value::boolean(true));
+          Desc->setOwn(I.intern("configurable"), Value::boolean(true));
+          return Value::object(Desc);
+        }
+        Completion PropC = I.getProperty(Arg, Name, SourceLoc::invalid());
+        JSAI_PROPAGATE(PropC);
+        bool IsIndex = O->objectClass() == ObjectClass::Array &&
+                       !PropC.V.isUndefined();
+        if (!O->hasOwn(I.intern(Name)) && !IsIndex)
+          return Value::undefined();
+        Desc->setOwn(I.intern("value"), PropC.V);
+        Desc->setOwn(I.intern("writable"), Value::boolean(true));
+        Desc->setOwn(I.intern("enumerable"), Value::boolean(true));
+        Desc->setOwn(I.intern("configurable"), Value::boolean(true));
+        return Value::object(Desc);
+      });
+  defineMethod(
+      I, Ctor, "defineProperty",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        Value Target = argAt(Args, 0);
+        Value NameV = argAt(Args, 1);
+        if (!Target.isObject())
+          return I.throwError("TypeError",
+                              "Object.defineProperty called on non-object");
+        if (Target.asObject()->isProxy() || I.isProxyValue(NameV))
+          return Target;
+        definePropertyFromDescriptor(I, Target.asObject(),
+                                     I.toStringValue(NameV), argAt(Args, 2));
+        return Target;
+      });
+  defineMethod(
+      I, Ctor, "defineProperties",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        Value Target = argAt(Args, 0);
+        Value Props = argAt(Args, 1);
+        if (!Target.isObject())
+          return I.throwError("TypeError",
+                              "Object.defineProperties called on non-object");
+        if (Target.asObject()->isProxy() || !Props.isObject() ||
+            Props.asObject()->isProxy())
+          return Target;
+        Object *P = Props.asObject();
+        for (Symbol Key : P->ownKeys())
+          if (auto D = P->getOwn(Key))
+            definePropertyFromDescriptor(I, Target.asObject(),
+                                         I.strings().str(Key), *D);
+        return Target;
+      });
+  defineMethod(
+      I, Ctor, "assign",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        Value Target = argAt(Args, 0);
+        if (!Target.isObject() || Target.asObject()->isProxy())
+          return Target;
+        Object *Dst = Target.asObject();
+        for (size_t Idx = 1; Idx < Args.size(); ++Idx) {
+          const Value &Src = Args[Idx];
+          if (!Src.isObject() || Src.asObject()->isProxy())
+            continue;
+          Object *S = Src.asObject();
+          if (S->objectClass() == ObjectClass::Array)
+            for (size_t El = 0; El != S->elements().size(); ++El)
+              I.dynamicWriteByBuiltin(Dst, jsNumberToString(double(El)),
+                                      S->elements()[El]);
+          for (Symbol Key : S->ownKeys()) {
+            // Reads invoke getters, as Object.assign does in real JS.
+            Completion V =
+                I.getProperty(Src, I.strings().str(Key), SourceLoc::invalid());
+            JSAI_PROPAGATE(V);
+            I.dynamicWriteByBuiltin(Dst, I.strings().str(Key), V.V);
+          }
+        }
+        return Target;
+      });
+  defineMethod(
+      I, Ctor, "create",
+      [](Interpreter &I, const Value &, std::vector<Value> &Args) -> Completion {
+        // A form of object construction (Section 3): the allocation site is
+        // the Object.create call site.
+        Object *O =
+            I.heap().newObject(ObjectClass::Plain, I.currentCallSite());
+        Value ProtoV = argAt(Args, 0);
+        O->setProto(ProtoV.isObject() && !ProtoV.asObject()->isProxy()
+                        ? ProtoV.asObject()
+                        : nullptr);
+        if (I.observer())
+          I.observer()->onObjectCreated(O);
+        Value Props = argAt(Args, 1);
+        if (Props.isObject() && !Props.asObject()->isProxy()) {
+          Object *P = Props.asObject();
+          for (Symbol Key : P->ownKeys())
+            if (auto D = P->getOwn(Key))
+              definePropertyFromDescriptor(I, O, I.strings().str(Key), *D);
+        }
+        return Value::object(O);
+      });
+  defineMethod(I, Ctor, "getPrototypeOf",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 if (!Arg.isObject() || Arg.asObject()->isProxy())
+                   return Value::null();
+                 Object *P = Arg.asObject()->proto();
+                 return P ? Value::object(P) : Value::null();
+               });
+  defineMethod(I, Ctor, "setPrototypeOf",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 Value ProtoV = argAt(Args, 1);
+                 if (Arg.isObject() && !Arg.asObject()->isProxy())
+                   Arg.asObject()->setProto(
+                       ProtoV.isObject() && !ProtoV.asObject()->isProxy()
+                           ? ProtoV.asObject()
+                           : nullptr);
+                 return Arg;
+               });
+  for (const char *Identity : {"freeze", "seal", "preventExtensions"})
+    defineMethod(I, Ctor, Identity,
+                 [](Interpreter &, const Value &,
+                    std::vector<Value> &Args) -> Completion {
+                   return argAt(Args, 0);
+                 });
+
+  // Object.prototype methods.
+  Object *Proto = I.protos().ObjectP;
+  defineMethod(I, Proto, "hasOwnProperty",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 Value NameV = argAt(Args, 0);
+                 if (!ThisV.isObject() || ThisV.asObject()->isProxy() ||
+                     I.isProxyValue(NameV))
+                   return Value::boolean(false);
+                 std::string Name = I.toStringValue(NameV);
+                 Object *O = ThisV.asObject();
+                 if (O->objectClass() == ObjectClass::Array) {
+                   size_t Idx = 0;
+                   bool AllDigits = !Name.empty();
+                   for (char C : Name)
+                     AllDigits = AllDigits && C >= '0' && C <= '9';
+                   if (AllDigits) {
+                     Idx = size_t(jsStringToNumber(Name));
+                     return Value::boolean(Idx < O->elements().size());
+                   }
+                 }
+                 return Value::boolean(O->hasOwn(I.intern(Name)));
+               });
+  defineMethod(I, Proto, "toString",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 return Value::str(I.toStringValue(ThisV));
+               });
+  defineMethod(I, Proto, "valueOf",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &) -> Completion { return ThisV; });
+  defineMethod(I, Proto, "isPrototypeOf",
+               [](Interpreter &, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 if (!ThisV.isObject() || !Arg.isObject())
+                   return Value::boolean(false);
+                 for (Object *O = Arg.asObject()->proto(); O; O = O->proto())
+                   if (O == ThisV.asObject())
+                     return Value::boolean(true);
+                 return Value::boolean(false);
+               });
+}

@@ -1,0 +1,314 @@
+//===- StringBuiltins.cpp - String constructor and prototype ----------------===//
+
+#include "builtins/Builtins.h"
+#include "builtins/BuiltinUtil.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+using namespace jsai;
+
+/// ThisV as a string (method receivers are primitives here).
+static std::string thisString(Interpreter &I, const Value &ThisV) {
+  return I.toStringValue(ThisV);
+}
+
+void jsai::installStringBuiltins(Interpreter &I) {
+  Object *Ctor = defineGlobalFn(
+      I, "String",
+      [](Interpreter &I, const Value &,
+         std::vector<Value> &Args) -> Completion {
+        if (Args.empty())
+          return Value::str("");
+        if (I.isProxyValue(Args[0]))
+          return I.proxyValue();
+        return Value::str(I.toStringValue(Args[0]));
+      });
+  Ctor->setOwn(I.context().SymPrototype, Value::object(I.protos().StringP));
+  defineMethod(I, Ctor, "fromCharCode",
+               [](Interpreter &I, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string Out;
+                 for (const Value &A : Args)
+                   Out.push_back(char(int(I.toNumberValue(A)) & 0xff));
+                 return Value::str(std::move(Out));
+               });
+
+  Object *Proto = I.protos().StringP;
+
+  defineMethod(I, Proto, "charAt",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 double Idx = I.toNumberValue(argAt(Args, 0));
+                 if (Idx < 0 || Idx >= double(S.size()) || std::isnan(Idx))
+                   return Value::str("");
+                 return Value::str(std::string(1, S[size_t(Idx)]));
+               });
+  defineMethod(I, Proto, "charCodeAt",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 double Idx = I.toNumberValue(argAt(Args, 0));
+                 if (std::isnan(Idx))
+                   Idx = 0;
+                 if (Idx < 0 || Idx >= double(S.size()))
+                   return Value::number(std::nan(""));
+                 return Value::number(
+                     double(static_cast<unsigned char>(S[size_t(Idx)])));
+               });
+  defineMethod(I, Proto, "indexOf",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 std::string Needle = I.toStringValue(argAt(Args, 0));
+                 size_t Pos = S.find(Needle);
+                 return Value::number(
+                     Pos == std::string::npos ? -1 : double(Pos));
+               });
+  defineMethod(I, Proto, "lastIndexOf",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 std::string Needle = I.toStringValue(argAt(Args, 0));
+                 size_t Pos = S.rfind(Needle);
+                 return Value::number(
+                     Pos == std::string::npos ? -1 : double(Pos));
+               });
+  defineMethod(I, Proto, "includes",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 return Value::boolean(
+                     S.find(I.toStringValue(argAt(Args, 0))) !=
+                     std::string::npos);
+               });
+  defineMethod(I, Proto, "startsWith",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 std::string Prefix = I.toStringValue(argAt(Args, 0));
+                 return Value::boolean(S.rfind(Prefix, 0) == 0);
+               });
+  defineMethod(I, Proto, "endsWith",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 std::string Suffix = I.toStringValue(argAt(Args, 0));
+                 if (Suffix.size() > S.size())
+                   return Value::boolean(false);
+                 return Value::boolean(
+                     S.compare(S.size() - Suffix.size(), Suffix.size(),
+                               Suffix) == 0);
+               });
+  defineMethod(
+      I, Proto, "slice",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        std::string S = thisString(I, ThisV);
+        double Len = double(S.size());
+        double Start = Args.empty() ? 0 : I.toNumberValue(Args[0]);
+        double End = Args.size() < 2 || Args[1].isUndefined()
+                         ? Len
+                         : I.toNumberValue(Args[1]);
+        if (Start < 0)
+          Start = std::max(0.0, Len + Start);
+        if (End < 0)
+          End = std::max(0.0, Len + End);
+        Start = std::min(Start, Len);
+        End = std::min(End, Len);
+        if (End <= Start)
+          return Value::str("");
+        return Value::str(S.substr(size_t(Start), size_t(End - Start)));
+      });
+  defineMethod(
+      I, Proto, "substring",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        std::string S = thisString(I, ThisV);
+        double Len = double(S.size());
+        double Start = Args.empty() ? 0 : I.toNumberValue(Args[0]);
+        double End = Args.size() < 2 || Args[1].isUndefined()
+                         ? Len
+                         : I.toNumberValue(Args[1]);
+        Start = std::clamp(std::isnan(Start) ? 0 : Start, 0.0, Len);
+        End = std::clamp(std::isnan(End) ? 0 : End, 0.0, Len);
+        if (Start > End)
+          std::swap(Start, End);
+        return Value::str(S.substr(size_t(Start), size_t(End - Start)));
+      });
+  defineMethod(I, Proto, "substr",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 double Len = double(S.size());
+                 double Start = Args.empty() ? 0 : I.toNumberValue(Args[0]);
+                 if (Start < 0)
+                   Start = std::max(0.0, Len + Start);
+                 double Count = Args.size() < 2 ? Len - Start
+                                                : I.toNumberValue(Args[1]);
+                 Start = std::min(Start, Len);
+                 Count = std::clamp(Count, 0.0, Len - Start);
+                 return Value::str(S.substr(size_t(Start), size_t(Count)));
+               });
+  defineMethod(I, Proto, "toUpperCase",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 for (char &C : S)
+                   C = char(std::toupper(static_cast<unsigned char>(C)));
+                 return Value::str(std::move(S));
+               });
+  defineMethod(I, Proto, "toLowerCase",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 for (char &C : S)
+                   C = char(std::tolower(static_cast<unsigned char>(C)));
+                 return Value::str(std::move(S));
+               });
+  defineMethod(I, Proto, "trim",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 size_t B = S.find_first_not_of(" \t\r\n");
+                 if (B == std::string::npos)
+                   return Value::str("");
+                 size_t E = S.find_last_not_of(" \t\r\n");
+                 return Value::str(S.substr(B, E - B + 1));
+               });
+  defineMethod(
+      I, Proto, "split",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        std::string S = thisString(I, ThisV);
+        std::vector<Value> Out;
+        if (Args.empty() || Args[0].isUndefined()) {
+          Out.push_back(Value::str(S));
+        } else {
+          std::string Sep = I.toStringValue(Args[0]);
+          if (Sep.empty()) {
+            for (char C : S)
+              Out.push_back(Value::str(std::string(1, C)));
+          } else {
+            size_t Pos = 0;
+            while (true) {
+              size_t Next = S.find(Sep, Pos);
+              if (Next == std::string::npos) {
+                Out.push_back(Value::str(S.substr(Pos)));
+                break;
+              }
+              Out.push_back(Value::str(S.substr(Pos, Next - Pos)));
+              Pos = Next + Sep.size();
+            }
+          }
+        }
+        Object *A = I.heap().newArray(I.currentCallSite(), std::move(Out));
+        A->setProto(I.protos().ArrayP);
+        if (I.observer())
+          I.observer()->onObjectCreated(A);
+        return Value::object(A);
+      });
+  defineMethod(
+      I, Proto, "replace",
+      [](Interpreter &I, const Value &ThisV, std::vector<Value> &Args)
+          -> Completion {
+        // String patterns only (MiniJS has no regular expressions).
+        std::string S = thisString(I, ThisV);
+        std::string Needle = I.toStringValue(argAt(Args, 0));
+        Value Repl = argAt(Args, 1);
+        size_t Pos = Needle.empty() ? std::string::npos : S.find(Needle);
+        if (Pos == std::string::npos)
+          return Value::str(std::move(S));
+        std::string With;
+        if (Repl.isObject() && Repl.asObject()->isCallable()) {
+          Completion C = I.callValue(Repl, Value::undefined(),
+                                     {Value::str(Needle),
+                                      Value::number(double(Pos)),
+                                      Value::str(S)},
+                                     I.currentCallSite());
+          JSAI_PROPAGATE(C);
+          With = I.toStringValue(C.V);
+        } else {
+          With = I.toStringValue(Repl);
+        }
+        return Value::str(S.substr(0, Pos) + With +
+                          S.substr(Pos + Needle.size()));
+      });
+  defineMethod(I, Proto, "concat",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 for (const Value &A : Args)
+                   S += I.toStringValue(A);
+                 return Value::str(std::move(S));
+               });
+  defineMethod(I, Proto, "repeat",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 std::string S = thisString(I, ThisV);
+                 double N = I.toNumberValue(argAt(Args, 0));
+                 if (N < 0 || std::isnan(N) || N > 10000)
+                   return I.throwError("RangeError",
+                                       "invalid string repeat count");
+                 std::string Out;
+                 for (int K = 0; K < int(N); ++K)
+                   Out += S;
+                 return Value::str(std::move(Out));
+               });
+  defineMethod(I, Proto, "toString",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 return Value::str(thisString(I, ThisV));
+               });
+
+  // Number constructor and prototype basics live here too (small enough).
+  Object *NumCtor = defineGlobalFn(
+      I, "Number",
+      [](Interpreter &I, const Value &,
+         std::vector<Value> &Args) -> Completion {
+        if (Args.empty())
+          return Value::number(0);
+        if (I.isProxyValue(Args[0]))
+          return I.proxyValue();
+        return Value::number(I.toNumberValue(Args[0]));
+      });
+  NumCtor->setOwn(I.context().SymPrototype,
+                  Value::object(I.protos().NumberP));
+  defineMethod(I, NumCtor, "isInteger",
+               [](Interpreter &, const Value &,
+                  std::vector<Value> &Args) -> Completion {
+                 Value Arg = argAt(Args, 0);
+                 if (!Arg.isNumber())
+                   return Value::boolean(false);
+                 double D = Arg.asNumber();
+                 return Value::boolean(std::isfinite(D) && D == std::floor(D));
+               });
+  defineMethod(I, I.protos().NumberP, "toString",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &) -> Completion {
+                 return Value::str(I.toStringValue(ThisV));
+               });
+  defineMethod(I, I.protos().NumberP, "toFixed",
+               [](Interpreter &I, const Value &ThisV,
+                  std::vector<Value> &Args) -> Completion {
+                 double D = I.toNumberValue(ThisV);
+                 int Digits = int(I.toNumberValue(argAt(Args, 0)));
+                 if (Digits < 0 || Digits > 20)
+                   Digits = 0;
+                 char Buf[64];
+                 std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, D);
+                 return Value::str(Buf);
+               });
+
+  Object *BoolCtor = defineGlobalFn(
+      I, "Boolean",
+      [](Interpreter &, const Value &,
+         std::vector<Value> &Args) -> Completion {
+        return Value::boolean(argAt(Args, 0).toBoolean());
+      });
+  BoolCtor->setOwn(I.context().SymPrototype,
+                   Value::object(I.protos().BooleanP));
+}

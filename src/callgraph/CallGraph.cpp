@@ -1,0 +1,37 @@
+//===- CallGraph.cpp ------------------------------------------------------===//
+
+#include "callgraph/CallGraph.h"
+
+using namespace jsai;
+
+bool CallGraph::hasEdge(SourceLoc Site, SourceLoc Callee) const {
+  auto It = Edges.find(Site);
+  return It != Edges.end() && It->second.count(Callee) != 0;
+}
+
+const std::set<SourceLoc> &CallGraph::calleesOf(SourceLoc Site) const {
+  auto It = Edges.find(Site);
+  return It == Edges.end() ? EmptySet : It->second;
+}
+
+size_t CallGraph::numEdges() const {
+  size_t Total = 0;
+  for (const auto &[Site, Callees] : Edges)
+    Total += Callees.size();
+  return Total;
+}
+
+std::set<SourceLoc> CallGraph::allCallees() const {
+  std::set<SourceLoc> Out;
+  for (const auto &[Site, Callees] : Edges)
+    Out.insert(Callees.begin(), Callees.end());
+  return Out;
+}
+
+std::string CallGraph::toText(const FileTable &Files) const {
+  std::string Out;
+  for (const auto &[Site, Callees] : Edges)
+    for (const SourceLoc &Callee : Callees)
+      Out += Files.format(Site) + " -> " + Files.format(Callee) + "\n";
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- CallGraph.h - Location-keyed call graphs -----------------*- C++ -*-===//
+///
+/// \file
+/// Call graphs as sets of (call-site location, callee-definition location)
+/// pairs — the common representation of the static analysis and the dynamic
+/// call-graph recorder, so recall and precision are direct set comparisons
+/// (Section 5's metrics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CALLGRAPH_CALLGRAPH_H
+#define JSAI_CALLGRAPH_CALLGRAPH_H
+
+#include "support/SourceLoc.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace jsai {
+
+/// A call graph over source locations.
+class CallGraph {
+public:
+  void addEdge(SourceLoc Site, SourceLoc Callee) {
+    Edges[Site].insert(Callee);
+  }
+
+  bool hasEdge(SourceLoc Site, SourceLoc Callee) const;
+
+  /// Callees of \p Site (empty set when unresolved).
+  const std::set<SourceLoc> &calleesOf(SourceLoc Site) const;
+
+  /// All (site -> callees) entries, ordered.
+  const std::map<SourceLoc, std::set<SourceLoc>> &edges() const {
+    return Edges;
+  }
+
+  size_t numEdges() const;
+  size_t numSites() const { return Edges.size(); }
+
+  /// Every callee that appears in some edge.
+  std::set<SourceLoc> allCallees() const;
+
+  std::string toText(const FileTable &Files) const;
+
+private:
+  std::map<SourceLoc, std::set<SourceLoc>> Edges;
+  std::set<SourceLoc> EmptySet;
+};
+
+} // namespace jsai
+
+#endif // JSAI_CALLGRAPH_CALLGRAPH_H

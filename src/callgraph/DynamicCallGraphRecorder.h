@@ -1,0 +1,47 @@
+//===- DynamicCallGraphRecorder.h - Dynamic CG capture ----------*- C++ -*-===//
+///
+/// \file
+/// Observer that records the dynamic call graph of a concrete execution
+/// (the role NodeProf plays for the paper): every invocation of a
+/// program-defined function from a real call site becomes an edge. Module
+/// functions and functions defined in eval code are excluded (they have no
+/// statically meaningful identity), matching the evaluation's methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CALLGRAPH_DYNAMICCALLGRAPHRECORDER_H
+#define JSAI_CALLGRAPH_DYNAMICCALLGRAPHRECORDER_H
+
+#include "callgraph/CallGraph.h"
+#include "interp/Observer.h"
+
+#include <set>
+
+namespace jsai {
+
+/// Records dynamic call edges and coverage while a test driver runs.
+class DynamicCallGraphRecorder : public InterpObserver {
+public:
+  void onCall(SourceLoc CallSite, FunctionDef *Callee) override {
+    if (Callee->isModule() || Callee->isInEval())
+      return;
+    ReachedFunctions.insert(Callee->loc());
+    if (!CallSite.isValid())
+      return;
+    CG.addEdge(CallSite, Callee->loc());
+  }
+
+  const CallGraph &callGraph() const { return CG; }
+  /// Functions executed at least once (regardless of call-site validity).
+  const std::set<SourceLoc> &reachedFunctions() const {
+    return ReachedFunctions;
+  }
+
+private:
+  CallGraph CG;
+  std::set<SourceLoc> ReachedFunctions;
+};
+
+} // namespace jsai
+
+#endif // JSAI_CALLGRAPH_DYNAMICCALLGRAPHRECORDER_H

@@ -1,0 +1,40 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+
+#include "callgraph/Metrics.h"
+
+using namespace jsai;
+
+RecallPrecision jsai::compareCallGraphs(const CallGraph &Static,
+                                        const CallGraph &Dynamic) {
+  RecallPrecision R;
+
+  // Call-edge-set recall.
+  for (const auto &[Site, Callees] : Dynamic.edges()) {
+    for (const SourceLoc &Callee : Callees) {
+      ++R.DynamicEdges;
+      if (Static.hasEdge(Site, Callee))
+        ++R.MatchedEdges;
+    }
+  }
+  R.Recall = R.DynamicEdges == 0
+                 ? 1.0
+                 : double(R.MatchedEdges) / double(R.DynamicEdges);
+
+  // Per-call precision, averaged over call sites in the dynamic call graph
+  // for which the static analysis produced at least one edge.
+  double Sum = 0;
+  size_t Count = 0;
+  for (const auto &[Site, DynCallees] : Dynamic.edges()) {
+    const std::set<SourceLoc> &StaticCallees = Static.calleesOf(Site);
+    if (StaticCallees.empty())
+      continue;
+    size_t Correct = 0;
+    for (const SourceLoc &Callee : StaticCallees)
+      if (DynCallees.count(Callee))
+        ++Correct;
+    Sum += double(Correct) / double(StaticCallees.size());
+    ++Count;
+  }
+  R.Precision = Count == 0 ? 1.0 : Sum / double(Count);
+  return R;
+}

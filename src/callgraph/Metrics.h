@@ -1,0 +1,44 @@
+//===- Metrics.h - Evaluation metrics ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The metrics of Section 5:
+///
+///  - call edges, reachable functions, resolved call sites, monomorphic
+///    call sites (from an AnalysisResult alone);
+///  - call-edge-set recall and per-call precision against a dynamic call
+///    graph [Chakraborty et al. 2022; Feldthaus et al. 2013].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CALLGRAPH_METRICS_H
+#define JSAI_CALLGRAPH_METRICS_H
+
+#include "analysis/StaticAnalysis.h"
+#include "callgraph/CallGraph.h"
+
+namespace jsai {
+
+/// Recall/precision of a static call graph vs. a dynamic one.
+struct RecallPrecision {
+  /// |dynamic intersect static| / |dynamic| — 100% for a sound analysis.
+  double Recall = 0;
+  /// Average over call sites appearing in the dynamic call graph (and
+  /// resolved statically) of the fraction of static edges that are also
+  /// dynamic.
+  double Precision = 0;
+  size_t DynamicEdges = 0;
+  size_t MatchedEdges = 0;
+};
+
+/// Compares \p Static against \p Dynamic (both location-keyed).
+RecallPrecision compareCallGraphs(const CallGraph &Static,
+                                  const CallGraph &Dynamic);
+
+/// Relative change helpers for the summary rows ("55.1% more call edges").
+inline double relativeIncrease(double Before, double After) {
+  return Before == 0 ? 0 : (After - Before) / Before;
+}
+
+} // namespace jsai
+
+#endif // JSAI_CALLGRAPH_METRICS_H

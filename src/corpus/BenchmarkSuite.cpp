@@ -1,0 +1,71 @@
+//===- BenchmarkSuite.cpp -------------------------------------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+
+#include "corpus/PatternGenerators.h"
+#include "support/Rng.h"
+
+using namespace jsai;
+
+namespace {
+
+using GeneratorFn = ProjectSpec (*)(Rng &, unsigned);
+
+struct WeightedPattern {
+  GeneratorFn Fn;
+  unsigned Weight; ///< Relative frequency in the suite.
+};
+
+/// Express-style API initialization dominates real npm dependency chains;
+/// control-group projects keep the averages honest.
+const WeightedPattern Patterns[] = {
+    {makeExpressLike, 3},    {makeEventHub, 2},     {makePluginRegistry, 2},
+    {makeOopLibrary, 2},     {makeDelegator, 1},    {makeEvalInit, 1},
+    {makeDynamicLoader, 1},  {makeUtilityLib, 2},   {makeMiddlewareChain, 2},
+};
+
+} // namespace
+
+std::vector<ProjectSpec> jsai::buildBenchmarkSuite(SuiteOptions Opts) {
+  unsigned TotalWeight = 0;
+  for (const WeightedPattern &P : Patterns)
+    TotalWeight += P.Weight;
+
+  std::vector<ProjectSpec> Suite;
+  Suite.reserve(Opts.Count);
+  for (size_t I = 0; I != Opts.Count; ++I) {
+    Rng R(Opts.Seed + I * 0x9E3779B97F4A7C15ULL);
+    unsigned Pick = unsigned(R.below(TotalWeight));
+    GeneratorFn Fn = Patterns[0].Fn;
+    for (const WeightedPattern &P : Patterns) {
+      if (Pick < P.Weight) {
+        Fn = P.Fn;
+        break;
+      }
+      Pick -= P.Weight;
+    }
+    unsigned Size = unsigned(R.below(3));
+    ProjectSpec Spec = Fn(R, Size);
+    Spec.Name = Spec.Pattern + "-" + std::to_string(I);
+    // Only every DynamicCGStride-th project keeps its test driver
+    // (dynamic call graphs are available for 36 of the 141).
+    if (Opts.DynamicCGStride == 0 || I % Opts.DynamicCGStride != 0) {
+      if (!Spec.TestDriver.empty()) {
+        // The driver file stays in the project (it is ordinary application
+        // code) but is not advertised as a usable test suite.
+        Spec.TestDriver.clear();
+      }
+    }
+    Suite.push_back(std::move(Spec));
+  }
+  return Suite;
+}
+
+std::vector<ProjectSpec> jsai::benchmarksWithDynamicCG(SuiteOptions Opts) {
+  std::vector<ProjectSpec> All = buildBenchmarkSuite(Opts);
+  std::vector<ProjectSpec> Out;
+  for (ProjectSpec &Spec : All)
+    if (Spec.hasDynamicCallGraph())
+      Out.push_back(std::move(Spec));
+  return Out;
+}

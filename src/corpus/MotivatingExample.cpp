@@ -1,0 +1,149 @@
+//===- MotivatingExample.cpp - Figure 1 as a project -----------------------===//
+
+#include "corpus/MotivatingExample.h"
+
+using namespace jsai;
+
+ProjectSpec jsai::motivatingExampleProject() {
+  ProjectSpec P;
+  P.Name = "motivating-example";
+  P.Pattern = "figure-1";
+
+  // Figure 1(a): the "Hello world!" Express web server.
+  P.Files.addFile("app/main.js",
+                  "const express = require('express');\n"
+                  "const app = express();\n"
+                  "app.get('/', function(req, res) {\n"
+                  "  res.send('Hello world!');\n"
+                  "  server.close();\n"
+                  "});\n"
+                  "var server = app.listen(8080);\n");
+
+  // Figure 1(b): the express module creating web application objects.
+  P.Files.addFile("express/index.js",
+                  "var mixin = require('merge-descriptors');\n"
+                  "var proto = require('./application');\n"
+                  "var EventEmitter = require('events').EventEmitter;\n"
+                  "exports = module.exports = createApplication;\n"
+                  "function createApplication() {\n"
+                  "  var app = function(req, res, next) {\n"
+                  "    app.handle(req, res, next);\n"
+                  "  };\n"
+                  "  mixin(app, EventEmitter.prototype, false);\n"
+                  "  mixin(app, proto, false);\n"
+                  "  return app;\n"
+                  "}\n");
+
+  // Figure 1(c): merge-descriptors.
+  P.Files.addFile(
+      "merge-descriptors/index.js",
+      "module.exports = merge;\n"
+      "function merge(dest, src, redefine) {\n"
+      "  Object.getOwnPropertyNames(src).forEach(function "
+      "forOwnPropertyName(name) {\n"
+      "    var descriptor = Object.getOwnPropertyDescriptor(src, name);\n"
+      "    Object.defineProperty(dest, name, descriptor);\n"
+      "  });\n"
+      "  return dest;\n"
+      "}\n");
+
+  // Figure 1(d): the application module with dynamically defined methods
+  // (plus express's lazy router, so the code actually runs).
+  P.Files.addFile("express/application.js",
+                  "var methods = require('methods');\n"
+                  "var http = require('http');\n"
+                  "var router = require('./router');\n"
+                  "var slice = Array.prototype.slice;\n"
+                  "var app = exports = module.exports = {};\n"
+                  "app.lazyrouter = function lazyrouter() {\n"
+                  "  if (!this._router) {\n"
+                  "    this._router = router.create();\n"
+                  "  }\n"
+                  "};\n"
+                  "app.handle = function handle(req, res, next) {\n"
+                  "  this.lazyrouter();\n"
+                  "  this._router.dispatch(req, res);\n"
+                  "};\n"
+                  "methods.forEach(function(method) {\n"
+                  "  app[method] = function(path) {\n"
+                  "    this.lazyrouter();\n"
+                  "    var route = this._router.route(path);\n"
+                  "    route[method].apply(route, slice.call(arguments, 1));\n"
+                  "    return this;\n"
+                  "  };\n"
+                  "});\n"
+                  "app.listen = function listen() {\n"
+                  "  var server = http.createServer(this);\n"
+                  "  return server.listen.apply(server, arguments);\n"
+                  "};\n");
+
+  // The router module backing the lazy router.
+  P.Files.addFile("express/router.js",
+                  "var methods = require('methods');\n"
+                  "exports.create = function create() {\n"
+                  "  return new Router();\n"
+                  "};\n"
+                  "function Router() {\n"
+                  "  this.stack = [];\n"
+                  "}\n"
+                  "Router.prototype.route = function route(path) {\n"
+                  "  var self = this;\n"
+                  "  var r = { path: path };\n"
+                  "  methods.forEach(function(method) {\n"
+                  "    r[method] = function(handler) {\n"
+                  "      self.stack.push(handler);\n"
+                  "      return r;\n"
+                  "    };\n"
+                  "  });\n"
+                  "  return r;\n"
+                  "};\n"
+                  "Router.prototype.dispatch = function dispatch(req, res) {\n"
+                  "  this.stack.forEach(function(h) {\n"
+                  "    h(req, res);\n"
+                  "  });\n"
+                  "};\n");
+
+  // The methods package: HTTP method names built with string manipulation.
+  P.Files.addFile("methods/index.js",
+                  "var upper = ['GET', 'POST', 'PUT', 'DELETE', 'PATCH',\n"
+                  "             'HEAD', 'OPTIONS'];\n"
+                  "module.exports = upper.map(function(m) {\n"
+                  "  return m.toLowerCase();\n"
+                  "});\n");
+
+  // Simple events package (MiniJS implementation, analyzed like any other
+  // dependency).
+  P.Files.addFile("events/index.js",
+                  "function EventEmitter() {}\n"
+                  "EventEmitter.prototype.on = function(name, fn) {\n"
+                  "  this['__h_' + name] = fn;\n"
+                  "  return this;\n"
+                  "};\n"
+                  "EventEmitter.prototype.emit = function(name) {\n"
+                  "  var h = this['__h_' + name];\n"
+                  "  if (h) { h.call(this); }\n"
+                  "  return this;\n"
+                  "};\n"
+                  "module.exports = EventEmitter;\n"
+                  "module.exports.EventEmitter = EventEmitter;\n");
+
+  // Test driver standing in for the project's test suite: registers
+  // handlers and drives a fake request through the router.
+  P.Files.addFile("app/test.js",
+                  "var express = require('express');\n"
+                  "var app = express();\n"
+                  "var hits = [];\n"
+                  "app.get('/', function(req, res) {\n"
+                  "  res.send('root');\n"
+                  "});\n"
+                  "app.post('/x', function(req, res) {\n"
+                  "  res.send('posted');\n"
+                  "});\n"
+                  "var server = app.listen(8080);\n"
+                  "app.handle({ url: '/' }, {\n"
+                  "  send: function send(m) { hits.push(m); }\n"
+                  "});\n"
+                  "server.close();\n");
+  P.TestDriver = "app/test.js";
+  return P;
+}

@@ -1,0 +1,1007 @@
+//===- PatternGenerators.cpp - Benchmark project generators -----------------===//
+//
+// Every generator emits semantically valid MiniJS: the pipeline runs the
+// test drivers concretely (for dynamic call graphs), so the generated
+// programs must execute without errors, not merely parse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/PatternGenerators.h"
+
+using namespace jsai;
+
+namespace {
+
+const char *HttpMethods[] = {"get",     "post",  "put",    "del",
+                             "patch",   "head",  "options", "all",
+                             "search",  "trace", "link",    "unlink"};
+
+const char *EventNames[] = {"start", "stop",  "data",   "error", "drain",
+                            "close", "ready", "change", "tick",  "flush"};
+
+const char *PluginNames[] = {"logger", "auth",  "cache",  "gzip",  "cors",
+                             "static", "proxy", "limiter", "etag",  "session"};
+
+const char *ModelNames[] = {"User",    "Order",  "Invoice", "Ticket",
+                            "Product", "Session", "Account", "Report"};
+
+const char *UtilVerbs[] = {"format", "parse",  "encode", "decode", "merge",
+                           "clone",  "flatten", "pick",   "omit",   "chunk"};
+
+std::string num(uint64_t N) { return std::to_string(N); }
+
+/// Adds a filler utility module with \p NumFns simple functions (exported),
+/// one of which is a dormant vulnerability. \returns the module path.
+std::string addFillerModule(ProjectSpec &P, Rng &R, const std::string &Pkg,
+                            unsigned Index, unsigned NumFns) {
+  SourceWriter W;
+  for (unsigned I = 0; I != NumFns; ++I) {
+    // Function 0 has a deterministic name so other modules can call it.
+    std::string Verb = I == 0 ? UtilVerbs[0] : UtilVerbs[R.below(10)];
+    std::string Name = Verb + num(Index) + "_" + num(I);
+    W.open("exports." + Name + " = function " + Name + "(value) {");
+    switch (R.below(3)) {
+    case 0:
+      W.line("return '' + value + '/" + Name + "';");
+      break;
+    case 1:
+      W.line("var out = [];");
+      W.line("out.push(value);");
+      W.line("return out;");
+      break;
+    default:
+      W.open("if (!value) {");
+      W.open("var fallback" + num(I) + " = function fallback" + num(Index) +
+             "_" + num(I) + "() {");
+      W.line("return null;");
+      W.close("};");
+      W.line("return fallback" + num(I) + "();");
+      W.close();
+      W.line("return { wrapped: value };");
+      break;
+    }
+    W.close("};");
+  }
+  // A guarded nested closure: `mode` is p* during forced execution, the
+  // strict comparison fails, and the inner definition is never created —
+  // the coverage gap the paper reports (~60% of functions visited).
+  W.open("exports.special" + num(Index) + " = function special" + num(Index) +
+         "(mode) {");
+  W.open("if (mode === 'special') {");
+  W.open("var inner = function guardedInner" + num(Index) + "(x) {");
+  W.line("return { special: x };");
+  W.close("};");
+  W.line("return inner;");
+  W.close();
+  W.line("return null;");
+  W.close("};");
+  // A dormant vulnerable function (never exported under its own name).
+  W.open("function vuln_filler" + num(Index) + "(input) {");
+  W.line("return '<script>' + input + '</script>';");
+  W.close();
+  std::string Path = Pkg + "/util" + num(Index) + ".js";
+  P.Files.addFile(Path, W.str());
+  return Path;
+}
+
+
+/// Adds a statically trivial core module to \p Pkg whose functions call
+/// each other and run at load time; requiring packages wire it into their
+/// index. Keeps per-project baselines realistic (most real dependency code
+/// is statically reachable).
+std::string addStaticCore(ProjectSpec &P, const std::string &Pkg,
+                          unsigned NumFns) {
+  SourceWriter W;
+  for (unsigned I = 0; I != NumFns; ++I) {
+    W.open("function core" + num(I) + "(x) {");
+    if (I == 0)
+      W.line("return x + 1;");
+    else
+      W.line("return core" + num(I - 1) + "(x) + " + num(I) + ";");
+    W.close();
+    W.line("exports.core" + num(I) + " = core" + num(I) + ";");
+  }
+  W.open("exports.warmup = function warmup() {");
+  W.line("return core" + num(NumFns - 1) + "(0);");
+  W.close("};");
+  W.line("exports.ready = core" + num(NumFns - 1) + "(1);");
+  // Platform-conditional implementation: the win32 branch never executes
+  // (the sandbox reports 'linux'), so its closure is never created — one
+  // of the paper's sources of unvisited functions.
+  W.open("if (process.platform === 'win32') {");
+  W.open("exports.sep = function winSep() {");
+  W.line("return '\\\\';");
+  W.close("};");
+  W.close();
+  W.open("if (process.platform !== 'win32') {");
+  W.line("exports.sep = function posixSep() { return '/'; };");
+  W.close();
+  // Debug tooling, loaded only when JSAI_DEBUG is set (never, here): the
+  // whole module stays unexecuted, all of its functions unvisited.
+  W.open("if (process.env.JSAI_DEBUG) {");
+  W.line("exports.debugTools = require('./debug');");
+  W.close();
+  std::string Path = Pkg + "/core.js";
+  P.Files.addFile(Path, W.str());
+
+  SourceWriter D;
+  for (unsigned I = 0; I != NumFns; ++I) {
+    D.open("exports.trace" + num(I) + " = function trace" + num(I) +
+           "(label) {");
+    D.line("var detail = function detail" + num(I) + "() {");
+    D.line("  return 'trace:" + num(I) + ":' + label;");
+    D.line("};");
+    D.line("return detail();");
+    D.close("};");
+  }
+  P.Files.addFile(Pkg + "/debug.js", D.str());
+  return Path;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// express-like
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeExpressLike(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "express-like";
+  unsigned NumMethods = 4 + 2 * Size + unsigned(R.below(3));
+  if (NumMethods > 12)
+    NumMethods = 12;
+  unsigned NumRoutes = 2 + 2 * Size;
+  unsigned NumFillers = 1 + Size;
+
+  // merge-descriptors: verbatim Figure 1(c).
+  P.Files.addFile(
+      "merge-descriptors/index.js",
+      "module.exports = merge;\n"
+      "function merge(dest, src, redefine) {\n"
+      "  Object.getOwnPropertyNames(src).forEach(function "
+      "forOwnPropertyName(name) {\n"
+      "    var descriptor = Object.getOwnPropertyDescriptor(src, name);\n"
+      "    Object.defineProperty(dest, name, descriptor);\n"
+      "  });\n"
+      "  return dest;\n"
+      "}\n");
+
+  // methods: HTTP method names built via string manipulation.
+  {
+    SourceWriter W;
+    std::string List = "[";
+    for (unsigned I = 0; I != NumMethods; ++I) {
+      if (I)
+        List += ", ";
+      std::string Upper = HttpMethods[I];
+      for (char &C : Upper)
+        C = char(std::toupper(static_cast<unsigned char>(C)));
+      List += "'" + Upper + "'";
+    }
+    List += "]";
+    W.line("var upper = " + List + ";");
+    W.open("module.exports = upper.map(function(m) {");
+    W.line("return m.toLowerCase();");
+    W.close("});");
+    P.Files.addFile("methods/index.js", W.str());
+  }
+
+  // webfw/router.js
+  {
+    SourceWriter W;
+    W.open("exports.create = function create() {");
+    W.line("return new Router();");
+    W.close("};");
+    W.open("function Router() {");
+    W.line("this.stack = [];");
+    W.close();
+    W.open("Router.prototype.add = function add(method, path, handler) {");
+    W.line("this.stack.push({ method: method, path: path, handler: handler "
+           "});");
+    W.close("};");
+    W.open("Router.prototype.dispatch = function dispatch(req, res) {");
+    W.line("vuln_route_dump(this.stack);");
+    W.open("this.stack.forEach(function(layer) {");
+    W.line("layer.handler(req, res);");
+    W.close("});");
+    W.close("};");
+    W.open("Router.prototype.describe = function describe() {");
+    W.line("return this.stack.length;");
+    W.close("};");
+    W.open("function vuln_route_dump(stack) {");
+    W.line("return '' + stack.length;");
+    W.close();
+    P.Files.addFile("webfw/router.js", W.str());
+  }
+
+  // webfw/application.js: the Figure-1(d) pattern.
+  {
+    SourceWriter W;
+    W.line("var methods = require('methods');");
+    W.line("var router = require('./router');");
+    W.line("var helpers = require('./util0');");
+    W.line("var app = exports = module.exports = {};");
+    W.open("app.init = function init() {");
+    W.line("this._router = router.create();");
+    W.close("};");
+    W.open("app.handle = function handle(req, res) {");
+    W.line("this._router.dispatch(req, res);");
+    W.close("};");
+    W.open("methods.forEach(function(method) {");
+    W.open("app[method] = function(path, handler) {");
+    W.line("this._router.add(method, path, handler);");
+    W.line("return this;");
+    W.close("};");
+    W.close("});");
+    W.open("app.listen = function listen(port, cb) {");
+    W.line("if (cb) { cb(); }");
+    W.line("return { close: function close() {} };");
+    W.close("};");
+    W.line("var MODE_KEY = 'mode';");
+    W.line("var HOOK_KEY = 'onReady';");
+    W.open("app.configure = function configure(options) {");
+    W.line("var mode = options[MODE_KEY];");
+    W.line("if (mode) { this._mode = mode; }");
+    W.line("var hook = options[HOOK_KEY];");
+    W.line("if (hook) { hook(this); }");
+    W.line("return this;");
+    W.close("};");
+    P.Files.addFile("webfw/application.js", W.str());
+  }
+
+  // webfw/index.js: createApplication + mixin (Figure 1(b)).
+  {
+    SourceWriter W;
+    W.line("var mixin = require('merge-descriptors');");
+    W.line("var proto = require('./application');");
+    W.line("var core = require('./core');");
+    W.line("core.warmup();");
+    W.line("exports = module.exports = createApplication;");
+    W.open("function createApplication() {");
+    W.open("var app = function(req, res) {");
+    W.line("app.handle(req, res);");
+    W.close("};");
+    W.line("mixin(app, proto, false);");
+    W.line("app.init();");
+    W.line("return app;");
+    W.close();
+    W.line("module.exports.helpers = require('./util0');");
+    P.Files.addFile("webfw/index.js", W.str());
+  }
+
+  for (unsigned I = 0; I != NumFillers; ++I)
+    addFillerModule(P, R, "webfw", I, 3 + 2 * Size);
+  addStaticCore(P, "webfw", 8 + 4 * Size);
+
+  // Application code (and the test driver, which also drives a request).
+  // Statically trivial application helpers (baseline-reachable code).
+  {
+    SourceWriter W;
+    W.open("exports.banner = function banner(name) {");
+    W.line("return '[' + name + ']';");
+    W.close("};");
+    W.open("exports.logLine = function logLine(msg) {");
+    W.line("console.log(msg);");
+    W.close("};");
+    P.Files.addFile("app/helpers.js", W.str());
+  }
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var fw = require('webfw');");
+    W.line("var helpers = require('./helpers');");
+    W.line("var app = fw();");
+    W.line("helpers.logLine(helpers.banner('srv'));");
+    for (unsigned I = 0; I != NumRoutes; ++I) {
+      std::string Method = HttpMethods[R.below(NumMethods)];
+      W.open("app." + Method + "('/r" + num(I) + "', function handler" +
+             num(I) + "(req, res) {");
+      W.line("res.served = fw.helpers." + std::string(UtilVerbs[0]) +
+             "0_0('r" + num(I) + "');");
+      W.close("});");
+    }
+    if (Driver) {
+      W.line("app.handle({ url: '/r0' }, {});");
+      // Exercise the proxy-hostile guarded closure: these dynamic edges
+      // stay unrecoverable, keeping recall realistically below 100%.
+      W.line("var special = fw.helpers.special0('special');");
+      W.line("if (special) { special(1); }");
+      // configure() is only reached behind mocked I/O, so approximate
+      // interpretation sees it with p* options only — the unknown-arg
+      // extension is the sole way to resolve the onReady hook.
+      W.line("var fs = require('fs');");
+      W.open("fs.readFile('srv.cfg', function(err, data) {");
+      W.open("if (data.length > 3) {");
+      W.open("app.configure({ mode: 'fast', onReady: function onReady(a) {");
+      W.line("a._ready = true;");
+      W.close("} });");
+      W.close();
+      W.close("});");
+    }
+    W.line("var server = app.listen(8080, function onListening() {});");
+    if (Driver)
+      W.line("server.close();");
+    return W.str();
+  };
+  // Note: the two calls consume the same Rng stream; regenerate with a
+  // snapshot so main and test register identical routes.
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// event-hub
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeEventHub(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "event-hub";
+  unsigned NumEvents = 3 + 2 * Size + unsigned(R.below(2));
+  if (NumEvents > 10)
+    NumEvents = 10;
+  unsigned HandlersPerEvent = 1 + unsigned(R.below(2)) + (Size > 1 ? 1 : 0);
+
+  {
+    SourceWriter W;
+    W.open("function Hub() {");
+    W.line("this._events = {};");
+    W.close();
+    W.open("Hub.prototype.on = function on(name, fn) {");
+    W.line("var list = this._events[name];");
+    W.open("if (!list) {");
+    W.line("list = [];");
+    W.line("this._events[name] = list;");
+    W.close();
+    W.line("list.push(fn);");
+    W.line("return this;");
+    W.close("};");
+    W.open("Hub.prototype.once = function once(name, fn) {");
+    W.line("this['__once_' + name] = fn;");
+    W.line("return this;");
+    W.close("};");
+    W.open("Hub.prototype.emit = function emit(name, payload) {");
+    W.line("var list = this._events[name];");
+    W.open("if (list) {");
+    W.open("list.forEach(function(fn) {");
+    W.line("fn(payload);");
+    W.close("});");
+    W.close();
+    W.line("var onceFn = this['__once_' + name];");
+    W.open("if (onceFn) {");
+    W.line("delete this['__once_' + name];");
+    W.line("onceFn(payload);");
+    W.close();
+    W.line("return this;");
+    W.close("};");
+    W.open("Hub.prototype.inspect = function inspect() {");
+    W.line("return vuln_dump_events(this._events);");
+    W.close("};");
+    W.open("function vuln_dump_events(events) {");
+    W.line("return Object.keys(events).join(',');");
+    W.close();
+    W.line("var core = require('./core');");
+    W.line("core.warmup();");
+    W.line("module.exports = Hub;");
+    P.Files.addFile("hub/index.js", W.str());
+  }
+  addFillerModule(P, R, "hub", 0, 3 + Size);
+  addStaticCore(P, "hub", 8 + 4 * Size);
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var Hub = require('hub');");
+    W.line("var fs = require('fs');");
+    W.line("var bus = new Hub();");
+    W.line("var seen = { count: 0 };");
+    W.open("fs.readFile('app.cfg', function(err, data) {");
+    // During approximate interpretation `data` is p*, so the computed
+    // event name is unknown and the direct-property registration leaves
+    // no hint; the concrete run stores and later invokes the handler.
+    W.line("bus.once('cfg:' + data.length, function onConfig(payload) {");
+    W.line("  seen.count = seen.count + 100;");
+    W.line("});");
+    W.close("});");
+    if (Driver)
+      W.line("bus.emit('cfg:15', {});"); // '<fake contents>'.length === 15.
+    for (unsigned E = 0; E != NumEvents; ++E)
+      for (unsigned H = 0; H != HandlersPerEvent; ++H) {
+        W.open("bus.on('" + std::string(EventNames[E]) + "', function on_" +
+               std::string(EventNames[E]) + "_" + num(H) + "(payload) {");
+        W.line("seen.count = seen.count + 1;");
+        W.close("});");
+      }
+    if (Driver)
+      for (unsigned E = 0; E != NumEvents; ++E)
+        W.line("bus.emit('" + std::string(EventNames[E]) + "', { n: " +
+               num(E) + " });");
+    else
+      W.line("bus.emit('" + std::string(EventNames[0]) + "', { n: 0 });");
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// plugin-registry
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makePluginRegistry(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "plugin-registry";
+  unsigned NumPlugins = 2 + Size + unsigned(R.below(2));
+  if (NumPlugins > 8)
+    NumPlugins = 8;
+
+  {
+    SourceWriter W;
+    W.line("var plugins = {};");
+    W.open("exports.register = function register(name, plugin) {");
+    W.line("plugins[name] = plugin;");
+    W.close("};");
+    W.open("exports.get = function get(name) {");
+    W.line("return plugins[name];");
+    W.close("};");
+    W.open("exports.activateAll = function activateAll(ctx) {");
+    W.open("for (var name in plugins) {");
+    W.line("var p = plugins[name];");
+    W.line("p.activate(ctx);");
+    W.close();
+    W.close("};");
+    W.line("var core = require('./core');");
+    W.line("core.warmup();");
+    P.Files.addFile("plugreg/index.js", W.str());
+  }
+  addStaticCore(P, "plugreg", 8 + 4 * Size);
+
+  for (unsigned I = 0; I != NumPlugins; ++I) {
+    std::string Name = PluginNames[I];
+    SourceWriter W;
+    W.open("function helper_" + Name + "(ctx) {");
+    W.line("ctx.log = (ctx.log || '') + '" + Name + ";';");
+    W.close();
+    W.open("function vuln_" + Name + "_backdoor(cmd) {");
+    W.line("return 'exec:' + cmd;");
+    W.close();
+    W.open("module.exports = {");
+    W.line("name: '" + Name + "',");
+    W.open("activate: function activate(ctx) {");
+    W.line("helper_" + Name + "(ctx);");
+    W.close("},");
+    W.open("teardown: function teardown(ctx) {");
+    W.line("ctx.log = '';");
+    W.close("}");
+    W.close("};");
+    P.Files.addFile("plugin-" + Name + "/index.js", W.str());
+  }
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var reg = require('plugreg');");
+    W.line("var fs = require('fs');");
+    for (unsigned I = 0; I + 1 < NumPlugins; ++I) {
+      std::string Name = PluginNames[I];
+      W.line("var p_" + Name + " = require('plugin-" + Name + "');");
+      // Registered under a computed key (the plugin's own name property).
+      W.line("reg.register(p_" + Name + ".name, p_" + Name + ");");
+    }
+    // The last plugin is registered under a key derived from mocked I/O:
+    // unknown during approximate interpretation, so the hints miss it.
+    std::string Last = PluginNames[NumPlugins - 1];
+    W.line("var p_" + Last + " = require('plugin-" + Last + "');");
+    W.open("fs.readFile('plugins.cfg', function(err, data) {");
+    W.line("reg.register('dyn_' + data.length, p_" + Last + ");");
+    W.close("});");
+    W.line("var ctx = { log: '' };");
+    W.line("reg.activateAll(ctx);");
+    if (Driver) {
+      W.line("var first = reg.get('" + std::string(PluginNames[0]) + "');");
+      W.line("first.teardown(ctx);");
+    }
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// oop-library
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeOopLibrary(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "oop-library";
+  unsigned NumModels = 2 + Size + unsigned(R.below(2));
+  if (NumModels > 8)
+    NumModels = 8;
+
+  P.Files.addFile("models/base.js",
+                  "function Base() {\n"
+                  "  this.id = 0;\n"
+                  "}\n"
+                  "Base.prototype.describe = function describe() {\n"
+                  "  return 'entity#' + this.id;\n"
+                  "};\n"
+                  "Base.prototype.touch = function touch() {\n"
+                  "  this.id = this.id + 1;\n"
+                  "  return this;\n"
+                  "};\n"
+                  "module.exports = Base;\n");
+
+  {
+    SourceWriter W;
+    W.line("var util = require('util');");
+    W.line("var Base = require('./base');");
+    for (unsigned I = 0; I != NumModels; ++I) {
+      std::string Name = ModelNames[I];
+      W.open("function " + Name + "(label) {");
+      W.line("Base.call(this);");
+      W.line("this.label = label;");
+      W.close();
+      W.line("util.inherits(" + Name + ", Base);");
+      // Methods installed from a descriptor table via dynamic writes onto
+      // the prototype object.
+      // A lazy accessor alongside the method table: reads of `.summaryText`
+      // are getter calls in both call graphs (Figure 7's outlier source).
+      W.open("Object.defineProperty(" + Name + ".prototype, 'summaryText', {");
+      W.open("get: function get_summaryText_" + Name + "() {");
+      W.line("return this.label + '#' + this.id;");
+      W.close("}");
+      W.close("});");
+      W.open("var methods_" + Name + " = {");
+      W.open("summary: function summary() {");
+      W.line("return this.label + '/' + this.describe();");
+      W.close("},");
+      W.open("reset: function reset() {");
+      W.line("this.id = 0;");
+      W.line("return this;");
+      W.close("},");
+      W.open("vuln_raw_query: function vuln_raw_query(q) {");
+      W.line("return 'SELECT ' + q;");
+      W.close("}");
+      W.close("};");
+      W.open("Object.keys(methods_" + Name + ").forEach(function(k) {");
+      W.line(Name + ".prototype[k] = methods_" + Name + "[k];");
+      W.close("});");
+      W.line("exports." + Name + " = " + Name + ";");
+    }
+    P.Files.addFile("models/index.js", W.str());
+  }
+  addFillerModule(P, R, "models", 0, 2 + Size);
+  addStaticCore(P, "models", 8 + 4 * Size);
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var models = require('models');");
+    W.line("var core = require('models/core');");
+    W.line("core.warmup();");
+    W.line("var results = [];");
+    for (unsigned I = 0; I != NumModels; ++I) {
+      std::string Name = ModelNames[I];
+      std::string Var = "m" + num(I);
+      W.line("var " + Var + " = new models." + Name + "('" + Name + num(I) +
+             "');");
+      W.line(Var + ".touch();");
+      W.line("results.push(" + Var + ".summary());");
+      if (Driver) {
+        W.line(Var + ".reset();");
+        W.line("results.push(" + Var + ".summaryText);");
+      }
+    }
+    W.line("results.push(results.length);");
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// delegator
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeDelegator(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "delegator";
+  unsigned NumDelegated = 2 + Size + unsigned(R.below(2));
+  if (NumDelegated > 6)
+    NumDelegated = 6;
+  static const char *EngineMethods[] = {"start", "stop",   "pause",
+                                        "resume", "status", "reset"};
+
+  // The node-delegates pattern, nearly verbatim.
+  P.Files.addFile(
+      "delegate/index.js",
+      "module.exports = Delegator;\n"
+      "function Delegator(proto, target) {\n"
+      "  if (!(this instanceof Delegator)) {\n"
+      "    return new Delegator(proto, target);\n"
+      "  }\n"
+      "  this.proto = proto;\n"
+      "  this.target = target;\n"
+      "  this.methods = [];\n"
+      "}\n"
+      "Delegator.prototype.method = function method(name) {\n"
+      "  var proto = this.proto;\n"
+      "  var target = this.target;\n"
+      "  proto[name] = function() {\n"
+      "    return this[target][name].apply(this[target], arguments);\n"
+      "  };\n"
+      "  this.methods.push(name);\n"
+      "  return this;\n"
+      "};\n");
+
+  {
+    SourceWriter W;
+    W.open("function Engine() {");
+    W.line("this.state = 'new';");
+    W.close();
+    for (unsigned I = 0; I != NumDelegated; ++I) {
+      std::string M = EngineMethods[I];
+      W.open("Engine.prototype." + M + " = function " + M + "() {");
+      W.line("this.state = '" + M + "';");
+      W.line("return this.state;");
+      W.close("};");
+    }
+    W.open("Engine.prototype.vuln_eval_config = function vuln_eval_config(s) "
+           "{");
+    W.line("return s;");
+    W.close("};");
+    W.line("module.exports = Engine;");
+    P.Files.addFile("engine/index.js", W.str());
+  }
+
+  {
+    SourceWriter W;
+    W.line("var Delegator = require('delegate');");
+    W.line("var Engine = require('engine');");
+    W.open("function Service() {");
+    W.line("this.engine = new Engine();");
+    W.close();
+    std::string Chain = "Delegator(Service.prototype, 'engine')";
+    for (unsigned I = 0; I != NumDelegated; ++I)
+      Chain += ".method('" + std::string(EngineMethods[I]) + "')";
+    W.line(Chain + ";");
+    W.line("var core = require('./core');");
+    W.line("core.warmup();");
+    W.line("module.exports = Service;");
+    P.Files.addFile("service/index.js", W.str());
+  }
+  addStaticCore(P, "service", 8 + 4 * Size);
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var Service = require('service');");
+    W.line("var svc = new Service();");
+    unsigned Calls = Driver ? NumDelegated : 2;
+    for (unsigned I = 0; I != Calls; ++I)
+      W.line("svc." + std::string(EngineMethods[I]) + "();");
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// eval-init
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeEvalInit(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "eval-init";
+  unsigned NumOps = 2 + Size + unsigned(R.below(2));
+  if (NumOps > 6)
+    NumOps = 6;
+  static const char *OpNames[] = {"sum", "max", "head", "tail", "size",
+                                  "rev"};
+
+  {
+    SourceWriter W;
+    W.line("var api = exports;");
+    for (unsigned I = 0; I != NumOps; ++I) {
+      std::string Name = OpNames[I];
+      W.open("function impl_" + Name + "(xs) {");
+      W.line("return xs.length;");
+      W.close();
+    }
+    W.open("function audit(name) {");
+    W.line("return 'registered:' + name;");
+    W.close();
+    W.open("function vuln_codegen(name) {");
+    W.line("return \"api['\" + name + \"'] = impl_\" + name +");
+    W.line("       \"; audit('\" + name + \"');\";");
+    W.close();
+    std::string List = "[";
+    for (unsigned I = 0; I != NumOps; ++I) {
+      if (I)
+        List += ", ";
+      List += "'" + std::string(OpNames[I]) + "'";
+    }
+    List += "]";
+    W.line("var names = " + List + ";");
+    W.open("names.forEach(function(n) {");
+    // API registration through dynamically generated code — statically
+    // invisible, recovered by hints collected inside the eval'd code.
+    W.line("eval(vuln_codegen(n));");
+    W.close("});");
+    W.line("var core = require('./core');");
+    W.line("core.warmup();");
+    P.Files.addFile("evalreg/index.js", W.str());
+  }
+  addFillerModule(P, R, "evalreg", 0, 2 + Size);
+  addStaticCore(P, "evalreg", 8 + 4 * Size);
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var ops = require('evalreg');");
+    W.line("var data = [1, 2, 3];");
+    unsigned Calls = Driver ? NumOps : (NumOps > 2 ? 2 : NumOps);
+    for (unsigned I = 0; I != Calls; ++I)
+      W.line("var r" + num(I) + " = ops." + OpNames[I] + "(data);");
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// dynamic-loader
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeDynamicLoader(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "dynamic-loader";
+  unsigned NumFeatures = 2 + Size + unsigned(R.below(2));
+  if (NumFeatures > 8)
+    NumFeatures = 8;
+
+  for (unsigned I = 0; I != NumFeatures; ++I) {
+    std::string Name = PluginNames[I];
+    SourceWriter W;
+    W.line("var active = false;");
+    W.open("exports.setup = function setup() {");
+    W.line("active = true;");
+    W.line("return internalInit();");
+    W.close("};");
+    W.open("exports.isActive = function isActive() {");
+    W.line("return active;");
+    W.close("};");
+    W.open("function internalInit() {");
+    W.line("return helperA(helperB(0));");
+    W.close();
+    W.open("function helperA(x) {");
+    W.line("return x + 1;");
+    W.close();
+    W.open("function helperB(x) {");
+    W.line("return x * 2;");
+    W.close();
+    W.open("function vuln_load_" + Name + "(path) {");
+    W.line("return path;");
+    W.close();
+    P.Files.addFile("feature-" + Name + "/index.js", W.str());
+  }
+
+  {
+    SourceWriter W;
+    std::string List = "[";
+    for (unsigned I = 0; I != NumFeatures; ++I) {
+      if (I)
+        List += ", ";
+      List += "'" + std::string(PluginNames[I]) + "'";
+    }
+    List += "]";
+    W.line("module.exports = { features: " + List + " };");
+    P.Files.addFile("app/config.js", W.str());
+  }
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var config = require('./config');");
+    W.line("var loaded = [];");
+    W.open("config.features.forEach(function(name) {");
+    // The dynamically computed module name defeats static resolution; the
+    // module-load hints (Section 3's extension) recover it.
+    W.line("var mod = require('feature-' + name);");
+    W.line("mod.setup();");
+    W.line("loaded.push(mod);");
+    W.close("});");
+    if (Driver) {
+      W.open("loaded.forEach(function(mod) {");
+      W.line("mod.isActive();");
+      W.close("});");
+    }
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// utility-lib (control group)
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeUtilityLib(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "utility-lib";
+  unsigned NumModules = 2 + Size;
+  unsigned FnsPerModule = 3 + 2 * Size;
+
+  SourceWriter Index;
+  for (unsigned M = 0; M != NumModules; ++M) {
+    SourceWriter W;
+    // Every other module uses ES-module syntax — real npm packages mix
+    // CommonJS and ESM, and the pipeline must handle both (footnote 2).
+    bool UseEsm = M % 2 == 1;
+    for (unsigned I = 0; I != FnsPerModule; ++I) {
+      std::string Name =
+          std::string(UtilVerbs[(M * FnsPerModule + I) % 10]) + num(M) + "_" +
+          num(I);
+      if (UseEsm)
+        W.open("export function " + Name + "(x) {");
+      else
+        W.open("exports." + Name + " = function " + Name + "(x) {");
+      if (R.chance(50)) {
+        W.line("return '' + x;");
+      } else {
+        W.line("if (x === null || x === undefined) { return x; }");
+        W.line("return [x];");
+      }
+      W.close(UseEsm ? "}" : "};");
+    }
+    W.open("function vuln_unsafe" + num(M) + "(x) {");
+    W.line("return x;");
+    W.close();
+    std::string Mod = "mod" + num(M);
+    P.Files.addFile("toolkit/" + Mod + ".js", W.str());
+    Index.line("var " + Mod + " = require('./" + Mod + "');");
+    // Static re-exports: this pattern family is the control group the
+    // baseline analysis already handles well.
+    for (unsigned I = 0; I != FnsPerModule; ++I) {
+      std::string Name =
+          std::string(UtilVerbs[(M * FnsPerModule + I) % 10]) + num(M) + "_" +
+          num(I);
+      Index.line("exports." + Name + " = " + Mod + "." + Name + ";");
+    }
+  }
+  Index.line("var core = require('./core');");
+  Index.line("core.warmup();");
+  P.Files.addFile("toolkit/index.js", Index.str());
+
+  addStaticCore(P, "toolkit", 8 + 4 * Size);
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var toolkit = require('toolkit');");
+    unsigned Calls = Driver ? NumModules * 2 : NumModules;
+    for (unsigned I = 0; I != Calls && I != NumModules * FnsPerModule; ++I) {
+      unsigned M = I % NumModules;
+      unsigned F = I / NumModules;
+      std::string Name =
+          std::string(UtilVerbs[(M * FnsPerModule + F) % 10]) + num(M) + "_" +
+          num(F);
+      W.line("toolkit." + Name + "(" + num(I) + ");");
+    }
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// middleware-chain (connect-style)
+//===----------------------------------------------------------------------===//
+
+ProjectSpec jsai::makeMiddlewareChain(Rng &R, unsigned Size) {
+  ProjectSpec P;
+  P.Pattern = "middleware-chain";
+  unsigned NumMiddleware = 2 + Size + unsigned(R.below(2));
+  if (NumMiddleware > 6)
+    NumMiddleware = 6;
+
+  // The connect-like core: app.use(fn) pushes onto a stack; handle() walks
+  // the stack through next() continuations; errors divert to 4-argument
+  // error middleware looked up by a computed key.
+  {
+    SourceWriter W;
+    W.line("var core = require('./core');");
+    W.line("core.warmup();");
+    W.open("module.exports = function createApp() {");
+    W.line("var stack = [];");
+    W.line("var phases = {};");
+    W.open("var app = {");
+    W.open("use: function use(fn) {");
+    W.line("stack.push(fn);");
+    W.line("return app;");
+    W.close("},");
+    W.open("phase: function phase(name, fn) {");
+    W.line("phases['on' + name] = fn;");  // Dynamic write.
+    W.line("return app;");
+    W.close("},");
+    W.open("handle: function handle(req, res) {");
+    W.line("var idx = { i: 0 };");
+    W.open("function next(err) {");
+    W.open("if (err) {");
+    W.line("var h = phases['on' + 'error'];");  // Dynamic read.
+    W.line("if (h) { h(err, req, res); }");
+    W.line("return null;");
+    W.close();
+    W.line("var layer = stack[idx.i];");
+    W.line("if (!layer) { return null; }");
+    W.line("idx.i = idx.i + 1;");
+    W.line("return layer(req, res, next);");
+    W.close();
+    W.line("return next();");
+    W.close("}");
+    W.close("};");
+    W.line("return app;");
+    W.close("};");
+    P.Files.addFile("midware/index.js", W.str());
+  }
+  addStaticCore(P, "midware", 8 + 4 * Size);
+  addFillerModule(P, R, "midware", 0, 3 + Size);
+
+  auto AppSource = [&](bool Driver) {
+    SourceWriter W;
+    W.line("var createApp = require('midware');");
+    W.line("var app = createApp();");
+    W.line("var trace = [];");
+    for (unsigned I = 0; I != NumMiddleware; ++I) {
+      W.open("app.use(function mw" + num(I) + "(req, res, next) {");
+      W.line("trace.push(" + num(I) + ");");
+      if (I + 1 == NumMiddleware)
+        W.line("res.done = true;");
+      W.line("return next();");
+      W.close("});");
+    }
+    W.open("app.phase('error', function onError(err, req, res) {");
+    W.line("res.failed = true;");
+    W.close("});");
+    if (Driver) {
+      W.line("app.handle({ url: '/' }, {});");
+      // Drive the error path too: the error phase handler is stored under
+      // a dynamically computed key.
+      W.open("app.use(function boom(req, res, next) {");
+      W.line("return next(new Error('boom'));");
+      W.close("});");
+      W.line("app.handle({ url: '/fail' }, {});");
+    }
+    return W.str();
+  };
+  Rng Snapshot = R;
+  P.Files.addFile("app/main.js", AppSource(false));
+  R = Snapshot;
+  P.Files.addFile("app/test.js", AppSource(true));
+  P.TestDriver = "app/test.js";
+  return P;
+}

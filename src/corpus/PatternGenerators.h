@@ -1,0 +1,50 @@
+//===- PatternGenerators.h - Real-world coding-pattern generators -*- C++ -*-===//
+///
+/// \file
+/// Generators for the benchmark corpus. Each produces a multi-package
+/// project built around one of the dynamic-object-manipulation patterns the
+/// paper identifies in real libraries (plus statically-easy control
+/// patterns):
+///
+///  - express-like: mixin-based API initialization with method-name arrays
+///    (Figure 1's pattern, the dominant source of baseline unsoundness);
+///  - event-hub:    EventEmitter-style handler registries;
+///  - plugin-registry: plugins stored and invoked by computed keys;
+///  - oop-library:  constructor functions, prototype methods installed from
+///    descriptor tables, util.inherits chains;
+///  - delegator:    TJ-style delegation (obj[name].apply(obj, arguments));
+///  - eval-init:    API registration through dynamically generated code;
+///  - dynamic-loader: feature modules loaded via computed require names;
+///  - utility-lib:  plain statically-resolvable exports (control group).
+///
+/// All generators are deterministic in the passed Rng; Size in {0,1,2}
+/// scales module/function counts. Dependency packages contain "vuln_*"
+/// functions for the vulnerability-reachability study — some wired into the
+/// API paths, most dormant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CORPUS_PATTERNGENERATORS_H
+#define JSAI_CORPUS_PATTERNGENERATORS_H
+
+#include "corpus/Project.h"
+#include "support/Rng.h"
+
+namespace jsai {
+
+ProjectSpec makeExpressLike(Rng &R, unsigned Size);
+ProjectSpec makeEventHub(Rng &R, unsigned Size);
+ProjectSpec makePluginRegistry(Rng &R, unsigned Size);
+ProjectSpec makeOopLibrary(Rng &R, unsigned Size);
+ProjectSpec makeDelegator(Rng &R, unsigned Size);
+ProjectSpec makeEvalInit(Rng &R, unsigned Size);
+ProjectSpec makeDynamicLoader(Rng &R, unsigned Size);
+ProjectSpec makeUtilityLib(Rng &R, unsigned Size);
+/// connect-style middleware chains: handlers stored in a stack and invoked
+/// through a next() continuation — higher-order but statically tractable,
+/// with the error-handling branch only reachable dynamically.
+ProjectSpec makeMiddlewareChain(Rng &R, unsigned Size);
+
+} // namespace jsai
+
+#endif // JSAI_CORPUS_PATTERNGENERATORS_H

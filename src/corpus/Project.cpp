@@ -1,0 +1,33 @@
+//===- Project.cpp --------------------------------------------------------===//
+
+#include "corpus/Project.h"
+
+using namespace jsai;
+
+std::set<std::string> ProjectSpec::packages() const {
+  std::set<std::string> Out;
+  for (const std::string &Path : Files.allPaths()) {
+    size_t Slash = Path.find('/');
+    Out.insert(Slash == std::string::npos ? Path : Path.substr(0, Slash));
+  }
+  return Out;
+}
+
+SourceWriter &SourceWriter::line(const std::string &S) {
+  Out.append(size_t(Indent) * 2, ' ');
+  Out += S;
+  Out += '\n';
+  return *this;
+}
+
+SourceWriter &SourceWriter::open(const std::string &S) {
+  line(S);
+  ++Indent;
+  return *this;
+}
+
+SourceWriter &SourceWriter::close(const std::string &S) {
+  --Indent;
+  line(S);
+  return *this;
+}

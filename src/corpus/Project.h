@@ -1,0 +1,59 @@
+//===- Project.h - Synthetic benchmark projects -----------------*- C++ -*-===//
+///
+/// \file
+/// A ProjectSpec bundles the virtual files of one benchmark project: a main
+/// application package ("app"), its dependency packages, and optionally a
+/// test-driver module that exercises the public API (the stand-in for the
+/// paper's project test suites, which produce the dynamic call graphs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CORPUS_PROJECT_H
+#define JSAI_CORPUS_PROJECT_H
+
+#include "interp/FileSystem.h"
+
+#include <set>
+#include <string>
+
+namespace jsai {
+
+/// One benchmark project.
+struct ProjectSpec {
+  std::string Name;
+  /// The real-world pattern family this project instantiates.
+  std::string Pattern;
+  FileSystem Files;
+  std::string MainModule = "app/main.js";
+  /// Module whose top-level code plays the role of the project's test
+  /// suite; empty when no dynamic call graph is available for the project.
+  std::string TestDriver;
+
+  bool hasDynamicCallGraph() const { return !TestDriver.empty(); }
+
+  /// Distinct package names (first path segment of each file).
+  std::set<std::string> packages() const;
+  size_t numPackages() const { return packages().size(); }
+  size_t numModules() const { return Files.size(); }
+  size_t codeBytes() const { return Files.totalBytes(); }
+};
+
+/// Indentation-aware source emitter used by the pattern generators.
+class SourceWriter {
+public:
+  /// Appends one line at the current indentation.
+  SourceWriter &line(const std::string &S);
+  /// Appends a line and indents subsequent lines (e.g. "function f() {").
+  SourceWriter &open(const std::string &S);
+  /// Dedents, then appends \p S (default "}").
+  SourceWriter &close(const std::string &S = "}");
+  std::string str() const { return Out; }
+
+private:
+  std::string Out;
+  int Indent = 0;
+};
+
+} // namespace jsai
+
+#endif // JSAI_CORPUS_PROJECT_H

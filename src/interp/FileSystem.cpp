@@ -1,0 +1,137 @@
+//===- FileSystem.cpp -----------------------------------------------------===//
+
+#include "interp/FileSystem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jsai;
+
+void FileSystem::addFile(const std::string &Path, std::string Source) {
+  Files[normalizePath(Path)] = std::move(Source);
+}
+
+size_t FileSystem::addDirectory(const std::string &DiskRoot) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::path Root(DiskRoot);
+  if (!fs::is_directory(Root, Ec))
+    return 0;
+  size_t Loaded = 0;
+  // Collect and sort first so insertion order (and diagnostics) are
+  // deterministic regardless of directory enumeration order.
+  std::vector<fs::path> JsFiles;
+  for (auto It = fs::recursive_directory_iterator(Root, Ec);
+       It != fs::recursive_directory_iterator(); It.increment(Ec)) {
+    if (Ec)
+      break;
+    if (It->is_regular_file(Ec) && It->path().extension() == ".js")
+      JsFiles.push_back(It->path());
+  }
+  std::sort(JsFiles.begin(), JsFiles.end());
+  for (const fs::path &File : JsFiles) {
+    std::ifstream In(File);
+    if (!In)
+      continue;
+    std::ostringstream Contents;
+    Contents << In.rdbuf();
+    std::string Rel = fs::relative(File, Root, Ec).generic_string();
+    if (Ec)
+      continue;
+    addFile(Rel, Contents.str());
+    ++Loaded;
+  }
+  return Loaded;
+}
+
+bool FileSystem::exists(const std::string &Path) const {
+  return Files.count(Path) != 0;
+}
+
+const std::string &FileSystem::read(const std::string &Path) const {
+  auto It = Files.find(Path);
+  assert(It != Files.end() && "reading nonexistent file");
+  return It->second;
+}
+
+std::vector<std::string> FileSystem::allPaths() const {
+  std::vector<std::string> Out;
+  Out.reserve(Files.size());
+  for (const auto &[Path, Source] : Files)
+    Out.push_back(Path);
+  return Out;
+}
+
+size_t FileSystem::totalBytes() const {
+  size_t Total = 0;
+  for (const auto &[Path, Source] : Files)
+    Total += Source.size();
+  return Total;
+}
+
+std::string FileSystem::normalizePath(const std::string &Path) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  auto Flush = [&] {
+    if (Cur.empty() || Cur == ".") {
+      Cur.clear();
+      return;
+    }
+    if (Cur == "..") {
+      if (!Parts.empty())
+        Parts.pop_back();
+      Cur.clear();
+      return;
+    }
+    Parts.push_back(Cur);
+    Cur.clear();
+  };
+  for (char C : Path) {
+    if (C == '/')
+      Flush();
+    else
+      Cur.push_back(C);
+  }
+  Flush();
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I)
+      Out += '/';
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+static std::string dirName(const std::string &Path) {
+  size_t Slash = Path.rfind('/');
+  return Slash == std::string::npos ? std::string() : Path.substr(0, Slash);
+}
+
+std::string FileSystem::resolveRequire(const std::string &FromPath,
+                                       const std::string &Spec) const {
+  if (Spec.empty())
+    return std::string();
+
+  auto TryCandidates = [this](const std::string &Base) -> std::string {
+    std::string P = normalizePath(Base);
+    if (exists(P))
+      return P;
+    if (exists(P + ".js"))
+      return P + ".js";
+    if (exists(P + "/index.js"))
+      return P + "/index.js";
+    return std::string();
+  };
+
+  bool Relative = Spec.rfind("./", 0) == 0 || Spec.rfind("../", 0) == 0;
+  if (Relative) {
+    std::string Dir = dirName(FromPath);
+    std::string Joined = Dir.empty() ? Spec : Dir + "/" + Spec;
+    return TryCandidates(Joined);
+  }
+  // Bare package (possibly with a subpath).
+  return TryCandidates(Spec);
+}

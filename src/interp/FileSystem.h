@@ -1,0 +1,66 @@
+//===- FileSystem.h - In-memory project file system -------------*- C++ -*-===//
+///
+/// \file
+/// Virtual file system holding a project's module sources, with Node.js-like
+/// require-path resolution over the virtual layout "<package>/<file>.js"
+/// (the main application package is conventionally named "app").
+///
+/// Resolution rules:
+///  - relative specs ("./x", "../y") resolve against the requiring module's
+///    directory, trying "<p>", "<p>.js", "<p>/index.js";
+///  - bare specs ("express") resolve to "express/index.js", also trying
+///    "express.js" and subpaths ("express/lib/router" ->
+///    "express/lib/router.js" / ".../index.js").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_INTERP_FILESYSTEM_H
+#define JSAI_INTERP_FILESYSTEM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+/// In-memory map of module paths to sources. Paths are stored normalized
+/// (no "./" or "../" segments). Iteration order is lexicographic, so whole-
+/// project operations are deterministic.
+class FileSystem {
+public:
+  /// Adds (or replaces) a file.
+  void addFile(const std::string &Path, std::string Source);
+
+  /// Loads every "*.js" file under \p DiskRoot (recursively) from the host
+  /// file system, keyed by its path relative to \p DiskRoot. \returns the
+  /// number of files loaded, or 0 when the directory does not exist.
+  size_t addDirectory(const std::string &DiskRoot);
+
+  bool exists(const std::string &Path) const;
+
+  /// \returns the source of \p Path; must exist.
+  const std::string &read(const std::string &Path) const;
+
+  /// All file paths, lexicographically sorted.
+  std::vector<std::string> allPaths() const;
+
+  size_t size() const { return Files.size(); }
+
+  /// Total size of all sources in bytes (the evaluation's "code size").
+  size_t totalBytes() const;
+
+  /// Resolves a require spec from \p FromPath. \returns the resolved path,
+  /// or an empty string when nothing matches.
+  std::string resolveRequire(const std::string &FromPath,
+                             const std::string &Spec) const;
+
+  /// Collapses "." and ".." segments; pure function, exposed for tests.
+  static std::string normalizePath(const std::string &Path);
+
+private:
+  std::map<std::string, std::string> Files;
+};
+
+} // namespace jsai
+
+#endif // JSAI_INTERP_FILESYSTEM_H

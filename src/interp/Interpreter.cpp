@@ -1,0 +1,1517 @@
+//===- Interpreter.cpp - MiniJS tree-walking interpreter ------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "ast/ScopeResolver.h"
+#include "builtins/Builtins.h"
+#include "parser/Parser.h"
+#include "support/JsNumber.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace jsai;
+
+InterpObserver::~InterpObserver() = default;
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
+Interpreter::Interpreter(ModuleLoader &Loader, InterpOptions Opts,
+                         InterpObserver *Obs)
+    : Loader(Loader), Opts(Opts), Obs(Obs), RandomState(Opts.RandomSeed) {
+  Loader.parseAll();
+  GlobalEnv = TheHeap.newEnvironment(nullptr);
+  TheProxy = TheHeap.newObject(ObjectClass::Proxy, SourceLoc::invalid());
+  installBuiltins(*this);
+  GlobalObject = TheHeap.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  GlobalEnv->define(intern("global"), Value::object(GlobalObject));
+  GlobalEnv->define(intern("globalThis"), Value::object(GlobalObject));
+}
+
+Object *Interpreter::makeReceiverProxy(Object *Target) {
+  if (Target->objectClass() == ObjectClass::ReceiverProxy)
+    return Target;
+  Object *P =
+      TheHeap.newObject(ObjectClass::ReceiverProxy, SourceLoc::invalid());
+  P->setProxyTarget(Target);
+  return P;
+}
+
+double Interpreter::nextRandom() {
+  // xorshift64*; deterministic across platforms.
+  RandomState ^= RandomState >> 12;
+  RandomState ^= RandomState << 25;
+  RandomState ^= RandomState >> 27;
+  uint64_t Bits = RandomState * 0x2545F4914F6CDD1DULL;
+  return double(Bits >> 11) / double(1ULL << 53);
+}
+
+void Interpreter::registerBuiltinModule(const std::string &Name,
+                                        Value Exports) {
+  BuiltinModules[Name] = std::move(Exports);
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets
+//===----------------------------------------------------------------------===//
+
+bool Interpreter::stepBudget() {
+  if (++Steps > Opts.MaxSteps) {
+    BudgetHit = true;
+    return false;
+  }
+  return true;
+}
+
+bool Interpreter::loopBudget() {
+  ++LoopIterations;
+  if (Opts.ApproxMode && LoopIterations > Opts.MaxLoopIterations) {
+    BudgetHit = true;
+    return false;
+  }
+  return stepBudget();
+}
+
+//===----------------------------------------------------------------------===//
+// Conversions
+//===----------------------------------------------------------------------===//
+
+std::string Interpreter::toStringValue(const Value &V) {
+  switch (V.kind()) {
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Null:
+    return "null";
+  case ValueKind::Boolean:
+    return V.asBoolean() ? "true" : "false";
+  case ValueKind::Number:
+    return jsNumberToString(V.asNumber());
+  case ValueKind::String:
+    return V.asString();
+  case ValueKind::Object: {
+    Object *O = V.asObject();
+    if (O->isProxy())
+      return "[proxy]";
+    if (O->objectClass() == ObjectClass::Array ||
+        O->objectClass() == ObjectClass::Arguments) {
+      std::string Out;
+      for (size_t I = 0, E = O->elements().size(); I != E; ++I) {
+        if (I)
+          Out += ",";
+        const Value &El = O->elements()[I];
+        if (!El.isNullish())
+          Out += toStringValue(El);
+      }
+      return Out;
+    }
+    if (O->isCallable()) {
+      if (FunctionDef *Def = O->functionDef()) {
+        Symbol Name = Def->name();
+        std::string N =
+            Name == InvalidSymbol ? std::string() : strings().str(Name);
+        return "function " + N + "() { [code] }";
+      }
+      return "function " + O->nativeName() + "() { [native code] }";
+    }
+    bool IsError = O->objectClass() == ObjectClass::Error;
+    for (Object *P = O->proto(); !IsError && P; P = P->proto())
+      IsError = P == Protos.ErrorP;
+    if (IsError) {
+      std::string Name = "Error", Msg;
+      if (auto N = O->get(intern("name")); N && N->isString())
+        Name = N->asString();
+      if (auto M = O->get(intern("message")); M && M->isString())
+        Msg = M->asString();
+      return Msg.empty() ? Name : Name + ": " + Msg;
+    }
+    return "[object Object]";
+  }
+  }
+  return "undefined";
+}
+
+double Interpreter::toNumberValue(const Value &V) {
+  switch (V.kind()) {
+  case ValueKind::Undefined:
+    return std::nan("");
+  case ValueKind::Null:
+    return 0;
+  case ValueKind::Boolean:
+    return V.asBoolean() ? 1 : 0;
+  case ValueKind::Number:
+    return V.asNumber();
+  case ValueKind::String:
+    return jsStringToNumber(V.asString());
+  case ValueKind::Object:
+    if (V.asObject()->isProxy())
+      return std::nan("");
+    return jsStringToNumber(toStringValue(V));
+  }
+  return std::nan("");
+}
+
+std::optional<std::string> Interpreter::propertyKey(const Value &V) {
+  if (isProxyValue(V))
+    return std::nullopt;
+  return toStringValue(V);
+}
+
+/// ECMAScript ToInt32, for the bitwise operators.
+static int32_t toInt32(double D) {
+  if (std::isnan(D) || std::isinf(D))
+    return 0;
+  return int32_t(int64_t(std::fmod(std::trunc(D), 4294967296.0)));
+}
+
+/// \returns true when \p Name is a canonical array index, storing it in
+/// \p Index.
+static bool isArrayIndex(const std::string &Name, size_t &Index) {
+  if (Name.empty() || Name.size() > 9)
+    return false;
+  for (char C : Name)
+    if (C < '0' || C > '9')
+      return false;
+  if (Name.size() > 1 && Name[0] == '0')
+    return false;
+  Index = size_t(std::stoull(Name));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Property access
+//===----------------------------------------------------------------------===//
+
+Completion Interpreter::getProperty(const Value &Base, const std::string &Name,
+                                    SourceLoc Loc) {
+  Symbol Sym = intern(Name);
+  switch (Base.kind()) {
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    if (Opts.ApproxMode)
+      return proxyValue(); // Keep forced execution going.
+    return throwError("TypeError",
+                      "cannot read property '" + Name + "' of " +
+                          toStringValue(Base) + " at " +
+                          context().files().format(Loc));
+  case ValueKind::Boolean:
+    if (Object *P = Protos.BooleanP)
+      if (auto V = P->get(Sym))
+        return *V;
+    return Value::undefined();
+  case ValueKind::Number:
+    if (Object *P = Protos.NumberP)
+      if (auto V = P->get(Sym))
+        return *V;
+    return Value::undefined();
+  case ValueKind::String: {
+    const std::string &S = Base.asString();
+    if (Name == "length")
+      return Value::number(double(S.size()));
+    size_t Index;
+    if (isArrayIndex(Name, Index))
+      return Index < S.size() ? Value::str(std::string(1, S[Index]))
+                              : Value::undefined();
+    if (Object *P = Protos.StringP)
+      if (auto V = P->get(Sym))
+        return *V;
+    return Value::undefined();
+  }
+  case ValueKind::Object:
+    break;
+  }
+
+  Object *O = Base.asObject();
+  if (O->objectClass() == ObjectClass::Proxy)
+    return proxyValue();
+  if (O->objectClass() == ObjectClass::ReceiverProxy) {
+    Completion Inner =
+        getProperty(Value::object(O->proxyTarget()), Name, Loc);
+    JSAI_PROPAGATE(Inner);
+    if (Inner.V.isUndefined())
+      return proxyValue(); // Absent properties delegate to p*.
+    return Inner;
+  }
+  if (O->objectClass() == ObjectClass::Array ||
+      O->objectClass() == ObjectClass::Arguments) {
+    if (Name == "length")
+      return Value::number(double(O->elements().size()));
+    size_t Index;
+    if (isArrayIndex(Name, Index))
+      return Index < O->elements().size() ? O->elements()[Index]
+                                          : Value::undefined();
+  }
+  if (O->isCallable()) {
+    if (Name == "name") {
+      if (FunctionDef *Def = O->functionDef()) {
+        Symbol N = Def->name();
+        return Value::str(N == InvalidSymbol ? "" : strings().str(N));
+      }
+      return Value::str(O->nativeName());
+    }
+    if (Name == "length" && !O->hasOwn(Sym)) {
+      if (FunctionDef *Def = O->functionDef())
+        return Value::number(double(Def->params().size()));
+      return Value::number(0);
+    }
+  }
+  if (const PropertySlot *Slot = O->findSlot(Sym)) {
+    if (!Slot->isAccessor())
+      return Slot->V;
+    if (!Slot->Getter)
+      return Value::undefined();
+    // Getter invocation: the property-access location acts as the call
+    // site (this is what makes getter call edges appear at read sites).
+    return callValue(Value::object(Slot->Getter), Base, {}, Loc);
+  }
+  return Value::undefined();
+}
+
+Completion Interpreter::setProperty(const Value &Base, const std::string &Name,
+                                    const Value &V, SourceLoc Loc) {
+  if (!Base.isObject())
+    return Value::undefined(); // Writes to primitives are silently dropped.
+  Object *O = Base.asObject();
+  if (O->objectClass() == ObjectClass::Proxy)
+    return Value::undefined(); // Writes to p* are ignored (Section 3).
+  if (O->objectClass() == ObjectClass::ReceiverProxy)
+    return setProperty(Value::object(O->proxyTarget()), Name, V, Loc);
+  if (O->objectClass() == ObjectClass::Array ||
+      O->objectClass() == ObjectClass::Arguments) {
+    if (Name == "length") {
+      double Len = toNumberValue(V);
+      if (Len >= 0 && Len == std::floor(Len)) {
+        O->elements().resize(size_t(Len));
+        return Value::undefined();
+      }
+    }
+    size_t Index;
+    if (isArrayIndex(Name, Index)) {
+      if (Index >= O->elements().size())
+        O->elements().resize(Index + 1);
+      O->elements()[Index] = V;
+      return Value::undefined();
+    }
+  }
+  Symbol Sym = intern(Name);
+  if (const PropertySlot *Slot = O->findSlot(Sym); Slot && Slot->isAccessor()) {
+    if (!Slot->Setter)
+      return Value::undefined(); // Assigning through a get-only property.
+    std::vector<Value> Args = {V};
+    Completion C =
+        callValue(Value::object(Slot->Setter), Base, std::move(Args), Loc);
+    JSAI_PROPAGATE(C);
+    return Value::undefined();
+  }
+  O->setOwn(Sym, V);
+  return Value::undefined();
+}
+
+Completion Interpreter::throwError(const std::string &Name,
+                                   const std::string &Message) {
+  Object *E = TheHeap.newObject(ObjectClass::Error, SourceLoc::invalid());
+  E->setProto(Protos.ErrorP);
+  E->setOwn(intern("name"), Value::str(Name));
+  E->setOwn(intern("message"), Value::str(Message));
+  return Completion::toss(Value::object(E));
+}
+
+Value Interpreter::makeArray(std::vector<Value> Elements) {
+  Object *A = TheHeap.newArray(SourceLoc::invalid(), std::move(Elements));
+  A->setProto(Protos.ArrayP);
+  return Value::object(A);
+}
+
+void Interpreter::dynamicWriteByBuiltin(Object *Base, const std::string &Name,
+                                        const Value &V) {
+  if (Obs)
+    Obs->onDynamicWrite(CurCallSite, Base, Name, V);
+  setProperty(Value::object(Base), Name, V, SourceLoc::invalid());
+}
+
+//===----------------------------------------------------------------------===//
+// Closures and calls
+//===----------------------------------------------------------------------===//
+
+Value Interpreter::makeClosure(FunctionDef *Def, Environment *Env,
+                               SourceLoc Loc) {
+  SourceLoc Birth = Def->isInEval() ? SourceLoc::invalid() : Loc;
+  Object *Fn = TheHeap.newClosure(Def, Env, Birth);
+  Fn->setProto(Protos.FunctionP);
+  // Every function carries a fresh `.prototype` object for `new`.
+  Object *Proto = TheHeap.newObject(ObjectClass::Plain, Birth);
+  Proto->setProto(Protos.ObjectP);
+  Proto->setFunctionPrototype(true);
+  Proto->setOwn(context().SymConstructor, Value::object(Fn));
+  Fn->setOwn(context().SymPrototype, Value::object(Proto));
+  if (Obs)
+    Obs->onFunctionCreated(Fn, Def);
+  return Value::object(Fn);
+}
+
+Completion Interpreter::callValue(const Value &Callee, const Value &ThisV,
+                                  std::vector<Value> Args,
+                                  SourceLoc CallSite) {
+  if (!stepBudget())
+    return Completion::abort();
+  if (!Callee.isObject()) {
+    if (Opts.ApproxMode)
+      return proxyValue();
+    return throwError("TypeError", toStringValue(Callee) +
+                                       " is not a function at " +
+                                       context().files().format(CallSite));
+  }
+  Object *Fn = Callee.asObject();
+  if (Fn->isProxy())
+    return proxyValue(); // Calls on p* are no-ops returning p* (Section 3).
+  if (!Fn->isCallable()) {
+    if (Opts.ApproxMode)
+      return proxyValue();
+    return throwError("TypeError", "value is not a function at " +
+                                       context().files().format(CallSite));
+  }
+  if (Fn->boundTarget()) {
+    std::vector<Value> Merged = Fn->boundArgs();
+    Merged.insert(Merged.end(), Args.begin(), Args.end());
+    return callValue(Value::object(Fn->boundTarget()), Fn->boundThis(),
+                     std::move(Merged), CallSite);
+  }
+
+  SourceLoc SavedSite = CurCallSite;
+  CurCallSite = CallSite;
+  Completion Result;
+  if (const NativeFn *Native = Fn->native()) {
+    if (CallDepth >= Opts.MaxCallDepth) {
+      BudgetHit = true;
+      Result = Completion::abort();
+    } else {
+      ++CallDepth;
+      Result = (*Native)(*this, ThisV, Args);
+      --CallDepth;
+    }
+  } else {
+    Result = callClosure(Fn, ThisV, Args, CallSite);
+  }
+  CurCallSite = SavedSite;
+  return Result;
+}
+
+Completion Interpreter::callClosure(Object *Fn, const Value &ThisV,
+                                    std::vector<Value> &Args,
+                                    SourceLoc CallSite, Object *NewTarget) {
+  (void)NewTarget;
+  FunctionDef *Def = Fn->functionDef();
+  assert(Def && "callClosure on non-closure");
+  if (CallDepth >= Opts.MaxCallDepth) {
+    BudgetHit = true;
+    return Completion::abort();
+  }
+
+  Environment *Env = TheHeap.newEnvironment(Fn->closureEnv());
+  AstContext &Ctx = context();
+
+  if (!Def->isArrow()) {
+    Env->define(Ctx.SymThis, ThisV);
+    Object *ArgsObj = TheHeap.newArray(SourceLoc::invalid(), Args);
+    // `arguments` is array-like; reuse the array representation.
+    ArgsObj->setProto(Protos.ObjectP);
+    Env->define(Ctx.SymArguments, Value::object(ArgsObj));
+  }
+  const std::vector<VarDecl *> &Params = Def->params();
+  for (size_t I = 0, E = Params.size(); I != E; ++I)
+    Env->define(Params[I]->name(),
+                I < Args.size() ? Args[I] : Value::undefined());
+  // Self-binding for named function expressions / declarations.
+  if (Def->name() != InvalidSymbol && !Def->isModule() &&
+      !Env->hasOwn(Def->name()))
+    Env->define(Def->name(), Value::object(Fn));
+  // Hoist `var` declarations and nested function declarations.
+  for (VarDecl *D : Def->hoistedVars())
+    if (!Env->hasOwn(D->name()))
+      Env->define(D->name(), Value::undefined());
+  for (FunctionDeclStmt *FD : Def->hoistedFuncs())
+    Env->define(FD->decl()->name(),
+                makeClosure(FD->def(), Env, FD->def()->loc()));
+
+  if (Obs)
+    Obs->onCall(CallSite, Def);
+
+  ++CallDepth;
+  Completion C = execBlockBody(Def->body()->body(), Env, Def);
+  --CallDepth;
+
+  switch (C.Kind) {
+  case CompletionKind::Return:
+    return Completion::normal(C.V);
+  case CompletionKind::Normal:
+  case CompletionKind::Break:   // Stray break/continue degrade to undefined.
+  case CompletionKind::Continue:
+    return Completion::normal(Value::undefined());
+  case CompletionKind::Throw:
+  case CompletionKind::Abort:
+    return C;
+  }
+  return Completion::normal(Value::undefined());
+}
+
+Completion Interpreter::callFunctionForced(Object *Fn) {
+  assert(Opts.ApproxMode && "forced execution requires approx mode");
+  FunctionDef *Def = Fn->functionDef();
+  assert(Def && "forcing a non-closure");
+  resetExecutionBudget();
+  BudgetHit = false;
+
+  // f.apply(w, p*): every parameter and `arguments` become p*; `this` is
+  // the inferred receiver or p* (Section 3).
+  Value ThisV =
+      Fn->approxThis() ? Value::object(Fn->approxThis()) : proxyValue();
+  std::vector<Value> Args(Def->params().size(), proxyValue());
+
+  Environment *Env = TheHeap.newEnvironment(Fn->closureEnv());
+  AstContext &Ctx = context();
+  if (!Def->isArrow()) {
+    Env->define(Ctx.SymThis, ThisV);
+    Env->define(Ctx.SymArguments, proxyValue());
+  }
+  for (size_t I = 0, E = Def->params().size(); I != E; ++I)
+    Env->define(Def->params()[I]->name(), Args[I]);
+  if (Def->name() != InvalidSymbol && !Def->isModule() &&
+      !Env->hasOwn(Def->name()))
+    Env->define(Def->name(), Value::object(Fn));
+  for (VarDecl *D : Def->hoistedVars())
+    if (!Env->hasOwn(D->name()))
+      Env->define(D->name(), Value::undefined());
+  for (FunctionDeclStmt *FD : Def->hoistedFuncs())
+    Env->define(FD->decl()->name(),
+                makeClosure(FD->def(), Env, FD->def()->loc()));
+
+  if (Obs)
+    Obs->onCall(SourceLoc::invalid(), Def);
+
+  ++CallDepth;
+  Completion C = execBlockBody(Def->body()->body(), Env, Def);
+  --CallDepth;
+  if (C.Kind == CompletionKind::Return)
+    return Completion::normal(C.V);
+  return C;
+}
+
+Completion Interpreter::construct(const Value &Callee, std::vector<Value> Args,
+                                  SourceLoc AllocLoc, SourceLoc CallSite) {
+  if (!Callee.isObject() || Callee.asObject()->isProxy()) {
+    if (Opts.ApproxMode)
+      return proxyValue();
+    return throwError("TypeError", "constructor is not a function at " +
+                                       context().files().format(CallSite));
+  }
+  Object *Fn = Callee.asObject();
+  if (!Fn->isCallable()) {
+    if (Opts.ApproxMode)
+      return proxyValue();
+    return throwError("TypeError", "constructor is not a function at " +
+                                       context().files().format(CallSite));
+  }
+  // Allocate the instance with the constructor's prototype.
+  Object *ProtoObj = Protos.ObjectP;
+  if (auto P = Fn->getOwn(context().SymPrototype); P && P->isObject())
+    ProtoObj = P->asObject();
+  bool InEval = Fn->functionDef() && Fn->functionDef()->isInEval();
+  Object *Instance = TheHeap.newObject(
+      ObjectClass::Plain, InEval ? SourceLoc::invalid() : AllocLoc, ProtoObj);
+  if (Obs)
+    Obs->onObjectCreated(Instance);
+
+  Completion C =
+      callValue(Callee, Value::object(Instance), std::move(Args), CallSite);
+  JSAI_PROPAGATE(C);
+  if (C.V.isObject() && !C.V.asObject()->isProxy())
+    return C; // Constructor returned an explicit object.
+  return Value::object(Instance);
+}
+
+//===----------------------------------------------------------------------===//
+// Modules
+//===----------------------------------------------------------------------===//
+
+Completion Interpreter::loadModule(const std::string &Path) {
+  std::string Norm = FileSystem::normalizePath(Path);
+  if (auto It = ModuleExports.find(Norm); It != ModuleExports.end()) {
+    // Cached (or currently loading; partial exports break cycles).
+    return getProperty(It->second, "exports", SourceLoc::invalid());
+  }
+  Module *M = context().findModule(Norm);
+  if (!M)
+    return throwError("Error", "cannot find module '" + Norm + "'");
+
+  AstContext &Ctx = context();
+  SourceLoc ModLoc(M->File, 0, 0);
+  // The default exports object; line 0 marks it as the implicit per-module
+  // allocation (distinct from any real site in the file).
+  Object *Exports =
+      TheHeap.newObject(ObjectClass::Plain, SourceLoc(M->File, 0, 1));
+  Exports->setProto(Protos.ObjectP);
+  if (Obs)
+    Obs->onObjectCreated(Exports);
+  // (file, 0, 2): the `module` object's reserved allocation site.
+  Object *ModObj =
+      TheHeap.newObject(ObjectClass::Module, SourceLoc(M->File, 0, 2));
+  ModObj->setProto(Protos.ObjectP);
+  ModObj->setOwn(Ctx.SymExports, Value::object(Exports));
+  ModObj->setOwn(intern("id"), Value::str(Norm));
+  ModuleExports[Norm] = Value::object(ModObj);
+
+  std::string FromPath = Norm;
+  Object *RequireFn = TheHeap.newNative(
+      "require",
+      [FromPath](Interpreter &I, const Value &, std::vector<Value> &Args)
+          -> Completion {
+        if (Args.empty() || !Args[0].isString()) {
+          if (!Args.empty() && I.isProxyValue(Args[0]))
+            return I.proxyValue(); // Unknown dynamic module name.
+          return I.throwError("TypeError", "require expects a string");
+        }
+        return I.requireFrom(FromPath, Args[0].asString(),
+                             I.currentCallSite());
+      });
+  RequireFn->setProto(Protos.FunctionP);
+
+  Value ModuleFn = makeClosure(M->Func, GlobalEnv, ModLoc);
+  std::vector<Value> Args = {Value::object(Exports), Value::object(RequireFn),
+                             Value::object(ModObj)};
+  Completion C = callValue(ModuleFn, Value::object(Exports), std::move(Args),
+                           SourceLoc::invalid());
+  if (C.isThrow() || C.isAbort())
+    return C;
+  return getProperty(Value::object(ModObj), "exports", SourceLoc::invalid());
+}
+
+Completion Interpreter::requireFrom(const std::string &FromPath,
+                                    const std::string &Spec,
+                                    SourceLoc CallSite) {
+  if (Module *M = Loader.resolve(FromPath, Spec)) {
+    if (Obs)
+      Obs->onModuleRequired(CallSite, M->Path);
+    return loadModule(M->Path);
+  }
+  if (auto It = BuiltinModules.find(Spec); It != BuiltinModules.end())
+    return It->second;
+  if (Opts.ApproxMode)
+    return proxyValue();
+  return throwError("Error", "cannot find module '" + Spec + "' from '" +
+                                 FromPath + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// eval
+//===----------------------------------------------------------------------===//
+
+Completion Interpreter::runEval(const std::string &Code, Environment *Env,
+                                FunctionDef *EnclosingFunc,
+                                SourceLoc CallSite) {
+  if (!stepBudget())
+    return Completion::abort();
+  if (Obs)
+    Obs->onEvalCode(CallSite, Code);
+  Parser EvalParser(context(), Loader.diagnostics());
+  FunctionDef *F = EvalParser.parseEval(Code, EnclosingFunc, CallSite);
+  if (!F)
+    return throwError("SyntaxError", "invalid code passed to eval");
+  ScopeResolver(context()).resolveFunction(F);
+
+  Environment *EvalEnv = TheHeap.newEnvironment(Env);
+  return runEvalBody(F, EvalEnv);
+}
+
+Completion Interpreter::runEvalBody(FunctionDef *F, Environment *Env) {
+  for (VarDecl *D : F->hoistedVars())
+    if (!Env->hasOwn(D->name()))
+      Env->define(D->name(), Value::undefined());
+  for (FunctionDeclStmt *FD : F->hoistedFuncs())
+    Env->define(FD->decl()->name(),
+                makeClosure(FD->def(), Env, FD->def()->loc()));
+  Completion C = execBlockBody(F->body()->body(), Env, F);
+  if (C.Kind == CompletionKind::Throw || C.Kind == CompletionKind::Abort)
+    return C;
+  // MiniJS simplification: eval's completion value is undefined.
+  return Value::undefined();
+}
+
+//===----------------------------------------------------------------------===//
+// Expression evaluation
+//===----------------------------------------------------------------------===//
+
+void Interpreter::assignVariable(Symbol Name, const Value &V,
+                                 Environment *Env) {
+  if (!Env->assign(Name, V))
+    GlobalEnv->define(Name, V); // Sloppy-mode implicit global.
+}
+
+Completion Interpreter::evalExpr(Expr *E, Environment *Env, FunctionDef *F) {
+  if (!stepBudget())
+    return Completion::abort();
+
+  switch (E->kind()) {
+  case NodeKind::NumberLit:
+    return Value::number(cast<NumberLit>(E)->value());
+  case NodeKind::StringLit:
+    return Value::str(strings().str(cast<StringLit>(E)->value()));
+  case NodeKind::BoolLit:
+    return Value::boolean(cast<BoolLit>(E)->value());
+  case NodeKind::NullLit:
+    return Value::null();
+  case NodeKind::UndefinedLit:
+    return Value::undefined();
+  case NodeKind::Ident: {
+    auto *I = cast<Ident>(E);
+    if (Value *Slot = Env->lookup(I->name()))
+      return *Slot;
+    if (Opts.ApproxMode)
+      return proxyValue(); // Unknown globals become p*.
+    return throwError("ReferenceError", strings().str(I->name()) +
+                                            " is not defined at " +
+                                            context().files().format(E->loc()));
+  }
+  case NodeKind::This: {
+    if (Value *Slot = Env->lookup(context().SymThis))
+      return *Slot;
+    return Opts.ApproxMode ? Completion(proxyValue())
+                           : Completion(Value::undefined());
+  }
+  case NodeKind::ObjectLit:
+    return evalObjectLit(cast<ObjectLit>(E), Env, F);
+  case NodeKind::ArrayLit: {
+    auto *A = cast<ArrayLit>(E);
+    std::vector<Value> Elements;
+    Elements.reserve(A->elements().size());
+    for (Expr *El : A->elements()) {
+      Completion C = evalExpr(El, Env, F);
+      JSAI_PROPAGATE(C);
+      Elements.push_back(C.V);
+    }
+    SourceLoc Birth = F->isInEval() ? SourceLoc::invalid() : A->loc();
+    Object *Arr = TheHeap.newArray(Birth, std::move(Elements));
+    Arr->setProto(Protos.ArrayP);
+    if (Obs)
+      Obs->onObjectCreated(Arr);
+    return Value::object(Arr);
+  }
+  case NodeKind::FunctionExpr: {
+    auto *FE = cast<FunctionExpr>(E);
+    return makeClosure(FE->def(), Env, FE->loc());
+  }
+  case NodeKind::Unary:
+    return evalUnary(cast<UnaryExpr>(E), Env, F);
+  case NodeKind::Binary:
+    return evalBinary(cast<BinaryExpr>(E), Env, F);
+  case NodeKind::Logical: {
+    auto *L = cast<LogicalExpr>(E);
+    Completion Lhs = evalExpr(L->lhs(), Env, F);
+    JSAI_PROPAGATE(Lhs);
+    switch (L->op()) {
+    case LogicalOp::And:
+      if (!Lhs.V.toBoolean())
+        return Lhs;
+      break;
+    case LogicalOp::Or:
+      if (Lhs.V.toBoolean())
+        return Lhs;
+      break;
+    case LogicalOp::Nullish:
+      if (!Lhs.V.isNullish())
+        return Lhs;
+      break;
+    }
+    return evalExpr(L->rhs(), Env, F);
+  }
+  case NodeKind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    Completion Cond = evalExpr(C->cond(), Env, F);
+    JSAI_PROPAGATE(Cond);
+    return evalExpr(Cond.V.toBoolean() ? C->thenExpr() : C->elseExpr(), Env,
+                    F);
+  }
+  case NodeKind::Assign:
+    return evalAssign(cast<AssignExpr>(E), Env, F);
+  case NodeKind::Update:
+    return evalUpdate(cast<UpdateExpr>(E), Env, F);
+  case NodeKind::Call:
+    return evalCall(cast<CallExpr>(E), Env, F);
+  case NodeKind::New: {
+    auto *N = cast<NewExpr>(E);
+    Completion Callee = evalExpr(N->callee(), Env, F);
+    JSAI_PROPAGATE(Callee);
+    std::vector<Value> Args;
+    Args.reserve(N->args().size());
+    for (Expr *A : N->args()) {
+      Completion C = evalExpr(A, Env, F);
+      JSAI_PROPAGATE(C);
+      Args.push_back(C.V);
+    }
+    SourceLoc Birth = F->isInEval() ? SourceLoc::invalid() : N->loc();
+    return construct(Callee.V, std::move(Args), Birth, N->loc());
+  }
+  case NodeKind::Member:
+    return evalMember(cast<MemberExpr>(E), Env, F);
+  case NodeKind::Sequence: {
+    auto *S = cast<SequenceExpr>(E);
+    Value Last;
+    for (Expr *X : S->exprs()) {
+      Completion C = evalExpr(X, Env, F);
+      JSAI_PROPAGATE(C);
+      Last = C.V;
+    }
+    return Last;
+  }
+  default:
+    assert(false && "statement node in expression evaluation");
+    return Value::undefined();
+  }
+}
+
+Completion Interpreter::evalObjectLit(ObjectLit *O, Environment *Env,
+                                      FunctionDef *F) {
+  SourceLoc Birth = F->isInEval() ? SourceLoc::invalid() : O->loc();
+  Object *Obj = TheHeap.newObject(ObjectClass::Plain, Birth, Protos.ObjectP);
+  if (Obs)
+    Obs->onObjectCreated(Obj);
+  for (const ObjectProperty &P : O->properties()) {
+    Completion V = evalExpr(P.Value, Env, F);
+    JSAI_PROPAGATE(V);
+    if (P.PKind != PropertyKind::Value) {
+      Object *Accessor =
+          V.V.isObject() && V.V.asObject()->isCallable() ? V.V.asObject()
+                                                         : nullptr;
+      if (P.PKind == PropertyKind::Getter)
+        Obj->setAccessor(P.Key, Accessor, nullptr);
+      else
+        Obj->setAccessor(P.Key, nullptr, Accessor);
+      continue;
+    }
+    if (P.KeyExpr) {
+      Completion K = evalExpr(P.KeyExpr, Env, F);
+      JSAI_PROPAGATE(K);
+      std::optional<std::string> Key = propertyKey(K.V);
+      if (!Key)
+        continue; // Unknown (proxy) key: skip the write.
+      if (Obs)
+        Obs->onDynamicWrite(P.KeyExpr->loc(), Obj, *Key, V.V);
+      setProperty(Value::object(Obj), *Key, V.V, P.KeyExpr->loc());
+      continue;
+    }
+    Obj->setOwn(P.Key, V.V);
+  }
+  return Value::object(Obj);
+}
+
+Completion Interpreter::evalMember(MemberExpr *M, Environment *Env,
+                                   FunctionDef *F) {
+  Completion Base = evalExpr(M->object(), Env, F);
+  JSAI_PROPAGATE(Base);
+  if (!M->isComputed()) {
+    return getProperty(Base.V, strings().str(M->name()), M->loc());
+  }
+  Completion Index = evalExpr(M->index(), Env, F);
+  JSAI_PROPAGATE(Index);
+  std::optional<std::string> Key = propertyKey(Index.V);
+  if (!Key)
+    return proxyValue(); // Unknown property name.
+  if (Opts.ApproxMode && isProxyValue(Base.V)) {
+    // Known name, unknown base: record for the Section 6 extension.
+    if (Obs)
+      Obs->onProxyBaseRead(M->loc(), *Key);
+    return getProperty(Base.V, *Key, M->loc());
+  }
+  Completion Result = getProperty(Base.V, *Key, M->loc());
+  JSAI_PROPAGATE(Result);
+  if (Obs)
+    Obs->onDynamicRead(M->loc(), *Key, Result.V);
+  return Result;
+}
+
+/// Applies a binary arithmetic step for compound assignment / binary ops.
+static Value applyArith(Interpreter &I, AssignOp Op, const Value &Old,
+                        const Value &Rhs) {
+  switch (Op) {
+  case AssignOp::Add: {
+    if (Old.isString() || Rhs.isString() ||
+        (Old.isObject() && !Old.asObject()->isProxy()) ||
+        (Rhs.isObject() && !Rhs.asObject()->isProxy()))
+      return Value::str(I.toStringValue(Old) + I.toStringValue(Rhs));
+    return Value::number(I.toNumberValue(Old) + I.toNumberValue(Rhs));
+  }
+  case AssignOp::Sub:
+    return Value::number(I.toNumberValue(Old) - I.toNumberValue(Rhs));
+  case AssignOp::Mul:
+    return Value::number(I.toNumberValue(Old) * I.toNumberValue(Rhs));
+  case AssignOp::Div:
+    return Value::number(I.toNumberValue(Old) / I.toNumberValue(Rhs));
+  default:
+    return Rhs;
+  }
+}
+
+Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
+                                   FunctionDef *F) {
+  // Identifier target.
+  if (auto *I = dyn_cast<Ident>(A->target())) {
+    Value NewV;
+    if (A->op() == AssignOp::Assign) {
+      Completion V = evalExpr(A->value(), Env, F);
+      JSAI_PROPAGATE(V);
+      NewV = V.V;
+    } else {
+      Value Old;
+      if (Value *Slot = Env->lookup(I->name()))
+        Old = *Slot;
+      else if (Opts.ApproxMode)
+        Old = proxyValue();
+      if (A->op() == AssignOp::OrOr && Old.toBoolean())
+        return Old;
+      Completion V = evalExpr(A->value(), Env, F);
+      JSAI_PROPAGATE(V);
+      if (A->op() == AssignOp::OrOr)
+        NewV = V.V;
+      else if (Opts.ApproxMode &&
+               (isProxyValue(Old) || isProxyValue(V.V)))
+        NewV = proxyValue();
+      else
+        NewV = applyArith(*this, A->op(), Old, V.V);
+    }
+    assignVariable(I->name(), NewV, Env);
+    return NewV;
+  }
+
+  // Member target.
+  auto *M = cast<MemberExpr>(A->target());
+  Completion Base = evalExpr(M->object(), Env, F);
+  JSAI_PROPAGATE(Base);
+
+  std::optional<std::string> Key;
+  SourceLoc KeyLoc = M->loc();
+  bool Computed = M->isComputed();
+  if (Computed) {
+    Completion Index = evalExpr(M->index(), Env, F);
+    JSAI_PROPAGATE(Index);
+    Key = propertyKey(Index.V);
+  } else {
+    Key = strings().str(M->name());
+  }
+
+  Value NewV;
+  if (A->op() == AssignOp::Assign) {
+    Completion V = evalExpr(A->value(), Env, F);
+    JSAI_PROPAGATE(V);
+    NewV = V.V;
+  } else {
+    Value Old;
+    if (Key) {
+      Completion OldC = getProperty(Base.V, *Key, KeyLoc);
+      JSAI_PROPAGATE(OldC);
+      Old = OldC.V;
+    } else {
+      Old = proxyValue();
+    }
+    if (A->op() == AssignOp::OrOr && Old.toBoolean())
+      return Old;
+    Completion V = evalExpr(A->value(), Env, F);
+    JSAI_PROPAGATE(V);
+    if (A->op() == AssignOp::OrOr)
+      NewV = V.V;
+    else if (Opts.ApproxMode && (isProxyValue(Old) || isProxyValue(V.V)))
+      NewV = proxyValue();
+    else
+      NewV = applyArith(*this, A->op(), Old, V.V);
+  }
+
+  if (!Key)
+    return NewV; // Unknown (proxy) property name: skip the write.
+
+  if (Computed) {
+    if (Obs && Base.V.isObject())
+      Obs->onDynamicWrite(M->loc(), Base.V.asObject(), *Key, NewV);
+  } else if (Opts.ApproxMode && NewV.isObject()) {
+    // Static property write: infer the receiver for later forced execution
+    // (the paper's `this` map), wrapped to delegate unknowns to p*.
+    Object *Written = NewV.asObject();
+    if (Written->functionDef() && !Written->approxThis() &&
+        Base.V.isObject() && !Base.V.asObject()->isProxy())
+      Written->setApproxThis(makeReceiverProxy(Base.V.asObject()));
+  }
+  Completion W = setProperty(Base.V, *Key, NewV, KeyLoc);
+  JSAI_PROPAGATE(W);
+  return NewV;
+}
+
+Completion Interpreter::evalUpdate(UpdateExpr *U, Environment *Env,
+                                   FunctionDef *F) {
+  auto Bump = [&](const Value &Old) -> Value {
+    if (Opts.ApproxMode && isProxyValue(Old))
+      return proxyValue();
+    double N = toNumberValue(Old);
+    return Value::number(U->isIncrement() ? N + 1 : N - 1);
+  };
+  if (auto *I = dyn_cast<Ident>(U->target())) {
+    Value Old;
+    if (Value *Slot = Env->lookup(I->name()))
+      Old = *Slot;
+    else if (Opts.ApproxMode)
+      Old = proxyValue();
+    else
+      return throwError("ReferenceError",
+                        strings().str(I->name()) + " is not defined");
+    Value NewV = Bump(Old);
+    assignVariable(I->name(), NewV, Env);
+    if (U->isPrefix())
+      return NewV;
+    return isProxyValue(Old) ? Old : Value::number(toNumberValue(Old));
+  }
+  auto *M = cast<MemberExpr>(U->target());
+  Completion Base = evalExpr(M->object(), Env, F);
+  JSAI_PROPAGATE(Base);
+  std::optional<std::string> Key;
+  if (M->isComputed()) {
+    Completion Index = evalExpr(M->index(), Env, F);
+    JSAI_PROPAGATE(Index);
+    Key = propertyKey(Index.V);
+  } else {
+    Key = strings().str(M->name());
+  }
+  if (!Key)
+    return proxyValue();
+  Completion OldC = getProperty(Base.V, *Key, M->loc());
+  JSAI_PROPAGATE(OldC);
+  Value NewV = Bump(OldC.V);
+  if (M->isComputed() && Obs && Base.V.isObject())
+    Obs->onDynamicWrite(M->loc(), Base.V.asObject(), *Key, NewV);
+  Completion W = setProperty(Base.V, *Key, NewV, M->loc());
+  JSAI_PROPAGATE(W);
+  if (U->isPrefix())
+    return NewV;
+  return isProxyValue(OldC.V) ? OldC.V
+                              : Value::number(toNumberValue(OldC.V));
+}
+
+Completion Interpreter::evalUnary(UnaryExpr *U, Environment *Env,
+                                  FunctionDef *F) {
+  // `typeof x` must not throw on unresolved identifiers.
+  if (U->op() == UnaryOp::Typeof) {
+    if (auto *I = dyn_cast<Ident>(U->operand())) {
+      if (Value *Slot = Env->lookup(I->name())) {
+        if (isProxyValue(*Slot))
+          return Value::str("function"); // Deterministic choice for p*.
+        return Value::str(Slot->typeOf());
+      }
+      if (Opts.ApproxMode)
+        return Value::str("function");
+      return Value::str("undefined");
+    }
+    Completion C = evalExpr(U->operand(), Env, F);
+    JSAI_PROPAGATE(C);
+    if (isProxyValue(C.V))
+      return Value::str("function");
+    return Value::str(C.V.typeOf());
+  }
+
+  if (U->op() == UnaryOp::Delete) {
+    if (auto *M = dyn_cast<MemberExpr>(U->operand())) {
+      Completion Base = evalExpr(M->object(), Env, F);
+      JSAI_PROPAGATE(Base);
+      std::optional<std::string> Key;
+      if (M->isComputed()) {
+        Completion Index = evalExpr(M->index(), Env, F);
+        JSAI_PROPAGATE(Index);
+        Key = propertyKey(Index.V);
+      } else {
+        Key = strings().str(M->name());
+      }
+      if (!Key || !Base.V.isObject() || Base.V.asObject()->isProxy())
+        return Value::boolean(true);
+      Object *O = Base.V.asObject();
+      size_t Index;
+      if (O->objectClass() == ObjectClass::Array && isArrayIndex(*Key, Index)) {
+        if (Index < O->elements().size())
+          O->elements()[Index] = Value::undefined();
+        return Value::boolean(true);
+      }
+      return Value::boolean(O->deleteOwn(intern(*Key)));
+    }
+    return Value::boolean(true);
+  }
+
+  Completion C = evalExpr(U->operand(), Env, F);
+  JSAI_PROPAGATE(C);
+  if (Opts.ApproxMode && isProxyValue(C.V)) {
+    if (U->op() == UnaryOp::Not)
+      return Value::boolean(false); // p* is truthy.
+    if (U->op() == UnaryOp::Void)
+      return Value::undefined();
+    return proxyValue();
+  }
+  switch (U->op()) {
+  case UnaryOp::Neg:
+    return Value::number(-toNumberValue(C.V));
+  case UnaryOp::Plus:
+    return Value::number(toNumberValue(C.V));
+  case UnaryOp::Not:
+    return Value::boolean(!C.V.toBoolean());
+  case UnaryOp::BitNot:
+    return Value::number(double(~toInt32(toNumberValue(C.V))));
+  case UnaryOp::Void:
+    return Value::undefined();
+  case UnaryOp::Typeof:
+  case UnaryOp::Delete:
+    break; // Handled above.
+  }
+  return Value::undefined();
+}
+
+/// Simplified ECMAScript loose equality.
+static bool looseEquals(Interpreter &I, const Value &A, const Value &B) {
+  if (A.kind() == B.kind())
+    return Value::strictEquals(A, B);
+  if (A.isNullish() && B.isNullish())
+    return true;
+  if (A.isNullish() || B.isNullish())
+    return false;
+  if (A.isObject() || B.isObject()) {
+    // Object vs primitive: compare via ToPrimitive (string) conversion.
+    if (A.isObject() && A.asObject()->isProxy())
+      return false;
+    if (B.isObject() && B.asObject()->isProxy())
+      return false;
+    if (B.isString() || A.isString())
+      return I.toStringValue(A) == I.toStringValue(B);
+    return I.toNumberValue(A) == I.toNumberValue(B);
+  }
+  // number/string/boolean mix: numeric comparison.
+  return I.toNumberValue(A) == I.toNumberValue(B);
+}
+
+Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
+                                   FunctionDef *F) {
+  Completion L = evalExpr(B->lhs(), Env, F);
+  JSAI_PROPAGATE(L);
+  Completion R = evalExpr(B->rhs(), Env, F);
+  JSAI_PROPAGATE(R);
+  const Value &A = L.V;
+  const Value &C = R.V;
+
+  bool AnyProxy =
+      Opts.ApproxMode && (isProxyValue(A) || isProxyValue(C));
+
+  switch (B->op()) {
+  case BinaryOp::Add:
+    if (AnyProxy)
+      return proxyValue(); // Contamination keeps unknowns unknown.
+    return applyArith(*this, AssignOp::Add, A, C);
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Mod: {
+    if (AnyProxy)
+      return proxyValue();
+    double X = toNumberValue(A), Y = toNumberValue(C);
+    switch (B->op()) {
+    case BinaryOp::Sub:
+      return Value::number(X - Y);
+    case BinaryOp::Mul:
+      return Value::number(X * Y);
+    case BinaryOp::Div:
+      return Value::number(X / Y);
+    default:
+      return Value::number(std::fmod(X, Y));
+    }
+  }
+  case BinaryOp::EqStrict:
+    return Value::boolean(Value::strictEquals(A, C));
+  case BinaryOp::NeStrict:
+    return Value::boolean(!Value::strictEquals(A, C));
+  case BinaryOp::EqLoose:
+    if (AnyProxy)
+      return Value::boolean(Value::strictEquals(A, C));
+    return Value::boolean(looseEquals(*this, A, C));
+  case BinaryOp::NeLoose:
+    if (AnyProxy)
+      return Value::boolean(!Value::strictEquals(A, C));
+    return Value::boolean(!looseEquals(*this, A, C));
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge: {
+    if (AnyProxy)
+      return Value::boolean(false); // Ends proxy-bounded loops promptly.
+    if (A.isString() && C.isString()) {
+      int Cmp = A.asString().compare(C.asString());
+      switch (B->op()) {
+      case BinaryOp::Lt:
+        return Value::boolean(Cmp < 0);
+      case BinaryOp::Le:
+        return Value::boolean(Cmp <= 0);
+      case BinaryOp::Gt:
+        return Value::boolean(Cmp > 0);
+      default:
+        return Value::boolean(Cmp >= 0);
+      }
+    }
+    double X = toNumberValue(A), Y = toNumberValue(C);
+    if (std::isnan(X) || std::isnan(Y))
+      return Value::boolean(false);
+    switch (B->op()) {
+    case BinaryOp::Lt:
+      return Value::boolean(X < Y);
+    case BinaryOp::Le:
+      return Value::boolean(X <= Y);
+    case BinaryOp::Gt:
+      return Value::boolean(X > Y);
+    default:
+      return Value::boolean(X >= Y);
+    }
+  }
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor:
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    if (AnyProxy)
+      return proxyValue();
+    int32_t X = toInt32(toNumberValue(A)), Y = toInt32(toNumberValue(C));
+    switch (B->op()) {
+    case BinaryOp::BitAnd:
+      return Value::number(double(X & Y));
+    case BinaryOp::BitOr:
+      return Value::number(double(X | Y));
+    case BinaryOp::BitXor:
+      return Value::number(double(X ^ Y));
+    case BinaryOp::Shl:
+      return Value::number(double(X << (Y & 31)));
+    default:
+      return Value::number(double(X >> (Y & 31)));
+    }
+  }
+  case BinaryOp::In: {
+    if (AnyProxy)
+      return Value::boolean(false);
+    if (!C.isObject())
+      return Value::boolean(false);
+    std::optional<std::string> Key = propertyKey(A);
+    if (!Key)
+      return Value::boolean(false);
+    Object *O = C.asObject();
+    size_t Index;
+    if (O->objectClass() == ObjectClass::Array && isArrayIndex(*Key, Index))
+      return Value::boolean(Index < O->elements().size());
+    if (*Key == "length" && O->objectClass() == ObjectClass::Array)
+      return Value::boolean(true);
+    return Value::boolean(O->has(intern(*Key)));
+  }
+  case BinaryOp::Instanceof: {
+    if (AnyProxy || !A.isObject() || !C.isObject() ||
+        !C.asObject()->isCallable())
+      return Value::boolean(false);
+    auto ProtoV = C.asObject()->getOwn(context().SymPrototype);
+    if (!ProtoV || !ProtoV->isObject())
+      return Value::boolean(false);
+    for (Object *O = A.asObject()->proto(); O; O = O->proto())
+      if (O == ProtoV->asObject())
+        return Value::boolean(true);
+    return Value::boolean(false);
+  }
+  }
+  return Value::undefined();
+}
+
+Completion Interpreter::evalCall(CallExpr *C, Environment *Env,
+                                 FunctionDef *F) {
+  // Direct eval.
+  if (auto *I = dyn_cast<Ident>(C->callee());
+      I && strings().str(I->name()) == "eval" && !I->decl()) {
+    if (C->args().empty())
+      return Value::undefined();
+    Completion Arg = evalExpr(C->args()[0], Env, F);
+    JSAI_PROPAGATE(Arg);
+    if (isProxyValue(Arg.V))
+      return proxyValue();
+    if (!Arg.V.isString())
+      return Arg; // eval of a non-string returns it unchanged.
+    return runEval(Arg.V.asString(), Env, F, C->loc());
+  }
+
+  Value Callee;
+  Value ThisV;
+  if (auto *M = dyn_cast<MemberExpr>(C->callee())) {
+    Completion Base = evalExpr(M->object(), Env, F);
+    JSAI_PROPAGATE(Base);
+    ThisV = Base.V;
+    std::optional<std::string> Key;
+    if (M->isComputed()) {
+      Completion Index = evalExpr(M->index(), Env, F);
+      JSAI_PROPAGATE(Index);
+      Key = propertyKey(Index.V);
+    } else {
+      Key = strings().str(M->name());
+    }
+    if (!Key) {
+      Callee = proxyValue();
+    } else {
+      Completion Fn = getProperty(Base.V, *Key, M->loc());
+      JSAI_PROPAGATE(Fn);
+      if (M->isComputed() && Obs) {
+        if (Opts.ApproxMode && isProxyValue(Base.V))
+          Obs->onProxyBaseRead(M->loc(), *Key);
+        else
+          Obs->onDynamicRead(M->loc(), *Key, Fn.V);
+      }
+      Callee = Fn.V;
+    }
+  } else {
+    Completion Fn = evalExpr(C->callee(), Env, F);
+    JSAI_PROPAGATE(Fn);
+    Callee = Fn.V;
+  }
+
+  std::vector<Value> Args;
+  Args.reserve(C->args().size());
+  for (Expr *A : C->args()) {
+    Completion AC = evalExpr(A, Env, F);
+    JSAI_PROPAGATE(AC);
+    Args.push_back(AC.V);
+  }
+  return callValue(Callee, ThisV, std::move(Args), C->loc());
+}
+
+//===----------------------------------------------------------------------===//
+// Statement execution
+//===----------------------------------------------------------------------===//
+
+Completion Interpreter::execBlockBody(const std::vector<Stmt *> &Body,
+                                      Environment *Env, FunctionDef *F) {
+  for (Stmt *S : Body) {
+    Completion C = execStmt(S, Env, F);
+    JSAI_PROPAGATE(C);
+  }
+  return Completion::normal();
+}
+
+Completion Interpreter::evalForIn(ForInStmt *L, Environment *Env,
+                                  FunctionDef *F) {
+  Completion ObjC = evalExpr(L->object(), Env, F);
+  JSAI_PROPAGATE(ObjC);
+  if (!ObjC.V.isObject())
+    return Completion::normal();
+  Object *O = ObjC.V.asObject();
+  if (O->isProxy())
+    return Completion::normal(); // Zero iterations over unknowns.
+
+  // Snapshot the iteration values.
+  std::vector<Value> Items;
+  bool IsArrayLike = O->objectClass() == ObjectClass::Array ||
+                     O->objectClass() == ObjectClass::Arguments;
+  if (L->isOf()) {
+    if (IsArrayLike)
+      Items = O->elements();
+  } else {
+    if (IsArrayLike)
+      for (size_t I = 0, E = O->elements().size(); I != E; ++I)
+        Items.push_back(Value::str(jsNumberToString(double(I))));
+    for (Symbol Key : O->ownKeys())
+      Items.push_back(Value::str(strings().str(Key)));
+  }
+
+  for (const Value &Item : Items) {
+    if (!loopBudget())
+      return Completion::abort();
+    if (L->decl())
+      assignVariable(L->decl()->name(), Item, Env);
+    else if (auto *I = dyn_cast<Ident>(L->target()))
+      assignVariable(I->name(), Item, Env);
+    else if (auto *M = dyn_cast<MemberExpr>(L->target())) {
+      Completion Base = evalExpr(M->object(), Env, F);
+      JSAI_PROPAGATE(Base);
+      std::optional<std::string> Key =
+          M->isComputed() ? std::nullopt
+                          : std::optional<std::string>(
+                                strings().str(M->name()));
+      if (Key) {
+        Completion W = setProperty(Base.V, *Key, Item, M->loc());
+        JSAI_PROPAGATE(W);
+      }
+    }
+    Completion C = execStmt(L->body(), Env, F);
+    if (C.Kind == CompletionKind::Break)
+      break;
+    if (C.Kind == CompletionKind::Continue)
+      continue;
+    JSAI_PROPAGATE(C);
+  }
+  return Completion::normal();
+}
+
+Completion Interpreter::execStmt(Stmt *S, Environment *Env, FunctionDef *F) {
+  if (!stepBudget())
+    return Completion::abort();
+
+  switch (S->kind()) {
+  case NodeKind::ExprStmt: {
+    Completion C = evalExpr(cast<ExprStmt>(S)->expr(), Env, F);
+    JSAI_PROPAGATE(C);
+    return Completion::normal();
+  }
+  case NodeKind::VarDeclStmt: {
+    for (const VarDeclarator &D : cast<VarDeclStmt>(S)->declarators()) {
+      if (!D.Init)
+        continue;
+      Completion C = evalExpr(D.Init, Env, F);
+      JSAI_PROPAGATE(C);
+      assignVariable(D.Decl->name(), C.V, Env);
+    }
+    return Completion::normal();
+  }
+  case NodeKind::FunctionDeclStmt:
+    return Completion::normal(); // Hoisted at function entry.
+  case NodeKind::Block:
+    return execBlockBody(cast<BlockStmt>(S)->body(), Env, F);
+  case NodeKind::If: {
+    auto *I = cast<IfStmt>(S);
+    Completion Cond = evalExpr(I->cond(), Env, F);
+    JSAI_PROPAGATE(Cond);
+    if (Cond.V.toBoolean())
+      return execStmt(I->thenStmt(), Env, F);
+    if (I->elseStmt())
+      return execStmt(I->elseStmt(), Env, F);
+    return Completion::normal();
+  }
+  case NodeKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    while (true) {
+      if (!loopBudget())
+        return Completion::abort();
+      Completion Cond = evalExpr(W->cond(), Env, F);
+      JSAI_PROPAGATE(Cond);
+      if (!Cond.V.toBoolean())
+        break;
+      Completion C = execStmt(W->body(), Env, F);
+      if (C.Kind == CompletionKind::Break)
+        break;
+      if (C.Kind == CompletionKind::Continue)
+        continue;
+      JSAI_PROPAGATE(C);
+    }
+    return Completion::normal();
+  }
+  case NodeKind::DoWhile: {
+    auto *W = cast<DoWhileStmt>(S);
+    while (true) {
+      if (!loopBudget())
+        return Completion::abort();
+      Completion C = execStmt(W->body(), Env, F);
+      if (C.Kind == CompletionKind::Break)
+        break;
+      if (C.Kind != CompletionKind::Continue)
+        JSAI_PROPAGATE(C);
+      Completion Cond = evalExpr(W->cond(), Env, F);
+      JSAI_PROPAGATE(Cond);
+      if (!Cond.V.toBoolean())
+        break;
+    }
+    return Completion::normal();
+  }
+  case NodeKind::For: {
+    auto *L = cast<ForStmt>(S);
+    if (L->init()) {
+      Completion C = execStmt(L->init(), Env, F);
+      JSAI_PROPAGATE(C);
+    }
+    while (true) {
+      if (!loopBudget())
+        return Completion::abort();
+      if (L->cond()) {
+        Completion Cond = evalExpr(L->cond(), Env, F);
+        JSAI_PROPAGATE(Cond);
+        if (!Cond.V.toBoolean())
+          break;
+      }
+      Completion C = execStmt(L->body(), Env, F);
+      if (C.Kind == CompletionKind::Break)
+        break;
+      if (C.Kind != CompletionKind::Continue)
+        JSAI_PROPAGATE(C);
+      if (L->step()) {
+        Completion Step = evalExpr(L->step(), Env, F);
+        JSAI_PROPAGATE(Step);
+      }
+    }
+    return Completion::normal();
+  }
+  case NodeKind::ForIn:
+    return evalForIn(cast<ForInStmt>(S), Env, F);
+  case NodeKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    if (!R->value())
+      return Completion::ret(Value::undefined());
+    Completion C = evalExpr(R->value(), Env, F);
+    JSAI_PROPAGATE(C);
+    return Completion::ret(C.V);
+  }
+  case NodeKind::Break:
+    return Completion::brk();
+  case NodeKind::Continue:
+    return Completion::cont();
+  case NodeKind::Throw: {
+    Completion C = evalExpr(cast<ThrowStmt>(S)->value(), Env, F);
+    JSAI_PROPAGATE(C);
+    return Completion::toss(C.V);
+  }
+  case NodeKind::Try: {
+    auto *T = cast<TryStmt>(S);
+    Completion C = execBlockBody(T->body()->body(), Env, F);
+    if (C.isThrow() && T->handler()) {
+      if (T->catchParam())
+        assignVariable(T->catchParam()->name(), C.V, Env);
+      C = execBlockBody(T->handler()->body(), Env, F);
+    }
+    if (T->finalizer()) {
+      Completion FinC = execBlockBody(T->finalizer()->body(), Env, F);
+      if (FinC.isAbrupt())
+        return FinC; // Finalizer's abrupt completion wins.
+    }
+    return C;
+  }
+  case NodeKind::Switch: {
+    auto *W = cast<SwitchStmt>(S);
+    Completion Disc = evalExpr(W->discriminant(), Env, F);
+    JSAI_PROPAGATE(Disc);
+    const auto &Cases = W->cases();
+    size_t Start = Cases.size();
+    size_t DefaultIdx = Cases.size();
+    for (size_t I = 0; I != Cases.size(); ++I) {
+      if (!Cases[I].Test) {
+        DefaultIdx = I;
+        continue;
+      }
+      Completion TestC = evalExpr(Cases[I].Test, Env, F);
+      JSAI_PROPAGATE(TestC);
+      if (Value::strictEquals(Disc.V, TestC.V)) {
+        Start = I;
+        break;
+      }
+    }
+    if (Start == Cases.size())
+      Start = DefaultIdx;
+    for (size_t I = Start; I < Cases.size(); ++I) {
+      for (Stmt *Child : Cases[I].Body) {
+        Completion C = execStmt(Child, Env, F);
+        if (C.Kind == CompletionKind::Break)
+          return Completion::normal();
+        JSAI_PROPAGATE(C);
+      }
+    }
+    return Completion::normal();
+  }
+  case NodeKind::Empty:
+    return Completion::normal();
+  default:
+    assert(false && "expression node in statement execution");
+    return Completion::normal();
+  }
+}

@@ -1,0 +1,249 @@
+//===- Interpreter.h - MiniJS tree-walking interpreter ----------*- C++ -*-===//
+///
+/// \file
+/// The MiniJS interpreter. One implementation serves two roles:
+///
+///  - concrete interpretation (dynamic call graphs via test drivers), and
+///  - the execution substrate of approximate interpretation (Section 3 of
+///    the paper): when `ApproxMode` is on, a global proxy object `p*`
+///    represents unknown values, calls on `p*` are no-ops returning `p*`,
+///    property reads on `p*` yield `p*`, writes to `p*` are ignored, and
+///    execution is aborted when the call-stack or loop-iteration budget is
+///    exhausted.
+///
+/// Instrumentation is delivered through an InterpObserver; control flow uses
+/// Completion records (no C++ exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_INTERP_INTERPRETER_H
+#define JSAI_INTERP_INTERPRETER_H
+
+#include "interp/ModuleLoader.h"
+#include "interp/Observer.h"
+#include "runtime/Heap.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+/// Tunables for one interpreter instance.
+struct InterpOptions {
+  /// Approximate-interpretation semantics (proxy values, budgets).
+  bool ApproxMode = false;
+  /// Maximum call-stack depth before aborting (Section 3 "stack size").
+  size_t MaxCallDepth = 128;
+  /// Maximum total loop iterations per forced execution (Section 3).
+  uint64_t MaxLoopIterations = 200000;
+  /// Global safety net on interpreter steps (both modes).
+  uint64_t MaxSteps = 50000000;
+  /// Seed for the deterministic Math.random replacement.
+  uint64_t RandomSeed = 0x5DEECE66DULL;
+};
+
+/// Prototype objects for the builtin hierarchy.
+struct BuiltinProtos {
+  Object *ObjectP = nullptr;
+  Object *FunctionP = nullptr;
+  Object *ArrayP = nullptr;
+  Object *StringP = nullptr;
+  Object *NumberP = nullptr;
+  Object *BooleanP = nullptr;
+  Object *ErrorP = nullptr;
+};
+
+/// Executes MiniJS modules and functions.
+class Interpreter {
+public:
+  Interpreter(ModuleLoader &Loader, InterpOptions Opts = InterpOptions(),
+              InterpObserver *Obs = nullptr);
+
+  //===--------------------------------------------------------------------===
+  // Module execution
+  //===--------------------------------------------------------------------===
+
+  /// Loads (runs top-level code of) the module at \p Path, caching exports.
+  /// \returns the exports value, or a Throw/Abort completion.
+  Completion loadModule(const std::string &Path);
+
+  /// The require() semantics: resolve \p Spec from \p FromPath against the
+  /// project, falling back to builtin Node-style modules (http, fs, ...).
+  Completion requireFrom(const std::string &FromPath, const std::string &Spec,
+                         SourceLoc CallSite);
+
+  //===--------------------------------------------------------------------===
+  // Function execution
+  //===--------------------------------------------------------------------===
+
+  /// Calls \p Callee like `callee.apply(thisV, args)`.
+  Completion callValue(const Value &Callee, const Value &ThisV,
+                       std::vector<Value> Args, SourceLoc CallSite);
+
+  /// Force-executes \p Fn for the approximate-interpretation worklist:
+  /// every parameter and `arguments` are bound to `p*`; `this` is the
+  /// inferred receiver (the paper's `this` map) or `p*`.
+  Completion callFunctionForced(Object *Fn);
+
+  /// Constructs `new Callee(args)`; \p AllocLoc is the new-expression's
+  /// allocation site.
+  Completion construct(const Value &Callee, std::vector<Value> Args,
+                       SourceLoc AllocLoc, SourceLoc CallSite);
+
+  //===--------------------------------------------------------------------===
+  // Shared services (used by builtins)
+  //===--------------------------------------------------------------------===
+
+  AstContext &context() { return Loader.context(); }
+  StringPool &strings() { return Loader.context().strings(); }
+  Heap &heap() { return TheHeap; }
+  ModuleLoader &loader() { return Loader; }
+  const InterpOptions &options() const { return Opts; }
+  InterpObserver *observer() { return Obs; }
+  Environment *globalEnv() { return GlobalEnv; }
+  BuiltinProtos &protos() { return Protos; }
+
+  Symbol intern(const std::string &S) { return strings().intern(S); }
+
+  /// ECMAScript ToString (arrays join, functions render, proxies render as
+  /// "[proxy]"; never fails).
+  std::string toStringValue(const Value &V);
+  /// ECMAScript ToNumber (objects via ToString).
+  double toNumberValue(const Value &V);
+  /// Property key of \p V, or nullopt when \p V is a proxy (unknown).
+  std::optional<std::string> propertyKey(const Value &V);
+
+  /// Property read with full MiniJS semantics (primitives, prototypes,
+  /// proxies). \p Loc is used for diagnostics only.
+  Completion getProperty(const Value &Base, const std::string &Name,
+                         SourceLoc Loc);
+  /// Property write; fires no dynamic-write observation by itself.
+  Completion setProperty(const Value &Base, const std::string &Name,
+                         const Value &V, SourceLoc Loc);
+
+  /// Creates and throws an Error object with \p Name ("TypeError", ...) and
+  /// \p Message.
+  Completion throwError(const std::string &Name, const std::string &Message);
+
+  /// Fresh array for builtin results (no allocation site).
+  Value makeArray(std::vector<Value> Elements);
+
+  /// Notifies the observer of a standard-library dynamic property write
+  /// (Object.defineProperty / Object.assign / ...), then performs it.
+  void dynamicWriteByBuiltin(Object *Base, const std::string &Name,
+                             const Value &V);
+
+  /// Runs `eval(code)` in environment \p Env (direct-eval semantics).
+  Completion runEval(const std::string &Code, Environment *Env,
+                     FunctionDef *EnclosingFunc, SourceLoc CallSite);
+
+  /// Executes the body of an already-parsed eval-style function directly in
+  /// \p Env (hoisting its declarations there). Used by runEval and by the
+  /// Function constructor.
+  Completion runEvalBody(FunctionDef *F, Environment *Env);
+
+  /// The call-expression location currently being evaluated (natives use
+  /// this to attribute callback invocations and require edges).
+  SourceLoc currentCallSite() const { return CurCallSite; }
+
+  //===--------------------------------------------------------------------===
+  // Proxy machinery (approximate mode)
+  //===--------------------------------------------------------------------===
+
+  Object *proxyObject() { return TheProxy; }
+  Value proxyValue() { return Value::object(TheProxy); }
+  bool isProxyValue(const Value &V) const {
+    return V.isObject() && V.asObject()->isProxy();
+  }
+  /// Wraps \p Target so absent properties delegate to `p*` (used for
+  /// inferred receivers, Section 3).
+  Object *makeReceiverProxy(Object *Target);
+
+  //===--------------------------------------------------------------------===
+  // Budgets
+  //===--------------------------------------------------------------------===
+
+  /// Resets the per-execution loop budget (called before each worklist item
+  /// by the approximate interpreter).
+  void resetExecutionBudget() { LoopIterations = 0; }
+  /// True when any budget has been exhausted.
+  bool budgetExhausted() const { return BudgetHit; }
+
+  /// Console output captured from `console.log` and friends (for tests and
+  /// examples).
+  std::vector<std::string> &consoleOutput() { return Console; }
+
+  /// Deterministic replacement for Math.random.
+  double nextRandom();
+
+  /// Registers a builtin module (NodeBuiltins installs http/fs/net/...).
+  void registerBuiltinModule(const std::string &Name, Value Exports);
+
+  //===--------------------------------------------------------------------===
+  // Value construction helpers
+  //===--------------------------------------------------------------------===
+
+  /// Creates a closure for \p Def over \p Env, with its `prototype` object;
+  /// fires onFunctionCreated.
+  Value makeClosure(FunctionDef *Def, Environment *Env, SourceLoc Loc);
+
+private:
+  friend class InterpreterTestPeer;
+
+  // Core evaluation (Interpreter.cpp).
+  Completion evalExpr(Expr *E, Environment *Env, FunctionDef *F);
+  Completion execStmt(Stmt *S, Environment *Env, FunctionDef *F);
+  Completion execBlockBody(const std::vector<Stmt *> &Body, Environment *Env,
+                           FunctionDef *F);
+  Completion evalCall(CallExpr *C, Environment *Env, FunctionDef *F);
+  Completion evalAssign(AssignExpr *A, Environment *Env, FunctionDef *F);
+  Completion evalMember(MemberExpr *M, Environment *Env, FunctionDef *F);
+  Completion evalObjectLit(ObjectLit *O, Environment *Env, FunctionDef *F);
+  Completion evalBinary(BinaryExpr *B, Environment *Env, FunctionDef *F);
+  Completion evalUnary(UnaryExpr *U, Environment *Env, FunctionDef *F);
+  Completion evalUpdate(UpdateExpr *U, Environment *Env, FunctionDef *F);
+  Completion evalForIn(ForInStmt *L, Environment *Env, FunctionDef *F);
+
+  /// Invokes a program-defined closure.
+  Completion callClosure(Object *Fn, const Value &ThisV,
+                         std::vector<Value> &Args, SourceLoc CallSite,
+                         Object *NewTarget = nullptr);
+
+  /// Writes \p V to variable \p Name in \p Env (creating a global binding
+  /// when undeclared, as in sloppy-mode JavaScript).
+  void assignVariable(Symbol Name, const Value &V, Environment *Env);
+
+  /// True (and marks abort) when the step/loop/depth budget is exhausted.
+  bool stepBudget();
+  bool loopBudget();
+
+  ModuleLoader &Loader;
+  InterpOptions Opts;
+  InterpObserver *Obs;
+  Heap TheHeap;
+
+  Environment *GlobalEnv = nullptr;
+  Object *GlobalObject = nullptr;
+  Object *TheProxy = nullptr;
+  BuiltinProtos Protos;
+
+  /// Runtime exports cache: module path -> exports value; also breaks
+  /// require cycles (a loading module's partial exports are visible).
+  std::unordered_map<std::string, Value> ModuleExports;
+  std::unordered_map<std::string, Value> BuiltinModules;
+
+  std::vector<std::string> Console;
+
+  size_t CallDepth = 0;
+  uint64_t Steps = 0;
+  uint64_t LoopIterations = 0;
+  bool BudgetHit = false;
+  uint64_t RandomState;
+  SourceLoc CurCallSite;
+};
+
+} // namespace jsai
+
+#endif // JSAI_INTERP_INTERPRETER_H

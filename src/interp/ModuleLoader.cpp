@@ -1,0 +1,36 @@
+//===- ModuleLoader.cpp ---------------------------------------------------===//
+
+#include "interp/ModuleLoader.h"
+
+#include "ast/ScopeResolver.h"
+#include "parser/Parser.h"
+
+using namespace jsai;
+
+static std::string packageOf(const std::string &Path) {
+  size_t Slash = Path.find('/');
+  return Slash == std::string::npos ? Path : Path.substr(0, Slash);
+}
+
+void ModuleLoader::parseAll() {
+  if (Parsed)
+    return;
+  Parsed = true;
+  Parser P(Ctx, Diags);
+  for (const std::string &Path : Fs.allPaths()) {
+    if (Path.size() < 3 || Path.substr(Path.size() - 3) != ".js")
+      continue;
+    if (Ctx.findModule(Path))
+      continue;
+    P.parseModule(Path, packageOf(Path), Fs.read(Path));
+  }
+  ScopeResolver(Ctx).resolveAll();
+}
+
+Module *ModuleLoader::resolve(const std::string &FromPath,
+                              const std::string &Spec) {
+  std::string Resolved = Fs.resolveRequire(FromPath, Spec);
+  if (Resolved.empty())
+    return nullptr;
+  return Ctx.findModule(Resolved);
+}

@@ -1,0 +1,47 @@
+//===- ModuleLoader.h - Project parsing and module lookup -------*- C++ -*-===//
+///
+/// \file
+/// Parses every module of a project into one AstContext and resolves require
+/// specs to parsed Modules. The loader holds static knowledge only; runtime
+/// exports caching lives in the Interpreter so that several executions
+/// (dynamic call graph run, approximate interpretation) can share one parse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_INTERP_MODULELOADER_H
+#define JSAI_INTERP_MODULELOADER_H
+
+#include "ast/Ast.h"
+#include "interp/FileSystem.h"
+#include "support/Diagnostics.h"
+
+namespace jsai {
+
+/// Parses and indexes a project's modules.
+class ModuleLoader {
+public:
+  ModuleLoader(AstContext &Ctx, const FileSystem &Fs, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Fs(Fs), Diags(Diags) {}
+
+  /// Parses every ".js" file in the file system (idempotent) and resolves
+  /// identifier scopes. The package of "pkg/path.js" is "pkg".
+  void parseAll();
+
+  /// Resolves \p Spec relative to \p FromPath and returns the parsed module,
+  /// or null when unresolvable (the caller falls back to builtin modules).
+  Module *resolve(const std::string &FromPath, const std::string &Spec);
+
+  AstContext &context() { return Ctx; }
+  const FileSystem &fileSystem() const { return Fs; }
+  DiagnosticEngine &diagnostics() { return Diags; }
+
+private:
+  AstContext &Ctx;
+  const FileSystem &Fs;
+  DiagnosticEngine &Diags;
+  bool Parsed = false;
+};
+
+} // namespace jsai
+
+#endif // JSAI_INTERP_MODULELOADER_H

@@ -1,0 +1,97 @@
+//===- Observer.h - Interpreter instrumentation hooks -----------*- C++ -*-===//
+///
+/// \file
+/// Observation interface over interpreter execution. This is the C++
+/// equivalent of the paper's Babel instrumentation + monkey-patching: the
+/// approximate interpretation hint collector and the dynamic call-graph
+/// recorder are both observers; the interpreter semantics stay in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_INTERP_OBSERVER_H
+#define JSAI_INTERP_OBSERVER_H
+
+#include "ast/Ast.h"
+#include "runtime/Value.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace jsai {
+
+class Object;
+
+/// Callbacks fired during interpretation. Default implementations are no-ops
+/// so observers override only what they need.
+class InterpObserver {
+public:
+  virtual ~InterpObserver();
+
+  /// A non-function object was allocated at \p L (invalid for eval code).
+  virtual void onObjectCreated(Object *O) { (void)O; }
+
+  /// A function value was created for \p Def.
+  virtual void onFunctionCreated(Object *FnObj, FunctionDef *Def) {
+    (void)FnObj;
+    (void)Def;
+  }
+
+  /// A program-defined function is about to execute. \p CallSite is the
+  /// location of the triggering call expression (or of the native call that
+  /// invoked a callback; invalid for top-level module execution and for the
+  /// worklist-driven forced executions).
+  virtual void onCall(SourceLoc CallSite, FunctionDef *Callee) {
+    (void)CallSite;
+    (void)Callee;
+  }
+
+  /// A dynamic property read `E[E']` at \p ReadLoc of property \p PropName
+  /// produced \p Result. The property name feeds the non-relational-hints
+  /// ablation only; the paper's read hints use just (ReadLoc, Result).
+  virtual void onDynamicRead(SourceLoc ReadLoc, const std::string &PropName,
+                             const Value &Result) {
+    (void)ReadLoc;
+    (void)PropName;
+    (void)Result;
+  }
+
+  /// A dynamic property write (or a standard-library equivalent such as
+  /// Object.defineProperty / Object.assign) at \p OpLoc stored \p Val under
+  /// \p PropName on \p Base. \p OpLoc is the write operation's location (for
+  /// builtin-performed writes, the builtin call site); the paper's write
+  /// hints ignore it, the non-relational ablation keys on it.
+  virtual void onDynamicWrite(SourceLoc OpLoc, Object *Base,
+                              const std::string &PropName, const Value &Val) {
+    (void)OpLoc;
+    (void)Base;
+    (void)PropName;
+    (void)Val;
+  }
+
+  /// A dynamic property read at \p ReadLoc whose *base* was the proxy `p*`
+  /// but whose property name \p PropName was a known string — the data for
+  /// the Section 6 "unknown function arguments" extension.
+  virtual void onProxyBaseRead(SourceLoc ReadLoc, const std::string &PropName) {
+    (void)ReadLoc;
+    (void)PropName;
+  }
+
+  /// A module was required: \p CallSite is the require call location,
+  /// \p ResolvedPath the loaded module. Used for dynamic module-load hints.
+  virtual void onModuleRequired(SourceLoc CallSite,
+                                const std::string &ResolvedPath) {
+    (void)CallSite;
+    (void)ResolvedPath;
+  }
+
+  /// eval was invoked with \p Code at \p CallSite (code-string hints,
+  /// Section 6).
+  virtual void onEvalCode(SourceLoc CallSite, const std::string &Code) {
+    (void)CallSite;
+    (void)Code;
+  }
+};
+
+} // namespace jsai
+
+#endif // JSAI_INTERP_OBSERVER_H

@@ -1,0 +1,358 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace jsai;
+
+Lexer::Lexer(FileId File, const std::string &Source, DiagnosticEngine &Diags)
+    : File(File), Source(Source), Diags(Diags) {}
+
+SourceLoc Lexer::currentLoc() const { return SourceLoc(File, Line, Col); }
+
+char Lexer::peek(size_t Ahead) const {
+  size_t Idx = Pos + Ahead;
+  return Idx < Source.size() ? Source[Idx] : '\0';
+}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advance past end of input");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (Pos < Source.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  // Hex literal.
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T = makeToken(TokenKind::Number, Loc);
+    T.NumValue = double(std::strtoull(Source.c_str() + Start + 2, nullptr, 16));
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Save; // Not an exponent; leave 'e' for the identifier lexer.
+    }
+  }
+  Token T = makeToken(TokenKind::Number, Loc);
+  T.NumValue = std::strtod(Source.c_str() + Start, nullptr);
+  return T;
+}
+
+Token Lexer::lexString(SourceLoc Loc, char Quote) {
+  std::string Decoded;
+  while (true) {
+    if (Pos >= Source.size() || peek() == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      Token T = makeToken(TokenKind::Error, Loc);
+      T.Text = "unterminated string literal";
+      return T;
+    }
+    char C = advance();
+    if (C == Quote)
+      break;
+    if (C != '\\') {
+      Decoded.push_back(C);
+      continue;
+    }
+    if (Pos >= Source.size()) {
+      Diags.error(Loc, "unterminated string escape");
+      Token T = makeToken(TokenKind::Error, Loc);
+      T.Text = "unterminated string escape";
+      return T;
+    }
+    char Esc = advance();
+    switch (Esc) {
+    case 'n':
+      Decoded.push_back('\n');
+      break;
+    case 't':
+      Decoded.push_back('\t');
+      break;
+    case 'r':
+      Decoded.push_back('\r');
+      break;
+    case '0':
+      Decoded.push_back('\0');
+      break;
+    case '\\':
+    case '\'':
+    case '"':
+      Decoded.push_back(Esc);
+      break;
+    case '\n':
+      break; // Line continuation.
+    default:
+      Decoded.push_back(Esc);
+      break;
+    }
+  }
+  Token T = makeToken(TokenKind::String, Loc);
+  T.Text = std::move(Decoded);
+  return T;
+}
+
+static TokenKind keywordKind(const std::string &Word) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"var", TokenKind::KwVar},
+      {"let", TokenKind::KwLet},
+      {"const", TokenKind::KwConst},
+      {"function", TokenKind::KwFunction},
+      {"return", TokenKind::KwReturn},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},
+      {"in", TokenKind::KwIn},
+      {"of", TokenKind::KwOf},
+      {"new", TokenKind::KwNew},
+      {"this", TokenKind::KwThis},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"null", TokenKind::KwNull},
+      {"undefined", TokenKind::KwUndefined},
+      {"typeof", TokenKind::KwTypeof},
+      {"delete", TokenKind::KwDelete},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"throw", TokenKind::KwThrow},
+      {"try", TokenKind::KwTry},
+      {"catch", TokenKind::KwCatch},
+      {"finally", TokenKind::KwFinally},
+      {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},
+      {"instanceof", TokenKind::KwInstanceof},
+      {"void", TokenKind::KwVoid},
+      {"import", TokenKind::KwImport},
+      {"export", TokenKind::KwExport},
+      // `from` and `as` stay contextual (they are valid identifiers).
+  };
+  auto It = Keywords.find(Word);
+  return It == Keywords.end() ? TokenKind::Identifier : It->second;
+}
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+}
+
+static bool isIdentCont(char C) {
+  return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (isIdentCont(peek()))
+    advance();
+  std::string Word = Source.substr(Start, Pos - Start);
+  TokenKind Kind = keywordKind(Word);
+  Token T = makeToken(Kind, Loc);
+  if (Kind == TokenKind::Identifier)
+    T.Text = std::move(Word);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = currentLoc();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::Eof, Loc);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (isIdentStart(C))
+    return lexIdentifierOrKeyword(Loc);
+  if (C == '"' || C == '\'') {
+    advance();
+    return lexString(Loc, C);
+  }
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Loc);
+  case '?':
+    if (match('?'))
+      return makeToken(TokenKind::QuestionQuestion, Loc);
+    return makeToken(TokenKind::Question, Loc);
+  case '=':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::EqEqEq, Loc);
+      return makeToken(TokenKind::EqEq, Loc);
+    }
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Loc);
+    return makeToken(TokenKind::Assign, Loc);
+  case '!':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::NotEqEq, Loc);
+      return makeToken(TokenKind::NotEq, Loc);
+    }
+    return makeToken(TokenKind::Not, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign, Loc);
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign, Loc);
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign, Loc);
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashAssign, Loc);
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Loc);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEq, Loc);
+    if (match('<'))
+      return makeToken(TokenKind::Shl, Loc);
+    return makeToken(TokenKind::Less, Loc);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEq, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::Shr, Loc);
+    return makeToken(TokenKind::Greater, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AndAnd, Loc);
+    return makeToken(TokenKind::Amp, Loc);
+  case '|':
+    if (match('|')) {
+      if (match('='))
+        return makeToken(TokenKind::OrOrAssign, Loc);
+      return makeToken(TokenKind::OrOr, Loc);
+    }
+    return makeToken(TokenKind::Pipe, Loc);
+  case '^':
+    return makeToken(TokenKind::Caret, Loc);
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  Token T = makeToken(TokenKind::Error, Loc);
+  T.Text = std::string("unexpected character '") + C + "'";
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,54 @@
+//===- Lexer.h - MiniJS lexer -----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Hand-written lexer for MiniJS. Produces one token at a time; the parser
+/// drives it. Comments (`//`, `/* */`) and whitespace are skipped. String
+/// escapes are decoded in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_LEXER_LEXER_H
+#define JSAI_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace jsai {
+
+/// Converts MiniJS source text into tokens.
+class Lexer {
+public:
+  /// \p File identifies the source in diagnostics and source locations;
+  /// \p Source must outlive the lexer.
+  Lexer(FileId File, const std::string &Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (TokenKind::Eof at end of input).
+  Token next();
+
+  /// Tokenizes everything (convenience for tests).
+  std::vector<Token> lexAll();
+
+private:
+  SourceLoc currentLoc() const;
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  Token lexString(SourceLoc Loc, char Quote);
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+
+  FileId File;
+  const std::string &Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace jsai
+
+#endif // JSAI_LEXER_LEXER_H

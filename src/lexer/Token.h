@@ -1,0 +1,131 @@
+//===- Token.h - MiniJS tokens ----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Token kinds for the MiniJS frontend. MiniJS is the JavaScript subset that
+/// carries the paper's core language (Fig. 2) plus the surrounding features
+/// needed to express real-world library-initialization patterns: closures,
+/// `this`, prototypes, CommonJS modules, `eval`, and the usual statements,
+/// operators, and literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_LEXER_TOKEN_H
+#define JSAI_LEXER_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace jsai {
+
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Identifier,
+  Number,
+  String,
+
+  // Keywords.
+  KwVar,
+  KwLet,
+  KwConst,
+  KwFunction,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwIn,
+  KwOf,
+  KwNew,
+  KwThis,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwUndefined,
+  KwTypeof,
+  KwDelete,
+  KwBreak,
+  KwContinue,
+  KwThrow,
+  KwTry,
+  KwCatch,
+  KwFinally,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwInstanceof,
+  KwVoid,
+  KwImport,
+  KwExport,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Colon,
+  Question,
+  Arrow, // =>
+
+  // Operators.
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  OrOrAssign,    // ||=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+  EqEq,    // ==
+  EqEqEq,  // ===
+  NotEq,   // !=
+  NotEqEq, // !==
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AndAnd,
+  OrOr,
+  QuestionQuestion, // ??
+  Not,              // !
+  Amp,              // &
+  Pipe,             // |
+  Caret,            // ^
+  Tilde,            // ~
+  Shl,              // <<
+  Shr,              // >>
+};
+
+/// \returns a human-readable spelling for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. String/number payloads are stored decoded.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  /// Identifier name, decoded string literal contents, or error message.
+  std::string Text;
+  /// Value for TokenKind::Number.
+  double NumValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace jsai
+
+#endif // JSAI_LEXER_TOKEN_H

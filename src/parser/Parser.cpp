@@ -1,0 +1,1387 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "parser/Parser.h"
+
+#include "lexer/Lexer.h"
+#include "support/JsNumber.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace jsai;
+
+//===----------------------------------------------------------------------===//
+// Token stream helpers
+//===----------------------------------------------------------------------===//
+
+void Parser::startTokens(FileId File, const std::string &Source) {
+  Lexer Lex(File, Source, Diags);
+  Tokens = Lex.lexAll();
+  TokenPos = 0;
+}
+
+const Token &Parser::peek(size_t Ahead) const {
+  size_t Idx = TokenPos + Ahead;
+  if (Idx >= Tokens.size())
+    Idx = Tokens.size() - 1; // Eof sentinel.
+  return Tokens[Idx];
+}
+
+Token Parser::advanceToken() {
+  Token T = current();
+  if (TokenPos + 1 < Tokens.size())
+    ++TokenPos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  advanceToken();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(hereLoc(), std::string("expected ") + tokenKindName(Kind) +
+                             " " + Context + ", found " +
+                             tokenKindName(current().Kind));
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Scope helpers
+//===----------------------------------------------------------------------===//
+
+VarDecl *Parser::declareVar(Symbol Name, VarKind Kind, SourceLoc Loc) {
+  FunctionDef *F = currentFunction();
+  // `var x` redeclarations (and `var` after a parameter of the same name)
+  // bind to the existing declaration, as in JavaScript's function scoping.
+  if (VarDecl *Existing = F->lookupScope(Name))
+    return Existing;
+  VarDecl *D = Ctx.createVar(Name, Kind, F, Loc);
+  F->declareInScope(Name, D);
+  F->addHoistedVar(D);
+  return D;
+}
+
+FunctionDef *Parser::beginFunction(Symbol Name, SourceLoc Loc, bool IsArrow,
+                                   bool IsModule,
+                                   const std::vector<Symbol> &ParamNames,
+                                   const std::vector<SourceLoc> &ParamLocs,
+                                   Symbol SelfBindingName) {
+  FunctionDef *Parent = FuncStack.empty() ? EvalParent : FuncStack.back();
+  FunctionDef *F = Ctx.createFunction(Name, Loc, IsArrow, IsModule, Parent);
+  F->setInEval(InEval);
+  std::vector<VarDecl *> Params;
+  Params.reserve(ParamNames.size());
+  for (size_t I = 0; I != ParamNames.size(); ++I) {
+    VarDecl *P = Ctx.createVar(ParamNames[I], VarKind::Param, F, ParamLocs[I]);
+    F->declareInScope(ParamNames[I], P);
+    Params.push_back(P);
+  }
+  F->setParams(std::move(Params));
+  // Named function expressions bind their own name inside the body.
+  if (SelfBindingName != InvalidSymbol && !F->lookupScope(SelfBindingName)) {
+    VarDecl *Self = Ctx.createVar(SelfBindingName, VarKind::Function, F, Loc);
+    F->declareInScope(SelfBindingName, Self);
+  }
+  FuncStack.push_back(F);
+  return F;
+}
+
+void Parser::finishFunctionWithBlockBody(FunctionDef *F) {
+  assert(currentFunction() == F && "mismatched function stack");
+  BlockStmt *Body = parseBlock();
+  F->setBody(Body);
+  FuncStack.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+Module *Parser::parseModule(const std::string &Path,
+                            const std::string &Package,
+                            const std::string &Source) {
+  FileId File = Ctx.files().add(Path);
+  startTokens(File, Source);
+  EvalParent = nullptr;
+
+  // Line 0 is reserved for per-module synthetic entities; (0,0) is the
+  // module function itself, so it can never collide with a real function
+  // defined at 1:1.
+  SourceLoc Loc(File, 0, 0);
+  Symbol ModName = Ctx.strings().intern(Path);
+  std::vector<Symbol> Params = {Ctx.SymExports, Ctx.SymRequire, Ctx.SymModule};
+  std::vector<SourceLoc> ParamLocs = {Loc, Loc, Loc};
+  FunctionDef *F = beginFunction(ModName, Loc, /*IsArrow=*/false,
+                                 /*IsModule=*/true, Params, ParamLocs,
+                                 InvalidSymbol);
+  std::vector<Stmt *> Body = parseStatementListUntil(TokenKind::Eof);
+  F->setBody(Ctx.create<BlockStmt>(Loc, std::move(Body)));
+  FuncStack.pop_back();
+
+  Module *M = Ctx.createModule(Path, Package, File);
+  M->Func = F;
+  return M;
+}
+
+FunctionDef *Parser::parseEval(const std::string &Source, FunctionDef *Parent,
+                               SourceLoc EvalLoc) {
+  std::string PseudoPath =
+      "<eval:" + std::to_string(EvalLoc.key()) + ">";
+  FileId File = Ctx.files().add(PseudoPath);
+  startTokens(File, Source);
+  InEval = true;
+  EvalParent = Parent;
+
+  size_t ErrorsBefore = Diags.errorCount();
+  FunctionDef *F = beginFunction(InvalidSymbol, EvalLoc, /*IsArrow=*/false,
+                                 /*IsModule=*/false, {}, {}, InvalidSymbol);
+  std::vector<Stmt *> Body = parseStatementListUntil(TokenKind::Eof);
+  F->setBody(Ctx.create<BlockStmt>(EvalLoc, std::move(Body)));
+  FuncStack.pop_back();
+  if (Diags.errorCount() != ErrorsBefore)
+    return nullptr;
+  return F;
+}
+
+std::vector<Stmt *> Parser::parseStatementListUntil(TokenKind Terminator) {
+  std::vector<Stmt *> Stmts;
+  while (!check(Terminator) && !check(TokenKind::Eof)) {
+    size_t Before = TokenPos;
+    Stmts.push_back(parseStatement());
+    if (TokenPos == Before)
+      advanceToken(); // Error recovery: guarantee progress.
+  }
+  return Stmts;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Parser::parseStatement() {
+  switch (current().Kind) {
+  case TokenKind::KwVar:
+  case TokenKind::KwLet:
+  case TokenKind::KwConst:
+    return parseVarDeclStatement();
+  case TokenKind::KwFunction:
+    return parseFunctionDeclaration();
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwThrow:
+    return parseThrow();
+  case TokenKind::KwTry:
+    return parseTry();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwImport:
+    return parseImport();
+  case TokenKind::KwExport:
+    return parseExport();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = advanceToken().Loc;
+    expect(TokenKind::Semi, "after 'break'");
+    return Ctx.create<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = advanceToken().Loc;
+    expect(TokenKind::Semi, "after 'continue'");
+    return Ctx.create<ContinueStmt>(Loc);
+  }
+  case TokenKind::Semi: {
+    SourceLoc Loc = advanceToken().Loc;
+    return Ctx.create<EmptyStmt>(Loc);
+  }
+  default: {
+    SourceLoc Loc = hereLoc();
+    Expr *E = parseExpression();
+    expect(TokenKind::Semi, "after expression statement");
+    return Ctx.create<ExprStmt>(Loc, E);
+  }
+  }
+}
+
+Stmt *Parser::parseVarDeclStatement() {
+  SourceLoc Loc = hereLoc();
+  VarKind Kind;
+  switch (advanceToken().Kind) {
+  case TokenKind::KwLet:
+    Kind = VarKind::Let;
+    break;
+  case TokenKind::KwConst:
+    Kind = VarKind::Const;
+    break;
+  default:
+    Kind = VarKind::Var;
+    break;
+  }
+  std::vector<VarDeclarator> Decls;
+  do {
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(hereLoc(), "expected identifier in variable declaration");
+      break;
+    }
+    Token NameTok = advanceToken();
+    Symbol Name = Ctx.strings().intern(NameTok.Text);
+    VarDecl *D = declareVar(Name, Kind, NameTok.Loc);
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Assign))
+      Init = parseAssignment();
+    Decls.push_back({D, Init});
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semi, "after variable declaration");
+  return Ctx.create<VarDeclStmt>(Loc, Kind, std::move(Decls));
+}
+
+Stmt *Parser::parseFunctionDeclaration() {
+  SourceLoc Loc = hereLoc();
+  advanceToken(); // 'function'
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(hereLoc(), "expected function name");
+    return Ctx.create<EmptyStmt>(Loc);
+  }
+  Token NameTok = advanceToken();
+  Symbol Name = Ctx.strings().intern(NameTok.Text);
+  FunctionDef *Enclosing = currentFunction();
+  VarDecl *Binding = declareVar(Name, VarKind::Function, NameTok.Loc);
+
+  expect(TokenKind::LParen, "after function name");
+  std::vector<Symbol> ParamNames;
+  std::vector<SourceLoc> ParamLocs;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(hereLoc(), "expected parameter name");
+        break;
+      }
+      Token P = advanceToken();
+      ParamNames.push_back(Ctx.strings().intern(P.Text));
+      ParamLocs.push_back(P.Loc);
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameters");
+
+  FunctionDef *F = beginFunction(Name, Loc, /*IsArrow=*/false,
+                                 /*IsModule=*/false, ParamNames, ParamLocs,
+                                 InvalidSymbol);
+  finishFunctionWithBlockBody(F);
+
+  auto *S = Ctx.create<FunctionDeclStmt>(Loc, F, Binding);
+  Enclosing->addHoistedFunc(S);
+  return S;
+}
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc Loc = hereLoc();
+  expect(TokenKind::LBrace, "to open block");
+  std::vector<Stmt *> Body = parseStatementListUntil(TokenKind::RBrace);
+  expect(TokenKind::RBrace, "to close block");
+  return Ctx.create<BlockStmt>(Loc, std::move(Body));
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = advanceToken().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpression();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStatement();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return Ctx.create<IfStmt>(Loc, Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = advanceToken().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpression();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStatement();
+  return Ctx.create<WhileStmt>(Loc, Cond, Body);
+}
+
+Stmt *Parser::parseDoWhile() {
+  SourceLoc Loc = advanceToken().Loc; // 'do'
+  Stmt *Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do-while body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpression();
+  expect(TokenKind::RParen, "after do-while condition");
+  expect(TokenKind::Semi, "after do-while");
+  return Ctx.create<DoWhileStmt>(Loc, Body, Cond);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = advanceToken().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+
+  // for (var x in E) / for (var x of E) / classic for with declaration.
+  if (check(TokenKind::KwVar) || check(TokenKind::KwLet) ||
+      check(TokenKind::KwConst)) {
+    VarKind Kind;
+    switch (current().Kind) {
+    case TokenKind::KwLet:
+      Kind = VarKind::Let;
+      break;
+    case TokenKind::KwConst:
+      Kind = VarKind::Const;
+      break;
+    default:
+      Kind = VarKind::Var;
+      break;
+    }
+    SourceLoc DeclLoc = advanceToken().Loc;
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(hereLoc(), "expected identifier in for-loop declaration");
+      return Ctx.create<EmptyStmt>(Loc);
+    }
+    Token NameTok = advanceToken();
+    Symbol Name = Ctx.strings().intern(NameTok.Text);
+    VarDecl *D = declareVar(Name, Kind, NameTok.Loc);
+
+    if (check(TokenKind::KwIn) || check(TokenKind::KwOf)) {
+      bool IsOf = advanceToken().is(TokenKind::KwOf);
+      Expr *Object = parseExpression();
+      expect(TokenKind::RParen, "after for-in/of object");
+      Stmt *Body = parseStatement();
+      return Ctx.create<ForInStmt>(Loc, D, nullptr, Object, Body, IsOf);
+    }
+
+    // Classic for: finish the declarator list.
+    std::vector<VarDeclarator> Decls;
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Assign))
+      Init = parseAssignment();
+    Decls.push_back({D, Init});
+    while (accept(TokenKind::Comma)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(hereLoc(), "expected identifier in for-loop declaration");
+        break;
+      }
+      Token Tok = advanceToken();
+      VarDecl *D2 =
+          declareVar(Ctx.strings().intern(Tok.Text), Kind, Tok.Loc);
+      Expr *Init2 = nullptr;
+      if (accept(TokenKind::Assign))
+        Init2 = parseAssignment();
+      Decls.push_back({D2, Init2});
+    }
+    expect(TokenKind::Semi, "after for-loop initializer");
+    Stmt *InitStmt = Ctx.create<VarDeclStmt>(DeclLoc, Kind, std::move(Decls));
+
+    Expr *Cond = check(TokenKind::Semi) ? nullptr : parseExpression();
+    expect(TokenKind::Semi, "after for-loop condition");
+    Expr *Step = check(TokenKind::RParen) ? nullptr : parseExpression();
+    expect(TokenKind::RParen, "after for-loop step");
+    Stmt *Body = parseStatement();
+    return Ctx.create<ForStmt>(Loc, InitStmt, Cond, Step, Body);
+  }
+
+  // No declaration: `for (;;)`, `for (e; e; e)`, or `for (x in E)`.
+  Stmt *InitStmt = nullptr;
+  if (!check(TokenKind::Semi)) {
+    SourceLoc ExprLoc = hereLoc();
+    NoInContext = true;
+    Expr *E = parseExpression();
+    NoInContext = false;
+    if (check(TokenKind::KwIn) || check(TokenKind::KwOf)) {
+      bool IsOf = advanceToken().is(TokenKind::KwOf);
+      Expr *Object = parseExpression();
+      expect(TokenKind::RParen, "after for-in/of object");
+      Stmt *Body = parseStatement();
+      return Ctx.create<ForInStmt>(Loc, nullptr, E, Object, Body, IsOf);
+    }
+    InitStmt = Ctx.create<ExprStmt>(ExprLoc, E);
+  }
+  expect(TokenKind::Semi, "after for-loop initializer");
+  Expr *Cond = check(TokenKind::Semi) ? nullptr : parseExpression();
+  expect(TokenKind::Semi, "after for-loop condition");
+  Expr *Step = check(TokenKind::RParen) ? nullptr : parseExpression();
+  expect(TokenKind::RParen, "after for-loop step");
+  Stmt *Body = parseStatement();
+  return Ctx.create<ForStmt>(Loc, InitStmt, Cond, Step, Body);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = advanceToken().Loc; // 'return'
+  Expr *Value = nullptr;
+  if (!check(TokenKind::Semi))
+    Value = parseExpression();
+  expect(TokenKind::Semi, "after return statement");
+  return Ctx.create<ReturnStmt>(Loc, Value);
+}
+
+Stmt *Parser::parseThrow() {
+  SourceLoc Loc = advanceToken().Loc; // 'throw'
+  Expr *Value = parseExpression();
+  expect(TokenKind::Semi, "after throw statement");
+  return Ctx.create<ThrowStmt>(Loc, Value);
+}
+
+Stmt *Parser::parseTry() {
+  SourceLoc Loc = advanceToken().Loc; // 'try'
+  BlockStmt *Body = parseBlock();
+  VarDecl *CatchParam = nullptr;
+  BlockStmt *Handler = nullptr;
+  BlockStmt *Finalizer = nullptr;
+  if (accept(TokenKind::KwCatch)) {
+    if (accept(TokenKind::LParen)) {
+      if (check(TokenKind::Identifier)) {
+        Token P = advanceToken();
+        CatchParam =
+            declareVar(Ctx.strings().intern(P.Text), VarKind::Catch, P.Loc);
+      } else {
+        Diags.error(hereLoc(), "expected catch parameter");
+      }
+      expect(TokenKind::RParen, "after catch parameter");
+    }
+    Handler = parseBlock();
+  }
+  if (accept(TokenKind::KwFinally))
+    Finalizer = parseBlock();
+  if (!Handler && !Finalizer)
+    Diags.error(Loc, "'try' requires 'catch' or 'finally'");
+  return Ctx.create<TryStmt>(Loc, Body, CatchParam, Handler, Finalizer);
+}
+
+Stmt *Parser::parseSwitch() {
+  SourceLoc Loc = advanceToken().Loc; // 'switch'
+  expect(TokenKind::LParen, "after 'switch'");
+  Expr *Disc = parseExpression();
+  expect(TokenKind::RParen, "after switch discriminant");
+  expect(TokenKind::LBrace, "to open switch body");
+  std::vector<SwitchCase> Cases;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    SwitchCase Case;
+    if (accept(TokenKind::KwCase)) {
+      Case.Test = parseExpression();
+      expect(TokenKind::Colon, "after case expression");
+    } else if (accept(TokenKind::KwDefault)) {
+      expect(TokenKind::Colon, "after 'default'");
+    } else {
+      Diags.error(hereLoc(), "expected 'case' or 'default' in switch body");
+      break;
+    }
+    while (!check(TokenKind::KwCase) && !check(TokenKind::KwDefault) &&
+           !check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+      size_t Before = TokenPos;
+      Case.Body.push_back(parseStatement());
+      if (TokenPos == Before)
+        advanceToken();
+    }
+    Cases.push_back(std::move(Case));
+  }
+  expect(TokenKind::RBrace, "to close switch body");
+  return Ctx.create<SwitchStmt>(Loc, Disc, std::move(Cases));
+}
+
+//===----------------------------------------------------------------------===//
+// ES modules (desugared to CommonJS)
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::makeRequireCall(SourceLoc Loc, Symbol Spec) {
+  Expr *Callee = Ctx.create<Ident>(Loc, Ctx.SymRequire);
+  Expr *Arg = Ctx.create<StringLit>(Loc, Spec);
+  return Ctx.create<CallExpr>(Loc, Callee, std::vector<Expr *>{Arg});
+}
+
+Stmt *Parser::makeExportAssign(SourceLoc Loc, Symbol Name, Expr *Value) {
+  Expr *Target = Ctx.create<MemberExpr>(
+      Loc, static_cast<Expr *>(Ctx.create<Ident>(Loc, Ctx.SymExports)), Name);
+  Expr *Assign =
+      Ctx.create<AssignExpr>(Loc, AssignOp::Assign, Target, Value);
+  return Ctx.create<ExprStmt>(Loc, Assign);
+}
+
+/// import 'spec';
+/// import Name from 'spec';
+/// import * as NS from 'spec';
+/// import { a, b as c } from 'spec';
+/// import Name, { a } from 'spec';     import Name, * as NS from 'spec';
+Stmt *Parser::parseImport() {
+  SourceLoc Loc = advanceToken().Loc; // 'import'
+
+  // Bare side-effect import.
+  if (check(TokenKind::String)) {
+    Symbol Spec = Ctx.strings().intern(advanceToken().Text);
+    expect(TokenKind::Semi, "after import");
+    return Ctx.create<ExprStmt>(Loc, makeRequireCall(Loc, Spec));
+  }
+
+  Symbol DefaultName = InvalidSymbol;
+  Symbol NamespaceName = InvalidSymbol;
+  std::vector<std::pair<Symbol, Symbol>> Named; // (exported, local)
+
+  auto ParseNamespace = [&] {
+    // `* as NS`
+    expect(TokenKind::Star, "in namespace import");
+    if (!check(TokenKind::Identifier) || current().Text != "as") {
+      Diags.error(hereLoc(), "expected 'as' in namespace import");
+      return;
+    }
+    advanceToken(); // 'as'
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(hereLoc(), "expected namespace binding name");
+      return;
+    }
+    NamespaceName = Ctx.strings().intern(advanceToken().Text);
+  };
+  auto ParseNamedList = [&] {
+    expect(TokenKind::LBrace, "in named import");
+    while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(hereLoc(), "expected imported name");
+        break;
+      }
+      Symbol Exported = Ctx.strings().intern(advanceToken().Text);
+      Symbol Local = Exported;
+      if (check(TokenKind::Identifier) && current().Text == "as") {
+        advanceToken();
+        if (!check(TokenKind::Identifier)) {
+          Diags.error(hereLoc(), "expected local binding name");
+          break;
+        }
+        Local = Ctx.strings().intern(advanceToken().Text);
+      }
+      Named.emplace_back(Exported, Local);
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RBrace, "to close named import");
+  };
+
+  if (check(TokenKind::Star)) {
+    ParseNamespace();
+  } else if (check(TokenKind::LBrace)) {
+    ParseNamedList();
+  } else if (check(TokenKind::Identifier)) {
+    DefaultName = Ctx.strings().intern(advanceToken().Text);
+    if (accept(TokenKind::Comma)) {
+      if (check(TokenKind::Star))
+        ParseNamespace();
+      else
+        ParseNamedList();
+    }
+  } else {
+    Diags.error(hereLoc(), "expected import bindings");
+  }
+
+  if (!check(TokenKind::Identifier) || current().Text != "from") {
+    Diags.error(hereLoc(), "expected 'from' in import");
+    return Ctx.create<EmptyStmt>(Loc);
+  }
+  advanceToken(); // 'from'
+  if (!check(TokenKind::String)) {
+    Diags.error(hereLoc(), "expected module name string");
+    return Ctx.create<EmptyStmt>(Loc);
+  }
+  Symbol Spec = Ctx.strings().intern(advanceToken().Text);
+  expect(TokenKind::Semi, "after import");
+
+  // Desugar: var __importN = require('spec'); then per-binding reads.
+  Symbol Temp = Ctx.strings().intern("__import" +
+                                     std::to_string(ImportCounter++));
+  VarDecl *TempDecl = declareVar(Temp, VarKind::Var, Loc);
+  std::vector<Stmt *> Out;
+  Out.push_back(Ctx.create<VarDeclStmt>(
+      Loc, VarKind::Var,
+      std::vector<VarDeclarator>{{TempDecl, makeRequireCall(Loc, Spec)}}));
+
+  auto BindFromTemp = [&](Symbol Local, Expr *Value) {
+    VarDecl *D = declareVar(Local, VarKind::Var, Loc);
+    Out.push_back(Ctx.create<VarDeclStmt>(
+        Loc, VarKind::Var, std::vector<VarDeclarator>{{D, Value}}));
+  };
+  if (NamespaceName != InvalidSymbol)
+    BindFromTemp(NamespaceName, Ctx.create<Ident>(Loc, Temp));
+  if (DefaultName != InvalidSymbol) {
+    // `import X from 'm'` binds m.default, falling back to the exports
+    // object itself (CommonJS interop).
+    Expr *DefaultRead = Ctx.create<MemberExpr>(
+        Loc, static_cast<Expr *>(Ctx.create<Ident>(Loc, Temp)),
+        Ctx.strings().intern("default"));
+    Expr *Fallback = Ctx.create<LogicalExpr>(
+        Loc, LogicalOp::Or, DefaultRead,
+        static_cast<Expr *>(Ctx.create<Ident>(Loc, Temp)));
+    BindFromTemp(DefaultName, Fallback);
+  }
+  for (const auto &[Exported, Local] : Named)
+    BindFromTemp(Local,
+                 Ctx.create<MemberExpr>(
+                     Loc, static_cast<Expr *>(Ctx.create<Ident>(Loc, Temp)),
+                     Exported));
+  return Ctx.create<BlockStmt>(Loc, std::move(Out));
+}
+
+/// export default E;            export default function f() {...}
+/// export function f() {...}    export var x = 1, y;
+/// export { a, b as c };        export { a } from 'spec';
+Stmt *Parser::parseExport() {
+  SourceLoc Loc = advanceToken().Loc; // 'export'
+
+  if (accept(TokenKind::KwDefault)) {
+    Expr *Value;
+    if (check(TokenKind::KwFunction)) {
+      Value = parseFunctionExpression(/*IsStatementPosition=*/false, nullptr);
+      accept(TokenKind::Semi);
+    } else {
+      Value = parseAssignment();
+      expect(TokenKind::Semi, "after export default");
+    }
+    return makeExportAssign(Loc, Ctx.strings().intern("default"), Value);
+  }
+
+  if (check(TokenKind::KwFunction)) {
+    Stmt *Decl = parseFunctionDeclaration();
+    std::vector<Stmt *> Out = {Decl};
+    if (auto *FD = dyn_cast<FunctionDeclStmt>(Decl)) {
+      Symbol Name = FD->decl()->name();
+      Out.push_back(
+          makeExportAssign(Loc, Name, Ctx.create<Ident>(Loc, Name)));
+    }
+    return Ctx.create<BlockStmt>(Loc, std::move(Out));
+  }
+
+  if (check(TokenKind::KwVar) || check(TokenKind::KwLet) ||
+      check(TokenKind::KwConst)) {
+    Stmt *Decl = parseVarDeclStatement();
+    std::vector<Stmt *> Out = {Decl};
+    if (auto *VD = dyn_cast<VarDeclStmt>(Decl))
+      for (const VarDeclarator &D : VD->declarators())
+        Out.push_back(makeExportAssign(
+            Loc, D.Decl->name(), Ctx.create<Ident>(Loc, D.Decl->name())));
+    return Ctx.create<BlockStmt>(Loc, std::move(Out));
+  }
+
+  if (check(TokenKind::LBrace)) {
+    advanceToken();
+    std::vector<std::pair<Symbol, Symbol>> Entries; // (local, exported)
+    while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(hereLoc(), "expected exported name");
+        break;
+      }
+      Symbol Local = Ctx.strings().intern(advanceToken().Text);
+      Symbol Exported = Local;
+      if (check(TokenKind::Identifier) && current().Text == "as") {
+        advanceToken();
+        if (!check(TokenKind::Identifier)) {
+          Diags.error(hereLoc(), "expected export alias");
+          break;
+        }
+        Exported = Ctx.strings().intern(advanceToken().Text);
+      }
+      Entries.emplace_back(Local, Exported);
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RBrace, "to close export list");
+
+    std::vector<Stmt *> Out;
+    if (check(TokenKind::Identifier) && current().Text == "from") {
+      // Re-export: read from the required module instead of local scope.
+      advanceToken();
+      if (!check(TokenKind::String)) {
+        Diags.error(hereLoc(), "expected module name string");
+        return Ctx.create<EmptyStmt>(Loc);
+      }
+      Symbol Spec = Ctx.strings().intern(advanceToken().Text);
+      Symbol Temp = Ctx.strings().intern(
+          "__import" + std::to_string(ImportCounter++));
+      VarDecl *TempDecl = declareVar(Temp, VarKind::Var, Loc);
+      Out.push_back(Ctx.create<VarDeclStmt>(
+          Loc, VarKind::Var,
+          std::vector<VarDeclarator>{{TempDecl, makeRequireCall(Loc, Spec)}}));
+      for (const auto &[Local, Exported] : Entries)
+        Out.push_back(makeExportAssign(
+            Loc, Exported,
+            Ctx.create<MemberExpr>(
+                Loc, static_cast<Expr *>(Ctx.create<Ident>(Loc, Temp)),
+                Local)));
+    } else {
+      for (const auto &[Local, Exported] : Entries)
+        Out.push_back(makeExportAssign(Loc, Exported,
+                                       Ctx.create<Ident>(Loc, Local)));
+    }
+    expect(TokenKind::Semi, "after export list");
+    return Ctx.create<BlockStmt>(Loc, std::move(Out));
+  }
+
+  Diags.error(hereLoc(), "unsupported export form");
+  return Ctx.create<EmptyStmt>(Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpression() {
+  Expr *First = parseAssignment();
+  if (!check(TokenKind::Comma))
+    return First;
+  std::vector<Expr *> Exprs = {First};
+  SourceLoc Loc = First->loc();
+  while (accept(TokenKind::Comma))
+    Exprs.push_back(parseAssignment());
+  return Ctx.create<SequenceExpr>(Loc, std::move(Exprs));
+}
+
+static bool isValidAssignTarget(const Expr *E) {
+  return isa<Ident>(E) || isa<MemberExpr>(E);
+}
+
+Expr *Parser::parseAssignment() {
+  Expr *Lhs = parseConditional();
+  AssignOp Op;
+  switch (current().Kind) {
+  case TokenKind::Assign:
+    Op = AssignOp::Assign;
+    break;
+  case TokenKind::PlusAssign:
+    Op = AssignOp::Add;
+    break;
+  case TokenKind::MinusAssign:
+    Op = AssignOp::Sub;
+    break;
+  case TokenKind::StarAssign:
+    Op = AssignOp::Mul;
+    break;
+  case TokenKind::SlashAssign:
+    Op = AssignOp::Div;
+    break;
+  case TokenKind::OrOrAssign:
+    Op = AssignOp::OrOr;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = advanceToken().Loc;
+  if (!isValidAssignTarget(Lhs))
+    Diags.error(Loc, "invalid assignment target");
+  Expr *Rhs = parseAssignment(); // Right-associative.
+  return Ctx.create<AssignExpr>(Loc, Op, Lhs, Rhs);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseNullish();
+  if (!accept(TokenKind::Question))
+    return Cond;
+  Expr *Then = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *Else = parseAssignment();
+  return Ctx.create<ConditionalExpr>(Cond->loc(), Cond, Then, Else);
+}
+
+Expr *Parser::parseNullish() {
+  Expr *Lhs = parseLogicalOr();
+  while (check(TokenKind::QuestionQuestion)) {
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseLogicalOr();
+    Lhs = Ctx.create<LogicalExpr>(Loc, LogicalOp::Nullish, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseLogicalOr() {
+  Expr *Lhs = parseLogicalAnd();
+  while (check(TokenKind::OrOr)) {
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseLogicalAnd();
+    Lhs = Ctx.create<LogicalExpr>(Loc, LogicalOp::Or, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseLogicalAnd() {
+  Expr *Lhs = parseBitOr();
+  while (check(TokenKind::AndAnd)) {
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseBitOr();
+    Lhs = Ctx.create<LogicalExpr>(Loc, LogicalOp::And, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseBitOr() {
+  Expr *Lhs = parseBitXor();
+  while (check(TokenKind::Pipe)) {
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseBitXor();
+    Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::BitOr, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseBitXor() {
+  Expr *Lhs = parseBitAnd();
+  while (check(TokenKind::Caret)) {
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseBitAnd();
+    Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::BitXor, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseBitAnd() {
+  Expr *Lhs = parseEquality();
+  while (check(TokenKind::Amp)) {
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseEquality();
+    Lhs = Ctx.create<BinaryExpr>(Loc, BinaryOp::BitAnd, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseEquality() {
+  Expr *Lhs = parseRelational();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::EqEq:
+      Op = BinaryOp::EqLoose;
+      break;
+    case TokenKind::EqEqEq:
+      Op = BinaryOp::EqStrict;
+      break;
+    case TokenKind::NotEq:
+      Op = BinaryOp::NeLoose;
+      break;
+    case TokenKind::NotEqEq:
+      Op = BinaryOp::NeStrict;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseRelational();
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseRelational() {
+  Expr *Lhs = parseShift();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Less:
+      Op = BinaryOp::Lt;
+      break;
+    case TokenKind::LessEq:
+      Op = BinaryOp::Le;
+      break;
+    case TokenKind::Greater:
+      Op = BinaryOp::Gt;
+      break;
+    case TokenKind::GreaterEq:
+      Op = BinaryOp::Ge;
+      break;
+    case TokenKind::KwIn:
+      if (NoInContext)
+        return Lhs; // `in` belongs to the enclosing for-in statement.
+      Op = BinaryOp::In;
+      break;
+    case TokenKind::KwInstanceof:
+      Op = BinaryOp::Instanceof;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseShift();
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseShift() {
+  Expr *Lhs = parseAdditive();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Shl:
+      Op = BinaryOp::Shl;
+      break;
+    case TokenKind::Shr:
+      Op = BinaryOp::Shr;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseAdditive();
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseAdditive() {
+  Expr *Lhs = parseMultiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinaryOp Op =
+        check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseMultiplicative();
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+  return Lhs;
+}
+
+Expr *Parser::parseMultiplicative() {
+  Expr *Lhs = parseUnary();
+  while (true) {
+    BinaryOp Op;
+    switch (current().Kind) {
+    case TokenKind::Star:
+      Op = BinaryOp::Mul;
+      break;
+    case TokenKind::Slash:
+      Op = BinaryOp::Div;
+      break;
+    case TokenKind::Percent:
+      Op = BinaryOp::Mod;
+      break;
+    default:
+      return Lhs;
+    }
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Rhs = parseUnary();
+    Lhs = Ctx.create<BinaryExpr>(Loc, Op, Lhs, Rhs);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  UnaryOp Op;
+  switch (current().Kind) {
+  case TokenKind::Not:
+    Op = UnaryOp::Not;
+    break;
+  case TokenKind::Minus:
+    Op = UnaryOp::Neg;
+    break;
+  case TokenKind::Plus:
+    Op = UnaryOp::Plus;
+    break;
+  case TokenKind::Tilde:
+    Op = UnaryOp::BitNot;
+    break;
+  case TokenKind::KwTypeof:
+    Op = UnaryOp::Typeof;
+    break;
+  case TokenKind::KwDelete:
+    Op = UnaryOp::Delete;
+    break;
+  case TokenKind::KwVoid:
+    Op = UnaryOp::Void;
+    break;
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus: {
+    bool IsIncrement = check(TokenKind::PlusPlus);
+    SourceLoc Loc = advanceToken().Loc;
+    Expr *Target = parseUnary();
+    if (!isValidAssignTarget(Target))
+      Diags.error(Loc, "invalid update target");
+    return Ctx.create<UpdateExpr>(Loc, IsIncrement, /*IsPrefix=*/true, Target);
+  }
+  default:
+    return parsePostfix();
+  }
+  SourceLoc Loc = advanceToken().Loc;
+  Expr *Operand = parseUnary();
+  return Ctx.create<UnaryExpr>(Loc, Op, Operand);
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parseCallMember();
+  if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+    bool IsIncrement = check(TokenKind::PlusPlus);
+    SourceLoc Loc = advanceToken().Loc;
+    if (!isValidAssignTarget(E))
+      Diags.error(Loc, "invalid update target");
+    return Ctx.create<UpdateExpr>(Loc, IsIncrement, /*IsPrefix=*/false, E);
+  }
+  return E;
+}
+
+/// \returns the property-name spelling of \p T when it may follow '.'
+/// (identifiers and keywords), or empty when it may not.
+static std::string tokenAsPropertyName(const Token &T) {
+  if (T.is(TokenKind::Identifier))
+    return T.Text;
+  const char *Name = tokenKindName(T.Kind);
+  // Keyword spellings are quoted like "'default'"; strip the quotes.
+  if (Name[0] == '\'') {
+    std::string S(Name + 1);
+    if (!S.empty() && S.back() == '\'')
+      S.pop_back();
+    // Only keywords (alphabetic spellings) qualify as property names.
+    if (!S.empty() && (std::isalpha(static_cast<unsigned char>(S[0]))))
+      return S;
+  }
+  return std::string();
+}
+
+std::vector<Expr *> Parser::parseArguments() {
+  std::vector<Expr *> Args;
+  expect(TokenKind::LParen, "to open argument list");
+  bool SavedNoIn = NoInContext;
+  NoInContext = false; // `in` is fine inside parentheses.
+  if (!check(TokenKind::RParen)) {
+    do {
+      Args.push_back(parseAssignment());
+    } while (accept(TokenKind::Comma));
+  }
+  NoInContext = SavedNoIn;
+  expect(TokenKind::RParen, "to close argument list");
+  return Args;
+}
+
+Expr *Parser::parseCallMember() {
+  Expr *E = check(TokenKind::KwNew) ? parseNew() : parsePrimary();
+  while (true) {
+    if (check(TokenKind::Dot)) {
+      SourceLoc Loc = advanceToken().Loc;
+      std::string Name = tokenAsPropertyName(current());
+      if (Name.empty()) {
+        Diags.error(hereLoc(), "expected property name after '.'");
+        return E;
+      }
+      advanceToken();
+      E = Ctx.create<MemberExpr>(Loc, E, Ctx.strings().intern(Name));
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      SourceLoc Loc = advanceToken().Loc;
+      Expr *Index = parseExpression();
+      expect(TokenKind::RBracket, "to close computed property access");
+      E = Ctx.create<MemberExpr>(Loc, E, Index);
+      continue;
+    }
+    if (check(TokenKind::LParen)) {
+      SourceLoc Loc = hereLoc();
+      std::vector<Expr *> Args = parseArguments();
+      E = Ctx.create<CallExpr>(Loc, E, std::move(Args));
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parseNew() {
+  SourceLoc Loc = advanceToken().Loc; // 'new'
+  // Parse the callee as a member expression (no call suffixes).
+  Expr *Callee =
+      check(TokenKind::KwNew) ? parseNew() : parsePrimary();
+  while (true) {
+    if (check(TokenKind::Dot)) {
+      SourceLoc MemberLoc = advanceToken().Loc;
+      std::string Name = tokenAsPropertyName(current());
+      if (Name.empty()) {
+        Diags.error(hereLoc(), "expected property name after '.'");
+        break;
+      }
+      advanceToken();
+      Callee =
+          Ctx.create<MemberExpr>(MemberLoc, Callee, Ctx.strings().intern(Name));
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      SourceLoc MemberLoc = advanceToken().Loc;
+      Expr *Index = parseExpression();
+      expect(TokenKind::RBracket, "to close computed property access");
+      Callee = Ctx.create<MemberExpr>(MemberLoc, Callee, Index);
+      continue;
+    }
+    break;
+  }
+  std::vector<Expr *> Args;
+  if (check(TokenKind::LParen))
+    Args = parseArguments();
+  return Ctx.create<NewExpr>(Loc, Callee, std::move(Args));
+}
+
+bool Parser::isArrowParameterListAhead() const {
+  assert(check(TokenKind::LParen) && "must start at '('");
+  size_t Idx = TokenPos + 1;
+  int Depth = 1;
+  while (Idx < Tokens.size() && Depth > 0) {
+    TokenKind K = Tokens[Idx].Kind;
+    if (K == TokenKind::LParen)
+      ++Depth;
+    else if (K == TokenKind::RParen)
+      --Depth;
+    else if (K == TokenKind::Eof)
+      return false;
+    ++Idx;
+  }
+  return Idx < Tokens.size() && Tokens[Idx].is(TokenKind::Arrow);
+}
+
+Expr *Parser::parseArrowFunction(SourceLoc Loc,
+                                 std::vector<Symbol> ParamNames,
+                                 std::vector<SourceLoc> ParamLocs) {
+  expect(TokenKind::Arrow, "in arrow function");
+  FunctionDef *F = beginFunction(InvalidSymbol, Loc, /*IsArrow=*/true,
+                                 /*IsModule=*/false, ParamNames, ParamLocs,
+                                 InvalidSymbol);
+  if (check(TokenKind::LBrace)) {
+    finishFunctionWithBlockBody(F);
+  } else {
+    // Concise body: desugar `=> E` into `=> { return E; }`.
+    SourceLoc BodyLoc = hereLoc();
+    Expr *Value = parseAssignment();
+    Stmt *Ret = Ctx.create<ReturnStmt>(BodyLoc, Value);
+    F->setBody(Ctx.create<BlockStmt>(BodyLoc, std::vector<Stmt *>{Ret}));
+    FuncStack.pop_back();
+  }
+  return Ctx.create<FunctionExpr>(Loc, F);
+}
+
+Expr *Parser::parseFunctionExpression(bool IsStatementPosition,
+                                      Symbol *OutName) {
+  (void)IsStatementPosition;
+  SourceLoc Loc = advanceToken().Loc; // 'function'
+  Symbol Name = InvalidSymbol;
+  if (check(TokenKind::Identifier)) {
+    Name = Ctx.strings().intern(advanceToken().Text);
+    if (OutName)
+      *OutName = Name;
+  }
+  expect(TokenKind::LParen, "after 'function'");
+  std::vector<Symbol> ParamNames;
+  std::vector<SourceLoc> ParamLocs;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(hereLoc(), "expected parameter name");
+        break;
+      }
+      Token P = advanceToken();
+      ParamNames.push_back(Ctx.strings().intern(P.Text));
+      ParamLocs.push_back(P.Loc);
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameters");
+  FunctionDef *F = beginFunction(Name, Loc, /*IsArrow=*/false,
+                                 /*IsModule=*/false, ParamNames, ParamLocs,
+                                 /*SelfBindingName=*/Name);
+  finishFunctionWithBlockBody(F);
+  return Ctx.create<FunctionExpr>(Loc, F);
+}
+
+Expr *Parser::parseObjectLiteral() {
+  SourceLoc Loc = advanceToken().Loc; // '{'
+  std::vector<ObjectProperty> Props;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    ObjectProperty Prop;
+    if (check(TokenKind::LBracket)) {
+      // Computed key `[E]: V`.
+      advanceToken();
+      Prop.KeyExpr = parseAssignment();
+      expect(TokenKind::RBracket, "to close computed property key");
+      expect(TokenKind::Colon, "after computed property key");
+      Prop.Value = parseAssignment();
+    } else {
+      std::string KeyName;
+      if (check(TokenKind::String)) {
+        KeyName = advanceToken().Text;
+      } else if (check(TokenKind::Number)) {
+        KeyName = jsNumberToString(advanceToken().NumValue);
+      } else {
+        KeyName = tokenAsPropertyName(current());
+        if (KeyName.empty()) {
+          Diags.error(hereLoc(), "expected property name in object literal");
+          break;
+        }
+        advanceToken();
+      }
+      // Accessors: `get name() {...}` / `set name(v) {...}` — the keyword
+      // must be followed by another property name (not ':'/'(' etc.).
+      if ((KeyName == "get" || KeyName == "set") &&
+          !check(TokenKind::Colon) && !check(TokenKind::LParen) &&
+          !check(TokenKind::Comma) && !check(TokenKind::RBrace)) {
+        bool IsGetter = KeyName == "get";
+        std::string AccessorName;
+        if (check(TokenKind::String))
+          AccessorName = advanceToken().Text;
+        else {
+          AccessorName = tokenAsPropertyName(current());
+          if (AccessorName.empty()) {
+            Diags.error(hereLoc(), "expected accessor property name");
+            break;
+          }
+          advanceToken();
+        }
+        Prop.Key = Ctx.strings().intern(AccessorName);
+        Prop.PKind = IsGetter ? PropertyKind::Getter : PropertyKind::Setter;
+        SourceLoc AccessorLoc = hereLoc();
+        expect(TokenKind::LParen, "after accessor name");
+        std::vector<Symbol> ParamNames;
+        std::vector<SourceLoc> ParamLocs;
+        if (!check(TokenKind::RParen)) {
+          do {
+            if (!check(TokenKind::Identifier)) {
+              Diags.error(hereLoc(), "expected parameter name");
+              break;
+            }
+            Token Pm = advanceToken();
+            ParamNames.push_back(Ctx.strings().intern(Pm.Text));
+            ParamLocs.push_back(Pm.Loc);
+          } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "after accessor parameters");
+        FunctionDef *F =
+            beginFunction(Prop.Key, AccessorLoc, /*IsArrow=*/false,
+                          /*IsModule=*/false, ParamNames, ParamLocs,
+                          InvalidSymbol);
+        finishFunctionWithBlockBody(F);
+        Prop.Value = Ctx.create<FunctionExpr>(AccessorLoc, F);
+        Props.push_back(Prop);
+        if (!accept(TokenKind::Comma))
+          break;
+        continue;
+      }
+      Prop.Key = Ctx.strings().intern(KeyName);
+      if (accept(TokenKind::Colon)) {
+        Prop.Value = parseAssignment();
+      } else if (check(TokenKind::LParen)) {
+        // Method shorthand `{ foo() { ... } }`.
+        SourceLoc MethodLoc = hereLoc();
+        std::vector<Symbol> ParamNames;
+        std::vector<SourceLoc> ParamLocs;
+        advanceToken(); // '('
+        if (!check(TokenKind::RParen)) {
+          do {
+            if (!check(TokenKind::Identifier)) {
+              Diags.error(hereLoc(), "expected parameter name");
+              break;
+            }
+            Token P = advanceToken();
+            ParamNames.push_back(Ctx.strings().intern(P.Text));
+            ParamLocs.push_back(P.Loc);
+          } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::RParen, "after method parameters");
+        FunctionDef *F =
+            beginFunction(Prop.Key, MethodLoc, /*IsArrow=*/false,
+                          /*IsModule=*/false, ParamNames, ParamLocs,
+                          InvalidSymbol);
+        finishFunctionWithBlockBody(F);
+        Prop.Value = Ctx.create<FunctionExpr>(MethodLoc, F);
+      } else {
+        // Shorthand `{ foo }`.
+        Prop.Value = Ctx.create<Ident>(Loc, Prop.Key);
+      }
+    }
+    Props.push_back(Prop);
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RBrace, "to close object literal");
+  return Ctx.create<ObjectLit>(Loc, std::move(Props));
+}
+
+Expr *Parser::parseArrayLiteral() {
+  SourceLoc Loc = advanceToken().Loc; // '['
+  std::vector<Expr *> Elements;
+  while (!check(TokenKind::RBracket) && !check(TokenKind::Eof)) {
+    Elements.push_back(parseAssignment());
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::RBracket, "to close array literal");
+  return Ctx.create<ArrayLit>(Loc, std::move(Elements));
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = hereLoc();
+  switch (current().Kind) {
+  case TokenKind::Number: {
+    Token T = advanceToken();
+    return Ctx.create<NumberLit>(Loc, T.NumValue);
+  }
+  case TokenKind::String: {
+    Token T = advanceToken();
+    return Ctx.create<StringLit>(Loc, Ctx.strings().intern(T.Text));
+  }
+  case TokenKind::KwTrue:
+    advanceToken();
+    return Ctx.create<BoolLit>(Loc, true);
+  case TokenKind::KwFalse:
+    advanceToken();
+    return Ctx.create<BoolLit>(Loc, false);
+  case TokenKind::KwNull:
+    advanceToken();
+    return Ctx.create<NullLit>(Loc);
+  case TokenKind::KwUndefined:
+    advanceToken();
+    return Ctx.create<UndefinedLit>(Loc);
+  case TokenKind::KwThis:
+    advanceToken();
+    return Ctx.create<ThisExpr>(Loc);
+  case TokenKind::Identifier: {
+    // `x => E` arrow function?
+    if (peek(1).is(TokenKind::Arrow)) {
+      Token NameTok = advanceToken();
+      return parseArrowFunction(Loc,
+                                {Ctx.strings().intern(NameTok.Text)},
+                                {NameTok.Loc});
+    }
+    Token T = advanceToken();
+    return Ctx.create<Ident>(Loc, Ctx.strings().intern(T.Text));
+  }
+  case TokenKind::LParen: {
+    if (isArrowParameterListAhead()) {
+      advanceToken(); // '('
+      std::vector<Symbol> ParamNames;
+      std::vector<SourceLoc> ParamLocs;
+      if (!check(TokenKind::RParen)) {
+        do {
+          if (!check(TokenKind::Identifier)) {
+            Diags.error(hereLoc(), "expected arrow parameter name");
+            break;
+          }
+          Token P = advanceToken();
+          ParamNames.push_back(Ctx.strings().intern(P.Text));
+          ParamLocs.push_back(P.Loc);
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after arrow parameters");
+      return parseArrowFunction(Loc, std::move(ParamNames),
+                                std::move(ParamLocs));
+    }
+    advanceToken(); // '('
+    bool SavedNoIn = NoInContext;
+    NoInContext = false; // `in` is fine inside parentheses.
+    Expr *E = parseExpression();
+    NoInContext = SavedNoIn;
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::LBrace:
+    return parseObjectLiteral();
+  case TokenKind::LBracket:
+    return parseArrayLiteral();
+  case TokenKind::KwFunction:
+    return parseFunctionExpression(/*IsStatementPosition=*/false, nullptr);
+  case TokenKind::KwNew:
+    return parseNew();
+  default:
+    Diags.error(Loc, std::string("unexpected token ") +
+                         tokenKindName(current().Kind) + " in expression");
+    advanceToken();
+    return Ctx.create<UndefinedLit>(Loc);
+  }
+}

@@ -1,0 +1,146 @@
+//===- Parser.h - MiniJS parser ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for MiniJS. All tokens are lexed upfront, giving
+/// arbitrary lookahead (needed to distinguish parenthesized expressions from
+/// arrow-function parameter lists). The parser creates FunctionDefs with
+/// their scope maps and hoisted declarations, so the later ScopeResolver
+/// pass only needs to bind identifier uses.
+///
+/// MiniJS requires explicit semicolons (no automatic semicolon insertion);
+/// the corpus generator always emits them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_PARSER_PARSER_H
+#define JSAI_PARSER_PARSER_H
+
+#include "ast/Ast.h"
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+/// Parses MiniJS modules (and eval snippets) into an AstContext.
+class Parser {
+public:
+  Parser(AstContext &Ctx, DiagnosticEngine &Diags) : Ctx(Ctx), Diags(Diags) {}
+
+  /// Parses \p Source as the module at \p Path (package \p Package),
+  /// creating the Module and its implicit module function with parameters
+  /// (exports, require, module). \returns null on hard failure.
+  Module *parseModule(const std::string &Path, const std::string &Package,
+                      const std::string &Source);
+
+  /// Parses \p Source as dynamically generated code evaluated inside
+  /// \p Parent. The result (and every function nested in it) is marked
+  /// in-eval so allocation-site recording is disabled for it (Section 3).
+  /// \returns null on parse errors.
+  FunctionDef *parseEval(const std::string &Source, FunctionDef *Parent,
+                         SourceLoc EvalLoc);
+
+private:
+  // Token stream helpers.
+  const Token &peek(size_t Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token advanceToken();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  SourceLoc hereLoc() const { return current().Loc; }
+
+  // Scope helpers.
+  VarDecl *declareVar(Symbol Name, VarKind Kind, SourceLoc Loc);
+  FunctionDef *currentFunction() const { return FuncStack.back(); }
+
+  // Statements.
+  Stmt *parseStatement();
+  Stmt *parseVarDeclStatement();
+  Stmt *parseFunctionDeclaration();
+  BlockStmt *parseBlock();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDoWhile();
+  Stmt *parseFor();
+  Stmt *parseReturn();
+  Stmt *parseThrow();
+  Stmt *parseTry();
+  Stmt *parseSwitch();
+  /// ES-module statements, desugared to the CommonJS machinery at parse
+  /// time (footnote 2 of the paper: the approach covers ES modules too).
+  Stmt *parseImport();
+  Stmt *parseExport();
+  /// Synthesizes `require('<Spec>')` at \p Loc.
+  Expr *makeRequireCall(SourceLoc Loc, Symbol Spec);
+  /// Synthesizes `exports.<Name> = <Value>` at \p Loc.
+  Stmt *makeExportAssign(SourceLoc Loc, Symbol Name, Expr *Value);
+
+  // Expressions, by precedence.
+  Expr *parseExpression();     // Comma sequences.
+  Expr *parseAssignment();     // =, +=, ... and arrows.
+  Expr *parseConditional();    // ?:
+  Expr *parseNullish();        // ??
+  Expr *parseLogicalOr();      // ||
+  Expr *parseLogicalAnd();     // &&
+  Expr *parseBitOr();
+  Expr *parseBitXor();
+  Expr *parseBitAnd();
+  Expr *parseEquality();
+  Expr *parseRelational();
+  Expr *parseShift();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parseCallMember();
+  Expr *parseNew();
+  Expr *parsePrimary();
+  Expr *parseObjectLiteral();
+  Expr *parseArrayLiteral();
+  Expr *parseFunctionExpression(bool IsStatementPosition, Symbol *OutName);
+  Expr *parseArrowFunction(SourceLoc Loc, std::vector<Symbol> ParamNames,
+                           std::vector<SourceLoc> ParamLocs);
+  std::vector<Expr *> parseArguments();
+
+  /// True if the token stream starting at the current '(' is an arrow
+  /// function parameter list (i.e. the matching ')' is followed by '=>').
+  bool isArrowParameterListAhead() const;
+
+  /// Creates a FunctionDef with the given parameters and a self-binding
+  /// (for named function expressions), ready for body parsing.
+  FunctionDef *beginFunction(Symbol Name, SourceLoc Loc, bool IsArrow,
+                             bool IsModule,
+                             const std::vector<Symbol> &ParamNames,
+                             const std::vector<SourceLoc> &ParamLocs,
+                             Symbol SelfBindingName);
+
+  /// Parses `{ ... }` as the body of the current function and pops it.
+  void finishFunctionWithBlockBody(FunctionDef *F);
+
+  std::vector<Stmt *> parseStatementListUntil(TokenKind Terminator);
+
+  /// Initializes token state for a new source buffer.
+  void startTokens(FileId File, const std::string &Source);
+
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t TokenPos = 0;
+  std::vector<FunctionDef *> FuncStack;
+  /// Lexical parent for the root function when parsing eval snippets.
+  FunctionDef *EvalParent = nullptr;
+  bool InEval = false;
+  /// True while parsing a for-loop initializer, where the `in` operator is
+  /// not allowed (it would be ambiguous with for-in).
+  bool NoInContext = false;
+  /// Fresh-name counter for desugared import temporaries.
+  unsigned ImportCounter = 0;
+};
+
+} // namespace jsai
+
+#endif // JSAI_PARSER_PARSER_H

@@ -1,0 +1,124 @@
+//===- Pipeline.cpp -------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace jsai;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+ProjectAnalyzer::ProjectAnalyzer(const ProjectSpec &Spec,
+                                 ApproxOptions ApproxOpts)
+    : Spec(Spec), ApproxOpts(ApproxOpts) {
+  Loader = std::make_unique<ModuleLoader>(Ctx, this->Spec.Files, Diags);
+  Loader->parseAll();
+}
+
+const HintSet &ProjectAnalyzer::hints() {
+  if (CachedHints)
+    return *CachedHints;
+  auto Start = std::chrono::steady_clock::now();
+  ApproxInterpreter Approx(*Loader, ApproxOpts);
+  // Worklist roots: the application-code modules, main module first
+  // (Section 3: "each application-code module or a single designated main
+  // module"). Library modules are explored transitively via require.
+  std::string AppPrefix =
+      Spec.MainModule.substr(0, Spec.MainModule.find('/') + 1);
+  std::vector<std::string> Roots;
+  Roots.push_back(Spec.MainModule);
+  for (const std::string &Path : Spec.Files.allPaths())
+    if (Path != Spec.MainModule && Path.rfind(AppPrefix, 0) == 0)
+      Roots.push_back(Path);
+  CachedHints = Approx.run(Roots);
+  CachedApproxStats = Approx.stats();
+  CachedApproxSeconds = secondsSince(Start);
+  return *CachedHints;
+}
+
+const ApproxStats &ProjectAnalyzer::approxStats() {
+  hints();
+  return CachedApproxStats;
+}
+
+double ProjectAnalyzer::approxSeconds() {
+  hints();
+  return CachedApproxSeconds;
+}
+
+AnalysisResult ProjectAnalyzer::analyze(AnalysisMode Mode) {
+  AnalysisOptions Opts;
+  Opts.Mode = Mode;
+  return analyze(Opts);
+}
+
+AnalysisResult ProjectAnalyzer::analyze(const AnalysisOptions &Opts) {
+  const HintSet *H = nullptr;
+  if (Opts.Mode == AnalysisMode::Hints ||
+      Opts.Mode == AnalysisMode::NonRelationalHints)
+    H = &hints();
+  StaticAnalysis SA(*Loader, Opts, H);
+  return SA.run();
+}
+
+const CallGraph &ProjectAnalyzer::dynamicCallGraph() {
+  assert(Spec.hasDynamicCallGraph() && "project has no test driver");
+  if (CachedDynamicCG)
+    return *CachedDynamicCG;
+  DynamicCallGraphRecorder Recorder;
+  Interpreter I(*Loader, InterpOptions(), &Recorder);
+  I.loadModule(Spec.TestDriver);
+  CachedDynamicCG = Recorder.callGraph();
+  return *CachedDynamicCG;
+}
+
+size_t ProjectAnalyzer::numFunctions() {
+  size_t Count = 0;
+  for (const auto &F : Ctx.functions())
+    if (!F->isModule() && !F->isInEval())
+      ++Count;
+  return Count;
+}
+
+ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
+  ProjectAnalyzer A(Spec, ApproxOpts);
+  ProjectReport R;
+  R.Name = Spec.Name;
+  R.Pattern = Spec.Pattern;
+  R.NumPackages = A.numPackages();
+  R.NumModules = A.numModules();
+  R.CodeBytes = A.codeBytes();
+
+  auto Start = std::chrono::steady_clock::now();
+  R.Baseline = A.analyze(AnalysisMode::Baseline);
+  R.BaselineSeconds = secondsSince(Start);
+
+  R.NumHints = A.hints().size(); // Triggers the timed approx phase.
+  R.ApproxSeconds = A.approxSeconds();
+  R.Approx = A.approxStats();
+  // Function counting happens after the pre-analysis so eval-parsed
+  // definitions don't skew the denominator.
+  R.NumFunctions = A.numFunctions();
+
+  Start = std::chrono::steady_clock::now();
+  R.Extended = A.analyze(AnalysisMode::Hints);
+  R.ExtendedSeconds = secondsSince(Start);
+
+  if (Spec.hasDynamicCallGraph()) {
+    R.HasDynamicCG = true;
+    const CallGraph &Dyn = A.dynamicCallGraph();
+    R.DynamicEdges = Dyn.numEdges();
+    R.BaselineRP = compareCallGraphs(R.Baseline.CG, Dyn);
+    R.ExtendedRP = compareCallGraphs(R.Extended.CG, Dyn);
+  }
+  return R;
+}

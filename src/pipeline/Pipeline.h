@@ -1,0 +1,121 @@
+//===- Pipeline.h - End-to-end per-project analysis -------------*- C++ -*-===//
+///
+/// \file
+/// The public top-level API: run the full paper pipeline on one project —
+/// parse, approximate interpretation (timed), baseline static analysis
+/// (timed), hint-extended static analysis (timed), metrics, and optionally
+/// the dynamic call graph with recall/precision.
+///
+/// ProjectAnalyzer is the reusable per-project state (one parse shared by
+/// all phases); Pipeline::analyzeProject is the one-call convenience used
+/// by examples and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_PIPELINE_PIPELINE_H
+#define JSAI_PIPELINE_PIPELINE_H
+
+#include "analysis/StaticAnalysis.h"
+#include "approx/ApproxInterpreter.h"
+#include "callgraph/DynamicCallGraphRecorder.h"
+#include "callgraph/Metrics.h"
+#include "corpus/Project.h"
+
+#include <memory>
+#include <optional>
+
+namespace jsai {
+
+/// Per-project state: one parsed AST shared across analyses.
+class ProjectAnalyzer {
+public:
+  explicit ProjectAnalyzer(const ProjectSpec &Spec,
+                           ApproxOptions ApproxOpts = ApproxOptions());
+
+  /// Runs (and caches) the approximate interpretation phase.
+  const HintSet &hints();
+  /// Statistics of the (cached) approximate interpretation phase.
+  const ApproxStats &approxStats();
+  /// Wall-clock seconds of the (cached) approximate interpretation phase.
+  double approxSeconds();
+
+  /// Runs a static analysis in \p Mode (hint modes consume hints()).
+  AnalysisResult analyze(AnalysisMode Mode);
+  /// Same, with full option control.
+  AnalysisResult analyze(const AnalysisOptions &Opts);
+
+  /// Executes the project's test driver concretely and records the dynamic
+  /// call graph. Requires Spec.hasDynamicCallGraph().
+  const CallGraph &dynamicCallGraph();
+
+  /// Project size statistics (Table 1 columns).
+  size_t numPackages() const { return Spec.numPackages(); }
+  size_t numModules() const { return Spec.numModules(); }
+  size_t codeBytes() const { return Spec.codeBytes(); }
+  size_t numFunctions();
+
+  AstContext &context() { return Ctx; }
+  ModuleLoader &loader() { return *Loader; }
+  const ProjectSpec &spec() const { return Spec; }
+  DiagnosticEngine &diagnostics() { return Diags; }
+
+private:
+  ProjectSpec Spec;
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  std::unique_ptr<ModuleLoader> Loader;
+  ApproxOptions ApproxOpts;
+
+  std::optional<HintSet> CachedHints;
+  ApproxStats CachedApproxStats;
+  double CachedApproxSeconds = 0;
+  std::optional<CallGraph> CachedDynamicCG;
+};
+
+/// One project's full evaluation record.
+struct ProjectReport {
+  std::string Name;
+  std::string Pattern;
+
+  // Table 1 columns.
+  size_t NumPackages = 0;
+  size_t NumModules = 0;
+  size_t NumFunctions = 0;
+  size_t CodeBytes = 0;
+
+  // Phase timings (Table 3 columns).
+  double BaselineSeconds = 0;
+  double ApproxSeconds = 0;
+  double ExtendedSeconds = 0;
+
+  // Pre-analysis outcome.
+  ApproxStats Approx;
+  size_t NumHints = 0;
+
+  // Analysis results (Figures 4-7 data).
+  AnalysisResult Baseline;
+  AnalysisResult Extended;
+
+  // Table 2 data (when a dynamic call graph exists).
+  bool HasDynamicCG = false;
+  size_t DynamicEdges = 0;
+  RecallPrecision BaselineRP;
+  RecallPrecision ExtendedRP;
+};
+
+/// Convenience facade.
+class Pipeline {
+public:
+  explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions())
+      : ApproxOpts(ApproxOpts) {}
+
+  /// Runs everything on \p Spec.
+  ProjectReport analyzeProject(const ProjectSpec &Spec);
+
+private:
+  ApproxOptions ApproxOpts;
+};
+
+} // namespace jsai
+
+#endif // JSAI_PIPELINE_PIPELINE_H

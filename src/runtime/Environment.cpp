@@ -1,0 +1,25 @@
+//===- Environment.cpp ----------------------------------------------------===//
+
+#include "runtime/Environment.h"
+
+using namespace jsai;
+
+Value *Environment::lookup(Symbol Name) {
+  for (Environment *E = this; E; E = E->Parent) {
+    auto It = E->Bindings.find(Name);
+    if (It != E->Bindings.end())
+      return &It->second;
+  }
+  return nullptr;
+}
+
+bool Environment::assign(Symbol Name, const Value &V) {
+  for (Environment *E = this; E; E = E->Parent) {
+    auto It = E->Bindings.find(Name);
+    if (It != E->Bindings.end()) {
+      It->second = V;
+      return true;
+    }
+  }
+  return false;
+}

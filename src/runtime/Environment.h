@@ -1,0 +1,47 @@
+//===- Environment.h - Lexical environments ---------------------*- C++ -*-===//
+///
+/// \file
+/// Lexical environments for the tree-walking interpreter: a chain of
+/// symbol-keyed frames. `this` and `arguments` are ordinary bindings under
+/// reserved symbols; arrow functions simply do not rebind them, so lookup
+/// naturally reaches the enclosing function's values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_RUNTIME_ENVIRONMENT_H
+#define JSAI_RUNTIME_ENVIRONMENT_H
+
+#include "runtime/Value.h"
+#include "support/StringPool.h"
+
+#include <unordered_map>
+
+namespace jsai {
+
+/// One frame of the environment chain. Owned by the Heap.
+class Environment {
+public:
+  explicit Environment(Environment *Parent) : Parent(Parent) {}
+
+  Environment *parent() const { return Parent; }
+
+  /// Defines (or overwrites) a binding in this frame.
+  void define(Symbol Name, Value V) { Bindings[Name] = std::move(V); }
+
+  bool hasOwn(Symbol Name) const { return Bindings.count(Name) != 0; }
+
+  /// \returns the value of \p Name searching the chain, or null if unbound.
+  Value *lookup(Symbol Name);
+
+  /// Assigns to the nearest existing binding. \returns false if unbound
+  /// anywhere in the chain (the interpreter then creates a global).
+  bool assign(Symbol Name, const Value &V);
+
+private:
+  Environment *Parent;
+  std::unordered_map<Symbol, Value> Bindings;
+};
+
+} // namespace jsai
+
+#endif // JSAI_RUNTIME_ENVIRONMENT_H

@@ -1,0 +1,36 @@
+//===- Heap.cpp -----------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+using namespace jsai;
+
+Object *Heap::newObject(ObjectClass Class, SourceLoc BirthLoc, Object *Proto) {
+  Objects.push_back(std::make_unique<Object>(Class, BirthLoc));
+  Object *O = Objects.back().get();
+  O->setProto(Proto);
+  return O;
+}
+
+Object *Heap::newArray(SourceLoc BirthLoc, std::vector<Value> Elements) {
+  Object *O = newObject(ObjectClass::Array, BirthLoc);
+  O->elements() = std::move(Elements);
+  return O;
+}
+
+Object *Heap::newClosure(FunctionDef *Def, Environment *Env,
+                         SourceLoc BirthLoc) {
+  Object *O = newObject(ObjectClass::Function, BirthLoc);
+  O->setClosure(Def, Env);
+  return O;
+}
+
+Object *Heap::newNative(std::string Name, NativeFn Fn) {
+  Object *O = newObject(ObjectClass::Function, SourceLoc::invalid());
+  O->setNative(std::move(Name), std::move(Fn));
+  return O;
+}
+
+Environment *Heap::newEnvironment(Environment *Parent) {
+  Environments.push_back(std::make_unique<Environment>(Parent));
+  return Environments.back().get();
+}

@@ -1,0 +1,49 @@
+//===- Heap.h - Object and environment arena --------------------*- C++ -*-===//
+///
+/// \file
+/// Arena owning every runtime Object and Environment of one execution. The
+/// analyzed programs are short-lived, so no garbage collection is performed;
+/// everything is released when the Heap is destroyed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_RUNTIME_HEAP_H
+#define JSAI_RUNTIME_HEAP_H
+
+#include "runtime/Environment.h"
+#include "runtime/Object.h"
+
+#include <deque>
+#include <memory>
+
+namespace jsai {
+
+/// Allocator/owner for runtime objects and environments.
+class Heap {
+public:
+  /// Allocates a plain (or class-tagged) object.
+  Object *newObject(ObjectClass Class, SourceLoc BirthLoc,
+                    Object *Proto = nullptr);
+
+  /// Allocates an array object.
+  Object *newArray(SourceLoc BirthLoc, std::vector<Value> Elements = {});
+
+  /// Allocates a closure for \p Def captured over \p Env.
+  Object *newClosure(FunctionDef *Def, Environment *Env, SourceLoc BirthLoc);
+
+  /// Allocates a native (builtin) function.
+  Object *newNative(std::string Name, NativeFn Fn);
+
+  /// Allocates an environment frame.
+  Environment *newEnvironment(Environment *Parent);
+
+  size_t numObjects() const { return Objects.size(); }
+
+private:
+  std::deque<std::unique_ptr<Object>> Objects;
+  std::deque<std::unique_ptr<Environment>> Environments;
+};
+
+} // namespace jsai
+
+#endif // JSAI_RUNTIME_HEAP_H

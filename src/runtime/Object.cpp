@@ -1,0 +1,81 @@
+//===- Object.cpp ---------------------------------------------------------===//
+
+#include "runtime/Object.h"
+
+#include <algorithm>
+
+using namespace jsai;
+
+std::optional<Value> Object::getOwn(Symbol Name) const {
+  auto It = Props.find(Name);
+  if (It == Props.end() || It->second.isAccessor())
+    return std::nullopt;
+  return It->second.V;
+}
+
+std::optional<Value> Object::get(Symbol Name) const {
+  for (const Object *O = this; O; O = O->Proto) {
+    auto It = O->Props.find(Name);
+    if (It != O->Props.end()) {
+      if (It->second.isAccessor())
+        return std::nullopt; // Accessors need an interpreter to evaluate.
+      return It->second.V;
+    }
+  }
+  return std::nullopt;
+}
+
+const PropertySlot *Object::getOwnSlot(Symbol Name) const {
+  auto It = Props.find(Name);
+  return It == Props.end() ? nullptr : &It->second;
+}
+
+const PropertySlot *Object::findSlot(Symbol Name) const {
+  for (const Object *O = this; O; O = O->Proto) {
+    auto It = O->Props.find(Name);
+    if (It != O->Props.end())
+      return &It->second;
+  }
+  return nullptr;
+}
+
+bool Object::has(Symbol Name) const {
+  for (const Object *O = this; O; O = O->Proto)
+    if (O->Props.count(Name))
+      return true;
+  return false;
+}
+
+void Object::setOwn(Symbol Name, Value V) {
+  auto [It, Inserted] = Props.try_emplace(Name);
+  It->second.V = std::move(V);
+  It->second.Getter = nullptr;
+  It->second.Setter = nullptr;
+  if (Inserted)
+    PropOrder.push_back(Name);
+}
+
+void Object::setAccessor(Symbol Name, Object *Getter, Object *Setter) {
+  auto [It, Inserted] = Props.try_emplace(Name);
+  if (Inserted)
+    PropOrder.push_back(Name);
+  PropertySlot &Slot = It->second;
+  if (!Slot.isAccessor()) {
+    // Replacing a data slot: clear the stale value.
+    Slot.V = Value::undefined();
+    Slot.Getter = Getter;
+    Slot.Setter = Setter;
+    return;
+  }
+  if (Getter)
+    Slot.Getter = Getter;
+  if (Setter)
+    Slot.Setter = Setter;
+}
+
+bool Object::deleteOwn(Symbol Name) {
+  if (Props.erase(Name) == 0)
+    return false;
+  PropOrder.erase(std::find(PropOrder.begin(), PropOrder.end(), Name));
+  return true;
+}

@@ -1,0 +1,186 @@
+//===- Object.h - MiniJS heap objects ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Heap objects: plain objects, arrays, functions (closures and natives),
+/// module records, and the proxy objects used by approximate interpretation
+/// to stand in for unknown values (the paper's `p*`). Property insertion
+/// order is preserved so `for-in` and `Object.keys` are deterministic, as in
+/// modern JavaScript engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_RUNTIME_OBJECT_H
+#define JSAI_RUNTIME_OBJECT_H
+
+#include "ast/Ast.h"
+#include "runtime/Value.h"
+#include "support/SourceLoc.h"
+#include "support/StringPool.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+class Environment;
+class Interpreter;
+
+enum class ObjectClass : uint8_t {
+  Plain,
+  Array,
+  Function,
+  Arguments,
+  Error,
+  Module,
+  /// The global proxy `p*` representing unknown values during approximate
+  /// interpretation.
+  Proxy,
+  /// Wrapper around an inferred receiver object that delegates to `p*` for
+  /// absent properties (Section 3, "Static property writes").
+  ReceiverProxy,
+};
+
+/// Signature of native (builtin) function implementations.
+using NativeFn = std::function<Completion(
+    Interpreter &I, const Value &ThisV, std::vector<Value> &Args)>;
+
+/// One property: either a data slot (V) or an accessor (Getter/Setter).
+struct PropertySlot {
+  Value V;
+  Object *Getter = nullptr;
+  Object *Setter = nullptr;
+  bool isAccessor() const { return Getter != nullptr || Setter != nullptr; }
+};
+
+/// A heap object. All objects share one representation; the class tag and
+/// optional payloads distinguish behaviors.
+class Object {
+public:
+  Object(ObjectClass Class, SourceLoc BirthLoc)
+      : Class(Class), BirthLoc(BirthLoc) {}
+
+  ObjectClass objectClass() const { return Class; }
+  bool isCallable() const { return Def != nullptr || Native; }
+  bool isProxy() const {
+    return Class == ObjectClass::Proxy || Class == ObjectClass::ReceiverProxy;
+  }
+
+  /// The allocation site, or an invalid loc for builtin objects and objects
+  /// created in dynamically generated (eval) code — the paper's `loc` map.
+  SourceLoc birthLoc() const { return BirthLoc; }
+  void clearBirthLoc() { BirthLoc = SourceLoc::invalid(); }
+
+  Object *proto() const { return Proto; }
+  void setProto(Object *P) { Proto = P; }
+
+  //===--------------------------------------------------------------------===
+  // Named properties (insertion-ordered).
+  //===--------------------------------------------------------------------===
+
+  /// \returns the own *data* property \p Name, or nullopt (also for
+  /// accessor properties — use getOwnSlot to see those).
+  std::optional<Value> getOwn(Symbol Name) const;
+  /// \returns the data property \p Name following the prototype chain.
+  std::optional<Value> get(Symbol Name) const;
+  bool hasOwn(Symbol Name) const { return Props.count(Name) != 0; }
+  bool has(Symbol Name) const;
+  void setOwn(Symbol Name, Value V);
+  /// Deletes an own property. \returns true if it existed.
+  bool deleteOwn(Symbol Name);
+  /// Own property names in insertion order.
+  const std::vector<Symbol> &ownKeys() const { return PropOrder; }
+
+  /// \returns the own slot for \p Name (data or accessor), or null.
+  const PropertySlot *getOwnSlot(Symbol Name) const;
+  /// \returns the first slot for \p Name along the prototype chain, or null.
+  const PropertySlot *findSlot(Symbol Name) const;
+  /// Installs (or merges into) an accessor property. A null getter/setter
+  /// leaves the respective half of an existing accessor untouched.
+  void setAccessor(Symbol Name, Object *Getter, Object *Setter);
+
+  //===--------------------------------------------------------------------===
+  // Array elements (ObjectClass::Array / Arguments).
+  //===--------------------------------------------------------------------===
+
+  std::vector<Value> &elements() { return Elements; }
+  const std::vector<Value> &elements() const { return Elements; }
+
+  //===--------------------------------------------------------------------===
+  // Callable payload.
+  //===--------------------------------------------------------------------===
+
+  FunctionDef *functionDef() const { return Def; }
+  Environment *closureEnv() const { return ClosureEnv; }
+  void setClosure(FunctionDef *F, Environment *Env) {
+    Def = F;
+    ClosureEnv = Env;
+  }
+
+  const NativeFn *native() const { return Native ? &NativeImpl : nullptr; }
+  const std::string &nativeName() const { return NativeName; }
+  void setNative(std::string Name, NativeFn Fn) {
+    NativeName = std::move(Name);
+    NativeImpl = std::move(Fn);
+    Native = true;
+  }
+
+  /// Bound-function payload (Function.prototype.bind).
+  Object *boundTarget() const { return BoundTarget; }
+  const Value &boundThis() const { return BoundThis; }
+  const std::vector<Value> &boundArgs() const { return BoundArgs; }
+  void setBound(Object *Target, Value ThisV, std::vector<Value> Args) {
+    BoundTarget = Target;
+    BoundThis = std::move(ThisV);
+    BoundArgs = std::move(Args);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Approximate-interpretation metadata.
+  //===--------------------------------------------------------------------===
+
+  /// The paper's `this` map: receiver to use when this function value is
+  /// force-executed, inferred from static property writes.
+  Object *approxThis() const { return ApproxThis; }
+  void setApproxThis(Object *O) { ApproxThis = O; }
+
+  /// Target of a ReceiverProxy.
+  Object *proxyTarget() const { return ProxyTarget; }
+  void setProxyTarget(Object *O) { ProxyTarget = O; }
+
+  /// True for the implicit `.prototype` object of a program function. Such
+  /// objects share the function definition's source location, so hints must
+  /// distinguish them from the function object itself (see HintSet).
+  bool isFunctionPrototype() const { return FunctionPrototype; }
+  void setFunctionPrototype(bool V) { FunctionPrototype = V; }
+
+private:
+  ObjectClass Class;
+  SourceLoc BirthLoc;
+  Object *Proto = nullptr;
+
+  std::vector<Symbol> PropOrder;
+  std::unordered_map<Symbol, PropertySlot> Props;
+
+  std::vector<Value> Elements;
+
+  FunctionDef *Def = nullptr;
+  Environment *ClosureEnv = nullptr;
+  bool Native = false;
+  std::string NativeName;
+  NativeFn NativeImpl;
+
+  Object *BoundTarget = nullptr;
+  Value BoundThis;
+  std::vector<Value> BoundArgs;
+
+  Object *ApproxThis = nullptr;
+  Object *ProxyTarget = nullptr;
+  bool FunctionPrototype = false;
+};
+
+} // namespace jsai
+
+#endif // JSAI_RUNTIME_OBJECT_H

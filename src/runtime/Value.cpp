@@ -1,0 +1,63 @@
+//===- Value.cpp ----------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include "runtime/Object.h"
+
+#include <cmath>
+
+using namespace jsai;
+
+bool Value::toBoolean() const {
+  switch (Kind) {
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    return false;
+  case ValueKind::Boolean:
+    return Num != 0;
+  case ValueKind::Number:
+    return Num != 0 && !std::isnan(Num);
+  case ValueKind::String:
+    return !Str.empty();
+  case ValueKind::Object:
+    return true;
+  }
+  return false;
+}
+
+const char *Value::typeOf() const {
+  switch (Kind) {
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Null:
+    return "object";
+  case ValueKind::Boolean:
+    return "boolean";
+  case ValueKind::Number:
+    return "number";
+  case ValueKind::String:
+    return "string";
+  case ValueKind::Object:
+    return Obj->isCallable() ? "function" : "object";
+  }
+  return "undefined";
+}
+
+bool Value::strictEquals(const Value &A, const Value &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  switch (A.Kind) {
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    return true;
+  case ValueKind::Boolean:
+    return A.asBoolean() == B.asBoolean();
+  case ValueKind::Number:
+    return A.Num == B.Num; // NaN != NaN by IEEE semantics.
+  case ValueKind::String:
+    return A.Str == B.Str;
+  case ValueKind::Object:
+    return A.Obj == B.Obj;
+  }
+  return false;
+}

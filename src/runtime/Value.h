@@ -1,0 +1,175 @@
+//===- Value.h - MiniJS runtime values --------------------------*- C++ -*-===//
+///
+/// \file
+/// Tagged runtime values and completion records. MiniJS values mirror the
+/// JavaScript primitives plus heap objects. Control flow (return / break /
+/// continue / throw) is threaded through Completion records instead of C++
+/// exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_RUNTIME_VALUE_H
+#define JSAI_RUNTIME_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace jsai {
+
+class Object;
+
+enum class ValueKind : uint8_t {
+  Undefined,
+  Null,
+  Boolean,
+  Number,
+  String,
+  Object,
+};
+
+/// A MiniJS runtime value.
+class Value {
+public:
+  Value() : Kind(ValueKind::Undefined), Num(0) {}
+
+  static Value undefined() { return Value(); }
+  static Value null() {
+    Value V;
+    V.Kind = ValueKind::Null;
+    return V;
+  }
+  static Value boolean(bool B) {
+    Value V;
+    V.Kind = ValueKind::Boolean;
+    V.Num = B ? 1 : 0;
+    return V;
+  }
+  static Value number(double D) {
+    Value V;
+    V.Kind = ValueKind::Number;
+    V.Num = D;
+    return V;
+  }
+  static Value str(std::string S) {
+    Value V;
+    V.Kind = ValueKind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value object(Object *O) {
+    assert(O && "null object value; use Value::null()");
+    Value V;
+    V.Kind = ValueKind::Object;
+    V.Obj = O;
+    return V;
+  }
+
+  ValueKind kind() const { return Kind; }
+  bool isUndefined() const { return Kind == ValueKind::Undefined; }
+  bool isNull() const { return Kind == ValueKind::Null; }
+  bool isNullish() const { return isUndefined() || isNull(); }
+  bool isBoolean() const { return Kind == ValueKind::Boolean; }
+  bool isNumber() const { return Kind == ValueKind::Number; }
+  bool isString() const { return Kind == ValueKind::String; }
+  bool isObject() const { return Kind == ValueKind::Object; }
+
+  bool asBoolean() const {
+    assert(isBoolean());
+    return Num != 0;
+  }
+  double asNumber() const {
+    assert(isNumber());
+    return Num;
+  }
+  const std::string &asString() const {
+    assert(isString());
+    return Str;
+  }
+  Object *asObject() const {
+    assert(isObject());
+    return Obj;
+  }
+
+  /// ECMAScript ToBoolean.
+  bool toBoolean() const;
+
+  /// \returns the typeof spelling ("undefined", "object", "boolean",
+  /// "number", "string", "function").
+  const char *typeOf() const;
+
+  /// Strict equality (===). Objects compare by identity.
+  static bool strictEquals(const Value &A, const Value &B);
+
+private:
+  ValueKind Kind;
+  double Num;
+  std::string Str;
+  Object *Obj = nullptr;
+};
+
+/// How a statement or expression completed.
+enum class CompletionKind : uint8_t {
+  Normal,   ///< Value produced / statement finished.
+  Return,   ///< `return` unwinding, carries the value.
+  Break,    ///< `break` unwinding.
+  Continue, ///< `continue` unwinding.
+  Throw,    ///< Exception unwinding, carries the thrown value.
+  Abort,    ///< Execution budget exhausted (approximate interpretation).
+};
+
+/// Completion record threading non-local control flow without exceptions.
+struct Completion {
+  CompletionKind Kind = CompletionKind::Normal;
+  Value V;
+
+  Completion() = default;
+  /*implicit*/ Completion(Value V)
+      : Kind(CompletionKind::Normal), V(std::move(V)) {}
+
+  static Completion normal(Value V = Value::undefined()) {
+    return Completion(std::move(V));
+  }
+  static Completion ret(Value V) {
+    Completion C(std::move(V));
+    C.Kind = CompletionKind::Return;
+    return C;
+  }
+  static Completion brk() {
+    Completion C;
+    C.Kind = CompletionKind::Break;
+    return C;
+  }
+  static Completion cont() {
+    Completion C;
+    C.Kind = CompletionKind::Continue;
+    return C;
+  }
+  static Completion toss(Value V) {
+    Completion C(std::move(V));
+    C.Kind = CompletionKind::Throw;
+    return C;
+  }
+  static Completion abort() {
+    Completion C;
+    C.Kind = CompletionKind::Abort;
+    return C;
+  }
+
+  bool isNormal() const { return Kind == CompletionKind::Normal; }
+  bool isAbrupt() const { return Kind != CompletionKind::Normal; }
+  bool isThrow() const { return Kind == CompletionKind::Throw; }
+  bool isAbort() const { return Kind == CompletionKind::Abort; }
+};
+
+/// Propagate abrupt completions: `JSAI_PROPAGATE(C)` returns C from the
+/// enclosing function unless C is normal.
+#define JSAI_PROPAGATE(C)                                                      \
+  do {                                                                         \
+    if ((C).isAbrupt())                                                        \
+      return (C);                                                              \
+  } while (false)
+
+} // namespace jsai
+
+#endif // JSAI_RUNTIME_VALUE_H

@@ -1,0 +1,67 @@
+//===- BitSet.cpp ---------------------------------------------------------===//
+
+#include "support/BitSet.h"
+
+#include <algorithm>
+
+using namespace jsai;
+
+bool BitSet::insert(uint32_t Index) {
+  size_t WordIdx = Index / 64;
+  uint64_t Mask = uint64_t(1) << (Index % 64);
+  if (WordIdx >= Words.size())
+    Words.resize(WordIdx + 1, 0);
+  if (Words[WordIdx] & Mask)
+    return false;
+  Words[WordIdx] |= Mask;
+  return true;
+}
+
+bool BitSet::contains(uint32_t Index) const {
+  size_t WordIdx = Index / 64;
+  if (WordIdx >= Words.size())
+    return false;
+  return (Words[WordIdx] >> (Index % 64)) & 1;
+}
+
+bool BitSet::unionWith(const BitSet &Other) {
+  if (Other.Words.size() > Words.size())
+    Words.resize(Other.Words.size(), 0);
+  bool Changed = false;
+  for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
+    uint64_t Merged = Words[I] | Other.Words[I];
+    if (Merged != Words[I]) {
+      Words[I] = Merged;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+size_t BitSet::count() const {
+  size_t Total = 0;
+  for (uint64_t Word : Words)
+    Total += size_t(__builtin_popcountll(Word));
+  return Total;
+}
+
+std::vector<uint32_t> BitSet::toVector() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(count());
+  forEach([&Out](uint32_t Index) { Out.push_back(Index); });
+  return Out;
+}
+
+bool jsai::operator==(const BitSet &A, const BitSet &B) {
+  size_t Common = std::min(A.Words.size(), B.Words.size());
+  for (size_t I = 0; I != Common; ++I)
+    if (A.Words[I] != B.Words[I])
+      return false;
+  for (size_t I = Common; I < A.Words.size(); ++I)
+    if (A.Words[I] != 0)
+      return false;
+  for (size_t I = Common; I < B.Words.size(); ++I)
+    if (B.Words[I] != 0)
+      return false;
+  return true;
+}

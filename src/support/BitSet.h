@@ -1,0 +1,62 @@
+//===- BitSet.h - Growable dense bit set ------------------------*- C++ -*-===//
+///
+/// \file
+/// A growable dense bit set used for points-to sets in the subset-constraint
+/// solver. Abstract tokens are dense integer ids, so a word-packed bit set
+/// gives fast union (the solver's hot operation) and deterministic ascending
+/// iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_BITSET_H
+#define JSAI_SUPPORT_BITSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jsai {
+
+/// Dense bit set over [0, +inf), growing on demand.
+class BitSet {
+public:
+  /// Inserts \p Index. \returns true if it was newly inserted.
+  bool insert(uint32_t Index);
+
+  bool contains(uint32_t Index) const;
+
+  /// Unions \p Other into this set. \returns true if this set changed.
+  bool unionWith(const BitSet &Other);
+
+  /// Number of set bits.
+  size_t count() const;
+
+  bool empty() const { return count() == 0; }
+
+  /// Invokes \p Fn for every member in ascending order.
+  template <typename CallbackT> void forEach(CallbackT Fn) const {
+    for (size_t WordIdx = 0, E = Words.size(); WordIdx != E; ++WordIdx) {
+      uint64_t Word = Words[WordIdx];
+      while (Word != 0) {
+        unsigned Bit = __builtin_ctzll(Word);
+        Fn(uint32_t(WordIdx * 64 + Bit));
+        Word &= Word - 1;
+      }
+    }
+  }
+
+  /// Collects members in ascending order.
+  std::vector<uint32_t> toVector() const;
+
+  friend bool operator==(const BitSet &A, const BitSet &B);
+
+private:
+  std::vector<uint64_t> Words;
+};
+
+/// Membership equality (trailing zero words are ignored).
+bool operator==(const BitSet &A, const BitSet &B);
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_BITSET_H

@@ -1,0 +1,54 @@
+//===- Diagnostics.h - Diagnostic collection --------------------*- C++ -*-===//
+///
+/// \file
+/// Diagnostic accumulation for the frontend. The library never throws;
+/// parse/analysis entry points take a DiagnosticEngine and callers inspect
+/// it afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_DIAGNOSTICS_H
+#define JSAI_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced by the lexer, parser, and analyses.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  size_t errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic as "<severity>: <file:line:col>: <message>",
+  /// one per line.
+  std::string render(const FileTable &Files) const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  size_t NumErrors = 0;
+};
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_DIAGNOSTICS_H

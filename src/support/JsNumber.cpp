@@ -1,0 +1,48 @@
+//===- JsNumber.cpp -------------------------------------------------------===//
+
+#include "support/JsNumber.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+using namespace jsai;
+
+std::string jsai::jsNumberToString(double Value) {
+  if (std::isnan(Value))
+    return "NaN";
+  if (std::isinf(Value))
+    return Value > 0 ? "Infinity" : "-Infinity";
+  if (Value == 0)
+    return std::signbit(Value) ? "0" : "0";
+  // Integers in the exactly-representable range print without a decimal
+  // point or exponent, matching ECMAScript for all array indices.
+  if (Value == std::floor(Value) && std::fabs(Value) < 9.007199254740992e15)
+    return std::to_string(int64_t(Value));
+  char Buf[64];
+  auto [Ptr, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), Value);
+  (void)Ec;
+  return std::string(Buf, Ptr);
+}
+
+double jsai::jsStringToNumber(const std::string &S) {
+  size_t Begin = S.find_first_not_of(" \t\r\n");
+  if (Begin == std::string::npos)
+    return 0; // Whitespace-only and empty strings convert to +0.
+  size_t End = S.find_last_not_of(" \t\r\n") + 1;
+  std::string Trimmed = S.substr(Begin, End - Begin);
+  if (Trimmed.size() > 2 && Trimmed[0] == '0' &&
+      (Trimmed[1] == 'x' || Trimmed[1] == 'X')) {
+    char *EndPtr = nullptr;
+    unsigned long long Hex = std::strtoull(Trimmed.c_str() + 2, &EndPtr, 16);
+    if (*EndPtr != '\0')
+      return std::nan("");
+    return double(Hex);
+  }
+  char *EndPtr = nullptr;
+  double Result = std::strtod(Trimmed.c_str(), &EndPtr);
+  if (EndPtr == Trimmed.c_str() || *EndPtr != '\0')
+    return std::nan("");
+  return Result;
+}

@@ -1,0 +1,29 @@
+//===- JsNumber.h - ECMAScript number conversions ---------------*- C++ -*-===//
+///
+/// \file
+/// Number <-> string conversions approximating ECMAScript ToString(Number)
+/// and ToNumber(String). Property names for array indices and numeric keys
+/// must be identical across the parser, the concrete/approximate
+/// interpreters, and the static analysis, so they all route through here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_JSNUMBER_H
+#define JSAI_SUPPORT_JSNUMBER_H
+
+#include <string>
+
+namespace jsai {
+
+/// Approximates ECMAScript ToString on a number: "NaN", "Infinity",
+/// integers without a decimal point, shortest round-trip otherwise.
+std::string jsNumberToString(double Value);
+
+/// Approximates ECMAScript ToNumber on a string: empty/whitespace -> 0,
+/// leading/trailing whitespace ignored, "0x" hex supported, otherwise NaN
+/// for non-numeric input.
+double jsStringToNumber(const std::string &S);
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_JSNUMBER_H

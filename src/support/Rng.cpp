@@ -1,0 +1,4 @@
+//===- Rng.cpp ------------------------------------------------------------===//
+// Rng is header-only; this file anchors the translation unit.
+
+#include "support/Rng.h"

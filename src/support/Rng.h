@@ -1,0 +1,48 @@
+//===- Rng.h - Deterministic random numbers ---------------------*- C++ -*-===//
+///
+/// \file
+/// A small SplitMix64 generator. The synthetic benchmark corpus must be
+/// byte-for-byte reproducible across runs and platforms, so we avoid
+/// std::mt19937 distribution differences and seed everything explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_RNG_H
+#define JSAI_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace jsai {
+
+/// SplitMix64: tiny, fast, and fully deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64 random bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// \returns true with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_RNG_H

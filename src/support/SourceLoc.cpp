@@ -1,0 +1,31 @@
+//===- SourceLoc.cpp ------------------------------------------------------===//
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+FileId FileTable::add(const std::string &Name) {
+  auto [It, Inserted] = Index.try_emplace(Name, FileId(Names.size()));
+  if (Inserted)
+    Names.push_back(Name);
+  return It->second;
+}
+
+FileId FileTable::lookup(const std::string &Name) const {
+  auto It = Index.find(Name);
+  return It == Index.end() ? InvalidFileId : It->second;
+}
+
+const std::string &FileTable::name(FileId File) const {
+  assert(File < Names.size() && "file id out of range");
+  return Names[File];
+}
+
+std::string FileTable::format(const SourceLoc &Loc) const {
+  if (!Loc.isValid() || Loc.File >= Names.size())
+    return "<unknown>";
+  return Names[Loc.File] + ":" + std::to_string(Loc.Line) + ":" +
+         std::to_string(Loc.Col);
+}

@@ -1,0 +1,101 @@
+//===- SourceLoc.h - Source locations and the file table ------*- C++ -*-===//
+//
+// Part of the jsai project: a reproduction of "Reducing Static Analysis
+// Unsoundness with Approximate Interpretation" (PLDI 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations (file, line, column). A SourceLoc is the shared currency
+/// between the dynamic pre-analysis and the static analysis: allocation sites
+/// are identified by the SourceLoc of the object construction or function
+/// definition, exactly as the paper's `loc` map and allocation-site tokens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_SOURCELOC_H
+#define JSAI_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+/// Identifier of a source file registered in a FileTable.
+using FileId = uint32_t;
+
+/// An invalid file id, used by SourceLoc::invalid().
+inline constexpr FileId InvalidFileId = ~FileId(0);
+
+/// A (file, line, column) source position. Lines and columns are 1-based;
+/// 0 means "unknown".
+struct SourceLoc {
+  FileId File = InvalidFileId;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(FileId File, uint32_t Line, uint32_t Col)
+      : File(File), Line(Line), Col(Col) {}
+
+  /// \returns a location that compares unequal to every real location.
+  static constexpr SourceLoc invalid() { return SourceLoc(); }
+
+  bool isValid() const { return File != InvalidFileId; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.File == B.File && A.Line == B.Line && A.Col == B.Col;
+  }
+  friend bool operator!=(const SourceLoc &A, const SourceLoc &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const SourceLoc &A, const SourceLoc &B) {
+    if (A.File != B.File)
+      return A.File < B.File;
+    if (A.Line != B.Line)
+      return A.Line < B.Line;
+    return A.Col < B.Col;
+  }
+
+  /// Packs the location into a single integer usable as a hash-map key.
+  uint64_t key() const {
+    return (uint64_t(File) << 40) | (uint64_t(Line) << 16) | uint64_t(Col);
+  }
+};
+
+/// Hash functor so SourceLoc can key unordered containers.
+struct SourceLocHash {
+  size_t operator()(const SourceLoc &L) const {
+    return std::hash<uint64_t>()(L.key());
+  }
+};
+
+/// Registry of source file names. FileIds are dense indices into the table,
+/// so iteration over files is deterministic.
+class FileTable {
+public:
+  /// Registers \p Name (idempotent) and returns its id.
+  FileId add(const std::string &Name);
+
+  /// \returns the id of \p Name, or InvalidFileId if never registered.
+  FileId lookup(const std::string &Name) const;
+
+  /// \returns the registered name for \p File. \p File must be valid.
+  const std::string &name(FileId File) const;
+
+  size_t size() const { return Names.size(); }
+
+  /// Renders \p Loc as "file:line:col" ("<unknown>" for invalid locations).
+  std::string format(const SourceLoc &Loc) const;
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, FileId> Index;
+};
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_SOURCELOC_H

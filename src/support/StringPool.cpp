@@ -1,0 +1,24 @@
+//===- StringPool.cpp -----------------------------------------------------===//
+
+#include "support/StringPool.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+Symbol StringPool::intern(const std::string &S) {
+  auto [It, Inserted] = Index.try_emplace(S, Symbol(Strings.size()));
+  if (Inserted)
+    Strings.push_back(S);
+  return It->second;
+}
+
+Symbol StringPool::lookup(const std::string &S) const {
+  auto It = Index.find(S);
+  return It == Index.end() ? InvalidSymbol : It->second;
+}
+
+const std::string &StringPool::str(Symbol Sym) const {
+  assert(Sym < Strings.size() && "symbol out of range");
+  return Strings[Sym];
+}

@@ -1,0 +1,50 @@
+//===- StringPool.h - String interning -------------------------*- C++ -*-===//
+///
+/// \file
+/// Interned strings. Property names, identifiers and string constants are
+/// interned into small integer Symbols so that the runtime, the approximate
+/// interpreter's hint sets, and the static analysis's property constraint
+/// variables can all compare and hash names in O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_STRINGPOOL_H
+#define JSAI_SUPPORT_STRINGPOOL_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+/// A handle to an interned string. Symbols from the same StringPool compare
+/// equal iff the underlying strings are equal.
+using Symbol = uint32_t;
+
+/// An invalid symbol, never returned by StringPool::intern.
+inline constexpr Symbol InvalidSymbol = ~Symbol(0);
+
+/// Deduplicating string table. Symbols are dense indices, so iterating
+/// symbol-keyed containers in symbol order is deterministic.
+class StringPool {
+public:
+  /// Interns \p S, returning its stable symbol.
+  Symbol intern(const std::string &S);
+
+  /// \returns the symbol of \p S if already interned, else InvalidSymbol.
+  Symbol lookup(const std::string &S) const;
+
+  /// \returns the string for \p Sym. \p Sym must come from this pool.
+  const std::string &str(Symbol Sym) const;
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, Symbol> Index;
+};
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_STRINGPOOL_H

@@ -1,0 +1,274 @@
+//===- AccessorTest.cpp - Getter/setter semantics and analysis ----------------===//
+//
+// Getters and setters across all layers: interpreter semantics, descriptor
+// plumbing (the real merge-descriptors preserves accessors), approximate
+// interpretation, and the static analysis (getter call edges appear at
+// property-read sites — the paper's explanation for the Figure 7 outliers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+#include "approx/ApproxInterpreter.h"
+#include "callgraph/DynamicCallGraphRecorder.h"
+#include "callgraph/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+struct Runner {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+  std::unique_ptr<Interpreter> Interp;
+  Completion Result;
+
+  explicit Runner(const std::string &MainSource) {
+    Fs.addFile("app/main.js", MainSource);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Interp = std::make_unique<Interpreter>(*Loader);
+    Result = Interp->loadModule("app/main.js");
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Ctx.files());
+    EXPECT_FALSE(Result.isThrow())
+        << "uncaught: " << Interp->toStringValue(Result.V);
+  }
+
+  std::string console() const {
+    std::string Out;
+    for (const auto &Line : Interp->consoleOutput()) {
+      if (!Out.empty())
+        Out += '\n';
+      Out += Line;
+    }
+    return Out;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Interpreter semantics
+//===----------------------------------------------------------------------===//
+
+TEST(AccessorTest, GetterInvokedOnRead) {
+  Runner R("var calls = 0;\n"
+           "var o = { get value() { calls++; return 42; } };\n"
+           "console.log(o.value, o.value, calls);");
+  EXPECT_EQ(R.console(), "42 42 2");
+}
+
+TEST(AccessorTest, SetterInvokedOnWrite) {
+  Runner R("var o = {\n"
+           "  backing: 0,\n"
+           "  set value(v) { this.backing = v * 2; }\n"
+           "};\n"
+           "o.value = 21;\n"
+           "console.log(o.backing, o.value);");
+  EXPECT_EQ(R.console(), "42 undefined")
+      << "set-only property reads as undefined";
+}
+
+TEST(AccessorTest, GetterAndSetterPair) {
+  Runner R("var o = {\n"
+           "  _n: 1,\n"
+           "  get n() { return this._n; },\n"
+           "  set n(v) { this._n = v; }\n"
+           "};\n"
+           "o.n = 10;\n"
+           "console.log(o.n + 1);");
+  EXPECT_EQ(R.console(), "11");
+}
+
+TEST(AccessorTest, GetterThroughPrototypeChain) {
+  Runner R("var proto = { get kind() { return 'proto-made'; } };\n"
+           "var child = Object.create(proto);\n"
+           "console.log(child.kind);");
+  EXPECT_EQ(R.console(), "proto-made");
+}
+
+TEST(AccessorTest, ThrowingGetterPropagates) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  Fs.addFile("app/main.js", "var o = { get boom() { throw new "
+                            "Error('getter'); } };\n"
+                            "o.boom;");
+  ModuleLoader Loader(Ctx, Fs, Diags);
+  Interpreter I(Loader);
+  Completion C = I.loadModule("app/main.js");
+  ASSERT_TRUE(C.isThrow());
+  EXPECT_EQ(I.toStringValue(C.V), "Error: getter");
+}
+
+TEST(AccessorTest, DefinePropertyInstallsAccessor) {
+  Runner R("var o = {};\n"
+           "Object.defineProperty(o, 'lazy', {\n"
+           "  get: function lazyGet() { return 'computed'; }\n"
+           "});\n"
+           "console.log(o.lazy);");
+  EXPECT_EQ(R.console(), "computed");
+}
+
+TEST(AccessorTest, MergeDescriptorsPreservesAccessors) {
+  // The real merge-descriptors behavior: accessors survive the copy.
+  Runner R("function merge(dest, src) {\n"
+           "  Object.getOwnPropertyNames(src).forEach(function(name) {\n"
+           "    var d = Object.getOwnPropertyDescriptor(src, name);\n"
+           "    Object.defineProperty(dest, name, d);\n"
+           "  });\n"
+           "  return dest;\n"
+           "}\n"
+           "var calls = 0;\n"
+           "var src = { get fresh() { calls++; return calls; } };\n"
+           "var dst = merge({}, src);\n"
+           "console.log(dst.fresh, dst.fresh, calls);");
+  EXPECT_EQ(R.console(), "1 2 2")
+      << "the copied property must still be a live getter, not a snapshot";
+}
+
+TEST(AccessorTest, ObjectAssignSnapshotsGetterValues) {
+  // Object.assign (unlike defineProperty copies) invokes getters.
+  Runner R("var calls = 0;\n"
+           "var src = { get v() { calls++; return 'snap'; } };\n"
+           "var dst = Object.assign({}, src);\n"
+           "console.log(dst.v, calls);\n"
+           "dst.v;\n"
+           "console.log(calls);");
+  EXPECT_EQ(R.console(), "snap 1\n1") << "the copy is a data property";
+}
+
+TEST(AccessorTest, GetSetAsPlainPropertyNamesStillWork) {
+  Runner R("var o = { get: function() { return 'g'; }, set: 1 };\n"
+           "console.log(o.get(), o.set);");
+  EXPECT_EQ(R.console(), "g 1");
+}
+
+//===----------------------------------------------------------------------===//
+// Approximate interpretation with accessors
+//===----------------------------------------------------------------------===//
+
+TEST(AccessorTest, GetterResultsProduceReadHints) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  Fs.addFile("app/main.js",
+             "var table = {\n"
+             "  get handler() { return function handlerImpl() {}; }\n"
+             "};\n"
+             "var key = 'hand' + 'ler';\n"
+             "var h = table[key];\n");
+  ModuleLoader Loader(Ctx, Fs, Diags);
+  ApproxInterpreter Approx(Loader);
+  HintSet Hints = Approx.run({"app/main.js"});
+  // The dynamic read at line 5 observed the getter's result.
+  bool Found = false;
+  for (const auto &[Loc, Refs] : Hints.readHints())
+    if (Loc.Line == 5)
+      for (const AllocRef &Ref : Refs)
+        if (Ref.Loc.Line == 2)
+          Found = true;
+  EXPECT_TRUE(Found) << Hints.toText(Ctx.files());
+}
+
+//===----------------------------------------------------------------------===//
+// Static analysis: getter/setter call edges at access sites
+//===----------------------------------------------------------------------===//
+
+struct AnalysisFixture {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+
+  explicit AnalysisFixture(const std::string &MainSource) {
+    Fs.addFile("app/main.js", MainSource);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Loader->parseAll();
+  }
+
+  AnalysisResult baseline() {
+    StaticAnalysis SA(*Loader);
+    return SA.run();
+  }
+
+  bool hasEdge(const CallGraph &CG, uint32_t SiteLine, uint32_t CalleeLine) {
+    FileId F = Ctx.files().lookup("app/main.js");
+    for (const auto &[Site, Callees] : CG.edges()) {
+      if (Site.File != F || Site.Line != SiteLine)
+        continue;
+      for (const SourceLoc &Callee : Callees)
+        if (Callee.File == F && Callee.Line == CalleeLine)
+          return true;
+    }
+    return false;
+  }
+};
+
+TEST(AccessorTest, StaticGetterEdgeAtReadSite) {
+  AnalysisFixture F("var o = {\n"
+                    "  get value() { return 42; }\n"
+                    "};\n"
+                    "var v = o.value;");
+  AnalysisResult A = F.baseline();
+  EXPECT_TRUE(F.hasEdge(A.CG, 4, 2))
+      << "reading an accessor property is a getter call\n"
+      << A.CG.toText(F.Ctx.files());
+}
+
+TEST(AccessorTest, StaticSetterEdgeAtWriteSite) {
+  AnalysisFixture F("var o = {\n"
+                    "  set value(v) { this._v = v; }\n"
+                    "};\n"
+                    "o.value = 1;");
+  AnalysisResult A = F.baseline();
+  EXPECT_TRUE(F.hasEdge(A.CG, 4, 2)) << A.CG.toText(F.Ctx.files());
+}
+
+TEST(AccessorTest, StaticGetterReturnValueFlows) {
+  AnalysisFixture F("var o = {\n"
+                    "  get fn() { return function made() {}; }\n"
+                    "};\n"
+                    "var g = o.fn;\n"
+                    "g();");
+  AnalysisResult A = F.baseline();
+  EXPECT_TRUE(F.hasEdge(A.CG, 5, 2))
+      << "the getter's returned function is callable\n"
+      << A.CG.toText(F.Ctx.files());
+}
+
+TEST(AccessorTest, StaticSetterReceivesWrittenValue) {
+  AnalysisFixture F("var o = {\n"
+                    "  set cb(fn) { fn(); }\n"
+                    "};\n"
+                    "o.cb = function invoked() {};");
+  AnalysisResult A = F.baseline();
+  EXPECT_TRUE(F.hasEdge(A.CG, 2, 4))
+      << "the written value flows into the setter parameter\n"
+      << A.CG.toText(F.Ctx.files());
+}
+
+TEST(AccessorTest, StaticAndDynamicGetterEdgesAgree) {
+  // The dynamic CG records the getter call at the read site; the static
+  // analysis must produce the same edge (loc-for-loc).
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  Fs.addFile("app/main.js", "var o = {\n"
+                            "  get item() { return 7; }\n"
+                            "};\n"
+                            "var x = o.item;");
+  ModuleLoader Loader(Ctx, Fs, Diags);
+  DynamicCallGraphRecorder Recorder;
+  Interpreter I(Loader, InterpOptions(), &Recorder);
+  I.loadModule("app/main.js");
+  const CallGraph &Dyn = Recorder.callGraph();
+  ASSERT_EQ(Dyn.numEdges(), 1u) << Dyn.toText(Ctx.files());
+
+  StaticAnalysis SA(Loader);
+  AnalysisResult A = SA.run();
+  RecallPrecision RP = compareCallGraphs(A.CG, Dyn);
+  EXPECT_DOUBLE_EQ(RP.Recall, 1.0) << A.CG.toText(Ctx.files());
+}
+
+} // namespace

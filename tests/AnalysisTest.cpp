@@ -1,0 +1,487 @@
+//===- AnalysisTest.cpp - Tests for the static call-graph analysis ----------===//
+
+#include "analysis/StaticAnalysis.h"
+#include "approx/ApproxInterpreter.h"
+#include "callgraph/DynamicCallGraphRecorder.h"
+#include "callgraph/Metrics.h"
+#include "callgraph/VulnerabilityScan.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+/// Parses a project once; runs approximate interpretation and any number of
+/// static analyses over the shared AST.
+struct AnalysisRunner {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+  HintSet Hints;
+
+  AnalysisRunner(
+      std::initializer_list<std::pair<std::string, std::string>> Files) {
+    for (const auto &[Path, Source] : Files)
+      Fs.addFile(Path, Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Loader->parseAll();
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Ctx.files());
+    ApproxInterpreter Approx(*Loader);
+    std::vector<std::string> Roots = Fs.allPaths();
+    // Main module first for determinism parity with the pipeline.
+    Hints = Approx.run(Roots);
+  }
+
+  AnalysisResult analyze(AnalysisMode Mode) {
+    AnalysisOptions Opts;
+    Opts.Mode = Mode;
+    StaticAnalysis SA(*Loader, Opts, &Hints);
+    return SA.run();
+  }
+
+  /// True when the call graph has an edge from (SiteFile, SiteLine) to the
+  /// function defined at (CalleeFile, CalleeLine).
+  bool hasEdge(const CallGraph &CG, const std::string &SiteFile,
+               uint32_t SiteLine, const std::string &CalleeFile,
+               uint32_t CalleeLine) {
+    FileId SF = Ctx.files().lookup(SiteFile);
+    FileId CF = Ctx.files().lookup(CalleeFile);
+    for (const auto &[Site, Callees] : CG.edges()) {
+      if (Site.File != SF || Site.Line != SiteLine)
+        continue;
+      for (const SourceLoc &Callee : Callees)
+        if (Callee.File == CF && Callee.Line == CalleeLine)
+          return true;
+    }
+    return false;
+  }
+
+  /// Runs the concrete interpreter on \p Driver and records the dynamic CG.
+  CallGraph dynamicCallGraph(const std::string &Driver = "app/main.js") {
+    DynamicCallGraphRecorder Recorder;
+    Interpreter I(*Loader, InterpOptions(), &Recorder);
+    Completion C = I.loadModule(Driver);
+    EXPECT_FALSE(C.isThrow()) << I.toStringValue(C.V);
+    return Recorder.callGraph();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Baseline resolution
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisTest, DirectCall) {
+  AnalysisRunner R({{"app/main.js", "function f() {}\n"
+                                    "f();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "app/main.js", 1));
+  EXPECT_EQ(A.NumCallEdges, 1u);
+}
+
+TEST(AnalysisTest, CallThroughVariableAndClosure) {
+  AnalysisRunner R({{"app/main.js", "var g = function inner() {};\n"
+                                    "function call(h) { h(); }\n"
+                                    "call(g);"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "app/main.js", 1))
+      << A.CG.toText(R.Ctx.files());
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 3, "app/main.js", 2));
+}
+
+TEST(AnalysisTest, MethodCallOnObjectLiteral) {
+  AnalysisRunner R({{"app/main.js", "var o = { m: function () {} };\n"
+                                    "o.m();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "app/main.js", 1));
+}
+
+TEST(AnalysisTest, PrototypeMethodThroughNew) {
+  AnalysisRunner R({{"app/main.js", "function Dog() {}\n"
+                                    "Dog.prototype.speak = function () {};\n"
+                                    "var d = new Dog();\n"
+                                    "d.speak();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 3, "app/main.js", 1))
+      << "constructor edge";
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 4, "app/main.js", 2))
+      << "prototype method edge\n" << A.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, ReturnValueFlow) {
+  AnalysisRunner R({{"app/main.js", "function make() { return function made() "
+                                    "{}; }\n"
+                                    "var f = make();\n"
+                                    "f();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 3, "app/main.js", 1));
+}
+
+TEST(AnalysisTest, ForEachCallbackEdgeAndElementFlow) {
+  AnalysisRunner R({{"app/main.js",
+                     "var fns = [function a() {}, function b() {}];\n"
+                     "fns.forEach(function cb(f) { f(); });"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  // forEach invokes cb; cb's parameter receives the array elements.
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "app/main.js", 2))
+      << "callback edge at the forEach call site";
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "app/main.js", 1))
+      << "elements flow into the callback parameter\n"
+      << A.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, ApplyAndCall) {
+  AnalysisRunner R({{"app/main.js", "function f() { this.g(); }\n"
+                                    "var ctx = { g: function () {} };\n"
+                                    "f.apply(ctx, []);\n"
+                                    "f.call(ctx);"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 3, "app/main.js", 1));
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 4, "app/main.js", 1));
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 1, "app/main.js", 2))
+      << "receiver flows through apply into this";
+}
+
+TEST(AnalysisTest, RequireExportsFlow) {
+  AnalysisRunner R({{"app/main.js", "var lib = require('lib');\n"
+                                    "lib.go();"},
+                    {"lib/index.js", "exports.go = function () {};"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "lib/index.js", 1));
+}
+
+TEST(AnalysisTest, ModuleExportsReassignment) {
+  AnalysisRunner R({{"app/main.js", "var make = require('factory');\n"
+                                    "make();"},
+                    {"factory/index.js",
+                     "module.exports = function factory() {};"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 2, "factory/index.js", 1));
+}
+
+TEST(AnalysisTest, ObjectAssignCopiesStaticProps) {
+  AnalysisRunner R({{"app/main.js",
+                     "var src = { m: function () {} };\n"
+                     "var dst = Object.assign({}, src);\n"
+                     "dst.m();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 3, "app/main.js", 1))
+      << "Object.assign has a static model (as in Jelly)\n"
+      << A.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, UtilInheritsChainsPrototypes) {
+  AnalysisRunner R({{"app/main.js",
+                     "var util = require('util');\n"
+                     "function Base() {}\n"
+                     "Base.prototype.kind = function () {};\n"
+                     "function Derived() {}\n"
+                     "util.inherits(Derived, Base);\n"
+                     "var d = new Derived();\n"
+                     "d.kind();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 7, "app/main.js", 3))
+      << A.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, EventEmitterHandlers) {
+  AnalysisRunner R({{"app/main.js",
+                     "var EventEmitter = require('events').EventEmitter;\n"
+                     "var e = new EventEmitter();\n"
+                     "e.on('x', function handler() {});\n"
+                     "e.emit('x');"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 4, "app/main.js", 3))
+      << A.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, ArrayElementsThroughDynamicIndexResolve) {
+  // Array element reads are modeled even in baseline (array handling is
+  // not the paper's target unsoundness).
+  AnalysisRunner R({{"app/main.js",
+                     "var fns = [function a() {}];\n"
+                     "var i = 0;\n"
+                     "fns[i]();"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_TRUE(R.hasEdge(A.CG, "app/main.js", 3, "app/main.js", 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline unsoundness and the hint rules
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisTest, BaselineMissesDynamicWriteHintsRecover) {
+  AnalysisRunner R({{"app/main.js",
+                     "var registry = {};\n"
+                     "var key = 'h' + 'andler';\n"
+                     "registry[key] = function target() {};\n"
+                     "registry.handler();"}});
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 4, "app/main.js", 3))
+      << "baseline must ignore the dynamic write";
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 4, "app/main.js", 3))
+      << "[DPW] recovers the edge\n" << WithHints.CG.toText(R.Ctx.files());
+  EXPECT_GT(WithHints.NumCallEdges, Base.NumCallEdges);
+}
+
+TEST(AnalysisTest, ReadHintsResolveDynamicReads) {
+  AnalysisRunner R({{"app/main.js",
+                     "var table = { go: function target() {} };\n"
+                     "var k = 'g' + 'o';\n"
+                     "table[k]();"}});
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 3, "app/main.js", 1));
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 3, "app/main.js", 1))
+      << "[DPR] injects the observed function value\n"
+      << WithHints.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, WriteHintsFlowThroughPropertyReadsElsewhere) {
+  // The hint write happens in a library; the read is a fixed-name access in
+  // the application — the paper's central scenario.
+  AnalysisRunner R(
+      {{"app/main.js", "var lib = require('lib');\n"
+                       "lib.api.run();"},
+       {"lib/index.js", "exports.api = {};\n"
+                        "var names = ['run'];\n"
+                        "names.forEach(function (n) {\n"
+                        "  exports.api[n] = function impl() {};\n"
+                        "});"}});
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 2, "lib/index.js", 4));
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 2, "lib/index.js", 4))
+      << WithHints.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, ModuleHintsResolveDynamicRequire) {
+  AnalysisRunner R({{"app/main.js", "var name = 'plug' + 'in';\n"
+                                    "var p = require(name);\n"
+                                    "p.activate();"},
+                    {"plugin/index.js", "exports.activate = function () {};"}});
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 3, "plugin/index.js", 1));
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 3, "plugin/index.js", 1))
+      << WithHints.CG.toText(R.Ctx.files());
+}
+
+TEST(AnalysisTest, DisablingWriteHintsKeepsBaselineBehavior) {
+  AnalysisRunner R({{"app/main.js",
+                     "var o = {};\n"
+                     "var k = 'm' + '';\n"
+                     "o[k] = function target() {};\n"
+                     "o.m();"}});
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisMode::Hints;
+  Opts.UseWriteHints = false;
+  StaticAnalysis SA(*R.Loader, Opts, &R.Hints);
+  AnalysisResult A = SA.run();
+  EXPECT_FALSE(R.hasEdge(A.CG, "app/main.js", 4, "app/main.js", 3));
+}
+
+//===----------------------------------------------------------------------===//
+// Relational precision (Section 4's three-writes example)
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisTest, RelationalHintsKeepObjectsApart) {
+  // One dynamic write operation observes three (base, name, value)
+  // combinations; relational hints must not mix them.
+  AnalysisRunner R({{"app/main.js",
+                     "var o1 = {};\n"
+                     "var o2 = {};\n"
+                     "function f1() {}\n"
+                     "function f2() {}\n"
+                     "var specs = [[o1, 'p1', f1], [o2, 'p2', f2]];\n"
+                     "specs.forEach(function (s) {\n"
+                     "  s[0][s[1]] = s[2];\n"
+                     "});\n"
+                     "o1.p1();\n"
+                     "o2.p2();\n"
+                     "o1.p2 && o1.p2();\n"}});
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 9, "app/main.js", 3));
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 10, "app/main.js", 4));
+  // Relational: o1 never received p2.
+  EXPECT_FALSE(R.hasEdge(WithHints.CG, "app/main.js", 11, "app/main.js", 4))
+      << WithHints.CG.toText(R.Ctx.files());
+
+  // The non-relational ablation conflates the combinations.
+  AnalysisResult NonRel = R.analyze(AnalysisMode::NonRelationalHints);
+  EXPECT_TRUE(R.hasEdge(NonRel.CG, "app/main.js", 9, "app/main.js", 3));
+  EXPECT_TRUE(R.hasEdge(NonRel.CG, "app/main.js", 11, "app/main.js", 4))
+      << "non-relational hints cross-contaminate";
+  EXPECT_GE(NonRel.NumCallEdges, WithHints.NumCallEdges);
+}
+
+TEST(AnalysisTest, OverApproximationRecallsButPollutes) {
+  AnalysisRunner R({{"app/main.js",
+                     "var o = { fixed: function fixedFn() {} };\n"
+                     "var k = 'd' + 'yn';\n"
+                     "o[k] = function dynFn() {};\n"
+                     "o.dyn && o.dyn();\n"
+                     "var x = o.other;\n"
+                     "x && x();"}});
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 4, "app/main.js", 3));
+  AnalysisResult Over = R.analyze(AnalysisMode::OverApprox);
+  EXPECT_TRUE(R.hasEdge(Over.CG, "app/main.js", 4, "app/main.js", 3))
+      << "over-approximation finds the edge";
+  EXPECT_TRUE(R.hasEdge(Over.CG, "app/main.js", 6, "app/main.js", 3))
+      << "...but also pollutes unrelated property reads";
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisTest, CallSiteMetrics) {
+  AnalysisRunner R({{"app/main.js",
+                     "function a() {}\n"
+                     "function b() {}\n"
+                     "var f = 1 ? a : b;\n" // Polymorphic (both flow).
+                     "f();\n"
+                     "a();\n"
+                     "unknownGlobal();"}}); // Unresolved.
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  EXPECT_EQ(A.NumCallSites, 3u);
+  EXPECT_EQ(A.NumResolvedCallSites, 2u);
+  EXPECT_EQ(A.NumMonomorphicCallSites, 2u) << "a() and the unresolved site";
+  EXPECT_EQ(A.NumCallEdges, 3u);
+}
+
+TEST(AnalysisTest, ReachabilityFromMainPackage) {
+  AnalysisRunner R({{"app/main.js", "var lib = require('lib');\n"
+                                    "lib.entry();"},
+                    {"lib/index.js",
+                     "exports.entry = function entry() { helper(); };\n"
+                     "function helper() {}\n"
+                     "function unreached() {}\n"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  FileId LibFile = R.Ctx.files().lookup("lib/index.js");
+  EXPECT_TRUE(A.ReachableFunctions.count(SourceLoc(LibFile, 1, 18)) ||
+              [&] {
+                for (const SourceLoc &L : A.ReachableFunctions)
+                  if (L.File == LibFile && L.Line == 1)
+                    return true;
+                return false;
+              }())
+      << "entry reachable";
+  bool HelperReachable = false, UnreachedReachable = false;
+  for (const SourceLoc &L : A.ReachableFunctions) {
+    if (L.File == LibFile && L.Line == 2)
+      HelperReachable = true;
+    if (L.File == LibFile && L.Line == 3)
+      UnreachedReachable = true;
+  }
+  EXPECT_TRUE(HelperReachable);
+  EXPECT_FALSE(UnreachedReachable);
+}
+
+TEST(AnalysisTest, RecallPrecisionAgainstDynamicCallGraph) {
+  AnalysisRunner R({{"app/main.js",
+                     "var reg = {};\n"
+                     "reg['k' + ''] = function hidden() {};\n"
+                     "function visible() {}\n"
+                     "visible();\n"
+                     "reg.k();"}});
+  CallGraph Dyn = R.dynamicCallGraph();
+  EXPECT_EQ(Dyn.numEdges(), 2u) << Dyn.toText(R.Ctx.files());
+
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  RecallPrecision BaseRP = compareCallGraphs(Base.CG, Dyn);
+  EXPECT_NEAR(BaseRP.Recall, 0.5, 1e-9) << "baseline misses reg.k()";
+
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  RecallPrecision HintRP = compareCallGraphs(WithHints.CG, Dyn);
+  EXPECT_NEAR(HintRP.Recall, 1.0, 1e-9);
+  EXPECT_NEAR(HintRP.Precision, 1.0, 1e-9);
+}
+
+TEST(AnalysisTest, VulnerabilityScanCountsReachableDependencies) {
+  AnalysisRunner R(
+      {{"app/main.js", "var lib = require('lib');\n"
+                       "lib.safeEntry();"},
+       {"lib/index.js",
+        "exports.safeEntry = function () { vuln_reachable(); };\n"
+        "function vuln_reachable() {}\n"
+        "function vuln_unreachable() {}\n"}});
+  AnalysisResult A = R.analyze(AnalysisMode::Baseline);
+  VulnerabilityReport Report = scanVulnerabilities(R.Ctx, A, "app");
+  EXPECT_EQ(Report.NumTotal, 2u);
+  EXPECT_EQ(Report.NumReachable, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The motivating example, statically
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisTest, MotivatingExampleEndToEnd) {
+  AnalysisRunner R(
+      {
+          {"app/main.js",
+           "const express = require('express');\n"
+           "const app = express();\n"
+           "app.get('/', function handler(req, res) {\n"
+           "  res.send('Hello world!');\n"
+           "});\n"
+           "var server = app.listen(8080);\n"},
+          {"express/index.js",
+           "var mixin = require('merge-descriptors');\n"
+           "var proto = require('./application');\n"
+           "exports = module.exports = createApplication;\n"
+           "function createApplication() {\n"
+           "  var app = function(req, res, next) {\n"
+           "    app.handle(req, res, next);\n"
+           "  };\n"
+           "  mixin(app, proto, false);\n"
+           "  return app;\n"
+           "}\n"},
+          {"merge-descriptors/index.js",
+           "module.exports = merge;\n"
+           "function merge(dest, src, redefine) {\n"
+           "  Object.getOwnPropertyNames(src).forEach(function "
+           "forOwnPropertyName(name) {\n"
+           "    var descriptor = Object.getOwnPropertyDescriptor(src, name);\n"
+           "    Object.defineProperty(dest, name, descriptor);\n"
+           "  });\n"
+           "  return dest;\n"
+           "}\n"},
+          {"express/application.js",
+           "var methods = require('methods');\n"
+           "var app = exports = module.exports = {};\n"
+           "methods.forEach(function(method) {\n"
+           "  app[method] = function(path) {\n"
+           "    return this;\n"
+           "  };\n"
+           "});\n"
+           "app.listen = function listen() {\n"
+           "  return null;\n"
+           "};\n"},
+          {"methods/index.js", "module.exports = ['get', 'post', 'put'];"},
+      });
+
+  AnalysisResult Base = R.analyze(AnalysisMode::Baseline);
+  // The baseline resolves express() but misses app.get and app.listen.
+  EXPECT_TRUE(R.hasEdge(Base.CG, "app/main.js", 2, "express/index.js", 4));
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 3,
+                         "express/application.js", 4));
+  EXPECT_FALSE(R.hasEdge(Base.CG, "app/main.js", 6,
+                         "express/application.js", 8));
+
+  AnalysisResult WithHints = R.analyze(AnalysisMode::Hints);
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 3,
+                        "express/application.js", 4))
+      << "app.get resolves to the dynamically-installed method\n"
+      << WithHints.CG.toText(R.Ctx.files());
+  EXPECT_TRUE(R.hasEdge(WithHints.CG, "app/main.js", 6,
+                        "express/application.js", 8))
+      << "app.listen resolves through the mixin";
+  EXPECT_GT(WithHints.NumCallEdges, Base.NumCallEdges);
+  EXPECT_GT(WithHints.NumReachableFunctions, Base.NumReachableFunctions);
+}
+
+} // namespace

@@ -1,0 +1,362 @@
+//===- ApproxTest.cpp - Tests for approximate interpretation ----------------===//
+
+#include "approx/ApproxInterpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+/// Builds a project, runs approximate interpretation seeded with \p Roots,
+/// and exposes the hints.
+struct ApproxRunner {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+  std::unique_ptr<ApproxInterpreter> Approx;
+  HintSet Hints;
+
+  ApproxRunner(std::initializer_list<std::pair<std::string, std::string>> Files,
+               std::vector<std::string> Roots = {"app/main.js"},
+               ApproxOptions Opts = ApproxOptions()) {
+    for (const auto &[Path, Source] : Files)
+      Fs.addFile(Path, Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Approx = std::make_unique<ApproxInterpreter>(*Loader, Opts);
+    Hints = Approx->run(Roots);
+  }
+
+  /// True when some write hint stores property \p Prop with a value
+  /// allocated in \p ValFile.
+  bool hasWriteHint(const std::string &Prop, const std::string &ValFile) {
+    FileId F = Ctx.files().lookup(ValFile);
+    for (const WriteHint &W : Hints.writeHints())
+      if (W.Prop == Prop && W.Val.Loc.File == F)
+        return true;
+    return false;
+  }
+};
+
+TEST(ApproxTest, DynamicWriteProducesHint) {
+  ApproxRunner R({{"app/main.js",
+                   "var target = {};\n"
+                   "var fn = function handler() {};\n"
+                   "var key = 'h' + 'andle';\n"
+                   "target[key] = fn;\n"}});
+  ASSERT_EQ(R.Hints.writeHints().size(), 1u);
+  const WriteHint &W = *R.Hints.writeHints().begin();
+  EXPECT_EQ(W.Prop, "handle");
+  EXPECT_EQ(W.Base.Loc.Line, 1u) << "base allocated at the object literal";
+  EXPECT_EQ(W.Val.Loc.Line, 2u) << "value allocated at the function expr";
+  EXPECT_FALSE(W.Base.IsPrototype);
+}
+
+TEST(ApproxTest, DynamicReadProducesHint) {
+  ApproxRunner R({{"app/main.js",
+                   "var table = { a: function fa() {}, b: function fb() {} "
+                   "};\n"
+                   "var k = 'a';\n"
+                   "var got = table[k];\n"}});
+  ASSERT_EQ(R.Hints.readHints().size(), 1u);
+  const auto &[Loc, Refs] = *R.Hints.readHints().begin();
+  EXPECT_EQ(Loc.Line, 3u);
+  ASSERT_EQ(Refs.size(), 1u);
+  EXPECT_EQ(Refs.begin()->Loc.Line, 1u);
+}
+
+TEST(ApproxTest, PrimitiveValuesProduceNoWriteHints) {
+  ApproxRunner R({{"app/main.js",
+                   "var o = {};\n"
+                   "var k = 'n';\n"
+                   "o[k] = 42;\n"
+                   "o[k + '2'] = 'str';\n"}});
+  EXPECT_TRUE(R.Hints.writeHints().empty())
+      << "only objects have allocation sites";
+  // Non-relational name data is still collected.
+  EXPECT_EQ(R.Hints.writeNames().size(), 2u);
+}
+
+TEST(ApproxTest, UncalledFunctionIsForceExecuted) {
+  // `register` is never called by the module's top-level code; only forced
+  // execution can reach the dynamic write inside it.
+  ApproxRunner R({{"app/main.js",
+                   "var registry = {};\n"
+                   "function register(name) {\n"
+                   "  registry['fixed'] = function added() {};\n"
+                   "}\n"}});
+  EXPECT_GE(R.Approx->stats().NumForcedExecutions, 1u);
+  EXPECT_EQ(R.Hints.writeHints().size(), 1u);
+  EXPECT_EQ(R.Hints.writeHints().begin()->Prop, "fixed");
+}
+
+TEST(ApproxTest, EachDefinitionExecutedAtMostOnce) {
+  // makeHandler is called twice naturally, creating two closures of the
+  // inner definition; the worklist must not force either again.
+  ApproxRunner R({{"app/main.js",
+                   "var count = { n: 0 };\n"
+                   "function makeHandler(tag) {\n"
+                   "  return function handler() { count.n = count.n + 1; };\n"
+                   "}\n"
+                   "var h1 = makeHandler('a');\n"
+                   "var h2 = makeHandler('b');\n"}});
+  const ApproxStats &S = R.Approx->stats();
+  // makeHandler runs naturally; handler (one definition, two values) is
+  // forced exactly once.
+  EXPECT_EQ(S.NumForcedExecutions, 1u);
+  EXPECT_EQ(S.NumFunctionsTotal, 2u);
+  EXPECT_EQ(S.NumFunctionsVisited, 2u);
+}
+
+TEST(ApproxTest, ProxyParametersKeepExecutionGoing) {
+  // reached() is only invoked behind property reads on an unknown argument;
+  // the proxy semantics must carry execution into the dynamic write.
+  ApproxRunner R({{"app/main.js",
+                   "var sink = {};\n"
+                   "function init(options) {\n"
+                   "  var name = options.section;\n"
+                   "  if (options.enabled) {\n"
+                   "    sink['plugin'] = function plug() {};\n"
+                   "  }\n"
+                   "}\n"}});
+  ASSERT_EQ(R.Hints.writeHints().size(), 1u);
+  EXPECT_EQ(R.Hints.writeHints().begin()->Prop, "plugin");
+}
+
+TEST(ApproxTest, CallsOnProxyAreNoOps) {
+  ApproxRunner R({{"app/main.js",
+                   "function f(cb) {\n"
+                   "  var result = cb(1, 2);\n"
+                   "  var obj = {};\n"
+                   "  obj['r'] = result;\n"
+                   "}\n"}});
+  // cb is p*, its result is p*, so no write hint for 'r' (no alloc site),
+  // but the run completes without errors.
+  EXPECT_TRUE(R.Hints.writeHints().empty());
+  EXPECT_EQ(R.Approx->stats().NumForcedExecutions, 1u);
+}
+
+TEST(ApproxTest, InferredReceiverThisMap) {
+  // methodify is assigned to o.method (static write), so forced execution
+  // uses o as the receiver: this.slot refers to the real object and the
+  // dynamic write inside produces a hint with o's allocation site.
+  ApproxRunner R({{"app/main.js",
+                   "var o = { table: {} };\n"
+                   "o.method = function() {\n"
+                   "  var k = 'dyn';\n"
+                   "  this.table[k] = function inner() {};\n"
+                   "};\n"}});
+  ASSERT_GE(R.Hints.writeHints().size(), 1u);
+  bool Found = false;
+  for (const WriteHint &W : R.Hints.writeHints())
+    if (W.Prop == "dyn" && W.Base.Loc.Line == 1)
+      Found = true;
+  EXPECT_TRUE(Found) << R.Hints.toText(R.Ctx.files());
+}
+
+TEST(ApproxTest, ReceiverProxyDelegatesAbsentProperties) {
+  // this.unknownProp is absent on the inferred receiver; it must become p*
+  // rather than undefined so execution continues.
+  ApproxRunner R({{"app/main.js",
+                   "var o = {};\n"
+                   "o.m = function() {\n"
+                   "  var cfg = this.missing;\n"
+                   "  cfg.use();\n"      // would throw on undefined
+                   "  var t = {};\n"
+                   "  t['late'] = function lateFn() {};\n"
+                   "};\n"}});
+  bool Found = false;
+  for (const WriteHint &W : R.Hints.writeHints())
+    if (W.Prop == "late")
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(ApproxTest, BudgetAbortsLongLoops) {
+  ApproxOptions Opts;
+  Opts.MaxLoopIterations = 100;
+  ApproxRunner R({{"app/main.js",
+                   "function spin(n) {\n"
+                   "  while (n) { n = n; }\n" // n is p*: truthy forever
+                   "  var o = {};\n"
+                   "  o['never'] = function nope() {};\n"
+                   "}\n"}},
+                 {"app/main.js"}, Opts);
+  EXPECT_GE(R.Approx->stats().NumAborts, 1u);
+  EXPECT_TRUE(R.Hints.writeHints().empty());
+}
+
+TEST(ApproxTest, AbortInOneFunctionDoesNotStopOthers) {
+  ApproxOptions Opts;
+  Opts.MaxLoopIterations = 100;
+  ApproxRunner R({{"app/main.js",
+                   "function bad(n) { while (n) { n = n; } }\n"
+                   "function good() {\n"
+                   "  var o = {};\n"
+                   "  o['ok'] = function fine() {};\n"
+                   "}\n"}},
+                 {"app/main.js"}, Opts);
+  EXPECT_GE(R.Approx->stats().NumAborts, 1u);
+  ASSERT_EQ(R.Hints.writeHints().size(), 1u);
+  EXPECT_EQ(R.Hints.writeHints().begin()->Prop, "ok");
+}
+
+TEST(ApproxTest, ObjectDefinePropertyProducesWriteHints) {
+  ApproxRunner R({{"app/main.js",
+                   "var dst = {};\n"
+                   "Object.defineProperty(dst, 'm', { value: function mv() {} "
+                   "});\n"}});
+  ASSERT_EQ(R.Hints.writeHints().size(), 1u);
+  EXPECT_EQ(R.Hints.writeHints().begin()->Prop, "m");
+}
+
+TEST(ApproxTest, ObjectAssignProducesWriteHints) {
+  ApproxRunner R({{"app/main.js",
+                   "var src = { a: function fa() {}, b: function fb() {} };\n"
+                   "var dst = Object.assign({}, src);\n"}});
+  EXPECT_EQ(R.Hints.writeHints().size(), 2u);
+}
+
+TEST(ApproxTest, EvalCodeStillProducesHints) {
+  // Allocation-site recording is disabled inside eval, but writes of
+  // statically-allocated objects still produce hints (Section 3).
+  ApproxRunner R({{"app/main.js",
+                   "var registry = {};\n"
+                   "var handler = function h() {};\n"
+                   "eval(\"registry['k'] = handler;\");\n"}});
+  ASSERT_EQ(R.Hints.writeHints().size(), 1u);
+  const WriteHint &W = *R.Hints.writeHints().begin();
+  EXPECT_EQ(W.Prop, "k");
+  EXPECT_EQ(W.Base.Loc.Line, 1u);
+  EXPECT_EQ(W.Val.Loc.Line, 2u);
+  EXPECT_EQ(R.Hints.evalHints().size(), 1u);
+}
+
+TEST(ApproxTest, EvalAllocationsHaveNoSites) {
+  ApproxRunner R({{"app/main.js",
+                   "var registry = {};\n"
+                   "eval(\"registry['e'] = function evalFn() {};\");\n"}});
+  // The value was allocated in eval code: no allocation site, no hint.
+  EXPECT_TRUE(R.Hints.writeHints().empty());
+  EXPECT_EQ(R.Hints.writeNames().count(SourceLoc()), 0u);
+}
+
+TEST(ApproxTest, ModuleHintsForDynamicRequire) {
+  ApproxRunner R({{"app/main.js",
+                   "var which = 'plug' + 'in-a';\n"
+                   "var m = require(which);\n"},
+                  {"plugin-a/index.js", "exports.tag = 'A';"}});
+  ASSERT_EQ(R.Hints.moduleHints().size(), 1u);
+  const auto &[Loc, Paths] = *R.Hints.moduleHints().begin();
+  EXPECT_EQ(Loc.Line, 2u);
+  ASSERT_EQ(Paths.size(), 1u);
+  EXPECT_EQ(*Paths.begin(), "plugin-a/index.js");
+}
+
+TEST(ApproxTest, VisitedFractionIsSensible) {
+  ApproxRunner R({{"app/main.js",
+                   "function a() {}\n"
+                   "function b() { a(); }\n"
+                   "function c() {}\n"}});
+  const ApproxStats &S = R.Approx->stats();
+  EXPECT_EQ(S.NumFunctionsTotal, 3u);
+  EXPECT_EQ(S.NumFunctionsVisited, 3u);
+  EXPECT_DOUBLE_EQ(S.visitedFraction(), 1.0);
+}
+
+TEST(ApproxTest, DeterministicAcrossRuns) {
+  auto Once = [] {
+    ApproxRunner R({{"app/main.js",
+                     "var reg = {};\n"
+                     "['x', 'y', 'z'].forEach(function(k) {\n"
+                     "  reg[k] = function entry() {};\n"
+                     "});\n"}});
+    return R.Hints.toText(R.Ctx.files());
+  };
+  EXPECT_EQ(Once(), Once());
+}
+
+TEST(ApproxTest, ForEachOverMethodsArrayLikeExpress) {
+  // The application.js pattern from Figure 1(d).
+  ApproxRunner R(
+      {{"app/main.js", "require('application');"},
+       {"application/index.js",
+        "var methods = ['get', 'post', 'put'];\n"
+        "var app = exports = module.exports = {};\n"
+        "methods.forEach(function(method) {\n"
+        "  app[method] = function(path) { return this; };\n"
+        "});\n"
+        "app.listen = function listen() { return null; };\n"}});
+  // Dynamic writes: one hint per method name, each storing the same inner
+  // function definition into the module's exports object.
+  FileId AppFile = R.Ctx.files().lookup("application/index.js");
+  int MethodHints = 0;
+  for (const WriteHint &W : R.Hints.writeHints()) {
+    if (W.Prop == "get" || W.Prop == "post" || W.Prop == "put") {
+      ++MethodHints;
+      EXPECT_EQ(W.Base.Loc.File, AppFile);
+      // The base is the `{}` literal assigned to module.exports (the
+      // paper's "object o1 created on line 35").
+      EXPECT_EQ(W.Base.Loc.Line, 2u);
+      EXPECT_EQ(W.Val.Loc.Line, 4u) << "value is the inner function";
+    }
+  }
+  EXPECT_EQ(MethodHints, 3);
+}
+
+TEST(ApproxTest, MotivatingExampleFullHints) {
+  // The full Figure-1 pipeline: mixin copies the dynamically-defined
+  // methods onto the application function created in createApplication.
+  ApproxRunner R(
+      {
+          {"app/main.js", "var express = require('express');\n"
+                          "var app = express();\n"},
+          {"express/index.js",
+           "var mixin = require('merge-descriptors');\n"
+           "var proto = require('./application');\n"
+           "exports = module.exports = createApplication;\n"
+           "function createApplication() {\n"
+           "  var app = function(req, res, next) {\n"
+           "    app.handle(req, res, next);\n"
+           "  };\n"
+           "  mixin(app, proto, false);\n"
+           "  return app;\n"
+           "}\n"},
+          {"merge-descriptors/index.js",
+           "module.exports = merge;\n"
+           "function merge(dest, src, redefine) {\n"
+           "  Object.getOwnPropertyNames(src).forEach(function "
+           "forOwnPropertyName(name) {\n"
+           "    var descriptor = Object.getOwnPropertyDescriptor(src, name);\n"
+           "    Object.defineProperty(dest, name, descriptor);\n"
+           "  });\n"
+           "  return dest;\n"
+           "}\n"},
+          {"express/application.js",
+           "var methods = require('methods');\n"
+           "var app = exports = module.exports = {};\n"
+           "methods.forEach(function(method) {\n"
+           "  app[method] = function(path) { return this; };\n"
+           "});\n"
+           "app.listen = function listen() { return null; };\n"},
+          {"methods/index.js", "module.exports = ['get', 'post', 'put'];"},
+      });
+  FileId ExpressFile = R.Ctx.files().lookup("express/index.js");
+
+  // The paper's H_W: (l14, get, l38) etc. — here the app function inside
+  // createApplication is at express/index.js line 5.
+  bool FoundGetOnApp = false, FoundListenOnApp = false;
+  for (const WriteHint &W : R.Hints.writeHints()) {
+    if (W.Base.Loc.File == ExpressFile && W.Base.Loc.Line == 5) {
+      if (W.Prop == "get")
+        FoundGetOnApp = true;
+      if (W.Prop == "listen")
+        FoundListenOnApp = true;
+    }
+  }
+  EXPECT_TRUE(FoundGetOnApp) << R.Hints.toText(R.Ctx.files());
+  EXPECT_TRUE(FoundListenOnApp);
+}
+
+} // namespace

@@ -1,0 +1,63 @@
+//===- AstPrinterTest.cpp - Stable debug dumps -------------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "ast/ScopeResolver.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+std::string dump(const std::string &Source) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  Parser P(Ctx, Diags);
+  Module *M = P.parseModule("app/main.js", "app", Source);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Ctx.files());
+  ScopeResolver(Ctx).resolveAll();
+  return AstPrinter(Ctx).printFunction(M->Func);
+}
+
+TEST(AstPrinterTest, ModuleShell) {
+  std::string Out = dump("var x = 1;");
+  EXPECT_NE(Out.find("(module-function"), std::string::npos);
+  EXPECT_NE(Out.find("(params exports require module)"), std::string::npos);
+  EXPECT_NE(Out.find("(declarator x"), std::string::npos);
+  EXPECT_NE(Out.find("(number 1)"), std::string::npos);
+}
+
+TEST(AstPrinterTest, GlobalsAreMarked) {
+  std::string Out = dump("localFn();\nfunction localFn() {}\nglobalFn();");
+  EXPECT_NE(Out.find("(ident localFn)"), std::string::npos)
+      << "resolved identifiers carry no marker";
+  EXPECT_NE(Out.find("(ident globalFn global)"), std::string::npos);
+}
+
+TEST(AstPrinterTest, ControlFlowShapes) {
+  std::string Out = dump("if (a) { b(); } else { c(); }\n"
+                         "for (var i = 0; i < 3; i++) { continue; }\n"
+                         "switch (x) { case 1: break; default: d(); }\n"
+                         "try { t(); } catch (e) { h(); } finally { f(); }");
+  for (const char *Marker :
+       {"(if", "(for", "(switch", "(case", "(default", "(try", "(break)",
+        "(continue)", "(update ++ postfix"})
+    EXPECT_NE(Out.find(Marker), std::string::npos) << Marker;
+}
+
+TEST(AstPrinterTest, ExpressionsRoundTripShapes) {
+  std::string Out = dump("var r = (a && b) || (c ? d : e[f].g);");
+  for (const char *Marker :
+       {"(logical ||", "(logical &&", "(conditional", "(member-dyn",
+        "(member g"})
+    EXPECT_NE(Out.find(Marker), std::string::npos) << Marker;
+}
+
+TEST(AstPrinterTest, DumpIsDeterministic) {
+  const char *Source = "var o = { m() { return this; } };\n"
+                       "o.m();";
+  EXPECT_EQ(dump(Source), dump(Source));
+}
+
+} // namespace

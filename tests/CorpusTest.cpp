@@ -1,0 +1,176 @@
+//===- CorpusTest.cpp - Tests for the benchmark corpus ----------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+#include "corpus/MotivatingExample.h"
+#include "corpus/PatternGenerators.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+/// Parses \p Spec and asserts no diagnostics.
+void expectParses(const ProjectSpec &Spec) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  ModuleLoader Loader(Ctx, Spec.Files, Diags);
+  Loader.parseAll();
+  EXPECT_FALSE(Diags.hasErrors())
+      << Spec.Name << ":\n"
+      << Diags.render(Ctx.files());
+}
+
+/// Runs \p Module of \p Spec concretely and asserts clean completion.
+void expectRuns(const ProjectSpec &Spec, const std::string &Module) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  ModuleLoader Loader(Ctx, Spec.Files, Diags);
+  Interpreter I(Loader);
+  Completion C = I.loadModule(Module);
+  EXPECT_FALSE(C.isThrow())
+      << Spec.Name << " (" << Module << "): " << I.toStringValue(C.V);
+  EXPECT_FALSE(C.isAbort()) << Spec.Name << " (" << Module << ")";
+}
+
+//===----------------------------------------------------------------------===//
+// Individual generators
+//===----------------------------------------------------------------------===//
+
+class PatternTest
+    : public ::testing::TestWithParam<
+          std::tuple<ProjectSpec (*)(Rng &, unsigned), const char *>> {};
+
+TEST_P(PatternTest, AllSizesParseAndRun) {
+  auto [Fn, Name] = GetParam();
+  for (unsigned Size = 0; Size != 3; ++Size) {
+    Rng R(1000 + Size);
+    ProjectSpec Spec = Fn(R, Size);
+    Spec.Name = std::string(Name) + "-size" + std::to_string(Size);
+    EXPECT_EQ(Spec.Pattern, Name);
+    EXPECT_GE(Spec.numPackages(), 2u) << "app + at least one dependency";
+    expectParses(Spec);
+    expectRuns(Spec, Spec.MainModule);
+    ASSERT_TRUE(Spec.hasDynamicCallGraph());
+    expectRuns(Spec, Spec.TestDriver);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, PatternTest,
+    ::testing::Values(
+        std::make_tuple(&makeExpressLike, "express-like"),
+        std::make_tuple(&makeEventHub, "event-hub"),
+        std::make_tuple(&makePluginRegistry, "plugin-registry"),
+        std::make_tuple(&makeOopLibrary, "oop-library"),
+        std::make_tuple(&makeDelegator, "delegator"),
+        std::make_tuple(&makeEvalInit, "eval-init"),
+        std::make_tuple(&makeDynamicLoader, "dynamic-loader"),
+        std::make_tuple(&makeUtilityLib, "utility-lib"),
+        std::make_tuple(&makeMiddlewareChain, "middleware-chain")),
+    [](const auto &Info) {
+      std::string Name = std::get<1>(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(CorpusTest, GeneratorsAreDeterministic) {
+  Rng R1(7), R2(7);
+  ProjectSpec A = makeExpressLike(R1, 1);
+  ProjectSpec B = makeExpressLike(R2, 1);
+  ASSERT_EQ(A.Files.allPaths(), B.Files.allPaths());
+  for (const std::string &Path : A.Files.allPaths())
+    EXPECT_EQ(A.Files.read(Path), B.Files.read(Path)) << Path;
+}
+
+TEST(CorpusTest, SizesScaleCode) {
+  Rng RSmall(42), RLarge(42);
+  ProjectSpec Small = makeExpressLike(RSmall, 0);
+  ProjectSpec Large = makeExpressLike(RLarge, 2);
+  EXPECT_GT(Large.codeBytes(), Small.codeBytes());
+}
+
+TEST(CorpusTest, DependencyPackagesContainVulnerabilities) {
+  Rng R(5);
+  ProjectSpec Spec = makePluginRegistry(R, 1);
+  bool Found = false;
+  for (const std::string &Path : Spec.Files.allPaths())
+    if (Path.rfind("app/", 0) != 0 &&
+        Spec.Files.read(Path).find("function vuln_") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Motivating example fixture
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusTest, MotivatingExampleParsesAndRuns) {
+  ProjectSpec Spec = motivatingExampleProject();
+  EXPECT_EQ(Spec.numPackages(), 5u); // app, express, merge-descriptors,
+                                     // methods, events.
+  expectParses(Spec);
+  expectRuns(Spec, Spec.MainModule);
+  expectRuns(Spec, Spec.TestDriver);
+}
+
+TEST(CorpusTest, MotivatingExampleDriverExercisesHandlers) {
+  ProjectSpec Spec = motivatingExampleProject();
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  ModuleLoader Loader(Ctx, Spec.Files, Diags);
+  Interpreter I(Loader);
+  Completion C = I.loadModule(Spec.TestDriver);
+  ASSERT_FALSE(C.isThrow()) << I.toStringValue(C.V);
+}
+
+//===----------------------------------------------------------------------===//
+// The full suite
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusTest, SuiteHas141ProjectsAnd36WithDynamicCG) {
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+  EXPECT_EQ(Suite.size(), 141u);
+  size_t WithCG = 0;
+  for (const ProjectSpec &Spec : Suite)
+    if (Spec.hasDynamicCallGraph())
+      ++WithCG;
+  EXPECT_EQ(WithCG, 36u);
+  EXPECT_EQ(benchmarksWithDynamicCG().size(), 36u);
+}
+
+TEST(CorpusTest, SuiteNamesAreUniqueAndPatternsDiverse) {
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+  std::set<std::string> Names;
+  std::set<std::string> PatternsSeen;
+  for (const ProjectSpec &Spec : Suite) {
+    EXPECT_TRUE(Names.insert(Spec.Name).second) << Spec.Name;
+    PatternsSeen.insert(Spec.Pattern);
+  }
+  EXPECT_EQ(PatternsSeen.size(), 9u) << "every pattern family appears";
+}
+
+TEST(CorpusTest, SuiteIsDeterministic) {
+  std::vector<ProjectSpec> A = buildBenchmarkSuite();
+  std::vector<ProjectSpec> B = buildBenchmarkSuite();
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].codeBytes(), B[I].codeBytes());
+  }
+}
+
+TEST(CorpusTest, EverySuiteProjectParses) {
+  for (const ProjectSpec &Spec : buildBenchmarkSuite())
+    expectParses(Spec);
+}
+
+TEST(CorpusTest, EveryDynamicCGProjectDriverRuns) {
+  for (const ProjectSpec &Spec : benchmarksWithDynamicCG())
+    expectRuns(Spec, Spec.TestDriver);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- EsModulesTest.cpp - ES module syntax (desugared) -----------------------===//
+//
+// `import`/`export` statements are desugared at parse time to the CommonJS
+// machinery, so both the interpreter and the analyses handle ES modules
+// without further changes (the paper's footnote 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+#include "approx/ApproxInterpreter.h"
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+struct Project {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+
+  Project(std::initializer_list<std::pair<std::string, std::string>> Files) {
+    for (const auto &[Path, Source] : Files)
+      Fs.addFile(Path, Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Loader->parseAll();
+  }
+
+  std::string run(const std::string &Main = "app/main.js") {
+    Interpreter I(*Loader);
+    Completion C = I.loadModule(Main);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Ctx.files());
+    EXPECT_FALSE(C.isThrow()) << "uncaught: " << I.toStringValue(C.V);
+    std::string Out;
+    for (const auto &Line : I.consoleOutput()) {
+      if (!Out.empty())
+        Out += '\n';
+      Out += Line;
+    }
+    return Out;
+  }
+};
+
+TEST(EsModulesTest, NamedExportsAndImports) {
+  Project P({{"app/main.js", "import { add, sub } from 'math';\n"
+                             "console.log(add(2, 3), sub(5, 1));"},
+             {"math/index.js", "export function add(a, b) { return a + b; }\n"
+                               "export function sub(a, b) { return a - b; }"}});
+  EXPECT_EQ(P.run(), "5 4");
+}
+
+TEST(EsModulesTest, ImportAliases) {
+  Project P({{"app/main.js", "import { add as plus } from 'math';\n"
+                             "console.log(plus(1, 1));"},
+             {"math/index.js", "export function add(a, b) { return a + b; }"}});
+  EXPECT_EQ(P.run(), "2");
+}
+
+TEST(EsModulesTest, DefaultExportAndImport) {
+  Project P({{"app/main.js", "import greet from 'greeter';\n"
+                             "console.log(greet('world'));"},
+             {"greeter/index.js",
+              "export default function greet(who) { return 'hi ' + who; }"}});
+  EXPECT_EQ(P.run(), "hi world");
+}
+
+TEST(EsModulesTest, DefaultImportFallsBackToCommonJs) {
+  // Importing a CommonJS module through default-import syntax binds the
+  // exports object itself (interop rule).
+  Project P({{"app/main.js", "import lib from 'cjslib';\n"
+                             "console.log(lib.tag);"},
+             {"cjslib/index.js", "exports.tag = 'cjs';"}});
+  EXPECT_EQ(P.run(), "cjs");
+}
+
+TEST(EsModulesTest, NamespaceImport) {
+  Project P({{"app/main.js", "import * as math from 'math';\n"
+                             "console.log(math.add(4, 4));"},
+             {"math/index.js", "export function add(a, b) { return a + b; }"}});
+  EXPECT_EQ(P.run(), "8");
+}
+
+TEST(EsModulesTest, MixedDefaultAndNamed) {
+  Project P({{"app/main.js",
+              "import main, { helper } from 'kit';\n"
+              "console.log(main(), helper());"},
+             {"kit/index.js",
+              "export default function main() { return 'main'; }\n"
+              "export function helper() { return 'helper'; }"}});
+  EXPECT_EQ(P.run(), "main helper");
+}
+
+TEST(EsModulesTest, ExportVarAndList) {
+  Project P({{"app/main.js", "import { x, y, z } from 'vals';\n"
+                             "console.log(x, y, z);"},
+             {"vals/index.js", "export var x = 1, y = 2;\n"
+                               "var local = 3;\n"
+                               "export { local as z };"}});
+  EXPECT_EQ(P.run(), "1 2 3");
+}
+
+TEST(EsModulesTest, ReExportFrom) {
+  Project P({{"app/main.js", "import { inner } from 'facade';\n"
+                             "console.log(inner());"},
+             {"facade/index.js", "export { inner } from 'impl';"},
+             {"impl/index.js",
+              "export function inner() { return 'deep'; }"}});
+  EXPECT_EQ(P.run(), "deep");
+}
+
+TEST(EsModulesTest, BareImportRunsSideEffects) {
+  Project P({{"app/main.js", "import 'sideeffect';\n"
+                             "console.log(globalThis.touched);"},
+             {"sideeffect/index.js", "globalThis.touched = 'yes';"}});
+  EXPECT_EQ(P.run(), "yes");
+}
+
+TEST(EsModulesTest, FromAndAsRemainValidIdentifiers) {
+  Project P({{"app/main.js", "var from = 1;\n"
+                             "var as = 2;\n"
+                             "console.log(from + as);"}});
+  EXPECT_EQ(P.run(), "3");
+}
+
+TEST(EsModulesTest, StaticAnalysisResolvesEsImports) {
+  Project P({{"app/main.js", "import { go } from 'lib';\n"
+                             "go();"},
+             {"lib/index.js", "export function go() {}"}});
+  StaticAnalysis SA(*P.Loader);
+  AnalysisResult A = SA.run();
+  FileId AppF = P.Ctx.files().lookup("app/main.js");
+  FileId LibF = P.Ctx.files().lookup("lib/index.js");
+  bool Found = false;
+  for (const auto &[Site, Callees] : A.CG.edges())
+    if (Site.File == AppF && Site.Line == 2)
+      for (const SourceLoc &Callee : Callees)
+        if (Callee.File == LibF && Callee.Line == 1)
+          Found = true;
+  EXPECT_TRUE(Found) << A.CG.toText(P.Ctx.files());
+}
+
+TEST(EsModulesTest, HintsWorkAcrossEsModules) {
+  // The Figure-1 pattern, written as an ES module.
+  Project P({{"app/main.js", "import api from 'dynlib';\n"
+                             "api.go();"},
+             {"dynlib/index.js",
+              "var api = {};\n"
+              "var names = ['go'];\n"
+              "names.forEach(function(n) {\n"
+              "  api[n] = function goImpl() {};\n"
+              "});\n"
+              "export default api;"}});
+  ApproxInterpreter Approx(*P.Loader);
+  HintSet Hints = Approx.run({"app/main.js"});
+  EXPECT_FALSE(Hints.writeHints().empty());
+
+  AnalysisOptions Base;
+  StaticAnalysis BaseSA(*P.Loader, Base, nullptr);
+  AnalysisResult BaseRes = BaseSA.run();
+
+  AnalysisOptions Ext;
+  Ext.Mode = AnalysisMode::Hints;
+  StaticAnalysis ExtSA(*P.Loader, Ext, &Hints);
+  AnalysisResult ExtRes = ExtSA.run();
+  EXPECT_GT(ExtRes.NumCallEdges, BaseRes.NumCallEdges)
+      << "hints must recover api.go through the ES default export";
+}
+
+} // namespace

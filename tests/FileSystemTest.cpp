@@ -1,0 +1,118 @@
+//===- FileSystemTest.cpp - Tests for the virtual file system ---------------===//
+
+#include "interp/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace jsai;
+
+namespace {
+
+TEST(FileSystemTest, NormalizePath) {
+  EXPECT_EQ(FileSystem::normalizePath("a/b/c.js"), "a/b/c.js");
+  EXPECT_EQ(FileSystem::normalizePath("a/./b"), "a/b");
+  EXPECT_EQ(FileSystem::normalizePath("a/b/../c"), "a/c");
+  EXPECT_EQ(FileSystem::normalizePath("./a"), "a");
+  EXPECT_EQ(FileSystem::normalizePath("a//b"), "a/b");
+  EXPECT_EQ(FileSystem::normalizePath("../a"), "a");
+}
+
+TEST(FileSystemTest, AddAndRead) {
+  FileSystem Fs;
+  Fs.addFile("app/main.js", "var x = 1;");
+  EXPECT_TRUE(Fs.exists("app/main.js"));
+  EXPECT_EQ(Fs.read("app/main.js"), "var x = 1;");
+  EXPECT_FALSE(Fs.exists("app/other.js"));
+  EXPECT_EQ(Fs.size(), 1u);
+  EXPECT_EQ(Fs.totalBytes(), 10u);
+}
+
+TEST(FileSystemTest, AddNormalizes) {
+  FileSystem Fs;
+  Fs.addFile("./app/main.js", "x");
+  EXPECT_TRUE(Fs.exists("app/main.js"));
+}
+
+TEST(FileSystemTest, AllPathsSorted) {
+  FileSystem Fs;
+  Fs.addFile("z/index.js", "");
+  Fs.addFile("a/index.js", "");
+  Fs.addFile("m/index.js", "");
+  std::vector<std::string> Want = {"a/index.js", "m/index.js", "z/index.js"};
+  EXPECT_EQ(Fs.allPaths(), Want);
+}
+
+TEST(FileSystemTest, ResolveRelative) {
+  FileSystem Fs;
+  Fs.addFile("express/index.js", "");
+  Fs.addFile("express/application.js", "");
+  Fs.addFile("express/lib/router/index.js", "");
+  EXPECT_EQ(Fs.resolveRequire("express/index.js", "./application"),
+            "express/application.js");
+  EXPECT_EQ(Fs.resolveRequire("express/index.js", "./application.js"),
+            "express/application.js");
+  EXPECT_EQ(Fs.resolveRequire("express/index.js", "./lib/router"),
+            "express/lib/router/index.js");
+  EXPECT_EQ(
+      Fs.resolveRequire("express/lib/router/index.js", "../../application"),
+      "express/application.js");
+}
+
+TEST(FileSystemTest, ResolveBarePackage) {
+  FileSystem Fs;
+  Fs.addFile("express/index.js", "");
+  Fs.addFile("merge-descriptors/index.js", "");
+  EXPECT_EQ(Fs.resolveRequire("app/main.js", "express"), "express/index.js");
+  EXPECT_EQ(Fs.resolveRequire("express/index.js", "merge-descriptors"),
+            "merge-descriptors/index.js");
+}
+
+TEST(FileSystemTest, ResolveBareSubpath) {
+  FileSystem Fs;
+  Fs.addFile("pkg/lib/util.js", "");
+  EXPECT_EQ(Fs.resolveRequire("app/main.js", "pkg/lib/util"),
+            "pkg/lib/util.js");
+}
+
+TEST(FileSystemTest, ResolveMissing) {
+  FileSystem Fs;
+  Fs.addFile("app/main.js", "");
+  EXPECT_EQ(Fs.resolveRequire("app/main.js", "./nope"), "");
+  EXPECT_EQ(Fs.resolveRequire("app/main.js", "http"), "");
+  EXPECT_EQ(Fs.resolveRequire("app/main.js", ""), "");
+}
+
+TEST(FileSystemTest, AddDirectoryLoadsJsFilesRecursively) {
+  namespace fs = std::filesystem;
+  fs::path Root = fs::temp_directory_path() / "jsai_fs_test";
+  fs::remove_all(Root);
+  fs::create_directories(Root / "app");
+  fs::create_directories(Root / "lib" / "inner");
+  auto WriteFile = [](const fs::path &P, const std::string &Text) {
+    std::ofstream Out(P);
+    Out << Text;
+  };
+  WriteFile(Root / "app" / "main.js", "var x = 1;");
+  WriteFile(Root / "lib" / "index.js", "exports.y = 2;");
+  WriteFile(Root / "lib" / "inner" / "util.js", "exports.z = 3;");
+  WriteFile(Root / "README.md", "not js");
+
+  FileSystem FsObj;
+  EXPECT_EQ(FsObj.addDirectory(Root.string()), 3u);
+  EXPECT_TRUE(FsObj.exists("app/main.js"));
+  EXPECT_TRUE(FsObj.exists("lib/index.js"));
+  EXPECT_TRUE(FsObj.exists("lib/inner/util.js"));
+  EXPECT_FALSE(FsObj.exists("README.md"));
+  EXPECT_EQ(FsObj.read("app/main.js"), "var x = 1;");
+  fs::remove_all(Root);
+}
+
+TEST(FileSystemTest, AddDirectoryMissingReturnsZero) {
+  FileSystem FsObj;
+  EXPECT_EQ(FsObj.addDirectory("/nonexistent/jsai/dir"), 0u);
+}
+
+} // namespace

@@ -1,0 +1,316 @@
+//===- InterpreterSemanticsTest.cpp - Corner-case MiniJS semantics ------------===//
+//
+// Second interpreter suite: the semantic corners that the pattern
+// generators and the motivating example rely on indirectly (prototype
+// shadowing, delete semantics, the `in` operator, try/finally overrides,
+// module identity, and the other cases JavaScript is famous for).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+struct Runner {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+  std::unique_ptr<Interpreter> Interp;
+  Completion Result;
+
+  explicit Runner(const std::string &MainSource) {
+    Fs.addFile("app/main.js", MainSource);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Interp = std::make_unique<Interpreter>(*Loader);
+    Result = Interp->loadModule("app/main.js");
+  }
+
+  std::string console() const {
+    std::string Out;
+    for (const auto &Line : Interp->consoleOutput()) {
+      if (!Out.empty())
+        Out += '\n';
+      Out += Line;
+    }
+    return Out;
+  }
+};
+
+std::string run(const std::string &Source) {
+  Runner R(Source);
+  EXPECT_FALSE(R.Diags.hasErrors()) << R.Diags.render(R.Ctx.files());
+  EXPECT_FALSE(R.Result.isThrow())
+      << "uncaught: " << R.Interp->toStringValue(R.Result.V);
+  return R.console();
+}
+
+TEST(SemanticsTest, PrototypeShadowingAndDelete) {
+  EXPECT_EQ(run("function T() {}\n"
+                "T.prototype.v = 'proto';\n"
+                "var t = new T();\n"
+                "console.log(t.v);\n"
+                "t.v = 'own';\n"
+                "console.log(t.v);\n"
+                "delete t.v;\n"
+                "console.log(t.v);"),
+            "proto\nown\nproto")
+      << "delete exposes the prototype value again";
+}
+
+TEST(SemanticsTest, InOperatorWalksPrototypeChain) {
+  EXPECT_EQ(run("function T() { this.own = 1; }\n"
+                "T.prototype.inherited = 2;\n"
+                "var t = new T();\n"
+                "console.log('own' in t, 'inherited' in t, 'nope' in t);"),
+            "true true false");
+}
+
+TEST(SemanticsTest, InstanceofAfterPrototypeReplacement) {
+  EXPECT_EQ(run("function A() {}\n"
+                "function B() {}\n"
+                "var a = new A();\n"
+                "console.log(a instanceof A, a instanceof B);\n"
+                "B.prototype = A.prototype;\n"
+                "console.log(a instanceof B);"),
+            "true false\ntrue");
+}
+
+TEST(SemanticsTest, ConstructorPropertyPointsBack) {
+  EXPECT_EQ(run("function T() {}\n"
+                "var t = new T();\n"
+                "console.log(t.constructor === T);"),
+            "true");
+}
+
+TEST(SemanticsTest, ThisInPlainCallIsUndefined) {
+  EXPECT_EQ(run("function f() { return typeof this; }\n"
+                "console.log(f());"),
+            "undefined");
+}
+
+TEST(SemanticsTest, MethodExtractionLosesReceiver) {
+  EXPECT_EQ(run("var o = { x: 1, get: function() { return this ? 'has' : "
+                "'lost'; } };\n"
+                "var g = o.get;\n"
+                "console.log(o.get(), g());"),
+            "has lost");
+}
+
+TEST(SemanticsTest, ClosuresInLoopShareVar) {
+  // The classic var-capture behavior (function scope).
+  EXPECT_EQ(run("var fns = [];\n"
+                "for (var i = 0; i < 3; i++) {\n"
+                "  fns.push(function() { return i; });\n"
+                "}\n"
+                "console.log(fns[0](), fns[1](), fns[2]());"),
+            "3 3 3");
+}
+
+TEST(SemanticsTest, TryFinallyReturnOverride) {
+  EXPECT_EQ(run("function f() {\n"
+                "  try { return 'try'; }\n"
+                "  finally { return 'finally'; }\n"
+                "}\n"
+                "console.log(f());"),
+            "finally");
+}
+
+TEST(SemanticsTest, CatchRethrowReachesOuter) {
+  EXPECT_EQ(run("var log = '';\n"
+                "try {\n"
+                "  try { throw 'inner'; }\n"
+                "  catch (e) { log += 'c1:' + e + ';'; throw 'outer'; }\n"
+                "} catch (e) { log += 'c2:' + e; }\n"
+                "console.log(log);"),
+            "c1:inner;c2:outer");
+}
+
+TEST(SemanticsTest, ThrowNonObjectValues) {
+  EXPECT_EQ(run("try { throw 42; } catch (e) { console.log(typeof e, e); }"),
+            "number 42");
+}
+
+TEST(SemanticsTest, SwitchDefaultInMiddleFallsThrough) {
+  EXPECT_EQ(run("function f(x) {\n"
+                "  var out = '';\n"
+                "  switch (x) {\n"
+                "    default: out += 'd';\n"
+                "    case 1: out += '1'; break;\n"
+                "    case 2: out += '2';\n"
+                "  }\n"
+                "  return out;\n"
+                "}\n"
+                "console.log(f(9), f(1), f(2));"),
+            "d1 1 2");
+}
+
+TEST(SemanticsTest, SequenceExpressionEvaluatesAll) {
+  EXPECT_EQ(run("var log = '';\n"
+                "function note(x) { log += x; return x; }\n"
+                "var v = (note('a'), note('b'), note('c'));\n"
+                "console.log(log, v);"),
+            "abc c");
+}
+
+TEST(SemanticsTest, StringIndexingAndLength) {
+  EXPECT_EQ(run("var s = 'abc';\n"
+                "console.log(s[0], s[2], s[9], s.length);"),
+            "a c undefined 3");
+}
+
+TEST(SemanticsTest, NumericStringKeysOnObjects) {
+  EXPECT_EQ(run("var o = {};\n"
+                "o[1] = 'one';\n"
+                "console.log(o['1'], o[1]);"),
+            "one one")
+      << "numeric keys canonicalize to strings";
+}
+
+TEST(SemanticsTest, ArrayDeleteLeavesHole) {
+  EXPECT_EQ(run("var a = [1, 2, 3];\n"
+                "delete a[1];\n"
+                "console.log(a.length, a[1]);"),
+            "3 undefined");
+}
+
+TEST(SemanticsTest, ArrayLengthTruncation) {
+  EXPECT_EQ(run("var a = [1, 2, 3, 4];\n"
+                "a.length = 2;\n"
+                "console.log(a.join(','), a.length);"),
+            "1,2 2");
+}
+
+TEST(SemanticsTest, ForInSkipsProtoProperties) {
+  // MiniJS deviation (documented): for-in enumerates own properties only.
+  EXPECT_EQ(run("function T() { this.own = 1; }\n"
+                "T.prototype.inherited = 2;\n"
+                "var keys = '';\n"
+                "var t = new T();\n"
+                "for (var k in t) keys += k;\n"
+                "console.log(keys);"),
+            "own");
+}
+
+TEST(SemanticsTest, ModuleThisIsExports) {
+  Runner R("this.viaThis = 'works';\n"
+           "console.log(exports.viaThis, this === exports, this === "
+           "module.exports);");
+  EXPECT_EQ(R.console(), "works true true");
+}
+
+TEST(SemanticsTest, ExportsRebindDoesNotChangeModuleExports) {
+  Runner R1("exports = { hijacked: true };");
+  // What require() sees is module.exports, not the rebound local.
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  Fs.addFile("lib/index.js", "exports = { hijacked: true };\n"
+                             "exports.foo = 1;");
+  Fs.addFile("app/main.js", "var lib = require('lib');\n"
+                            "console.log(lib.foo === undefined, lib.hijacked "
+                            "=== undefined);");
+  ModuleLoader Loader(Ctx, Fs, Diags);
+  Interpreter I(Loader);
+  I.loadModule("app/main.js");
+  ASSERT_EQ(I.consoleOutput().size(), 1u);
+  EXPECT_EQ(I.consoleOutput()[0], "true true");
+}
+
+TEST(SemanticsTest, CompoundAssignOnMembers) {
+  EXPECT_EQ(run("var o = { n: 10, s: 'a' };\n"
+                "o.n += 5;\n"
+                "o.s += 'b';\n"
+                "var k = 'n';\n"
+                "o[k] += 1;\n"
+                "console.log(o.n, o.s);"),
+            "16 ab");
+}
+
+TEST(SemanticsTest, UpdateOnMemberExpressions) {
+  EXPECT_EQ(run("var o = { n: 1 };\n"
+                "var a = [5];\n"
+                "console.log(o.n++, o.n, ++a[0], a[0]);"),
+            "1 2 6 6");
+}
+
+TEST(SemanticsTest, NestedEval) {
+  EXPECT_EQ(run("var x = 1;\n"
+                "eval(\"eval('x = x + 41;');\");\n"
+                "console.log(x);"),
+            "42");
+}
+
+TEST(SemanticsTest, VoidTypeofDeleteOperators) {
+  EXPECT_EQ(run("console.log(void 0, typeof notDeclaredAnywhere, delete "
+                "alsoNotDeclared);"),
+            "undefined undefined true");
+}
+
+TEST(SemanticsTest, BitwiseOperators) {
+  EXPECT_EQ(run("console.log(5 & 3, 5 | 3, 5 ^ 3, ~5, 1 << 4, 256 >> 4);"),
+            "1 7 6 -6 16 16");
+}
+
+TEST(SemanticsTest, NaNPropagationAndComparisons) {
+  EXPECT_EQ(run("var n = 0 / 0;\n"
+                "console.log(n === n, n < 1, n > 1, isNaN(n), "
+                "isNaN('text'));"),
+            "false false false true true");
+}
+
+TEST(SemanticsTest, StringNumberCoercionInComparisons) {
+  EXPECT_EQ(run("console.log('10' < '9', 10 < 9, '10' < 9, 10 == '10');"),
+            "true false false true")
+      << "string-string compares lexicographically; mixed compares numerically";
+}
+
+TEST(SemanticsTest, HasOwnPropertyVsIn) {
+  EXPECT_EQ(run("function T() { this.own = 1; }\n"
+                "T.prototype.proto = 2;\n"
+                "var t = new T();\n"
+                "console.log(t.hasOwnProperty('own'), "
+                "t.hasOwnProperty('proto'), 'proto' in t);"),
+            "true false true");
+}
+
+TEST(SemanticsTest, ArgumentsReflectsCallNotSignature) {
+  EXPECT_EQ(run("function f(a) { return arguments.length; }\n"
+                "console.log(f(), f(1), f(1, 2, 3));"),
+            "0 1 3");
+}
+
+TEST(SemanticsTest, RecursionThroughSelfBindingAfterReassignment) {
+  // The named-function-expression binding is immune to outer reassignment.
+  EXPECT_EQ(run("var f = function rec(n) {\n"
+                "  return n === 0 ? 'done' : rec(n - 1);\n"
+                "};\n"
+                "var g = f;\n"
+                "f = null;\n"
+                "console.log(g(3));"),
+            "done");
+}
+
+TEST(SemanticsTest, GuardedClosureNeverCreatedUntilTaken) {
+  EXPECT_EQ(run("function maybe(mode) {\n"
+                "  if (mode === 'special') {\n"
+                "    var inner = function inner() { return 'made'; };\n"
+                "    return inner();\n"
+                "  }\n"
+                "  return 'skipped';\n"
+                "}\n"
+                "console.log(maybe('x'), maybe('special'));"),
+            "skipped made");
+}
+
+TEST(SemanticsTest, ObjectToStringInConcatenation) {
+  EXPECT_EQ(run("console.log('' + {}, '' + [1, 2], '' + [null], '' + "
+                "function named() {});"),
+            "[object Object] 1,2  function named() { [code] }");
+}
+
+} // namespace

@@ -1,0 +1,596 @@
+//===- InterpreterTest.cpp - Tests for the concrete MiniJS interpreter ------===//
+
+#include "interp/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+/// Parses the given files, runs "app/main.js", and captures results.
+struct Runner {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+  std::unique_ptr<Interpreter> Interp;
+  Completion Result;
+
+  Runner(std::initializer_list<std::pair<std::string, std::string>> Files,
+         InterpOptions Opts = InterpOptions()) {
+    for (const auto &[Path, Source] : Files)
+      Fs.addFile(Path, Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Interp = std::make_unique<Interpreter>(*Loader, Opts);
+    Result = Interp->loadModule("app/main.js");
+  }
+
+  /// Console lines joined by '\n'.
+  std::string console() const {
+    std::string Out;
+    for (const auto &Line : Interp->consoleOutput()) {
+      if (!Out.empty())
+        Out += '\n';
+      Out += Line;
+    }
+    return Out;
+  }
+};
+
+/// Runs one source as app/main.js and returns the console transcript.
+std::string runAndLog(const std::string &Source) {
+  Runner R({{"app/main.js", Source}});
+  EXPECT_FALSE(R.Diags.hasErrors()) << R.Diags.render(R.Ctx.files());
+  EXPECT_FALSE(R.Result.isThrow())
+      << "uncaught: " << R.Interp->toStringValue(R.Result.V);
+  EXPECT_FALSE(R.Result.isAbort());
+  return R.console();
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions and control flow
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, Arithmetic) {
+  EXPECT_EQ(runAndLog("console.log(1 + 2 * 3, 10 % 3, 7 / 2, 2 - 5);"),
+            "7 1 3.5 -3");
+}
+
+TEST(InterpTest, StringConcat) {
+  EXPECT_EQ(runAndLog("console.log('a' + 'b' + 1 + true);"), "ab1true");
+}
+
+TEST(InterpTest, ComparisonAndEquality) {
+  EXPECT_EQ(runAndLog("console.log(1 < 2, 'a' < 'b', 2 >= 3, 1 == '1', "
+                      "1 === '1', null == undefined, null === undefined);"),
+            "true true false true false true false");
+}
+
+TEST(InterpTest, LogicalShortCircuit) {
+  EXPECT_EQ(runAndLog("var calls = 0;\n"
+                      "function f() { calls++; return true; }\n"
+                      "var a = false && f();\n"
+                      "var b = true || f();\n"
+                      "console.log(calls, a, b);"),
+            "0 false true");
+}
+
+TEST(InterpTest, NullishCoalescing) {
+  EXPECT_EQ(runAndLog("console.log(null ?? 'x', 0 ?? 'y', undefined ?? 1);"),
+            "x 0 1");
+}
+
+TEST(InterpTest, TernaryAndUnary) {
+  EXPECT_EQ(runAndLog("console.log(1 ? 'y' : 'n', !0, -(3), typeof 'a', "
+                      "typeof {}, typeof undefined);"),
+            "y true -3 string object undefined");
+}
+
+TEST(InterpTest, UpdateOperators) {
+  EXPECT_EQ(runAndLog("var i = 5;\n"
+                      "console.log(i++, i, ++i, i--, --i);"),
+            "5 6 7 7 5");
+}
+
+TEST(InterpTest, CompoundAssignment) {
+  EXPECT_EQ(runAndLog("var x = 2; x += 3; x *= 4; x -= 2; x /= 3;\n"
+                      "var s = 'a'; s += 'b';\n"
+                      "var y = 0; y ||= 9;\n"
+                      "console.log(x, s, y);"),
+            "6 ab 9");
+}
+
+TEST(InterpTest, WhileAndFor) {
+  EXPECT_EQ(runAndLog("var sum = 0;\n"
+                      "for (var i = 1; i <= 4; i++) sum += i;\n"
+                      "var n = 0;\n"
+                      "while (n < 3) { n++; }\n"
+                      "do { n++; } while (false);\n"
+                      "console.log(sum, n);"),
+            "10 4");
+}
+
+TEST(InterpTest, BreakContinue) {
+  EXPECT_EQ(runAndLog("var out = '';\n"
+                      "for (var i = 0; i < 10; i++) {\n"
+                      "  if (i % 2 === 0) continue;\n"
+                      "  if (i > 6) break;\n"
+                      "  out += i;\n"
+                      "}\n"
+                      "console.log(out);"),
+            "135");
+}
+
+TEST(InterpTest, SwitchFallthrough) {
+  EXPECT_EQ(runAndLog("function f(x) {\n"
+                      "  var out = '';\n"
+                      "  switch (x) {\n"
+                      "    case 1: out += 'one ';\n"
+                      "    case 2: out += 'two'; break;\n"
+                      "    default: out = 'other';\n"
+                      "  }\n"
+                      "  return out;\n"
+                      "}\n"
+                      "console.log(f(1), '|', f(2), '|', f(9));"),
+            "one two | two | other");
+}
+
+TEST(InterpTest, ThrowTryCatchFinally) {
+  EXPECT_EQ(runAndLog("var log = '';\n"
+                      "try {\n"
+                      "  try { throw new Error('boom'); }\n"
+                      "  finally { log += 'fin;'; }\n"
+                      "} catch (e) { log += e.message; }\n"
+                      "console.log(log);"),
+            "fin;boom");
+}
+
+TEST(InterpTest, UncaughtThrowPropagates) {
+  Runner R({{"app/main.js", "throw new Error('bad');"}});
+  EXPECT_TRUE(R.Result.isThrow());
+  EXPECT_EQ(R.Interp->toStringValue(R.Result.V), "Error: bad");
+}
+
+//===----------------------------------------------------------------------===//
+// Functions, closures, this
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ClosureCapture) {
+  EXPECT_EQ(runAndLog("function counter() {\n"
+                      "  var n = 0;\n"
+                      "  return function() { n++; return n; };\n"
+                      "}\n"
+                      "var c1 = counter(); var c2 = counter();\n"
+                      "console.log(c1(), c1(), c2());"),
+            "1 2 1");
+}
+
+TEST(InterpTest, HoistedFunctionsCallableBeforeDefinition) {
+  EXPECT_EQ(runAndLog("console.log(f());\n"
+                      "function f() { return 'hoisted'; }"),
+            "hoisted");
+}
+
+TEST(InterpTest, NamedFunctionExpressionRecursion) {
+  EXPECT_EQ(runAndLog("var fact = function f(n) {\n"
+                      "  return n <= 1 ? 1 : n * f(n - 1);\n"
+                      "};\n"
+                      "console.log(fact(5));"),
+            "120");
+}
+
+TEST(InterpTest, ArgumentsObject) {
+  EXPECT_EQ(runAndLog("function f() { return arguments.length + ':' + "
+                      "arguments[1]; }\n"
+                      "console.log(f('a', 'b', 'c'));"),
+            "3:b");
+}
+
+TEST(InterpTest, ThisInMethodCall) {
+  EXPECT_EQ(runAndLog("var o = { x: 41, get: function() { return this.x + 1; } "
+                      "};\n"
+                      "console.log(o.get());"),
+            "42");
+}
+
+TEST(InterpTest, ArrowCapturesThis) {
+  EXPECT_EQ(runAndLog("var o = {\n"
+                      "  x: 7,\n"
+                      "  make: function() { return () => this.x; }\n"
+                      "};\n"
+                      "var f = o.make();\n"
+                      "console.log(f());"),
+            "7");
+}
+
+TEST(InterpTest, ApplyCallBind) {
+  EXPECT_EQ(runAndLog("function add(a, b) { return this.base + a + b; }\n"
+                      "var ctx = { base: 100 };\n"
+                      "console.log(add.apply(ctx, [1, 2]));\n"
+                      "console.log(add.call(ctx, 3, 4));\n"
+                      "var bound = add.bind(ctx, 10);\n"
+                      "console.log(bound(20));"),
+            "103\n107\n130");
+}
+
+TEST(InterpTest, NewAndPrototypes) {
+  EXPECT_EQ(runAndLog("function Dog(name) { this.name = name; }\n"
+                      "Dog.prototype.speak = function() { return this.name + "
+                      "' says woof'; };\n"
+                      "var d = new Dog('rex');\n"
+                      "console.log(d.speak(), d instanceof Dog);"),
+            "rex says woof true");
+}
+
+TEST(InterpTest, ConstructorReturningObject) {
+  EXPECT_EQ(runAndLog("function F() { return { marker: 1 }; }\n"
+                      "var o = new F();\n"
+                      "console.log(o.marker);"),
+            "1");
+}
+
+TEST(InterpTest, UtilInheritsChain) {
+  EXPECT_EQ(runAndLog("var util = require('util');\n"
+                      "function Base() {}\n"
+                      "Base.prototype.kind = function() { return 'base'; };\n"
+                      "function Derived() {}\n"
+                      "util.inherits(Derived, Base);\n"
+                      "var d = new Derived();\n"
+                      "console.log(d.kind(), d instanceof Base);"),
+            "base true");
+}
+
+//===----------------------------------------------------------------------===//
+// Objects and arrays
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, ObjectLiteralsAndDynamicAccess) {
+  EXPECT_EQ(runAndLog("var o = { a: 1, 'b c': 2 };\n"
+                      "o['d'] = o.a + o['b c'];\n"
+                      "var k = 'd';\n"
+                      "console.log(o[k], o.missing);"),
+            "3 undefined");
+}
+
+TEST(InterpTest, ComputedKeysInLiterals) {
+  EXPECT_EQ(runAndLog("var k = 'dyn';\n"
+                      "var o = { [k + '1']: 'v' };\n"
+                      "console.log(o.dyn1);"),
+            "v");
+}
+
+TEST(InterpTest, DeleteProperty) {
+  EXPECT_EQ(runAndLog("var o = { a: 1 };\n"
+                      "console.log(delete o.a, o.a, 'a' in o);"),
+            "true undefined false");
+}
+
+TEST(InterpTest, ForInIterationOrder) {
+  EXPECT_EQ(runAndLog("var o = { b: 1, a: 2, c: 3 };\n"
+                      "var keys = '';\n"
+                      "for (var k in o) keys += k;\n"
+                      "console.log(keys);"),
+            "bac") << "insertion order, as in modern engines";
+}
+
+TEST(InterpTest, ArraysBasics) {
+  EXPECT_EQ(runAndLog("var a = [1, 2, 3];\n"
+                      "a.push(4);\n"
+                      "a[10] = 'x';\n"
+                      "console.log(a.length, a[0], a[9], a.pop());"),
+            "11 1 undefined x");
+}
+
+TEST(InterpTest, ArrayIterationMethods) {
+  EXPECT_EQ(runAndLog(
+                "var a = [1, 2, 3, 4];\n"
+                "var doubled = a.map(function(x) { return x * 2; });\n"
+                "var evens = a.filter(function(x) { return x % 2 === 0; });\n"
+                "var sum = a.reduce(function(acc, x) { return acc + x; }, 0);\n"
+                "console.log(doubled.join('-'), evens.join(','), sum);"),
+            "2-4-6-8 2,4 10");
+}
+
+TEST(InterpTest, ArrayForEachIndexAndThisArg) {
+  EXPECT_EQ(runAndLog("var out = '';\n"
+                      "['a', 'b'].forEach(function(v, i) { out += i + v; });\n"
+                      "console.log(out);"),
+            "0a1b");
+}
+
+TEST(InterpTest, ArraySliceSpliceConcat) {
+  EXPECT_EQ(runAndLog("var a = [1, 2, 3, 4, 5];\n"
+                      "console.log(a.slice(1, 3).join(','));\n"
+                      "console.log(a.slice(-2).join(','));\n"
+                      "var removed = a.splice(1, 2, 'x');\n"
+                      "console.log(removed.join(','), a.join(','));\n"
+                      "console.log([0].concat(a, 9).join(','));"),
+            "2,3\n4,5\n2,3 1,x,4,5\n0,1,x,4,5,9");
+}
+
+TEST(InterpTest, ArraySortDeterministic) {
+  EXPECT_EQ(runAndLog("var a = ['pear', 'apple', 'fig'];\n"
+                      "console.log(a.sort().join(','));\n"
+                      "var n = [10, 2, 33, 4];\n"
+                      "n.sort(function(x, y) { return x - y; });\n"
+                      "console.log(n.join(','));"),
+            "apple,fig,pear\n2,4,10,33");
+}
+
+TEST(InterpTest, ForOfOverArray) {
+  EXPECT_EQ(runAndLog("var sum = 0;\n"
+                      "for (var x of [1, 2, 3]) sum += x;\n"
+                      "console.log(sum);"),
+            "6");
+}
+
+TEST(InterpTest, StringMethods) {
+  EXPECT_EQ(runAndLog("var s = 'Hello World';\n"
+                      "console.log(s.toUpperCase(), s.toLowerCase());\n"
+                      "console.log(s.indexOf('World'), s.slice(0, 5), "
+                      "s.split(' ').length);\n"
+                      "console.log('  pad  '.trim(), 'abc'.charAt(1), "
+                      "'a-b-c'.replace('-', '+'));"),
+            "HELLO WORLD hello world\n6 Hello 2\npad b a+b-c");
+}
+
+TEST(InterpTest, ObjectKeysAndAssign) {
+  EXPECT_EQ(runAndLog("var src = { a: 1, b: 2 };\n"
+                      "var dst = Object.assign({}, src, { c: 3 });\n"
+                      "console.log(Object.keys(dst).join(','), dst.a + dst.b + "
+                      "dst.c);"),
+            "a,b,c 6");
+}
+
+TEST(InterpTest, ObjectDefinePropertyAndDescriptors) {
+  EXPECT_EQ(runAndLog(
+                "var o = {};\n"
+                "Object.defineProperty(o, 'x', { value: 42 });\n"
+                "var d = Object.getOwnPropertyDescriptor(o, 'x');\n"
+                "console.log(o.x, d.value, d.writable);"),
+            "42 42 true");
+}
+
+TEST(InterpTest, MergeDescriptorsPattern) {
+  // The exact merge-descriptors idiom from Figure 1(c) of the paper.
+  EXPECT_EQ(runAndLog(
+                "function merge(dest, src) {\n"
+                "  Object.getOwnPropertyNames(src).forEach(\n"
+                "    function forOwnPropertyName(name) {\n"
+                "      var descriptor = "
+                "Object.getOwnPropertyDescriptor(src, name);\n"
+                "      Object.defineProperty(dest, name, descriptor);\n"
+                "    });\n"
+                "  return dest;\n"
+                "}\n"
+                "var dst = merge({}, { hi: function() { return 'hi!'; } });\n"
+                "console.log(dst.hi());"),
+            "hi!");
+}
+
+TEST(InterpTest, ObjectCreateWithProto) {
+  EXPECT_EQ(runAndLog("var proto = { greet: function() { return 'yo'; } };\n"
+                      "var o = Object.create(proto);\n"
+                      "console.log(o.greet(), "
+                      "Object.getPrototypeOf(o) === proto);"),
+            "yo true");
+}
+
+TEST(InterpTest, JsonRoundTrip) {
+  EXPECT_EQ(runAndLog("var s = JSON.stringify({ a: [1, 'two', null], b: { c: "
+                      "true } });\n"
+                      "var o = JSON.parse(s);\n"
+                      "console.log(s);\n"
+                      "console.log(o.a[1], o.b.c);"),
+            "{\"a\":[1,\"two\",null],\"b\":{\"c\":true}}\ntwo true");
+}
+
+//===----------------------------------------------------------------------===//
+// Modules
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, RequireExportsObject) {
+  Runner R({{"app/main.js", "var lib = require('mylib');\n"
+                            "console.log(lib.add(2, 3));"},
+            {"mylib/index.js", "exports.add = function(a, b) { return a + b; "
+                               "};"}});
+  EXPECT_EQ(R.console(), "5");
+}
+
+TEST(InterpTest, RequireModuleExportsReassignment) {
+  Runner R({{"app/main.js", "var make = require('factory');\n"
+                            "console.log(make().tag);"},
+            {"factory/index.js",
+             "module.exports = function() { return { tag: 'made' }; };"}});
+  EXPECT_EQ(R.console(), "made");
+}
+
+TEST(InterpTest, RequireRelativeAndCaching) {
+  Runner R({{"app/main.js", "var a = require('pkg');\n"
+                            "var b = require('pkg');\n"
+                            "console.log(a === b, a.n);"},
+            {"pkg/index.js", "var helper = require('./helper');\n"
+                             "exports.n = helper.next();"},
+            {"pkg/helper.js", "var count = 0;\n"
+                              "exports.next = function() { return ++count; };"}});
+  EXPECT_EQ(R.console(), "true 1");
+}
+
+TEST(InterpTest, RequireCycleSeesPartialExports) {
+  Runner R({{"app/main.js", "var a = require('a');\n"
+                            "console.log(a.fromB);"},
+            {"a/index.js", "exports.early = 'A';\n"
+                           "var b = require('b');\n"
+                           "exports.fromB = b.sawEarly;"},
+            {"b/index.js", "var a = require('a');\n"
+                           "exports.sawEarly = a.early;"}});
+  EXPECT_EQ(R.console(), "A");
+}
+
+TEST(InterpTest, RequireMissingThrows) {
+  Runner R({{"app/main.js", "require('missing-pkg');"}});
+  EXPECT_TRUE(R.Result.isThrow());
+}
+
+TEST(InterpTest, BuiltinModulesFallback) {
+  Runner R({{"app/main.js",
+             "var path = require('path');\n"
+             "console.log(path.join('a', 'b/c'), path.basename('x/y.js'), "
+             "path.extname('x/y.js'));"}});
+  EXPECT_EQ(R.console(), "a/b/c y.js .js");
+}
+
+TEST(InterpTest, ProjectModuleShadowsBuiltin) {
+  Runner R({{"app/main.js", "console.log(require('events').marker);"},
+            {"events/index.js", "exports.marker = 'project';"}});
+  EXPECT_EQ(R.console(), "project");
+}
+
+TEST(InterpTest, EventEmitterNativeFallback) {
+  Runner R({{"app/main.js",
+             "var EventEmitter = require('events').EventEmitter;\n"
+             "var e = new EventEmitter();\n"
+             "var got = '';\n"
+             "e.on('ping', function(v) { got += 'a' + v; });\n"
+             "e.on('ping', function(v) { got += 'b' + v; });\n"
+             "e.emit('ping', 1);\n"
+             "console.log(got);"}});
+  EXPECT_EQ(R.console(), "a1b1");
+}
+
+TEST(InterpTest, HttpFakeServerRunsCallbacks) {
+  Runner R({{"app/main.js",
+             "var http = require('http');\n"
+             "var server = http.createServer(function(req, res) {});\n"
+             "server.listen(8080, function() { console.log('listening'); });\n"
+             "server.close();"}});
+  EXPECT_EQ(R.console(), "listening");
+}
+
+//===----------------------------------------------------------------------===//
+// eval and dynamically generated code
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, DirectEvalSeesLocalScope) {
+  EXPECT_EQ(runAndLog("var x = 20;\n"
+                      "function f() {\n"
+                      "  var y = 22;\n"
+                      "  eval('result = x + y;');\n"
+                      "}\n"
+                      "var result = 0;\n"
+                      "f();\n"
+                      "console.log(result);"),
+            "42");
+}
+
+TEST(InterpTest, EvalDefinesFunctions) {
+  EXPECT_EQ(runAndLog("eval('function gen() { return \"from eval\"; }\\n"
+                      "made = gen;');\n"
+                      "var made;\n"
+                      "console.log(made());"),
+            "from eval");
+}
+
+TEST(InterpTest, FunctionConstructor) {
+  EXPECT_EQ(runAndLog("var add = new Function('a', 'b', 'return a + b;');\n"
+                      "console.log(add(20, 22));"),
+            "42");
+}
+
+TEST(InterpTest, EvalSyntaxErrorThrows) {
+  Runner R({{"app/main.js", "eval('var = broken(');"}});
+  EXPECT_TRUE(R.Result.isThrow());
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets and safety
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, InfiniteLoopHitsStepBudget) {
+  InterpOptions Opts;
+  Opts.MaxSteps = 10000;
+  Runner R({{"app/main.js", "while (true) {}"}}, Opts);
+  EXPECT_TRUE(R.Result.isAbort());
+  EXPECT_TRUE(R.Interp->budgetExhausted());
+}
+
+TEST(InterpTest, DeepRecursionHitsDepthBudget) {
+  InterpOptions Opts;
+  Opts.MaxCallDepth = 32;
+  Runner R({{"app/main.js", "function f(n) { return f(n + 1); } f(0);"}},
+           Opts);
+  EXPECT_TRUE(R.Result.isAbort());
+}
+
+TEST(InterpTest, MathRandomDeterministic) {
+  Runner A({{"app/main.js", "console.log(Math.random());"}});
+  Runner B({{"app/main.js", "console.log(Math.random());"}});
+  EXPECT_EQ(A.console(), B.console());
+}
+
+TEST(InterpTest, TimersRunSynchronously) {
+  EXPECT_EQ(runAndLog("setTimeout(function() { console.log('timer'); }, 50);"),
+            "timer");
+}
+
+//===----------------------------------------------------------------------===//
+// The motivating example (Figure 1), end to end
+//===----------------------------------------------------------------------===//
+
+TEST(InterpTest, MotivatingExampleExpressClone) {
+  Runner R({
+      {"app/main.js",
+       "const express = require('express');\n"
+       "const app = express();\n"
+       "app.get('/', function(req, res) {\n"
+       "  res.send('Hello world!');\n"
+       "  server.close();\n"
+       "});\n"
+       "var server = app.listen(8080);\n"
+       "console.log(typeof app.get, typeof app.listen);"},
+      {"express/index.js",
+       "var mixin = require('merge-descriptors');\n"
+       "var proto = require('./application');\n"
+       "exports = module.exports = createApplication;\n"
+       "function createApplication() {\n"
+       "  var app = function(req, res, next) {\n"
+       "    app.handle(req, res, next);\n"
+       "  };\n"
+       "  mixin(app, proto, false);\n"
+       "  return app;\n"
+       "}\n"},
+      {"merge-descriptors/index.js",
+       "module.exports = merge;\n"
+       "function merge(dest, src, redefine) {\n"
+       "  Object.getOwnPropertyNames(src).forEach(function "
+       "forOwnPropertyName(name) {\n"
+       "    var descriptor = Object.getOwnPropertyDescriptor(src, name);\n"
+       "    Object.defineProperty(dest, name, descriptor);\n"
+       "  });\n"
+       "  return dest;\n"
+       "}\n"},
+      {"express/application.js",
+       "var methods = require('methods');\n"
+       "var http = require('http');\n"
+       "var app = exports = module.exports = {};\n"
+       "var slice = Array.prototype.slice;\n"
+       "methods.forEach(function(method) {\n"
+       "  app[method] = function(path) {\n"
+       "    return this;\n"
+       "  };\n"
+       "});\n"
+       "app.listen = function listen() {\n"
+       "  var server = http.createServer(this);\n"
+       "  return server.listen.apply(server, arguments);\n"
+       "};\n"},
+      {"methods/index.js",
+       "module.exports = ['get', 'post', 'put', 'delete'].map(\n"
+       "  function(m) { return m.toLowerCase(); });\n"},
+  });
+  EXPECT_FALSE(R.Result.isThrow())
+      << R.Interp->toStringValue(R.Result.V);
+  EXPECT_EQ(R.console(), "function function");
+}
+
+} // namespace

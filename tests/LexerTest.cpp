@@ -1,0 +1,165 @@
+//===- LexerTest.cpp - Tests for the MiniJS lexer --------------------------===//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source,
+                       DiagnosticEngine *OutDiags = nullptr) {
+  static DiagnosticEngine Scratch;
+  DiagnosticEngine &Diags = OutDiags ? *OutDiags : Scratch;
+  Scratch.clear();
+  Lexer L(0, Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Source) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Source))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Tokens = lex("foo _bar $baz a1");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "$baz");
+  EXPECT_EQ(Tokens[3].Text, "a1");
+}
+
+TEST(LexerTest, Keywords) {
+  auto K = kinds("var function return new this typeof in of instanceof");
+  std::vector<TokenKind> Want = {
+      TokenKind::KwVar,    TokenKind::KwFunction, TokenKind::KwReturn,
+      TokenKind::KwNew,    TokenKind::KwThis,     TokenKind::KwTypeof,
+      TokenKind::KwIn,     TokenKind::KwOf,       TokenKind::KwInstanceof,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, KeywordPrefixIsIdentifier) {
+  auto Tokens = lex("variable newish thisx");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, Numbers) {
+  auto Tokens = lex("0 42 3.25 1e3 2.5e-2 0xff");
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 0);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumValue, 42);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumValue, 3.25);
+  EXPECT_DOUBLE_EQ(Tokens[3].NumValue, 1000);
+  EXPECT_DOUBLE_EQ(Tokens[4].NumValue, 0.025);
+  EXPECT_DOUBLE_EQ(Tokens[5].NumValue, 255);
+}
+
+TEST(LexerTest, NumberFollowedByIdentifierLikeE) {
+  // `1e` is number 1 followed by identifier e (no exponent digits).
+  auto Tokens = lex("1e");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 1);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "e");
+}
+
+TEST(LexerTest, Strings) {
+  auto Tokens = lex("'hello' \"world\" 'a\\nb' \"q\\\"q\"");
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "world");
+  EXPECT_EQ(Tokens[2].Text, "a\nb");
+  EXPECT_EQ(Tokens[3].Text, "q\"q");
+}
+
+TEST(LexerTest, UnterminatedStringReportsError) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("'oops", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, Comments) {
+  auto K = kinds("a // line comment\n b /* block\n comment */ c");
+  std::vector<TokenKind> Want = {TokenKind::Identifier, TokenKind::Identifier,
+                                 TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReportsError) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  auto K = kinds("=== == = != !== ! => >= > ++ + += && & || | ||= ?? ?");
+  std::vector<TokenKind> Want = {
+      TokenKind::EqEqEq,   TokenKind::EqEq,
+      TokenKind::Assign,   TokenKind::NotEq,
+      TokenKind::NotEqEq,  TokenKind::Not,
+      TokenKind::Arrow,    TokenKind::GreaterEq,
+      TokenKind::Greater,  TokenKind::PlusPlus,
+      TokenKind::Plus,     TokenKind::PlusAssign,
+      TokenKind::AndAnd,   TokenKind::Amp,
+      TokenKind::OrOr,     TokenKind::Pipe,
+      TokenKind::OrOrAssign, TokenKind::QuestionQuestion,
+      TokenKind::Question, TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto K = kinds("( ) { } [ ] ; , . : ~ << >>");
+  std::vector<TokenKind> Want = {
+      TokenKind::LParen, TokenKind::RParen,   TokenKind::LBrace,
+      TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Semi,   TokenKind::Comma,    TokenKind::Dot,
+      TokenKind::Colon,  TokenKind::Tilde,    TokenKind::Shl,
+      TokenKind::Shr,    TokenKind::Eof};
+  EXPECT_EQ(K, Want);
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  auto Tokens = lex("a\n  bb\nccc");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 1u);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a # b", &Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, ExpressLikeSnippet) {
+  // Real-world shaped input should lex without errors.
+  DiagnosticEngine Diags;
+  lex("methods.forEach(function(method) {\n"
+      "  app[method] = function(path) {\n"
+      "    var route = this._router.route(path);\n"
+      "    route[method].apply(route, slice.call(arguments, 1));\n"
+      "    return this;\n"
+      "  };\n"
+      "});\n",
+      &Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,426 @@
+//===- ParserTest.cpp - Tests for the MiniJS parser -------------------------===//
+
+#include "ast/AstPrinter.h"
+#include "ast/ScopeResolver.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+struct Parsed {
+  std::unique_ptr<AstContext> Ctx;
+  DiagnosticEngine Diags;
+  Module *M = nullptr;
+};
+
+Parsed parse(const std::string &Source, bool ExpectErrors = false) {
+  Parsed P;
+  P.Ctx = std::make_unique<AstContext>();
+  Parser Par(*P.Ctx, P.Diags);
+  P.M = Par.parseModule("app/main.js", "app", Source);
+  ScopeResolver(*P.Ctx).resolveAll();
+  if (!ExpectErrors) {
+    EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.render(P.Ctx->files());
+  }
+  return P;
+}
+
+/// First top-level statement of the module.
+Stmt *firstStmt(Parsed &P) {
+  const auto &Body = P.M->Func->body()->body();
+  EXPECT_FALSE(Body.empty());
+  return Body.front();
+}
+
+Expr *firstExpr(Parsed &P) {
+  auto *S = dyn_cast<ExprStmt>(firstStmt(P));
+  EXPECT_NE(S, nullptr);
+  return S ? S->expr() : nullptr;
+}
+
+TEST(ParserTest, ModuleFunctionShape) {
+  Parsed P = parse("var x = 1;");
+  ASSERT_NE(P.M, nullptr);
+  FunctionDef *F = P.M->Func;
+  EXPECT_TRUE(F->isModule());
+  ASSERT_EQ(F->params().size(), 3u);
+  EXPECT_EQ(F->params()[0]->name(), P.Ctx->SymExports);
+  EXPECT_EQ(F->params()[1]->name(), P.Ctx->SymRequire);
+  EXPECT_EQ(F->params()[2]->name(), P.Ctx->SymModule);
+  EXPECT_EQ(P.M->Package, "app");
+}
+
+TEST(ParserTest, VarDeclCreatesHoistedVars) {
+  Parsed P = parse("var a = 1, b;");
+  auto *S = dyn_cast<VarDeclStmt>(firstStmt(P));
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->declarators().size(), 2u);
+  EXPECT_NE(S->declarators()[0].Init, nullptr);
+  EXPECT_EQ(S->declarators()[1].Init, nullptr);
+  // Hoisted into the module function scope.
+  FunctionDef *F = P.M->Func;
+  EXPECT_EQ(F->hoistedVars().size(), 2u);
+}
+
+TEST(ParserTest, VarRedeclarationSharesDecl) {
+  Parsed P = parse("var a = 1; var a = 2;");
+  auto *S1 = cast<VarDeclStmt>(P.M->Func->body()->body()[0]);
+  auto *S2 = cast<VarDeclStmt>(P.M->Func->body()->body()[1]);
+  EXPECT_EQ(S1->declarators()[0].Decl, S2->declarators()[0].Decl);
+}
+
+TEST(ParserTest, FunctionDeclarationHoisted) {
+  Parsed P = parse("function f(a, b) { return a; }");
+  auto *S = dyn_cast<FunctionDeclStmt>(firstStmt(P));
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->def()->params().size(), 2u);
+  EXPECT_FALSE(S->def()->isArrow());
+  ASSERT_EQ(P.M->Func->hoistedFuncs().size(), 1u);
+  EXPECT_EQ(P.M->Func->hoistedFuncs()[0], S);
+}
+
+TEST(ParserTest, NestedFunctionParentChain) {
+  Parsed P = parse("function outer() { function inner() {} }");
+  auto *Outer = cast<FunctionDeclStmt>(firstStmt(P))->def();
+  ASSERT_EQ(Outer->hoistedFuncs().size(), 1u);
+  FunctionDef *Inner = Outer->hoistedFuncs()[0]->def();
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Outer->parent(), P.M->Func);
+}
+
+TEST(ParserTest, IdentResolvesToParam) {
+  Parsed P = parse("function f(x) { return x; }");
+  FunctionDef *F = cast<FunctionDeclStmt>(firstStmt(P))->def();
+  auto *Ret = cast<ReturnStmt>(F->body()->body()[0]);
+  auto *I = cast<Ident>(Ret->value());
+  EXPECT_EQ(I->decl(), F->params()[0]);
+}
+
+TEST(ParserTest, IdentResolvesThroughClosure) {
+  Parsed P = parse("var captured = 1;\n"
+                   "function f() { return captured; }");
+  auto *VD = cast<VarDeclStmt>(P.M->Func->body()->body()[0]);
+  FunctionDef *F = cast<FunctionDeclStmt>(P.M->Func->body()->body()[1])->def();
+  auto *Ret = cast<ReturnStmt>(F->body()->body()[0]);
+  EXPECT_EQ(cast<Ident>(Ret->value())->decl(), VD->declarators()[0].Decl);
+}
+
+TEST(ParserTest, UnresolvedIdentIsGlobal) {
+  Parsed P = parse("console.log(1);");
+  auto *Call = cast<CallExpr>(firstExpr(P));
+  auto *M = cast<MemberExpr>(Call->callee());
+  auto *I = cast<Ident>(M->object());
+  EXPECT_EQ(I->decl(), nullptr) << "console must stay unresolved (global)";
+}
+
+TEST(ParserTest, NamedFunctionExpressionSelfBinding) {
+  Parsed P = parse("var f = function rec(n) { return rec(n); };");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *FE = cast<FunctionExpr>(VD->declarators()[0].Init);
+  FunctionDef *F = FE->def();
+  auto *Ret = cast<ReturnStmt>(F->body()->body()[0]);
+  auto *Call = cast<CallExpr>(Ret->value());
+  auto *Callee = cast<Ident>(Call->callee());
+  ASSERT_NE(Callee->decl(), nullptr);
+  EXPECT_EQ(Callee->decl()->owner(), F) << "self binding lives in own scope";
+}
+
+TEST(ParserTest, ArrowFunctionSingleParam) {
+  Parsed P = parse("var f = x => x + 1;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *FE = cast<FunctionExpr>(VD->declarators()[0].Init);
+  EXPECT_TRUE(FE->def()->isArrow());
+  ASSERT_EQ(FE->def()->params().size(), 1u);
+  // Concise body desugars to a return statement.
+  auto *Ret = dyn_cast<ReturnStmt>(FE->def()->body()->body()[0]);
+  EXPECT_NE(Ret, nullptr);
+}
+
+TEST(ParserTest, ArrowFunctionParenParams) {
+  Parsed P = parse("var f = (a, b) => { return a; };");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *FE = cast<FunctionExpr>(VD->declarators()[0].Init);
+  EXPECT_TRUE(FE->def()->isArrow());
+  EXPECT_EQ(FE->def()->params().size(), 2u);
+}
+
+TEST(ParserTest, ParenthesizedExprIsNotArrow) {
+  Parsed P = parse("var x = (1 + 2) * 3;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  EXPECT_EQ(VD->declarators()[0].Init->kind(), NodeKind::Binary);
+}
+
+TEST(ParserTest, EmptyArrowParams) {
+  Parsed P = parse("var f = () => 42;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *FE = cast<FunctionExpr>(VD->declarators()[0].Init);
+  EXPECT_TRUE(FE->def()->params().empty());
+}
+
+TEST(ParserTest, ObjectLiteralForms) {
+  Parsed P = parse("var o = { a: 1, 'b c': 2, 3: true, d, m() { return 1; },"
+                   " [k]: 5 };");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *O = cast<ObjectLit>(VD->declarators()[0].Init);
+  const auto &Props = O->properties();
+  ASSERT_EQ(Props.size(), 6u);
+  EXPECT_EQ(P.Ctx->strings().str(Props[0].Key), "a");
+  EXPECT_EQ(P.Ctx->strings().str(Props[1].Key), "b c");
+  EXPECT_EQ(P.Ctx->strings().str(Props[2].Key), "3");
+  // Shorthand becomes an Ident value.
+  EXPECT_EQ(Props[3].Value->kind(), NodeKind::Ident);
+  // Method shorthand becomes a FunctionExpr.
+  EXPECT_EQ(Props[4].Value->kind(), NodeKind::FunctionExpr);
+  // Computed key.
+  EXPECT_NE(Props[5].KeyExpr, nullptr);
+  EXPECT_EQ(Props[5].Key, InvalidSymbol);
+}
+
+TEST(ParserTest, KeywordAsPropertyName) {
+  Parsed P = parse("var o = { default: 1, new: 2 }; o.default; o.in;");
+  EXPECT_FALSE(P.Diags.hasErrors());
+}
+
+TEST(ParserTest, ArrayLiteral) {
+  Parsed P = parse("var a = [1, 'two', [3]];");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *A = cast<ArrayLit>(VD->declarators()[0].Init);
+  ASSERT_EQ(A->elements().size(), 3u);
+  EXPECT_EQ(A->elements()[2]->kind(), NodeKind::ArrayLit);
+}
+
+TEST(ParserTest, MemberFixedVsComputed) {
+  Parsed P = parse("a.b; a['b']; a[i];");
+  const auto &Body = P.M->Func->body()->body();
+  auto *Fixed = cast<MemberExpr>(cast<ExprStmt>(Body[0])->expr());
+  EXPECT_FALSE(Fixed->isComputed());
+  auto *Computed = cast<MemberExpr>(cast<ExprStmt>(Body[1])->expr());
+  EXPECT_TRUE(Computed->isComputed());
+  auto *Dyn = cast<MemberExpr>(cast<ExprStmt>(Body[2])->expr());
+  EXPECT_TRUE(Dyn->isComputed());
+}
+
+TEST(ParserTest, CallChain) {
+  Parsed P = parse("a.b(1)(2).c[d](3);");
+  // Just verify it parses into a Call whose callee ends in computed member.
+  auto *Outer = cast<CallExpr>(firstExpr(P));
+  ASSERT_EQ(Outer->args().size(), 1u);
+  auto *M = cast<MemberExpr>(Outer->callee());
+  EXPECT_TRUE(M->isComputed());
+}
+
+TEST(ParserTest, NewExpression) {
+  Parsed P = parse("var s = new http.Server(arg);");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *N = cast<NewExpr>(VD->declarators()[0].Init);
+  EXPECT_EQ(N->args().size(), 1u);
+  EXPECT_EQ(N->callee()->kind(), NodeKind::Member);
+}
+
+TEST(ParserTest, NewWithoutArguments) {
+  Parsed P = parse("var e = new Error;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *N = cast<NewExpr>(VD->declarators()[0].Init);
+  EXPECT_TRUE(N->args().empty());
+}
+
+TEST(ParserTest, NewThenCallSuffix) {
+  // `new X().go()` — the new binds to X(), the call applies to the result.
+  Parsed P = parse("new X().go();");
+  auto *Call = cast<CallExpr>(firstExpr(P));
+  auto *M = cast<MemberExpr>(Call->callee());
+  EXPECT_EQ(M->object()->kind(), NodeKind::New);
+}
+
+TEST(ParserTest, AssignmentChained) {
+  Parsed P = parse("exports = module.exports = createApplication;");
+  auto *A = cast<AssignExpr>(firstExpr(P));
+  EXPECT_EQ(A->value()->kind(), NodeKind::Assign) << "right-associative";
+}
+
+TEST(ParserTest, CompoundAssignment) {
+  Parsed P = parse("x += 2; y ||= z;");
+  const auto &Body = P.M->Func->body()->body();
+  EXPECT_EQ(cast<AssignExpr>(cast<ExprStmt>(Body[0])->expr())->op(),
+            AssignOp::Add);
+  EXPECT_EQ(cast<AssignExpr>(cast<ExprStmt>(Body[1])->expr())->op(),
+            AssignOp::OrOr);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  Parsed P = parse("var x = 1 + 2 * 3;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *Add = cast<BinaryExpr>(VD->declarators()[0].Init);
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  EXPECT_EQ(cast<BinaryExpr>(Add->rhs())->op(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, LogicalShortCircuitShape) {
+  Parsed P = parse("var x = a && b || c;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  auto *Or = cast<LogicalExpr>(VD->declarators()[0].Init);
+  EXPECT_EQ(Or->op(), LogicalOp::Or);
+  EXPECT_EQ(cast<LogicalExpr>(Or->lhs())->op(), LogicalOp::And);
+}
+
+TEST(ParserTest, ConditionalExpression) {
+  Parsed P = parse("var x = c ? 1 : 2;");
+  auto *VD = cast<VarDeclStmt>(firstStmt(P));
+  EXPECT_EQ(VD->declarators()[0].Init->kind(), NodeKind::Conditional);
+}
+
+TEST(ParserTest, UpdatePrefixPostfix) {
+  Parsed P = parse("++i; j--;");
+  const auto &Body = P.M->Func->body()->body();
+  auto *Pre = cast<UpdateExpr>(cast<ExprStmt>(Body[0])->expr());
+  EXPECT_TRUE(Pre->isPrefix());
+  EXPECT_TRUE(Pre->isIncrement());
+  auto *Post = cast<UpdateExpr>(cast<ExprStmt>(Body[1])->expr());
+  EXPECT_FALSE(Post->isPrefix());
+  EXPECT_FALSE(Post->isIncrement());
+}
+
+TEST(ParserTest, ControlFlowStatements) {
+  Parsed P = parse("if (a) { b; } else c;\n"
+                   "while (x) { break; }\n"
+                   "do { continue; } while (y);\n"
+                   "for (var i = 0; i < 10; i++) {}\n"
+                   "for (;;) { break; }\n"
+                   "switch (v) { case 1: a; break; default: b; }\n"
+                   "try { t(); } catch (e) { h(e); } finally { f(); }\n"
+                   "throw err;");
+  EXPECT_FALSE(P.Diags.hasErrors());
+  const auto &Body = P.M->Func->body()->body();
+  EXPECT_EQ(Body[0]->kind(), NodeKind::If);
+  EXPECT_EQ(Body[1]->kind(), NodeKind::While);
+  EXPECT_EQ(Body[2]->kind(), NodeKind::DoWhile);
+  EXPECT_EQ(Body[3]->kind(), NodeKind::For);
+  EXPECT_EQ(Body[4]->kind(), NodeKind::For);
+  EXPECT_EQ(Body[5]->kind(), NodeKind::Switch);
+  EXPECT_EQ(Body[6]->kind(), NodeKind::Try);
+  EXPECT_EQ(Body[7]->kind(), NodeKind::Throw);
+}
+
+TEST(ParserTest, ForInWithDecl) {
+  Parsed P = parse("for (var k in obj) { use(k); }");
+  auto *L = cast<ForInStmt>(firstStmt(P));
+  ASSERT_NE(L->decl(), nullptr);
+  EXPECT_FALSE(L->isOf());
+}
+
+TEST(ParserTest, ForOfWithDecl) {
+  Parsed P = parse("for (const x of arr) { use(x); }");
+  auto *L = cast<ForInStmt>(firstStmt(P));
+  ASSERT_NE(L->decl(), nullptr);
+  EXPECT_TRUE(L->isOf());
+}
+
+TEST(ParserTest, ForInWithExistingTarget) {
+  Parsed P = parse("var k; for (k in obj) {}");
+  auto *L = cast<ForInStmt>(P.M->Func->body()->body()[1]);
+  EXPECT_EQ(L->decl(), nullptr);
+  ASSERT_NE(L->target(), nullptr);
+  EXPECT_EQ(L->target()->kind(), NodeKind::Ident);
+}
+
+TEST(ParserTest, SequenceExpression) {
+  Parsed P = parse("a, b, c;");
+  auto *S = cast<SequenceExpr>(firstExpr(P));
+  EXPECT_EQ(S->exprs().size(), 3u);
+}
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  Parsed P = parse("var x = 1 var y = 2;", /*ExpectErrors=*/true);
+  EXPECT_TRUE(P.Diags.hasErrors());
+}
+
+TEST(ParserTest, ErrorRecoveryKeepsGoing) {
+  Parsed P = parse("var = ;\n var ok = 1;", /*ExpectErrors=*/true);
+  EXPECT_TRUE(P.Diags.hasErrors());
+  // The second statement must still be present.
+  bool FoundOk = false;
+  for (Stmt *S : P.M->Func->body()->body())
+    if (auto *VD = dyn_cast<VarDeclStmt>(S))
+      for (const auto &D : VD->declarators())
+        if (P.Ctx->strings().str(D.Decl->name()) == "ok")
+          FoundOk = true;
+  EXPECT_TRUE(FoundOk);
+}
+
+TEST(ParserTest, MotivatingExampleExpressCode) {
+  // Figure 1(d) of the paper, nearly verbatim.
+  Parsed P = parse(
+      "var methods = require('methods');\n"
+      "var app = exports = module.exports = {};\n"
+      "methods.forEach(function(method) {\n"
+      "  app[method] = function(path) {\n"
+      "    var route = this._router.route(path);\n"
+      "    route[method].apply(route, slice.call(arguments, 1));\n"
+      "    return this;\n"
+      "  };\n"
+      "});\n"
+      "app.listen = function listen() {\n"
+      "  var server = http.createServer(this);\n"
+      "  return server.listen.apply(server, arguments);\n"
+      "};\n");
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.render(P.Ctx->files());
+}
+
+TEST(ParserTest, AllocationSiteLocsAreDistinct) {
+  Parsed P = parse("var a = {};\nvar b = {};\nvar f = function() {};");
+  const auto &Body = P.M->Func->body()->body();
+  SourceLoc L1 = cast<VarDeclStmt>(Body[0])->declarators()[0].Init->loc();
+  SourceLoc L2 = cast<VarDeclStmt>(Body[1])->declarators()[0].Init->loc();
+  SourceLoc L3 = cast<VarDeclStmt>(Body[2])->declarators()[0].Init->loc();
+  EXPECT_NE(L1, L2);
+  EXPECT_NE(L2, L3);
+  EXPECT_EQ(L1.Line, 1u);
+  EXPECT_EQ(L2.Line, 2u);
+  EXPECT_EQ(L3.Line, 3u);
+}
+
+TEST(ParserTest, EvalParsingMarksInEval) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  Parser Par(Ctx, Diags);
+  Module *M = Par.parseModule("app/main.js", "app", "var host = 1;");
+  ASSERT_NE(M, nullptr);
+  Parser EvalParser(Ctx, Diags);
+  FunctionDef *F = EvalParser.parseEval("var inner = function() {};", M->Func,
+                                        SourceLoc(0, 1, 1));
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->isInEval());
+  EXPECT_EQ(F->parent(), M->Func);
+  // Nested functions inherit the in-eval flag.
+  bool FoundNested = false;
+  for (const auto &Fn : Ctx.functions())
+    if (Fn.get() != F && !Fn->isModule() && Fn->isInEval())
+      FoundNested = true;
+  EXPECT_TRUE(FoundNested);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(ParserTest, EvalParseErrorReturnsNull) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  Parser Par(Ctx, Diags);
+  Module *M = Par.parseModule("app/main.js", "app", "var x = 1;");
+  Parser EvalParser(Ctx, Diags);
+  FunctionDef *F =
+      EvalParser.parseEval("var = broken(", M->Func, SourceLoc(0, 1, 1));
+  EXPECT_EQ(F, nullptr);
+}
+
+TEST(ParserTest, PrinterSmokeTest) {
+  Parsed P = parse("var x = a.b[c](1, 'two');");
+  AstPrinter Printer(*P.Ctx);
+  std::string Out = Printer.printFunction(P.M->Func);
+  EXPECT_NE(Out.find("(call"), std::string::npos);
+  EXPECT_NE(Out.find("(member-dyn"), std::string::npos);
+  EXPECT_NE(Out.find("(string \"two\")"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- PipelineTest.cpp - End-to-end pipeline tests --------------------------===//
+
+#include "callgraph/VulnerabilityScan.h"
+#include "corpus/BenchmarkSuite.h"
+#include "corpus/MotivatingExample.h"
+#include "corpus/PatternGenerators.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+TEST(PipelineTest, MotivatingExampleReport) {
+  Pipeline P;
+  ProjectReport R = P.analyzeProject(motivatingExampleProject());
+  EXPECT_EQ(R.Name, "motivating-example");
+  EXPECT_GT(R.NumHints, 0u);
+  EXPECT_GT(R.NumFunctions, 0u);
+  EXPECT_GT(R.Extended.NumCallEdges, R.Baseline.NumCallEdges)
+      << "hints must add call edges on the motivating example";
+  EXPECT_GT(R.Extended.NumReachableFunctions,
+            R.Baseline.NumReachableFunctions);
+  ASSERT_TRUE(R.HasDynamicCG);
+  EXPECT_GT(R.DynamicEdges, 0u);
+  EXPECT_GT(R.ExtendedRP.Recall, R.BaselineRP.Recall)
+      << "recall must improve (paper: 75.9% -> 88.1% on average)";
+  EXPECT_GE(R.BaselineRP.Precision, 0.5);
+  EXPECT_GE(R.ExtendedRP.Precision, 0.5);
+}
+
+TEST(PipelineTest, TimingsArePopulated) {
+  Pipeline P;
+  Rng R(3);
+  ProjectReport Rep = P.analyzeProject(makeExpressLike(R, 1));
+  EXPECT_GT(Rep.BaselineSeconds, 0.0);
+  EXPECT_GT(Rep.ApproxSeconds, 0.0);
+  EXPECT_GT(Rep.ExtendedSeconds, 0.0);
+}
+
+TEST(PipelineTest, ExpressLikeShapeMatchesPaper) {
+  Pipeline P;
+  Rng R(11);
+  ProjectSpec Spec = makeExpressLike(R, 2);
+  Spec.Name = "express-like-shape";
+  ProjectReport Rep = P.analyzeProject(Spec);
+  // The dominant pattern family: hints must recover substantial dataflow.
+  EXPECT_GT(Rep.Extended.NumCallEdges, Rep.Baseline.NumCallEdges);
+  EXPECT_GE(Rep.Extended.resolvedFraction(),
+            Rep.Baseline.resolvedFraction());
+  ASSERT_TRUE(Rep.HasDynamicCG);
+  EXPECT_GT(Rep.ExtendedRP.Recall, Rep.BaselineRP.Recall);
+  // Precision should not collapse (paper: -1.5% on average).
+  EXPECT_GE(Rep.ExtendedRP.Precision, Rep.BaselineRP.Precision - 0.25);
+}
+
+TEST(PipelineTest, UtilityLibControlGroupBarelyChanges) {
+  Pipeline P;
+  Rng R(13);
+  ProjectSpec Spec = makeUtilityLib(R, 1);
+  Spec.Name = "utility-lib-control";
+  ProjectReport Rep = P.analyzeProject(Spec);
+  // Statically-easy code: baseline already resolves it; hints add little.
+  ASSERT_TRUE(Rep.HasDynamicCG);
+  EXPECT_GE(Rep.BaselineRP.Recall, 0.95)
+      << "the control group must be easy for the baseline";
+  EXPECT_LE(Rep.Extended.NumCallEdges,
+            Rep.Baseline.NumCallEdges + Rep.Baseline.NumCallEdges / 5)
+      << "hints should not inflate easy projects much";
+}
+
+TEST(PipelineTest, DynamicLoaderNeedsModuleHints) {
+  Pipeline P;
+  Rng R(17);
+  ProjectSpec Spec = makeDynamicLoader(R, 1);
+  Spec.Name = "dynamic-loader-hints";
+  ProjectReport Rep = P.analyzeProject(Spec);
+  EXPECT_GT(Rep.Extended.NumReachableFunctions,
+            Rep.Baseline.NumReachableFunctions)
+      << "module hints make feature packages reachable";
+}
+
+TEST(PipelineTest, VulnerabilityStudyShape) {
+  // With hints, at least as many dependency vulnerabilities are reachable,
+  // and reachable-function counts grow (the Section 5 study's shape).
+  Pipeline P;
+  size_t BaseReach = 0, ExtReach = 0, Total = 0;
+  for (unsigned Seed : {21u, 22u, 23u}) {
+    Rng R(Seed);
+    ProjectSpec Spec = makeExpressLike(R, 1);
+    Spec.Name = "vuln-study-" + std::to_string(Seed);
+    ProjectAnalyzer A(Spec);
+    AnalysisResult Base = A.analyze(AnalysisMode::Baseline);
+    AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+    VulnerabilityReport BaseRep =
+        scanVulnerabilities(A.context(), Base, "app");
+    VulnerabilityReport ExtRep = scanVulnerabilities(A.context(), Ext, "app");
+    EXPECT_EQ(BaseRep.NumTotal, ExtRep.NumTotal);
+    Total += BaseRep.NumTotal;
+    BaseReach += BaseRep.NumReachable;
+    ExtReach += ExtRep.NumReachable;
+  }
+  EXPECT_GT(Total, 0u);
+  EXPECT_GE(ExtReach, BaseReach);
+  EXPECT_LT(ExtReach, Total) << "most vulnerabilities stay dormant";
+}
+
+TEST(PipelineTest, ProjectAnalyzerCachesHints) {
+  ProjectAnalyzer A(motivatingExampleProject());
+  const HintSet &H1 = A.hints();
+  const HintSet &H2 = A.hints();
+  EXPECT_EQ(&H1, &H2);
+  EXPECT_GT(A.approxStats().NumFunctionsVisited, 0u);
+  EXPECT_GT(A.approxStats().visitedFraction(), 0.3)
+      << "approximate interpretation should visit a large share of "
+         "functions (paper: ~60%)";
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  auto Run = [] {
+    Pipeline P;
+    Rng R(29);
+    ProjectSpec Spec = makeEventHub(R, 1);
+    Spec.Name = "determinism";
+    ProjectReport Rep = P.analyzeProject(Spec);
+    return std::make_tuple(Rep.NumHints, Rep.Baseline.NumCallEdges,
+                           Rep.Extended.NumCallEdges,
+                           Rep.Extended.NumReachableFunctions);
+  };
+  EXPECT_EQ(Run(), Run());
+}
+
+TEST(PipelineTest, WholeSuiteSmokeRun) {
+  // A fast pass over a slice of the full suite: every fourth project, all
+  // phases; catches generator/analysis integration regressions.
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+  Pipeline P;
+  size_t Analyzed = 0, Improved = 0;
+  for (size_t I = 0; I < Suite.size(); I += 8) {
+    ProjectReport Rep = P.analyzeProject(Suite[I]);
+    ++Analyzed;
+    if (Rep.Extended.NumCallEdges > Rep.Baseline.NumCallEdges)
+      ++Improved;
+    EXPECT_GE(Rep.Extended.NumCallEdges, Rep.Baseline.NumCallEdges)
+        << Suite[I].Name << ": hints must never lose edges";
+  }
+  EXPECT_GE(Analyzed, 17u);
+  EXPECT_GE(Improved, Analyzed / 2)
+      << "most projects should gain call edges (paper: +55.1% on average)";
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- PropertySweepTest.cpp - Property-based corpus sweeps ------------------===//
+//
+// Parameterized invariants over many generated projects (seed x pattern x
+// size): the relations that must hold for ANY program, regardless of the
+// metric values — hint monotonicity, metric consistency, determinism, and
+// soundness of the relational rules relative to the baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/VulnerabilityScan.h"
+#include "corpus/PatternGenerators.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+using GeneratorFn = ProjectSpec (*)(Rng &, unsigned);
+
+struct SweepParam {
+  GeneratorFn Fn;
+  const char *Pattern;
+  uint64_t Seed;
+  unsigned Size;
+};
+
+class CorpusInvariantTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(CorpusInvariantTest, HoldsOnGeneratedProject) {
+  const SweepParam &P = GetParam();
+  Rng R(P.Seed);
+  ProjectSpec Spec = P.Fn(R, P.Size);
+  Spec.Name = std::string(P.Pattern) + "-sweep";
+
+  ProjectAnalyzer A(Spec);
+  EXPECT_FALSE(A.diagnostics().hasErrors())
+      << A.diagnostics().render(A.context().files());
+
+  AnalysisResult Base = A.analyze(AnalysisMode::Baseline);
+  AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+  AnalysisResult Over = A.analyze(AnalysisMode::OverApprox);
+
+  // --- Metric consistency (any mode).
+  for (const AnalysisResult *Res : {&Base, &Ext, &Over}) {
+    EXPECT_LE(Res->NumResolvedCallSites, Res->NumCallSites);
+    EXPECT_LE(Res->NumMonomorphicCallSites, Res->NumCallSites);
+    EXPECT_GE(Res->NumCallEdges, Res->NumResolvedCallSites);
+    EXPECT_EQ(Res->NumReachableFunctions, Res->ReachableFunctions.size());
+    EXPECT_GE(Res->resolvedFraction(), 0.0);
+    EXPECT_LE(Res->resolvedFraction(), 1.0);
+  }
+  EXPECT_EQ(Base.NumCallSites, Ext.NumCallSites)
+      << "hint application must not change the call-site population";
+
+  // --- Hint monotonicity: the extended call graph contains the baseline.
+  for (const auto &[Site, Callees] : Base.CG.edges())
+    for (const SourceLoc &Callee : Callees)
+      EXPECT_TRUE(Ext.CG.hasEdge(Site, Callee))
+          << "hints lost a baseline edge at "
+          << A.context().files().format(Site);
+  EXPECT_GE(Ext.NumCallEdges, Base.NumCallEdges);
+  EXPECT_GE(Ext.NumReachableFunctions, Base.NumReachableFunctions);
+  EXPECT_GE(Ext.NumResolvedCallSites, Base.NumResolvedCallSites);
+  EXPECT_LE(Ext.NumMonomorphicCallSites, Base.NumMonomorphicCallSites + 1);
+
+  // --- Approximate interpretation sanity.
+  const ApproxStats &Stats = A.approxStats();
+  EXPECT_LE(Stats.NumFunctionsVisited, Stats.NumFunctionsTotal);
+  EXPECT_GE(Stats.visitedFraction(), 0.0);
+  EXPECT_LE(Stats.visitedFraction(), 1.0);
+
+  // --- Dynamic CG relations.
+  if (Spec.hasDynamicCallGraph()) {
+    const CallGraph &Dyn = A.dynamicCallGraph();
+    RecallPrecision BaseRP = compareCallGraphs(Base.CG, Dyn);
+    RecallPrecision ExtRP = compareCallGraphs(Ext.CG, Dyn);
+    EXPECT_GE(ExtRP.Recall, BaseRP.Recall - 1e-9);
+    EXPECT_GE(ExtRP.Recall, 0.0);
+    EXPECT_LE(ExtRP.Recall, 1.0);
+    EXPECT_GE(ExtRP.Precision, 0.0);
+    EXPECT_LE(ExtRP.Precision, 1.0);
+    // Over-approximation is at least as sound as hints on dynamic writes.
+    RecallPrecision OverRP = compareCallGraphs(Over.CG, Dyn);
+    EXPECT_GE(OverRP.Recall + 1e-9, BaseRP.Recall);
+  }
+
+  // --- Vulnerability scan consistency.
+  VulnerabilityReport Rep = scanVulnerabilities(A.context(), Ext, "app");
+  EXPECT_LE(Rep.NumReachable, Rep.NumTotal);
+
+  // --- Determinism: a fresh analyzer reproduces the numbers exactly.
+  Rng R2(P.Seed);
+  ProjectSpec Spec2 = P.Fn(R2, P.Size);
+  Spec2.Name = Spec.Name;
+  ProjectAnalyzer A2(Spec2);
+  AnalysisResult Ext2 = A2.analyze(AnalysisMode::Hints);
+  EXPECT_EQ(Ext2.NumCallEdges, Ext.NumCallEdges);
+  EXPECT_EQ(Ext2.NumReachableFunctions, Ext.NumReachableFunctions);
+  EXPECT_EQ(A2.hints().size(), A.hints().size());
+}
+
+std::vector<SweepParam> sweepParams() {
+  const std::pair<GeneratorFn, const char *> Gens[] = {
+      {&makeExpressLike, "express"},   {&makeEventHub, "eventhub"},
+      {&makePluginRegistry, "plugreg"}, {&makeOopLibrary, "oop"},
+      {&makeDelegator, "delegator"},    {&makeEvalInit, "evalinit"},
+      {&makeDynamicLoader, "dynload"},  {&makeUtilityLib, "utility"},
+      {&makeMiddlewareChain, "midware"},
+  };
+  std::vector<SweepParam> Out;
+  for (const auto &[Fn, Name] : Gens)
+    for (uint64_t Seed : {101u, 202u, 303u})
+      for (unsigned Size : {0u, 2u})
+        Out.push_back({Fn, Name, Seed, Size});
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CorpusInvariantTest, ::testing::ValuesIn(sweepParams()),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      return std::string(Info.param.Pattern) + "_s" +
+             std::to_string(Info.param.Seed) + "_z" +
+             std::to_string(Info.param.Size);
+    });
+
+} // namespace

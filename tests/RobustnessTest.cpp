@@ -1,0 +1,235 @@
+//===- RobustnessTest.cpp - Failure injection and hostile inputs -------------===//
+//
+// The pipeline must degrade gracefully: parse errors in one module, crashes
+// in top-level code, exhausted budgets, garbage hint files, and pathological
+// inputs must never take down an analysis run (an analyzer that dies on one
+// dependency is useless for whole-program work).
+//
+//===----------------------------------------------------------------------===//
+
+#include "approx/ApproxInterpreter.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+TEST(RobustnessTest, ParseErrorInOneModuleDoesNotBlockOthers) {
+  ProjectSpec Spec;
+  Spec.Name = "partial-parse";
+  Spec.Files.addFile("app/main.js", "var lib = require('good');\n"
+                                    "lib.fine();");
+  Spec.Files.addFile("good/index.js", "exports.fine = function fine() {};");
+  Spec.Files.addFile("broken/index.js", "var = ;;; function ( {");
+  ProjectAnalyzer A(Spec);
+  EXPECT_TRUE(A.diagnostics().hasErrors()) << "the broken module must report";
+  // The analyses still run over the well-formed modules.
+  AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+  FileId AppF = A.context().files().lookup("app/main.js");
+  bool Found = false;
+  for (const auto &[Site, Callees] : Ext.CG.edges())
+    if (Site.File == AppF && Site.Line == 2 && !Callees.empty())
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(RobustnessTest, ThrowingTopLevelModule) {
+  ProjectSpec Spec;
+  Spec.Name = "throwing-module";
+  Spec.Files.addFile("app/main.js",
+                     "var ok = require('stable');\n"
+                     "var boom = require('exploder');\n" // Throws on load.
+                     "ok.use();");
+  Spec.Files.addFile("stable/index.js", "exports.use = function use() {};");
+  Spec.Files.addFile("exploder/index.js",
+                     "throw new Error('init failure');");
+  ProjectAnalyzer A(Spec);
+  // Approximate interpretation records what it can before/around the throw.
+  EXPECT_NO_FATAL_FAILURE(A.hints());
+  AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+  EXPECT_GT(Ext.NumCallSites, 0u);
+}
+
+TEST(RobustnessTest, InfiniteLoopInLibraryOnlyCostsItsBudget) {
+  ProjectSpec Spec;
+  Spec.Name = "spinner";
+  Spec.Files.addFile("app/main.js",
+                     "var spin = require('spinner');\n"
+                     "var sane = require('sane');\n"
+                     "sane.register();");
+  Spec.Files.addFile("spinner/index.js",
+                     "exports.spin = function spin() {\n"
+                     "  while (true) { var x = 1; }\n"
+                     "};");
+  Spec.Files.addFile("sane/index.js",
+                     "exports.register = function register() {\n"
+                     "  var t = {};\n"
+                     "  t['k' + ''] = function target() {};\n"
+                     "};");
+  ApproxOptions Opts;
+  Opts.MaxLoopIterations = 500;
+  ProjectAnalyzer A(Spec, Opts);
+  const HintSet &Hints = A.hints();
+  EXPECT_GE(A.approxStats().NumAborts, 1u) << "spin() must hit the budget";
+  bool FoundSaneHint = false;
+  for (const WriteHint &W : Hints.writeHints())
+    if (W.Prop == "k")
+      FoundSaneHint = true;
+  EXPECT_TRUE(FoundSaneHint) << "the abort must not lose other hints";
+}
+
+TEST(RobustnessTest, MissingRequireTargetInDriver) {
+  ProjectSpec Spec;
+  Spec.Name = "missing-dep";
+  Spec.Files.addFile("app/main.js", "function before() {}\n"
+                                    "before();\n"
+                                    "require('not-installed');\n"
+                                    "function after() {}\n"
+                                    "after();");
+  Spec.TestDriver = "app/main.js";
+  ProjectAnalyzer A(Spec);
+  const CallGraph &Dyn = A.dynamicCallGraph();
+  // Edges up to the failing require are recorded.
+  EXPECT_GE(Dyn.numEdges(), 1u);
+  // The static analyses are unaffected by the runtime failure.
+  AnalysisResult Base = A.analyze(AnalysisMode::Baseline);
+  EXPECT_GE(Base.NumCallEdges, 2u);
+}
+
+TEST(RobustnessTest, EmptyAndTrivialProjects) {
+  for (const char *Source : {"", ";;;", "// only a comment\n"}) {
+    ProjectSpec Spec;
+    Spec.Name = "trivial";
+    Spec.Files.addFile("app/main.js", Source);
+    ProjectAnalyzer A(Spec);
+    EXPECT_EQ(A.hints().size(), 0u);
+    AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+    EXPECT_EQ(Ext.NumCallEdges, 0u);
+    EXPECT_EQ(Ext.NumCallSites, 0u);
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedExpressionsParse) {
+  std::string Source = "var x = ";
+  for (int I = 0; I != 200; ++I)
+    Source += "(1 + ";
+  Source += "0";
+  for (int I = 0; I != 200; ++I)
+    Source += ")";
+  Source += ";";
+  ProjectSpec Spec;
+  Spec.Name = "deep-nesting";
+  Spec.Files.addFile("app/main.js", Source);
+  ProjectAnalyzer A(Spec);
+  EXPECT_FALSE(A.diagnostics().hasErrors());
+  EXPECT_NO_FATAL_FAILURE(A.analyze(AnalysisMode::Baseline));
+}
+
+TEST(RobustnessTest, LargeArrayLiteral) {
+  std::string Source = "var a = [";
+  for (int I = 0; I != 5000; ++I) {
+    if (I)
+      Source += ",";
+    Source += std::to_string(I);
+  }
+  Source += "];\nvar total = a.length;";
+  ProjectSpec Spec;
+  Spec.Name = "large-array";
+  Spec.Files.addFile("app/main.js", Source);
+  ProjectAnalyzer A(Spec);
+  EXPECT_FALSE(A.diagnostics().hasErrors());
+  EXPECT_NO_FATAL_FAILURE(A.hints());
+}
+
+TEST(RobustnessTest, GarbageHintFileDeserializesToEmpty) {
+  FileTable Files;
+  Files.add("app/main.js");
+  for (const char *Garbage :
+       {"", "not hints at all", "R |||| ||||", "W x y z extra junk",
+        "R app/main.js|abc|def app/main.js|1|1|O\n",
+        "jsai-hints v1\nX unknown-kind a b\n"}) {
+    HintSet H = HintSet::deserialize(Garbage, Files);
+    EXPECT_EQ(H.size(), 0u) << "garbage: " << Garbage;
+  }
+}
+
+TEST(RobustnessTest, HintsAgainstWrongProjectAreHarmless) {
+  // Hints produced for one project applied to a different project with the
+  // same file names must not crash (locations simply fail to resolve).
+  ProjectSpec A1;
+  A1.Name = "first";
+  A1.Files.addFile("app/main.js", "var o = {};\n"
+                                  "o['k' + ''] = function f() {};\n"
+                                  "o.k();");
+  ProjectAnalyzer An1(A1);
+  std::string Portable = An1.hints().serialize(An1.context().files());
+
+  ProjectSpec A2;
+  A2.Name = "second";
+  A2.Files.addFile("app/main.js", "function unrelated() {}\nunrelated();");
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  ModuleLoader Loader(Ctx, A2.Files, Diags);
+  Loader.parseAll();
+  HintSet Imported = HintSet::deserialize(Portable, Ctx.files());
+  AnalysisOptions Opts;
+  Opts.Mode = AnalysisMode::Hints;
+  StaticAnalysis SA(Loader, Opts, &Imported);
+  AnalysisResult Res = SA.run();
+  EXPECT_EQ(Res.NumCallEdges, 1u) << "only the real edge survives";
+}
+
+TEST(RobustnessTest, RecursiveDataStructuresInToString) {
+  // Cyclic object graphs must not hang stringification (depth-limited).
+  ProjectSpec Spec;
+  Spec.Name = "cycle";
+  Spec.Files.addFile("app/main.js", "var a = {};\n"
+                                    "var b = { a: a };\n"
+                                    "a.b = b;\n"
+                                    "var s = JSON.stringify(a);\n"
+                                    "console.log(typeof s);");
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  ModuleLoader Loader(Ctx, Spec.Files, Diags);
+  Interpreter I(Loader);
+  Completion C = I.loadModule("app/main.js");
+  EXPECT_FALSE(C.isAbort());
+}
+
+TEST(RobustnessTest, SelfRequiringModule) {
+  ProjectSpec Spec;
+  Spec.Name = "self-require";
+  Spec.Files.addFile("app/main.js", "var self = require('./main');\n"
+                                    "exports.marker = 'set';");
+  ProjectAnalyzer A(Spec);
+  EXPECT_NO_FATAL_FAILURE(A.hints());
+  EXPECT_NO_FATAL_FAILURE(A.analyze(AnalysisMode::Hints));
+}
+
+TEST(RobustnessTest, ManyModulesScale) {
+  // 200 modules requiring each other in a chain: parsing, approximate
+  // interpretation, and analysis all stay linear-ish and complete.
+  ProjectSpec Spec;
+  Spec.Name = "chain-200";
+  for (int I = 0; I != 200; ++I) {
+    std::string Source;
+    if (I + 1 != 200)
+      Source += "var next = require('m" + std::to_string(I + 1) + "');\n";
+    Source += "exports.step = function step" + std::to_string(I) +
+              "() { return " + std::to_string(I) + "; };\n";
+    Source += "exports.step();\n";
+    if (I == 0)
+      Spec.Files.addFile("app/main.js",
+                         "var chain = require('m1');\nchain.step();");
+    Spec.Files.addFile("m" + std::to_string(I) + "/index.js", Source);
+  }
+  ProjectAnalyzer A(Spec);
+  EXPECT_FALSE(A.diagnostics().hasErrors());
+  AnalysisResult Ext = A.analyze(AnalysisMode::Hints);
+  EXPECT_GT(Ext.NumReachableFunctions, 150u)
+      << "the whole chain is reachable through require edges";
+}
+
+} // namespace

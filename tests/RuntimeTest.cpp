@@ -1,0 +1,188 @@
+//===- RuntimeTest.cpp - Unit tests for values, objects, environments --------===//
+
+#include "runtime/Heap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace jsai;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::undefined().isUndefined());
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_TRUE(Value::undefined().isNullish());
+  EXPECT_TRUE(Value::null().isNullish());
+  EXPECT_FALSE(Value::number(0).isNullish());
+  EXPECT_EQ(Value::boolean(true).asBoolean(), true);
+  EXPECT_EQ(Value::number(3.5).asNumber(), 3.5);
+  EXPECT_EQ(Value::str("hi").asString(), "hi");
+}
+
+TEST(ValueTest, ToBoolean) {
+  EXPECT_FALSE(Value::undefined().toBoolean());
+  EXPECT_FALSE(Value::null().toBoolean());
+  EXPECT_FALSE(Value::number(0).toBoolean());
+  EXPECT_FALSE(Value::number(std::nan("")).toBoolean());
+  EXPECT_FALSE(Value::str("").toBoolean());
+  EXPECT_TRUE(Value::number(-1).toBoolean());
+  EXPECT_TRUE(Value::str("0").toBoolean());
+}
+
+TEST(ValueTest, StrictEquals) {
+  EXPECT_TRUE(Value::strictEquals(Value::number(1), Value::number(1)));
+  EXPECT_FALSE(Value::strictEquals(Value::number(std::nan("")),
+                                   Value::number(std::nan(""))))
+      << "NaN !== NaN";
+  EXPECT_TRUE(Value::strictEquals(Value::str("a"), Value::str("a")));
+  EXPECT_FALSE(Value::strictEquals(Value::str("1"), Value::number(1)));
+  EXPECT_TRUE(Value::strictEquals(Value::null(), Value::null()));
+  EXPECT_FALSE(Value::strictEquals(Value::null(), Value::undefined()));
+  Heap H;
+  Object *A = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Object *B = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  EXPECT_TRUE(Value::strictEquals(Value::object(A), Value::object(A)));
+  EXPECT_FALSE(Value::strictEquals(Value::object(A), Value::object(B)));
+}
+
+TEST(ValueTest, TypeOf) {
+  Heap H;
+  EXPECT_STREQ(Value::undefined().typeOf(), "undefined");
+  EXPECT_STREQ(Value::null().typeOf(), "object");
+  EXPECT_STREQ(Value::boolean(false).typeOf(), "boolean");
+  EXPECT_STREQ(Value::number(1).typeOf(), "number");
+  EXPECT_STREQ(Value::str("").typeOf(), "string");
+  Object *Plain = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  EXPECT_STREQ(Value::object(Plain).typeOf(), "object");
+  Object *Fn = H.newNative("f", nullptr);
+  EXPECT_STREQ(Value::object(Fn).typeOf(), "function");
+}
+
+//===----------------------------------------------------------------------===//
+// Object
+//===----------------------------------------------------------------------===//
+
+TEST(ObjectTest, InsertionOrderPreserved) {
+  Heap H;
+  Object *O = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  O->setOwn(3, Value::number(1));
+  O->setOwn(1, Value::number(2));
+  O->setOwn(2, Value::number(3));
+  std::vector<Symbol> Want = {3, 1, 2};
+  EXPECT_EQ(O->ownKeys(), Want);
+  // Overwrite keeps the original position.
+  O->setOwn(1, Value::number(9));
+  EXPECT_EQ(O->ownKeys(), Want);
+  EXPECT_EQ(O->getOwn(1)->asNumber(), 9);
+}
+
+TEST(ObjectTest, DeleteRemovesFromOrder) {
+  Heap H;
+  Object *O = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  O->setOwn(1, Value::number(1));
+  O->setOwn(2, Value::number(2));
+  EXPECT_TRUE(O->deleteOwn(1));
+  EXPECT_FALSE(O->deleteOwn(1));
+  std::vector<Symbol> Want = {2};
+  EXPECT_EQ(O->ownKeys(), Want);
+  // Re-insertion appends at the end.
+  O->setOwn(1, Value::number(1));
+  std::vector<Symbol> Want2 = {2, 1};
+  EXPECT_EQ(O->ownKeys(), Want2);
+}
+
+TEST(ObjectTest, PrototypeChainLookup) {
+  Heap H;
+  Object *Proto = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Object *O = H.newObject(ObjectClass::Plain, SourceLoc::invalid(), Proto);
+  Proto->setOwn(7, Value::str("inherited"));
+  EXPECT_FALSE(O->getOwn(7).has_value());
+  ASSERT_TRUE(O->get(7).has_value());
+  EXPECT_EQ(O->get(7)->asString(), "inherited");
+  EXPECT_TRUE(O->has(7));
+  EXPECT_FALSE(O->hasOwn(7));
+  // Shadowing.
+  O->setOwn(7, Value::str("own"));
+  EXPECT_EQ(O->get(7)->asString(), "own");
+}
+
+TEST(ObjectTest, CallablePayloads) {
+  Heap H;
+  Object *Plain = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  EXPECT_FALSE(Plain->isCallable());
+  Object *Native = H.newNative("n", nullptr);
+  EXPECT_TRUE(Native->isCallable());
+  EXPECT_EQ(Native->nativeName(), "n");
+  EXPECT_FALSE(Native->isProxy());
+  Object *Proxy = H.newObject(ObjectClass::Proxy, SourceLoc::invalid());
+  EXPECT_TRUE(Proxy->isProxy());
+}
+
+TEST(ObjectTest, BirthLocAndPrototypeFlag) {
+  Heap H;
+  SourceLoc Loc(2, 10, 4);
+  Object *O = H.newObject(ObjectClass::Plain, Loc);
+  EXPECT_EQ(O->birthLoc(), Loc);
+  EXPECT_FALSE(O->isFunctionPrototype());
+  O->setFunctionPrototype(true);
+  EXPECT_TRUE(O->isFunctionPrototype());
+  O->clearBirthLoc();
+  EXPECT_FALSE(O->birthLoc().isValid());
+}
+
+//===----------------------------------------------------------------------===//
+// Environment
+//===----------------------------------------------------------------------===//
+
+TEST(EnvironmentTest, LookupWalksChain) {
+  Heap H;
+  Environment *Outer = H.newEnvironment(nullptr);
+  Environment *Inner = H.newEnvironment(Outer);
+  Outer->define(1, Value::number(10));
+  ASSERT_NE(Inner->lookup(1), nullptr);
+  EXPECT_EQ(Inner->lookup(1)->asNumber(), 10);
+  EXPECT_EQ(Inner->lookup(99), nullptr);
+}
+
+TEST(EnvironmentTest, ShadowingAndAssignment) {
+  Heap H;
+  Environment *Outer = H.newEnvironment(nullptr);
+  Environment *Inner = H.newEnvironment(Outer);
+  Outer->define(1, Value::number(10));
+  Inner->define(1, Value::number(20));
+  EXPECT_EQ(Inner->lookup(1)->asNumber(), 20);
+  EXPECT_EQ(Outer->lookup(1)->asNumber(), 10);
+  // Assignment hits the nearest binding.
+  EXPECT_TRUE(Inner->assign(1, Value::number(21)));
+  EXPECT_EQ(Inner->lookup(1)->asNumber(), 21);
+  EXPECT_EQ(Outer->lookup(1)->asNumber(), 10);
+  // Assignment through to the outer frame.
+  Outer->define(2, Value::number(5));
+  EXPECT_TRUE(Inner->assign(2, Value::number(6)));
+  EXPECT_EQ(Outer->lookup(2)->asNumber(), 6);
+  // Unbound assignment reports false.
+  EXPECT_FALSE(Inner->assign(42, Value::number(0)));
+}
+
+//===----------------------------------------------------------------------===//
+// Heap
+//===----------------------------------------------------------------------===//
+
+TEST(HeapTest, AllocationKindsAndCounting) {
+  Heap H;
+  EXPECT_EQ(H.numObjects(), 0u);
+  Object *Arr = H.newArray(SourceLoc::invalid(),
+                           {Value::number(1), Value::number(2)});
+  EXPECT_EQ(Arr->objectClass(), ObjectClass::Array);
+  EXPECT_EQ(Arr->elements().size(), 2u);
+  H.newNative("x", nullptr);
+  EXPECT_EQ(H.numObjects(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+//===- SupportTest.cpp - Tests for the support library --------------------===//
+
+#include "support/BitSet.h"
+#include "support/Diagnostics.h"
+#include "support/JsNumber.h"
+#include "support/Rng.h"
+#include "support/SourceLoc.h"
+#include "support/StringPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace jsai;
+
+//===----------------------------------------------------------------------===//
+// SourceLoc / FileTable
+//===----------------------------------------------------------------------===//
+
+TEST(SourceLocTest, InvalidByDefault) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc, SourceLoc::invalid());
+}
+
+TEST(SourceLocTest, EqualityAndOrdering) {
+  SourceLoc A(0, 1, 2), B(0, 1, 2), C(0, 1, 3), D(1, 0, 0);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_LT(A, C);
+  EXPECT_LT(C, D);
+}
+
+TEST(SourceLocTest, KeyIsInjectiveForDistinctLocs) {
+  SourceLoc A(1, 10, 4), B(1, 10, 5), C(1, 11, 4), D(2, 10, 4);
+  std::set<uint64_t> Keys = {A.key(), B.key(), C.key(), D.key()};
+  EXPECT_EQ(Keys.size(), 4u);
+}
+
+TEST(FileTableTest, AddIsIdempotent) {
+  FileTable Files;
+  FileId A = Files.add("app/main.js");
+  FileId B = Files.add("express/index.js");
+  FileId A2 = Files.add("app/main.js");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Files.name(A), "app/main.js");
+  EXPECT_EQ(Files.size(), 2u);
+}
+
+TEST(FileTableTest, LookupMissingReturnsInvalid) {
+  FileTable Files;
+  EXPECT_EQ(Files.lookup("nope.js"), InvalidFileId);
+}
+
+TEST(FileTableTest, FormatRendersFileLineCol) {
+  FileTable Files;
+  FileId F = Files.add("a.js");
+  EXPECT_EQ(Files.format(SourceLoc(F, 3, 7)), "a.js:3:7");
+  EXPECT_EQ(Files.format(SourceLoc::invalid()), "<unknown>");
+}
+
+//===----------------------------------------------------------------------===//
+// StringPool
+//===----------------------------------------------------------------------===//
+
+TEST(StringPoolTest, InternDeduplicates) {
+  StringPool Pool;
+  Symbol A = Pool.intern("get");
+  Symbol B = Pool.intern("listen");
+  Symbol A2 = Pool.intern("get");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Pool.str(A), "get");
+  EXPECT_EQ(Pool.str(B), "listen");
+}
+
+TEST(StringPoolTest, LookupWithoutIntern) {
+  StringPool Pool;
+  EXPECT_EQ(Pool.lookup("missing"), InvalidSymbol);
+  Symbol S = Pool.intern("present");
+  EXPECT_EQ(Pool.lookup("present"), S);
+}
+
+TEST(StringPoolTest, EmptyStringIsInternable) {
+  StringPool Pool;
+  Symbol S = Pool.intern("");
+  EXPECT_EQ(Pool.str(S), "");
+  EXPECT_EQ(Pool.intern(""), S);
+}
+
+//===----------------------------------------------------------------------===//
+// BitSet
+//===----------------------------------------------------------------------===//
+
+TEST(BitSetTest, InsertAndContains) {
+  BitSet S;
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_TRUE(S.insert(63));
+  EXPECT_TRUE(S.insert(64));
+  EXPECT_TRUE(S.insert(1000));
+  EXPECT_FALSE(S.insert(64)) << "double insert must report no change";
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_TRUE(S.contains(1000));
+  EXPECT_FALSE(S.contains(1));
+  EXPECT_FALSE(S.contains(2000));
+  EXPECT_EQ(S.count(), 4u);
+}
+
+TEST(BitSetTest, UnionWithReportsChange) {
+  BitSet A, B;
+  A.insert(1);
+  A.insert(100);
+  B.insert(100);
+  B.insert(200);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_EQ(A.count(), 3u);
+  EXPECT_FALSE(A.unionWith(B)) << "second union must be a no-op";
+}
+
+TEST(BitSetTest, ForEachAscending) {
+  BitSet S;
+  for (uint32_t V : {5u, 300u, 64u, 0u})
+    S.insert(V);
+  std::vector<uint32_t> Got = S.toVector();
+  std::vector<uint32_t> Want = {0, 5, 64, 300};
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(BitSetTest, EqualityIgnoresTrailingZeros) {
+  BitSet A, B;
+  A.insert(3);
+  B.insert(3);
+  B.insert(500);
+  EXPECT_FALSE(A == B);
+  A.insert(500);
+  EXPECT_TRUE(A == B);
+  // Extend A's storage without changing membership.
+  A.insert(4000);
+  BitSet C;
+  C.insert(3);
+  C.insert(500);
+  C.insert(4000);
+  EXPECT_TRUE(A == C);
+}
+
+TEST(BitSetTest, EmptySet) {
+  BitSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_TRUE(S == BitSet());
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(Rng(42).next(), C.next());
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.range(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng R(9);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0));
+    EXPECT_TRUE(R.chance(100));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JsNumber
+//===----------------------------------------------------------------------===//
+
+TEST(JsNumberTest, ToStringIntegers) {
+  EXPECT_EQ(jsNumberToString(0), "0");
+  EXPECT_EQ(jsNumberToString(1), "1");
+  EXPECT_EQ(jsNumberToString(-17), "-17");
+  EXPECT_EQ(jsNumberToString(4294967296.0), "4294967296");
+}
+
+TEST(JsNumberTest, ToStringNonIntegers) {
+  EXPECT_EQ(jsNumberToString(1.5), "1.5");
+  EXPECT_EQ(jsNumberToString(-0.25), "-0.25");
+}
+
+TEST(JsNumberTest, ToStringSpecials) {
+  EXPECT_EQ(jsNumberToString(std::nan("")), "NaN");
+  EXPECT_EQ(jsNumberToString(HUGE_VAL), "Infinity");
+  EXPECT_EQ(jsNumberToString(-HUGE_VAL), "-Infinity");
+}
+
+TEST(JsNumberTest, ToNumberBasics) {
+  EXPECT_EQ(jsStringToNumber("42"), 42);
+  EXPECT_EQ(jsStringToNumber("  3.5  "), 3.5);
+  EXPECT_EQ(jsStringToNumber(""), 0);
+  EXPECT_EQ(jsStringToNumber("   "), 0);
+  EXPECT_EQ(jsStringToNumber("0x10"), 16);
+  EXPECT_TRUE(std::isnan(jsStringToNumber("12abc")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("foo")));
+}
+
+TEST(JsNumberTest, RoundTripArrayIndices) {
+  // Array index property names must round-trip exactly.
+  for (double D : {0.0, 1.0, 7.0, 100.0, 65535.0}) {
+    EXPECT_EQ(jsStringToNumber(jsNumberToString(D)), D);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(), "w");
+  Diags.note(SourceLoc(), "n");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(), "e");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.all().size(), 3u);
+}
+
+TEST(DiagnosticsTest, RenderFormat) {
+  DiagnosticEngine Diags;
+  FileTable Files;
+  FileId F = Files.add("m.js");
+  Diags.error(SourceLoc(F, 2, 5), "bad token");
+  EXPECT_EQ(Diags.render(Files), "error: m.js:2:5: bad token\n");
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticEngine Diags;
+  Diags.error(SourceLoc(), "e");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.all().empty());
+}

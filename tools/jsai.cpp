@@ -1,0 +1,352 @@
+//===- jsai.cpp - Command-line driver ----------------------------------------===//
+//
+// The jsai command-line tool: run the paper's pipeline on a project
+// directory laid out as "<package>/<file>.js" with the application package
+// named "app" (see README).
+//
+//   jsai analyze  <dir>             metrics: baseline vs hint-extended
+//   jsai callgraph <dir>            print the call graph
+//   jsai hints    <dir>             run approximate interpretation only
+//   jsai run      <dir>             execute app/main.js concretely
+//   jsai compare  <dir> --driver=m  recall/precision vs a dynamic call graph
+//   jsai suite                      run the embedded 141-project benchmark
+//
+// Options:
+//   --mode=baseline|hints|nonrel|overapprox   analysis mode (default hints)
+//   --main=<module>                            main module (app/main.js)
+//   --hints-out=<file>  --hints-in=<file>      portable hint reuse
+//   --no-read-hints --no-write-hints --no-module-hints
+//   --unknown-args --eval-bodies               Section 6 extensions
+//
+//===----------------------------------------------------------------------===//
+
+#include "callgraph/VulnerabilityScan.h"
+#include "corpus/BenchmarkSuite.h"
+#include "pipeline/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace jsai;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string Dir;
+  std::string MainModule = "app/main.js";
+  AnalysisOptions Analysis;
+  std::string HintsOut;
+  std::string HintsIn;
+  std::string Driver;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: jsai <analyze|callgraph|hints|run|suite> [options] [<dir>]\n"
+      "\n"
+      "commands:\n"
+      "  analyze <dir>    run the full pipeline, print metric comparison\n"
+      "  callgraph <dir>  print the computed call graph\n"
+      "  hints <dir>      run approximate interpretation, print the hints\n"
+      "  run <dir>        execute the main module concretely\n"
+      "  compare <dir>    score all modes against a dynamic call graph\n"
+      "  suite            run the embedded benchmark suite summary\n"
+      "\n"
+      "options:\n"
+      "  --mode=baseline|hints|nonrel|overapprox   (default: hints)\n"
+      "  --main=<module-path>                      (default: app/main.js)\n"
+      "  --driver=<module-path>  test driver for `compare` (default: main)\n"
+      "  --hints-out=<file>   serialize collected hints\n"
+      "  --hints-in=<file>    import previously collected hints\n"
+      "  --no-read-hints --no-write-hints --no-module-hints\n"
+      "  --unknown-args       enable unknown-argument hints (Section 6)\n"
+      "  --eval-bodies        analyze eval'd code strings (Section 6)\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.Analysis.Mode = AnalysisMode::Hints;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Starts = [&Arg](const char *Prefix) {
+      return Arg.rfind(Prefix, 0) == 0;
+    };
+    if (Starts("--mode=")) {
+      std::string Mode = Arg.substr(7);
+      if (Mode == "baseline")
+        Opts.Analysis.Mode = AnalysisMode::Baseline;
+      else if (Mode == "hints")
+        Opts.Analysis.Mode = AnalysisMode::Hints;
+      else if (Mode == "nonrel")
+        Opts.Analysis.Mode = AnalysisMode::NonRelationalHints;
+      else if (Mode == "overapprox")
+        Opts.Analysis.Mode = AnalysisMode::OverApprox;
+      else {
+        std::fprintf(stderr, "jsai: unknown mode '%s'\n", Mode.c_str());
+        return false;
+      }
+    } else if (Starts("--main=")) {
+      Opts.MainModule = Arg.substr(7);
+    } else if (Starts("--driver=")) {
+      Opts.Driver = Arg.substr(9);
+    } else if (Starts("--hints-out=")) {
+      Opts.HintsOut = Arg.substr(12);
+    } else if (Starts("--hints-in=")) {
+      Opts.HintsIn = Arg.substr(11);
+    } else if (Arg == "--no-read-hints") {
+      Opts.Analysis.UseReadHints = false;
+    } else if (Arg == "--no-write-hints") {
+      Opts.Analysis.UseWriteHints = false;
+    } else if (Arg == "--no-module-hints") {
+      Opts.Analysis.UseModuleHints = false;
+    } else if (Arg == "--unknown-args") {
+      Opts.Analysis.UseUnknownArgHints = true;
+    } else if (Arg == "--eval-bodies") {
+      Opts.Analysis.UseEvalBodyAnalysis = true;
+    } else if (Starts("--")) {
+      std::fprintf(stderr, "jsai: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.Dir = Arg;
+    }
+  }
+  return true;
+}
+
+/// Loads a project from disk. \returns false on failure.
+bool loadProject(const CliOptions &Opts, ProjectSpec &Spec) {
+  if (Opts.Dir.empty()) {
+    std::fprintf(stderr, "jsai: no project directory given\n");
+    return false;
+  }
+  size_t Loaded = Spec.Files.addDirectory(Opts.Dir);
+  if (Loaded == 0) {
+    std::fprintf(stderr, "jsai: no .js files under '%s'\n", Opts.Dir.c_str());
+    return false;
+  }
+  Spec.Name = Opts.Dir;
+  Spec.MainModule = Opts.MainModule;
+  if (!Spec.Files.exists(Spec.MainModule)) {
+    std::fprintf(stderr, "jsai: main module '%s' not found (use --main=)\n",
+                 Spec.MainModule.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Hints for \p Analyzer: imported, collected, or merged.
+HintSet gatherHints(const CliOptions &Opts, ProjectAnalyzer &Analyzer) {
+  HintSet Hints = Analyzer.hints();
+  if (!Opts.HintsIn.empty()) {
+    std::ifstream In(Opts.HintsIn);
+    if (!In) {
+      std::fprintf(stderr, "jsai: warning: cannot read '%s'\n",
+                   Opts.HintsIn.c_str());
+    } else {
+      std::ostringstream Text;
+      Text << In.rdbuf();
+      Hints.merge(
+          HintSet::deserialize(Text.str(), Analyzer.context().files()));
+    }
+  }
+  if (!Opts.HintsOut.empty()) {
+    std::ofstream Out(Opts.HintsOut);
+    Out << Hints.serialize(Analyzer.context().files());
+    std::printf("wrote %zu hints to %s\n", Hints.size(),
+                Opts.HintsOut.c_str());
+  }
+  return Hints;
+}
+
+AnalysisResult runAnalysis(const CliOptions &Opts, ProjectAnalyzer &Analyzer,
+                           const HintSet &Hints) {
+  StaticAnalysis SA(Analyzer.loader(), Opts.Analysis, &Hints);
+  return SA.run();
+}
+
+int cmdAnalyze(const CliOptions &Opts) {
+  ProjectSpec Spec;
+  if (!loadProject(Opts, Spec))
+    return 1;
+  ProjectAnalyzer Analyzer(Spec);
+  if (Analyzer.diagnostics().hasErrors()) {
+    std::fprintf(stderr, "%s",
+                 Analyzer.diagnostics().render(Analyzer.context().files())
+                     .c_str());
+    return 1;
+  }
+  std::printf("project: %s (%zu packages, %zu modules, %zu functions, %zu "
+              "bytes)\n",
+              Spec.Name.c_str(), Analyzer.numPackages(),
+              Analyzer.numModules(), Analyzer.numFunctions(),
+              Analyzer.codeBytes());
+
+  HintSet Hints = gatherHints(Opts, Analyzer);
+  std::printf("approximate interpretation: %zu hints, %zu/%zu functions "
+              "visited (%.1f%%), %.3f ms\n",
+              Hints.size(), Analyzer.approxStats().NumFunctionsVisited,
+              Analyzer.approxStats().NumFunctionsTotal,
+              Analyzer.approxStats().visitedFraction() * 100,
+              Analyzer.approxSeconds() * 1000);
+
+  AnalysisOptions BaseOpts = Opts.Analysis;
+  BaseOpts.Mode = AnalysisMode::Baseline;
+  StaticAnalysis BaseSA(Analyzer.loader(), BaseOpts, nullptr);
+  AnalysisResult Base = BaseSA.run();
+  AnalysisResult Ext = runAnalysis(Opts, Analyzer, Hints);
+
+  std::printf("\n%-26s %12s %12s\n", "metric", "baseline", "selected mode");
+  std::printf("%-26s %12zu %12zu\n", "call edges", Base.NumCallEdges,
+              Ext.NumCallEdges);
+  std::printf("%-26s %12zu %12zu\n", "reachable functions",
+              Base.NumReachableFunctions, Ext.NumReachableFunctions);
+  std::printf("%-26s %11.1f%% %11.1f%%\n", "resolved call sites",
+              Base.resolvedFraction() * 100, Ext.resolvedFraction() * 100);
+  std::printf("%-26s %11.1f%% %11.1f%%\n", "monomorphic call sites",
+              Base.monomorphicFraction() * 100,
+              Ext.monomorphicFraction() * 100);
+
+  VulnerabilityReport Rep =
+      scanVulnerabilities(Analyzer.context(), Ext, "app");
+  if (Rep.NumTotal)
+    std::printf("%-26s %12s %6zu of %zu\n", "reachable vulnerabilities", "",
+                Rep.NumReachable, Rep.NumTotal);
+  return 0;
+}
+
+int cmdCallGraph(const CliOptions &Opts) {
+  ProjectSpec Spec;
+  if (!loadProject(Opts, Spec))
+    return 1;
+  ProjectAnalyzer Analyzer(Spec);
+  HintSet Hints = gatherHints(Opts, Analyzer);
+  AnalysisResult Res = runAnalysis(Opts, Analyzer, Hints);
+  std::printf("%s", Res.CG.toText(Analyzer.context().files()).c_str());
+  std::printf("# %zu call sites, %zu edges\n", Res.NumCallSites,
+              Res.NumCallEdges);
+  return 0;
+}
+
+int cmdHints(const CliOptions &Opts) {
+  ProjectSpec Spec;
+  if (!loadProject(Opts, Spec))
+    return 1;
+  ProjectAnalyzer Analyzer(Spec);
+  HintSet Hints = gatherHints(Opts, Analyzer);
+  std::printf("%s", Hints.toText(Analyzer.context().files()).c_str());
+  std::printf("# %zu hints\n", Hints.size());
+  return 0;
+}
+
+int cmdRun(const CliOptions &Opts) {
+  ProjectSpec Spec;
+  if (!loadProject(Opts, Spec))
+    return 1;
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  ModuleLoader Loader(Ctx, Spec.Files, Diags);
+  Interpreter I(Loader);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.render(Ctx.files()).c_str());
+    return 1;
+  }
+  Completion C = I.loadModule(Spec.MainModule);
+  for (const std::string &Line : I.consoleOutput())
+    std::printf("%s\n", Line.c_str());
+  if (C.isThrow()) {
+    std::fprintf(stderr, "uncaught: %s\n", I.toStringValue(C.V).c_str());
+    return 1;
+  }
+  if (C.isAbort()) {
+    std::fprintf(stderr, "aborted: execution budget exhausted\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmdCompare(const CliOptions &Opts) {
+  ProjectSpec Spec;
+  if (!loadProject(Opts, Spec))
+    return 1;
+  Spec.TestDriver = Opts.Driver.empty() ? Opts.MainModule : Opts.Driver;
+  if (!Spec.Files.exists(Spec.TestDriver)) {
+    std::fprintf(stderr, "jsai: driver module '%s' not found\n",
+                 Spec.TestDriver.c_str());
+    return 1;
+  }
+  ProjectAnalyzer Analyzer(Spec);
+  const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+  std::printf("dynamic call graph (%s): %zu sites, %zu edges\n\n",
+              Spec.TestDriver.c_str(), Dyn.numSites(), Dyn.numEdges());
+  HintSet Hints = gatherHints(Opts, Analyzer);
+
+  struct Row {
+    const char *Label;
+    AnalysisMode Mode;
+  };
+  const Row Rows[] = {
+      {"baseline", AnalysisMode::Baseline},
+      {"hints", AnalysisMode::Hints},
+      {"non-relational", AnalysisMode::NonRelationalHints},
+      {"over-approx", AnalysisMode::OverApprox},
+  };
+  std::printf("%-16s %8s %8s %10s\n", "mode", "edges", "recall",
+              "precision");
+  for (const Row &M : Rows) {
+    AnalysisOptions ModeOpts = Opts.Analysis;
+    ModeOpts.Mode = M.Mode;
+    StaticAnalysis SA(Analyzer.loader(), ModeOpts, &Hints);
+    AnalysisResult Res = SA.run();
+    RecallPrecision RP = compareCallGraphs(Res.CG, Dyn);
+    std::printf("%-16s %8zu %7.1f%% %9.1f%%\n", M.Label, Res.NumCallEdges,
+                RP.Recall * 100, RP.Precision * 100);
+  }
+  return 0;
+}
+
+int cmdSuite() {
+  Pipeline P;
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+  size_t BaseEdges = 0, ExtEdges = 0;
+  for (const ProjectSpec &Spec : Suite) {
+    ProjectReport R = P.analyzeProject(Spec);
+    BaseEdges += R.Baseline.NumCallEdges;
+    ExtEdges += R.Extended.NumCallEdges;
+  }
+  std::printf("%zu projects: %zu baseline call edges, %zu with hints "
+              "(%+.1f%%)\n",
+              Suite.size(), BaseEdges, ExtEdges,
+              BaseEdges ? (double(ExtEdges) - double(BaseEdges)) /
+                              double(BaseEdges) * 100
+                        : 0.0);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 2;
+  }
+  if (Opts.Command == "analyze")
+    return cmdAnalyze(Opts);
+  if (Opts.Command == "callgraph")
+    return cmdCallGraph(Opts);
+  if (Opts.Command == "hints")
+    return cmdHints(Opts);
+  if (Opts.Command == "run")
+    return cmdRun(Opts);
+  if (Opts.Command == "compare")
+    return cmdCompare(Opts);
+  if (Opts.Command == "suite")
+    return cmdSuite();
+  printUsage();
+  return 2;
+}
