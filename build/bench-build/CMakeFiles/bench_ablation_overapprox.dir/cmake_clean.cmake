@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overapprox"
+  "../bench/bench_ablation_overapprox.pdb"
+  "CMakeFiles/bench_ablation_overapprox.dir/bench_ablation_overapprox.cpp.o"
+  "CMakeFiles/bench_ablation_overapprox.dir/bench_ablation_overapprox.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overapprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

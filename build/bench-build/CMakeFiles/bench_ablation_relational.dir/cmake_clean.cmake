@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_relational"
+  "../bench/bench_ablation_relational.pdb"
+  "CMakeFiles/bench_ablation_relational.dir/bench_ablation_relational.cpp.o"
+  "CMakeFiles/bench_ablation_relational.dir/bench_ablation_relational.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

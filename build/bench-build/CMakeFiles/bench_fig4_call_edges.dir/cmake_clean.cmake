@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_call_edges"
+  "../bench/bench_fig4_call_edges.pdb"
+  "CMakeFiles/bench_fig4_call_edges.dir/bench_fig4_call_edges.cpp.o"
+  "CMakeFiles/bench_fig4_call_edges.dir/bench_fig4_call_edges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_call_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_resolved_call_sites"
+  "../bench/bench_fig6_resolved_call_sites.pdb"
+  "CMakeFiles/bench_fig6_resolved_call_sites.dir/bench_fig6_resolved_call_sites.cpp.o"
+  "CMakeFiles/bench_fig6_resolved_call_sites.dir/bench_fig6_resolved_call_sites.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_resolved_call_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_resolved_call_sites.
+# This may be replaced when dependencies are built.

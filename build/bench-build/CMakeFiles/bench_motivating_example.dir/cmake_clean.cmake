@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_motivating_example"
+  "../bench/bench_motivating_example.pdb"
+  "CMakeFiles/bench_motivating_example.dir/bench_motivating_example.cpp.o"
+  "CMakeFiles/bench_motivating_example.dir/bench_motivating_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivating_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

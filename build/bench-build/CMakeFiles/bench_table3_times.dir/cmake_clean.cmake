@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_times"
+  "../bench/bench_table3_times.pdb"
+  "CMakeFiles/bench_table3_times.dir/bench_table3_times.cpp.o"
+  "CMakeFiles/bench_table3_times.dir/bench_table3_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_callgraph.dir/dynamic_callgraph.cpp.o"
+  "CMakeFiles/dynamic_callgraph.dir/dynamic_callgraph.cpp.o.d"
+  "dynamic_callgraph"
+  "dynamic_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/express_server.dir/express_server.cpp.o"
+  "CMakeFiles/express_server.dir/express_server.cpp.o.d"
+  "express_server"
+  "express_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/express_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AnalysisBuilder.cpp" "src/CMakeFiles/jsai_analysis.dir/analysis/AnalysisBuilder.cpp.o" "gcc" "src/CMakeFiles/jsai_analysis.dir/analysis/AnalysisBuilder.cpp.o.d"
+  "/root/repo/src/analysis/BuiltinModels.cpp" "src/CMakeFiles/jsai_analysis.dir/analysis/BuiltinModels.cpp.o" "gcc" "src/CMakeFiles/jsai_analysis.dir/analysis/BuiltinModels.cpp.o.d"
+  "/root/repo/src/analysis/ConstraintVar.cpp" "src/CMakeFiles/jsai_analysis.dir/analysis/ConstraintVar.cpp.o" "gcc" "src/CMakeFiles/jsai_analysis.dir/analysis/ConstraintVar.cpp.o.d"
+  "/root/repo/src/analysis/Solver.cpp" "src/CMakeFiles/jsai_analysis.dir/analysis/Solver.cpp.o" "gcc" "src/CMakeFiles/jsai_analysis.dir/analysis/Solver.cpp.o.d"
+  "/root/repo/src/analysis/StaticAnalysis.cpp" "src/CMakeFiles/jsai_analysis.dir/analysis/StaticAnalysis.cpp.o" "gcc" "src/CMakeFiles/jsai_analysis.dir/analysis/StaticAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/Token.cpp" "src/CMakeFiles/jsai_analysis.dir/analysis/Token.cpp.o" "gcc" "src/CMakeFiles/jsai_analysis.dir/analysis/Token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jsai_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_analysis.dir/analysis/AnalysisBuilder.cpp.o"
+  "CMakeFiles/jsai_analysis.dir/analysis/AnalysisBuilder.cpp.o.d"
+  "CMakeFiles/jsai_analysis.dir/analysis/BuiltinModels.cpp.o"
+  "CMakeFiles/jsai_analysis.dir/analysis/BuiltinModels.cpp.o.d"
+  "CMakeFiles/jsai_analysis.dir/analysis/ConstraintVar.cpp.o"
+  "CMakeFiles/jsai_analysis.dir/analysis/ConstraintVar.cpp.o.d"
+  "CMakeFiles/jsai_analysis.dir/analysis/Solver.cpp.o"
+  "CMakeFiles/jsai_analysis.dir/analysis/Solver.cpp.o.d"
+  "CMakeFiles/jsai_analysis.dir/analysis/StaticAnalysis.cpp.o"
+  "CMakeFiles/jsai_analysis.dir/analysis/StaticAnalysis.cpp.o.d"
+  "CMakeFiles/jsai_analysis.dir/analysis/Token.cpp.o"
+  "CMakeFiles/jsai_analysis.dir/analysis/Token.cpp.o.d"
+  "libjsai_analysis.a"
+  "libjsai_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsai_analysis.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_approx.dir/approx/ApproxInterpreter.cpp.o"
+  "CMakeFiles/jsai_approx.dir/approx/ApproxInterpreter.cpp.o.d"
+  "CMakeFiles/jsai_approx.dir/approx/HintSet.cpp.o"
+  "CMakeFiles/jsai_approx.dir/approx/HintSet.cpp.o.d"
+  "libjsai_approx.a"
+  "libjsai_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

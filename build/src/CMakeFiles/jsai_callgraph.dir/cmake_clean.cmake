@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_callgraph.dir/callgraph/CallGraph.cpp.o"
+  "CMakeFiles/jsai_callgraph.dir/callgraph/CallGraph.cpp.o.d"
+  "CMakeFiles/jsai_callgraph.dir/callgraph/Metrics.cpp.o"
+  "CMakeFiles/jsai_callgraph.dir/callgraph/Metrics.cpp.o.d"
+  "CMakeFiles/jsai_callgraph.dir/callgraph/VulnerabilityScan.cpp.o"
+  "CMakeFiles/jsai_callgraph.dir/callgraph/VulnerabilityScan.cpp.o.d"
+  "libjsai_callgraph.a"
+  "libjsai_callgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

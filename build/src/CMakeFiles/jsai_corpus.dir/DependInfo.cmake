@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/BenchmarkSuite.cpp" "src/CMakeFiles/jsai_corpus.dir/corpus/BenchmarkSuite.cpp.o" "gcc" "src/CMakeFiles/jsai_corpus.dir/corpus/BenchmarkSuite.cpp.o.d"
+  "/root/repo/src/corpus/MotivatingExample.cpp" "src/CMakeFiles/jsai_corpus.dir/corpus/MotivatingExample.cpp.o" "gcc" "src/CMakeFiles/jsai_corpus.dir/corpus/MotivatingExample.cpp.o.d"
+  "/root/repo/src/corpus/PatternGenerators.cpp" "src/CMakeFiles/jsai_corpus.dir/corpus/PatternGenerators.cpp.o" "gcc" "src/CMakeFiles/jsai_corpus.dir/corpus/PatternGenerators.cpp.o.d"
+  "/root/repo/src/corpus/Project.cpp" "src/CMakeFiles/jsai_corpus.dir/corpus/Project.cpp.o" "gcc" "src/CMakeFiles/jsai_corpus.dir/corpus/Project.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jsai_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_corpus.dir/corpus/BenchmarkSuite.cpp.o"
+  "CMakeFiles/jsai_corpus.dir/corpus/BenchmarkSuite.cpp.o.d"
+  "CMakeFiles/jsai_corpus.dir/corpus/MotivatingExample.cpp.o"
+  "CMakeFiles/jsai_corpus.dir/corpus/MotivatingExample.cpp.o.d"
+  "CMakeFiles/jsai_corpus.dir/corpus/PatternGenerators.cpp.o"
+  "CMakeFiles/jsai_corpus.dir/corpus/PatternGenerators.cpp.o.d"
+  "CMakeFiles/jsai_corpus.dir/corpus/Project.cpp.o"
+  "CMakeFiles/jsai_corpus.dir/corpus/Project.cpp.o.d"
+  "libjsai_corpus.a"
+  "libjsai_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/Ast.cpp" "src/CMakeFiles/jsai_frontend.dir/ast/Ast.cpp.o" "gcc" "src/CMakeFiles/jsai_frontend.dir/ast/Ast.cpp.o.d"
+  "/root/repo/src/ast/AstPrinter.cpp" "src/CMakeFiles/jsai_frontend.dir/ast/AstPrinter.cpp.o" "gcc" "src/CMakeFiles/jsai_frontend.dir/ast/AstPrinter.cpp.o.d"
+  "/root/repo/src/ast/ScopeResolver.cpp" "src/CMakeFiles/jsai_frontend.dir/ast/ScopeResolver.cpp.o" "gcc" "src/CMakeFiles/jsai_frontend.dir/ast/ScopeResolver.cpp.o.d"
+  "/root/repo/src/lexer/Lexer.cpp" "src/CMakeFiles/jsai_frontend.dir/lexer/Lexer.cpp.o" "gcc" "src/CMakeFiles/jsai_frontend.dir/lexer/Lexer.cpp.o.d"
+  "/root/repo/src/lexer/Token.cpp" "src/CMakeFiles/jsai_frontend.dir/lexer/Token.cpp.o" "gcc" "src/CMakeFiles/jsai_frontend.dir/lexer/Token.cpp.o.d"
+  "/root/repo/src/parser/Parser.cpp" "src/CMakeFiles/jsai_frontend.dir/parser/Parser.cpp.o" "gcc" "src/CMakeFiles/jsai_frontend.dir/parser/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jsai_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_frontend.dir/ast/Ast.cpp.o"
+  "CMakeFiles/jsai_frontend.dir/ast/Ast.cpp.o.d"
+  "CMakeFiles/jsai_frontend.dir/ast/AstPrinter.cpp.o"
+  "CMakeFiles/jsai_frontend.dir/ast/AstPrinter.cpp.o.d"
+  "CMakeFiles/jsai_frontend.dir/ast/ScopeResolver.cpp.o"
+  "CMakeFiles/jsai_frontend.dir/ast/ScopeResolver.cpp.o.d"
+  "CMakeFiles/jsai_frontend.dir/lexer/Lexer.cpp.o"
+  "CMakeFiles/jsai_frontend.dir/lexer/Lexer.cpp.o.d"
+  "CMakeFiles/jsai_frontend.dir/lexer/Token.cpp.o"
+  "CMakeFiles/jsai_frontend.dir/lexer/Token.cpp.o.d"
+  "CMakeFiles/jsai_frontend.dir/parser/Parser.cpp.o"
+  "CMakeFiles/jsai_frontend.dir/parser/Parser.cpp.o.d"
+  "libjsai_frontend.a"
+  "libjsai_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_pipeline.dir/pipeline/Pipeline.cpp.o"
+  "CMakeFiles/jsai_pipeline.dir/pipeline/Pipeline.cpp.o.d"
+  "libjsai_pipeline.a"
+  "libjsai_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

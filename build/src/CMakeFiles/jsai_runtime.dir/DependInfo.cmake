@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/builtins/ArrayBuiltins.cpp" "src/CMakeFiles/jsai_runtime.dir/builtins/ArrayBuiltins.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/builtins/ArrayBuiltins.cpp.o.d"
+  "/root/repo/src/builtins/Builtins.cpp" "src/CMakeFiles/jsai_runtime.dir/builtins/Builtins.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/builtins/Builtins.cpp.o.d"
+  "/root/repo/src/builtins/FunctionBuiltins.cpp" "src/CMakeFiles/jsai_runtime.dir/builtins/FunctionBuiltins.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/builtins/FunctionBuiltins.cpp.o.d"
+  "/root/repo/src/builtins/NodeBuiltins.cpp" "src/CMakeFiles/jsai_runtime.dir/builtins/NodeBuiltins.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/builtins/NodeBuiltins.cpp.o.d"
+  "/root/repo/src/builtins/ObjectBuiltins.cpp" "src/CMakeFiles/jsai_runtime.dir/builtins/ObjectBuiltins.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/builtins/ObjectBuiltins.cpp.o.d"
+  "/root/repo/src/builtins/StringBuiltins.cpp" "src/CMakeFiles/jsai_runtime.dir/builtins/StringBuiltins.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/builtins/StringBuiltins.cpp.o.d"
+  "/root/repo/src/interp/FileSystem.cpp" "src/CMakeFiles/jsai_runtime.dir/interp/FileSystem.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/interp/FileSystem.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/jsai_runtime.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/ModuleLoader.cpp" "src/CMakeFiles/jsai_runtime.dir/interp/ModuleLoader.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/interp/ModuleLoader.cpp.o.d"
+  "/root/repo/src/runtime/Environment.cpp" "src/CMakeFiles/jsai_runtime.dir/runtime/Environment.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/runtime/Environment.cpp.o.d"
+  "/root/repo/src/runtime/Heap.cpp" "src/CMakeFiles/jsai_runtime.dir/runtime/Heap.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/runtime/Heap.cpp.o.d"
+  "/root/repo/src/runtime/Object.cpp" "src/CMakeFiles/jsai_runtime.dir/runtime/Object.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/runtime/Object.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/CMakeFiles/jsai_runtime.dir/runtime/Value.cpp.o" "gcc" "src/CMakeFiles/jsai_runtime.dir/runtime/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jsai_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_runtime.dir/builtins/ArrayBuiltins.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/builtins/ArrayBuiltins.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/builtins/Builtins.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/builtins/Builtins.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/builtins/FunctionBuiltins.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/builtins/FunctionBuiltins.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/builtins/NodeBuiltins.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/builtins/NodeBuiltins.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/builtins/ObjectBuiltins.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/builtins/ObjectBuiltins.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/builtins/StringBuiltins.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/builtins/StringBuiltins.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/interp/FileSystem.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/interp/FileSystem.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/interp/Interpreter.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/interp/Interpreter.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/interp/ModuleLoader.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/interp/ModuleLoader.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/runtime/Environment.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/runtime/Environment.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/runtime/Heap.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/runtime/Heap.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/runtime/Object.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/runtime/Object.cpp.o.d"
+  "CMakeFiles/jsai_runtime.dir/runtime/Value.cpp.o"
+  "CMakeFiles/jsai_runtime.dir/runtime/Value.cpp.o.d"
+  "libjsai_runtime.a"
+  "libjsai_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai_support.dir/support/BitSet.cpp.o"
+  "CMakeFiles/jsai_support.dir/support/BitSet.cpp.o.d"
+  "CMakeFiles/jsai_support.dir/support/Diagnostics.cpp.o"
+  "CMakeFiles/jsai_support.dir/support/Diagnostics.cpp.o.d"
+  "CMakeFiles/jsai_support.dir/support/JsNumber.cpp.o"
+  "CMakeFiles/jsai_support.dir/support/JsNumber.cpp.o.d"
+  "CMakeFiles/jsai_support.dir/support/Rng.cpp.o"
+  "CMakeFiles/jsai_support.dir/support/Rng.cpp.o.d"
+  "CMakeFiles/jsai_support.dir/support/SourceLoc.cpp.o"
+  "CMakeFiles/jsai_support.dir/support/SourceLoc.cpp.o.d"
+  "CMakeFiles/jsai_support.dir/support/StringPool.cpp.o"
+  "CMakeFiles/jsai_support.dir/support/StringPool.cpp.o.d"
+  "libjsai_support.a"
+  "libjsai_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

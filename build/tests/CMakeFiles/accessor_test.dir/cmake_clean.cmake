@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accessor_test.dir/AccessorTest.cpp.o"
+  "CMakeFiles/accessor_test.dir/AccessorTest.cpp.o.d"
+  "accessor_test"
+  "accessor_test.pdb"
+  "accessor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accessor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

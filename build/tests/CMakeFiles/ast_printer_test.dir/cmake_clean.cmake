@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_printer_test.dir/AstPrinterTest.cpp.o"
+  "CMakeFiles/ast_printer_test.dir/AstPrinterTest.cpp.o.d"
+  "ast_printer_test"
+  "ast_printer_test.pdb"
+  "ast_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

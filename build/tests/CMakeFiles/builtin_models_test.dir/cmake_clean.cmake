@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builtin_models_test.dir/BuiltinModelsTest.cpp.o"
+  "CMakeFiles/builtin_models_test.dir/BuiltinModelsTest.cpp.o.d"
+  "builtin_models_test"
+  "builtin_models_test.pdb"
+  "builtin_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builtin_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_modules_test.dir/EsModulesTest.cpp.o"
+  "CMakeFiles/es_modules_test.dir/EsModulesTest.cpp.o.d"
+  "es_modules_test"
+  "es_modules_test.pdb"
+  "es_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_semantics_test.dir/InterpreterSemanticsTest.cpp.o"
+  "CMakeFiles/interpreter_semantics_test.dir/InterpreterSemanticsTest.cpp.o.d"
+  "interpreter_semantics_test"
+  "interpreter_semantics_test.pdb"
+  "interpreter_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/interpreter_test.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/interpreter_test.dir/InterpreterTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jsai_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_callgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jsai_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsai.dir/jsai.cpp.o"
+  "CMakeFiles/jsai.dir/jsai.cpp.o.d"
+  "jsai"
+  "jsai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
