@@ -88,6 +88,30 @@ void printTable3() {
               "interpreter over small projects, so absolute numbers differ "
               "by design)\n\n",
               TotalApprox / double(Reports.size()));
+
+  // Solver engine counters of the extended run: where the analysis time of
+  // the previous table goes (propagation batches, deduplicated edges, and
+  // the cycle-collapsing activity).
+  std::printf("Solver engine counters (extended analysis)\n");
+  rule();
+  std::printf("%-26s %10s %10s %10s %8s %8s %10s\n", "Benchmark", "Edges",
+              "DupEdges", "Batches", "Cycles", "Merged", "TokensProp");
+  rule();
+  for (size_t I : sortedIndices(Reports, [](const ProjectReport &R) {
+         return R.CodeBytes;
+       })) {
+    const ProjectReport &R = Reports[I];
+    const SolverStats &St = R.Extended.Solver;
+    std::printf("%-26s %10llu %10llu %10llu %8llu %8llu %10llu\n",
+                R.Name.c_str(), (unsigned long long)St.NumEdges,
+                (unsigned long long)St.NumDuplicateEdges,
+                (unsigned long long)St.NumBatchesFlushed,
+                (unsigned long long)St.NumCyclesCollapsed,
+                (unsigned long long)St.NumVarsMerged,
+                (unsigned long long)St.NumTokensPropagated);
+  }
+  rule();
+  std::printf("\n");
 }
 
 } // namespace

@@ -40,6 +40,11 @@ struct CVar {
 /// Interns constraint variables.
 class CVarFactory {
 public:
+  // Pre-size the intern table: every analysis creates thousands of vars,
+  // and interning is the hottest analysis-side path (one lookup per AST
+  // node visit), so incremental rehashing shows up in profiles.
+  CVarFactory() { Index.reserve(4096); }
+
   /// Called with (Token, PropertySymbol, NewVar) whenever a Prop variable is
   /// first created.
   using PropVarHook = std::function<void(TokenId, Symbol, CVarId)>;

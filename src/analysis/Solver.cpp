@@ -1,73 +1,294 @@
 //===- Solver.cpp ---------------------------------------------------------===//
+//
+// Propagation engine: union-find cycle collapsing + hashed edge dedup +
+// batched deltas. Invariants:
+//
+//  - Delta[R] is always a subset of PointsTo[R] for every representative R.
+//  - Succs/Listeners/PointsTo/Delta are authoritative only for
+//    representatives; merged members' storage is released on collapse.
+//  - Collapses happen only between flushes of the solve loop — listener
+//    callbacks may add tokens, edges, and listeners, but can never observe
+//    a representative changing underneath them.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/Solver.h"
+
+#include <algorithm>
+#include <unordered_set>
 
 using namespace jsai;
 
 void Solver::ensure(CVarId V) {
-  if (V >= PointsTo.size()) {
-    PointsTo.resize(V + 1);
-    Succs.resize(V + 1);
-    Listeners.resize(V + 1);
+  if (V < Parent.size())
+    return;
+  // Ids are dense and arrive roughly in ascending order; growing all six
+  // vectors one slot at a time would pay the resize machinery per variable,
+  // so grow geometrically (spare slots hold empty sets and cost no heap).
+  size_t Old = Parent.size();
+  size_t NewSize = std::max<size_t>(size_t(V) + 1, Old + Old / 2 + 8);
+  Parent.resize(NewSize);
+  for (size_t I = Old; I != NewSize; ++I)
+    Parent[I] = CVarId(I);
+  PointsTo.resize(NewSize);
+  Delta.resize(NewSize);
+  Succs.resize(NewSize);
+  Listeners.resize(NewSize);
+  InWorklist.resize(NewSize, false);
+}
+
+CVarId Solver::find(CVarId V) {
+  while (Parent[V] != V) {
+    Parent[V] = Parent[Parent[V]]; // Path halving.
+    V = Parent[V];
   }
+  return V;
+}
+
+CVarId Solver::findConst(CVarId V) const {
+  if (V >= Parent.size())
+    return V;
+  while (Parent[V] != V)
+    V = Parent[V];
+  return V;
+}
+
+void Solver::schedule(CVarId R) {
+  if (InWorklist[R])
+    return;
+  InWorklist[R] = true;
+  Worklist.push_back(R);
+}
+
+bool Solver::insertTokens(CVarId To, const BitSet &Ts) {
+  if (!PointsTo[To].unionWithRecordingNew(Ts, Delta[To]))
+    return false;
+  schedule(To);
+  return true;
 }
 
 void Solver::addToken(CVarId V, TokenId T) {
   ensure(V);
-  if (!PointsTo[V].insert(T))
+  CVarId R = find(V);
+  if (!PointsTo[R].insert(T))
     return;
-  Pending.emplace_back(V, T);
+  Delta[R].insert(T);
+  schedule(R);
 }
 
 void Solver::addEdge(CVarId From, CVarId To) {
-  if (From == To)
-    return;
   ensure(From);
   ensure(To);
-  // Duplicate edges are common (one per resolved token); a linear scan of
-  // the successor list is cheap at our fan-outs and keeps memory tight.
-  for (CVarId Existing : Succs[From])
-    if (Existing == To)
-      return;
-  Succs[From].push_back(To);
+  CVarId F = find(From);
+  CVarId T = find(To);
+  if (F == T)
+    return; // Self edges (possibly created by collapsing) are no-ops.
+  if (!EdgeSet.insert(edgeKey(F, T))) {
+    ++Stats.NumDuplicateEdges;
+    return;
+  }
+  Succs[F].push_back(T);
   ++Stats.NumEdges;
-  // Flush already-known tokens across the new edge. Copy first: addToken may
-  // grow the PointsTo vector and move the set being iterated.
-  std::vector<uint32_t> Known = PointsTo[From].toVector();
-  for (uint32_t T : Known)
-    addToken(To, T);
+  // Tokens already in [[F]] reach [[T]]'s set now (one batched union);
+  // listeners on T observe them at the next flush — identical behavior
+  // whether the edge arrives before solve() or from inside a listener.
+  if (!PointsTo[F].empty())
+    insertTokens(T, PointsTo[F]);
 }
 
 void Solver::addListener(CVarId V, Listener L) {
   ensure(V);
+  CVarId R = find(V);
   ++Stats.NumListeners;
-  // Replay current tokens, then subscribe for future ones. Copy first: the
-  // listener may allocate new variables and move the PointsTo storage.
-  std::vector<uint32_t> Known = PointsTo[V].toVector();
-  Listeners[V].push_back(L); // Keep a local copy: the callback may append
-                             // to this listener list and reallocate it.
+  // Replay current tokens, then subscribe for future ones. The delivered-set
+  // is pre-marked with the whole current points-to set, so deltas of these
+  // tokens still sitting in the worklist cannot re-fire this listener.
+  std::vector<uint32_t> Known = PointsTo[R].toVector();
+  ListenerRecord Rec;
+  Rec.Fn = std::make_shared<Listener>(std::move(L));
+  Rec.Delivered = PointsTo[R];
+  // Keep a handle across the replay: the callback may append to this
+  // listener list (or allocate new variables) and reallocate the vectors
+  // the record lives in.
+  std::shared_ptr<Listener> Fn = Rec.Fn;
+  Listeners[R].push_back(std::move(Rec));
   for (uint32_t T : Known)
-    L(T);
+    (*Fn)(T);
 }
 
-void Solver::solve() {
-  // Listeners may re-enter via addEdge/addToken/addListener; the FIFO queue
-  // serializes all work.
-  while (!Pending.empty()) {
-    auto [V, T] = Pending.front();
-    Pending.pop_front();
-    ++Stats.NumTokensPropagated;
-    // Successor lists and listener lists may grow while we iterate;
-    // index-based loops pick up appended entries for *this* delta too.
-    for (size_t I = 0; I < Succs[V].size(); ++I)
-      addToken(Succs[V][I], T);
-    for (size_t I = 0; I < Listeners[V].size(); ++I)
-      Listeners[V][I](T);
+void Solver::canonicalizeSuccs(CVarId V) {
+  std::vector<CVarId> Clean;
+  Clean.reserve(Succs[V].size());
+  std::unordered_set<CVarId> Local;
+  for (CVarId S : Succs[V]) {
+    CVarId W = find(S);
+    if (W == V || !Local.insert(W).second)
+      continue;
+    Clean.push_back(W);
+    EdgeSet.insert(edgeKey(V, W)); // Refresh the canonical dedup key.
+  }
+  Succs[V] = std::move(Clean);
+}
+
+void Solver::flush(CVarId V,
+                   std::vector<std::pair<CVarId, CVarId>> &Candidates) {
+  ++Stats.NumBatchesFlushed;
+  // Swap the pending delta into the scratch set; V's delta inherits the
+  // scratch's zeroed storage, so neither side reallocates on the next round.
+  FlushScratch.clear();
+  FlushScratch.swap(Delta[V]);
+  BitSet &Cur = FlushScratch;
+  Stats.NumTokensPropagated += Cur.count();
+
+  // Drop successor entries invalidated by collapsing before iterating.
+  bool Stale = false;
+  for (CVarId S : Succs[V])
+    if (S == V || Parent[S] != S) {
+      Stale = true;
+      break;
+    }
+  if (Stale)
+    canonicalizeSuccs(V);
+
+  // Edges appended by listener callbacks during this flush receive the full
+  // current set at addEdge time, so iterating the pre-flush successor count
+  // is enough (the vector may still reallocate; index access stays valid).
+  size_t NumSuccs = Succs[V].size();
+  for (size_t I = 0; I < NumSuccs; ++I) {
+    CVarId W = find(Succs[V][I]);
+    if (W == V)
+      continue;
+    bool Changed = insertTokens(W, Cur);
+    // Lazy cycle detection (Hardekopf–Lin): a no-op propagation across an
+    // edge whose endpoint sets are equal suggests a cycle. Each edge is
+    // submitted to the (bounded) DFS at most once; the hash probe runs
+    // before the set comparison so settled edges cost O(1) per flush.
+    if (!Changed) {
+      uint64_t Key = edgeKey(V, W);
+      if (!CheckedEdges.contains(Key) && PointsTo[W] == PointsTo[V]) {
+        CheckedEdges.insert(Key);
+        Candidates.emplace_back(V, W);
+      }
+    }
+  }
+
+  // Deliver the batch to listeners. Index loops pick up listeners appended
+  // during this flush too; their registration replay already covered Cur,
+  // so the delivered-set check skips them. Most variables carry no
+  // listeners; skip the token materialization outright for them.
+  if (Listeners[V].empty())
+    return;
+  std::vector<uint32_t> Tokens = Cur.toVector();
+  for (size_t I = 0; I < Listeners[V].size(); ++I) {
+    // Handle copy: callbacks may reallocate the record vectors.
+    std::shared_ptr<Listener> Fn = Listeners[V][I].Fn;
+    for (uint32_t T : Tokens) {
+      if (!Listeners[V][I].Delivered.insert(T))
+        continue;
+      (*Fn)(T);
+    }
   }
 }
 
+void Solver::collapseCycle(CVarId From, CVarId To) {
+  CVarId Target = find(From);
+  CVarId Start = find(To);
+  if (Target == Start)
+    return; // Already merged by an earlier candidate.
+
+  // Iterative DFS from Start over canonical successors, looking for an edge
+  // back to Target (the edge Target -> Start closes the cycle). Succ order
+  // is insertion order, so the search is deterministic.
+  std::vector<std::pair<CVarId, size_t>> Stack;
+  std::unordered_set<CVarId> Visited;
+  Stack.push_back({Start, 0});
+  Visited.insert(Start);
+  bool Found = false;
+  while (!Stack.empty()) {
+    auto &Top = Stack.back();
+    if (Top.second >= Succs[Top.first].size()) {
+      Stack.pop_back();
+      continue;
+    }
+    CVarId S = find(Succs[Top.first][Top.second++]);
+    if (S == Target) {
+      Found = true;
+      break;
+    }
+    if (S == Top.first || !Visited.insert(S).second)
+      continue;
+    Stack.push_back({S, 0});
+  }
+  if (!Found)
+    return;
+
+  // The cycle is Target -> Start -> ... -> stack top -> Target. Merge all
+  // members into the smallest id (deterministic representative choice).
+  CVarId NewRep = Target;
+  for (const auto &Entry : Stack)
+    NewRep = std::min(NewRep, Entry.first);
+  ++Stats.NumCyclesCollapsed;
+
+  auto Merge = [this, NewRep](CVarId M) {
+    if (M == NewRep)
+      return;
+    Parent[M] = NewRep;
+    ++Stats.NumVarsMerged;
+    PointsTo[NewRep].unionWith(PointsTo[M]);
+    PointsTo[M].clear();
+    Delta[M].clear(); // Subsumed by the full redelivery below.
+    for (ListenerRecord &Rec : Listeners[M])
+      Listeners[NewRep].push_back(std::move(Rec));
+    Listeners[M].clear();
+    Listeners[M].shrink_to_fit();
+    for (CVarId S : Succs[M])
+      Succs[NewRep].push_back(S);
+    Succs[M].clear();
+    Succs[M].shrink_to_fit();
+  };
+  Merge(Target);
+  for (const auto &Entry : Stack)
+    Merge(Entry.first);
+  canonicalizeSuccs(NewRep);
+
+  // Members' listeners and successors may not have seen tokens that arrived
+  // at other members: redeliver the merged set once. Delivered-sets and
+  // set unions make the redelivery a dedup-only pass.
+  Delta[NewRep] = PointsTo[NewRep];
+  if (!Delta[NewRep].empty())
+    schedule(NewRep);
+}
+
+void Solver::solve() {
+  if (Solving)
+    return; // Re-entered from a listener; the outer loop drains all work.
+  Solving = true;
+  std::vector<std::pair<CVarId, CVarId>> Candidates;
+  while (!Worklist.empty()) {
+    CVarId Popped = Worklist.front();
+    Worklist.pop_front();
+    InWorklist[Popped] = false;
+    CVarId V = find(Popped);
+    if (V != Popped) {
+      // Collapsed while queued; its delta (if any) lives on in the rep.
+      if (!Delta[V].empty())
+        schedule(V);
+      continue;
+    }
+    if (Delta[V].empty())
+      continue;
+    flush(V, Candidates);
+    // Collapsing is deferred to here so no representative changes while a
+    // flush is iterating its state.
+    for (const auto &[A, B] : Candidates)
+      collapseCycle(A, B);
+    Candidates.clear();
+  }
+  Solving = false;
+}
+
 const BitSet &Solver::pointsTo(CVarId V) const {
-  if (V >= PointsTo.size())
+  if (V >= Parent.size())
     return Empty;
-  return PointsTo[V];
+  return PointsTo[findConst(V)];
 }

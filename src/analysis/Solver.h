@@ -4,12 +4,32 @@
 /// The propagation core of the points-to analysis: dense points-to sets
 /// (BitSet of TokenIds) per constraint variable, subset edges, and
 /// listeners. Listeners implement the "complex" constraints (property
-/// accesses, calls, builtin models): they run once per (variable, token)
-/// pair — for tokens already present at registration time and for every
-/// token that arrives later — so constraint generation is fully on-the-fly.
+/// accesses, calls, builtin models): they run exactly once per
+/// (listener, token) pair — for tokens already present at registration time
+/// and for every token that arrives later — so constraint generation is
+/// fully on-the-fly. Exactly-once delivery is guaranteed by a per-listener
+/// delivered-set; listeners no longer need to be idempotent for
+/// correctness (all built-in effects happen to be idempotent anyway).
 ///
-/// Propagation is a FIFO worklist of (variable, token) deltas; all iteration
-/// orders are index-based, so solving is deterministic.
+/// The engine is built for cycle-heavy constraint graphs:
+///
+///  - **Online cycle collapsing** (Nuutila / Hardekopf–Lin lazy cycle
+///    detection): variables are grouped under union-find representatives.
+///    When a propagation step makes no change across an edge whose endpoint
+///    sets are equal, a bounded DFS looks for a cycle through that edge and
+///    merges all members into one representative (points-to sets, successor
+///    lists, and listeners are spliced together), so tokens stop circulating
+///    the cycle.
+///  - **Hashed edge dedup**: duplicate subset edges (common: one per
+///    resolved token) are rejected by a hash-set probe instead of a linear
+///    scan of the successor list.
+///  - **Delta batching**: pending tokens are accumulated per variable in a
+///    BitSet delta and flushed as one word-parallel union per successor,
+///    instead of one worklist entry per (variable, token) pair.
+///
+/// All iteration orders are index-based and hash containers are never
+/// iterated, so solving is fully deterministic: two identical constraint
+/// streams produce identical points-to sets and identical SolverStats.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,14 +41,82 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
+#include <vector>
 
 namespace jsai {
 
+/// Insert-only open-addressing set of nonzero 64-bit keys (the solver's
+/// edge keys — (From << 32) | To with From != To — are never zero). One
+/// flat power-of-two array, linear probing, no per-node allocation; never
+/// iterated, so it cannot affect determinism.
+class EdgeKeySet {
+public:
+  /// \returns true if \p Key was newly inserted.
+  bool insert(uint64_t Key) {
+    if (Slots.empty() || Count * 4 >= Slots.size() * 3)
+      grow();
+    size_t I = slotFor(Key);
+    if (Slots[I] == Key)
+      return false;
+    Slots[I] = Key;
+    ++Count;
+    return true;
+  }
+
+  bool contains(uint64_t Key) const {
+    if (Slots.empty())
+      return false;
+    return Slots[slotFor(Key)] == Key;
+  }
+
+private:
+  /// First slot holding \p Key or empty (0), probing linearly.
+  size_t slotFor(uint64_t Key) const {
+    // SplitMix64 finalizer: edge keys are consecutive id pairs, so they
+    // need real mixing to spread across slots.
+    uint64_t H = Key;
+    H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    H = (H ^ (H >> 27)) * 0x94D049BB133111EBULL;
+    H ^= H >> 31;
+    size_t Mask = Slots.size() - 1;
+    size_t I = size_t(H) & Mask;
+    while (Slots[I] != 0 && Slots[I] != Key)
+      I = (I + 1) & Mask;
+    return I;
+  }
+
+  void grow() {
+    std::vector<uint64_t> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 64 : Old.size() * 2, 0);
+    for (uint64_t Key : Old)
+      if (Key != 0)
+        Slots[slotFor(Key)] = Key;
+  }
+
+  std::vector<uint64_t> Slots;
+  size_t Count = 0;
+};
+
 /// Statistics for the evaluation section (analysis cost).
 struct SolverStats {
+  /// Tokens flushed out of per-variable delta batches (each token counts
+  /// once per variable it newly reached).
   uint64_t NumTokensPropagated = 0;
+  /// Unique subset edges added.
   uint64_t NumEdges = 0;
+  /// Duplicate addEdge calls rejected by the hashed probe.
+  uint64_t NumDuplicateEdges = 0;
+  /// Listener registrations.
   uint64_t NumListeners = 0;
+  /// Cycle-collapse events (each merges >= 2 variables).
+  uint64_t NumCyclesCollapsed = 0;
+  /// Variables folded into another representative by collapsing.
+  uint64_t NumVarsMerged = 0;
+  /// Delta batches flushed by the solve loop.
+  uint64_t NumBatchesFlushed = 0;
+
+  friend bool operator==(const SolverStats &, const SolverStats &) = default;
 };
 
 /// Subset-constraint solver.
@@ -39,32 +127,84 @@ public:
   /// Adds t to [[V]]; schedules propagation.
   void addToken(CVarId V, TokenId T);
 
-  /// Adds the subset edge [[From]] subseteq [[To]].
+  /// Adds the subset edge [[From]] subseteq [[To]]. Tokens already in
+  /// [[From]] reach [[To]]'s set immediately (batched); listeners observe
+  /// them at the next solve(), exactly as for in-solve edge additions.
   void addEdge(CVarId From, CVarId To);
 
-  /// Registers \p L on \p V: runs for every current and future token.
-  ///
-  /// Contract: listeners must be IDEMPOTENT per (variable, token) pair —
-  /// when registration replay races with queued deltas, a listener may
-  /// observe the same token twice. All built-in effects (addToken, addEdge,
-  /// call-edge set insertion) satisfy this naturally.
+  /// Registers \p L on \p V: runs exactly once per (listener, token) pair,
+  /// for every current token (replayed now) and every future one.
   void addListener(CVarId V, Listener L);
 
-  /// Runs propagation to a fixpoint.
+  /// Runs propagation to a fixpoint. Re-entrant calls (from listeners)
+  /// are no-ops; the outer loop drains all work.
   void solve();
 
   const BitSet &pointsTo(CVarId V) const;
   const SolverStats &stats() const { return Stats; }
 
-private:
-  void ensure(CVarId V);
+  /// The union-find representative currently standing for \p V (exposed
+  /// for tests and diagnostics; stable only between solve() calls).
+  CVarId representative(CVarId V) const { return findConst(V); }
 
+private:
+  /// One registered listener with its exactly-once delivery record. The
+  /// callable lives behind a shared_ptr: callbacks may register further
+  /// listeners (reallocating the record vectors), so invocation goes
+  /// through a cheap handle copy instead of copying the std::function.
+  struct ListenerRecord {
+    std::shared_ptr<Listener> Fn;
+    BitSet Delivered; ///< Tokens already handed to Fn.
+  };
+
+  void ensure(CVarId V);
+  CVarId find(CVarId V);
+  CVarId findConst(CVarId V) const;
+  void schedule(CVarId R);
+  /// Unions \p Ts into [[To]] (a representative), extending its delta with
+  /// the newly inserted tokens. \returns true if the set changed.
+  bool insertTokens(CVarId To, const BitSet &Ts);
+  /// Rewrites Succs[V] to canonical representatives, dropping self-loops
+  /// and duplicates introduced by collapsing.
+  void canonicalizeSuccs(CVarId V);
+  /// Flushes V's pending delta to successors and listeners, recording
+  /// lazy-cycle-detection candidates in \p Candidates.
+  void flush(CVarId V, std::vector<std::pair<CVarId, CVarId>> &Candidates);
+  /// If To still reaches From, collapses every variable on the found
+  /// From -> To -> ... -> From cycle into one representative.
+  void collapseCycle(CVarId From, CVarId To);
+
+  static uint64_t edgeKey(CVarId From, CVarId To) {
+    return (uint64_t(From) << 32) | uint64_t(To);
+  }
+
+  // Per-variable state; entries are authoritative only for union-find
+  // representatives (merged members' storage is released on collapse).
+  std::vector<CVarId> Parent;  ///< Union-find forest (path-halving).
   std::vector<BitSet> PointsTo;
+  std::vector<BitSet> Delta;   ///< Tokens inserted but not yet flushed.
   std::vector<std::vector<CVarId>> Succs;
-  std::vector<std::vector<Listener>> Listeners;
-  std::deque<std::pair<CVarId, TokenId>> Pending;
+  std::vector<std::vector<ListenerRecord>> Listeners;
+
+  /// FIFO worklist of variables with a non-empty delta.
+  std::deque<CVarId> Worklist;
+  std::vector<bool> InWorklist;
+
+  /// Hashed (From, To) pairs backing O(1) duplicate-edge rejection. Never
+  /// iterated (determinism); keys use the representatives at insert time,
+  /// canonicalizeSuccs refreshes them after collapses.
+  EdgeKeySet EdgeSet;
+  /// Edges already submitted to cycle detection (Hardekopf–Lin style:
+  /// each edge triggers at most one DFS).
+  EdgeKeySet CheckedEdges;
+
   SolverStats Stats;
   BitSet Empty;
+  /// Reusable storage for the delta being flushed. flush() is never
+  /// re-entered (solve() re-entry is a no-op and collapses are deferred),
+  /// so one scratch set suffices; recycling it avoids a word-array
+  /// allocation per flush on small graphs.
+  BitSet FlushScratch;
   bool Solving = false;
 };
 

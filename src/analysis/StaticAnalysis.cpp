@@ -131,29 +131,30 @@ void StaticAnalysis::applyEvalBodies() {
   assert(Hints && "extension requires hints");
   AstContext &Ctx = Loader.context();
 
-  // Map eval call locations to their enclosing function and module.
-  std::map<SourceLoc, const SiteRecord *> SiteByLoc;
+  // Map eval call locations to their enclosing function and module. Records
+  // are copied (not pointed to): walking an eval body appends to CallSites,
+  // which may reallocate.
+  std::map<SourceLoc, SiteRecord> SiteByLoc;
   for (const SiteRecord &Rec : CallSites)
-    SiteByLoc[Rec.Site->loc()] = &Rec;
+    SiteByLoc[Rec.Site->loc()] = Rec;
 
   std::map<FileId, Module *> ModuleByFile;
   for (const auto &M : Ctx.modules())
     ModuleByFile[M->File] = M.get();
 
-  std::set<std::pair<uint64_t, std::string>> Seen;
+  // HintSet deduplicates eval hints at insert, so every (loc, code) pair
+  // here is unique.
   for (const auto &[CallLoc, Code] : Hints->evalHints()) {
-    if (!Seen.insert({CallLoc.key(), Code}).second)
-      continue;
     auto SiteIt = SiteByLoc.find(CallLoc);
     if (SiteIt == SiteByLoc.end())
       continue; // eval inside eval'd code, or a Function-ctor pseudo site.
-    const SiteRecord *Rec = SiteIt->second;
+    const SiteRecord &Rec = SiteIt->second;
 
     // Parse the observed code string in the lexical scope of the eval call
     // and analyze it like a nested function body.
     DiagnosticEngine EvalDiags; // Parse errors must not pollute the project.
     Parser P(Ctx, EvalDiags);
-    FunctionDef *F = P.parseEval(Code, Rec->Enclosing, CallLoc);
+    FunctionDef *F = P.parseEval(Code, Rec.Enclosing, CallLoc);
     if (!F)
       continue;
     ScopeResolver(Ctx).resolveFunction(F);
@@ -165,7 +166,7 @@ void StaticAnalysis::applyEvalBodies() {
     walkFunctionBody(F);
     CurModule = SavedModule;
     // Let reachability flow from the eval call site into the eval'd code.
-    ModuleEdges[Rec->Site->id()].insert(F->id());
+    ModuleEdges[Rec.Site->id()].insert(F->id());
   }
 }
 

@@ -19,6 +19,8 @@ void HintSet::addModuleHint(SourceLoc RequireLoc, std::string ModulePath) {
 }
 
 void HintSet::addEvalHint(SourceLoc CallLoc, std::string Code) {
+  if (!EvalHintIndex.insert({CallLoc.key(), Code}).second)
+    return;
   EvalHints.emplace_back(CallLoc, std::move(Code));
 }
 
@@ -264,13 +266,6 @@ void HintSet::merge(const HintSet &Other) {
     WriteNames[Loc].insert(Names.begin(), Names.end());
   for (const auto &[Loc, Names] : Other.ProxyReadNames)
     ProxyReadNames[Loc].insert(Names.begin(), Names.end());
-  // Eval hints may duplicate across merges; dedupe on (loc, code).
-  for (const auto &Hint : Other.EvalHints) {
-    bool Seen = false;
-    for (const auto &Existing : EvalHints)
-      if (Existing.first == Hint.first && Existing.second == Hint.second)
-        Seen = true;
-    if (!Seen)
-      EvalHints.push_back(Hint);
-  }
+  for (const auto &Hint : Other.EvalHints)
+    addEvalHint(Hint.first, Hint.second);
 }

@@ -71,7 +71,10 @@ struct WriteHint {
 };
 
 /// The collected hints. All containers are ordered so iteration (and thus
-/// the extended static analysis) is deterministic.
+/// the extended static analysis) is deterministic, and every insertion
+/// deduplicates: recording the same read hint, write hint, name, or eval
+/// code string twice leaves the set unchanged, so [DPR]/[DPW] rule
+/// application never re-adds tokens per duplicate observation.
 class HintSet {
 public:
   //===--------------------------------------------------------------------===
@@ -144,7 +147,10 @@ private:
   std::map<SourceLoc, std::set<AllocRef>> ReadHints;
   std::set<WriteHint> WriteHints;
   std::map<SourceLoc, std::set<std::string>> ModuleHints;
+  /// Insertion-ordered (deterministic consumption); EvalHintIndex backs
+  /// dedup at insert.
   std::vector<std::pair<SourceLoc, std::string>> EvalHints;
+  std::set<std::pair<uint64_t, std::string>> EvalHintIndex;
   std::map<SourceLoc, std::set<std::string>> ReadNames;
   std::map<SourceLoc, std::set<std::string>> WriteNames;
   std::map<SourceLoc, std::set<std::string>> ProxyReadNames;

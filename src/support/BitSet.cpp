@@ -38,6 +38,23 @@ bool BitSet::unionWith(const BitSet &Other) {
   return Changed;
 }
 
+bool BitSet::unionWithRecordingNew(const BitSet &Other, BitSet &NewlyAdded) {
+  if (Other.Words.size() > Words.size())
+    Words.resize(Other.Words.size(), 0);
+  bool Changed = false;
+  for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
+    uint64_t Added = Other.Words[I] & ~Words[I];
+    if (Added == 0)
+      continue;
+    Words[I] |= Added;
+    if (NewlyAdded.Words.size() <= I)
+      NewlyAdded.Words.resize(I + 1, 0);
+    NewlyAdded.Words[I] |= Added;
+    Changed = true;
+  }
+  return Changed;
+}
+
 size_t BitSet::count() const {
   size_t Total = 0;
   for (uint64_t Word : Words)

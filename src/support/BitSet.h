@@ -28,10 +28,27 @@ public:
   /// Unions \p Other into this set. \returns true if this set changed.
   bool unionWith(const BitSet &Other);
 
+  /// Unions \p Other into this set, recording every newly inserted bit in
+  /// \p NewlyAdded (bits already present are not recorded). \returns true if
+  /// this set changed. The solver uses this to compute exact propagation
+  /// deltas in one word-parallel pass.
+  bool unionWithRecordingNew(const BitSet &Other, BitSet &NewlyAdded);
+
   /// Number of set bits.
   size_t count() const;
 
-  bool empty() const { return count() == 0; }
+  /// True when no bit is set (early-exits; does not count).
+  bool empty() const {
+    for (uint64_t Word : Words)
+      if (Word != 0)
+        return false;
+    return true;
+  }
+
+  /// Removes all bits, keeping capacity.
+  void clear() { Words.clear(); }
+
+  void swap(BitSet &Other) { Words.swap(Other.Words); }
 
   /// Invokes \p Fn for every member in ascending order.
   template <typename CallbackT> void forEach(CallbackT Fn) const {

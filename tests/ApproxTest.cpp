@@ -359,4 +359,41 @@ TEST(ApproxTest, MotivatingExampleFullHints) {
   EXPECT_TRUE(FoundListenOnApp);
 }
 
+//===----------------------------------------------------------------------===//
+// HintSet insertion dedup
+//===----------------------------------------------------------------------===//
+
+TEST(HintSetTest, InsertionsDeduplicate) {
+  HintSet H;
+  SourceLoc ReadLoc(FileId(0), 3, 1);
+  AllocRef Target{SourceLoc(FileId(0), 9, 5), false};
+  H.addReadHint(ReadLoc, Target);
+  H.addReadHint(ReadLoc, Target);
+  EXPECT_EQ(H.readHints().at(ReadLoc).size(), 1u);
+
+  AllocRef Base{SourceLoc(FileId(1), 2, 1), false};
+  AllocRef Val{SourceLoc(FileId(1), 4, 1), true};
+  H.addWriteHint(Base, "p", Val);
+  H.addWriteHint(Base, "p", Val);
+  EXPECT_EQ(H.writeHints().size(), 1u);
+  EXPECT_EQ(H.size(), 2u);
+
+  SourceLoc EvalLoc(FileId(0), 7, 2);
+  H.addEvalHint(EvalLoc, "var x = 1;");
+  H.addEvalHint(EvalLoc, "var x = 1;");
+  H.addEvalHint(EvalLoc, "var y = 2;"); // Different code: kept.
+  EXPECT_EQ(H.evalHints().size(), 2u);
+}
+
+TEST(HintSetTest, MergeDeduplicatesEvalHints) {
+  SourceLoc EvalLoc(FileId(0), 1, 1);
+  HintSet A, B;
+  A.addEvalHint(EvalLoc, "f()");
+  B.addEvalHint(EvalLoc, "f()");
+  B.addEvalHint(EvalLoc, "g()");
+  A.merge(B);
+  A.merge(B); // Merging twice must still not duplicate.
+  EXPECT_EQ(A.evalHints().size(), 2u);
+}
+
 } // namespace

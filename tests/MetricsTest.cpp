@@ -1,0 +1,59 @@
+//===- MetricsTest.cpp - Ratio guards on degenerate inputs -------------------===//
+//
+// The evaluation metrics divide by call-site, edge, and function counts;
+// all of them must stay NaN-free on degenerate projects (no call sites, no
+// dynamic edges, no functions).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticAnalysis.h"
+#include "approx/ApproxInterpreter.h"
+#include "callgraph/Metrics.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+TEST(MetricsTest, EmptyModuleProjectHasFiniteRatios) {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  Fs.addFile("app/main.js", "");
+  ModuleLoader Loader(Ctx, Fs, Diags);
+  Loader.parseAll();
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render(Ctx.files());
+
+  StaticAnalysis SA(Loader);
+  AnalysisResult R = SA.run();
+  EXPECT_EQ(R.NumCallSites, 0u);
+  EXPECT_EQ(R.resolvedFraction(), 0.0);
+  EXPECT_EQ(R.monomorphicFraction(), 0.0);
+  EXPECT_TRUE(std::isfinite(R.resolvedFraction()));
+  EXPECT_TRUE(std::isfinite(R.monomorphicFraction()));
+}
+
+TEST(MetricsTest, EmptyCallGraphComparisonIsFinite) {
+  CallGraph Static, Dynamic;
+  RecallPrecision RP = compareCallGraphs(Static, Dynamic);
+  // Vacuous comparisons use the sound sentinel 1.0, never NaN.
+  EXPECT_EQ(RP.Recall, 1.0);
+  EXPECT_EQ(RP.Precision, 1.0);
+  EXPECT_EQ(RP.DynamicEdges, 0u);
+  EXPECT_EQ(RP.MatchedEdges, 0u);
+}
+
+TEST(MetricsTest, RelativeIncreaseFromZeroIsZero) {
+  EXPECT_EQ(relativeIncrease(0.0, 5.0), 0.0);
+  EXPECT_TRUE(std::isfinite(relativeIncrease(0.0, 0.0)));
+}
+
+TEST(MetricsTest, VisitedFractionWithNoFunctionsIsZero) {
+  ApproxStats S;
+  EXPECT_EQ(S.visitedFraction(), 0.0);
+  EXPECT_TRUE(std::isfinite(S.visitedFraction()));
+}
+
+} // namespace

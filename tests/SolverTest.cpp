@@ -2,11 +2,68 @@
 
 #include "analysis/Solver.h"
 
+#include "support/Rng.h"
+
+#include <deque>
 #include <gtest/gtest.h>
+#include <map>
 
 using namespace jsai;
 
 namespace {
+
+/// Reference implementation with the pre-collapsing semantics (FIFO of
+/// (variable, token) deltas, linear edge dedup, no cycle merging). The
+/// randomized stress test checks the production solver against it.
+class NaiveSolver {
+public:
+  void addToken(CVarId V, TokenId T) {
+    ensure(V);
+    if (!PointsTo[V].insert(T))
+      return;
+    Pending.emplace_back(V, T);
+  }
+
+  void addEdge(CVarId From, CVarId To) {
+    if (From == To)
+      return;
+    ensure(From);
+    ensure(To);
+    for (CVarId Existing : Succs[From])
+      if (Existing == To)
+        return;
+    Succs[From].push_back(To);
+    std::vector<uint32_t> Known = PointsTo[From].toVector();
+    for (uint32_t T : Known)
+      addToken(To, T);
+  }
+
+  void solve() {
+    while (!Pending.empty()) {
+      auto [V, T] = Pending.front();
+      Pending.pop_front();
+      for (size_t I = 0; I < Succs[V].size(); ++I)
+        addToken(Succs[V][I], T);
+    }
+  }
+
+  const BitSet &pointsTo(CVarId V) const {
+    return V < PointsTo.size() ? PointsTo[V] : Empty;
+  }
+
+private:
+  void ensure(CVarId V) {
+    if (V >= PointsTo.size()) {
+      PointsTo.resize(V + 1);
+      Succs.resize(V + 1);
+    }
+  }
+
+  std::vector<BitSet> PointsTo;
+  std::vector<std::vector<CVarId>> Succs;
+  std::deque<std::pair<CVarId, TokenId>> Pending;
+  BitSet Empty;
+};
 
 TEST(SolverTest, TokensPropagateAlongEdges) {
   Solver S;
@@ -97,9 +154,23 @@ TEST(SolverTest, ListenerAddingListenerToSameVar) {
   });
   S.addToken(0, 1);
   S.solve();
-  // The inner listener sees the token that triggered its registration
-  // (replay) — effects must be idempotent, counts need not be exactly one.
-  EXPECT_GE(Inner, 1);
+  // The inner listener sees the token that triggered its registration via
+  // replay, and the delivered-set blocks the queued delta from re-firing
+  // it: exactly once per (listener, token).
+  EXPECT_EQ(Inner, 1);
+}
+
+TEST(SolverTest, ListenerRegisteredWithDeltaPendingFiresOnce) {
+  // Regression: addToken queues a delta; a listener registered before
+  // solve() replays the token immediately. The queued delta must not fire
+  // the listener a second time during solve().
+  Solver S;
+  S.addToken(7, 3);
+  int Calls = 0;
+  S.addListener(7, [&Calls](TokenId) { ++Calls; });
+  EXPECT_EQ(Calls, 1) << "registration replay";
+  S.solve();
+  EXPECT_EQ(Calls, 1) << "queued delta must not double-fire the listener";
 }
 
 TEST(SolverTest, LargeChainPropagates) {
@@ -127,6 +198,185 @@ TEST(SolverTest, DiamondConvergence) {
   S.addToken(0, 8);
   S.solve();
   EXPECT_EQ(S.pointsTo(3).count(), 1u) << "token arrives once per set";
+}
+
+//===----------------------------------------------------------------------===//
+// Cycle collapsing
+//===----------------------------------------------------------------------===//
+
+TEST(SolverTest, TwoCycleCollapses) {
+  Solver S;
+  S.addEdge(0, 1);
+  S.addEdge(1, 0);
+  S.addToken(0, 5);
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(0).contains(5));
+  EXPECT_TRUE(S.pointsTo(1).contains(5));
+  EXPECT_EQ(S.representative(0), S.representative(1));
+  EXPECT_GE(S.stats().NumCyclesCollapsed, 1u);
+  EXPECT_GE(S.stats().NumVarsMerged, 1u);
+}
+
+TEST(SolverTest, LongCycleCollapsesAndStaysCorrect) {
+  Solver S;
+  const CVarId N = 200;
+  for (CVarId V = 0; V < N; ++V)
+    S.addEdge(V, (V + 1) % N);
+  S.addToken(3, 9);
+  S.solve();
+  for (CVarId V = 0; V < N; ++V) {
+    EXPECT_TRUE(S.pointsTo(V).contains(9));
+    EXPECT_EQ(S.representative(V), S.representative(0));
+  }
+  EXPECT_GE(S.stats().NumCyclesCollapsed, 1u);
+  EXPECT_EQ(S.stats().NumVarsMerged, uint64_t(N) - 1);
+}
+
+TEST(SolverTest, TokenAddedAfterCollapseReachesAllMembers) {
+  Solver S;
+  S.addEdge(0, 1);
+  S.addEdge(1, 2);
+  S.addEdge(2, 0);
+  S.addToken(0, 1);
+  S.solve(); // Collapses the 3-cycle.
+  ASSERT_EQ(S.representative(1), S.representative(2));
+  S.addToken(1, 7); // Addressed via a merged member id.
+  S.solve();
+  for (CVarId V : {0u, 1u, 2u})
+    EXPECT_TRUE(S.pointsTo(V).contains(7));
+}
+
+TEST(SolverTest, NestedSccsCollapseToOneRepresentative) {
+  // Figure-eight: two rings sharing variable 0, with an entry chain feeding
+  // the shared node and an exit edge draining it.
+  Solver S;
+  S.addEdge(0, 1);
+  S.addEdge(1, 2);
+  S.addEdge(2, 0); // Ring A: {0,1,2}.
+  S.addEdge(0, 3);
+  S.addEdge(3, 4);
+  S.addEdge(4, 0); // Ring B: {0,3,4}.
+  S.addEdge(10, 0); // Entry.
+  S.addEdge(2, 20); // Exit.
+  S.addToken(10, 1);
+  S.addToken(3, 2);
+  S.solve();
+  // Both rings form one SCC through the shared node; every member sees both
+  // tokens, and so does the exit.
+  for (CVarId V : {0u, 1u, 2u, 3u, 4u}) {
+    EXPECT_TRUE(S.pointsTo(V).contains(1));
+    EXPECT_TRUE(S.pointsTo(V).contains(2));
+    EXPECT_EQ(S.representative(V), S.representative(0));
+  }
+  EXPECT_TRUE(S.pointsTo(20).contains(1));
+  EXPECT_TRUE(S.pointsTo(20).contains(2));
+  EXPECT_FALSE(S.pointsTo(10).contains(2)) << "entry is not in the SCC";
+  EXPECT_NE(S.representative(10), S.representative(0));
+  EXPECT_NE(S.representative(20), S.representative(0));
+}
+
+TEST(SolverTest, ListenerOnCycleMemberFiresOncePerToken) {
+  Solver S;
+  std::map<TokenId, int> Calls;
+  S.addEdge(0, 1);
+  S.addEdge(1, 2);
+  S.addEdge(2, 0);
+  S.addListener(1, [&Calls](TokenId T) { ++Calls[T]; });
+  S.addToken(2, 4);
+  S.solve(); // Cycle collapses; the listener now lives on the rep.
+  S.addToken(0, 8);
+  S.solve();
+  EXPECT_EQ(Calls[4], 1);
+  EXPECT_EQ(Calls[8], 1);
+}
+
+TEST(SolverTest, EdgeIntoCollapsedCycleFlushes) {
+  Solver S;
+  S.addEdge(0, 1);
+  S.addEdge(1, 0);
+  S.addToken(0, 1);
+  S.solve();
+  S.addToken(5, 6);
+  S.solve();
+  S.addEdge(5, 1); // Into the cycle via a merged member id.
+  S.solve();
+  EXPECT_TRUE(S.pointsTo(0).contains(6));
+  EXPECT_TRUE(S.pointsTo(1).contains(6));
+}
+
+TEST(SolverTest, DuplicateEdgeCounterCountsRejections) {
+  Solver S;
+  S.addEdge(0, 1);
+  S.addEdge(0, 1);
+  S.addEdge(0, 1);
+  EXPECT_EQ(S.stats().NumEdges, 1u);
+  EXPECT_EQ(S.stats().NumDuplicateEdges, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(SolverTest, IdenticalBuildsProduceIdenticalStatsAndSets) {
+  auto Build = [](Solver &S) {
+    // A mix of pre-solve tokens, cycles, listeners, and in-solve edge
+    // additions.
+    S.addToken(0, 1);
+    S.addToken(0, 2);
+    S.addEdge(0, 1);
+    S.addEdge(1, 2);
+    S.addEdge(2, 1);
+    S.addListener(2, [&S](TokenId T) {
+      if (T == 1)
+        S.addEdge(2, 3);
+    });
+    S.addEdge(3, 4);
+    S.addToken(4, 9);
+    S.solve();
+  };
+  Solver A, B;
+  Build(A);
+  Build(B);
+  EXPECT_TRUE(A.stats() == B.stats());
+  for (CVarId V = 0; V <= 4; ++V)
+    EXPECT_TRUE(A.pointsTo(V) == B.pointsTo(V)) << "var " << V;
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized stress vs. the naive reference
+//===----------------------------------------------------------------------===//
+
+TEST(SolverTest, RandomizedStressMatchesNaiveReference) {
+  Rng R(20240805);
+  for (int Round = 0; Round < 20; ++Round) {
+    const CVarId NumVars = CVarId(R.range(5, 60));
+    const size_t NumOps = size_t(R.range(20, 300));
+    Solver S;
+    NaiveSolver N;
+    for (size_t Op = 0; Op < NumOps; ++Op) {
+      if (R.chance(55)) {
+        // Bias toward edges (and thus cycles at these densities).
+        CVarId From = CVarId(R.below(NumVars));
+        CVarId To = CVarId(R.below(NumVars));
+        S.addEdge(From, To);
+        N.addEdge(From, To);
+      } else {
+        CVarId V = CVarId(R.below(NumVars));
+        TokenId T = TokenId(R.below(30));
+        S.addToken(V, T);
+        N.addToken(V, T);
+      }
+      if (R.chance(10)) {
+        S.solve();
+        N.solve();
+      }
+    }
+    S.solve();
+    N.solve();
+    for (CVarId V = 0; V < NumVars; ++V)
+      ASSERT_TRUE(S.pointsTo(V) == N.pointsTo(V))
+          << "round " << Round << " var " << V;
+  }
 }
 
 } // namespace

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Configure, build, and run the test suite — the one-command CI smoke check.
+#
+#   tools/smoke.sh [build-dir]
+#
+# Exits non-zero if configuration, compilation, or any test fails.
+set -eu
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.."
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
