@@ -12,26 +12,51 @@
 #define JSAI_BENCH_BENCHUTIL_H
 
 #include "corpus/BenchmarkSuite.h"
+#include "driver/CorpusDriver.h"
 #include "pipeline/Pipeline.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace jsai::bench {
 
-/// Runs the full pipeline over every project of the default suite.
-/// Expensive-ish (a few seconds); each binary calls it once.
-inline std::vector<ProjectReport> runSuite(bool OnlyDynamicCG = false) {
+/// Runs the full pipeline over every project of the default suite via the
+/// corpus driver. Expensive-ish (a few seconds); each binary calls it
+/// once. \p Jobs > 1 parallelizes across projects (per-project results
+/// are identical for any jobs count).
+inline std::vector<ProjectReport> runSuite(bool OnlyDynamicCG = false,
+                                           size_t Jobs = 1) {
   std::vector<ProjectSpec> Suite =
       OnlyDynamicCG ? benchmarksWithDynamicCG() : buildBenchmarkSuite();
-  Pipeline P;
+  DriverOptions DO;
+  DO.Jobs = Jobs;
+  CorpusDriver D(DO);
+  RunSummary Summary = D.run(Suite);
   std::vector<ProjectReport> Reports;
-  Reports.reserve(Suite.size());
-  for (const ProjectSpec &Spec : Suite)
-    Reports.push_back(P.analyzeProject(Spec));
+  Reports.reserve(Summary.Jobs.size());
+  for (JobResult &J : Summary.Jobs)
+    Reports.push_back(std::move(J.Report));
   return Reports;
+}
+
+/// Consumes a "--jobs=N" argument from argv (the google-benchmark flag
+/// parser rejects flags it does not know). \returns the jobs count, 1 by
+/// default.
+inline size_t consumeJobsFlag(int &Argc, char **Argv) {
+  size_t Jobs = 1;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      Jobs = size_t(std::strtoull(Argv[I] + 7, nullptr, 10));
+    else
+      Argv[Out++] = Argv[I];
+  }
+  Argc = Out;
+  return Jobs;
 }
 
 /// Percentage with one decimal.

@@ -1,0 +1,53 @@
+//===- bench_suite_scaling.cpp - Corpus driver scaling ------------------------===//
+//
+// Wall-clock of the full embedded suite (parse → approx → baseline →
+// extended per project) under the CorpusDriver at jobs = 1/2/4/8, with
+// speedup ratios against the serial run. Also cross-checks that aggregate
+// metrics are identical at every jobs level — the driver's determinism
+// contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/CorpusDriver.h"
+
+#include <thread>
+
+using namespace jsai;
+using namespace jsai::bench;
+
+int main() {
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+  unsigned Hardware = std::thread::hardware_concurrency();
+  std::printf("Suite scaling: %zu projects, %u hardware thread%s\n",
+              Suite.size(), Hardware, Hardware == 1 ? "" : "s");
+  rule(72);
+  std::printf("%8s %12s %10s %14s\n", "jobs", "wall (s)", "speedup",
+              "ext. edges");
+  rule(72);
+
+  const size_t JobLevels[] = {1, 2, 4, 8};
+  double SerialWall = 0;
+  RunAggregates SerialTotals;
+  bool Deterministic = true;
+  for (size_t Jobs : JobLevels) {
+    DriverOptions DO;
+    DO.Jobs = Jobs;
+    CorpusDriver D(DO);
+    RunSummary Summary = D.run(Suite);
+    if (Jobs == 1) {
+      SerialWall = Summary.WallSeconds;
+      SerialTotals = Summary.Totals;
+    } else if (!(Summary.Totals == SerialTotals)) {
+      Deterministic = false;
+    }
+    std::printf("%8zu %12.3f %9.2fx %14zu\n", Jobs, Summary.WallSeconds,
+                Summary.WallSeconds > 0 ? SerialWall / Summary.WallSeconds
+                                        : 0.0,
+                Summary.Totals.ExtendedCallEdges);
+  }
+  rule(72);
+  std::printf("aggregates identical across jobs levels: %s\n",
+              Deterministic ? "yes" : "NO — determinism violation");
+  return Deterministic ? 0 : 1;
+}

@@ -64,14 +64,15 @@ BENCHMARK(BM_ApproximateInterpretation)
 BENCHMARK(BM_ExtendedAnalysis)->Arg(0)->Arg(1)->Arg(2)->Unit(
     benchmark::kMillisecond);
 
-void printTable3() {
+void printTable3(size_t Jobs) {
   std::printf("Table 3: running times (seconds) — baseline / approximate "
-              "interpretation / extended\n");
+              "interpretation / extended   [%zu job%s]\n", Jobs,
+              Jobs == 1 ? "" : "s");
   rule();
   std::printf("%-26s %12s %12s %12s %10s\n", "Benchmark", "Baseline (s)",
               "Approx. (s)", "Extended (s)", "Hints");
   rule();
-  std::vector<ProjectReport> Reports = runSuite(/*OnlyDynamicCG=*/true);
+  std::vector<ProjectReport> Reports = runSuite(/*OnlyDynamicCG=*/true, Jobs);
   double TotalApprox = 0;
   for (size_t I : sortedIndices(Reports, [](const ProjectReport &R) {
          return R.CodeBytes;
@@ -117,7 +118,8 @@ void printTable3() {
 } // namespace
 
 int main(int argc, char **argv) {
-  printTable3();
+  size_t Jobs = consumeJobsFlag(argc, argv);
+  printTable3(Jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

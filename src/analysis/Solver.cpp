@@ -265,6 +265,10 @@ void Solver::solve() {
   Solving = true;
   std::vector<std::pair<CVarId, CVarId>> Candidates;
   while (!Worklist.empty()) {
+    if (Cancel && Cancel->expired()) {
+      Cancelled = true;
+      break; // Pending deltas stay queued; extract() sees a partial fixpoint.
+    }
     CVarId Popped = Worklist.front();
     Worklist.pop_front();
     InWorklist[Popped] = false;

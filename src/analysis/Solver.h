@@ -38,6 +38,7 @@
 
 #include "analysis/ConstraintVar.h"
 #include "support/BitSet.h"
+#include "support/Cancellation.h"
 
 #include <deque>
 #include <functional>
@@ -140,6 +141,14 @@ public:
   /// are no-ops; the outer loop drains all work.
   void solve();
 
+  /// Installs a deadline token polled once per worklist pop. When it
+  /// expires, solve() stops at a well-defined partial fixpoint: every
+  /// token already flushed has been fully delivered, pending deltas stay
+  /// queued. \returns via wasCancelled() whether the last solve stopped
+  /// early.
+  void setCancellation(CancellationToken *T) { Cancel = T; }
+  bool wasCancelled() const { return Cancelled; }
+
   const BitSet &pointsTo(CVarId V) const;
   const SolverStats &stats() const { return Stats; }
 
@@ -206,6 +215,10 @@ private:
   /// allocation per flush on small graphs.
   BitSet FlushScratch;
   bool Solving = false;
+
+  /// Optional deadline token (not owned); see setCancellation().
+  CancellationToken *Cancel = nullptr;
+  bool Cancelled = false;
 };
 
 } // namespace jsai

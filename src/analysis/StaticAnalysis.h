@@ -61,6 +61,10 @@ struct AnalysisOptions {
   bool UseEvalBodyAnalysis = false;
   /// Package whose module functions seed the reachability metric.
   std::string MainPackage = "app";
+  /// Optional deadline token (armed by the caller): the solver polls it per
+  /// worklist pop and stops at a partial fixpoint on expiry. The extracted
+  /// result is then an under-approximation of the full fixpoint.
+  CancellationToken *Cancel = nullptr;
 };
 
 /// Everything the evaluation needs from one analysis run.

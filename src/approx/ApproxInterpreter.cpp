@@ -105,6 +105,7 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   IOpts.MaxCallDepth = Opts.MaxCallDepth;
   IOpts.MaxLoopIterations = Opts.MaxLoopIterations;
   IOpts.MaxSteps = Opts.MaxSteps;
+  IOpts.Cancel = Opts.Cancel;
   Interpreter I(Loader, IOpts, &Collector);
 
   Stats = ApproxStats();
@@ -116,6 +117,8 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   // the library modules via require and populates the worklist with the
   // function values created along the way).
   for (const std::string &Path : RootModules) {
+    if (Opts.Cancel && Opts.Cancel->expired())
+      break; // Deadline: keep the hints collected so far.
     I.resetExecutionBudget();
     Completion C = I.loadModule(Path);
     ++Stats.NumModulesLoaded;
@@ -126,6 +129,8 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   // Phase 2: force-execute pending function values, each definition at most
   // once. Executions may create new closures, growing the worklist.
   while (!Collector.Worklist.empty()) {
+    if (Opts.Cancel && Opts.Cancel->expired())
+      break; // Deadline: abandon unexecuted worklist items.
     Object *Fn = Collector.Worklist.front();
     Collector.Worklist.pop_front();
     FunctionDef *Def = Fn->functionDef();

@@ -18,6 +18,7 @@
 
 #include "approx/HintSet.h"
 #include "interp/Interpreter.h"
+#include "support/Cancellation.h"
 
 #include <deque>
 #include <set>
@@ -32,6 +33,10 @@ struct ApproxOptions {
   uint64_t MaxSteps = 20000000;
   /// Collect module-load hints for dynamically computed require specs.
   bool CollectModuleHints = true;
+  /// Optional deadline token (armed by the caller). Polled at the
+  /// interpreter's budget checkpoints and between worklist items; on expiry
+  /// the worklist is abandoned and run() returns the hints collected so far.
+  CancellationToken *Cancel = nullptr;
 };
 
 /// Outcome statistics (reported in the evaluation: hint counts, fraction of

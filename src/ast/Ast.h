@@ -813,11 +813,14 @@ public:
   const FileTable &files() const { return Files; }
 
   /// Allocates a node of type \p T at \p Loc; the context assigns its NodeId.
+  /// Nodes have no vtable, so ownership is type-erased with a per-type
+  /// deleter instead of a virtual destructor.
   template <typename T, typename... ArgTs>
   T *create(SourceLoc Loc, ArgTs &&...Args) {
     NodeId Id = NodeId(Nodes.size());
-    auto Owned = std::make_unique<T>(Loc, Id, std::forward<ArgTs>(Args)...);
-    T *Raw = Owned.get();
+    NodePtr Owned(new T(Loc, Id, std::forward<ArgTs>(Args)...),
+                  [](Node *N) { delete static_cast<T *>(N); });
+    T *Raw = static_cast<T *>(Owned.get());
     Nodes.push_back(std::move(Owned));
     return Raw;
   }
@@ -852,7 +855,8 @@ public:
 private:
   StringPool Strings;
   FileTable Files;
-  std::vector<std::unique_ptr<Node>> Nodes;
+  using NodePtr = std::unique_ptr<Node, void (*)(Node *)>;
+  std::vector<NodePtr> Nodes;
   std::vector<std::unique_ptr<FunctionDef>> Functions;
   std::vector<std::unique_ptr<VarDecl>> Vars;
   std::vector<std::unique_ptr<Module>> ModuleList;

@@ -1,0 +1,144 @@
+//===- CorpusDriver.cpp - Work-stealing corpus scheduler ------------------===//
+
+#include "driver/CorpusDriver.h"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace jsai;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// One worker's job queue. The owner pops from the front; thieves pop from
+/// the back, so an owner working down its seed keeps cache-warm neighbors
+/// while thieves drain the far end.
+struct WorkerQueue {
+  std::mutex M;
+  std::deque<size_t> Q;
+
+  bool popFront(size_t &Job) {
+    std::lock_guard<std::mutex> L(M);
+    if (Q.empty())
+      return false;
+    Job = Q.front();
+    Q.pop_front();
+    return true;
+  }
+
+  bool popBack(size_t &Job) {
+    std::lock_guard<std::mutex> L(M);
+    if (Q.empty())
+      return false;
+    Job = Q.back();
+    Q.pop_back();
+    return true;
+  }
+};
+
+} // namespace
+
+JobResult CorpusDriver::runJob(const ProjectSpec &Spec) const {
+  JobResult R;
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    Pipeline P(Opts.Approx, Opts.Deadlines);
+    R.Report = P.analyzeProject(Spec);
+  } catch (const std::exception &E) {
+    R.Report.Name = Spec.Name;
+    R.Report.Pattern = Spec.Pattern;
+    R.Report.Outcome = ProjectOutcome::Error;
+    R.Error = E.what();
+  } catch (...) {
+    R.Report.Name = Spec.Name;
+    R.Report.Pattern = Spec.Pattern;
+    R.Report.Outcome = ProjectOutcome::Error;
+    R.Error = "unknown exception";
+  }
+  R.TotalSeconds = secondsSince(Start);
+  return R;
+}
+
+RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
+  RunSummary Summary;
+  Summary.Jobs.resize(Suite.size());
+
+  size_t Workers = Opts.Jobs;
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
+  }
+  if (Workers > Suite.size())
+    Workers = Suite.size() == 0 ? 1 : Suite.size();
+  Summary.Workers = Workers;
+
+  auto Start = std::chrono::steady_clock::now();
+  if (Workers <= 1) {
+    // Inline: no threads, identical code path to the parallel case.
+    for (size_t I = 0; I != Suite.size(); ++I)
+      Summary.Jobs[I] = runJob(Suite[I]);
+  } else {
+    // Seed the per-worker deques round-robin; the task set is fixed up
+    // front (jobs never spawn jobs), so a worker may exit as soon as a
+    // full steal sweep finds every queue empty.
+    std::vector<WorkerQueue> Queues(Workers);
+    for (size_t I = 0; I != Suite.size(); ++I)
+      Queues[I % Workers].Q.push_back(I);
+
+    auto WorkerMain = [&](size_t Self) {
+      for (;;) {
+        size_t Job;
+        if (!Queues[Self].popFront(Job)) {
+          bool Stole = false;
+          for (size_t Off = 1; Off != Workers && !Stole; ++Off)
+            Stole = Queues[(Self + Off) % Workers].popBack(Job);
+          if (!Stole)
+            return;
+        }
+        // Slots are index-disjoint across workers: no lock needed.
+        Summary.Jobs[Job] = runJob(Suite[Job]);
+      }
+    };
+
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (size_t W = 0; W != Workers; ++W)
+      Threads.emplace_back(WorkerMain, W);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  Summary.WallSeconds = secondsSince(Start);
+
+  // Aggregate in project order (completion order never matters).
+  RunAggregates &A = Summary.Totals;
+  for (const JobResult &J : Summary.Jobs) {
+    ++A.Projects;
+    switch (J.Report.Outcome) {
+    case ProjectOutcome::Ok:
+      ++A.Ok;
+      break;
+    case ProjectOutcome::Degraded:
+      ++A.Degraded;
+      break;
+    case ProjectOutcome::Error:
+      ++A.Errors;
+      break;
+    }
+    A.BaselineCallEdges += J.Report.Baseline.NumCallEdges;
+    A.ExtendedCallEdges += J.Report.Extended.NumCallEdges;
+    A.BaselineReachable += J.Report.Baseline.NumReachableFunctions;
+    A.ExtendedReachable += J.Report.Extended.NumReachableFunctions;
+    A.Hints += J.Report.NumHints;
+    A.SolverTokensPropagated += J.Report.Extended.Solver.NumTokensPropagated;
+  }
+  return Summary;
+}

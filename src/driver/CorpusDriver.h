@@ -1,0 +1,109 @@
+//===- CorpusDriver.h - Parallel corpus scheduler ---------------*- C++ -*-===//
+///
+/// \file
+/// The batch engine over many projects (the paper's Section 5 evaluation
+/// shape: 141 projects through parse → approx → baseline → extended). Per-
+/// project analyses share no mutable state — every job owns its AstContext
+/// (and thus StringPool), DiagnosticEngine, Heap, and solver — so the
+/// driver schedules them across a work-stealing thread pool:
+///
+///  - jobs are seeded round-robin onto per-worker deques; a worker pops
+///    from the front of its own deque and steals from the back of others
+///    when it runs dry, so one pathological project cannot serialize the
+///    tail of the run;
+///  - per-phase deadlines (PhaseDeadlines) are enforced cooperatively
+///    inside each job via CancellationToken; a timed-out phase degrades
+///    the project (ProjectOutcome::Degraded), never the run;
+///  - results land in a pre-sized slot per project, so the returned
+///    summary — and the JSONL telemetry derived from it (Telemetry.h) —
+///    is in project order regardless of completion order.
+///
+/// Determinism contract: with no deadlines configured, every job is fully
+/// deterministic and isolated, so aggregate metrics and the (timing-free)
+/// JSONL report are byte-identical for any jobs count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_DRIVER_CORPUSDRIVER_H
+#define JSAI_DRIVER_CORPUSDRIVER_H
+
+#include "pipeline/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+/// Scheduler configuration.
+struct DriverOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 = run inline on the
+  /// calling thread (no threads spawned).
+  size_t Jobs = 1;
+  /// Per-phase deadlines applied to every job (0 = none).
+  PhaseDeadlines Deadlines;
+  /// Approximate-interpretation tunables forwarded to every job.
+  ApproxOptions Approx;
+  /// Include wall-clock fields in JSONL telemetry. Off by default: timing
+  /// fields are inherently nondeterministic, and omitting them keeps
+  /// reports byte-comparable across runs and jobs counts.
+  bool IncludeTimings = false;
+};
+
+/// One scheduled project analysis.
+struct JobResult {
+  ProjectReport Report;
+  /// End-to-end job wall clock (parse through extraction), seconds.
+  double TotalSeconds = 0;
+  /// Non-empty when the job died on an exception (Outcome == Error);
+  /// the run always continues.
+  std::string Error;
+};
+
+/// Aggregate metrics over a run, accumulated in project order.
+struct RunAggregates {
+  size_t Projects = 0;
+  size_t Ok = 0;
+  size_t Degraded = 0;
+  size_t Errors = 0;
+  size_t BaselineCallEdges = 0;
+  size_t ExtendedCallEdges = 0;
+  size_t BaselineReachable = 0;
+  size_t ExtendedReachable = 0;
+  size_t Hints = 0;
+  uint64_t SolverTokensPropagated = 0;
+
+  friend bool operator==(const RunAggregates &, const RunAggregates &) =
+      default;
+};
+
+/// Everything a run produced. Jobs is in project (input) order.
+struct RunSummary {
+  std::vector<JobResult> Jobs;
+  RunAggregates Totals;
+  /// Whole-run wall clock, seconds (nondeterministic; reported in
+  /// telemetry only when DriverOptions::IncludeTimings is set).
+  double WallSeconds = 0;
+  /// Worker threads actually used.
+  size_t Workers = 1;
+};
+
+/// Schedules ProjectAnalyzer jobs across a work-stealing thread pool.
+class CorpusDriver {
+public:
+  explicit CorpusDriver(DriverOptions Opts = DriverOptions()) : Opts(Opts) {}
+
+  /// Analyzes every project of \p Suite. Never throws: per-job failures
+  /// are captured as Outcome == Error in that job's slot.
+  RunSummary run(const std::vector<ProjectSpec> &Suite);
+
+  const DriverOptions &options() const { return Opts; }
+
+private:
+  JobResult runJob(const ProjectSpec &Spec) const;
+
+  DriverOptions Opts;
+};
+
+} // namespace jsai
+
+#endif // JSAI_DRIVER_CORPUSDRIVER_H

@@ -1,0 +1,187 @@
+//===- Telemetry.cpp - JSONL run telemetry --------------------------------===//
+
+#include "driver/Telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace jsai;
+
+namespace {
+
+/// Stable decimal rendering for timing fields (always 6 fractional
+/// digits, no locale dependence).
+std::string jsonSeconds(double S) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", S);
+  return Buf;
+}
+
+/// Recall/precision fractions, same stable rendering.
+std::string jsonFraction(double F) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.6f", F);
+  return Buf;
+}
+
+std::string num(uint64_t N) { return std::to_string(N); }
+
+/// The per-mode analysis metric object shared by "baseline" and
+/// "extended".
+std::string analysisJson(const AnalysisResult &R) {
+  std::string Out = "{";
+  Out += "\"call_edges\":" + num(R.NumCallEdges);
+  Out += ",\"reachable_functions\":" + num(R.NumReachableFunctions);
+  Out += ",\"call_sites\":" + num(R.NumCallSites);
+  Out += ",\"resolved_call_sites\":" + num(R.NumResolvedCallSites);
+  Out += ",\"monomorphic_call_sites\":" + num(R.NumMonomorphicCallSites);
+  Out += "}";
+  return Out;
+}
+
+std::string solverJson(const SolverStats &S) {
+  std::string Out = "{";
+  Out += "\"edges\":" + num(S.NumEdges);
+  Out += ",\"duplicate_edges\":" + num(S.NumDuplicateEdges);
+  Out += ",\"listeners\":" + num(S.NumListeners);
+  Out += ",\"batches_flushed\":" + num(S.NumBatchesFlushed);
+  Out += ",\"cycles_collapsed\":" + num(S.NumCyclesCollapsed);
+  Out += ",\"vars_merged\":" + num(S.NumVarsMerged);
+  Out += ",\"tokens_propagated\":" + num(S.NumTokensPropagated);
+  Out += "}";
+  return Out;
+}
+
+} // namespace
+
+std::string jsai::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
+  const ProjectReport &R = Job.Report;
+  std::string Out = "{";
+  Out += "\"project\":\"" + jsonEscape(R.Name) + "\"";
+  Out += ",\"pattern\":\"" + jsonEscape(R.Pattern) + "\"";
+  Out += ",\"outcome\":\"";
+  Out += projectOutcomeName(R.Outcome);
+  Out += "\"";
+  if (!R.DegradedPhase.empty())
+    Out += ",\"degraded_phase\":\"" + jsonEscape(R.DegradedPhase) + "\"";
+  if (!Job.Error.empty())
+    Out += ",\"error\":\"" + jsonEscape(Job.Error) + "\"";
+  Out += ",\"packages\":" + num(R.NumPackages);
+  Out += ",\"modules\":" + num(R.NumModules);
+  Out += ",\"functions\":" + num(R.NumFunctions);
+  Out += ",\"code_bytes\":" + num(R.CodeBytes);
+  Out += ",\"hints\":" + num(R.NumHints);
+  Out += ",\"approx\":{";
+  Out += "\"functions_visited\":" + num(R.Approx.NumFunctionsVisited);
+  Out += ",\"functions_total\":" + num(R.Approx.NumFunctionsTotal);
+  Out += ",\"modules_loaded\":" + num(R.Approx.NumModulesLoaded);
+  Out += ",\"forced_executions\":" + num(R.Approx.NumForcedExecutions);
+  Out += ",\"aborts\":" + num(R.Approx.NumAborts);
+  Out += "}";
+  Out += ",\"baseline\":" + analysisJson(R.Baseline);
+  Out += ",\"extended\":" + analysisJson(R.Extended);
+  Out += ",\"solver\":" + solverJson(R.Extended.Solver);
+  if (R.HasDynamicCG) {
+    Out += ",\"dynamic\":{";
+    Out += "\"edges\":" + num(R.DynamicEdges);
+    Out += ",\"baseline_recall\":" + jsonFraction(R.BaselineRP.Recall);
+    Out += ",\"baseline_precision\":" + jsonFraction(R.BaselineRP.Precision);
+    Out += ",\"extended_recall\":" + jsonFraction(R.ExtendedRP.Recall);
+    Out += ",\"extended_precision\":" + jsonFraction(R.ExtendedRP.Precision);
+    Out += "}";
+  }
+  if (IncludeTimings) {
+    Out += ",\"timings\":{";
+    Out += "\"parse_s\":" + jsonSeconds(R.ParseSeconds);
+    Out += ",\"baseline_s\":" + jsonSeconds(R.BaselineSeconds);
+    Out += ",\"approx_s\":" + jsonSeconds(R.ApproxSeconds);
+    Out += ",\"extended_s\":" + jsonSeconds(R.ExtendedSeconds);
+    Out += ",\"total_s\":" + jsonSeconds(Job.TotalSeconds);
+    Out += "}";
+  }
+  Out += "}";
+  return Out;
+}
+
+std::string jsai::manifestJson(const RunSummary &Summary,
+                               const DriverOptions &Opts) {
+  const RunAggregates &A = Summary.Totals;
+  std::string Out = "{\"manifest\":{";
+  Out += "\"schema\":1";
+  Out += ",\"projects\":" + num(A.Projects);
+  Out += ",\"outcomes\":{\"ok\":" + num(A.Ok) +
+         ",\"degraded\":" + num(A.Degraded) + ",\"error\":" + num(A.Errors) +
+         "}";
+  Out += ",\"deadlines\":{\"approx_s\":" +
+         jsonSeconds(Opts.Deadlines.ApproxSeconds) +
+         ",\"analysis_s\":" + jsonSeconds(Opts.Deadlines.AnalysisSeconds) +
+         "}";
+  Out += ",\"baseline_call_edges\":" + num(A.BaselineCallEdges);
+  Out += ",\"extended_call_edges\":" + num(A.ExtendedCallEdges);
+  Out += ",\"baseline_reachable_functions\":" + num(A.BaselineReachable);
+  Out += ",\"extended_reachable_functions\":" + num(A.ExtendedReachable);
+  Out += ",\"hints\":" + num(A.Hints);
+  Out += ",\"solver_tokens_propagated\":" + num(A.SolverTokensPropagated);
+  if (Opts.IncludeTimings) {
+    // Run-environment facts live behind the same gate as timings: both
+    // vary across runs, and the default report must not.
+    Out += ",\"jobs\":" + num(Summary.Workers);
+    Out += ",\"wall_s\":" + jsonSeconds(Summary.WallSeconds);
+  }
+  Out += "}}";
+  return Out;
+}
+
+std::string jsai::renderReport(const RunSummary &Summary,
+                               const DriverOptions &Opts) {
+  std::string Out;
+  for (const JobResult &Job : Summary.Jobs) {
+    Out += jobRecordJson(Job, Opts.IncludeTimings);
+    Out += '\n';
+  }
+  Out += manifestJson(Summary, Opts);
+  Out += '\n';
+  return Out;
+}
+
+bool jsai::writeReport(const std::string &Path, const RunSummary &Summary,
+                       const DriverOptions &Opts) {
+  std::ofstream OutFile(Path, std::ios::binary);
+  if (!OutFile)
+    return false;
+  OutFile << renderReport(Summary, Opts);
+  return bool(OutFile);
+}

@@ -1,0 +1,47 @@
+//===- Telemetry.h - JSONL run telemetry ------------------------*- C++ -*-===//
+///
+/// \file
+/// Structured telemetry for corpus runs: one JSONL record per project (in
+/// project order) followed by one run-manifest record with aggregate
+/// metrics. The record schema is documented in README.md ("JSONL run
+/// telemetry").
+///
+/// Determinism contract: by default every emitted field is a deterministic
+/// function of the corpus and the configuration — wall-clock timings, the
+/// jobs count, and other run-environment facts are emitted only when
+/// DriverOptions::IncludeTimings is set. A deadline-free report is
+/// therefore byte-identical across repeated runs and across any --jobs
+/// value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_DRIVER_TELEMETRY_H
+#define JSAI_DRIVER_TELEMETRY_H
+
+#include "driver/CorpusDriver.h"
+
+#include <string>
+
+namespace jsai {
+
+/// Escapes \p S for embedding in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// One project's JSONL record (no trailing newline).
+std::string jobRecordJson(const JobResult &Job, bool IncludeTimings);
+
+/// The run-manifest JSONL record (no trailing newline).
+std::string manifestJson(const RunSummary &Summary, const DriverOptions &Opts);
+
+/// The full report: one record per job in project order, then the
+/// manifest, newline-terminated.
+std::string renderReport(const RunSummary &Summary, const DriverOptions &Opts);
+
+/// Writes renderReport() to \p Path. \returns false when the file cannot
+/// be opened.
+bool writeReport(const std::string &Path, const RunSummary &Summary,
+                 const DriverOptions &Opts);
+
+} // namespace jsai
+
+#endif // JSAI_DRIVER_TELEMETRY_H

@@ -62,6 +62,10 @@ bool Interpreter::stepBudget() {
     BudgetHit = true;
     return false;
   }
+  if (Opts.Cancel && Opts.Cancel->expired()) {
+    BudgetHit = true;
+    return false;
+  }
   return true;
 }
 

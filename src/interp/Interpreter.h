@@ -22,6 +22,7 @@
 #include "interp/ModuleLoader.h"
 #include "interp/Observer.h"
 #include "runtime/Heap.h"
+#include "support/Cancellation.h"
 
 #include <optional>
 #include <string>
@@ -42,6 +43,9 @@ struct InterpOptions {
   uint64_t MaxSteps = 50000000;
   /// Seed for the deterministic Math.random replacement.
   uint64_t RandomSeed = 0x5DEECE66DULL;
+  /// Optional deadline token, polled at the step/loop budget checkpoints.
+  /// Expiry behaves exactly like budget exhaustion (Abort completions).
+  CancellationToken *Cancel = nullptr;
 };
 
 /// Prototype objects for the builtin hierarchy.

@@ -17,6 +17,18 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
 
 } // namespace
 
+const char *jsai::projectOutcomeName(ProjectOutcome O) {
+  switch (O) {
+  case ProjectOutcome::Ok:
+    return "ok";
+  case ProjectOutcome::Degraded:
+    return "degraded";
+  case ProjectOutcome::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
 ProjectAnalyzer::ProjectAnalyzer(const ProjectSpec &Spec,
                                  ApproxOptions ApproxOpts)
     : Spec(Spec), ApproxOpts(ApproxOpts) {
@@ -90,28 +102,71 @@ size_t ProjectAnalyzer::numFunctions() {
 }
 
 ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
-  ProjectAnalyzer A(Spec, ApproxOpts);
+  // Phase tokens live for the whole project run; each phase arms its token
+  // just before starting so parse time never eats into a phase budget.
+  CancellationToken ApproxToken, AnalysisToken;
+  ApproxOptions AO = ApproxOpts;
+  if (Deadlines.ApproxSeconds > 0)
+    AO.Cancel = &ApproxToken;
+
+  auto Start = std::chrono::steady_clock::now();
+  ProjectAnalyzer A(Spec, AO);
   ProjectReport R;
+  R.ParseSeconds = secondsSince(Start);
   R.Name = Spec.Name;
   R.Pattern = Spec.Pattern;
   R.NumPackages = A.numPackages();
   R.NumModules = A.numModules();
   R.CodeBytes = A.codeBytes();
 
-  auto Start = std::chrono::steady_clock::now();
-  R.Baseline = A.analyze(AnalysisMode::Baseline);
+  AnalysisOptions BaseOpts;
+  BaseOpts.Mode = AnalysisMode::Baseline;
+  if (Deadlines.AnalysisSeconds > 0) {
+    BaseOpts.Cancel = &AnalysisToken;
+    AnalysisToken.arm(Deadlines.AnalysisSeconds);
+  }
+  Start = std::chrono::steady_clock::now();
+  R.Baseline = A.analyze(BaseOpts);
   R.BaselineSeconds = secondsSince(Start);
+  bool AnalysisDegraded = AnalysisToken.cancelled();
 
+  if (Deadlines.ApproxSeconds > 0)
+    ApproxToken.arm(Deadlines.ApproxSeconds);
   R.NumHints = A.hints().size(); // Triggers the timed approx phase.
   R.ApproxSeconds = A.approxSeconds();
   R.Approx = A.approxStats();
+  bool ApproxDegraded = ApproxToken.cancelled();
   // Function counting happens after the pre-analysis so eval-parsed
   // definitions don't skew the denominator.
   R.NumFunctions = A.numFunctions();
 
-  Start = std::chrono::steady_clock::now();
-  R.Extended = A.analyze(AnalysisMode::Hints);
-  R.ExtendedSeconds = secondsSince(Start);
+  if (ApproxDegraded) {
+    // Graceful degradation: the partial hints are discarded and the
+    // project is analyzed baseline-only (the extended columns mirror the
+    // baseline so aggregates stay well-defined).
+    R.NumHints = 0;
+    R.Extended = R.Baseline;
+    R.ExtendedSeconds = 0;
+  } else {
+    AnalysisOptions ExtOpts;
+    ExtOpts.Mode = AnalysisMode::Hints;
+    if (Deadlines.AnalysisSeconds > 0) {
+      ExtOpts.Cancel = &AnalysisToken;
+      AnalysisToken.arm(Deadlines.AnalysisSeconds);
+    }
+    Start = std::chrono::steady_clock::now();
+    R.Extended = A.analyze(ExtOpts);
+    R.ExtendedSeconds = secondsSince(Start);
+    AnalysisDegraded |= AnalysisToken.cancelled();
+  }
+
+  if (ApproxDegraded) {
+    R.Outcome = ProjectOutcome::Degraded;
+    R.DegradedPhase = "approx";
+  } else if (AnalysisDegraded) {
+    R.Outcome = ProjectOutcome::Degraded;
+    R.DegradedPhase = "analysis";
+  }
 
   if (Spec.hasDynamicCallGraph()) {
     R.HasDynamicCG = true;

@@ -20,11 +20,39 @@
 #include "callgraph/DynamicCallGraphRecorder.h"
 #include "callgraph/Metrics.h"
 #include "corpus/Project.h"
+#include "support/Cancellation.h"
 
 #include <memory>
 #include <optional>
 
 namespace jsai {
+
+/// Per-phase wall-clock deadlines for one project analysis. 0 disables a
+/// deadline; enforcement is cooperative (CancellationToken polled at the
+/// engines' budget checkpoints), so a phase overruns by at most one poll
+/// interval.
+struct PhaseDeadlines {
+  /// Deadline for the approximate-interpretation phase. On expiry the
+  /// project degrades to baseline-only analysis (Outcome = Degraded).
+  double ApproxSeconds = 0;
+  /// Deadline for each static-analysis run (baseline and extended are
+  /// budgeted separately). On expiry the solver stops at a partial
+  /// fixpoint and the project is marked Degraded.
+  double AnalysisSeconds = 0;
+
+  bool any() const { return ApproxSeconds > 0 || AnalysisSeconds > 0; }
+};
+
+/// How one project's analysis concluded.
+enum class ProjectOutcome : uint8_t {
+  Ok,       ///< All phases completed within their deadlines.
+  Degraded, ///< A phase hit its deadline; the report holds fallback or
+            ///< partial results (see ProjectReport::DegradedPhase).
+  Error,    ///< The job failed outright (driver-level catch; never set by
+            ///< Pipeline itself).
+};
+
+const char *projectOutcomeName(ProjectOutcome O);
 
 /// Per-project state: one parsed AST shared across analyses.
 class ProjectAnalyzer {
@@ -84,9 +112,15 @@ struct ProjectReport {
   size_t CodeBytes = 0;
 
   // Phase timings (Table 3 columns).
+  double ParseSeconds = 0;
   double BaselineSeconds = 0;
   double ApproxSeconds = 0;
   double ExtendedSeconds = 0;
+
+  // Deadline outcome. DegradedPhase is "approx" or "analysis" when
+  // Outcome == Degraded, empty otherwise.
+  ProjectOutcome Outcome = ProjectOutcome::Ok;
+  std::string DegradedPhase;
 
   // Pre-analysis outcome.
   ApproxStats Approx;
@@ -106,14 +140,20 @@ struct ProjectReport {
 /// Convenience facade.
 class Pipeline {
 public:
-  explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions())
-      : ApproxOpts(ApproxOpts) {}
+  explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions(),
+                    PhaseDeadlines Deadlines = PhaseDeadlines())
+      : ApproxOpts(ApproxOpts), Deadlines(Deadlines) {}
 
-  /// Runs everything on \p Spec.
+  /// Runs everything on \p Spec, enforcing the configured deadlines. An
+  /// approx-phase timeout degrades the project to baseline-only results
+  /// (Extended mirrors Baseline, NumHints = 0); an analysis timeout leaves
+  /// the partial result of the interrupted run. Never throws or aborts on
+  /// a deadline — the outcome is recorded in the report.
   ProjectReport analyzeProject(const ProjectSpec &Spec);
 
 private:
   ApproxOptions ApproxOpts;
+  PhaseDeadlines Deadlines;
 };
 
 } // namespace jsai

@@ -1,0 +1,33 @@
+//===- Cancellation.cpp ---------------------------------------------------===//
+
+#include "support/Cancellation.h"
+
+using namespace jsai;
+
+void CancellationToken::arm(double Seconds) {
+  Deadline = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(Seconds));
+  Armed = true;
+  PollsUntilCheck = 0; // First poll reads the clock.
+  Latched.store(false, std::memory_order_relaxed);
+}
+
+void CancellationToken::disarm() {
+  Armed = false;
+  Latched.store(false, std::memory_order_relaxed);
+}
+
+bool CancellationToken::expired() {
+  if (!Armed)
+    return false;
+  if (Latched.load(std::memory_order_relaxed))
+    return true;
+  if (PollsUntilCheck-- != 0)
+    return false;
+  PollsUntilCheck = PollStride;
+  if (std::chrono::steady_clock::now() < Deadline)
+    return false;
+  Latched.store(true, std::memory_order_relaxed);
+  return true;
+}

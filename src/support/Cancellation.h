@@ -1,0 +1,63 @@
+//===- Cancellation.h - Cooperative deadline tokens -------------*- C++ -*-===//
+///
+/// \file
+/// Cooperative cancellation for long-running analysis phases. A
+/// CancellationToken is armed with a wall-clock deadline and polled at the
+/// engines' existing budget checkpoints (interpreter step/loop budgets, the
+/// solver's worklist pops). Polling is throttled: the steady clock is read
+/// only once every PollStride polls, so a poll costs one predictable branch
+/// in the common case.
+///
+/// Once the deadline passes, the token latches: every subsequent expired()
+/// and cancelled() call returns true until the token is re-armed or
+/// disarmed. The latch is atomic so a supervising thread may observe a
+/// worker's token, but arm()/disarm() and expired() must stay on the single
+/// thread running the guarded phase (one token per job phase; see
+/// DESIGN.md, "Parallel corpus driver").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_CANCELLATION_H
+#define JSAI_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace jsai {
+
+/// A deadline latch polled from analysis inner loops.
+class CancellationToken {
+public:
+  /// Arms (or re-arms) the token: it expires \p Seconds from now.
+  /// Re-arming clears a previous latch.
+  void arm(double Seconds);
+
+  /// Disarms the token; expired() returns false until the next arm().
+  void disarm();
+
+  bool armed() const { return Armed; }
+
+  /// The poll point: \returns true once the deadline has passed. Reads the
+  /// clock only every PollStride calls (and on the first call after arm());
+  /// after the deadline it answers from the latch without clock reads.
+  bool expired();
+
+  /// \returns the latched state without polling the clock. Safe to call
+  /// from another thread.
+  bool cancelled() const { return Latched.load(std::memory_order_relaxed); }
+
+private:
+  /// Clock reads per poll; budget checkpoints fire every few interpreter
+  /// steps, so a deadline is detected within well under a millisecond.
+  static constexpr uint32_t PollStride = 256;
+
+  std::chrono::steady_clock::time_point Deadline{};
+  bool Armed = false;
+  uint32_t PollsUntilCheck = 0;
+  std::atomic<bool> Latched{false};
+};
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_CANCELLATION_H

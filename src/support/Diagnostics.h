@@ -28,6 +28,9 @@ struct Diagnostic {
 };
 
 /// Accumulates diagnostics produced by the lexer, parser, and analyses.
+///
+/// Not thread-safe: one engine per analysis job. Parallel driver workers
+/// each construct their own.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message);

@@ -27,6 +27,10 @@ inline constexpr Symbol InvalidSymbol = ~Symbol(0);
 
 /// Deduplicating string table. Symbols are dense indices, so iterating
 /// symbol-keyed containers in symbol order is deterministic.
+///
+/// Not thread-safe: a StringPool (and the AstContext that owns it) belongs
+/// to exactly one analysis job. The parallel corpus driver gives every job
+/// its own pool; Symbols must never cross pools.
 class StringPool {
 public:
   /// Interns \p S, returning its stable symbol.

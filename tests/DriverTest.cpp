@@ -1,0 +1,260 @@
+//===- DriverTest.cpp - CorpusDriver, deadlines, and telemetry ------------===//
+//
+// Covers the parallel corpus driver's three contracts:
+//  1. determinism — jobs=4 produces byte-identical aggregate metrics and
+//     JSONL report to jobs=1;
+//  2. graceful degradation — a non-terminating project hits the approx
+//     deadline, degrades to baseline-only, and the run still completes;
+//  3. no false cancellations — tokens never fire when no deadline is set.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+#include "driver/CorpusDriver.h"
+#include "driver/Telemetry.h"
+#include "support/Cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace jsai;
+
+namespace {
+
+/// A small slice of the embedded corpus — big enough to exercise stealing
+/// with 4 workers, small enough to keep the test quick.
+std::vector<ProjectSpec> smallSuite() {
+  SuiteOptions SO;
+  SO.Count = 16;
+  return buildBenchmarkSuite(SO);
+}
+
+/// A trivial well-behaved project.
+ProjectSpec trivialProject(const std::string &Name) {
+  ProjectSpec Spec;
+  Spec.Name = Name;
+  Spec.Pattern = "trivial";
+  Spec.Files.addFile("app/main.js", "function f() { return 1; }\n"
+                                    "var r = f();\n");
+  return Spec;
+}
+
+/// A project whose main module never terminates on its own. The driver
+/// test gives the approx phase effectively unlimited budgets, so only the
+/// wall-clock deadline can stop it.
+ProjectSpec infiniteProject() {
+  ProjectSpec Spec;
+  Spec.Name = "pathological-spin";
+  Spec.Pattern = "infinite-loop";
+  Spec.Files.addFile("app/main.js", "var i = 0;\n"
+                                    "while (true) { i = i + 1; }\n");
+  return Spec;
+}
+
+/// Budgets so large the spin loop cannot exhaust them in test time.
+ApproxOptions unboundedApprox() {
+  ApproxOptions AO;
+  AO.MaxLoopIterations = ~uint64_t(0) / 2;
+  AO.MaxSteps = ~uint64_t(0) / 2;
+  return AO;
+}
+
+//===----------------------------------------------------------------------===//
+// CancellationToken
+//===----------------------------------------------------------------------===//
+
+TEST(CancellationTokenTest, UnarmedNeverFires) {
+  CancellationToken T;
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_FALSE(T.expired());
+  EXPECT_FALSE(T.cancelled());
+}
+
+TEST(CancellationTokenTest, ExpiresAfterDeadline) {
+  CancellationToken T;
+  T.arm(0.01);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Polls are throttled; drive past one throttle window.
+  bool Fired = false;
+  for (int I = 0; I != 1000 && !Fired; ++I)
+    Fired = T.expired();
+  EXPECT_TRUE(Fired);
+  EXPECT_TRUE(T.cancelled());
+  // The latch holds without further clock reads.
+  EXPECT_TRUE(T.expired());
+}
+
+TEST(CancellationTokenTest, RearmClearsLatch) {
+  CancellationToken T;
+  T.arm(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  bool Fired = false;
+  for (int I = 0; I != 1000 && !Fired; ++I)
+    Fired = T.expired();
+  EXPECT_TRUE(Fired);
+  T.arm(1000.0);
+  EXPECT_FALSE(T.expired());
+  EXPECT_FALSE(T.cancelled());
+  T.disarm();
+  EXPECT_FALSE(T.expired());
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism under parallelism
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, ParallelRunMatchesSerialByteForByte) {
+  std::vector<ProjectSpec> Suite = smallSuite();
+
+  DriverOptions Serial;
+  Serial.Jobs = 1;
+  RunSummary S1 = CorpusDriver(Serial).run(Suite);
+
+  DriverOptions Parallel;
+  Parallel.Jobs = 4;
+  RunSummary S4 = CorpusDriver(Parallel).run(Suite);
+
+  ASSERT_EQ(S1.Jobs.size(), Suite.size());
+  ASSERT_EQ(S4.Jobs.size(), Suite.size());
+  EXPECT_EQ(S1.Totals, S4.Totals);
+
+  // Reports are in project order and timing-free by default, so the full
+  // JSONL output must match byte for byte.
+  EXPECT_EQ(renderReport(S1, Serial), renderReport(S4, Parallel));
+
+  // Per-project results, not just aggregates.
+  for (size_t I = 0; I != Suite.size(); ++I) {
+    EXPECT_EQ(S1.Jobs[I].Report.Name, S4.Jobs[I].Report.Name);
+    EXPECT_EQ(S1.Jobs[I].Report.Extended.NumCallEdges,
+              S4.Jobs[I].Report.Extended.NumCallEdges)
+        << "project " << S1.Jobs[I].Report.Name;
+    EXPECT_EQ(S1.Jobs[I].Report.NumHints, S4.Jobs[I].Report.NumHints)
+        << "project " << S1.Jobs[I].Report.Name;
+  }
+}
+
+TEST(DriverTest, MoreWorkersThanJobsIsClamped) {
+  std::vector<ProjectSpec> Suite;
+  Suite.push_back(trivialProject("only"));
+  DriverOptions DO;
+  DO.Jobs = 16;
+  RunSummary S = CorpusDriver(DO).run(Suite);
+  EXPECT_EQ(S.Workers, 1u);
+  ASSERT_EQ(S.Jobs.size(), 1u);
+  EXPECT_EQ(S.Jobs[0].Report.Outcome, ProjectOutcome::Ok);
+}
+
+TEST(DriverTest, EmptySuite) {
+  DriverOptions DO;
+  DO.Jobs = 4;
+  RunSummary S = CorpusDriver(DO).run({});
+  EXPECT_EQ(S.Jobs.size(), 0u);
+  EXPECT_EQ(S.Totals.Projects, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines and graceful degradation
+//===----------------------------------------------------------------------===//
+
+TEST(DriverTest, InfiniteLoopDegradesUnderApproxDeadline) {
+  std::vector<ProjectSpec> Suite;
+  Suite.push_back(trivialProject("fine-a"));
+  Suite.push_back(infiniteProject());
+  Suite.push_back(trivialProject("fine-b"));
+  Suite.push_back(trivialProject("fine-c"));
+
+  DriverOptions DO;
+  DO.Jobs = 2;
+  DO.Approx = unboundedApprox();
+  DO.Deadlines.ApproxSeconds = 0.5;
+
+  auto Start = std::chrono::steady_clock::now();
+  RunSummary S = CorpusDriver(DO).run(Suite);
+  double Wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+  // The run completed (the spin project did not hang it) and stayed in
+  // the same order of magnitude as the deadline.
+  ASSERT_EQ(S.Jobs.size(), 4u);
+  EXPECT_LT(Wall, 30.0);
+
+  const JobResult &Spin = S.Jobs[1];
+  EXPECT_EQ(Spin.Report.Outcome, ProjectOutcome::Degraded);
+  EXPECT_EQ(Spin.Report.DegradedPhase, "approx");
+  // Baseline-only fallback: no hints, extended mirrors baseline.
+  EXPECT_EQ(Spin.Report.NumHints, 0u);
+  EXPECT_EQ(Spin.Report.Extended.NumCallEdges,
+            Spin.Report.Baseline.NumCallEdges);
+
+  for (size_t I : {size_t(0), size_t(2), size_t(3)}) {
+    EXPECT_EQ(S.Jobs[I].Report.Outcome, ProjectOutcome::Ok)
+        << "project " << S.Jobs[I].Report.Name;
+    EXPECT_TRUE(S.Jobs[I].Report.DegradedPhase.empty());
+  }
+  EXPECT_EQ(S.Totals.Ok, 3u);
+  EXPECT_EQ(S.Totals.Degraded, 1u);
+  EXPECT_EQ(S.Totals.Errors, 0u);
+
+  // Telemetry reflects the outcome.
+  std::string Record = jobRecordJson(Spin, /*IncludeTimings=*/false);
+  EXPECT_NE(Record.find("\"outcome\":\"degraded\""), std::string::npos);
+  EXPECT_NE(Record.find("\"degraded_phase\":\"approx\""), std::string::npos);
+}
+
+TEST(DriverTest, NoDeadlineTokenNeverFires) {
+  // Threading an unarmed token through a full approx run must never
+  // cancel anything.
+  ProjectSpec Spec = trivialProject("quiet");
+  CancellationToken Token;
+  ApproxOptions AO;
+  AO.Cancel = &Token;
+  ProjectAnalyzer A(Spec, AO);
+  EXPECT_GE(A.hints().size(), 0u);
+  EXPECT_FALSE(Token.cancelled());
+
+  // And the pipeline without deadlines reports Ok.
+  Pipeline P;
+  ProjectReport R = P.analyzeProject(Spec);
+  EXPECT_EQ(R.Outcome, ProjectOutcome::Ok);
+  EXPECT_TRUE(R.DegradedPhase.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry schema
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(TelemetryTest, ReportShapeAndTimingGate) {
+  std::vector<ProjectSpec> Suite;
+  Suite.push_back(trivialProject("t"));
+  DriverOptions DO;
+  RunSummary S = CorpusDriver(DO).run(Suite);
+
+  std::string Report = renderReport(S, DO);
+  // One record per project plus the manifest, newline-terminated JSONL.
+  EXPECT_EQ(std::count(Report.begin(), Report.end(), '\n'), 2);
+  EXPECT_NE(Report.find("\"project\":\"t\""), std::string::npos);
+  EXPECT_NE(Report.find("\"manifest\":{"), std::string::npos);
+  EXPECT_NE(Report.find("\"outcome\":\"ok\""), std::string::npos);
+  // Timing fields are gated off by default (determinism contract).
+  EXPECT_EQ(Report.find("\"timings\""), std::string::npos);
+  EXPECT_EQ(Report.find("\"wall_s\""), std::string::npos);
+  EXPECT_EQ(Report.find("\"jobs\""), std::string::npos);
+
+  DriverOptions Timed = DO;
+  Timed.IncludeTimings = true;
+  std::string TimedReport = renderReport(S, Timed);
+  EXPECT_NE(TimedReport.find("\"timings\""), std::string::npos);
+  EXPECT_NE(TimedReport.find("\"wall_s\""), std::string::npos);
+}
+
+} // namespace

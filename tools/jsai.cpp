@@ -17,14 +17,20 @@
 //   --hints-out=<file>  --hints-in=<file>      portable hint reuse
 //   --no-read-hints --no-write-hints --no-module-hints
 //   --unknown-args --eval-bodies               Section 6 extensions
+//   --jobs=N                                   parallel suite workers
+//   --deadline-approx=S --deadline-analysis=S  per-phase deadlines (seconds)
+//   --report=<file.jsonl> [--report-timings]   JSONL run telemetry
 //
 //===----------------------------------------------------------------------===//
 
 #include "callgraph/VulnerabilityScan.h"
 #include "corpus/BenchmarkSuite.h"
+#include "driver/CorpusDriver.h"
+#include "driver/Telemetry.h"
 #include "pipeline/Pipeline.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -41,11 +47,16 @@ struct CliOptions {
   std::string HintsOut;
   std::string HintsIn;
   std::string Driver;
+  size_t Jobs = 1;
+  PhaseDeadlines Deadlines;
+  std::string ReportPath;
+  bool ReportTimings = false;
 };
 
 void printUsage() {
   std::printf(
-      "usage: jsai <analyze|callgraph|hints|run|suite> [options] [<dir>]\n"
+      "usage: jsai <analyze|callgraph|hints|run|compare|suite> [options] "
+      "[<dir>]\n"
       "\n"
       "commands:\n"
       "  analyze <dir>    run the full pipeline, print metric comparison\n"
@@ -63,7 +74,12 @@ void printUsage() {
       "  --hints-in=<file>    import previously collected hints\n"
       "  --no-read-hints --no-write-hints --no-module-hints\n"
       "  --unknown-args       enable unknown-argument hints (Section 6)\n"
-      "  --eval-bodies        analyze eval'd code strings (Section 6)\n");
+      "  --eval-bodies        analyze eval'd code strings (Section 6)\n"
+      "  --jobs=N             suite worker threads (0 = all cores)\n"
+      "  --deadline-approx=S  approx-phase deadline in seconds (0 = none)\n"
+      "  --deadline-analysis=S  per-analysis deadline in seconds (0 = none)\n"
+      "  --report=<file.jsonl>  write JSONL telemetry (suite, analyze)\n"
+      "  --report-timings     include wall-clock fields in the report\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -108,6 +124,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Analysis.UseUnknownArgHints = true;
     } else if (Arg == "--eval-bodies") {
       Opts.Analysis.UseEvalBodyAnalysis = true;
+    } else if (Starts("--jobs=")) {
+      Opts.Jobs = size_t(std::strtoull(Arg.c_str() + 7, nullptr, 10));
+    } else if (Starts("--deadline-approx=")) {
+      Opts.Deadlines.ApproxSeconds = std::strtod(Arg.c_str() + 18, nullptr);
+    } else if (Starts("--deadline-analysis=")) {
+      Opts.Deadlines.AnalysisSeconds = std::strtod(Arg.c_str() + 20, nullptr);
+    } else if (Starts("--report=")) {
+      Opts.ReportPath = Arg.substr(9);
+    } else if (Arg == "--report-timings") {
+      Opts.ReportTimings = true;
     } else if (Starts("--")) {
       std::fprintf(stderr, "jsai: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -173,7 +199,14 @@ int cmdAnalyze(const CliOptions &Opts) {
   ProjectSpec Spec;
   if (!loadProject(Opts, Spec))
     return 1;
-  ProjectAnalyzer Analyzer(Spec);
+  // Phase deadlines are enforced via cooperative tokens, exactly as in the
+  // corpus driver: an expired approx phase degrades to the hints collected
+  // so far; an expired analysis stops at a partial fixpoint.
+  CancellationToken ApproxToken, AnalysisToken;
+  ApproxOptions AO;
+  if (Opts.Deadlines.ApproxSeconds > 0)
+    AO.Cancel = &ApproxToken;
+  ProjectAnalyzer Analyzer(Spec, AO);
   if (Analyzer.diagnostics().hasErrors()) {
     std::fprintf(stderr, "%s",
                  Analyzer.diagnostics().render(Analyzer.context().files())
@@ -186,19 +219,38 @@ int cmdAnalyze(const CliOptions &Opts) {
               Analyzer.numModules(), Analyzer.numFunctions(),
               Analyzer.codeBytes());
 
+  if (Opts.Deadlines.ApproxSeconds > 0)
+    ApproxToken.arm(Opts.Deadlines.ApproxSeconds);
   HintSet Hints = gatherHints(Opts, Analyzer);
   std::printf("approximate interpretation: %zu hints, %zu/%zu functions "
-              "visited (%.1f%%), %.3f ms\n",
+              "visited (%.1f%%), %.3f ms%s\n",
               Hints.size(), Analyzer.approxStats().NumFunctionsVisited,
               Analyzer.approxStats().NumFunctionsTotal,
               Analyzer.approxStats().visitedFraction() * 100,
-              Analyzer.approxSeconds() * 1000);
+              Analyzer.approxSeconds() * 1000,
+              ApproxToken.cancelled() ? "  [deadline hit]" : "");
 
   AnalysisOptions BaseOpts = Opts.Analysis;
   BaseOpts.Mode = AnalysisMode::Baseline;
+  if (Opts.Deadlines.AnalysisSeconds > 0) {
+    BaseOpts.Cancel = &AnalysisToken;
+    AnalysisToken.arm(Opts.Deadlines.AnalysisSeconds);
+  }
   StaticAnalysis BaseSA(Analyzer.loader(), BaseOpts, nullptr);
   AnalysisResult Base = BaseSA.run();
-  AnalysisResult Ext = runAnalysis(Opts, Analyzer, Hints);
+  bool AnalysisDegraded = AnalysisToken.cancelled();
+
+  AnalysisOptions ExtOpts = Opts.Analysis;
+  if (Opts.Deadlines.AnalysisSeconds > 0) {
+    ExtOpts.Cancel = &AnalysisToken;
+    AnalysisToken.arm(Opts.Deadlines.AnalysisSeconds);
+  }
+  StaticAnalysis ExtSA(Analyzer.loader(), ExtOpts, &Hints);
+  AnalysisResult Ext = ExtSA.run();
+  AnalysisDegraded |= AnalysisToken.cancelled();
+  if (AnalysisDegraded)
+    std::printf("note: analysis deadline hit — results are a partial "
+                "fixpoint\n");
 
   std::printf("\n%-26s %12s %12s\n", "metric", "baseline", "selected mode");
   std::printf("%-26s %12zu %12zu\n", "call edges", Base.NumCallEdges,
@@ -216,6 +268,50 @@ int cmdAnalyze(const CliOptions &Opts) {
   if (Rep.NumTotal)
     std::printf("%-26s %12s %6zu of %zu\n", "reachable vulnerabilities", "",
                 Rep.NumReachable, Rep.NumTotal);
+
+  if (!Opts.ReportPath.empty()) {
+    // Single-project telemetry: one job record plus the manifest, same
+    // schema as `jsai suite --report=`.
+    JobResult Job;
+    ProjectReport &R = Job.Report;
+    R.Name = Spec.Name;
+    R.Pattern = Spec.Pattern;
+    R.NumPackages = Analyzer.numPackages();
+    R.NumModules = Analyzer.numModules();
+    R.NumFunctions = Analyzer.numFunctions();
+    R.CodeBytes = Analyzer.codeBytes();
+    R.ApproxSeconds = Analyzer.approxSeconds();
+    R.Approx = Analyzer.approxStats();
+    R.NumHints = Hints.size();
+    R.Baseline = Base;
+    R.Extended = Ext;
+    if (ApproxToken.cancelled()) {
+      R.Outcome = ProjectOutcome::Degraded;
+      R.DegradedPhase = "approx";
+    } else if (AnalysisDegraded) {
+      R.Outcome = ProjectOutcome::Degraded;
+      R.DegradedPhase = "analysis";
+    }
+    DriverOptions DO;
+    DO.Deadlines = Opts.Deadlines;
+    DO.IncludeTimings = Opts.ReportTimings;
+    RunSummary Summary;
+    Summary.Jobs.push_back(std::move(Job));
+    // Aggregate the single job the same way CorpusDriver::run does.
+    RunAggregates &Agg = Summary.Totals;
+    const ProjectReport &JR = Summary.Jobs[0].Report;
+    Agg.Projects = 1;
+    (JR.Outcome == ProjectOutcome::Ok ? Agg.Ok : Agg.Degraded) = 1;
+    Agg.BaselineCallEdges = JR.Baseline.NumCallEdges;
+    Agg.ExtendedCallEdges = JR.Extended.NumCallEdges;
+    Agg.BaselineReachable = JR.Baseline.NumReachableFunctions;
+    Agg.ExtendedReachable = JR.Extended.NumReachableFunctions;
+    Agg.Hints = JR.NumHints;
+    Agg.SolverTokensPropagated = JR.Extended.Solver.NumTokensPropagated;
+    if (!writeReport(Opts.ReportPath, Summary, DO))
+      std::fprintf(stderr, "jsai: warning: cannot write '%s'\n",
+                   Opts.ReportPath.c_str());
+  }
   return 0;
 }
 
@@ -309,22 +405,44 @@ int cmdCompare(const CliOptions &Opts) {
   return 0;
 }
 
-int cmdSuite() {
-  Pipeline P;
-  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
-  size_t BaseEdges = 0, ExtEdges = 0;
-  for (const ProjectSpec &Spec : Suite) {
-    ProjectReport R = P.analyzeProject(Spec);
-    BaseEdges += R.Baseline.NumCallEdges;
-    ExtEdges += R.Extended.NumCallEdges;
-  }
+int cmdSuite(const CliOptions &Opts) {
+  DriverOptions DO;
+  DO.Jobs = Opts.Jobs;
+  DO.Deadlines = Opts.Deadlines;
+  DO.IncludeTimings = Opts.ReportTimings;
+  CorpusDriver D(DO);
+  RunSummary Summary = D.run(buildBenchmarkSuite());
+
+  const RunAggregates &A = Summary.Totals;
   std::printf("%zu projects: %zu baseline call edges, %zu with hints "
               "(%+.1f%%)\n",
-              Suite.size(), BaseEdges, ExtEdges,
-              BaseEdges ? (double(ExtEdges) - double(BaseEdges)) /
-                              double(BaseEdges) * 100
-                        : 0.0);
-  return 0;
+              A.Projects, A.BaselineCallEdges, A.ExtendedCallEdges,
+              A.BaselineCallEdges
+                  ? (double(A.ExtendedCallEdges) -
+                     double(A.BaselineCallEdges)) /
+                        double(A.BaselineCallEdges) * 100
+                  : 0.0);
+  std::printf("outcomes: %zu ok, %zu degraded, %zu error   (%zu worker%s, "
+              "%.2f s)\n",
+              A.Ok, A.Degraded, A.Errors, Summary.Workers,
+              Summary.Workers == 1 ? "" : "s", Summary.WallSeconds);
+  for (const JobResult &J : Summary.Jobs)
+    if (J.Report.Outcome != ProjectOutcome::Ok)
+      std::printf("  %-26s %s%s%s%s\n", J.Report.Name.c_str(),
+                  projectOutcomeName(J.Report.Outcome),
+                  J.Report.DegradedPhase.empty() ? "" : " (",
+                  J.Report.DegradedPhase.c_str(),
+                  J.Report.DegradedPhase.empty() ? "" : " phase)");
+  if (!Opts.ReportPath.empty()) {
+    if (!writeReport(Opts.ReportPath, Summary, DO)) {
+      std::fprintf(stderr, "jsai: cannot write '%s'\n",
+                   Opts.ReportPath.c_str());
+      return 1;
+    }
+    std::printf("report: %s (%zu records + manifest)\n",
+                Opts.ReportPath.c_str(), Summary.Jobs.size());
+  }
+  return A.Errors == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -346,7 +464,7 @@ int main(int Argc, char **Argv) {
   if (Opts.Command == "compare")
     return cmdCompare(Opts);
   if (Opts.Command == "suite")
-    return cmdSuite();
+    return cmdSuite(Opts);
   printUsage();
   return 2;
 }

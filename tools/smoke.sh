@@ -1,14 +1,19 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Configure, build, and run the test suite — the one-command CI smoke check.
 #
-#   tools/smoke.sh [build-dir]
+#   tools/smoke.sh [build-dir] [extra cmake args...]
+#
+# Examples:
+#   tools/smoke.sh                 # default ./build tree
+#   tools/smoke.sh build-asan -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined"
 #
 # Exits non-zero if configuration, compilation, or any test fails.
-set -eu
+set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
-cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.."
+cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
