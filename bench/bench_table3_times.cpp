@@ -113,6 +113,34 @@ void printTable3(size_t Jobs) {
   }
   rule();
   std::printf("\n");
+
+  // Runtime property-system counters of the approximate-interpretation run:
+  // inline-cache effectiveness and shape-tree churn. A high hit rate means
+  // the forced executions spend their time in the slot fast path rather
+  // than hash probes.
+  std::printf("Interpreter property-system counters (approx. run)\n");
+  rule();
+  std::printf("%-26s %10s %10s %10s %10s %8s %8s %8s %8s\n", "Benchmark",
+              "GetHits", "GetMiss", "SetHits", "SetMiss", "HitRate",
+              "Shapes", "Trans", "Dict");
+  rule();
+  for (size_t I : sortedIndices(Reports, [](const ProjectReport &R) {
+         return R.CodeBytes;
+       })) {
+    const ProjectReport &R = Reports[I];
+    const InterpStats &St = R.Approx.Interp;
+    std::printf("%-26s %10llu %10llu %10llu %10llu %7.1f%% %8llu %8llu "
+                "%8llu\n",
+                R.Name.c_str(), (unsigned long long)St.ICGetHits,
+                (unsigned long long)St.ICGetMisses,
+                (unsigned long long)St.ICSetHits,
+                (unsigned long long)St.ICSetMisses, 100.0 * St.icHitRate(),
+                (unsigned long long)St.ShapesCreated,
+                (unsigned long long)St.ShapeTransitions,
+                (unsigned long long)St.DictionaryConversions);
+  }
+  rule();
+  std::printf("\n");
 }
 
 } // namespace

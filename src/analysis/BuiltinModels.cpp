@@ -319,7 +319,7 @@ void StaticAnalysis::applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS,
     if (Name.empty())
       return; // Dynamic name: baseline unsoundness by design.
     Symbol NameSym = Ctx.strings().intern(Name);
-    CVarId ValueVar = VF.propVar(Tok, Ctx.strings().intern("value"));
+    CVarId ValueVar = VF.propVar(Tok, Ctx.WK.Value);
     S.addListener(Arg(0), [this, NameSym, ValueVar](TokenId T) {
       readPropertyFromToken(T, NameSym, ValueVar);
     });
@@ -333,8 +333,8 @@ void StaticAnalysis::applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS,
     if (Name.empty() || !HasArg(2))
       return; // Dynamic name: ignored (the paper's core unsoundness).
     Symbol NameSym = Ctx.strings().intern(Name);
-    Symbol ValueSym = Ctx.strings().intern("value");
-    Symbol GetSym = Ctx.strings().intern("get");
+    Symbol ValueSym = Ctx.WK.Value;
+    Symbol GetSym = Ctx.WK.Get;
     forEachPair(Arg(0), Arg(2),
                 [this, NameSym, ValueSym, GetSym](TokenId T, TokenId D) {
                   if (TF.token(T).K == AbsValue::Kind::Builtin)
@@ -350,7 +350,7 @@ void StaticAnalysis::applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS,
       S.addEdge(Arg(0), CS->Result);
     if (!HasArg(1))
       return;
-    Symbol ValueSym = Ctx.strings().intern("value");
+    Symbol ValueSym = Ctx.WK.Value;
     forEachPair(Arg(0), Arg(1), [this, ValueSym](TokenId T, TokenId P) {
       if (TF.token(T).K == AbsValue::Kind::Builtin)
         return;

@@ -106,6 +106,7 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   IOpts.MaxLoopIterations = Opts.MaxLoopIterations;
   IOpts.MaxSteps = Opts.MaxSteps;
   IOpts.Cancel = Opts.Cancel;
+  IOpts.EnableInlineCaches = Opts.EnableInlineCaches;
   Interpreter I(Loader, IOpts, &Collector);
 
   Stats = ApproxStats();
@@ -142,6 +143,8 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
     if (C.isAbort())
       ++Stats.NumAborts;
   }
+
+  Stats.Interp = I.stats();
 
   // NumFunctionsTotal counts definitions present before eval-time parsing;
   // recompute against the final context to stay an upper bound.

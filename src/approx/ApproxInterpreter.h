@@ -17,6 +17,7 @@
 #define JSAI_APPROX_APPROXINTERPRETER_H
 
 #include "approx/HintSet.h"
+#include "interp/InterpStats.h"
 #include "interp/Interpreter.h"
 #include "support/Cancellation.h"
 
@@ -33,6 +34,8 @@ struct ApproxOptions {
   uint64_t MaxSteps = 20000000;
   /// Collect module-load hints for dynamically computed require specs.
   bool CollectModuleHints = true;
+  /// Forwarded to InterpOptions; off only for ablation measurements.
+  bool EnableInlineCaches = true;
   /// Optional deadline token (armed by the caller). Polled at the
   /// interpreter's budget checkpoints and between worklist items; on expiry
   /// the worklist is abandoned and run() returns the hints collected so far.
@@ -48,6 +51,10 @@ struct ApproxStats {
   size_t NumModulesLoaded = 0;
   size_t NumForcedExecutions = 0; ///< Worklist items force-executed.
   size_t NumAborts = 0;           ///< Executions stopped by a budget.
+
+  /// Runtime-layer counters (shape transitions, inline-cache hits/misses)
+  /// accumulated over the whole forced-execution run.
+  InterpStats Interp;
 
   double visitedFraction() const {
     return NumFunctionsTotal == 0

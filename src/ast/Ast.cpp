@@ -14,6 +14,18 @@ AstContext::AstContext() {
   SymPrototype = Strings.intern("prototype");
   SymLength = Strings.intern("length");
   SymConstructor = Strings.intern("constructor");
+  WK.Name = Strings.intern("name");
+  WK.Message = Strings.intern("message");
+  WK.Stack = Strings.intern("stack");
+  WK.Value = Strings.intern("value");
+  WK.Get = Strings.intern("get");
+  WK.Set = Strings.intern("set");
+  WK.Id = Strings.intern("id");
+  WK.Eval = Strings.intern("eval");
+  WK.Default = Strings.intern("default");
+  WK.Enumerable = Strings.intern("enumerable");
+  WK.Configurable = Strings.intern("configurable");
+  WK.Writable = Strings.intern("writable");
 }
 
 FunctionDef *AstContext::createFunction(Symbol Name, SourceLoc Loc,

@@ -852,6 +852,14 @@ public:
   Symbol SymExports, SymModule, SymRequire, SymThis, SymArguments, SymProto,
       SymPrototype, SymLength, SymConstructor;
 
+  /// Pre-interned well-known property names. Hot interpreter and builtin
+  /// paths use these instead of re-interning string literals per access.
+  struct WellKnownSymbols {
+    Symbol Name, Message, Stack, Value, Get, Set, Id, Eval, Default,
+        Enumerable, Configurable, Writable;
+  };
+  WellKnownSymbols WK;
+
 private:
   StringPool Strings;
   FileTable Files;

@@ -404,9 +404,10 @@ static void installErrors(Interpreter &I) {
             E = I.heap().newObject(ObjectClass::Error, SourceLoc::invalid());
             E->setProto(I.protos().ErrorP);
           }
-          E->setOwn(I.intern("name"), Value::str(Kind));
-          E->setOwn(I.intern("message"), Value::str(Message));
-          E->setOwn(I.intern("stack"), Value::str(Kind + ": " + Message));
+          const auto &WK = I.context().WK;
+          E->setOwn(WK.Name, Value::str(Kind));
+          E->setOwn(WK.Message, Value::str(Message));
+          E->setOwn(WK.Stack, Value::str(Kind + ": " + Message));
           return ThisV.isObject() && E == ThisV.asObject()
                      ? Value::undefined()
                      : Value::object(E);

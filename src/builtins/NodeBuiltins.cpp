@@ -45,15 +45,15 @@ static Value makeEventsModule(Interpreter &I) {
                  if (!ThisV.isObject() || ThisV.asObject()->isProxy())
                    return ThisV;
                  Object *Self = ThisV.asObject();
-                 std::string Key =
-                     "__on_" + I.toStringValue(argAt(Args, 0));
+                 Symbol Key = I.intern(
+                     "__on_" + I.toStringValue(argAt(Args, 0)));
                  // One handler list per event name.
-                 auto Existing = Self->getOwn(I.intern(Key));
+                 auto Existing = Self->getOwn(Key);
                  Value List = Existing ? *Existing : I.makeArray({});
                  if (List.isObject() &&
                      List.asObject()->objectClass() == ObjectClass::Array)
                    List.asObject()->elements().push_back(argAt(Args, 1));
-                 Self->setOwn(I.intern(Key), List);
+                 Self->setOwn(Key, List);
                  return ThisV;
                });
   defineMethod(I, Proto, "once",
@@ -71,8 +71,8 @@ static Value makeEventsModule(Interpreter &I) {
         if (!ThisV.isObject() || ThisV.asObject()->isProxy())
           return Value::boolean(false);
         Object *Self = ThisV.asObject();
-        std::string Key = "__on_" + I.toStringValue(argAt(Args, 0));
-        auto List = Self->getOwn(I.intern(Key));
+        Symbol Key = I.intern("__on_" + I.toStringValue(argAt(Args, 0)));
+        auto List = Self->getOwn(Key);
         if (!List || !List->isObject())
           return Value::boolean(false);
         std::vector<Value> HandlerArgs(

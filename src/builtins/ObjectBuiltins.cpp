@@ -33,8 +33,7 @@ static std::vector<Value> ownKeyStrings(Interpreter &I, Object *O,
 /// write observation for the stored value (or, for accessor descriptors,
 /// the getter function — the dataflow that matters for call graphs).
 static void definePropertyFromDescriptor(Interpreter &I, Object *Target,
-                                         const std::string &Name,
-                                         const Value &Desc) {
+                                         Symbol Name, const Value &Desc) {
   if (!Desc.isObject() || Desc.asObject()->isProxy())
     return;
   Object *D = Desc.asObject();
@@ -42,16 +41,18 @@ static void definePropertyFromDescriptor(Interpreter &I, Object *Target,
     return V && V->isObject() && V->asObject()->isCallable() ? V->asObject()
                                                              : nullptr;
   };
-  Object *Getter = AsFn(D->getOwn(I.intern("get")));
-  Object *Setter = AsFn(D->getOwn(I.intern("set")));
+  const auto &WK = I.context().WK;
+  Object *Getter = AsFn(D->getOwn(WK.Get));
+  Object *Setter = AsFn(D->getOwn(WK.Set));
   if (Getter || Setter) {
     if (I.observer() && Getter)
-      I.observer()->onDynamicWrite(I.currentCallSite(), Target, Name,
+      I.observer()->onDynamicWrite(I.currentCallSite(), Target,
+                                   I.strings().str(Name),
                                    Value::object(Getter));
-    Target->setAccessor(I.intern(Name), Getter, Setter);
+    Target->setAccessor(Name, Getter, Setter);
     return;
   }
-  std::optional<Value> V = D->getOwn(I.intern("value"));
+  std::optional<Value> V = D->getOwn(WK.Value);
   if (!V)
     return;
   I.dynamicWriteByBuiltin(Target, Name, *V);
@@ -104,8 +105,7 @@ void jsai::installObjectBuiltins(Interpreter &I) {
         if (O->objectClass() == ObjectClass::Array)
           Out = O->elements();
         for (Symbol Key : O->ownKeys()) {
-          Completion V =
-              I.getProperty(Arg, I.strings().str(Key), SourceLoc::invalid());
+          Completion V = I.getProperty(Arg, Key, SourceLoc::invalid());
           JSAI_PROPAGATE(V);
           Out.push_back(V.V);
         }
@@ -120,8 +120,7 @@ void jsai::installObjectBuiltins(Interpreter &I) {
         Object *O = Arg.asObject();
         std::vector<Value> Out;
         for (Symbol Key : O->ownKeys()) {
-          Completion V =
-              I.getProperty(Arg, I.strings().str(Key), SourceLoc::invalid());
+          Completion V = I.getProperty(Arg, Key, SourceLoc::invalid());
           JSAI_PROPAGATE(V);
           Out.push_back(
               I.makeArray({Value::str(I.strings().str(Key)), V.V}));
@@ -137,35 +136,36 @@ void jsai::installObjectBuiltins(Interpreter &I) {
             I.isProxyValue(NameV))
           return I.isProxyValue(Arg) ? Completion(I.proxyValue())
                                      : Completion(Value::undefined());
-        std::string Name = I.toStringValue(NameV);
+        Symbol Name = I.intern(I.toStringValue(NameV));
+        const auto &WK = I.context().WK;
         Object *O = Arg.asObject();
         Object *Desc =
             I.heap().newObject(ObjectClass::Plain, SourceLoc::invalid());
         Desc->setProto(I.protos().ObjectP);
         // Accessor properties surface as {get, set} descriptors, so the
         // merge-descriptors idiom copies accessors faithfully.
-        if (const PropertySlot *Slot = O->getOwnSlot(I.intern(Name));
-            Slot && Slot->isAccessor()) {
-          Desc->setOwn(I.intern("get"), Slot->Getter
-                                            ? Value::object(Slot->Getter)
+        const PropertySlot *Slot = O->getOwnSlot(Name);
+        if (Slot && Slot->isAccessor()) {
+          Desc->setOwn(WK.Get, Slot->Getter ? Value::object(Slot->Getter)
                                             : Value::undefined());
-          Desc->setOwn(I.intern("set"), Slot->Setter
-                                            ? Value::object(Slot->Setter)
+          Desc->setOwn(WK.Set, Slot->Setter ? Value::object(Slot->Setter)
                                             : Value::undefined());
-          Desc->setOwn(I.intern("enumerable"), Value::boolean(true));
-          Desc->setOwn(I.intern("configurable"), Value::boolean(true));
+          Desc->setOwn(WK.Enumerable, Value::boolean(true));
+          Desc->setOwn(WK.Configurable, Value::boolean(true));
           return Value::object(Desc);
         }
         Completion PropC = I.getProperty(Arg, Name, SourceLoc::invalid());
         JSAI_PROPAGATE(PropC);
         bool IsIndex = O->objectClass() == ObjectClass::Array &&
                        !PropC.V.isUndefined();
-        if (!O->hasOwn(I.intern(Name)) && !IsIndex)
+        // Re-probe: the read above may have run a prototype getter that
+        // mutated O (and invalidated Slot).
+        if (!O->hasOwn(Name) && !IsIndex)
           return Value::undefined();
-        Desc->setOwn(I.intern("value"), PropC.V);
-        Desc->setOwn(I.intern("writable"), Value::boolean(true));
-        Desc->setOwn(I.intern("enumerable"), Value::boolean(true));
-        Desc->setOwn(I.intern("configurable"), Value::boolean(true));
+        Desc->setOwn(WK.Value, PropC.V);
+        Desc->setOwn(WK.Writable, Value::boolean(true));
+        Desc->setOwn(WK.Enumerable, Value::boolean(true));
+        Desc->setOwn(WK.Configurable, Value::boolean(true));
         return Value::object(Desc);
       });
   defineMethod(
@@ -179,7 +179,8 @@ void jsai::installObjectBuiltins(Interpreter &I) {
         if (Target.asObject()->isProxy() || I.isProxyValue(NameV))
           return Target;
         definePropertyFromDescriptor(I, Target.asObject(),
-                                     I.toStringValue(NameV), argAt(Args, 2));
+                                     I.intern(I.toStringValue(NameV)),
+                                     argAt(Args, 2));
         return Target;
       });
   defineMethod(
@@ -196,8 +197,7 @@ void jsai::installObjectBuiltins(Interpreter &I) {
         Object *P = Props.asObject();
         for (Symbol Key : P->ownKeys())
           if (auto D = P->getOwn(Key))
-            definePropertyFromDescriptor(I, Target.asObject(),
-                                         I.strings().str(Key), *D);
+            definePropertyFromDescriptor(I, Target.asObject(), Key, *D);
         return Target;
       });
   defineMethod(
@@ -218,10 +218,9 @@ void jsai::installObjectBuiltins(Interpreter &I) {
                                       S->elements()[El]);
           for (Symbol Key : S->ownKeys()) {
             // Reads invoke getters, as Object.assign does in real JS.
-            Completion V =
-                I.getProperty(Src, I.strings().str(Key), SourceLoc::invalid());
+            Completion V = I.getProperty(Src, Key, SourceLoc::invalid());
             JSAI_PROPAGATE(V);
-            I.dynamicWriteByBuiltin(Dst, I.strings().str(Key), V.V);
+            I.dynamicWriteByBuiltin(Dst, Key, V.V);
           }
         }
         return Target;
@@ -244,7 +243,7 @@ void jsai::installObjectBuiltins(Interpreter &I) {
           Object *P = Props.asObject();
           for (Symbol Key : P->ownKeys())
             if (auto D = P->getOwn(Key))
-              definePropertyFromDescriptor(I, O, I.strings().str(Key), *D);
+              definePropertyFromDescriptor(I, O, Key, *D);
         }
         return Value::object(O);
       });

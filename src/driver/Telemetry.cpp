@@ -111,6 +111,17 @@ std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
   Out += ",\"forced_executions\":" + num(R.Approx.NumForcedExecutions);
   Out += ",\"aborts\":" + num(R.Approx.NumAborts);
   Out += "}";
+  Out += ",\"interp\":{";
+  Out += "\"ic_get_hits\":" + num(R.Approx.Interp.ICGetHits);
+  Out += ",\"ic_get_misses\":" + num(R.Approx.Interp.ICGetMisses);
+  Out += ",\"ic_set_hits\":" + num(R.Approx.Interp.ICSetHits);
+  Out += ",\"ic_set_misses\":" + num(R.Approx.Interp.ICSetMisses);
+  Out += ",\"ic_hit_rate\":" + jsonFraction(R.Approx.Interp.icHitRate());
+  Out += ",\"shape_transitions\":" + num(R.Approx.Interp.ShapeTransitions);
+  Out += ",\"shapes_created\":" + num(R.Approx.Interp.ShapesCreated);
+  Out += ",\"dictionary_conversions\":" +
+         num(R.Approx.Interp.DictionaryConversions);
+  Out += "}";
   Out += ",\"baseline\":" + analysisJson(R.Baseline);
   Out += ",\"extended\":" + analysisJson(R.Extended);
   Out += ",\"solver\":" + solverJson(R.Extended.Solver);

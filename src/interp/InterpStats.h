@@ -1,0 +1,57 @@
+//===- InterpStats.h - Interpreter runtime counters -------------*- C++ -*-===//
+///
+/// \file
+/// Counters describing the runtime property system of one interpreter
+/// instance: per-site inline-cache hits/misses (see Interpreter's
+/// InlineCache) and the shape-tree statistics of its heap. Deterministic
+/// for a fixed input program, so they are safe to emit in telemetry and to
+/// compare across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_INTERP_INTERPSTATS_H
+#define JSAI_INTERP_INTERPSTATS_H
+
+#include <cstdint>
+
+namespace jsai {
+
+/// Property-system counters for one interpreter (or summed over many).
+struct InterpStats {
+  /// Inline-cache outcomes at static member-access sites. A "miss" includes
+  /// the first visit to a site (cold cache) and every guard failure.
+  uint64_t ICGetHits = 0;
+  uint64_t ICGetMisses = 0;
+  uint64_t ICSetHits = 0;
+  uint64_t ICSetMisses = 0;
+
+  /// Shape-tree activity of the heap (see ShapeStats).
+  uint64_t ShapeTransitions = 0;
+  uint64_t ShapesCreated = 0;
+  uint64_t DictionaryConversions = 0;
+
+  uint64_t icHits() const { return ICGetHits + ICSetHits; }
+  uint64_t icMisses() const { return ICGetMisses + ICSetMisses; }
+
+  /// Fraction of cache-carrying accesses served by the fast path, in [0,1];
+  /// 0 when no such access happened.
+  double icHitRate() const {
+    uint64_t Total = icHits() + icMisses();
+    return Total == 0 ? 0.0 : double(icHits()) / double(Total);
+  }
+
+  InterpStats &operator+=(const InterpStats &O) {
+    ICGetHits += O.ICGetHits;
+    ICGetMisses += O.ICGetMisses;
+    ICSetHits += O.ICSetHits;
+    ICSetMisses += O.ICSetMisses;
+    ShapeTransitions += O.ShapeTransitions;
+    ShapesCreated += O.ShapesCreated;
+    DictionaryConversions += O.DictionaryConversions;
+    return *this;
+  }
+};
+
+} // namespace jsai
+
+#endif // JSAI_INTERP_INTERPSTATS_H

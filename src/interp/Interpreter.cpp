@@ -124,9 +124,9 @@ std::string Interpreter::toStringValue(const Value &V) {
       IsError = P == Protos.ErrorP;
     if (IsError) {
       std::string Name = "Error", Msg;
-      if (auto N = O->get(intern("name")); N && N->isString())
+      if (auto N = O->get(context().WK.Name); N && N->isString())
         Name = N->asString();
-      if (auto M = O->get(intern("message")); M && M->isString())
+      if (auto M = O->get(context().WK.Message); M && M->isString())
         Msg = M->asString();
       return Msg.empty() ? Name : Name + ": " + Msg;
     }
@@ -162,6 +162,12 @@ std::optional<std::string> Interpreter::propertyKey(const Value &V) {
   return toStringValue(V);
 }
 
+std::optional<Symbol> Interpreter::propertyKeySym(const Value &V) {
+  if (isProxyValue(V))
+    return std::nullopt;
+  return intern(toStringValue(V));
+}
+
 /// ECMAScript ToInt32, for the bitwise operators.
 static int32_t toInt32(double D) {
   if (std::isnan(D) || std::isinf(D))
@@ -187,38 +193,157 @@ static bool isArrayIndex(const std::string &Name, size_t &Index) {
 // Property access
 //===----------------------------------------------------------------------===//
 
+Interpreter::InlineCache &Interpreter::cacheAt(uint32_t Id) {
+  if (Id >= Caches.size()) {
+    size_t N = context().numNodes();
+    Caches.resize(N > size_t(Id) ? N : size_t(Id) + 1);
+  }
+  return Caches[Id];
+}
+
+bool Interpreter::icEligible(const Object *O, Symbol Name) {
+  ObjectClass C = O->objectClass();
+  if (C == ObjectClass::Array || C == ObjectClass::Arguments || O->isProxy())
+    return false;
+  // Callables virtualize `name` and (absent an own slot) `length`; a shape
+  // cannot distinguish them from plain objects, so stay on the slow path.
+  if (O->isCallable() &&
+      (Name == context().WK.Name || Name == context().SymLength))
+    return false;
+  return true;
+}
+
+void Interpreter::recordGetIC(uint32_t CacheId, Object *Recv, Object *Holder,
+                              unsigned Hops, Symbol Name) {
+  if (Recv->inDictionaryMode() || Holder->inDictionaryMode() ||
+      Hops > InlineCache::MaxChain || !icEligible(Recv, Name))
+    return;
+  uint32_t SlotIdx;
+  if (!Holder->shape()->find(Name, SlotIdx))
+    return;
+  InlineCache &IC = cacheAt(CacheId);
+  IC.GetShape = nullptr;
+  Object *H = Recv;
+  for (unsigned I = 0; I != Hops; ++I) {
+    H = H->proto();
+    // A dictionary-mode link can change layout without changing shape, so
+    // chains through one are uncacheable.
+    if (H->inDictionaryMode())
+      return;
+    IC.GetChain[I] = H;
+    IC.GetChainShapes[I] = H->shape();
+  }
+  IC.GetSlot = SlotIdx;
+  IC.GetDepth = uint8_t(Hops);
+  IC.GetShape = Recv->shape();
+}
+
+void Interpreter::recordSetIC(uint32_t CacheId, Object *Recv, Shape *OldShape,
+                              Symbol Name) {
+  if (!OldShape || !icEligible(Recv, Name))
+    return;
+  Shape *NewShape = Recv->shape();
+  if (!NewShape)
+    return;
+  if (NewShape == OldShape) {
+    // Overwrote an existing own data slot.
+    uint32_t SlotIdx;
+    if (!OldShape->find(Name, SlotIdx))
+      return;
+    InlineCache &IC = cacheAt(CacheId);
+    IC.SetShape = OldShape;
+    IC.SetNewShape = nullptr;
+    IC.SetSlot = SlotIdx;
+    IC.SetChainLen = 0;
+    return;
+  }
+  // Appended a slot. The cached transition may only replay while no object
+  // on the prototype chain owns Name at all (a chain data slot could later
+  // become a setter without a shape change), the chain is short, and every
+  // link is in shape mode so layout changes are visible as shape changes.
+  unsigned N = 0;
+  Object *Chain[InlineCache::MaxChain];
+  for (Object *H = Recv->proto(); H; H = H->proto()) {
+    if (N == InlineCache::MaxChain || H->inDictionaryMode() ||
+        H->getOwnSlot(Name))
+      return;
+    Chain[N++] = H;
+  }
+  InlineCache &IC = cacheAt(CacheId);
+  IC.SetShape = OldShape;
+  IC.SetNewShape = NewShape;
+  IC.SetSlot = OldShape->numSlots();
+  IC.SetChainLen = uint8_t(N);
+  for (unsigned I = 0; I != N; ++I) {
+    IC.SetChain[I] = Chain[I];
+    IC.SetChainShapes[I] = Chain[I]->shape();
+  }
+}
+
 Completion Interpreter::getProperty(const Value &Base, const std::string &Name,
                                     SourceLoc Loc) {
-  Symbol Sym = intern(Name);
+  return getProperty(Base, intern(Name), Loc);
+}
+
+Completion Interpreter::getProperty(const Value &Base, Symbol Name,
+                                    SourceLoc Loc, uint32_t CacheId) {
+  if (!Opts.EnableInlineCaches)
+    CacheId = NoCache;
+  if (CacheId != NoCache) {
+    if (Base.isObject()) {
+      Object *O = Base.asObject();
+      const InlineCache &IC = cacheAt(CacheId);
+      if (IC.GetShape && IC.GetShape == O->shape() && icEligible(O, Name)) {
+        Object *Holder = O;
+        bool Valid = true;
+        for (uint8_t I = 0; I != IC.GetDepth; ++I) {
+          Holder = Holder->proto();
+          if (Holder != IC.GetChain[I] ||
+              Holder->shape() != IC.GetChainShapes[I]) {
+            Valid = false;
+            break;
+          }
+        }
+        if (Valid) {
+          const PropertySlot &S = Holder->slotAt(IC.GetSlot);
+          if (!S.isAccessor()) {
+            ++Counters.ICGetHits;
+            return S.V;
+          }
+        }
+      }
+    }
+    ++Counters.ICGetMisses;
+  }
   switch (Base.kind()) {
   case ValueKind::Undefined:
   case ValueKind::Null:
     if (Opts.ApproxMode)
       return proxyValue(); // Keep forced execution going.
     return throwError("TypeError",
-                      "cannot read property '" + Name + "' of " +
-                          toStringValue(Base) + " at " +
+                      "cannot read property '" + strings().str(Name) +
+                          "' of " + toStringValue(Base) + " at " +
                           context().files().format(Loc));
   case ValueKind::Boolean:
     if (Object *P = Protos.BooleanP)
-      if (auto V = P->get(Sym))
+      if (auto V = P->get(Name))
         return *V;
     return Value::undefined();
   case ValueKind::Number:
     if (Object *P = Protos.NumberP)
-      if (auto V = P->get(Sym))
+      if (auto V = P->get(Name))
         return *V;
     return Value::undefined();
   case ValueKind::String: {
     const std::string &S = Base.asString();
-    if (Name == "length")
+    if (Name == context().SymLength)
       return Value::number(double(S.size()));
     size_t Index;
-    if (isArrayIndex(Name, Index))
+    if (isArrayIndex(strings().str(Name), Index))
       return Index < S.size() ? Value::str(std::string(1, S[Index]))
                               : Value::undefined();
     if (Object *P = Protos.StringP)
-      if (auto V = P->get(Sym))
+      if (auto V = P->get(Name))
         return *V;
     return Value::undefined();
   }
@@ -239,51 +364,110 @@ Completion Interpreter::getProperty(const Value &Base, const std::string &Name,
   }
   if (O->objectClass() == ObjectClass::Array ||
       O->objectClass() == ObjectClass::Arguments) {
-    if (Name == "length")
+    if (Name == context().SymLength)
       return Value::number(double(O->elements().size()));
     size_t Index;
-    if (isArrayIndex(Name, Index))
+    if (isArrayIndex(strings().str(Name), Index))
       return Index < O->elements().size() ? O->elements()[Index]
                                           : Value::undefined();
   }
   if (O->isCallable()) {
-    if (Name == "name") {
+    if (Name == context().WK.Name) {
       if (FunctionDef *Def = O->functionDef()) {
         Symbol N = Def->name();
         return Value::str(N == InvalidSymbol ? "" : strings().str(N));
       }
       return Value::str(O->nativeName());
     }
-    if (Name == "length" && !O->hasOwn(Sym)) {
+    if (Name == context().SymLength && !O->hasOwn(Name)) {
       if (FunctionDef *Def = O->functionDef())
         return Value::number(double(Def->params().size()));
       return Value::number(0);
     }
   }
-  if (const PropertySlot *Slot = O->findSlot(Sym)) {
-    if (!Slot->isAccessor())
-      return Slot->V;
-    if (!Slot->Getter)
-      return Value::undefined();
-    // Getter invocation: the property-access location acts as the call
-    // site (this is what makes getter call edges appear at read sites).
-    return callValue(Value::object(Slot->Getter), Base, {}, Loc);
+  // Generic chain walk; a data hit is what the inline cache memoizes.
+  Object *Holder = O;
+  unsigned Hops = 0;
+  const PropertySlot *Slot = Holder->getOwnSlot(Name);
+  while (!Slot && Holder->proto()) {
+    Holder = Holder->proto();
+    ++Hops;
+    Slot = Holder->getOwnSlot(Name);
   }
-  return Value::undefined();
+  if (!Slot)
+    return Value::undefined();
+  if (!Slot->isAccessor()) {
+    if (CacheId != NoCache) {
+      InlineCache &IC = cacheAt(CacheId);
+      if (IC.GetPrimed)
+        recordGetIC(CacheId, O, Holder, Hops, Name);
+      else
+        IC.GetPrimed = 1;
+    }
+    return Slot->V;
+  }
+  if (!Slot->Getter)
+    return Value::undefined();
+  // Getter invocation: the property-access location acts as the call
+  // site (this is what makes getter call edges appear at read sites).
+  // Copy the getter out first: the slot pointer dies on any mutation.
+  Object *Getter = Slot->Getter;
+  return callValue(Value::object(Getter), Base, {}, Loc);
 }
 
 Completion Interpreter::setProperty(const Value &Base, const std::string &Name,
                                     const Value &V, SourceLoc Loc) {
+  return setProperty(Base, intern(Name), V, Loc);
+}
+
+Completion Interpreter::setProperty(const Value &Base, Symbol Name,
+                                    const Value &V, SourceLoc Loc,
+                                    uint32_t CacheId) {
   if (!Base.isObject())
     return Value::undefined(); // Writes to primitives are silently dropped.
   Object *O = Base.asObject();
+  if (!Opts.EnableInlineCaches)
+    CacheId = NoCache;
+  if (CacheId != NoCache) {
+    const InlineCache &IC = cacheAt(CacheId);
+    if (IC.SetShape && IC.SetShape == O->shape() && icEligible(O, Name)) {
+      if (!IC.SetNewShape) {
+        // Overwrite of an existing own data slot.
+        PropertySlot &S = O->slotAt(IC.SetSlot);
+        if (!S.isAccessor()) {
+          S.V = V;
+          ++Counters.ICSetHits;
+          return Value::undefined();
+        }
+      } else {
+        // Cached add transition: replayable only while the whole recorded
+        // prototype chain (ending at null) is unchanged, since assignment
+        // consults the full chain for setters.
+        Object *H = O;
+        bool Valid = true;
+        for (uint8_t I = 0; I != IC.SetChainLen; ++I) {
+          H = H->proto();
+          if (H != IC.SetChain[I] || H->shape() != IC.SetChainShapes[I]) {
+            Valid = false;
+            break;
+          }
+        }
+        if (Valid && H->proto() == nullptr) {
+          O->addSlotViaCachedTransition(IC.SetNewShape, V);
+          ++Counters.ICSetHits;
+          return Value::undefined();
+        }
+      }
+    }
+    ++Counters.ICSetMisses;
+  }
   if (O->objectClass() == ObjectClass::Proxy)
     return Value::undefined(); // Writes to p* are ignored (Section 3).
   if (O->objectClass() == ObjectClass::ReceiverProxy)
     return setProperty(Value::object(O->proxyTarget()), Name, V, Loc);
   if (O->objectClass() == ObjectClass::Array ||
       O->objectClass() == ObjectClass::Arguments) {
-    if (Name == "length") {
+    if (Name == context().SymLength) {
       double Len = toNumberValue(V);
       if (Len >= 0 && Len == std::floor(Len)) {
         O->elements().resize(size_t(Len));
@@ -291,24 +475,34 @@ Completion Interpreter::setProperty(const Value &Base, const std::string &Name,
       }
     }
     size_t Index;
-    if (isArrayIndex(Name, Index)) {
+    if (isArrayIndex(strings().str(Name), Index)) {
       if (Index >= O->elements().size())
         O->elements().resize(Index + 1);
       O->elements()[Index] = V;
       return Value::undefined();
     }
   }
-  Symbol Sym = intern(Name);
-  if (const PropertySlot *Slot = O->findSlot(Sym); Slot && Slot->isAccessor()) {
+  if (const PropertySlot *Slot = O->findSlot(Name);
+      Slot && Slot->isAccessor()) {
     if (!Slot->Setter)
       return Value::undefined(); // Assigning through a get-only property.
+    // Copy the setter out first: the slot pointer dies on any mutation.
+    Object *Setter = Slot->Setter;
     std::vector<Value> Args = {V};
     Completion C =
-        callValue(Value::object(Slot->Setter), Base, std::move(Args), Loc);
+        callValue(Value::object(Setter), Base, std::move(Args), Loc);
     JSAI_PROPAGATE(C);
     return Value::undefined();
   }
-  O->setOwn(Sym, V);
+  Shape *OldShape = O->shape();
+  O->setOwn(Name, V);
+  if (CacheId != NoCache) {
+    InlineCache &IC = cacheAt(CacheId);
+    if (IC.SetPrimed)
+      recordSetIC(CacheId, O, OldShape, Name);
+    else
+      IC.SetPrimed = 1;
+  }
   return Value::undefined();
 }
 
@@ -316,8 +510,8 @@ Completion Interpreter::throwError(const std::string &Name,
                                    const std::string &Message) {
   Object *E = TheHeap.newObject(ObjectClass::Error, SourceLoc::invalid());
   E->setProto(Protos.ErrorP);
-  E->setOwn(intern("name"), Value::str(Name));
-  E->setOwn(intern("message"), Value::str(Message));
+  E->setOwn(context().WK.Name, Value::str(Name));
+  E->setOwn(context().WK.Message, Value::str(Message));
   return Completion::toss(Value::object(E));
 }
 
@@ -329,9 +523,23 @@ Value Interpreter::makeArray(std::vector<Value> Elements) {
 
 void Interpreter::dynamicWriteByBuiltin(Object *Base, const std::string &Name,
                                         const Value &V) {
+  dynamicWriteByBuiltin(Base, intern(Name), V);
+}
+
+void Interpreter::dynamicWriteByBuiltin(Object *Base, Symbol Name,
+                                        const Value &V) {
   if (Obs)
-    Obs->onDynamicWrite(CurCallSite, Base, Name, V);
+    Obs->onDynamicWrite(CurCallSite, Base, strings().str(Name), V);
   setProperty(Value::object(Base), Name, V, SourceLoc::invalid());
+}
+
+InterpStats Interpreter::stats() const {
+  InterpStats S = Counters;
+  const ShapeStats &H = TheHeap.shapes().stats();
+  S.ShapeTransitions = H.NumTransitions;
+  S.ShapesCreated = H.NumShapesCreated;
+  S.DictionaryConversions = H.NumDictionaryConversions;
+  return S;
 }
 
 //===----------------------------------------------------------------------===//
@@ -542,7 +750,7 @@ Completion Interpreter::loadModule(const std::string &Path) {
   std::string Norm = FileSystem::normalizePath(Path);
   if (auto It = ModuleExports.find(Norm); It != ModuleExports.end()) {
     // Cached (or currently loading; partial exports break cycles).
-    return getProperty(It->second, "exports", SourceLoc::invalid());
+    return getProperty(It->second, context().SymExports, SourceLoc::invalid());
   }
   Module *M = context().findModule(Norm);
   if (!M)
@@ -562,7 +770,7 @@ Completion Interpreter::loadModule(const std::string &Path) {
       TheHeap.newObject(ObjectClass::Module, SourceLoc(M->File, 0, 2));
   ModObj->setProto(Protos.ObjectP);
   ModObj->setOwn(Ctx.SymExports, Value::object(Exports));
-  ModObj->setOwn(intern("id"), Value::str(Norm));
+  ModObj->setOwn(Ctx.WK.Id, Value::str(Norm));
   ModuleExports[Norm] = Value::object(ModObj);
 
   std::string FromPath = Norm;
@@ -587,7 +795,8 @@ Completion Interpreter::loadModule(const std::string &Path) {
                            SourceLoc::invalid());
   if (C.isThrow() || C.isAbort())
     return C;
-  return getProperty(Value::object(ModObj), "exports", SourceLoc::invalid());
+  return getProperty(Value::object(ModObj), Ctx.SymExports,
+                     SourceLoc::invalid());
 }
 
 Completion Interpreter::requireFrom(const std::string &FromPath,
@@ -795,11 +1004,11 @@ Completion Interpreter::evalObjectLit(ObjectLit *O, Environment *Env,
     if (P.KeyExpr) {
       Completion K = evalExpr(P.KeyExpr, Env, F);
       JSAI_PROPAGATE(K);
-      std::optional<std::string> Key = propertyKey(K.V);
+      std::optional<Symbol> Key = propertyKeySym(K.V);
       if (!Key)
         continue; // Unknown (proxy) key: skip the write.
       if (Obs)
-        Obs->onDynamicWrite(P.KeyExpr->loc(), Obj, *Key, V.V);
+        Obs->onDynamicWrite(P.KeyExpr->loc(), Obj, strings().str(*Key), V.V);
       setProperty(Value::object(Obj), *Key, V.V, P.KeyExpr->loc());
       continue;
     }
@@ -813,23 +1022,23 @@ Completion Interpreter::evalMember(MemberExpr *M, Environment *Env,
   Completion Base = evalExpr(M->object(), Env, F);
   JSAI_PROPAGATE(Base);
   if (!M->isComputed()) {
-    return getProperty(Base.V, strings().str(M->name()), M->loc());
+    return getProperty(Base.V, M->name(), M->loc(), M->id());
   }
   Completion Index = evalExpr(M->index(), Env, F);
   JSAI_PROPAGATE(Index);
-  std::optional<std::string> Key = propertyKey(Index.V);
+  std::optional<Symbol> Key = propertyKeySym(Index.V);
   if (!Key)
     return proxyValue(); // Unknown property name.
   if (Opts.ApproxMode && isProxyValue(Base.V)) {
     // Known name, unknown base: record for the Section 6 extension.
     if (Obs)
-      Obs->onProxyBaseRead(M->loc(), *Key);
+      Obs->onProxyBaseRead(M->loc(), strings().str(*Key));
     return getProperty(Base.V, *Key, M->loc());
   }
   Completion Result = getProperty(Base.V, *Key, M->loc());
   JSAI_PROPAGATE(Result);
   if (Obs)
-    Obs->onDynamicRead(M->loc(), *Key, Result.V);
+    Obs->onDynamicRead(M->loc(), strings().str(*Key), Result.V);
   return Result;
 }
 
@@ -891,15 +1100,18 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
   Completion Base = evalExpr(M->object(), Env, F);
   JSAI_PROPAGATE(Base);
 
-  std::optional<std::string> Key;
+  std::optional<Symbol> Key;
   SourceLoc KeyLoc = M->loc();
   bool Computed = M->isComputed();
+  // Only fixed-name sites carry an inline cache: its slot is valid for one
+  // property name, which a computed site changes per execution.
+  uint32_t CacheId = Computed ? NoCache : M->id();
   if (Computed) {
     Completion Index = evalExpr(M->index(), Env, F);
     JSAI_PROPAGATE(Index);
-    Key = propertyKey(Index.V);
+    Key = propertyKeySym(Index.V);
   } else {
-    Key = strings().str(M->name());
+    Key = M->name();
   }
 
   Value NewV;
@@ -910,7 +1122,7 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
   } else {
     Value Old;
     if (Key) {
-      Completion OldC = getProperty(Base.V, *Key, KeyLoc);
+      Completion OldC = getProperty(Base.V, *Key, KeyLoc, CacheId);
       JSAI_PROPAGATE(OldC);
       Old = OldC.V;
     } else {
@@ -933,7 +1145,8 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
 
   if (Computed) {
     if (Obs && Base.V.isObject())
-      Obs->onDynamicWrite(M->loc(), Base.V.asObject(), *Key, NewV);
+      Obs->onDynamicWrite(M->loc(), Base.V.asObject(), strings().str(*Key),
+                          NewV);
   } else if (Opts.ApproxMode && NewV.isObject()) {
     // Static property write: infer the receiver for later forced execution
     // (the paper's `this` map), wrapped to delegate unknowns to p*.
@@ -942,7 +1155,7 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
         Base.V.isObject() && !Base.V.asObject()->isProxy())
       Written->setApproxThis(makeReceiverProxy(Base.V.asObject()));
   }
-  Completion W = setProperty(Base.V, *Key, NewV, KeyLoc);
+  Completion W = setProperty(Base.V, *Key, NewV, KeyLoc, CacheId);
   JSAI_PROPAGATE(W);
   return NewV;
 }
@@ -973,22 +1186,24 @@ Completion Interpreter::evalUpdate(UpdateExpr *U, Environment *Env,
   auto *M = cast<MemberExpr>(U->target());
   Completion Base = evalExpr(M->object(), Env, F);
   JSAI_PROPAGATE(Base);
-  std::optional<std::string> Key;
+  std::optional<Symbol> Key;
+  uint32_t CacheId = M->isComputed() ? NoCache : M->id();
   if (M->isComputed()) {
     Completion Index = evalExpr(M->index(), Env, F);
     JSAI_PROPAGATE(Index);
-    Key = propertyKey(Index.V);
+    Key = propertyKeySym(Index.V);
   } else {
-    Key = strings().str(M->name());
+    Key = M->name();
   }
   if (!Key)
     return proxyValue();
-  Completion OldC = getProperty(Base.V, *Key, M->loc());
+  Completion OldC = getProperty(Base.V, *Key, M->loc(), CacheId);
   JSAI_PROPAGATE(OldC);
   Value NewV = Bump(OldC.V);
   if (M->isComputed() && Obs && Base.V.isObject())
-    Obs->onDynamicWrite(M->loc(), Base.V.asObject(), *Key, NewV);
-  Completion W = setProperty(Base.V, *Key, NewV, M->loc());
+    Obs->onDynamicWrite(M->loc(), Base.V.asObject(), strings().str(*Key),
+                        NewV);
+  Completion W = setProperty(Base.V, *Key, NewV, M->loc(), CacheId);
   JSAI_PROPAGATE(W);
   if (U->isPrefix())
     return NewV;
@@ -1021,24 +1236,25 @@ Completion Interpreter::evalUnary(UnaryExpr *U, Environment *Env,
     if (auto *M = dyn_cast<MemberExpr>(U->operand())) {
       Completion Base = evalExpr(M->object(), Env, F);
       JSAI_PROPAGATE(Base);
-      std::optional<std::string> Key;
+      std::optional<Symbol> Key;
       if (M->isComputed()) {
         Completion Index = evalExpr(M->index(), Env, F);
         JSAI_PROPAGATE(Index);
-        Key = propertyKey(Index.V);
+        Key = propertyKeySym(Index.V);
       } else {
-        Key = strings().str(M->name());
+        Key = M->name();
       }
       if (!Key || !Base.V.isObject() || Base.V.asObject()->isProxy())
         return Value::boolean(true);
       Object *O = Base.V.asObject();
       size_t Index;
-      if (O->objectClass() == ObjectClass::Array && isArrayIndex(*Key, Index)) {
+      if (O->objectClass() == ObjectClass::Array &&
+          isArrayIndex(strings().str(*Key), Index)) {
         if (Index < O->elements().size())
           O->elements()[Index] = Value::undefined();
         return Value::boolean(true);
       }
-      return Value::boolean(O->deleteOwn(intern(*Key)));
+      return Value::boolean(O->deleteOwn(*Key));
     }
     return Value::boolean(true);
   }
@@ -1198,16 +1414,18 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
       return Value::boolean(false);
     if (!C.isObject())
       return Value::boolean(false);
-    std::optional<std::string> Key = propertyKey(A);
+    std::optional<Symbol> Key = propertyKeySym(A);
     if (!Key)
       return Value::boolean(false);
     Object *O = C.asObject();
     size_t Index;
-    if (O->objectClass() == ObjectClass::Array && isArrayIndex(*Key, Index))
+    if (O->objectClass() == ObjectClass::Array &&
+        isArrayIndex(strings().str(*Key), Index))
       return Value::boolean(Index < O->elements().size());
-    if (*Key == "length" && O->objectClass() == ObjectClass::Array)
+    if (*Key == context().SymLength &&
+        O->objectClass() == ObjectClass::Array)
       return Value::boolean(true);
-    return Value::boolean(O->has(intern(*Key)));
+    return Value::boolean(O->has(*Key));
   }
   case BinaryOp::Instanceof: {
     if (AnyProxy || !A.isObject() || !C.isObject() ||
@@ -1229,7 +1447,7 @@ Completion Interpreter::evalCall(CallExpr *C, Environment *Env,
                                  FunctionDef *F) {
   // Direct eval.
   if (auto *I = dyn_cast<Ident>(C->callee());
-      I && strings().str(I->name()) == "eval" && !I->decl()) {
+      I && I->name() == context().WK.Eval && !I->decl()) {
     if (C->args().empty())
       return Value::undefined();
     Completion Arg = evalExpr(C->args()[0], Env, F);
@@ -1247,24 +1465,25 @@ Completion Interpreter::evalCall(CallExpr *C, Environment *Env,
     Completion Base = evalExpr(M->object(), Env, F);
     JSAI_PROPAGATE(Base);
     ThisV = Base.V;
-    std::optional<std::string> Key;
+    std::optional<Symbol> Key;
+    uint32_t CacheId = M->isComputed() ? NoCache : M->id();
     if (M->isComputed()) {
       Completion Index = evalExpr(M->index(), Env, F);
       JSAI_PROPAGATE(Index);
-      Key = propertyKey(Index.V);
+      Key = propertyKeySym(Index.V);
     } else {
-      Key = strings().str(M->name());
+      Key = M->name();
     }
     if (!Key) {
       Callee = proxyValue();
     } else {
-      Completion Fn = getProperty(Base.V, *Key, M->loc());
+      Completion Fn = getProperty(Base.V, *Key, M->loc(), CacheId);
       JSAI_PROPAGATE(Fn);
       if (M->isComputed() && Obs) {
         if (Opts.ApproxMode && isProxyValue(Base.V))
-          Obs->onProxyBaseRead(M->loc(), *Key);
+          Obs->onProxyBaseRead(M->loc(), strings().str(*Key));
         else
-          Obs->onDynamicRead(M->loc(), *Key, Fn.V);
+          Obs->onDynamicRead(M->loc(), strings().str(*Key), Fn.V);
       }
       Callee = Fn.V;
     }
@@ -1332,12 +1551,9 @@ Completion Interpreter::evalForIn(ForInStmt *L, Environment *Env,
     else if (auto *M = dyn_cast<MemberExpr>(L->target())) {
       Completion Base = evalExpr(M->object(), Env, F);
       JSAI_PROPAGATE(Base);
-      std::optional<std::string> Key =
-          M->isComputed() ? std::nullopt
-                          : std::optional<std::string>(
-                                strings().str(M->name()));
-      if (Key) {
-        Completion W = setProperty(Base.V, *Key, Item, M->loc());
+      if (!M->isComputed()) {
+        Completion W =
+            setProperty(Base.V, M->name(), Item, M->loc(), M->id());
         JSAI_PROPAGATE(W);
       }
     }

@@ -19,6 +19,7 @@
 #ifndef JSAI_INTERP_INTERPRETER_H
 #define JSAI_INTERP_INTERPRETER_H
 
+#include "interp/InterpStats.h"
 #include "interp/ModuleLoader.h"
 #include "interp/Observer.h"
 #include "runtime/Heap.h"
@@ -43,6 +44,9 @@ struct InterpOptions {
   uint64_t MaxSteps = 50000000;
   /// Seed for the deterministic Math.random replacement.
   uint64_t RandomSeed = 0x5DEECE66DULL;
+  /// Per-site inline caches on static member accesses. Off is only useful
+  /// as an ablation baseline (bench_interp_scaling measures both sides).
+  bool EnableInlineCaches = true;
   /// Optional deadline token, polled at the step/loop budget checkpoints.
   /// Expiry behaves exactly like budget exhaustion (Abort completions).
   CancellationToken *Cancel = nullptr;
@@ -118,12 +122,22 @@ public:
   double toNumberValue(const Value &V);
   /// Property key of \p V, or nullopt when \p V is a proxy (unknown).
   std::optional<std::string> propertyKey(const Value &V);
+  /// Interned property key of \p V, or nullopt when \p V is a proxy.
+  std::optional<Symbol> propertyKeySym(const Value &V);
+
+  /// Marker for property accesses without an inline-cache site.
+  static constexpr uint32_t NoCache = ~uint32_t(0);
 
   /// Property read with full MiniJS semantics (primitives, prototypes,
-  /// proxies). \p Loc is used for diagnostics only.
+  /// proxies). \p Loc is used for diagnostics only. \p CacheId names the
+  /// per-site inline cache (the access's NodeId) for static member sites.
+  Completion getProperty(const Value &Base, Symbol Name, SourceLoc Loc,
+                         uint32_t CacheId = NoCache);
   Completion getProperty(const Value &Base, const std::string &Name,
                          SourceLoc Loc);
   /// Property write; fires no dynamic-write observation by itself.
+  Completion setProperty(const Value &Base, Symbol Name, const Value &V,
+                         SourceLoc Loc, uint32_t CacheId = NoCache);
   Completion setProperty(const Value &Base, const std::string &Name,
                          const Value &V, SourceLoc Loc);
 
@@ -136,8 +150,13 @@ public:
 
   /// Notifies the observer of a standard-library dynamic property write
   /// (Object.defineProperty / Object.assign / ...), then performs it.
+  void dynamicWriteByBuiltin(Object *Base, Symbol Name, const Value &V);
   void dynamicWriteByBuiltin(Object *Base, const std::string &Name,
                              const Value &V);
+
+  /// Inline-cache and shape counters of this interpreter (shape numbers
+  /// come from the heap's shape tree).
+  InterpStats stats() const;
 
   /// Runs `eval(code)` in environment \p Env (direct-eval semantics).
   Completion runEval(const std::string &Code, Environment *Env,
@@ -196,6 +215,56 @@ public:
 private:
   friend class InterpreterTestPeer;
 
+  /// Per-site monomorphic inline cache of one static MemberExpr, indexed by
+  /// the node's NodeId. The get side remembers "receivers of shape S find
+  /// Name as a data slot at GetSlot on the GetDepth-th prototype"; the set
+  /// side remembers either an own data-slot overwrite or a cached add
+  /// transition. Hits re-validate the receiver shape, the prototype
+  /// identities and shapes along the recorded chain, and that the slot is
+  /// still a data slot, so shape transitions, prototype surgery, dictionary
+  /// conversion, and accessor installation all fall back to the slow path.
+  struct InlineCache {
+    static constexpr unsigned MaxChain = 4;
+
+    /// Recording is deferred to a site's second miss: approximate
+    /// interpretation executes most sites exactly once, where recording
+    /// could never pay for itself.
+    uint8_t GetPrimed = 0;
+    uint8_t SetPrimed = 0;
+
+    // Get side (GetShape == nullptr while cold).
+    Shape *GetShape = nullptr;
+    uint32_t GetSlot = 0;
+    uint8_t GetDepth = 0; ///< Prototype hops to the holder; 0 == own slot.
+    Object *GetChain[MaxChain] = {};
+    Shape *GetChainShapes[MaxChain] = {};
+
+    // Set side (SetShape == nullptr while cold).
+    Shape *SetShape = nullptr;
+    /// Null: overwrite the own data slot SetSlot. Non-null: append a slot
+    /// via this add transition — valid only while the full prototype chain
+    /// (SetChainLen links, then null) matches, since assignment consults
+    /// the whole chain for setters and shadowing.
+    Shape *SetNewShape = nullptr;
+    uint32_t SetSlot = 0;
+    uint8_t SetChainLen = 0;
+    Object *SetChain[MaxChain] = {};
+    Shape *SetChainShapes[MaxChain] = {};
+  };
+
+  /// The cache block for node \p Id, growing the table on demand (eval can
+  /// add nodes after construction). The reference is invalidated by the
+  /// next cacheAt call.
+  InlineCache &cacheAt(uint32_t Id);
+  /// True when accesses to \p Name on \p O are shape-describable: arrays,
+  /// arguments objects, proxies, and callable name/length virtualize
+  /// properties invisibly to shapes and stay uncached.
+  bool icEligible(const Object *O, Symbol Name);
+  void recordGetIC(uint32_t CacheId, Object *Recv, Object *Holder,
+                   unsigned Hops, Symbol Name);
+  void recordSetIC(uint32_t CacheId, Object *Recv, Shape *OldShape,
+                   Symbol Name);
+
   // Core evaluation (Interpreter.cpp).
   Completion evalExpr(Expr *E, Environment *Env, FunctionDef *F);
   Completion execStmt(Stmt *S, Environment *Env, FunctionDef *F);
@@ -239,6 +308,11 @@ private:
   std::unordered_map<std::string, Value> BuiltinModules;
 
   std::vector<std::string> Console;
+
+  /// Inline caches, indexed by NodeId (sparse; most nodes never host one).
+  std::vector<InlineCache> Caches;
+  /// IC hit/miss counters; shape counters live in the heap's ShapeTree.
+  InterpStats Counters;
 
   size_t CallDepth = 0;
   uint64_t Steps = 0;

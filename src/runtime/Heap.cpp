@@ -5,7 +5,7 @@
 using namespace jsai;
 
 Object *Heap::newObject(ObjectClass Class, SourceLoc BirthLoc, Object *Proto) {
-  Objects.push_back(std::make_unique<Object>(Class, BirthLoc));
+  Objects.push_back(std::make_unique<Object>(Class, BirthLoc, &Shapes));
   Object *O = Objects.back().get();
   O->setProto(Proto);
   return O;

@@ -21,6 +21,10 @@ namespace jsai {
 /// Allocator/owner for runtime objects and environments.
 class Heap {
 public:
+  /// The shape (hidden-class) tree shared by this heap's objects.
+  ShapeTree &shapes() { return Shapes; }
+  const ShapeTree &shapes() const { return Shapes; }
+
   /// Allocates a plain (or class-tagged) object.
   Object *newObject(ObjectClass Class, SourceLoc BirthLoc,
                     Object *Proto = nullptr);
@@ -40,6 +44,7 @@ public:
   size_t numObjects() const { return Objects.size(); }
 
 private:
+  ShapeTree Shapes;
   std::deque<std::unique_ptr<Object>> Objects;
   std::deque<std::unique_ptr<Environment>> Environments;
 };

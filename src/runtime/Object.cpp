@@ -3,79 +3,139 @@
 #include "runtime/Object.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace jsai;
 
-std::optional<Value> Object::getOwn(Symbol Name) const {
-  auto It = Props.find(Name);
-  if (It == Props.end() || It->second.isAccessor())
-    return std::nullopt;
-  return It->second.V;
-}
-
-std::optional<Value> Object::get(Symbol Name) const {
-  for (const Object *O = this; O; O = O->Proto) {
-    auto It = O->Props.find(Name);
-    if (It != O->Props.end()) {
-      if (It->second.isAccessor())
-        return std::nullopt; // Accessors need an interpreter to evaluate.
-      return It->second.V;
-    }
-  }
-  return std::nullopt;
+Object::Object(ObjectClass Class, SourceLoc BirthLoc, ShapeTree *Shapes)
+    : Class(Class), BirthLoc(BirthLoc), Shapes(Shapes),
+      CurShape(Shapes ? Shapes->root() : nullptr) {
+  if (!Shapes)
+    Dict = std::make_unique<DictState>();
 }
 
 const PropertySlot *Object::getOwnSlot(Symbol Name) const {
-  auto It = Props.find(Name);
-  return It == Props.end() ? nullptr : &It->second;
+  if (CurShape) {
+    uint32_t I;
+    if (CurShape->find(Name, I))
+      return &Slots[I];
+    return nullptr;
+  }
+  auto It = Dict->Index.find(Name);
+  return It == Dict->Index.end() ? nullptr : &Slots[It->second];
 }
 
 const PropertySlot *Object::findSlot(Symbol Name) const {
-  for (const Object *O = this; O; O = O->Proto) {
-    auto It = O->Props.find(Name);
-    if (It != O->Props.end())
-      return &It->second;
-  }
+  for (const Object *O = this; O; O = O->Proto)
+    if (const PropertySlot *S = O->getOwnSlot(Name))
+      return S;
   return nullptr;
 }
 
-bool Object::has(Symbol Name) const {
+std::optional<Value> Object::getOwn(Symbol Name) const {
+  const PropertySlot *S = getOwnSlot(Name);
+  if (!S || S->isAccessor())
+    return std::nullopt;
+  return S->V;
+}
+
+std::optional<Value> Object::get(Symbol Name) const {
   for (const Object *O = this; O; O = O->Proto)
-    if (O->Props.count(Name))
-      return true;
-  return false;
+    if (const PropertySlot *S = O->getOwnSlot(Name)) {
+      if (S->isAccessor())
+        return std::nullopt; // Accessors need an interpreter to evaluate.
+      return S->V;
+    }
+  return std::nullopt;
+}
+
+const std::vector<Symbol> &Object::ownKeys() const {
+  if (CurShape)
+    return CurShape->keys();
+  return Dict->Keys;
 }
 
 void Object::setOwn(Symbol Name, Value V) {
-  auto [It, Inserted] = Props.try_emplace(Name);
-  It->second.V = std::move(V);
-  It->second.Getter = nullptr;
-  It->second.Setter = nullptr;
-  if (Inserted)
-    PropOrder.push_back(Name);
+  if (PropertySlot *S = getOwnSlotMutable(Name)) {
+    S->V = std::move(V);
+    S->Getter = nullptr;
+    S->Setter = nullptr;
+    return;
+  }
+  PropertySlot S;
+  S.V = std::move(V);
+  addSlot(Name, std::move(S));
 }
 
 void Object::setAccessor(Symbol Name, Object *Getter, Object *Setter) {
-  auto [It, Inserted] = Props.try_emplace(Name);
-  if (Inserted)
-    PropOrder.push_back(Name);
-  PropertySlot &Slot = It->second;
-  if (!Slot.isAccessor()) {
-    // Replacing a data slot: clear the stale value.
-    Slot.V = Value::undefined();
-    Slot.Getter = Getter;
-    Slot.Setter = Setter;
+  if (PropertySlot *S = getOwnSlotMutable(Name)) {
+    if (!S->isAccessor()) {
+      // Replacing a data slot: clear the stale value.
+      S->V = Value::undefined();
+      S->Getter = Getter;
+      S->Setter = Setter;
+      return;
+    }
+    if (Getter)
+      S->Getter = Getter;
+    if (Setter)
+      S->Setter = Setter;
     return;
   }
-  if (Getter)
-    Slot.Getter = Getter;
-  if (Setter)
-    Slot.Setter = Setter;
+  PropertySlot S;
+  S.Getter = Getter;
+  S.Setter = Setter;
+  addSlot(Name, std::move(S));
+}
+
+void Object::addSlot(Symbol Name, PropertySlot S) {
+  if (CurShape) {
+    CurShape = Shapes->transitionAdd(CurShape, Name);
+    Slots.push_back(std::move(S));
+    assert(Slots.size() == CurShape->numSlots());
+    return;
+  }
+  Dict->Index.emplace(Name, uint32_t(Slots.size()));
+  Dict->Keys.push_back(Name);
+  Slots.push_back(std::move(S));
+}
+
+void Object::addSlotViaCachedTransition(Shape *NewShape, Value V) {
+  assert(CurShape && NewShape->parent() == CurShape &&
+         "cached transition does not extend the current shape");
+  if (Shapes)
+    ++Shapes->stats().NumTransitions;
+  PropertySlot S;
+  S.V = std::move(V);
+  Slots.push_back(std::move(S));
+  CurShape = NewShape;
+  assert(Slots.size() == CurShape->numSlots());
 }
 
 bool Object::deleteOwn(Symbol Name) {
-  if (Props.erase(Name) == 0)
+  if (!getOwnSlot(Name))
     return false;
-  PropOrder.erase(std::find(PropOrder.begin(), PropOrder.end(), Name));
+  if (CurShape)
+    toDictionary();
+  auto It = Dict->Index.find(Name);
+  // Tombstone the slot (indices of other properties stay stable) and drop
+  // the key: a later re-insertion appends at the end of the order.
+  Slots[It->second] = PropertySlot();
+  Dict->Keys.erase(std::find(Dict->Keys.begin(), Dict->Keys.end(), Name));
+  Dict->Index.erase(It);
   return true;
+}
+
+void Object::toDictionary() {
+  auto D = std::make_unique<DictState>();
+  const std::vector<Symbol> &Keys = CurShape->keys();
+  D->Keys = Keys;
+  D->Index.reserve(Keys.size());
+  // Shape slots are appended in insertion order, so key k lives in slot k.
+  for (uint32_t I = 0; I != uint32_t(Keys.size()); ++I)
+    D->Index.emplace(Keys[I], I);
+  Dict = std::move(D);
+  CurShape = nullptr;
+  if (Shapes)
+    ++Shapes->stats().NumDictionaryConversions;
 }

@@ -7,17 +7,26 @@
 /// order is preserved so `for-in` and `Object.keys` are deterministic, as in
 /// modern JavaScript engines.
 ///
+/// Properties live in a flat slot vector laid out by a shared Shape (hidden
+/// class, see Shape.h): the shape maps Symbol -> slot index, and objects
+/// built by the same code path share one shape. Deleting a property drops
+/// the object into dictionary mode (a per-object symbol -> slot map, the
+/// slow path), after which it never returns to shapes; inline caches key on
+/// the shape pointer and therefore skip dictionary objects.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSAI_RUNTIME_OBJECT_H
 #define JSAI_RUNTIME_OBJECT_H
 
 #include "ast/Ast.h"
+#include "runtime/Shape.h"
 #include "runtime/Value.h"
 #include "support/SourceLoc.h"
 #include "support/StringPool.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -59,8 +68,9 @@ struct PropertySlot {
 /// optional payloads distinguish behaviors.
 class Object {
 public:
-  Object(ObjectClass Class, SourceLoc BirthLoc)
-      : Class(Class), BirthLoc(BirthLoc) {}
+  /// \p Shapes is the owning Heap's shape tree; without one the object
+  /// starts (and stays) in dictionary mode.
+  Object(ObjectClass Class, SourceLoc BirthLoc, ShapeTree *Shapes = nullptr);
 
   ObjectClass objectClass() const { return Class; }
   bool isCallable() const { return Def != nullptr || Native; }
@@ -85,21 +95,37 @@ public:
   std::optional<Value> getOwn(Symbol Name) const;
   /// \returns the data property \p Name following the prototype chain.
   std::optional<Value> get(Symbol Name) const;
-  bool hasOwn(Symbol Name) const { return Props.count(Name) != 0; }
-  bool has(Symbol Name) const;
+  bool hasOwn(Symbol Name) const { return getOwnSlot(Name) != nullptr; }
+  bool has(Symbol Name) const { return findSlot(Name) != nullptr; }
   void setOwn(Symbol Name, Value V);
-  /// Deletes an own property. \returns true if it existed.
+  /// Deletes an own property, converting the object to dictionary mode.
+  /// \returns true if it existed.
   bool deleteOwn(Symbol Name);
   /// Own property names in insertion order.
-  const std::vector<Symbol> &ownKeys() const { return PropOrder; }
+  const std::vector<Symbol> &ownKeys() const;
 
-  /// \returns the own slot for \p Name (data or accessor), or null.
+  /// \returns the own slot for \p Name (data or accessor), or null. The
+  /// pointer is invalidated by any property mutation of this object.
   const PropertySlot *getOwnSlot(Symbol Name) const;
   /// \returns the first slot for \p Name along the prototype chain, or null.
   const PropertySlot *findSlot(Symbol Name) const;
   /// Installs (or merges into) an accessor property. A null getter/setter
   /// leaves the respective half of an existing accessor untouched.
   void setAccessor(Symbol Name, Object *Getter, Object *Setter);
+
+  //===--------------------------------------------------------------------===
+  // Shape/inline-cache interface (see Interpreter's InlineCache).
+  //===--------------------------------------------------------------------===
+
+  /// The current layout, or null once in dictionary mode.
+  Shape *shape() const { return CurShape; }
+  bool inDictionaryMode() const { return CurShape == nullptr; }
+  const PropertySlot &slotAt(uint32_t I) const { return Slots[I]; }
+  PropertySlot &slotAt(uint32_t I) { return Slots[I]; }
+  /// Appends a slot along an already-validated cached transition.
+  /// \p NewShape must be the transition of the current shape for the
+  /// property being added (checked by assertion).
+  void addSlotViaCachedTransition(Shape *NewShape, Value V);
 
   //===--------------------------------------------------------------------===
   // Array elements (ObjectClass::Array / Arguments).
@@ -157,12 +183,29 @@ public:
   void setFunctionPrototype(bool V) { FunctionPrototype = V; }
 
 private:
+  /// Dictionary-mode state: per-object symbol -> slot map plus insertion
+  /// order. Slot indices stay stable across deletes (deleted slots become
+  /// unreferenced tombstones), so re-added properties append at the end.
+  struct DictState {
+    std::unordered_map<Symbol, uint32_t> Index;
+    std::vector<Symbol> Keys;
+  };
+
+  PropertySlot *getOwnSlotMutable(Symbol Name) {
+    return const_cast<PropertySlot *>(
+        static_cast<const Object *>(this)->getOwnSlot(Name));
+  }
+  void addSlot(Symbol Name, PropertySlot S);
+  void toDictionary();
+
   ObjectClass Class;
   SourceLoc BirthLoc;
   Object *Proto = nullptr;
 
-  std::vector<Symbol> PropOrder;
-  std::unordered_map<Symbol, PropertySlot> Props;
+  ShapeTree *Shapes = nullptr;
+  Shape *CurShape = nullptr;
+  std::vector<PropertySlot> Slots;
+  std::unique_ptr<DictState> Dict;
 
   std::vector<Value> Elements;
 

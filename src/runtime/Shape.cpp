@@ -1,0 +1,67 @@
+//===- Shape.cpp ----------------------------------------------------------===//
+
+#include "runtime/Shape.h"
+
+#include <algorithm>
+
+using namespace jsai;
+
+bool Shape::findSlow(Symbol Name, uint32_t &SlotOut) const {
+  if (NumSlots >= TableThreshold) {
+    if (!Table) {
+      auto T = std::make_unique<std::unordered_map<Symbol, uint32_t>>();
+      T->reserve(NumSlots);
+      for (const Shape *S = this; S->Parent; S = S->Parent)
+        T->emplace(S->Name, S->SlotIndex); // emplace keeps the first
+                                           // (nearest-to-leaf) entry
+      Table = std::move(T);
+    }
+    auto It = Table->find(Name);
+    if (It == Table->end())
+      return false;
+    SlotOut = It->second;
+    return true;
+  }
+  for (const Shape *S = this; S->Parent; S = S->Parent)
+    if (S->Name == Name) {
+      SlotOut = S->SlotIndex;
+      return true;
+    }
+  return false;
+}
+
+const std::vector<Symbol> &Shape::keys() const {
+  if (!KeysCache) {
+    auto K = std::make_unique<std::vector<Symbol>>();
+    K->reserve(NumSlots);
+    for (const Shape *S = this; S->Parent; S = S->Parent)
+      K->push_back(S->Name);
+    std::reverse(K->begin(), K->end());
+    KeysCache = std::move(K);
+  }
+  return *KeysCache;
+}
+
+Shape *ShapeTree::transitionAdd(Shape *From, Symbol Name) {
+  ++Stats.NumTransitions;
+  if (From->LastTransKey == Name)
+    return From->LastTrans;
+  auto It = From->Transitions.find(Name);
+  if (It != From->Transitions.end()) {
+    From->LastTransKey = Name;
+    From->LastTrans = It->second;
+    return It->second;
+  }
+  Arena.emplace_back();
+  Shape *S = &Arena.back();
+  S->Parent = From;
+  S->Name = Name;
+  S->SlotIndex = From->NumSlots;
+  S->NumSlots = From->NumSlots + 1;
+  S->Mask = From->Mask | Shape::maskBit(Name);
+  From->Transitions.emplace(Name, S);
+  From->LastTransKey = Name;
+  From->LastTrans = S;
+  ++Stats.NumShapesCreated;
+  return S;
+}

@@ -1,0 +1,133 @@
+//===- Shape.h - Hidden classes for object layouts --------------*- C++ -*-===//
+///
+/// \file
+/// Shapes (hidden classes) describe object property layouts so that objects
+/// created by the same code path share one Symbol->slot mapping instead of
+/// each carrying a hash map. A Shape is one node in a transition tree owned
+/// by the Heap's ShapeTree: the root shape is the empty layout, and adding
+/// property N to a layout follows (or creates) the cached transition edge
+/// for N. Objects then store their properties in a flat slot vector indexed
+/// by the shape, and the interpreter's inline caches key on the shape
+/// pointer: same shape == same layout, so a cached slot index stays valid
+/// until the object transitions (or falls off shapes into dictionary mode
+/// after a delete).
+///
+/// Shapes are immutable once created (lazy caches aside) and live as long
+/// as their ShapeTree, i.e. as long as the Heap. Like the rest of the
+/// runtime, a ShapeTree belongs to exactly one analysis job and is not
+/// thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_RUNTIME_SHAPE_H
+#define JSAI_RUNTIME_SHAPE_H
+
+#include "support/StringPool.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace jsai {
+
+/// Property-system counters of one Heap, reported through InterpStats.
+struct ShapeStats {
+  /// Shape-to-shape moves taken when a property was appended (cached
+  /// transitions and inline-cached transitions included).
+  uint64_t NumTransitions = 0;
+  /// Distinct shapes materialized in the tree (excluding the root).
+  uint64_t NumShapesCreated = 0;
+  /// Objects that fell back to dictionary mode (property deletion).
+  uint64_t NumDictionaryConversions = 0;
+};
+
+/// One node of the shape tree: the layout reached by appending \p name() to
+/// the parent layout at \p slotIndex(). The root shape is the empty layout.
+class Shape {
+public:
+  Shape *parent() const { return Parent; }
+  /// The property this shape appends; InvalidSymbol for the root.
+  Symbol name() const { return Name; }
+  /// Slot of name() in the object's slot vector. Slots are appended in
+  /// insertion order, so slot k holds the k-th inserted property.
+  uint32_t slotIndex() const { return SlotIndex; }
+  /// Number of slots an object with this shape owns.
+  uint32_t numSlots() const { return NumSlots; }
+
+  /// Single-probe lookup of \p Name in this layout. \returns true and sets
+  /// \p SlotOut on success. Misses are usually rejected in O(1) by the
+  /// presence mask; deep shapes build a lazy lookup table and shallow ones
+  /// walk the parent chain.
+  bool find(Symbol Name, uint32_t &SlotOut) const {
+    if (!(Mask & maskBit(Name)))
+      return false; // Definitive: Name is not in this layout.
+    return findSlow(Name, SlotOut);
+  }
+
+  /// Own property names in insertion order (lazily cached per shape; safe
+  /// to return by reference because shapes outlive the objects using them).
+  const std::vector<Symbol> &keys() const;
+
+private:
+  friend class ShapeTree;
+
+  /// Layouts at least this deep get a hash lookup table instead of the
+  /// linear parent walk.
+  static constexpr uint32_t TableThreshold = 8;
+
+  /// Bit of \p Name in the presence mask: set for every property of the
+  /// layout (with collisions), so a clear bit proves absence. Proto-chain
+  /// walks miss at almost every level, making the O(1) reject the common
+  /// case.
+  static uint64_t maskBit(Symbol Name) { return uint64_t(1) << (Name & 63); }
+
+  bool findSlow(Symbol Name, uint32_t &SlotOut) const;
+
+  Shape *Parent = nullptr;
+  Symbol Name = InvalidSymbol;
+  uint32_t SlotIndex = 0;
+  uint32_t NumSlots = 0;
+  uint64_t Mask = 0;
+  /// Cached transition edges: symbol appended -> successor shape. The MRU
+  /// pair short-circuits the map probe — most shapes have exactly one
+  /// successor, taken every time the allocating code path re-runs.
+  Symbol LastTransKey = InvalidSymbol;
+  Shape *LastTrans = nullptr;
+  std::unordered_map<Symbol, Shape *> Transitions;
+  /// Lazy caches (shapes are logically immutable; these memoize pure
+  /// functions of the parent chain).
+  mutable std::unique_ptr<std::unordered_map<Symbol, uint32_t>> Table;
+  mutable std::unique_ptr<std::vector<Symbol>> KeysCache;
+};
+
+/// Arena and transition cache for the shapes of one Heap.
+class ShapeTree {
+public:
+  ShapeTree() = default;
+  ShapeTree(const ShapeTree &) = delete;
+  ShapeTree &operator=(const ShapeTree &) = delete;
+
+  /// The empty layout every object starts from.
+  Shape *root() { return &Root; }
+
+  /// The layout reached from \p From by appending \p Name. Follows the
+  /// cached edge when present, otherwise materializes a new shape.
+  Shape *transitionAdd(Shape *From, Symbol Name);
+
+  ShapeStats &stats() { return Stats; }
+  const ShapeStats &stats() const { return Stats; }
+
+  /// Shapes materialized besides the root.
+  size_t numShapes() const { return Arena.size(); }
+
+private:
+  Shape Root;
+  std::deque<Shape> Arena; // deque: stable Shape addresses
+  ShapeStats Stats;
+};
+
+} // namespace jsai
+
+#endif // JSAI_RUNTIME_SHAPE_H

@@ -245,6 +245,11 @@ TEST(TelemetryTest, ReportShapeAndTimingGate) {
   EXPECT_NE(Report.find("\"project\":\"t\""), std::string::npos);
   EXPECT_NE(Report.find("\"manifest\":{"), std::string::npos);
   EXPECT_NE(Report.find("\"outcome\":\"ok\""), std::string::npos);
+  // Runtime-layer counters ride along in every record; they are counters,
+  // not timings, so they are not gated.
+  EXPECT_NE(Report.find("\"interp\":{"), std::string::npos);
+  EXPECT_NE(Report.find("\"ic_hit_rate\""), std::string::npos);
+  EXPECT_NE(Report.find("\"shape_transitions\""), std::string::npos);
   // Timing fields are gated off by default (determinism contract).
   EXPECT_EQ(Report.find("\"timings\""), std::string::npos);
   EXPECT_EQ(Report.find("\"wall_s\""), std::string::npos);

@@ -313,4 +313,100 @@ TEST(SemanticsTest, ObjectToStringInConcatenation) {
             "[object Object] 1,2  function named() { [code] }");
 }
 
+//===----------------------------------------------------------------------===//
+// Inline-cache invalidation: the loops below execute one member-access site
+// repeatedly so its cache gets warm, then change the world mid-loop. The
+// cached fast path must notice every time.
+//===----------------------------------------------------------------------===//
+
+TEST(SemanticsTest, WarmReadSiteSeesShadowingMidLoop) {
+  EXPECT_EQ(run("function T() {}\n"
+                "T.prototype.v = 'proto';\n"
+                "var t = new T();\n"
+                "var out = '';\n"
+                "for (var i = 0; i < 5; i = i + 1) {\n"
+                "  out = out + t.v + ',';\n"
+                "  if (i === 2) { t.v = 'own'; }\n"
+                "}\n"
+                "console.log(out);"),
+            "proto,proto,proto,own,own,")
+      << "adding an own slot transitions the shape, killing the proto hit";
+}
+
+TEST(SemanticsTest, WarmReadSiteSeesAccessorOverData) {
+  EXPECT_EQ(run("var o = { x: 1 };\n"
+                "var out = '';\n"
+                "for (var i = 0; i < 4; i = i + 1) {\n"
+                "  out = out + o.x + ',';\n"
+                "  if (i === 1) {\n"
+                "    Object.defineProperty(o, 'x', {\n"
+                "      get: function () { return 42; }\n"
+                "    });\n"
+                "  }\n"
+                "}\n"
+                "console.log(out);"),
+            "1,1,42,42,")
+      << "accessor installation keeps the shape; the cached slot must "
+         "re-check isAccessor";
+}
+
+TEST(SemanticsTest, WarmWriteSiteSeesProtoSetterMidLoop) {
+  EXPECT_EQ(run("function T() {}\n"
+                "T.prototype = {};\n"
+                "var logged = '';\n"
+                "for (var i = 0; i < 4; i = i + 1) {\n"
+                "  var o = new T();\n"
+                "  o.p = i;\n"
+                "  if (i === 1) {\n"
+                "    Object.defineProperty(T.prototype, 'p', {\n"
+                "      set: function (v) { logged = logged + v; }\n"
+                "    });\n"
+                "  }\n"
+                "}\n"
+                "console.log(logged);"),
+            "23")
+      << "a setter appearing on the chain must stop the cached add "
+         "transition";
+}
+
+TEST(SemanticsTest, WarmReadSiteSeesPrototypeSurgery) {
+  EXPECT_EQ(run("var protoA = { tag: 'A' };\n"
+                "var protoB = { tag: 'B' };\n"
+                "var o = {};\n"
+                "Object.setPrototypeOf(o, protoA);\n"
+                "var out = '';\n"
+                "for (var i = 0; i < 4; i = i + 1) {\n"
+                "  out = out + o.tag;\n"
+                "  if (i === 1) { Object.setPrototypeOf(o, protoB); }\n"
+                "}\n"
+                "console.log(out);"),
+            "AABB")
+      << "replacing the prototype changes the chain identity, not the "
+         "receiver shape";
+}
+
+TEST(SemanticsTest, WarmSiteSurvivesDictionaryConversion) {
+  EXPECT_EQ(run("var o = { a: 1, b: 2, c: 3 };\n"
+                "var out = '';\n"
+                "for (var i = 0; i < 4; i = i + 1) {\n"
+                "  out = out + o.a;\n"
+                "  if (i === 1) { delete o.b; o.a = 9; }\n"
+                "}\n"
+                "console.log(out + '|' + Object.keys(o).join(','));"),
+            "1199|a,c")
+      << "deletion drops the object off shapes; reads must keep working";
+}
+
+TEST(SemanticsTest, DeleteThenReaddKeepsDeterministicOrder) {
+  EXPECT_EQ(run("var o = { a: 1, b: 2, c: 3 };\n"
+                "delete o.b;\n"
+                "o.b = 4;\n"
+                "o.d = 5;\n"
+                "var ks = '';\n"
+                "for (var k in o) { ks = ks + k; }\n"
+                "console.log(Object.keys(o).join(','), ks);"),
+            "a,c,b,d acbd")
+      << "re-added properties append; for-in and Object.keys agree";
+}
+
 } // namespace

@@ -71,6 +71,27 @@ TEST_P(CorpusInvariantTest, HoldsOnGeneratedProject) {
   EXPECT_GE(Stats.visitedFraction(), 0.0);
   EXPECT_LE(Stats.visitedFraction(), 1.0);
 
+  // --- Runtime property-system counters are internally consistent.
+  const InterpStats &IS = Stats.Interp;
+  EXPECT_GE(IS.ShapeTransitions, IS.ShapesCreated)
+      << "every materialized shape is reached by a transition";
+  EXPECT_GE(IS.icHitRate(), 0.0);
+  EXPECT_LE(IS.icHitRate(), 1.0);
+
+  // --- Inline caches are a pure optimization: disabling them must change
+  // neither the hints nor the analysis built on them.
+  ApproxOptions NoIC;
+  NoIC.EnableInlineCaches = false;
+  ProjectAnalyzer ANoIC(Spec, NoIC);
+  EXPECT_EQ(ANoIC.hints().size(), A.hints().size());
+  AnalysisResult ExtNoIC = ANoIC.analyze(AnalysisMode::Hints);
+  EXPECT_EQ(ExtNoIC.NumCallEdges, Ext.NumCallEdges);
+  EXPECT_EQ(ExtNoIC.NumReachableFunctions, Ext.NumReachableFunctions);
+  EXPECT_EQ(ANoIC.approxStats().Interp.icHits() +
+                ANoIC.approxStats().Interp.icMisses(),
+            0u)
+      << "disabled caches must not count accesses";
+
   // --- Dynamic CG relations.
   if (Spec.hasDynamicCallGraph()) {
     const CallGraph &Dyn = A.dynamicCallGraph();
@@ -99,6 +120,15 @@ TEST_P(CorpusInvariantTest, HoldsOnGeneratedProject) {
   EXPECT_EQ(Ext2.NumCallEdges, Ext.NumCallEdges);
   EXPECT_EQ(Ext2.NumReachableFunctions, Ext.NumReachableFunctions);
   EXPECT_EQ(A2.hints().size(), A.hints().size());
+  // ... including the runtime counters, which feed telemetry.
+  const InterpStats &IS2 = A2.approxStats().Interp;
+  EXPECT_EQ(IS2.ICGetHits, IS.ICGetHits);
+  EXPECT_EQ(IS2.ICGetMisses, IS.ICGetMisses);
+  EXPECT_EQ(IS2.ICSetHits, IS.ICSetHits);
+  EXPECT_EQ(IS2.ICSetMisses, IS.ICSetMisses);
+  EXPECT_EQ(IS2.ShapesCreated, IS.ShapesCreated);
+  EXPECT_EQ(IS2.ShapeTransitions, IS.ShapeTransitions);
+  EXPECT_EQ(IS2.DictionaryConversions, IS.DictionaryConversions);
 }
 
 std::vector<SweepParam> sweepParams() {

@@ -124,6 +124,81 @@ TEST(ObjectTest, CallablePayloads) {
   EXPECT_TRUE(Proxy->isProxy());
 }
 
+TEST(ObjectTest, ShapesSharedAcrossSameInsertionOrder) {
+  Heap H;
+  Object *A = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Object *B = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  EXPECT_EQ(A->shape(), B->shape()) << "both start at the root layout";
+  A->setOwn(1, Value::number(1));
+  A->setOwn(2, Value::number(2));
+  B->setOwn(1, Value::number(10));
+  B->setOwn(2, Value::number(20));
+  EXPECT_EQ(A->shape(), B->shape())
+      << "same insertion order must share one shape";
+  // A different insertion order is a different layout.
+  Object *C = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  C->setOwn(2, Value::number(2));
+  C->setOwn(1, Value::number(1));
+  EXPECT_NE(C->shape(), A->shape());
+  // Values stayed per-object even though the layout is shared.
+  EXPECT_EQ(A->getOwn(1)->asNumber(), 1);
+  EXPECT_EQ(B->getOwn(1)->asNumber(), 10);
+  // The tree materialized each layout once: {}, {1}, {1,2}, {2}, {2,1}.
+  EXPECT_EQ(H.shapes().numShapes(), 4u);
+  EXPECT_EQ(H.shapes().stats().NumShapesCreated, 4u);
+  EXPECT_GE(H.shapes().stats().NumTransitions, 6u);
+}
+
+TEST(ObjectTest, AccessorOverDataKeepsShape) {
+  Heap H;
+  Object *O = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  Object *Getter = H.newNative("get", nullptr);
+  O->setOwn(5, Value::number(1));
+  Shape *S = O->shape();
+  O->setAccessor(5, Getter, nullptr);
+  EXPECT_EQ(O->shape(), S)
+      << "converting a data slot to an accessor is invisible to the shape "
+         "(inline caches re-check isAccessor at the slot instead)";
+  const PropertySlot *Slot = O->getOwnSlot(5);
+  ASSERT_NE(Slot, nullptr);
+  EXPECT_TRUE(Slot->isAccessor());
+  EXPECT_EQ(Slot->Getter, Getter);
+  EXPECT_FALSE(O->getOwn(5).has_value())
+      << "getOwn sees data properties only";
+  // Merging in a setter keeps the getter.
+  Object *Setter = H.newNative("set", nullptr);
+  O->setAccessor(5, nullptr, Setter);
+  Slot = O->getOwnSlot(5);
+  EXPECT_EQ(Slot->Getter, Getter);
+  EXPECT_EQ(Slot->Setter, Setter);
+}
+
+TEST(ObjectTest, DeleteFallsBackToDictionaryMode) {
+  Heap H;
+  Object *O = H.newObject(ObjectClass::Plain, SourceLoc::invalid());
+  O->setOwn(1, Value::number(1));
+  O->setOwn(2, Value::number(2));
+  O->setOwn(3, Value::number(3));
+  EXPECT_FALSE(O->inDictionaryMode());
+  ASSERT_TRUE(O->deleteOwn(2));
+  EXPECT_TRUE(O->inDictionaryMode());
+  EXPECT_EQ(O->shape(), nullptr) << "inline caches key on a non-null shape";
+  EXPECT_EQ(H.shapes().stats().NumDictionaryConversions, 1u);
+  // Surviving properties keep their values; re-adding appends at the end.
+  EXPECT_EQ(O->getOwn(1)->asNumber(), 1);
+  EXPECT_EQ(O->getOwn(3)->asNumber(), 3);
+  O->setOwn(2, Value::number(22));
+  std::vector<Symbol> Want = {1, 3, 2};
+  EXPECT_EQ(O->ownKeys(), Want);
+  EXPECT_EQ(O->getOwn(2)->asNumber(), 22);
+  // Dictionary mode is permanent: further adds never re-shape.
+  O->setOwn(4, Value::number(4));
+  EXPECT_TRUE(O->inDictionaryMode());
+  // A second delete does not count another conversion.
+  ASSERT_TRUE(O->deleteOwn(4));
+  EXPECT_EQ(H.shapes().stats().NumDictionaryConversions, 1u);
+}
+
 TEST(ObjectTest, BirthLocAndPrototypeFlag) {
   Heap H;
   SourceLoc Loc(2, 10, 4);

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Golden-metrics check: the 13 metric-producing benches print deterministic
+# paper tables (hints, call edges, recall/precision, ...). Object-layout and
+# other performance refactors must never change them, so CI compares a
+# SHA-256 of each bench's output against the committed aggregate.
+#
+#   tools/check_metrics.sh [build-dir]            # verify (CI mode)
+#   tools/check_metrics.sh [build-dir] --update   # re-bless after an
+#                                                 # intentional metric change
+#
+# Exits non-zero on drift, listing each bench whose table changed.
+set -euo pipefail
+
+BUILD_DIR="build"
+UPDATE=0
+for Arg in "$@"; do
+  case "$Arg" in
+  --update) UPDATE=1 ;;
+  *) BUILD_DIR="$Arg" ;;
+  esac
+done
+
+BENCHES="
+ablation_extensions
+ablation_overapprox
+ablation_relational
+fig4_call_edges
+fig5_reachable_functions
+fig6_resolved_call_sites
+fig7_monomorphic_call_sites
+hint_stats
+motivating_example
+pattern_breakdown
+table1_benchmarks
+table2_recall_precision
+vulnerability_reachability
+"
+
+GOLDEN="$(dirname "$0")/golden_metrics.json"
+
+hash_of() {
+  "$BUILD_DIR/bench/bench_$1" 2>/dev/null | sha256sum | cut -d' ' -f1
+}
+
+if [ "$UPDATE" -eq 1 ]; then
+  {
+    echo '{'
+    First=1
+    for B in $BENCHES; do
+      [ "$First" -eq 1 ] || echo ','
+      First=0
+      printf '  "%s": "%s"' "$B" "$(hash_of "$B")"
+    done
+    echo
+    echo '}'
+  } >"$GOLDEN"
+  echo "updated $GOLDEN"
+  exit 0
+fi
+
+[ -f "$GOLDEN" ] || { echo "missing $GOLDEN (run with --update once)"; exit 1; }
+
+Fail=0
+for B in $BENCHES; do
+  Want="$(sed -n "s/.*\"$B\": *\"\([0-9a-f]*\)\".*/\1/p" "$GOLDEN")"
+  if [ -z "$Want" ]; then
+    echo "FAIL $B: no golden entry"
+    Fail=1
+    continue
+  fi
+  Got="$(hash_of "$B")"
+  if [ "$Got" != "$Want" ]; then
+    echo "FAIL $B: metric drift (got $Got, want $Want)"
+    Fail=1
+  else
+    echo "ok   $B"
+  fi
+done
+
+if [ "$Fail" -ne 0 ]; then
+  echo
+  echo "Metric tables changed. If the change is an intentional analysis"
+  echo "improvement, re-bless with: tools/check_metrics.sh $BUILD_DIR --update"
+  exit 1
+fi
