@@ -1,0 +1,83 @@
+//===- bench_cache_warmup.cpp - Artifact-cache warm-run speedup ---------------===//
+//
+// Wall-clock of the full embedded suite cold (empty cache, publishing) vs
+// warm (every project served from the cache, approx skipped), against a
+// cache-less reference run. Also enforces the cache's two hard contracts:
+// the warm run's timing-free JSONL report must be byte-identical to the
+// cold run's, and a warm run must hit on every project. Exit is nonzero on
+// any violation, so this doubles as an end-to-end gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/Telemetry.h"
+
+#include <filesystem>
+
+using namespace jsai;
+using namespace jsai::bench;
+
+int main(int Argc, char **Argv) {
+  size_t Jobs = consumeJobsFlag(Argc, Argv);
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+
+  std::filesystem::path CacheDir =
+      std::filesystem::temp_directory_path() / "jsai-bench-cache-warmup";
+  std::filesystem::remove_all(CacheDir);
+
+  std::printf("Cache warmup: %zu projects, %zu job%s, cache at %s\n",
+              Suite.size(), Jobs, Jobs == 1 ? "" : "s",
+              CacheDir.string().c_str());
+  rule(78);
+  std::printf("%-10s %10s %10s %8s %8s %10s %12s\n", "run", "wall (s)",
+              "approx(s)", "hits", "misses", "writes", "bytes r/w");
+  rule(78);
+
+  auto ApproxTotal = [](const RunSummary &S) {
+    double Sum = 0;
+    for (const JobResult &J : S.Jobs)
+      Sum += J.Report.ApproxSeconds;
+    return Sum;
+  };
+  auto Row = [&](const char *Label, const RunSummary &S) {
+    std::printf("%-10s %10.3f %10.3f %8llu %8llu %10llu %6llu/%llu\n", Label,
+                S.WallSeconds, ApproxTotal(S),
+                (unsigned long long)S.Cache.Hits,
+                (unsigned long long)S.Cache.Misses,
+                (unsigned long long)S.Cache.Writes,
+                (unsigned long long)S.Cache.BytesRead,
+                (unsigned long long)S.Cache.BytesWritten);
+  };
+
+  DriverOptions Plain;
+  Plain.Jobs = Jobs;
+  RunSummary NoCache = CorpusDriver(Plain).run(Suite);
+  Row("no-cache", NoCache);
+
+  DriverOptions DO;
+  DO.Jobs = Jobs;
+  DO.Cache.Dir = CacheDir.string();
+  RunSummary Cold = CorpusDriver(DO).run(Suite);
+  Row("cold", Cold);
+
+  RunSummary Warm = CorpusDriver(DO).run(Suite);
+  Row("warm", Warm);
+  rule(78);
+
+  std::printf("cold publish overhead vs no-cache: %s\n",
+              delta(NoCache.WallSeconds, Cold.WallSeconds).c_str());
+  std::printf("warm speedup vs cold: %.2fx wall, approx phase %.3f s -> "
+              "%.3f s\n",
+              Warm.WallSeconds > 0 ? Cold.WallSeconds / Warm.WallSeconds : 0.0,
+              ApproxTotal(Cold), ApproxTotal(Warm));
+
+  bool AllHits = Warm.Cache.Hits == Suite.size() && Warm.Cache.Misses == 0;
+  bool Identical = renderReport(Cold, DO) == renderReport(Warm, DO) &&
+                   renderReport(NoCache, Plain) == renderReport(Warm, DO);
+  std::printf("warm run all hits: %s\n", AllHits ? "yes" : "NO");
+  std::printf("reports byte-identical (no-cache == cold == warm): %s\n",
+              Identical ? "yes" : "NO — cache perturbed the metrics");
+
+  std::filesystem::remove_all(CacheDir);
+  return AllHits && Identical ? 0 : 1;
+}

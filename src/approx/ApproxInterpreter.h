@@ -61,6 +61,8 @@ struct ApproxStats {
                ? 0.0
                : double(NumFunctionsVisited) / double(NumFunctionsTotal);
   }
+
+  friend bool operator==(const ApproxStats &, const ApproxStats &) = default;
 };
 
 /// Runs approximate interpretation over a parsed project and produces the

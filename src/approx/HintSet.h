@@ -143,6 +143,15 @@ public:
   /// Unions \p Other into this set.
   void merge(const HintSet &Other);
 
+  /// Structural equality over every hint kind (eval hints compare in
+  /// insertion order, matching how they are consumed).
+  friend bool operator==(const HintSet &A, const HintSet &B) {
+    return A.ReadHints == B.ReadHints && A.WriteHints == B.WriteHints &&
+           A.ModuleHints == B.ModuleHints && A.EvalHints == B.EvalHints &&
+           A.ReadNames == B.ReadNames && A.WriteNames == B.WriteNames &&
+           A.ProxyReadNames == B.ProxyReadNames;
+  }
+
 private:
   std::map<SourceLoc, std::set<AllocRef>> ReadHints;
   std::set<WriteHint> WriteHints;

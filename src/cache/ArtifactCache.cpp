@@ -1,0 +1,165 @@
+//===- ArtifactCache.cpp - Content-addressed artifact store ---------------===//
+
+#include "cache/ArtifactCache.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <unistd.h>
+
+using namespace jsai;
+
+namespace {
+
+/// Hashes \p V in a fixed byte order so keys do not depend on host
+/// endianness.
+void hashU64(Sha256 &H, uint64_t V) {
+  uint8_t Bytes[8];
+  for (int I = 0; I != 8; ++I)
+    Bytes[I] = uint8_t(V >> (I * 8));
+  H.update(Bytes, sizeof(Bytes));
+}
+
+} // namespace
+
+const char *jsai::cacheModeName(CacheMode M) {
+  switch (M) {
+  case CacheMode::Off:
+    return "off";
+  case CacheMode::Read:
+    return "read";
+  case CacheMode::ReadWrite:
+    return "readwrite";
+  }
+  return "unknown";
+}
+
+Sha256Digest ArtifactCache::computeKey(const FileSystem &Files,
+                                       const std::string &ConfigFingerprint) {
+  Sha256 H;
+  // Domain separator + format version: a format bump re-keys every entry,
+  // so a new binary never even finds (let alone rejects) old-format files.
+  H.update("jsai-artifact-key v" + std::to_string(CacheFormatVersion) + "\n");
+  H.update(ConfigFingerprint);
+  H.update("\n", 1);
+  // allPaths() is lexicographically sorted, and each field is length-
+  // prefixed so (path, source) concatenations cannot collide.
+  for (const std::string &Path : Files.allPaths()) {
+    const std::string &Source = Files.read(Path);
+    hashU64(H, Path.size());
+    hashU64(H, Source.size());
+    H.update(Path);
+    H.update(Source);
+  }
+  return H.digest();
+}
+
+std::string ArtifactCache::fingerprint(const ApproxOptions &Opts,
+                                       const std::string &MainModule) {
+  std::ostringstream Out;
+  Out << "approx:depth=" << Opts.MaxCallDepth
+      << ",loops=" << Opts.MaxLoopIterations << ",steps=" << Opts.MaxSteps
+      << ",module-hints=" << (Opts.CollectModuleHints ? 1 : 0)
+      << ",ic=" << (Opts.EnableInlineCaches ? 1 : 0) << ";main=" << MainModule;
+  return Out.str();
+}
+
+std::string ArtifactCache::entryPath(const Sha256Digest &Key) const {
+  return Config.Dir + "/" + Sha256::hex(Key) + ".jsac";
+}
+
+bool ArtifactCache::load(const Sha256Digest &Key, const FileTable &Files,
+                         CacheEntry &Out, std::string &Diag) {
+  Diag.clear();
+  if (!Config.reads())
+    return false;
+  std::string Path = entryPath(Key);
+  auto Start = std::chrono::steady_clock::now();
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Bytes = Buf.str();
+  if (!In.good() && !In.eof()) {
+    CorruptEntries.fetch_add(1, std::memory_order_relaxed);
+    Diag = "cache: read error on " + Path + "; recomputing";
+    return false;
+  }
+
+  std::string Reason;
+  if (!decodeCacheEntry(Bytes, Key, Files, Out, Reason)) {
+    CorruptEntries.fetch_add(1, std::memory_order_relaxed);
+    Diag = "cache: rejected " + Path + ": " + Reason + "; recomputing";
+    return false;
+  }
+  auto Nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  BytesRead.fetch_add(Bytes.size(), std::memory_order_relaxed);
+  DeserializeNanos.fetch_add(uint64_t(Nanos), std::memory_order_relaxed);
+  return true;
+}
+
+bool ArtifactCache::store(const Sha256Digest &Key, const FileTable &Files,
+                          const CacheEntry &Entry, std::string &Diag) {
+  Diag.clear();
+  if (!Config.writes())
+    return false;
+  std::error_code EC;
+  std::filesystem::create_directories(Config.Dir, EC);
+  if (EC) {
+    WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    Diag = "cache: cannot create " + Config.Dir + ": " + EC.message();
+    return false;
+  }
+
+  std::string Bytes = encodeCacheEntry(Entry, Key, Files);
+  std::string Path = entryPath(Key);
+  // Unique temp name per publisher so concurrent workers writing the same
+  // key never share a temp file; the final rename is atomic, so readers
+  // observe either no entry or a complete one.
+  static std::atomic<uint64_t> TempCounter{0};
+  std::string Temp = Path + ".tmp." +
+                     std::to_string(uint64_t(::getpid())) + "." +
+                     std::to_string(TempCounter.fetch_add(1));
+  {
+    std::ofstream OutFile(Temp, std::ios::binary | std::ios::trunc);
+    if (!OutFile || !(OutFile << Bytes) || !OutFile.flush()) {
+      WriteFailures.fetch_add(1, std::memory_order_relaxed);
+      Diag = "cache: cannot write " + Temp;
+      std::remove(Temp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Temp.c_str(), Path.c_str()) != 0) {
+    WriteFailures.fetch_add(1, std::memory_order_relaxed);
+    Diag = "cache: cannot publish " + Path;
+    std::remove(Temp.c_str());
+    return false;
+  }
+  Writes.fetch_add(1, std::memory_order_relaxed);
+  BytesWritten.fetch_add(Bytes.size(), std::memory_order_relaxed);
+  return true;
+}
+
+CacheStats ArtifactCache::stats() const {
+  CacheStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.CorruptEntries = CorruptEntries.load(std::memory_order_relaxed);
+  S.Writes = Writes.load(std::memory_order_relaxed);
+  S.WriteFailures = WriteFailures.load(std::memory_order_relaxed);
+  S.BytesRead = BytesRead.load(std::memory_order_relaxed);
+  S.BytesWritten = BytesWritten.load(std::memory_order_relaxed);
+  S.DeserializeSeconds =
+      double(DeserializeNanos.load(std::memory_order_relaxed)) * 1e-9;
+  return S;
+}

@@ -1,0 +1,124 @@
+//===- ArtifactCache.h - Content-addressed artifact store -------*- C++ -*-===//
+///
+/// \file
+/// On-disk cache of per-project analysis artifacts, keyed by content
+/// address: SHA-256 over (format version, analysis-config fingerprint, every
+/// module path and source in deterministic order). Identical inputs on any
+/// machine produce the same key and — because encodeCacheEntry is
+/// deterministic — the same entry bytes.
+///
+/// Concurrency: one ArtifactCache is shared by all corpus-driver workers.
+/// load()/store() touch disjoint temp files and publish atomically via
+/// write-temp-then-rename, so a concurrent reader sees either no entry or a
+/// complete entry, never a torn one; the statistics counters are atomic.
+///
+/// Failure policy: the cache is an accelerator, never a correctness
+/// dependency. Unreadable, truncated, bit-flipped, wrong-version, or
+/// wrong-key entries are counted, reported as a one-line diagnostic to the
+/// caller, and treated as misses — the pipeline recomputes. No cache
+/// condition ever throws out of this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CACHE_ARTIFACTCACHE_H
+#define JSAI_CACHE_ARTIFACTCACHE_H
+
+#include "approx/ApproxInterpreter.h"
+#include "cache/Serialization.h"
+#include "interp/FileSystem.h"
+
+#include <atomic>
+#include <string>
+
+namespace jsai {
+
+/// How the cache participates in a run.
+enum class CacheMode : uint8_t {
+  Off,       ///< Never consulted, never written.
+  Read,      ///< Hits are consumed; misses are not published.
+  ReadWrite, ///< Hits are consumed; misses are computed and published.
+};
+
+const char *cacheModeName(CacheMode M);
+
+/// Cache location and participation mode (CLI: --cache-dir= / --cache=).
+struct CacheConfig {
+  std::string Dir;
+  CacheMode Mode = CacheMode::ReadWrite;
+
+  bool enabled() const { return !Dir.empty() && Mode != CacheMode::Off; }
+  bool reads() const { return enabled(); }
+  bool writes() const { return enabled() && Mode == CacheMode::ReadWrite; }
+};
+
+/// Copyable counter snapshot for summaries and telemetry.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;         ///< Absent entries (first-time keys).
+  uint64_t CorruptEntries = 0; ///< Present but rejected by decode.
+  uint64_t Writes = 0;
+  uint64_t WriteFailures = 0;
+  uint64_t BytesRead = 0;
+  uint64_t BytesWritten = 0;
+  /// Wall-clock spent reading + decoding hit entries, seconds
+  /// (nondeterministic; telemetry gates it like every timing field).
+  double DeserializeSeconds = 0;
+
+  friend bool operator==(const CacheStats &, const CacheStats &) = default;
+};
+
+/// The content-addressed store.
+class ArtifactCache {
+public:
+  explicit ArtifactCache(CacheConfig Config) : Config(std::move(Config)) {}
+
+  const CacheConfig &config() const { return Config; }
+
+  /// Derives the content-address key of one project configuration:
+  /// SHA-256 over the format version, \p ConfigFingerprint, and every
+  /// (path, source) pair of \p Files in lexicographic path order.
+  static Sha256Digest computeKey(const FileSystem &Files,
+                                 const std::string &ConfigFingerprint);
+
+  /// Renders the analysis configuration facts that determine hint output:
+  /// the approx budgets, hint-collection toggles, and the root-selection
+  /// main module. Deadlines are deliberately absent — entries are only
+  /// published by complete (non-degraded) runs, so a deadline never changes
+  /// a published artifact (see DESIGN.md, "Artifact cache").
+  static std::string fingerprint(const ApproxOptions &Opts,
+                                 const std::string &MainModule);
+
+  /// Looks up \p Key. \returns true and fills \p Out on a hit. On a miss
+  /// or a rejected entry \returns false; \p Diag is non-empty exactly when
+  /// the entry existed but was rejected (corrupt/version/key), naming the
+  /// file and the reason.
+  bool load(const Sha256Digest &Key, const FileTable &Files, CacheEntry &Out,
+            std::string &Diag);
+
+  /// Publishes \p Entry under \p Key atomically (write temp + rename).
+  /// \returns false with a reason in \p Diag when the write fails; the
+  /// analysis result is unaffected either way.
+  bool store(const Sha256Digest &Key, const FileTable &Files,
+             const CacheEntry &Entry, std::string &Diag);
+
+  /// Path of the entry file for \p Key inside the cache directory.
+  std::string entryPath(const Sha256Digest &Key) const;
+
+  CacheStats stats() const;
+
+private:
+  CacheConfig Config;
+
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> CorruptEntries{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> WriteFailures{0};
+  std::atomic<uint64_t> BytesRead{0};
+  std::atomic<uint64_t> BytesWritten{0};
+  std::atomic<uint64_t> DeserializeNanos{0};
+};
+
+} // namespace jsai
+
+#endif // JSAI_CACHE_ARTIFACTCACHE_H

@@ -1,0 +1,287 @@
+//===- Serialization.cpp - Versioned binary artifact format ---------------===//
+
+#include "cache/Serialization.h"
+
+#include <cstring>
+
+using namespace jsai;
+
+namespace {
+
+// Section tags. Values are part of the on-disk format; never reuse.
+constexpr uint32_t SecHints = 1;   ///< Portable hint text (HintSet::serialize).
+constexpr uint32_t SecApprox = 2;  ///< ApproxStats + InterpStats, 12 u64s.
+constexpr uint32_t SecMetrics = 3; ///< u8 present + 2 x 5 u64s.
+
+constexpr char Magic[4] = {'J', 'S', 'A', 'C'};
+constexpr size_t HeaderSize = 4 + 4 + 32 + 4; // magic + version + key + count
+constexpr size_t DigestSize = 32;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out += char(uint8_t(V >> (I * 8)));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out += char(uint8_t(V >> (I * 8)));
+}
+
+/// Bounds-checked little-endian reader over the entry bytes.
+class ByteReader {
+public:
+  ByteReader(const std::string &Bytes, size_t Pos, size_t End)
+      : Bytes(Bytes), Pos(Pos), End(End) {}
+
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return End - Pos; }
+
+  bool readU32(uint32_t &V) {
+    if (remaining() < 4)
+      return false;
+    V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= uint32_t(uint8_t(Bytes[Pos + I])) << (I * 8);
+    Pos += 4;
+    return true;
+  }
+
+  bool readU64(uint64_t &V) {
+    if (remaining() < 8)
+      return false;
+    V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= uint64_t(uint8_t(Bytes[Pos + I])) << (I * 8);
+    Pos += 8;
+    return true;
+  }
+
+  bool readU8(uint8_t &V) {
+    if (remaining() < 1)
+      return false;
+    V = uint8_t(Bytes[Pos++]);
+    return true;
+  }
+
+  bool skip(uint64_t N) {
+    if (remaining() < N)
+      return false;
+    Pos += size_t(N);
+    return true;
+  }
+
+private:
+  const std::string &Bytes;
+  size_t Pos;
+  size_t End;
+};
+
+void encodeApproxSection(std::string &Out, const ApproxStats &S) {
+  putU64(Out, S.NumFunctionsTotal);
+  putU64(Out, S.NumFunctionsVisited);
+  putU64(Out, S.NumModulesLoaded);
+  putU64(Out, S.NumForcedExecutions);
+  putU64(Out, S.NumAborts);
+  putU64(Out, S.Interp.ICGetHits);
+  putU64(Out, S.Interp.ICGetMisses);
+  putU64(Out, S.Interp.ICSetHits);
+  putU64(Out, S.Interp.ICSetMisses);
+  putU64(Out, S.Interp.ShapeTransitions);
+  putU64(Out, S.Interp.ShapesCreated);
+  putU64(Out, S.Interp.DictionaryConversions);
+}
+
+bool decodeApproxSection(ByteReader &R, ApproxStats &S) {
+  uint64_t V[12];
+  for (uint64_t &Field : V)
+    if (!R.readU64(Field))
+      return false;
+  S.NumFunctionsTotal = size_t(V[0]);
+  S.NumFunctionsVisited = size_t(V[1]);
+  S.NumModulesLoaded = size_t(V[2]);
+  S.NumForcedExecutions = size_t(V[3]);
+  S.NumAborts = size_t(V[4]);
+  S.Interp.ICGetHits = V[5];
+  S.Interp.ICGetMisses = V[6];
+  S.Interp.ICSetHits = V[7];
+  S.Interp.ICSetMisses = V[8];
+  S.Interp.ShapeTransitions = V[9];
+  S.Interp.ShapesCreated = V[10];
+  S.Interp.DictionaryConversions = V[11];
+  return true;
+}
+
+void encodeMetrics(std::string &Out, const CachedAnalysisMetrics &M) {
+  putU64(Out, M.CallEdges);
+  putU64(Out, M.ReachableFunctions);
+  putU64(Out, M.CallSites);
+  putU64(Out, M.ResolvedCallSites);
+  putU64(Out, M.MonomorphicCallSites);
+}
+
+bool decodeMetrics(ByteReader &R, CachedAnalysisMetrics &M) {
+  return R.readU64(M.CallEdges) && R.readU64(M.ReachableFunctions) &&
+         R.readU64(M.CallSites) && R.readU64(M.ResolvedCallSites) &&
+         R.readU64(M.MonomorphicCallSites);
+}
+
+void appendSection(std::string &Out, uint32_t Tag, const std::string &Payload) {
+  putU32(Out, Tag);
+  putU64(Out, Payload.size());
+  Out += Payload;
+}
+
+/// Shared frame walk: validates magic/version/digest/section bounds and
+/// hands each section's body to \p OnSection(tag, reader-positioned-at-
+/// payload, length). Returns false with \p Error set on any malformation.
+template <typename FnT>
+bool walkEntry(const std::string &Bytes, Sha256Digest &EmbeddedKey,
+               std::string &Error, FnT OnSection) {
+  if (Bytes.size() < HeaderSize + DigestSize) {
+    Error = "cache entry truncated (shorter than header + digest)";
+    return false;
+  }
+  if (std::memcmp(Bytes.data(), Magic, 4) != 0) {
+    Error = "cache entry has wrong magic (not a jsai artifact)";
+    return false;
+  }
+  ByteReader Header(Bytes, 4, Bytes.size());
+  uint32_t Version = 0;
+  Header.readU32(Version);
+  if (Version != CacheFormatVersion) {
+    Error = "cache entry format version " + std::to_string(Version) +
+            " != supported " + std::to_string(CacheFormatVersion);
+    return false;
+  }
+
+  // Integrity first: a digest mismatch subsumes most other corruptions and
+  // guarantees the section walk below runs over exactly the bytes that
+  // were written.
+  Sha256 H;
+  H.update(Bytes.data(), Bytes.size() - DigestSize);
+  Sha256Digest Want = H.digest();
+  if (std::memcmp(Want.data(), Bytes.data() + Bytes.size() - DigestSize,
+                  DigestSize) != 0) {
+    Error = "cache entry integrity digest mismatch (corrupt or truncated)";
+    return false;
+  }
+
+  std::memcpy(EmbeddedKey.data(), Bytes.data() + 8, 32);
+
+  ByteReader R(Bytes, 8 + 32, Bytes.size() - DigestSize);
+  uint32_t NumSections = 0;
+  R.readU32(NumSections);
+  for (uint32_t I = 0; I != NumSections; ++I) {
+    uint32_t Tag = 0;
+    uint64_t Len = 0;
+    if (!R.readU32(Tag) || !R.readU64(Len) || Len > R.remaining()) {
+      Error = "cache entry section " + std::to_string(I) +
+              " header out of bounds";
+      return false;
+    }
+    size_t BodyStart = R.pos();
+    ByteReader Body(Bytes, BodyStart, BodyStart + size_t(Len));
+    if (!OnSection(Tag, Body, size_t(Len), Error))
+      return false;
+    R.skip(Len);
+  }
+  if (R.remaining() != 0) {
+    Error = "cache entry has trailing bytes after the last section";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string jsai::encodeCacheEntry(const CacheEntry &Entry,
+                                   const Sha256Digest &Key,
+                                   const FileTable &Files) {
+  std::string Out;
+  Out.append(Magic, 4);
+  putU32(Out, CacheFormatVersion);
+  Out.append(reinterpret_cast<const char *>(Key.data()), Key.size());
+  putU32(Out, 3); // section count
+
+  appendSection(Out, SecHints, Entry.Hints.serialize(Files));
+
+  std::string Approx;
+  encodeApproxSection(Approx, Entry.Approx);
+  appendSection(Out, SecApprox, Approx);
+
+  std::string Metrics;
+  Metrics += char(Entry.HasMetrics ? 1 : 0);
+  encodeMetrics(Metrics, Entry.Baseline);
+  encodeMetrics(Metrics, Entry.Extended);
+  appendSection(Out, SecMetrics, Metrics);
+
+  Sha256 H;
+  H.update(Out);
+  Sha256Digest Digest = H.digest();
+  Out.append(reinterpret_cast<const char *>(Digest.data()), Digest.size());
+  return Out;
+}
+
+bool jsai::decodeCacheEntry(const std::string &Bytes,
+                            const Sha256Digest &ExpectedKey,
+                            const FileTable &Files, CacheEntry &Out,
+                            std::string &Error) {
+  Sha256Digest EmbeddedKey;
+  bool SawHints = false, SawApprox = false;
+  bool Ok = walkEntry(
+      Bytes, EmbeddedKey, Error,
+      [&](uint32_t Tag, ByteReader &Body, size_t Len,
+          std::string &Err) -> bool {
+        switch (Tag) {
+        case SecHints: {
+          Out.Hints = HintSet::deserialize(
+              Bytes.substr(Body.pos(), Len), Files);
+          SawHints = true;
+          return true;
+        }
+        case SecApprox:
+          if (Len != 12 * 8 || !decodeApproxSection(Body, Out.Approx)) {
+            Err = "cache entry approx-stats section has wrong size";
+            return false;
+          }
+          SawApprox = true;
+          return true;
+        case SecMetrics: {
+          uint8_t Present = 0;
+          if (Len != 1 + 10 * 8 || !Body.readU8(Present) ||
+              !decodeMetrics(Body, Out.Baseline) ||
+              !decodeMetrics(Body, Out.Extended)) {
+            Err = "cache entry metrics section has wrong size";
+            return false;
+          }
+          Out.HasMetrics = Present != 0;
+          return true;
+        }
+        default:
+          // Unknown tags within a supported version are skippable padding
+          // (forward-compatible minor additions).
+          return true;
+        }
+      });
+  if (!Ok)
+    return false;
+  if (std::memcmp(EmbeddedKey.data(), ExpectedKey.data(), 32) != 0) {
+    Error = "cache entry key mismatch (entry " + Sha256::hex(EmbeddedKey) +
+            ", expected " + Sha256::hex(ExpectedKey) + ")";
+    return false;
+  }
+  if (!SawHints || !SawApprox) {
+    Error = "cache entry is missing a required section";
+    return false;
+  }
+  return true;
+}
+
+bool jsai::validateCacheEntryBytes(const std::string &Bytes,
+                                   Sha256Digest &EmbeddedKey,
+                                   std::string &Error) {
+  return walkEntry(Bytes, EmbeddedKey, Error,
+                   [](uint32_t, ByteReader &, size_t, std::string &) {
+                     return true;
+                   });
+}

@@ -1,0 +1,102 @@
+//===- Serialization.h - Versioned binary artifact format -------*- C++ -*-===//
+///
+/// \file
+/// The on-disk encoding of one cached analysis artifact: the hints produced
+/// by approximate interpretation (H_R/H_W plus the extension hint kinds),
+/// the approx/interp statistic blocks, and the per-project call-graph metric
+/// scalars of the baseline and extended analyses.
+///
+/// Layout (all integers little-endian):
+///
+///   magic   "JSAC"                          4 bytes
+///   version u32                             format version (CacheFormatVersion)
+///   key     32 bytes                        the entry's content-address key
+///   count   u32                             number of sections
+///   section { tag u32, length u64, payload }  x count
+///   digest  32 bytes                        SHA-256 of every preceding byte
+///
+/// Robustness contract: decode() never throws and never reads out of
+/// bounds. Truncated input, flipped bits anywhere (the trailing digest
+/// covers the full header and every section), a wrong format version, or a
+/// key that does not match the expected content address all fail with a
+/// one-line reason; the caller recomputes. Unknown section tags are skipped
+/// so future versions can extend the format without invalidating readers
+/// only when the version matches.
+///
+/// Determinism contract: encode() is a pure function of the entry and the
+/// file table — sections are written in fixed order, hint payloads use the
+/// portable path-keyed text format (itself ordered), and no timestamp,
+/// hostname, or other run-environment fact is ever included. Two clean
+/// builds therefore produce bit-identical entries (asserted in CacheTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CACHE_SERIALIZATION_H
+#define JSAI_CACHE_SERIALIZATION_H
+
+#include "approx/ApproxInterpreter.h"
+#include "approx/HintSet.h"
+#include "cache/Sha256.h"
+
+#include <cstdint>
+#include <string>
+
+namespace jsai {
+
+/// Bump on any incompatible change to the entry layout or section payloads.
+/// Old entries then fail decode with a version diagnostic and are treated
+/// as misses (never migrated in place).
+inline constexpr uint32_t CacheFormatVersion = 1;
+
+/// Per-mode call-graph metric scalars cached alongside the hints (the
+/// figure-4..7 numbers for one project). Informational: a warm run always
+/// recomputes the analysis from the cached hints, so these can never poison
+/// reported metrics; `jsai cache stats` surfaces them.
+struct CachedAnalysisMetrics {
+  uint64_t CallEdges = 0;
+  uint64_t ReachableFunctions = 0;
+  uint64_t CallSites = 0;
+  uint64_t ResolvedCallSites = 0;
+  uint64_t MonomorphicCallSites = 0;
+
+  friend bool operator==(const CachedAnalysisMetrics &,
+                         const CachedAnalysisMetrics &) = default;
+};
+
+/// Everything one cache entry carries.
+struct CacheEntry {
+  HintSet Hints;
+  /// Statistic blocks of the approx phase (including the runtime-layer
+  /// InterpStats); restored on a hit so warm telemetry is byte-identical
+  /// to cold telemetry.
+  ApproxStats Approx;
+  /// Present only when the entry was published by a full pipeline run
+  /// (analyze/suite); hint-only producers leave it absent.
+  bool HasMetrics = false;
+  CachedAnalysisMetrics Baseline;
+  CachedAnalysisMetrics Extended;
+};
+
+/// Serializes \p Entry under content-address \p Key. \p Files resolves the
+/// hint locations to portable path-based references.
+std::string encodeCacheEntry(const CacheEntry &Entry, const Sha256Digest &Key,
+                             const FileTable &Files);
+
+/// Decodes \p Bytes, verifying magic, version, integrity digest, and that
+/// the embedded key equals \p ExpectedKey. \returns false with a one-line
+/// reason in \p Error on any mismatch or malformation; \p Out is then
+/// unspecified.
+bool decodeCacheEntry(const std::string &Bytes, const Sha256Digest &ExpectedKey,
+                      const FileTable &Files, CacheEntry &Out,
+                      std::string &Error);
+
+/// Integrity-only validation (magic, version, digest, section bounds) for
+/// entries whose key is not independently known — `jsai cache stats` uses
+/// it to classify on-disk files. On success \p EmbeddedKey receives the
+/// entry's content address.
+bool validateCacheEntryBytes(const std::string &Bytes, Sha256Digest &EmbeddedKey,
+                             std::string &Error);
+
+} // namespace jsai
+
+#endif // JSAI_CACHE_SERIALIZATION_H

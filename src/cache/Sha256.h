@@ -1,0 +1,55 @@
+//===- Sha256.h - SHA-256 message digest ------------------------*- C++ -*-===//
+///
+/// \file
+/// A small, dependency-free SHA-256 (FIPS 180-4) implementation. The cache
+/// subsystem uses it twice: to derive content-addressed entry keys from
+/// module sources plus the analysis-config fingerprint, and as the trailing
+/// integrity checksum of every serialized artifact. Determinism is the whole
+/// point — the digest of a byte string is the same on every platform, every
+/// build, every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CACHE_SHA256_H
+#define JSAI_CACHE_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jsai {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/// Incremental SHA-256 hasher: update() any number of times, then digest()
+/// exactly once.
+class Sha256 {
+public:
+  Sha256();
+
+  void update(const void *Data, size_t Len);
+  void update(const std::string &S) { update(S.data(), S.size()); }
+
+  /// Finalizes the hash. The hasher must not be updated afterwards.
+  Sha256Digest digest();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(const std::string &S);
+
+  /// Lower-case hex rendering (64 characters).
+  static std::string hex(const Sha256Digest &D);
+
+private:
+  void compress(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint64_t TotalBytes = 0;
+  uint8_t Buffer[64];
+  size_t BufferLen = 0;
+};
+
+} // namespace jsai
+
+#endif // JSAI_CACHE_SHA256_H

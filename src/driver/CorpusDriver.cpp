@@ -6,6 +6,7 @@
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 using namespace jsai;
@@ -46,11 +47,12 @@ struct WorkerQueue {
 
 } // namespace
 
-JobResult CorpusDriver::runJob(const ProjectSpec &Spec) const {
+JobResult CorpusDriver::runJob(const ProjectSpec &Spec,
+                               ArtifactCache *Cache) const {
   JobResult R;
   auto Start = std::chrono::steady_clock::now();
   try {
-    Pipeline P(Opts.Approx, Opts.Deadlines);
+    Pipeline P(Opts.Approx, Opts.Deadlines, Cache);
     R.Report = P.analyzeProject(Spec);
   } catch (const std::exception &E) {
     R.Report.Name = Spec.Name;
@@ -71,6 +73,13 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
   RunSummary Summary;
   Summary.Jobs.resize(Suite.size());
 
+  // One store shared by every worker; its counters are atomic and its
+  // publishes are temp-file + rename, so no further coordination is needed.
+  std::optional<ArtifactCache> Cache;
+  if (Opts.Cache.enabled())
+    Cache.emplace(Opts.Cache);
+  ArtifactCache *CachePtr = Cache ? &*Cache : nullptr;
+
   size_t Workers = Opts.Jobs;
   if (Workers == 0) {
     Workers = std::thread::hardware_concurrency();
@@ -85,7 +94,7 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
   if (Workers <= 1) {
     // Inline: no threads, identical code path to the parallel case.
     for (size_t I = 0; I != Suite.size(); ++I)
-      Summary.Jobs[I] = runJob(Suite[I]);
+      Summary.Jobs[I] = runJob(Suite[I], CachePtr);
   } else {
     // Seed the per-worker deques round-robin; the task set is fixed up
     // front (jobs never spawn jobs), so a worker may exit as soon as a
@@ -105,7 +114,7 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
             return;
         }
         // Slots are index-disjoint across workers: no lock needed.
-        Summary.Jobs[Job] = runJob(Suite[Job]);
+        Summary.Jobs[Job] = runJob(Suite[Job], CachePtr);
       }
     };
 
@@ -117,6 +126,10 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
       T.join();
   }
   Summary.WallSeconds = secondsSince(Start);
+  if (Cache) {
+    Summary.CacheEnabled = true;
+    Summary.Cache = Cache->stats();
+  }
 
   // Aggregate in project order (completion order never matters).
   RunAggregates &A = Summary.Totals;

@@ -47,6 +47,11 @@ struct DriverOptions {
   /// fields are inherently nondeterministic, and omitting them keeps
   /// reports byte-comparable across runs and jobs counts.
   bool IncludeTimings = false;
+  /// Artifact-cache configuration. When enabled, each job consults the
+  /// shared on-disk store before its approx phase and publishes after a
+  /// fully successful analysis; warm runs produce byte-identical
+  /// (timing-free) reports while skipping approx for unchanged projects.
+  CacheConfig Cache;
 };
 
 /// One scheduled project analysis.
@@ -85,6 +90,10 @@ struct RunSummary {
   double WallSeconds = 0;
   /// Worker threads actually used.
   size_t Workers = 1;
+  /// True when the run used an artifact cache; Cache then holds its
+  /// whole-run counters (all-zero otherwise).
+  bool CacheEnabled = false;
+  CacheStats Cache;
 };
 
 /// Schedules ProjectAnalyzer jobs across a work-stealing thread pool.
@@ -99,7 +108,7 @@ public:
   const DriverOptions &options() const { return Opts; }
 
 private:
-  JobResult runJob(const ProjectSpec &Spec) const;
+  JobResult runJob(const ProjectSpec &Spec, ArtifactCache *Cache) const;
 
   DriverOptions Opts;
 };

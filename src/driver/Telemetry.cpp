@@ -171,6 +171,22 @@ std::string jsai::manifestJson(const RunSummary &Summary,
     // vary across runs, and the default report must not.
     Out += ",\"jobs\":" + num(Summary.Workers);
     Out += ",\"wall_s\":" + jsonSeconds(Summary.WallSeconds);
+    if (Summary.CacheEnabled) {
+      // Cache counters differ between cold and warm runs by construction,
+      // so they share the timings gate: the default report stays
+      // byte-identical across cache states.
+      const CacheStats &C = Summary.Cache;
+      Out += ",\"cache\":{";
+      Out += "\"hits\":" + num(C.Hits);
+      Out += ",\"misses\":" + num(C.Misses);
+      Out += ",\"corrupt_entries\":" + num(C.CorruptEntries);
+      Out += ",\"writes\":" + num(C.Writes);
+      Out += ",\"write_failures\":" + num(C.WriteFailures);
+      Out += ",\"bytes_read\":" + num(C.BytesRead);
+      Out += ",\"bytes_written\":" + num(C.BytesWritten);
+      Out += ",\"deserialize_s\":" + jsonSeconds(C.DeserializeSeconds);
+      Out += "}";
+    }
   }
   Out += "}}";
   return Out;

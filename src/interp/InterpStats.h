@@ -40,6 +40,8 @@ struct InterpStats {
     return Total == 0 ? 0.0 : double(icHits()) / double(Total);
   }
 
+  friend bool operator==(const InterpStats &, const InterpStats &) = default;
+
   InterpStats &operator+=(const InterpStats &O) {
     ICGetHits += O.ICGetHits;
     ICGetMisses += O.ICGetMisses;

@@ -30,8 +30,8 @@ const char *jsai::projectOutcomeName(ProjectOutcome O) {
 }
 
 ProjectAnalyzer::ProjectAnalyzer(const ProjectSpec &Spec,
-                                 ApproxOptions ApproxOpts)
-    : Spec(Spec), ApproxOpts(ApproxOpts) {
+                                 ApproxOptions ApproxOpts, ArtifactCache *Cache)
+    : Spec(Spec), ApproxOpts(ApproxOpts), Cache(Cache) {
   Loader = std::make_unique<ModuleLoader>(Ctx, this->Spec.Files, Diags);
   Loader->parseAll();
 }
@@ -39,6 +39,26 @@ ProjectAnalyzer::ProjectAnalyzer(const ProjectSpec &Spec,
 const HintSet &ProjectAnalyzer::hints() {
   if (CachedHints)
     return *CachedHints;
+
+  if (Cache && Cache->config().reads()) {
+    Sha256Digest Key = ArtifactCache::computeKey(
+        Spec.Files, ArtifactCache::fingerprint(ApproxOpts, Spec.MainModule));
+    CacheEntry Entry;
+    std::string Diag;
+    if (Cache->load(Key, Ctx.files(), Entry, Diag)) {
+      // Warm path: the forced-execution phase is skipped entirely; the
+      // deserialized hints and stat blocks stand in for it, so downstream
+      // analyses and telemetry are byte-identical to a cold run.
+      CachedHints = std::move(Entry.Hints);
+      CachedApproxStats = Entry.Approx;
+      CachedApproxSeconds = 0;
+      HintsFromCache = true;
+      return *CachedHints;
+    }
+    if (!Diag.empty())
+      Diags.warning(SourceLoc::invalid(), Diag);
+  }
+
   auto Start = std::chrono::steady_clock::now();
   ApproxInterpreter Approx(*Loader, ApproxOpts);
   // Worklist roots: the application-code modules, main module first
@@ -54,7 +74,38 @@ const HintSet &ProjectAnalyzer::hints() {
   CachedHints = Approx.run(Roots);
   CachedApproxStats = Approx.stats();
   CachedApproxSeconds = secondsSince(Start);
+  ApproxComplete = !(ApproxOpts.Cancel && ApproxOpts.Cancel->cancelled());
   return *CachedHints;
+}
+
+void ProjectAnalyzer::publishToCache(const AnalysisResult *Baseline,
+                                     const AnalysisResult *Extended) {
+  if (!Cache || !Cache->config().writes())
+    return;
+  if (!CachedHints || HintsFromCache || !ApproxComplete)
+    return;
+  CacheEntry Entry;
+  Entry.Hints = *CachedHints;
+  Entry.Approx = CachedApproxStats;
+  if (Baseline && Extended) {
+    auto Scalars = [](const AnalysisResult &R) {
+      CachedAnalysisMetrics M;
+      M.CallEdges = R.NumCallEdges;
+      M.ReachableFunctions = R.NumReachableFunctions;
+      M.CallSites = R.NumCallSites;
+      M.ResolvedCallSites = R.NumResolvedCallSites;
+      M.MonomorphicCallSites = R.NumMonomorphicCallSites;
+      return M;
+    };
+    Entry.HasMetrics = true;
+    Entry.Baseline = Scalars(*Baseline);
+    Entry.Extended = Scalars(*Extended);
+  }
+  Sha256Digest Key = ArtifactCache::computeKey(
+      Spec.Files, ArtifactCache::fingerprint(ApproxOpts, Spec.MainModule));
+  std::string Diag;
+  if (!Cache->store(Key, Ctx.files(), Entry, Diag) && !Diag.empty())
+    Diags.warning(SourceLoc::invalid(), Diag);
 }
 
 const ApproxStats &ProjectAnalyzer::approxStats() {
@@ -110,7 +161,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     AO.Cancel = &ApproxToken;
 
   auto Start = std::chrono::steady_clock::now();
-  ProjectAnalyzer A(Spec, AO);
+  ProjectAnalyzer A(Spec, AO, Cache);
   ProjectReport R;
   R.ParseSeconds = secondsSince(Start);
   R.Name = Spec.Name;
@@ -175,5 +226,10 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     R.BaselineRP = compareCallGraphs(R.Baseline.CG, Dyn);
     R.ExtendedRP = compareCallGraphs(R.Extended.CG, Dyn);
   }
+
+  // Only fully successful runs are published: a degraded run holds partial
+  // hints or truncated analysis results that must never poison warm runs.
+  if (R.Outcome == ProjectOutcome::Ok)
+    A.publishToCache(&R.Baseline, &R.Extended);
   return R;
 }

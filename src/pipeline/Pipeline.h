@@ -17,6 +17,7 @@
 
 #include "analysis/StaticAnalysis.h"
 #include "approx/ApproxInterpreter.h"
+#include "cache/ArtifactCache.h"
 #include "callgraph/DynamicCallGraphRecorder.h"
 #include "callgraph/Metrics.h"
 #include "corpus/Project.h"
@@ -57,8 +58,11 @@ const char *projectOutcomeName(ProjectOutcome O);
 /// Per-project state: one parsed AST shared across analyses.
 class ProjectAnalyzer {
 public:
+  /// \p Cache, when non-null, is consulted by hints() (a hit skips the
+  /// forced-execution phase entirely) and written by publishToCache().
   explicit ProjectAnalyzer(const ProjectSpec &Spec,
-                           ApproxOptions ApproxOpts = ApproxOptions());
+                           ApproxOptions ApproxOpts = ApproxOptions(),
+                           ArtifactCache *Cache = nullptr);
 
   /// Runs (and caches) the approximate interpretation phase.
   const HintSet &hints();
@@ -71,6 +75,18 @@ public:
   AnalysisResult analyze(AnalysisMode Mode);
   /// Same, with full option control.
   AnalysisResult analyze(const AnalysisOptions &Opts);
+
+  /// True when hints() was served from the artifact cache (the approx
+  /// phase never ran; approxStats() holds the deserialized block and
+  /// approxSeconds() is 0).
+  bool hintsFromCache() const { return HintsFromCache; }
+
+  /// Publishes the freshly computed hints + stat blocks (and, when given,
+  /// the analysis metric scalars) to the artifact cache. No-op when there
+  /// is no writable cache, hints came from the cache, or the approx phase
+  /// was cancelled (partial hints must never be published).
+  void publishToCache(const AnalysisResult *Baseline = nullptr,
+                      const AnalysisResult *Extended = nullptr);
 
   /// Executes the project's test driver concretely and records the dynamic
   /// call graph. Requires Spec.hasDynamicCallGraph().
@@ -94,9 +110,15 @@ private:
   std::unique_ptr<ModuleLoader> Loader;
   ApproxOptions ApproxOpts;
 
+  ArtifactCache *Cache = nullptr;
+
   std::optional<HintSet> CachedHints;
   ApproxStats CachedApproxStats;
   double CachedApproxSeconds = 0;
+  bool HintsFromCache = false;
+  /// The approx phase ran to completion (no cancellation) — the
+  /// precondition for publishing its hints.
+  bool ApproxComplete = false;
   std::optional<CallGraph> CachedDynamicCG;
 };
 
@@ -140,9 +162,13 @@ struct ProjectReport {
 /// Convenience facade.
 class Pipeline {
 public:
+  /// \p Cache, when non-null, short-circuits the approx phase on hits and
+  /// publishes artifacts (hints + stats + metric scalars) after a fully
+  /// successful analysis.
   explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions(),
-                    PhaseDeadlines Deadlines = PhaseDeadlines())
-      : ApproxOpts(ApproxOpts), Deadlines(Deadlines) {}
+                    PhaseDeadlines Deadlines = PhaseDeadlines(),
+                    ArtifactCache *Cache = nullptr)
+      : ApproxOpts(ApproxOpts), Deadlines(Deadlines), Cache(Cache) {}
 
   /// Runs everything on \p Spec, enforcing the configured deadlines. An
   /// approx-phase timeout degrades the project to baseline-only results
@@ -154,6 +180,7 @@ public:
 private:
   ApproxOptions ApproxOpts;
   PhaseDeadlines Deadlines;
+  ArtifactCache *Cache = nullptr;
 };
 
 } // namespace jsai

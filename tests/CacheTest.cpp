@@ -1,0 +1,664 @@
+//===- CacheTest.cpp - Artifact cache: format, store, warm runs -----------===//
+//
+// Covers the cache subsystem's three contracts:
+//  1. the binary format — property-based encode/decode round-trips, plus an
+//     adversarial pass (truncation at every length, a bit flip at every
+//     byte, stale versions, wrong keys) where decode must always fail
+//     cleanly, never crash;
+//  2. the store — content-addressed keys, atomic deterministic writes,
+//     read-only mode, corrupt-entry fallback;
+//  3. warm runs — a cached suite run skips approx yet renders a JSONL
+//     report byte-identical to the cold run, and degraded runs are never
+//     published.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/ArtifactCache.h"
+#include "cache/Serialization.h"
+#include "cache/Sha256.h"
+#include "corpus/BenchmarkSuite.h"
+#include "driver/CorpusDriver.h"
+#include "driver/Telemetry.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace jsai;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Scoped temp directory under the system temp root; unique per test so
+/// test binaries running in parallel never collide.
+struct TempDir {
+  std::filesystem::path Path;
+
+  explicit TempDir(const std::string &Name)
+      : Path(std::filesystem::temp_directory_path() /
+             ("jsai-cache-test-" + Name)) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+void writeFile(const std::filesystem::path &P, const std::string &Bytes) {
+  std::ofstream Out(P, std::ios::binary);
+  Out << Bytes;
+}
+
+std::vector<std::filesystem::path> entryFiles(const std::string &Dir) {
+  std::vector<std::filesystem::path> Out;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".jsac")
+      Out.push_back(E.path());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Deterministic xorshift generator for the property-based round-trips (no
+/// std::random_device: failures must reproduce).
+struct Rng64 {
+  uint64_t State;
+  explicit Rng64(uint64_t Seed) : State(Seed ? Seed : 1) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  uint32_t below(uint32_t N) { return uint32_t(next() % N); }
+};
+
+SourceLoc randomLoc(Rng64 &R, FileId NumFiles) {
+  return SourceLoc(R.below(NumFiles), 1 + R.below(500), 1 + R.below(120));
+}
+
+AllocRef randomRef(Rng64 &R, FileId NumFiles) {
+  AllocRef Ref;
+  Ref.Loc = randomLoc(R, NumFiles);
+  Ref.IsPrototype = R.below(2) == 1;
+  return Ref;
+}
+
+std::string randomName(Rng64 &R) {
+  static const char Chars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$.";
+  std::string Out;
+  size_t Len = 1 + R.below(12);
+  for (size_t I = 0; I != Len; ++I)
+    Out += Chars[R.below(sizeof(Chars) - 1)];
+  return Out;
+}
+
+/// A FileTable with \p N registered module paths.
+FileTable makeFiles(FileId N) {
+  FileTable Files;
+  for (FileId I = 0; I != N; ++I)
+    Files.add("pkg" + std::to_string(I % 3) + "/mod" + std::to_string(I) +
+              ".js");
+  return Files;
+}
+
+/// A pseudo-random entry exercising every hint kind and every stat field.
+CacheEntry randomEntry(Rng64 &R, FileId NumFiles) {
+  CacheEntry E;
+  for (uint32_t I = 0, N = R.below(20); I != N; ++I)
+    E.Hints.addReadHint(randomLoc(R, NumFiles), randomRef(R, NumFiles));
+  for (uint32_t I = 0, N = R.below(20); I != N; ++I)
+    E.Hints.addWriteHint(randomRef(R, NumFiles), randomName(R),
+                         randomRef(R, NumFiles));
+  for (uint32_t I = 0, N = R.below(8); I != N; ++I)
+    E.Hints.addModuleHint(randomLoc(R, NumFiles),
+                          "lib/" + randomName(R) + ".js");
+  for (uint32_t I = 0, N = R.below(5); I != N; ++I)
+    E.Hints.addEvalHint(randomLoc(R, NumFiles),
+                        "var " + randomName(R) + "=1;");
+  for (uint32_t I = 0, N = R.below(8); I != N; ++I)
+    E.Hints.addReadName(randomLoc(R, NumFiles), randomName(R));
+  for (uint32_t I = 0, N = R.below(8); I != N; ++I)
+    E.Hints.addWriteName(randomLoc(R, NumFiles), randomName(R));
+  for (uint32_t I = 0, N = R.below(8); I != N; ++I)
+    E.Hints.addProxyReadName(randomLoc(R, NumFiles), randomName(R));
+
+  E.Approx.NumFunctionsTotal = R.below(10000);
+  E.Approx.NumFunctionsVisited = R.below(10000);
+  E.Approx.NumModulesLoaded = R.below(1000);
+  E.Approx.NumForcedExecutions = R.below(10000);
+  E.Approx.NumAborts = R.below(100);
+  E.Approx.Interp.ICGetHits = R.next();
+  E.Approx.Interp.ICGetMisses = R.next();
+  E.Approx.Interp.ICSetHits = R.next();
+  E.Approx.Interp.ICSetMisses = R.next();
+  E.Approx.Interp.ShapeTransitions = R.next();
+  E.Approx.Interp.ShapesCreated = R.next();
+  E.Approx.Interp.DictionaryConversions = R.next();
+
+  E.HasMetrics = R.below(2) == 1;
+  if (E.HasMetrics) {
+    E.Baseline.CallEdges = R.next();
+    E.Baseline.ReachableFunctions = R.next();
+    E.Baseline.CallSites = R.next();
+    E.Baseline.ResolvedCallSites = R.next();
+    E.Baseline.MonomorphicCallSites = R.next();
+    E.Extended.CallEdges = R.next();
+    E.Extended.ReachableFunctions = R.next();
+    E.Extended.CallSites = R.next();
+    E.Extended.ResolvedCallSites = R.next();
+    E.Extended.MonomorphicCallSites = R.next();
+  }
+  return E;
+}
+
+Sha256Digest keyOf(uint8_t Fill) {
+  Sha256Digest Key;
+  Key.fill(Fill);
+  return Key;
+}
+
+/// Recomputes and replaces the trailing integrity digest after the test
+/// mutated the header (used to isolate non-digest failure paths).
+void refreshDigest(std::string &Bytes) {
+  ASSERT_GE(Bytes.size(), 32u);
+  Sha256 H;
+  H.update(Bytes.data(), Bytes.size() - 32);
+  Sha256Digest D = H.digest();
+  Bytes.replace(Bytes.size() - 32, 32,
+                reinterpret_cast<const char *>(D.data()), 32);
+}
+
+/// The driver-test corpus slice: big enough to exercise parallel cache
+/// sharing, small enough to keep the test quick.
+std::vector<ProjectSpec> smallSuite() {
+  SuiteOptions SO;
+  SO.Count = 16;
+  return buildBenchmarkSuite(SO);
+}
+
+ProjectSpec trivialProject(const std::string &Name) {
+  ProjectSpec Spec;
+  Spec.Name = Name;
+  Spec.Pattern = "trivial";
+  Spec.Files.addFile("app/main.js", "function f(o) { return o.x; }\n"
+                                    "var r = f({ x: 1 });\n");
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// SHA-256
+//===----------------------------------------------------------------------===//
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(
+      Sha256::hex(Sha256::hash("")),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      Sha256::hex(Sha256::hash("abc")),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      Sha256::hex(Sha256::hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  // Exercise the block boundary: 64-byte internal blocks.
+  std::string Input;
+  for (int I = 0; I != 300; ++I)
+    Input += char('a' + I % 26);
+  for (size_t Split : {size_t(1), size_t(63), size_t(64), size_t(65),
+                       size_t(128), size_t(299)}) {
+    Sha256 H;
+    H.update(Input.substr(0, Split));
+    H.update(Input.substr(Split));
+    EXPECT_EQ(Sha256::hex(H.digest()), Sha256::hex(Sha256::hash(Input)))
+        << "split at " << Split;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Binary format: round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(SerializationTest, RoundTripEmptyEntry) {
+  FileTable Files = makeFiles(2);
+  CacheEntry In;
+  std::string Bytes = encodeCacheEntry(In, keyOf(0xab), Files);
+
+  CacheEntry Out;
+  std::string Error;
+  ASSERT_TRUE(decodeCacheEntry(Bytes, keyOf(0xab), Files, Out, Error))
+      << Error;
+  EXPECT_EQ(In.Hints, Out.Hints);
+  EXPECT_EQ(In.Approx, Out.Approx);
+  EXPECT_FALSE(Out.HasMetrics);
+}
+
+TEST(SerializationTest, PropertyRoundTrip) {
+  // 50 seeded pseudo-random entries; every decoded field must equal its
+  // source. Failures print the seed for replay.
+  FileTable Files = makeFiles(7);
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    Rng64 R(Seed * 0x9e3779b97f4a7c15ull);
+    CacheEntry In = randomEntry(R, 7);
+    Sha256Digest Key = Sha256::hash("seed " + std::to_string(Seed));
+    std::string Bytes = encodeCacheEntry(In, Key, Files);
+
+    CacheEntry Out;
+    std::string Error;
+    ASSERT_TRUE(decodeCacheEntry(Bytes, Key, Files, Out, Error))
+        << "seed " << Seed << ": " << Error;
+    EXPECT_EQ(In.Hints, Out.Hints) << "seed " << Seed;
+    EXPECT_EQ(In.Approx, Out.Approx) << "seed " << Seed;
+    EXPECT_EQ(In.HasMetrics, Out.HasMetrics) << "seed " << Seed;
+    if (In.HasMetrics) {
+      EXPECT_EQ(In.Baseline, Out.Baseline) << "seed " << Seed;
+      EXPECT_EQ(In.Extended, Out.Extended) << "seed " << Seed;
+    }
+  }
+}
+
+TEST(SerializationTest, EncodeIsDeterministic) {
+  FileTable Files = makeFiles(5);
+  Rng64 R(42);
+  CacheEntry E = randomEntry(R, 5);
+  std::string A = encodeCacheEntry(E, keyOf(0x11), Files);
+  std::string B = encodeCacheEntry(E, keyOf(0x11), Files);
+  EXPECT_EQ(A, B);
+
+  // An equal entry built by a second insertion pass (different insertion
+  // history, same content) also encodes identically: the format depends
+  // only on entry content, never on construction order or environment.
+  CacheEntry E2;
+  E2.Hints.merge(E.Hints);
+  E2.Approx = E.Approx;
+  E2.HasMetrics = E.HasMetrics;
+  E2.Baseline = E.Baseline;
+  E2.Extended = E.Extended;
+  EXPECT_EQ(encodeCacheEntry(E2, keyOf(0x11), Files), A);
+}
+
+//===----------------------------------------------------------------------===//
+// Binary format: adversarial inputs
+//===----------------------------------------------------------------------===//
+
+TEST(SerializationTest, TruncationAtEveryLengthFailsCleanly) {
+  FileTable Files = makeFiles(4);
+  Rng64 R(7);
+  CacheEntry E = randomEntry(R, 4);
+  std::string Bytes = encodeCacheEntry(E, keyOf(0x22), Files);
+
+  // Every proper prefix — this sweeps every section boundary and every
+  // offset inside every section header and payload.
+  for (size_t Len = 0; Len != Bytes.size(); ++Len) {
+    CacheEntry Out;
+    std::string Error;
+    EXPECT_FALSE(
+        decodeCacheEntry(Bytes.substr(0, Len), keyOf(0x22), Files, Out, Error))
+        << "prefix of " << Len << " bytes decoded successfully";
+    EXPECT_FALSE(Error.empty()) << "no reason for prefix of " << Len;
+  }
+}
+
+TEST(SerializationTest, BitFlipAtEveryByteFailsCleanly) {
+  FileTable Files = makeFiles(4);
+  Rng64 R(9);
+  CacheEntry E = randomEntry(R, 4);
+  std::string Bytes = encodeCacheEntry(E, keyOf(0x33), Files);
+
+  for (size_t I = 0; I != Bytes.size(); ++I) {
+    std::string Flipped = Bytes;
+    Flipped[I] = char(uint8_t(Flipped[I]) ^ (1u << (I % 8)));
+    CacheEntry Out;
+    std::string Error;
+    EXPECT_FALSE(decodeCacheEntry(Flipped, keyOf(0x33), Files, Out, Error))
+        << "flip at byte " << I << " decoded successfully";
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(SerializationTest, StaleFormatVersionIsRejected) {
+  FileTable Files = makeFiles(2);
+  CacheEntry E;
+  std::string Bytes = encodeCacheEntry(E, keyOf(0x44), Files);
+  // Patch the version field (offset 4, little-endian u32) and re-sign so
+  // only the version check can fire.
+  uint32_t Stale = CacheFormatVersion + 1;
+  for (int I = 0; I != 4; ++I)
+    Bytes[4 + I] = char(uint8_t(Stale >> (I * 8)));
+  refreshDigest(Bytes);
+
+  CacheEntry Out;
+  std::string Error;
+  EXPECT_FALSE(decodeCacheEntry(Bytes, keyOf(0x44), Files, Out, Error));
+  EXPECT_NE(Error.find("version"), std::string::npos) << Error;
+}
+
+TEST(SerializationTest, WrongKeyIsRejected) {
+  FileTable Files = makeFiles(2);
+  CacheEntry E;
+  std::string Bytes = encodeCacheEntry(E, keyOf(0x55), Files);
+  CacheEntry Out;
+  std::string Error;
+  EXPECT_FALSE(decodeCacheEntry(Bytes, keyOf(0x66), Files, Out, Error));
+  EXPECT_NE(Error.find("key mismatch"), std::string::npos) << Error;
+
+  // Integrity-only validation still accepts it and reports the embedded
+  // key (the `jsai cache stats` path, where no expected key exists).
+  Sha256Digest Embedded;
+  EXPECT_TRUE(validateCacheEntryBytes(Bytes, Embedded, Error));
+  EXPECT_EQ(Embedded, keyOf(0x55));
+}
+
+TEST(SerializationTest, UnknownSectionIsSkipped) {
+  FileTable Files = makeFiles(2);
+  Rng64 R(11);
+  CacheEntry E = randomEntry(R, 2);
+  std::string Bytes = encodeCacheEntry(E, keyOf(0x77), Files);
+
+  // Append a future-tag section and bump the count (offset 40), then
+  // re-sign. A version-1 reader must skip it and still decode everything.
+  std::string Body = Bytes.substr(0, Bytes.size() - 32);
+  uint32_t Count = 0;
+  for (int I = 0; I != 4; ++I)
+    Count |= uint32_t(uint8_t(Body[40 + I])) << (I * 8);
+  ++Count;
+  for (int I = 0; I != 4; ++I)
+    Body[40 + I] = char(uint8_t(Count >> (I * 8)));
+  const std::string Payload = "future payload";
+  uint32_t Tag = 99;
+  for (int I = 0; I != 4; ++I)
+    Body += char(uint8_t(Tag >> (I * 8)));
+  uint64_t Len = Payload.size();
+  for (int I = 0; I != 8; ++I)
+    Body += char(uint8_t(Len >> (I * 8)));
+  Body += Payload;
+  Body.append(32, '\0');
+  refreshDigest(Body);
+
+  CacheEntry Out;
+  std::string Error;
+  ASSERT_TRUE(decodeCacheEntry(Body, keyOf(0x77), Files, Out, Error)) << Error;
+  EXPECT_EQ(E.Hints, Out.Hints);
+  EXPECT_EQ(E.Approx, Out.Approx);
+}
+
+//===----------------------------------------------------------------------===//
+// ArtifactCache store
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCacheTest, KeyDependsOnSourcesAndConfig) {
+  ProjectSpec A = trivialProject("a");
+  std::string Fp = ArtifactCache::fingerprint(ApproxOptions(), "app/main.js");
+  Sha256Digest K1 = ArtifactCache::computeKey(A.Files, Fp);
+  EXPECT_EQ(K1, ArtifactCache::computeKey(A.Files, Fp));
+
+  // Any source change changes the key.
+  ProjectSpec B = trivialProject("b");
+  B.Files.addFile("app/extra.js", "var x = 2;\n");
+  EXPECT_NE(K1, ArtifactCache::computeKey(B.Files, Fp));
+  ProjectSpec C;
+  C.Files.addFile("app/main.js", "function f(o) { return o.x; }\n"
+                                 "var r = f({ x: 2 });\n");
+  EXPECT_NE(K1, ArtifactCache::computeKey(C.Files, Fp));
+
+  // Any config-fingerprint change changes the key.
+  ApproxOptions Opts;
+  Opts.MaxLoopIterations += 1;
+  EXPECT_NE(K1, ArtifactCache::computeKey(
+                    A.Files,
+                    ArtifactCache::fingerprint(Opts, "app/main.js")));
+  EXPECT_NE(K1, ArtifactCache::computeKey(
+                    A.Files,
+                    ArtifactCache::fingerprint(ApproxOptions(), "app/alt.js")));
+}
+
+TEST(ArtifactCacheTest, StoreThenLoadRoundTrip) {
+  TempDir Dir("store-load");
+  CacheConfig Config;
+  Config.Dir = Dir.str();
+  ArtifactCache Cache(Config);
+
+  FileTable Files = makeFiles(3);
+  Rng64 R(21);
+  CacheEntry In = randomEntry(R, 3);
+  Sha256Digest Key = Sha256::hash("round-trip");
+
+  CacheEntry Miss;
+  std::string Diag;
+  EXPECT_FALSE(Cache.load(Key, Files, Miss, Diag));
+  EXPECT_TRUE(Diag.empty()) << Diag; // a plain miss is not diagnostic-worthy
+
+  ASSERT_TRUE(Cache.store(Key, Files, In, Diag)) << Diag;
+  CacheEntry Out;
+  ASSERT_TRUE(Cache.load(Key, Files, Out, Diag)) << Diag;
+  EXPECT_EQ(In.Hints, Out.Hints);
+  EXPECT_EQ(In.Approx, Out.Approx);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.CorruptEntries, 0u);
+  EXPECT_EQ(S.Writes, 1u);
+  EXPECT_GT(S.BytesRead, 0u);
+  EXPECT_GT(S.BytesWritten, 0u);
+
+  // No temp files left behind by the atomic publish.
+  size_t NonEntry = 0;
+  for (const auto &F : std::filesystem::directory_iterator(Dir.Path))
+    if (F.path().extension() != ".jsac")
+      ++NonEntry;
+  EXPECT_EQ(NonEntry, 0u);
+}
+
+TEST(ArtifactCacheTest, WritesAreDeterministic) {
+  TempDir DirA("det-a");
+  TempDir DirB("det-b");
+  FileTable Files = makeFiles(3);
+  Rng64 R(31);
+  CacheEntry E = randomEntry(R, 3);
+  Sha256Digest Key = Sha256::hash("determinism");
+  std::string Diag;
+
+  CacheConfig CA;
+  CA.Dir = DirA.str();
+  ArtifactCache CacheA(CA);
+  ASSERT_TRUE(CacheA.store(Key, Files, E, Diag)) << Diag;
+  ASSERT_TRUE(CacheA.store(Key, Files, E, Diag)) << Diag; // overwrite
+
+  CacheConfig CB;
+  CB.Dir = DirB.str();
+  ArtifactCache CacheB(CB);
+  ASSERT_TRUE(CacheB.store(Key, Files, E, Diag)) << Diag;
+
+  auto A = entryFiles(DirA.str()), B = entryFiles(DirB.str());
+  ASSERT_EQ(A.size(), 1u);
+  ASSERT_EQ(B.size(), 1u);
+  EXPECT_EQ(A[0].filename(), B[0].filename());
+  EXPECT_EQ(readFile(A[0]), readFile(B[0]));
+}
+
+TEST(ArtifactCacheTest, ReadModeNeverWrites) {
+  TempDir Dir("read-only");
+  CacheConfig Config;
+  Config.Dir = Dir.str();
+  Config.Mode = CacheMode::Read;
+  EXPECT_TRUE(Config.reads());
+  EXPECT_FALSE(Config.writes());
+
+  std::vector<ProjectSpec> Suite;
+  Suite.push_back(trivialProject("ro"));
+  DriverOptions DO;
+  DO.Cache = Config;
+  RunSummary S = CorpusDriver(DO).run(Suite);
+  EXPECT_TRUE(S.CacheEnabled);
+  EXPECT_EQ(S.Cache.Misses, 1u);
+  EXPECT_EQ(S.Cache.Writes, 0u);
+  EXPECT_TRUE(entryFiles(Dir.str()).empty());
+}
+
+TEST(ArtifactCacheTest, CorruptEntryFallsBackWithDiagnostic) {
+  TempDir Dir("corrupt");
+  CacheConfig Config;
+  Config.Dir = Dir.str();
+  ArtifactCache Cache(Config);
+  FileTable Files = makeFiles(2);
+  CacheEntry E;
+  Sha256Digest Key = Sha256::hash("corrupt");
+  std::string Diag;
+  ASSERT_TRUE(Cache.store(Key, Files, E, Diag)) << Diag;
+
+  // Flip one payload bit on disk.
+  auto Entries = entryFiles(Dir.str());
+  ASSERT_EQ(Entries.size(), 1u);
+  std::string Bytes = readFile(Entries[0]);
+  Bytes[Bytes.size() / 2] = char(uint8_t(Bytes[Bytes.size() / 2]) ^ 0x10);
+  writeFile(Entries[0], Bytes);
+
+  CacheEntry Out;
+  EXPECT_FALSE(Cache.load(Key, Files, Out, Diag));
+  EXPECT_NE(Diag.find("rejected"), std::string::npos) << Diag;
+  EXPECT_NE(Diag.find("recomputing"), std::string::npos) << Diag;
+  EXPECT_EQ(Cache.stats().CorruptEntries, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm runs
+//===----------------------------------------------------------------------===//
+
+TEST(CacheWarmRunTest, WarmSuiteMatchesColdByteForByte) {
+  TempDir Dir("warm-suite");
+  std::vector<ProjectSpec> Suite = smallSuite();
+
+  DriverOptions DO;
+  DO.Jobs = 4;
+  DO.Cache.Dir = Dir.str();
+  RunSummary Cold = CorpusDriver(DO).run(Suite);
+  ASSERT_TRUE(Cold.CacheEnabled);
+  EXPECT_EQ(Cold.Cache.Hits + Cold.Cache.Misses, Suite.size());
+  EXPECT_GT(Cold.Cache.Writes, 0u);
+
+  RunSummary Warm = CorpusDriver(DO).run(Suite);
+  EXPECT_EQ(Warm.Cache.Hits, Suite.size());
+  EXPECT_EQ(Warm.Cache.Misses, 0u);
+  EXPECT_EQ(Warm.Cache.Writes, 0u);
+  EXPECT_EQ(Warm.Cache.CorruptEntries, 0u);
+
+  // The contract at the heart of the cache: warm metrics and the full
+  // timing-free JSONL report are byte-identical to cold.
+  EXPECT_EQ(Cold.Totals, Warm.Totals);
+  EXPECT_EQ(renderReport(Cold, DO), renderReport(Warm, DO));
+
+  // And both equal a cache-less run: the cache never perturbs results.
+  DriverOptions NoCache;
+  NoCache.Jobs = 1;
+  RunSummary Plain = CorpusDriver(NoCache).run(Suite);
+  EXPECT_EQ(renderReport(Plain, NoCache), renderReport(Warm, DO));
+}
+
+TEST(CacheWarmRunTest, EveryCorruptionRecoversToColdOutput) {
+  TempDir Dir("warm-corrupt");
+  std::vector<ProjectSpec> Suite = smallSuite();
+  DriverOptions DO;
+  DO.Jobs = 2;
+  DO.Cache.Dir = Dir.str();
+  RunSummary Cold = CorpusDriver(DO).run(Suite);
+  std::string ColdReport = renderReport(Cold, DO);
+
+  auto Entries = entryFiles(Dir.str());
+  ASSERT_GE(Entries.size(), 3u);
+
+  // Three corruption shapes across three entries: truncation, bit flip,
+  // stale version (re-signed). Every one must degrade to recompute.
+  std::string Truncated = readFile(Entries[0]);
+  writeFile(Entries[0], Truncated.substr(0, Truncated.size() / 2));
+
+  std::string Flipped = readFile(Entries[1]);
+  Flipped[50] = char(uint8_t(Flipped[50]) ^ 0x01);
+  writeFile(Entries[1], Flipped);
+
+  std::string Stale = readFile(Entries[2]);
+  uint32_t V = CacheFormatVersion + 7;
+  for (int I = 0; I != 4; ++I)
+    Stale[4 + I] = char(uint8_t(V >> (I * 8)));
+  refreshDigest(Stale);
+  writeFile(Entries[2], Stale);
+
+  RunSummary Warm = CorpusDriver(DO).run(Suite);
+  EXPECT_GE(Warm.Cache.CorruptEntries, 3u);
+  EXPECT_EQ(renderReport(Cold, DO), renderReport(Warm, DO));
+
+  // The recovered run republished the rejected entries; a second warm run
+  // is fully hot again.
+  RunSummary Healed = CorpusDriver(DO).run(Suite);
+  EXPECT_EQ(Healed.Cache.Hits, Suite.size());
+  EXPECT_EQ(Healed.Cache.CorruptEntries, 0u);
+  EXPECT_EQ(ColdReport, renderReport(Healed, DO));
+}
+
+TEST(CacheWarmRunTest, DegradedRunIsNeverPublished) {
+  TempDir Dir("degraded");
+  ProjectSpec Spin;
+  Spin.Name = "spin";
+  Spin.Pattern = "infinite-loop";
+  Spin.Files.addFile("app/main.js", "var i = 0;\n"
+                                    "while (true) { i = i + 1; }\n");
+
+  DriverOptions DO;
+  DO.Approx.MaxLoopIterations = ~uint64_t(0) / 2;
+  DO.Approx.MaxSteps = ~uint64_t(0) / 2;
+  DO.Deadlines.ApproxSeconds = 0.3;
+  DO.Cache.Dir = Dir.str();
+  RunSummary S = CorpusDriver(DO).run({Spin});
+  ASSERT_EQ(S.Jobs.size(), 1u);
+  EXPECT_EQ(S.Jobs[0].Report.Outcome, ProjectOutcome::Degraded);
+  EXPECT_EQ(S.Cache.Writes, 0u);
+  EXPECT_TRUE(entryFiles(Dir.str()).empty());
+}
+
+TEST(CacheWarmRunTest, AnalyzerHitSkipsApproxButRestoresStats) {
+  TempDir Dir("analyzer-hit");
+  CacheConfig Config;
+  Config.Dir = Dir.str();
+  ProjectSpec Spec = trivialProject("hit");
+
+  ArtifactCache ColdCache(Config);
+  ProjectAnalyzer Cold(Spec, ApproxOptions(), &ColdCache);
+  size_t ColdHints = Cold.hints().size();
+  ApproxStats ColdStats = Cold.approxStats();
+  EXPECT_FALSE(Cold.hintsFromCache());
+  Cold.publishToCache();
+  EXPECT_EQ(ColdCache.stats().Writes, 1u);
+
+  ArtifactCache WarmCache(Config);
+  ProjectAnalyzer Warm(Spec, ApproxOptions(), &WarmCache);
+  EXPECT_EQ(Warm.hints().size(), ColdHints);
+  EXPECT_TRUE(Warm.hintsFromCache());
+  EXPECT_EQ(Warm.approxStats(), ColdStats);
+  EXPECT_EQ(Warm.approxSeconds(), 0.0);
+  EXPECT_EQ(WarmCache.stats().Hits, 1u);
+
+  // Publishing a from-cache result is a no-op (no write amplification).
+  Warm.publishToCache();
+  EXPECT_EQ(WarmCache.stats().Writes, 0u);
+}
+
+} // namespace

@@ -38,8 +38,18 @@ vulnerability_reachability
 
 GOLDEN="$(dirname "$0")/golden_metrics.json"
 
+# sha256sum (coreutils) on Linux; shasum -a 256 (perl) on macOS/BSD.
+if command -v sha256sum >/dev/null 2>&1; then
+  sha256() { sha256sum | cut -d' ' -f1; }
+elif command -v shasum >/dev/null 2>&1; then
+  sha256() { shasum -a 256 | cut -d' ' -f1; }
+else
+  echo "check_metrics.sh: neither sha256sum nor shasum found" >&2
+  exit 1
+fi
+
 hash_of() {
-  "$BUILD_DIR/bench/bench_$1" 2>/dev/null | sha256sum | cut -d' ' -f1
+  "$BUILD_DIR/bench/bench_$1" 2>/dev/null | sha256
 }
 
 if [ "$UPDATE" -eq 1 ]; then

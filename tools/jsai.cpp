@@ -10,6 +10,7 @@
 //   jsai run      <dir>             execute app/main.js concretely
 //   jsai compare  <dir> --driver=m  recall/precision vs a dynamic call graph
 //   jsai suite                      run the embedded 141-project benchmark
+//   jsai cache stats                inspect an artifact-cache directory
 //
 // Options:
 //   --mode=baseline|hints|nonrel|overapprox   analysis mode (default hints)
@@ -20,6 +21,7 @@
 //   --jobs=N                                   parallel suite workers
 //   --deadline-approx=S --deadline-analysis=S  per-phase deadlines (seconds)
 //   --report=<file.jsonl> [--report-timings]   JSONL run telemetry
+//   --cache-dir=<dir> --cache=off|read|readwrite  artifact cache
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,9 +31,11 @@
 #include "driver/Telemetry.h"
 #include "pipeline/Pipeline.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -51,6 +55,7 @@ struct CliOptions {
   PhaseDeadlines Deadlines;
   std::string ReportPath;
   bool ReportTimings = false;
+  CacheConfig Cache;
 };
 
 void printUsage() {
@@ -65,6 +70,7 @@ void printUsage() {
       "  run <dir>        execute the main module concretely\n"
       "  compare <dir>    score all modes against a dynamic call graph\n"
       "  suite            run the embedded benchmark suite summary\n"
+      "  cache stats      validate and summarize an artifact-cache dir\n"
       "\n"
       "options:\n"
       "  --mode=baseline|hints|nonrel|overapprox   (default: hints)\n"
@@ -79,7 +85,9 @@ void printUsage() {
       "  --deadline-approx=S  approx-phase deadline in seconds (0 = none)\n"
       "  --deadline-analysis=S  per-analysis deadline in seconds (0 = none)\n"
       "  --report=<file.jsonl>  write JSONL telemetry (suite, analyze)\n"
-      "  --report-timings     include wall-clock fields in the report\n");
+      "  --report-timings     include wall-clock fields in the report\n"
+      "  --cache-dir=<dir>    artifact cache directory (analyze, suite)\n"
+      "  --cache=off|read|readwrite  cache mode (default: readwrite)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -134,6 +142,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ReportPath = Arg.substr(9);
     } else if (Arg == "--report-timings") {
       Opts.ReportTimings = true;
+    } else if (Starts("--cache-dir=")) {
+      Opts.Cache.Dir = Arg.substr(12);
+    } else if (Starts("--cache=")) {
+      std::string Mode = Arg.substr(8);
+      if (Mode == "off")
+        Opts.Cache.Mode = CacheMode::Off;
+      else if (Mode == "read")
+        Opts.Cache.Mode = CacheMode::Read;
+      else if (Mode == "readwrite")
+        Opts.Cache.Mode = CacheMode::ReadWrite;
+      else {
+        std::fprintf(stderr, "jsai: unknown cache mode '%s'\n", Mode.c_str());
+        return false;
+      }
     } else if (Starts("--")) {
       std::fprintf(stderr, "jsai: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -195,6 +217,18 @@ AnalysisResult runAnalysis(const CliOptions &Opts, ProjectAnalyzer &Analyzer,
   return SA.run();
 }
 
+/// One deterministic stdout line with the run's cache counters. No timing
+/// fields, so a given cache state always prints the same line (CI greps it
+/// to assert warm-run hit rates).
+void printCacheSummary(const CacheStats &S) {
+  std::printf("cache: %llu hits, %llu misses, %llu corrupt, %llu writes, "
+              "%llu bytes read, %llu bytes written\n",
+              (unsigned long long)S.Hits, (unsigned long long)S.Misses,
+              (unsigned long long)S.CorruptEntries,
+              (unsigned long long)S.Writes, (unsigned long long)S.BytesRead,
+              (unsigned long long)S.BytesWritten);
+}
+
 int cmdAnalyze(const CliOptions &Opts) {
   ProjectSpec Spec;
   if (!loadProject(Opts, Spec))
@@ -206,7 +240,10 @@ int cmdAnalyze(const CliOptions &Opts) {
   ApproxOptions AO;
   if (Opts.Deadlines.ApproxSeconds > 0)
     AO.Cancel = &ApproxToken;
-  ProjectAnalyzer Analyzer(Spec, AO);
+  std::optional<ArtifactCache> Cache;
+  if (Opts.Cache.enabled())
+    Cache.emplace(Opts.Cache);
+  ProjectAnalyzer Analyzer(Spec, AO, Cache ? &*Cache : nullptr);
   if (Analyzer.diagnostics().hasErrors()) {
     std::fprintf(stderr, "%s",
                  Analyzer.diagnostics().render(Analyzer.context().files())
@@ -223,11 +260,12 @@ int cmdAnalyze(const CliOptions &Opts) {
     ApproxToken.arm(Opts.Deadlines.ApproxSeconds);
   HintSet Hints = gatherHints(Opts, Analyzer);
   std::printf("approximate interpretation: %zu hints, %zu/%zu functions "
-              "visited (%.1f%%), %.3f ms%s\n",
+              "visited (%.1f%%), %.3f ms%s%s\n",
               Hints.size(), Analyzer.approxStats().NumFunctionsVisited,
               Analyzer.approxStats().NumFunctionsTotal,
               Analyzer.approxStats().visitedFraction() * 100,
               Analyzer.approxSeconds() * 1000,
+              Analyzer.hintsFromCache() ? "  [cached]" : "",
               ApproxToken.cancelled() ? "  [deadline hit]" : "");
 
   AnalysisOptions BaseOpts = Opts.Analysis;
@@ -268,6 +306,22 @@ int cmdAnalyze(const CliOptions &Opts) {
   if (Rep.NumTotal)
     std::printf("%-26s %12s %6zu of %zu\n", "reachable vulnerabilities", "",
                 Rep.NumReachable, Rep.NumTotal);
+
+  if (Cache) {
+    // Publish only fully successful runs; attach the analysis metric
+    // scalars only when they come from the canonical configuration (plain
+    // hints mode, no extensions, no imported hints) so a key always maps
+    // to the same metric block.
+    bool Canonical =
+        Opts.Analysis.Mode == AnalysisMode::Hints &&
+        Opts.Analysis.UseReadHints && Opts.Analysis.UseWriteHints &&
+        Opts.Analysis.UseModuleHints && !Opts.Analysis.UseUnknownArgHints &&
+        !Opts.Analysis.UseEvalBodyAnalysis && Opts.HintsIn.empty();
+    if (!AnalysisDegraded)
+      Analyzer.publishToCache(Canonical ? &Base : nullptr,
+                              Canonical ? &Ext : nullptr);
+    printCacheSummary(Cache->stats());
+  }
 
   if (!Opts.ReportPath.empty()) {
     // Single-project telemetry: one job record plus the manifest, same
@@ -410,6 +464,7 @@ int cmdSuite(const CliOptions &Opts) {
   DO.Jobs = Opts.Jobs;
   DO.Deadlines = Opts.Deadlines;
   DO.IncludeTimings = Opts.ReportTimings;
+  DO.Cache = Opts.Cache;
   CorpusDriver D(DO);
   RunSummary Summary = D.run(buildBenchmarkSuite());
 
@@ -433,6 +488,8 @@ int cmdSuite(const CliOptions &Opts) {
                   J.Report.DegradedPhase.empty() ? "" : " (",
                   J.Report.DegradedPhase.c_str(),
                   J.Report.DegradedPhase.empty() ? "" : " phase)");
+  if (Summary.CacheEnabled)
+    printCacheSummary(Summary.Cache);
   if (!Opts.ReportPath.empty()) {
     if (!writeReport(Opts.ReportPath, Summary, DO)) {
       std::fprintf(stderr, "jsai: cannot write '%s'\n",
@@ -443,6 +500,63 @@ int cmdSuite(const CliOptions &Opts) {
                 Opts.ReportPath.c_str(), Summary.Jobs.size());
   }
   return A.Errors == 0 ? 0 : 1;
+}
+
+int cmdCache(const CliOptions &Opts) {
+  // `jsai cache stats --cache-dir=DIR`: walk every *.jsac entry, run the
+  // same structural validation the loader uses (magic, version, integrity
+  // digest, section bounds), and summarize. Never modifies the cache.
+  if (Opts.Dir != "stats") {
+    std::fprintf(stderr, "jsai: unknown cache subcommand '%s' "
+                         "(expected: stats)\n",
+                 Opts.Dir.c_str());
+    return 2;
+  }
+  if (Opts.Cache.Dir.empty()) {
+    std::fprintf(stderr, "jsai: cache stats requires --cache-dir=\n");
+    return 2;
+  }
+  std::error_code Ec;
+  std::vector<std::string> Paths;
+  for (const auto &DirEntry :
+       std::filesystem::directory_iterator(Opts.Cache.Dir, Ec)) {
+    std::string Path = DirEntry.path().string();
+    if (Path.size() >= 5 && Path.compare(Path.size() - 5, 5, ".jsac") == 0)
+      Paths.push_back(Path);
+  }
+  if (Ec) {
+    std::fprintf(stderr, "jsai: cannot read cache dir '%s': %s\n",
+                 Opts.Cache.Dir.c_str(), Ec.message().c_str());
+    return 1;
+  }
+  std::sort(Paths.begin(), Paths.end());
+
+  size_t Valid = 0, Invalid = 0;
+  uint64_t TotalBytes = 0;
+  for (const std::string &Path : Paths) {
+    std::ifstream In(Path, std::ios::binary);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Bytes = Buf.str();
+    if (!In) {
+      std::printf("  invalid  %s  (unreadable)\n", Path.c_str());
+      ++Invalid;
+      continue;
+    }
+    TotalBytes += Bytes.size();
+    Sha256Digest Key;
+    std::string Error;
+    if (validateCacheEntryBytes(Bytes, Key, Error)) {
+      ++Valid;
+    } else {
+      std::printf("  invalid  %s  (%s)\n", Path.c_str(), Error.c_str());
+      ++Invalid;
+    }
+  }
+  std::printf("cache dir: %s\n", Opts.Cache.Dir.c_str());
+  std::printf("entries: %zu valid, %zu invalid, %llu bytes\n", Valid, Invalid,
+              (unsigned long long)TotalBytes);
+  return Invalid == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -465,6 +579,8 @@ int main(int Argc, char **Argv) {
     return cmdCompare(Opts);
   if (Opts.Command == "suite")
     return cmdSuite(Opts);
+  if (Opts.Command == "cache")
+    return cmdCache(Opts);
   printUsage();
   return 2;
 }

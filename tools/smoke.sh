@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Configure, build, and run the test suite — the one-command CI smoke check.
+# Configure, build, and run the test suite — the one-command CI smoke check —
+# then exercise the artifact cache end-to-end: a cold and a warm `jsai suite`
+# run sharing a fresh cache directory must produce byte-identical JSONL
+# reports, and the warm run must hit the cache for every project.
 #
 #   tools/smoke.sh [build-dir] [extra cmake args...]
 #
@@ -7,7 +10,8 @@
 #   tools/smoke.sh                 # default ./build tree
 #   tools/smoke.sh build-asan -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined"
 #
-# Exits non-zero if configuration, compilation, or any test fails.
+# Exits non-zero if configuration, compilation, any test, or the cache
+# cold/warm check fails.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -17,3 +21,27 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." "$@"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# Cold-then-warm cache pair over the embedded suite.
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+JSAI="$BUILD_DIR/tools/jsai"
+
+"$JSAI" suite --jobs="$JOBS" --cache-dir="$WORK_DIR/cache" \
+  --report="$WORK_DIR/cold.jsonl" >"$WORK_DIR/cold.out"
+"$JSAI" suite --jobs="$JOBS" --cache-dir="$WORK_DIR/cache" \
+  --report="$WORK_DIR/warm.jsonl" >"$WORK_DIR/warm.out"
+
+if ! cmp -s "$WORK_DIR/cold.jsonl" "$WORK_DIR/warm.jsonl"; then
+  echo "smoke.sh: FAIL — warm suite report differs from cold" >&2
+  diff "$WORK_DIR/cold.jsonl" "$WORK_DIR/warm.jsonl" | head -20 >&2
+  exit 1
+fi
+if ! grep -q "^cache: [1-9][0-9]* hits, 0 misses, 0 corrupt" \
+    "$WORK_DIR/warm.out"; then
+  echo "smoke.sh: FAIL — warm suite run did not hit the cache:" >&2
+  grep "^cache:" "$WORK_DIR/warm.out" >&2 || true
+  exit 1
+fi
+"$JSAI" cache stats --cache-dir="$WORK_DIR/cache"
+echo "smoke.sh: cache cold/warm check ok"
