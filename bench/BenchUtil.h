@@ -14,6 +14,7 @@
 #include "corpus/BenchmarkSuite.h"
 #include "driver/CorpusDriver.h"
 #include "pipeline/Pipeline.h"
+#include "support/AdaptiveSet.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -22,7 +23,47 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 namespace jsai::bench {
+
+/// Peak resident set size of this process so far, in bytes (getrusage).
+/// Measured, not estimated — the memory benches report this next to the
+/// solver's own byte accounting so the accounting can be sanity-checked
+/// against the OS. Monotone: it never decreases within a process, so
+/// compare before/after deltas, not absolutes, when phases share a run.
+inline uint64_t peakRssBytes() {
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+#ifdef __APPLE__
+  return uint64_t(Usage.ru_maxrss); // Bytes on macOS.
+#else
+  return uint64_t(Usage.ru_maxrss) * 1024; // KiB on Linux.
+#endif
+}
+
+/// Consumes a "--solver-set=dense|adaptive" argument from argv and
+/// installs it as the process-wide default representation (the same knob
+/// as the JSAI_SOLVER_SET environment variable). \returns the selected
+/// kind (the prevailing default when the flag is absent).
+inline SolverSetKind consumeSolverSetFlag(int &Argc, char **Argv) {
+  SolverSetKind Kind = defaultSolverSetKind();
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--solver-set=", 13) == 0) {
+      if (!parseSolverSetKind(Argv[I] + 13, Kind)) {
+        std::fprintf(stderr, "unknown solver set '%s'\n", Argv[I] + 13);
+        std::exit(2);
+      }
+      setDefaultSolverSetKind(Kind);
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  return Kind;
+}
 
 /// Runs the full pipeline over every project of the default suite via the
 /// corpus driver. Expensive-ish (a few seconds); each binary calls it

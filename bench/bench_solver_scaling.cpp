@@ -13,6 +13,10 @@
 //  2. The full static analysis over scaled pattern-generator projects with
 //     the production solver, surfacing the new SolverStats counters
 //     (cycles collapsed, variables merged, delta batches).
+//  3. Dense vs adaptive points-to set representation on the same solver:
+//     wall time and peak set bytes on cycle-heavy graphs and on
+//     sparse-touch graphs (many variables, few scattered high-id tokens
+//     each), with fixpoint equality checked between the two runs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -136,6 +140,39 @@ Workload makeCycleHeavyWorkload(unsigned Scale) {
   return W;
 }
 
+/// Builds the opposite shape from the cycle-heavy workload: many variables
+/// that each hold only a handful of tokens drawn from a very large id
+/// space, joined into short chains. Real corpus solves look like this —
+/// most points-to sets have single-digit cardinality, but token ids span
+/// the whole abstract-object space, so a dense bit set pays for the full
+/// span while the adaptive representation stays on the inline/sparse tiers.
+Workload makeSparseTouchWorkload(unsigned Scale) {
+  Rng R(7700 + Scale);
+  Workload W;
+  const unsigned NumChains = 128 * Scale;
+  const unsigned ChainLen = 32;
+  const unsigned TokenSpan = 1u << 20; // Ids scattered across ~1M.
+  W.NumVars = CVarId(NumChains * ChainLen);
+  for (unsigned Chain = 0; Chain < NumChains; ++Chain) {
+    CVarId Base = CVarId(Chain * ChainLen);
+    for (unsigned I = 0; I + 1 < ChainLen; ++I)
+      W.Edges.push_back({Base + I, Base + I + 1});
+    // Three scattered tokens per chain head, one or two mid-chain. Every
+    // fourth chain gets a richer head (a registry-ish hub) so its sets
+    // leave the inline tier and land on the sparse-chunk tier.
+    unsigned HeadTokens = Chain % 4 == 0 ? 24 : 3;
+    for (unsigned K = 0; K < HeadTokens; ++K)
+      W.Tokens.push_back({Base, TokenId(R.below(TokenSpan))});
+    for (unsigned K = 0; K < 2; ++K)
+      W.Tokens.push_back({Base + CVarId(1 + R.below(ChainLen - 1)),
+                          TokenId(R.below(TokenSpan))});
+    // An extra random intra-chain shortcut edge per chain.
+    W.Edges.push_back({Base + CVarId(R.below(ChainLen - 1)),
+                       Base + CVarId(R.below(ChainLen - 1)) + 1});
+  }
+  return W;
+}
+
 template <typename SolverT> double timeReplay(const Workload &W, SolverT &S) {
   auto Start = std::chrono::steady_clock::now();
   // Interleave the way the analysis builder does: edges first, tokens
@@ -226,10 +263,79 @@ void runCorpusScaling() {
   rule();
 }
 
+//===----------------------------------------------------------------------===//
+// Dense vs adaptive set representation
+//===----------------------------------------------------------------------===//
+
+/// Formats a byte count with a binary-unit suffix.
+std::string fmtBytes(uint64_t Bytes) {
+  char Buf[32];
+  if (Bytes >= 1024 * 1024)
+    std::snprintf(Buf, sizeof(Buf), "%.1f MiB", double(Bytes) / (1024 * 1024));
+  else if (Bytes >= 1024)
+    std::snprintf(Buf, sizeof(Buf), "%.1f KiB", double(Bytes) / 1024);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%llu B", (unsigned long long)Bytes);
+  return Buf;
+}
+
+void runRepresentationComparison() {
+  std::printf("Points-to set representation head-to-head (same solver, "
+              "dense vs adaptive sets)\n");
+  rule();
+  std::printf("%-14s %5s %8s %10s %10s %8s %12s %12s %8s\n", "Workload",
+              "Scale", "Vars", "Dense (s)", "Adapt (s)", "Time", "Dense peak",
+              "Adapt peak", "Bytes");
+  rule();
+  struct Shape {
+    const char *Name;
+    Workload (*Make)(unsigned);
+    // Sparse-touch scales are capped: the dense representation allocates
+    // gigabytes there (that is the point), and the bench must stay
+    // runnable on ordinary CI machines.
+    unsigned Scales[3];
+  };
+  const Shape Shapes[] = {{"cycle-heavy", makeCycleHeavyWorkload, {4, 8, 16}},
+                          {"sparse-touch", makeSparseTouchWorkload, {1, 2, 4}}};
+  for (const Shape &Sh : Shapes)
+    for (unsigned Scale : Sh.Scales) {
+      Workload W = Sh.Make(Scale);
+      Solver Dense;
+      Dense.setSetKind(SolverSetKind::Dense);
+      double DenseSecs = timeReplay(W, Dense);
+      Solver Adaptive;
+      Adaptive.setSetKind(SolverSetKind::Adaptive);
+      double AdaptiveSecs = timeReplay(W, Adaptive);
+      // The representation must not change the fixpoint.
+      for (CVarId V = 0; V < W.NumVars; ++V)
+        if (!(Dense.pointsTo(V) == Adaptive.pointsTo(V))) {
+          std::printf("MISMATCH at var %u\n", V);
+          return;
+        }
+      uint64_t DensePeak = Dense.stats().SetBytesPeak;
+      uint64_t AdaptPeak = Adaptive.stats().SetBytesPeak;
+      double TimeRatio = AdaptiveSecs > 0 ? DenseSecs / AdaptiveSecs : 0;
+      char ByteRatio[16];
+      if (AdaptPeak > 0)
+        std::snprintf(ByteRatio, sizeof(ByteRatio), "%.1fx",
+                      double(DensePeak) / double(AdaptPeak));
+      else
+        std::snprintf(ByteRatio, sizeof(ByteRatio), "inf");
+      std::printf("%-14s %5u %8u %10.4f %10.4f %7.2fx %12s %12s %8s\n",
+                  Sh.Name, Scale, W.NumVars, DenseSecs, AdaptiveSecs,
+                  TimeRatio, fmtBytes(DensePeak).c_str(),
+                  fmtBytes(AdaptPeak).c_str(), ByteRatio);
+    }
+  rule();
+  std::printf("Time/Bytes columns are dense-over-adaptive ratios (>1x means "
+              "the adaptive representation wins).\n");
+}
+
 } // namespace
 
 int main() {
   runHeadToHead();
   runCorpusScaling();
+  runRepresentationComparison();
   return 0;
 }

@@ -114,6 +114,37 @@ void printTable3(size_t Jobs) {
   rule();
   std::printf("\n");
 
+  // Memory footprint of the extended run's points-to sets: byte-accurate
+  // live/peak accounting from the solver plus the tier histogram and
+  // promotion counts of the adaptive representation (all zeros except
+  // SetsDense under --solver-set=dense, where every set is pinned dense).
+  std::printf("Solver set memory (extended analysis, --solver-set=%s)\n",
+              solverSetKindName(defaultSolverSetKind()));
+  rule();
+  std::printf("%-26s %12s %12s %8s %8s %8s %9s %9s\n", "Benchmark",
+              "LiveBytes", "PeakBytes", "Small", "Sparse", "Dense",
+              "PromSpar", "PromDense");
+  rule();
+  uint64_t TotalPeak = 0;
+  for (size_t I : sortedIndices(Reports, [](const ProjectReport &R) {
+         return R.CodeBytes;
+       })) {
+    const ProjectReport &R = Reports[I];
+    const SolverStats &St = R.Extended.Solver;
+    TotalPeak += St.SetBytesPeak;
+    std::printf("%-26s %12llu %12llu %8llu %8llu %8llu %9llu %9llu\n",
+                R.Name.c_str(), (unsigned long long)St.SetBytesLive,
+                (unsigned long long)St.SetBytesPeak,
+                (unsigned long long)St.SetsSmall,
+                (unsigned long long)St.SetsSparse,
+                (unsigned long long)St.SetsDense,
+                (unsigned long long)St.SetTierPromotionsSparse,
+                (unsigned long long)St.SetTierPromotionsDense);
+  }
+  rule();
+  std::printf("Summed peak set bytes across the suite: %llu\n\n",
+              (unsigned long long)TotalPeak);
+
   // Runtime property-system counters of the approximate-interpretation run:
   // inline-cache effectiveness and shape-tree churn. A high hit rate means
   // the forced executions spend their time in the slot fast path rather
@@ -147,6 +178,7 @@ void printTable3(size_t Jobs) {
 
 int main(int argc, char **argv) {
   size_t Jobs = consumeJobsFlag(argc, argv);
+  consumeSolverSetFlag(argc, argv);
   printTable3(Jobs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

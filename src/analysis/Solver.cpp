@@ -19,6 +19,26 @@
 
 using namespace jsai;
 
+Solver::Solver() {
+  FlushScratch.attachMemoryStats(&SetMem);
+  if (SetKind == SolverSetKind::Dense)
+    FlushScratch.forceDense();
+}
+
+void Solver::setSetKind(SolverSetKind K) {
+  SetKind = K;
+  if (K != SolverSetKind::Dense)
+    return; // Existing sets were created adaptive and can stay that way.
+  FlushScratch.forceDense();
+  for (AdaptiveSet &S : PointsTo)
+    S.forceDense();
+  for (AdaptiveSet &S : Delta)
+    S.forceDense();
+  for (std::vector<ListenerRecord> &Recs : Listeners)
+    for (ListenerRecord &Rec : Recs)
+      Rec.Delivered.forceDense();
+}
+
 void Solver::ensure(CVarId V) {
   if (V < Parent.size())
     return;
@@ -32,6 +52,14 @@ void Solver::ensure(CVarId V) {
     Parent[I] = CVarId(I);
   PointsTo.resize(NewSize);
   Delta.resize(NewSize);
+  for (size_t I = Old; I != NewSize; ++I) {
+    PointsTo[I].attachMemoryStats(&SetMem);
+    Delta[I].attachMemoryStats(&SetMem);
+    if (SetKind == SolverSetKind::Dense) {
+      PointsTo[I].forceDense();
+      Delta[I].forceDense();
+    }
+  }
   Succs.resize(NewSize);
   Listeners.resize(NewSize);
   InWorklist.resize(NewSize, false);
@@ -60,7 +88,7 @@ void Solver::schedule(CVarId R) {
   Worklist.push_back(R);
 }
 
-bool Solver::insertTokens(CVarId To, const BitSet &Ts) {
+bool Solver::insertTokens(CVarId To, const AdaptiveSet &Ts) {
   if (!PointsTo[To].unionWithRecordingNew(Ts, Delta[To]))
     return false;
   schedule(To);
@@ -106,6 +134,9 @@ void Solver::addListener(CVarId V, Listener L) {
   std::vector<uint32_t> Known = PointsTo[R].toVector();
   ListenerRecord Rec;
   Rec.Fn = std::make_shared<Listener>(std::move(L));
+  Rec.Delivered.attachMemoryStats(&SetMem);
+  if (SetKind == SolverSetKind::Dense)
+    Rec.Delivered.forceDense();
   Rec.Delivered = PointsTo[R];
   // Keep a handle across the replay: the callback may append to this
   // listener list (or allocate new variables) and reallocate the vectors
@@ -137,7 +168,7 @@ void Solver::flush(CVarId V,
   // scratch's zeroed storage, so neither side reallocates on the next round.
   FlushScratch.clear();
   FlushScratch.swap(Delta[V]);
-  BitSet &Cur = FlushScratch;
+  AdaptiveSet &Cur = FlushScratch;
   Stats.NumTokensPropagated += Cur.count();
 
   // Drop successor entries invalidated by collapsing before iterating.
@@ -291,8 +322,38 @@ void Solver::solve() {
   Solving = false;
 }
 
-const BitSet &Solver::pointsTo(CVarId V) const {
+const AdaptiveSet &Solver::pointsTo(CVarId V) const {
   if (V >= Parent.size())
     return Empty;
   return PointsTo[findConst(V)];
+}
+
+const SolverStats &Solver::stats() {
+  Stats.SetBytesLive = SetMem.LiveBytes;
+  Stats.SetBytesPeak = SetMem.PeakBytes;
+  Stats.SetTierPromotionsSparse = SetMem.PromotionsToSparse;
+  Stats.SetTierPromotionsDense = SetMem.PromotionsToDense;
+  Stats.SetsSmall = Stats.SetsSparse = Stats.SetsDense = 0;
+  // Histogram over non-empty representative points-to sets only: ensure()
+  // pre-allocates spare slots geometrically, and merged members' sets are
+  // cleared on collapse — counting either would inflate the small tier.
+  for (size_t I = 0, E = Parent.size(); I != E; ++I) {
+    if (Parent[I] != CVarId(I))
+      continue;
+    const AdaptiveSet &S = PointsTo[I];
+    if (S.empty())
+      continue;
+    switch (S.tier()) {
+    case AdaptiveSet::Tier::Small:
+      ++Stats.SetsSmall;
+      break;
+    case AdaptiveSet::Tier::Sparse:
+      ++Stats.SetsSparse;
+      break;
+    case AdaptiveSet::Tier::Dense:
+      ++Stats.SetsDense;
+      break;
+    }
+  }
+  return Stats;
 }

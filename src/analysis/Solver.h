@@ -1,8 +1,9 @@
 //===- Solver.h - Subset-constraint propagation engine ----------*- C++ -*-===//
 ///
 /// \file
-/// The propagation core of the points-to analysis: dense points-to sets
-/// (BitSet of TokenIds) per constraint variable, subset edges, and
+/// The propagation core of the points-to analysis: adaptive points-to sets
+/// (AdaptiveSet of TokenIds; --solver-set=dense pins the classic word-array
+/// representation) per constraint variable, subset edges, and
 /// listeners. Listeners implement the "complex" constraints (property
 /// accesses, calls, builtin models): they run exactly once per
 /// (listener, token) pair — for tokens already present at registration time
@@ -24,7 +25,7 @@
 ///    resolved token) are rejected by a hash-set probe instead of a linear
 ///    scan of the successor list.
 ///  - **Delta batching**: pending tokens are accumulated per variable in a
-///    BitSet delta and flushed as one word-parallel union per successor,
+///    set delta and flushed as one word-parallel union per successor,
 ///    instead of one worklist entry per (variable, token) pair.
 ///
 /// All iteration orders are index-based and hash containers are never
@@ -37,7 +38,7 @@
 #define JSAI_ANALYSIS_SOLVER_H
 
 #include "analysis/ConstraintVar.h"
-#include "support/BitSet.h"
+#include "support/AdaptiveSet.h"
 #include "support/Cancellation.h"
 
 #include <deque>
@@ -117,6 +118,21 @@ struct SolverStats {
   /// Delta batches flushed by the solve loop.
   uint64_t NumBatchesFlushed = 0;
 
+  // Set-memory accounting (refreshed by Solver::stats()). Heap capacity
+  // bytes owned by every points-to / delta / delivered set of this solver;
+  // the inline small tier books zero bytes, which is the saving being
+  // measured. Deterministic for identical constraint streams (vector
+  // capacity growth is deterministic in-process), but representation-
+  // dependent — reports gate these behind --report-timings.
+  uint64_t SetBytesLive = 0;
+  uint64_t SetBytesPeak = 0;
+  uint64_t SetTierPromotionsSparse = 0;
+  uint64_t SetTierPromotionsDense = 0;
+  /// Tier histogram over non-empty representative points-to sets.
+  uint64_t SetsSmall = 0;
+  uint64_t SetsSparse = 0;
+  uint64_t SetsDense = 0;
+
   friend bool operator==(const SolverStats &, const SolverStats &) = default;
 };
 
@@ -124,6 +140,15 @@ struct SolverStats {
 class Solver {
 public:
   using Listener = std::function<void(TokenId)>;
+
+  Solver();
+
+  /// Selects the set representation for this solver's points-to machinery
+  /// (default: the process-wide defaultSolverSetKind()). Call before
+  /// adding constraints: switching to Dense migrates existing sets, but
+  /// Dense -> Adaptive cannot unpin sets already forced dense.
+  void setSetKind(SolverSetKind K);
+  SolverSetKind setKind() const { return SetKind; }
 
   /// Adds t to [[V]]; schedules propagation.
   void addToken(CVarId V, TokenId T);
@@ -149,8 +174,11 @@ public:
   void setCancellation(CancellationToken *T) { Cancel = T; }
   bool wasCancelled() const { return Cancelled; }
 
-  const BitSet &pointsTo(CVarId V) const;
-  const SolverStats &stats() const { return Stats; }
+  const AdaptiveSet &pointsTo(CVarId V) const;
+  /// Engine counters plus set-memory accounting. Non-const: the memory
+  /// fields and tier histogram are refreshed from the live sets on each
+  /// call.
+  const SolverStats &stats();
 
   /// The union-find representative currently standing for \p V (exposed
   /// for tests and diagnostics; stable only between solve() calls).
@@ -163,7 +191,7 @@ private:
   /// through a cheap handle copy instead of copying the std::function.
   struct ListenerRecord {
     std::shared_ptr<Listener> Fn;
-    BitSet Delivered; ///< Tokens already handed to Fn.
+    AdaptiveSet Delivered; ///< Tokens already handed to Fn.
   };
 
   void ensure(CVarId V);
@@ -172,7 +200,7 @@ private:
   void schedule(CVarId R);
   /// Unions \p Ts into [[To]] (a representative), extending its delta with
   /// the newly inserted tokens. \returns true if the set changed.
-  bool insertTokens(CVarId To, const BitSet &Ts);
+  bool insertTokens(CVarId To, const AdaptiveSet &Ts);
   /// Rewrites Succs[V] to canonical representatives, dropping self-loops
   /// and duplicates introduced by collapsing.
   void canonicalizeSuccs(CVarId V);
@@ -187,11 +215,17 @@ private:
     return (uint64_t(From) << 32) | uint64_t(To);
   }
 
+  /// Representation policy for every set this solver creates.
+  SolverSetKind SetKind = defaultSolverSetKind();
+  /// Shared accounting block for every set below. Declared before them so
+  /// it outlives their destructors (each books its bytes back out).
+  SetMemoryStats SetMem;
+
   // Per-variable state; entries are authoritative only for union-find
   // representatives (merged members' storage is released on collapse).
   std::vector<CVarId> Parent;  ///< Union-find forest (path-halving).
-  std::vector<BitSet> PointsTo;
-  std::vector<BitSet> Delta;   ///< Tokens inserted but not yet flushed.
+  std::vector<AdaptiveSet> PointsTo;
+  std::vector<AdaptiveSet> Delta; ///< Tokens inserted but not yet flushed.
   std::vector<std::vector<CVarId>> Succs;
   std::vector<std::vector<ListenerRecord>> Listeners;
 
@@ -208,12 +242,12 @@ private:
   EdgeKeySet CheckedEdges;
 
   SolverStats Stats;
-  BitSet Empty;
+  AdaptiveSet Empty;
   /// Reusable storage for the delta being flushed. flush() is never
   /// re-entered (solve() re-entry is a no-op and collapses are deferred),
   /// so one scratch set suffices; recycling it avoids a word-array
   /// allocation per flush on small graphs.
-  BitSet FlushScratch;
+  AdaptiveSet FlushScratch;
   bool Solving = false;
 
   /// Optional deadline token (not owned); see setCancellation().

@@ -39,6 +39,7 @@ StaticAnalysis::StaticAnalysis(ModuleLoader &Loader, AnalysisOptions Opts,
 }
 
 AnalysisResult StaticAnalysis::run() {
+  S.setSetKind(Opts.SolverSet);
   S.setCancellation(Opts.Cancel);
   buildAll();
   switch (Opts.Mode) {

@@ -61,6 +61,9 @@ struct AnalysisOptions {
   bool UseEvalBodyAnalysis = false;
   /// Package whose module functions seed the reachability metric.
   std::string MainPackage = "app";
+  /// Points-to set representation for the solver (ablation toggle; the
+  /// default follows --solver-set= / JSAI_SOLVER_SET).
+  SolverSetKind SolverSet = defaultSolverSetKind();
   /// Optional deadline token (armed by the caller): the solver polls it per
   /// worklist pop and stops at a partial fixpoint on expiry. The extracted
   /// result is then an under-approximation of the full fixpoint.

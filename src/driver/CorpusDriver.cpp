@@ -52,7 +52,7 @@ JobResult CorpusDriver::runJob(const ProjectSpec &Spec,
   JobResult R;
   auto Start = std::chrono::steady_clock::now();
   try {
-    Pipeline P(Opts.Approx, Opts.Deadlines, Cache);
+    Pipeline P(Opts.Approx, Opts.Deadlines, Cache, Opts.SolverSet);
     R.Report = P.analyzeProject(Spec);
   } catch (const std::exception &E) {
     R.Report.Name = Spec.Name;

@@ -43,6 +43,9 @@ struct DriverOptions {
   PhaseDeadlines Deadlines;
   /// Approximate-interpretation tunables forwarded to every job.
   ApproxOptions Approx;
+  /// Points-to set representation forwarded to every job's solvers
+  /// (--solver-set= ablation toggle).
+  SolverSetKind SolverSet = defaultSolverSetKind();
   /// Include wall-clock fields in JSONL telemetry. Off by default: timing
   /// fields are inherently nondeterministic, and omitting them keeps
   /// reports byte-comparable across runs and jobs counts.

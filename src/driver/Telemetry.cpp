@@ -39,7 +39,7 @@ std::string analysisJson(const AnalysisResult &R) {
   return Out;
 }
 
-std::string solverJson(const SolverStats &S) {
+std::string solverJson(const SolverStats &S, bool IncludeMemory) {
   std::string Out = "{";
   Out += "\"edges\":" + num(S.NumEdges);
   Out += ",\"duplicate_edges\":" + num(S.NumDuplicateEdges);
@@ -48,6 +48,18 @@ std::string solverJson(const SolverStats &S) {
   Out += ",\"cycles_collapsed\":" + num(S.NumCyclesCollapsed);
   Out += ",\"vars_merged\":" + num(S.NumVarsMerged);
   Out += ",\"tokens_propagated\":" + num(S.NumTokensPropagated);
+  if (IncludeMemory) {
+    // Set-memory accounting is representation-dependent (dense vs adaptive
+    // must still produce byte-identical default reports), so it rides
+    // behind the same gate as timings.
+    Out += ",\"set_bytes_live\":" + num(S.SetBytesLive);
+    Out += ",\"set_bytes_peak\":" + num(S.SetBytesPeak);
+    Out += ",\"set_promotions_sparse\":" + num(S.SetTierPromotionsSparse);
+    Out += ",\"set_promotions_dense\":" + num(S.SetTierPromotionsDense);
+    Out += ",\"sets_small\":" + num(S.SetsSmall);
+    Out += ",\"sets_sparse\":" + num(S.SetsSparse);
+    Out += ",\"sets_dense\":" + num(S.SetsDense);
+  }
   Out += "}";
   return Out;
 }
@@ -124,7 +136,7 @@ std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
   Out += "}";
   Out += ",\"baseline\":" + analysisJson(R.Baseline);
   Out += ",\"extended\":" + analysisJson(R.Extended);
-  Out += ",\"solver\":" + solverJson(R.Extended.Solver);
+  Out += ",\"solver\":" + solverJson(R.Extended.Solver, IncludeTimings);
   if (R.HasDynamicCG) {
     Out += ",\"dynamic\":{";
     Out += "\"edges\":" + num(R.DynamicEdges);

@@ -172,6 +172,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
 
   AnalysisOptions BaseOpts;
   BaseOpts.Mode = AnalysisMode::Baseline;
+  BaseOpts.SolverSet = SolverSet;
   if (Deadlines.AnalysisSeconds > 0) {
     BaseOpts.Cancel = &AnalysisToken;
     AnalysisToken.arm(Deadlines.AnalysisSeconds);
@@ -201,6 +202,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   } else {
     AnalysisOptions ExtOpts;
     ExtOpts.Mode = AnalysisMode::Hints;
+    ExtOpts.SolverSet = SolverSet;
     if (Deadlines.AnalysisSeconds > 0) {
       ExtOpts.Cancel = &AnalysisToken;
       AnalysisToken.arm(Deadlines.AnalysisSeconds);

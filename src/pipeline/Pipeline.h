@@ -167,8 +167,10 @@ public:
   /// successful analysis.
   explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions(),
                     PhaseDeadlines Deadlines = PhaseDeadlines(),
-                    ArtifactCache *Cache = nullptr)
-      : ApproxOpts(ApproxOpts), Deadlines(Deadlines), Cache(Cache) {}
+                    ArtifactCache *Cache = nullptr,
+                    SolverSetKind SolverSet = defaultSolverSetKind())
+      : ApproxOpts(ApproxOpts), Deadlines(Deadlines), Cache(Cache),
+        SolverSet(SolverSet) {}
 
   /// Runs everything on \p Spec, enforcing the configured deadlines. An
   /// approx-phase timeout degrades the project to baseline-only results
@@ -181,6 +183,7 @@ private:
   ApproxOptions ApproxOpts;
   PhaseDeadlines Deadlines;
   ArtifactCache *Cache = nullptr;
+  SolverSetKind SolverSet = defaultSolverSetKind();
 };
 
 } // namespace jsai

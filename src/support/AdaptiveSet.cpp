@@ -1,0 +1,463 @@
+//===- AdaptiveSet.cpp ----------------------------------------------------===//
+//
+// Tier invariants:
+//
+//  - Small:  SmallElems[0..Num) is sorted ascending, Num <= SmallCapacity,
+//            no heap storage in use.
+//  - Sparse: Chunks is sorted by Idx, no chunk is all-zero, Words is empty.
+//  - Dense:  Words is the word array; Chunks is empty (its storage is
+//            released on promotion — a dense set never pays for both).
+//
+// Promotions are one-way (Small -> Sparse -> Dense) and content-driven, so
+// identical insertion histories produce identical representations — the
+// determinism the solver's stats and the golden-metrics gate rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AdaptiveSet.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+using namespace jsai;
+
+//===----------------------------------------------------------------------===//
+// Representation default (env-seeded, CLI-overridable)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SolverSetKind &defaultKindStorage() {
+  static SolverSetKind Kind = [] {
+    SolverSetKind Parsed;
+    if (const char *Env = std::getenv("JSAI_SOLVER_SET"))
+      if (parseSolverSetKind(Env, Parsed))
+        return Parsed;
+    return SolverSetKind::Adaptive;
+  }();
+  return Kind;
+}
+
+} // namespace
+
+SolverSetKind jsai::defaultSolverSetKind() { return defaultKindStorage(); }
+
+void jsai::setDefaultSolverSetKind(SolverSetKind K) {
+  defaultKindStorage() = K;
+}
+
+const char *jsai::solverSetKindName(SolverSetKind K) {
+  return K == SolverSetKind::Dense ? "dense" : "adaptive";
+}
+
+bool jsai::parseSolverSetKind(const char *Name, SolverSetKind &Out) {
+  if (std::strcmp(Name, "dense") == 0) {
+    Out = SolverSetKind::Dense;
+    return true;
+  }
+  if (std::strcmp(Name, "adaptive") == 0) {
+    Out = SolverSetKind::Adaptive;
+    return true;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Special members (accounting-aware)
+//===----------------------------------------------------------------------===//
+
+AdaptiveSet::AdaptiveSet(const AdaptiveSet &Other)
+    : Rep(Other.Rep), DenseOnly(Other.DenseOnly), Num(Other.Num),
+      Chunks(Other.Chunks), Words(Other.Words) {
+  std::memcpy(SmallElems, Other.SmallElems, sizeof(SmallElems));
+  // A fresh copy has no owner; the caller attaches one if it wants the
+  // bytes booked.
+}
+
+AdaptiveSet &AdaptiveSet::operator=(const AdaptiveSet &Other) {
+  if (this == &Other)
+    return *this;
+  size_t Before = heapBytes();
+  Rep = Other.Rep;
+  Num = Other.Num;
+  ChunkHint = 0;
+  std::memcpy(SmallElems, Other.SmallElems, sizeof(SmallElems));
+  Chunks = Other.Chunks;
+  Words = Other.Words;
+  memAdjust(Before);
+  // DenseOnly and Mem are owner properties: a pinned-dense destination
+  // stays pinned even when copying from an adaptive source.
+  if (DenseOnly && Rep != Tier::Dense)
+    forceDense();
+  return *this;
+}
+
+AdaptiveSet::AdaptiveSet(AdaptiveSet &&Other) noexcept
+    : Rep(Other.Rep), DenseOnly(Other.DenseOnly), Num(Other.Num),
+      Chunks(std::move(Other.Chunks)), Words(std::move(Other.Words)),
+      Mem(Other.Mem) {
+  std::memcpy(SmallElems, Other.SmallElems, sizeof(SmallElems));
+  // Heap storage moved between two sets attached to the same block is
+  // accounting-neutral; the moved-from set is left empty and unattached
+  // so its destructor books nothing.
+  Other.Num = 0;
+  Other.Rep = Other.DenseOnly ? Tier::Dense : Tier::Small;
+  Other.ChunkHint = 0;
+  Other.Mem = nullptr;
+}
+
+AdaptiveSet &AdaptiveSet::operator=(AdaptiveSet &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  size_t MyBefore = heapBytes();
+  size_t OtherBefore = Other.heapBytes();
+  Rep = Other.Rep;
+  Num = Other.Num;
+  ChunkHint = 0;
+  std::memcpy(SmallElems, Other.SmallElems, sizeof(SmallElems));
+  Chunks = std::move(Other.Chunks);
+  Words = std::move(Other.Words);
+  Other.Num = 0;
+  Other.Rep = Other.DenseOnly ? Tier::Dense : Tier::Small;
+  Other.ChunkHint = 0;
+  memAdjust(MyBefore);       // This set now owns the moved storage.
+  Other.memAdjust(OtherBefore); // The source owns (usually) nothing.
+  if (DenseOnly && Rep != Tier::Dense)
+    forceDense();
+  return *this;
+}
+
+AdaptiveSet::~AdaptiveSet() {
+  if (Mem != nullptr) {
+    size_t Bytes = heapBytes();
+    Mem->LiveBytes -= Bytes;
+  }
+}
+
+void AdaptiveSet::attachMemoryStats(SetMemoryStats *M) {
+  size_t Bytes = heapBytes();
+  if (Mem != nullptr)
+    Mem->LiveBytes -= Bytes;
+  Mem = M;
+  if (Mem != nullptr && Bytes != 0) {
+    Mem->LiveBytes += Bytes;
+    if (Mem->LiveBytes > Mem->PeakBytes)
+      Mem->PeakBytes = Mem->LiveBytes;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Membership
+//===----------------------------------------------------------------------===//
+
+bool AdaptiveSet::contains(uint32_t X) const {
+  switch (Rep) {
+  case Tier::Small:
+    for (uint32_t I = 0; I != Num; ++I) {
+      if (SmallElems[I] == X)
+        return true;
+      if (SmallElems[I] > X)
+        return false; // Sorted: passed the slot.
+    }
+    return false;
+  case Tier::Sparse: {
+    uint32_t ChunkIdx = X / 128;
+    size_t Pos = chunkLowerBound(ChunkIdx);
+    if (Pos == Chunks.size() || Chunks[Pos].Idx != ChunkIdx)
+      return false;
+    ChunkHint = uint32_t(Pos);
+    return (Chunks[Pos].W[(X / 64) & 1] >> (X % 64)) & 1;
+  }
+  case Tier::Dense: {
+    size_t WordIdx = X / 64;
+    if (WordIdx >= Words.size())
+      return false;
+    return (Words[WordIdx] >> (X % 64)) & 1;
+  }
+  }
+  return false;
+}
+
+size_t AdaptiveSet::chunkLowerBound(uint32_t ChunkIdx) const {
+  size_t N = Chunks.size();
+  // MRU hint: repeated probes hit the same chunk, and ascending scans hit
+  // the next one — both O(1) before falling back to binary search.
+  if (ChunkHint < N) {
+    uint32_t HintIdx = Chunks[ChunkHint].Idx;
+    if (HintIdx == ChunkIdx)
+      return ChunkHint;
+    if (HintIdx < ChunkIdx &&
+        (ChunkHint + 1 == N || Chunks[ChunkHint + 1].Idx >= ChunkIdx))
+      return ChunkHint + 1;
+  }
+  size_t Lo = 0, Hi = N;
+  while (Lo < Hi) {
+    size_t Mid = (Lo + Hi) / 2;
+    if (Chunks[Mid].Idx < ChunkIdx)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+//===----------------------------------------------------------------------===//
+// Insertion / union core
+//===----------------------------------------------------------------------===//
+
+uint64_t AdaptiveSet::orWord(uint32_t WordIdx, uint64_t Bits) {
+  if (Bits == 0)
+    return 0;
+  switch (Rep) {
+  case Tier::Small:
+    return orWordSmall(WordIdx, Bits);
+  case Tier::Sparse:
+    return orWordSparse(WordIdx, Bits);
+  case Tier::Dense:
+    return orWordDense(WordIdx, Bits);
+  }
+  return 0;
+}
+
+uint64_t AdaptiveSet::orWordSmall(uint32_t WordIdx, uint64_t Bits) {
+  uint64_t Present = 0;
+  for (uint32_t I = 0; I != Num; ++I)
+    if (SmallElems[I] / 64 == WordIdx)
+      Present |= uint64_t(1) << (SmallElems[I] % 64);
+  uint64_t Added = Bits & ~Present;
+  if (Added == 0)
+    return 0;
+  unsigned NumNew = unsigned(__builtin_popcountll(Added));
+  if (Num + NumNew > SmallCapacity) {
+    promoteToSparse();
+    return orWordSparse(WordIdx, Bits);
+  }
+  uint64_t Rest = Added;
+  while (Rest != 0) {
+    uint32_t Value = WordIdx * 64 + unsigned(__builtin_ctzll(Rest));
+    Rest &= Rest - 1;
+    uint32_t Pos = Num;
+    while (Pos > 0 && SmallElems[Pos - 1] > Value) {
+      SmallElems[Pos] = SmallElems[Pos - 1];
+      --Pos;
+    }
+    SmallElems[Pos] = Value;
+    ++Num;
+  }
+  return Added;
+}
+
+uint64_t AdaptiveSet::orWordSparse(uint32_t WordIdx, uint64_t Bits) {
+  uint32_t ChunkIdx = WordIdx / 2;
+  unsigned Sub = WordIdx & 1;
+  size_t Pos = chunkLowerBound(ChunkIdx);
+  bool NewChunk = Pos == Chunks.size() || Chunks[Pos].Idx != ChunkIdx;
+  if (NewChunk) {
+    size_t Before = heapBytes();
+    Chunks.insert(Chunks.begin() + Pos, Chunk{ChunkIdx, {0, 0}});
+    memAdjust(Before);
+  }
+  ChunkHint = uint32_t(Pos);
+  uint64_t Added = Bits & ~Chunks[Pos].W[Sub];
+  if (Added == 0)
+    return 0;
+  Chunks[Pos].W[Sub] |= Added;
+  Num += unsigned(__builtin_popcountll(Added));
+  // Density check only when the chunk span changed. Promote once dense
+  // storage for the same span would be no larger than the chunk list
+  // (Chunk = 24 bytes vs 16 bytes per 128-bit dense span); the minimum
+  // chunk count keeps genuinely tiny sets sparse so a later high id
+  // cannot strand them in a huge word array.
+  if (NewChunk && Chunks.size() >= MinChunksForDense &&
+      Chunks.size() * sizeof(Chunk) >=
+          size_t(Chunks.back().Idx + 1) * 2 * sizeof(uint64_t))
+    promoteToDense(/*CountPromotion=*/true);
+  return Added;
+}
+
+uint64_t AdaptiveSet::orWordDense(uint32_t WordIdx, uint64_t Bits) {
+  if (WordIdx >= Words.size()) {
+    size_t Before = heapBytes();
+    Words.resize(size_t(WordIdx) + 1, 0);
+    memAdjust(Before);
+  }
+  uint64_t Added = Bits & ~Words[WordIdx];
+  if (Added == 0)
+    return 0;
+  Words[WordIdx] |= Added;
+  Num += unsigned(__builtin_popcountll(Added));
+  return Added;
+}
+
+//===----------------------------------------------------------------------===//
+// Promotions
+//===----------------------------------------------------------------------===//
+
+void AdaptiveSet::promoteToSparse() {
+  size_t Before = heapBytes();
+  Chunk Staged[SmallCapacity];
+  size_t NumChunks = 0;
+  for (uint32_t I = 0; I != Num; ++I) {
+    uint32_t Value = SmallElems[I];
+    uint32_t ChunkIdx = Value / 128;
+    if (NumChunks == 0 || Staged[NumChunks - 1].Idx != ChunkIdx)
+      Staged[NumChunks++] = Chunk{ChunkIdx, {0, 0}};
+    Staged[NumChunks - 1].W[(Value / 64) & 1] |= uint64_t(1) << (Value % 64);
+  }
+  Chunks.assign(Staged, Staged + NumChunks);
+  Rep = Tier::Sparse;
+  ChunkHint = 0;
+  memAdjust(Before);
+  if (Mem != nullptr)
+    ++Mem->PromotionsToSparse;
+}
+
+void AdaptiveSet::promoteToDense(bool CountPromotion) {
+  size_t Before = heapBytes();
+  size_t NumWords = Chunks.empty() ? 0 : (size_t(Chunks.back().Idx) + 1) * 2;
+  std::vector<uint64_t> Flat(NumWords, 0);
+  for (const Chunk &C : Chunks) {
+    Flat[size_t(C.Idx) * 2] = C.W[0];
+    Flat[size_t(C.Idx) * 2 + 1] = C.W[1];
+  }
+  Words = std::move(Flat);
+  std::vector<Chunk>().swap(Chunks); // Dense sets never pay for both tiers.
+  Rep = Tier::Dense;
+  ChunkHint = 0;
+  memAdjust(Before);
+  if (Mem != nullptr && CountPromotion)
+    ++Mem->PromotionsToDense;
+}
+
+void AdaptiveSet::forceDense() {
+  DenseOnly = true;
+  if (Rep == Tier::Dense)
+    return;
+  if (Rep == Tier::Sparse) {
+    promoteToDense(/*CountPromotion=*/false);
+    return;
+  }
+  uint32_t Staged[SmallCapacity];
+  uint32_t NumStaged = Num;
+  std::memcpy(Staged, SmallElems, sizeof(Staged));
+  Rep = Tier::Dense;
+  Num = 0;
+  for (uint32_t I = 0; I != NumStaged; ++I)
+    orWordDense(Staged[I] / 64, uint64_t(1) << (Staged[I] % 64));
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-set operations
+//===----------------------------------------------------------------------===//
+
+bool AdaptiveSet::unionWith(const AdaptiveSet &Other) {
+  if (this == &Other)
+    return false;
+  bool Changed = false;
+  Other.forEachWord([this, &Changed](uint32_t WordIdx, uint64_t Word) {
+    if (orWord(WordIdx, Word) != 0)
+      Changed = true;
+  });
+  return Changed;
+}
+
+bool AdaptiveSet::unionWithRecordingNew(const AdaptiveSet &Other,
+                                        AdaptiveSet &NewlyAdded) {
+  if (this == &Other)
+    return false;
+  bool Changed = false;
+  Other.forEachWord(
+      [this, &NewlyAdded, &Changed](uint32_t WordIdx, uint64_t Word) {
+        uint64_t Added = orWord(WordIdx, Word);
+        if (Added != 0) {
+          NewlyAdded.orWord(WordIdx, Added);
+          Changed = true;
+        }
+      });
+  return Changed;
+}
+
+void AdaptiveSet::clear() {
+  size_t Before = heapBytes();
+  Num = 0;
+  ChunkHint = 0;
+  Chunks.clear();
+  Words.clear();
+  Rep = DenseOnly ? Tier::Dense : Tier::Small;
+  memAdjust(Before); // vector::clear keeps capacity; usually a no-op.
+}
+
+void AdaptiveSet::swap(AdaptiveSet &Other) {
+  if (this == &Other)
+    return;
+  size_t MyBefore = heapBytes();
+  size_t OtherBefore = Other.heapBytes();
+  std::swap(Rep, Other.Rep);
+  std::swap(DenseOnly, Other.DenseOnly);
+  std::swap(Num, Other.Num);
+  std::swap(ChunkHint, Other.ChunkHint);
+  for (uint32_t I = 0; I != SmallCapacity; ++I)
+    std::swap(SmallElems[I], Other.SmallElems[I]);
+  Chunks.swap(Other.Chunks);
+  Words.swap(Other.Words);
+  if (Mem != Other.Mem) {
+    memAdjust(MyBefore);
+    Other.memAdjust(OtherBefore);
+  }
+}
+
+std::vector<uint32_t> AdaptiveSet::toVector() const {
+  std::vector<uint32_t> Out;
+  Out.reserve(Num);
+  forEach([&Out](uint32_t X) { Out.push_back(X); });
+  return Out;
+}
+
+bool jsai::operator==(const AdaptiveSet &A, const AdaptiveSet &B) {
+  if (A.Num != B.Num)
+    return false;
+  if (A.Num == 0)
+    return true;
+  if (A.Rep == B.Rep) {
+    switch (A.Rep) {
+    case AdaptiveSet::Tier::Small:
+      return std::memcmp(A.SmallElems, B.SmallElems,
+                         A.Num * sizeof(uint32_t)) == 0;
+    case AdaptiveSet::Tier::Sparse: {
+      // Chunk lists are content-determined (sorted, never all-zero), so
+      // field-wise comparison is membership comparison. memcmp would read
+      // padding bytes.
+      if (A.Chunks.size() != B.Chunks.size())
+        return false;
+      for (size_t I = 0, E = A.Chunks.size(); I != E; ++I)
+        if (A.Chunks[I].Idx != B.Chunks[I].Idx ||
+            A.Chunks[I].W[0] != B.Chunks[I].W[0] ||
+            A.Chunks[I].W[1] != B.Chunks[I].W[1])
+          return false;
+      return true;
+    }
+    case AdaptiveSet::Tier::Dense: {
+      size_t Common = std::min(A.Words.size(), B.Words.size());
+      for (size_t I = 0; I != Common; ++I)
+        if (A.Words[I] != B.Words[I])
+          return false;
+      for (size_t I = Common; I < A.Words.size(); ++I)
+        if (A.Words[I] != 0)
+          return false;
+      for (size_t I = Common; I < B.Words.size(); ++I)
+        if (B.Words[I] != 0)
+          return false;
+      return true;
+    }
+    }
+  }
+  // Cross-tier: equal counts, so subset implies equality.
+  return A.forEachWhile([&B](uint32_t X) { return B.contains(X); });
+}
+
+bool jsai::operator==(const AdaptiveSet &A, const BitSet &B) {
+  if (A.count() != B.count())
+    return false;
+  return A.forEachWhile([&B](uint32_t X) { return B.contains(X); });
+}

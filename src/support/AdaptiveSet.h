@@ -1,0 +1,295 @@
+//===- AdaptiveSet.h - Three-tier adaptive points-to set --------*- C++ -*-===//
+///
+/// \file
+/// The solver's production set representation: a set of dense uint32 ids
+/// (tokens) that adapts its storage to its population, because points-to
+/// sets in subset-constraint solving are overwhelmingly tiny while a few
+/// grow huge (JSAI's lattice-representation lesson):
+///
+///  - **Small**: up to 8 members in an inline sorted array — no heap
+///    allocation at all. The common case for variables that ever point to
+///    one or two tokens.
+///  - **Sparse**: a sorted vector of 128-bit chunks keyed by chunk index
+///    (LLVM-SparseBitVector-style, but contiguous for cache locality).
+///    Absent ranges cost nothing; unions touch only populated chunks.
+///  - **Dense**: the classic word array (exactly BitSet's layout), entered
+///    only when the chunk list stops being sparse — at >= 2/3 chunk-span
+///    occupancy dense storage is no larger and unions are pure word ORs.
+///
+/// All tiers preserve deterministic ascending `forEach` iteration and a
+/// word-parallel union path (`orWord` merges 64 members at a time on every
+/// tier), so the solver's batched-delta flush works unchanged. `count()`
+/// is O(1) via an incrementally maintained population counter; `empty()`
+/// never touches storage.
+///
+/// Memory accounting: a set can be attached to a SetMemoryStats block
+/// (one per solver); every heap capacity change is booked there
+/// byte-accurately, giving live/peak set bytes and tier-promotion counts
+/// for free. Unattached sets skip the bookkeeping.
+///
+/// The dense `BitSet` stays as the differential-testing reference;
+/// `forceDense()` pins a set to the dense tier from the start, which is
+/// how the `--solver-set=dense` ablation reproduces the old behavior.
+///
+/// Not thread-safe: `contains()` maintains a mutable MRU chunk hint, so
+/// even concurrent reads of one set race (each solver is single-threaded;
+/// the corpus driver gives every job its own solver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_ADAPTIVESET_H
+#define JSAI_SUPPORT_ADAPTIVESET_H
+
+#include "support/BitSet.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jsai {
+
+/// Which set representation a solver uses for its points-to machinery.
+/// Dense keeps the pre-adaptive word-array behavior (the ablation
+/// reference); Adaptive is the tiered production representation.
+enum class SolverSetKind : uint8_t {
+  Adaptive,
+  Dense,
+};
+
+/// Process-wide default representation for newly constructed solvers.
+/// Initialized once from the JSAI_SOLVER_SET environment variable
+/// ("dense" or "adaptive"; anything else means Adaptive) so the golden-
+/// metrics benches can be swept across representations without per-binary
+/// flag plumbing; the CLI's --solver-set= overrides it at startup. Set it
+/// before spawning workers — reads after that are unsynchronized.
+SolverSetKind defaultSolverSetKind();
+void setDefaultSolverSetKind(SolverSetKind K);
+const char *solverSetKindName(SolverSetKind K);
+/// Parses "dense" / "adaptive". \returns false on anything else.
+bool parseSolverSetKind(const char *Name, SolverSetKind &Out);
+
+/// Byte-accurate accounting block shared by every set of one owner
+/// (solver). Live/peak track heap capacity bytes only: the inline small
+/// tier is the point of the design — its sets cost zero accountable
+/// bytes, exactly the saving being measured.
+struct SetMemoryStats {
+  uint64_t LiveBytes = 0;
+  uint64_t PeakBytes = 0;
+  uint64_t PromotionsToSparse = 0;
+  uint64_t PromotionsToDense = 0;
+};
+
+/// Adaptive set over [0, 2^32) member ids. See the file comment.
+class AdaptiveSet {
+public:
+  enum class Tier : uint8_t { Small, Sparse, Dense };
+  static constexpr uint32_t SmallCapacity = 8;
+  /// Sparse sets never go dense below this chunk count, however dense their
+  /// span: a handful of chunks costs tens of bytes either way, but an early
+  /// dense promotion is irreversible and a later high id would strand the
+  /// set in a huge word array.
+  static constexpr size_t MinChunksForDense = 4;
+
+  AdaptiveSet() = default;
+  AdaptiveSet(const AdaptiveSet &Other);
+  /// Copies membership (and representation) but keeps this set's
+  /// accounting attachment: the stats block belongs to the owner, not to
+  /// the value.
+  AdaptiveSet &operator=(const AdaptiveSet &Other);
+  AdaptiveSet(AdaptiveSet &&Other) noexcept;
+  AdaptiveSet &operator=(AdaptiveSet &&Other) noexcept;
+  ~AdaptiveSet();
+
+  /// Attaches this set to \p M (detaching from any previous block) and
+  /// books its current heap bytes there. Pass nullptr to detach.
+  void attachMemoryStats(SetMemoryStats *M);
+
+  /// Pins this set to the dense tier, now and after clear() — the
+  /// --solver-set=dense ablation. Current members are migrated.
+  void forceDense();
+
+  Tier tier() const { return Rep; }
+
+  /// Heap bytes currently owned (capacity, not size — capacity is what
+  /// the allocator charges us for). O(1).
+  size_t heapBytes() const {
+    return Chunks.capacity() * sizeof(Chunk) +
+           Words.capacity() * sizeof(uint64_t);
+  }
+
+  /// Inserts \p X. \returns true if it was newly inserted.
+  bool insert(uint32_t X) {
+    return orWord(X / 64, uint64_t(1) << (X % 64)) != 0;
+  }
+
+  bool contains(uint32_t X) const;
+
+  /// Unions \p Other into this set. \returns true if this set changed.
+  bool unionWith(const AdaptiveSet &Other);
+
+  /// Unions \p Other into this set, recording every newly inserted member
+  /// in \p NewlyAdded. Word-parallel on every tier pairing. \returns true
+  /// if this set changed.
+  bool unionWithRecordingNew(const AdaptiveSet &Other, AdaptiveSet &NewlyAdded);
+
+  /// Number of members — O(1), maintained incrementally by every insert
+  /// and union path.
+  size_t count() const { return Num; }
+
+  /// O(1) and allocation-free.
+  bool empty() const { return Num == 0; }
+
+  /// Removes all members. Keeps heap capacity for reuse (the solver
+  /// recycles delta scratch sets), drops back to the small tier unless
+  /// pinned dense.
+  void clear();
+
+  /// Swaps membership and representation; each set keeps its own
+  /// accounting attachment (byte totals are re-booked when the blocks
+  /// differ).
+  void swap(AdaptiveSet &Other);
+
+  /// Invokes \p Fn for every member in ascending order — identical order
+  /// on every tier, so representation can never leak into analysis
+  /// results.
+  template <typename CallbackT> void forEach(CallbackT Fn) const {
+    forEachWord([&Fn](uint32_t WordIdx, uint64_t Word) {
+      while (Word != 0) {
+        unsigned Bit = __builtin_ctzll(Word);
+        Fn(uint32_t(WordIdx * 64 + Bit));
+        Word &= Word - 1;
+      }
+    });
+  }
+
+  /// Invokes \p Fn over (wordIndex, nonzeroWord) pairs in ascending word
+  /// order — the word-parallel iteration unions are built on.
+  template <typename CallbackT> void forEachWord(CallbackT Fn) const {
+    switch (Rep) {
+    case Tier::Small:
+      for (uint32_t I = 0; I != Num;) {
+        uint32_t WordIdx = SmallElems[I] / 64;
+        uint64_t Word = 0;
+        // Members are sorted, so one word's members are contiguous.
+        for (; I != Num && SmallElems[I] / 64 == WordIdx; ++I)
+          Word |= uint64_t(1) << (SmallElems[I] % 64);
+        Fn(WordIdx, Word);
+      }
+      break;
+    case Tier::Sparse:
+      for (const Chunk &C : Chunks) {
+        if (C.W[0] != 0)
+          Fn(C.Idx * 2, C.W[0]);
+        if (C.W[1] != 0)
+          Fn(C.Idx * 2 + 1, C.W[1]);
+      }
+      break;
+    case Tier::Dense:
+      for (size_t I = 0, E = Words.size(); I != E; ++I)
+        if (Words[I] != 0)
+          Fn(uint32_t(I), Words[I]);
+      break;
+    }
+  }
+
+  /// Ascending iteration with early exit: stops (returning false) as soon
+  /// as \p Fn returns false.
+  template <typename CallbackT> bool forEachWhile(CallbackT Fn) const {
+    switch (Rep) {
+    case Tier::Small:
+      for (uint32_t I = 0; I != Num; ++I)
+        if (!Fn(SmallElems[I]))
+          return false;
+      return true;
+    case Tier::Sparse:
+      for (const Chunk &C : Chunks)
+        for (unsigned Sub = 0; Sub != 2; ++Sub) {
+          uint64_t Word = C.W[Sub];
+          while (Word != 0) {
+            unsigned Bit = __builtin_ctzll(Word);
+            if (!Fn(uint32_t((C.Idx * 2 + Sub) * 64 + Bit)))
+              return false;
+            Word &= Word - 1;
+          }
+        }
+      return true;
+    case Tier::Dense:
+      for (size_t I = 0, E = Words.size(); I != E; ++I) {
+        uint64_t Word = Words[I];
+        while (Word != 0) {
+          unsigned Bit = __builtin_ctzll(Word);
+          if (!Fn(uint32_t(I * 64 + Bit)))
+            return false;
+          Word &= Word - 1;
+        }
+      }
+      return true;
+    }
+    return true;
+  }
+
+  /// Collects members in ascending order.
+  std::vector<uint32_t> toVector() const;
+
+  friend bool operator==(const AdaptiveSet &A, const AdaptiveSet &B);
+
+private:
+  /// One 128-bit span of the sparse tier. Idx is the chunk index
+  /// (member / 128); chunks are kept sorted by Idx and are never
+  /// all-zero.
+  struct Chunk {
+    uint32_t Idx;
+    uint64_t W[2];
+  };
+
+  /// ORs \p Bits into word \p WordIdx, handling tier dispatch, promotion,
+  /// accounting, and the cached count. \returns the bits actually added.
+  uint64_t orWord(uint32_t WordIdx, uint64_t Bits);
+  uint64_t orWordSmall(uint32_t WordIdx, uint64_t Bits);
+  uint64_t orWordSparse(uint32_t WordIdx, uint64_t Bits);
+  uint64_t orWordDense(uint32_t WordIdx, uint64_t Bits);
+
+  void promoteToSparse();
+  void promoteToDense(bool CountPromotion);
+  /// Position of the first chunk with Idx >= \p ChunkIdx (MRU-hinted).
+  size_t chunkLowerBound(uint32_t ChunkIdx) const;
+
+  /// Books the capacity delta since \p BytesBefore into the attached
+  /// stats block.
+  void memAdjust(size_t BytesBefore) {
+    if (Mem == nullptr)
+      return;
+    size_t After = heapBytes();
+    if (After > BytesBefore) {
+      Mem->LiveBytes += After - BytesBefore;
+      if (Mem->LiveBytes > Mem->PeakBytes)
+        Mem->PeakBytes = Mem->LiveBytes;
+    } else if (After < BytesBefore) {
+      Mem->LiveBytes -= BytesBefore - After;
+    }
+  }
+
+  Tier Rep = Tier::Small;
+  /// Pinned to the dense tier (ablation mode); clear() stays dense.
+  bool DenseOnly = false;
+  /// Cached population (the O(1) count()).
+  uint32_t Num = 0;
+  /// MRU chunk position for contains/insert locality on the sparse tier.
+  mutable uint32_t ChunkHint = 0;
+  uint32_t SmallElems[SmallCapacity];
+  std::vector<Chunk> Chunks;
+  std::vector<uint64_t> Words;
+  SetMemoryStats *Mem = nullptr;
+};
+
+/// Membership equality across any tier pairing.
+bool operator==(const AdaptiveSet &A, const AdaptiveSet &B);
+
+/// Cross-representation membership equality (differential tests compare
+/// the production set against the dense BitSet reference).
+bool operator==(const AdaptiveSet &A, const BitSet &B);
+inline bool operator==(const BitSet &A, const AdaptiveSet &B) { return B == A; }
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_ADAPTIVESET_H

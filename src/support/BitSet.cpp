@@ -25,10 +25,14 @@ bool BitSet::contains(uint32_t Index) const {
 }
 
 bool BitSet::unionWith(const BitSet &Other) {
-  if (Other.Words.size() > Words.size())
-    Words.resize(Other.Words.size(), 0);
+  // Size to Other's *effective* word count: trailing zero words (left
+  // behind by swap()/clear()/union sequences) must not propagate, or
+  // repeated unions inflate every set they touch with dead storage.
+  size_t E = Other.effectiveWords();
+  if (E > Words.size())
+    Words.resize(E, 0);
   bool Changed = false;
-  for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
+  for (size_t I = 0; I != E; ++I) {
     uint64_t Merged = Words[I] | Other.Words[I];
     if (Merged != Words[I]) {
       Words[I] = Merged;
@@ -39,10 +43,11 @@ bool BitSet::unionWith(const BitSet &Other) {
 }
 
 bool BitSet::unionWithRecordingNew(const BitSet &Other, BitSet &NewlyAdded) {
-  if (Other.Words.size() > Words.size())
-    Words.resize(Other.Words.size(), 0);
+  size_t E = Other.effectiveWords();
+  if (E > Words.size())
+    Words.resize(E, 0);
   bool Changed = false;
-  for (size_t I = 0, E = Other.Words.size(); I != E; ++I) {
+  for (size_t I = 0; I != E; ++I) {
     uint64_t Added = Other.Words[I] & ~Words[I];
     if (Added == 0)
       continue;

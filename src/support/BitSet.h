@@ -68,6 +68,17 @@ public:
   friend bool operator==(const BitSet &A, const BitSet &B);
 
 private:
+  /// Word count ignoring trailing zero words — the membership-relevant
+  /// size. swap()/clear() paths can leave zero high words behind; every
+  /// size-dependent operation must use this, not Words.size(), so stale
+  /// capacity never propagates through unions.
+  size_t effectiveWords() const {
+    size_t E = Words.size();
+    while (E > 0 && Words[E - 1] == 0)
+      --E;
+    return E;
+  }
+
   std::vector<uint64_t> Words;
 };
 

@@ -346,12 +346,13 @@ TEST(SolverTest, IdenticalBuildsProduceIdenticalStatsAndSets) {
 // Randomized stress vs. the naive reference
 //===----------------------------------------------------------------------===//
 
-TEST(SolverTest, RandomizedStressMatchesNaiveReference) {
+void runRandomizedStress(SolverSetKind Kind) {
   Rng R(20240805);
   for (int Round = 0; Round < 20; ++Round) {
     const CVarId NumVars = CVarId(R.range(5, 60));
     const size_t NumOps = size_t(R.range(20, 300));
     Solver S;
+    S.setSetKind(Kind);
     NaiveSolver N;
     for (size_t Op = 0; Op < NumOps; ++Op) {
       if (R.chance(55)) {
@@ -377,6 +378,100 @@ TEST(SolverTest, RandomizedStressMatchesNaiveReference) {
       ASSERT_TRUE(S.pointsTo(V) == N.pointsTo(V))
           << "round " << Round << " var " << V;
   }
+}
+
+TEST(SolverTest, RandomizedStressMatchesNaiveReference) {
+  runRandomizedStress(SolverSetKind::Adaptive);
+}
+
+TEST(SolverTest, RandomizedStressMatchesNaiveReferenceDense) {
+  runRandomizedStress(SolverSetKind::Dense);
+}
+
+//===----------------------------------------------------------------------===//
+// Set representations and memory accounting
+//===----------------------------------------------------------------------===//
+
+/// The same constraint stream under both representations must agree on
+/// every engine-visible outcome; only the memory fields may differ.
+TEST(SolverTest, DenseAndAdaptiveSolversAgreeOnSetsAndCounters) {
+  auto Build = [](Solver &S) {
+    for (CVarId V = 0; V < 50; ++V)
+      S.addEdge(V, (V + 1) % 50); // One big cycle.
+    for (CVarId V = 50; V < 80; ++V)
+      S.addEdge(V, V + 1); // A chain.
+    for (TokenId T = 0; T < 40; ++T)
+      S.addToken(T % 7, T);
+    S.addListener(25, [](TokenId) {});
+    S.solve();
+  };
+  Solver Adaptive, Dense;
+  Adaptive.setSetKind(SolverSetKind::Adaptive);
+  Dense.setSetKind(SolverSetKind::Dense);
+  Build(Adaptive);
+  Build(Dense);
+  for (CVarId V = 0; V < 81; ++V)
+    ASSERT_TRUE(Adaptive.pointsTo(V) == Dense.pointsTo(V)) << "var " << V;
+  const SolverStats &A = Adaptive.stats();
+  const SolverStats &D = Dense.stats();
+  EXPECT_EQ(A.NumTokensPropagated, D.NumTokensPropagated);
+  EXPECT_EQ(A.NumEdges, D.NumEdges);
+  EXPECT_EQ(A.NumDuplicateEdges, D.NumDuplicateEdges);
+  EXPECT_EQ(A.NumCyclesCollapsed, D.NumCyclesCollapsed);
+  EXPECT_EQ(A.NumVarsMerged, D.NumVarsMerged);
+  EXPECT_EQ(A.NumBatchesFlushed, D.NumBatchesFlushed);
+  // In dense mode every set is pinned dense; the histogram must say so.
+  EXPECT_EQ(D.SetsSmall, 0u);
+  EXPECT_EQ(D.SetsSparse, 0u);
+  EXPECT_GT(D.SetsDense, 0u);
+  EXPECT_EQ(D.SetTierPromotionsSparse, 0u);
+  EXPECT_EQ(D.SetTierPromotionsDense, 0u);
+}
+
+TEST(SolverTest, MemoryStatsTrackLiveAndPeakBytes) {
+  Solver S; // Default (adaptive) representation.
+  S.setSetKind(SolverSetKind::Adaptive);
+  // Tiny sets only: everything fits the inline tier, so set bytes stay 0.
+  for (CVarId V = 0; V < 30; ++V)
+    S.addToken(V, V % 5);
+  S.solve();
+  const SolverStats &Small = S.stats();
+  EXPECT_EQ(Small.SetBytesLive, 0u)
+      << "tiny points-to sets must cost zero heap bytes";
+  EXPECT_GT(Small.SetsSmall, 0u);
+
+  // Now blow one variable up past the inline and sparse thresholds.
+  for (TokenId T = 0; T < 3000; ++T)
+    S.addToken(0, T);
+  S.solve();
+  const SolverStats &Grown = S.stats();
+  EXPECT_GT(Grown.SetBytesLive, 0u);
+  EXPECT_GE(Grown.SetBytesPeak, Grown.SetBytesLive);
+  EXPECT_GT(Grown.SetTierPromotionsSparse, 0u);
+  EXPECT_GT(Grown.SetTierPromotionsDense, 0u);
+  EXPECT_GT(Grown.SetsDense, 0u);
+}
+
+TEST(SolverTest, AdaptiveUsesFewerSetBytesOnSparseWorkload) {
+  // A sparse workload with high token ids: many variables, each holding a
+  // handful of widely spaced tokens — the shape the adaptive design is
+  // for. The dense ablation pays O(maxTokenId/64) words per variable.
+  auto Build = [](Solver &S) {
+    for (CVarId V = 0; V < 200; ++V)
+      for (uint32_t I = 0; I != 3; ++I)
+        S.addToken(V, 40000 + V * 16 + I * 5);
+    S.solve();
+  };
+  Solver Adaptive, Dense;
+  Adaptive.setSetKind(SolverSetKind::Adaptive);
+  Dense.setSetKind(SolverSetKind::Dense);
+  Build(Adaptive);
+  Build(Dense);
+  uint64_t AdaptivePeak = Adaptive.stats().SetBytesPeak;
+  uint64_t DensePeak = Dense.stats().SetBytesPeak;
+  EXPECT_GT(DensePeak, 0u);
+  EXPECT_LT(AdaptivePeak * 4, DensePeak)
+      << "adaptive must be >= 4x smaller on sparse high-id sets";
 }
 
 } // namespace

@@ -1,5 +1,6 @@
 //===- SupportTest.cpp - Tests for the support library --------------------===//
 
+#include "support/AdaptiveSet.h"
 #include "support/BitSet.h"
 #include "support/Diagnostics.h"
 #include "support/JsNumber.h"
@@ -9,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -152,6 +154,296 @@ TEST(BitSetTest, EmptySet) {
   EXPECT_TRUE(S.empty());
   EXPECT_EQ(S.count(), 0u);
   EXPECT_TRUE(S == BitSet());
+}
+
+TEST(BitSetTest, SwapClearUnionSequencesKeepMembershipSemantics) {
+  // Regression for the unionWith/operator== interaction: unions must size
+  // by *membership* (ignoring trailing zero words), so storage laundered
+  // through swap/clear paths can never propagate through unions or skew
+  // equality, empty(), or count().
+  BitSet Big;
+  Big.insert(5000); // ~79 words of storage.
+  BitSet Small;
+  Small.insert(1);
+  Big.swap(Small); // Small now owns the large storage.
+  EXPECT_TRUE(Small.contains(5000));
+  EXPECT_TRUE(Big.contains(1));
+  EXPECT_EQ(Big.count(), 1u);
+
+  Small.clear();
+  EXPECT_TRUE(Small.empty());
+  EXPECT_EQ(Small.count(), 0u);
+  EXPECT_TRUE(Small == BitSet());
+
+  // Union with the cleared set: no change reported, no storage adopted,
+  // equality against a never-grown twin still holds.
+  EXPECT_FALSE(Big.unionWith(Small));
+  BitSet Twin;
+  Twin.insert(1);
+  EXPECT_TRUE(Big == Twin);
+
+  // unionWithRecordingNew through the same laundered sets: the delta holds
+  // exactly the new members and compares clean against a fresh set.
+  Small.insert(64);
+  BitSet Delta;
+  EXPECT_TRUE(Big.unionWithRecordingNew(Small, Delta));
+  BitSet WantDelta;
+  WantDelta.insert(64);
+  EXPECT_TRUE(Delta == WantDelta);
+  EXPECT_EQ(Big.count(), 2u);
+  EXPECT_FALSE(Big.unionWithRecordingNew(Small, Delta)) << "second is no-op";
+}
+
+//===----------------------------------------------------------------------===//
+// AdaptiveSet
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptiveSetTest, StartsSmallWithNoHeap) {
+  AdaptiveSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Small);
+  EXPECT_EQ(S.heapBytes(), 0u);
+  for (uint32_t V : {7u, 100000u, 3u, 64u, 63u, 9000u, 1u, 2u})
+    EXPECT_TRUE(S.insert(V));
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Small);
+  EXPECT_EQ(S.heapBytes(), 0u) << "<= 8 members must stay inline";
+  EXPECT_FALSE(S.insert(64)) << "double insert reports no change";
+  EXPECT_TRUE(S.contains(100000));
+  EXPECT_FALSE(S.contains(65));
+  std::vector<uint32_t> Want = {1, 2, 3, 7, 63, 64, 9000, 100000};
+  EXPECT_EQ(S.toVector(), Want);
+}
+
+TEST(AdaptiveSetTest, NinthElementPromotesToSparse) {
+  AdaptiveSet S;
+  // Widely spaced members: chunk occupancy stays far below the dense
+  // threshold, so the set promotes to Sparse and stays there.
+  for (uint32_t I = 0; I != 8; ++I)
+    S.insert(I * 1000);
+  ASSERT_EQ(S.tier(), AdaptiveSet::Tier::Small);
+  S.insert(8 * 1000);
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Sparse);
+  EXPECT_EQ(S.count(), 9u);
+  EXPECT_GT(S.heapBytes(), 0u);
+  for (uint32_t I = 0; I != 9; ++I)
+    EXPECT_TRUE(S.contains(I * 1000));
+  std::vector<uint32_t> V = S.toVector();
+  ASSERT_EQ(V.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(V.begin(), V.end()));
+}
+
+TEST(AdaptiveSetTest, DenseSpanPromotesToDense) {
+  AdaptiveSet S;
+  // Contiguous ids populate every 128-bit chunk of the span; once enough
+  // chunks exist, dense storage is no larger and the set promotes.
+  for (uint32_t I = 0; I != 600; ++I)
+    S.insert(I);
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Dense);
+  EXPECT_EQ(S.count(), 600u);
+  for (uint32_t I = 0; I != 600; ++I)
+    EXPECT_TRUE(S.contains(I));
+  EXPECT_FALSE(S.contains(600));
+}
+
+TEST(AdaptiveSetTest, SparseSurvivesHighIdsWithTinyFootprint) {
+  AdaptiveSet S;
+  for (uint32_t I = 0; I != 64; ++I)
+    S.insert(I * 100000); // Span of 6.4M ids, 64 members.
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Sparse);
+  EXPECT_EQ(S.count(), 64u);
+  // Dense storage for this span would be ~800 KB; sparse stays tiny.
+  EXPECT_LT(S.heapBytes(), 8u * 1024u);
+}
+
+TEST(AdaptiveSetTest, ClearKeepsTierPolicyAndResetsCount) {
+  AdaptiveSet S;
+  for (uint32_t I = 0; I != 20; ++I)
+    S.insert(I * 500);
+  ASSERT_FALSE(S.empty());
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Small);
+  EXPECT_TRUE(S.insert(5));
+  EXPECT_EQ(S.count(), 1u);
+}
+
+TEST(AdaptiveSetTest, ForceDensePinsThroughClear) {
+  AdaptiveSet S;
+  S.insert(3);
+  S.insert(70);
+  S.forceDense();
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Dense);
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_TRUE(S.contains(70));
+  EXPECT_EQ(S.count(), 2u);
+  S.clear();
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Dense) << "the pin survives clear";
+  S.insert(9);
+  EXPECT_EQ(S.tier(), AdaptiveSet::Tier::Dense);
+  EXPECT_EQ(S.count(), 1u);
+}
+
+TEST(AdaptiveSetTest, EqualityAcrossTiers) {
+  AdaptiveSet A, B;
+  for (uint32_t V : {1u, 600u, 40000u})
+    A.insert(V);
+  B.forceDense(); // Same membership, different representation.
+  for (uint32_t V : {1u, 600u, 40000u})
+    B.insert(V);
+  EXPECT_NE(A.tier(), B.tier());
+  EXPECT_TRUE(A == B);
+  EXPECT_TRUE(B == A);
+  B.insert(2);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(AdaptiveSetTest, CrossTypeEqualityWithBitSet) {
+  AdaptiveSet A;
+  BitSet B;
+  for (uint32_t V : {0u, 63u, 64u, 900u, 30000u}) {
+    A.insert(V);
+    B.insert(V);
+  }
+  EXPECT_TRUE(A == B);
+  EXPECT_TRUE(B == A);
+  B.insert(1);
+  EXPECT_FALSE(A == B);
+}
+
+TEST(AdaptiveSetTest, UnionWithRecordingNewRecordsExactDelta) {
+  AdaptiveSet A, Other, Delta;
+  A.insert(1);
+  A.insert(100);
+  Other.insert(100);
+  Other.insert(200);
+  Other.insert(90000);
+  EXPECT_TRUE(A.unionWithRecordingNew(Other, Delta));
+  std::vector<uint32_t> WantDelta = {200, 90000};
+  EXPECT_EQ(Delta.toVector(), WantDelta);
+  EXPECT_EQ(A.count(), 4u);
+  Delta.clear();
+  EXPECT_FALSE(A.unionWithRecordingNew(Other, Delta)) << "second is no-op";
+  EXPECT_TRUE(Delta.empty());
+}
+
+TEST(AdaptiveSetTest, SwapExchangesMembershipAndTier) {
+  AdaptiveSet A, B;
+  A.insert(5);
+  for (uint32_t I = 0; I != 600; ++I)
+    B.insert(I);
+  ASSERT_EQ(B.tier(), AdaptiveSet::Tier::Dense);
+  A.swap(B);
+  EXPECT_EQ(A.count(), 600u);
+  EXPECT_EQ(A.tier(), AdaptiveSet::Tier::Dense);
+  EXPECT_EQ(B.count(), 1u);
+  EXPECT_TRUE(B.contains(5));
+  EXPECT_EQ(B.tier(), AdaptiveSet::Tier::Small);
+}
+
+TEST(AdaptiveSetTest, MemoryAccountingBooksAndReleases) {
+  SetMemoryStats Mem;
+  {
+    AdaptiveSet S;
+    S.attachMemoryStats(&Mem);
+    for (uint32_t I = 0; I != 8; ++I)
+      S.insert(I * 1000);
+    EXPECT_EQ(Mem.LiveBytes, 0u) << "inline tier books zero bytes";
+    S.insert(8000); // Promote to sparse.
+    EXPECT_EQ(Mem.PromotionsToSparse, 1u);
+    EXPECT_GT(Mem.LiveBytes, 0u);
+    EXPECT_EQ(Mem.LiveBytes, S.heapBytes());
+    EXPECT_GE(Mem.PeakBytes, Mem.LiveBytes);
+    for (uint32_t I = 0; I != 8000; ++I)
+      S.insert(I); // Fill the span so the density rule promotes to dense.
+    EXPECT_EQ(Mem.PromotionsToDense, 1u);
+    EXPECT_EQ(Mem.LiveBytes, S.heapBytes());
+    EXPECT_GE(Mem.PeakBytes, Mem.LiveBytes);
+  }
+  EXPECT_EQ(Mem.LiveBytes, 0u) << "destructor books the bytes back out";
+  EXPECT_GT(Mem.PeakBytes, 0u) << "peak survives the release";
+}
+
+TEST(AdaptiveSetTest, CopyAssignKeepsOwnAccountingBlock) {
+  SetMemoryStats MemA, MemB;
+  AdaptiveSet A, B;
+  A.attachMemoryStats(&MemA);
+  B.attachMemoryStats(&MemB);
+  for (uint32_t I = 0; I != 100; ++I)
+    B.insert(I * 700);
+  uint64_t BLive = MemB.LiveBytes;
+  EXPECT_GT(BLive, 0u);
+  A = B; // A's bytes land in MemA; MemB is untouched.
+  EXPECT_TRUE(A == B);
+  EXPECT_EQ(MemB.LiveBytes, BLive);
+  EXPECT_EQ(MemA.LiveBytes, A.heapBytes());
+}
+
+TEST(AdaptiveSetTest, PropertyDifferentialVsBitSetReference) {
+  // Seeded random op sequences over a production AdaptiveSet, a dense-
+  // pinned AdaptiveSet (the ablation path), and the reference BitSet.
+  // Value ranges alternate between clustered (drives Small -> Sparse ->
+  // Dense) and scattered (keeps sets sparse), so every tier transition is
+  // crossed; verified at the end of each round.
+  Rng R(20260805);
+  bool SawSparse = false, SawDense = false;
+  for (int Round = 0; Round < 40; ++Round) {
+    AdaptiveSet S, SDense;
+    SDense.forceDense();
+    BitSet Ref;
+    const uint32_t Range = R.chance(50) ? 300 : 50000;
+    const size_t NumOps = size_t(R.range(10, 400));
+    for (size_t Op = 0; Op < NumOps; ++Op) {
+      uint32_t Roll = uint32_t(R.below(100));
+      if (Roll < 70) {
+        uint32_t V = uint32_t(R.below(Range));
+        EXPECT_EQ(S.insert(V), SDense.insert(V));
+        Ref.insert(V);
+      } else if (Roll < 85) {
+        // Union with a random batch, recording the delta both ways.
+        AdaptiveSet Batch;
+        BitSet RefBatch;
+        size_t N = size_t(R.range(1, 40));
+        for (size_t I = 0; I != N; ++I) {
+          uint32_t V = uint32_t(R.below(Range));
+          Batch.insert(V);
+          RefBatch.insert(V);
+        }
+        AdaptiveSet DeltaA, DeltaB;
+        BitSet RefDelta;
+        bool ChangedA = S.unionWithRecordingNew(Batch, DeltaA);
+        bool ChangedB = SDense.unionWithRecordingNew(Batch, DeltaB);
+        bool ChangedRef = Ref.unionWithRecordingNew(RefBatch, RefDelta);
+        EXPECT_EQ(ChangedA, ChangedRef);
+        EXPECT_EQ(ChangedB, ChangedRef);
+        EXPECT_TRUE(DeltaA == RefDelta);
+        EXPECT_TRUE(DeltaB == RefDelta);
+        EXPECT_TRUE(DeltaA == DeltaB);
+      } else if (Roll < 95) {
+        uint32_t V = uint32_t(R.below(Range));
+        EXPECT_EQ(S.contains(V), Ref.contains(V));
+        EXPECT_EQ(SDense.contains(V), Ref.contains(V));
+      } else {
+        S.clear();
+        SDense.clear();
+        Ref.clear();
+      }
+      if (S.tier() == AdaptiveSet::Tier::Sparse)
+        SawSparse = true;
+      if (S.tier() == AdaptiveSet::Tier::Dense)
+        SawDense = true;
+    }
+    ASSERT_EQ(S.count(), Ref.count()) << "round " << Round;
+    ASSERT_TRUE(S == Ref) << "round " << Round;
+    ASSERT_TRUE(SDense == Ref) << "round " << Round;
+    ASSERT_TRUE(S == SDense) << "round " << Round;
+    ASSERT_EQ(S.toVector(), Ref.toVector()) << "round " << Round;
+    ASSERT_EQ(SDense.toVector(), Ref.toVector()) << "round " << Round;
+  }
+  EXPECT_TRUE(SawSparse) << "op mix must exercise the sparse tier";
+  EXPECT_TRUE(SawDense) << "op mix must exercise the dense tier";
 }
 
 //===----------------------------------------------------------------------===//

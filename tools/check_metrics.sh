@@ -7,6 +7,11 @@
 #   tools/check_metrics.sh [build-dir]            # verify (CI mode)
 #   tools/check_metrics.sh [build-dir] --update   # re-bless after an
 #                                                 # intentional metric change
+#   tools/check_metrics.sh [build-dir] --solver-set=dense|adaptive
+#                                 # verify under one set representation; CI
+#                                 # runs both against the SAME golden file —
+#                                 # the representation must never leak into
+#                                 # metric tables
 #
 # Exits non-zero on drift, listing each bench whose table changed.
 set -euo pipefail
@@ -16,6 +21,10 @@ UPDATE=0
 for Arg in "$@"; do
   case "$Arg" in
   --update) UPDATE=1 ;;
+  --solver-set=*)
+    JSAI_SOLVER_SET="${Arg#--solver-set=}"
+    export JSAI_SOLVER_SET
+    ;;
   *) BUILD_DIR="$Arg" ;;
   esac
 done

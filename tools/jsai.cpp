@@ -18,6 +18,7 @@
 //   --hints-out=<file>  --hints-in=<file>      portable hint reuse
 //   --no-read-hints --no-write-hints --no-module-hints
 //   --unknown-args --eval-bodies               Section 6 extensions
+//   --solver-set=dense|adaptive                points-to set representation
 //   --jobs=N                                   parallel suite workers
 //   --deadline-approx=S --deadline-analysis=S  per-phase deadlines (seconds)
 //   --report=<file.jsonl> [--report-timings]   JSONL run telemetry
@@ -81,6 +82,8 @@ void printUsage() {
       "  --no-read-hints --no-write-hints --no-module-hints\n"
       "  --unknown-args       enable unknown-argument hints (Section 6)\n"
       "  --eval-bodies        analyze eval'd code strings (Section 6)\n"
+      "  --solver-set=dense|adaptive  points-to set representation\n"
+      "                       (default: adaptive; env JSAI_SOLVER_SET)\n"
       "  --jobs=N             suite worker threads (0 = all cores)\n"
       "  --deadline-approx=S  approx-phase deadline in seconds (0 = none)\n"
       "  --deadline-analysis=S  per-analysis deadline in seconds (0 = none)\n"
@@ -132,6 +135,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Analysis.UseUnknownArgHints = true;
     } else if (Arg == "--eval-bodies") {
       Opts.Analysis.UseEvalBodyAnalysis = true;
+    } else if (Starts("--solver-set=")) {
+      std::string Kind = Arg.substr(13);
+      SolverSetKind K;
+      if (!parseSolverSetKind(Kind.c_str(), K)) {
+        std::fprintf(stderr, "jsai: unknown solver set '%s'\n", Kind.c_str());
+        return false;
+      }
+      // Update the process default too: solvers constructed without
+      // explicit options (e.g. ProjectAnalyzer::analyze(Mode)) follow it.
+      setDefaultSolverSetKind(K);
+      Opts.Analysis.SolverSet = K;
     } else if (Starts("--jobs=")) {
       Opts.Jobs = size_t(std::strtoull(Arg.c_str() + 7, nullptr, 10));
     } else if (Starts("--deadline-approx=")) {
@@ -465,6 +479,7 @@ int cmdSuite(const CliOptions &Opts) {
   DO.Deadlines = Opts.Deadlines;
   DO.IncludeTimings = Opts.ReportTimings;
   DO.Cache = Opts.Cache;
+  DO.SolverSet = Opts.Analysis.SolverSet;
   CorpusDriver D(DO);
   RunSummary Summary = D.run(buildBenchmarkSuite());
 
