@@ -88,12 +88,93 @@ ProjectSpec makeHotLoops(Rng &, unsigned Size) {
   return Spec;
 }
 
+/// Pure control-flow/arithmetic kernels: long counted loops over local
+/// variables with almost no property traffic. This isolates statement and
+/// expression dispatch itself — the walker pays a recursive evalExpr visit
+/// per AST node per iteration, the bytecode VM a flat opcode fetch — so it
+/// is the headline workload for the VM-vs-walker engine ablation.
+ProjectSpec makeLoopKernels(Rng &, unsigned Size) {
+  unsigned Total = 6000u << Size; // Inner iterations across all calls.
+  unsigned Calls = 8;
+  unsigned N = Total / Calls;
+  SourceWriter W;
+  W.open("function kernel(n, seed) {")
+      .line("var s = seed, a = 1, b = 2, c = 3;")
+      .open("for (var i = 0; i < n; i = i + 1) {")
+      .line("a = (a * 31 + i) % 1009;")
+      .line("b = b + a - (i % 7);")
+      .line("c = b < 500 ? c + 2 : c - 1;")
+      .line("s = s + a + b * 2 - c;")
+      .line("if (s > 1000000) { s = s - 1000000; }")
+      .close()
+      .line("return s;")
+      .close();
+  W.open("function reduce(total) {")
+      .line("var acc = 0;")
+      .open("for (var j = 0; j < 50; j = j + 1) {")
+      .line("acc = (acc + total * j) % 99991;")
+      .line("acc = acc + (j % 2 === 0 ? 1 : -1);")
+      .close()
+      .line("return acc;")
+      .close();
+  W.line("var total = 0;");
+  W.open("for (var r = 0; r < " + std::to_string(Calls) + "; r = r + 1) {")
+      .line("total = total + kernel(" + std::to_string(N) + ", r);")
+      .line("total = reduce(total);")
+      .close();
+  W.line("module.exports = total;");
+
+  ProjectSpec Spec;
+  Spec.Pattern = "loop-kernels";
+  Spec.Files.addFile("app/main.js", W.str());
+  return Spec;
+}
+
+/// A switch-dispatched state machine inside a counted while loop: dense
+/// branching with zero property traffic, the second loop-heavy workload of
+/// the engine ablation (loop-kernels stresses straight-line arithmetic,
+/// this stresses control transfer).
+ProjectSpec makeStateMachine(Rng &, unsigned Size) {
+  unsigned N = 800u << Size; // Per-call iterations; 6 calls per run.
+  SourceWriter W;
+  W.open("function machine(n, seed) {")
+      .line("var st = 0, acc = seed, i = 0;")
+      .open("while (i < n) {")
+      .open("switch (st % 4) {")
+      .line("case 0: acc = acc + i * 3; st = st + 1; break;")
+      .line("case 1: acc = acc - (i % 5); st = st + 3; break;")
+      .line("case 2: acc = (acc * 7 + 1) % 10007; st = st + 1; break;")
+      .line("default: acc = acc + 1; st = acc % 9; break;")
+      .close()
+      .line("acc = (acc * 5 + st) % 9973;")
+      .line("i = i + 1;")
+      .close()
+      .line("return acc;")
+      .close();
+  W.line("var out = 0;");
+  W.open("for (var r = 0; r < 6; r = r + 1) {")
+      .line("out = out + machine(" + std::to_string(N) + ", r);")
+      .close();
+  W.line("module.exports = out;");
+
+  ProjectSpec Spec;
+  Spec.Pattern = "state-machine";
+  Spec.Files.addFile("app/main.js", W.str());
+  return Spec;
+}
+
 constexpr PatternCase Patterns[] = {
     {"mixin-init", makeExpressLike},
     {"plugin-tables", makePluginRegistry},
     {"prototype-oop", makeOopLibrary},
     {"hot-loops", makeHotLoops},
+    {"loop-kernels", makeLoopKernels},
+    {"state-machine", makeStateMachine},
 };
+
+constexpr size_t HotLoopsIdx = 3;
+constexpr size_t LoopKernelsIdx = 4;
+constexpr size_t StateMachineIdx = 5;
 
 ProjectSpec makeProject(size_t PatternIdx, unsigned Size) {
   Rng R(4242 + 31 * unsigned(PatternIdx) + Size);
@@ -103,9 +184,11 @@ ProjectSpec makeProject(size_t PatternIdx, unsigned Size) {
   return Spec;
 }
 
-ApproxOptions approxOptions(bool EnableIC) {
+ApproxOptions approxOptions(bool EnableIC,
+                            InterpEngineKind Engine = InterpEngineKind::Ast) {
   ApproxOptions AO;
   AO.EnableInlineCaches = EnableIC;
+  AO.Engine = Engine;
   return AO;
 }
 
@@ -113,9 +196,11 @@ void BM_ApproxInterp(benchmark::State &State) {
   ProjectSpec Spec =
       makeProject(size_t(State.range(0)), unsigned(State.range(1)));
   bool EnableIC = State.range(2) != 0;
+  InterpEngineKind Engine = State.range(3) != 0 ? InterpEngineKind::Vm
+                                                : InterpEngineKind::Ast;
   for (auto _ : State) {
     // Fresh analyzer each iteration: hint collection is cached otherwise.
-    ProjectAnalyzer A(Spec, approxOptions(EnableIC));
+    ProjectAnalyzer A(Spec, approxOptions(EnableIC, Engine));
     benchmark::DoNotOptimize(A.hints().size());
   }
 }
@@ -125,17 +210,27 @@ void registerBenches() {
     benchmark::RegisterBenchmark(
         (std::string("BM_ApproxInterp/") + Patterns[P].Name).c_str(),
         BM_ApproxInterp)
-        ->Args({long(P), 0, 1})
-        ->Args({long(P), 1, 1})
-        ->Args({long(P), 2, 1})
+        ->Args({long(P), 0, 1, 0})
+        ->Args({long(P), 1, 1, 0})
+        ->Args({long(P), 2, 1, 0})
         ->Unit(benchmark::kMillisecond);
   // The IC ablation only makes sense where sites re-execute.
   benchmark::RegisterBenchmark("BM_ApproxInterp/hot-loops-noic",
                                BM_ApproxInterp)
-      ->Args({long(std::size(Patterns)) - 1, 0, 0})
-      ->Args({long(std::size(Patterns)) - 1, 1, 0})
-      ->Args({long(std::size(Patterns)) - 1, 2, 0})
+      ->Args({long(HotLoopsIdx), 0, 0, 0})
+      ->Args({long(HotLoopsIdx), 1, 0, 0})
+      ->Args({long(HotLoopsIdx), 2, 0, 0})
       ->Unit(benchmark::kMillisecond);
+  // Engine ablation: the loop-heavy patterns under the bytecode VM (the
+  // default registrations above run the tree walker).
+  for (size_t P : {HotLoopsIdx, LoopKernelsIdx, StateMachineIdx})
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ApproxInterp/") + Patterns[P].Name + "-vm").c_str(),
+        BM_ApproxInterp)
+        ->Args({long(P), 0, 1, 1})
+        ->Args({long(P), 1, 1, 1})
+        ->Args({long(P), 2, 1, 1})
+        ->Unit(benchmark::kMillisecond);
 }
 
 /// One-shot table: per-pattern/size interpreter phase time plus the
@@ -170,7 +265,7 @@ void printScalingTable() {
               "IC off (s)", "IC on (s)", "Speedup", "Hit%");
   rule();
   for (unsigned Size = 0; Size != 3; ++Size) {
-    ProjectSpec Spec = makeProject(std::size(Patterns) - 1, Size);
+    ProjectSpec Spec = makeProject(HotLoopsIdx, Size);
     // Best-of-3 per configuration: one-shot wall times are noisy, and the
     // minimum is the standard noise-robust estimator for a deterministic
     // workload.
@@ -189,6 +284,40 @@ void printScalingTable() {
     std::printf("%-22s %6u %14.4f %14.4f %8.2fx %7.1f%%\n", "hot-loops",
                 Size, OffS, OnS, OnS > 0 ? OffS / OnS : 0.0,
                 100.0 * HitRate);
+  }
+  rule();
+  std::printf("\n");
+
+  std::printf("Engine ablation: bytecode VM vs tree walker (approx phase)\n");
+  rule();
+  std::printf("%-22s %6s %14s %14s %9s\n", "Pattern", "Size", "walker (s)",
+              "vm (s)", "Speedup");
+  rule();
+  for (size_t P : {HotLoopsIdx, LoopKernelsIdx, StateMachineIdx}) {
+    for (unsigned Size = 0; Size != 3; ++Size) {
+      ProjectSpec Spec = makeProject(P, Size);
+      // Best-of-3 per engine, same estimator as the IC ablation. Both runs
+      // produce identical hints (asserted here — the differential-oracle
+      // contract, enforced again end to end by the golden-metrics gate).
+      double AstS = 0, VmS = 0;
+      size_t AstHints = 0, VmHints = 0;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        ProjectAnalyzer Walker(
+            Spec, approxOptions(true, InterpEngineKind::Ast));
+        AstHints = Walker.hints().size();
+        ProjectAnalyzer Vm(Spec, approxOptions(true, InterpEngineKind::Vm));
+        VmHints = Vm.hints().size();
+        if (Rep == 0 || Walker.approxSeconds() < AstS)
+          AstS = Walker.approxSeconds();
+        if (Rep == 0 || Vm.approxSeconds() < VmS)
+          VmS = Vm.approxSeconds();
+      }
+      if (AstHints != VmHints)
+        std::printf("ENGINE DIVERGENCE: %zu vs %zu hints\n", AstHints,
+                    VmHints);
+      std::printf("%-22s %6u %14.4f %14.4f %8.2fx\n", Patterns[P].Name, Size,
+                  AstS, VmS, VmS > 0 ? AstS / VmS : 0.0);
+    }
   }
   rule();
   std::printf("\n");

@@ -107,6 +107,7 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   IOpts.MaxSteps = Opts.MaxSteps;
   IOpts.Cancel = Opts.Cancel;
   IOpts.EnableInlineCaches = Opts.EnableInlineCaches;
+  IOpts.Engine = Opts.Engine;
   Interpreter I(Loader, IOpts, &Collector);
 
   Stats = ApproxStats();

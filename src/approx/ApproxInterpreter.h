@@ -36,6 +36,10 @@ struct ApproxOptions {
   bool CollectModuleHints = true;
   /// Forwarded to InterpOptions; off only for ablation measurements.
   bool EnableInlineCaches = true;
+  /// Execution engine (tree walker or bytecode VM); forwarded to
+  /// InterpOptions. Both engines produce identical hints and stats — the
+  /// walker remains as the differential oracle for the VM.
+  InterpEngineKind Engine = defaultInterpEngineKind();
   /// Optional deadline token (armed by the caller). Polled at the
   /// interpreter's budget checkpoints and between worklist items; on expiry
   /// the worklist is abandoned and run() returns the hints collected so far.

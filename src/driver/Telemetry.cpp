@@ -2,6 +2,8 @@
 
 #include "driver/Telemetry.h"
 
+#include "vm/EngineKind.h"
+
 #include <cstdio>
 #include <fstream>
 
@@ -133,6 +135,15 @@ std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
   Out += ",\"shapes_created\":" + num(R.Approx.Interp.ShapesCreated);
   Out += ",\"dictionary_conversions\":" +
          num(R.Approx.Interp.DictionaryConversions);
+  if (IncludeTimings) {
+    // Which execution engine ran (tree walker or bytecode VM). Engine
+    // choice must never change any metric field, so — like solver memory
+    // accounting — the engine-identifying field rides behind the timings
+    // gate to keep default reports byte-identical across engines.
+    Out += ",\"mode\":\"";
+    Out += interpEngineKindName(defaultInterpEngineKind());
+    Out += "\"";
+  }
   Out += "}";
   Out += ",\"baseline\":" + analysisJson(R.Baseline);
   Out += ",\"extended\":" + analysisJson(R.Extended);

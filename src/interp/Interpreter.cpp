@@ -6,6 +6,7 @@
 #include "builtins/Builtins.h"
 #include "parser/Parser.h"
 #include "support/JsNumber.h"
+#include "vm/Bytecode.h" // Completes VmChunk for the chunk-cache member.
 
 #include <cassert>
 #include <cmath>
@@ -56,27 +57,6 @@ void Interpreter::registerBuiltinModule(const std::string &Name,
 //===----------------------------------------------------------------------===//
 // Budgets
 //===----------------------------------------------------------------------===//
-
-bool Interpreter::stepBudget() {
-  if (++Steps > Opts.MaxSteps) {
-    BudgetHit = true;
-    return false;
-  }
-  if (Opts.Cancel && Opts.Cancel->expired()) {
-    BudgetHit = true;
-    return false;
-  }
-  return true;
-}
-
-bool Interpreter::loopBudget() {
-  ++LoopIterations;
-  if (Opts.ApproxMode && LoopIterations > Opts.MaxLoopIterations) {
-    BudgetHit = true;
-    return false;
-  }
-  return stepBudget();
-}
 
 //===----------------------------------------------------------------------===//
 // Conversions
@@ -650,7 +630,7 @@ Completion Interpreter::callClosure(Object *Fn, const Value &ThisV,
     Obs->onCall(CallSite, Def);
 
   ++CallDepth;
-  Completion C = execBlockBody(Def->body()->body(), Env, Def);
+  Completion C = executeBody(Def, Env);
   --CallDepth;
 
   switch (C.Kind) {
@@ -702,7 +682,7 @@ Completion Interpreter::callFunctionForced(Object *Fn) {
     Obs->onCall(SourceLoc::invalid(), Def);
 
   ++CallDepth;
-  Completion C = execBlockBody(Def->body()->body(), Env, Def);
+  Completion C = executeBody(Def, Env);
   --CallDepth;
   if (C.Kind == CompletionKind::Return)
     return Completion::normal(C.V);
@@ -843,7 +823,7 @@ Completion Interpreter::runEvalBody(FunctionDef *F, Environment *Env) {
   for (FunctionDeclStmt *FD : F->hoistedFuncs())
     Env->define(FD->decl()->name(),
                 makeClosure(FD->def(), Env, FD->def()->loc()));
-  Completion C = execBlockBody(F->body()->body(), Env, F);
+  Completion C = executeBody(F, Env);
   if (C.Kind == CompletionKind::Throw || C.Kind == CompletionKind::Abort)
     return C;
   // MiniJS simplification: eval's completion value is undefined.
@@ -1043,25 +1023,45 @@ Completion Interpreter::evalMember(MemberExpr *M, Environment *Env,
 }
 
 /// Applies a binary arithmetic step for compound assignment / binary ops.
-static Value applyArith(Interpreter &I, AssignOp Op, const Value &Old,
-                        const Value &Rhs) {
+Value Interpreter::applyArithOp(AssignOp Op, const Value &Old,
+                                const Value &Rhs) {
   switch (Op) {
   case AssignOp::Add: {
     if (Old.isString() || Rhs.isString() ||
         (Old.isObject() && !Old.asObject()->isProxy()) ||
         (Rhs.isObject() && !Rhs.asObject()->isProxy()))
-      return Value::str(I.toStringValue(Old) + I.toStringValue(Rhs));
-    return Value::number(I.toNumberValue(Old) + I.toNumberValue(Rhs));
+      return Value::str(toStringValue(Old) + toStringValue(Rhs));
+    return Value::number(toNumberValue(Old) + toNumberValue(Rhs));
   }
   case AssignOp::Sub:
-    return Value::number(I.toNumberValue(Old) - I.toNumberValue(Rhs));
+    return Value::number(toNumberValue(Old) - toNumberValue(Rhs));
   case AssignOp::Mul:
-    return Value::number(I.toNumberValue(Old) * I.toNumberValue(Rhs));
+    return Value::number(toNumberValue(Old) * toNumberValue(Rhs));
   case AssignOp::Div:
-    return Value::number(I.toNumberValue(Old) / I.toNumberValue(Rhs));
+    return Value::number(toNumberValue(Old) / toNumberValue(Rhs));
   default:
     return Rhs;
   }
+}
+
+/// The value step of a compound assignment once both sides are known:
+/// `a ||= b` takes the rhs (the short-circuit happened earlier), proxies
+/// contaminate, everything else is applyArithOp.
+Value Interpreter::combineCompound(AssignOp Op, const Value &Old,
+                                   const Value &Rhs) {
+  if (Op == AssignOp::OrOr)
+    return Rhs;
+  if (Opts.ApproxMode && (isProxyValue(Old) || isProxyValue(Rhs)))
+    return proxyValue();
+  return applyArithOp(Op, Old, Rhs);
+}
+
+/// `++`/`--` value step (proxies contaminate).
+Value Interpreter::bumpValue(bool IsIncrement, const Value &Old) {
+  if (Opts.ApproxMode && isProxyValue(Old))
+    return proxyValue();
+  double N = toNumberValue(Old);
+  return Value::number(IsIncrement ? N + 1 : N - 1);
 }
 
 Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
@@ -1083,13 +1083,7 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
         return Old;
       Completion V = evalExpr(A->value(), Env, F);
       JSAI_PROPAGATE(V);
-      if (A->op() == AssignOp::OrOr)
-        NewV = V.V;
-      else if (Opts.ApproxMode &&
-               (isProxyValue(Old) || isProxyValue(V.V)))
-        NewV = proxyValue();
-      else
-        NewV = applyArith(*this, A->op(), Old, V.V);
+      NewV = combineCompound(A->op(), Old, V.V);
     }
     assignVariable(I->name(), NewV, Env);
     return NewV;
@@ -1132,12 +1126,7 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
       return Old;
     Completion V = evalExpr(A->value(), Env, F);
     JSAI_PROPAGATE(V);
-    if (A->op() == AssignOp::OrOr)
-      NewV = V.V;
-    else if (Opts.ApproxMode && (isProxyValue(Old) || isProxyValue(V.V)))
-      NewV = proxyValue();
-    else
-      NewV = applyArith(*this, A->op(), Old, V.V);
+    NewV = combineCompound(A->op(), Old, V.V);
   }
 
   if (!Key)
@@ -1163,10 +1152,7 @@ Completion Interpreter::evalAssign(AssignExpr *A, Environment *Env,
 Completion Interpreter::evalUpdate(UpdateExpr *U, Environment *Env,
                                    FunctionDef *F) {
   auto Bump = [&](const Value &Old) -> Value {
-    if (Opts.ApproxMode && isProxyValue(Old))
-      return proxyValue();
-    double N = toNumberValue(Old);
-    return Value::number(U->isIncrement() ? N + 1 : N - 1);
+    return bumpValue(U->isIncrement(), Old);
   };
   if (auto *I = dyn_cast<Ident>(U->target())) {
     Value Old;
@@ -1244,44 +1230,56 @@ Completion Interpreter::evalUnary(UnaryExpr *U, Environment *Env,
       } else {
         Key = M->name();
       }
-      if (!Key || !Base.V.isObject() || Base.V.asObject()->isProxy())
-        return Value::boolean(true);
-      Object *O = Base.V.asObject();
-      size_t Index;
-      if (O->objectClass() == ObjectClass::Array &&
-          isArrayIndex(strings().str(*Key), Index)) {
-        if (Index < O->elements().size())
-          O->elements()[Index] = Value::undefined();
-        return Value::boolean(true);
-      }
-      return Value::boolean(O->deleteOwn(*Key));
+      return deleteMemberOnValue(Base.V, Key);
     }
     return Value::boolean(true);
   }
 
   Completion C = evalExpr(U->operand(), Env, F);
   JSAI_PROPAGATE(C);
-  if (Opts.ApproxMode && isProxyValue(C.V)) {
-    if (U->op() == UnaryOp::Not)
+  return applyUnaryValueOp(U->op(), C.V);
+}
+
+/// `delete base[key]` once base and key are known.
+Value Interpreter::deleteMemberOnValue(const Value &Base,
+                                       const std::optional<Symbol> &Key) {
+  if (!Key || !Base.isObject() || Base.asObject()->isProxy())
+    return Value::boolean(true);
+  Object *O = Base.asObject();
+  size_t Index;
+  if (O->objectClass() == ObjectClass::Array &&
+      isArrayIndex(strings().str(*Key), Index)) {
+    if (Index < O->elements().size())
+      O->elements()[Index] = Value::undefined();
+    return Value::boolean(true);
+  }
+  return Value::boolean(O->deleteOwn(*Key));
+}
+
+/// Value-consuming unary operators (everything but typeof/delete, which
+/// never evaluate their operand the same way).
+Value Interpreter::applyUnaryValueOp(UnaryOp Op, const Value &V) {
+  if (Opts.ApproxMode && isProxyValue(V)) {
+    if (Op == UnaryOp::Not)
       return Value::boolean(false); // p* is truthy.
-    if (U->op() == UnaryOp::Void)
+    if (Op == UnaryOp::Void)
       return Value::undefined();
     return proxyValue();
   }
-  switch (U->op()) {
+  switch (Op) {
   case UnaryOp::Neg:
-    return Value::number(-toNumberValue(C.V));
+    return Value::number(-toNumberValue(V));
   case UnaryOp::Plus:
-    return Value::number(toNumberValue(C.V));
+    return Value::number(toNumberValue(V));
   case UnaryOp::Not:
-    return Value::boolean(!C.V.toBoolean());
+    return Value::boolean(!V.toBoolean());
   case UnaryOp::BitNot:
-    return Value::number(double(~toInt32(toNumberValue(C.V))));
+    return Value::number(double(~toInt32(toNumberValue(V))));
   case UnaryOp::Void:
     return Value::undefined();
   case UnaryOp::Typeof:
   case UnaryOp::Delete:
-    break; // Handled above.
+    break; // Handled by the callers.
   }
   return Value::undefined();
 }
@@ -1314,17 +1312,21 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
   JSAI_PROPAGATE(L);
   Completion R = evalExpr(B->rhs(), Env, F);
   JSAI_PROPAGATE(R);
-  const Value &A = L.V;
-  const Value &C = R.V;
+  return applyBinaryValueOp(B->op(), L.V, R.V);
+}
 
+/// Binary operator semantics once both operands are values. Pure apart
+/// from string interning: never throws, charges no steps.
+Value Interpreter::applyBinaryValueOp(BinaryOp Op, const Value &A,
+                                      const Value &C) {
   bool AnyProxy =
       Opts.ApproxMode && (isProxyValue(A) || isProxyValue(C));
 
-  switch (B->op()) {
+  switch (Op) {
   case BinaryOp::Add:
     if (AnyProxy)
       return proxyValue(); // Contamination keeps unknowns unknown.
-    return applyArith(*this, AssignOp::Add, A, C);
+    return applyArithOp(AssignOp::Add, A, C);
   case BinaryOp::Sub:
   case BinaryOp::Mul:
   case BinaryOp::Div:
@@ -1332,7 +1334,7 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
     if (AnyProxy)
       return proxyValue();
     double X = toNumberValue(A), Y = toNumberValue(C);
-    switch (B->op()) {
+    switch (Op) {
     case BinaryOp::Sub:
       return Value::number(X - Y);
     case BinaryOp::Mul:
@@ -1340,7 +1342,7 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
     case BinaryOp::Div:
       return Value::number(X / Y);
     default:
-      return Value::number(std::fmod(X, Y));
+      return Value::number(jsNumberMod(X, Y));
     }
   }
   case BinaryOp::EqStrict:
@@ -1363,7 +1365,7 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
       return Value::boolean(false); // Ends proxy-bounded loops promptly.
     if (A.isString() && C.isString()) {
       int Cmp = A.asString().compare(C.asString());
-      switch (B->op()) {
+      switch (Op) {
       case BinaryOp::Lt:
         return Value::boolean(Cmp < 0);
       case BinaryOp::Le:
@@ -1377,7 +1379,7 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
     double X = toNumberValue(A), Y = toNumberValue(C);
     if (std::isnan(X) || std::isnan(Y))
       return Value::boolean(false);
-    switch (B->op()) {
+    switch (Op) {
     case BinaryOp::Lt:
       return Value::boolean(X < Y);
     case BinaryOp::Le:
@@ -1396,7 +1398,7 @@ Completion Interpreter::evalBinary(BinaryExpr *B, Environment *Env,
     if (AnyProxy)
       return proxyValue();
     int32_t X = toInt32(toNumberValue(A)), Y = toInt32(toNumberValue(C));
-    switch (B->op()) {
+    switch (Op) {
     case BinaryOp::BitAnd:
       return Value::number(double(X & Y));
     case BinaryOp::BitOr:
@@ -1516,17 +1518,8 @@ Completion Interpreter::execBlockBody(const std::vector<Stmt *> &Body,
   return Completion::normal();
 }
 
-Completion Interpreter::evalForIn(ForInStmt *L, Environment *Env,
-                                  FunctionDef *F) {
-  Completion ObjC = evalExpr(L->object(), Env, F);
-  JSAI_PROPAGATE(ObjC);
-  if (!ObjC.V.isObject())
-    return Completion::normal();
-  Object *O = ObjC.V.asObject();
-  if (O->isProxy())
-    return Completion::normal(); // Zero iterations over unknowns.
-
-  // Snapshot the iteration values.
+/// Snapshot of the iteration values of `for (x in/of O)`.
+std::vector<Value> Interpreter::forInItems(ForInStmt *L, Object *O) {
   std::vector<Value> Items;
   bool IsArrayLike = O->objectClass() == ObjectClass::Array ||
                      O->objectClass() == ObjectClass::Arguments;
@@ -1540,6 +1533,20 @@ Completion Interpreter::evalForIn(ForInStmt *L, Environment *Env,
     for (Symbol Key : O->ownKeys())
       Items.push_back(Value::str(strings().str(Key)));
   }
+  return Items;
+}
+
+Completion Interpreter::evalForIn(ForInStmt *L, Environment *Env,
+                                  FunctionDef *F) {
+  Completion ObjC = evalExpr(L->object(), Env, F);
+  JSAI_PROPAGATE(ObjC);
+  if (!ObjC.V.isObject())
+    return Completion::normal();
+  Object *O = ObjC.V.asObject();
+  if (O->isProxy())
+    return Completion::normal(); // Zero iterations over unknowns.
+
+  std::vector<Value> Items = forInItems(L, O);
 
   for (const Value &Item : Items) {
     if (!loopBudget())

@@ -24,7 +24,9 @@
 #include "interp/Observer.h"
 #include "runtime/Heap.h"
 #include "support/Cancellation.h"
+#include "vm/EngineKind.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -32,10 +34,17 @@
 
 namespace jsai {
 
+struct VmChunk;
+
 /// Tunables for one interpreter instance.
 struct InterpOptions {
   /// Approximate-interpretation semantics (proxy values, budgets).
   bool ApproxMode = false;
+  /// Which engine executes function bodies. `Ast` walks the tree; `Vm`
+  /// compiles each FunctionDef to bytecode on first call and dispatches it
+  /// in a flat loop. Observationally identical (hints, stats, budgets);
+  /// the walker remains the differential oracle for the VM.
+  InterpEngineKind Engine = defaultInterpEngineKind();
   /// Maximum call-stack depth before aborting (Section 3 "stack size").
   size_t MaxCallDepth = 128;
   /// Maximum total loop iterations per forced execution (Section 3).
@@ -68,6 +77,7 @@ class Interpreter {
 public:
   Interpreter(ModuleLoader &Loader, InterpOptions Opts = InterpOptions(),
               InterpObserver *Obs = nullptr);
+  ~Interpreter(); // Out of line: VmChunk is incomplete here.
 
   //===--------------------------------------------------------------------===
   // Module execution
@@ -157,6 +167,10 @@ public:
   /// Inline-cache and shape counters of this interpreter (shape numbers
   /// come from the heap's shape tree).
   InterpStats stats() const;
+
+  /// Number of function bodies compiled to bytecode so far. Zero under the
+  /// tree walker; tests use this to prove the VM engine actually ran.
+  size_t compiledVmChunks() const { return VmChunks.size(); }
 
   /// Runs `eval(code)` in environment \p Env (direct-eval semantics).
   Completion runEval(const std::string &Code, Environment *Env,
@@ -279,6 +293,27 @@ private:
   Completion evalUpdate(UpdateExpr *U, Environment *Env, FunctionDef *F);
   Completion evalForIn(ForInStmt *L, Environment *Env, FunctionDef *F);
 
+  // Engine-neutral operator semantics, shared verbatim between the walker
+  // and the bytecode VM so the two cannot drift (Interpreter.cpp).
+  Value applyArithOp(AssignOp Op, const Value &Old, const Value &Rhs);
+  Value combineCompound(AssignOp Op, const Value &Old, const Value &Rhs);
+  Value applyBinaryValueOp(BinaryOp Op, const Value &A, const Value &C);
+  Value applyUnaryValueOp(UnaryOp Op, const Value &V);
+  Value bumpValue(bool IsIncrement, const Value &Old);
+  Value deleteMemberOnValue(const Value &Base,
+                            const std::optional<Symbol> &Key);
+  std::vector<Value> forInItems(ForInStmt *L, Object *O);
+
+  // Bytecode engine (vm/VmInterpreter.cpp).
+  /// Runs \p Def's body in \p Env with the configured engine. The single
+  /// switch point between the walker and the VM (callClosure,
+  /// callFunctionForced, and runEvalBody all funnel through here).
+  Completion executeBody(FunctionDef *Def, Environment *Env);
+  /// Lazily compiled bytecode for \p Def (compiled once, cached for the
+  /// interpreter's lifetime; eval re-parses create fresh FunctionDefs).
+  const VmChunk &chunkFor(FunctionDef *Def);
+  Completion runChunk(const VmChunk &Chunk, Environment *Env, FunctionDef *F);
+
   /// Invokes a program-defined closure.
   Completion callClosure(Object *Fn, const Value &ThisV,
                          std::vector<Value> &Args, SourceLoc CallSite,
@@ -288,9 +323,28 @@ private:
   /// when undeclared, as in sloppy-mode JavaScript).
   void assignVariable(Symbol Name, const Value &V, Environment *Env);
 
-  /// True (and marks abort) when the step/loop/depth budget is exhausted.
-  bool stepBudget();
-  bool loopBudget();
+  /// True while the step/loop budget still has headroom; marks the abort
+  /// otherwise. Inline: both engines charge one of these per expression or
+  /// statement region, so the call itself is interpreter hot-path.
+  bool stepBudget() {
+    if (++Steps > Opts.MaxSteps) {
+      BudgetHit = true;
+      return false;
+    }
+    if (Opts.Cancel && Opts.Cancel->expired()) {
+      BudgetHit = true;
+      return false;
+    }
+    return true;
+  }
+  bool loopBudget() {
+    ++LoopIterations;
+    if (Opts.ApproxMode && LoopIterations > Opts.MaxLoopIterations) {
+      BudgetHit = true;
+      return false;
+    }
+    return stepBudget();
+  }
 
   ModuleLoader &Loader;
   InterpOptions Opts;
@@ -308,6 +362,9 @@ private:
   std::unordered_map<std::string, Value> BuiltinModules;
 
   std::vector<std::string> Console;
+
+  /// Compiled bodies, keyed by FunctionDef (VM engine only).
+  std::unordered_map<FunctionDef *, std::unique_ptr<VmChunk>> VmChunks;
 
   /// Inline caches, indexed by NodeId (sparse; most nodes never host one).
   std::vector<InlineCache> Caches;

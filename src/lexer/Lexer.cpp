@@ -2,9 +2,11 @@
 
 #include "lexer/Lexer.h"
 
+#include "support/JsNumber.h"
+
 #include <cassert>
 #include <cctype>
-#include <cstdlib>
+#include <cmath>
 #include <unordered_map>
 
 using namespace jsai;
@@ -85,33 +87,44 @@ Token Lexer::lexNumber(SourceLoc Loc) {
   if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
     advance();
     advance();
+    if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+      Diags.error(Loc, "hex literal requires at least one digit");
+      Token T = makeToken(TokenKind::Error, Loc);
+      T.Text = "hex literal requires at least one digit";
+      return T;
+    }
     while (std::isxdigit(static_cast<unsigned char>(peek())))
       advance();
-    Token T = makeToken(TokenKind::Number, Loc);
-    T.NumValue = double(std::strtoull(Source.c_str() + Start + 2, nullptr, 16));
-    return T;
-  }
-  while (std::isdigit(static_cast<unsigned char>(peek())))
-    advance();
-  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
-    advance();
+  } else {
     while (std::isdigit(static_cast<unsigned char>(peek())))
       advance();
-  }
-  if (peek() == 'e' || peek() == 'E') {
-    size_t Save = Pos;
-    advance();
-    if (peek() == '+' || peek() == '-')
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
       advance();
-    if (std::isdigit(static_cast<unsigned char>(peek()))) {
       while (std::isdigit(static_cast<unsigned char>(peek())))
         advance();
-    } else {
-      Pos = Save; // Not an exponent; leave 'e' for the identifier lexer.
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      size_t Save = Pos;
+      advance();
+      if (peek() == '+' || peek() == '-')
+        advance();
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      } else {
+        Pos = Save; // Not an exponent; leave 'e' for the identifier lexer.
+      }
     }
   }
   Token T = makeToken(TokenKind::Number, Loc);
-  T.NumValue = std::strtod(Source.c_str() + Start, nullptr);
+  // Convert exactly the scanned span. An unbounded strtod here would read
+  // past the token (e.g. "123.e5" scans "123" but strtod would consume the
+  // ".e5" the parser is about to re-lex as member access), and its hex path
+  // saturates literals wider than 64 bits. The scanned text is always a
+  // valid StringToNumber literal, so this also keeps literal values
+  // identical to the interpreter's string->number conversions.
+  T.NumValue = jsStringToNumber(Source.substr(Start, Pos - Start));
+  assert(!std::isnan(T.NumValue) && "scanned span must convert cleanly");
   return T;
 }
 

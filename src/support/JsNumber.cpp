@@ -2,6 +2,7 @@
 
 #include "support/JsNumber.h"
 
+#include <cassert>
 #include <charconv>
 #include <cmath>
 #include <cstdint>
@@ -9,40 +10,183 @@
 
 using namespace jsai;
 
+//===----------------------------------------------------------------------===//
+// ToString(Number)
+//===----------------------------------------------------------------------===//
+
 std::string jsai::jsNumberToString(double Value) {
   if (std::isnan(Value))
     return "NaN";
   if (std::isinf(Value))
     return Value > 0 ? "Infinity" : "-Infinity";
   if (Value == 0)
-    return std::signbit(Value) ? "0" : "0";
+    return "0"; // Both zeros: ToString(-0) is "0" (Number::toString step 2).
+  if (std::signbit(Value))
+    return "-" + jsNumberToString(-Value);
   // Integers in the exactly-representable range print without a decimal
   // point or exponent, matching ECMAScript for all array indices.
-  if (Value == std::floor(Value) && std::fabs(Value) < 9.007199254740992e15)
+  if (Value == std::floor(Value) && Value < 9.007199254740992e15)
     return std::to_string(int64_t(Value));
+
+  // General case (Number::toString, 6.1.6.1.20): obtain the shortest
+  // round-tripping digit string s with 10^(n-1) <= s * 10^(n-k) < 10^n and
+  // lay it out by the magnitude class of n. to_chars' shortest scientific
+  // form provides exactly (s, n): "d[.ddd]e±x" means s = digits, n = x + 1.
   char Buf[64];
-  auto [Ptr, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), Value);
+  auto [Ptr, Ec] =
+      std::to_chars(Buf, Buf + sizeof(Buf), Value, std::chars_format::scientific);
   (void)Ec;
-  return std::string(Buf, Ptr);
+  std::string Sci(Buf, Ptr);
+  size_t EPos = Sci.find('e');
+  assert(EPos != std::string::npos && "scientific form always has an exponent");
+  std::string Digits = Sci.substr(0, EPos);
+  if (size_t Dot = Digits.find('.'); Dot != std::string::npos)
+    Digits.erase(Dot, 1);
+  int N = std::atoi(Sci.c_str() + EPos + 1) + 1;
+  int K = int(Digits.size());
+
+  if (K <= N && N <= 21)
+    return Digits + std::string(size_t(N - K), '0');
+  if (0 < N && N <= 21)
+    return Digits.substr(0, size_t(N)) + "." + Digits.substr(size_t(N));
+  if (-6 < N && N <= 0)
+    return "0." + std::string(size_t(-N), '0') + Digits;
+  // Exponential form: d[.ddd]e±(n-1), exponent printed without padding.
+  std::string Out(1, Digits[0]);
+  if (K > 1)
+    Out += "." + Digits.substr(1);
+  int Exp = N - 1;
+  Out += Exp >= 0 ? "e+" : "e-";
+  Out += std::to_string(Exp >= 0 ? Exp : -Exp);
+  return Out;
 }
 
-double jsai::jsStringToNumber(const std::string &S) {
-  size_t Begin = S.find_first_not_of(" \t\r\n");
-  if (Begin == std::string::npos)
-    return 0; // Whitespace-only and empty strings convert to +0.
-  size_t End = S.find_last_not_of(" \t\r\n") + 1;
-  std::string Trimmed = S.substr(Begin, End - Begin);
-  if (Trimmed.size() > 2 && Trimmed[0] == '0' &&
-      (Trimmed[1] == 'x' || Trimmed[1] == 'X')) {
-    char *EndPtr = nullptr;
-    unsigned long long Hex = std::strtoull(Trimmed.c_str() + 2, &EndPtr, 16);
-    if (*EndPtr != '\0')
-      return std::nan("");
-    return double(Hex);
-  }
-  char *EndPtr = nullptr;
-  double Result = std::strtod(Trimmed.c_str(), &EndPtr);
-  if (EndPtr == Trimmed.c_str() || *EndPtr != '\0')
+//===----------------------------------------------------------------------===//
+// StringToNumber
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool isStrWhiteSpace(char C) {
+  return C == ' ' || C == '\t' || C == '\v' || C == '\f' || C == '\r' ||
+         C == '\n';
+}
+
+int digitValue(char C, unsigned Radix) {
+  unsigned V;
+  if (C >= '0' && C <= '9')
+    V = unsigned(C - '0');
+  else if (C >= 'a' && C <= 'f')
+    V = unsigned(C - 'a') + 10;
+  else if (C >= 'A' && C <= 'F')
+    V = unsigned(C - 'A') + 10;
+  else
+    return -1;
+  return V < Radix ? int(V) : -1;
+}
+
+/// Value of a NonDecimalIntegerLiteral's digits (text after the 0x/0o/0b
+/// prefix). Exact up to 64 bits; wider literals continue accumulating in
+/// double (an approximation of the spec's exact-then-round semantics that
+/// only matters beyond 2^64). \returns NaN unless every character is a
+/// digit of \p Radix and there is at least one.
+double parseRadixDigits(const std::string &S, size_t Begin, unsigned Radix) {
+  if (Begin >= S.size())
     return std::nan("");
-  return Result;
+  unsigned long long Acc = 0;
+  bool Wide = false;
+  double DAcc = 0;
+  for (size_t I = Begin; I != S.size(); ++I) {
+    int D = digitValue(S[I], Radix);
+    if (D < 0)
+      return std::nan("");
+    if (!Wide) {
+      if (Acc > (~0ULL - (unsigned long long)D) / Radix) {
+        Wide = true;
+        DAcc = double(Acc);
+      } else {
+        Acc = Acc * Radix + (unsigned long long)D;
+        continue;
+      }
+    }
+    DAcc = DAcc * Radix + D;
+  }
+  return Wide ? DAcc : double(Acc);
+}
+
+/// True when [Begin, S.size()) matches StrUnsignedDecimalLiteral:
+///   DecimalDigits '.' DecimalDigits? ExponentPart?
+/// | '.' DecimalDigits ExponentPart?
+/// | DecimalDigits ExponentPart?
+/// This is what rejects strtod's C extensions: "inf", "nan", "infinity",
+/// and hex-float ("0x1p4" never reaches here; "1p4" fails on 'p').
+bool matchesDecimalLiteral(const std::string &S, size_t Begin) {
+  size_t I = Begin;
+  size_t IntDigits = 0;
+  while (I != S.size() && S[I] >= '0' && S[I] <= '9') {
+    ++I;
+    ++IntDigits;
+  }
+  size_t FracDigits = 0;
+  if (I != S.size() && S[I] == '.') {
+    ++I;
+    while (I != S.size() && S[I] >= '0' && S[I] <= '9') {
+      ++I;
+      ++FracDigits;
+    }
+  }
+  if (IntDigits == 0 && FracDigits == 0)
+    return false; // A lone '.', sign, or exponent is not a number.
+  if (I != S.size() && (S[I] == 'e' || S[I] == 'E')) {
+    ++I;
+    if (I != S.size() && (S[I] == '+' || S[I] == '-'))
+      ++I;
+    if (I == S.size() || S[I] < '0' || S[I] > '9')
+      return false; // ExponentPart requires at least one digit.
+    while (I != S.size() && S[I] >= '0' && S[I] <= '9')
+      ++I;
+  }
+  return I == S.size();
+}
+
+} // namespace
+
+double jsai::jsStringToNumber(const std::string &S) {
+  size_t Begin = 0, End = S.size();
+  while (Begin != End && isStrWhiteSpace(S[Begin]))
+    ++Begin;
+  while (End != Begin && isStrWhiteSpace(S[End - 1]))
+    --End;
+  if (Begin == End)
+    return 0; // Whitespace-only and empty strings convert to +0.
+  std::string Trimmed = S.substr(Begin, End - Begin);
+
+  // NonDecimalIntegerLiteral: 0x / 0o / 0b (ES2015). No sign is permitted
+  // before these ("-0x10" is NaN, unlike strtol semantics).
+  if (Trimmed.size() > 1 && Trimmed[0] == '0') {
+    char P = Trimmed[1];
+    if (P == 'x' || P == 'X')
+      return parseRadixDigits(Trimmed, 2, 16);
+    if (P == 'o' || P == 'O')
+      return parseRadixDigits(Trimmed, 2, 8);
+    if (P == 'b' || P == 'B')
+      return parseRadixDigits(Trimmed, 2, 2);
+  }
+
+  // StrDecimalLiteral: optional sign, then "Infinity" (exact spelling) or
+  // an unsigned decimal literal.
+  size_t Unsigned = 0;
+  double Sign = 1;
+  if (Trimmed[0] == '+' || Trimmed[0] == '-') {
+    Unsigned = 1;
+    if (Trimmed[0] == '-')
+      Sign = -1;
+  }
+  if (Trimmed.compare(Unsigned, std::string::npos, "Infinity") == 0)
+    return Sign * HUGE_VAL;
+  if (!matchesDecimalLiteral(Trimmed, Unsigned))
+    return std::nan("");
+  // The text is now a strict subset of strtod's grammar, so strtod performs
+  // only the correctly rounded decimal conversion.
+  return std::strtod(Trimmed.c_str(), nullptr);
 }

@@ -11,17 +11,40 @@
 #ifndef JSAI_SUPPORT_JSNUMBER_H
 #define JSAI_SUPPORT_JSNUMBER_H
 
+#include <cmath>
 #include <string>
 
 namespace jsai {
 
-/// Approximates ECMAScript ToString on a number: "NaN", "Infinity",
-/// integers without a decimal point, shortest round-trip otherwise.
+/// ECMAScript `%` on numbers: the result keeps the dividend's sign (so
+/// `-10 % 5` is `-0`). Integral operands in the exactly-representable
+/// range take an integer remainder — fmod computes the same value (it is
+/// exact for integral doubles) an order of magnitude slower, and `%` on
+/// small integers dominates interpreter loop workloads.
+inline double jsNumberMod(double X, double Y) {
+  constexpr double Lim = 9007199254740992.0; // 2^53
+  if (X > -Lim && X < Lim && Y > -Lim && Y < Lim) {
+    long long IX = (long long)X, IY = (long long)Y;
+    if (double(IX) == X && double(IY) == Y && IY != 0) {
+      long long R = IX % IY;
+      if (R != 0)
+        return double(R);
+      return std::signbit(X) ? -0.0 : 0.0;
+    }
+  }
+  return std::fmod(X, Y);
+}
+
+/// ECMAScript ToString on a number (Number::toString, base 10): "NaN",
+/// "+/-Infinity", "0" for both zeros, integers without a decimal point,
+/// and the spec's shortest-round-trip positional/exponential layout
+/// otherwise ("0.000001" but "1e-7"; "1e+21" at the positional boundary).
 std::string jsNumberToString(double Value);
 
-/// Approximates ECMAScript ToNumber on a string: empty/whitespace -> 0,
-/// leading/trailing whitespace ignored, "0x" hex supported, otherwise NaN
-/// for non-numeric input.
+/// ECMAScript ToNumber on a string (StringToNumber): empty/whitespace -> +0,
+/// leading/trailing whitespace ignored, unsigned "0x"/"0o"/"0b" literals,
+/// optionally signed decimal literals and "Infinity". Rejects the strtod
+/// C extensions ("inf", "nan", hex-float, signed hex) with NaN.
 double jsStringToNumber(const std::string &S);
 
 } // namespace jsai

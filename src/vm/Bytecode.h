@@ -1,0 +1,172 @@
+//===- Bytecode.h - MiniJS bytecode chunks ----------------------*- C++ -*-===//
+///
+/// \file
+/// Flat bytecode for one FunctionDef, produced by the VmCompiler and run by
+/// Interpreter::runChunk. The design goal is NOT a different semantics but
+/// the same one, cheaper: every opcode corresponds to a region of the tree
+/// walker, performs exactly the walker's side effects (observer events,
+/// inline-cache probes keyed by the same NodeIds, step/loop budget charges)
+/// in the same order, and differs only in how control reaches it — a flat
+/// instruction pointer instead of recursive dispatch with per-node
+/// Completion records.
+///
+/// Step-budget parity contract: the walker charges one step at the entry of
+/// every evalExpr and execStmt. Opcodes marked "step-fused" below charge
+/// that step themselves (cheap leaf expressions); every other expression or
+/// statement region begins with an explicit `Step`. Loop-head charges use
+/// `LoopBudget` at exactly the walker's loop-head placement. Shared helpers
+/// (callValue, runEval) charge their own entry steps in C++ for both
+/// engines, so the Steps counter — and therefore the exact point where a
+/// MaxSteps/cancellation abort fires — is identical under `--interp=ast`
+/// and `--interp=vm`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_VM_BYTECODE_H
+#define JSAI_VM_BYTECODE_H
+
+#include "runtime/Value.h"
+#include "support/StringPool.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jsai {
+
+class Node;
+class FunctionDef;
+class VarDecl;
+
+/// Jump operands use absolute instruction indices; NoTarget marks an unset
+/// or absent one (e.g. a try without a finalizer).
+inline constexpr uint32_t VmNoTarget = ~uint32_t(0);
+
+enum class VmOp : uint8_t {
+  // -- Budget charges -------------------------------------------------------
+  Step,       ///< One walker step (expr/stmt entry). Aborts on exhaustion.
+  LoopBudget, ///< One loop iteration + one step (walker loopBudget).
+
+  // -- Pushes (step-fused leaf expressions) ---------------------------------
+  Const,       ///< [step] push Consts[A].
+  LoadIdent,   ///< [step] A=node(Ident), B=slot: lookup / p* / ReferenceError.
+  LoadThis,    ///< [step] A=slot: push `this` binding / p* / undefined.
+  Closure,     ///< [step] A=node(FunctionExpr): makeClosure, push.
+  TypeofIdent, ///< [step] A=node(Ident), B=slot: typeof without operand eval.
+  UpdateIdent, ///< [step] A=node(UpdateExpr over an Ident target), B=slot.
+
+  // -- Pushes (no step; used mid-expression) --------------------------------
+  PushUndef,
+  LoadIdentNoThrow, ///< A=sym, B=slot: compound old value (missing -> p*/undef).
+
+  // -- Stack shuffles -------------------------------------------------------
+  Pop,
+  Dup,  ///< a -> a a
+  Dup2, ///< a b -> a b a b
+
+  // -- Jumps ----------------------------------------------------------------
+  Jump,            ///< A=target.
+  JumpIfFalsePop,  ///< A=target: pop v; jump unless v.toBoolean().
+  JumpIfTruePop,   ///< A=target: pop v; jump if v.toBoolean().
+  LogicalJump,     ///< A=LogicalOp, B=target: peek; short-circuit keeps
+                   ///< the value and jumps, else pops and falls through.
+  OrOrShortcut,    ///< A=target, B=nip count: peek old; if truthy, erase B
+                   ///< entries beneath it and jump; else pop it.
+  CaseCompare,     ///< A=target: pop test; if strictEquals(peek disc, test)
+                   ///< pop disc and jump.
+
+  // -- Variables ------------------------------------------------------------
+  StoreIdent,   ///< A=sym, B=slot: peek value, assignVariable (value stays).
+  StoreIdentPop,///< A=sym, B=slot: pop value, assignVariable.
+
+  // -- Operators ------------------------------------------------------------
+  UnaryValue,  ///< A=UnaryOp: pop v, push result (Neg/Plus/Not/BitNot/Void).
+  TypeofValue, ///< pop v, push typeof string.
+  BinaryValue, ///< A=BinaryOp: pop rhs, lhs; push result.
+  ApplyArith,  ///< A=AssignOp: pop rhs, old; push compound-assign result.
+
+  // -- Property access ------------------------------------------------------
+  GetMember,           ///< A=node(Member, static): pop base; getProperty
+                       ///< with the node's inline cache; push.
+  GetMemberComputed,   ///< A=node(Member, computed): pop index, base;
+                       ///< dynamic-read protocol; push.
+  GetMemberForCompound,///< A=node(Member, static): pop base copy; push old.
+  GetMemberComputedForCompound, ///< A=node: pop index, base copies; push old.
+  SetMember,           ///< A=node(Member, static): pop value, base; receiver
+                       ///< inference + cached write; push value.
+  SetMemberComputed,   ///< A=node(Member, computed): pop value, index, base;
+                       ///< dynamic-write protocol; push value.
+  UpdateMember,         ///< A=node(UpdateExpr, static member): pop base.
+  UpdateMemberComputed, ///< A=node(UpdateExpr): pop index, base.
+  DeleteMember,         ///< A=node(Member, static): pop base; push bool.
+  DeleteMemberComputed, ///< A=node(Member, computed): pop index, base.
+
+  // -- Calls ----------------------------------------------------------------
+  ResolveMethodStatic,   ///< A=node(Member): pop base; push base, callee.
+  ResolveMethodComputed, ///< A=node(Member): pop index, base; push base, callee.
+  Call,       ///< A=node(Call), B=argc: pop args, callee; this=undefined.
+  CallMethod, ///< A=node(Call), B=argc: pop args, callee, base(this).
+  New,        ///< A=node(New), B=argc: pop args, callee; construct.
+  DirectEval, ///< A=node(Call): pop arg; direct-eval semantics.
+
+  // -- Allocation -----------------------------------------------------------
+  NewObjectLit,    ///< A=node(ObjectLit): allocate + onObjectCreated; push.
+  SetOwnProp,      ///< A=node(ObjectLit), B=prop idx: pop value; peek obj.
+  SetAccessorProp, ///< A=node(ObjectLit), B=prop idx: pop accessor; peek obj.
+  SetComputedProp, ///< A=node(ObjectLit), B=prop idx: pop key, value; peek
+                   ///< obj; write completion discarded (walker parity).
+  MakeArray,       ///< A=node(ArrayLit), B=count: pop count elems; push array.
+
+  // -- for-in / for-of ------------------------------------------------------
+  ForInInit, ///< A=node(ForIn), B=end target: pop obj; either push iteration
+             ///< state or jump past the loop (non-object / proxy).
+  ForInNext, ///< A=node(ForIn), B=cleanup target: exhausted -> jump; else
+             ///< loop-budget charge and push the next item.
+  ForInBindVar,    ///< A=sym, B=slot: pop item, assignVariable.
+  ForInBindMember, ///< A=node(Member): pop base, item; static writes only.
+  ForInEnd,        ///< pop iteration state.
+
+  // -- try / catch / finally ------------------------------------------------
+  TryEnter,  ///< A=catch target (NoTarget if none), B=finally target.
+  TryExit,   ///< pop the handler frame (normal or early exit).
+  CatchBind, ///< A=sym or InvalidSymbol, B=slot: bind pending throw's value.
+  Throw,     ///< pop v; unwind with Throw(v).
+  Rethrow,   ///< unwind with the pending completion (after a finalizer).
+
+  // -- Chunk exits ----------------------------------------------------------
+  StashRet,      ///< pop v into the return slot (before inlined finalizers).
+  ReturnStashed, ///< exit chunk with Return(return slot).
+  ReturnValue,   ///< pop v; exit chunk with Return(v).
+  ReturnNormal,  ///< exit chunk with Normal (body fell off the end).
+  ReturnBrk,     ///< exit chunk with Break (stray break, walker parity).
+  ReturnCont,    ///< exit chunk with Continue (stray continue).
+};
+
+struct VmInsn {
+  VmOp Op;
+  uint32_t A = 0;
+  uint32_t B = 0;
+};
+
+/// Compiled form of one FunctionDef. Referenced AST nodes carry the same
+/// NodeIds the walker uses, so inline caches, diagnostics locations, and
+/// observer events are shared verbatim between engines.
+///
+/// Every identifier-touching opcode also carries a compile-time slot id
+/// (one per distinct symbol in the function). runChunk resolves each slot
+/// to the binding's Value* at most once per invocation and reuses the
+/// pointer afterwards: a function's own binding set is fixed after entry
+/// (hoisting happens in callClosure, eval defines into a child frame, and
+/// implicit globals land in the outermost frame), so a resolved pointer can
+/// never become shadowed, and unordered_map value pointers are stable under
+/// insertion. Misses (unbound globals) are never cached.
+struct VmChunk {
+  FunctionDef *Func = nullptr;
+  std::vector<VmInsn> Code;
+  std::vector<Value> Consts;
+  std::vector<Node *> Nodes;
+  uint32_t NumSlots = 0; ///< Distinct symbols; sizes runChunk's slot cache.
+};
+
+} // namespace jsai
+
+#endif // JSAI_VM_BYTECODE_H

@@ -1,0 +1,700 @@
+//===- Compiler.cpp - AST -> bytecode compiler ----------------------------===//
+//
+// Layout invariants (the step-parity contract lives here):
+//
+//  - Every statement region and every composite expression begins with an
+//    explicit Step; leaf expressions use step-fused opcodes instead.
+//  - Loop heads charge LoopBudget exactly where the walker's loops do:
+//    before the condition (while/for), before the body (do-while), before
+//    each binding (for-in, via ForInNext).
+//  - Expression code always nets exactly one pushed value; statement code
+//    nets zero. Abrupt exits (throw/abort) unwind through TryEnter frames
+//    at runtime; break/continue/return are resolved at compile time by
+//    inlining TryExit + finalizer code along the exit edge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+uint32_t VmCompiler::emit(VmOp Op, uint32_t A, uint32_t B) {
+  Chunk->Code.push_back(VmInsn{Op, A, B});
+  return uint32_t(Chunk->Code.size() - 1);
+}
+
+uint32_t VmCompiler::addNode(Node *N) {
+  Chunk->Nodes.push_back(N);
+  return uint32_t(Chunk->Nodes.size() - 1);
+}
+
+uint32_t VmCompiler::addConst(Value V) {
+  Chunk->Consts.push_back(std::move(V));
+  return uint32_t(Chunk->Consts.size() - 1);
+}
+
+uint32_t VmCompiler::slotFor(Symbol Name) {
+  auto [It, Inserted] = SlotIds.try_emplace(Name, uint32_t(SlotIds.size()));
+  return It->second;
+}
+
+std::vector<VmCompiler::Scope> VmCompiler::detachFrom(size_t I) {
+  std::vector<Scope> Tail(std::make_move_iterator(Scopes.begin() + I),
+                          std::make_move_iterator(Scopes.end()));
+  Scopes.resize(I);
+  return Tail;
+}
+
+void VmCompiler::reattach(std::vector<Scope> &Tail) {
+  for (Scope &S : Tail)
+    Scopes.push_back(std::move(S));
+}
+
+std::unique_ptr<VmChunk> VmCompiler::compile(FunctionDef *Def) {
+  auto Out = std::make_unique<VmChunk>();
+  Out->Func = Def;
+  Chunk = Out.get();
+  Scopes.clear();
+  SlotIds.clear();
+  compileBlockBody(Def->body()->body());
+  emit(VmOp::ReturnNormal);
+  Out->NumSlots = uint32_t(SlotIds.size());
+  Chunk = nullptr;
+  return Out;
+}
+
+void VmCompiler::compileBlockBody(const std::vector<Stmt *> &Body) {
+  for (Stmt *S : Body)
+    compileStmt(S);
+}
+
+//===----------------------------------------------------------------------===//
+// Exit edges
+//===----------------------------------------------------------------------===//
+
+void VmCompiler::emitBranchOut(bool IsBreak) {
+  for (size_t I = Scopes.size(); I-- > 0;) {
+    Scope &S = Scopes[I];
+    if (S.Kind == Scope::Try) {
+      emit(VmOp::TryExit);
+      if (S.Finalizer) {
+        BlockStmt *Fin = S.Finalizer;
+        std::vector<Scope> Tail = detachFrom(I);
+        compileBlockBody(Fin->body());
+        emitBranchOut(IsBreak);
+        reattach(Tail);
+        return;
+      }
+      continue;
+    }
+    if (S.Kind == Scope::Loop || S.Kind == Scope::ForInLoop ||
+        (IsBreak && S.Kind == Scope::Switch)) {
+      uint32_t J = emit(VmOp::Jump);
+      (IsBreak ? S.BreakPatches : S.ContinuePatches).push_back(J);
+      return;
+    }
+    // A Switch crossed by `continue` needs no cleanup: its discriminant
+    // was popped before the case bodies started.
+  }
+  // No enclosing target: the stray completion escapes the function body,
+  // exactly like the walker's Break/Continue completions.
+  emit(IsBreak ? VmOp::ReturnBrk : VmOp::ReturnCont);
+}
+
+void VmCompiler::emitReturnPath() {
+  bool AnyTry = false;
+  for (const Scope &S : Scopes)
+    AnyTry |= S.Kind == Scope::Try;
+  if (!AnyTry) {
+    emit(VmOp::ReturnValue);
+    return;
+  }
+  emit(VmOp::StashRet);
+  emitReturnUnwind();
+}
+
+void VmCompiler::emitReturnUnwind() {
+  for (size_t I = Scopes.size(); I-- > 0;) {
+    Scope &S = Scopes[I];
+    if (S.Kind != Scope::Try)
+      continue; // Loop/switch/for-in state dies with the chunk frame.
+    emit(VmOp::TryExit);
+    if (S.Finalizer) {
+      BlockStmt *Fin = S.Finalizer;
+      std::vector<Scope> Tail = detachFrom(I);
+      compileBlockBody(Fin->body());
+      emitReturnUnwind();
+      reattach(Tail);
+      return;
+    }
+  }
+  emit(VmOp::ReturnStashed);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void VmCompiler::compileStmt(Stmt *S) {
+  switch (S->kind()) {
+  case NodeKind::ExprStmt:
+    emit(VmOp::Step);
+    compileExpr(cast<ExprStmt>(S)->expr());
+    emit(VmOp::Pop);
+    return;
+  case NodeKind::VarDeclStmt:
+    emit(VmOp::Step);
+    for (const VarDeclarator &D : cast<VarDeclStmt>(S)->declarators()) {
+      if (!D.Init)
+        continue;
+      compileExpr(D.Init);
+      emit(VmOp::StoreIdentPop, D.Decl->name(), slotFor(D.Decl->name()));
+    }
+    return;
+  case NodeKind::FunctionDeclStmt: // Hoisted at function entry.
+  case NodeKind::Empty:
+    emit(VmOp::Step);
+    return;
+  case NodeKind::Block:
+    emit(VmOp::Step);
+    compileBlockBody(cast<BlockStmt>(S)->body());
+    return;
+  case NodeKind::If: {
+    auto *I = cast<IfStmt>(S);
+    emit(VmOp::Step);
+    compileExpr(I->cond());
+    uint32_t JF = emit(VmOp::JumpIfFalsePop);
+    compileStmt(I->thenStmt());
+    if (I->elseStmt()) {
+      uint32_t JEnd = emit(VmOp::Jump);
+      patchA(JF, here());
+      compileStmt(I->elseStmt());
+      patchA(JEnd, here());
+    } else {
+      patchA(JF, here());
+    }
+    return;
+  }
+  case NodeKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    emit(VmOp::Step);
+    Scopes.push_back({Scope::Loop, {}, {}, nullptr});
+    uint32_t Head = here();
+    emit(VmOp::LoopBudget);
+    compileExpr(W->cond());
+    uint32_t JF = emit(VmOp::JumpIfFalsePop);
+    compileStmt(W->body());
+    emit(VmOp::Jump, Head);
+    uint32_t End = here();
+    patchA(JF, End);
+    Scope L = std::move(Scopes.back());
+    Scopes.pop_back();
+    for (uint32_t J : L.BreakPatches)
+      patchA(J, End);
+    for (uint32_t J : L.ContinuePatches)
+      patchA(J, Head);
+    return;
+  }
+  case NodeKind::DoWhile: {
+    auto *W = cast<DoWhileStmt>(S);
+    emit(VmOp::Step);
+    Scopes.push_back({Scope::Loop, {}, {}, nullptr});
+    uint32_t Head = here();
+    emit(VmOp::LoopBudget);
+    compileStmt(W->body());
+    uint32_t CondL = here();
+    compileExpr(W->cond());
+    emit(VmOp::JumpIfTruePop, Head);
+    uint32_t End = here();
+    Scope L = std::move(Scopes.back());
+    Scopes.pop_back();
+    for (uint32_t J : L.BreakPatches)
+      patchA(J, End);
+    for (uint32_t J : L.ContinuePatches)
+      patchA(J, CondL);
+    return;
+  }
+  case NodeKind::For: {
+    auto *L = cast<ForStmt>(S);
+    emit(VmOp::Step);
+    if (L->init())
+      compileStmt(L->init());
+    Scopes.push_back({Scope::Loop, {}, {}, nullptr});
+    uint32_t Head = here();
+    emit(VmOp::LoopBudget);
+    uint32_t JF = VmNoTarget;
+    if (L->cond()) {
+      compileExpr(L->cond());
+      JF = emit(VmOp::JumpIfFalsePop);
+    }
+    compileStmt(L->body());
+    uint32_t StepL = here();
+    if (L->step()) {
+      compileExpr(L->step());
+      emit(VmOp::Pop);
+    }
+    emit(VmOp::Jump, Head);
+    uint32_t End = here();
+    if (JF != VmNoTarget)
+      patchA(JF, End);
+    Scope Sc = std::move(Scopes.back());
+    Scopes.pop_back();
+    for (uint32_t J : Sc.BreakPatches)
+      patchA(J, End);
+    for (uint32_t J : Sc.ContinuePatches)
+      patchA(J, StepL);
+    return;
+  }
+  case NodeKind::ForIn:
+    compileForIn(cast<ForInStmt>(S));
+    return;
+  case NodeKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    emit(VmOp::Step);
+    if (R->value())
+      compileExpr(R->value());
+    else
+      emit(VmOp::PushUndef);
+    emitReturnPath();
+    return;
+  }
+  case NodeKind::Break:
+    emit(VmOp::Step);
+    emitBranchOut(/*IsBreak=*/true);
+    return;
+  case NodeKind::Continue:
+    emit(VmOp::Step);
+    emitBranchOut(/*IsBreak=*/false);
+    return;
+  case NodeKind::Throw:
+    emit(VmOp::Step);
+    compileExpr(cast<ThrowStmt>(S)->value());
+    emit(VmOp::Throw);
+    return;
+  case NodeKind::Try:
+    compileTry(cast<TryStmt>(S));
+    return;
+  case NodeKind::Switch:
+    compileSwitch(cast<SwitchStmt>(S));
+    return;
+  default:
+    assert(false && "expression node in statement compilation");
+    return;
+  }
+}
+
+void VmCompiler::compileForIn(ForInStmt *L) {
+  emit(VmOp::Step);
+  compileExpr(L->object());
+  uint32_t Init = emit(VmOp::ForInInit, addNode(L));
+  Scopes.push_back({Scope::ForInLoop, {}, {}, nullptr});
+  uint32_t Head = here();
+  uint32_t Next = emit(VmOp::ForInNext, addNode(L));
+  if (L->decl()) {
+    emit(VmOp::ForInBindVar, L->decl()->name(),
+         slotFor(L->decl()->name()));
+  } else if (auto *I = dyn_cast<Ident>(L->target())) {
+    emit(VmOp::ForInBindVar, I->name(), slotFor(I->name()));
+  } else if (auto *M = dyn_cast<MemberExpr>(L->target())) {
+    // The walker evaluates the member's object every iteration but only
+    // writes through static (non-computed) targets.
+    compileExpr(M->object());
+    emit(VmOp::ForInBindMember, addNode(M));
+  }
+  compileStmt(L->body());
+  emit(VmOp::Jump, Head);
+  uint32_t Cleanup = here();
+  emit(VmOp::ForInEnd);
+  uint32_t End = here();
+  patchB(Init, End);     // Non-object/proxy: skip the loop, no state pushed.
+  patchB(Next, Cleanup); // Exhausted: pop the iteration state.
+  Scope Sc = std::move(Scopes.back());
+  Scopes.pop_back();
+  for (uint32_t J : Sc.BreakPatches)
+    patchA(J, Cleanup);
+  for (uint32_t J : Sc.ContinuePatches)
+    patchA(J, Head);
+}
+
+void VmCompiler::compileTry(TryStmt *T) {
+  emit(VmOp::Step);
+  bool HasHandler = T->handler() != nullptr;
+  bool HasFinalizer = T->finalizer() != nullptr;
+  if (!HasHandler && !HasFinalizer) {
+    // Degenerate `try {}`: no frame needed.
+    compileBlockBody(T->body()->body());
+    return;
+  }
+
+  uint32_t Enter = emit(VmOp::TryEnter, VmNoTarget, VmNoTarget);
+  Scopes.push_back(
+      {Scope::Try, {}, {}, HasFinalizer ? T->finalizer() : nullptr});
+  compileBlockBody(T->body()->body());
+  emit(VmOp::TryExit);
+  Scopes.pop_back();
+  if (HasFinalizer)
+    compileBlockBody(T->finalizer()->body());
+  uint32_t JBodyEnd = emit(VmOp::Jump);
+
+  uint32_t JHandlerEnd = VmNoTarget;
+  if (HasHandler) {
+    patchA(Enter, here());
+    emit(VmOp::CatchBind,
+         T->catchParam() ? T->catchParam()->name() : InvalidSymbol,
+         T->catchParam() ? slotFor(T->catchParam()->name()) : 0);
+    uint32_t Enter2 = VmNoTarget;
+    if (HasFinalizer) {
+      // The handler needs its own frame so a throw (or abort) inside it
+      // still runs the finalizer before propagating.
+      Enter2 = emit(VmOp::TryEnter, VmNoTarget, VmNoTarget);
+      Scopes.push_back({Scope::Try, {}, {}, T->finalizer()});
+    }
+    compileBlockBody(T->handler()->body());
+    if (HasFinalizer) {
+      emit(VmOp::TryExit);
+      Scopes.pop_back();
+      compileBlockBody(T->finalizer()->body());
+    }
+    JHandlerEnd = emit(VmOp::Jump);
+    if (Enter2 != VmNoTarget)
+      patchB(Enter2, here()); // Falls through to the rethrow block below.
+  }
+
+  if (HasFinalizer) {
+    // Abrupt path: an uncaught throw or an abort lands here with the
+    // completion pending; the finalizer runs, then the completion resumes
+    // (unless the finalizer itself completed abruptly and jumped away).
+    patchB(Enter, here());
+    compileBlockBody(T->finalizer()->body());
+    emit(VmOp::Rethrow);
+  }
+
+  uint32_t End = here();
+  patchA(JBodyEnd, End);
+  if (JHandlerEnd != VmNoTarget)
+    patchA(JHandlerEnd, End);
+}
+
+void VmCompiler::compileSwitch(SwitchStmt *W) {
+  emit(VmOp::Step);
+  compileExpr(W->discriminant());
+  Scopes.push_back({Scope::Switch, {}, {}, nullptr});
+
+  const auto &Cases = W->cases();
+  std::vector<uint32_t> CaseJumps(Cases.size(), VmNoTarget);
+  size_t DefaultIdx = Cases.size();
+  for (size_t I = 0; I != Cases.size(); ++I) {
+    if (!Cases[I].Test) {
+      DefaultIdx = I; // Default is skipped during matching.
+      continue;
+    }
+    compileExpr(Cases[I].Test);
+    CaseJumps[I] = emit(VmOp::CaseCompare);
+  }
+  emit(VmOp::Pop); // No match: discard the discriminant.
+  uint32_t JDefault = emit(VmOp::Jump);
+
+  std::vector<uint32_t> BodyStarts(Cases.size());
+  for (size_t I = 0; I != Cases.size(); ++I) {
+    BodyStarts[I] = here(); // Bodies are sequential: fall-through is free.
+    compileBlockBody(Cases[I].Body);
+  }
+  uint32_t End = here();
+  for (size_t I = 0; I != Cases.size(); ++I)
+    if (CaseJumps[I] != VmNoTarget)
+      patchA(CaseJumps[I], BodyStarts[I]);
+  patchA(JDefault, DefaultIdx != Cases.size() ? BodyStarts[DefaultIdx] : End);
+  Scope Sc = std::move(Scopes.back());
+  Scopes.pop_back();
+  for (uint32_t J : Sc.BreakPatches)
+    patchA(J, End);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+void VmCompiler::compileExpr(Expr *E) {
+  switch (E->kind()) {
+  case NodeKind::NumberLit:
+    emit(VmOp::Const, addConst(Value::number(cast<NumberLit>(E)->value())));
+    return;
+  case NodeKind::StringLit:
+    emit(VmOp::Const,
+         addConst(Value::str(Ctx.strings().str(cast<StringLit>(E)->value()))));
+    return;
+  case NodeKind::BoolLit:
+    emit(VmOp::Const, addConst(Value::boolean(cast<BoolLit>(E)->value())));
+    return;
+  case NodeKind::NullLit:
+    emit(VmOp::Const, addConst(Value::null()));
+    return;
+  case NodeKind::UndefinedLit:
+    emit(VmOp::Const, addConst(Value::undefined()));
+    return;
+  case NodeKind::Ident:
+    emit(VmOp::LoadIdent, addNode(E), slotFor(cast<Ident>(E)->name()));
+    return;
+  case NodeKind::This:
+    emit(VmOp::LoadThis, slotFor(Ctx.SymThis));
+    return;
+  case NodeKind::ObjectLit: {
+    auto *O = cast<ObjectLit>(E);
+    emit(VmOp::Step);
+    uint32_t ONode = addNode(O);
+    emit(VmOp::NewObjectLit, ONode);
+    const auto &Props = O->properties();
+    for (uint32_t I = 0; I != uint32_t(Props.size()); ++I) {
+      const ObjectProperty &P = Props[I];
+      compileExpr(P.Value);
+      if (P.PKind != PropertyKind::Value) {
+        emit(VmOp::SetAccessorProp, ONode, I);
+      } else if (P.KeyExpr) {
+        compileExpr(P.KeyExpr); // Key evaluated after the value (walker order).
+        emit(VmOp::SetComputedProp, ONode, I);
+      } else {
+        emit(VmOp::SetOwnProp, ONode, I);
+      }
+    }
+    return;
+  }
+  case NodeKind::ArrayLit: {
+    auto *A = cast<ArrayLit>(E);
+    emit(VmOp::Step);
+    for (Expr *El : A->elements())
+      compileExpr(El);
+    emit(VmOp::MakeArray, addNode(A), uint32_t(A->elements().size()));
+    return;
+  }
+  case NodeKind::FunctionExpr:
+    emit(VmOp::Closure, addNode(E));
+    return;
+  case NodeKind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    if (U->op() == UnaryOp::Typeof) {
+      if (isa<Ident>(U->operand())) {
+        emit(VmOp::TypeofIdent, addNode(U->operand()),
+             slotFor(cast<Ident>(U->operand())->name()));
+        return;
+      }
+      emit(VmOp::Step);
+      compileExpr(U->operand());
+      emit(VmOp::TypeofValue);
+      return;
+    }
+    if (U->op() == UnaryOp::Delete) {
+      if (auto *M = dyn_cast<MemberExpr>(U->operand())) {
+        emit(VmOp::Step);
+        compileExpr(M->object());
+        if (M->isComputed()) {
+          compileExpr(M->index());
+          emit(VmOp::DeleteMemberComputed, addNode(M));
+        } else {
+          emit(VmOp::DeleteMember, addNode(M));
+        }
+        return;
+      }
+      // `delete nonMember` is true without evaluating the operand.
+      emit(VmOp::Const, addConst(Value::boolean(true)));
+      return;
+    }
+    emit(VmOp::Step);
+    compileExpr(U->operand());
+    emit(VmOp::UnaryValue, uint32_t(U->op()));
+    return;
+  }
+  case NodeKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    emit(VmOp::Step);
+    compileExpr(B->lhs());
+    compileExpr(B->rhs());
+    emit(VmOp::BinaryValue, uint32_t(B->op()));
+    return;
+  }
+  case NodeKind::Logical: {
+    auto *L = cast<LogicalExpr>(E);
+    emit(VmOp::Step);
+    compileExpr(L->lhs());
+    uint32_t J = emit(VmOp::LogicalJump, uint32_t(L->op()));
+    compileExpr(L->rhs());
+    patchB(J, here());
+    return;
+  }
+  case NodeKind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E);
+    emit(VmOp::Step);
+    compileExpr(C->cond());
+    uint32_t JF = emit(VmOp::JumpIfFalsePop);
+    compileExpr(C->thenExpr());
+    uint32_t JEnd = emit(VmOp::Jump);
+    patchA(JF, here());
+    compileExpr(C->elseExpr());
+    patchA(JEnd, here());
+    return;
+  }
+  case NodeKind::Assign:
+    compileAssign(cast<AssignExpr>(E));
+    return;
+  case NodeKind::Update: {
+    auto *U = cast<UpdateExpr>(E);
+    if (isa<Ident>(U->target())) {
+      emit(VmOp::UpdateIdent, addNode(U),
+           slotFor(cast<Ident>(U->target())->name()));
+      return;
+    }
+    auto *M = cast<MemberExpr>(U->target());
+    emit(VmOp::Step);
+    compileExpr(M->object());
+    if (M->isComputed()) {
+      compileExpr(M->index());
+      emit(VmOp::UpdateMemberComputed, addNode(U));
+    } else {
+      emit(VmOp::UpdateMember, addNode(U));
+    }
+    return;
+  }
+  case NodeKind::Call:
+    compileCall(cast<CallExpr>(E));
+    return;
+  case NodeKind::New: {
+    auto *N = cast<NewExpr>(E);
+    emit(VmOp::Step);
+    compileExpr(N->callee());
+    for (Expr *A : N->args())
+      compileExpr(A);
+    emit(VmOp::New, addNode(N), uint32_t(N->args().size()));
+    return;
+  }
+  case NodeKind::Member: {
+    auto *M = cast<MemberExpr>(E);
+    emit(VmOp::Step);
+    compileExpr(M->object());
+    if (M->isComputed()) {
+      compileExpr(M->index());
+      emit(VmOp::GetMemberComputed, addNode(M));
+    } else {
+      emit(VmOp::GetMember, addNode(M));
+    }
+    return;
+  }
+  case NodeKind::Sequence: {
+    auto *S = cast<SequenceExpr>(E);
+    emit(VmOp::Step);
+    if (S->exprs().empty()) {
+      emit(VmOp::PushUndef);
+      return;
+    }
+    for (size_t I = 0, N = S->exprs().size(); I != N; ++I) {
+      compileExpr(S->exprs()[I]);
+      if (I + 1 != N)
+        emit(VmOp::Pop);
+    }
+    return;
+  }
+  default:
+    assert(false && "statement node in expression compilation");
+    return;
+  }
+}
+
+void VmCompiler::compileAssign(AssignExpr *A) {
+  emit(VmOp::Step);
+  if (auto *I = dyn_cast<Ident>(A->target())) {
+    if (A->op() == AssignOp::Assign) {
+      compileExpr(A->value());
+      emit(VmOp::StoreIdent, I->name(), slotFor(I->name()));
+      return;
+    }
+    emit(VmOp::LoadIdentNoThrow, I->name(), slotFor(I->name()));
+    if (A->op() == AssignOp::OrOr) {
+      uint32_t SC = emit(VmOp::OrOrShortcut, VmNoTarget, /*nip=*/0);
+      compileExpr(A->value());
+      emit(VmOp::StoreIdent, I->name(), slotFor(I->name()));
+      patchA(SC, here());
+      return;
+    }
+    compileExpr(A->value());
+    emit(VmOp::ApplyArith, uint32_t(A->op()));
+    emit(VmOp::StoreIdent, I->name(), slotFor(I->name()));
+    return;
+  }
+
+  auto *M = cast<MemberExpr>(A->target());
+  uint32_t MNode = addNode(M);
+  compileExpr(M->object());
+  if (!M->isComputed()) {
+    if (A->op() == AssignOp::Assign) {
+      compileExpr(A->value());
+      emit(VmOp::SetMember, MNode);
+      return;
+    }
+    emit(VmOp::Dup);
+    emit(VmOp::GetMemberForCompound, MNode);
+    if (A->op() == AssignOp::OrOr) {
+      uint32_t SC = emit(VmOp::OrOrShortcut, VmNoTarget, /*nip=*/1);
+      compileExpr(A->value());
+      emit(VmOp::SetMember, MNode);
+      patchA(SC, here());
+      return;
+    }
+    compileExpr(A->value());
+    emit(VmOp::ApplyArith, uint32_t(A->op()));
+    emit(VmOp::SetMember, MNode);
+    return;
+  }
+
+  compileExpr(M->index());
+  if (A->op() == AssignOp::Assign) {
+    compileExpr(A->value());
+    emit(VmOp::SetMemberComputed, MNode);
+    return;
+  }
+  emit(VmOp::Dup2);
+  emit(VmOp::GetMemberComputedForCompound, MNode);
+  if (A->op() == AssignOp::OrOr) {
+    uint32_t SC = emit(VmOp::OrOrShortcut, VmNoTarget, /*nip=*/2);
+    compileExpr(A->value());
+    emit(VmOp::SetMemberComputed, MNode);
+    patchA(SC, here());
+    return;
+  }
+  compileExpr(A->value());
+  emit(VmOp::ApplyArith, uint32_t(A->op()));
+  emit(VmOp::SetMemberComputed, MNode);
+}
+
+void VmCompiler::compileCall(CallExpr *C) {
+  // Direct eval: an unresolved identifier callee named `eval`.
+  if (auto *I = dyn_cast<Ident>(C->callee());
+      I && I->name() == Ctx.WK.Eval && !I->decl()) {
+    emit(VmOp::Step);
+    if (C->args().empty())
+      emit(VmOp::PushUndef); // No argument: nothing is evaluated.
+    else
+      compileExpr(C->args()[0]); // Only the first argument is evaluated.
+    emit(VmOp::DirectEval, addNode(C));
+    return;
+  }
+
+  emit(VmOp::Step);
+  if (auto *M = dyn_cast<MemberExpr>(C->callee())) {
+    compileExpr(M->object());
+    if (M->isComputed()) {
+      compileExpr(M->index());
+      emit(VmOp::ResolveMethodComputed, addNode(M));
+    } else {
+      emit(VmOp::ResolveMethodStatic, addNode(M));
+    }
+    for (Expr *A : C->args())
+      compileExpr(A);
+    emit(VmOp::CallMethod, addNode(C), uint32_t(C->args().size()));
+    return;
+  }
+
+  compileExpr(C->callee());
+  for (Expr *A : C->args())
+    compileExpr(A);
+  emit(VmOp::Call, addNode(C), uint32_t(C->args().size()));
+}

@@ -1,0 +1,78 @@
+//===- Compiler.h - AST -> bytecode compiler --------------------*- C++ -*-===//
+///
+/// \file
+/// Compiles one FunctionDef's body to a VmChunk. The compiler is purely
+/// syntax-driven (no interpreter state): control flow becomes jumps,
+/// `try` regions become handler frames with finalizers inlined on every
+/// normal or early exit path, and each opcode carries the AST node it
+/// stands for so the VM can reuse the walker's inline caches, observer
+/// locations, and diagnostics verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_VM_COMPILER_H
+#define JSAI_VM_COMPILER_H
+
+#include "ast/Ast.h"
+#include "vm/Bytecode.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace jsai {
+
+class VmCompiler {
+public:
+  explicit VmCompiler(AstContext &Ctx) : Ctx(Ctx) {}
+
+  std::unique_ptr<VmChunk> compile(FunctionDef *Def);
+
+private:
+  /// One enclosing construct a `break`/`continue`/`return` may cross.
+  /// Finalizers are inlined at every exit edge, compiled against the scope
+  /// stack as it stands outside their `try` — so an abrupt completion
+  /// inside a finalizer naturally jumps away first (abrupt-wins).
+  struct Scope {
+    enum ScopeKind : uint8_t { Loop, ForInLoop, Switch, Try } Kind;
+    std::vector<uint32_t> BreakPatches;    // Jump insns -> loop/switch end.
+    std::vector<uint32_t> ContinuePatches; // Jump insns -> loop continue.
+    BlockStmt *Finalizer = nullptr;        // Try only (may be null).
+  };
+
+  uint32_t emit(VmOp Op, uint32_t A = 0, uint32_t B = 0);
+  uint32_t here() const { return uint32_t(Chunk->Code.size()); }
+  void patchA(uint32_t Insn, uint32_t Target) { Chunk->Code[Insn].A = Target; }
+  void patchB(uint32_t Insn, uint32_t Target) { Chunk->Code[Insn].B = Target; }
+  uint32_t addNode(Node *N);
+  uint32_t addConst(Value V);
+  /// Slot id for \p Name's binding-pointer cache (one per distinct symbol).
+  uint32_t slotFor(Symbol Name);
+
+  void compileStmt(Stmt *S);
+  void compileBlockBody(const std::vector<Stmt *> &Body);
+  void compileExpr(Expr *E);
+  void compileAssign(AssignExpr *A);
+  void compileCall(CallExpr *C);
+  void compileTry(TryStmt *T);
+  void compileSwitch(SwitchStmt *W);
+  void compileForIn(ForInStmt *L);
+
+  /// Emits the unwind path of a break (IsBreak) or continue: try frames
+  /// popped and finalizers inlined up to the jump target.
+  void emitBranchOut(bool IsBreak);
+  /// Emits the unwind path of `return` (value already on the stack).
+  void emitReturnPath();
+  void emitReturnUnwind();
+
+  std::vector<Scope> detachFrom(size_t I);
+  void reattach(std::vector<Scope> &Tail);
+
+  AstContext &Ctx;
+  VmChunk *Chunk = nullptr;
+  std::vector<Scope> Scopes;
+  std::unordered_map<Symbol, uint32_t> SlotIds;
+};
+
+} // namespace jsai
+
+#endif // JSAI_VM_COMPILER_H

@@ -1,0 +1,45 @@
+//===- EngineKind.cpp -----------------------------------------------------===//
+
+#include "vm/EngineKind.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace jsai;
+
+namespace {
+
+InterpEngineKind &defaultKindStorage() {
+  static InterpEngineKind Kind = [] {
+    InterpEngineKind Parsed;
+    if (const char *Env = std::getenv("JSAI_INTERP"))
+      if (parseInterpEngineKind(Env, Parsed))
+        return Parsed;
+    return InterpEngineKind::Ast;
+  }();
+  return Kind;
+}
+
+} // namespace
+
+InterpEngineKind jsai::defaultInterpEngineKind() { return defaultKindStorage(); }
+
+void jsai::setDefaultInterpEngineKind(InterpEngineKind K) {
+  defaultKindStorage() = K;
+}
+
+const char *jsai::interpEngineKindName(InterpEngineKind K) {
+  return K == InterpEngineKind::Vm ? "vm" : "ast";
+}
+
+bool jsai::parseInterpEngineKind(const char *Name, InterpEngineKind &Out) {
+  if (std::strcmp(Name, "vm") == 0) {
+    Out = InterpEngineKind::Vm;
+    return true;
+  }
+  if (std::strcmp(Name, "ast") == 0) {
+    Out = InterpEngineKind::Ast;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,41 @@
+//===- EngineKind.h - Interpreter engine selection --------------*- C++ -*-===//
+///
+/// \file
+/// Which execution engine the MiniJS interpreter uses for function bodies.
+/// `Ast` is the original tree walker and stays the differential oracle;
+/// `Vm` compiles each FunctionDef to flat bytecode once and dispatches it
+/// in a single switch loop. The two engines are observationally identical
+/// — same hints, observer event sequences, InterpStats, console output,
+/// and step/loop budget accounting — so every metric artifact is
+/// byte-identical under either mode and the golden-metrics gate runs
+/// against the same committed hashes for both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_VM_ENGINEKIND_H
+#define JSAI_VM_ENGINEKIND_H
+
+#include <cstdint>
+
+namespace jsai {
+
+enum class InterpEngineKind : uint8_t {
+  Ast,
+  Vm,
+};
+
+/// Process-wide default engine for newly constructed interpreters.
+/// Initialized once from the JSAI_INTERP environment variable ("ast" or
+/// "vm"; anything else means Ast) so the test suite and golden-metrics
+/// benches can be swept across engines without per-binary flag plumbing;
+/// the CLI's --interp= overrides it at startup. Set it before spawning
+/// workers — reads after that are unsynchronized.
+InterpEngineKind defaultInterpEngineKind();
+void setDefaultInterpEngineKind(InterpEngineKind K);
+const char *interpEngineKindName(InterpEngineKind K);
+/// Parses "ast" / "vm". \returns false on anything else.
+bool parseInterpEngineKind(const char *Name, InterpEngineKind &Out);
+
+} // namespace jsai
+
+#endif // JSAI_VM_ENGINEKIND_H

@@ -1,0 +1,766 @@
+//===- VmInterpreter.cpp - bytecode dispatch loop -------------------------===//
+//
+// Interpreter::runChunk executes a VmChunk compiled by VmCompiler. The loop
+// is a flat switch over VmOp with an explicit value stack; semantics are
+// delegated to the same Interpreter members the tree walker uses
+// (getProperty, setProperty, callValue, combineCompound, ...), so hints,
+// observer events, inline-cache traffic, and budget accounting are shared
+// rather than reimplemented. Throw/Abort unwinds through TryEnter frames;
+// break/continue/return were lowered to jumps (with finalizers inlined) at
+// compile time and never unwind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "support/JsNumber.h"
+#include "vm/Compiler.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace jsai;
+
+Interpreter::~Interpreter() = default;
+
+Completion Interpreter::executeBody(FunctionDef *Def, Environment *Env) {
+  if (Opts.Engine == InterpEngineKind::Vm)
+    return runChunk(chunkFor(Def), Env, Def);
+  return execBlockBody(Def->body()->body(), Env, Def);
+}
+
+const VmChunk &Interpreter::chunkFor(FunctionDef *Def) {
+  auto It = VmChunks.find(Def);
+  if (It == VmChunks.end())
+    It = VmChunks.emplace(Def, VmCompiler(context()).compile(Def)).first;
+  return *It->second;
+}
+
+Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
+                                 FunctionDef *F) {
+  /// One active `try` region. Depths snapshot the stacks at entry so an
+  /// unwind can discard partially built expression state.
+  struct Frame {
+    uint32_t CatchIP, FinallyIP, StackDepth, ForInDepth;
+  };
+  struct ForInState {
+    std::vector<Value> Items;
+    size_t Idx = 0;
+  };
+
+  std::vector<Value> Stack;
+  std::vector<Frame> Frames;
+  std::vector<ForInState> ForIns;
+  Value RetSlot;
+  Completion Pending; // Set while unwinding toward CatchBind/Rethrow.
+  Completion Out;
+  const VmInsn *Code = Chunk.Code.data();
+  uint32_t IP = 0;
+  Stack.reserve(64);
+
+  // Per-invocation binding-pointer cache, one entry per distinct symbol in
+  // the chunk (see VmChunk). A hit skips the whole environment-chain walk;
+  // misses are never cached because the binding may be created later (an
+  // implicit global), and that creation happens in the outermost frame so
+  // it can never shadow a pointer cached here.
+  std::vector<Value *> Slots(Chunk.NumSlots, nullptr);
+  auto slotGet = [&](uint32_t SlotId, Symbol Name) -> Value * {
+    Value *&S = Slots[SlotId];
+    if (!S)
+      S = Env->lookup(Name);
+    return S;
+  };
+  auto slotPut = [&](uint32_t SlotId, Symbol Name, Value V) {
+    Value *&S = Slots[SlotId];
+    if (S) {
+      // Env->assign writes the nearest binding on the chain — exactly the
+      // one lookup found — so writing through the cached pointer is the
+      // same store assignVariable would perform.
+      *S = std::move(V);
+      return;
+    }
+    assignVariable(Name, V, Env);
+    S = Env->lookup(Name);
+  };
+
+  auto pop = [&]() -> Value {
+    Value V = std::move(Stack.back());
+    Stack.pop_back();
+    return V;
+  };
+
+  // Routes an abrupt completion (Throw or Abort only) to the innermost
+  // frame that handles it; returns false when the chunk is done (Out set).
+  // Aborts never reach catch handlers, only finalizers.
+  auto unwind = [&](Completion C) -> bool {
+    while (!Frames.empty()) {
+      Frame Fr = Frames.back();
+      Frames.pop_back();
+      uint32_t Target = C.isThrow() && Fr.CatchIP != VmNoTarget
+                            ? Fr.CatchIP
+                            : Fr.FinallyIP;
+      if (Target != VmNoTarget) {
+        Stack.resize(Fr.StackDepth);
+        ForIns.resize(Fr.ForInDepth);
+        Pending = std::move(C);
+        IP = Target;
+        return true;
+      }
+    }
+    Out = std::move(C);
+    return false;
+  };
+
+// Propagates an abrupt completion from a helper call; `break` afterwards
+// re-enters the dispatch loop at the unwound IP.
+#define VM_ABRUPT(C)                                                           \
+  {                                                                            \
+    if (!unwind(C))                                                            \
+      return Out;                                                              \
+    break;                                                                     \
+  }
+#define VM_CHECK(R)                                                            \
+  if ((R).isAbrupt())                                                          \
+  VM_ABRUPT(std::move(R))
+
+  for (;;) {
+    const VmInsn &I = Code[IP++];
+    switch (I.Op) {
+    case VmOp::Step:
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      break;
+    case VmOp::LoopBudget:
+      if (!loopBudget())
+        VM_ABRUPT(Completion::abort());
+      break;
+
+    case VmOp::Const:
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      Stack.push_back(Chunk.Consts[I.A]);
+      break;
+    case VmOp::LoadIdent: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *Id = cast<Ident>(Chunk.Nodes[I.A]);
+      if (Value *Slot = slotGet(I.B, Id->name())) {
+        Stack.push_back(*Slot);
+        break;
+      }
+      if (Opts.ApproxMode) {
+        Stack.push_back(proxyValue()); // Unknown globals become p*.
+        break;
+      }
+      Completion R = throwError("ReferenceError",
+                                strings().str(Id->name()) +
+                                    " is not defined at " +
+                                    context().files().format(Id->loc()));
+      VM_ABRUPT(std::move(R));
+    }
+    case VmOp::LoadThis: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      if (Value *Slot = slotGet(I.A, context().SymThis))
+        Stack.push_back(*Slot);
+      else
+        Stack.push_back(Opts.ApproxMode ? proxyValue() : Value::undefined());
+      break;
+    }
+    case VmOp::Closure: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *FE = cast<FunctionExpr>(Chunk.Nodes[I.A]);
+      Stack.push_back(makeClosure(FE->def(), Env, FE->loc()));
+      break;
+    }
+    case VmOp::TypeofIdent: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *Id = cast<Ident>(Chunk.Nodes[I.A]);
+      if (Value *Slot = slotGet(I.B, Id->name()))
+        Stack.push_back(Value::str(
+            isProxyValue(*Slot) ? "function" : Slot->typeOf()));
+      else
+        Stack.push_back(
+            Value::str(Opts.ApproxMode ? "function" : "undefined"));
+      break;
+    }
+    case VmOp::UpdateIdent: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *U = cast<UpdateExpr>(Chunk.Nodes[I.A]);
+      auto *Id = cast<Ident>(U->target());
+      Value Old;
+      if (Value *Slot = slotGet(I.B, Id->name())) {
+        Old = *Slot;
+      } else if (Opts.ApproxMode) {
+        Old = proxyValue();
+      } else {
+        Completion R = throwError("ReferenceError",
+                                  strings().str(Id->name()) +
+                                      " is not defined");
+        VM_ABRUPT(std::move(R));
+      }
+      Value NewV = bumpValue(U->isIncrement(), Old);
+      slotPut(I.B, Id->name(), NewV);
+      if (U->isPrefix())
+        Stack.push_back(std::move(NewV));
+      else
+        Stack.push_back(isProxyValue(Old)
+                            ? Old
+                            : Value::number(toNumberValue(Old)));
+      break;
+    }
+
+    case VmOp::PushUndef:
+      Stack.push_back(Value::undefined());
+      break;
+    case VmOp::LoadIdentNoThrow: {
+      // Compound-assign old value: a missing binding reads as p* / undefined
+      // (matching the walker's no-throw lookup, which never throws here).
+      if (Value *Slot = slotGet(I.B, Symbol(I.A)))
+        Stack.push_back(*Slot);
+      else
+        Stack.push_back(Opts.ApproxMode ? proxyValue() : Value::undefined());
+      break;
+    }
+
+    case VmOp::Pop:
+      Stack.pop_back();
+      break;
+    case VmOp::Dup:
+      Stack.push_back(Stack.back());
+      break;
+    case VmOp::Dup2: {
+      Value A = Stack[Stack.size() - 2];
+      Value B = Stack[Stack.size() - 1];
+      Stack.push_back(std::move(A));
+      Stack.push_back(std::move(B));
+      break;
+    }
+
+    case VmOp::Jump:
+      IP = I.A;
+      break;
+    case VmOp::JumpIfFalsePop: {
+      bool B = Stack.back().toBoolean();
+      Stack.pop_back();
+      if (!B)
+        IP = I.A;
+      break;
+    }
+    case VmOp::JumpIfTruePop: {
+      bool B = Stack.back().toBoolean();
+      Stack.pop_back();
+      if (B)
+        IP = I.A;
+      break;
+    }
+    case VmOp::LogicalJump: {
+      const Value &L = Stack.back();
+      bool Short = false;
+      switch (LogicalOp(I.A)) {
+      case LogicalOp::And:
+        Short = !L.toBoolean();
+        break;
+      case LogicalOp::Or:
+        Short = L.toBoolean();
+        break;
+      case LogicalOp::Nullish:
+        Short = !L.isNullish();
+        break;
+      }
+      if (Short)
+        IP = I.B; // Keep the lhs as the result.
+      else
+        Stack.pop_back();
+      break;
+    }
+    case VmOp::OrOrShortcut: {
+      if (Stack.back().toBoolean()) {
+        // Truthy old value short-circuits `a ||= b`: drop the spare
+        // base/index copies beneath it and keep it as the result.
+        Stack.erase(Stack.end() - 1 - I.B, Stack.end() - 1);
+        IP = I.A;
+      } else {
+        Stack.pop_back();
+      }
+      break;
+    }
+    case VmOp::CaseCompare: {
+      bool Eq = Value::strictEquals(Stack[Stack.size() - 2], Stack.back());
+      Stack.pop_back();
+      if (Eq) {
+        Stack.pop_back(); // Discriminant is consumed by the match.
+        IP = I.A;
+      }
+      break;
+    }
+
+    case VmOp::StoreIdent:
+      slotPut(I.B, Symbol(I.A), Stack.back());
+      break;
+    case VmOp::StoreIdentPop:
+      slotPut(I.B, Symbol(I.A), pop());
+      break;
+
+    case VmOp::UnaryValue: {
+      Value V = pop();
+      Stack.push_back(applyUnaryValueOp(UnaryOp(I.A), V));
+      break;
+    }
+    case VmOp::TypeofValue: {
+      Value V = pop();
+      Stack.push_back(
+          Value::str(isProxyValue(V) ? "function" : V.typeOf()));
+      break;
+    }
+    case VmOp::BinaryValue: {
+      // Number×number fast path, in place on the stack. Each arm computes
+      // exactly what applyBinaryValueOp would: numbers are never proxies,
+      // Add with two numbers is numeric, IEEE comparisons are false on
+      // NaN, and strictEquals on numbers is `==`.
+      Value &L = Stack[Stack.size() - 2];
+      const Value &R = Stack.back();
+      if (L.isNumber() && R.isNumber()) {
+        double X = L.asNumber(), Y = R.asNumber();
+        bool Handled = true;
+        switch (BinaryOp(I.A)) {
+        case BinaryOp::Add:
+          L = Value::number(X + Y);
+          break;
+        case BinaryOp::Sub:
+          L = Value::number(X - Y);
+          break;
+        case BinaryOp::Mul:
+          L = Value::number(X * Y);
+          break;
+        case BinaryOp::Div:
+          L = Value::number(X / Y);
+          break;
+        case BinaryOp::Mod:
+          L = Value::number(jsNumberMod(X, Y));
+          break;
+        case BinaryOp::Lt:
+          L = Value::boolean(X < Y);
+          break;
+        case BinaryOp::Le:
+          L = Value::boolean(X <= Y);
+          break;
+        case BinaryOp::Gt:
+          L = Value::boolean(X > Y);
+          break;
+        case BinaryOp::Ge:
+          L = Value::boolean(X >= Y);
+          break;
+        case BinaryOp::EqStrict:
+          L = Value::boolean(X == Y);
+          break;
+        case BinaryOp::NeStrict:
+          L = Value::boolean(X != Y);
+          break;
+        default:
+          Handled = false;
+          break;
+        }
+        if (Handled) {
+          Stack.pop_back();
+          break;
+        }
+      }
+      Value Rv = pop();
+      Value Lv = pop();
+      Stack.push_back(applyBinaryValueOp(BinaryOp(I.A), Lv, Rv));
+      break;
+    }
+    case VmOp::ApplyArith: {
+      // Same fast path for the compound-assign value step: two numbers
+      // reach applyArithOp's numeric arms (no proxy, no string/object).
+      Value &Old = Stack[Stack.size() - 2];
+      const Value &R = Stack.back();
+      if (Old.isNumber() && R.isNumber()) {
+        double X = Old.asNumber(), Y = R.asNumber();
+        bool Handled = true;
+        switch (AssignOp(I.A)) {
+        case AssignOp::Add:
+          Old = Value::number(X + Y);
+          break;
+        case AssignOp::Sub:
+          Old = Value::number(X - Y);
+          break;
+        case AssignOp::Mul:
+          Old = Value::number(X * Y);
+          break;
+        case AssignOp::Div:
+          Old = Value::number(X / Y);
+          break;
+        default:
+          Handled = false;
+          break;
+        }
+        if (Handled) {
+          Stack.pop_back();
+          break;
+        }
+      }
+      Value Rhs = pop();
+      Value OldV = pop();
+      Stack.push_back(combineCompound(AssignOp(I.A), OldV, Rhs));
+      break;
+    }
+
+    case VmOp::GetMember:
+    case VmOp::GetMemberForCompound: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Base = pop();
+      Completion R = getProperty(Base, M->name(), M->loc(), M->id());
+      VM_CHECK(R);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::GetMemberComputed: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Index = pop();
+      Value Base = pop();
+      std::optional<Symbol> Key = propertyKeySym(Index);
+      if (!Key) {
+        Stack.push_back(proxyValue()); // Unknown property name.
+        break;
+      }
+      if (Opts.ApproxMode && isProxyValue(Base)) {
+        if (Obs)
+          Obs->onProxyBaseRead(M->loc(), strings().str(*Key));
+        Completion R = getProperty(Base, *Key, M->loc());
+        VM_CHECK(R);
+        Stack.push_back(std::move(R.V));
+        break;
+      }
+      Completion R = getProperty(Base, *Key, M->loc());
+      VM_CHECK(R);
+      if (Obs)
+        Obs->onDynamicRead(M->loc(), strings().str(*Key), R.V);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::GetMemberComputedForCompound: {
+      // Compound read side: no dynamic-read observation, no cache (the
+      // walker's compound-member path reads with CacheId == NoCache), and
+      // an unknown key yields p* to feed the combine step.
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Index = pop();
+      Value Base = pop();
+      std::optional<Symbol> Key = propertyKeySym(Index);
+      if (!Key) {
+        Stack.push_back(proxyValue());
+        break;
+      }
+      Completion R = getProperty(Base, *Key, M->loc(), NoCache);
+      VM_CHECK(R);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::SetMember: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value V = pop();
+      Value Base = pop();
+      if (Opts.ApproxMode && V.isObject()) {
+        // Static property write: infer the receiver for forced execution
+        // (the paper's `this` map), wrapped to delegate unknowns to p*.
+        Object *Written = V.asObject();
+        if (Written->functionDef() && !Written->approxThis() &&
+            Base.isObject() && !Base.asObject()->isProxy())
+          Written->setApproxThis(makeReceiverProxy(Base.asObject()));
+      }
+      Completion W = setProperty(Base, M->name(), V, M->loc(), M->id());
+      VM_CHECK(W);
+      Stack.push_back(std::move(V));
+      break;
+    }
+    case VmOp::SetMemberComputed: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value V = pop();
+      Value Index = pop();
+      Value Base = pop();
+      std::optional<Symbol> Key = propertyKeySym(Index);
+      if (!Key) {
+        Stack.push_back(std::move(V)); // Unknown key: skip the write.
+        break;
+      }
+      if (Obs && Base.isObject())
+        Obs->onDynamicWrite(M->loc(), Base.asObject(), strings().str(*Key),
+                            V);
+      Completion W = setProperty(Base, *Key, V, M->loc(), NoCache);
+      VM_CHECK(W);
+      Stack.push_back(std::move(V));
+      break;
+    }
+    case VmOp::UpdateMember: {
+      auto *U = cast<UpdateExpr>(Chunk.Nodes[I.A]);
+      auto *M = cast<MemberExpr>(U->target());
+      Value Base = pop();
+      Completion Old = getProperty(Base, M->name(), M->loc(), M->id());
+      VM_CHECK(Old);
+      Value NewV = bumpValue(U->isIncrement(), Old.V);
+      Completion W = setProperty(Base, M->name(), NewV, M->loc(), M->id());
+      VM_CHECK(W);
+      if (U->isPrefix())
+        Stack.push_back(std::move(NewV));
+      else
+        Stack.push_back(isProxyValue(Old.V)
+                            ? Old.V
+                            : Value::number(toNumberValue(Old.V)));
+      break;
+    }
+    case VmOp::UpdateMemberComputed: {
+      auto *U = cast<UpdateExpr>(Chunk.Nodes[I.A]);
+      auto *M = cast<MemberExpr>(U->target());
+      Value Index = pop();
+      Value Base = pop();
+      std::optional<Symbol> Key = propertyKeySym(Index);
+      if (!Key) {
+        Stack.push_back(proxyValue());
+        break;
+      }
+      Completion Old = getProperty(Base, *Key, M->loc(), NoCache);
+      VM_CHECK(Old);
+      Value NewV = bumpValue(U->isIncrement(), Old.V);
+      if (Obs && Base.isObject())
+        Obs->onDynamicWrite(M->loc(), Base.asObject(), strings().str(*Key),
+                            NewV);
+      Completion W = setProperty(Base, *Key, NewV, M->loc(), NoCache);
+      VM_CHECK(W);
+      if (U->isPrefix())
+        Stack.push_back(std::move(NewV));
+      else
+        Stack.push_back(isProxyValue(Old.V)
+                            ? Old.V
+                            : Value::number(toNumberValue(Old.V)));
+      break;
+    }
+    case VmOp::DeleteMember: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Base = pop();
+      Stack.push_back(deleteMemberOnValue(Base, M->name()));
+      break;
+    }
+    case VmOp::DeleteMemberComputed: {
+      Value Index = pop();
+      Value Base = pop();
+      Stack.push_back(deleteMemberOnValue(Base, propertyKeySym(Index)));
+      break;
+    }
+
+    case VmOp::ResolveMethodStatic: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Base = pop();
+      Completion R = getProperty(Base, M->name(), M->loc(), M->id());
+      VM_CHECK(R);
+      Stack.push_back(std::move(Base)); // `this` for the upcoming call.
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::ResolveMethodComputed: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Index = pop();
+      Value Base = pop();
+      std::optional<Symbol> Key = propertyKeySym(Index);
+      if (!Key) {
+        Stack.push_back(std::move(Base));
+        Stack.push_back(proxyValue()); // Unknown method name: call p*.
+        break;
+      }
+      Completion R = getProperty(Base, *Key, M->loc(), NoCache);
+      VM_CHECK(R);
+      if (Obs) {
+        if (Opts.ApproxMode && isProxyValue(Base))
+          Obs->onProxyBaseRead(M->loc(), strings().str(*Key));
+        else
+          Obs->onDynamicRead(M->loc(), strings().str(*Key), R.V);
+      }
+      Stack.push_back(std::move(Base));
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::Call:
+    case VmOp::CallMethod: {
+      auto *C = cast<CallExpr>(Chunk.Nodes[I.A]);
+      std::vector<Value> Args(
+          std::make_move_iterator(Stack.end() - I.B),
+          std::make_move_iterator(Stack.end()));
+      Stack.resize(Stack.size() - I.B);
+      Value Callee = pop();
+      Value ThisV =
+          I.Op == VmOp::CallMethod ? pop() : Value::undefined();
+      Completion R = callValue(Callee, ThisV, std::move(Args), C->loc());
+      VM_CHECK(R);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::New: {
+      auto *N = cast<NewExpr>(Chunk.Nodes[I.A]);
+      std::vector<Value> Args(
+          std::make_move_iterator(Stack.end() - I.B),
+          std::make_move_iterator(Stack.end()));
+      Stack.resize(Stack.size() - I.B);
+      Value Callee = pop();
+      SourceLoc Birth = F->isInEval() ? SourceLoc::invalid() : N->loc();
+      Completion R = construct(Callee, std::move(Args), Birth, N->loc());
+      VM_CHECK(R);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+    case VmOp::DirectEval: {
+      auto *C = cast<CallExpr>(Chunk.Nodes[I.A]);
+      Value Arg = pop();
+      if (isProxyValue(Arg)) {
+        Stack.push_back(proxyValue());
+        break;
+      }
+      if (!Arg.isString()) {
+        // eval of a non-string returns it unchanged (no-arg calls push
+        // undefined at compile time and land here too).
+        Stack.push_back(std::move(Arg));
+        break;
+      }
+      Completion R = runEval(Arg.asString(), Env, F, C->loc());
+      VM_CHECK(R);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+
+    case VmOp::NewObjectLit: {
+      auto *O = cast<ObjectLit>(Chunk.Nodes[I.A]);
+      SourceLoc Birth = F->isInEval() ? SourceLoc::invalid() : O->loc();
+      Object *Obj =
+          TheHeap.newObject(ObjectClass::Plain, Birth, Protos.ObjectP);
+      if (Obs)
+        Obs->onObjectCreated(Obj);
+      Stack.push_back(Value::object(Obj));
+      break;
+    }
+    case VmOp::SetOwnProp: {
+      auto *O = cast<ObjectLit>(Chunk.Nodes[I.A]);
+      Value V = pop();
+      Stack.back().asObject()->setOwn(O->properties()[I.B].Key, V);
+      break;
+    }
+    case VmOp::SetAccessorProp: {
+      auto *O = cast<ObjectLit>(Chunk.Nodes[I.A]);
+      const ObjectProperty &P = O->properties()[I.B];
+      Value V = pop();
+      Object *Accessor =
+          V.isObject() && V.asObject()->isCallable() ? V.asObject() : nullptr;
+      Object *Obj = Stack.back().asObject();
+      if (P.PKind == PropertyKind::Getter)
+        Obj->setAccessor(P.Key, Accessor, nullptr);
+      else
+        Obj->setAccessor(P.Key, nullptr, Accessor);
+      break;
+    }
+    case VmOp::SetComputedProp: {
+      auto *O = cast<ObjectLit>(Chunk.Nodes[I.A]);
+      const ObjectProperty &P = O->properties()[I.B];
+      Value KeyV = pop();
+      Value V = pop();
+      std::optional<Symbol> Key = propertyKeySym(KeyV);
+      if (!Key)
+        break; // Unknown (proxy) key: skip the write.
+      Object *Obj = Stack.back().asObject();
+      if (Obs)
+        Obs->onDynamicWrite(P.KeyExpr->loc(), Obj, strings().str(*Key), V);
+      // The write's completion is discarded, as in the walker's object
+      // literal evaluation (setter throws do not abort the literal).
+      setProperty(Value::object(Obj), *Key, V, P.KeyExpr->loc());
+      break;
+    }
+    case VmOp::MakeArray: {
+      auto *A = cast<ArrayLit>(Chunk.Nodes[I.A]);
+      std::vector<Value> Elements(
+          std::make_move_iterator(Stack.end() - I.B),
+          std::make_move_iterator(Stack.end()));
+      Stack.resize(Stack.size() - I.B);
+      SourceLoc Birth = F->isInEval() ? SourceLoc::invalid() : A->loc();
+      Object *Arr = TheHeap.newArray(Birth, std::move(Elements));
+      Arr->setProto(Protos.ArrayP);
+      if (Obs)
+        Obs->onObjectCreated(Arr);
+      Stack.push_back(Value::object(Arr));
+      break;
+    }
+
+    case VmOp::ForInInit: {
+      auto *L = cast<ForInStmt>(Chunk.Nodes[I.A]);
+      Value ObjV = pop();
+      if (!ObjV.isObject() || ObjV.asObject()->isProxy()) {
+        IP = I.B; // Zero iterations; no state was pushed.
+        break;
+      }
+      ForIns.push_back({forInItems(L, ObjV.asObject()), 0});
+      break;
+    }
+    case VmOp::ForInNext: {
+      ForInState &St = ForIns.back();
+      if (St.Idx >= St.Items.size()) {
+        IP = I.B; // Exhausted: jump to ForInEnd (no budget charge).
+        break;
+      }
+      if (!loopBudget())
+        VM_ABRUPT(Completion::abort());
+      Stack.push_back(St.Items[St.Idx++]);
+      break;
+    }
+    case VmOp::ForInBindVar:
+      slotPut(I.B, Symbol(I.A), pop());
+      break;
+    case VmOp::ForInBindMember: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value Base = pop();
+      Value Item = pop();
+      if (!M->isComputed()) {
+        Completion W =
+            setProperty(Base, M->name(), Item, M->loc(), M->id());
+        VM_CHECK(W);
+      }
+      break;
+    }
+    case VmOp::ForInEnd:
+      ForIns.pop_back();
+      break;
+
+    case VmOp::TryEnter:
+      Frames.push_back(
+          {I.A, I.B, uint32_t(Stack.size()), uint32_t(ForIns.size())});
+      break;
+    case VmOp::TryExit:
+      Frames.pop_back();
+      break;
+    case VmOp::CatchBind:
+      if (Symbol(I.A) != InvalidSymbol)
+        slotPut(I.B, Symbol(I.A), Pending.V);
+      break;
+    case VmOp::Throw: {
+      Value V = pop();
+      VM_ABRUPT(Completion::toss(std::move(V)));
+    }
+    case VmOp::Rethrow:
+      VM_ABRUPT(std::move(Pending));
+
+    case VmOp::StashRet:
+      RetSlot = pop();
+      break;
+    case VmOp::ReturnStashed:
+      return Completion::ret(std::move(RetSlot));
+    case VmOp::ReturnValue:
+      return Completion::ret(pop());
+    case VmOp::ReturnNormal:
+      return Completion::normal();
+    case VmOp::ReturnBrk:
+      return Completion::brk();
+    case VmOp::ReturnCont:
+      return Completion::cont();
+    }
+  }
+
+#undef VM_CHECK
+#undef VM_ABRUPT
+}

@@ -7,7 +7,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "approx/ApproxInterpreter.h"
 #include "interp/Interpreter.h"
+#include "support/JsNumber.h"
+#include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
@@ -407,6 +410,496 @@ TEST(SemanticsTest, DeleteThenReaddKeepsDeterministicOrder) {
                 "console.log(Object.keys(o).join(','), ks);"),
             "a,c,b,d acbd")
       << "re-added properties append; for-in and Object.keys agree";
+}
+
+//===----------------------------------------------------------------------===//
+// Engine parity: the bytecode VM (--interp=vm) against the tree-walker
+// oracle. Every observable channel must agree — console output, completion
+// kind, uncaught-throw rendering, the full observer event sequence,
+// inline-cache/shape stats, and budget behavior — on handwritten corner
+// cases and on seeded random programs.
+//===----------------------------------------------------------------------===//
+
+/// Records every observer callback as a stable string so two runs can be
+/// compared event for event.
+struct RecordingObserver : InterpObserver {
+  const FileTable *Files = nullptr;
+  std::vector<std::string> Events;
+
+  std::string loc(SourceLoc L) const { return Files->format(L); }
+  static std::string render(const Value &V) {
+    if (V.isNumber())
+      return jsNumberToString(V.asNumber());
+    if (V.isString())
+      return "'" + V.asString() + "'";
+    if (V.isObject())
+      return "object";
+    return V.typeOf();
+  }
+
+  void onObjectCreated(Object *O) override {
+    Events.push_back("obj@" + loc(O->birthLoc()));
+  }
+  void onFunctionCreated(Object *, FunctionDef *Def) override {
+    Events.push_back("fn@" + loc(Def->loc()));
+  }
+  void onCall(SourceLoc CallSite, FunctionDef *Callee) override {
+    Events.push_back("call " + loc(CallSite) + " -> " + loc(Callee->loc()));
+  }
+  void onDynamicRead(SourceLoc ReadLoc, const std::string &Prop,
+                     const Value &Result) override {
+    Events.push_back("read " + loc(ReadLoc) + " " + Prop + "=" +
+                     render(Result));
+  }
+  void onDynamicWrite(SourceLoc OpLoc, Object *Base, const std::string &Prop,
+                      const Value &Val) override {
+    Events.push_back("write " + loc(OpLoc) + " " + Prop + "=" + render(Val) +
+                     " base@" + loc(Base->birthLoc()));
+  }
+  void onProxyBaseRead(SourceLoc ReadLoc, const std::string &Prop) override {
+    Events.push_back("proxyread " + loc(ReadLoc) + " " + Prop);
+  }
+  void onModuleRequired(SourceLoc CallSite,
+                        const std::string &Path) override {
+    Events.push_back("require " + loc(CallSite) + " " + Path);
+  }
+  void onEvalCode(SourceLoc CallSite, const std::string &Code) override {
+    Events.push_back("eval " + loc(CallSite) + " " + Code);
+  }
+};
+
+/// One execution of a single-module program under an explicit engine, with
+/// every comparable channel captured.
+struct EngineRun {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  RecordingObserver Obs;
+  std::unique_ptr<ModuleLoader> Loader;
+  std::unique_ptr<Interpreter> Interp;
+  Completion Result;
+  std::string Console;
+  std::string Thrown;
+  InterpStats Stats;
+  size_t Chunks = 0;
+  bool BudgetHit = false;
+
+  EngineRun(const std::string &Source, InterpEngineKind Engine,
+            InterpOptions Base = InterpOptions()) {
+    Fs.addFile("app/main.js", Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Obs.Files = &Ctx.files();
+    Base.Engine = Engine;
+    Interp = std::make_unique<Interpreter>(*Loader, Base, &Obs);
+    Result = Interp->loadModule("app/main.js");
+    for (const auto &Line : Interp->consoleOutput()) {
+      if (!Console.empty())
+        Console += '\n';
+      Console += Line;
+    }
+    if (Result.isThrow())
+      Thrown = Interp->toStringValue(Result.V);
+    Stats = Interp->stats();
+    Chunks = Interp->compiledVmChunks();
+    BudgetHit = Interp->budgetExhausted();
+  }
+};
+
+/// Runs \p Source under both engines and asserts that every observable
+/// channel is identical. The module body itself executes through a chunk,
+/// so a VM run always compiles at least one.
+void expectEnginesAgree(const std::string &Source,
+                        InterpOptions Base = InterpOptions()) {
+  EngineRun Ast(Source, InterpEngineKind::Ast, Base);
+  EngineRun Vm(Source, InterpEngineKind::Vm, Base);
+  ASSERT_FALSE(Ast.Diags.hasErrors()) << Ast.Diags.render(Ast.Ctx.files());
+  EXPECT_EQ(int(Ast.Result.Kind), int(Vm.Result.Kind));
+  EXPECT_EQ(Ast.Console, Vm.Console);
+  EXPECT_EQ(Ast.Thrown, Vm.Thrown);
+  EXPECT_EQ(Ast.Obs.Events, Vm.Obs.Events);
+  EXPECT_TRUE(Ast.Stats == Vm.Stats)
+      << "inline-cache/shape stats diverge between engines";
+  EXPECT_EQ(Ast.BudgetHit, Vm.BudgetHit);
+  EXPECT_EQ(Ast.Chunks, 0u) << "walker run must not compile bytecode";
+  EXPECT_GE(Vm.Chunks, 1u) << "VM run silently fell back to the walker";
+}
+
+TEST(EngineParityTest, VmEngineActuallyCompilesChunks) {
+  EngineRun Vm("function f() { return 1; }\nconsole.log(f());",
+               InterpEngineKind::Vm);
+  EXPECT_EQ(Vm.Console, "1");
+  EXPECT_GE(Vm.Chunks, 2u) << "module body and f() should both compile";
+  EngineRun Ast("function f() { return 1; }\nconsole.log(f());",
+                InterpEngineKind::Ast);
+  EXPECT_EQ(Ast.Chunks, 0u);
+}
+
+TEST(EngineParityTest, ControlFlowKitchenSink) {
+  expectEnginesAgree(
+      "var log = console.log;\n"
+      "var s = 0;\n"
+      "for (var i = 0; i < 10; i++) {\n"
+      "  if (i % 3 === 0) { continue; }\n"
+      "  if (i === 8) { break; }\n"
+      "  s += i;\n"
+      "}\n"
+      "log('loop', s);\n"
+      "var j = 0;\n"
+      "do { j++; } while (j < 4);\n"
+      "while (j < 7) { j += 2; }\n"
+      "log('while', j);\n"
+      "switch (j % 4) {\n"
+      "  case 0: log('zero');\n"
+      "  case 1: log('one'); break;\n"
+      "  case 2: log('two'); break;\n"
+      "  default: log('other');\n"
+      "}\n"
+      "function weave(n) {\n"
+      "  try {\n"
+      "    if (n > 2) { throw 'big:' + n; }\n"
+      "    for (var x = 0; x < n; x++) {\n"
+      "      try { if (x === 1) { return 'early:' + x; } }\n"
+      "      finally { log('fin-inner', x); }\n"
+      "    }\n"
+      "    return 'ran:' + n;\n"
+      "  } catch (e) { return 'caught:' + e; }\n"
+      "  finally { log('fin-outer', n); }\n"
+      "}\n"
+      "log(weave(1), weave(2), weave(5));\n"
+      "var o = { a: 1, get g() { return this.a + 1; },\n"
+      "          set g(v) { this.a = v * 10; } };\n"
+      "log(o.g); o.g = 3; log(o.a, o.g);\n"
+      "o['dy' + 'n'] = 4; log(o.dyn, o['dy' + 'n']);\n"
+      "o.a ||= 99; o.z ||= 7; log(o.a, o.z);\n"
+      "var u; u ||= 'filled'; log(u);\n"
+      "o.a += 5; o['a'] += 5; log(o.a, ++o.a, o.a++, o.a);\n"
+      "delete o.z; log('z' in o, delete o.nope);\n"
+      "function T(v) { this.p = v; }\n"
+      "var t = new T(6);\n"
+      "log(t.p, t instanceof T);\n"
+      "var ks = '';\n"
+      "for (var k in o) { ks += k + ';'; }\n"
+      "log(ks);\n"
+      "for (o.p in t) { }\n"
+      "log(o.p);\n"
+      "var g = 10; eval('g = g + 5;'); log(g);\n"
+      "log(1 / -0, -0, 0.1 + 0.2, 1e21, (8).toString(2));\n"
+      "var seq = (log('sq1'), log('sq2'), 42); log(seq);\n");
+}
+
+TEST(EngineParityTest, UncaughtThrowMatches) {
+  const char *Src = "function f() { console.log('pre'); return missing + 1; }\nf();";
+  EngineRun Ast(Src, InterpEngineKind::Ast);
+  EngineRun Vm(Src, InterpEngineKind::Vm);
+  ASSERT_TRUE(Ast.Result.isThrow());
+  ASSERT_TRUE(Vm.Result.isThrow());
+  EXPECT_EQ(Ast.Thrown, Vm.Thrown);
+  EXPECT_EQ(Ast.Console, Vm.Console);
+  EXPECT_EQ(Ast.Obs.Events, Vm.Obs.Events);
+}
+
+TEST(EngineParityTest, StepBudgetAbortsAtSamePoint) {
+  // Step accounting is the subtlest part of the parity contract: with a
+  // tiny MaxSteps both engines must stop after the same number of
+  // console.log calls and report the same Abort completion.
+  InterpOptions Tight;
+  Tight.MaxSteps = 400;
+  expectEnginesAgree("var n = 0;\n"
+                     "for (var i = 0; i < 100000; i++) {\n"
+                     "  n += i;\n"
+                     "  console.log('it', i, n);\n"
+                     "}\n"
+                     "console.log('done', n);\n",
+                     Tight);
+}
+
+TEST(EngineParityTest, LoopBudgetAbortsAtSamePoint) {
+  InterpOptions Approx;
+  Approx.ApproxMode = true;
+  Approx.MaxLoopIterations = 25;
+  expectEnginesAgree("var n = 0;\n"
+                     "for (var i = 0; i < 1000; i++) {\n"
+                     "  n = n + 1;\n"
+                     "  console.log(i, n);\n"
+                     "}\n",
+                     Approx);
+}
+
+TEST(EngineParityTest, FinallyRunsOnAbortInBothEngines) {
+  InterpOptions Tight;
+  Tight.MaxSteps = 300;
+  expectEnginesAgree("try {\n"
+                     "  for (var i = 0; ; i++) { console.log('t', i); }\n"
+                     "} finally {\n"
+                     "  console.log('cleanup');\n"
+                     "}\n",
+                     Tight);
+}
+
+//===----------------------------------------------------------------------===//
+// Approx-mode parity: identical hints and identical ApproxStats (which
+// embed the interpreter's inline-cache counters) under both engines.
+//===----------------------------------------------------------------------===//
+
+struct ApproxEngineRun {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+  std::unique_ptr<ApproxInterpreter> Approx;
+  HintSet Hints;
+  std::string HintText;
+  ApproxStats Stats;
+
+  ApproxEngineRun(
+      const std::vector<std::pair<std::string, std::string>> &Files,
+      InterpEngineKind Engine) {
+    for (const auto &[Path, Source] : Files)
+      Fs.addFile(Path, Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    ApproxOptions AO;
+    AO.Engine = Engine;
+    Approx = std::make_unique<ApproxInterpreter>(*Loader, AO);
+    Hints = Approx->run({"app/main.js"});
+    HintText = Hints.toText(Ctx.files());
+    Stats = Approx->stats();
+  }
+};
+
+void expectApproxEnginesAgree(
+    const std::vector<std::pair<std::string, std::string>> &Files) {
+  ApproxEngineRun Ast(Files, InterpEngineKind::Ast);
+  ApproxEngineRun Vm(Files, InterpEngineKind::Vm);
+  EXPECT_EQ(Ast.HintText, Vm.HintText);
+  EXPECT_TRUE(Ast.Stats == Vm.Stats)
+      << "approx stats diverge: visited " << Ast.Stats.NumFunctionsVisited
+      << " vs " << Vm.Stats.NumFunctionsVisited << ", aborts "
+      << Ast.Stats.NumAborts << " vs " << Vm.Stats.NumAborts;
+}
+
+TEST(EngineParityTest, ApproxHintsIdenticalAcrossEngines) {
+  expectApproxEnginesAgree(
+      {{"app/main.js",
+        "var lib = require('lib/util.js');\n"
+        "var handlers = {};\n"
+        "function register(name, fn) { handlers[name] = fn; }\n"
+        "register('go' + '!', function onGo(ev) { return ev.detail; });\n"
+        "function dispatch(name) { return handlers[name]; }\n"
+        "dispatch('go!');\n"
+        "var spec = 'lib/' + 'extra.js';\n"
+        "function lazy() { return require(spec); }\n"},
+       {"lib/util.js",
+        "module.exports = { pick: function pick(o, key) { return o[key]; } "
+        "};\n"},
+       {"lib/extra.js", "module.exports = {};\n"}});
+}
+
+//===----------------------------------------------------------------------===//
+// Seeded differential fuzzing: random (always-valid) MiniJS programs, each
+// run under both engines in concrete mode and under the approximate
+// interpreter. Any divergence is a parity bug by definition — the tree
+// walker is the oracle.
+//===----------------------------------------------------------------------===//
+
+/// Deterministic random-program generator over the MiniJS subset both
+/// engines implement. All loops are counter-bounded and throws happen only
+/// inside try, so generated programs always terminate.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Out.clear();
+    LoopId = 0;
+    Out += "var v0 = " + num() + ", v1 = " + num() + ", v2 = 's2', v3 = " +
+           num() + ", v4 = 'zz';\n";
+    Out += "var o = {a: 1, b: 'two', m: 0};\n";
+    Out += "var arr = [3, 1, 4, 1, 5];\n";
+    Out += "var k = 'a';\n";
+    Out += "var ik = 'a';\n";
+    emitFunction("f0");
+    emitFunction("f1");
+    int N = int(R.range(5, 10));
+    for (int I = 0; I < N; ++I)
+      stmt(2, "");
+    Out += "console.log(v0, v1, v2, v3, v4, o.a, o.b, o.m, arr[0], arr[3], "
+           "k, ik);\n";
+    return Out;
+  }
+
+private:
+  std::string num() { return std::to_string(R.below(100)); }
+  std::string varName() {
+    static const char *Names[] = {"v0", "v1", "v2", "v3", "v4", "k"};
+    return Names[R.below(6)];
+  }
+  std::string propName() {
+    static const char *Names[] = {"a", "b", "m", "z"};
+    return Names[R.below(4)];
+  }
+
+  std::string expr(int Depth) {
+    switch (R.below(Depth > 0 ? 18 : 10)) {
+    case 0:
+      return num();
+    case 1:
+      return "'s" + std::to_string(R.below(10)) + "'";
+    case 2:
+    case 3:
+      return varName();
+    case 4:
+      return "o." + propName();
+    case 5:
+      return "arr[" + std::to_string(R.below(6)) + "]";
+    case 6:
+      return "o[k]";
+    case 7:
+      return "typeof " + varName();
+    case 8:
+      return "(" + varName() + " < " + num() + ")";
+    case 9:
+      return num();
+    case 10:
+      return "(" + expr(Depth - 1) + " + " + expr(Depth - 1) + ")";
+    case 11:
+      return "(" + expr(Depth - 1) + " - " + expr(Depth - 1) + ")";
+    case 12:
+      return "(" + expr(Depth - 1) + " * " + expr(Depth - 1) + ")";
+    case 13:
+      return "(" + expr(Depth - 1) + " % " + expr(Depth - 1) + ")";
+    case 14:
+      return "(" + expr(Depth - 1) + " ? " + expr(Depth - 1) + " : " +
+             expr(Depth - 1) + ")";
+    case 15:
+      return std::string(R.chance(50) ? "f0" : "f1") + "(" + expr(Depth - 1) +
+             ", " + expr(Depth - 1) + ")";
+    case 16:
+      return "(" + expr(Depth - 1) + " && " + expr(Depth - 1) + ")";
+    default:
+      return "(" + expr(Depth - 1) + " || " + expr(Depth - 1) + ")";
+    }
+  }
+
+  void stmt(int Depth, const std::string &Ind) {
+    switch (R.below(Depth > 0 ? 12 : 6)) {
+    case 0:
+      Out += Ind + "v" + std::to_string(R.below(5)) + " = " + expr(1) + ";\n";
+      break;
+    case 1:
+      Out += Ind + (R.chance(50) ? "v" + std::to_string(R.below(5)) : "o.m") +
+             " += " + expr(1) + ";\n";
+      break;
+    case 2:
+      Out += Ind + "console.log(" + expr(2) + ");\n";
+      break;
+    case 3:
+      Out += Ind + "o." + propName() + " = " + expr(1) + ";\n";
+      break;
+    case 4:
+      Out += Ind + "o[" +
+             (R.chance(50) ? std::string("k")
+                           : "'p' + " + std::to_string(R.below(3))) +
+             "] = " + expr(1) + ";\n";
+      break;
+    case 5:
+      Out += Ind +
+             (R.chance(50) ? "v0++" : R.chance(50) ? "--v1" : "o.m++") +
+             ";\n";
+      break;
+    case 6:
+      Out += Ind + "if (" + expr(1) + ") {\n";
+      stmt(Depth - 1, Ind + "  ");
+      if (R.chance(50)) {
+        Out += Ind + "} else {\n";
+        stmt(Depth - 1, Ind + "  ");
+      }
+      Out += Ind + "}\n";
+      break;
+    case 7: {
+      std::string T = "t" + std::to_string(LoopId++);
+      Out += Ind + "for (var " + T + " = 0; " + T + " < " +
+             std::to_string(R.range(1, 5)) + "; " + T + "++) {\n";
+      stmt(Depth - 1, Ind + "  ");
+      Out += Ind + "}\n";
+      break;
+    }
+    case 8:
+      Out += Ind + "for (ik in o) {\n";
+      Out += Ind + "  console.log(ik, o[ik]);\n";
+      Out += Ind + "}\n";
+      break;
+    case 9:
+      Out += Ind + "try {\n";
+      stmt(Depth - 1, Ind + "  ");
+      if (R.chance(60))
+        Out += Ind + "  throw " + expr(1) + ";\n";
+      Out += Ind + "} catch (e) {\n";
+      Out += Ind + "  console.log('caught', e);\n";
+      Out += Ind + "}";
+      if (R.chance(50)) {
+        Out += " finally {\n";
+        Out += Ind + "  console.log('fin');\n";
+        Out += Ind + "}";
+      }
+      Out += "\n";
+      break;
+    case 10:
+      Out += Ind + "switch (" + expr(1) + " % 3) {\n";
+      Out += Ind + "case 0:\n";
+      stmt(0, Ind + "  ");
+      if (R.chance(70))
+        Out += Ind + "  break;\n";
+      Out += Ind + "case 1:\n";
+      stmt(0, Ind + "  ");
+      Out += Ind + "  break;\n";
+      Out += Ind + "default:\n";
+      stmt(0, Ind + "  ");
+      Out += Ind + "}\n";
+      break;
+    default:
+      Out += Ind + (R.chance(50) ? "delete o." + propName()
+                                 : "f1(" + expr(1) + ", " + expr(1) + ")") +
+             ";\n";
+      break;
+    }
+  }
+
+  void emitFunction(const std::string &Name) {
+    Out += "function " + Name + "(x, y) {\n";
+    Out += "  var r = " + expr(1) + ";\n";
+    if (R.chance(60))
+      Out += "  if (" + expr(1) + ") { r = r + x; }\n";
+    if (R.chance(40))
+      Out += "  r = r + o[k];\n";
+    Out += "  return r + y;\n";
+    Out += "}\n";
+  }
+
+  Rng R;
+  std::string Out;
+  int LoopId = 0;
+};
+
+TEST(EngineParityFuzzTest, RandomProgramsAgreeConcretely) {
+  for (uint64_t Seed = 1; Seed <= 150; ++Seed) {
+    ProgramGen G(Seed * 0x9E3779B97F4A7C15ULL + 1);
+    std::string Src = G.generate();
+    SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Src);
+    expectEnginesAgree(Src);
+    if (::testing::Test::HasFailure())
+      break; // One divergence is enough to diagnose; don't spam 150.
+  }
+}
+
+TEST(EngineParityFuzzTest, RandomProgramsAgreeUnderApproximation) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    ProgramGen G(Seed * 0xBF58476D1CE4E5B9ULL + 3);
+    std::string Src = G.generate();
+    SCOPED_TRACE("seed " + std::to_string(Seed) + "\n" + Src);
+    expectApproxEnginesAgree({{"app/main.js", Src}});
+    if (::testing::Test::HasFailure())
+      break;
+  }
 }
 
 } // namespace

@@ -76,6 +76,67 @@ TEST(LexerTest, NumberFollowedByIdentifierLikeE) {
   EXPECT_EQ(Tokens[1].Text, "e");
 }
 
+TEST(LexerTest, NumberValueBoundedToTokenSpan) {
+  // The scanner stops "123" before ".e5" (dot not followed by a digit does
+  // not extend the literal), so the token value must be 123 — not the
+  // 12300000 an unbounded strtod would read from "123.e5".
+  auto Tokens = lex("123.e5");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 123);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Dot);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[2].Text, "e5");
+}
+
+TEST(LexerTest, LeadingDotLexesAsDotThenNumber) {
+  // MiniJS deviation: number tokens start with a digit, so ".5" is a Dot
+  // token followed by the number 5 (a parse error in expression position),
+  // not the fractional literal 0.5.
+  auto Tokens = lex(".5");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Dot);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumValue, 5);
+}
+
+TEST(LexerTest, TrailingDotIsMemberAccess) {
+  // "7.x" is the number 7 then member access, not a malformed literal.
+  auto Tokens = lex("7.x");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 7);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Dot);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, ExponentSignWithoutDigitsRollsBack) {
+  // `2e+` is number 2, then Plus — the exponent candidate is abandoned.
+  auto Tokens = lex("2e+x");
+  ASSERT_GE(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 2);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "e");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Plus);
+}
+
+TEST(LexerTest, WideHexLiteralDoesNotSaturate) {
+  // 2^72 needs the double fallback; strtoull would clamp to 2^64-1.
+  auto Tokens = lex("0xFFFFFFFFFFFFFFFFFF");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Number);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumValue, 4722366482869645213696.0);
+}
+
+TEST(LexerTest, HexPrefixWithoutDigitsReportsError) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("0x", &Diags);
+  ASSERT_GE(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Error);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
 TEST(LexerTest, Strings) {
   auto Tokens = lex("'hello' \"world\" 'a\\nb' \"q\\\"q\"");
   EXPECT_EQ(Tokens[0].Text, "hello");

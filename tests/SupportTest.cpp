@@ -513,6 +513,105 @@ TEST(JsNumberTest, RoundTripArrayIndices) {
   }
 }
 
+TEST(JsNumberTest, ToStringNegativeZero) {
+  // ToString(-0) is "0"; the sign is only observable via division.
+  EXPECT_EQ(jsNumberToString(-0.0), "0");
+}
+
+TEST(JsNumberTest, ToStringPositionalExponentBoundaries) {
+  // Number::toString stays positional up to 21 integer digits and down to
+  // 6 leading fraction zeros, then switches to exponential form.
+  EXPECT_EQ(jsNumberToString(1e20), "100000000000000000000");
+  EXPECT_EQ(jsNumberToString(1e21), "1e+21");
+  EXPECT_EQ(jsNumberToString(123456789012345680000.0), "123456789012345680000");
+  EXPECT_EQ(jsNumberToString(0.000001), "0.000001");
+  EXPECT_EQ(jsNumberToString(1e-7), "1e-7");
+  EXPECT_EQ(jsNumberToString(-1e21), "-1e+21");
+  EXPECT_EQ(jsNumberToString(-1e-7), "-1e-7");
+}
+
+TEST(JsNumberTest, ToStringExponentialDigits) {
+  EXPECT_EQ(jsNumberToString(1.5e22), "1.5e+22");
+  EXPECT_EQ(jsNumberToString(1.25e-8), "1.25e-8");
+  EXPECT_EQ(jsNumberToString(6.02e23), "6.02e+23");
+}
+
+TEST(JsNumberTest, ToStringShortestRoundTrip) {
+  EXPECT_EQ(jsNumberToString(0.1), "0.1");
+  EXPECT_EQ(jsNumberToString(0.3), "0.3");
+  EXPECT_EQ(jsNumberToString(0.1 + 0.2), "0.30000000000000004");
+  EXPECT_EQ(jsNumberToString(9007199254740993.0), "9007199254740992");
+  EXPECT_EQ(jsNumberToString(5e-324), "5e-324");
+  EXPECT_EQ(jsNumberToString(1.7976931348623157e308),
+            "1.7976931348623157e+308");
+}
+
+TEST(JsNumberTest, ToStringRoundTripsThroughToNumber) {
+  for (double D : {0.1, 1e21, 1e-7, 1.5e22, 0.000001, 123.456,
+                   9007199254740992.0, 5e-324, 1.7976931348623157e308}) {
+    EXPECT_EQ(jsStringToNumber(jsNumberToString(D)), D);
+  }
+}
+
+TEST(JsNumberTest, ToNumberRejectsStrtodExtensions) {
+  // ECMAScript StringToNumber has no "inf"/"nan"/hex-float productions.
+  EXPECT_TRUE(std::isnan(jsStringToNumber("inf")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("infinity")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("-inf")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("nan")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("NaN ")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0x1p4")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0x1.8p1")));
+}
+
+TEST(JsNumberTest, ToNumberRejectsSignedRadixLiterals) {
+  // The sign productions only exist for decimal literals.
+  EXPECT_TRUE(std::isnan(jsStringToNumber("-0x10")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("+0x10")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("-0b101")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("+0o17")));
+}
+
+TEST(JsNumberTest, ToNumberAcceptsInfinityLiteral) {
+  EXPECT_EQ(jsStringToNumber("Infinity"), HUGE_VAL);
+  EXPECT_EQ(jsStringToNumber("+Infinity"), HUGE_VAL);
+  EXPECT_EQ(jsStringToNumber("-Infinity"), -HUGE_VAL);
+  EXPECT_EQ(jsStringToNumber("  Infinity\n"), HUGE_VAL);
+  EXPECT_TRUE(std::isnan(jsStringToNumber("Infinity1")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("InfinityInfinity")));
+}
+
+TEST(JsNumberTest, ToNumberRadixLiterals) {
+  EXPECT_EQ(jsStringToNumber("0b101"), 5);
+  EXPECT_EQ(jsStringToNumber("0B11"), 3);
+  EXPECT_EQ(jsStringToNumber("0o17"), 15);
+  EXPECT_EQ(jsStringToNumber("0O777"), 511);
+  EXPECT_EQ(jsStringToNumber("0xfF"), 255);
+  EXPECT_EQ(jsStringToNumber("0xFFFFFFFFFFFFFFFFFF"), 4722366482869645213696.0);
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0x")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0b")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0b2")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0o8")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("0xfg")));
+}
+
+TEST(JsNumberTest, ToNumberDecimalGrammar) {
+  EXPECT_EQ(jsStringToNumber(".5"), 0.5);
+  EXPECT_EQ(jsStringToNumber("5."), 5);
+  EXPECT_EQ(jsStringToNumber("+1.5e2"), 150);
+  EXPECT_EQ(jsStringToNumber("-3E-1"), -0.3);
+  EXPECT_EQ(jsStringToNumber(".5e1"), 5);
+  EXPECT_EQ(jsStringToNumber("\t\v\f 12 \r\n"), 12);
+  EXPECT_TRUE(std::isnan(jsStringToNumber(".")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("+")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("-")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("1e")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("1e+")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("1.2.3")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("1 2")));
+  EXPECT_TRUE(std::isnan(jsStringToNumber("--1")));
+}
+
 //===----------------------------------------------------------------------===//
 // Diagnostics
 //===----------------------------------------------------------------------===//

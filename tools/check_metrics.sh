@@ -12,6 +12,11 @@
 #                                 # runs both against the SAME golden file —
 #                                 # the representation must never leak into
 #                                 # metric tables
+#   tools/check_metrics.sh [build-dir] --interp=ast|vm
+#                                 # verify under one execution engine; CI
+#                                 # runs both against the SAME golden file —
+#                                 # the bytecode VM must reproduce the tree
+#                                 # walker's tables byte for byte
 #
 # Exits non-zero on drift, listing each bench whose table changed.
 set -euo pipefail
@@ -24,6 +29,10 @@ for Arg in "$@"; do
   --solver-set=*)
     JSAI_SOLVER_SET="${Arg#--solver-set=}"
     export JSAI_SOLVER_SET
+    ;;
+  --interp=*)
+    JSAI_INTERP="${Arg#--interp=}"
+    export JSAI_INTERP
     ;;
   *) BUILD_DIR="$Arg" ;;
   esac

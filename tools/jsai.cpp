@@ -19,6 +19,7 @@
 //   --no-read-hints --no-write-hints --no-module-hints
 //   --unknown-args --eval-bodies               Section 6 extensions
 //   --solver-set=dense|adaptive                points-to set representation
+//   --interp=ast|vm                            execution engine (default ast)
 //   --jobs=N                                   parallel suite workers
 //   --deadline-approx=S --deadline-analysis=S  per-phase deadlines (seconds)
 //   --report=<file.jsonl> [--report-timings]   JSONL run telemetry
@@ -84,6 +85,10 @@ void printUsage() {
       "  --eval-bodies        analyze eval'd code strings (Section 6)\n"
       "  --solver-set=dense|adaptive  points-to set representation\n"
       "                       (default: adaptive; env JSAI_SOLVER_SET)\n"
+      "  --interp=ast|vm      execution engine for concrete runs and\n"
+      "                       approximate interpretation (default: ast;\n"
+      "                       env JSAI_INTERP); both engines produce\n"
+      "                       identical hints and metric tables\n"
       "  --jobs=N             suite worker threads (0 = all cores)\n"
       "  --deadline-approx=S  approx-phase deadline in seconds (0 = none)\n"
       "  --deadline-analysis=S  per-analysis deadline in seconds (0 = none)\n"
@@ -146,6 +151,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       // explicit options (e.g. ProjectAnalyzer::analyze(Mode)) follow it.
       setDefaultSolverSetKind(K);
       Opts.Analysis.SolverSet = K;
+    } else if (Starts("--interp=")) {
+      std::string Kind = Arg.substr(9);
+      InterpEngineKind K;
+      if (!parseInterpEngineKind(Kind.c_str(), K)) {
+        std::fprintf(stderr, "jsai: unknown interpreter engine '%s'\n",
+                     Kind.c_str());
+        return false;
+      }
+      // Process default: every InterpOptions/ApproxOptions constructed
+      // after this point (pipeline, suite workers, `run`) picks it up.
+      setDefaultInterpEngineKind(K);
     } else if (Starts("--jobs=")) {
       Opts.Jobs = size_t(std::strtoull(Arg.c_str() + 7, nullptr, 10));
     } else if (Starts("--deadline-approx=")) {
