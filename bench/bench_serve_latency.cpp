@@ -1,0 +1,257 @@
+//===- bench_serve_latency.cpp - jsai serve request latency -------------------===//
+//
+// Latency of analyze requests served by a live `jsai serve` daemon over its
+// Unix socket, measured end to end at the client (connect once, then one
+// timed round trip per request). Three streams against a multi-component
+// project whose weight sits in heavy import-closure components:
+//
+//   cold    every request edits the main module with the daemon's cache
+//           disabled, so each analysis re-executes every component
+//   warm    same edits against a cache-backed daemon, so only the edited
+//           main-module component re-executes and every heavy component is
+//           served from its per-module slices
+//   replay  the identical request repeated, answered from the daemon's
+//           in-memory replay map (pure protocol + digest overhead)
+//
+// Enforced contracts (nonzero exit on violation, so this doubles as a
+// gate): warm p50 must beat cold p50 by >= 10x, and the final warm served
+// report must be byte-identical to a cache-less local run over the same
+// tree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/Telemetry.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace jsai;
+using namespace jsai::bench;
+using namespace jsai::serve;
+
+namespace {
+
+void writeFileAt(const std::filesystem::path &Path, const std::string &Text) {
+  std::filesystem::create_directories(Path.parent_path());
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Text;
+}
+
+/// Nearest-rank percentile over an unsorted sample set, in milliseconds.
+double percentile(std::vector<double> Samples, double Pct) {
+  if (Samples.empty())
+    return 0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Rank = size_t(Pct / 100.0 * double(Samples.size()) + 0.5);
+  if (Rank > 0)
+    --Rank;
+  return Samples[std::min(Rank, Samples.size() - 1)];
+}
+
+double meanOf(const std::vector<double> &Samples) {
+  double Sum = 0;
+  for (double S : Samples)
+    Sum += S;
+  return Samples.empty() ? 0 : Sum / double(Samples.size());
+}
+
+/// One timed analyze round trip. Aborts the bench on transport or daemon
+/// errors — latency numbers over failed requests are meaningless.
+double timedAnalyze(Client &C, const std::string &Dir, JsonValue &Resp) {
+  JsonValue Req = JsonValue::object();
+  Req.set("cmd", JsonValue::str("analyze"));
+  Req.set("dir", JsonValue::str(Dir));
+  std::string Err;
+  auto T0 = std::chrono::steady_clock::now();
+  bool Ok = C.request(Req, Resp, Err);
+  auto T1 = std::chrono::steady_clock::now();
+  if (!Ok || !Resp.boolField("ok")) {
+    std::fprintf(stderr, "analyze failed: %s\n",
+                 Ok ? Resp.stringField("error").c_str() : Err.c_str());
+    std::exit(1);
+  }
+  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+}
+
+struct DaemonHandle {
+  Server S;
+  std::thread Loop;
+
+  explicit DaemonHandle(const ServeOptions &Opts) : S(Opts) {
+    std::string Err;
+    if (!S.start(Err)) {
+      std::fprintf(stderr, "daemon start failed: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    Loop = std::thread([this] { S.run(); });
+  }
+
+  void connect(Client &C) {
+    std::string Err;
+    JsonValue Id;
+    if (!C.connect(S.options().SocketPath, Err) || !C.handshake(Id, Err)) {
+      std::fprintf(stderr, "connect failed: %s\n", Err.c_str());
+      std::exit(1);
+    }
+  }
+
+  /// Sends shutdown over \p C — the daemon serves connections one at a
+  /// time, so it must arrive on the connection already being served.
+  void shutdown(Client &C) {
+    JsonValue Req = JsonValue::object();
+    Req.set("cmd", JsonValue::str("shutdown"));
+    JsonValue Resp;
+    std::string Err;
+    C.request(Req, Resp, Err);
+    Loop.join();
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t NumHeavy = 8, Edits = 9, Replays = 200;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--components=", 13) == 0)
+      NumHeavy = std::strtoul(Argv[I] + 13, nullptr, 10);
+    else if (std::strncmp(Argv[I], "--edits=", 8) == 0)
+      Edits = std::strtoul(Argv[I] + 8, nullptr, 10);
+    else if (std::strncmp(Argv[I], "--replays=", 10) == 0)
+      Replays = std::strtoul(Argv[I] + 10, nullptr, 10);
+  }
+
+  std::filesystem::path Root =
+      std::filesystem::temp_directory_path() / "jsai-bench-serve-latency";
+  std::filesystem::remove_all(Root);
+  std::filesystem::path ProjDir = Root / "proj";
+  std::string Dir = ProjDir.string();
+
+  // One tiny main-module component (the edit target) plus NumHeavy
+  // two-module components whose approx execution carries the weight: a
+  // 20k-iteration closure loop each, well under the interpreter's
+  // per-loop budget so every iteration really executes.
+  for (size_t I = 0; I < NumHeavy; ++I) {
+    std::string N = std::to_string(I);
+    writeFileAt(ProjDir / "app" / ("heavy" + N + ".js"),
+                "var h = require('../lib/heavy" + N + "');\nvar out" + N +
+                    " = h.work(" + N + ");\n");
+    writeFileAt(ProjDir / "lib" / ("heavy" + N + ".js"),
+                "exports.work = function (seed) {\n"
+                "  var add = function (a, b) { return a + b; };\n"
+                "  var acc = seed;\n"
+                "  for (var i = 0; i < 20000; i = i + 1) {\n"
+                "    acc = add(acc, i);\n"
+                "  }\n"
+                "  return acc;\n"
+                "};\n");
+  }
+  std::string MainSource = "var t = { tag: 1 };\nvar v0 = t.tag;\n";
+  writeFileAt(ProjDir / "app" / "main.js", MainSource);
+  size_t EditSeq = 0;
+  auto EditMain = [&] {
+    ++EditSeq;
+    MainSource +=
+        "var v" + std::to_string(EditSeq) + " = " + std::to_string(EditSeq) +
+        ";\n";
+    writeFileAt(ProjDir / "app" / "main.js", MainSource);
+  };
+
+  std::printf("Serve latency: %zu heavy components + 1 edited main "
+              "component, %zu timed edits per stream, %zu replays\n",
+              NumHeavy, Edits, Replays);
+
+  // Stream 1: cache-less daemon; every edited request re-runs everything.
+  std::vector<double> ColdMs;
+  {
+    ServeOptions SO;
+    SO.SocketPath = (Root / "cold.sock").string();
+    DaemonHandle Daemon(SO);
+    Client C;
+    Daemon.connect(C);
+    JsonValue Resp;
+    EditMain();
+    timedAnalyze(C, Dir, Resp); // untimed: first-touch noise (allocator, fs)
+    for (size_t I = 0; I < Edits; ++I) {
+      EditMain();
+      ColdMs.push_back(timedAnalyze(C, Dir, Resp));
+    }
+    Daemon.shutdown(C);
+  }
+
+  // Stream 2: cache-backed daemon. The first request publishes every
+  // component's slices (timed separately as "publish"); each timed edit
+  // then re-executes only the main-module component.
+  std::vector<double> WarmMs, ReplayMs;
+  double PublishMs = 0;
+  std::string ServedReport;
+  uint64_t ReplayHits = 0;
+  {
+    ServeOptions SO;
+    SO.SocketPath = (Root / "warm.sock").string();
+    SO.Cache.Dir = (Root / "cache").string();
+    DaemonHandle Daemon(SO);
+    Client C;
+    Daemon.connect(C);
+    JsonValue Resp;
+    EditMain();
+    PublishMs = timedAnalyze(C, Dir, Resp);
+    for (size_t I = 0; I < Edits; ++I) {
+      EditMain();
+      WarmMs.push_back(timedAnalyze(C, Dir, Resp));
+    }
+    ServedReport = Resp.stringField("report");
+
+    // Stream 3: the same request again — content digest unchanged, so the
+    // daemon answers from its replay map without touching the driver.
+    for (size_t I = 0; I < Replays; ++I)
+      ReplayMs.push_back(timedAnalyze(C, Dir, Resp));
+    ReplayHits = Daemon.S.stats().ReplayHits;
+    Daemon.shutdown(C);
+  }
+
+  rule(74);
+  std::printf("%-8s %8s %10s %10s %10s %10s\n", "stream", "samples",
+              "p50 (ms)", "p99 (ms)", "mean (ms)", "max (ms)");
+  rule(74);
+  auto Row = [](const char *Label, const std::vector<double> &Ms) {
+    std::printf("%-8s %8zu %10.2f %10.2f %10.2f %10.2f\n", Label, Ms.size(),
+                percentile(Ms, 50), percentile(Ms, 99), meanOf(Ms),
+                *std::max_element(Ms.begin(), Ms.end()));
+  };
+  Row("cold", ColdMs);
+  Row("warm", WarmMs);
+  Row("replay", ReplayMs);
+  rule(74);
+  std::printf("cold publish request: %.2f ms\n", PublishMs);
+
+  double Speedup =
+      percentile(WarmMs, 50) > 0 ? percentile(ColdMs, 50) / percentile(WarmMs, 50)
+                                 : 0.0;
+  std::printf("warm speedup vs cold (p50): %.1fx\n", Speedup);
+  std::printf("replay hits observed by daemon: %llu of %zu\n",
+              (unsigned long long)ReplayHits, Replays);
+
+  // Byte-identity: the last warm served report against a cache-less local
+  // run over the identical on-disk tree.
+  ProjectSpec Spec;
+  Spec.Files.addDirectory(Dir);
+  Spec.Name = Dir;
+  DriverOptions Local;
+  std::string LocalReport =
+      renderReport(CorpusDriver(Local).run({Spec}), Local);
+  bool Identical = ServedReport == LocalReport;
+  bool FastEnough = Speedup >= 10.0;
+  std::printf("served report byte-identical to local one-shot: %s\n",
+              Identical ? "yes" : "NO — serve perturbed the metrics");
+  std::printf("warm >= 10x cold: %s\n", FastEnough ? "yes" : "NO");
+
+  std::filesystem::remove_all(Root);
+  return Identical && FastEnough ? 0 : 1;
+}

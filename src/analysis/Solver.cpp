@@ -111,9 +111,31 @@ void Solver::addEdge(CVarId From, CVarId To) {
   CVarId T = find(To);
   if (F == T)
     return; // Self edges (possibly created by collapsing) are no-ops.
-  if (!EdgeSet.insert(edgeKey(F, T))) {
-    ++Stats.NumDuplicateEdges;
-    return;
+  uint64_t Key = edgeKey(F, T);
+  if (!EdgeSet.insert(Key)) {
+    // A previously retracted edge re-appears: treat it as fresh (the
+    // insert-only key set cannot forget it).
+    if (!Tracking || RemovedEdges.erase(Key) == 0) {
+      ++Stats.NumDuplicateEdges;
+      if (Tracking) {
+        // Two owners, one physical edge: retracting either would silently
+        // drop the other's constraint.
+        auto It = EdgeOwner.find(Key);
+        ConstraintGroup Owner = It == EdgeOwner.end() ? 0 : It->second;
+        if (Owner != CurGroup) {
+          if (Owner)
+            TaintedGroups.insert(Owner);
+          if (CurGroup)
+            TaintedGroups.insert(CurGroup);
+        }
+      }
+      return;
+    }
+  }
+  if (Tracking) {
+    EdgeOwner[Key] = CurGroup;
+    if (CurGroup)
+      EdgeLog[CurGroup].emplace_back(F, T);
   }
   Succs[F].push_back(T);
   ++Stats.NumEdges;
@@ -134,6 +156,7 @@ void Solver::addListener(CVarId V, Listener L) {
   std::vector<uint32_t> Known = PointsTo[R].toVector();
   ListenerRecord Rec;
   Rec.Fn = std::make_shared<Listener>(std::move(L));
+  Rec.Group = CurGroup;
   Rec.Delivered.attachMemoryStats(&SetMem);
   if (SetKind == SolverSetKind::Dense)
     Rec.Delivered.forceDense();
@@ -142,9 +165,16 @@ void Solver::addListener(CVarId V, Listener L) {
   // listener list (or allocate new variables) and reallocate the vectors
   // the record lives in.
   std::shared_ptr<Listener> Fn = Rec.Fn;
+  ConstraintGroup Group = Rec.Group;
   Listeners[R].push_back(std::move(Rec));
+  // Constraints derived during the replay belong to the listener's group
+  // (the group current at registration — which is already CurGroup here,
+  // but keep the save/restore symmetric with flush()).
+  ConstraintGroup Saved = CurGroup;
+  CurGroup = Group;
   for (uint32_t T : Known)
     (*Fn)(T);
+  CurGroup = Saved;
 }
 
 void Solver::canonicalizeSuccs(CVarId V) {
@@ -213,11 +243,16 @@ void Solver::flush(CVarId V,
   for (size_t I = 0; I < Listeners[V].size(); ++I) {
     // Handle copy: callbacks may reallocate the record vectors.
     std::shared_ptr<Listener> Fn = Listeners[V][I].Fn;
+    // Derived constraints inherit the firing listener's group so a module's
+    // transitively generated edges/listeners retract with it.
+    ConstraintGroup Saved = CurGroup;
+    CurGroup = Listeners[V][I].Group;
     for (uint32_t T : Tokens) {
       if (!Listeners[V][I].Delivered.insert(T))
         continue;
       (*Fn)(T);
     }
+    CurGroup = Saved;
   }
 }
 
@@ -259,6 +294,11 @@ void Solver::collapseCycle(CVarId From, CVarId To) {
   for (const auto &Entry : Stack)
     NewRep = std::min(NewRep, Entry.first);
   ++Stats.NumCyclesCollapsed;
+  // Collapsing splices and dedups successor lists, so per-group edge logs
+  // no longer name physical edges; every group's retraction is now unsound
+  // and must fall back to a cold solve.
+  if (Tracking)
+    CollapsedWhileTracking = true;
 
   auto Merge = [this, NewRep](CVarId M) {
     if (M == NewRep)
@@ -320,6 +360,57 @@ void Solver::solve() {
     Candidates.clear();
   }
   Solving = false;
+}
+
+void Solver::setGroup(ConstraintGroup G) {
+  CurGroup = G;
+  if (G != 0)
+    Tracking = true;
+}
+
+bool Solver::canRetract(ConstraintGroup G) const {
+  return Tracking && G != 0 && !Solving && !CollapsedWhileTracking &&
+         TaintedGroups.count(G) == 0;
+}
+
+bool Solver::retractGroup(ConstraintGroup G) {
+  if (!canRetract(G)) {
+    ++Stats.NumRetractionRefusals;
+    return false;
+  }
+  // Listeners: drop every record tagged G, wherever it lives. Removing a
+  // listener is always exact — it only stops future deliveries; constraints
+  // it already derived are tagged G and removed below / left as stale
+  // over-approximation (tokens).
+  for (size_t V = 0, E = Listeners.size(); V != E; ++V) {
+    auto &Recs = Listeners[V];
+    Recs.erase(std::remove_if(Recs.begin(), Recs.end(),
+                              [G](const ListenerRecord &R) {
+                                return R.Group == G;
+                              }),
+               Recs.end());
+  }
+  // Edges: the log holds (From, To) representatives at insert time, and no
+  // collapse has happened since (checked above), so each names exactly one
+  // live successor entry.
+  auto LogIt = EdgeLog.find(G);
+  if (LogIt != EdgeLog.end()) {
+    for (auto [F, T] : LogIt->second) {
+      auto &S = Succs[F];
+      auto It = std::find(S.begin(), S.end(), T);
+      if (It != S.end())
+        S.erase(It);
+      uint64_t Key = edgeKey(F, T);
+      RemovedEdges.insert(Key);
+      EdgeOwner.erase(Key);
+    }
+    EdgeLog.erase(LogIt);
+  }
+  // Tokens G propagated stay behind as extra may-facts: the post-retract
+  // state over-approximates the fixpoint without G, never under-approximates
+  // it (see the header contract).
+  ++Stats.NumGroupRetractions;
+  return true;
 }
 
 const AdaptiveSet &Solver::pointsTo(CVarId V) const {

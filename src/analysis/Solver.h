@@ -43,7 +43,9 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace jsai {
@@ -118,6 +120,12 @@ struct SolverStats {
   /// Delta batches flushed by the solve loop.
   uint64_t NumBatchesFlushed = 0;
 
+  // Constraint-group retraction (incremental re-analysis support). These
+  // are never emitted in reports — retraction is an opt-in warm-solve mode
+  // and default telemetry must not depend on whether it was exercised.
+  uint64_t NumGroupRetractions = 0;
+  uint64_t NumRetractionRefusals = 0;
+
   // Set-memory accounting (refreshed by Solver::stats()). Heap capacity
   // bytes owned by every points-to / delta / delivered set of this solver;
   // the inline small tier books zero bytes, which is the saving being
@@ -135,6 +143,10 @@ struct SolverStats {
 
   friend bool operator==(const SolverStats &, const SolverStats &) = default;
 };
+
+/// Tag for a retractable batch of constraints (one per module in the
+/// incremental-solve path). Group 0 is the shared/ungrouped default.
+using ConstraintGroup = uint32_t;
 
 /// Subset-constraint solver.
 class Solver {
@@ -174,6 +186,37 @@ public:
   void setCancellation(CancellationToken *T) { Cancel = T; }
   bool wasCancelled() const { return Cancelled; }
 
+  /// --- Constraint-group retraction (incremental re-analysis) ---
+  ///
+  /// Tagging: every edge and listener added while a nonzero group is
+  /// current belongs to that group; constraints a listener derives inherit
+  /// the firing listener's group. retractGroup(G) then removes G's edges
+  /// and listeners so a new version of G's constraints can be re-added
+  /// against the warm state.
+  ///
+  /// Soundness model: retraction is a *sound over-approximation*, not exact
+  /// deletion. Tokens G already propagated are never withdrawn (exact
+  /// withdrawal is delete-and-rederive over the whole graph — a cold
+  /// solve); they linger as extra may-facts, so a warm retract-and-readd
+  /// fixpoint is always a superset of the cold one and never misses a
+  /// fact. Removal itself must still be exact, which fails in two cases
+  /// that make retractGroup() refuse (caller falls back to a cold solve):
+  ///  - any cycle collapse since tracking began (collapse splices and
+  ///    dedups successor lists, destroying edge attribution), and
+  ///  - a cross-group duplicate edge (the hashed dedup keeps one physical
+  ///    edge for two owners; removing it for one would drop the other's).
+  ///
+  /// First nonzero setGroup() enables tracking; until then none of the
+  /// bookkeeping below costs anything.
+  void setGroup(ConstraintGroup G);
+  ConstraintGroup currentGroup() const { return CurGroup; }
+  /// Whether retractGroup(\p G) would succeed right now.
+  bool canRetract(ConstraintGroup G) const;
+  /// Removes \p G's edges and listeners as described above. \returns false
+  /// (and changes nothing) when removal would be unsound; the caller must
+  /// then rebuild from scratch.
+  bool retractGroup(ConstraintGroup G);
+
   const AdaptiveSet &pointsTo(CVarId V) const;
   /// Engine counters plus set-memory accounting. Non-const: the memory
   /// fields and tier histogram are refreshed from the live sets on each
@@ -192,6 +235,7 @@ private:
   struct ListenerRecord {
     std::shared_ptr<Listener> Fn;
     AdaptiveSet Delivered; ///< Tokens already handed to Fn.
+    ConstraintGroup Group = 0; ///< Owning group (0 = shared, irretractable).
   };
 
   void ensure(CVarId V);
@@ -253,6 +297,22 @@ private:
   /// Optional deadline token (not owned); see setCancellation().
   CancellationToken *Cancel = nullptr;
   bool Cancelled = false;
+
+  // --- Group-retraction state (all inert until the first setGroup()) ---
+  ConstraintGroup CurGroup = 0;
+  bool Tracking = false;
+  /// Any collapse after tracking began destroys edge attribution for every
+  /// group; retraction then refuses across the board.
+  bool CollapsedWhileTracking = false;
+  std::set<ConstraintGroup> TaintedGroups;
+  /// Per-group log of (From, To) representatives at insert time. Valid for
+  /// removal only while no collapse has happened (checked above).
+  std::map<ConstraintGroup, std::vector<std::pair<CVarId, CVarId>>> EdgeLog;
+  /// Edge key -> owning group, for cross-group duplicate detection.
+  std::map<uint64_t, ConstraintGroup> EdgeOwner;
+  /// Keys removed by retraction. EdgeKeySet is insert-only, so a re-added
+  /// edge probes here to be treated as fresh instead of duplicate.
+  std::set<uint64_t> RemovedEdges;
 };
 
 } // namespace jsai

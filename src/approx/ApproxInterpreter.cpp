@@ -81,9 +81,14 @@ public:
 
   void onModuleRequired(SourceLoc CallSite,
                         const std::string &ResolvedPath) override {
+    Loaded.insert(ResolvedPath);
     if (Opts.CollectModuleHints && CallSite.isValid())
       Hints.addModuleHint(CallSite, ResolvedPath);
   }
+
+  /// Every module path the run touched (independent of the module-hint
+  /// toggle — this feeds cache-publish guards, not hints).
+  std::set<std::string> Loaded;
 
   void onEvalCode(SourceLoc CallSite, const std::string &Code) override {
     Hints.addEvalHint(CallSite, Code);
@@ -122,6 +127,7 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
     if (Opts.Cancel && Opts.Cancel->expired())
       break; // Deadline: keep the hints collected so far.
     I.resetExecutionBudget();
+    Collector.Loaded.insert(Path);
     Completion C = I.loadModule(Path);
     ++Stats.NumModulesLoaded;
     if (C.isAbort())
@@ -146,6 +152,7 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   }
 
   Stats.Interp = I.stats();
+  Loaded = std::move(Collector.Loaded);
 
   // NumFunctionsTotal counts definitions present before eval-time parsing;
   // recompute against the final context to stay an upper bound.

@@ -83,10 +83,17 @@ public:
 
   const ApproxStats &stats() const { return Stats; }
 
+  /// Module paths the last run() actually loaded (roots plus everything
+  /// pulled in via require, including dynamically computed specs the static
+  /// import scan cannot see). The module-granular cache publishes a
+  /// component's slices only when this stayed inside the component.
+  const std::set<std::string> &loadedModules() const { return Loaded; }
+
 private:
   ModuleLoader &Loader;
   ApproxOptions Opts;
   ApproxStats Stats;
+  std::set<std::string> Loaded;
 };
 
 } // namespace jsai

@@ -1,0 +1,225 @@
+//===- ModularArtifacts.cpp - Module-granular artifact slicing ------------===//
+
+#include "cache/ModularArtifacts.h"
+
+#include "lexer/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace jsai;
+
+bool ModuleComponent::contains(const std::string &Path) const {
+  return std::binary_search(Members.begin(), Members.end(), Path);
+}
+
+namespace {
+
+/// All string-literal values in \p Source. Lexing never fails hard — bad
+/// input just produces Error tokens we skip — and comments are invisible,
+/// so only genuine literals become candidate require specs.
+std::vector<std::string> stringLiterals(const std::string &Source) {
+  DiagnosticEngine Scratch;
+  Lexer L(FileId(0), Source, Scratch);
+  std::vector<std::string> Out;
+  for (Token T = L.next(); !T.is(TokenKind::Eof); T = L.next())
+    if (T.is(TokenKind::String))
+      Out.push_back(T.Text);
+  return Out;
+}
+
+struct FileScan {
+  /// spec → resolved path ("" when unresolved), deduped and ordered. Part
+  /// of the component fingerprint: a new file that re-routes (or newly
+  /// satisfies) any spec changes the map even when no member changed.
+  std::map<std::string, std::string> Resolutions;
+};
+
+/// Union-find over module indices.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    for (size_t I = 0; I != N; ++I)
+      Parent[I] = I;
+  }
+  size_t find(size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void unite(size_t A, size_t B) {
+    A = find(A);
+    B = find(B);
+    if (A != B)
+      Parent[std::max(A, B)] = std::min(A, B);
+  }
+
+private:
+  std::vector<size_t> Parent;
+};
+
+void hashLenPrefixed(Sha256 &H, const std::string &S) {
+  uint64_t Len = S.size();
+  unsigned char Buf[8];
+  for (int I = 0; I != 8; ++I)
+    Buf[I] = (unsigned char)(Len >> (I * 8));
+  H.update(Buf, sizeof(Buf));
+  H.update(S);
+}
+
+} // namespace
+
+ModulePartition
+jsai::computeModulePartition(const FileSystem &FS,
+                             const std::vector<std::string> &Roots) {
+  std::vector<std::string> Paths = FS.allPaths();
+  std::map<std::string, size_t> Index;
+  for (size_t I = 0; I != Paths.size(); ++I)
+    Index[Paths[I]] = I;
+
+  // Scan every file once; edges are consulted only from reachable nodes,
+  // but the per-file resolution maps feed member fingerprints.
+  std::vector<FileScan> Scans(Paths.size());
+  std::vector<std::vector<size_t>> Edges(Paths.size());
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    for (const std::string &Spec : stringLiterals(FS.read(Paths[I]))) {
+      std::string Resolved = FS.resolveRequire(Paths[I], Spec);
+      Scans[I].Resolutions.emplace(Spec, Resolved);
+      if (!Resolved.empty()) {
+        auto It = Index.find(Resolved);
+        if (It != Index.end() && It->second != I)
+          Edges[I].push_back(It->second);
+      }
+    }
+  }
+
+  // BFS from the roots; only root-reachable modules participate in the
+  // partition (a file nothing requires cannot affect any approx run, so
+  // editing it must not invalidate any slice).
+  std::vector<char> Reachable(Paths.size(), 0);
+  std::vector<size_t> Work;
+  for (const std::string &R : Roots) {
+    auto It = Index.find(R);
+    if (It != Index.end() && !Reachable[It->second]) {
+      Reachable[It->second] = 1;
+      Work.push_back(It->second);
+    }
+  }
+  while (!Work.empty()) {
+    size_t I = Work.back();
+    Work.pop_back();
+    for (size_t J : Edges[I])
+      if (!Reachable[J]) {
+        Reachable[J] = 1;
+        Work.push_back(J);
+      }
+  }
+
+  // Weakly-connected components over the reachable subgraph.
+  UnionFind UF(Paths.size());
+  for (size_t I = 0; I != Paths.size(); ++I)
+    if (Reachable[I])
+      for (size_t J : Edges[I])
+        if (Reachable[J])
+          UF.unite(I, J);
+
+  // Group members, then order components by their first root's position so
+  // the main module's component runs first and the order is deterministic.
+  std::map<size_t, ModuleComponent> ByRep;
+  for (size_t I = 0; I != Paths.size(); ++I)
+    if (Reachable[I])
+      ByRep[UF.find(I)].Members.push_back(Paths[I]);
+
+  std::map<size_t, size_t> FirstRootIndex;
+  for (size_t R = 0; R != Roots.size(); ++R) {
+    auto It = Index.find(Roots[R]);
+    if (It == Index.end())
+      continue;
+    size_t Rep = UF.find(It->second);
+    ByRep[Rep].Roots.push_back(Roots[R]);
+    FirstRootIndex.emplace(Rep, R);
+  }
+
+  std::vector<std::pair<size_t, ModuleComponent>> Ordered;
+  for (auto &[Rep, C] : ByRep) {
+    std::sort(C.Members.begin(), C.Members.end());
+    Ordered.emplace_back(FirstRootIndex[Rep], std::move(C));
+  }
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  ModulePartition P;
+  for (auto &[RootIdx, C] : Ordered) {
+    Sha256 H;
+    H.update("jsai-module-component v2\n");
+    for (const std::string &M : C.Members) {
+      hashLenPrefixed(H, M);
+      hashLenPrefixed(H, FS.read(M));
+      for (const auto &[Spec, Resolved] : Scans[Index[M]].Resolutions) {
+        hashLenPrefixed(H, Spec);
+        hashLenPrefixed(H, Resolved);
+      }
+    }
+    C.Fingerprint = Sha256::hex(H.digest());
+    P.Components.push_back(std::move(C));
+  }
+  return P;
+}
+
+Sha256Digest jsai::computeSliceKey(const std::string &ConfigFingerprint,
+                                   const ModuleComponent &Component,
+                                   const std::string &ModulePath,
+                                   const std::string &ModuleSource) {
+  Sha256 H;
+  H.update("jsai-module-slice v2\n");
+  hashLenPrefixed(H, ConfigFingerprint);
+  for (const std::string &R : Component.Roots)
+    hashLenPrefixed(H, R);
+  hashLenPrefixed(H, Component.Fingerprint);
+  hashLenPrefixed(H, ModulePath);
+  hashLenPrefixed(H, ModuleSource);
+  return H.digest();
+}
+
+std::vector<HintSet> jsai::sliceHintsByModule(const HintSet &Hints,
+                                              const ModuleComponent &Component,
+                                              const FileTable &Files) {
+  std::vector<HintSet> Slices(Component.Members.size());
+  auto sliceFor = [&](FileId File) -> HintSet & {
+    if (File != InvalidFileId) {
+      const std::string &Path = Files.name(File);
+      auto It = std::lower_bound(Component.Members.begin(),
+                                 Component.Members.end(), Path);
+      if (It != Component.Members.end() && *It == Path)
+        return Slices[size_t(It - Component.Members.begin())];
+    }
+    return Slices[0]; // Leader absorbs unattributable hints.
+  };
+
+  for (const auto &[Loc, Refs] : Hints.readHints())
+    for (const AllocRef &R : Refs)
+      sliceFor(Loc.File).addReadHint(Loc, R);
+  for (const WriteHint &W : Hints.writeHints())
+    sliceFor(W.Base.Loc.File).addWriteHint(W.Base, W.Prop, W.Val);
+  for (const auto &[Loc, Mods] : Hints.moduleHints())
+    for (const std::string &M : Mods)
+      sliceFor(Loc.File).addModuleHint(Loc, M);
+  for (const auto &[Loc, Names] : Hints.readNames())
+    for (const std::string &N : Names)
+      sliceFor(Loc.File).addReadName(Loc, N);
+  for (const auto &[Loc, Names] : Hints.writeNames())
+    for (const std::string &N : Names)
+      sliceFor(Loc.File).addWriteName(Loc, N);
+  for (const auto &[Loc, Names] : Hints.proxyReadNames())
+    for (const std::string &N : Names)
+      sliceFor(Loc.File).addProxyReadName(Loc, N);
+  // Eval hints are consumed in insertion order, which slicing by owner file
+  // would destroy; park the whole ordered sequence with the leader.
+  for (const auto &[Loc, Code] : Hints.evalHints())
+    Slices[0].addEvalHint(Loc, Code);
+  return Slices;
+}

@@ -1,0 +1,96 @@
+//===- ModularArtifacts.h - Module-granular artifact slicing ----*- C++ -*-===//
+///
+/// \file
+/// Module-granular keys for the artifact cache. The whole-project key of
+/// PR 4 invalidates everything when any byte of any file changes; the slice
+/// layer here partitions a project into *import-closure components* so an
+/// edit re-runs approximate interpretation only for the component that
+/// contains the edited module.
+///
+/// Soundness of the unit. Approximate interpretation of a module can read
+/// anything reachable through the require graph — and, because hints record
+/// what *callers* force-execute, anything that reaches it. The smallest
+/// unit whose hints are a pure function of its own sources is therefore a
+/// weakly-connected component of the require graph restricted to
+/// root-reachable modules. The require graph is recovered statically by an
+/// over-approximating scan: every string literal in every file is treated
+/// as a potential require spec and resolved with the module loader's exact
+/// resolution rules. Over-approximation merges components (coarser
+/// granularity, never wrong); dynamically computed specs the scan cannot
+/// see are caught at publish time — a component's slices are only written
+/// when the interpreter's observed module loads stayed inside the
+/// component's member set.
+///
+/// A slice key binds (format version, approx-config fingerprint, component
+/// root list, module path, component fingerprint); the component
+/// fingerprint hashes every member's path + source plus the full spec →
+/// resolution map, so adding a file that would re-route any member's
+/// require invalidates the component even though no member changed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_CACHE_MODULARARTIFACTS_H
+#define JSAI_CACHE_MODULARARTIFACTS_H
+
+#include "approx/HintSet.h"
+#include "cache/Sha256.h"
+#include "interp/FileSystem.h"
+
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+/// One weakly-connected component of the root-reachable require graph.
+struct ModuleComponent {
+  /// Member module paths, sorted. The first member is the component's
+  /// *leader*: its slice carries the component-level approx stat block and
+  /// the (insertion-ordered) eval hints of the whole component.
+  std::vector<std::string> Members;
+  /// The analysis roots that fall in this component, in original root
+  /// order (main module first) — this is the execution order for a cold
+  /// per-component approx run.
+  std::vector<std::string> Roots;
+  /// Hex SHA-256 over members' (path, source) pairs and the component's
+  /// require-resolution map.
+  std::string Fingerprint;
+
+  const std::string &leader() const { return Members.front(); }
+  bool contains(const std::string &Path) const;
+};
+
+/// The partition of a project's root-reachable modules into components,
+/// ordered by first-root occurrence (so the main module's component is
+/// always first and execution order is deterministic).
+struct ModulePartition {
+  std::vector<ModuleComponent> Components;
+};
+
+/// Computes the partition of \p FS's root-reachable modules under the
+/// string-literal require scan, seeded from \p Roots (orderd, main first).
+ModulePartition computeModulePartition(const FileSystem &FS,
+                                       const std::vector<std::string> &Roots);
+
+/// Content-address for one module's slice within its component.
+/// \p ConfigFingerprint is the same approx-config fingerprint used for the
+/// whole-project key, so every knob that invalidates the project entry also
+/// invalidates every slice.
+Sha256Digest computeSliceKey(const std::string &ConfigFingerprint,
+                             const ModuleComponent &Component,
+                             const std::string &ModulePath,
+                             const std::string &ModuleSource);
+
+/// Splits \p Hints into per-member slices for \p Component, keyed by the
+/// owner file of each hint (read hints by read location, write hints by the
+/// base object's allocation site, module hints by the require site). Eval
+/// hints are order-sensitive, so the leader's slice carries all of them;
+/// merging slices leader-first reproduces the component's hint set exactly
+/// (asserted in CacheTest). \p Files maps hint FileIds back to paths.
+/// Hints whose owner file is not a member land in the leader's slice.
+std::vector<HintSet> sliceHintsByModule(const HintSet &Hints,
+                                        const ModuleComponent &Component,
+                                        const FileTable &Files);
+
+} // namespace jsai
+
+#endif // JSAI_CACHE_MODULARARTIFACTS_H

@@ -12,6 +12,7 @@ namespace {
 constexpr uint32_t SecHints = 1;   ///< Portable hint text (HintSet::serialize).
 constexpr uint32_t SecApprox = 2;  ///< ApproxStats + InterpStats, 12 u64s.
 constexpr uint32_t SecMetrics = 3; ///< u8 present + 2 x 5 u64s.
+constexpr uint32_t SecSlice = 4;   ///< Slice provenance: 2 length-prefixed strings.
 
 constexpr char Magic[4] = {'J', 'S', 'A', 'C'};
 constexpr size_t HeaderSize = 4 + 4 + 32 + 4; // magic + version + key + count
@@ -201,7 +202,7 @@ std::string jsai::encodeCacheEntry(const CacheEntry &Entry,
   Out.append(Magic, 4);
   putU32(Out, CacheFormatVersion);
   Out.append(reinterpret_cast<const char *>(Key.data()), Key.size());
-  putU32(Out, 3); // section count
+  putU32(Out, 4); // section count
 
   appendSection(Out, SecHints, Entry.Hints.serialize(Files));
 
@@ -214,6 +215,13 @@ std::string jsai::encodeCacheEntry(const CacheEntry &Entry,
   encodeMetrics(Metrics, Entry.Baseline);
   encodeMetrics(Metrics, Entry.Extended);
   appendSection(Out, SecMetrics, Metrics);
+
+  std::string Slice;
+  putU32(Slice, uint32_t(Entry.SliceModule.size()));
+  Slice += Entry.SliceModule;
+  putU32(Slice, uint32_t(Entry.SliceComponent.size()));
+  Slice += Entry.SliceComponent;
+  appendSection(Out, SecSlice, Slice);
 
   Sha256 H;
   H.update(Out);
@@ -255,6 +263,21 @@ bool jsai::decodeCacheEntry(const std::string &Bytes,
             return false;
           }
           Out.HasMetrics = Present != 0;
+          return true;
+        }
+        case SecSlice: {
+          uint32_t ModLen = 0, CompLen = 0;
+          if (!Body.readU32(ModLen) || Body.remaining() < ModLen) {
+            Err = "cache entry slice section has wrong size";
+            return false;
+          }
+          Out.SliceModule = Bytes.substr(Body.pos(), ModLen);
+          Body.skip(ModLen);
+          if (!Body.readU32(CompLen) || Body.remaining() < CompLen) {
+            Err = "cache entry slice section has wrong size";
+            return false;
+          }
+          Out.SliceComponent = Bytes.substr(Body.pos(), CompLen);
           return true;
         }
         default:

@@ -46,7 +46,7 @@ namespace jsai {
 /// Bump on any incompatible change to the entry layout or section payloads.
 /// Old entries then fail decode with a version diagnostic and are treated
 /// as misses (never migrated in place).
-inline constexpr uint32_t CacheFormatVersion = 1;
+inline constexpr uint32_t CacheFormatVersion = 2;
 
 /// Per-mode call-graph metric scalars cached alongside the hints (the
 /// figure-4..7 numbers for one project). Informational: a warm run always
@@ -75,6 +75,14 @@ struct CacheEntry {
   bool HasMetrics = false;
   CachedAnalysisMetrics Baseline;
   CachedAnalysisMetrics Extended;
+  /// Module-granular slice provenance (format v2). Whole-project entries
+  /// leave both empty; a per-module slice records which module it covers
+  /// and the hex fingerprint of the import-closure component it was sliced
+  /// from, so `jsai cache stats` can tell the two entry kinds apart.
+  std::string SliceModule;
+  std::string SliceComponent;
+
+  bool isSlice() const { return !SliceModule.empty(); }
 };
 
 /// Serializes \p Entry under content-address \p Key. \p Files resolves the

@@ -52,7 +52,8 @@ JobResult CorpusDriver::runJob(const ProjectSpec &Spec,
   JobResult R;
   auto Start = std::chrono::steady_clock::now();
   try {
-    Pipeline P(Opts.Approx, Opts.Deadlines, Cache, Opts.SolverSet);
+    Pipeline P(Opts.Approx, Opts.Deadlines, Cache, Opts.SolverSet,
+               Opts.Interrupt);
     R.Report = P.analyzeProject(Spec);
   } catch (const std::exception &E) {
     R.Report.Name = Spec.Name;
@@ -90,11 +91,18 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
     Workers = Suite.size() == 0 ? 1 : Suite.size();
   Summary.Workers = Workers;
 
+  auto Interrupted = [this] {
+    return Opts.Interrupt && Opts.Interrupt->cancelled();
+  };
+
   auto Start = std::chrono::steady_clock::now();
   if (Workers <= 1) {
     // Inline: no threads, identical code path to the parallel case.
-    for (size_t I = 0; I != Suite.size(); ++I)
+    for (size_t I = 0; I != Suite.size(); ++I) {
+      if (Interrupted())
+        break; // Unclaimed slots are marked cancelled below.
       Summary.Jobs[I] = runJob(Suite[I], CachePtr);
+    }
   } else {
     // Seed the per-worker deques round-robin; the task set is fixed up
     // front (jobs never spawn jobs), so a worker may exit as soon as a
@@ -105,6 +113,8 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
 
     auto WorkerMain = [&](size_t Self) {
       for (;;) {
+        if (Interrupted())
+          return; // Stop claiming; in-flight jobs wind down on their own.
         size_t Job;
         if (!Queues[Self].popFront(Job)) {
           bool Stole = false;
@@ -125,6 +135,18 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
     for (std::thread &T : Threads)
       T.join();
   }
+  // Fill the slots of jobs no worker claimed before the interrupt so the
+  // flushed report covers every project (outcome "cancelled").
+  if (Interrupted())
+    for (size_t I = 0; I != Suite.size(); ++I) {
+      JobResult &J = Summary.Jobs[I];
+      if (J.Report.Name.empty()) {
+        J.Report.Name = Suite[I].Name;
+        J.Report.Pattern = Suite[I].Pattern;
+        J.Report.Outcome = ProjectOutcome::Cancelled;
+      }
+    }
+
   Summary.WallSeconds = secondsSince(Start);
   if (Cache) {
     Summary.CacheEnabled = true;
@@ -144,6 +166,9 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
       break;
     case ProjectOutcome::Error:
       ++A.Errors;
+      break;
+    case ProjectOutcome::Cancelled:
+      ++A.Cancelled;
       break;
     }
     A.BaselineCallEdges += J.Report.Baseline.NumCallEdges;

@@ -55,6 +55,11 @@ struct DriverOptions {
   /// fully successful analysis; warm runs produce byte-identical
   /// (timing-free) reports while skipping approx for unchanged projects.
   CacheConfig Cache;
+  /// Optional externally latched interrupt (signal handler, serve
+  /// shutdown). Not owned. Once latched, workers stop claiming jobs —
+  /// unstarted projects are reported with outcome "cancelled" — and the
+  /// in-flight jobs wind down through the pipeline's cancellation path.
+  CancellationToken *Interrupt = nullptr;
 };
 
 /// One scheduled project analysis.
@@ -73,6 +78,7 @@ struct RunAggregates {
   size_t Ok = 0;
   size_t Degraded = 0;
   size_t Errors = 0;
+  size_t Cancelled = 0;
   size_t BaselineCallEdges = 0;
   size_t ExtendedCallEdges = 0;
   size_t BaselineReachable = 0;

@@ -2,10 +2,14 @@
 
 #include "driver/Telemetry.h"
 
+#include "cache/Serialization.h"
+#include "cache/Sha256.h"
+#include "support/Version.h"
 #include "vm/EngineKind.h"
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 using namespace jsai;
 
@@ -101,6 +105,22 @@ std::string jsai::jsonEscape(const std::string &S) {
   return Out;
 }
 
+std::string jsai::runConfigFingerprint(const DriverOptions &Opts) {
+  // Render only output-determining facts; see the header for why solver
+  // set, engine, jobs, and deadlines are absent.
+  std::ostringstream Facts;
+  Facts << "jsai-run-config v1"
+        << ";version=" << JsaiVersion << ";cache-format=" << CacheFormatVersion
+        << ";approx:depth=" << Opts.Approx.MaxCallDepth
+        << ",loops=" << Opts.Approx.MaxLoopIterations
+        << ",steps=" << Opts.Approx.MaxSteps
+        << ",module-hints=" << (Opts.Approx.CollectModuleHints ? 1 : 0)
+        << ",ic=" << (Opts.Approx.EnableInlineCaches ? 1 : 0);
+  Sha256 H;
+  H.update(Facts.str());
+  return Sha256::hex(H.digest()).substr(0, 16);
+}
+
 std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
   const ProjectReport &R = Job.Report;
   std::string Out = "{";
@@ -174,11 +194,18 @@ std::string jsai::manifestJson(const RunSummary &Summary,
                                const DriverOptions &Opts) {
   const RunAggregates &A = Summary.Totals;
   std::string Out = "{\"manifest\":{";
-  Out += "\"schema\":1";
+  Out += "\"schema\":2";
+  // Both fields are deterministic functions of the build and the options
+  // (constant across runs and jobs counts), so they stay outside the
+  // timings gate.
+  Out += ",\"version\":\"";
+  Out += JsaiVersion;
+  Out += "\"";
+  Out += ",\"config_fingerprint\":\"" + runConfigFingerprint(Opts) + "\"";
   Out += ",\"projects\":" + num(A.Projects);
   Out += ",\"outcomes\":{\"ok\":" + num(A.Ok) +
          ",\"degraded\":" + num(A.Degraded) + ",\"error\":" + num(A.Errors) +
-         "}";
+         ",\"cancelled\":" + num(A.Cancelled) + "}";
   Out += ",\"deadlines\":{\"approx_s\":" +
          jsonSeconds(Opts.Deadlines.ApproxSeconds) +
          ",\"analysis_s\":" + jsonSeconds(Opts.Deadlines.AnalysisSeconds) +

@@ -27,6 +27,16 @@ namespace jsai {
 /// Escapes \p S for embedding in a JSON string literal.
 std::string jsonEscape(const std::string &S);
 
+/// Short hex fingerprint of the run configuration facts that determine the
+/// default (timing-free) report bytes: the tool version, the cache format,
+/// and the approx tunables. Deliberately EXCLUDES the solver-set, the
+/// interpreter engine, the jobs count, and deadlines — by the repo's
+/// cross-representation byte-identity contracts none of those may change a
+/// default report, so none may change its fingerprint. Emitted ungated in
+/// the manifest and echoed in the serve handshake so a client can tell
+/// whether a daemon would produce the same bytes it would locally.
+std::string runConfigFingerprint(const DriverOptions &Opts);
+
 /// One project's JSONL record (no trailing newline).
 std::string jobRecordJson(const JobResult &Job, bool IncludeTimings);
 

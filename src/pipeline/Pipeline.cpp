@@ -25,6 +25,8 @@ const char *jsai::projectOutcomeName(ProjectOutcome O) {
     return "degraded";
   case ProjectOutcome::Error:
     return "error";
+  case ProjectOutcome::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }
@@ -36,13 +38,48 @@ ProjectAnalyzer::ProjectAnalyzer(const ProjectSpec &Spec,
   Loader->parseAll();
 }
 
+size_t ProjectAnalyzer::numComponentsFromCache() const {
+  size_t N = 0;
+  for (const ComponentRun &CR : Components)
+    N += CR.FromCache;
+  return N;
+}
+
+bool ProjectAnalyzer::tryLoadComponentSlices(
+    ComponentRun &CR, const std::string &ConfigFingerprint) {
+  HintSet Merged;
+  ApproxStats LeaderStats;
+  for (size_t I = 0; I != CR.Component.Members.size(); ++I) {
+    const std::string &M = CR.Component.Members[I];
+    Sha256Digest Key =
+        computeSliceKey(ConfigFingerprint, CR.Component, M, Spec.Files.read(M));
+    CacheEntry Entry;
+    std::string Diag;
+    if (!Cache->load(Key, Ctx.files(), Entry, Diag)) {
+      if (!Diag.empty())
+        Diags.warning(SourceLoc::invalid(), Diag);
+      return false;
+    }
+    // Members are sorted and the leader is first, so the order-sensitive
+    // eval hints (parked wholesale in the leader's slice) merge back in
+    // their original component order.
+    Merged.merge(Entry.Hints);
+    if (I == 0)
+      LeaderStats = Entry.Approx;
+  }
+  CR.Hints = std::move(Merged);
+  CR.Stats = LeaderStats;
+  return true;
+}
+
 const HintSet &ProjectAnalyzer::hints() {
   if (CachedHints)
     return *CachedHints;
 
+  std::string ConfigFp =
+      ArtifactCache::fingerprint(ApproxOpts, Spec.MainModule);
   if (Cache && Cache->config().reads()) {
-    Sha256Digest Key = ArtifactCache::computeKey(
-        Spec.Files, ArtifactCache::fingerprint(ApproxOpts, Spec.MainModule));
+    Sha256Digest Key = ArtifactCache::computeKey(Spec.Files, ConfigFp);
     CacheEntry Entry;
     std::string Diag;
     if (Cache->load(Key, Ctx.files(), Entry, Diag)) {
@@ -53,14 +90,13 @@ const HintSet &ProjectAnalyzer::hints() {
       CachedApproxStats = Entry.Approx;
       CachedApproxSeconds = 0;
       HintsFromCache = true;
+      ProjectEntryFromCache = true;
       return *CachedHints;
     }
     if (!Diag.empty())
       Diags.warning(SourceLoc::invalid(), Diag);
   }
 
-  auto Start = std::chrono::steady_clock::now();
-  ApproxInterpreter Approx(*Loader, ApproxOpts);
   // Worklist roots: the application-code modules, main module first
   // (Section 3: "each application-code module or a single designated main
   // module"). Library modules are explored transitively via require.
@@ -71,9 +107,85 @@ const HintSet &ProjectAnalyzer::hints() {
   for (const std::string &Path : Spec.Files.allPaths())
     if (Path != Spec.MainModule && Path.rfind(AppPrefix, 0) == 0)
       Roots.push_back(Path);
-  CachedHints = Approx.run(Roots);
-  CachedApproxStats = Approx.stats();
+
+  auto Start = std::chrono::steady_clock::now();
+
+  // Partition the root-reachable modules into import-closure components —
+  // the unit of the module-granular cache. Each component is executed in a
+  // fresh interpreter, so its hints are a pure function of its own sources;
+  // for the (overwhelmingly common) single-component project this is
+  // exactly the pre-modular joint run.
+  ModulePartition Part = computeModulePartition(Spec.Files, Roots);
+  size_t CoveredRoots = 0;
+  for (const ModuleComponent &C : Part.Components)
+    CoveredRoots += C.Roots.size();
+  if (Part.Components.empty() || CoveredRoots != Roots.size()) {
+    // A root is missing from the file system (broken project): keep the
+    // historical joint-run behavior, which loads missing roots and records
+    // their aborts. Never sliceable.
+    ApproxInterpreter Approx(*Loader, ApproxOpts);
+    CachedHints = Approx.run(Roots);
+    CachedApproxStats = Approx.stats();
+    CachedApproxSeconds = secondsSince(Start);
+    ApproxComplete = !(ApproxOpts.Cancel && ApproxOpts.Cancel->cancelled());
+    return *CachedHints;
+  }
+
+  // The function-definition denominator is global (and counted before any
+  // execution parses eval bodies into the context), independent of how the
+  // work splits into components.
+  size_t PreTotal = numFunctions();
+
+  for (ModuleComponent &C : Part.Components) {
+    Components.emplace_back();
+    Components.back().Component = std::move(C);
+  }
+
+  HintSet Merged;
+  ApproxStats MergedStats;
+  bool AllFromCache = !Components.empty();
+  for (ComponentRun &CR : Components) {
+    if (ApproxOpts.Cancel && ApproxOpts.Cancel->expired()) {
+      AllFromCache = false;
+      break; // Deadline/interrupt: keep the hints collected so far.
+    }
+    bool Loaded = Cache && Cache->config().reads() &&
+                  tryLoadComponentSlices(CR, ConfigFp);
+    if (Loaded) {
+      CR.FromCache = true;
+    } else {
+      AllFromCache = false;
+      ApproxInterpreter Approx(*Loader, ApproxOpts);
+      CR.Hints = Approx.run(CR.Component.Roots);
+      CR.Stats = Approx.stats();
+      bool Complete = !(ApproxOpts.Cancel && ApproxOpts.Cancel->cancelled());
+      // Publish the component's slices only when execution stayed inside
+      // its statically predicted member set — a dynamically computed
+      // require that escaped the import scan disqualifies the component
+      // (its hints depend on files outside the slice keys).
+      CR.Publishable = Complete;
+      if (Complete)
+        for (const std::string &L : Approx.loadedModules())
+          if (Spec.Files.exists(L) && !CR.Component.contains(L)) {
+            CR.Publishable = false;
+            break;
+          }
+    }
+    Merged.merge(CR.Hints);
+    MergedStats.NumFunctionsVisited += CR.Stats.NumFunctionsVisited;
+    MergedStats.NumModulesLoaded += CR.Stats.NumModulesLoaded;
+    MergedStats.NumForcedExecutions += CR.Stats.NumForcedExecutions;
+    MergedStats.NumAborts += CR.Stats.NumAborts;
+    MergedStats.Interp += CR.Stats.Interp;
+  }
+  MergedStats.NumFunctionsTotal = PreTotal;
+
+  CachedHints = std::move(Merged);
+  CachedApproxStats = MergedStats;
   CachedApproxSeconds = secondsSince(Start);
+  HintsFromCache = AllFromCache;
+  if (HintsFromCache)
+    CachedApproxSeconds = 0; // Matches the whole-project warm path.
   ApproxComplete = !(ApproxOpts.Cancel && ApproxOpts.Cancel->cancelled());
   return *CachedHints;
 }
@@ -82,7 +194,35 @@ void ProjectAnalyzer::publishToCache(const AnalysisResult *Baseline,
                                      const AnalysisResult *Extended) {
   if (!Cache || !Cache->config().writes())
     return;
-  if (!CachedHints || HintsFromCache || !ApproxComplete)
+
+  std::string ConfigFp =
+      ArtifactCache::fingerprint(ApproxOpts, Spec.MainModule);
+
+  // Per-module slices for every component that ran cleanly this time.
+  for (const ComponentRun &CR : Components) {
+    if (CR.FromCache || !CR.Publishable)
+      continue;
+    std::vector<HintSet> Slices =
+        sliceHintsByModule(CR.Hints, CR.Component, Ctx.files());
+    for (size_t I = 0; I != CR.Component.Members.size(); ++I) {
+      const std::string &M = CR.Component.Members[I];
+      CacheEntry Slice;
+      Slice.Hints = std::move(Slices[I]);
+      if (I == 0)
+        Slice.Approx = CR.Stats; // Leader carries the component stat block.
+      Slice.SliceModule = M;
+      Slice.SliceComponent = CR.Component.Fingerprint;
+      Sha256Digest Key =
+          computeSliceKey(ConfigFp, CR.Component, M, Spec.Files.read(M));
+      std::string Diag;
+      if (!Cache->store(Key, Ctx.files(), Slice, Diag) && !Diag.empty())
+        Diags.warning(SourceLoc::invalid(), Diag);
+    }
+  }
+
+  // Whole-project entry: also refreshed when the hints were reconstructed
+  // from slices, so the next unchanged run takes the single-load fast path.
+  if (!CachedHints || ProjectEntryFromCache || !ApproxComplete)
     return;
   CacheEntry Entry;
   Entry.Hints = *CachedHints;
@@ -101,8 +241,7 @@ void ProjectAnalyzer::publishToCache(const AnalysisResult *Baseline,
     Entry.Baseline = Scalars(*Baseline);
     Entry.Extended = Scalars(*Extended);
   }
-  Sha256Digest Key = ArtifactCache::computeKey(
-      Spec.Files, ArtifactCache::fingerprint(ApproxOpts, Spec.MainModule));
+  Sha256Digest Key = ArtifactCache::computeKey(Spec.Files, ConfigFp);
   std::string Diag;
   if (!Cache->store(Key, Ctx.files(), Entry, Diag) && !Diag.empty())
     Diags.warning(SourceLoc::invalid(), Diag);
@@ -156,8 +295,14 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   // Phase tokens live for the whole project run; each phase arms its token
   // just before starting so parse time never eats into a phase budget.
   CancellationToken ApproxToken, AnalysisToken;
+  if (Interrupt) {
+    // A latched interrupt (signal, serve shutdown) flows into every phase
+    // through the parent chain, whether or not a deadline is configured.
+    ApproxToken.setParent(Interrupt);
+    AnalysisToken.setParent(Interrupt);
+  }
   ApproxOptions AO = ApproxOpts;
-  if (Deadlines.ApproxSeconds > 0)
+  if (Deadlines.ApproxSeconds > 0 || Interrupt)
     AO.Cancel = &ApproxToken;
 
   auto Start = std::chrono::steady_clock::now();
@@ -173,9 +318,10 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   AnalysisOptions BaseOpts;
   BaseOpts.Mode = AnalysisMode::Baseline;
   BaseOpts.SolverSet = SolverSet;
-  if (Deadlines.AnalysisSeconds > 0) {
+  if (Deadlines.AnalysisSeconds > 0 || Interrupt) {
     BaseOpts.Cancel = &AnalysisToken;
-    AnalysisToken.arm(Deadlines.AnalysisSeconds);
+    if (Deadlines.AnalysisSeconds > 0)
+      AnalysisToken.arm(Deadlines.AnalysisSeconds);
   }
   Start = std::chrono::steady_clock::now();
   R.Baseline = A.analyze(BaseOpts);
@@ -203,9 +349,10 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     AnalysisOptions ExtOpts;
     ExtOpts.Mode = AnalysisMode::Hints;
     ExtOpts.SolverSet = SolverSet;
-    if (Deadlines.AnalysisSeconds > 0) {
+    if (Deadlines.AnalysisSeconds > 0 || Interrupt) {
       ExtOpts.Cancel = &AnalysisToken;
-      AnalysisToken.arm(Deadlines.AnalysisSeconds);
+      if (Deadlines.AnalysisSeconds > 0)
+        AnalysisToken.arm(Deadlines.AnalysisSeconds);
     }
     Start = std::chrono::steady_clock::now();
     R.Extended = A.analyze(ExtOpts);
@@ -219,6 +366,13 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   } else if (AnalysisDegraded) {
     R.Outcome = ProjectOutcome::Degraded;
     R.DegradedPhase = "analysis";
+  }
+  if (Interrupt && Interrupt->cancelled()) {
+    // An external interrupt outranks deadline degradation: the report holds
+    // whatever completed and is flushed with outcome "cancelled".
+    R.Outcome = ProjectOutcome::Cancelled;
+    R.DegradedPhase.clear();
+    return R;
   }
 
   if (Spec.hasDynamicCallGraph()) {

@@ -18,6 +18,7 @@
 #include "analysis/StaticAnalysis.h"
 #include "approx/ApproxInterpreter.h"
 #include "cache/ArtifactCache.h"
+#include "cache/ModularArtifacts.h"
 #include "callgraph/DynamicCallGraphRecorder.h"
 #include "callgraph/Metrics.h"
 #include "corpus/Project.h"
@@ -51,6 +52,8 @@ enum class ProjectOutcome : uint8_t {
             ///< partial results (see ProjectReport::DegradedPhase).
   Error,    ///< The job failed outright (driver-level catch; never set by
             ///< Pipeline itself).
+  Cancelled, ///< The run was interrupted (SIGINT/SIGTERM or a serve
+             ///< shutdown); the report holds whatever completed.
 };
 
 const char *projectOutcomeName(ProjectOutcome O);
@@ -76,10 +79,17 @@ public:
   /// Same, with full option control.
   AnalysisResult analyze(const AnalysisOptions &Opts);
 
-  /// True when hints() was served from the artifact cache (the approx
-  /// phase never ran; approxStats() holds the deserialized block and
-  /// approxSeconds() is 0).
+  /// True when hints() was served from the artifact cache — either the
+  /// whole-project entry or a full set of per-module slices (the approx
+  /// phase never ran; approxStats() holds the deserialized blocks).
   bool hintsFromCache() const { return HintsFromCache; }
+
+  /// The import-closure components hints() partitioned this project into
+  /// (empty before hints(), after a whole-project cache hit, or when the
+  /// project fell back to the joint pre-modular path).
+  size_t numComponents() const { return Components.size(); }
+  /// How many components were reconstructed from cached slices.
+  size_t numComponentsFromCache() const;
 
   /// Publishes the freshly computed hints + stat blocks (and, when given,
   /// the analysis metric scalars) to the artifact cache. No-op when there
@@ -116,10 +126,32 @@ private:
   ApproxStats CachedApproxStats;
   double CachedApproxSeconds = 0;
   bool HintsFromCache = false;
+  /// The whole-project cache entry itself was the source of the hints (as
+  /// opposed to slices or a fresh run); publishing it again would be
+  /// pointless churn.
+  bool ProjectEntryFromCache = false;
   /// The approx phase ran to completion (no cancellation) — the
   /// precondition for publishing its hints.
   bool ApproxComplete = false;
   std::optional<CallGraph> CachedDynamicCG;
+
+  /// Per-component execution record backing the module-granular cache.
+  struct ComponentRun {
+    ModuleComponent Component;
+    HintSet Hints;
+    ApproxStats Stats; ///< Raw per-run stats; NumFunctionsTotal unused.
+    bool FromCache = false;
+    /// Ran to completion and every observed module load stayed inside the
+    /// component — the precondition for publishing its slices.
+    bool Publishable = false;
+  };
+  std::vector<ComponentRun> Components;
+
+  /// Loads every member slice of \p CR's component, or returns false
+  /// leaving \p CR untouched enough to re-run (partial hint merges are
+  /// discarded).
+  bool tryLoadComponentSlices(ComponentRun &CR,
+                              const std::string &ConfigFingerprint);
 };
 
 /// One project's full evaluation record.
@@ -165,12 +197,16 @@ public:
   /// \p Cache, when non-null, short-circuits the approx phase on hits and
   /// publishes artifacts (hints + stats + metric scalars) after a fully
   /// successful analysis.
+  /// \p Interrupt, when non-null, is an externally latched token (signal
+  /// handler, serve shutdown): every phase token chains to it, and a latched
+  /// interrupt marks the project Cancelled.
   explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions(),
                     PhaseDeadlines Deadlines = PhaseDeadlines(),
                     ArtifactCache *Cache = nullptr,
-                    SolverSetKind SolverSet = defaultSolverSetKind())
+                    SolverSetKind SolverSet = defaultSolverSetKind(),
+                    CancellationToken *Interrupt = nullptr)
       : ApproxOpts(ApproxOpts), Deadlines(Deadlines), Cache(Cache),
-        SolverSet(SolverSet) {}
+        SolverSet(SolverSet), Interrupt(Interrupt) {}
 
   /// Runs everything on \p Spec, enforcing the configured deadlines. An
   /// approx-phase timeout degrades the project to baseline-only results
@@ -184,6 +220,7 @@ private:
   PhaseDeadlines Deadlines;
   ArtifactCache *Cache = nullptr;
   SolverSetKind SolverSet = defaultSolverSetKind();
+  CancellationToken *Interrupt = nullptr;
 };
 
 } // namespace jsai

@@ -1,0 +1,134 @@
+//===- Client.cpp - jsai serve client --------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "driver/Telemetry.h"
+#include "support/Version.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace jsai;
+using namespace jsai::serve;
+
+bool Client::connect(const std::string &SocketPath, std::string &Error) {
+  close();
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path empty or too long: '" + SocketPath + "'";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (NewFd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Error = "cannot connect to '" + SocketPath + "': " + std::strerror(errno);
+    ::close(NewFd);
+    return false;
+  }
+  Fd = NewFd;
+  Buffer.clear();
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+bool Client::sendLine(const std::string &Line, std::string &Error) {
+  std::string Bytes = Line + "\n";
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    Sent += size_t(N);
+  }
+  return true;
+}
+
+bool Client::recvLine(std::string &Line, std::string &Error) {
+  char Tmp[4096];
+  for (;;) {
+    size_t Nl = Buffer.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buffer.substr(0, Nl);
+      Buffer.erase(0, Nl + 1);
+      return true;
+    }
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0) {
+      Error = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Error = "daemon closed the connection";
+      return false;
+    }
+    Buffer.append(Tmp, size_t(N));
+  }
+}
+
+bool Client::request(const JsonValue &Req, JsonValue &Resp,
+                     std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!sendLine(writeJson(Req), Error))
+    return false;
+  std::string Line;
+  if (!recvLine(Line, Error))
+    return false;
+  if (!parseJson(Line, Resp, Error) || !Resp.isObject()) {
+    Error = "malformed response: " + Error;
+    return false;
+  }
+  return true;
+}
+
+bool Client::handshake(JsonValue &Out, std::string &Error) {
+  JsonValue Req = JsonValue::object();
+  Req.set("cmd", JsonValue::str("handshake"));
+  if (!request(Req, Out, Error))
+    return false;
+  if (!Out.boolField("ok")) {
+    Error = "handshake rejected: " + Out.stringField("error", "unknown");
+    return false;
+  }
+  std::string DaemonVersion = Out.stringField("version");
+  if (DaemonVersion != JsaiVersion) {
+    Error = "version mismatch: daemon is " + DaemonVersion + ", client is " +
+            JsaiVersion;
+    return false;
+  }
+  std::string Local = runConfigFingerprint(DriverOptions());
+  std::string Remote = Out.stringField("config_fingerprint");
+  if (Remote != Local) {
+    Error = "config fingerprint mismatch: daemon " + Remote + ", client " +
+            Local + " — served reports would not be byte-comparable";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,61 @@
+//===- Client.h - jsai serve client ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Client side of the `jsai serve` protocol: connect to a daemon's Unix
+/// socket, exchange one JSON line per request/response, and verify on
+/// handshake that the daemon would produce the same report bytes this
+/// build would locally (version + config fingerprint match).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SERVE_CLIENT_H
+#define JSAI_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <string>
+
+namespace jsai {
+namespace serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon at \p SocketPath. \returns false and fills
+  /// \p Error on failure.
+  bool connect(const std::string &SocketPath, std::string &Error);
+
+  /// Sends the handshake request and fills \p Out with the daemon's
+  /// identity. Fails when the daemon's version or config fingerprint
+  /// differs from this build's — a mismatched pair could silently produce
+  /// different report bytes, which defeats the service's byte-identity
+  /// contract.
+  bool handshake(JsonValue &Out, std::string &Error);
+
+  /// Sends \p Req as one line and waits for the one-line response. Fails
+  /// on transport errors or malformed responses; a well-formed
+  /// `{"ok":false,...}` response is returned as success (the caller
+  /// inspects "ok").
+  bool request(const JsonValue &Req, JsonValue &Resp, std::string &Error);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+  /// Unconsumed bytes read past the last response line.
+  std::string Buffer;
+
+  bool sendLine(const std::string &Line, std::string &Error);
+  bool recvLine(std::string &Line, std::string &Error);
+};
+
+} // namespace serve
+} // namespace jsai
+
+#endif // JSAI_SERVE_CLIENT_H

@@ -1,0 +1,363 @@
+//===- Protocol.cpp - jsai serve wire protocol -----------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "driver/Telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jsai;
+using namespace jsai::serve;
+
+const JsonValue *JsonValue::field(const std::string &Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &F : Obj)
+    if (F.first == Name)
+      return &F.second;
+  return nullptr;
+}
+
+void JsonValue::set(const std::string &Name, JsonValue V) {
+  for (auto &F : Obj)
+    if (F.first == Name) {
+      F.second = std::move(V);
+      return;
+    }
+  Obj.emplace_back(Name, std::move(V));
+}
+
+std::string JsonValue::stringField(const std::string &Name,
+                                   const std::string &Default) const {
+  const JsonValue *F = field(Name);
+  return F && F->K == Kind::String ? F->Str : Default;
+}
+
+double JsonValue::numberField(const std::string &Name, double Default) const {
+  const JsonValue *F = field(Name);
+  return F && F->K == Kind::Number ? F->Num : Default;
+}
+
+bool JsonValue::boolField(const std::string &Name, bool Default) const {
+  const JsonValue *F = field(Name);
+  return F && F->K == Kind::Bool ? F->B : Default;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over an in-memory buffer.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipSpace();
+    if (!parseValue(Out))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON document");
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+
+  bool fail(const std::string &Msg) {
+    Error = Msg + " (at offset " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = 0;
+    while (Word[Len])
+      ++Len;
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, uint32_t Cp) {
+    if (Cp < 0x80) {
+      Out += char(Cp);
+    } else if (Cp < 0x800) {
+      Out += char(0xC0 | (Cp >> 6));
+      Out += char(0x80 | (Cp & 0x3F));
+    } else if (Cp < 0x10000) {
+      Out += char(0xE0 | (Cp >> 12));
+      Out += char(0x80 | ((Cp >> 6) & 0x3F));
+      Out += char(0x80 | (Cp & 0x3F));
+    } else {
+      Out += char(0xF0 | (Cp >> 18));
+      Out += char(0x80 | ((Cp >> 12) & 0x3F));
+      Out += char(0x80 | ((Cp >> 6) & 0x3F));
+      Out += char(0x80 | (Cp & 0x3F));
+    }
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos + I];
+      uint32_t D;
+      if (C >= '0' && C <= '9')
+        D = uint32_t(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = uint32_t(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        D = uint32_t(C - 'A' + 10);
+      else
+        return fail("bad hex digit in \\u escape");
+      Out = (Out << 4) | D;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected string");
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        uint32_t Cp = 0;
+        if (!parseHex4(Cp))
+          return false;
+        if (Cp >= 0xD800 && Cp <= 0xDBFF) {
+          // Surrogate pair: the low half must follow immediately.
+          uint32_t Low = 0;
+          if (!consume('\\') || !consume('u') || !parseHex4(Low) ||
+              Low < 0xDC00 || Low > 0xDFFF)
+            return fail("bad surrogate pair");
+          Cp = 0x10000 + ((Cp - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected number");
+    char *End = nullptr;
+    std::string Tok = Text.substr(Start, Pos - Start);
+    double V = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    Out = JsonValue::number(V);
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    skipSpace();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out = JsonValue::object();
+      skipSpace();
+      if (consume('}'))
+        return true;
+      for (;;) {
+        skipSpace();
+        std::string Name;
+        if (!parseString(Name))
+          return false;
+        skipSpace();
+        if (!consume(':'))
+          return fail("expected ':'");
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Out.Obj.emplace_back(std::move(Name), std::move(V));
+        skipSpace();
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out = JsonValue::array();
+      skipSpace();
+      if (consume(']'))
+        return true;
+      for (;;) {
+        JsonValue V;
+        if (!parseValue(V))
+          return false;
+        Out.Arr.push_back(std::move(V));
+        skipSpace();
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue::str(std::move(S));
+      return true;
+    }
+    if (literal("true")) {
+      Out = JsonValue::boolean(true);
+      return true;
+    }
+    if (literal("false")) {
+      Out = JsonValue::boolean(false);
+      return true;
+    }
+    if (literal("null")) {
+      Out = JsonValue::null();
+      return true;
+    }
+    return parseNumber(Out);
+  }
+};
+
+void writeValue(const JsonValue &V, std::string &Out) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    Out += "null";
+    break;
+  case JsonValue::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  case JsonValue::Kind::Number: {
+    double N = V.Num;
+    if (std::floor(N) == N && std::fabs(N) < 9007199254740992.0) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld", (long long)N);
+      Out += Buf;
+    } else {
+      char Buf[48];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", N);
+      Out += Buf;
+    }
+    break;
+  }
+  case JsonValue::Kind::String:
+    Out += '"';
+    Out += jsonEscape(V.Str);
+    Out += '"';
+    break;
+  case JsonValue::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : V.Arr) {
+      if (!First)
+        Out += ',';
+      First = false;
+      writeValue(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  case JsonValue::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &F : V.Obj) {
+      if (!First)
+        Out += ',';
+      First = false;
+      Out += '"';
+      Out += jsonEscape(F.first);
+      Out += "\":";
+      writeValue(F.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  }
+}
+
+} // namespace
+
+bool jsai::serve::parseJson(const std::string &Text, JsonValue &Out,
+                            std::string &Error) {
+  Error.clear();
+  return Parser(Text, Error).parse(Out);
+}
+
+std::string jsai::serve::writeJson(const JsonValue &V) {
+  std::string Out;
+  writeValue(V, Out);
+  return Out;
+}

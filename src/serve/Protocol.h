@@ -1,0 +1,99 @@
+//===- Protocol.h - jsai serve wire protocol --------------------*- C++ -*-===//
+///
+/// \file
+/// The `jsai serve` wire protocol: newline-delimited JSON over a local
+/// Unix-domain stream socket. Each request is one JSON object on one line;
+/// the daemon answers with exactly one JSON object on one line. The schema
+/// is documented in README.md ("Analysis service").
+///
+/// The JsonValue here is a deliberately small document model — objects
+/// preserve insertion order so responses render deterministically, numbers
+/// are doubles (integral values round-trip exactly up to 2^53, far beyond
+/// any counter the protocol carries), and parsing accepts exactly the JSON
+/// this repo emits plus standard escapes. No external JSON dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SERVE_PROTOCOL_H
+#define JSAI_SERVE_PROTOCOL_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsai {
+namespace serve {
+
+/// One JSON document node.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  /// Insertion-ordered: writeJson renders fields in the order they were
+  /// set, so a given request/response always serializes identically.
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool V) {
+    JsonValue J;
+    J.K = Kind::Bool;
+    J.B = V;
+    return J;
+  }
+  static JsonValue number(double V) {
+    JsonValue J;
+    J.K = Kind::Number;
+    J.Num = V;
+    return J;
+  }
+  static JsonValue str(std::string V) {
+    JsonValue J;
+    J.K = Kind::String;
+    J.Str = std::move(V);
+    return J;
+  }
+  static JsonValue array() {
+    JsonValue J;
+    J.K = Kind::Array;
+    return J;
+  }
+  static JsonValue object() {
+    JsonValue J;
+    J.K = Kind::Object;
+    return J;
+  }
+
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object field lookup (first match). \returns nullptr when absent or
+  /// this is not an object.
+  const JsonValue *field(const std::string &Name) const;
+
+  /// Sets (or overwrites) an object field, keeping insertion order.
+  void set(const std::string &Name, JsonValue V);
+
+  // Typed field accessors with defaults; a missing or mistyped field
+  // yields the default (the server validates required fields explicitly).
+  std::string stringField(const std::string &Name,
+                          const std::string &Default = "") const;
+  double numberField(const std::string &Name, double Default = 0) const;
+  bool boolField(const std::string &Name, bool Default = false) const;
+};
+
+/// Parses one JSON document from \p Text (trailing whitespace allowed,
+/// trailing garbage rejected). \returns false and fills \p Error on
+/// malformed input.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
+
+/// Renders \p V as compact single-line JSON (no spaces, no trailing
+/// newline). Deterministic: field order is insertion order.
+std::string writeJson(const JsonValue &V);
+
+} // namespace serve
+} // namespace jsai
+
+#endif // JSAI_SERVE_PROTOCOL_H

@@ -1,0 +1,369 @@
+//===- Server.cpp - Persistent analysis daemon -----------------------------===//
+
+#include "serve/Server.h"
+
+#include "cache/Sha256.h"
+#include "corpus/BenchmarkSuite.h"
+#include "driver/Telemetry.h"
+#include "support/Version.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace jsai;
+using namespace jsai::serve;
+
+namespace {
+
+JsonValue errorJson(const std::string &Message) {
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(false));
+  R.set("error", JsonValue::str(Message));
+  return R;
+}
+
+JsonValue cacheStatsJson(const CacheStats &C) {
+  JsonValue J = JsonValue::object();
+  J.set("hits", JsonValue::number(double(C.Hits)));
+  J.set("misses", JsonValue::number(double(C.Misses)));
+  J.set("corrupt_entries", JsonValue::number(double(C.CorruptEntries)));
+  J.set("writes", JsonValue::number(double(C.Writes)));
+  J.set("bytes_read", JsonValue::number(double(C.BytesRead)));
+  J.set("bytes_written", JsonValue::number(double(C.BytesWritten)));
+  return J;
+}
+
+JsonValue outcomesJson(const RunAggregates &A) {
+  JsonValue J = JsonValue::object();
+  J.set("ok", JsonValue::number(double(A.Ok)));
+  J.set("degraded", JsonValue::number(double(A.Degraded)));
+  J.set("error", JsonValue::number(double(A.Errors)));
+  J.set("cancelled", JsonValue::number(double(A.Cancelled)));
+  return J;
+}
+
+bool sendAll(int Fd, const std::string &Bytes) {
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += size_t(N);
+  }
+  return true;
+}
+
+} // namespace
+
+JsonValue jsai::serve::identityJson(const ServeOptions &Opts) {
+  DriverOptions DO;
+  DO.SolverSet = Opts.SolverSet;
+  JsonValue J = JsonValue::object();
+  J.set("version", JsonValue::str(JsaiVersion));
+  J.set("config_fingerprint", JsonValue::str(runConfigFingerprint(DO)));
+  J.set("pid", JsonValue::number(double(::getpid())));
+  return J;
+}
+
+Server::~Server() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+bool Server::start(std::string &Error) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path empty or too long: '" + Opts.SocketPath + "'";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (errno != EADDRINUSE) {
+      Error = std::string("bind: ") + std::strerror(errno);
+      ::close(Fd);
+      return false;
+    }
+    // The path exists. Probe it: a successful connect means a live daemon
+    // owns it; a refused connect means a stale file we may reclaim.
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    bool Live = Probe >= 0 && ::connect(Probe, reinterpret_cast<sockaddr *>(
+                                                   &Addr),
+                                        sizeof(Addr)) == 0;
+    if (Probe >= 0)
+      ::close(Probe);
+    if (Live) {
+      Error = "a daemon is already serving on '" + Opts.SocketPath + "'";
+      ::close(Fd);
+      return false;
+    }
+    ::unlink(Opts.SocketPath.c_str());
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+      Error = std::string("bind: ") + std::strerror(errno);
+      ::close(Fd);
+      return false;
+    }
+  }
+  if (::listen(Fd, 8) < 0) {
+    Error = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return false;
+  }
+  ListenFd = Fd;
+  return true;
+}
+
+ServeExit Server::run() {
+  for (;;) {
+    if (interrupted())
+      return ServeExit::Interrupted;
+    if (StopRequested.load(std::memory_order_relaxed))
+      return ServeExit::Shutdown;
+    pollfd P;
+    P.fd = ListenFd;
+    P.events = POLLIN;
+    P.revents = 0;
+    int R = ::poll(&P, 1, /*timeout ms=*/100);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue; // A signal: the next loop iteration checks the token.
+      return ServeExit::Error;
+    }
+    if (R == 0)
+      continue;
+    int Client = ::accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      return ServeExit::Error;
+    }
+    bool Shutdown = handleConnection(Client);
+    ::close(Client);
+    if (Shutdown)
+      return ServeExit::Shutdown;
+  }
+}
+
+bool Server::handleConnection(int Fd) {
+  std::string Buf;
+  char Tmp[4096];
+  for (;;) {
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      if (Line.empty())
+        continue;
+      bool Shutdown = false;
+      std::string Resp = handleLine(Line, Shutdown);
+      Resp += '\n';
+      if (!sendAll(Fd, Resp))
+        return false;
+      if (Shutdown)
+        return true;
+    }
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false; // Peer closed (or error): back to the accept loop.
+    Buf.append(Tmp, size_t(N));
+  }
+}
+
+std::string Server::handleLine(const std::string &Line, bool &Shutdown) {
+  ++Stats.Requests;
+  JsonValue Req;
+  std::string Err;
+  if (!parseJson(Line, Req, Err) || !Req.isObject()) {
+    ++Stats.Errors;
+    return writeJson(errorJson("malformed request: " +
+                               (Err.empty() ? "not a JSON object" : Err)));
+  }
+  std::string Cmd = Req.stringField("cmd");
+  if (Cmd == "handshake")
+    return writeJson(handleHandshake());
+  if (Cmd == "analyze")
+    return writeJson(handleAnalyze(Req, Line));
+  if (Cmd == "suite")
+    return writeJson(handleSuite(Req, Line));
+  if (Cmd == "stats")
+    return writeJson(handleStats());
+  if (Cmd == "shutdown") {
+    Shutdown = true;
+    JsonValue R = JsonValue::object();
+    R.set("ok", JsonValue::boolean(true));
+    R.set("shutdown", JsonValue::boolean(true));
+    return writeJson(R);
+  }
+  ++Stats.Errors;
+  return writeJson(errorJson("unknown cmd '" + Cmd + "'"));
+}
+
+JsonValue Server::handleHandshake() {
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(true));
+  JsonValue Id = identityJson(Opts);
+  for (auto &F : Id.Obj)
+    R.set(F.first, std::move(F.second));
+  R.set("jobs", JsonValue::number(double(Opts.Jobs)));
+  R.set("cache", JsonValue::boolean(Opts.Cache.enabled()));
+  return R;
+}
+
+DriverOptions Server::driverOptions(const JsonValue &Req) const {
+  DriverOptions DO;
+  DO.Jobs = Opts.Jobs;
+  DO.Deadlines = Opts.Deadlines;
+  DO.Cache = Opts.Cache;
+  DO.IncludeTimings = Opts.IncludeTimings;
+  DO.SolverSet = Opts.SolverSet;
+  DO.Interrupt = Opts.Interrupt;
+  if (const JsonValue *J = Req.field("jobs"))
+    if (J->K == JsonValue::Kind::Number && J->Num >= 0)
+      DO.Jobs = size_t(J->Num);
+  if (const JsonValue *T = Req.field("timings"))
+    if (T->K == JsonValue::Kind::Bool)
+      DO.IncludeTimings = T->B;
+  if (const JsonValue *D = Req.field("deadline_approx"))
+    if (D->K == JsonValue::Kind::Number)
+      DO.Deadlines.ApproxSeconds = D->Num;
+  if (const JsonValue *D = Req.field("deadline_analysis"))
+    if (D->K == JsonValue::Kind::Number)
+      DO.Deadlines.AnalysisSeconds = D->Num;
+  return DO;
+}
+
+void Server::accumulate(const RunSummary &Summary) {
+  if (!Summary.CacheEnabled)
+    return;
+  const CacheStats &C = Summary.Cache;
+  Stats.Cache.Hits += C.Hits;
+  Stats.Cache.Misses += C.Misses;
+  Stats.Cache.CorruptEntries += C.CorruptEntries;
+  Stats.Cache.Writes += C.Writes;
+  Stats.Cache.WriteFailures += C.WriteFailures;
+  Stats.Cache.BytesRead += C.BytesRead;
+  Stats.Cache.BytesWritten += C.BytesWritten;
+  Stats.Cache.DeserializeSeconds += C.DeserializeSeconds;
+}
+
+JsonValue Server::handleAnalyze(const JsonValue &Req, const std::string &Line) {
+  std::string Dir = Req.stringField("dir");
+  if (Dir.empty()) {
+    ++Stats.Errors;
+    return errorJson("analyze requires \"dir\"");
+  }
+  ProjectSpec Spec;
+  if (Spec.Files.addDirectory(Dir) == 0) {
+    ++Stats.Errors;
+    return errorJson("no .js files under '" + Dir + "'");
+  }
+  Spec.Name = Dir;
+  Spec.MainModule = Req.stringField("main", "app/main.js");
+  if (!Spec.Files.exists(Spec.MainModule)) {
+    ++Stats.Errors;
+    return errorJson("main module '" + Spec.MainModule + "' not found");
+  }
+
+  // Replay key: the request line plus a digest of every file the project
+  // currently holds, so any on-disk edit misses the map and re-analyzes.
+  Sha256 H;
+  H.update(Line);
+  H.update("\n", 1);
+  for (const std::string &Path : Spec.Files.allPaths()) {
+    const std::string &Source = Spec.Files.read(Path);
+    H.update(Path);
+    H.update("\0", 1);
+    H.update(Source);
+    H.update("\0", 1);
+  }
+  std::string Key = "analyze:" + Sha256::hex(H.digest());
+  auto It = Replay.find(Key);
+  if (It != Replay.end()) {
+    ++Stats.ReplayHits;
+    JsonValue Cached;
+    std::string Err;
+    parseJson(It->second, Cached, Err);
+    return Cached;
+  }
+
+  DriverOptions DO = driverOptions(Req);
+  RunSummary Summary = CorpusDriver(DO).run({Spec});
+  accumulate(Summary);
+  ++Stats.Analyses;
+
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(true));
+  R.set("project", JsonValue::str(Spec.Name));
+  R.set("outcome",
+        JsonValue::str(projectOutcomeName(Summary.Jobs[0].Report.Outcome)));
+  R.set("report", JsonValue::str(renderReport(Summary, DO)));
+  if (Summary.Totals.Cancelled == 0 && !interrupted())
+    Replay.emplace(Key, writeJson(R));
+  return R;
+}
+
+JsonValue Server::handleSuite(const JsonValue &Req, const std::string &Line) {
+  std::string Key = "suite:" + Line;
+  auto It = Replay.find(Key);
+  if (It != Replay.end()) {
+    ++Stats.ReplayHits;
+    JsonValue Cached;
+    std::string Err;
+    parseJson(It->second, Cached, Err);
+    return Cached;
+  }
+
+  DriverOptions DO = driverOptions(Req);
+  RunSummary Summary = CorpusDriver(DO).run(buildBenchmarkSuite());
+  accumulate(Summary);
+  ++Stats.Suites;
+
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(true));
+  R.set("projects", JsonValue::number(double(Summary.Totals.Projects)));
+  R.set("outcomes", outcomesJson(Summary.Totals));
+  if (Summary.CacheEnabled)
+    R.set("cache", cacheStatsJson(Summary.Cache));
+  R.set("report", JsonValue::str(renderReport(Summary, DO)));
+  if (Summary.Totals.Cancelled == 0 && !interrupted())
+    Replay.emplace(Key, writeJson(R));
+  return R;
+}
+
+JsonValue Server::handleStats() {
+  JsonValue R = JsonValue::object();
+  R.set("ok", JsonValue::boolean(true));
+  JsonValue Id = identityJson(Opts);
+  for (auto &F : Id.Obj)
+    R.set(F.first, std::move(F.second));
+  R.set("requests", JsonValue::number(double(Stats.Requests)));
+  R.set("analyses", JsonValue::number(double(Stats.Analyses)));
+  R.set("suites", JsonValue::number(double(Stats.Suites)));
+  R.set("errors", JsonValue::number(double(Stats.Errors)));
+  R.set("replay_hits", JsonValue::number(double(Stats.ReplayHits)));
+  R.set("cache", cacheStatsJson(Stats.Cache));
+  return R;
+}

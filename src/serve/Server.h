@@ -1,0 +1,141 @@
+//===- Server.h - Persistent analysis daemon --------------------*- C++ -*-===//
+///
+/// \file
+/// The `jsai serve` daemon: a persistent analysis service listening on a
+/// local Unix-domain socket. Requests (one JSON object per line — see
+/// Protocol.h) dispatch onto the existing work-stealing CorpusDriver pool,
+/// so a long-lived daemon serves `analyze` and `suite` runs while keeping
+/// the on-disk artifact cache warm across requests: the second analysis of
+/// an edited project reuses the per-module slices of every unchanged
+/// import-closure component and re-executes only the edited one.
+///
+/// Byte-identity contract: the "report" string in an analyze/suite
+/// response is exactly the renderReport() bytes a one-shot `jsai suite
+/// --report=` run would write. The daemon never rewrites or re-renders
+/// reports, so served and local runs are byte-comparable (CI asserts
+/// this).
+///
+/// Concurrency model: connections are accepted and served sequentially —
+/// parallelism lives inside a request (the driver's worker pool), which
+/// keeps responses strictly ordered per connection and the daemon free of
+/// cross-request races. An identical repeated request is answered from an
+/// in-memory replay map without re-running (analyze keys include a digest
+/// of the project's file contents, so any edit misses the replay map and
+/// re-analyzes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SERVE_SERVER_H
+#define JSAI_SERVE_SERVER_H
+
+#include "driver/CorpusDriver.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <map>
+#include <string>
+
+namespace jsai {
+namespace serve {
+
+/// Daemon configuration. Jobs/Deadlines/Cache/IncludeTimings are the
+/// per-request defaults; analyze/suite requests may override jobs,
+/// timings, and deadlines but not the cache or the analysis configuration
+/// (those are fixed per daemon so the handshake fingerprint stays honest).
+struct ServeOptions {
+  std::string SocketPath;
+  size_t Jobs = 1;
+  PhaseDeadlines Deadlines;
+  CacheConfig Cache;
+  bool IncludeTimings = false;
+  SolverSetKind SolverSet = defaultSolverSetKind();
+  /// Optional externally latched interrupt (signal handler). A latched
+  /// interrupt stops the accept loop and cancels the in-flight request
+  /// through the driver's cancellation path.
+  CancellationToken *Interrupt = nullptr;
+};
+
+/// Daemon-lifetime counters, reported by the `stats` request.
+struct ServeStats {
+  uint64_t Requests = 0;
+  uint64_t Analyses = 0;
+  uint64_t Suites = 0;
+  uint64_t Errors = 0;
+  uint64_t ReplayHits = 0;
+  /// Artifact-cache counters accumulated over every served run.
+  CacheStats Cache;
+};
+
+/// How a Server::run() loop ended.
+enum class ServeExit : uint8_t {
+  Shutdown,    ///< A client sent the shutdown request.
+  Interrupted, ///< The external interrupt token latched (SIGINT/SIGTERM).
+  Error,       ///< The listening socket died.
+};
+
+class Server {
+public:
+  explicit Server(ServeOptions Opts) : Opts(std::move(Opts)) {}
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on the configured socket path. A stale socket file
+  /// (left by a dead daemon) is detected by a probe connect and replaced;
+  /// a live daemon on the same path is an error. \returns false and fills
+  /// \p Error on failure.
+  bool start(std::string &Error);
+
+  /// Serves requests until a shutdown request, an interrupt, or a socket
+  /// error. start() must have succeeded.
+  ServeExit run();
+
+  /// Asks a run() loop on another thread to stop (used by tests and
+  /// benches); the loop notices within one poll interval.
+  void requestStop() { StopRequested.store(true, std::memory_order_relaxed); }
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Public so tests can exercise the protocol without sockets;
+  /// \p Shutdown is set when the request asks the daemon to exit.
+  std::string handleLine(const std::string &Line, bool &Shutdown);
+
+  const ServeStats &stats() const { return Stats; }
+  const ServeOptions &options() const { return Opts; }
+
+private:
+  ServeOptions Opts;
+  ServeStats Stats;
+  int ListenFd = -1;
+  std::atomic<bool> StopRequested{false};
+  /// Request line (+ content digest for analyze) -> response line.
+  std::map<std::string, std::string> Replay;
+
+  bool interrupted() const {
+    return Opts.Interrupt && Opts.Interrupt->cancelled();
+  }
+
+  /// Serves one accepted connection until the peer closes it. \returns
+  /// true when the daemon should shut down afterwards.
+  bool handleConnection(int Fd);
+
+  JsonValue handleHandshake();
+  JsonValue handleAnalyze(const JsonValue &Req, const std::string &Line);
+  JsonValue handleSuite(const JsonValue &Req, const std::string &Line);
+  JsonValue handleStats();
+
+  /// Builds the per-request driver options from the daemon defaults plus
+  /// the request's overrides.
+  DriverOptions driverOptions(const JsonValue &Req) const;
+  void accumulate(const RunSummary &Summary);
+};
+
+/// The handshake/stats identity block shared by daemon and client:
+/// version, config fingerprint (runConfigFingerprint over the daemon's
+/// driver defaults), and pid.
+JsonValue identityJson(const ServeOptions &Opts);
+
+} // namespace serve
+} // namespace jsai
+
+#endif // JSAI_SERVE_SERVER_H

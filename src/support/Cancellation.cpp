@@ -19,10 +19,18 @@ void CancellationToken::disarm() {
 }
 
 bool CancellationToken::expired() {
-  if (!Armed)
-    return false;
+  // The latch and the parent chain are consulted before the Armed check so
+  // cancelNow() (and a latched parent) interrupt phases that never armed a
+  // deadline of their own.
   if (Latched.load(std::memory_order_relaxed))
     return true;
+  if (const CancellationToken *P = Parent.load(std::memory_order_relaxed);
+      P && P->cancelled()) {
+    Latched.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  if (!Armed)
+    return false;
   if (PollsUntilCheck-- != 0)
     return false;
   PollsUntilCheck = PollStride;

@@ -45,7 +45,25 @@ public:
 
   /// \returns the latched state without polling the clock. Safe to call
   /// from another thread.
-  bool cancelled() const { return Latched.load(std::memory_order_relaxed); }
+  bool cancelled() const {
+    if (Latched.load(std::memory_order_relaxed))
+      return true;
+    const CancellationToken *P = Parent.load(std::memory_order_relaxed);
+    return P && P->cancelled();
+  }
+
+  /// Latches the token immediately, independent of any armed deadline.
+  /// Async-signal-safe when the latch is lock-free (a single atomic store),
+  /// which is how the CLI's SIGINT/SIGTERM handlers request shutdown.
+  void cancelNow() { Latched.store(true, std::memory_order_relaxed); }
+
+  /// Chains this token to \p P: expired()/cancelled() also report true once
+  /// the parent latches. Lets one externally-latched interrupt token (e.g.
+  /// the signal token) fan out to every per-phase deadline token without
+  /// sharing the single-threaded arm/poll state.
+  void setParent(const CancellationToken *P) {
+    Parent.store(P, std::memory_order_relaxed);
+  }
 
 private:
   /// Clock reads per poll; budget checkpoints fire every few interpreter
@@ -56,6 +74,7 @@ private:
   bool Armed = false;
   uint32_t PollsUntilCheck = 0;
   std::atomic<bool> Latched{false};
+  std::atomic<const CancellationToken *> Parent{nullptr};
 };
 
 } // namespace jsai

@@ -1,0 +1,24 @@
+//===- Version.h - Build identity -------------------------------*- C++ -*-===//
+///
+/// \file
+/// The jsai version string. Bumped whenever the analysis semantics, the
+/// report schema, or the serve protocol change shape. Clients of the
+/// analysis service compare this (plus the run-config fingerprint) against
+/// the daemon's handshake and refuse to talk to a mismatched build, and the
+/// run manifest embeds it so archived reports are self-describing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_VERSION_H
+#define JSAI_SUPPORT_VERSION_H
+
+namespace jsai {
+
+/// Semantic-ish version of the analyzer. Constant per build, so it is safe
+/// to emit in default (non-timings) reports without breaking byte-identity
+/// across runs of the same binary.
+inline constexpr const char *JsaiVersion = "0.7.0";
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_VERSION_H

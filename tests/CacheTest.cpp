@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "cache/ArtifactCache.h"
+#include "cache/ModularArtifacts.h"
 #include "cache/Serialization.h"
 #include "cache/Sha256.h"
 #include "corpus/BenchmarkSuite.h"
@@ -23,8 +24,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 using namespace jsai;
 
@@ -200,6 +203,26 @@ ProjectSpec trivialProject(const std::string &Name) {
                                     "var r = f({ x: 1 });\n");
   return Spec;
 }
+
+/// A project whose require graph splits into two import-closure
+/// components: {app/main.js, lib/a.js} and {app/side.js, lib/b.js}.
+/// \p LibB parameterizes the second component so tests can edit it.
+ProjectSpec twoComponentProject(const std::string &LibB) {
+  ProjectSpec Spec;
+  Spec.Name = "two-component";
+  Spec.Pattern = "modular";
+  Spec.Files.addFile("app/main.js", "var a = require('../lib/a');\n"
+                                    "var r = a.go({ x: 1 });\n");
+  Spec.Files.addFile("lib/a.js",
+                     "exports.go = function (o) { return o.x; };\n");
+  Spec.Files.addFile("app/side.js", "var b = require('../lib/b');\n"
+                                    "var s = b.run({ y: 2 });\n");
+  Spec.Files.addFile("lib/b.js", LibB);
+  return Spec;
+}
+
+const char *LibBV1 = "exports.run = function (o) { return o.y; };\n";
+const char *LibBV2 = "exports.run = function (o) { return o.y + o.y; };\n";
 
 //===----------------------------------------------------------------------===//
 // SHA-256
@@ -509,7 +532,8 @@ TEST(ArtifactCacheTest, ReadModeNeverWrites) {
   DO.Cache = Config;
   RunSummary S = CorpusDriver(DO).run(Suite);
   EXPECT_TRUE(S.CacheEnabled);
-  EXPECT_EQ(S.Cache.Misses, 1u);
+  // One whole-project miss plus one per-module slice miss.
+  EXPECT_EQ(S.Cache.Misses, 2u);
   EXPECT_EQ(S.Cache.Writes, 0u);
   EXPECT_TRUE(entryFiles(Dir.str()).empty());
 }
@@ -553,7 +577,11 @@ TEST(CacheWarmRunTest, WarmSuiteMatchesColdByteForByte) {
   DO.Cache.Dir = Dir.str();
   RunSummary Cold = CorpusDriver(DO).run(Suite);
   ASSERT_TRUE(Cold.CacheEnabled);
-  EXPECT_EQ(Cold.Cache.Hits + Cold.Cache.Misses, Suite.size());
+  // A cold project misses its whole-project entry and then each of its
+  // per-module slices, so misses exceed the project count. (Slice hits can
+  // already occur cold: projects sharing an identical module component
+  // reuse each other's published slices.)
+  EXPECT_GE(Cold.Cache.Misses, Suite.size());
   EXPECT_GT(Cold.Cache.Writes, 0u);
 
   RunSummary Warm = CorpusDriver(DO).run(Suite);
@@ -586,21 +614,28 @@ TEST(CacheWarmRunTest, EveryCorruptionRecoversToColdOutput) {
   auto Entries = entryFiles(Dir.str());
   ASSERT_GE(Entries.size(), 3u);
 
-  // Three corruption shapes across three entries: truncation, bit flip,
-  // stale version (re-signed). Every one must degrade to recompute.
-  std::string Truncated = readFile(Entries[0]);
-  writeFile(Entries[0], Truncated.substr(0, Truncated.size() / 2));
-
-  std::string Flipped = readFile(Entries[1]);
-  Flipped[50] = char(uint8_t(Flipped[50]) ^ 0x01);
-  writeFile(Entries[1], Flipped);
-
-  std::string Stale = readFile(Entries[2]);
-  uint32_t V = CacheFormatVersion + 7;
-  for (int I = 0; I != 4; ++I)
-    Stale[4 + I] = char(uint8_t(V >> (I * 8)));
-  refreshDigest(Stale);
-  writeFile(Entries[2], Stale);
+  // Three corruption shapes — truncation, bit flip, stale version
+  // (re-signed) — applied round-robin to EVERY entry (whole-project and
+  // per-module slices alike; a warm project-entry hit would otherwise
+  // never read the slices). Every one must degrade to recompute.
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    std::string Bytes = readFile(Entries[I]);
+    switch (I % 3) {
+    case 0:
+      Bytes = Bytes.substr(0, Bytes.size() / 2);
+      break;
+    case 1:
+      Bytes[Bytes.size() / 2] = char(uint8_t(Bytes[Bytes.size() / 2]) ^ 0x01);
+      break;
+    case 2:
+      uint32_t V = CacheFormatVersion + 7;
+      for (int B = 0; B != 4; ++B)
+        Bytes[4 + B] = char(uint8_t(V >> (B * 8)));
+      refreshDigest(Bytes);
+      break;
+    }
+    writeFile(Entries[I], Bytes);
+  }
 
   RunSummary Warm = CorpusDriver(DO).run(Suite);
   EXPECT_GE(Warm.Cache.CorruptEntries, 3u);
@@ -646,7 +681,8 @@ TEST(CacheWarmRunTest, AnalyzerHitSkipsApproxButRestoresStats) {
   ApproxStats ColdStats = Cold.approxStats();
   EXPECT_FALSE(Cold.hintsFromCache());
   Cold.publishToCache();
-  EXPECT_EQ(ColdCache.stats().Writes, 1u);
+  // One per-module slice plus the whole-project entry.
+  EXPECT_EQ(ColdCache.stats().Writes, 2u);
 
   ArtifactCache WarmCache(Config);
   ProjectAnalyzer Warm(Spec, ApproxOptions(), &WarmCache);
@@ -659,6 +695,247 @@ TEST(CacheWarmRunTest, AnalyzerHitSkipsApproxButRestoresStats) {
   // Publishing a from-cache result is a no-op (no write amplification).
   Warm.publishToCache();
   EXPECT_EQ(WarmCache.stats().Writes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Module-granular slicing
+//===----------------------------------------------------------------------===//
+
+TEST(SerializationTest, SliceProvenanceRoundTrips) {
+  FileTable Files = makeFiles(3);
+  Rng64 R(51);
+  CacheEntry In = randomEntry(R, 3);
+  In.SliceModule = "pkg0/mod0.js";
+  In.SliceComponent = Sha256::hex(Sha256::hash("component"));
+  EXPECT_TRUE(In.isSlice());
+  std::string Bytes = encodeCacheEntry(In, keyOf(0x88), Files);
+
+  CacheEntry Out;
+  std::string Error;
+  ASSERT_TRUE(decodeCacheEntry(Bytes, keyOf(0x88), Files, Out, Error))
+      << Error;
+  EXPECT_EQ(Out.SliceModule, In.SliceModule);
+  EXPECT_EQ(Out.SliceComponent, In.SliceComponent);
+  EXPECT_EQ(Out.Hints, In.Hints);
+  EXPECT_TRUE(Out.isSlice());
+}
+
+TEST(ModularArtifactsTest, PartitionSplitsIndependentImportClosures) {
+  ProjectSpec Spec = twoComponentProject(LibBV1);
+  std::vector<std::string> Roots = {"app/main.js", "app/side.js"};
+  ModulePartition Part = computeModulePartition(Spec.Files, Roots);
+  ASSERT_EQ(Part.Components.size(), 2u);
+
+  const ModuleComponent &A = Part.Components[0];
+  EXPECT_EQ(A.leader(), "app/main.js");
+  EXPECT_EQ(A.Members,
+            (std::vector<std::string>{"app/main.js", "lib/a.js"}));
+  EXPECT_EQ(A.Roots, std::vector<std::string>{"app/main.js"});
+  EXPECT_TRUE(A.contains("lib/a.js"));
+  EXPECT_FALSE(A.contains("lib/b.js"));
+  const ModuleComponent &B = Part.Components[1];
+  EXPECT_EQ(B.Members,
+            (std::vector<std::string>{"app/side.js", "lib/b.js"}));
+  EXPECT_EQ(B.Roots, std::vector<std::string>{"app/side.js"});
+
+  // Editing one member changes only its own component's fingerprint.
+  ModulePartition Edited =
+      computeModulePartition(twoComponentProject(LibBV2).Files, Roots);
+  ASSERT_EQ(Edited.Components.size(), 2u);
+  EXPECT_EQ(Edited.Components[0].Fingerprint, A.Fingerprint);
+  EXPECT_NE(Edited.Components[1].Fingerprint, B.Fingerprint);
+}
+
+TEST(ModularArtifactsTest, ResolvableStringLiteralMergesComponents) {
+  // The require graph is recovered by treating *every* string literal as a
+  // potential require spec. A literal that resolves — even one never passed
+  // to require — must merge the closures: coarser is sound, finer is not.
+  ProjectSpec Spec = twoComponentProject(LibBV1);
+  Spec.Files.addFile("app/main.js", "var a = require('../lib/a');\n"
+                                    "var tag = '../lib/b';\n"
+                                    "var r = a.go({ x: 1 });\n");
+  std::vector<std::string> Roots = {"app/main.js", "app/side.js"};
+  ModulePartition Part = computeModulePartition(Spec.Files, Roots);
+  ASSERT_EQ(Part.Components.size(), 1u);
+  EXPECT_EQ(Part.Components[0].Members.size(), 4u);
+  EXPECT_EQ(Part.Components[0].Roots, Roots);
+}
+
+TEST(ModularArtifactsTest, SliceKeyBindsConfigComponentAndModule) {
+  ProjectSpec Spec = twoComponentProject(LibBV1);
+  std::vector<std::string> Roots = {"app/main.js", "app/side.js"};
+  ModulePartition Part = computeModulePartition(Spec.Files, Roots);
+  ASSERT_EQ(Part.Components.size(), 2u);
+  const ModuleComponent &A = Part.Components[0];
+  std::string Fp = ArtifactCache::fingerprint(ApproxOptions(), "app/main.js");
+  const std::string &Src = Spec.Files.read("app/main.js");
+
+  Sha256Digest K = computeSliceKey(Fp, A, "app/main.js", Src);
+  EXPECT_EQ(K, computeSliceKey(Fp, A, "app/main.js", Src));
+  EXPECT_NE(K, computeSliceKey(Fp, A, "lib/a.js",
+                               Spec.Files.read("lib/a.js")));
+  ApproxOptions Other;
+  Other.MaxSteps += 1;
+  EXPECT_NE(K, computeSliceKey(
+                   ArtifactCache::fingerprint(Other, "app/main.js"), A,
+                   "app/main.js", Src));
+  // A different component fingerprint (the other component) changes the
+  // key even for an identical module path + source pairing.
+  EXPECT_NE(K, computeSliceKey(Fp, Part.Components[1], "app/main.js", Src));
+}
+
+TEST(ModularArtifactsTest, SliceMergeReproducesHintsExactly) {
+  // Property test: slicing a random hint set by owner module and merging
+  // the slices back leader-first must reproduce the set exactly, with
+  // non-member-owned hints parked in the leader's slice.
+  FileTable Files = makeFiles(4);
+  ModuleComponent C;
+  C.Members = {"pkg0/mod0.js", "pkg0/mod3.js", "pkg1/mod1.js"};
+  C.Roots = {"pkg0/mod0.js"};
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Rng64 R(Seed * 0x2545F4914F6CDD1Dull);
+    CacheEntry E = randomEntry(R, 4); // references a non-member file too
+    std::vector<HintSet> Slices = sliceHintsByModule(E.Hints, C, Files);
+    ASSERT_EQ(Slices.size(), C.Members.size()) << "seed " << Seed;
+
+    HintSet Merged;
+    for (const HintSet &S : Slices)
+      Merged.merge(S);
+    EXPECT_EQ(Merged, E.Hints) << "seed " << Seed;
+  }
+}
+
+TEST(CacheWarmRunTest, EditReusesUnaffectedComponentSlices) {
+  TempDir Dir("slice-edit");
+  CacheConfig Config;
+  Config.Dir = Dir.str();
+
+  {
+    ArtifactCache Cache(Config);
+    ProjectAnalyzer Cold(twoComponentProject(LibBV1), ApproxOptions(),
+                         &Cache);
+    Cold.hints();
+    EXPECT_EQ(Cold.numComponents(), 2u);
+    EXPECT_EQ(Cold.numComponentsFromCache(), 0u);
+    Cold.publishToCache();
+    // Four module slices plus the whole-project entry.
+    EXPECT_EQ(Cache.stats().Writes, 5u);
+  }
+
+  // Edit lib/b.js: the project entry misses, component A is reconstructed
+  // from its slices, only component B re-runs.
+  ProjectSpec Edited = twoComponentProject(LibBV2);
+  ArtifactCache WarmCache(Config);
+  ProjectAnalyzer Warm(Edited, ApproxOptions(), &WarmCache);
+  const HintSet &WarmHints = Warm.hints();
+  EXPECT_EQ(Warm.numComponents(), 2u);
+  EXPECT_EQ(Warm.numComponentsFromCache(), 1u);
+  EXPECT_FALSE(Warm.hintsFromCache()) << "mixed runs are not 'from cache'";
+  // Project-entry miss + component B's first-slice miss; component A's two
+  // slices hit.
+  EXPECT_EQ(WarmCache.stats().Hits, 2u);
+  EXPECT_EQ(WarmCache.stats().Misses, 2u);
+
+  // The mixed slice-reuse run is indistinguishable from a fully fresh one.
+  ProjectAnalyzer Fresh(Edited);
+  EXPECT_EQ(WarmHints, Fresh.hints());
+  EXPECT_EQ(Warm.approxStats(), Fresh.approxStats());
+
+  // Republish: component B's two new slices plus the new project entry
+  // (component A's slices are already on disk and are not rewritten).
+  Warm.publishToCache();
+  EXPECT_EQ(WarmCache.stats().Writes, 3u);
+
+  // Third run: whole-project hit, slices not consulted.
+  ArtifactCache HotCache(Config);
+  ProjectAnalyzer Hot(Edited, ApproxOptions(), &HotCache);
+  Hot.hints();
+  EXPECT_TRUE(Hot.hintsFromCache());
+  EXPECT_EQ(HotCache.stats().Hits, 1u);
+  EXPECT_EQ(HotCache.stats().Misses, 0u);
+  EXPECT_EQ(Hot.approxStats(), Fresh.approxStats());
+}
+
+TEST(SliceCacheTest, ConcurrentReadersWritersAndCorruptorsStayConsistent) {
+  // The daemon keeps one ArtifactCache hot across requests while driver
+  // workers read, publish, and heal slice entries concurrently. Hammer one
+  // cache directory from six threads doing stores, loads, in-place
+  // corruption, and deletions: a load may miss or reject, but it must
+  // never return wrong content, and the store must never crash or wedge.
+  TempDir Dir("hammer");
+  CacheConfig Config;
+  Config.Dir = Dir.str();
+  ArtifactCache Cache(Config);
+  FileTable Files = makeFiles(4);
+
+  constexpr size_t NumKeys = 8;
+  std::vector<CacheEntry> Entries;
+  std::vector<Sha256Digest> Keys;
+  for (size_t K = 0; K != NumKeys; ++K) {
+    Rng64 R(0x5eed + K);
+    CacheEntry E = randomEntry(R, 4);
+    E.SliceModule = "pkg0/mod" + std::to_string(K % 3) + ".js";
+    E.SliceComponent =
+        Sha256::hex(Sha256::hash("component " + std::to_string(K % 3)));
+    Entries.push_back(std::move(E));
+    Keys.push_back(Sha256::hash("hammer key " + std::to_string(K)));
+  }
+
+  std::atomic<size_t> WrongLoads{0};
+  auto Worker = [&](size_t Self) {
+    Rng64 R(101 + Self);
+    std::string Diag;
+    for (size_t I = 0; I != 150; ++I) {
+      size_t K = R.below(NumKeys);
+      switch (R.below(8)) {
+      case 0: { // Flip one byte of the entry file in place.
+        std::string Path = Cache.entryPath(Keys[K]);
+        std::string Bytes = readFile(Path);
+        if (!Bytes.empty()) {
+          size_t At = R.below(uint32_t(Bytes.size()));
+          Bytes[At] = char(uint8_t(Bytes[At]) ^ (1u << R.below(8)));
+          writeFile(Path, Bytes);
+        }
+        break;
+      }
+      case 1: { // Evict the entry outright.
+        std::error_code Ec;
+        std::filesystem::remove(Cache.entryPath(Keys[K]), Ec);
+        break;
+      }
+      case 2:
+      case 3: { // Publish (atomic write-then-rename).
+        Cache.store(Keys[K], Files, Entries[K], Diag);
+        break;
+      }
+      default: { // Load: miss/reject is fine, wrong content never is.
+        CacheEntry Out;
+        if (Cache.load(Keys[K], Files, Out, Diag) &&
+            (!(Out.Hints == Entries[K].Hints) ||
+             Out.SliceModule != Entries[K].SliceModule ||
+             Out.SliceComponent != Entries[K].SliceComponent))
+          ++WrongLoads;
+        break;
+      }
+      }
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (size_t T = 0; T != 6; ++T)
+    Threads.emplace_back(Worker, T);
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(WrongLoads.load(), 0u);
+
+  // Quiesced, every key heals: one store, then a clean matching load.
+  for (size_t K = 0; K != NumKeys; ++K) {
+    std::string Diag;
+    ASSERT_TRUE(Cache.store(Keys[K], Files, Entries[K], Diag)) << Diag;
+    CacheEntry Out;
+    ASSERT_TRUE(Cache.load(Keys[K], Files, Out, Diag)) << Diag;
+    EXPECT_EQ(Out.Hints, Entries[K].Hints);
+    EXPECT_EQ(Out.SliceModule, Entries[K].SliceModule);
+  }
 }
 
 } // namespace

@@ -204,6 +204,37 @@ TEST(DriverTest, InfiniteLoopDegradesUnderApproxDeadline) {
   EXPECT_NE(Record.find("\"degraded_phase\":\"approx\""), std::string::npos);
 }
 
+TEST(DriverTest, PreLatchedInterruptCancelsEveryProject) {
+  // SIGINT before any work starts: workers refuse to claim, every slot is
+  // back-filled as cancelled with its suite identity, and the partial
+  // report still renders one record per project plus the manifest.
+  std::vector<ProjectSpec> Suite = smallSuite();
+  CancellationToken Interrupt;
+  Interrupt.cancelNow();
+
+  DriverOptions DO;
+  DO.Jobs = 4;
+  DO.Interrupt = &Interrupt;
+  RunSummary S = CorpusDriver(DO).run(Suite);
+
+  ASSERT_EQ(S.Jobs.size(), Suite.size());
+  EXPECT_EQ(S.Totals.Cancelled, Suite.size());
+  EXPECT_EQ(S.Totals.Ok, 0u);
+  for (size_t I = 0; I != Suite.size(); ++I) {
+    EXPECT_EQ(S.Jobs[I].Report.Name, Suite[I].Name);
+    EXPECT_EQ(S.Jobs[I].Report.Pattern, Suite[I].Pattern);
+    EXPECT_EQ(S.Jobs[I].Report.Outcome, ProjectOutcome::Cancelled);
+  }
+
+  std::string Record = jobRecordJson(S.Jobs[0], /*IncludeTimings=*/false);
+  EXPECT_NE(Record.find("\"outcome\":\"cancelled\""), std::string::npos);
+  std::string Report = renderReport(S, DO);
+  EXPECT_EQ(std::count(Report.begin(), Report.end(), '\n'),
+            long(Suite.size()) + 1);
+  EXPECT_NE(Report.find("\"cancelled\":" + std::to_string(Suite.size())),
+            std::string::npos);
+}
+
 TEST(DriverTest, NoDeadlineTokenNeverFires) {
   // Threading an unarmed token through a full approx run must never
   // cancel anything.

@@ -1,0 +1,450 @@
+//===- ServeTest.cpp - Analysis service: protocol, daemon, client ---------===//
+//
+// Covers the serve subsystem's three contracts:
+//  1. the wire protocol — JSON parse/serialize round-trips, adversarial
+//     inputs that must fail with a reason, and the integer/float rendering
+//     rules the replay map depends on;
+//  2. the request handlers — handshake identity, analyze/stats/shutdown
+//     dispatch, the replay map (hit on an identical request, miss after an
+//     on-disk edit), and error accounting, all exercised without sockets
+//     through Server::handleLine;
+//  3. the daemon — a real Unix-socket round-trip against a client
+//     (handshake verification, served report byte-identical to a local
+//     one-shot run, shutdown), stale-socket reclaim, live-daemon conflict,
+//     and the interrupt exit path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
+
+#include "driver/Telemetry.h"
+#include "support/Version.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace jsai;
+using namespace jsai::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+/// Scoped temp directory, unique per test.
+struct TempDir {
+  std::filesystem::path Path;
+
+  explicit TempDir(const std::string &Name)
+      : Path(std::filesystem::temp_directory_path() /
+             ("jsai-serve-test-" + Name)) {
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+void writeFile(const std::filesystem::path &P, const std::string &Bytes) {
+  std::filesystem::create_directories(P.parent_path());
+  std::ofstream Out(P, std::ios::binary);
+  Out << Bytes;
+}
+
+/// A project directory on disk with one trivial module.
+void writeTrivialProject(const std::filesystem::path &Root) {
+  writeFile(Root / "app" / "main.js", "function f(o) { return o.x; }\n"
+                                      "var r = f({ x: 1 });\n");
+}
+
+/// Parses \p Line, asserting success.
+JsonValue parsed(const std::string &Line) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(parseJson(Line, V, Err)) << Line << ": " << Err;
+  return V;
+}
+
+/// Runs one line through \p S, returning the parsed response.
+JsonValue respond(Server &S, const std::string &Line) {
+  bool Shutdown = false;
+  return parsed(S.handleLine(Line, Shutdown));
+}
+
+/// Socket paths must fit in sun_path, so they live in the (short) system
+/// temp root rather than inside a per-test directory.
+std::string socketPath(const std::string &Name) {
+  return (std::filesystem::temp_directory_path() /
+          ("jsai-serve-test-" + Name + ".sock"))
+      .string();
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, ParsesScalars) {
+  EXPECT_EQ(parsed("null").K, JsonValue::Kind::Null);
+  EXPECT_TRUE(parsed("true").B);
+  EXPECT_FALSE(parsed("false").B);
+  EXPECT_EQ(parsed("42").Num, 42.0);
+  EXPECT_EQ(parsed("-1.5e2").Num, -150.0);
+  EXPECT_EQ(parsed("\"hi\"").Str, "hi");
+}
+
+TEST(ServeProtocolTest, ParsesNestedStructure) {
+  JsonValue V = parsed("{\"a\": [1, {\"b\": \"x\"}, null], \"c\": true}");
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *A = V.field("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->Arr.size(), 3u);
+  EXPECT_EQ(A->Arr[0].Num, 1.0);
+  EXPECT_EQ(A->Arr[1].stringField("b"), "x");
+  EXPECT_EQ(A->Arr[2].K, JsonValue::Kind::Null);
+  EXPECT_TRUE(V.boolField("c"));
+}
+
+TEST(ServeProtocolTest, StringEscapesRoundTrip) {
+  JsonValue V = parsed("\"a\\n\\t\\\"\\\\b\\u0041\"");
+  EXPECT_EQ(V.Str, "a\n\t\"\\bA");
+  // A surrogate pair decodes to one 4-byte UTF-8 sequence.
+  EXPECT_EQ(parsed("\"\\ud83d\\ude00\"").Str.size(), 4u);
+  // Rendering and reparsing reproduces the value.
+  EXPECT_EQ(parsed(writeJson(V)).Str, V.Str);
+}
+
+TEST(ServeProtocolTest, WriteThenParseIsIdentity) {
+  JsonValue V = JsonValue::object();
+  V.set("name", JsonValue::str("line\nbreak"));
+  V.set("n", JsonValue::number(7));
+  JsonValue Arr = JsonValue::array();
+  Arr.Arr.push_back(JsonValue::boolean(true));
+  Arr.Arr.push_back(JsonValue::null());
+  Arr.Arr.push_back(JsonValue::number(2.5));
+  V.set("xs", std::move(Arr));
+
+  std::string Line = writeJson(V);
+  // Newline-delimited framing: a rendered value never contains a raw '\n'.
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  JsonValue Back = parsed(Line);
+  EXPECT_EQ(Back.stringField("name"), "line\nbreak");
+  EXPECT_EQ(Back.numberField("n"), 7.0);
+  EXPECT_EQ(Back.field("xs")->Arr.size(), 3u);
+  // Insertion order is preserved, so re-rendering is byte-stable.
+  EXPECT_EQ(writeJson(Back), Line);
+}
+
+TEST(ServeProtocolTest, IntegersRenderWithoutExponent) {
+  // Counters travel as JSON numbers; integral values must render as
+  // integers (the CI greps and the replay map depend on stable text).
+  EXPECT_EQ(writeJson(JsonValue::number(0)), "0");
+  EXPECT_EQ(writeJson(JsonValue::number(42)), "42");
+  EXPECT_EQ(writeJson(JsonValue::number(-3)), "-3");
+  EXPECT_EQ(writeJson(JsonValue::number(1e15)), "1000000000000000");
+  EXPECT_EQ(writeJson(JsonValue::number(1.5)), "1.5");
+}
+
+TEST(ServeProtocolTest, MalformedInputsFailWithReason) {
+  const char *Bad[] = {
+      "",           "{",         "{\"a\":}",       "[1,",
+      "\"abc",      "\"\\q\"",   "\"\\u12g4\"",    "\"\\ud800x\"",
+      "tru",        "{} extra",  "{\"a\" 1}",      "nan",
+  };
+  for (const char *Text : Bad) {
+    JsonValue V;
+    std::string Err;
+    EXPECT_FALSE(parseJson(Text, V, Err)) << "'" << Text << "' parsed";
+    EXPECT_FALSE(Err.empty()) << "'" << Text << "' gave no reason";
+  }
+}
+
+TEST(ServeProtocolTest, FieldAccessorsApplyDefaults) {
+  JsonValue V = parsed("{\"s\":\"x\",\"n\":3,\"b\":true}");
+  EXPECT_EQ(V.stringField("s"), "x");
+  EXPECT_EQ(V.stringField("missing", "fallback"), "fallback");
+  EXPECT_EQ(V.numberField("n"), 3.0);
+  EXPECT_EQ(V.numberField("missing", -1), -1.0);
+  EXPECT_TRUE(V.boolField("b"));
+  EXPECT_TRUE(V.boolField("missing", true));
+  // Type mismatches also fall back to the default.
+  EXPECT_EQ(V.stringField("n", "d"), "d");
+  EXPECT_EQ(V.numberField("s", 9), 9.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Request handlers (socketless)
+//===----------------------------------------------------------------------===//
+
+TEST(ServeHandlerTest, HandshakeCarriesIdentity) {
+  ServeOptions SO;
+  Server S(SO);
+  JsonValue R = respond(S, "{\"cmd\":\"handshake\"}");
+  EXPECT_TRUE(R.boolField("ok"));
+  EXPECT_EQ(R.stringField("version"), JsaiVersion);
+  EXPECT_EQ(R.stringField("config_fingerprint"),
+            runConfigFingerprint(DriverOptions()));
+  EXPECT_EQ(R.numberField("pid"), double(::getpid()));
+  EXPECT_EQ(S.stats().Requests, 1u);
+  EXPECT_EQ(S.stats().Errors, 0u);
+}
+
+TEST(ServeHandlerTest, BadRequestsAreCountedAndAnswered) {
+  ServeOptions SO;
+  Server S(SO);
+  EXPECT_FALSE(respond(S, "{not json").boolField("ok", true));
+  EXPECT_FALSE(respond(S, "[1,2]").boolField("ok", true));
+  EXPECT_NE(respond(S, "{\"cmd\":\"frobnicate\"}").stringField("error").find(
+                "unknown cmd"),
+            std::string::npos);
+  EXPECT_NE(respond(S, "{\"cmd\":\"analyze\"}").stringField("error").find(
+                "requires \"dir\""),
+            std::string::npos);
+  EXPECT_NE(respond(S, "{\"cmd\":\"analyze\",\"dir\":\"/nonexistent-xyz\"}")
+                .stringField("error")
+                .find("no .js files"),
+            std::string::npos);
+  EXPECT_EQ(S.stats().Requests, 5u);
+  EXPECT_EQ(S.stats().Errors, 5u);
+  EXPECT_EQ(S.stats().Analyses, 0u);
+}
+
+TEST(ServeHandlerTest, ShutdownSetsFlag) {
+  ServeOptions SO;
+  Server S(SO);
+  bool Shutdown = false;
+  JsonValue R = parsed(S.handleLine("{\"cmd\":\"shutdown\"}", Shutdown));
+  EXPECT_TRUE(Shutdown);
+  EXPECT_TRUE(R.boolField("ok"));
+  EXPECT_TRUE(R.boolField("shutdown"));
+}
+
+TEST(ServeHandlerTest, ServedReportMatchesOneShotByteForByte) {
+  TempDir Proj("analyze-project");
+  writeTrivialProject(Proj.Path);
+
+  ServeOptions SO;
+  Server S(SO);
+  JsonValue R =
+      respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\"}");
+  ASSERT_TRUE(R.boolField("ok")) << R.stringField("error");
+  EXPECT_EQ(R.stringField("project"), Proj.str());
+  EXPECT_EQ(R.stringField("outcome"), "ok");
+
+  // The byte-identity contract: the served report is exactly what a local
+  // one-shot run over the same directory renders.
+  ProjectSpec Spec;
+  ASSERT_GT(Spec.Files.addDirectory(Proj.str()), 0u);
+  Spec.Name = Proj.str();
+  DriverOptions DO;
+  RunSummary Local = CorpusDriver(DO).run({Spec});
+  EXPECT_EQ(R.stringField("report"), renderReport(Local, DO));
+  EXPECT_EQ(S.stats().Analyses, 1u);
+}
+
+TEST(ServeHandlerTest, ReplayHitsOnIdenticalRequestMissesAfterEdit) {
+  TempDir Proj("replay-project");
+  writeTrivialProject(Proj.Path);
+  std::string Line = "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\"}";
+
+  ServeOptions SO;
+  Server S(SO);
+  std::string First = writeJson(respond(S, Line));
+  std::string Second = writeJson(respond(S, Line));
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(S.stats().Analyses, 1u) << "second request must replay";
+  EXPECT_EQ(S.stats().ReplayHits, 1u);
+
+  // An on-disk edit changes the content digest in the replay key, so the
+  // same request line re-analyzes and the report changes with the source.
+  writeFile(Proj.Path / "app" / "main.js",
+            "function f(o) { return o.x; }\n"
+            "function g(o) { return o.y; }\n"
+            "var r = f({ x: 1 });\n"
+            "var s = g({ y: 2 });\n");
+  std::string Edited = writeJson(respond(S, Line));
+  EXPECT_NE(Edited, First);
+  EXPECT_EQ(S.stats().Analyses, 2u);
+  EXPECT_EQ(S.stats().ReplayHits, 1u);
+}
+
+TEST(ServeHandlerTest, MissingMainModuleIsAnError) {
+  TempDir Proj("no-main");
+  writeFile(Proj.Path / "lib" / "util.js", "var x = 1;\n");
+  ServeOptions SO;
+  Server S(SO);
+  JsonValue R =
+      respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\"}");
+  EXPECT_FALSE(R.boolField("ok", true));
+  EXPECT_NE(R.stringField("error").find("main module"), std::string::npos);
+  // Naming an existing main explicitly succeeds.
+  JsonValue Ok = respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() +
+                                "\",\"main\":\"lib/util.js\"}");
+  EXPECT_TRUE(Ok.boolField("ok")) << Ok.stringField("error");
+}
+
+TEST(ServeHandlerTest, StatsAccumulateCacheCountersAcrossRequests) {
+  TempDir Proj("stats-project");
+  TempDir CacheDir("stats-cache");
+  writeTrivialProject(Proj.Path);
+
+  ServeOptions SO;
+  SO.Cache.Dir = CacheDir.str();
+  Server S(SO);
+  std::string Line = "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\"}";
+  ASSERT_TRUE(respond(S, Line).boolField("ok"));
+
+  JsonValue Stats = respond(S, "{\"cmd\":\"stats\"}");
+  EXPECT_TRUE(Stats.boolField("ok"));
+  EXPECT_EQ(Stats.stringField("version"), JsaiVersion);
+  EXPECT_EQ(Stats.numberField("analyses"), 1.0);
+  const JsonValue *C = Stats.field("cache");
+  ASSERT_NE(C, nullptr);
+  // Cold single-module project: project-entry miss + slice miss, then one
+  // slice write + the project-entry write.
+  EXPECT_EQ(C->numberField("misses"), 2.0);
+  EXPECT_EQ(C->numberField("writes"), 2.0);
+
+  // A fresh daemon over the same (now warm) cache dir hits the project
+  // entry; the replay map is per-daemon so this is a real cache exercise.
+  Server S2(SO);
+  ASSERT_TRUE(respond(S2, Line).boolField("ok"));
+  JsonValue Stats2 = respond(S2, "{\"cmd\":\"stats\"}");
+  EXPECT_EQ(Stats2.field("cache")->numberField("hits"), 1.0);
+  EXPECT_EQ(Stats2.field("cache")->numberField("misses"), 0.0);
+  EXPECT_EQ(Stats2.field("cache")->numberField("writes"), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon over a real socket
+//===----------------------------------------------------------------------===//
+
+TEST(ServeSocketTest, ClientRoundTripAndShutdown) {
+  TempDir Proj("socket-project");
+  writeTrivialProject(Proj.Path);
+
+  ServeOptions SO;
+  SO.SocketPath = socketPath("round-trip");
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  ServeExit Exit = ServeExit::Error;
+  std::thread Daemon([&] { Exit = S.run(); });
+
+  Client C;
+  ASSERT_TRUE(C.connect(SO.SocketPath, Err)) << Err;
+  JsonValue Hello;
+  ASSERT_TRUE(C.handshake(Hello, Err)) << Err;
+  EXPECT_EQ(Hello.stringField("version"), JsaiVersion);
+
+  JsonValue Req = JsonValue::object();
+  Req.set("cmd", JsonValue::str("analyze"));
+  Req.set("dir", JsonValue::str(Proj.str()));
+  JsonValue Resp;
+  ASSERT_TRUE(C.request(Req, Resp, Err)) << Err;
+  ASSERT_TRUE(Resp.boolField("ok")) << Resp.stringField("error");
+
+  ProjectSpec Spec;
+  ASSERT_GT(Spec.Files.addDirectory(Proj.str()), 0u);
+  Spec.Name = Proj.str();
+  DriverOptions DO;
+  RunSummary Local = CorpusDriver(DO).run({Spec});
+  EXPECT_EQ(Resp.stringField("report"), renderReport(Local, DO));
+
+  JsonValue Bye = JsonValue::object();
+  Bye.set("cmd", JsonValue::str("shutdown"));
+  ASSERT_TRUE(C.request(Bye, Resp, Err)) << Err;
+  EXPECT_TRUE(Resp.boolField("shutdown"));
+  Daemon.join();
+  EXPECT_EQ(Exit, ServeExit::Shutdown);
+}
+
+TEST(ServeSocketTest, StaleSocketFileIsReclaimed) {
+  std::string Path = socketPath("stale");
+  // Simulate a dead daemon: bind the path, then close without unlinking.
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  ASSERT_LT(Path.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str());
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ::close(Fd);
+  ASSERT_TRUE(std::filesystem::exists(Path));
+
+  ServeOptions SO;
+  SO.SocketPath = Path;
+  Server S(SO);
+  std::string Err;
+  EXPECT_TRUE(S.start(Err)) << Err;
+}
+
+TEST(ServeSocketTest, SecondDaemonOnLivePathIsRefused) {
+  ServeOptions SO;
+  SO.SocketPath = socketPath("conflict");
+  Server First(SO);
+  std::string Err;
+  ASSERT_TRUE(First.start(Err)) << Err;
+
+  Server Second(SO);
+  EXPECT_FALSE(Second.start(Err));
+  EXPECT_NE(Err.find("already serving"), std::string::npos) << Err;
+  // The loser must not have unlinked the winner's socket.
+  EXPECT_TRUE(std::filesystem::exists(SO.SocketPath));
+}
+
+TEST(ServeSocketTest, InterruptTokenStopsTheAcceptLoop) {
+  CancellationToken Interrupt;
+  ServeOptions SO;
+  SO.SocketPath = socketPath("interrupt");
+  SO.Interrupt = &Interrupt;
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+
+  ServeExit Exit = ServeExit::Error;
+  std::thread Daemon([&] { Exit = S.run(); });
+  Interrupt.cancelNow();
+  Daemon.join();
+  EXPECT_EQ(Exit, ServeExit::Interrupted);
+}
+
+TEST(ServeSocketTest, RequestStopEndsTheLoop) {
+  ServeOptions SO;
+  SO.SocketPath = socketPath("stop");
+  Server S(SO);
+  std::string Err;
+  ASSERT_TRUE(S.start(Err)) << Err;
+  ServeExit Exit = ServeExit::Error;
+  std::thread Daemon([&] { Exit = S.run(); });
+  S.requestStop();
+  Daemon.join();
+  EXPECT_EQ(Exit, ServeExit::Shutdown);
+}
+
+TEST(ServeClientTest, ConnectToMissingSocketFails) {
+  Client C;
+  std::string Err;
+  EXPECT_FALSE(C.connect(socketPath("nobody-home"), Err));
+  EXPECT_FALSE(Err.empty());
+  JsonValue Resp;
+  EXPECT_FALSE(C.request(JsonValue::object(), Resp, Err));
+  EXPECT_NE(Err.find("not connected"), std::string::npos);
+}
+
+} // namespace

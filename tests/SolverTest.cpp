@@ -474,4 +474,176 @@ TEST(SolverTest, AdaptiveUsesFewerSetBytesOnSparseWorkload) {
       << "adaptive must be >= 4x smaller on sparse high-id sets";
 }
 
+//===----------------------------------------------------------------------===//
+// Constraint-group retraction (incremental re-analysis)
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t> tokensOf(const Solver &S, CVarId V) {
+  return S.pointsTo(V).toVector();
+}
+
+bool isSuperset(const AdaptiveSet &A, const AdaptiveSet &B) {
+  for (uint32_t T : B.toVector())
+    if (!A.contains(T))
+      return false;
+  return true;
+}
+
+TEST(SolverRetractionTest, UntrackedAndGroupZeroAreNeverRetractable) {
+  Solver S;
+  EXPECT_FALSE(S.canRetract(1)) << "tracking starts with the first group";
+  S.setGroup(1);
+  EXPECT_FALSE(S.canRetract(0)) << "the shared group is irretractable";
+  EXPECT_TRUE(S.canRetract(1));
+}
+
+TEST(SolverRetractionTest, IdenticalReaddMatchesColdSolveExactly) {
+  // Retract a module's constraint batch and re-add the identical batch
+  // under a new group: every lingering token coincides with a rederived
+  // one, so the warm fixpoint equals the cold solve variable by variable.
+  Solver Warm;
+  Warm.addToken(0, 1);
+  Warm.addToken(4, 2);
+  Warm.addEdge(0, 1); // shared base
+  Warm.setGroup(1);
+  Warm.addEdge(1, 2);
+  Warm.addEdge(4, 2);
+  Warm.solve();
+  EXPECT_EQ(Warm.pointsTo(2).count(), 2u);
+
+  ASSERT_TRUE(Warm.canRetract(1));
+  ASSERT_TRUE(Warm.retractGroup(1));
+  Warm.setGroup(2);
+  Warm.addEdge(1, 2);
+  Warm.addEdge(4, 2);
+  Warm.solve();
+  EXPECT_EQ(Warm.stats().NumGroupRetractions, 1u);
+
+  Solver Cold;
+  Cold.addToken(0, 1);
+  Cold.addToken(4, 2);
+  Cold.addEdge(0, 1);
+  Cold.addEdge(1, 2);
+  Cold.addEdge(4, 2);
+  Cold.solve();
+  for (CVarId V = 0; V != 5; ++V)
+    EXPECT_EQ(tokensOf(Warm, V), tokensOf(Cold, V)) << "var " << V;
+}
+
+TEST(SolverRetractionTest, WarmReaddOverApproximatesColdNeverMisses) {
+  // The headline soundness contract: after retract-and-readd with a
+  // *changed* batch, the warm fixpoint is a superset of the cold one —
+  // tokens the old batch propagated linger as extra may-facts, but no
+  // fact of the new program is ever missing.
+  Solver Warm;
+  Warm.addToken(0, 1);
+  Warm.addEdge(0, 1); // shared base
+  Warm.setGroup(1);
+  Warm.addEdge(1, 2); // old module: drains into var 2
+  Warm.addToken(0, 8); // old module's own token
+  Warm.solve();
+  ASSERT_TRUE(Warm.retractGroup(1));
+  Warm.setGroup(2);
+  Warm.addEdge(1, 3); // new module: drains into var 3 instead
+  Warm.solve();
+
+  Solver Cold; // the new program from scratch, without the old token 8
+  Cold.addToken(0, 1);
+  Cold.addEdge(0, 1);
+  Cold.addEdge(1, 3);
+  Cold.solve();
+
+  for (CVarId V = 0; V != 4; ++V)
+    EXPECT_TRUE(isSuperset(Warm.pointsTo(V), Cold.pointsTo(V)))
+        << "warm must never miss a cold fact, var " << V;
+  // The over-approximation is visible exactly where expected: the stale
+  // token (never withdrawn) and the old drain's already-propagated set.
+  EXPECT_TRUE(Warm.pointsTo(2).contains(1));
+  EXPECT_TRUE(Warm.pointsTo(3).contains(8));
+  EXPECT_FALSE(Cold.pointsTo(3).contains(8));
+}
+
+TEST(SolverRetractionTest, RetractedEdgeStopsPropagationReaddIsFresh) {
+  Solver S;
+  S.setGroup(1);
+  S.addEdge(0, 1);
+  S.solve();
+  ASSERT_TRUE(S.retractGroup(1));
+
+  S.addToken(0, 3);
+  S.solve();
+  EXPECT_FALSE(S.pointsTo(1).contains(3)) << "retracted edge still flows";
+
+  // Re-adding a previously retracted edge must register as a fresh edge
+  // (the insert-only dedup set cannot forget it), flush existing tokens,
+  // and be retractable under its new owner.
+  uint64_t DupsBefore = S.stats().NumDuplicateEdges;
+  S.setGroup(2);
+  S.addEdge(0, 1);
+  S.solve();
+  EXPECT_EQ(S.stats().NumDuplicateEdges, DupsBefore);
+  EXPECT_TRUE(S.pointsTo(1).contains(3));
+  EXPECT_TRUE(S.canRetract(2));
+}
+
+TEST(SolverRetractionTest, RetractionRemovesListenersExactly) {
+  Solver S;
+  int Fired = 0;
+  S.setGroup(1);
+  S.addListener(2, [&](TokenId) { ++Fired; });
+  S.setGroup(0);
+  S.addToken(2, 9);
+  S.solve();
+  EXPECT_EQ(Fired, 1);
+
+  ASSERT_TRUE(S.retractGroup(1));
+  S.addToken(2, 10);
+  S.solve();
+  EXPECT_EQ(Fired, 1) << "retracted listener observed a new token";
+}
+
+TEST(SolverRetractionTest, CollapseWhileTrackingRefusesRetraction) {
+  // A cycle collapse splices and dedups successor lists, destroying edge
+  // attribution; retraction must refuse (caller falls back to cold) and
+  // leave the warm state untouched and sound.
+  Solver S;
+  S.setGroup(1);
+  S.addEdge(0, 1);
+  S.addEdge(1, 0);
+  S.addToken(0, 5);
+  S.solve();
+  ASSERT_GE(S.stats().NumCyclesCollapsed, 1u);
+
+  EXPECT_FALSE(S.canRetract(1));
+  EXPECT_FALSE(S.retractGroup(1));
+  EXPECT_EQ(S.stats().NumRetractionRefusals, 1u);
+  EXPECT_EQ(S.stats().NumGroupRetractions, 0u);
+  EXPECT_TRUE(S.pointsTo(0).contains(5));
+  EXPECT_TRUE(S.pointsTo(1).contains(5));
+}
+
+TEST(SolverRetractionTest, CrossGroupDuplicateEdgeTaintsBothOwners) {
+  // One physical edge, two owners: retracting either would silently drop
+  // the other's constraint, so both groups are tainted. Same-group
+  // duplicates and unrelated groups are unaffected.
+  Solver S;
+  S.setGroup(1);
+  S.addEdge(0, 1);
+  S.addEdge(0, 1); // same-group duplicate: harmless
+  EXPECT_TRUE(S.canRetract(1));
+
+  S.setGroup(2);
+  S.addEdge(0, 1); // cross-group duplicate: taints 1 and 2
+  S.setGroup(3);
+  S.addEdge(0, 2);
+
+  EXPECT_FALSE(S.canRetract(1));
+  EXPECT_FALSE(S.canRetract(2));
+  EXPECT_TRUE(S.canRetract(3));
+  EXPECT_FALSE(S.retractGroup(1));
+  EXPECT_TRUE(S.retractGroup(3));
+  EXPECT_EQ(S.stats().NumRetractionRefusals, 1u);
+  EXPECT_EQ(S.stats().NumGroupRetractions, 1u);
+}
+
 } // namespace

@@ -11,6 +11,8 @@
 //   jsai compare  <dir> --driver=m  recall/precision vs a dynamic call graph
 //   jsai suite                      run the embedded 141-project benchmark
 //   jsai cache stats                inspect an artifact-cache directory
+//   jsai serve --socket=<path>      persistent analysis daemon (Unix socket)
+//   jsai client <req> --socket=<p>  send analyze/suite/stats/shutdown to it
 //
 // Options:
 //   --mode=baseline|hints|nonrel|overapprox   analysis mode (default hints)
@@ -24,6 +26,9 @@
 //   --deadline-approx=S --deadline-analysis=S  per-phase deadlines (seconds)
 //   --report=<file.jsonl> [--report-timings]   JSONL run telemetry
 //   --cache-dir=<dir> --cache=off|read|readwrite  artifact cache
+//   --socket=<path>                            serve/client socket
+//   --serve-via=<socket>                       route analyze/suite through
+//                                              a running daemon
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +37,9 @@
 #include "driver/CorpusDriver.h"
 #include "driver/Telemetry.h"
 #include "pipeline/Pipeline.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/Version.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -41,6 +49,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <csignal>
+
 using namespace jsai;
 
 namespace {
@@ -48,17 +58,42 @@ namespace {
 struct CliOptions {
   std::string Command;
   std::string Dir;
+  /// All positional arguments in order (Dir is the first; `client` takes a
+  /// request name and an optional directory).
+  std::vector<std::string> Positionals;
   std::string MainModule = "app/main.js";
   AnalysisOptions Analysis;
   std::string HintsOut;
   std::string HintsIn;
   std::string Driver;
   size_t Jobs = 1;
+  bool JobsSet = false;
   PhaseDeadlines Deadlines;
   std::string ReportPath;
   bool ReportTimings = false;
   CacheConfig Cache;
+  std::string Socket;
+  std::string ServeVia;
 };
+
+/// Latched by the SIGINT/SIGTERM handlers; suite/serve runs chain their
+/// phase tokens to it, so an interrupt winds every worker down
+/// cooperatively and the partial report is still flushed.
+CancellationToken GInterrupt;
+
+extern "C" void onInterruptSignal(int) {
+  // cancelNow is one relaxed atomic store: async-signal-safe.
+  GInterrupt.cancelNow();
+}
+
+void installInterruptHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onInterruptSignal;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
 
 void printUsage() {
   std::printf(
@@ -73,6 +108,8 @@ void printUsage() {
       "  compare <dir>    score all modes against a dynamic call graph\n"
       "  suite            run the embedded benchmark suite summary\n"
       "  cache stats      validate and summarize an artifact-cache dir\n"
+      "  serve            persistent analysis daemon on --socket=<path>\n"
+      "  client <req>     send analyze|suite|stats|shutdown to a daemon\n"
       "\n"
       "options:\n"
       "  --mode=baseline|hints|nonrel|overapprox   (default: hints)\n"
@@ -95,7 +132,10 @@ void printUsage() {
       "  --report=<file.jsonl>  write JSONL telemetry (suite, analyze)\n"
       "  --report-timings     include wall-clock fields in the report\n"
       "  --cache-dir=<dir>    artifact cache directory (analyze, suite)\n"
-      "  --cache=off|read|readwrite  cache mode (default: readwrite)\n");
+      "  --cache=off|read|readwrite  cache mode (default: readwrite)\n"
+      "  --socket=<path>      Unix socket for serve/client\n"
+      "  --serve-via=<socket> route analyze/suite through a daemon\n"
+      "  --version            print the tool version and exit\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -164,6 +204,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       setDefaultInterpEngineKind(K);
     } else if (Starts("--jobs=")) {
       Opts.Jobs = size_t(std::strtoull(Arg.c_str() + 7, nullptr, 10));
+      Opts.JobsSet = true;
     } else if (Starts("--deadline-approx=")) {
       Opts.Deadlines.ApproxSeconds = std::strtod(Arg.c_str() + 18, nullptr);
     } else if (Starts("--deadline-analysis=")) {
@@ -186,11 +227,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         std::fprintf(stderr, "jsai: unknown cache mode '%s'\n", Mode.c_str());
         return false;
       }
+    } else if (Starts("--socket=")) {
+      Opts.Socket = Arg.substr(9);
+    } else if (Starts("--serve-via=")) {
+      Opts.ServeVia = Arg.substr(12);
     } else if (Starts("--")) {
       std::fprintf(stderr, "jsai: unknown option '%s'\n", Arg.c_str());
       return false;
     } else {
-      Opts.Dir = Arg;
+      Opts.Positionals.push_back(Arg);
+      if (Opts.Dir.empty())
+        Opts.Dir = Arg;
     }
   }
   return true;
@@ -259,7 +306,121 @@ void printCacheSummary(const CacheStats &S) {
               (unsigned long long)S.BytesWritten);
 }
 
+/// Routes one request through a running daemon (`jsai client` and the
+/// --serve-via= passthrough). \p Request is analyze|suite|stats|shutdown;
+/// \p Dir is the project directory for analyze.
+int serveRequest(const CliOptions &Opts, const std::string &SocketPath,
+                 const std::string &Request, const std::string &Dir) {
+  using serve::JsonValue;
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "jsai: no daemon socket (use --socket= or "
+                         "--serve-via=)\n");
+    return 2;
+  }
+  serve::Client Client;
+  std::string Error;
+  if (!Client.connect(SocketPath, Error)) {
+    std::fprintf(stderr, "jsai: %s\n", Error.c_str());
+    return 1;
+  }
+  JsonValue Hello;
+  if (!Client.handshake(Hello, Error)) {
+    std::fprintf(stderr, "jsai: %s\n", Error.c_str());
+    return 1;
+  }
+
+  JsonValue Req = JsonValue::object();
+  Req.set("cmd", JsonValue::str(Request));
+  if (Request == "analyze") {
+    if (Dir.empty()) {
+      std::fprintf(stderr, "jsai: analyze requires a project directory\n");
+      return 2;
+    }
+    Req.set("dir", JsonValue::str(Dir));
+    if (Opts.MainModule != "app/main.js")
+      Req.set("main", JsonValue::str(Opts.MainModule));
+  }
+  if (Request == "analyze" || Request == "suite") {
+    // Send only the options the user set explicitly; everything else
+    // follows the daemon's own defaults.
+    if (Opts.JobsSet)
+      Req.set("jobs", JsonValue::number(double(Opts.Jobs)));
+    if (Opts.ReportTimings)
+      Req.set("timings", JsonValue::boolean(true));
+    if (Opts.Deadlines.ApproxSeconds > 0)
+      Req.set("deadline_approx",
+              JsonValue::number(Opts.Deadlines.ApproxSeconds));
+    if (Opts.Deadlines.AnalysisSeconds > 0)
+      Req.set("deadline_analysis",
+              JsonValue::number(Opts.Deadlines.AnalysisSeconds));
+  }
+
+  JsonValue Resp;
+  if (!Client.request(Req, Resp, Error)) {
+    std::fprintf(stderr, "jsai: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Resp.boolField("ok")) {
+    std::fprintf(stderr, "jsai: daemon error: %s\n",
+                 Resp.stringField("error", "unknown").c_str());
+    return 1;
+  }
+
+  if (Request == "stats") {
+    std::printf("%s\n", serve::writeJson(Resp).c_str());
+    return 0;
+  }
+  if (Request == "shutdown") {
+    std::printf("daemon shut down\n");
+    return 0;
+  }
+
+  // analyze/suite: the "report" field holds the exact renderReport bytes a
+  // local run would produce; write or print them verbatim.
+  std::string Report = Resp.stringField("report");
+  if (Request == "analyze")
+    std::printf("serve: analyze %s (%s)\n",
+                Resp.stringField("project").c_str(),
+                Resp.stringField("outcome").c_str());
+  else {
+    const JsonValue *Outcomes = Resp.field("outcomes");
+    std::printf("serve: suite %llu projects (%llu ok, %llu degraded, %llu "
+                "error, %llu cancelled)\n",
+                (unsigned long long)Resp.numberField("projects"),
+                (unsigned long long)(Outcomes ? Outcomes->numberField("ok")
+                                              : 0),
+                (unsigned long long)(Outcomes
+                                         ? Outcomes->numberField("degraded")
+                                         : 0),
+                (unsigned long long)(Outcomes ? Outcomes->numberField("error")
+                                              : 0),
+                (unsigned long long)(Outcomes
+                                         ? Outcomes->numberField("cancelled")
+                                         : 0));
+  }
+  if (!Opts.ReportPath.empty()) {
+    std::ofstream Out(Opts.ReportPath, std::ios::binary);
+    Out << Report;
+    if (!Out) {
+      std::fprintf(stderr, "jsai: cannot write '%s'\n",
+                   Opts.ReportPath.c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", Opts.ReportPath.c_str());
+  } else {
+    std::fputs(Report.c_str(), stdout);
+  }
+  if (Request == "analyze" && Resp.stringField("outcome") == "cancelled")
+    return 130;
+  if (const JsonValue *Outcomes = Resp.field("outcomes"))
+    if (Outcomes->numberField("cancelled") > 0)
+      return 130;
+  return 0;
+}
+
 int cmdAnalyze(const CliOptions &Opts) {
+  if (!Opts.ServeVia.empty())
+    return serveRequest(Opts, Opts.ServeVia, "analyze", Opts.Dir);
   ProjectSpec Spec;
   if (!loadProject(Opts, Spec))
     return 1;
@@ -490,12 +651,20 @@ int cmdCompare(const CliOptions &Opts) {
 }
 
 int cmdSuite(const CliOptions &Opts) {
+  if (!Opts.ServeVia.empty())
+    return serveRequest(Opts, Opts.ServeVia, "suite", "");
+  // SIGINT/SIGTERM latch the shared token: workers stop claiming projects,
+  // in-flight jobs wind down through the pipeline's cancellation path, and
+  // the partial report (unstarted projects marked "cancelled") still
+  // flushes below.
+  installInterruptHandlers();
   DriverOptions DO;
   DO.Jobs = Opts.Jobs;
   DO.Deadlines = Opts.Deadlines;
   DO.IncludeTimings = Opts.ReportTimings;
   DO.Cache = Opts.Cache;
   DO.SolverSet = Opts.Analysis.SolverSet;
+  DO.Interrupt = &GInterrupt;
   CorpusDriver D(DO);
   RunSummary Summary = D.run(buildBenchmarkSuite());
 
@@ -508,9 +677,9 @@ int cmdSuite(const CliOptions &Opts) {
                      double(A.BaselineCallEdges)) /
                         double(A.BaselineCallEdges) * 100
                   : 0.0);
-  std::printf("outcomes: %zu ok, %zu degraded, %zu error   (%zu worker%s, "
-              "%.2f s)\n",
-              A.Ok, A.Degraded, A.Errors, Summary.Workers,
+  std::printf("outcomes: %zu ok, %zu degraded, %zu error, %zu cancelled   "
+              "(%zu worker%s, %.2f s)\n",
+              A.Ok, A.Degraded, A.Errors, A.Cancelled, Summary.Workers,
               Summary.Workers == 1 ? "" : "s", Summary.WallSeconds);
   for (const JobResult &J : Summary.Jobs)
     if (J.Report.Outcome != ProjectOutcome::Ok)
@@ -530,6 +699,8 @@ int cmdSuite(const CliOptions &Opts) {
     std::printf("report: %s (%zu records + manifest)\n",
                 Opts.ReportPath.c_str(), Summary.Jobs.size());
   }
+  if (A.Cancelled > 0)
+    return 130; // Interrupted: partial results flushed, exit like SIGINT.
   return A.Errors == 0 ? 0 : 1;
 }
 
@@ -590,9 +761,70 @@ int cmdCache(const CliOptions &Opts) {
   return Invalid == 0 ? 0 : 1;
 }
 
+int cmdServe(const CliOptions &Opts) {
+  if (Opts.Socket.empty()) {
+    std::fprintf(stderr, "jsai: serve requires --socket=<path>\n");
+    return 2;
+  }
+  installInterruptHandlers();
+  serve::ServeOptions SO;
+  SO.SocketPath = Opts.Socket;
+  SO.Jobs = Opts.Jobs;
+  SO.Deadlines = Opts.Deadlines;
+  SO.Cache = Opts.Cache;
+  SO.IncludeTimings = Opts.ReportTimings;
+  SO.SolverSet = Opts.Analysis.SolverSet;
+  SO.Interrupt = &GInterrupt;
+  serve::Server Server(SO);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "jsai: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("jsai %s serving on %s (jobs=%zu, cache=%s)\n", JsaiVersion,
+              Opts.Socket.c_str(), Opts.Jobs,
+              Opts.Cache.enabled() ? Opts.Cache.Dir.c_str() : "off");
+  std::fflush(stdout); // The readiness line; scripts wait for it.
+  switch (Server.run()) {
+  case serve::ServeExit::Shutdown:
+    std::printf("shutdown requested, exiting\n");
+    return 0;
+  case serve::ServeExit::Interrupted:
+    std::printf("interrupted, exiting\n");
+    return 130;
+  case serve::ServeExit::Error:
+    std::fprintf(stderr, "jsai: socket error, exiting\n");
+    return 1;
+  }
+  return 1;
+}
+
+int cmdClient(const CliOptions &Opts) {
+  if (Opts.Positionals.empty()) {
+    std::fprintf(stderr, "jsai: client requires a request "
+                         "(analyze|suite|stats|shutdown)\n");
+    return 2;
+  }
+  const std::string &Request = Opts.Positionals[0];
+  if (Request != "analyze" && Request != "suite" && Request != "stats" &&
+      Request != "shutdown") {
+    std::fprintf(stderr, "jsai: unknown client request '%s'\n",
+                 Request.c_str());
+    return 2;
+  }
+  std::string Dir =
+      Opts.Positionals.size() > 1 ? Opts.Positionals[1] : std::string();
+  return serveRequest(Opts, Opts.Socket, Request, Dir);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--version") == 0) {
+      std::printf("jsai %s\n", JsaiVersion);
+      return 0;
+    }
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
@@ -612,6 +844,10 @@ int main(int Argc, char **Argv) {
     return cmdSuite(Opts);
   if (Opts.Command == "cache")
     return cmdCache(Opts);
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
+  if (Opts.Command == "client")
+    return cmdClient(Opts);
   printUsage();
   return 2;
 }

@@ -24,7 +24,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
 # Cold-then-warm cache pair over the embedded suite.
 WORK_DIR="$(mktemp -d)"
-trap 'rm -rf "$WORK_DIR"' EXIT
+SERVE_PID=""
+trap '[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null; rm -rf "$WORK_DIR"' EXIT
 JSAI="$BUILD_DIR/tools/jsai"
 
 "$JSAI" suite --jobs="$JOBS" --cache-dir="$WORK_DIR/cache" \
@@ -45,3 +46,24 @@ if ! grep -q "^cache: [1-9][0-9]* hits, 0 misses, 0 corrupt" \
 fi
 "$JSAI" cache stats --cache-dir="$WORK_DIR/cache"
 echo "smoke.sh: cache cold/warm check ok"
+
+# Serve round-trip: a daemon-served suite report must be byte-identical to
+# the one-shot report above.
+SOCK="$WORK_DIR/jsai.sock"
+"$JSAI" serve --socket="$SOCK" --jobs="$JOBS" >"$WORK_DIR/serve.out" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+"$JSAI" client suite --socket="$SOCK" --report="$WORK_DIR/served.jsonl" \
+  >"$WORK_DIR/client.out"
+"$JSAI" client shutdown --socket="$SOCK" >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+if ! cmp -s "$WORK_DIR/cold.jsonl" "$WORK_DIR/served.jsonl"; then
+  echo "smoke.sh: FAIL — daemon-served suite report differs from one-shot" >&2
+  diff "$WORK_DIR/cold.jsonl" "$WORK_DIR/served.jsonl" | head -20 >&2
+  exit 1
+fi
+echo "smoke.sh: serve round-trip ok"
