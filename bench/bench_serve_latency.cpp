@@ -12,6 +12,11 @@
 //           served from its per-module slices
 //   replay  the identical request repeated, answered from the daemon's
 //           in-memory replay map (pure protocol + digest overhead)
+//   warmslv warm-solver daemon (--serve-warm-solver=on, no artifact
+//           cache): unchanged sources with varying request options, so
+//           each request misses the replay map and is answered by
+//           revalidating the retained tracked solver (retract + re-solve)
+//           and serving the stored cold bytes
 //
 // Enforced contracts (nonzero exit on violation, so this doubles as a
 // gate): warm p50 must beat cold p50 by >= 10x, and the final warm served
@@ -216,6 +221,49 @@ int main(int Argc, char **Argv) {
     Daemon.shutdown(C);
   }
 
+  // Stream 4: warm-solver daemon (no artifact cache) over the final,
+  // unchanged tree. Each request varies only the jobs override, so the
+  // replay map misses but the sources digest matches the retained slot:
+  // the daemon retracts the tracked constraint group, re-solves
+  // incrementally, and serves the stored cold bytes. Measures the
+  // revalidation round trip against the cold stream.
+  std::vector<double> WarmSolverMs;
+  uint64_t WsBuilds = 0, WsHits = 0, WsFallbacks = 0;
+  std::string WsColdReport, WsServedReport;
+  {
+    ServeOptions SO;
+    SO.SocketPath = (Root / "warmslv.sock").string();
+    SO.WarmSolver = true;
+    DaemonHandle Daemon(SO);
+    Client C;
+    Daemon.connect(C);
+    JsonValue Resp;
+    timedAnalyze(C, Dir, Resp); // untimed cold request; builds the slot
+    WsColdReport = Resp.stringField("report");
+    for (size_t I = 0; I < Edits; ++I) {
+      JsonValue Req = JsonValue::object();
+      Req.set("cmd", JsonValue::str("analyze"));
+      Req.set("dir", JsonValue::str(Dir));
+      Req.set("jobs", JsonValue::number(double(I + 2)));
+      std::string Err;
+      auto T0 = std::chrono::steady_clock::now();
+      bool Ok = C.request(Req, Resp, Err);
+      auto T1 = std::chrono::steady_clock::now();
+      if (!Ok || !Resp.boolField("ok")) {
+        std::fprintf(stderr, "warm-solver analyze failed: %s\n",
+                     Ok ? Resp.stringField("error").c_str() : Err.c_str());
+        std::exit(1);
+      }
+      WarmSolverMs.push_back(
+          std::chrono::duration<double, std::milli>(T1 - T0).count());
+    }
+    WsServedReport = Resp.stringField("report");
+    WsBuilds = Daemon.S.stats().WarmSolverBuilds;
+    WsHits = Daemon.S.stats().WarmSolverHits;
+    WsFallbacks = Daemon.S.stats().WarmSolverFallbacks;
+    Daemon.shutdown(C);
+  }
+
   rule(74);
   std::printf("%-8s %8s %10s %10s %10s %10s\n", "stream", "samples",
               "p50 (ms)", "p99 (ms)", "mean (ms)", "max (ms)");
@@ -228,6 +276,7 @@ int main(int Argc, char **Argv) {
   Row("cold", ColdMs);
   Row("warm", WarmMs);
   Row("replay", ReplayMs);
+  Row("warmslv", WarmSolverMs);
   rule(74);
   std::printf("cold publish request: %.2f ms\n", PublishMs);
 
@@ -237,6 +286,13 @@ int main(int Argc, char **Argv) {
   std::printf("warm speedup vs cold (p50): %.1fx\n", Speedup);
   std::printf("replay hits observed by daemon: %llu of %zu\n",
               (unsigned long long)ReplayHits, Replays);
+  double WsSpeedup = percentile(WarmSolverMs, 50) > 0
+                         ? percentile(ColdMs, 50) / percentile(WarmSolverMs, 50)
+                         : 0.0;
+  std::printf("warm-solver speedup vs cold (p50): %.1fx "
+              "(builds=%llu hits=%llu fallbacks=%llu)\n",
+              WsSpeedup, (unsigned long long)WsBuilds,
+              (unsigned long long)WsHits, (unsigned long long)WsFallbacks);
 
   // Byte-identity: the last warm served report against a cache-less local
   // run over the identical on-disk tree.
@@ -248,10 +304,16 @@ int main(int Argc, char **Argv) {
       renderReport(CorpusDriver(Local).run({Spec}), Local);
   bool Identical = ServedReport == LocalReport;
   bool FastEnough = Speedup >= 10.0;
+  // Warm-solver responses are served from the stored cold bytes, so both
+  // the first (cold) and the last (revalidated) response must match the
+  // local one-shot over the same final tree.
+  bool WsIdentical = WsColdReport == LocalReport && WsServedReport == LocalReport;
   std::printf("served report byte-identical to local one-shot: %s\n",
               Identical ? "yes" : "NO — serve perturbed the metrics");
+  std::printf("warm-solver reports byte-identical to local one-shot: %s\n",
+              WsIdentical ? "yes" : "NO — revalidation perturbed the metrics");
   std::printf("warm >= 10x cold: %s\n", FastEnough ? "yes" : "NO");
 
   std::filesystem::remove_all(Root);
-  return Identical && FastEnough ? 0 : 1;
+  return Identical && WsIdentical && FastEnough ? 0 : 1;
 }

@@ -15,14 +15,40 @@
 #include "analysis/Solver.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 
 using namespace jsai;
+
+static size_t &defaultJobsStorage() {
+  static size_t Jobs = [] {
+    const char *Env = std::getenv("JSAI_SOLVER_JOBS");
+    if (Env == nullptr || *Env == '\0')
+      return size_t(1);
+    long Parsed = std::strtol(Env, nullptr, 10);
+    return Parsed > 1 ? size_t(Parsed) : size_t(1);
+  }();
+  return Jobs;
+}
+
+size_t jsai::defaultSolverJobs() { return defaultJobsStorage(); }
+
+void jsai::setDefaultSolverJobs(size_t N) {
+  defaultJobsStorage() = N == 0 ? 1 : N;
+}
 
 Solver::Solver() {
   FlushScratch.attachMemoryStats(&SetMem);
   if (SetKind == SolverSetKind::Dense)
     FlushScratch.forceDense();
+  PStats.Jobs = Jobs;
+}
+
+void Solver::setJobs(size_t N) {
+  Jobs = N == 0 ? 1 : N;
+  PStats.Jobs = Jobs;
+  if (Pool && Pool->threads() + 1 != Jobs)
+    Pool.reset(); // Respawned lazily at the next big-enough wave.
 }
 
 void Solver::setSetKind(SolverSetKind K) {
@@ -63,6 +89,7 @@ void Solver::ensure(CVarId V) {
   Succs.resize(NewSize);
   Listeners.resize(NewSize);
   InWorklist.resize(NewSize, false);
+  DeltaEpoch.resize(NewSize, 0);
 }
 
 CVarId Solver::find(CVarId V) {
@@ -91,6 +118,7 @@ void Solver::schedule(CVarId R) {
 bool Solver::insertTokens(CVarId To, const AdaptiveSet &Ts) {
   if (!PointsTo[To].unionWithRecordingNew(Ts, Delta[To]))
     return false;
+  ++DeltaEpoch[To];
   schedule(To);
   return true;
 }
@@ -101,6 +129,7 @@ void Solver::addToken(CVarId V, TokenId T) {
   if (!PointsTo[R].insert(T))
     return;
   Delta[R].insert(T);
+  ++DeltaEpoch[R];
   schedule(R);
 }
 
@@ -192,12 +221,14 @@ void Solver::canonicalizeSuccs(CVarId V) {
 }
 
 void Solver::flush(CVarId V,
-                   std::vector<std::pair<CVarId, CVarId>> &Candidates) {
+                   std::vector<std::pair<CVarId, CVarId>> &Candidates,
+                   const PrecomputeSlot *Pre) {
   ++Stats.NumBatchesFlushed;
   // Swap the pending delta into the scratch set; V's delta inherits the
   // scratch's zeroed storage, so neither side reallocates on the next round.
   FlushScratch.clear();
   FlushScratch.swap(Delta[V]);
+  ++DeltaEpoch[V];
   AdaptiveSet &Cur = FlushScratch;
   Stats.NumTokensPropagated += Cur.count();
 
@@ -219,7 +250,21 @@ void Solver::flush(CVarId V,
     CVarId W = find(Succs[V][I]);
     if (W == V)
       continue;
-    bool Changed = insertTokens(W, Cur);
+    // A valid precomputed slot holds Cur \ PointsTo[W] as of the wave
+    // snapshot. PointsTo[W] can only have grown since (collapses void the
+    // slot), so unioning just those tokens adds exactly what the full
+    // union would, returns the same change flag, and — because
+    // all-duplicate word unions never touch storage on any tier — leaves
+    // byte-identical sets and capacity accounting. Successor entries past
+    // the slot's snapshot count (edges appended by listeners mid-wave)
+    // take the full union.
+    bool Changed;
+    if (Pre && I < Pre->NumSuccs) {
+      ++PStats.NumPrecomputedEdges;
+      Changed = insertTokens(W, Pre->NewBits[I]);
+    } else {
+      Changed = insertTokens(W, Cur);
+    }
     // Lazy cycle detection (Hardekopf–Lin): a no-op propagation across an
     // edge whose endpoint sets are equal suggests a cycle. Each edge is
     // submitted to the (bounded) DFS at most once; the hash probe runs
@@ -294,6 +339,10 @@ void Solver::collapseCycle(CVarId From, CVarId To) {
   for (const auto &Entry : Stack)
     NewRep = std::min(NewRep, Entry.first);
   ++Stats.NumCyclesCollapsed;
+  // Representatives are about to move: every precomputed slot of the
+  // current wave (if one is committing) was computed against the old
+  // union-find state and must fall back to the sequential path.
+  WaveCollapsed = true;
   // Collapsing splices and dedups successor lists, so per-group edge logs
   // no longer name physical edges; every group's retraction is now unsound
   // and must fall back to a cold solve.
@@ -326,8 +375,124 @@ void Solver::collapseCycle(CVarId From, CVarId To) {
   // at other members: redeliver the merged set once. Delivered-sets and
   // set unions make the redelivery a dedup-only pass.
   Delta[NewRep] = PointsTo[NewRep];
+  ++DeltaEpoch[NewRep];
   if (!Delta[NewRep].empty())
     schedule(NewRep);
+}
+
+bool Solver::stepOne(std::vector<std::pair<CVarId, CVarId>> &Candidates) {
+  if (Cancel && Cancel->expired()) {
+    Cancelled = true;
+    return false; // Pending deltas stay queued; extract() sees a partial
+                  // fixpoint.
+  }
+  CVarId Popped = Worklist.front();
+  Worklist.pop_front();
+  InWorklist[Popped] = false;
+  CVarId V = find(Popped);
+  if (V != Popped) {
+    // Collapsed while queued; its delta (if any) lives on in the rep.
+    if (!Delta[V].empty())
+      schedule(V);
+    return true;
+  }
+  if (Delta[V].empty())
+    return true;
+  flush(V, Candidates);
+  // Collapsing is deferred to here so no representative changes while a
+  // flush is iterating its state.
+  for (const auto &[A, B] : Candidates)
+    collapseCycle(A, B);
+  Candidates.clear();
+  return true;
+}
+
+void Solver::precomputeSlot(CVarId Popped, PrecomputeSlot &Out) const {
+  Out.Usable = false;
+  CVarId V = findConst(Popped);
+  if (V != Popped || Delta[V].empty())
+    return; // The commit's merged-pop / empty-delta paths do no set work.
+  const std::vector<CVarId> &Sv = Succs[V];
+  // flush() canonicalizes a successor list holding merged entries before
+  // iterating, which rewrites and reorders it — leave such pops to the
+  // plain path. The bail also means every successor below is its own
+  // representative, so no find() is needed per edge.
+  for (CVarId S : Sv)
+    if (S == V || Parent[S] != S)
+      return;
+  Out.V = V;
+  Out.DeltaEpoch = DeltaEpoch[V];
+  Out.NumSuccs = uint32_t(Sv.size());
+  if (Out.NewBits.size() < Sv.size())
+    Out.NewBits.resize(Sv.size());
+  const AdaptiveSet &Cur = Delta[V];
+  for (uint32_t I = 0; I != Out.NumSuccs; ++I) {
+    AdaptiveSet &NB = Out.NewBits[I];
+    NB.clear();
+    // WordCursor keeps its scan position in itself: several threads may
+    // subtract against the same successor's set concurrently.
+    AdaptiveSet::WordCursor Have(PointsTo[Sv[I]]);
+    Cur.forEachWord([&](uint32_t WordIdx, uint64_t Bits) {
+      uint64_t Missing = Bits & ~Have.wordAt(WordIdx);
+      if (Missing != 0)
+        NB.orWord(WordIdx, Missing);
+    });
+  }
+  Out.Usable = true;
+}
+
+bool Solver::solveWave(std::vector<std::pair<CVarId, CVarId>> &Candidates) {
+  size_t N = Worklist.size();
+  if (Slots.size() < N)
+    Slots.resize(N);
+  ++PStats.NumWaves;
+  WaveCollapsed = false;
+
+  // Parallel phase: strictly read-only on solver state; each worker writes
+  // only its own slots. The parallelFor join is the wave barrier — every
+  // slot write happens-before the commit below.
+  if (!Pool && Jobs > 1 && N >= PoolMinWave)
+    Pool = std::make_unique<WorkerPool>(Jobs - 1);
+  auto Work = [this](size_t I) { precomputeSlot(Worklist[I], Slots[I]); };
+  if (Pool && N >= PoolMinWave)
+    Pool->parallelFor(N, Work);
+  else
+    for (size_t I = 0; I != N; ++I)
+      Work(I);
+
+  // Commit phase, single-threaded: exactly the sequential loop over the
+  // first N pops. Nothing ever enters the worklist at the front, so those
+  // pops are exactly the snapshot the slots were computed from; each slot
+  // is used only while still valid (no collapse since the snapshot, the
+  // source delta untouched by earlier commits of this wave).
+  for (size_t I = 0; I != N; ++I) {
+    if (Cancel && Cancel->expired()) {
+      Cancelled = true;
+      return false; // Uncommitted pops stay queued, like a sequential stop.
+    }
+    CVarId Popped = Worklist.front();
+    Worklist.pop_front();
+    InWorklist[Popped] = false;
+    ++PStats.NumWavePops;
+    CVarId V = find(Popped);
+    if (V != Popped) {
+      if (!Delta[V].empty())
+        schedule(V);
+      continue;
+    }
+    if (Delta[V].empty())
+      continue;
+    PrecomputeSlot &Slot = Slots[I];
+    bool Valid = Slot.Usable && !WaveCollapsed && Slot.V == V &&
+                 Slot.DeltaEpoch == DeltaEpoch[V];
+    if (Slot.Usable && !Valid)
+      ++PStats.NumStaleSlots;
+    flush(V, Candidates, Valid ? &Slot : nullptr);
+    for (const auto &[A, B] : Candidates)
+      collapseCycle(A, B);
+    Candidates.clear();
+  }
+  return true;
 }
 
 void Solver::solve() {
@@ -336,28 +501,13 @@ void Solver::solve() {
   Solving = true;
   std::vector<std::pair<CVarId, CVarId>> Candidates;
   while (!Worklist.empty()) {
-    if (Cancel && Cancel->expired()) {
-      Cancelled = true;
-      break; // Pending deltas stay queued; extract() sees a partial fixpoint.
-    }
-    CVarId Popped = Worklist.front();
-    Worklist.pop_front();
-    InWorklist[Popped] = false;
-    CVarId V = find(Popped);
-    if (V != Popped) {
-      // Collapsed while queued; its delta (if any) lives on in the rep.
-      if (!Delta[V].empty())
-        schedule(V);
+    if (Jobs > 1 && Worklist.size() >= MinWavePops) {
+      if (!solveWave(Candidates))
+        break;
       continue;
     }
-    if (Delta[V].empty())
-      continue;
-    flush(V, Candidates);
-    // Collapsing is deferred to here so no representative changes while a
-    // flush is iterating its state.
-    for (const auto &[A, B] : Candidates)
-      collapseCycle(A, B);
-    Candidates.clear();
+    if (!stepOne(Candidates))
+      break;
   }
   Solving = false;
 }

@@ -32,6 +32,20 @@
 /// iterated, so solving is fully deterministic: two identical constraint
 /// streams produce identical points-to sets and identical SolverStats.
 ///
+/// **Parallel solving** (setJobs(N) / --solver-jobs=N, default 1): the
+/// fixpoint loop processes the worklist in *waves*. A wave snapshots the
+/// queued variables, precomputes — in parallel, strictly read-only — the
+/// per-edge token sets each pending delta would newly contribute to each
+/// successor, then *commits* the wave on one thread by replaying the exact
+/// sequential pop/flush/collapse order, substituting a precomputed result
+/// wherever it is still valid (no cycle collapse since the snapshot, the
+/// source delta unchanged). Because the commit loop IS the sequential loop
+/// and a skipped all-duplicate word union is a no-op on every AdaptiveSet
+/// tier, points-to growth, listener delivery order, SolverStats, and even
+/// the set-memory capacity trajectory are byte-identical to the
+/// single-threaded solve at any thread count. Wave/thread counters live in
+/// SolverParallelStats, deliberately outside SolverStats.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JSAI_ANALYSIS_SOLVER_H
@@ -40,6 +54,7 @@
 #include "analysis/ConstraintVar.h"
 #include "support/AdaptiveSet.h"
 #include "support/Cancellation.h"
+#include "support/WorkerPool.h"
 
 #include <deque>
 #include <functional>
@@ -49,6 +64,16 @@
 #include <vector>
 
 namespace jsai {
+
+/// Process-wide default thread budget for newly constructed solvers'
+/// fixpoint loops. Initialized once from the JSAI_SOLVER_JOBS environment
+/// variable (an integer; absent, empty, or < 2 means 1 = sequential) so
+/// benches and the golden-metrics gate can be swept across thread counts
+/// without per-binary flag plumbing; the CLI's --solver-jobs= overrides it
+/// at startup. Set it before spawning workers — reads after that are
+/// unsynchronized.
+size_t defaultSolverJobs();
+void setDefaultSolverJobs(size_t N);
 
 /// Insert-only open-addressing set of nonzero 64-bit keys (the solver's
 /// edge keys — (From << 32) | To with From != To — are never zero). One
@@ -144,6 +169,29 @@ struct SolverStats {
   friend bool operator==(const SolverStats &, const SolverStats &) = default;
 };
 
+/// Wave/thread counters for the parallel fixpoint. Kept outside
+/// SolverStats on purpose: SolverStats must stay byte-identical across
+/// thread counts (it feeds default reports and the golden gate), while
+/// these describe the execution strategy and are emitted only behind
+/// --report-timings.
+struct SolverParallelStats {
+  /// Thread budget the solver ran with (1 = sequential loop, no waves).
+  uint64_t Jobs = 1;
+  /// Waves executed (snapshot + parallel precompute + ordered commit).
+  uint64_t NumWaves = 0;
+  /// Worklist pops committed through wave mode.
+  uint64_t NumWavePops = 0;
+  /// Successor-edge unions served from a precomputed new-token set.
+  uint64_t NumPrecomputedEdges = 0;
+  /// Precomputed slots discarded at commit time (a cycle collapse or a
+  /// same-wave delta growth invalidated them; their pops fell back to the
+  /// plain sequential union).
+  uint64_t NumStaleSlots = 0;
+
+  friend bool operator==(const SolverParallelStats &,
+                         const SolverParallelStats &) = default;
+};
+
 /// Tag for a retractable batch of constraints (one per module in the
 /// incremental-solve path). Group 0 is the shared/ungrouped default.
 using ConstraintGroup = uint32_t;
@@ -161,6 +209,16 @@ public:
   /// Dense -> Adaptive cannot unpin sets already forced dense.
   void setSetKind(SolverSetKind K);
   SolverSetKind setKind() const { return SetKind; }
+
+  /// Thread budget for solve() (default: the process-wide
+  /// defaultSolverJobs()). 1 keeps today's sequential loop; N > 1 enables
+  /// wave-parallel precompute with a pool of N - 1 worker threads (the
+  /// committing thread is the Nth lane). Results are byte-identical to
+  /// sequential at any value — see the file comment. May be called
+  /// between solves; the pool is spawned lazily at the first wave large
+  /// enough to pay for it.
+  void setJobs(size_t N);
+  size_t jobs() const { return Jobs; }
 
   /// Adds t to [[V]]; schedules propagation.
   void addToken(CVarId V, TokenId T);
@@ -222,6 +280,9 @@ public:
   /// fields and tier histogram are refreshed from the live sets on each
   /// call.
   const SolverStats &stats();
+  /// Wave/thread counters of the parallel fixpoint (all zero when solving
+  /// sequentially, except Jobs).
+  const SolverParallelStats &parallelStats() const { return PStats; }
 
   /// The union-find representative currently standing for \p V (exposed
   /// for tests and diagnostics; stable only between solve() calls).
@@ -238,6 +299,21 @@ private:
     ConstraintGroup Group = 0; ///< Owning group (0 = shared, irretractable).
   };
 
+  /// Result of the read-only parallel phase for one queued variable: the
+  /// tokens its pending delta would newly contribute across each of its
+  /// first NumSuccs successor edges. Valid for the commit only while the
+  /// state it was computed from still holds (checked in solveWave).
+  struct PrecomputeSlot {
+    CVarId V = 0;           ///< Representative the slot was computed for.
+    uint64_t DeltaEpoch = 0; ///< Delta[V] mutation epoch at snapshot time.
+    uint32_t NumSuccs = 0;  ///< Succs[V].size() at snapshot time.
+    bool Usable = false;
+    /// Per successor edge: Delta[V] minus PointsTo[successor], i.e. what
+    /// the union at commit time will actually add. Scratch sets — never
+    /// attached to the memory accounting, reused across waves.
+    std::vector<AdaptiveSet> NewBits;
+  };
+
   void ensure(CVarId V);
   CVarId find(CVarId V);
   CVarId findConst(CVarId V) const;
@@ -249,11 +325,28 @@ private:
   /// and duplicates introduced by collapsing.
   void canonicalizeSuccs(CVarId V);
   /// Flushes V's pending delta to successors and listeners, recording
-  /// lazy-cycle-detection candidates in \p Candidates.
-  void flush(CVarId V, std::vector<std::pair<CVarId, CVarId>> &Candidates);
+  /// lazy-cycle-detection candidates in \p Candidates. When \p Pre is
+  /// non-null (a still-valid precomputed slot for V), successor unions
+  /// within its range use the precomputed new-token sets — byte-identical
+  /// to the full union because all-duplicate word unions are no-ops on
+  /// every tier.
+  void flush(CVarId V, std::vector<std::pair<CVarId, CVarId>> &Candidates,
+             const PrecomputeSlot *Pre = nullptr);
   /// If To still reaches From, collapses every variable on the found
   /// From -> To -> ... -> From cycle into one representative.
   void collapseCycle(CVarId From, CVarId To);
+  /// One sequential worklist pop (the classic loop body). \returns false
+  /// when the cancellation token expired.
+  bool stepOne(std::vector<std::pair<CVarId, CVarId>> &Candidates);
+  /// Snapshot the queued worklist as one wave, precompute per-edge deltas
+  /// in parallel (read-only), then commit the wave in exact sequential pop
+  /// order. \returns false when the cancellation token expired mid-commit
+  /// (uncommitted pops stay queued, exactly like a sequential stop).
+  bool solveWave(std::vector<std::pair<CVarId, CVarId>> &Candidates);
+  /// The parallel phase's per-variable work: strictly read-only on solver
+  /// state (findConst, WordCursor lookups — never contains()/find(), which
+  /// mutate hint/parent state).
+  void precomputeSlot(CVarId Popped, PrecomputeSlot &Out) const;
 
   static uint64_t edgeKey(CVarId From, CVarId To) {
     return (uint64_t(From) << 32) | uint64_t(To);
@@ -276,6 +369,25 @@ private:
   /// FIFO worklist of variables with a non-empty delta.
   std::deque<CVarId> Worklist;
   std::vector<bool> InWorklist;
+
+  // --- Parallel-wave state (inert while Jobs == 1) ---
+  /// Minimum queued variables to run a pop as part of a wave at all.
+  static constexpr size_t MinWavePops = 16;
+  /// Minimum wave size before the worker pool is engaged (and lazily
+  /// spawned); smaller waves precompute inline on the committing thread,
+  /// so tiny graphs never pay thread startup.
+  static constexpr size_t PoolMinWave = 64;
+  size_t Jobs = defaultSolverJobs();
+  /// Per-variable mutation epoch of Delta[V], bumped on every delta
+  /// change. A precomputed slot is valid only while its source delta's
+  /// epoch is unchanged since the snapshot.
+  std::vector<uint32_t> DeltaEpoch;
+  /// Set when a cycle collapse lands during the current wave's commit:
+  /// representatives moved, so every remaining slot of the wave is stale.
+  bool WaveCollapsed = false;
+  std::vector<PrecomputeSlot> Slots; ///< Reused across waves.
+  std::unique_ptr<WorkerPool> Pool;  ///< Lazily spawned (Jobs - 1 threads).
+  SolverParallelStats PStats;
 
   /// Hashed (From, To) pairs backing O(1) duplicate-edge rejection. Never
   /// iterated (determinism); keys use the representatives at insert time,

@@ -38,10 +38,7 @@ StaticAnalysis::StaticAnalysis(ModuleLoader &Loader, AnalysisOptions Opts,
   });
 }
 
-AnalysisResult StaticAnalysis::run() {
-  S.setSetKind(Opts.SolverSet);
-  S.setCancellation(Opts.Cancel);
-  buildAll();
+void StaticAnalysis::applyModeConstraints() {
   switch (Opts.Mode) {
   case AnalysisMode::Baseline:
     break; // Dynamic property accesses stay ignored.
@@ -55,7 +52,47 @@ AnalysisResult StaticAnalysis::run() {
     applyOverApproximation();
     break;
   }
+}
+
+AnalysisResult StaticAnalysis::run() {
+  S.setSetKind(Opts.SolverSet);
+  S.setJobs(Opts.SolverJobs);
+  S.setCancellation(Opts.Cancel);
+  buildAll();
+  applyModeConstraints();
   S.solve();
+  return extract();
+}
+
+AnalysisResult StaticAnalysis::runTracked() {
+  S.setSetKind(Opts.SolverSet);
+  S.setJobs(Opts.SolverJobs);
+  S.setCancellation(Opts.Cancel);
+  buildAll();
+  // Everything derived from the mode's constraints — the [DPR]/[DPW] edges
+  // and whatever the listeners they trigger generate during the solve —
+  // carries the tracked group, so revalidate() can retract exactly this
+  // batch. The solve itself runs inside the group: constraints a group-0
+  // listener derives keep group 0 (flush saves/restores per listener), and
+  // a cycle collapse anywhere during it correctly poisons retraction.
+  TrackedGroup = 1;
+  S.setGroup(TrackedGroup);
+  applyModeConstraints();
+  S.solve();
+  S.setGroup(0);
+  return extract();
+}
+
+std::optional<AnalysisResult> StaticAnalysis::revalidate() {
+  if (!S.retractGroup(TrackedGroup))
+    return std::nullopt;
+  ++TrackedGroup;
+  S.setGroup(TrackedGroup);
+  applyModeConstraints();
+  S.solve();
+  S.setGroup(0);
+  if (S.wasCancelled())
+    return std::nullopt;
   return extract();
 }
 
@@ -241,6 +278,7 @@ AnalysisResult StaticAnalysis::extract() {
   AstContext &Ctx = Loader.context();
   AnalysisResult R;
   R.Solver = S.stats();
+  R.SolverParallel = S.parallelStats();
   R.NumTokens = TF.size();
   R.NumVars = VF.size();
 

@@ -31,6 +31,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
 namespace jsai {
@@ -64,6 +65,10 @@ struct AnalysisOptions {
   /// Points-to set representation for the solver (ablation toggle; the
   /// default follows --solver-set= / JSAI_SOLVER_SET).
   SolverSetKind SolverSet = defaultSolverSetKind();
+  /// Thread budget for the solver's fixpoint loop (the default follows
+  /// --solver-jobs= / JSAI_SOLVER_JOBS). Results are byte-identical at any
+  /// value; > 1 merely parallelizes the per-wave set arithmetic.
+  size_t SolverJobs = defaultSolverJobs();
   /// Optional deadline token (armed by the caller): the solver polls it per
   /// worklist pop and stops at a partial fixpoint on expiry. The extracted
   /// result is then an under-approximation of the full fixpoint.
@@ -82,6 +87,9 @@ struct AnalysisResult {
   /// Locations of reachable functions (used by the vulnerability study).
   std::set<SourceLoc> ReachableFunctions;
   SolverStats Solver;
+  /// Execution-strategy counters of the parallel fixpoint; not part of
+  /// SolverStats so default telemetry stays independent of --solver-jobs.
+  SolverParallelStats SolverParallel;
   size_t NumTokens = 0;
   size_t NumVars = 0;
 
@@ -106,6 +114,27 @@ public:
 
   /// Builds constraints, applies hints, solves, and extracts the result.
   AnalysisResult run();
+
+  /// Like run(), but tags every mode-derived constraint (hints and all
+  /// constraints listeners derive from them) with a retractable solver
+  /// group and keeps the object alive for revalidate(). The serve warm
+  /// path uses this to keep one solved analysis per project.
+  AnalysisResult runTracked();
+
+  /// Whether revalidate() could currently succeed (no cycle collapse since
+  /// tracking began, no cross-group duplicate edge).
+  bool canRevalidate() const { return S.canRetract(TrackedGroup); }
+
+  /// Retract-and-readd revalidation over the solved state from
+  /// runTracked(): retracts the tracked constraint group, re-applies the
+  /// mode's constraints from the (unchanged) hints into a fresh group, and
+  /// re-solves. Because re-adding identical constraints reaches exactly
+  /// the cold fixpoint (retraction is a sound over-approximation and the
+  /// re-add re-derives every lingering token), the extracted metrics must
+  /// match the runTracked() result; callers compare and fall back to a
+  /// cold solve on any mismatch. \returns nullopt when retraction refuses
+  /// or the solver was cancelled.
+  std::optional<AnalysisResult> revalidate();
 
 private:
   //===--------------------------------------------------------------------===
@@ -186,6 +215,9 @@ private:
   //===--------------------------------------------------------------------===
   // Hints and modes (StaticAnalysis.cpp)
   //===--------------------------------------------------------------------===
+  /// Dispatches to the current mode's constraint application (hints /
+  /// non-relational hints / over-approximation; baseline adds nothing).
+  void applyModeConstraints();
   void applyHints();
   void applyUnknownArgHints();
   void applyEvalBodies();
@@ -203,6 +235,9 @@ private:
   TokenFactory TF;
   CVarFactory VF;
   Solver S;
+  /// Group holding the mode-derived constraints of runTracked(); bumped on
+  /// every revalidate() so the re-added constraints get a fresh tag.
+  ConstraintGroup TrackedGroup = 0;
 
   // Interned internal property names.
   Symbol SymProtoChain;  ///< "[[proto]]"

@@ -2,6 +2,7 @@
 
 #include "driver/CorpusDriver.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <exception>
@@ -47,13 +48,13 @@ struct WorkerQueue {
 
 } // namespace
 
-JobResult CorpusDriver::runJob(const ProjectSpec &Spec,
-                               ArtifactCache *Cache) const {
+JobResult CorpusDriver::runJob(const ProjectSpec &Spec, ArtifactCache *Cache,
+                               size_t SolverJobs) const {
   JobResult R;
   auto Start = std::chrono::steady_clock::now();
   try {
     Pipeline P(Opts.Approx, Opts.Deadlines, Cache, Opts.SolverSet,
-               Opts.Interrupt);
+               Opts.Interrupt, SolverJobs);
     R.Report = P.analyzeProject(Spec);
   } catch (const std::exception &E) {
     R.Report.Name = Spec.Name;
@@ -91,6 +92,22 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
     Workers = Suite.size() == 0 ? 1 : Suite.size();
   Summary.Workers = Workers;
 
+  // Oversubscription policy: with more than one worker, the per-job solver
+  // thread budget is clamped so Workers x SolverJobs stays within twice the
+  // machine's core count. The 2x allowance keeps a modest --jobs x
+  // --solver-jobs request (say 4x2 on four cores) from silently losing the
+  // parallel solver — precompute threads spend part of each wave blocked on
+  // the barrier, so mild oversubscription is cheap — while still preventing
+  // multiplicative thread blowup. Results are unaffected — the solver is
+  // byte-deterministic at any thread count — only wall clock.
+  size_t SolverJobs = Opts.SolverJobs == 0 ? 1 : Opts.SolverJobs;
+  if (Workers > 1 && SolverJobs > 1) {
+    size_t HW = std::thread::hardware_concurrency();
+    if (HW == 0)
+      HW = 1;
+    SolverJobs = std::min(SolverJobs, std::max<size_t>(1, (2 * HW) / Workers));
+  }
+
   auto Interrupted = [this] {
     return Opts.Interrupt && Opts.Interrupt->cancelled();
   };
@@ -101,7 +118,7 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
     for (size_t I = 0; I != Suite.size(); ++I) {
       if (Interrupted())
         break; // Unclaimed slots are marked cancelled below.
-      Summary.Jobs[I] = runJob(Suite[I], CachePtr);
+      Summary.Jobs[I] = runJob(Suite[I], CachePtr, SolverJobs);
     }
   } else {
     // Seed the per-worker deques round-robin; the task set is fixed up
@@ -124,7 +141,7 @@ RunSummary CorpusDriver::run(const std::vector<ProjectSpec> &Suite) {
             return;
         }
         // Slots are index-disjoint across workers: no lock needed.
-        Summary.Jobs[Job] = runJob(Suite[Job], CachePtr);
+        Summary.Jobs[Job] = runJob(Suite[Job], CachePtr, SolverJobs);
       }
     };
 

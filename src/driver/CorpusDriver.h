@@ -46,6 +46,11 @@ struct DriverOptions {
   /// Points-to set representation forwarded to every job's solvers
   /// (--solver-set= ablation toggle).
   SolverSetKind SolverSet = defaultSolverSetKind();
+  /// Intra-solver fixpoint threads per job (--solver-jobs= toggle). 1 =
+  /// the sequential loop. The driver clamps the effective value so the
+  /// product with the worker count never oversubscribes the machine:
+  /// with W > 1 workers, each job gets at most hardware_threads / W.
+  size_t SolverJobs = defaultSolverJobs();
   /// Include wall-clock fields in JSONL telemetry. Off by default: timing
   /// fields are inherently nondeterministic, and omitting them keeps
   /// reports byte-comparable across runs and jobs counts.
@@ -117,7 +122,8 @@ public:
   const DriverOptions &options() const { return Opts; }
 
 private:
-  JobResult runJob(const ProjectSpec &Spec, ArtifactCache *Cache) const;
+  JobResult runJob(const ProjectSpec &Spec, ArtifactCache *Cache,
+                   size_t SolverJobs) const;
 
   DriverOptions Opts;
 };

@@ -45,7 +45,8 @@ std::string analysisJson(const AnalysisResult &R) {
   return Out;
 }
 
-std::string solverJson(const SolverStats &S, bool IncludeMemory) {
+std::string solverJson(const SolverStats &S, bool IncludeMemory,
+                       const SolverParallelStats *Par = nullptr) {
   std::string Out = "{";
   Out += "\"edges\":" + num(S.NumEdges);
   Out += ",\"duplicate_edges\":" + num(S.NumDuplicateEdges);
@@ -65,6 +66,16 @@ std::string solverJson(const SolverStats &S, bool IncludeMemory) {
     Out += ",\"sets_small\":" + num(S.SetsSmall);
     Out += ",\"sets_sparse\":" + num(S.SetsSparse);
     Out += ",\"sets_dense\":" + num(S.SetsDense);
+  }
+  if (Par) {
+    // Wave/thread accounting depends on the solver-jobs configuration
+    // (the solved fixpoint and every field above do not), so it rides
+    // behind the timings gate like the other config-dependent extras.
+    Out += ",\"jobs\":" + num(Par->Jobs);
+    Out += ",\"waves\":" + num(Par->NumWaves);
+    Out += ",\"wave_pops\":" + num(Par->NumWavePops);
+    Out += ",\"precomputed_edges\":" + num(Par->NumPrecomputedEdges);
+    Out += ",\"stale_slots\":" + num(Par->NumStaleSlots);
   }
   Out += "}";
   return Out;
@@ -167,7 +178,9 @@ std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
   Out += "}";
   Out += ",\"baseline\":" + analysisJson(R.Baseline);
   Out += ",\"extended\":" + analysisJson(R.Extended);
-  Out += ",\"solver\":" + solverJson(R.Extended.Solver, IncludeTimings);
+  Out += ",\"solver\":" +
+         solverJson(R.Extended.Solver, IncludeTimings,
+                    IncludeTimings ? &R.Extended.SolverParallel : nullptr);
   if (R.HasDynamicCG) {
     Out += ",\"dynamic\":{";
     Out += "\"edges\":" + num(R.DynamicEdges);

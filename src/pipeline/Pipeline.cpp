@@ -318,6 +318,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   AnalysisOptions BaseOpts;
   BaseOpts.Mode = AnalysisMode::Baseline;
   BaseOpts.SolverSet = SolverSet;
+  BaseOpts.SolverJobs = SolverJobs;
   if (Deadlines.AnalysisSeconds > 0 || Interrupt) {
     BaseOpts.Cancel = &AnalysisToken;
     if (Deadlines.AnalysisSeconds > 0)
@@ -349,6 +350,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     AnalysisOptions ExtOpts;
     ExtOpts.Mode = AnalysisMode::Hints;
     ExtOpts.SolverSet = SolverSet;
+    ExtOpts.SolverJobs = SolverJobs;
     if (Deadlines.AnalysisSeconds > 0 || Interrupt) {
       ExtOpts.Cancel = &AnalysisToken;
       if (Deadlines.AnalysisSeconds > 0)

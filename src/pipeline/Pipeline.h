@@ -204,9 +204,10 @@ public:
                     PhaseDeadlines Deadlines = PhaseDeadlines(),
                     ArtifactCache *Cache = nullptr,
                     SolverSetKind SolverSet = defaultSolverSetKind(),
-                    CancellationToken *Interrupt = nullptr)
+                    CancellationToken *Interrupt = nullptr,
+                    size_t SolverJobs = defaultSolverJobs())
       : ApproxOpts(ApproxOpts), Deadlines(Deadlines), Cache(Cache),
-        SolverSet(SolverSet), Interrupt(Interrupt) {}
+        SolverSet(SolverSet), Interrupt(Interrupt), SolverJobs(SolverJobs) {}
 
   /// Runs everything on \p Spec, enforcing the configured deadlines. An
   /// approx-phase timeout degrades the project to baseline-only results
@@ -221,6 +222,7 @@ private:
   ArtifactCache *Cache = nullptr;
   SolverSetKind SolverSet = defaultSolverSetKind();
   CancellationToken *Interrupt = nullptr;
+  size_t SolverJobs = defaultSolverJobs();
 };
 
 } // namespace jsai

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <string>
 
 namespace jsai {
@@ -49,6 +50,18 @@ struct ServeOptions {
   CacheConfig Cache;
   bool IncludeTimings = false;
   SolverSetKind SolverSet = defaultSolverSetKind();
+  /// Threads per constraint-solver fixpoint (forwarded to every served
+  /// run; results are byte-identical at any value).
+  size_t SolverJobs = defaultSolverJobs();
+  /// Retain a live, retractable solver per analyzed project and serve
+  /// unchanged re-analyze requests by incremental revalidation (retract
+  /// the mode-derived constraint group, re-add, re-solve) instead of a
+  /// full cold pipeline run. The response served on a warm hit is the
+  /// stored cold response — byte-identical by construction; revalidation
+  /// acts as a guard and any refusal or metric mismatch falls back to the
+  /// cold path. Building a slot re-runs one tracked extended analysis
+  /// after the cold request, which is the documented extra cost.
+  bool WarmSolver = false;
   /// Optional externally latched interrupt (signal handler). A latched
   /// interrupt stops the accept loop and cancels the in-flight request
   /// through the driver's cancellation path.
@@ -62,6 +75,11 @@ struct ServeStats {
   uint64_t Suites = 0;
   uint64_t Errors = 0;
   uint64_t ReplayHits = 0;
+  /// Warm-solver slots built / requests answered by revalidation /
+  /// revalidations that refused or mismatched and fell back to cold.
+  uint64_t WarmSolverBuilds = 0;
+  uint64_t WarmSolverHits = 0;
+  uint64_t WarmSolverFallbacks = 0;
   /// Artifact-cache counters accumulated over every served run.
   CacheStats Cache;
 };
@@ -111,6 +129,22 @@ private:
   /// Request line (+ content digest for analyze) -> response line.
   std::map<std::string, std::string> Replay;
 
+  /// One retained incremental analysis (--serve-warm-solver=on): the
+  /// parsed project with its hints, a solved StaticAnalysis whose
+  /// mode-derived constraints are retractable (runTracked), the cold
+  /// response bytes it vouches for, and the extended metrics to recheck
+  /// after each revalidation.
+  struct WarmSlot {
+    std::string SrcDigest;
+    std::string StoredResponse;
+    AnalysisResult StoredExtended;
+    std::unique_ptr<ProjectAnalyzer> Analyzer;
+    std::unique_ptr<StaticAnalysis> Extended;
+  };
+  static constexpr size_t MaxWarmSlots = 8;
+  /// dir + '\n' + main module -> retained analysis.
+  std::map<std::string, WarmSlot> Warm;
+
   bool interrupted() const {
     return Opts.Interrupt && Opts.Interrupt->cancelled();
   }
@@ -128,6 +162,12 @@ private:
   /// the request's overrides.
   DriverOptions driverOptions(const JsonValue &Req) const;
   void accumulate(const RunSummary &Summary);
+
+  /// Runs one tracked extended analysis for \p Spec and retains it as a
+  /// warm slot when it can revalidate and reproduces \p Cold exactly.
+  void buildWarmSlot(const std::string &WarmKey, const std::string &SrcDigest,
+                     const std::string &Response, const ProjectSpec &Spec,
+                     const DriverOptions &DO, const AnalysisResult &Cold);
 };
 
 /// The handshake/stats identity block shared by daemon and client:

@@ -33,7 +33,10 @@
 ///
 /// Not thread-safe: `contains()` maintains a mutable MRU chunk hint, so
 /// even concurrent reads of one set race (each solver is single-threaded;
-/// the corpus driver gives every job its own solver).
+/// the corpus driver gives every job its own solver). Concurrent readers
+/// that only need word lookups (the parallel solver's precompute phase)
+/// must go through `WordCursor`, which keeps its position in the cursor
+/// itself and never touches the set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -121,6 +124,11 @@ public:
   bool insert(uint32_t X) {
     return orWord(X / 64, uint64_t(1) << (X % 64)) != 0;
   }
+
+  /// ORs \p Bits into word \p WordIdx, handling tier dispatch, promotion,
+  /// accounting, and the cached count. \returns the bits actually added.
+  /// The word-parallel insertion primitive every union path is built on.
+  uint64_t orWord(uint32_t WordIdx, uint64_t Bits);
 
   bool contains(uint32_t X) const;
 
@@ -231,6 +239,8 @@ public:
   /// Collects members in ascending order.
   std::vector<uint32_t> toVector() const;
 
+  class WordCursor;
+
   friend bool operator==(const AdaptiveSet &A, const AdaptiveSet &B);
 
 private:
@@ -242,9 +252,6 @@ private:
     uint64_t W[2];
   };
 
-  /// ORs \p Bits into word \p WordIdx, handling tier dispatch, promotion,
-  /// accounting, and the cached count. \returns the bits actually added.
-  uint64_t orWord(uint32_t WordIdx, uint64_t Bits);
   uint64_t orWordSmall(uint32_t WordIdx, uint64_t Bits);
   uint64_t orWordSparse(uint32_t WordIdx, uint64_t Bits);
   uint64_t orWordDense(uint32_t WordIdx, uint64_t Bits);
@@ -280,6 +287,46 @@ private:
   std::vector<Chunk> Chunks;
   std::vector<uint64_t> Words;
   SetMemoryStats *Mem = nullptr;
+};
+
+/// Pure ascending word lookup over a set that other threads may also be
+/// reading. Unlike `contains()` (which updates the set's mutable MRU chunk
+/// hint) the cursor keeps its scan position in itself, so any number of
+/// cursors can read one set concurrently — provided no thread mutates it.
+/// `wordAt` must be called with non-decreasing word indices; the sparse
+/// tier advances a chunk position monotonically, making a full ascending
+/// sweep O(chunks) amortized instead of O(chunks log chunks).
+class AdaptiveSet::WordCursor {
+public:
+  explicit WordCursor(const AdaptiveSet &S) : S(S) {}
+
+  /// 64-bit membership word \p WordIdx (members [WordIdx*64, WordIdx*64+64)).
+  uint64_t wordAt(uint32_t WordIdx) {
+    switch (S.Rep) {
+    case Tier::Small: {
+      uint64_t Word = 0;
+      for (uint32_t I = 0; I != S.Num; ++I)
+        if (S.SmallElems[I] / 64 == WordIdx)
+          Word |= uint64_t(1) << (S.SmallElems[I] % 64);
+      return Word;
+    }
+    case Tier::Sparse: {
+      uint32_t ChunkIdx = WordIdx / 2;
+      while (Pos != S.Chunks.size() && S.Chunks[Pos].Idx < ChunkIdx)
+        ++Pos;
+      if (Pos == S.Chunks.size() || S.Chunks[Pos].Idx != ChunkIdx)
+        return 0;
+      return S.Chunks[Pos].W[WordIdx & 1];
+    }
+    case Tier::Dense:
+      return WordIdx < S.Words.size() ? S.Words[WordIdx] : 0;
+    }
+    return 0;
+  }
+
+private:
+  const AdaptiveSet &S;
+  size_t Pos = 0;
 };
 
 /// Membership equality across any tier pairing.

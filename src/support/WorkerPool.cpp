@@ -1,0 +1,70 @@
+//===- WorkerPool.cpp -----------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+
+using namespace jsai;
+
+WorkerPool::WorkerPool(size_t NumThreads) {
+  Workers.reserve(NumThreads);
+  for (size_t I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stop = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+void WorkerPool::workerLoop() {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(size_t)> *F;
+    size_t Limit;
+    {
+      std::unique_lock<std::mutex> L(M);
+      WakeCV.wait(L,
+                  [&] { return Stop || Generation != SeenGeneration; });
+      if (Stop)
+        return;
+      SeenGeneration = Generation;
+      F = Fn;
+      Limit = Count;
+    }
+    size_t I;
+    while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < Limit)
+      (*F)(I);
+    {
+      std::lock_guard<std::mutex> L(M);
+      --Running;
+    }
+    DoneCV.notify_one();
+  }
+}
+
+void WorkerPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &F) {
+  if (Workers.empty() || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      F(I);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> L(M);
+    Fn = &F;
+    Count = N;
+    Next.store(0, std::memory_order_relaxed);
+    Running = Workers.size();
+    ++Generation;
+  }
+  WakeCV.notify_all();
+  size_t I;
+  while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < N)
+    F(I);
+  std::unique_lock<std::mutex> L(M);
+  DoneCV.wait(L, [&] { return Running == 0; });
+}

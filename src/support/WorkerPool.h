@@ -1,0 +1,66 @@
+//===- WorkerPool.h - Persistent fork/join worker pool ----------*- C++ -*-===//
+///
+/// \file
+/// A small persistent thread pool with a fork/join `parallelFor`: the
+/// calling thread participates in the loop, worker threads park on a
+/// condition variable between calls, and the call returns only after every
+/// index has been processed (the join doubles as the wave barrier the
+/// parallel solver needs — all worker writes happen-before the return).
+///
+/// Indices are handed out one at a time from a shared atomic counter, so
+/// uneven per-index work self-balances without any partitioning step. The
+/// pool is deliberately minimal: no task queue, no futures, no nesting —
+/// one fork/join region at a time, which is exactly the shape of a solver
+/// wave (and of any bulk phase the corpus driver might want to fan out).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_WORKERPOOL_H
+#define JSAI_SUPPORT_WORKERPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsai {
+
+class WorkerPool {
+public:
+  /// Spawns \p NumThreads worker threads (the caller of parallelFor makes
+  /// one more lane, so a pool for a total budget of J jobs takes J - 1).
+  /// Zero threads is valid and makes parallelFor run inline.
+  explicit WorkerPool(size_t NumThreads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  size_t threads() const { return Workers.size(); }
+
+  /// Runs Fn(I) exactly once for every I in [0, Count), on the workers and
+  /// the calling thread, and returns when all are done. Not reentrant: Fn
+  /// must not call parallelFor on the same pool.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable WakeCV;  // workers park here between regions
+  std::condition_variable DoneCV;  // caller joins here
+  uint64_t Generation = 0;         // bumped per parallelFor under M
+  bool Stop = false;
+  const std::function<void(size_t)> *Fn = nullptr;
+  size_t Count = 0;
+  size_t Running = 0; // workers still inside the current region
+  std::atomic<size_t> Next{0};
+};
+
+} // namespace jsai
+
+#endif // JSAI_SUPPORT_WORKERPOOL_H

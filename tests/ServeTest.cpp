@@ -281,6 +281,85 @@ TEST(ServeHandlerTest, ReplayHitsOnIdenticalRequestMissesAfterEdit) {
   EXPECT_EQ(S.stats().ReplayHits, 1u);
 }
 
+TEST(ServeHandlerTest, WarmSolverServesStoredColdBytesOnUnchangedSources) {
+  TempDir Proj("warm-solver-project");
+  writeTrivialProject(Proj.Path);
+
+  ServeOptions SO;
+  SO.WarmSolver = true;
+  Server S(SO);
+
+  // Cold request: full run plus a retained tracked solver.
+  std::string ColdLine =
+      "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\"}";
+  std::string Cold = writeJson(respond(S, ColdLine));
+  EXPECT_EQ(S.stats().Analyses, 1u);
+  ASSERT_EQ(S.stats().WarmSolverBuilds, 1u)
+      << "the trivial project must build a revalidatable slot";
+
+  // A different request line over unchanged sources misses the replay map
+  // but hits the warm slot: the retained solver revalidates (retract +
+  // re-add + incremental re-solve) and the stored cold response is served
+  // byte-for-byte — no full pipeline run.
+  std::string WarmLine =
+      "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\",\"jobs\":2}";
+  std::string Warm = writeJson(respond(S, WarmLine));
+  EXPECT_EQ(Warm, Cold);
+  EXPECT_EQ(S.stats().Analyses, 1u) << "warm hit must not re-run cold";
+  EXPECT_EQ(S.stats().WarmSolverHits, 1u);
+  EXPECT_EQ(S.stats().WarmSolverFallbacks, 0u);
+
+  // The warm hit populated the replay map under the new line's key.
+  std::string Again = writeJson(respond(S, WarmLine));
+  EXPECT_EQ(Again, Cold);
+  EXPECT_EQ(S.stats().ReplayHits, 1u);
+  EXPECT_EQ(S.stats().WarmSolverHits, 1u);
+
+  // An on-disk edit invalidates the slot's source digest: the next
+  // request takes the cold path (and rebuilds the slot for the new
+  // sources).
+  writeFile(Proj.Path / "app" / "main.js",
+            "function f(o) { return o.x; }\n"
+            "function g(o) { return o.y; }\n"
+            "var r = f({ x: 1 });\n"
+            "var s = g({ y: 2 });\n");
+  std::string Edited = writeJson(respond(S, ColdLine));
+  EXPECT_NE(Edited, Cold);
+  EXPECT_EQ(S.stats().Analyses, 2u);
+  EXPECT_EQ(S.stats().WarmSolverBuilds, 2u);
+  EXPECT_EQ(S.stats().WarmSolverHits, 1u);
+}
+
+TEST(ServeHandlerTest, WarmSolverOffByDefault) {
+  TempDir Proj("warm-solver-off");
+  writeTrivialProject(Proj.Path);
+  ServeOptions SO;
+  Server S(SO);
+  respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() + "\"}");
+  respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() +
+                 "\",\"jobs\":2}");
+  EXPECT_EQ(S.stats().WarmSolverBuilds, 0u);
+  EXPECT_EQ(S.stats().WarmSolverHits, 0u);
+  EXPECT_EQ(S.stats().Analyses, 2u) << "without the flag both runs are cold";
+}
+
+TEST(ServeHandlerTest, WarmSolverSkipsTimedAndDeadlineRequests) {
+  // Timings make report bytes nondeterministic and deadlines can degrade
+  // outcomes, so neither side of the warm path may engage for them.
+  TempDir Proj("warm-solver-timed");
+  writeTrivialProject(Proj.Path);
+  ServeOptions SO;
+  SO.WarmSolver = true;
+  Server S(SO);
+  respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() +
+                 "\",\"timings\":true}");
+  EXPECT_EQ(S.stats().WarmSolverBuilds, 0u);
+  respond(S, "{\"cmd\":\"analyze\",\"dir\":\"" + Proj.str() +
+                 "\",\"deadline_analysis\":100}");
+  EXPECT_EQ(S.stats().WarmSolverBuilds, 0u);
+  EXPECT_EQ(S.stats().WarmSolverHits, 0u);
+}
+
 TEST(ServeHandlerTest, MissingMainModuleIsAnError) {
   TempDir Proj("no-main");
   writeFile(Proj.Path / "lib" / "util.js", "var x = 1;\n");

@@ -646,4 +646,140 @@ TEST(SolverRetractionTest, CrossGroupDuplicateEdgeTaintsBothOwners) {
   EXPECT_EQ(S.stats().NumGroupRetractions, 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel fixpoint vs. the sequential oracle
+//===----------------------------------------------------------------------===//
+
+/// Replays one randomized constraint stream into \p S, logging every
+/// listener delivery in order. The same seed always produces the same
+/// stream, so two solvers built from it differ only in their jobs
+/// setting. Listeners also add edges mid-solve (derived from the token
+/// they saw) to exercise wave-slot invalidation and mid-wave successor
+/// growth; the variable range is large enough that worklists regularly
+/// exceed the wave threshold.
+void buildRandomizedParallelWorkload(
+    Solver &S, uint64_t Seed, std::vector<std::pair<CVarId, TokenId>> &Log) {
+  Rng R(Seed);
+  const CVarId NumVars = CVarId(R.range(24, 96));
+  const size_t NumOps = size_t(R.range(100, 600));
+  for (int L = 0; L < 4; ++L) {
+    CVarId Watch = CVarId(R.below(NumVars));
+    CVarId Target = CVarId(R.below(NumVars));
+    S.addListener(Watch, [&S, &Log, Watch, Target, NumVars](TokenId T) {
+      Log.emplace_back(Watch, T);
+      if (T % 3 == 0)
+        S.addEdge(Target, CVarId((Target + T) % NumVars));
+    });
+  }
+  for (size_t Op = 0; Op < NumOps; ++Op) {
+    if (R.chance(55)) {
+      S.addEdge(CVarId(R.below(NumVars)), CVarId(R.below(NumVars)));
+    } else {
+      S.addToken(CVarId(R.below(NumVars)), TokenId(R.below(200)));
+    }
+    if (R.chance(5))
+      S.solve();
+  }
+  S.solve();
+}
+
+/// The parallel fixpoint contract: at any jobs count the solver produces
+/// the same points-to sets, the same counters (down to batch flushes and
+/// collapse events), and the same listener delivery order as the
+/// sequential loop.
+void runParallelEqualsSequential(size_t Jobs) {
+  Rng Seeds(20260808);
+  bool SawWaves = false;
+  for (int Round = 0; Round < 10; ++Round) {
+    uint64_t Seed = Seeds.next();
+    Solver Seq, Par;
+    Par.setJobs(Jobs);
+    std::vector<std::pair<CVarId, TokenId>> SeqLog, ParLog;
+    buildRandomizedParallelWorkload(Seq, Seed, SeqLog);
+    buildRandomizedParallelWorkload(Par, Seed, ParLog);
+    ASSERT_TRUE(Seq.stats() == Par.stats()) << "jobs " << Jobs << " round "
+                                            << Round;
+    ASSERT_EQ(SeqLog, ParLog) << "jobs " << Jobs << " round " << Round;
+    for (CVarId V = 0; V < 96; ++V)
+      ASSERT_TRUE(Seq.pointsTo(V) == Par.pointsTo(V))
+          << "jobs " << Jobs << " round " << Round << " var " << V;
+    SawWaves |= Par.parallelStats().NumWaves > 0;
+  }
+  if (Jobs > 1)
+    EXPECT_TRUE(SawWaves) << "no round ever entered wave mode at jobs "
+                          << Jobs << "; the parallel path went untested";
+}
+
+TEST(SolverParallelTest, OneJobMatchesSequential) {
+  runParallelEqualsSequential(1);
+}
+
+TEST(SolverParallelTest, TwoJobsMatchSequential) {
+  runParallelEqualsSequential(2);
+}
+
+TEST(SolverParallelTest, FourJobsMatchSequential) {
+  runParallelEqualsSequential(4);
+}
+
+TEST(SolverParallelTest, EightJobsMatchSequential) {
+  runParallelEqualsSequential(8);
+}
+
+TEST(SolverParallelTest, RepeatedParallelRunsAreDeterministic) {
+  // Ten runs of the same graph at jobs=4 must agree with each other on
+  // every observable — including the wave accounting itself, which is a
+  // deterministic function of the (deterministic) worklist trajectory.
+  std::vector<std::pair<CVarId, TokenId>> FirstLog;
+  Solver First;
+  First.setJobs(4);
+  buildRandomizedParallelWorkload(First, 99, FirstLog);
+  for (int Run = 1; Run < 10; ++Run) {
+    std::vector<std::pair<CVarId, TokenId>> Log;
+    Solver S;
+    S.setJobs(4);
+    buildRandomizedParallelWorkload(S, 99, Log);
+    ASSERT_TRUE(First.stats() == S.stats()) << "run " << Run;
+    ASSERT_TRUE(First.parallelStats() == S.parallelStats()) << "run " << Run;
+    ASSERT_EQ(FirstLog, Log) << "run " << Run;
+    for (CVarId V = 0; V < 96; ++V)
+      ASSERT_TRUE(First.pointsTo(V) == S.pointsTo(V))
+          << "run " << Run << " var " << V;
+  }
+}
+
+TEST(SolverParallelTest, ParallelMatchesNaiveReference) {
+  // End-to-end soundness at jobs=4 against the independent oracle, dense
+  // and adaptive representations both.
+  for (SolverSetKind Kind : {SolverSetKind::Adaptive, SolverSetKind::Dense}) {
+    Rng R(20240805);
+    for (int Round = 0; Round < 10; ++Round) {
+      const CVarId NumVars = CVarId(R.range(24, 96));
+      const size_t NumOps = size_t(R.range(100, 600));
+      Solver S;
+      S.setSetKind(Kind);
+      S.setJobs(4);
+      NaiveSolver N;
+      for (size_t Op = 0; Op < NumOps; ++Op) {
+        if (R.chance(55)) {
+          CVarId From = CVarId(R.below(NumVars));
+          CVarId To = CVarId(R.below(NumVars));
+          S.addEdge(From, To);
+          N.addEdge(From, To);
+        } else {
+          CVarId V = CVarId(R.below(NumVars));
+          TokenId T = TokenId(R.below(200));
+          S.addToken(V, T);
+          N.addToken(V, T);
+        }
+      }
+      S.solve();
+      N.solve();
+      for (CVarId V = 0; V < NumVars; ++V)
+        ASSERT_TRUE(S.pointsTo(V) == N.pointsTo(V))
+            << "round " << Round << " var " << V;
+    }
+  }
+}
+
 } // namespace

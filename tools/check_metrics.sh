@@ -17,6 +17,12 @@
 #                                 # runs both against the SAME golden file —
 #                                 # the bytecode VM must reproduce the tree
 #                                 # walker's tables byte for byte
+#   tools/check_metrics.sh [build-dir] --solver-jobs=N
+#                                 # verify under an N-thread parallel
+#                                 # fixpoint; CI runs jobs=4 against the
+#                                 # SAME golden file — the wave-parallel
+#                                 # solver must be byte-identical to the
+#                                 # sequential loop
 #
 # Exits non-zero on drift, listing each bench whose table changed.
 set -euo pipefail
@@ -33,6 +39,10 @@ for Arg in "$@"; do
   --interp=*)
     JSAI_INTERP="${Arg#--interp=}"
     export JSAI_INTERP
+    ;;
+  --solver-jobs=*)
+    JSAI_SOLVER_JOBS="${Arg#--solver-jobs=}"
+    export JSAI_SOLVER_JOBS
     ;;
   *) BUILD_DIR="$Arg" ;;
   esac

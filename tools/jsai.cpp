@@ -74,6 +74,7 @@ struct CliOptions {
   CacheConfig Cache;
   std::string Socket;
   std::string ServeVia;
+  bool ServeWarmSolver = false;
 };
 
 /// Latched by the SIGINT/SIGTERM handlers; suite/serve runs chain their
@@ -122,6 +123,12 @@ void printUsage() {
       "  --eval-bodies        analyze eval'd code strings (Section 6)\n"
       "  --solver-set=dense|adaptive  points-to set representation\n"
       "                       (default: adaptive; env JSAI_SOLVER_SET)\n"
+      "  --solver-jobs=N      threads per constraint-solver fixpoint\n"
+      "                       (default: 1 = sequential; env\n"
+      "                       JSAI_SOLVER_JOBS); results are byte-identical\n"
+      "                       at any N, only wall clock changes\n"
+      "  --serve-warm-solver=on|off  serve: revalidate retained solvers on\n"
+      "                       unchanged re-analyze requests (default: off)\n"
       "  --interp=ast|vm      execution engine for concrete runs and\n"
       "                       approximate interpretation (default: ast;\n"
       "                       env JSAI_INTERP); both engines produce\n"
@@ -191,6 +198,25 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       // explicit options (e.g. ProjectAnalyzer::analyze(Mode)) follow it.
       setDefaultSolverSetKind(K);
       Opts.Analysis.SolverSet = K;
+    } else if (Starts("--solver-jobs=")) {
+      size_t N = size_t(std::strtoull(Arg.c_str() + 14, nullptr, 10));
+      if (N == 0)
+        N = 1;
+      // Update the process default too: solvers constructed without
+      // explicit options (tests, benches, serve jobs) follow it.
+      setDefaultSolverJobs(N);
+      Opts.Analysis.SolverJobs = N;
+    } else if (Starts("--serve-warm-solver=")) {
+      std::string Mode = Arg.substr(20);
+      if (Mode == "on")
+        Opts.ServeWarmSolver = true;
+      else if (Mode == "off")
+        Opts.ServeWarmSolver = false;
+      else {
+        std::fprintf(stderr, "jsai: unknown warm-solver mode '%s'\n",
+                     Mode.c_str());
+        return false;
+      }
     } else if (Starts("--interp=")) {
       std::string Kind = Arg.substr(9);
       InterpEngineKind K;
@@ -664,6 +690,7 @@ int cmdSuite(const CliOptions &Opts) {
   DO.IncludeTimings = Opts.ReportTimings;
   DO.Cache = Opts.Cache;
   DO.SolverSet = Opts.Analysis.SolverSet;
+  DO.SolverJobs = Opts.Analysis.SolverJobs;
   DO.Interrupt = &GInterrupt;
   CorpusDriver D(DO);
   RunSummary Summary = D.run(buildBenchmarkSuite());
@@ -774,6 +801,8 @@ int cmdServe(const CliOptions &Opts) {
   SO.Cache = Opts.Cache;
   SO.IncludeTimings = Opts.ReportTimings;
   SO.SolverSet = Opts.Analysis.SolverSet;
+  SO.SolverJobs = Opts.Analysis.SolverJobs;
+  SO.WarmSolver = Opts.ServeWarmSolver;
   SO.Interrupt = &GInterrupt;
   serve::Server Server(SO);
   std::string Error;
