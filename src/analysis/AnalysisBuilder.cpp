@@ -269,12 +269,14 @@ CVarId StaticAnalysis::buildCallLike(Node *Site, Expr *Callee,
   CS->EnclosingModule = CurModule;
 
   CVarId CalleeVar;
+  bool ComputedCallee = false;
   if (auto *M = dyn_cast<MemberExpr>(Callee)) {
     CVarId BaseVar = buildExpr(M->object());
     CS->Receiver = BaseVar;
     CS->HasReceiver = true;
     CalleeVar = VF.exprVar(M->id());
     if (M->isComputed()) {
+      ComputedCallee = true;
       buildExpr(M->index());
       // Dynamic callee read: recorded like any dynamic read so [DPR] (and
       // the ablations) can resolve method values.
@@ -295,7 +297,7 @@ CVarId StaticAnalysis::buildCallLike(Node *Site, Expr *Callee,
   for (Expr *A : Args)
     CS->Args.push_back(buildExpr(A));
 
-  CallSites.push_back({Site, FuncStack.back()});
+  CallSites.push_back({Site, FuncStack.back(), CalleeVar, ComputedCallee});
   addCallConstraint(CS, CalleeVar);
   return CS->Result;
 }

@@ -226,6 +226,7 @@ static std::string literalArg(Node *Site, const AstContext &Ctx, size_t Idx) {
 
 void StaticAnalysis::applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS,
                                       BuiltinId B) {
+  OriginScope Tag(*this, OriginKind::Builtin, CS->Site->loc(), uint32_t(B));
   AstContext &Ctx = Loader.context();
   auto Arg = [&CS](size_t Idx) -> CVarId {
     return Idx < CS->Args.size() ? CS->Args[Idx] : ~CVarId(0);
@@ -251,6 +252,7 @@ void StaticAnalysis::applyBuiltinCall(std::shared_ptr<CallSiteInfo> CS,
     }
     // Dynamically computed module name: resolvable via module hints only.
     if (Hints && Opts.UseModuleHints && Opts.Mode == AnalysisMode::Hints) {
+      OriginScope HintTag(*this, OriginKind::ModuleHint, CS->Site->loc());
       auto HintIt = Hints->moduleHints().find(CS->Site->loc());
       if (HintIt == Hints->moduleHints().end())
         return;

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <unordered_set>
 
 using namespace jsai;
@@ -36,6 +37,20 @@ size_t jsai::defaultSolverJobs() { return defaultJobsStorage(); }
 void jsai::setDefaultSolverJobs(size_t N) {
   defaultJobsStorage() = N == 0 ? 1 : N;
 }
+
+static bool &defaultExplainStorage() {
+  static bool On = [] {
+    const char *Env = std::getenv("JSAI_EXPLAIN");
+    if (Env == nullptr)
+      return false;
+    return std::strcmp(Env, "record") == 0 || std::strcmp(Env, "1") == 0;
+  }();
+  return On;
+}
+
+bool jsai::defaultExplainRecording() { return defaultExplainStorage(); }
+
+void jsai::setDefaultExplainRecording(bool On) { defaultExplainStorage() = On; }
 
 Solver::Solver() {
   FlushScratch.attachMemoryStats(&SetMem);
@@ -115,7 +130,29 @@ void Solver::schedule(CVarId R) {
   Worklist.push_back(R);
 }
 
-bool Solver::insertTokens(CVarId To, const AdaptiveSet &Ts) {
+void Solver::recordArrivals(CVarId To, const AdaptiveSet &Ts, CVarId ViaFrom,
+                            ProvOriginId Origin) {
+  // Read-only subtraction sweep (same shape as precomputeSlot): every token
+  // of Ts that [[To]] lacks is about to be inserted for the first time, so
+  // it gets a first-arrival record. map::emplace keeps an existing entry,
+  // which can only happen after a collapse re-keyed a member's records
+  // onto To — first arrival still wins.
+  AdaptiveSet::WordCursor Have(PointsTo[To]);
+  Ts.forEachWord([&](uint32_t WordIdx, uint64_t Bits) {
+    uint64_t Missing = Bits & ~Have.wordAt(WordIdx);
+    while (Missing != 0) {
+      unsigned Bit = __builtin_ctzll(Missing);
+      Missing &= Missing - 1;
+      Arrivals.emplace(arrivalKey(To, TokenId(WordIdx * 64 + Bit)),
+                       TokenArrival{ViaFrom, Origin});
+    }
+  });
+}
+
+bool Solver::insertTokens(CVarId To, const AdaptiveSet &Ts, CVarId ViaFrom,
+                          ProvOriginId Origin) {
+  if (Recording)
+    recordArrivals(To, Ts, ViaFrom, Origin);
   if (!PointsTo[To].unionWithRecordingNew(Ts, Delta[To]))
     return false;
   ++DeltaEpoch[To];
@@ -128,6 +165,8 @@ void Solver::addToken(CVarId V, TokenId T) {
   CVarId R = find(V);
   if (!PointsTo[R].insert(T))
     return;
+  if (Recording)
+    Arrivals.emplace(arrivalKey(R, T), TokenArrival{~CVarId(0), CurOrigin});
   Delta[R].insert(T);
   ++DeltaEpoch[R];
   schedule(R);
@@ -168,11 +207,15 @@ void Solver::addEdge(CVarId From, CVarId To) {
   }
   Succs[F].push_back(T);
   ++Stats.NumEdges;
+  // The edge remembers the origin of the context that created it; tokens
+  // that later flow across it inherit that origin (flush looks it up).
+  if (Recording)
+    EdgeOrigins.emplace(Key, CurOrigin);
   // Tokens already in [[F]] reach [[T]]'s set now (one batched union);
   // listeners on T observe them at the next flush — identical behavior
   // whether the edge arrives before solve() or from inside a listener.
   if (!PointsTo[F].empty())
-    insertTokens(T, PointsTo[F]);
+    insertTokens(T, PointsTo[F], F, CurOrigin);
 }
 
 void Solver::addListener(CVarId V, Listener L) {
@@ -186,6 +229,7 @@ void Solver::addListener(CVarId V, Listener L) {
   ListenerRecord Rec;
   Rec.Fn = std::make_shared<Listener>(std::move(L));
   Rec.Group = CurGroup;
+  Rec.Origin = CurOrigin;
   Rec.Delivered.attachMemoryStats(&SetMem);
   if (SetKind == SolverSetKind::Dense)
     Rec.Delivered.forceDense();
@@ -195,15 +239,19 @@ void Solver::addListener(CVarId V, Listener L) {
   // the record lives in.
   std::shared_ptr<Listener> Fn = Rec.Fn;
   ConstraintGroup Group = Rec.Group;
+  ProvOriginId Origin = Rec.Origin;
   Listeners[R].push_back(std::move(Rec));
   // Constraints derived during the replay belong to the listener's group
-  // (the group current at registration — which is already CurGroup here,
-  // but keep the save/restore symmetric with flush()).
-  ConstraintGroup Saved = CurGroup;
+  // and origin (those current at registration — already CurGroup/CurOrigin
+  // here, but keep the save/restore symmetric with flush()).
+  ConstraintGroup SavedGroup = CurGroup;
+  ProvOriginId SavedOrigin = CurOrigin;
   CurGroup = Group;
+  CurOrigin = Origin;
   for (uint32_t T : Known)
     (*Fn)(T);
-  CurGroup = Saved;
+  CurGroup = SavedGroup;
+  CurOrigin = SavedOrigin;
 }
 
 void Solver::canonicalizeSuccs(CVarId V) {
@@ -216,6 +264,15 @@ void Solver::canonicalizeSuccs(CVarId V) {
       continue;
     Clean.push_back(W);
     EdgeSet.insert(edgeKey(V, W)); // Refresh the canonical dedup key.
+    // Carry the edge's recorded origin to its canonical key. Best-effort:
+    // entries are keyed under the source representative at insert time, so
+    // an edge spliced here off a merged member is missed and its tokens
+    // fall back to origin 0 (see the EdgeOrigins field comment).
+    if (Recording && W != S) {
+      auto It = EdgeOrigins.find(edgeKey(V, S));
+      if (It != EdgeOrigins.end())
+        EdgeOrigins.emplace(edgeKey(V, W), It->second);
+    }
   }
   Succs[V] = std::move(Clean);
 }
@@ -258,12 +315,21 @@ void Solver::flush(CVarId V,
     // byte-identical sets and capacity accounting. Successor entries past
     // the slot's snapshot count (edges appended by listeners mid-wave)
     // take the full union.
+    // Arrivals across this edge are attributed to the origin recorded when
+    // the edge was added (0 when the edge predates recording or lost its
+    // entry to a collapse).
+    ProvOriginId EdgeOrigin = 0;
+    if (Recording) {
+      auto It = EdgeOrigins.find(edgeKey(V, W));
+      if (It != EdgeOrigins.end())
+        EdgeOrigin = It->second;
+    }
     bool Changed;
     if (Pre && I < Pre->NumSuccs) {
       ++PStats.NumPrecomputedEdges;
-      Changed = insertTokens(W, Pre->NewBits[I]);
+      Changed = insertTokens(W, Pre->NewBits[I], V, EdgeOrigin);
     } else {
-      Changed = insertTokens(W, Cur);
+      Changed = insertTokens(W, Cur, V, EdgeOrigin);
     }
     // Lazy cycle detection (Hardekopf–Lin): a no-op propagation across an
     // edge whose endpoint sets are equal suggests a cycle. Each edge is
@@ -288,16 +354,21 @@ void Solver::flush(CVarId V,
   for (size_t I = 0; I < Listeners[V].size(); ++I) {
     // Handle copy: callbacks may reallocate the record vectors.
     std::shared_ptr<Listener> Fn = Listeners[V][I].Fn;
-    // Derived constraints inherit the firing listener's group so a module's
-    // transitively generated edges/listeners retract with it.
-    ConstraintGroup Saved = CurGroup;
+    // Derived constraints inherit the firing listener's group (so a
+    // module's transitively generated edges/listeners retract with it) and
+    // its origin (so provenance chains attribute them to the hint/model
+    // that registered the listener).
+    ConstraintGroup SavedGroup = CurGroup;
+    ProvOriginId SavedOrigin = CurOrigin;
     CurGroup = Listeners[V][I].Group;
+    CurOrigin = Listeners[V][I].Origin;
     for (uint32_t T : Tokens) {
       if (!Listeners[V][I].Delivered.insert(T))
         continue;
       (*Fn)(T);
     }
-    CurGroup = Saved;
+    CurGroup = SavedGroup;
+    CurOrigin = SavedOrigin;
   }
 }
 
@@ -354,6 +425,21 @@ void Solver::collapseCycle(CVarId From, CVarId To) {
       return;
     Parent[M] = NewRep;
     ++Stats.NumVarsMerged;
+    // Re-key the member's arrival records onto the new representative so
+    // provenance survives the merge. Arrivals are keyed (var << 32) | token,
+    // so M's records form one contiguous range; NewRep is the cycle's
+    // minimum id, so the re-keyed records land strictly below the range
+    // being drained (emplace keeps an existing NewRep record — between two
+    // first arrivals of one token the representative's wins, matching the
+    // keep-first discipline everywhere else).
+    if (Recording) {
+      auto It = Arrivals.lower_bound(uint64_t(M) << 32);
+      auto End = Arrivals.lower_bound((uint64_t(M) + 1) << 32);
+      for (auto Cur = It; Cur != End; ++Cur)
+        Arrivals.emplace(arrivalKey(NewRep, TokenId(Cur->first)),
+                         Cur->second);
+      Arrivals.erase(It, End);
+    }
     PointsTo[NewRep].unionWith(PointsTo[M]);
     PointsTo[M].clear();
     Delta[M].clear(); // Subsumed by the full redelivery below.
@@ -567,6 +653,13 @@ const AdaptiveSet &Solver::pointsTo(CVarId V) const {
   if (V >= Parent.size())
     return Empty;
   return PointsTo[findConst(V)];
+}
+
+const TokenArrival *Solver::arrival(CVarId V, TokenId T) const {
+  if (V >= Parent.size())
+    return nullptr;
+  auto It = Arrivals.find(arrivalKey(findConst(V), T));
+  return It == Arrivals.end() ? nullptr : &It->second;
 }
 
 const SolverStats &Solver::stats() {

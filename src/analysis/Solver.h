@@ -75,6 +75,16 @@ namespace jsai {
 size_t defaultSolverJobs();
 void setDefaultSolverJobs(size_t N);
 
+/// Process-wide default for provenance recording in newly constructed
+/// solvers (the `--explain=off|record` toggle). Initialized once from the
+/// JSAI_EXPLAIN environment variable ("record" or "1" enables it; absent
+/// or anything else means off) so the golden-metrics gate can assert
+/// metric invariance under recording without per-binary flag plumbing;
+/// the CLI's --explain= overrides it at startup. Set it before spawning
+/// workers — reads after that are unsynchronized.
+bool defaultExplainRecording();
+void setDefaultExplainRecording(bool On);
+
 /// Insert-only open-addressing set of nonzero 64-bit keys (the solver's
 /// edge keys — (From << 32) | To with From != To — are never zero). One
 /// flat power-of-two array, linear probing, no per-node allocation; never
@@ -196,6 +206,21 @@ struct SolverParallelStats {
 /// incremental-solve path). Group 0 is the shared/ungrouped default.
 using ConstraintGroup = uint32_t;
 
+/// Opaque provenance-origin id attributed to constraints (see setOrigin()).
+/// The solver never interprets origins; the explain subsystem interns an
+/// origin table and maps id 0 to "plain AST constraint".
+using ProvOriginId = uint32_t;
+
+/// How one token first entered one representative's points-to set, the
+/// unit of the provenance layer (recorded only under setExplainRecording):
+/// the predecessor variable the token flowed in from (~0 for a direct
+/// addToken insertion) and the origin current when the responsible
+/// constraint was created.
+struct TokenArrival {
+  CVarId From = ~CVarId(0);
+  ProvOriginId Origin = 0;
+};
+
 /// Subset-constraint solver.
 class Solver {
 public:
@@ -275,6 +300,37 @@ public:
   /// then rebuild from scratch.
   bool retractGroup(ConstraintGroup G);
 
+  /// --- Provenance recording (the explain subsystem's data source) ---
+  ///
+  /// When enabled, the solver records for every (representative, token)
+  /// pair the *first* arrival of that token: the predecessor variable it
+  /// flowed in from (~0 for direct addToken insertions) and the origin id
+  /// current when the responsible constraint was created. Origins follow
+  /// the same inheritance discipline as constraint groups: edges remember
+  /// the origin current at addEdge time, tokens propagated across an edge
+  /// inherit the edge's origin, and constraints derived inside a listener
+  /// callback inherit the registering context's origin. Cycle collapses
+  /// re-key the merged member's arrivals onto the new representative
+  /// (first record wins), and the parallel fixpoint records only on the
+  /// committing thread (the commit replay IS the sequential loop), so
+  /// recorded chains are identical at any thread count. Every recording
+  /// site is behind one branch on the flag: recording off costs nothing
+  /// and is the default.
+  void setExplainRecording(bool On) { Recording = On; }
+  bool explainRecording() const { return Recording; }
+  /// Origin attributed to constraints added from now on (until the next
+  /// call). Ignored (but harmless) while recording is off.
+  void setOrigin(ProvOriginId O) { CurOrigin = O; }
+  ProvOriginId currentOrigin() const { return CurOrigin; }
+  /// First recorded arrival of \p T at \p V's representative, or nullptr
+  /// when recording was off or the pair is absent. The From field names
+  /// the predecessor as of arrival time — canonicalize through
+  /// representative() when walking chains after collapses.
+  const TokenArrival *arrival(CVarId V, TokenId T) const;
+  /// Number of constraint-variable slots ever ensured (the iteration bound
+  /// for carrier scans in the explain subsystem).
+  size_t numVars() const { return Parent.size(); }
+
   const AdaptiveSet &pointsTo(CVarId V) const;
   /// Engine counters plus set-memory accounting. Non-const: the memory
   /// fields and tier histogram are refreshed from the live sets on each
@@ -297,6 +353,7 @@ private:
     std::shared_ptr<Listener> Fn;
     AdaptiveSet Delivered; ///< Tokens already handed to Fn.
     ConstraintGroup Group = 0; ///< Owning group (0 = shared, irretractable).
+    ProvOriginId Origin = 0; ///< Origin inherited by derived constraints.
   };
 
   /// Result of the read-only parallel phase for one queued variable: the
@@ -319,8 +376,12 @@ private:
   CVarId findConst(CVarId V) const;
   void schedule(CVarId R);
   /// Unions \p Ts into [[To]] (a representative), extending its delta with
-  /// the newly inserted tokens. \returns true if the set changed.
-  bool insertTokens(CVarId To, const AdaptiveSet &Ts);
+  /// the newly inserted tokens. Under provenance recording, tokens of
+  /// \p Ts not yet in [[To]] get an arrival record (\p ViaFrom, \p Origin)
+  /// first — a read-only pre-pass, so the union itself is unchanged.
+  /// \returns true if the set changed.
+  bool insertTokens(CVarId To, const AdaptiveSet &Ts,
+                    CVarId ViaFrom = ~CVarId(0), ProvOriginId Origin = 0);
   /// Rewrites Succs[V] to canonical representatives, dropping self-loops
   /// and duplicates introduced by collapsing.
   void canonicalizeSuccs(CVarId V);
@@ -351,6 +412,19 @@ private:
   static uint64_t edgeKey(CVarId From, CVarId To) {
     return (uint64_t(From) << 32) | uint64_t(To);
   }
+
+  /// Arrival-map key: (representative << 32) | token. An ordered map under
+  /// this key makes one variable's arrivals a contiguous range, which is
+  /// what lets cycle collapsing re-key a merged member in one range splice.
+  static uint64_t arrivalKey(CVarId V, TokenId T) {
+    return (uint64_t(V) << 32) | uint64_t(T);
+  }
+
+  /// Records first-arrival entries for every token of \p Ts missing from
+  /// [[To]] (the recording pre-pass of insertTokens, out of line to keep
+  /// the hot path small).
+  void recordArrivals(CVarId To, const AdaptiveSet &Ts, CVarId ViaFrom,
+                      ProvOriginId Origin);
 
   /// Representation policy for every set this solver creates.
   SolverSetKind SetKind = defaultSolverSetKind();
@@ -425,6 +499,23 @@ private:
   /// Keys removed by retraction. EdgeKeySet is insert-only, so a re-added
   /// edge probes here to be treated as fresh instead of duplicate.
   std::set<uint64_t> RemovedEdges;
+
+  // --- Provenance state (all inert until setExplainRecording(true)) ---
+  bool Recording = defaultExplainRecording();
+  ProvOriginId CurOrigin = 0;
+  /// First arrival per (representative, token), keyed by arrivalKey().
+  /// Ordered so one variable's records are contiguous (collapse re-keying)
+  /// and chain walks are deterministic. Never attached to SetMem: the
+  /// provenance side tables must not perturb the memory metrics.
+  std::map<uint64_t, TokenArrival> Arrivals;
+  /// Origin current at addEdge time per physical edge (edgeKey of the
+  /// representatives at insert time). Flush propagation attributes token
+  /// arrivals across an edge to this origin. Best-effort across collapses:
+  /// canonicalizeSuccs re-keys entries whose successor endpoint moved, but
+  /// an edge whose *source* was merged away falls back to origin 0 (AST) —
+  /// a documented precision loss, never a soundness one, since arrival
+  /// chains themselves survive re-keying.
+  std::map<uint64_t, ProvOriginId> EdgeOrigins;
 };
 
 } // namespace jsai

@@ -58,6 +58,7 @@ AnalysisResult StaticAnalysis::run() {
   S.setSetKind(Opts.SolverSet);
   S.setJobs(Opts.SolverJobs);
   S.setCancellation(Opts.Cancel);
+  S.setExplainRecording(Opts.Explain);
   buildAll();
   applyModeConstraints();
   S.solve();
@@ -68,6 +69,7 @@ AnalysisResult StaticAnalysis::runTracked() {
   S.setSetKind(Opts.SolverSet);
   S.setJobs(Opts.SolverJobs);
   S.setCancellation(Opts.Cancel);
+  S.setExplainRecording(Opts.Explain);
   buildAll();
   // Everything derived from the mode's constraints — the [DPR]/[DPW] edges
   // and whatever the listeners they trigger generate during the solve —
@@ -110,6 +112,7 @@ void StaticAnalysis::applyHints() {
       auto SiteIt = DynReadByLoc.find(ReadLoc);
       if (SiteIt == DynReadByLoc.end())
         continue; // Read happened in eval code or a builtin.
+      OriginScope Tag(*this, OriginKind::ReadHint, ReadLoc);
       const DynReadSite &Site = DynReads[SiteIt->second];
       CVarId Result = VF.exprVar(Site.Node->id());
       for (const AllocRef &Ref : Refs) {
@@ -127,6 +130,7 @@ void StaticAnalysis::applyHints() {
       TokenId Val = TF.tokenForAllocSite(W.Val);
       if (Base == ~TokenId(0) || Val == ~TokenId(0))
         continue;
+      OriginScope Tag(*this, OriginKind::WriteHint, W.Base.Loc);
       S.addToken(VF.propVar(Base, SP.intern(W.Prop)), Val);
     }
   }
@@ -155,6 +159,7 @@ void StaticAnalysis::applyUnknownArgHints() {
     auto SiteIt = DynReadByLoc.find(ReadLoc);
     if (SiteIt == DynReadByLoc.end())
       continue;
+    OriginScope Tag(*this, OriginKind::UnknownArgHint, ReadLoc);
     const DynReadSite &Site = DynReads[SiteIt->second];
     CVarId Result = VF.exprVar(Site.Node->id());
     for (const std::string &Name : Names)
@@ -201,6 +206,7 @@ void StaticAnalysis::applyEvalBodies() {
     Module *SavedModule = CurModule;
     auto ModIt = ModuleByFile.find(CallLoc.File);
     CurModule = ModIt == ModuleByFile.end() ? SavedModule : ModIt->second;
+    OriginScope Tag(*this, OriginKind::EvalBody, CallLoc);
     registerFunction(F);
     walkFunctionBody(F);
     CurModule = SavedModule;
@@ -223,6 +229,7 @@ void StaticAnalysis::applyNonRelationalHints() {
     auto SiteIt = DynReadByLoc.find(ReadLoc);
     if (SiteIt == DynReadByLoc.end())
       continue;
+    OriginScope Tag(*this, OriginKind::NonRelationalHint, ReadLoc);
     const DynReadSite &Site = DynReads[SiteIt->second];
     CVarId Result = VF.exprVar(Site.Node->id());
     for (const std::string &Name : Names)
@@ -236,6 +243,7 @@ void StaticAnalysis::applyNonRelationalHints() {
     auto NamesIt = Hints->writeNames().find(Site.OpLoc);
     if (NamesIt == Hints->writeNames().end())
       continue;
+    OriginScope Tag(*this, OriginKind::NonRelationalHint, Site.OpLoc);
     for (const std::string &Name : NamesIt->second)
       writeProperty(Site.Base, SP.intern(Name), Site.Value);
   }
@@ -250,6 +258,7 @@ void StaticAnalysis::applyOverApproximation() {
   // field of every base token; fixed and dynamic reads include [[any]]
   // (fixed reads get it in readPropertyFromToken).
   for (const DynWriteSite &Site : DynWrites) {
+    OriginScope Tag(*this, OriginKind::OverApprox, Site.OpLoc);
     CVarId Value = Site.Value;
     S.addListener(Site.Base, [this, Value](TokenId T) {
       if (TF.token(T).K == AbsValue::Kind::Builtin)
@@ -259,6 +268,7 @@ void StaticAnalysis::applyOverApproximation() {
   }
   // Dynamic reads may yield any property's values.
   for (const DynReadSite &Site : DynReads) {
+    OriginScope Tag(*this, OriginKind::OverApprox, Site.Node->loc());
     CVarId Result = VF.exprVar(Site.Node->id());
     S.addListener(Site.Base, [this, Result](TokenId T) {
       S.addEdge(VF.propVar(T, SymAnyProp), Result);

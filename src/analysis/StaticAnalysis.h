@@ -26,6 +26,7 @@
 #include "analysis/Solver.h"
 #include "approx/HintSet.h"
 #include "callgraph/CallGraph.h"
+#include "explain/Provenance.h"
 #include "interp/ModuleLoader.h"
 
 #include <deque>
@@ -69,6 +70,13 @@ struct AnalysisOptions {
   /// --solver-jobs= / JSAI_SOLVER_JOBS). Results are byte-identical at any
   /// value; > 1 merely parallelizes the per-wave set arithmetic.
   size_t SolverJobs = defaultSolverJobs();
+  /// Provenance recording for the explain subsystem (the default follows
+  /// --explain= / JSAI_EXPLAIN). When on, the solver tags every first
+  /// token arrival with its origin (hint, builtin model, eval body, ...) so
+  /// `jsai explain` can trace missed call edges and inflated points-to
+  /// sets back to root causes. Never changes any analysis result or metric
+  /// — only the side provenance tables.
+  bool Explain = defaultExplainRecording();
   /// Optional deadline token (armed by the caller): the solver polls it per
   /// worklist pop and stops at a partial fixpoint on expiry. The extracted
   /// result is then an under-approximation of the full fixpoint.
@@ -135,6 +143,38 @@ public:
   /// cold solve on any mismatch. \returns nullopt when retraction refuses
   /// or the solver was cancelled.
   std::optional<AnalysisResult> revalidate();
+
+  /// One recorded call site (public: the explain subsystem classifies
+  /// missed dynamic edges by the shape of their static site).
+  struct SiteRecord {
+    Node *Site = nullptr;
+    FunctionDef *Enclosing = nullptr;
+    /// Constraint variable the call dispatches on (~0 for accessor sites,
+    /// which have no syntactic callee expression).
+    CVarId CalleeVar = ~CVarId(0);
+    /// True when the callee is a computed member access (obj[expr]()) —
+    /// the dynamic-dispatch shape hints exist to resolve.
+    bool ComputedCallee = false;
+  };
+
+  /// Read-only views over one finished run for the explain subsystem
+  /// (src/explain/). Valid only while this object is alive; pointers are
+  /// borrowed, never owned.
+  struct ExplainView {
+    const ModuleLoader *Loader = nullptr;
+    const AnalysisOptions *Opts = nullptr;
+    const TokenFactory *TF = nullptr;
+    const CVarFactory *VF = nullptr;
+    const Solver *S = nullptr;
+    const OriginTable *Origins = nullptr;
+    const std::vector<SiteRecord> *Sites = nullptr;
+    /// The hint set the run consumed (null in hint-free modes).
+    const HintSet *Hints = nullptr;
+  };
+  ExplainView explainView() const {
+    return ExplainView{&Loader, &Opts, &TF, &VF, &S, &Origins, &CallSites,
+                       Hints};
+  }
 
 private:
   //===--------------------------------------------------------------------===
@@ -235,9 +275,38 @@ private:
   TokenFactory TF;
   CVarFactory VF;
   Solver S;
+  /// Origin table for provenance recording; populated only when
+  /// Opts.Explain (id 0 = plain AST constraint otherwise).
+  OriginTable Origins;
   /// Group holding the mode-derived constraints of runTracked(); bumped on
   /// every revalidate() so the re-added constraints get a fresh tag.
   ConstraintGroup TrackedGroup = 0;
+
+  /// Scoped origin tag: sets the solver's current origin for the duration
+  /// when explain recording is on, restoring the previous one on exit; a
+  /// no-op (not even an intern) otherwise.
+  class OriginScope {
+  public:
+    OriginScope(StaticAnalysis &SA, OriginKind K, SourceLoc Loc,
+                uint32_t Extra = 0)
+        : S(SA.S), Active(SA.Opts.Explain) {
+      if (Active) {
+        Saved = S.currentOrigin();
+        S.setOrigin(SA.Origins.intern(K, Loc, Extra));
+      }
+    }
+    ~OriginScope() {
+      if (Active)
+        S.setOrigin(Saved);
+    }
+    OriginScope(const OriginScope &) = delete;
+    OriginScope &operator=(const OriginScope &) = delete;
+
+  private:
+    Solver &S;
+    bool Active;
+    ProvOriginId Saved = 0;
+  };
 
   // Interned internal property names.
   Symbol SymProtoChain;  ///< "[[proto]]"
@@ -263,10 +332,6 @@ private:
   std::vector<DynReadSite> DynReads;
   std::map<SourceLoc, size_t> DynReadByLoc;
   std::vector<DynWriteSite> DynWrites;
-  struct SiteRecord {
-    Node *Site;
-    FunctionDef *Enclosing;
-  };
   std::vector<SiteRecord> CallSites;
   /// Property accesses resolved to accessor calls — they join the call-site
   /// population during extraction (the paper's getter/setter call sites).

@@ -839,6 +839,9 @@ public:
     return Functions;
   }
   FunctionDef *function(FunctionId Id) { return Functions[Id].get(); }
+  const FunctionDef *function(FunctionId Id) const {
+    return Functions[Id].get();
+  }
 
   const std::vector<std::unique_ptr<VarDecl>> &vars() const { return Vars; }
 

@@ -54,7 +54,7 @@ JobResult CorpusDriver::runJob(const ProjectSpec &Spec, ArtifactCache *Cache,
   auto Start = std::chrono::steady_clock::now();
   try {
     Pipeline P(Opts.Approx, Opts.Deadlines, Cache, Opts.SolverSet,
-               Opts.Interrupt, SolverJobs);
+               Opts.Interrupt, SolverJobs, Opts.Explain);
     R.Report = P.analyzeProject(Spec);
   } catch (const std::exception &E) {
     R.Report.Name = Spec.Name;

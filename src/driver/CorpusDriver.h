@@ -51,6 +51,11 @@ struct DriverOptions {
   /// product with the worker count never oversubscribes the machine:
   /// with W > 1 workers, each job gets at most hardware_threads / W.
   size_t SolverJobs = defaultSolverJobs();
+  /// Provenance recording + blame analysis per job (--explain= toggle).
+  /// When on, projects with a dynamic call graph get a BlameSummary and
+  /// the JSONL report gains trailing "blame" records; every default
+  /// record stays byte-identical to an --explain=off run.
+  bool Explain = defaultExplainRecording();
   /// Include wall-clock fields in JSONL telemetry. Off by default: timing
   /// fields are inherently nondeterministic, and omitting them keeps
   /// reports byte-comparable across runs and jobs counts.

@@ -203,6 +203,55 @@ std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
   return Out;
 }
 
+std::string jsai::blameRecordJson(const JobResult &Job) {
+  const ProjectReport &R = Job.Report;
+  const BlameSummary &B = R.Blame;
+  std::string Out = "{\"blame\":{";
+  Out += "\"project\":\"" + jsonEscape(R.Name) + "\"";
+  Out += ",\"dynamic_edges\":" + num(B.DynamicEdges);
+  Out += ",\"missed_edges\":" + num(B.MissedEdges);
+  Out += ",\"spurious_edges\":" + num(B.SpuriousEdges);
+  Out += ",\"causes\":{";
+  for (size_t K = 0; K != size_t(CauseKind::NumCauseKinds); ++K) {
+    if (K != 0)
+      Out += ",";
+    Out += "\"" + std::string(causeName(CauseKind(K))) +
+           "\":" + num(B.CauseHist[K]);
+  }
+  Out += "}";
+  Out += ",\"misses\":[";
+  for (size_t I = 0; I != B.Misses.size(); ++I) {
+    const MissRecord &M = B.Misses[I];
+    if (I != 0)
+      Out += ",";
+    Out += "{\"site\":\"" + jsonEscape(M.Site) + "\"";
+    Out += ",\"callee\":\"" + jsonEscape(M.Callee) + "\"";
+    Out += ",\"cause\":\"";
+    Out += causeName(M.Cause);
+    Out += "\"";
+    Out += ",\"detail\":\"" + jsonEscape(M.Detail) + "\"";
+    Out += ",\"witness\":[";
+    for (size_t W = 0; W != M.Witness.size(); ++W) {
+      if (W != 0)
+        Out += ",";
+      Out += "\"" + jsonEscape(M.Witness[W]) + "\"";
+    }
+    Out += "]}";
+  }
+  Out += "]";
+  Out += ",\"origins\":[";
+  for (size_t I = 0; I != B.RankedOrigins.size(); ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += "{\"origin\":\"" + jsonEscape(B.RankedOrigins[I].Origin) +
+           "\",\"spurious_tokens\":" + num(B.RankedOrigins[I].SpuriousTokens) +
+           "}";
+  }
+  Out += "]";
+  Out += "}}";
+  return Out;
+}
+
 std::string jsai::manifestJson(const RunSummary &Summary,
                                const DriverOptions &Opts) {
   const RunAggregates &A = Summary.Totals;
@@ -264,6 +313,14 @@ std::string jsai::renderReport(const RunSummary &Summary,
   }
   Out += manifestJson(Summary, Opts);
   Out += '\n';
+  // Blame records trail the manifest (project order) so a recording run's
+  // report minus its "blame" lines is byte-identical to an off run — the
+  // invariant CI's explain job enforces with grep -v + cmp.
+  for (const JobResult &Job : Summary.Jobs)
+    if (Job.Report.HasBlame) {
+      Out += blameRecordJson(Job);
+      Out += '\n';
+    }
   return Out;
 }
 

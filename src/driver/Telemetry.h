@@ -40,6 +40,14 @@ std::string runConfigFingerprint(const DriverOptions &Opts);
 /// One project's JSONL record (no trailing newline).
 std::string jobRecordJson(const JobResult &Job, bool IncludeTimings);
 
+/// One project's blame record (no trailing newline) — the `{"blame":...}`
+/// JSONL line emitted after the manifest for every project analyzed with
+/// --explain=record that has a dynamic call graph. Misses are ordered by
+/// (cause rank, site, callee, callee-variable id); blame records follow
+/// project order. Stripping every line containing `"blame"` from a
+/// recording run's report yields the --explain=off report byte-for-byte.
+std::string blameRecordJson(const JobResult &Job);
+
 /// The run-manifest JSONL record (no trailing newline).
 std::string manifestJson(const RunSummary &Summary, const DriverOptions &Opts);
 

@@ -1,0 +1,62 @@
+//===- BlameGraph.cpp -----------------------------------------------------===//
+
+#include "explain/BlameGraph.h"
+
+#include <set>
+
+using namespace jsai;
+
+namespace {
+/// From-chains are short in practice (one hop per subset edge on the
+/// token's first path); the bound only matters for merge-induced cycles
+/// the visited-set already breaks.
+constexpr size_t MaxChain = 256;
+} // namespace
+
+std::vector<CVarId> BlameGraph::carriersOf(TokenId T) const {
+  std::vector<CVarId> Out;
+  for (CVarId V = 0; V != CVarId(S.numVars()); ++V) {
+    if (S.representative(V) != V)
+      continue;
+    if (S.pointsTo(V).contains(T))
+      Out.push_back(V);
+  }
+  return Out;
+}
+
+std::vector<CVarId> BlameGraph::chainTo(CVarId V, TokenId T) const {
+  std::vector<CVarId> Chain;
+  if (V >= S.numVars())
+    return Chain;
+  CVarId Cur = S.representative(V);
+  std::set<CVarId> Visited;
+  while (Chain.size() < MaxChain && Visited.insert(Cur).second) {
+    const TokenArrival *A = S.arrival(Cur, T);
+    if (A == nullptr)
+      break; // Not carried / not recorded: no chain at all.
+    Chain.push_back(Cur);
+    if (A->From == ~CVarId(0))
+      break; // Direct insertion: the chain's source.
+    Cur = S.representative(A->From);
+  }
+  return Chain;
+}
+
+ProvOriginId BlameGraph::blameOrigin(CVarId V, TokenId T) const {
+  if (V >= S.numVars())
+    return 0;
+  CVarId Cur = S.representative(V);
+  std::set<CVarId> Visited;
+  size_t Steps = 0;
+  while (Steps++ < MaxChain && Visited.insert(Cur).second) {
+    const TokenArrival *A = S.arrival(Cur, T);
+    if (A == nullptr)
+      break;
+    if (A->Origin != 0)
+      return A->Origin; // Nearest non-AST injection wins.
+    if (A->From == ~CVarId(0))
+      break;
+    Cur = S.representative(A->From);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- BlameGraph.h - Back-walking the provenance layer ---------*- C++ -*-===//
+///
+/// \file
+/// Read-only queries over the Solver's recorded token arrivals: which
+/// constraint variables carry a token, through which chain of variables it
+/// first arrived there, and which origin is to blame for injecting it.
+///
+/// Arrival records are keyed by *representative* variables and survive
+/// cycle collapsing (Solver re-keys them when representatives merge), so
+/// every walk canonicalizes through Solver::representative and guards
+/// against the cycles that merging can introduce into From-chains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_EXPLAIN_BLAMEGRAPH_H
+#define JSAI_EXPLAIN_BLAMEGRAPH_H
+
+#include "analysis/Solver.h"
+
+#include <vector>
+
+namespace jsai {
+
+class BlameGraph {
+public:
+  explicit BlameGraph(const Solver &S) : S(S) {}
+
+  /// Representative variables whose points-to set contains \p T, ascending
+  /// by id. Non-representatives are skipped (their sets alias the rep's).
+  std::vector<CVarId> carriersOf(TokenId T) const;
+
+  /// The arrival chain of \p T into \p V: V first, then the variable it
+  /// arrived from, and so on back to a direct insertion (no From). All
+  /// entries are representatives; bounded and cycle-guarded. Empty when V
+  /// does not carry T or nothing was recorded.
+  std::vector<CVarId> chainTo(CVarId V, TokenId T) const;
+
+  /// The origin id blamed for \p T being in \p V: the first non-zero
+  /// (non-AST) origin on the arrival chain walking from V back to the
+  /// source, or 0 when the whole chain is plain AST dataflow (or nothing
+  /// was recorded).
+  ProvOriginId blameOrigin(CVarId V, TokenId T) const;
+
+private:
+  const Solver &S;
+};
+
+} // namespace jsai
+
+#endif // JSAI_EXPLAIN_BLAMEGRAPH_H

@@ -1,0 +1,118 @@
+//===- CauseRanker.cpp ----------------------------------------------------===//
+
+#include "explain/CauseRanker.h"
+
+#include "interp/ModuleLoader.h"
+
+using namespace jsai;
+
+CauseRanker::CauseRanker(const StaticAnalysis::ExplainView &V,
+                         const ExplainInputs &In)
+    : V(V), In(In) {
+  for (const StaticAnalysis::SiteRecord &SR : *V.Sites)
+    SiteByLoc.emplace(SR.Site->loc().key(), &SR);
+  for (const auto &F : V.Loader->context().functions())
+    if (!F->isModule())
+      FnByLoc.emplace(F->loc().key(), F.get());
+}
+
+/// The member access a computed-callee call dispatches on (obj[e]() reads
+/// obj[e] first); invalid for other call shapes.
+static SourceLoc computedAccessLoc(const Node *Site) {
+  const Expr *Callee = nullptr;
+  if (const auto *C = dyn_cast<CallExpr>(Site))
+    Callee = C->callee();
+  else if (const auto *N = dyn_cast<NewExpr>(Site))
+    Callee = N->callee();
+  if (const auto *M = dyn_cast<MemberExpr>(Callee))
+    if (M->isComputed())
+      return M->loc();
+  return SourceLoc::invalid();
+}
+
+CauseRanker::Verdict CauseRanker::classify(SourceLoc SiteLoc,
+                                           SourceLoc CalleeLoc) const {
+  Verdict Out;
+
+  auto SiteIt = SiteByLoc.find(SiteLoc.key());
+  Out.Site = SiteIt == SiteByLoc.end() ? nullptr : SiteIt->second;
+  auto FnIt = FnByLoc.find(CalleeLoc.key());
+  Out.Callee = FnIt == FnByLoc.end() ? nullptr : FnIt->second;
+
+  // 1. EvalCode: the site or the callee is invisible to the static
+  //    analysis (only dynamically materialized code contains it).
+  if (Out.Site == nullptr) {
+    Out.Cause = CauseKind::EvalCode;
+    Out.Detail = "call site not present in statically analyzed code";
+    return Out;
+  }
+  if (Out.Callee == nullptr) {
+    Out.Cause = CauseKind::EvalCode;
+    Out.Detail = "callee definition not statically known";
+    return Out;
+  }
+  if (Out.Callee->isInEval() && !V.Opts->UseEvalBodyAnalysis) {
+    Out.Cause = CauseKind::EvalCode;
+    Out.Detail = "callee defined inside eval; eval-body analysis is off";
+    return Out;
+  }
+
+  // 2. UnmodeledBuiltin: the call dispatches through a modeled builtin
+  //    whose dataflow model failed to propagate this callee.
+  if (Out.Site->CalleeVar != ~CVarId(0)) {
+    const AdaptiveSet &Callees = V.S->pointsTo(Out.Site->CalleeVar);
+    TokenId BuiltinTok = ~TokenId(0);
+    Callees.forEachWhile([&](TokenId T) {
+      if (V.TF->token(T).K != AbsValue::Kind::Builtin)
+        return true;
+      BuiltinTok = T;
+      return false;
+    });
+    if (BuiltinTok != ~TokenId(0)) {
+      Out.Cause = CauseKind::UnmodeledBuiltin;
+      Out.Detail =
+          "call dispatches through " + V.TF->describe(BuiltinTok) +
+          " whose model does not propagate this callee";
+      return Out;
+    }
+  }
+
+  // 3-5. The dynamic-dispatch causes, for computed-callee sites only.
+  if (Out.Site->ComputedCallee) {
+    if (!(V.Opts->Mode == AnalysisMode::Hints && V.Opts->UseReadHints)) {
+      Out.Cause = CauseKind::MissingHint;
+      Out.Detail = "dynamic-property callee; read hints not applied in "
+                   "this analysis mode";
+      return Out;
+    }
+    SourceLoc AccessLoc = computedAccessLoc(Out.Site->Site);
+    bool HaveHint = V.Hints != nullptr && AccessLoc.isValid() &&
+                    V.Hints->readHints().count(AccessLoc) != 0;
+    if (HaveHint) {
+      Out.Cause = CauseKind::UnresolvedDynamicProperty;
+      Out.Detail = "read hints exist at the access site but none resolved "
+                   "this callee";
+      return Out;
+    }
+    if (In.ApproxAborts > 0) {
+      Out.Cause = CauseKind::ApproxBudget;
+      Out.Detail = "no read hint at the access site; approximate "
+                   "interpretation aborted " +
+                   std::to_string(In.ApproxAborts) +
+                   " execution(s) on a budget";
+      return Out;
+    }
+    Out.Cause = CauseKind::MissingHint;
+    Out.Detail =
+        "no read hint recorded at the access site (access never observed "
+        "by approximate interpretation)";
+    return Out;
+  }
+
+  // 6. DataflowGap: everything is statically visible, yet the callee token
+  //    never reached the callee variable.
+  Out.Cause = CauseKind::DataflowGap;
+  Out.Detail =
+      "callee token never reached the call through subset constraints";
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- CauseRanker.h - Total classifier for missed call edges ---*- C++ -*-===//
+///
+/// \file
+/// Assigns every missed dynamic call edge exactly one CauseKind, testing
+/// causes in rank order (EvalCode first, DataflowGap as the catch-all) so
+/// the classification is total and bench_blame_breakdown's cause
+/// frequencies sum to 100% of the misses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_EXPLAIN_CAUSERANKER_H
+#define JSAI_EXPLAIN_CAUSERANKER_H
+
+#include "explain/Explain.h"
+
+#include <map>
+
+namespace jsai {
+
+class CauseRanker {
+public:
+  CauseRanker(const StaticAnalysis::ExplainView &V, const ExplainInputs &In);
+
+  struct Verdict {
+    CauseKind Cause = CauseKind::DataflowGap;
+    std::string Detail;
+    /// The call's site record, when the site was built statically.
+    const StaticAnalysis::SiteRecord *Site = nullptr;
+    /// The callee's definition, when statically known.
+    const FunctionDef *Callee = nullptr;
+  };
+
+  /// Classifies the missed dynamic edge \p SiteLoc -> \p CalleeLoc.
+  Verdict classify(SourceLoc SiteLoc, SourceLoc CalleeLoc) const;
+
+private:
+  const StaticAnalysis::ExplainView &V;
+  const ExplainInputs &In;
+  /// Call sites by location key (accessor-triggered sites share a node
+  /// with the triggering access; first record wins, matching build order).
+  std::map<uint64_t, const StaticAnalysis::SiteRecord *> SiteByLoc;
+  /// Non-module function definitions by location key.
+  std::map<uint64_t, const FunctionDef *> FnByLoc;
+};
+
+} // namespace jsai
+
+#endif // JSAI_EXPLAIN_CAUSERANKER_H

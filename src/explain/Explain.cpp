@@ -1,0 +1,201 @@
+//===- Explain.cpp - summarizeBlame and report rendering ------------------===//
+
+#include "explain/Explain.h"
+
+#include "explain/BlameGraph.h"
+#include "explain/CauseRanker.h"
+#include "explain/WitnessPrinter.h"
+#include "interp/ModuleLoader.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace jsai;
+
+const char *jsai::causeName(CauseKind K) {
+  switch (K) {
+  case CauseKind::EvalCode:
+    return "eval-code";
+  case CauseKind::UnmodeledBuiltin:
+    return "unmodeled-builtin";
+  case CauseKind::MissingHint:
+    return "missing-hint";
+  case CauseKind::ApproxBudget:
+    return "approx-budget";
+  case CauseKind::UnresolvedDynamicProperty:
+    return "unresolved-dynamic-property";
+  case CauseKind::DataflowGap:
+    return "dataflow-gap";
+  case CauseKind::NumCauseKinds:
+    break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// Builds the witness chain for one miss: how far the callee's function
+/// token actually flowed. Picks the smallest-id carrier (deterministic),
+/// renders its arrival chain source-first, and closes with the gap note.
+std::vector<std::string> buildWitness(const StaticAnalysis::ExplainView &V,
+                                      const BlameGraph &BG,
+                                      const WitnessPrinter &WP,
+                                      const CauseRanker::Verdict &Verdict) {
+  std::vector<std::string> Out;
+  if (!V.S->explainRecording() || Verdict.Callee == nullptr)
+    return Out;
+  TokenId Tok =
+      V.TF->tokenForAllocSite(AllocRef{Verdict.Callee->loc(), false});
+  if (Tok == ~TokenId(0)) {
+    Out.push_back("(callee token never materialized)");
+    return Out;
+  }
+  std::vector<CVarId> Carriers = BG.carriersOf(Tok);
+  if (Carriers.empty()) {
+    Out.push_back("(callee token reached no constraint variable)");
+    return Out;
+  }
+  std::vector<CVarId> Chain = BG.chainTo(Carriers.front(), Tok);
+  // chainTo walks sink -> source; the witness reads source -> sink.
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+    Out.push_back(WP.renderVar(*It));
+  if (Verdict.Site != nullptr && Verdict.Site->CalleeVar != ~CVarId(0))
+    Out.push_back("(gap) -> " + WP.renderVar(V.S->representative(
+                                    Verdict.Site->CalleeVar)));
+  return Out;
+}
+
+} // namespace
+
+BlameSummary jsai::summarizeBlame(const StaticAnalysis::ExplainView &V,
+                                  const ExplainInputs &In) {
+  BlameSummary B;
+  const CallGraph &Static = *In.StaticCG;
+  const CallGraph &Dynamic = *In.DynamicCG;
+  B.DynamicEdges = Dynamic.numEdges();
+
+  CauseRanker Ranker(V, In);
+  BlameGraph BG(*V.S);
+  WitnessPrinter WP(V);
+
+  // --- Unsoundness: classify every missed dynamic edge. ---
+  for (const auto &[SiteLoc, Callees] : Dynamic.edges()) {
+    for (SourceLoc CalleeLoc : Callees) {
+      if (Static.hasEdge(SiteLoc, CalleeLoc))
+        continue;
+      ++B.MissedEdges;
+      CauseRanker::Verdict Verdict = Ranker.classify(SiteLoc, CalleeLoc);
+      MissRecord M;
+      M.Site = WP.renderLoc(SiteLoc);
+      M.Callee = Verdict.Callee != nullptr
+                     ? WP.renderFunction(*Verdict.Callee)
+                     : "<unknown>@" + WP.renderLoc(CalleeLoc);
+      M.Cause = Verdict.Cause;
+      M.Detail = Verdict.Detail;
+      M.Witness = buildWitness(V, BG, WP, Verdict);
+      M.SiteVar =
+          Verdict.Site != nullptr ? Verdict.Site->CalleeVar : ~CVarId(0);
+      ++B.CauseHist[size_t(M.Cause)];
+      B.Misses.push_back(std::move(M));
+    }
+  }
+  // Deterministic report order: cause rank, then site, then callee (the
+  // documented tiebreak; site/callee strings embed the project order the
+  // dynamic CG iterates in, and SiteVar breaks exact string ties).
+  std::stable_sort(B.Misses.begin(), B.Misses.end(),
+                   [](const MissRecord &A, const MissRecord &C) {
+                     if (A.Cause != C.Cause)
+                       return A.Cause < C.Cause;
+                     if (A.Site != C.Site)
+                       return A.Site < C.Site;
+                     if (A.Callee != C.Callee)
+                       return A.Callee < C.Callee;
+                     return A.SiteVar < C.SiteVar;
+                   });
+
+  // --- Imprecision: blame spurious static callees at observed sites. ---
+  std::map<ProvOriginId, size_t> InflationByOrigin;
+  for (const auto &[SiteLoc, DynCallees] : Dynamic.edges()) {
+    if (DynCallees.empty())
+      continue; // No dynamic ground truth at this site.
+    const std::set<SourceLoc> &StaticCallees = Static.calleesOf(SiteLoc);
+    for (SourceLoc CalleeLoc : StaticCallees) {
+      if (DynCallees.count(CalleeLoc) != 0)
+        continue;
+      ++B.SpuriousEdges;
+      InflationRecord R;
+      R.Site = WP.renderLoc(SiteLoc);
+      // Blame the origin that first injected the spurious callee's token
+      // into the call's callee variable.
+      TokenId Tok = V.TF->tokenForAllocSite(AllocRef{CalleeLoc, false});
+      CauseRanker::Verdict Verdict = Ranker.classify(SiteLoc, CalleeLoc);
+      R.Token = Tok != ~TokenId(0) ? WP.renderToken(Tok)
+                                   : "fn@" + WP.renderLoc(CalleeLoc);
+      ProvOriginId Origin = 0;
+      if (V.S->explainRecording() && Tok != ~TokenId(0) &&
+          Verdict.Site != nullptr && Verdict.Site->CalleeVar != ~CVarId(0))
+        Origin = BG.blameOrigin(Verdict.Site->CalleeVar, Tok);
+      R.OriginId = Origin;
+      R.Origin = WP.renderOrigin(Origin);
+      ++InflationByOrigin[Origin];
+      B.Inflations.push_back(std::move(R));
+    }
+  }
+  std::stable_sort(B.Inflations.begin(), B.Inflations.end(),
+                   [](const InflationRecord &A, const InflationRecord &C) {
+                     if (A.Site != C.Site)
+                       return A.Site < C.Site;
+                     return A.Token < C.Token;
+                   });
+  for (const auto &[Origin, Count] : InflationByOrigin) {
+    OriginInflation OI;
+    OI.OriginId = Origin;
+    OI.Origin = WP.renderOrigin(Origin);
+    OI.SpuriousTokens = Count;
+    B.RankedOrigins.push_back(std::move(OI));
+  }
+  std::stable_sort(B.RankedOrigins.begin(), B.RankedOrigins.end(),
+                   [](const OriginInflation &A, const OriginInflation &C) {
+                     if (A.SpuriousTokens != C.SpuriousTokens)
+                       return A.SpuriousTokens > C.SpuriousTokens;
+                     return A.OriginId < C.OriginId;
+                   });
+  return B;
+}
+
+std::string jsai::renderBlameReport(const BlameSummary &B, size_t Top) {
+  std::ostringstream OS;
+  OS << "== missed dynamic call edges: " << B.MissedEdges << " of "
+     << B.DynamicEdges << " ==\n";
+  for (size_t K = 0; K != size_t(CauseKind::NumCauseKinds); ++K)
+    if (B.CauseHist[K] != 0)
+      OS << "  " << causeName(CauseKind(K)) << ": " << B.CauseHist[K]
+         << "\n";
+  size_t Shown = 0;
+  for (const MissRecord &M : B.Misses) {
+    if (Top != 0 && Shown++ == Top) {
+      OS << "  ... (" << B.Misses.size() - Top << " more)\n";
+      break;
+    }
+    OS << "  [" << causeName(M.Cause) << "] " << M.Site << " -> "
+       << M.Callee << "\n      " << M.Detail << "\n";
+    for (const std::string &W : M.Witness)
+      OS << "      | " << W << "\n";
+  }
+  OS << "== spurious static callees at observed sites: " << B.SpuriousEdges
+     << " ==\n";
+  Shown = 0;
+  for (const InflationRecord &R : B.Inflations) {
+    if (Top != 0 && Shown++ == Top) {
+      OS << "  ... (" << B.Inflations.size() - Top << " more)\n";
+      break;
+    }
+    OS << "  " << R.Site << " ~> " << R.Token << " (blame: " << R.Origin
+       << ")\n";
+  }
+  OS << "== origins ranked by inflation ==\n";
+  for (const OriginInflation &OI : B.RankedOrigins)
+    OS << "  " << OI.Origin << ": " << OI.SpuriousTokens << "\n";
+  return OS.str();
+}

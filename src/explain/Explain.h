@@ -1,0 +1,135 @@
+//===- Explain.h - Root-cause analysis of unsoundness/imprecision -*- C++ -*-=//
+///
+/// \file
+/// The explain subsystem: given one finished static-analysis run (via
+/// StaticAnalysis::ExplainView, with provenance recording on) and the
+/// project's dynamic call graph, answer two questions:
+///
+///  - **Unsoundness**: for every dynamic call edge the static call graph
+///    lacks, which mechanism failed? Each miss gets exactly one ranked
+///    CauseKind plus a witness chain of constraint variables showing how
+///    far the callee's function token actually flowed.
+///  - **Imprecision**: for every spurious static callee at a dynamically
+///    observed call site, which recorded origin (hint, builtin model, eval
+///    body, ...) first injected the offending token? Origins are ranked by
+///    total inflation.
+///
+/// All records are rendered to plain strings here, so a BlameSummary stays
+/// valid after the analysis (and its solver) is destroyed — the pipeline
+/// computes it while the StaticAnalysis is alive and ships only strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_EXPLAIN_EXPLAIN_H
+#define JSAI_EXPLAIN_EXPLAIN_H
+
+#include "analysis/StaticAnalysis.h"
+#include "callgraph/CallGraph.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace jsai {
+
+/// Root causes for a missed dynamic call edge, in rank order: the
+/// classifier assigns the first kind that applies, so every miss has
+/// exactly one cause and bench_blame_breakdown's frequencies sum to 100%.
+/// Order is part of the deterministic report sort; append only.
+enum class CauseKind : uint8_t {
+  /// The call site or the callee definition lives in code the static
+  /// analysis never saw — an eval code string (without --eval-bodies) or
+  /// otherwise dynamically materialized source.
+  EvalCode = 0,
+  /// The call dispatches through a modeled builtin whose dataflow model
+  /// does not propagate this callee (e.g. an unmodeled higher-order use).
+  UnmodeledBuiltin,
+  /// A dynamic-property callee with no read hint at the access site: the
+  /// approximate interpretation never observed this access (and no budget
+  /// abort can be blamed), or hint consumption was disabled for this mode.
+  MissingHint,
+  /// A dynamic-property callee with no read hint at the access site while
+  /// the approximate interpretation aborted executions on a budget — the
+  /// hint was plausibly lost to truncation.
+  ApproxBudget,
+  /// A read hint exists at the access site but rule [DPR] still did not
+  /// route this callee to the call — the hint resolved other values.
+  UnresolvedDynamicProperty,
+  /// Everything else: the callee token exists but never reached the callee
+  /// variable through the subset constraints.
+  DataflowGap,
+  NumCauseKinds
+};
+
+const char *causeName(CauseKind K);
+
+/// One missed dynamic call edge, classified.
+struct MissRecord {
+  std::string Site;   ///< Rendered call-site location.
+  std::string Callee; ///< Rendered callee (name + definition location).
+  CauseKind Cause = CauseKind::DataflowGap;
+  std::string Detail; ///< One-line human-readable cause elaboration.
+  /// Constraint-variable chain witnessing how far the callee's function
+  /// token flowed (source arrival first, nearest carrier last), ending
+  /// with the gap to the callee variable. Empty when provenance recording
+  /// was off or the token never materialized.
+  std::vector<std::string> Witness;
+  /// Sort/tiebreak key: the constraint-variable id of the call's callee
+  /// variable (~0 when the site was never built).
+  CVarId SiteVar = ~CVarId(0);
+};
+
+/// One spurious static callee at a dynamically observed call site.
+struct InflationRecord {
+  std::string Site;   ///< Rendered call-site location.
+  std::string Token;  ///< Described spurious callee token.
+  std::string Origin; ///< Rendered origin blamed for injecting it.
+  uint32_t OriginId = 0;
+};
+
+/// Aggregate inflation attributed to one origin.
+struct OriginInflation {
+  std::string Origin;
+  size_t SpuriousTokens = 0;
+  uint32_t OriginId = 0;
+};
+
+/// Everything `jsai explain`, the serve handler, and the bench consume.
+/// Self-contained strings: no pointers into the analysis.
+struct BlameSummary {
+  /// Misses sorted by (cause rank, site string, callee string) — the
+  /// documented deterministic order of reports and JSONL blocks.
+  std::vector<MissRecord> Misses;
+  /// Cause frequency histogram over Misses (indexed by CauseKind).
+  std::array<size_t, size_t(CauseKind::NumCauseKinds)> CauseHist{};
+  /// Spurious callees sorted by (site, token) strings.
+  std::vector<InflationRecord> Inflations;
+  /// Origins ranked by inflation, descending; ties by origin id.
+  std::vector<OriginInflation> RankedOrigins;
+  size_t DynamicEdges = 0;
+  size_t MissedEdges = 0;
+  size_t SpuriousEdges = 0;
+};
+
+/// Side inputs the view alone cannot provide.
+struct ExplainInputs {
+  const CallGraph *StaticCG = nullptr;  ///< Required.
+  const CallGraph *DynamicCG = nullptr; ///< Required.
+  /// ApproxStats::NumAborts of the hint-producing run (0 when hints were
+  /// not produced); drives the ApproxBudget cause.
+  size_t ApproxAborts = 0;
+};
+
+/// Classifies every missed dynamic edge and every spurious static callee.
+/// Deterministic: identical runs produce identical summaries.
+BlameSummary summarizeBlame(const StaticAnalysis::ExplainView &V,
+                            const ExplainInputs &In);
+
+/// Renders \p B as the human-readable `jsai explain` report. \p Top
+/// truncates each section to its first N records (0 = unlimited); the
+/// aggregate tables always cover everything.
+std::string renderBlameReport(const BlameSummary &B, size_t Top = 0);
+
+} // namespace jsai
+
+#endif // JSAI_EXPLAIN_EXPLAIN_H

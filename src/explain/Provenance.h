@@ -1,0 +1,109 @@
+//===- Provenance.h - Constraint-origin table for blame tracing -*- C++ -*-===//
+///
+/// \file
+/// The origin vocabulary of the provenance layer. The Solver records opaque
+/// ProvOriginId tags on token arrivals (see Solver.h); this header gives
+/// those ids meaning: an OriginKind (which mechanism created the
+/// constraint), the source location of that mechanism's evidence (the hint
+/// site, the eval call, the builtin call site), and a kind-specific Extra
+/// payload (the BuiltinId for builtin-model origins).
+///
+/// Header-only on purpose: StaticAnalysis (the producer, in jsai_analysis)
+/// interns origins while applying hints, and the explain subsystem (the
+/// consumer, in jsai_explain, which links jsai_analysis) reads them back —
+/// a .cpp here would force a dependency cycle between the two libraries.
+///
+/// Origin id 0 is reserved for "plain AST constraint" and never interned.
+/// Interning order is deterministic (hint containers are ordered maps), so
+/// identical analyses produce identical origin tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_EXPLAIN_PROVENANCE_H
+#define JSAI_EXPLAIN_PROVENANCE_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace jsai {
+
+/// Which mechanism created a constraint. Order is part of determinism and
+/// of rendered output; append only.
+enum class OriginKind : uint8_t {
+  Ast = 0,           ///< Plain AST constraint (the reserved id-0 origin).
+  Builtin,           ///< A builtin model's dataflow (Extra = BuiltinId).
+  ReadHint,          ///< Rule [DPR] consuming a dynamic-read hint.
+  WriteHint,         ///< Rule [DPW] consuming a dynamic-write hint.
+  ModuleHint,        ///< A module-load hint at a dynamic require.
+  UnknownArgHint,    ///< The Section 6 unknown-argument extension.
+  EvalBody,          ///< Constraints from an analyzed eval code string.
+  NonRelationalHint, ///< The property-name-only ablation.
+  OverApprox,        ///< The TAJS-style over-approximating ablation.
+};
+
+inline const char *originKindName(OriginKind K) {
+  switch (K) {
+  case OriginKind::Ast:
+    return "ast";
+  case OriginKind::Builtin:
+    return "builtin";
+  case OriginKind::ReadHint:
+    return "read-hint";
+  case OriginKind::WriteHint:
+    return "write-hint";
+  case OriginKind::ModuleHint:
+    return "module-hint";
+  case OriginKind::UnknownArgHint:
+    return "unknown-arg-hint";
+  case OriginKind::EvalBody:
+    return "eval-body";
+  case OriginKind::NonRelationalHint:
+    return "non-relational-hint";
+  case OriginKind::OverApprox:
+    return "over-approx";
+  }
+  return "?";
+}
+
+/// One interned origin.
+struct ProvOrigin {
+  OriginKind Kind = OriginKind::Ast;
+  /// Where the mechanism's evidence lives: the hinted dynamic-access site,
+  /// the eval call, the builtin call site. Invalid for Ast.
+  SourceLoc Loc;
+  /// Kind-specific payload (the BuiltinId for Builtin origins).
+  uint32_t Extra = 0;
+};
+
+/// Interns origins to dense ids. Id 0 is the implicit Ast origin; intern()
+/// never returns it for non-Ast kinds. Owned by StaticAnalysis, populated
+/// only when explain recording is on.
+class OriginTable {
+public:
+  OriginTable() { Origins.push_back(ProvOrigin()); }
+
+  uint32_t intern(OriginKind K, SourceLoc Loc, uint32_t Extra = 0) {
+    if (K == OriginKind::Ast)
+      return 0;
+    auto Key = std::make_tuple(uint8_t(K), Loc.key(), Extra);
+    auto [It, New] = Index.emplace(Key, uint32_t(Origins.size()));
+    if (New)
+      Origins.push_back(ProvOrigin{K, Loc, Extra});
+    return It->second;
+  }
+
+  const ProvOrigin &origin(uint32_t Id) const { return Origins[Id]; }
+  size_t size() const { return Origins.size(); }
+
+private:
+  std::vector<ProvOrigin> Origins;
+  std::map<std::tuple<uint8_t, uint64_t, uint32_t>, uint32_t> Index;
+};
+
+} // namespace jsai
+
+#endif // JSAI_EXPLAIN_PROVENANCE_H

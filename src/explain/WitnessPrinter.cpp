@@ -1,0 +1,55 @@
+//===- WitnessPrinter.cpp -------------------------------------------------===//
+
+#include "explain/WitnessPrinter.h"
+
+#include "interp/ModuleLoader.h"
+
+using namespace jsai;
+
+std::string WitnessPrinter::renderLoc(SourceLoc Loc) const {
+  return V.Loader->context().files().format(Loc);
+}
+
+std::string WitnessPrinter::renderFunction(const FunctionDef &F) const {
+  const AstContext &Ctx = V.Loader->context();
+  std::string Name =
+      F.name() == InvalidSymbol ? "<anon>" : Ctx.strings().str(F.name());
+  return Name + "@" + renderLoc(F.loc());
+}
+
+std::string WitnessPrinter::renderToken(TokenId T) const {
+  return V.TF->describe(T);
+}
+
+std::string WitnessPrinter::renderVar(CVarId Id) const {
+  const AstContext &Ctx = V.Loader->context();
+  const CVar &Var = V.VF->var(Id);
+  switch (Var.K) {
+  case CVar::Kind::Expr:
+    return "expr@" + renderLoc(Ctx.node(Var.A)->loc());
+  case CVar::Kind::Decl: {
+    const VarDecl &D = *Ctx.vars()[Var.A];
+    return "var:" + Ctx.strings().str(D.name()) + "@" + renderLoc(D.loc());
+  }
+  case CVar::Kind::Prop:
+    return "prop:" + renderToken(Var.A) + "." + Ctx.strings().str(Var.B);
+  case CVar::Kind::Ret:
+    return "ret:" + renderFunction(*Ctx.function(Var.A));
+  case CVar::Kind::This:
+    return "this:" + renderFunction(*Ctx.function(Var.A));
+  case CVar::Kind::Global:
+    return "global:" + Ctx.strings().str(Var.A);
+  }
+  return "?";
+}
+
+std::string WitnessPrinter::renderOrigin(ProvOriginId Id) const {
+  const ProvOrigin &O = V.Origins->origin(Id);
+  if (O.Kind == OriginKind::Ast)
+    return "ast";
+  std::string Out = originKindName(O.Kind);
+  if (O.Kind == OriginKind::Builtin)
+    Out += "#" + std::to_string(O.Extra);
+  Out += "@" + renderLoc(O.Loc);
+  return Out;
+}

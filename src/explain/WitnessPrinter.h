@@ -1,0 +1,47 @@
+//===- WitnessPrinter.h - Rendering blame artifacts -------------*- C++ -*-===//
+///
+/// \file
+/// Turns the analysis-internal ids appearing in blame records — constraint
+/// variables, tokens, provenance origins — into stable human-readable
+/// strings ("expr@app/index.js:4:9", "prop:fn:lib/a.js:1:1.handler",
+/// "read-hint@app/index.js:7:3"). All rendering is pure lookup, so two
+/// identical runs render identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_EXPLAIN_WITNESSPRINTER_H
+#define JSAI_EXPLAIN_WITNESSPRINTER_H
+
+#include "analysis/StaticAnalysis.h"
+
+#include <string>
+
+namespace jsai {
+
+class WitnessPrinter {
+public:
+  explicit WitnessPrinter(const StaticAnalysis::ExplainView &V) : V(V) {}
+
+  /// "expr@file:l:c", "var:name@file:l:c", "prop:<token>.<name>",
+  /// "ret:fn@file:l:c", "this:fn@file:l:c", "global:name".
+  std::string renderVar(CVarId Id) const;
+
+  /// TokenFactory::describe ("fn:file:l:c", "obj:file:l:c", ...).
+  std::string renderToken(TokenId T) const;
+
+  /// "<kind>@file:l:c" ("read-hint@app/index.js:7:3"); "ast" for id 0;
+  /// builtin origins append the builtin ordinal ("builtin#34@...").
+  std::string renderOrigin(ProvOriginId Id) const;
+
+  /// "name@file:l:c" (or "<anon>@file:l:c") for a function definition.
+  std::string renderFunction(const FunctionDef &F) const;
+
+  std::string renderLoc(SourceLoc Loc) const;
+
+private:
+  const StaticAnalysis::ExplainView &V;
+};
+
+} // namespace jsai
+
+#endif // JSAI_EXPLAIN_WITNESSPRINTER_H

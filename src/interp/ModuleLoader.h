@@ -32,6 +32,7 @@ public:
   Module *resolve(const std::string &FromPath, const std::string &Spec);
 
   AstContext &context() { return Ctx; }
+  const AstContext &context() const { return Ctx; }
   const FileSystem &fileSystem() const { return Fs; }
   DiagnosticEngine &diagnostics() { return Diags; }
 

@@ -264,12 +264,16 @@ AnalysisResult ProjectAnalyzer::analyze(AnalysisMode Mode) {
 }
 
 AnalysisResult ProjectAnalyzer::analyze(const AnalysisOptions &Opts) {
+  return createAnalysis(Opts)->run();
+}
+
+std::unique_ptr<StaticAnalysis>
+ProjectAnalyzer::createAnalysis(const AnalysisOptions &Opts) {
   const HintSet *H = nullptr;
   if (Opts.Mode == AnalysisMode::Hints ||
       Opts.Mode == AnalysisMode::NonRelationalHints)
     H = &hints();
-  StaticAnalysis SA(*Loader, Opts, H);
-  return SA.run();
+  return std::make_unique<StaticAnalysis>(*Loader, Opts, H);
 }
 
 const CallGraph &ProjectAnalyzer::dynamicCallGraph() {
@@ -319,6 +323,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   BaseOpts.Mode = AnalysisMode::Baseline;
   BaseOpts.SolverSet = SolverSet;
   BaseOpts.SolverJobs = SolverJobs;
+  BaseOpts.Explain = Explain;
   if (Deadlines.AnalysisSeconds > 0 || Interrupt) {
     BaseOpts.Cancel = &AnalysisToken;
     if (Deadlines.AnalysisSeconds > 0)
@@ -339,6 +344,11 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
   // definitions don't skew the denominator.
   R.NumFunctions = A.numFunctions();
 
+  // When blame is wanted, the extended run is retained (not discarded
+  // after extraction) so the explain subsystem can read its solver's
+  // provenance once the dynamic call graph exists. Retention changes
+  // nothing about the run itself.
+  std::unique_ptr<StaticAnalysis> ExtSA;
   if (ApproxDegraded) {
     // Graceful degradation: the partial hints are discarded and the
     // project is analyzed baseline-only (the extended columns mirror the
@@ -351,13 +361,19 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     ExtOpts.Mode = AnalysisMode::Hints;
     ExtOpts.SolverSet = SolverSet;
     ExtOpts.SolverJobs = SolverJobs;
+    ExtOpts.Explain = Explain;
     if (Deadlines.AnalysisSeconds > 0 || Interrupt) {
       ExtOpts.Cancel = &AnalysisToken;
       if (Deadlines.AnalysisSeconds > 0)
         AnalysisToken.arm(Deadlines.AnalysisSeconds);
     }
     Start = std::chrono::steady_clock::now();
-    R.Extended = A.analyze(ExtOpts);
+    if (Explain && Spec.hasDynamicCallGraph()) {
+      ExtSA = A.createAnalysis(ExtOpts);
+      R.Extended = ExtSA->run();
+    } else {
+      R.Extended = A.analyze(ExtOpts);
+    }
     R.ExtendedSeconds = secondsSince(Start);
     AnalysisDegraded |= AnalysisToken.cancelled();
   }
@@ -383,6 +399,14 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     R.DynamicEdges = Dyn.numEdges();
     R.BaselineRP = compareCallGraphs(R.Baseline.CG, Dyn);
     R.ExtendedRP = compareCallGraphs(R.Extended.CG, Dyn);
+    if (ExtSA) {
+      ExplainInputs In;
+      In.StaticCG = &R.Extended.CG;
+      In.DynamicCG = &Dyn;
+      In.ApproxAborts = R.Approx.NumAborts;
+      R.Blame = summarizeBlame(ExtSA->explainView(), In);
+      R.HasBlame = true;
+    }
   }
 
   // Only fully successful runs are published: a degraded run holds partial

@@ -17,6 +17,7 @@
 
 #include "analysis/StaticAnalysis.h"
 #include "approx/ApproxInterpreter.h"
+#include "explain/Explain.h"
 #include "cache/ArtifactCache.h"
 #include "cache/ModularArtifacts.h"
 #include "callgraph/DynamicCallGraphRecorder.h"
@@ -78,6 +79,13 @@ public:
   AnalysisResult analyze(AnalysisMode Mode);
   /// Same, with full option control.
   AnalysisResult analyze(const AnalysisOptions &Opts);
+
+  /// Constructs (but does not run) an analysis over this project, fetching
+  /// hints first when the mode consumes them. Callers that need the run's
+  /// provenance afterwards (the explain subsystem reads the solver through
+  /// StaticAnalysis::explainView()) hold the object and call run()
+  /// themselves; analyze() is this plus an immediate run-and-discard.
+  std::unique_ptr<StaticAnalysis> createAnalysis(const AnalysisOptions &Opts);
 
   /// True when hints() was served from the artifact cache — either the
   /// whole-project entry or a full set of per-module slices (the approx
@@ -189,6 +197,12 @@ struct ProjectReport {
   size_t DynamicEdges = 0;
   RecallPrecision BaselineRP;
   RecallPrecision ExtendedRP;
+
+  // Blame analysis of the extended run (only when the pipeline ran with
+  // Explain on and the project has a dynamic call graph). Pure addition:
+  // no existing field above changes with recording on or off.
+  bool HasBlame = false;
+  BlameSummary Blame;
 };
 
 /// Convenience facade.
@@ -200,14 +214,20 @@ public:
   /// \p Interrupt, when non-null, is an externally latched token (signal
   /// handler, serve shutdown): every phase token chains to it, and a latched
   /// interrupt marks the project Cancelled.
+  /// \p Explain turns on solver provenance recording for both analysis
+  /// runs and, for projects with a dynamic call graph, attaches a
+  /// BlameSummary of the extended run to the report. Guaranteed not to
+  /// change any other report field.
   explicit Pipeline(ApproxOptions ApproxOpts = ApproxOptions(),
                     PhaseDeadlines Deadlines = PhaseDeadlines(),
                     ArtifactCache *Cache = nullptr,
                     SolverSetKind SolverSet = defaultSolverSetKind(),
                     CancellationToken *Interrupt = nullptr,
-                    size_t SolverJobs = defaultSolverJobs())
+                    size_t SolverJobs = defaultSolverJobs(),
+                    bool Explain = defaultExplainRecording())
       : ApproxOpts(ApproxOpts), Deadlines(Deadlines), Cache(Cache),
-        SolverSet(SolverSet), Interrupt(Interrupt), SolverJobs(SolverJobs) {}
+        SolverSet(SolverSet), Interrupt(Interrupt), SolverJobs(SolverJobs),
+        Explain(Explain) {}
 
   /// Runs everything on \p Spec, enforcing the configured deadlines. An
   /// approx-phase timeout degrades the project to baseline-only results
@@ -223,6 +243,7 @@ private:
   SolverSetKind SolverSet = defaultSolverSetKind();
   CancellationToken *Interrupt = nullptr;
   size_t SolverJobs = defaultSolverJobs();
+  bool Explain = defaultExplainRecording();
 };
 
 } // namespace jsai

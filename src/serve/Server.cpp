@@ -224,6 +224,8 @@ std::string Server::handleLine(const std::string &Line, bool &Shutdown) {
     return writeJson(handleAnalyze(Req, Line));
   if (Cmd == "suite")
     return writeJson(handleSuite(Req, Line));
+  if (Cmd == "explain")
+    return writeJson(handleExplain(Req, Line));
   if (Cmd == "stats")
     return writeJson(handleStats());
   if (Cmd == "shutdown") {
@@ -420,6 +422,163 @@ void Server::buildWarmSlot(const std::string &WarmKey,
   Warm.insert_or_assign(WarmKey, std::move(Slot));
 }
 
+JsonValue Server::handleExplain(const JsonValue &Req,
+                                const std::string &Line) {
+  std::string Dir = Req.stringField("dir");
+  if (Dir.empty()) {
+    ++Stats.Errors;
+    return errorJson("explain requires \"dir\"");
+  }
+  ProjectSpec Spec;
+  if (Spec.Files.addDirectory(Dir) == 0) {
+    ++Stats.Errors;
+    return errorJson("no .js files under '" + Dir + "'");
+  }
+  Spec.Name = Dir;
+  Spec.MainModule = Req.stringField("main", "app/main.js");
+  if (!Spec.Files.exists(Spec.MainModule)) {
+    ++Stats.Errors;
+    return errorJson("main module '" + Spec.MainModule + "' not found");
+  }
+  Spec.TestDriver = Req.stringField("driver", Spec.MainModule);
+  if (!Spec.Files.exists(Spec.TestDriver)) {
+    ++Stats.Errors;
+    return errorJson("driver module '" + Spec.TestDriver + "' not found");
+  }
+  size_t Top = 0;
+  if (const JsonValue *T = Req.field("top"))
+    if (T->K == JsonValue::Kind::Number && T->Num > 0)
+      Top = size_t(T->Num);
+
+  // Same source-digest discipline as analyze: any on-disk edit misses
+  // both the replay map and the warm explain slot.
+  Sha256 SrcH;
+  for (const std::string &Path : Spec.Files.allPaths()) {
+    const std::string &Source = Spec.Files.read(Path);
+    SrcH.update(Path);
+    SrcH.update("\0", 1);
+    SrcH.update(Source);
+    SrcH.update("\0", 1);
+  }
+  std::string SrcDigest = Sha256::hex(SrcH.digest());
+
+  Sha256 H;
+  H.update(Line);
+  H.update("\n", 1);
+  H.update(SrcDigest);
+  std::string Key = "explain:" + Sha256::hex(H.digest());
+  auto It = Replay.find(Key);
+  if (It != Replay.end()) {
+    ++Stats.ReplayHits;
+    JsonValue Cached;
+    std::string Err;
+    parseJson(It->second, Cached, Err);
+    return Cached;
+  }
+
+  DriverOptions DO = driverOptions(Req);
+  bool Deterministic = !DO.IncludeTimings && !DO.Deadlines.any();
+
+  auto respond = [&](const ExplainSlot &Slot) {
+    JsonValue R = JsonValue::object();
+    R.set("ok", JsonValue::boolean(true));
+    R.set("project", JsonValue::str(Slot.Project));
+    R.set("dynamic_edges", JsonValue::number(double(Slot.DynamicEdges)));
+    R.set("missed_edges",
+          JsonValue::number(double(Slot.Blame.MissedEdges)));
+    R.set("spurious_edges",
+          JsonValue::number(double(Slot.Blame.SpuriousEdges)));
+    R.set("output", JsonValue::str(renderBlameReport(Slot.Blame, Top)));
+    R.set("report", JsonValue::str(Slot.ReportBytes));
+    if (!interrupted())
+      Replay.emplace(Key, writeJson(R));
+    return R;
+  };
+
+  // Warm path: identical sources, different presentation (e.g. another
+  // --top=). The BlameSummary is self-contained, so the answer is a pure
+  // re-render of the retained slot.
+  std::string WarmKey = Dir + '\n' + Spec.MainModule + '\n' + Spec.TestDriver;
+  if (Deterministic) {
+    auto WIt = WarmExplain.find(WarmKey);
+    if (WIt != WarmExplain.end() && WIt->second.SrcDigest == SrcDigest) {
+      ++Stats.ExplainWarmHits;
+      return respond(WIt->second);
+    }
+  }
+
+  try {
+    ProjectAnalyzer Analyzer(Spec, DO.Approx, nullptr);
+    if (Analyzer.diagnostics().hasErrors()) {
+      ++Stats.Errors;
+      return errorJson("project has parse errors");
+    }
+    const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+
+    AnalysisOptions AO;
+    AO.Mode = AnalysisMode::Hints;
+    AO.SolverSet = DO.SolverSet;
+    AO.SolverJobs = DO.SolverJobs;
+    AO.Explain = true;
+    std::unique_ptr<StaticAnalysis> SA = Analyzer.createAnalysis(AO);
+    AnalysisResult Res = SA->run();
+
+    ExplainInputs In;
+    In.StaticCG = &Res.CG;
+    In.DynamicCG = &Dyn;
+    In.ApproxAborts = Analyzer.approxStats().NumAborts;
+
+    ExplainSlot Slot;
+    Slot.SrcDigest = SrcDigest;
+    Slot.Project = Spec.Name;
+    Slot.DynamicEdges = Dyn.numEdges();
+    Slot.Blame = summarizeBlame(SA->explainView(), In);
+
+    // The JSONL report a local `jsai explain --report=` run would write:
+    // one job record, the manifest, then the blame record.
+    JobResult Job;
+    ProjectReport &PR = Job.Report;
+    PR.Name = Spec.Name;
+    PR.Pattern = Spec.Pattern;
+    PR.NumPackages = Analyzer.numPackages();
+    PR.NumModules = Analyzer.numModules();
+    PR.NumFunctions = Analyzer.numFunctions();
+    PR.CodeBytes = Analyzer.codeBytes();
+    PR.Approx = Analyzer.approxStats();
+    PR.NumHints = Analyzer.hints().size();
+    PR.Extended = Res;
+    PR.HasDynamicCG = true;
+    PR.DynamicEdges = Dyn.numEdges();
+    PR.ExtendedRP = compareCallGraphs(Res.CG, Dyn);
+    PR.HasBlame = true;
+    PR.Blame = Slot.Blame;
+    RunSummary Summary;
+    Summary.Jobs.push_back(std::move(Job));
+    RunAggregates &Agg = Summary.Totals;
+    const ProjectReport &JR = Summary.Jobs[0].Report;
+    Agg.Projects = 1;
+    Agg.Ok = 1;
+    Agg.ExtendedCallEdges = JR.Extended.NumCallEdges;
+    Agg.ExtendedReachable = JR.Extended.NumReachableFunctions;
+    Agg.Hints = JR.NumHints;
+    Agg.SolverTokensPropagated = JR.Extended.Solver.NumTokensPropagated;
+    Slot.ReportBytes = renderReport(Summary, DO);
+
+    ++Stats.Explains;
+    JsonValue R = respond(Slot);
+    if (Deterministic && !interrupted()) {
+      if (WarmExplain.size() >= MaxWarmSlots &&
+          WarmExplain.find(WarmKey) == WarmExplain.end())
+        WarmExplain.erase(WarmExplain.begin());
+      WarmExplain.insert_or_assign(WarmKey, std::move(Slot));
+    }
+    return R;
+  } catch (const std::exception &E) {
+    ++Stats.Errors;
+    return errorJson(std::string("explain failed: ") + E.what());
+  }
+}
+
 JsonValue Server::handleSuite(const JsonValue &Req, const std::string &Line) {
   std::string Key = "suite:" + Line;
   auto It = Replay.find(Key);
@@ -457,8 +616,11 @@ JsonValue Server::handleStats() {
   R.set("requests", JsonValue::number(double(Stats.Requests)));
   R.set("analyses", JsonValue::number(double(Stats.Analyses)));
   R.set("suites", JsonValue::number(double(Stats.Suites)));
+  R.set("explains", JsonValue::number(double(Stats.Explains)));
   R.set("errors", JsonValue::number(double(Stats.Errors)));
   R.set("replay_hits", JsonValue::number(double(Stats.ReplayHits)));
+  R.set("explain_warm_hits",
+        JsonValue::number(double(Stats.ExplainWarmHits)));
   R.set("warm_solver_builds", JsonValue::number(double(Stats.WarmSolverBuilds)));
   R.set("warm_solver_hits", JsonValue::number(double(Stats.WarmSolverHits)));
   R.set("warm_solver_fallbacks",

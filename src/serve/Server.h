@@ -4,7 +4,8 @@
 /// The `jsai serve` daemon: a persistent analysis service listening on a
 /// local Unix-domain socket. Requests (one JSON object per line — see
 /// Protocol.h) dispatch onto the existing work-stealing CorpusDriver pool,
-/// so a long-lived daemon serves `analyze` and `suite` runs while keeping
+/// so a long-lived daemon serves `analyze`, `suite`, and `explain` runs
+/// while keeping
 /// the on-disk artifact cache warm across requests: the second analysis of
 /// an edited project reuses the per-module slices of every unchanged
 /// import-closure component and re-executes only the edited one.
@@ -73,8 +74,12 @@ struct ServeStats {
   uint64_t Requests = 0;
   uint64_t Analyses = 0;
   uint64_t Suites = 0;
+  uint64_t Explains = 0;
   uint64_t Errors = 0;
   uint64_t ReplayHits = 0;
+  /// Explain requests answered by re-rendering a retained BlameSummary
+  /// (sources unchanged, only presentation parameters differ).
+  uint64_t ExplainWarmHits = 0;
   /// Warm-solver slots built / requests answered by revalidation /
   /// revalidations that refused or mismatched and fell back to cold.
   uint64_t WarmSolverBuilds = 0;
@@ -145,6 +150,22 @@ private:
   /// dir + '\n' + main module -> retained analysis.
   std::map<std::string, WarmSlot> Warm;
 
+  /// One retained blame analysis for the `explain` request: the fully
+  /// rendered BlameSummary (self-contained strings, no live solver) plus
+  /// the JSONL report bytes of the run that produced it. An explain over
+  /// unchanged sources that differs only in presentation parameters
+  /// (e.g. "top") re-renders from the slot instead of re-analyzing —
+  /// the explain analogue of the warm-solver path.
+  struct ExplainSlot {
+    std::string SrcDigest;
+    BlameSummary Blame;
+    std::string Project;
+    std::string ReportBytes;
+    size_t DynamicEdges = 0;
+  };
+  /// dir + '\n' + main module + '\n' + driver -> retained blame.
+  std::map<std::string, ExplainSlot> WarmExplain;
+
   bool interrupted() const {
     return Opts.Interrupt && Opts.Interrupt->cancelled();
   }
@@ -156,6 +177,7 @@ private:
   JsonValue handleHandshake();
   JsonValue handleAnalyze(const JsonValue &Req, const std::string &Line);
   JsonValue handleSuite(const JsonValue &Req, const std::string &Line);
+  JsonValue handleExplain(const JsonValue &Req, const std::string &Line);
   JsonValue handleStats();
 
   /// Builds the per-request driver options from the daemon defaults plus

@@ -1,0 +1,212 @@
+//===- ExplainTest.cpp - Blame and provenance subsystem tests ----------------===//
+//
+// Covers src/explain/: root-cause classification of missed dynamic call
+// edges, witness chains, inflation blame, and the determinism contracts —
+// two identical runs (and runs at different solver-jobs counts) must
+// produce byte-identical blame output, and turning recording on must not
+// change a single metric.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+#include "corpus/MotivatingExample.h"
+#include "driver/Telemetry.h"
+#include "explain/Explain.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace jsai;
+
+namespace {
+
+/// Runs the pipeline on \p Spec with provenance recording on.
+ProjectReport analyzeWithBlame(const ProjectSpec &Spec, size_t SolverJobs = 1) {
+  Pipeline P(ApproxOptions(), PhaseDeadlines(), nullptr,
+             defaultSolverSetKind(), nullptr, SolverJobs, /*Explain=*/true);
+  return P.analyzeProject(Spec);
+}
+
+/// The blame summary rendered to its canonical JSONL form (the exact bytes
+/// a suite report would append), used for byte-level comparisons.
+std::string blameBytes(const ProjectReport &R) {
+  JobResult Job;
+  Job.Report = R;
+  return blameRecordJson(Job);
+}
+
+TEST(ExplainTest, MotivatingExampleHasBlameSummary) {
+  ProjectReport R = analyzeWithBlame(motivatingExampleProject());
+  ASSERT_TRUE(R.HasDynamicCG);
+  ASSERT_TRUE(R.HasBlame);
+  const BlameSummary &B = R.Blame;
+  EXPECT_EQ(B.DynamicEdges, R.DynamicEdges);
+  // The classifier is total: causes partition the misses.
+  size_t Sum = 0;
+  for (size_t K = 0; K != size_t(CauseKind::NumCauseKinds); ++K)
+    Sum += B.CauseHist[K];
+  EXPECT_EQ(Sum, B.MissedEdges);
+  EXPECT_EQ(B.Misses.size(), B.MissedEdges);
+  for (const MissRecord &M : B.Misses) {
+    EXPECT_FALSE(M.Site.empty());
+    EXPECT_FALSE(M.Callee.empty());
+    EXPECT_FALSE(M.Detail.empty());
+  }
+}
+
+TEST(ExplainTest, RecordingDoesNotChangeMetrics) {
+  ProjectSpec Spec = motivatingExampleProject();
+  Pipeline Off(ApproxOptions(), PhaseDeadlines(), nullptr,
+               defaultSolverSetKind(), nullptr, 1, /*Explain=*/false);
+  Pipeline On(ApproxOptions(), PhaseDeadlines(), nullptr,
+              defaultSolverSetKind(), nullptr, 1, /*Explain=*/true);
+  ProjectReport A = Off.analyzeProject(Spec);
+  ProjectReport B = On.analyzeProject(Spec);
+  EXPECT_FALSE(A.HasBlame);
+  EXPECT_TRUE(B.HasBlame);
+  // The default JSONL record is a function of every metric field: byte
+  // equality here is metric equality.
+  JobResult JA, JB;
+  JA.Report = A;
+  JB.Report = B;
+  EXPECT_EQ(jobRecordJson(JA, /*IncludeTimings=*/false),
+            jobRecordJson(JB, /*IncludeTimings=*/false));
+}
+
+TEST(ExplainTest, TwoRunsProduceIdenticalBlameBytes) {
+  // Satellite determinism contract: blame output is sorted by the
+  // documented tiebreak (cause rank, then site, then callee, then callee
+  // var id), so two runs diff clean.
+  ProjectSpec Spec = motivatingExampleProject();
+  std::string First = blameBytes(analyzeWithBlame(Spec));
+  std::string Second = blameBytes(analyzeWithBlame(Spec));
+  EXPECT_EQ(First, Second);
+}
+
+TEST(ExplainTest, BlameBytesIdenticalAcrossSolverJobs) {
+  ProjectSpec Spec = motivatingExampleProject();
+  std::string Seq = blameBytes(analyzeWithBlame(Spec, /*SolverJobs=*/1));
+  std::string Par = blameBytes(analyzeWithBlame(Spec, /*SolverJobs=*/4));
+  EXPECT_EQ(Seq, Par);
+}
+
+TEST(ExplainTest, MissesSortedByDocumentedTiebreak) {
+  // Check across several dynamic-CG corpus projects: miss records must be
+  // ordered by (cause rank, site, callee).
+  std::vector<ProjectSpec> Suite = benchmarksWithDynamicCG();
+  size_t Checked = 0;
+  for (size_t I = 0; I < Suite.size() && Checked < 6; ++I) {
+    ProjectReport R = analyzeWithBlame(Suite[I]);
+    if (!R.HasBlame || R.Blame.Misses.size() < 2)
+      continue;
+    ++Checked;
+    const std::vector<MissRecord> &M = R.Blame.Misses;
+    for (size_t J = 1; J < M.size(); ++J) {
+      const MissRecord &A = M[J - 1], &B = M[J];
+      bool Ordered = A.Cause < B.Cause ||
+                     (A.Cause == B.Cause &&
+                      (A.Site < B.Site ||
+                       (A.Site == B.Site && A.Callee <= B.Callee)));
+      EXPECT_TRUE(Ordered) << Suite[I].Name << " miss " << J;
+    }
+  }
+}
+
+TEST(ExplainTest, EvalCallClassifiedAsEvalCode) {
+  ProjectSpec Spec;
+  Spec.Name = "eval-miss";
+  // The call site lives inside the eval'd string (the eval pseudo-file):
+  // the dynamic recorder sees the edge to `target`, but an analysis
+  // without --eval-bodies has no constraints for that site at all.
+  Spec.Files.addFile("app/main.js",
+                     "function target() { return 1; }\n"
+                     "eval(\"target();\");\n");
+  Spec.TestDriver = "app/main.js";
+
+  ProjectAnalyzer Analyzer(Spec);
+  const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+  ASSERT_GT(Dyn.numEdges(), 0u);
+
+  AnalysisOptions AO;
+  AO.Mode = AnalysisMode::Hints;
+  AO.Explain = true;
+  std::unique_ptr<StaticAnalysis> SA = Analyzer.createAnalysis(AO);
+  AnalysisResult Res = SA->run();
+
+  ExplainInputs In;
+  In.StaticCG = &Res.CG;
+  In.DynamicCG = &Dyn;
+  BlameSummary B = summarizeBlame(SA->explainView(), In);
+  ASSERT_GT(B.MissedEdges, 0u);
+  EXPECT_GT(B.CauseHist[size_t(CauseKind::EvalCode)], 0u)
+      << "a call into eval'd code must be blamed on eval-code";
+}
+
+TEST(ExplainTest, ComputedCallWithoutHintsClassifiedAsMissingHint) {
+  ProjectSpec Spec;
+  Spec.Name = "computed-miss";
+  Spec.Files.addFile("app/main.js",
+                     "var obj = { run: function run() { return 1; } };\n"
+                     "var key = \"ru\" + \"n\";\n"
+                     "obj[key]();\n");
+  Spec.TestDriver = "app/main.js";
+
+  ProjectAnalyzer Analyzer(Spec);
+  const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+  ASSERT_GT(Dyn.numEdges(), 0u);
+
+  // Baseline mode: dynamic-property reads resolve nothing and hint rules
+  // are off, so the missed computed call must be blamed on the absent
+  // hint machinery.
+  AnalysisOptions AO;
+  AO.Mode = AnalysisMode::Baseline;
+  AO.Explain = true;
+  std::unique_ptr<StaticAnalysis> SA = Analyzer.createAnalysis(AO);
+  AnalysisResult Res = SA->run();
+
+  ExplainInputs In;
+  In.StaticCG = &Res.CG;
+  In.DynamicCG = &Dyn;
+  BlameSummary B = summarizeBlame(SA->explainView(), In);
+  ASSERT_GT(B.MissedEdges, 0u);
+  EXPECT_GT(B.CauseHist[size_t(CauseKind::MissingHint)], 0u)
+      << "a computed call missed without hint rules must be blamed on "
+         "missing-hint";
+}
+
+TEST(ExplainTest, RenderTruncatesMissListButNeverTables) {
+  // Find a corpus project with at least two misses so --top=1 actually
+  // truncates.
+  std::vector<ProjectSpec> Suite = benchmarksWithDynamicCG();
+  ProjectReport R;
+  bool Found = false;
+  for (const ProjectSpec &Spec : Suite) {
+    R = analyzeWithBlame(Spec);
+    if (R.HasBlame && R.Blame.Misses.size() >= 2) {
+      Found = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(Found) << "no corpus project with two or more missed edges";
+  std::string Full = renderBlameReport(R.Blame, 0);
+  std::string Top1 = renderBlameReport(R.Blame, 1);
+  EXPECT_LT(Top1.size(), Full.size());
+  EXPECT_NE(Top1.find("more)"), std::string::npos)
+      << "truncated output must say how many records were dropped";
+  // The cause histogram and origin table are aggregates: always complete.
+  EXPECT_NE(Top1.find("origins ranked by inflation"), std::string::npos);
+}
+
+TEST(ExplainTest, CauseNamesAreStable) {
+  // The JSONL schema documents these strings; renaming one is a schema
+  // break and must be caught.
+  EXPECT_STREQ(causeName(CauseKind::EvalCode), "eval-code");
+  EXPECT_STREQ(causeName(CauseKind::UnmodeledBuiltin), "unmodeled-builtin");
+  EXPECT_STREQ(causeName(CauseKind::MissingHint), "missing-hint");
+  EXPECT_STREQ(causeName(CauseKind::ApproxBudget), "approx-budget");
+  EXPECT_STREQ(causeName(CauseKind::UnresolvedDynamicProperty),
+               "unresolved-dynamic-property");
+  EXPECT_STREQ(causeName(CauseKind::DataflowGap), "dataflow-gap");
+}
+
+} // namespace

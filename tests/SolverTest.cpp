@@ -7,6 +7,7 @@
 #include <deque>
 #include <gtest/gtest.h>
 #include <map>
+#include <set>
 
 using namespace jsai;
 
@@ -705,9 +706,10 @@ void runParallelEqualsSequential(size_t Jobs) {
           << "jobs " << Jobs << " round " << Round << " var " << V;
     SawWaves |= Par.parallelStats().NumWaves > 0;
   }
-  if (Jobs > 1)
+  if (Jobs > 1) {
     EXPECT_TRUE(SawWaves) << "no round ever entered wave mode at jobs "
                           << Jobs << "; the parallel path went untested";
+  }
 }
 
 TEST(SolverParallelTest, OneJobMatchesSequential) {
@@ -780,6 +782,117 @@ TEST(SolverParallelTest, ParallelMatchesNaiveReference) {
             << "round " << Round << " var " << V;
     }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Provenance recording (--explain=record)
+//===----------------------------------------------------------------------===//
+
+/// Walks the recorded arrival chain of (V, T) back toward its source.
+/// \returns true when every hop has an arrival record and the walk
+/// terminates — at a direct addToken insertion, or at a representative
+/// already visited (cycle collapsing re-keys arrivals keep-first, so an
+/// in-cycle arrival may legitimately point back into its own collapsed
+/// representative). False means provenance was LOST: a token present in a
+/// final points-to set with no recorded arrival somewhere along its chain.
+bool chainTerminates(const Solver &S, CVarId V, TokenId T) {
+  std::set<CVarId> Visited;
+  CVarId Cur = S.representative(V);
+  for (size_t Hop = 0; Hop < 10000; ++Hop) {
+    if (!Visited.insert(Cur).second)
+      return true; // Collapse-induced self-loop: chain is complete.
+    const TokenArrival *A = S.arrival(Cur, T);
+    if (!A)
+      return false; // Token present but never recorded arriving.
+    if (A->From == ~CVarId(0))
+      return true; // Direct addToken insertion: the chain's source.
+    Cur = S.representative(A->From);
+  }
+  return false;
+}
+
+/// Randomized provenance-under-collapse stress: heavy edge bias (so cycles
+/// form and collapse constantly, re-keying arrival maps), interleaved
+/// origin changes, incremental solves. Afterwards every token in every
+/// final points-to set must have a recorded origin chain that terminates
+/// in a direct insertion — collapsing and parallel waves must never lose
+/// provenance.
+void runProvenanceStress(size_t Jobs) {
+  Rng R(20240808);
+  for (int Round = 0; Round < 12; ++Round) {
+    const CVarId NumVars = CVarId(R.range(5, 60));
+    const size_t NumOps = size_t(R.range(20, 300));
+    Solver S;
+    S.setJobs(Jobs);
+    S.setExplainRecording(true);
+    for (size_t Op = 0; Op < NumOps; ++Op) {
+      if (R.chance(5))
+        S.setOrigin(ProvOriginId(R.below(8)));
+      if (R.chance(60)) {
+        S.addEdge(CVarId(R.below(NumVars)), CVarId(R.below(NumVars)));
+      } else {
+        S.addToken(CVarId(R.below(NumVars)), TokenId(R.below(30)));
+      }
+      if (R.chance(10))
+        S.solve();
+    }
+    S.solve();
+    for (CVarId V = 0; V < NumVars; ++V) {
+      if (S.representative(V) != V)
+        continue; // Merged members share the representative's records.
+      S.pointsTo(V).forEach([&](uint32_t T) {
+        EXPECT_TRUE(chainTerminates(S, V, TokenId(T)))
+            << "round " << Round << " var " << V << " token " << T;
+      });
+    }
+  }
+}
+
+TEST(SolverProvenanceTest, EveryTokenHasOriginChainSequential) {
+  runProvenanceStress(/*Jobs=*/1);
+}
+
+TEST(SolverProvenanceTest, EveryTokenHasOriginChainParallel) {
+  runProvenanceStress(/*Jobs=*/4);
+}
+
+TEST(SolverProvenanceTest, RecordingOffKeepsArrivalsEmpty) {
+  Solver S;
+  S.addToken(0, 3);
+  S.addEdge(0, 1);
+  S.solve();
+  EXPECT_EQ(S.arrival(0, 3), nullptr);
+  EXPECT_EQ(S.arrival(1, 3), nullptr);
+}
+
+TEST(SolverProvenanceTest, ArrivalRecordsPredecessorAndOrigin) {
+  Solver S;
+  S.setExplainRecording(true);
+  S.addToken(0, 3);
+  S.setOrigin(7);
+  S.addEdge(0, 1);
+  S.solve();
+  const TokenArrival *Direct = S.arrival(0, 3);
+  ASSERT_NE(Direct, nullptr);
+  EXPECT_EQ(Direct->From, ~CVarId(0));
+  const TokenArrival *Flowed = S.arrival(1, 3);
+  ASSERT_NE(Flowed, nullptr);
+  EXPECT_EQ(Flowed->From, CVarId(0));
+  EXPECT_EQ(Flowed->Origin, ProvOriginId(7));
+}
+
+TEST(SolverProvenanceTest, ArrivalsSurviveCycleCollapse) {
+  Solver S;
+  S.setExplainRecording(true);
+  S.addToken(0, 9);
+  S.addEdge(0, 1);
+  S.addEdge(1, 2);
+  S.addEdge(2, 0); // Collapses {0,1,2} into one representative.
+  S.solve();
+  CVarId Rep = S.representative(0);
+  EXPECT_EQ(S.representative(1), Rep);
+  EXPECT_EQ(S.representative(2), Rep);
+  EXPECT_TRUE(chainTerminates(S, Rep, 9));
 }
 
 } // namespace

@@ -23,6 +23,11 @@
 #                                 # SAME golden file — the wave-parallel
 #                                 # solver must be byte-identical to the
 #                                 # sequential loop
+#   tools/check_metrics.sh [build-dir] --explain=off|record
+#                                 # verify under provenance recording; CI
+#                                 # runs record against the SAME golden
+#                                 # file — blame tracking must never
+#                                 # change a metric table
 #
 # Exits non-zero on drift, listing each bench whose table changed.
 set -euo pipefail
@@ -43,6 +48,10 @@ for Arg in "$@"; do
   --solver-jobs=*)
     JSAI_SOLVER_JOBS="${Arg#--solver-jobs=}"
     export JSAI_SOLVER_JOBS
+    ;;
+  --explain=*)
+    JSAI_EXPLAIN="${Arg#--explain=}"
+    export JSAI_EXPLAIN
     ;;
   *) BUILD_DIR="$Arg" ;;
   esac

@@ -9,30 +9,22 @@
 //   jsai hints    <dir>             run approximate interpretation only
 //   jsai run      <dir>             execute app/main.js concretely
 //   jsai compare  <dir> --driver=m  recall/precision vs a dynamic call graph
+//   jsai explain  <dir> --driver=m  root causes of missed dynamic edges
 //   jsai suite                      run the embedded 141-project benchmark
+//   jsai corpus list|dump           inspect/materialize embedded projects
 //   jsai cache stats                inspect an artifact-cache directory
 //   jsai serve --socket=<path>      persistent analysis daemon (Unix socket)
-//   jsai client <req> --socket=<p>  send analyze/suite/stats/shutdown to it
+//   jsai client <req> --socket=<p>  send analyze/suite/explain/stats/
+//                                   shutdown to it
 //
-// Options:
-//   --mode=baseline|hints|nonrel|overapprox   analysis mode (default hints)
-//   --main=<module>                            main module (app/main.js)
-//   --hints-out=<file>  --hints-in=<file>      portable hint reuse
-//   --no-read-hints --no-write-hints --no-module-hints
-//   --unknown-args --eval-bodies               Section 6 extensions
-//   --solver-set=dense|adaptive                points-to set representation
-//   --interp=ast|vm                            execution engine (default ast)
-//   --jobs=N                                   parallel suite workers
-//   --deadline-approx=S --deadline-analysis=S  per-phase deadlines (seconds)
-//   --report=<file.jsonl> [--report-timings]   JSONL run telemetry
-//   --cache-dir=<dir> --cache=off|read|readwrite  artifact cache
-//   --socket=<path>                            serve/client socket
-//   --serve-via=<socket>                       route analyze/suite through
-//                                              a running daemon
+// Every option lives in the flag table below (flagSpecs): the parser
+// dispatches through it and the usage text is generated from it, so the
+// two can never drift apart.
 //
 //===----------------------------------------------------------------------===//
 
 #include "callgraph/VulnerabilityScan.h"
+#include "explain/Explain.h"
 #include "corpus/BenchmarkSuite.h"
 #include "driver/CorpusDriver.h"
 #include "driver/Telemetry.h"
@@ -75,6 +67,9 @@ struct CliOptions {
   std::string Socket;
   std::string ServeVia;
   bool ServeWarmSolver = false;
+  /// Truncation for `jsai explain` record listings (0 = show everything;
+  /// aggregate tables are never truncated).
+  size_t Top = 0;
 };
 
 /// Latched by the SIGINT/SIGTERM handlers; suite/serve runs chain their
@@ -96,10 +91,235 @@ void installInterruptHandlers() {
   sigaction(SIGTERM, &SA, nullptr);
 }
 
+/// One CLI flag: its spelling, help text, and parse action. The single
+/// source of truth for both parseArgs and printUsage — a flag cannot be
+/// parseable but undocumented (or vice versa).
+struct FlagSpec {
+  /// "--name=" for value flags (prefix match; the handler gets the part
+  /// after '='), "--name" for boolean flags (exact match; empty value).
+  const char *Name;
+  /// Argument placeholder shown in the table ("" for boolean flags).
+  const char *Arg;
+  /// Help text; lines after the first are indented under the flag.
+  const char *Help;
+  bool (*Parse)(const std::string &Val, CliOptions &O);
+};
+
+bool parseFail(const char *What, const std::string &Val) {
+  std::fprintf(stderr, "jsai: unknown %s '%s'\n", What, Val.c_str());
+  return false;
+}
+
+const FlagSpec *flagSpecs(size_t &Count) {
+  static const FlagSpec Specs[] = {
+      {"--mode=", "baseline|hints|nonrel|overapprox",
+       "analysis mode (default: hints)",
+       [](const std::string &V, CliOptions &O) {
+         if (V == "baseline")
+           O.Analysis.Mode = AnalysisMode::Baseline;
+         else if (V == "hints")
+           O.Analysis.Mode = AnalysisMode::Hints;
+         else if (V == "nonrel")
+           O.Analysis.Mode = AnalysisMode::NonRelationalHints;
+         else if (V == "overapprox")
+           O.Analysis.Mode = AnalysisMode::OverApprox;
+         else
+           return parseFail("mode", V);
+         return true;
+       }},
+      {"--main=", "<module-path>", "main module (default: app/main.js)",
+       [](const std::string &V, CliOptions &O) {
+         O.MainModule = V;
+         return true;
+       }},
+      {"--driver=", "<module-path>",
+       "test driver for `compare`/`explain` (default: main)",
+       [](const std::string &V, CliOptions &O) {
+         O.Driver = V;
+         return true;
+       }},
+      {"--hints-out=", "<file>", "serialize collected hints",
+       [](const std::string &V, CliOptions &O) {
+         O.HintsOut = V;
+         return true;
+       }},
+      {"--hints-in=", "<file>", "import previously collected hints",
+       [](const std::string &V, CliOptions &O) {
+         O.HintsIn = V;
+         return true;
+       }},
+      {"--no-read-hints", "", "disable rule [DPR] (read hints)",
+       [](const std::string &, CliOptions &O) {
+         O.Analysis.UseReadHints = false;
+         return true;
+       }},
+      {"--no-write-hints", "", "disable rule [DPW] (write hints)",
+       [](const std::string &, CliOptions &O) {
+         O.Analysis.UseWriteHints = false;
+         return true;
+       }},
+      {"--no-module-hints", "", "disable module-load hints",
+       [](const std::string &, CliOptions &O) {
+         O.Analysis.UseModuleHints = false;
+         return true;
+       }},
+      {"--unknown-args", "",
+       "enable unknown-argument hints (Section 6)",
+       [](const std::string &, CliOptions &O) {
+         O.Analysis.UseUnknownArgHints = true;
+         return true;
+       }},
+      {"--eval-bodies", "", "analyze eval'd code strings (Section 6)",
+       [](const std::string &, CliOptions &O) {
+         O.Analysis.UseEvalBodyAnalysis = true;
+         return true;
+       }},
+      {"--solver-set=", "dense|adaptive",
+       "points-to set representation\n"
+       "(default: adaptive; env JSAI_SOLVER_SET)",
+       [](const std::string &V, CliOptions &O) {
+         SolverSetKind K;
+         if (!parseSolverSetKind(V.c_str(), K))
+           return parseFail("solver set", V);
+         // Update the process default too: solvers constructed without
+         // explicit options (e.g. ProjectAnalyzer::analyze(Mode)) follow
+         // it.
+         setDefaultSolverSetKind(K);
+         O.Analysis.SolverSet = K;
+         return true;
+       }},
+      {"--solver-jobs=", "N",
+       "threads per constraint-solver fixpoint\n"
+       "(default: 1 = sequential; env JSAI_SOLVER_JOBS); results are\n"
+       "byte-identical at any N, only wall clock changes",
+       [](const std::string &V, CliOptions &O) {
+         size_t N = size_t(std::strtoull(V.c_str(), nullptr, 10));
+         if (N == 0)
+           N = 1;
+         // Update the process default too: solvers constructed without
+         // explicit options (tests, benches, serve jobs) follow it.
+         setDefaultSolverJobs(N);
+         O.Analysis.SolverJobs = N;
+         return true;
+       }},
+      {"--explain=", "off|record",
+       "solver provenance recording for blame tracing\n"
+       "(default: off; env JSAI_EXPLAIN); `record` adds \"blame\" JSONL\n"
+       "records and enables `jsai explain`-style tracing in suite runs;\n"
+       "never changes any metric or default report byte",
+       [](const std::string &V, CliOptions &O) {
+         if (V != "off" && V != "record")
+           return parseFail("explain mode", V);
+         // Process default: every AnalysisOptions/Pipeline constructed
+         // after this point follows it.
+         setDefaultExplainRecording(V == "record");
+         O.Analysis.Explain = V == "record";
+         return true;
+       }},
+      {"--top=", "N",
+       "`explain`: show only the first N records per section\n"
+       "(default: 0 = all; aggregate tables are never truncated)",
+       [](const std::string &V, CliOptions &O) {
+         O.Top = size_t(std::strtoull(V.c_str(), nullptr, 10));
+         return true;
+       }},
+      {"--serve-warm-solver=", "on|off",
+       "serve: revalidate retained solvers on\n"
+       "unchanged re-analyze requests (default: off)",
+       [](const std::string &V, CliOptions &O) {
+         if (V == "on")
+           O.ServeWarmSolver = true;
+         else if (V == "off")
+           O.ServeWarmSolver = false;
+         else
+           return parseFail("warm-solver mode", V);
+         return true;
+       }},
+      {"--interp=", "ast|vm",
+       "execution engine for concrete runs and\n"
+       "approximate interpretation (default: ast; env JSAI_INTERP); both\n"
+       "engines produce identical hints and metric tables",
+       [](const std::string &V, CliOptions &) {
+         InterpEngineKind K;
+         if (!parseInterpEngineKind(V.c_str(), K))
+           return parseFail("interpreter engine", V);
+         // Process default: every InterpOptions/ApproxOptions constructed
+         // after this point (pipeline, suite workers, `run`) picks it up.
+         setDefaultInterpEngineKind(K);
+         return true;
+       }},
+      {"--jobs=", "N", "suite worker threads (0 = all cores)",
+       [](const std::string &V, CliOptions &O) {
+         O.Jobs = size_t(std::strtoull(V.c_str(), nullptr, 10));
+         O.JobsSet = true;
+         return true;
+       }},
+      {"--deadline-approx=", "S",
+       "approx-phase deadline in seconds (0 = none)",
+       [](const std::string &V, CliOptions &O) {
+         O.Deadlines.ApproxSeconds = std::strtod(V.c_str(), nullptr);
+         return true;
+       }},
+      {"--deadline-analysis=", "S",
+       "per-analysis deadline in seconds (0 = none)",
+       [](const std::string &V, CliOptions &O) {
+         O.Deadlines.AnalysisSeconds = std::strtod(V.c_str(), nullptr);
+         return true;
+       }},
+      {"--report=", "<file.jsonl>",
+       "write JSONL telemetry (suite, analyze, explain)",
+       [](const std::string &V, CliOptions &O) {
+         O.ReportPath = V;
+         return true;
+       }},
+      {"--report-timings", "", "include wall-clock fields in the report",
+       [](const std::string &, CliOptions &O) {
+         O.ReportTimings = true;
+         return true;
+       }},
+      {"--cache-dir=", "<dir>",
+       "artifact cache directory (analyze, suite)",
+       [](const std::string &V, CliOptions &O) {
+         O.Cache.Dir = V;
+         return true;
+       }},
+      {"--cache=", "off|read|readwrite",
+       "cache mode (default: readwrite)",
+       [](const std::string &V, CliOptions &O) {
+         if (V == "off")
+           O.Cache.Mode = CacheMode::Off;
+         else if (V == "read")
+           O.Cache.Mode = CacheMode::Read;
+         else if (V == "readwrite")
+           O.Cache.Mode = CacheMode::ReadWrite;
+         else
+           return parseFail("cache mode", V);
+         return true;
+       }},
+      {"--socket=", "<path>", "Unix socket for serve/client",
+       [](const std::string &V, CliOptions &O) {
+         O.Socket = V;
+         return true;
+       }},
+      {"--serve-via=", "<socket>",
+       "route analyze/suite/explain through a daemon",
+       [](const std::string &V, CliOptions &O) {
+         O.ServeVia = V;
+         return true;
+       }},
+      {"--version", "", "print the tool version and exit",
+       [](const std::string &, CliOptions &) {
+         return true; // Handled before parsing; listed for the table.
+       }},
+  };
+  Count = sizeof(Specs) / sizeof(Specs[0]);
+  return Specs;
+}
+
 void printUsage() {
   std::printf(
-      "usage: jsai <analyze|callgraph|hints|run|compare|suite> [options] "
-      "[<dir>]\n"
+      "usage: jsai <analyze|callgraph|hints|run|compare|explain|suite> "
+      "[options] [<dir>]\n"
       "\n"
       "commands:\n"
       "  analyze <dir>    run the full pipeline, print metric comparison\n"
@@ -107,42 +327,40 @@ void printUsage() {
       "  hints <dir>      run approximate interpretation, print the hints\n"
       "  run <dir>        execute the main module concretely\n"
       "  compare <dir>    score all modes against a dynamic call graph\n"
+      "  explain <dir>    trace missed dynamic edges and inflated sets to\n"
+      "                   root causes (needs a dynamic call graph driver)\n"
       "  suite            run the embedded benchmark suite summary\n"
+      "  corpus list      list the embedded benchmark projects\n"
+      "  corpus dump <name> <dir>  write one embedded project to disk\n"
       "  cache stats      validate and summarize an artifact-cache dir\n"
       "  serve            persistent analysis daemon on --socket=<path>\n"
-      "  client <req>     send analyze|suite|stats|shutdown to a daemon\n"
+      "  client <req>     send analyze|suite|explain|stats|shutdown to a\n"
+      "                   daemon\n"
       "\n"
-      "options:\n"
-      "  --mode=baseline|hints|nonrel|overapprox   (default: hints)\n"
-      "  --main=<module-path>                      (default: app/main.js)\n"
-      "  --driver=<module-path>  test driver for `compare` (default: main)\n"
-      "  --hints-out=<file>   serialize collected hints\n"
-      "  --hints-in=<file>    import previously collected hints\n"
-      "  --no-read-hints --no-write-hints --no-module-hints\n"
-      "  --unknown-args       enable unknown-argument hints (Section 6)\n"
-      "  --eval-bodies        analyze eval'd code strings (Section 6)\n"
-      "  --solver-set=dense|adaptive  points-to set representation\n"
-      "                       (default: adaptive; env JSAI_SOLVER_SET)\n"
-      "  --solver-jobs=N      threads per constraint-solver fixpoint\n"
-      "                       (default: 1 = sequential; env\n"
-      "                       JSAI_SOLVER_JOBS); results are byte-identical\n"
-      "                       at any N, only wall clock changes\n"
-      "  --serve-warm-solver=on|off  serve: revalidate retained solvers on\n"
-      "                       unchanged re-analyze requests (default: off)\n"
-      "  --interp=ast|vm      execution engine for concrete runs and\n"
-      "                       approximate interpretation (default: ast;\n"
-      "                       env JSAI_INTERP); both engines produce\n"
-      "                       identical hints and metric tables\n"
-      "  --jobs=N             suite worker threads (0 = all cores)\n"
-      "  --deadline-approx=S  approx-phase deadline in seconds (0 = none)\n"
-      "  --deadline-analysis=S  per-analysis deadline in seconds (0 = none)\n"
-      "  --report=<file.jsonl>  write JSONL telemetry (suite, analyze)\n"
-      "  --report-timings     include wall-clock fields in the report\n"
-      "  --cache-dir=<dir>    artifact cache directory (analyze, suite)\n"
-      "  --cache=off|read|readwrite  cache mode (default: readwrite)\n"
-      "  --socket=<path>      Unix socket for serve/client\n"
-      "  --serve-via=<socket> route analyze/suite through a daemon\n"
-      "  --version            print the tool version and exit\n");
+      "options:\n");
+  size_t Count = 0;
+  const FlagSpec *Specs = flagSpecs(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    const FlagSpec &S = Specs[I];
+    std::string Left = S.Name;
+    Left += S.Arg;
+    // First help line on the flag's row; continuation lines indented.
+    std::string Help = S.Help;
+    size_t Nl = Help.find('\n');
+    std::string First = Nl == std::string::npos ? Help : Help.substr(0, Nl);
+    if (Left.size() <= 20)
+      std::printf("  %-20s %s\n", Left.c_str(), First.c_str());
+    else
+      std::printf("  %s\n  %-20s %s\n", Left.c_str(), "", First.c_str());
+    while (Nl != std::string::npos) {
+      size_t Start = Nl + 1;
+      Nl = Help.find('\n', Start);
+      std::string Line = Nl == std::string::npos
+                             ? Help.substr(Start)
+                             : Help.substr(Start, Nl - Start);
+      std::printf("  %-20s %s\n", "", Line.c_str());
+    }
+  }
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -150,120 +368,31 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     return false;
   Opts.Command = Argv[1];
   Opts.Analysis.Mode = AnalysisMode::Hints;
+  size_t Count = 0;
+  const FlagSpec *Specs = flagSpecs(Count);
   for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    auto Starts = [&Arg](const char *Prefix) {
-      return Arg.rfind(Prefix, 0) == 0;
-    };
-    if (Starts("--mode=")) {
-      std::string Mode = Arg.substr(7);
-      if (Mode == "baseline")
-        Opts.Analysis.Mode = AnalysisMode::Baseline;
-      else if (Mode == "hints")
-        Opts.Analysis.Mode = AnalysisMode::Hints;
-      else if (Mode == "nonrel")
-        Opts.Analysis.Mode = AnalysisMode::NonRelationalHints;
-      else if (Mode == "overapprox")
-        Opts.Analysis.Mode = AnalysisMode::OverApprox;
-      else {
-        std::fprintf(stderr, "jsai: unknown mode '%s'\n", Mode.c_str());
-        return false;
-      }
-    } else if (Starts("--main=")) {
-      Opts.MainModule = Arg.substr(7);
-    } else if (Starts("--driver=")) {
-      Opts.Driver = Arg.substr(9);
-    } else if (Starts("--hints-out=")) {
-      Opts.HintsOut = Arg.substr(12);
-    } else if (Starts("--hints-in=")) {
-      Opts.HintsIn = Arg.substr(11);
-    } else if (Arg == "--no-read-hints") {
-      Opts.Analysis.UseReadHints = false;
-    } else if (Arg == "--no-write-hints") {
-      Opts.Analysis.UseWriteHints = false;
-    } else if (Arg == "--no-module-hints") {
-      Opts.Analysis.UseModuleHints = false;
-    } else if (Arg == "--unknown-args") {
-      Opts.Analysis.UseUnknownArgHints = true;
-    } else if (Arg == "--eval-bodies") {
-      Opts.Analysis.UseEvalBodyAnalysis = true;
-    } else if (Starts("--solver-set=")) {
-      std::string Kind = Arg.substr(13);
-      SolverSetKind K;
-      if (!parseSolverSetKind(Kind.c_str(), K)) {
-        std::fprintf(stderr, "jsai: unknown solver set '%s'\n", Kind.c_str());
-        return false;
-      }
-      // Update the process default too: solvers constructed without
-      // explicit options (e.g. ProjectAnalyzer::analyze(Mode)) follow it.
-      setDefaultSolverSetKind(K);
-      Opts.Analysis.SolverSet = K;
-    } else if (Starts("--solver-jobs=")) {
-      size_t N = size_t(std::strtoull(Arg.c_str() + 14, nullptr, 10));
-      if (N == 0)
-        N = 1;
-      // Update the process default too: solvers constructed without
-      // explicit options (tests, benches, serve jobs) follow it.
-      setDefaultSolverJobs(N);
-      Opts.Analysis.SolverJobs = N;
-    } else if (Starts("--serve-warm-solver=")) {
-      std::string Mode = Arg.substr(20);
-      if (Mode == "on")
-        Opts.ServeWarmSolver = true;
-      else if (Mode == "off")
-        Opts.ServeWarmSolver = false;
-      else {
-        std::fprintf(stderr, "jsai: unknown warm-solver mode '%s'\n",
-                     Mode.c_str());
-        return false;
-      }
-    } else if (Starts("--interp=")) {
-      std::string Kind = Arg.substr(9);
-      InterpEngineKind K;
-      if (!parseInterpEngineKind(Kind.c_str(), K)) {
-        std::fprintf(stderr, "jsai: unknown interpreter engine '%s'\n",
-                     Kind.c_str());
-        return false;
-      }
-      // Process default: every InterpOptions/ApproxOptions constructed
-      // after this point (pipeline, suite workers, `run`) picks it up.
-      setDefaultInterpEngineKind(K);
-    } else if (Starts("--jobs=")) {
-      Opts.Jobs = size_t(std::strtoull(Arg.c_str() + 7, nullptr, 10));
-      Opts.JobsSet = true;
-    } else if (Starts("--deadline-approx=")) {
-      Opts.Deadlines.ApproxSeconds = std::strtod(Arg.c_str() + 18, nullptr);
-    } else if (Starts("--deadline-analysis=")) {
-      Opts.Deadlines.AnalysisSeconds = std::strtod(Arg.c_str() + 20, nullptr);
-    } else if (Starts("--report=")) {
-      Opts.ReportPath = Arg.substr(9);
-    } else if (Arg == "--report-timings") {
-      Opts.ReportTimings = true;
-    } else if (Starts("--cache-dir=")) {
-      Opts.Cache.Dir = Arg.substr(12);
-    } else if (Starts("--cache=")) {
-      std::string Mode = Arg.substr(8);
-      if (Mode == "off")
-        Opts.Cache.Mode = CacheMode::Off;
-      else if (Mode == "read")
-        Opts.Cache.Mode = CacheMode::Read;
-      else if (Mode == "readwrite")
-        Opts.Cache.Mode = CacheMode::ReadWrite;
-      else {
-        std::fprintf(stderr, "jsai: unknown cache mode '%s'\n", Mode.c_str());
-        return false;
-      }
-    } else if (Starts("--socket=")) {
-      Opts.Socket = Arg.substr(9);
-    } else if (Starts("--serve-via=")) {
-      Opts.ServeVia = Arg.substr(12);
-    } else if (Starts("--")) {
-      std::fprintf(stderr, "jsai: unknown option '%s'\n", Arg.c_str());
-      return false;
-    } else {
+    if (Arg.rfind("--", 0) != 0) {
       Opts.Positionals.push_back(Arg);
       if (Opts.Dir.empty())
         Opts.Dir = Arg;
+      continue;
+    }
+    bool Matched = false;
+    for (size_t S = 0; S != Count && !Matched; ++S) {
+      const FlagSpec &Spec = Specs[S];
+      size_t Len = std::strlen(Spec.Name);
+      bool TakesValue = Spec.Name[Len - 1] == '=';
+      if (TakesValue ? Arg.compare(0, Len, Spec.Name) == 0
+                     : Arg == Spec.Name) {
+        Matched = true;
+        if (!Spec.Parse(TakesValue ? Arg.substr(Len) : std::string(), Opts))
+          return false;
+      }
+    }
+    if (!Matched) {
+      std::fprintf(stderr, "jsai: unknown option '%s'\n", Arg.c_str());
+      return false;
     }
   }
   return true;
@@ -357,14 +486,21 @@ int serveRequest(const CliOptions &Opts, const std::string &SocketPath,
 
   JsonValue Req = JsonValue::object();
   Req.set("cmd", JsonValue::str(Request));
-  if (Request == "analyze") {
+  if (Request == "analyze" || Request == "explain") {
     if (Dir.empty()) {
-      std::fprintf(stderr, "jsai: analyze requires a project directory\n");
+      std::fprintf(stderr, "jsai: %s requires a project directory\n",
+                   Request.c_str());
       return 2;
     }
     Req.set("dir", JsonValue::str(Dir));
     if (Opts.MainModule != "app/main.js")
       Req.set("main", JsonValue::str(Opts.MainModule));
+  }
+  if (Request == "explain") {
+    if (!Opts.Driver.empty())
+      Req.set("driver", JsonValue::str(Opts.Driver));
+    if (Opts.Top)
+      Req.set("top", JsonValue::number(double(Opts.Top)));
   }
   if (Request == "analyze" || Request == "suite") {
     // Send only the options the user set explicitly; everything else
@@ -401,9 +537,26 @@ int serveRequest(const CliOptions &Opts, const std::string &SocketPath,
     return 0;
   }
 
-  // analyze/suite: the "report" field holds the exact renderReport bytes a
-  // local run would produce; write or print them verbatim.
+  // analyze/suite/explain: the "report" field holds the exact renderReport
+  // bytes a local run would produce; write or print them verbatim.
   std::string Report = Resp.stringField("report");
+  if (Request == "explain") {
+    // The rendered blame report is the payload; the JSONL report is only
+    // written when the caller asked for a file.
+    std::printf("serve: explain %s\n", Resp.stringField("project").c_str());
+    std::fputs(Resp.stringField("output").c_str(), stdout);
+    if (!Opts.ReportPath.empty()) {
+      std::ofstream Out(Opts.ReportPath, std::ios::binary);
+      Out << Report;
+      if (!Out) {
+        std::fprintf(stderr, "jsai: cannot write '%s'\n",
+                     Opts.ReportPath.c_str());
+        return 1;
+      }
+      std::printf("report: %s\n", Opts.ReportPath.c_str());
+    }
+    return 0;
+  }
   if (Request == "analyze")
     std::printf("serve: analyze %s (%s)\n",
                 Resp.stringField("project").c_str(),
@@ -676,6 +829,80 @@ int cmdCompare(const CliOptions &Opts) {
   return 0;
 }
 
+int cmdExplain(const CliOptions &Opts) {
+  if (!Opts.ServeVia.empty())
+    return serveRequest(Opts, Opts.ServeVia, "explain", Opts.Dir);
+  ProjectSpec Spec;
+  if (!loadProject(Opts, Spec))
+    return 1;
+  Spec.TestDriver = Opts.Driver.empty() ? Opts.MainModule : Opts.Driver;
+  if (!Spec.Files.exists(Spec.TestDriver)) {
+    std::fprintf(stderr, "jsai: driver module '%s' not found\n",
+                 Spec.TestDriver.c_str());
+    return 1;
+  }
+  ProjectAnalyzer Analyzer(Spec);
+  const CallGraph &Dyn = Analyzer.dynamicCallGraph();
+  std::printf("dynamic call graph (%s): %zu sites, %zu edges\n\n",
+              Spec.TestDriver.c_str(), Dyn.numSites(), Dyn.numEdges());
+  HintSet Hints = gatherHints(Opts, Analyzer);
+
+  // Force provenance recording on for this analysis regardless of the
+  // --explain= process default: the whole point of the command is the
+  // blame trace, and recording never changes a metric.
+  AnalysisOptions AO = Opts.Analysis;
+  AO.Explain = true;
+  StaticAnalysis SA(Analyzer.loader(), AO, &Hints);
+  AnalysisResult Res = SA.run();
+
+  ExplainInputs In;
+  In.StaticCG = &Res.CG;
+  In.DynamicCG = &Dyn;
+  In.ApproxAborts = Analyzer.approxStats().NumAborts;
+  BlameSummary B = summarizeBlame(SA.explainView(), In);
+  std::printf("%s", renderBlameReport(B, Opts.Top).c_str());
+
+  if (!Opts.ReportPath.empty()) {
+    // Single-project telemetry with a trailing blame record, same schema
+    // as `jsai suite --explain=record --report=`.
+    JobResult Job;
+    ProjectReport &R = Job.Report;
+    R.Name = Spec.Name;
+    R.Pattern = Spec.Pattern;
+    R.NumPackages = Analyzer.numPackages();
+    R.NumModules = Analyzer.numModules();
+    R.NumFunctions = Analyzer.numFunctions();
+    R.CodeBytes = Analyzer.codeBytes();
+    R.Approx = Analyzer.approxStats();
+    R.NumHints = Hints.size();
+    R.Extended = Res;
+    R.HasDynamicCG = true;
+    R.DynamicEdges = Dyn.numEdges();
+    R.ExtendedRP = compareCallGraphs(Res.CG, Dyn);
+    R.HasBlame = true;
+    R.Blame = B;
+    DriverOptions DO;
+    DO.IncludeTimings = Opts.ReportTimings;
+    RunSummary Summary;
+    Summary.Jobs.push_back(std::move(Job));
+    RunAggregates &Agg = Summary.Totals;
+    const ProjectReport &JR = Summary.Jobs[0].Report;
+    Agg.Projects = 1;
+    Agg.Ok = 1;
+    Agg.ExtendedCallEdges = JR.Extended.NumCallEdges;
+    Agg.ExtendedReachable = JR.Extended.NumReachableFunctions;
+    Agg.Hints = JR.NumHints;
+    Agg.SolverTokensPropagated = JR.Extended.Solver.NumTokensPropagated;
+    if (!writeReport(Opts.ReportPath, Summary, DO)) {
+      std::fprintf(stderr, "jsai: cannot write '%s'\n",
+                   Opts.ReportPath.c_str());
+      return 1;
+    }
+    std::printf("report: %s\n", Opts.ReportPath.c_str());
+  }
+  return 0;
+}
+
 int cmdSuite(const CliOptions &Opts) {
   if (!Opts.ServeVia.empty())
     return serveRequest(Opts, Opts.ServeVia, "suite", "");
@@ -788,6 +1015,62 @@ int cmdCache(const CliOptions &Opts) {
   return Invalid == 0 ? 0 : 1;
 }
 
+int cmdCorpus(const CliOptions &Opts) {
+  // `jsai corpus list` / `jsai corpus dump <name> <dir>`: inspect and
+  // materialize projects of the embedded benchmark suite, so scripts can
+  // point the file-based commands (analyze/compare/explain) at a real
+  // corpus project on disk.
+  const std::string Sub =
+      Opts.Positionals.empty() ? std::string() : Opts.Positionals[0];
+  std::vector<ProjectSpec> Suite = buildBenchmarkSuite();
+  if (Sub == "list") {
+    for (const ProjectSpec &Spec : Suite)
+      std::printf("%-26s %-22s %3zu modules  %s\n", Spec.Name.c_str(),
+                  Spec.Pattern.c_str(), Spec.numModules(),
+                  Spec.hasDynamicCallGraph() ? Spec.TestDriver.c_str() : "-");
+    return 0;
+  }
+  if (Sub == "dump") {
+    if (Opts.Positionals.size() < 3) {
+      std::fprintf(stderr,
+                   "jsai: corpus dump requires a project name and a "
+                   "destination directory\n");
+      return 2;
+    }
+    const std::string &Name = Opts.Positionals[1];
+    const std::string &Dest = Opts.Positionals[2];
+    for (const ProjectSpec &Spec : Suite) {
+      if (Spec.Name != Name)
+        continue;
+      for (const std::string &Path : Spec.Files.allPaths()) {
+        std::filesystem::path Out = std::filesystem::path(Dest) / Path;
+        std::error_code Ec;
+        std::filesystem::create_directories(Out.parent_path(), Ec);
+        std::ofstream File(Out, std::ios::binary);
+        File << Spec.Files.read(Path);
+        if (!File) {
+          std::fprintf(stderr, "jsai: cannot write '%s'\n",
+                       Out.string().c_str());
+          return 1;
+        }
+      }
+      std::printf("dumped %s to %s (%zu files, main: %s, driver: %s)\n",
+                  Name.c_str(), Dest.c_str(), Spec.Files.size(),
+                  Spec.MainModule.c_str(),
+                  Spec.hasDynamicCallGraph() ? Spec.TestDriver.c_str() : "-");
+      return 0;
+    }
+    std::fprintf(stderr, "jsai: no corpus project named '%s' (see `jsai "
+                         "corpus list`)\n",
+                 Name.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "jsai: unknown corpus subcommand '%s' "
+                       "(expected: list, dump)\n",
+               Sub.c_str());
+  return 2;
+}
+
 int cmdServe(const CliOptions &Opts) {
   if (Opts.Socket.empty()) {
     std::fprintf(stderr, "jsai: serve requires --socket=<path>\n");
@@ -831,12 +1114,12 @@ int cmdServe(const CliOptions &Opts) {
 int cmdClient(const CliOptions &Opts) {
   if (Opts.Positionals.empty()) {
     std::fprintf(stderr, "jsai: client requires a request "
-                         "(analyze|suite|stats|shutdown)\n");
+                         "(analyze|suite|explain|stats|shutdown)\n");
     return 2;
   }
   const std::string &Request = Opts.Positionals[0];
-  if (Request != "analyze" && Request != "suite" && Request != "stats" &&
-      Request != "shutdown") {
+  if (Request != "analyze" && Request != "suite" && Request != "explain" &&
+      Request != "stats" && Request != "shutdown") {
     std::fprintf(stderr, "jsai: unknown client request '%s'\n",
                  Request.c_str());
     return 2;
@@ -869,10 +1152,14 @@ int main(int Argc, char **Argv) {
     return cmdRun(Opts);
   if (Opts.Command == "compare")
     return cmdCompare(Opts);
+  if (Opts.Command == "explain")
+    return cmdExplain(Opts);
   if (Opts.Command == "suite")
     return cmdSuite(Opts);
   if (Opts.Command == "cache")
     return cmdCache(Opts);
+  if (Opts.Command == "corpus")
+    return cmdCorpus(Opts);
   if (Opts.Command == "serve")
     return cmdServe(Opts);
   if (Opts.Command == "client")

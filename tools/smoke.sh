@@ -67,3 +67,21 @@ if ! cmp -s "$WORK_DIR/cold.jsonl" "$WORK_DIR/served.jsonl"; then
   exit 1
 fi
 echo "smoke.sh: serve round-trip ok"
+
+# Explain round-trip on one corpus project: materialize the first project
+# that carries a test driver, run `jsai explain` on it, and require a
+# ranked blame report (the missed-edges section with its cause histogram
+# and the origin inflation table).
+read -r PROJ DRIVER <<EOF
+$("$JSAI" corpus list | awk '$5 != "-" {print $1, $5; exit}')
+EOF
+"$JSAI" corpus dump "$PROJ" "$WORK_DIR/explainproj" >/dev/null
+"$JSAI" explain "$WORK_DIR/explainproj" --driver="$DRIVER" \
+  >"$WORK_DIR/explain.out"
+if ! grep -q "^== missed dynamic call edges: " "$WORK_DIR/explain.out" ||
+   ! grep -q "^== origins ranked by inflation ==" "$WORK_DIR/explain.out"; then
+  echo "smoke.sh: FAIL — jsai explain produced no ranked blame report" >&2
+  cat "$WORK_DIR/explain.out" >&2
+  exit 1
+fi
+echo "smoke.sh: explain round-trip ok ($PROJ)"
