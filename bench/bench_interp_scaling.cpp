@@ -185,10 +185,12 @@ ProjectSpec makeProject(size_t PatternIdx, unsigned Size) {
 }
 
 ApproxOptions approxOptions(bool EnableIC,
-                            InterpEngineKind Engine = InterpEngineKind::Ast) {
+                            InterpEngineKind Engine = InterpEngineKind::Ast,
+                            bool VmOptimize = false) {
   ApproxOptions AO;
   AO.EnableInlineCaches = EnableIC;
   AO.Engine = Engine;
+  AO.VmOptimize = VmOptimize;
   return AO;
 }
 
@@ -198,9 +200,10 @@ void BM_ApproxInterp(benchmark::State &State) {
   bool EnableIC = State.range(2) != 0;
   InterpEngineKind Engine = State.range(3) != 0 ? InterpEngineKind::Vm
                                                 : InterpEngineKind::Ast;
+  bool VmOptimize = State.range(4) != 0;
   for (auto _ : State) {
     // Fresh analyzer each iteration: hint collection is cached otherwise.
-    ProjectAnalyzer A(Spec, approxOptions(EnableIC, Engine));
+    ProjectAnalyzer A(Spec, approxOptions(EnableIC, Engine, VmOptimize));
     benchmark::DoNotOptimize(A.hints().size());
   }
 }
@@ -210,27 +213,36 @@ void registerBenches() {
     benchmark::RegisterBenchmark(
         (std::string("BM_ApproxInterp/") + Patterns[P].Name).c_str(),
         BM_ApproxInterp)
-        ->Args({long(P), 0, 1, 0})
-        ->Args({long(P), 1, 1, 0})
-        ->Args({long(P), 2, 1, 0})
+        ->Args({long(P), 0, 1, 0, 0})
+        ->Args({long(P), 1, 1, 0, 0})
+        ->Args({long(P), 2, 1, 0, 0})
         ->Unit(benchmark::kMillisecond);
   // The IC ablation only makes sense where sites re-execute.
   benchmark::RegisterBenchmark("BM_ApproxInterp/hot-loops-noic",
                                BM_ApproxInterp)
-      ->Args({long(HotLoopsIdx), 0, 0, 0})
-      ->Args({long(HotLoopsIdx), 1, 0, 0})
-      ->Args({long(HotLoopsIdx), 2, 0, 0})
+      ->Args({long(HotLoopsIdx), 0, 0, 0, 0})
+      ->Args({long(HotLoopsIdx), 1, 0, 0, 0})
+      ->Args({long(HotLoopsIdx), 2, 0, 0, 0})
       ->Unit(benchmark::kMillisecond);
-  // Engine ablation: the loop-heavy patterns under the bytecode VM (the
-  // default registrations above run the tree walker).
-  for (size_t P : {HotLoopsIdx, LoopKernelsIdx, StateMachineIdx})
+  // Engine ablation: the loop-heavy patterns under the bytecode VM, plain
+  // and optimized (the default registrations above run the tree walker).
+  for (size_t P : {HotLoopsIdx, LoopKernelsIdx, StateMachineIdx}) {
     benchmark::RegisterBenchmark(
         (std::string("BM_ApproxInterp/") + Patterns[P].Name + "-vm").c_str(),
         BM_ApproxInterp)
-        ->Args({long(P), 0, 1, 1})
-        ->Args({long(P), 1, 1, 1})
-        ->Args({long(P), 2, 1, 1})
+        ->Args({long(P), 0, 1, 1, 0})
+        ->Args({long(P), 1, 1, 1, 0})
+        ->Args({long(P), 2, 1, 1, 0})
         ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ApproxInterp/") + Patterns[P].Name + "-vmopt")
+            .c_str(),
+        BM_ApproxInterp)
+        ->Args({long(P), 0, 1, 1, 1})
+        ->Args({long(P), 1, 1, 1, 1})
+        ->Args({long(P), 2, 1, 1, 1})
+        ->Unit(benchmark::kMillisecond);
+  }
 }
 
 /// One-shot table: per-pattern/size interpreter phase time plus the
@@ -317,6 +329,87 @@ void printScalingTable() {
                     VmHints);
       std::printf("%-22s %6u %14.4f %14.4f %8.2fx\n", Patterns[P].Name, Size,
                   AstS, VmS, VmS > 0 ? AstS / VmS : 0.0);
+    }
+  }
+  rule();
+  std::printf("\n");
+
+  std::printf(
+      "Bytecode optimizer ablation: --vm-opt=on vs off (approx phase)\n");
+  rule();
+  std::printf("%-22s %6s %12s %12s %8s %7s %7s %6s\n", "Pattern", "Size",
+              "vm (s)", "vm-opt (s)", "Speedup", "Fused", "Quick", "Deopt");
+  rule();
+  for (size_t P : {HotLoopsIdx, LoopKernelsIdx, StateMachineIdx}) {
+    for (unsigned Size = 0; Size != 3; ++Size) {
+      ProjectSpec Spec = makeProject(P, Size);
+      // Best-of-3 per mode; identical hints asserted (the optimizer is
+      // inside the differential-oracle contract like the engine choice).
+      double PlainS = 0, OptS = 0;
+      size_t PlainHints = 0, OptHints = 0;
+      VmOptStats OptStats;
+      for (int Rep = 0; Rep != 3; ++Rep) {
+        ProjectAnalyzer Plain(
+            Spec, approxOptions(true, InterpEngineKind::Vm, false));
+        PlainHints = Plain.hints().size();
+        ProjectAnalyzer Opt(Spec,
+                            approxOptions(true, InterpEngineKind::Vm, true));
+        OptHints = Opt.hints().size();
+        OptStats = Opt.vmOptStats();
+        if (Rep == 0 || Plain.approxSeconds() < PlainS)
+          PlainS = Plain.approxSeconds();
+        if (Rep == 0 || Opt.approxSeconds() < OptS)
+          OptS = Opt.approxSeconds();
+      }
+      if (PlainHints != OptHints)
+        std::printf("ENGINE DIVERGENCE: %zu vs %zu hints\n", PlainHints,
+                    OptHints);
+      std::printf("%-22s %6u %12.4f %12.4f %7.2fx %7llu %7llu %6llu\n",
+                  Patterns[P].Name, Size, PlainS, OptS,
+                  OptS > 0 ? PlainS / OptS : 0.0,
+                  (unsigned long long)OptStats.FusedInsns,
+                  (unsigned long long)OptStats.QuickenedSites,
+                  (unsigned long long)OptStats.Deopts);
+    }
+  }
+  rule();
+  std::printf("\n");
+
+  // Per-opcode dispatch profile of the optimized VM on loop-kernels: which
+  // opcodes dominate after fusion and quickening. CountVmOpcodes is a
+  // bench-only knob — dispatch counting costs a load+increment per opcode
+  // and never runs in default reports.
+  std::printf("Optimized-VM opcode profile (loop-kernels, size 1)\n");
+  rule();
+  {
+    ProjectSpec Spec = makeProject(LoopKernelsIdx, 1);
+    ApproxOptions AO = approxOptions(true, InterpEngineKind::Vm, true);
+    AO.CountVmOpcodes = true;
+    ProjectAnalyzer A(Spec, AO);
+    benchmark::DoNotOptimize(A.hints().size());
+    const uint64_t *Counts = nullptr;
+    if (const VmChunkCache *Cache = A.loader().vmChunkCacheIfPresent())
+      Counts = Cache->opcodeCounts();
+    if (!Counts) {
+      std::printf("(no VM execution recorded)\n");
+    } else {
+      std::vector<std::pair<uint64_t, size_t>> Ranked;
+      uint64_t Total = 0;
+      for (size_t I = 0; I != VmNumOps; ++I) {
+        Total += Counts[I];
+        if (Counts[I])
+          Ranked.push_back({Counts[I], I});
+      }
+      std::sort(Ranked.begin(), Ranked.end(),
+                [](const auto &A, const auto &B) { return A.first > B.first; });
+      std::printf("%-26s %14s %7s\n", "Opcode", "Dispatches", "Share");
+      for (size_t I = 0; I != Ranked.size() && I != 16; ++I)
+        std::printf("%-26s %14llu %6.1f%%\n",
+                    vmOpName(VmOp(Ranked[I].second)),
+                    (unsigned long long)Ranked[I].first,
+                    Total ? 100.0 * double(Ranked[I].first) / double(Total)
+                          : 0.0);
+      std::printf("%-26s %14llu\n", "total", (unsigned long long)Total);
     }
   }
   rule();

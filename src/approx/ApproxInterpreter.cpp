@@ -113,6 +113,8 @@ HintSet ApproxInterpreter::run(const std::vector<std::string> &RootModules) {
   IOpts.Cancel = Opts.Cancel;
   IOpts.EnableInlineCaches = Opts.EnableInlineCaches;
   IOpts.Engine = Opts.Engine;
+  IOpts.VmOptimize = Opts.VmOptimize;
+  IOpts.CountVmOpcodes = Opts.CountVmOpcodes;
   Interpreter I(Loader, IOpts, &Collector);
 
   Stats = ApproxStats();

@@ -40,6 +40,13 @@ struct ApproxOptions {
   /// InterpOptions. Both engines produce identical hints and stats — the
   /// walker remains as the differential oracle for the VM.
   InterpEngineKind Engine = defaultInterpEngineKind();
+  /// Run the bytecode optimizer (superinstruction fusion + quickening) on
+  /// compiled chunks; no effect under the Ast engine. Deliberately absent
+  /// from config fingerprints: results are identical either way.
+  bool VmOptimize = defaultVmOptEnabled();
+  /// Count per-opcode VM dispatches into the loader's chunk cache
+  /// (bench/ablation only; never enabled by default reports).
+  bool CountVmOpcodes = false;
   /// Optional deadline token (armed by the caller). Polled at the
   /// interpreter's budget checkpoints and between worklist items; on expiry
   /// the worklist is abandoned and run() returns the hints collected so far.

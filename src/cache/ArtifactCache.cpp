@@ -60,6 +60,9 @@ Sha256Digest ArtifactCache::computeKey(const FileSystem &Files,
 
 std::string ArtifactCache::fingerprint(const ApproxOptions &Opts,
                                        const std::string &MainModule) {
+  // Engine, VmOptimize, and CountVmOpcodes are deliberately not part of the
+  // fingerprint: all engine/optimizer configurations produce byte-identical
+  // hints and stats, so their cache entries are interchangeable.
   std::ostringstream Out;
   Out << "approx:depth=" << Opts.MaxCallDepth
       << ",loops=" << Opts.MaxLoopIterations << ",steps=" << Opts.MaxSteps

@@ -174,6 +174,18 @@ std::string jsai::jobRecordJson(const JobResult &Job, bool IncludeTimings) {
     Out += ",\"mode\":\"";
     Out += interpEngineKindName(defaultInterpEngineKind());
     Out += "\"";
+    // Bytecode optimizer counters (all zeros under ast or --vm-opt=off,
+    // except chunk_compiles/chunk_reuses which any VM run accumulates).
+    // Same rule as "mode": these describe execution strategy, never
+    // analysis output, so they stay behind the timings gate.
+    Out += ",\"vm_opt\":\"";
+    Out += vmOptModeName(defaultVmOptEnabled());
+    Out += "\"";
+    Out += ",\"chunk_compiles\":" + num(R.VmOpt.ChunkCompiles);
+    Out += ",\"chunk_reuses\":" + num(R.VmOpt.ChunkReuses);
+    Out += ",\"fused_insns\":" + num(R.VmOpt.FusedInsns);
+    Out += ",\"quickened_sites\":" + num(R.VmOpt.QuickenedSites);
+    Out += ",\"deopts\":" + num(R.VmOpt.Deopts);
   }
   Out += "}";
   Out += ",\"baseline\":" + analysisJson(R.Baseline);

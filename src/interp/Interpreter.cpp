@@ -267,34 +267,41 @@ Completion Interpreter::getProperty(const Value &Base, const std::string &Name,
 
 Completion Interpreter::getProperty(const Value &Base, Symbol Name,
                                     SourceLoc Loc, uint32_t CacheId) {
+  // Only the inline-cache probe lives here; every fallback (primitives,
+  // proxies, dictionary mode, accessors, recording) is in the noinline
+  // slow tail so this probe can inline into the dispatch loops.
   if (!Opts.EnableInlineCaches)
     CacheId = NoCache;
-  if (CacheId != NoCache) {
-    if (Base.isObject()) {
-      Object *O = Base.asObject();
-      const InlineCache &IC = cacheAt(CacheId);
-      if (IC.GetShape && IC.GetShape == O->shape() && icEligible(O, Name)) {
-        Object *Holder = O;
-        bool Valid = true;
-        for (uint8_t I = 0; I != IC.GetDepth; ++I) {
-          Holder = Holder->proto();
-          if (Holder != IC.GetChain[I] ||
-              Holder->shape() != IC.GetChainShapes[I]) {
-            Valid = false;
-            break;
-          }
+  if (CacheId != NoCache && Base.isObject()) {
+    Object *O = Base.asObject();
+    const InlineCache &IC = cacheAt(CacheId);
+    if (IC.GetShape && IC.GetShape == O->shape() && icEligible(O, Name)) {
+      Object *Holder = O;
+      bool Valid = true;
+      for (uint8_t I = 0; I != IC.GetDepth; ++I) {
+        Holder = Holder->proto();
+        if (Holder != IC.GetChain[I] ||
+            Holder->shape() != IC.GetChainShapes[I]) {
+          Valid = false;
+          break;
         }
-        if (Valid) {
-          const PropertySlot &S = Holder->slotAt(IC.GetSlot);
-          if (!S.isAccessor()) {
-            ++Counters.ICGetHits;
-            return S.V;
-          }
+      }
+      if (Valid) {
+        const PropertySlot &S = Holder->slotAt(IC.GetSlot);
+        if (!S.isAccessor()) {
+          ++Counters.ICGetHits;
+          return S.V;
         }
       }
     }
-    ++Counters.ICGetMisses;
   }
+  return getPropertySlow(Base, Name, Loc, CacheId);
+}
+
+Completion Interpreter::getPropertySlow(const Value &Base, Symbol Name,
+                                        SourceLoc Loc, uint32_t CacheId) {
+  if (CacheId != NoCache)
+    ++Counters.ICGetMisses;
   switch (Base.kind()) {
   case ValueKind::Undefined:
   case ValueKind::Null:
@@ -403,6 +410,7 @@ Completion Interpreter::setProperty(const Value &Base, const std::string &Name,
 Completion Interpreter::setProperty(const Value &Base, Symbol Name,
                                     const Value &V, SourceLoc Loc,
                                     uint32_t CacheId) {
+  // Probe-only head; see getProperty for the split rationale.
   if (!Base.isObject())
     return Value::undefined(); // Writes to primitives are silently dropped.
   Object *O = Base.asObject();
@@ -439,8 +447,16 @@ Completion Interpreter::setProperty(const Value &Base, Symbol Name,
         }
       }
     }
-    ++Counters.ICSetMisses;
   }
+  return setPropertySlow(Base, Name, V, Loc, CacheId);
+}
+
+Completion Interpreter::setPropertySlow(const Value &Base, Symbol Name,
+                                        const Value &V, SourceLoc Loc,
+                                        uint32_t CacheId) {
+  Object *O = Base.asObject();
+  if (CacheId != NoCache)
+    ++Counters.ICSetMisses;
   if (O->objectClass() == ObjectClass::Proxy)
     return Value::undefined(); // Writes to p* are ignored (Section 3).
   if (O->objectClass() == ObjectClass::ReceiverProxy)

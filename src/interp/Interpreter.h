@@ -24,6 +24,7 @@
 #include "interp/Observer.h"
 #include "runtime/Heap.h"
 #include "support/Cancellation.h"
+#include "support/CompilerHints.h"
 #include "vm/EngineKind.h"
 
 #include <memory>
@@ -56,6 +57,15 @@ struct InterpOptions {
   /// Per-site inline caches on static member accesses. Off is only useful
   /// as an ablation baseline (bench_interp_scaling measures both sides).
   bool EnableInlineCaches = true;
+  /// Run compiled chunks through the bytecode optimizer (peephole
+  /// superinstructions + runtime quickening) and share them through the
+  /// loader's cross-invocation chunk cache. Observationally identical to
+  /// the unoptimized VM — which stays, with the walker, as a differential
+  /// oracle. No effect under the Ast engine.
+  bool VmOptimize = defaultVmOptEnabled();
+  /// Count per-opcode executions into the loader's chunk cache (bench
+  /// ablation tables only; one extra branch per dispatched instruction).
+  bool CountVmOpcodes = false;
   /// Optional deadline token, polled at the step/loop budget checkpoints.
   /// Expiry behaves exactly like budget exhaustion (Abort completions).
   CancellationToken *Cancel = nullptr;
@@ -274,6 +284,18 @@ private:
   /// arguments objects, proxies, and callable name/length virtualize
   /// properties invisibly to shapes and stay uncached.
   bool icEligible(const Object *O, Symbol Name);
+
+  /// Everything past the inline-cache probe of getProperty/setProperty:
+  /// primitive prototypes, proxies, array/arguments virtualization,
+  /// dictionary-mode and generic chain walks, accessor invocation, and IC
+  /// recording. Noinline so the probe — the only part the hot paths (VM
+  /// dispatch, quickened member ops) actually execute — stays small enough
+  /// to inline into its callers.
+  JSAI_NOINLINE Completion getPropertySlow(const Value &Base, Symbol Name,
+                                           SourceLoc Loc, uint32_t CacheId);
+  JSAI_NOINLINE Completion setPropertySlow(const Value &Base, Symbol Name,
+                                           const Value &V, SourceLoc Loc,
+                                           uint32_t CacheId);
   void recordGetIC(uint32_t CacheId, Object *Recv, Object *Holder,
                    unsigned Hops, Symbol Name);
   void recordSetIC(uint32_t CacheId, Object *Recv, Shape *OldShape,
@@ -309,10 +331,12 @@ private:
   /// switch point between the walker and the VM (callClosure,
   /// callFunctionForced, and runEvalBody all funnel through here).
   Completion executeBody(FunctionDef *Def, Environment *Env);
-  /// Lazily compiled bytecode for \p Def (compiled once, cached for the
-  /// interpreter's lifetime; eval re-parses create fresh FunctionDefs).
-  const VmChunk &chunkFor(FunctionDef *Def);
-  Completion runChunk(const VmChunk &Chunk, Environment *Env, FunctionDef *F);
+  /// Bytecode for \p Def, compiled (and, with VmOptimize, optimized) on
+  /// first use and shared through the loader's cross-invocation chunk
+  /// cache; eval re-parses create fresh FunctionDefs and fresh entries.
+  /// Mutable because quickening rewrites optimized chunks in place.
+  VmChunk &chunkFor(FunctionDef *Def);
+  Completion runChunk(VmChunk &Chunk, Environment *Env, FunctionDef *F);
 
   /// Invokes a program-defined closure.
   Completion callClosure(Object *Fn, const Value &ThisV,
@@ -345,6 +369,24 @@ private:
     }
     return stepBudget();
   }
+  /// Charges \p N fused steps at once (superinstructions). Abort-equivalent
+  /// to N sequential stepBudget() calls: the fused region performs no
+  /// observable effect between the individual charges, so only whether the
+  /// final Steps value crossed MaxSteps is observable — and that is
+  /// identical. The cancellation token is polled once instead of N times;
+  /// its expiry is wall-clock-driven and not part of the parity contract.
+  bool stepBudgetN(uint64_t N) {
+    Steps += N;
+    if (Steps > Opts.MaxSteps) {
+      BudgetHit = true;
+      return false;
+    }
+    if (Opts.Cancel && Opts.Cancel->expired()) {
+      BudgetHit = true;
+      return false;
+    }
+    return true;
+  }
 
   ModuleLoader &Loader;
   InterpOptions Opts;
@@ -363,8 +405,12 @@ private:
 
   std::vector<std::string> Console;
 
-  /// Compiled bodies, keyed by FunctionDef (VM engine only).
-  std::unordered_map<FunctionDef *, std::unique_ptr<VmChunk>> VmChunks;
+  /// Chunks this interpreter has touched, keyed by FunctionDef (VM engine
+  /// only). Non-owning views into the loader's cross-invocation chunk
+  /// cache, which outlives every interpreter on the loader; kept per
+  /// instance so compiledVmChunks() still counts this interpreter's own
+  /// footprint and repeat lookups skip the shared map.
+  std::unordered_map<FunctionDef *, VmChunk *> VmChunks;
 
   /// Inline caches, indexed by NodeId (sparse; most nodes never host one).
   std::vector<InlineCache> Caches;

@@ -4,8 +4,21 @@
 
 #include "ast/ScopeResolver.h"
 #include "parser/Parser.h"
+#include "vm/Bytecode.h"
 
 using namespace jsai;
+
+ModuleLoader::ModuleLoader(AstContext &Ctx, const FileSystem &Fs,
+                           DiagnosticEngine &Diags)
+    : Ctx(Ctx), Fs(Fs), Diags(Diags) {}
+
+ModuleLoader::~ModuleLoader() = default;
+
+VmChunkCache &ModuleLoader::vmChunkCache() {
+  if (!ChunkCache)
+    ChunkCache = std::make_unique<VmChunkCache>();
+  return *ChunkCache;
+}
 
 static std::string packageOf(const std::string &Path) {
   size_t Slash = Path.find('/');

@@ -15,13 +15,18 @@
 #include "interp/FileSystem.h"
 #include "support/Diagnostics.h"
 
+#include <memory>
+
 namespace jsai {
+
+class VmChunkCache;
 
 /// Parses and indexes a project's modules.
 class ModuleLoader {
 public:
-  ModuleLoader(AstContext &Ctx, const FileSystem &Fs, DiagnosticEngine &Diags)
-      : Ctx(Ctx), Fs(Fs), Diags(Diags) {}
+  // Ctor/dtor out of line: VmChunkCache is incomplete here.
+  ModuleLoader(AstContext &Ctx, const FileSystem &Fs, DiagnosticEngine &Diags);
+  ~ModuleLoader();
 
   /// Parses every ".js" file in the file system (idempotent) and resolves
   /// identifier scopes. The package of "pkg/path.js" is "pkg".
@@ -36,11 +41,23 @@ public:
   const FileSystem &fileSystem() const { return Fs; }
   DiagnosticEngine &diagnostics() { return Diags; }
 
+  /// Cross-invocation bytecode chunk cache (see vm/Bytecode.h). Lives on
+  /// the loader for the same reason runtime export caching lives off it:
+  /// every execution sharing this parse — per-component approx
+  /// interpreters, the dynamic call-graph run, serve re-requests — keys
+  /// chunks by FunctionDefs of this context, so compiled chunks are
+  /// reusable for exactly the loader's lifetime. Lazily constructed; never
+  /// touched by Ast-engine interpreters.
+  VmChunkCache &vmChunkCache();
+  /// Null until the first VM-engine execution compiled a chunk.
+  const VmChunkCache *vmChunkCacheIfPresent() const { return ChunkCache.get(); }
+
 private:
   AstContext &Ctx;
   const FileSystem &Fs;
   DiagnosticEngine &Diags;
   bool Parsed = false;
+  std::unique_ptr<VmChunkCache> ChunkCache;
 };
 
 } // namespace jsai

@@ -252,6 +252,12 @@ const ApproxStats &ProjectAnalyzer::approxStats() {
   return CachedApproxStats;
 }
 
+VmOptStats ProjectAnalyzer::vmOptStats() const {
+  if (const VmChunkCache *C = Loader->vmChunkCacheIfPresent())
+    return C->Stats;
+  return VmOptStats();
+}
+
 double ProjectAnalyzer::approxSeconds() {
   hints();
   return CachedApproxSeconds;
@@ -390,6 +396,7 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
     // whatever completed and is flushed with outcome "cancelled".
     R.Outcome = ProjectOutcome::Cancelled;
     R.DegradedPhase.clear();
+    R.VmOpt = A.vmOptStats();
     return R;
   }
 
@@ -408,6 +415,10 @@ ProjectReport Pipeline::analyzeProject(const ProjectSpec &Spec) {
       R.HasBlame = true;
     }
   }
+
+  // Captured last so counters from every VM-engine execution (per-component
+  // approx runs and the dynamic call-graph run) are included.
+  R.VmOpt = A.vmOptStats();
 
   // Only fully successful runs are published: a degraded run holds partial
   // hints or truncated analysis results that must never poison warm runs.

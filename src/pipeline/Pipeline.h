@@ -24,6 +24,7 @@
 #include "callgraph/Metrics.h"
 #include "corpus/Project.h"
 #include "support/Cancellation.h"
+#include "vm/Bytecode.h"
 
 #include <memory>
 #include <optional>
@@ -72,6 +73,12 @@ public:
   const HintSet &hints();
   /// Statistics of the (cached) approximate interpretation phase.
   const ApproxStats &approxStats();
+  /// Bytecode compiler/optimizer counters accumulated on the loader's chunk
+  /// cache across every VM-engine execution of this project (all zeros
+  /// under the Ast engine or before any execution). Not part of
+  /// ApproxStats: these describe the execution strategy, not the analysis
+  /// outcome, and must not participate in stats equality.
+  VmOptStats vmOptStats() const;
   /// Wall-clock seconds of the (cached) approximate interpretation phase.
   double approxSeconds();
 
@@ -187,6 +194,9 @@ struct ProjectReport {
   // Pre-analysis outcome.
   ApproxStats Approx;
   size_t NumHints = 0;
+  // Bytecode chunk cache / optimizer counters (VM engine only; all zeros
+  // under ast). Reported in the timings-gated JSONL interp block.
+  VmOptStats VmOpt;
 
   // Analysis results (Figures 4-7 data).
   AnalysisResult Baseline;

@@ -1,0 +1,22 @@
+//===- CompilerHints.h - portable codegen attributes ------------*- C++ -*-===//
+///
+/// \file
+/// JSAI_NOINLINE keeps cold slow paths (unwinding, dictionary-mode property
+/// fallbacks, IC-miss tails) out of the interpreter dispatch loops so the
+/// hot switch stays compact in the instruction cache. Advisory only: a
+/// function marked noinline must be correct either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_SUPPORT_COMPILERHINTS_H
+#define JSAI_SUPPORT_COMPILERHINTS_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JSAI_NOINLINE __attribute__((noinline))
+#elif defined(_MSC_VER)
+#define JSAI_NOINLINE __declspec(noinline)
+#else
+#define JSAI_NOINLINE
+#endif
+
+#endif // JSAI_SUPPORT_COMPILERHINTS_H

@@ -29,6 +29,8 @@
 #include "support/StringPool.h"
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace jsai {
@@ -139,12 +141,66 @@ enum class VmOp : uint8_t {
   ReturnNormal,  ///< exit chunk with Normal (body fell off the end).
   ReturnBrk,     ///< exit chunk with Break (stray break, walker parity).
   ReturnCont,    ///< exit chunk with Continue (stray continue).
+
+  // -- Superinstructions (emitted only by the VmOptimizer; --vm-opt=on) -----
+  // Each fuses an adjacent pair (or run) the compiler emits for hot shapes
+  // and charges exactly the steps its members would have charged, in one
+  // lump. Lumping is abort-equivalent: the fused members perform no
+  // observable effect between their individual charges, so the Steps
+  // counter after the fused charge — and hence whether it crossed MaxSteps
+  // — is identical to the sequential execution.
+  StepN,          ///< A=count: charge A fused walker steps at once.
+  ConstBinary,    ///< [step] A=const idx, B=BinaryOp: Const + BinaryValue.
+  IdentBinary,    ///< [step] A=node(Ident), B=slot, C=BinaryOp: LoadIdent +
+                  ///< BinaryValue with the rhs loaded in place.
+  ConstArith,     ///< [step] A=const idx, B=AssignOp: Const + ApplyArith.
+  IdentArith,     ///< [step] A=node(Ident), B=slot, C=AssignOp.
+  CmpBranchFalse, ///< A=BinaryOp (strict comparison), B=target: BinaryValue +
+                  ///< JumpIfFalsePop without materializing the boolean.
+  ConstCmpBranchFalse, ///< [step] A=const idx, B=BinaryOp, C=target: Const +
+                       ///< BinaryValue + JumpIfFalsePop.
+  IdentGetMember, ///< [step] A=node(Ident), B=slot, C=node(Member): LoadIdent
+                  ///< + GetMember with the base never touching the stack.
+  IdentMethod,    ///< [step] A=node(Ident), B=slot, C=node(Member): LoadIdent
+                  ///< + ResolveMethodStatic (fused call receiver).
+
+  // -- Profiling variants (installed by the optimizer in place of the -------
+  // -- generic forms; count type feedback in C and quicken at a threshold ---
+  BinaryValueProf, ///< BinaryValue; number-number executions bump C.
+  ApplyArithProf,  ///< ApplyArith; number-number executions bump C.
+  GetMemberProf,   ///< GetMember; cacheable-base executions bump C.
+
+  // -- Quickened forms (rewritten in place at runtime; every execution ------
+  // -- re-checks its guard and deoptimizes back to the Prof form on miss ----
+  QNumAdd, ///< A=BinaryOp (preserved for deopt): number fast path only.
+  QNumSub,
+  QNumMul,
+  QNumDiv,
+  QNumMod,
+  QNumLt,
+  QNumLe,
+  QNumGt,
+  QNumGe,
+  QNumEq, ///< strict === over two numbers.
+  QNumNe, ///< strict !== over two numbers.
+  QArithAdd, ///< A=AssignOp (preserved for deopt).
+  QArithSub,
+  QArithMul,
+  QArithDiv,
+  QGetMemberMono, ///< A=node(Member): monomorphic shape-IC hit path only.
 };
+
+/// Number of opcodes; sizes the per-opcode execution counter table.
+inline constexpr size_t VmNumOps = size_t(VmOp::QGetMemberMono) + 1;
+
+/// Human-readable opcode mnemonic (bench ablation tables).
+const char *vmOpName(VmOp Op);
 
 struct VmInsn {
   VmOp Op;
   uint32_t A = 0;
   uint32_t B = 0;
+  uint32_t C = 0; ///< Third operand; quickening counter for Prof opcodes.
 };
 
 /// Compiled form of one FunctionDef. Referenced AST nodes carry the same
@@ -164,7 +220,56 @@ struct VmChunk {
   std::vector<VmInsn> Code;
   std::vector<Value> Consts;
   std::vector<Node *> Nodes;
-  uint32_t NumSlots = 0; ///< Distinct symbols; sizes runChunk's slot cache.
+  uint32_t NumSlots = 0;   ///< Distinct symbols; sizes runChunk's slot cache.
+  bool Optimized = false;  ///< Ran through the VmOptimizer (may self-rewrite).
+};
+
+/// Counters for the bytecode optimization layer, surfaced only in the
+/// timings-gated JSONL interp block and bench ablation tables. Deliberately
+/// NOT part of InterpStats or ApproxStats: those are equality-compared
+/// across engine configurations by the parity tests, and these counters are
+/// configuration-dependent by construction.
+struct VmOptStats {
+  uint64_t ChunkCompiles = 0;  ///< Chunks compiled fresh into the cache.
+  uint64_t ChunkReuses = 0;    ///< chunkFor served from a prior invocation.
+  uint64_t FusedInsns = 0;     ///< Instructions removed by peephole fusion.
+  uint64_t QuickenedSites = 0; ///< Generic -> specialized in-place rewrites.
+  uint64_t Deopts = 0;         ///< Specialized -> generic on a guard miss.
+};
+
+/// Cross-invocation chunk cache, owned by the ModuleLoader so every
+/// execution sharing one parse (the approx worklist's per-component
+/// interpreters, the dynamic call-graph run, serve re-requests) reuses
+/// compiled+optimized chunks instead of recompiling. Keyed by FunctionDef
+/// pointer, which is stable for the lifetime of the owning AstContext —
+/// exactly the loader's lifetime — so no invalidation is ever needed;
+/// eval-parsed bodies get fresh FunctionDefs and therefore fresh entries.
+/// Optimized and plain chunks live in separate slots: interpreters with
+/// different VmOptimize settings may share one loader (parity harnesses),
+/// and a chunk that may quicken itself in place must never be observed by a
+/// --vm-opt=off interpreter.
+class VmChunkCache {
+public:
+  struct Entry {
+    std::unique_ptr<VmChunk> Plain; ///< --vm-opt=off form.
+    std::unique_ptr<VmChunk> Opt;   ///< Fused + quickenable form.
+  };
+
+  std::unordered_map<FunctionDef *, Entry> Entries;
+  VmOptStats Stats;
+
+  /// Lazily allocated per-opcode execution counters (zero-initialized),
+  /// shared by every interpreter on this loader. Null until an interpreter
+  /// opted into counting; the dispatch loop tests one pointer per insn.
+  uint64_t *ensureOpcodeCounts() {
+    if (!OpCounts)
+      OpCounts = std::make_unique<uint64_t[]>(VmNumOps);
+    return OpCounts.get();
+  }
+  const uint64_t *opcodeCounts() const { return OpCounts.get(); }
+
+private:
+  std::unique_ptr<uint64_t[]> OpCounts;
 };
 
 } // namespace jsai

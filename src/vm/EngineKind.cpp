@@ -20,6 +20,17 @@ InterpEngineKind &defaultKindStorage() {
   return Kind;
 }
 
+bool &defaultVmOptStorage() {
+  static bool On = [] {
+    bool Parsed;
+    if (const char *Env = std::getenv("JSAI_VM_OPT"))
+      if (parseVmOptMode(Env, Parsed))
+        return Parsed;
+    return true;
+  }();
+  return On;
+}
+
 } // namespace
 
 InterpEngineKind jsai::defaultInterpEngineKind() { return defaultKindStorage(); }
@@ -39,6 +50,24 @@ bool jsai::parseInterpEngineKind(const char *Name, InterpEngineKind &Out) {
   }
   if (std::strcmp(Name, "ast") == 0) {
     Out = InterpEngineKind::Ast;
+    return true;
+  }
+  return false;
+}
+
+bool jsai::defaultVmOptEnabled() { return defaultVmOptStorage(); }
+
+void jsai::setDefaultVmOptEnabled(bool On) { defaultVmOptStorage() = On; }
+
+const char *jsai::vmOptModeName(bool On) { return On ? "on" : "off"; }
+
+bool jsai::parseVmOptMode(const char *Name, bool &Out) {
+  if (std::strcmp(Name, "on") == 0) {
+    Out = true;
+    return true;
+  }
+  if (std::strcmp(Name, "off") == 0) {
+    Out = false;
     return true;
   }
   return false;

@@ -36,6 +36,20 @@ const char *interpEngineKindName(InterpEngineKind K);
 /// Parses "ast" / "vm". \returns false on anything else.
 bool parseInterpEngineKind(const char *Name, InterpEngineKind &Out);
 
+/// Process-wide default for the VM's bytecode optimization layer
+/// (peephole superinstructions + runtime quickening + chunk reuse).
+/// Initialized once from JSAI_VM_OPT ("on" or "off"; anything else keeps
+/// the built-in default of on); the CLI's --vm-opt= overrides it at
+/// startup. Optimization never changes observable behavior — hints,
+/// InterpStats, budgets, and abort points are byte-identical either way —
+/// so it is deliberately absent from every config fingerprint. No effect
+/// under --interp=ast.
+bool defaultVmOptEnabled();
+void setDefaultVmOptEnabled(bool On);
+const char *vmOptModeName(bool On);
+/// Parses "on" / "off". \returns false on anything else.
+bool parseVmOptMode(const char *Name, bool &Out);
+
 } // namespace jsai
 
 #endif // JSAI_VM_ENGINEKIND_H

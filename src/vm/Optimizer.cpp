@@ -1,0 +1,313 @@
+//===- Optimizer.cpp - bytecode peephole optimizer ------------------------===//
+
+#include "vm/Optimizer.h"
+
+#include "ast/Ast.h"
+
+#include <cassert>
+
+using namespace jsai;
+
+namespace {
+
+/// Applies \p F to every jump-target operand of \p I. Targets are absolute
+/// instruction indices; callers skip VmNoTarget themselves.
+template <typename Fn> void forEachTarget(VmInsn &I, Fn F) {
+  switch (I.Op) {
+  case VmOp::Jump:
+  case VmOp::JumpIfFalsePop:
+  case VmOp::JumpIfTruePop:
+  case VmOp::OrOrShortcut:
+  case VmOp::CaseCompare:
+    F(I.A);
+    break;
+  case VmOp::LogicalJump:
+  case VmOp::ForInInit:
+  case VmOp::ForInNext:
+  case VmOp::CmpBranchFalse:
+    F(I.B);
+    break;
+  case VmOp::TryEnter:
+    F(I.A);
+    F(I.B);
+    break;
+  case VmOp::ConstCmpBranchFalse:
+    F(I.C);
+    break;
+  default:
+    break;
+  }
+}
+
+/// Comparison ops with a number fast path AND a boolean result; only these
+/// fuse into compare+branch superinstructions (the branch consumes the
+/// boolean without materializing it).
+bool isStrictCmp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::EqStrict:
+  case BinaryOp::NeStrict:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+size_t VmOptimizer::optimize(VmChunk &Chunk) {
+  std::vector<VmInsn> &Code = Chunk.Code;
+  const size_t N = Code.size();
+
+  // Leader set: every jump target. A fusion must not swallow a leader as a
+  // non-first member, or a jump would land mid-superinstruction.
+  std::vector<bool> Leader(N + 1, false);
+  for (VmInsn &I : Code)
+    forEachTarget(I, [&](uint32_t T) {
+      if (T != VmNoTarget) {
+        assert(T <= N && "jump target out of range");
+        Leader[T] = true;
+      }
+    });
+
+  // Greedy left-to-right fusion. NewIndex maps every old instruction index
+  // to the (first instruction of the) group that replaced it; jump targets
+  // are always leaders, and leaders are always first in their group, so
+  // remapping a target to its group start preserves control flow exactly.
+  std::vector<VmInsn> Out;
+  Out.reserve(N);
+  std::vector<uint32_t> NewIndex(N + 1, 0);
+  size_t Fused = 0;
+
+  auto fusable = [&](size_t J) { return J < N && !Leader[J]; };
+
+  size_t Idx = 0;
+  while (Idx < N) {
+    const VmInsn &A = Code[Idx];
+    VmInsn F{};
+    size_t K = 1; // Instructions consumed; 1 == no fusion.
+
+    switch (A.Op) {
+    case VmOp::Step: {
+      // Runs of bare Step charges (nested expression entries) collapse to
+      // one StepN charging the whole run at once.
+      size_t Run = 1;
+      while (fusable(Idx + Run) && Code[Idx + Run].Op == VmOp::Step)
+        ++Run;
+      if (Run >= 2) {
+        F = VmInsn{VmOp::StepN, uint32_t(Run)};
+        K = Run;
+      }
+      break;
+    }
+    case VmOp::Const:
+      if (fusable(Idx + 1)) {
+        const VmInsn &B = Code[Idx + 1];
+        if (B.Op == VmOp::BinaryValue) {
+          if (isStrictCmp(BinaryOp(B.A)) && fusable(Idx + 2) &&
+              Code[Idx + 2].Op == VmOp::JumpIfFalsePop) {
+            // `x < CONST` guarding a loop/if: three ops, one dispatch.
+            F = VmInsn{VmOp::ConstCmpBranchFalse, A.A, B.A, Code[Idx + 2].A};
+            K = 3;
+          } else {
+            F = VmInsn{VmOp::ConstBinary, A.A, B.A};
+            K = 2;
+          }
+        } else if (B.Op == VmOp::ApplyArith) {
+          F = VmInsn{VmOp::ConstArith, A.A, B.A};
+          K = 2;
+        }
+      }
+      break;
+    case VmOp::LoadIdent:
+      if (fusable(Idx + 1)) {
+        const VmInsn &B = Code[Idx + 1];
+        switch (B.Op) {
+        case VmOp::BinaryValue:
+          F = VmInsn{VmOp::IdentBinary, A.A, A.B, B.A};
+          K = 2;
+          break;
+        case VmOp::ApplyArith:
+          F = VmInsn{VmOp::IdentArith, A.A, A.B, B.A};
+          K = 2;
+          break;
+        case VmOp::GetMember:
+          F = VmInsn{VmOp::IdentGetMember, A.A, A.B, B.A};
+          K = 2;
+          break;
+        case VmOp::ResolveMethodStatic:
+          F = VmInsn{VmOp::IdentMethod, A.A, A.B, B.A};
+          K = 2;
+          break;
+        default:
+          break;
+        }
+      }
+      break;
+    case VmOp::BinaryValue:
+      if (isStrictCmp(BinaryOp(A.A)) && fusable(Idx + 1) &&
+          Code[Idx + 1].Op == VmOp::JumpIfFalsePop) {
+        F = VmInsn{VmOp::CmpBranchFalse, A.A, Code[Idx + 1].A};
+        K = 2;
+      }
+      break;
+    case VmOp::StoreIdent:
+      // The compiler already emits StoreIdentPop where it statically knows
+      // the value is dead; this catches the assignment-as-statement shape
+      // (compileAssign leaves the value, ExprStmt pops it).
+      if (fusable(Idx + 1) && Code[Idx + 1].Op == VmOp::Pop) {
+        F = VmInsn{VmOp::StoreIdentPop, A.A, A.B};
+        K = 2;
+      }
+      break;
+    default:
+      break;
+    }
+
+    for (size_t J = 0; J != K; ++J)
+      NewIndex[Idx + J] = uint32_t(Out.size());
+    Out.push_back(K == 1 ? A : F);
+    Fused += K - 1;
+    Idx += K;
+  }
+  NewIndex[N] = uint32_t(Out.size());
+
+  // Install profiling variants on the remaining generic forms. Only
+  // optimized chunks ever contain Prof opcodes, so --vm-opt=off pays
+  // nothing for the quickening machinery. GetMemberForCompound stays
+  // generic: its sites are compound-assign reads, rarely hot and about to
+  // be written through anyway.
+  for (VmInsn &I : Out) {
+    switch (I.Op) {
+    case VmOp::BinaryValue:
+      I.Op = VmOp::BinaryValueProf;
+      I.C = 0;
+      break;
+    case VmOp::ApplyArith:
+      I.Op = VmOp::ApplyArithProf;
+      I.C = 0;
+      break;
+    case VmOp::GetMember:
+      I.Op = VmOp::GetMemberProf;
+      I.C = 0;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Remap every jump operand (including the ones inside new fused
+  // instructions, which still hold old indices) through the index map.
+  for (VmInsn &I : Out)
+    forEachTarget(I, [&](uint32_t &T) {
+      if (T != VmNoTarget)
+        T = NewIndex[T];
+    });
+
+  Code = std::move(Out);
+  Chunk.Optimized = true;
+  return Fused;
+}
+
+const char *jsai::vmOpName(VmOp Op) {
+  switch (Op) {
+#define VM_OP_NAME(N)                                                          \
+  case VmOp::N:                                                                \
+    return #N;
+    VM_OP_NAME(Step)
+    VM_OP_NAME(LoopBudget)
+    VM_OP_NAME(Const)
+    VM_OP_NAME(LoadIdent)
+    VM_OP_NAME(LoadThis)
+    VM_OP_NAME(Closure)
+    VM_OP_NAME(TypeofIdent)
+    VM_OP_NAME(UpdateIdent)
+    VM_OP_NAME(PushUndef)
+    VM_OP_NAME(LoadIdentNoThrow)
+    VM_OP_NAME(Pop)
+    VM_OP_NAME(Dup)
+    VM_OP_NAME(Dup2)
+    VM_OP_NAME(Jump)
+    VM_OP_NAME(JumpIfFalsePop)
+    VM_OP_NAME(JumpIfTruePop)
+    VM_OP_NAME(LogicalJump)
+    VM_OP_NAME(OrOrShortcut)
+    VM_OP_NAME(CaseCompare)
+    VM_OP_NAME(StoreIdent)
+    VM_OP_NAME(StoreIdentPop)
+    VM_OP_NAME(UnaryValue)
+    VM_OP_NAME(TypeofValue)
+    VM_OP_NAME(BinaryValue)
+    VM_OP_NAME(ApplyArith)
+    VM_OP_NAME(GetMember)
+    VM_OP_NAME(GetMemberComputed)
+    VM_OP_NAME(GetMemberForCompound)
+    VM_OP_NAME(GetMemberComputedForCompound)
+    VM_OP_NAME(SetMember)
+    VM_OP_NAME(SetMemberComputed)
+    VM_OP_NAME(UpdateMember)
+    VM_OP_NAME(UpdateMemberComputed)
+    VM_OP_NAME(DeleteMember)
+    VM_OP_NAME(DeleteMemberComputed)
+    VM_OP_NAME(ResolveMethodStatic)
+    VM_OP_NAME(ResolveMethodComputed)
+    VM_OP_NAME(Call)
+    VM_OP_NAME(CallMethod)
+    VM_OP_NAME(New)
+    VM_OP_NAME(DirectEval)
+    VM_OP_NAME(NewObjectLit)
+    VM_OP_NAME(SetOwnProp)
+    VM_OP_NAME(SetAccessorProp)
+    VM_OP_NAME(SetComputedProp)
+    VM_OP_NAME(MakeArray)
+    VM_OP_NAME(ForInInit)
+    VM_OP_NAME(ForInNext)
+    VM_OP_NAME(ForInBindVar)
+    VM_OP_NAME(ForInBindMember)
+    VM_OP_NAME(ForInEnd)
+    VM_OP_NAME(TryEnter)
+    VM_OP_NAME(TryExit)
+    VM_OP_NAME(CatchBind)
+    VM_OP_NAME(Throw)
+    VM_OP_NAME(Rethrow)
+    VM_OP_NAME(StashRet)
+    VM_OP_NAME(ReturnStashed)
+    VM_OP_NAME(ReturnValue)
+    VM_OP_NAME(ReturnNormal)
+    VM_OP_NAME(ReturnBrk)
+    VM_OP_NAME(ReturnCont)
+    VM_OP_NAME(StepN)
+    VM_OP_NAME(ConstBinary)
+    VM_OP_NAME(IdentBinary)
+    VM_OP_NAME(ConstArith)
+    VM_OP_NAME(IdentArith)
+    VM_OP_NAME(CmpBranchFalse)
+    VM_OP_NAME(ConstCmpBranchFalse)
+    VM_OP_NAME(IdentGetMember)
+    VM_OP_NAME(IdentMethod)
+    VM_OP_NAME(BinaryValueProf)
+    VM_OP_NAME(ApplyArithProf)
+    VM_OP_NAME(GetMemberProf)
+    VM_OP_NAME(QNumAdd)
+    VM_OP_NAME(QNumSub)
+    VM_OP_NAME(QNumMul)
+    VM_OP_NAME(QNumDiv)
+    VM_OP_NAME(QNumMod)
+    VM_OP_NAME(QNumLt)
+    VM_OP_NAME(QNumLe)
+    VM_OP_NAME(QNumGt)
+    VM_OP_NAME(QNumGe)
+    VM_OP_NAME(QNumEq)
+    VM_OP_NAME(QNumNe)
+    VM_OP_NAME(QArithAdd)
+    VM_OP_NAME(QArithSub)
+    VM_OP_NAME(QArithMul)
+    VM_OP_NAME(QArithDiv)
+    VM_OP_NAME(QGetMemberMono)
+#undef VM_OP_NAME
+  }
+  return "?";
+}

@@ -1,0 +1,52 @@
+//===- Optimizer.h - bytecode peephole optimizer ----------------*- C++ -*-===//
+///
+/// \file
+/// Post-compilation optimization of VmChunks, gated by --vm-opt=on|off /
+/// JSAI_VM_OPT. Two static rewrites run here:
+///
+///  1. Peephole fusion of adjacent instruction pairs (and Step runs) into
+///     superinstructions. A fused opcode charges exactly the steps its
+///     members would have charged, in one lump, which is abort-equivalent
+///     because no observable effect happens between the original charges.
+///     Fusion never swallows a jump target: the pass computes the leader
+///     set first and only fuses runs whose non-first members are not
+///     leaders, then remaps every jump operand through the old->new index
+///     map.
+///
+///  2. Installation of profiling variants (BinaryValueProf, ApplyArithProf,
+///     GetMemberProf) in place of the remaining generic opcodes. These
+///     behave exactly like their generic forms but count type feedback in
+///     the C operand; the dispatch loop quickens them in place to
+///     specialized forms at VmQuickenThreshold and deoptimizes back on any
+///     guard miss (see VmInterpreter.cpp). Because the Prof forms exist
+///     only in optimized chunks, --vm-opt=off pays zero overhead.
+///
+/// The unoptimized VM and the AST walker both remain differential oracles:
+/// hints, observer events, InterpStats, console output, and abort points
+/// are byte-identical across all three configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JSAI_VM_OPTIMIZER_H
+#define JSAI_VM_OPTIMIZER_H
+
+#include "vm/Bytecode.h"
+
+namespace jsai {
+
+/// Per-site execution count at which a Prof opcode rewrites itself to its
+/// type-specialized form. Small: approx forced execution runs most code
+/// once, so only genuinely hot sites (loops, reused chunks) should pay the
+/// rewrite.
+inline constexpr uint32_t VmQuickenThreshold = 8;
+
+class VmOptimizer {
+public:
+  /// Optimizes \p Chunk in place (fusion, then Prof installation) and marks
+  /// it Optimized. \returns the number of instructions removed by fusion.
+  size_t optimize(VmChunk &Chunk);
+};
+
+} // namespace jsai
+
+#endif // JSAI_VM_OPTIMIZER_H

@@ -14,6 +14,7 @@
 #include "interp/Interpreter.h"
 #include "support/JsNumber.h"
 #include "vm/Compiler.h"
+#include "vm/Optimizer.h"
 
 #include <cassert>
 #include <cmath>
@@ -28,34 +29,231 @@ Completion Interpreter::executeBody(FunctionDef *Def, Environment *Env) {
   return execBlockBody(Def->body()->body(), Env, Def);
 }
 
-const VmChunk &Interpreter::chunkFor(FunctionDef *Def) {
+VmChunk &Interpreter::chunkFor(FunctionDef *Def) {
   auto It = VmChunks.find(Def);
-  if (It == VmChunks.end())
-    It = VmChunks.emplace(Def, VmCompiler(context()).compile(Def)).first;
-  return *It->second;
+  if (It != VmChunks.end())
+    return *It->second;
+  // The loader's cache survives this interpreter, so repeated forced
+  // executions, the dynamic call-graph run, and serve re-requests all reuse
+  // one compiled (and optimized) chunk per FunctionDef. Optimized and plain
+  // forms live in separate slots: an optimized chunk may quicken itself in
+  // place and must never be observed by a --vm-opt=off interpreter.
+  // Quickened state carried over from a previous interpreter is safe here:
+  // every quickened opcode re-validates its guard against *this*
+  // interpreter's caches and deoptimizes on mismatch.
+  VmChunkCache &Cache = Loader.vmChunkCache();
+  VmChunkCache::Entry &Entry = Cache.Entries[Def];
+  std::unique_ptr<VmChunk> &Slot = Opts.VmOptimize ? Entry.Opt : Entry.Plain;
+  if (Slot) {
+    ++Cache.Stats.ChunkReuses;
+  } else {
+    Slot = VmCompiler(context()).compile(Def);
+    if (Opts.VmOptimize)
+      Cache.Stats.FusedInsns += VmOptimizer().optimize(*Slot);
+    ++Cache.Stats.ChunkCompiles;
+  }
+  VmChunks.emplace(Def, Slot.get());
+  return *Slot;
 }
 
-Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
-                                 FunctionDef *F) {
-  /// One active `try` region. Depths snapshot the stacks at entry so an
-  /// unwind can discard partially built expression state.
-  struct Frame {
-    uint32_t CatchIP, FinallyIP, StackDepth, ForInDepth;
-  };
-  struct ForInState {
-    std::vector<Value> Items;
-    size_t Idx = 0;
-  };
+namespace {
 
+/// One active `try` region. Depths snapshot the stacks at entry so an
+/// unwind can discard partially built expression state.
+struct VmFrame {
+  uint32_t CatchIP, FinallyIP, StackDepth, ForInDepth;
+};
+struct VmForInState {
+  std::vector<Value> Items;
+  size_t Idx = 0;
+};
+
+/// References into runChunk's locals, bundled so the unwinder can live out
+/// of line (it is pure stack surgery; it touches no Interpreter state).
+struct VmUnwindState {
+  std::vector<Value> &Stack;
+  std::vector<VmFrame> &Frames;
+  std::vector<VmForInState> &ForIns;
+  Completion &Pending;
+  Completion &Out;
+  uint32_t &IP;
+};
+
+/// Routes an abrupt completion (Throw or Abort only) to the innermost
+/// frame that handles it; returns false when the chunk is done (Out set).
+/// Aborts never reach catch handlers, only finalizers. Noinline: unwinding
+/// is the dispatch loop's coldest path and inlining it at every VM_ABRUPT
+/// site would bloat the hot switch out of icache.
+JSAI_NOINLINE bool vmUnwindSlow(VmUnwindState &U, Completion C) {
+  while (!U.Frames.empty()) {
+    VmFrame Fr = U.Frames.back();
+    U.Frames.pop_back();
+    uint32_t Target = C.isThrow() && Fr.CatchIP != VmNoTarget ? Fr.CatchIP
+                                                              : Fr.FinallyIP;
+    if (Target != VmNoTarget) {
+      U.Stack.resize(Fr.StackDepth);
+      U.ForIns.resize(Fr.ForInDepth);
+      U.Pending = std::move(C);
+      U.IP = Target;
+      return true;
+    }
+  }
+  U.Out = std::move(C);
+  return false;
+}
+
+/// The BinaryValue number fast path, shared by the generic, fused, and
+/// profiling opcodes so the arms cannot drift. Each arm computes exactly
+/// what applyBinaryValueOp would: numbers are never proxies, Add with two
+/// numbers is numeric, IEEE comparisons are false on NaN, and strictEquals
+/// on numbers is `==`. \returns false (and leaves \p L untouched) for ops
+/// without a numeric arm.
+bool numBinaryFast(BinaryOp Op, double X, double Y, Value &L) {
+  switch (Op) {
+  case BinaryOp::Add:
+    L = Value::number(X + Y);
+    return true;
+  case BinaryOp::Sub:
+    L = Value::number(X - Y);
+    return true;
+  case BinaryOp::Mul:
+    L = Value::number(X * Y);
+    return true;
+  case BinaryOp::Div:
+    L = Value::number(X / Y);
+    return true;
+  case BinaryOp::Mod:
+    L = Value::number(jsNumberMod(X, Y));
+    return true;
+  case BinaryOp::Lt:
+    L = Value::boolean(X < Y);
+    return true;
+  case BinaryOp::Le:
+    L = Value::boolean(X <= Y);
+    return true;
+  case BinaryOp::Gt:
+    L = Value::boolean(X > Y);
+    return true;
+  case BinaryOp::Ge:
+    L = Value::boolean(X >= Y);
+    return true;
+  case BinaryOp::EqStrict:
+    L = Value::boolean(X == Y);
+    return true;
+  case BinaryOp::NeStrict:
+    L = Value::boolean(X != Y);
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Compound-assign value-step fast path (see numBinaryFast): two numbers
+/// reach applyArithOp's numeric arms (no proxy, no string/object).
+bool numArithFast(AssignOp Op, double X, double Y, Value &Old) {
+  switch (Op) {
+  case AssignOp::Add:
+    Old = Value::number(X + Y);
+    return true;
+  case AssignOp::Sub:
+    Old = Value::number(X - Y);
+    return true;
+  case AssignOp::Mul:
+    Old = Value::number(X * Y);
+    return true;
+  case AssignOp::Div:
+    Old = Value::number(X / Y);
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Number comparison for the fused compare+branch forms; \p Op is one of
+/// the six strict comparison ops the optimizer fuses.
+bool numCompare(BinaryOp Op, double X, double Y) {
+  switch (Op) {
+  case BinaryOp::Lt:
+    return X < Y;
+  case BinaryOp::Le:
+    return X <= Y;
+  case BinaryOp::Gt:
+    return X > Y;
+  case BinaryOp::Ge:
+    return X >= Y;
+  case BinaryOp::EqStrict:
+    return X == Y;
+  default:
+    return X != Y; // NeStrict.
+  }
+}
+
+/// Quickened target for a Prof site whose operands were two numbers, or
+/// the Prof op itself when the operator has no specialized form.
+VmOp quickenedNumBinary(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return VmOp::QNumAdd;
+  case BinaryOp::Sub:
+    return VmOp::QNumSub;
+  case BinaryOp::Mul:
+    return VmOp::QNumMul;
+  case BinaryOp::Div:
+    return VmOp::QNumDiv;
+  case BinaryOp::Mod:
+    return VmOp::QNumMod;
+  case BinaryOp::Lt:
+    return VmOp::QNumLt;
+  case BinaryOp::Le:
+    return VmOp::QNumLe;
+  case BinaryOp::Gt:
+    return VmOp::QNumGt;
+  case BinaryOp::Ge:
+    return VmOp::QNumGe;
+  case BinaryOp::EqStrict:
+    return VmOp::QNumEq;
+  case BinaryOp::NeStrict:
+    return VmOp::QNumNe;
+  default:
+    return VmOp::BinaryValueProf;
+  }
+}
+
+VmOp quickenedNumArith(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::Add:
+    return VmOp::QArithAdd;
+  case AssignOp::Sub:
+    return VmOp::QArithSub;
+  case AssignOp::Mul:
+    return VmOp::QArithMul;
+  case AssignOp::Div:
+    return VmOp::QArithDiv;
+  default:
+    return VmOp::ApplyArithProf;
+  }
+}
+
+} // namespace
+
+Completion Interpreter::runChunk(VmChunk &Chunk, Environment *Env,
+                                 FunctionDef *F) {
   std::vector<Value> Stack;
-  std::vector<Frame> Frames;
-  std::vector<ForInState> ForIns;
+  std::vector<VmFrame> Frames;
+  std::vector<VmForInState> ForIns;
   Value RetSlot;
   Completion Pending; // Set while unwinding toward CatchBind/Rethrow.
   Completion Out;
-  const VmInsn *Code = Chunk.Code.data();
+  VmInsn *Code = Chunk.Code.data(); // Mutable: quickening rewrites in place.
   uint32_t IP = 0;
   Stack.reserve(64);
+  VmUnwindState Unwind{Stack, Frames, ForIns, Pending, Out, IP};
+  // Per-opcode execution counters (bench ablations). One predictable
+  // branch per dispatch when disabled; the array lives on the loader so
+  // counts aggregate across every interpreter of a run.
+  uint64_t *OpCounts =
+      Opts.CountVmOpcodes ? Loader.vmChunkCache().ensureOpcodeCounts()
+                          : nullptr;
 
   // Per-invocation binding-pointer cache, one entry per distinct symbol in
   // the chunk (see VmChunk). A hit skips the whole environment-chain walk;
@@ -88,33 +286,11 @@ Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
     return V;
   };
 
-  // Routes an abrupt completion (Throw or Abort only) to the innermost
-  // frame that handles it; returns false when the chunk is done (Out set).
-  // Aborts never reach catch handlers, only finalizers.
-  auto unwind = [&](Completion C) -> bool {
-    while (!Frames.empty()) {
-      Frame Fr = Frames.back();
-      Frames.pop_back();
-      uint32_t Target = C.isThrow() && Fr.CatchIP != VmNoTarget
-                            ? Fr.CatchIP
-                            : Fr.FinallyIP;
-      if (Target != VmNoTarget) {
-        Stack.resize(Fr.StackDepth);
-        ForIns.resize(Fr.ForInDepth);
-        Pending = std::move(C);
-        IP = Target;
-        return true;
-      }
-    }
-    Out = std::move(C);
-    return false;
-  };
-
 // Propagates an abrupt completion from a helper call; `break` afterwards
 // re-enters the dispatch loop at the unwound IP.
 #define VM_ABRUPT(C)                                                           \
   {                                                                            \
-    if (!unwind(C))                                                            \
+    if (!vmUnwindSlow(Unwind, C))                                              \
       return Out;                                                              \
     break;                                                                     \
   }
@@ -124,6 +300,8 @@ Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
 
   for (;;) {
     const VmInsn &I = Code[IP++];
+    if (OpCounts)
+      ++OpCounts[size_t(I.Op)];
     switch (I.Op) {
     case VmOp::Step:
       if (!stepBudget())
@@ -316,57 +494,13 @@ Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
       break;
     }
     case VmOp::BinaryValue: {
-      // Number×number fast path, in place on the stack. Each arm computes
-      // exactly what applyBinaryValueOp would: numbers are never proxies,
-      // Add with two numbers is numeric, IEEE comparisons are false on
-      // NaN, and strictEquals on numbers is `==`.
+      // Number×number fast path, in place on the stack (numBinaryFast).
       Value &L = Stack[Stack.size() - 2];
       const Value &R = Stack.back();
-      if (L.isNumber() && R.isNumber()) {
-        double X = L.asNumber(), Y = R.asNumber();
-        bool Handled = true;
-        switch (BinaryOp(I.A)) {
-        case BinaryOp::Add:
-          L = Value::number(X + Y);
-          break;
-        case BinaryOp::Sub:
-          L = Value::number(X - Y);
-          break;
-        case BinaryOp::Mul:
-          L = Value::number(X * Y);
-          break;
-        case BinaryOp::Div:
-          L = Value::number(X / Y);
-          break;
-        case BinaryOp::Mod:
-          L = Value::number(jsNumberMod(X, Y));
-          break;
-        case BinaryOp::Lt:
-          L = Value::boolean(X < Y);
-          break;
-        case BinaryOp::Le:
-          L = Value::boolean(X <= Y);
-          break;
-        case BinaryOp::Gt:
-          L = Value::boolean(X > Y);
-          break;
-        case BinaryOp::Ge:
-          L = Value::boolean(X >= Y);
-          break;
-        case BinaryOp::EqStrict:
-          L = Value::boolean(X == Y);
-          break;
-        case BinaryOp::NeStrict:
-          L = Value::boolean(X != Y);
-          break;
-        default:
-          Handled = false;
-          break;
-        }
-        if (Handled) {
-          Stack.pop_back();
-          break;
-        }
+      if (L.isNumber() && R.isNumber() &&
+          numBinaryFast(BinaryOp(I.A), L.asNumber(), R.asNumber(), L)) {
+        Stack.pop_back();
+        break;
       }
       Value Rv = pop();
       Value Lv = pop();
@@ -374,34 +508,13 @@ Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
       break;
     }
     case VmOp::ApplyArith: {
-      // Same fast path for the compound-assign value step: two numbers
-      // reach applyArithOp's numeric arms (no proxy, no string/object).
+      // Same fast path for the compound-assign value step (numArithFast).
       Value &Old = Stack[Stack.size() - 2];
       const Value &R = Stack.back();
-      if (Old.isNumber() && R.isNumber()) {
-        double X = Old.asNumber(), Y = R.asNumber();
-        bool Handled = true;
-        switch (AssignOp(I.A)) {
-        case AssignOp::Add:
-          Old = Value::number(X + Y);
-          break;
-        case AssignOp::Sub:
-          Old = Value::number(X - Y);
-          break;
-        case AssignOp::Mul:
-          Old = Value::number(X * Y);
-          break;
-        case AssignOp::Div:
-          Old = Value::number(X / Y);
-          break;
-        default:
-          Handled = false;
-          break;
-        }
-        if (Handled) {
-          Stack.pop_back();
-          break;
-        }
+      if (Old.isNumber() && R.isNumber() &&
+          numArithFast(AssignOp(I.A), Old.asNumber(), R.asNumber(), Old)) {
+        Stack.pop_back();
+        break;
       }
       Value Rhs = pop();
       Value OldV = pop();
@@ -699,7 +812,7 @@ Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
       break;
     }
     case VmOp::ForInNext: {
-      ForInState &St = ForIns.back();
+      VmForInState &St = ForIns.back();
       if (St.Idx >= St.Items.size()) {
         IP = I.B; // Exhausted: jump to ForInEnd (no budget charge).
         break;
@@ -758,6 +871,312 @@ Completion Interpreter::runChunk(const VmChunk &Chunk, Environment *Env,
       return Completion::brk();
     case VmOp::ReturnCont:
       return Completion::cont();
+
+    // -- Superinstructions (optimized chunks only) --------------------------
+    case VmOp::StepN:
+      // A fused Step run charges its whole sum at once; abort-equivalent
+      // because nothing observable happened between the original charges
+      // (see stepBudgetN).
+      if (!stepBudgetN(I.A))
+        VM_ABRUPT(Completion::abort());
+      break;
+    case VmOp::ConstBinary: {
+      // Const (which charges the step) + BinaryValue, rhs never pushed.
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      const Value &R = Chunk.Consts[I.A];
+      Value &L = Stack.back();
+      if (L.isNumber() && R.isNumber() &&
+          numBinaryFast(BinaryOp(I.B), L.asNumber(), R.asNumber(), L))
+        break;
+      Value Lv = pop();
+      Stack.push_back(applyBinaryValueOp(BinaryOp(I.B), Lv, R));
+      break;
+    }
+    case VmOp::IdentBinary: {
+      // LoadIdent (charges the step) + BinaryValue, rhs loaded in place.
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *Id = cast<Ident>(Chunk.Nodes[I.A]);
+      Value *Slot = slotGet(I.B, Id->name());
+      if (!Slot && !Opts.ApproxMode) {
+        Completion R = throwError("ReferenceError",
+                                  strings().str(Id->name()) +
+                                      " is not defined at " +
+                                      context().files().format(Id->loc()));
+        VM_ABRUPT(std::move(R));
+      }
+      Value &L = Stack.back();
+      if (Slot) {
+        if (L.isNumber() && Slot->isNumber() &&
+            numBinaryFast(BinaryOp(I.C), L.asNumber(), Slot->asNumber(), L))
+          break;
+        Value Lv = pop();
+        Stack.push_back(applyBinaryValueOp(BinaryOp(I.C), Lv, *Slot));
+        break;
+      }
+      Value Rv = proxyValue(); // Unknown globals become p*.
+      Value Lv = pop();
+      Stack.push_back(applyBinaryValueOp(BinaryOp(I.C), Lv, Rv));
+      break;
+    }
+    case VmOp::ConstArith: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      const Value &R = Chunk.Consts[I.A];
+      Value &Old = Stack.back();
+      if (Old.isNumber() && R.isNumber() &&
+          numArithFast(AssignOp(I.B), Old.asNumber(), R.asNumber(), Old))
+        break;
+      Value OldV = pop();
+      Stack.push_back(combineCompound(AssignOp(I.B), OldV, R));
+      break;
+    }
+    case VmOp::IdentArith: {
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *Id = cast<Ident>(Chunk.Nodes[I.A]);
+      Value *Slot = slotGet(I.B, Id->name());
+      if (!Slot && !Opts.ApproxMode) {
+        Completion R = throwError("ReferenceError",
+                                  strings().str(Id->name()) +
+                                      " is not defined at " +
+                                      context().files().format(Id->loc()));
+        VM_ABRUPT(std::move(R));
+      }
+      Value &Old = Stack.back();
+      if (Slot) {
+        if (Old.isNumber() && Slot->isNumber() &&
+            numArithFast(AssignOp(I.C), Old.asNumber(), Slot->asNumber(),
+                         Old))
+          break;
+        Value OldV = pop();
+        Stack.push_back(combineCompound(AssignOp(I.C), OldV, *Slot));
+        break;
+      }
+      Value OldV = pop();
+      Stack.push_back(combineCompound(AssignOp(I.C), OldV, proxyValue()));
+      break;
+    }
+    case VmOp::CmpBranchFalse: {
+      // BinaryValue (strict comparison) + JumpIfFalsePop; the boolean is
+      // branched on without being materialized. The generic fallback
+      // computes exactly BinaryValue-then-toBoolean.
+      const Value &L = Stack[Stack.size() - 2];
+      const Value &R = Stack.back();
+      bool Cond = L.isNumber() && R.isNumber()
+                      ? numCompare(BinaryOp(I.A), L.asNumber(), R.asNumber())
+                      : applyBinaryValueOp(BinaryOp(I.A), L, R).toBoolean();
+      Stack.pop_back();
+      Stack.pop_back();
+      if (!Cond)
+        IP = I.B;
+      break;
+    }
+    case VmOp::ConstCmpBranchFalse: {
+      // Const + BinaryValue + JumpIfFalsePop: `i < N` loop guards in one
+      // dispatch. Charges Const's step.
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      const Value &R = Chunk.Consts[I.A];
+      const Value &L = Stack.back();
+      bool Cond = L.isNumber() && R.isNumber()
+                      ? numCompare(BinaryOp(I.B), L.asNumber(), R.asNumber())
+                      : applyBinaryValueOp(BinaryOp(I.B), L, R).toBoolean();
+      Stack.pop_back();
+      if (!Cond)
+        IP = I.C;
+      break;
+    }
+    case VmOp::IdentGetMember:
+    case VmOp::IdentMethod: {
+      // LoadIdent (charges the step) + GetMember / ResolveMethodStatic;
+      // the base value skips the stack round trip.
+      if (!stepBudget())
+        VM_ABRUPT(Completion::abort());
+      auto *Id = cast<Ident>(Chunk.Nodes[I.A]);
+      Value Base;
+      if (Value *Slot = slotGet(I.B, Id->name())) {
+        Base = *Slot;
+      } else if (Opts.ApproxMode) {
+        Base = proxyValue();
+      } else {
+        Completion R = throwError("ReferenceError",
+                                  strings().str(Id->name()) +
+                                      " is not defined at " +
+                                      context().files().format(Id->loc()));
+        VM_ABRUPT(std::move(R));
+      }
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.C]);
+      Completion R = getProperty(Base, M->name(), M->loc(), M->id());
+      VM_CHECK(R);
+      if (I.Op == VmOp::IdentMethod)
+        Stack.push_back(std::move(Base)); // `this` for the upcoming call.
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+
+    // -- Profiling variants (optimized chunks only) -------------------------
+    // Generic semantics plus a per-site counter in the C operand; at
+    // VmQuickenThreshold the site rewrites itself to a specialized form.
+    // The rewrite happens before this execution completes generically, so
+    // the site's observable behavior never depends on the counter.
+    case VmOp::BinaryValueProf: {
+      Value &L = Stack[Stack.size() - 2];
+      const Value &R = Stack.back();
+      if (L.isNumber() && R.isNumber()) {
+        VmInsn &Site = Code[IP - 1];
+        if (++Site.C == VmQuickenThreshold) {
+          VmOp Q = quickenedNumBinary(BinaryOp(Site.A));
+          if (Q != VmOp::BinaryValueProf) {
+            Site.Op = Q;
+            ++Loader.vmChunkCache().Stats.QuickenedSites;
+          }
+        }
+        if (numBinaryFast(BinaryOp(I.A), L.asNumber(), R.asNumber(), L)) {
+          Stack.pop_back();
+          break;
+        }
+      }
+      Value Rv = pop();
+      Value Lv = pop();
+      Stack.push_back(applyBinaryValueOp(BinaryOp(I.A), Lv, Rv));
+      break;
+    }
+    case VmOp::ApplyArithProf: {
+      Value &Old = Stack[Stack.size() - 2];
+      const Value &R = Stack.back();
+      if (Old.isNumber() && R.isNumber()) {
+        VmInsn &Site = Code[IP - 1];
+        if (++Site.C == VmQuickenThreshold) {
+          VmOp Q = quickenedNumArith(AssignOp(Site.A));
+          if (Q != VmOp::ApplyArithProf) {
+            Site.Op = Q;
+            ++Loader.vmChunkCache().Stats.QuickenedSites;
+          }
+        }
+        if (numArithFast(AssignOp(I.A), Old.asNumber(), R.asNumber(), Old)) {
+          Stack.pop_back();
+          break;
+        }
+      }
+      Value Rhs = pop();
+      Value OldV = pop();
+      Stack.push_back(combineCompound(AssignOp(I.A), OldV, Rhs));
+      break;
+    }
+    case VmOp::GetMemberProf: {
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      // Quicken only when inline caches are live: the monomorphic form IS
+      // the IC hit path, and replicating its counters requires them.
+      if (Opts.EnableInlineCaches && Stack.back().isObject()) {
+        VmInsn &Site = Code[IP - 1];
+        if (++Site.C == VmQuickenThreshold)
+          Site.Op = VmOp::QGetMemberMono;
+        if (Site.Op == VmOp::QGetMemberMono)
+          ++Loader.vmChunkCache().Stats.QuickenedSites;
+      }
+      Value Base = pop();
+      Completion R = getProperty(Base, M->name(), M->loc(), M->id());
+      VM_CHECK(R);
+      Stack.push_back(std::move(R.V));
+      break;
+    }
+
+    // -- Quickened forms (installed at runtime; deopt on guard miss) --------
+    // Deopt restores the Prof opcode (the A operand was never touched),
+    // zeroes the counter, and re-dispatches the same instruction, so the
+    // generic path — with its exact counter and observer behavior —
+    // executes this iteration.
+#define VM_QNUM_CASE(OP, EXPR)                                                 \
+  case VmOp::QNum##OP: {                                                       \
+    Value &L = Stack[Stack.size() - 2];                                        \
+    const Value &R = Stack.back();                                             \
+    if (L.isNumber() && R.isNumber()) {                                        \
+      double X = L.asNumber(), Y = R.asNumber();                               \
+      L = (EXPR);                                                              \
+      Stack.pop_back();                                                        \
+      break;                                                                   \
+    }                                                                          \
+    Code[IP - 1].Op = VmOp::BinaryValueProf;                                   \
+    Code[IP - 1].C = 0;                                                        \
+    ++Loader.vmChunkCache().Stats.Deopts;                                      \
+    --IP;                                                                      \
+    break;                                                                     \
+  }
+      VM_QNUM_CASE(Add, Value::number(X + Y))
+      VM_QNUM_CASE(Sub, Value::number(X - Y))
+      VM_QNUM_CASE(Mul, Value::number(X * Y))
+      VM_QNUM_CASE(Div, Value::number(X / Y))
+      VM_QNUM_CASE(Mod, Value::number(jsNumberMod(X, Y)))
+      VM_QNUM_CASE(Lt, Value::boolean(X < Y))
+      VM_QNUM_CASE(Le, Value::boolean(X <= Y))
+      VM_QNUM_CASE(Gt, Value::boolean(X > Y))
+      VM_QNUM_CASE(Ge, Value::boolean(X >= Y))
+      VM_QNUM_CASE(Eq, Value::boolean(X == Y))
+      VM_QNUM_CASE(Ne, Value::boolean(X != Y))
+#undef VM_QNUM_CASE
+
+#define VM_QARITH_CASE(OP, EXPR)                                               \
+  case VmOp::QArith##OP: {                                                     \
+    Value &Old = Stack[Stack.size() - 2];                                      \
+    const Value &R = Stack.back();                                             \
+    if (Old.isNumber() && R.isNumber()) {                                      \
+      double X = Old.asNumber(), Y = R.asNumber();                             \
+      Old = (EXPR);                                                            \
+      Stack.pop_back();                                                        \
+      break;                                                                   \
+    }                                                                          \
+    Code[IP - 1].Op = VmOp::ApplyArithProf;                                    \
+    Code[IP - 1].C = 0;                                                        \
+    ++Loader.vmChunkCache().Stats.Deopts;                                      \
+    --IP;                                                                      \
+    break;                                                                     \
+  }
+      VM_QARITH_CASE(Add, Value::number(X + Y))
+      VM_QARITH_CASE(Sub, Value::number(X - Y))
+      VM_QARITH_CASE(Mul, Value::number(X * Y))
+      VM_QARITH_CASE(Div, Value::number(X / Y))
+#undef VM_QARITH_CASE
+
+    case VmOp::QGetMemberMono: {
+      // Inlined copy of getProperty's inline-cache hit path, guarded by
+      // exactly its hit conditions; anything short of a clean data-slot
+      // hit deopts so the generic path's counters (ICGetMisses is bumped
+      // by getPropertySlow) and recording behavior stay byte-identical.
+      auto *M = cast<MemberExpr>(Chunk.Nodes[I.A]);
+      Value &BaseRef = Stack.back();
+      if (Opts.EnableInlineCaches && BaseRef.isObject()) {
+        Object *O = BaseRef.asObject();
+        const InlineCache &IC = cacheAt(M->id());
+        if (IC.GetShape && IC.GetShape == O->shape() &&
+            icEligible(O, M->name())) {
+          Object *Holder = O;
+          bool Valid = true;
+          for (uint8_t D = 0; D != IC.GetDepth; ++D) {
+            Holder = Holder->proto();
+            if (Holder != IC.GetChain[D] ||
+                Holder->shape() != IC.GetChainShapes[D]) {
+              Valid = false;
+              break;
+            }
+          }
+          if (Valid) {
+            const PropertySlot &S = Holder->slotAt(IC.GetSlot);
+            if (!S.isAccessor()) {
+              ++Counters.ICGetHits;
+              BaseRef = S.V;
+              break;
+            }
+          }
+        }
+      }
+      Code[IP - 1].Op = VmOp::GetMemberProf;
+      Code[IP - 1].C = 0;
+      ++Loader.vmChunkCache().Stats.Deopts;
+      --IP;
+      break;
+    }
     }
   }
 

@@ -505,13 +505,19 @@ struct EngineRun {
   }
 };
 
-/// Runs \p Source under both engines and asserts that every observable
-/// channel is identical. The module body itself executes through a chunk,
-/// so a VM run always compiles at least one.
+/// Runs \p Source under three configurations — walker, plain VM, and VM
+/// with the bytecode optimizer — and asserts that every observable channel
+/// is identical. The module body itself executes through a chunk, so a VM
+/// run always compiles at least one.
 void expectEnginesAgree(const std::string &Source,
                         InterpOptions Base = InterpOptions()) {
   EngineRun Ast(Source, InterpEngineKind::Ast, Base);
-  EngineRun Vm(Source, InterpEngineKind::Vm, Base);
+  InterpOptions Plain = Base;
+  Plain.VmOptimize = false;
+  EngineRun Vm(Source, InterpEngineKind::Vm, Plain);
+  InterpOptions Optimized = Base;
+  Optimized.VmOptimize = true;
+  EngineRun VmOpt(Source, InterpEngineKind::Vm, Optimized);
   ASSERT_FALSE(Ast.Diags.hasErrors()) << Ast.Diags.render(Ast.Ctx.files());
   EXPECT_EQ(int(Ast.Result.Kind), int(Vm.Result.Kind));
   EXPECT_EQ(Ast.Console, Vm.Console);
@@ -522,6 +528,14 @@ void expectEnginesAgree(const std::string &Source,
   EXPECT_EQ(Ast.BudgetHit, Vm.BudgetHit);
   EXPECT_EQ(Ast.Chunks, 0u) << "walker run must not compile bytecode";
   EXPECT_GE(Vm.Chunks, 1u) << "VM run silently fell back to the walker";
+  EXPECT_EQ(int(Ast.Result.Kind), int(VmOpt.Result.Kind));
+  EXPECT_EQ(Ast.Console, VmOpt.Console);
+  EXPECT_EQ(Ast.Thrown, VmOpt.Thrown);
+  EXPECT_EQ(Ast.Obs.Events, VmOpt.Obs.Events);
+  EXPECT_TRUE(Ast.Stats == VmOpt.Stats)
+      << "inline-cache/shape stats diverge under --vm-opt=on";
+  EXPECT_EQ(Ast.BudgetHit, VmOpt.BudgetHit);
+  EXPECT_GE(VmOpt.Chunks, 1u);
 }
 
 TEST(EngineParityTest, VmEngineActuallyCompilesChunks) {
@@ -653,12 +667,13 @@ struct ApproxEngineRun {
 
   ApproxEngineRun(
       const std::vector<std::pair<std::string, std::string>> &Files,
-      InterpEngineKind Engine) {
+      InterpEngineKind Engine, bool VmOptimize = false) {
     for (const auto &[Path, Source] : Files)
       Fs.addFile(Path, Source);
     Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
     ApproxOptions AO;
     AO.Engine = Engine;
+    AO.VmOptimize = VmOptimize;
     Approx = std::make_unique<ApproxInterpreter>(*Loader, AO);
     Hints = Approx->run({"app/main.js"});
     HintText = Hints.toText(Ctx.files());
@@ -669,12 +684,20 @@ struct ApproxEngineRun {
 void expectApproxEnginesAgree(
     const std::vector<std::pair<std::string, std::string>> &Files) {
   ApproxEngineRun Ast(Files, InterpEngineKind::Ast);
-  ApproxEngineRun Vm(Files, InterpEngineKind::Vm);
+  ApproxEngineRun Vm(Files, InterpEngineKind::Vm, /*VmOptimize=*/false);
+  ApproxEngineRun VmOpt(Files, InterpEngineKind::Vm, /*VmOptimize=*/true);
   EXPECT_EQ(Ast.HintText, Vm.HintText);
   EXPECT_TRUE(Ast.Stats == Vm.Stats)
       << "approx stats diverge: visited " << Ast.Stats.NumFunctionsVisited
       << " vs " << Vm.Stats.NumFunctionsVisited << ", aborts "
       << Ast.Stats.NumAborts << " vs " << Vm.Stats.NumAborts;
+  EXPECT_EQ(Ast.HintText, VmOpt.HintText)
+      << "hints diverge under --vm-opt=on";
+  EXPECT_TRUE(Ast.Stats == VmOpt.Stats)
+      << "approx stats diverge under --vm-opt=on: visited "
+      << Ast.Stats.NumFunctionsVisited << " vs "
+      << VmOpt.Stats.NumFunctionsVisited << ", aborts " << Ast.Stats.NumAborts
+      << " vs " << VmOpt.Stats.NumAborts;
 }
 
 TEST(EngineParityTest, ApproxHintsIdenticalAcrossEngines) {

@@ -1,0 +1,279 @@
+//===- VmOptimizerTest.cpp - bytecode optimizer unit tests ----------------===//
+//
+// Direct tests of the peephole pass (fusion shapes, leader safety, jump
+// remapping), the loader-level chunk cache, and runtime quickening /
+// deoptimization. Cross-engine observable parity is covered separately by
+// InterpreterSemanticsTest's differential harness and fuzzer; this file
+// checks the mechanisms themselves via chunk inspection and the VmOptStats
+// counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "vm/Compiler.h"
+#include "vm/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace jsai;
+
+namespace {
+
+/// Parses a one-module project and keeps the loader alive so chunks can be
+/// compiled, optimized, and executed against it.
+struct ChunkFixture {
+  AstContext Ctx;
+  DiagnosticEngine Diags;
+  FileSystem Fs;
+  std::unique_ptr<ModuleLoader> Loader;
+
+  explicit ChunkFixture(const std::string &Source) {
+    Fs.addFile("app/main.js", Source);
+    Loader = std::make_unique<ModuleLoader>(Ctx, Fs, Diags);
+    Loader->parseAll();
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Ctx.files());
+  }
+
+  FunctionDef *moduleFunc() {
+    Module *M = Ctx.findModule("app/main.js");
+    EXPECT_NE(M, nullptr);
+    return M->Func;
+  }
+
+  std::unique_ptr<VmChunk> compile(bool Optimize) {
+    std::unique_ptr<VmChunk> Chunk = VmCompiler(Ctx).compile(moduleFunc());
+    if (Optimize)
+      VmOptimizer().optimize(*Chunk);
+    return Chunk;
+  }
+
+  size_t count(const VmChunk &Chunk, VmOp Op) {
+    return size_t(std::count_if(Chunk.Code.begin(), Chunk.Code.end(),
+                                [&](const VmInsn &I) { return I.Op == Op; }));
+  }
+};
+
+TEST(VmOptimizerTest, FusesLoopGuardAndMarksChunk) {
+  // `i < 10` compiles to LoadIdent(i) Const(10) BinaryValue(Lt)
+  // JumpIfFalsePop; Const+cmp+branch collapses to ConstCmpBranchFalse.
+  ChunkFixture F("var s = 0;\n"
+                 "for (var i = 0; i < 10; i++) { s += i; }\n");
+  std::unique_ptr<VmChunk> Plain = F.compile(false);
+  std::unique_ptr<VmChunk> Opt = F.compile(true);
+  EXPECT_FALSE(Plain->Optimized);
+  EXPECT_TRUE(Opt->Optimized);
+  EXPECT_LT(Opt->Code.size(), Plain->Code.size());
+  EXPECT_GE(F.count(*Opt, VmOp::ConstCmpBranchFalse), 1u);
+  // The generic pair must be gone from the guard; no bare BinaryValue
+  // remains (survivors become BinaryValueProf).
+  EXPECT_EQ(F.count(*Opt, VmOp::BinaryValue), 0u);
+}
+
+TEST(VmOptimizerTest, FusionRespectsJumpTargetLeaders) {
+  // The while-loop back edge targets the condition's first instruction
+  // (LoadIdent n). A fused run must never swallow that leader as a
+  // non-first member, or the back edge would land mid-superinstruction.
+  ChunkFixture F("var n = 5;\n"
+                 "var hits = 0;\n"
+                 "while (n > 0) { n -= 1; hits += 1; }\n"
+                 "console.log(hits, n);\n");
+  std::unique_ptr<VmChunk> Opt = F.compile(true);
+  const std::vector<VmInsn> &Code = Opt->Code;
+  // Every surviving jump operand must be in range; out-of-range or
+  // mid-group targets would make this loop read garbage or diverge when
+  // executed (executed below as the real check).
+  for (const VmInsn &I : Code) {
+    switch (I.Op) {
+    case VmOp::Jump:
+    case VmOp::JumpIfFalsePop:
+    case VmOp::JumpIfTruePop:
+      EXPECT_LE(I.A, uint32_t(Code.size()));
+      break;
+    case VmOp::CmpBranchFalse:
+    case VmOp::LogicalJump:
+      EXPECT_LE(I.B, uint32_t(Code.size()));
+      break;
+    case VmOp::ConstCmpBranchFalse:
+      EXPECT_LE(I.C, uint32_t(Code.size()));
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+TEST(VmOptimizerTest, StepRunsCollapseToStepN) {
+  // Nested expressions emit runs of bare Step charges; the optimizer folds
+  // each maximal run into one StepN whose A operand is the run length.
+  ChunkFixture F("var a = 1, b = 2, c = 3;\n"
+                 "var r = ((a + b) * (b + c)) - ((a * c) + (b * b));\n"
+                 "console.log(r);\n");
+  std::unique_ptr<VmChunk> Plain = F.compile(false);
+  std::unique_ptr<VmChunk> Opt = F.compile(true);
+  size_t PlainSteps = F.count(*Plain, VmOp::Step);
+  size_t OptSteps = F.count(*Opt, VmOp::Step);
+  size_t StepNs = F.count(*Opt, VmOp::StepN);
+  EXPECT_GE(PlainSteps, 2u);
+  EXPECT_GE(StepNs, 1u);
+  // Total charged steps are preserved: every StepN charges >= 2.
+  uint64_t ChargedViaStepN = 0;
+  for (const VmInsn &I : Opt->Code)
+    if (I.Op == VmOp::StepN) {
+      EXPECT_GE(I.A, 2u);
+      ChargedViaStepN += I.A;
+    }
+  EXPECT_EQ(PlainSteps, OptSteps + ChargedViaStepN);
+}
+
+TEST(VmOptimizerTest, InstallsProfVariantsOnlyWhenOptimizing) {
+  ChunkFixture F("function mix(o, k) { return o.f + o[k]; }\n"
+                 "console.log(mix({ f: 1, g: 2 }, 'g'));\n");
+  std::unique_ptr<VmChunk> Plain = F.compile(false);
+  EXPECT_EQ(F.count(*Plain, VmOp::BinaryValueProf), 0u);
+  EXPECT_EQ(F.count(*Plain, VmOp::GetMemberProf), 0u);
+  std::unique_ptr<VmChunk> Opt = F.compile(true);
+  EXPECT_EQ(F.count(*Opt, VmOp::BinaryValue), 0u);
+  EXPECT_EQ(F.count(*Opt, VmOp::GetMember), 0u);
+}
+
+TEST(VmOptimizerTest, ChunkCacheReusesAcrossInterpreters) {
+  // Two VM interpreters over one loader: the second run recompiles
+  // nothing. This is the serve/suite reuse path (one loader per project,
+  // many executions).
+  ChunkFixture F("function work(n) {\n"
+                 "  var s = 0;\n"
+                 "  for (var i = 0; i < n; i++) { s += i; }\n"
+                 "  return s;\n"
+                 "}\n"
+                 "console.log(work(100));\n");
+  InterpOptions Opts;
+  Opts.Engine = InterpEngineKind::Vm;
+  Opts.VmOptimize = true;
+
+  Interpreter First(*F.Loader, Opts);
+  First.loadModule("app/main.js");
+  const VmOptStats &After1 = F.Loader->vmChunkCache().Stats;
+  uint64_t Compiles1 = After1.ChunkCompiles;
+  EXPECT_GE(Compiles1, 2u) << "module body and work() should both compile";
+  EXPECT_EQ(After1.ChunkReuses, 0u);
+  EXPECT_GE(After1.FusedInsns, 1u);
+  EXPECT_GE(First.compiledVmChunks(), 2u);
+
+  Interpreter Second(*F.Loader, Opts);
+  Second.loadModule("app/main.js");
+  const VmOptStats &After2 = F.Loader->vmChunkCache().Stats;
+  EXPECT_EQ(After2.ChunkCompiles, Compiles1) << "second run recompiled";
+  EXPECT_EQ(After2.ChunkReuses, Compiles1);
+  // The per-interpreter footprint still counts chunks this interpreter
+  // resolved, even though they came from the shared cache.
+  EXPECT_GE(Second.compiledVmChunks(), 2u);
+}
+
+TEST(VmOptimizerTest, OptAndPlainChunksAreSeparateCacheSlots) {
+  // An optimized chunk contains Prof/quickened opcodes that the off-mode
+  // dispatch must never see; the cache keeps one slot per mode.
+  ChunkFixture F("var s = 0;\n"
+                 "for (var i = 0; i < 50; i++) { s += i; }\n"
+                 "console.log(s);\n");
+  InterpOptions OptOn;
+  OptOn.Engine = InterpEngineKind::Vm;
+  OptOn.VmOptimize = true;
+  InterpOptions OptOff = OptOn;
+  OptOff.VmOptimize = false;
+
+  Interpreter A(*F.Loader, OptOn);
+  A.loadModule("app/main.js");
+  uint64_t CompilesAfterOpt = F.Loader->vmChunkCache().Stats.ChunkCompiles;
+  Interpreter B(*F.Loader, OptOff);
+  B.loadModule("app/main.js");
+  const VmOptStats &S = F.Loader->vmChunkCache().Stats;
+  EXPECT_EQ(S.ChunkCompiles, 2 * CompilesAfterOpt)
+      << "off-mode run must compile its own plain chunks";
+  EXPECT_EQ(S.ChunkReuses, 0u);
+  EXPECT_EQ(A.consoleOutput(), B.consoleOutput());
+}
+
+TEST(VmOptimizerTest, QuickensHotNumberSitesAndCountsThem) {
+  // The loop body executes far past VmQuickenThreshold, so its arithmetic
+  // and comparison sites must rewrite themselves to QNum*/QArith* forms.
+  ChunkFixture F("var s = 0;\n"
+                 "for (var i = 0; i < 200; i++) { s = s + i * 2; }\n"
+                 "console.log(s);\n");
+  InterpOptions Opts;
+  Opts.Engine = InterpEngineKind::Vm;
+  Opts.VmOptimize = true;
+  Interpreter I(*F.Loader, Opts);
+  Completion R = I.loadModule("app/main.js");
+  EXPECT_FALSE(R.isThrow());
+  const VmOptStats &S = F.Loader->vmChunkCache().Stats;
+  EXPECT_GE(S.QuickenedSites, 1u) << "hot numeric sites never quickened";
+  EXPECT_EQ(S.Deopts, 0u) << "monomorphic number loop must not deopt";
+}
+
+TEST(VmOptimizerTest, DeoptsWhenSiteTurnsPolymorphic) {
+  // add() runs number-number long enough to quicken, then sees strings:
+  // the QNum site must deopt back to the generic form and still produce
+  // the correct concatenation. The outer + has parenthesized operands, so
+  // it survives fusion as a Prof site (a plain `a + b` fuses into
+  // IdentBinary, which deliberately has no Prof slot).
+  ChunkFixture F("function add(a, b) { return (a + b) + (b + a); }\n"
+                 "var s = 0;\n"
+                 "for (var i = 0; i < 50; i++) { s = add(i, i); }\n"
+                 "console.log(s, add('x', 'y'), add(1, 2));\n");
+  InterpOptions Opts;
+  Opts.Engine = InterpEngineKind::Vm;
+  Opts.VmOptimize = true;
+  Interpreter I(*F.Loader, Opts);
+  Completion R = I.loadModule("app/main.js");
+  EXPECT_FALSE(R.isThrow());
+  ASSERT_EQ(I.consoleOutput().size(), 1u);
+  EXPECT_EQ(I.consoleOutput()[0], "196 xyyx 6");
+  const VmOptStats &S = F.Loader->vmChunkCache().Stats;
+  EXPECT_GE(S.QuickenedSites, 1u);
+  EXPECT_GE(S.Deopts, 1u) << "string operands must force a deopt";
+}
+
+TEST(VmOptimizerTest, TightStepBudgetAbortsIdenticallyWithFusion) {
+  // StepN charges a whole fused run at once; the abort point (observed via
+  // console output and budgetExhausted) must match the unoptimized VM.
+  const char *Src = "var n = 0;\n"
+                    "for (var i = 0; i < 100000; i++) {\n"
+                    "  n = n + i + i * 2 - (i % 7);\n"
+                    "  console.log(i, n);\n"
+                    "}\n";
+  for (uint64_t MaxSteps : {50u, 137u, 400u, 1001u}) {
+    ChunkFixture FPlain(Src);
+    ChunkFixture FOpt(Src);
+    InterpOptions Plain;
+    Plain.Engine = InterpEngineKind::Vm;
+    Plain.VmOptimize = false;
+    Plain.MaxSteps = MaxSteps;
+    InterpOptions Opt = Plain;
+    Opt.VmOptimize = true;
+    Interpreter A(*FPlain.Loader, Plain);
+    A.loadModule("app/main.js");
+    Interpreter B(*FOpt.Loader, Opt);
+    B.loadModule("app/main.js");
+    EXPECT_TRUE(A.budgetExhausted());
+    EXPECT_EQ(A.budgetExhausted(), B.budgetExhausted());
+    EXPECT_EQ(A.consoleOutput(), B.consoleOutput())
+        << "abort point diverged at MaxSteps=" << MaxSteps;
+  }
+}
+
+TEST(VmOptimizerTest, VmOpNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I != VmNumOps; ++I) {
+    const char *N = vmOpName(VmOp(I));
+    ASSERT_NE(N, nullptr);
+    EXPECT_STRNE(N, "?") << "opcode " << I << " missing from vmOpName";
+    Names.push_back(N);
+  }
+  std::sort(Names.begin(), Names.end());
+  EXPECT_EQ(std::adjacent_find(Names.begin(), Names.end()), Names.end())
+      << "duplicate opcode name";
+}
+
+} // namespace

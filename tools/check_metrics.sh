@@ -17,6 +17,12 @@
 #                                 # runs both against the SAME golden file —
 #                                 # the bytecode VM must reproduce the tree
 #                                 # walker's tables byte for byte
+#   tools/check_metrics.sh [build-dir] --vm-opt=on|off
+#                                 # verify under the bytecode optimizer; CI
+#                                 # runs the vm engine in both modes against
+#                                 # the SAME golden file — superinstruction
+#                                 # fusion and quickening must never change
+#                                 # a metric table
 #   tools/check_metrics.sh [build-dir] --solver-jobs=N
 #                                 # verify under an N-thread parallel
 #                                 # fixpoint; CI runs jobs=4 against the
@@ -44,6 +50,10 @@ for Arg in "$@"; do
   --interp=*)
     JSAI_INTERP="${Arg#--interp=}"
     export JSAI_INTERP
+    ;;
+  --vm-opt=*)
+    JSAI_VM_OPT="${Arg#--vm-opt=}"
+    export JSAI_VM_OPT
     ;;
   --solver-jobs=*)
     JSAI_SOLVER_JOBS="${Arg#--solver-jobs=}"

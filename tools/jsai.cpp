@@ -248,6 +248,18 @@ const FlagSpec *flagSpecs(size_t &Count) {
          setDefaultInterpEngineKind(K);
          return true;
        }},
+      {"--vm-opt=", "on|off",
+       "bytecode optimizer (superinstruction fusion +\n"
+       "runtime quickening) for the vm engine (default: on; env\n"
+       "JSAI_VM_OPT); no effect under --interp=ast; results are identical\n"
+       "in both modes",
+       [](const std::string &V, CliOptions &) {
+         bool On;
+         if (!parseVmOptMode(V.c_str(), On))
+           return parseFail("vm-opt mode", V);
+         setDefaultVmOptEnabled(On);
+         return true;
+       }},
       {"--jobs=", "N", "suite worker threads (0 = all cores)",
        [](const std::string &V, CliOptions &O) {
          O.Jobs = size_t(std::strtoull(V.c_str(), nullptr, 10));

@@ -47,6 +47,20 @@ fi
 "$JSAI" cache stats --cache-dir="$WORK_DIR/cache"
 echo "smoke.sh: cache cold/warm check ok"
 
+# Optimized-VM round-trip: the same suite under the bytecode VM with the
+# optimizer on (superinstruction fusion + quickening) must write a report
+# byte-identical to the walker's cold run — the differential-oracle
+# contract, end to end through the CLI. No cache dir: every chunk is
+# compiled, fused, and executed fresh.
+"$JSAI" suite --jobs="$JOBS" --interp=vm --vm-opt=on \
+  --report="$WORK_DIR/vmopt.jsonl" >"$WORK_DIR/vmopt.out"
+if ! cmp -s "$WORK_DIR/cold.jsonl" "$WORK_DIR/vmopt.jsonl"; then
+  echo "smoke.sh: FAIL — optimized-VM suite report differs from walker" >&2
+  diff "$WORK_DIR/cold.jsonl" "$WORK_DIR/vmopt.jsonl" | head -20 >&2
+  exit 1
+fi
+echo "smoke.sh: optimized-VM round-trip ok"
+
 # Serve round-trip: a daemon-served suite report must be byte-identical to
 # the one-shot report above.
 SOCK="$WORK_DIR/jsai.sock"
